@@ -1,0 +1,245 @@
+//! Serial-CPU cost model for the baseline (the MGARD CPU implementation).
+//!
+//! The paper's baseline is the single-threaded CPU code in the MGARD
+//! package. Its performance is governed by cache-line efficiency: walking
+//! a level-`l` subgrid in the full array touches one 64-byte line (and,
+//! for large strides, one TLB entry) per element, which is the degradation
+//! Figure 7 shows for "Original (CPU)" as the level decreases. We model:
+//!
+//! * per-access cache-line traffic with a stride-dependent useful fraction,
+//! * a TLB-miss penalty once the stride exceeds a page,
+//! * per-element arithmetic at a calibrated scalar rate,
+//! * per-fiber and per-call fixed overheads (loop/setup costs that dominate
+//!   tiny grids).
+
+use serde::{Deserialize, Serialize};
+
+/// Cache line size (bytes) assumed for all CPU models.
+pub const LINE_BYTES: u64 = 64;
+/// Page size (bytes) for the TLB model.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// A CPU core model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CpuSpec {
+    /// Human-readable model name.
+    pub name: &'static str,
+    /// Sustained single-core streaming bandwidth, bytes/s.
+    pub stream_bw: f64,
+    /// Scalar FLOP/s of one core for this mixed (mul/div) workload.
+    pub scalar_flops: f64,
+    /// TLB miss penalty, seconds.
+    pub tlb_miss: f64,
+    /// Fixed cost per fiber/loop setup, seconds.
+    pub fiber_overhead: f64,
+    /// Fixed cost per kernel invocation, seconds.
+    pub call_overhead: f64,
+    /// Number of cores (for the all-cores comparisons of Table VI).
+    pub cores: u32,
+}
+
+impl CpuSpec {
+    /// One core of the paper's desktop CPU (Intel i7-9700K, 8 cores).
+    pub fn i7_9700k() -> Self {
+        CpuSpec {
+            name: "i7-9700K core",
+            stream_bw: 14.0e9,
+            scalar_flops: 1.6e9,
+            tlb_miss: 9.0e-9,
+            fiber_overhead: 12.0e-9,
+            call_overhead: 0.4e-6,
+            cores: 8,
+        }
+    }
+
+    /// One core of a Summit IBM POWER9 (2 sockets x 21 usable cores).
+    ///
+    /// POWER9 has strong node-level bandwidth but a modest per-core scalar
+    /// rate — the reason the paper's Summit speedups exceed the desktop's.
+    pub fn power9() -> Self {
+        CpuSpec {
+            name: "POWER9 core",
+            stream_bw: 9.0e9,
+            scalar_flops: 0.9e9,
+            tlb_miss: 12.0e-9,
+            fiber_overhead: 18.0e-9,
+            call_overhead: 0.6e-6,
+            cores: 42,
+        }
+    }
+}
+
+/// One strided sweep over memory by the serial code.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CpuAccess {
+    /// Elements touched.
+    pub elements: u64,
+    /// Stride between consecutive accesses, in elements.
+    pub stride_elems: u64,
+    /// Element size, bytes.
+    pub elem_bytes: u64,
+}
+
+impl CpuAccess {
+    /// Unit-stride sweep.
+    pub fn contiguous(elements: u64, elem_bytes: u64) -> Self {
+        CpuAccess {
+            elements,
+            stride_elems: 1,
+            elem_bytes,
+        }
+    }
+
+    /// Strided sweep (`stride_elems` elements between accesses).
+    pub fn strided(elements: u64, stride_elems: u64, elem_bytes: u64) -> Self {
+        CpuAccess {
+            elements,
+            stride_elems,
+            elem_bytes,
+        }
+    }
+
+    /// Bytes of cache-line traffic this sweep generates.
+    pub fn line_bytes(&self) -> u64 {
+        let step = self.stride_elems * self.elem_bytes;
+        if step >= LINE_BYTES {
+            // every access is a fresh line
+            self.elements * LINE_BYTES
+        } else {
+            // consecutive accesses share lines
+            let span = self.elements * step;
+            span.div_ceil(LINE_BYTES).max(1) * LINE_BYTES
+        }
+    }
+
+    /// TLB misses: one per page when the stride reaches page granularity.
+    pub fn tlb_misses(&self) -> u64 {
+        let step = self.stride_elems * self.elem_bytes;
+        if step >= PAGE_BYTES {
+            self.elements
+        } else {
+            0
+        }
+    }
+}
+
+/// Cost ledger for one serial-CPU kernel invocation.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CpuProfile {
+    /// Memory sweeps performed by the kernel.
+    pub accesses: Vec<CpuAccess>,
+    /// Floating-point (and index-arithmetic) operations.
+    pub flops: u64,
+    /// Fiber/loop setups (each pays a fixed overhead).
+    pub fibers: u64,
+    /// Bytes the kernel usefully consumes/produces (throughput reporting).
+    pub useful_bytes: u64,
+}
+
+impl CpuProfile {
+    /// Empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge one memory sweep.
+    pub fn access(&mut self, a: CpuAccess) -> &mut Self {
+        self.useful_bytes += a.elements * a.elem_bytes;
+        self.accesses.push(a);
+        self
+    }
+
+    /// Charge arithmetic work.
+    pub fn compute(&mut self, flops: u64) -> &mut Self {
+        self.flops += flops;
+        self
+    }
+
+    /// Charge fiber setup overheads.
+    pub fn with_fibers(&mut self, fibers: u64) -> &mut Self {
+        self.fibers += fibers;
+        self
+    }
+}
+
+/// Simulated serial execution time, seconds.
+pub fn cpu_time(cpu: &CpuSpec, p: &CpuProfile) -> f64 {
+    let line_bytes: u64 = p.accesses.iter().map(|a| a.line_bytes()).sum();
+    let tlb: u64 = p.accesses.iter().map(|a| a.tlb_misses()).sum();
+    let mem = line_bytes as f64 / cpu.stream_bw + tlb as f64 * cpu.tlb_miss;
+    let comp = p.flops as f64 / cpu.scalar_flops;
+    // A serial core cannot overlap dependent loads with its scalar math as
+    // aggressively as a GPU hides latency; charge the max plus a fraction
+    // of the smaller term.
+    let busy = mem.max(comp) + 0.3 * mem.min(comp);
+    busy + p.fibers as f64 * cpu.fiber_overhead + cpu.call_overhead
+}
+
+/// Achieved useful throughput (bytes/s).
+pub fn cpu_throughput(cpu: &CpuSpec, p: &CpuProfile) -> f64 {
+    p.useful_bytes as f64 / cpu_time(cpu, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_traffic_is_span() {
+        let a = CpuAccess::contiguous(1024, 8);
+        assert_eq!(a.line_bytes(), 8192);
+        assert_eq!(a.tlb_misses(), 0);
+    }
+
+    #[test]
+    fn strided_traffic_is_line_per_element() {
+        let a = CpuAccess::strided(1000, 1024, 8);
+        assert_eq!(a.line_bytes(), 64_000);
+        assert_eq!(a.tlb_misses(), 1000); // 8 KiB stride > page
+    }
+
+    #[test]
+    fn small_stride_shares_lines() {
+        let a = CpuAccess::strided(1000, 2, 8);
+        // span = 16 KB -> 250 lines
+        assert_eq!(a.line_bytes(), 16_000usize.div_ceil(64) as u64 * 64);
+        assert_eq!(a.tlb_misses(), 0);
+    }
+
+    #[test]
+    fn strided_sweep_is_slower() {
+        let cpu = CpuSpec::i7_9700k();
+        let mut fast = CpuProfile::new();
+        fast.access(CpuAccess::contiguous(1 << 20, 8)).compute(3 << 20);
+        let mut slow = CpuProfile::new();
+        slow.access(CpuAccess::strided(1 << 20, 4096, 8)).compute(3 << 20);
+        let r = cpu_time(&cpu, &slow) / cpu_time(&cpu, &fast);
+        assert!(r > 4.0, "ratio {r}");
+    }
+
+    #[test]
+    fn overheads_dominate_tiny_kernels() {
+        let cpu = CpuSpec::i7_9700k();
+        let mut p = CpuProfile::new();
+        p.access(CpuAccess::contiguous(8, 8)).compute(24).with_fibers(4);
+        let t = cpu_time(&cpu, &p);
+        assert!(t >= cpu.call_overhead);
+        assert!(t < 2.0 * cpu.call_overhead);
+    }
+
+    #[test]
+    fn power9_core_is_slower_than_i7_core() {
+        let mut p = CpuProfile::new();
+        p.access(CpuAccess::contiguous(1 << 22, 8)).compute(10 << 22);
+        assert!(cpu_time(&CpuSpec::power9(), &p) > cpu_time(&CpuSpec::i7_9700k(), &p));
+    }
+
+    #[test]
+    fn throughput_reported_on_useful_bytes() {
+        let cpu = CpuSpec::i7_9700k();
+        let mut p = CpuProfile::new();
+        p.access(CpuAccess::contiguous(1 << 20, 8));
+        let tp = cpu_throughput(&cpu, &p);
+        assert!(tp > 0.0 && tp <= cpu.stream_bw);
+    }
+}

@@ -1,0 +1,139 @@
+//! Device specifications.
+//!
+//! Constants come from public datasheets; the two GPU presets are the
+//! paper's evaluation platforms (§IV). The `*_derate` factors calibrate
+//! peak numbers down to the sustained rates memory-bound kernels achieve
+//! in practice by the refactoring kernels (calibrated against the
+//! paper's Table IV/V anchors; see EXPERIMENTS.md).
+
+use serde::{Deserialize, Serialize};
+
+/// A GPU device model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Marketing name, also used for capacity lookups.
+    pub name: &'static str,
+    /// Streaming multiprocessors.
+    pub sms: u32,
+    /// Threads per warp (32 on every NVIDIA architecture so far).
+    pub warp_size: u32,
+    /// Max resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Max resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Shared memory per SM, bytes.
+    pub smem_per_sm: u32,
+    /// Peak global-memory bandwidth, bytes/s.
+    pub mem_bw: f64,
+    /// Sustained fraction of peak bandwidth for streaming kernels.
+    pub mem_derate: f64,
+    /// Peak FP64 throughput, FLOP/s.
+    pub fp64_flops: f64,
+    /// Peak FP32 throughput, FLOP/s.
+    pub fp32_flops: f64,
+    /// Aggregate shared-memory bandwidth, bytes/s.
+    pub smem_bw: f64,
+    /// Kernel launch overhead, seconds.
+    pub launch_overhead: f64,
+    /// Additional latency charged per wave of thread blocks, seconds
+    /// (covers memory latency not hidden at low occupancy).
+    pub wave_latency: f64,
+}
+
+impl DeviceSpec {
+    /// NVIDIA Tesla V100 (SXM2, 16 GB) — one of six per Summit node.
+    pub fn v100() -> Self {
+        DeviceSpec {
+            name: "Tesla V100",
+            sms: 80,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            smem_per_sm: 96 * 1024,
+            mem_bw: 900.0e9,
+            mem_derate: 0.42,
+            fp64_flops: 7.8e12,
+            fp32_flops: 15.7e12,
+            smem_bw: 13.8e12,
+            launch_overhead: 4.0e-6,
+            wave_latency: 2.2e-6,
+        }
+    }
+
+    /// NVIDIA GeForce RTX 2080 Ti (11 GB GDDR6) — the paper's desktop GPU.
+    pub fn rtx2080ti() -> Self {
+        DeviceSpec {
+            name: "RTX 2080 Ti",
+            sms: 68,
+            warp_size: 32,
+            max_threads_per_sm: 1024,
+            max_blocks_per_sm: 16,
+            smem_per_sm: 64 * 1024,
+            mem_bw: 616.0e9,
+            mem_derate: 0.40,
+            // Consumer Turing: FP64 at 1/32 of FP32.
+            fp64_flops: 0.42e12,
+            fp32_flops: 13.4e12,
+            smem_bw: 9.5e12,
+            launch_overhead: 3.5e-6,
+            wave_latency: 2.0e-6,
+        }
+    }
+
+    /// Sustained global bandwidth (bytes/s).
+    #[inline]
+    pub fn sustained_bw(&self) -> f64 {
+        self.mem_bw * self.mem_derate
+    }
+
+    /// Peak FLOP/s for a scalar width (4 = f32, 8 = f64).
+    #[inline]
+    pub fn flops_for_width(&self, bytes: usize) -> f64 {
+        if bytes == 4 {
+            self.fp32_flops
+        } else {
+            self.fp64_flops
+        }
+    }
+
+    /// Total device memory assumed available to refactoring working sets
+    /// (bytes) — used only for capacity checks in drivers.
+    pub fn usable_memory(&self) -> u64 {
+        match self.name {
+            "Tesla V100" => 16 * (1u64 << 30),
+            "RTX 2080 Ti" => 11 * (1u64 << 30),
+            _ => 8 * (1u64 << 30),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        for d in [DeviceSpec::v100(), DeviceSpec::rtx2080ti()] {
+            assert!(d.sms > 0);
+            assert_eq!(d.warp_size, 32);
+            assert!(d.sustained_bw() < d.mem_bw);
+            assert!(d.fp64_flops <= d.fp32_flops);
+            assert!(d.launch_overhead > 0.0 && d.launch_overhead < 1e-4);
+        }
+    }
+
+    #[test]
+    fn v100_has_stronger_fp64() {
+        let v = DeviceSpec::v100();
+        let t = DeviceSpec::rtx2080ti();
+        assert!(v.fp64_flops / v.fp32_flops > t.fp64_flops / t.fp32_flops);
+        assert!(v.sustained_bw() > t.sustained_bw());
+    }
+
+    #[test]
+    fn width_selection() {
+        let v = DeviceSpec::v100();
+        assert_eq!(v.flops_for_width(4), v.fp32_flops);
+        assert_eq!(v.flops_for_width(8), v.fp64_flops);
+    }
+}

@@ -1,0 +1,105 @@
+//! Host–device and device–fabric interconnect models.
+//!
+//! The paper's introduction argues GPU-side refactoring pays off twice:
+//! CPU applications can afford to offload because PCIe/NVLink staging is
+//! cheap relative to the speedup, and GPU applications can skip host
+//! staging entirely with GPUDirect Storage / GPUDirect RDMA. This module
+//! prices those paths so drivers and harnesses can compare them.
+
+use serde::{Deserialize, Serialize};
+
+/// A data path between device memory and the next hop (host, NIC, or
+/// storage).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Interconnect {
+    /// Link name.
+    pub name: &'static str,
+    /// Sustained bandwidth, bytes/s.
+    pub bandwidth: f64,
+    /// Per-transfer latency, seconds.
+    pub latency: f64,
+    /// Whether transfers bypass host memory (GPUDirect-style).
+    pub bypasses_host: bool,
+}
+
+impl Interconnect {
+    /// PCIe 3.0 x16 (the desktop's host link).
+    pub fn pcie3() -> Self {
+        Interconnect {
+            name: "PCIe 3.0 x16",
+            bandwidth: 12.0e9,
+            latency: 10.0e-6,
+            bypasses_host: false,
+        }
+    }
+
+    /// NVLink 2.0 (Summit's CPU-GPU link, 3 bricks).
+    pub fn nvlink2() -> Self {
+        Interconnect {
+            name: "NVLink 2.0",
+            bandwidth: 45.0e9,
+            latency: 5.0e-6,
+            bypasses_host: false,
+        }
+    }
+
+    /// GPUDirect Storage/RDMA: device memory straight to NIC/NVMe.
+    pub fn gpudirect() -> Self {
+        Interconnect {
+            name: "GPUDirect",
+            bandwidth: 20.0e9,
+            latency: 6.0e-6,
+            bypasses_host: true,
+        }
+    }
+
+    /// Time to move `bytes` across this link.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+}
+
+/// Cost of exporting `bytes` of refactored output from device memory to
+/// the I/O system.
+///
+/// Without GPUDirect the data crosses the host link and is then written
+/// from host memory (an extra memcpy at `host_copy_bw`); with GPUDirect
+/// it goes straight out.
+pub fn export_cost(link: &Interconnect, bytes: u64, host_copy_bw: f64) -> f64 {
+    if link.bypasses_host {
+        link.transfer_time(bytes)
+    } else {
+        link.transfer_time(bytes) + bytes as f64 / host_copy_bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nvlink_beats_pcie() {
+        let gb = 1u64 << 30;
+        assert!(
+            Interconnect::nvlink2().transfer_time(gb) < Interconnect::pcie3().transfer_time(gb)
+        );
+    }
+
+    #[test]
+    fn gpudirect_skips_the_host_copy() {
+        let gb = 1u64 << 30;
+        let host_bw = 20.0e9;
+        let via_host = export_cost(&Interconnect::pcie3(), gb, host_bw);
+        let direct = export_cost(&Interconnect::gpudirect(), gb, host_bw);
+        assert!(direct < via_host, "{direct} vs {via_host}");
+        // The saving is exactly the host relay.
+        let relay = gb as f64 / host_bw;
+        assert!(via_host - Interconnect::pcie3().transfer_time(gb) - relay < 1e-12);
+    }
+
+    #[test]
+    fn latency_floor() {
+        let l = Interconnect::nvlink2();
+        assert!(l.transfer_time(0) >= l.latency);
+    }
+}

@@ -1,0 +1,42 @@
+//! GPU execution-model substrate.
+//!
+//! This workspace reproduces a CUDA paper without CUDA hardware: kernels
+//! execute *functionally* on the host (see `mg-gpu`), while this crate
+//! charges them the costs a real GPU would — global-memory coalescing,
+//! shared-memory bank conflicts, warp divergence, occupancy limits, kernel
+//! launch overhead, and CUDA-stream concurrency. The paper's performance
+//! claims are entirely about those effects (its kernels are memory-bound),
+//! so optimized-vs-naive ratios and their dependence on grid level
+//! reproduce even though absolute times are modeled, not measured.
+//!
+//! * [`device`] — device specifications (NVIDIA V100, RTX 2080 Ti) and CPU
+//!   core specifications (Summit POWER9, desktop i7-9700K) calibrated from
+//!   public datasheets;
+//! * [`memory`] — per-warp global-transaction math and shared-memory bank
+//!   conflicts;
+//! * [`trace`] — an address-level reference simulator used by tests to
+//!   validate the closed-form counts in [`memory`];
+//! * [`profile`] — the cost ledger a kernel accumulates;
+//! * [`occupancy`] — blocks-per-SM and wave math;
+//! * [`timing`] — profile × device → simulated kernel time;
+//! * [`stream`] — a utilization-sharing CUDA-stream scheduler;
+//! * [`cpu`] — cache-line/TLB cost model for the serial CPU baseline;
+//! * [`interconnect`] — PCIe/NVLink/GPUDirect staging costs (§I).
+
+pub mod cpu;
+pub mod device;
+pub mod interconnect;
+pub mod memory;
+pub mod occupancy;
+pub mod profile;
+pub mod stream;
+pub mod timing;
+pub mod trace;
+
+pub use cpu::{cpu_time, CpuAccess, CpuProfile, CpuSpec};
+pub use device::DeviceSpec;
+pub use interconnect::Interconnect;
+pub use memory::{global_transactions, smem_conflict_factor, AccessPattern};
+pub use profile::KernelProfile;
+pub use stream::{schedule_streams, StreamKernel};
+pub use timing::kernel_time;

@@ -1,0 +1,192 @@
+//! Per-warp global-memory coalescing and shared-memory bank-conflict math.
+//!
+//! Global memory moves in 32-byte sectors. A warp of 32 lanes reading
+//! consecutive *indices* of an array with element stride `stride` and
+//! element size `elem_bytes` touches a span of `32 * stride * elem_bytes`
+//! bytes; the number of sectors actually transferred is the key quantity —
+//! strided access wastes bandwidth "by a factor of the stride length"
+//! (paper §III-C). [`trace`](crate::trace) validates these closed forms
+//! address-by-address.
+
+/// Global-memory sector (transaction) size in bytes.
+pub const SECTOR_BYTES: u64 = 32;
+
+/// Shared-memory banks (4-byte wide, 32 banks on all modern parts).
+pub const SMEM_BANKS: u64 = 32;
+
+/// One strided access pattern executed cooperatively by warps.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct AccessPattern {
+    /// Total elements accessed (across all warps).
+    pub elements: u64,
+    /// Distance between consecutive lanes' elements, in elements.
+    pub stride_elems: u64,
+    /// Element size in bytes (4 or 8).
+    pub elem_bytes: u64,
+}
+
+impl AccessPattern {
+    /// Unit-stride pattern.
+    pub fn contiguous(elements: u64, elem_bytes: u64) -> Self {
+        AccessPattern {
+            elements,
+            stride_elems: 1,
+            elem_bytes,
+        }
+    }
+
+    /// Strided pattern (`stride_elems` elements between lanes).
+    pub fn strided(elements: u64, stride_elems: u64, elem_bytes: u64) -> Self {
+        AccessPattern {
+            elements,
+            stride_elems,
+            elem_bytes,
+        }
+    }
+}
+
+/// Number of 32-byte global transactions needed for the pattern.
+///
+/// Per warp of 32 lanes: lanes touch addresses `i * stride * elem_bytes`;
+/// distinct sectors = `min(32, ceil(32 * stride * bytes / 32))`, but never
+/// fewer than the sectors needed for the useful bytes alone.
+pub fn global_transactions(p: AccessPattern) -> u64 {
+    if p.elements == 0 {
+        return 0;
+    }
+    let warp = 32u64;
+    let full_warps = p.elements / warp;
+    let tail = p.elements % warp;
+    let per_warp = sectors_for_lanes(warp, p.stride_elems, p.elem_bytes);
+    let tail_tx = if tail > 0 {
+        sectors_for_lanes(tail, p.stride_elems, p.elem_bytes)
+    } else {
+        0
+    };
+    full_warps * per_warp + tail_tx
+}
+
+/// Distinct 32-byte sectors touched by `lanes` lanes at the given stride.
+fn sectors_for_lanes(lanes: u64, stride_elems: u64, elem_bytes: u64) -> u64 {
+    let step = stride_elems * elem_bytes;
+    if step >= SECTOR_BYTES {
+        // Every lane lands in its own sector (element may straddle two if
+        // misaligned; we assume natural alignment).
+        lanes
+    } else {
+        // Lanes share sectors; span of the warp's accesses:
+        let span = (lanes - 1) * step + elem_bytes;
+        span.div_ceil(SECTOR_BYTES)
+    }
+}
+
+/// Useful bytes of a pattern (what the kernel actually consumes).
+pub fn useful_bytes(p: AccessPattern) -> u64 {
+    p.elements * p.elem_bytes
+}
+
+/// Bytes physically moved across the memory bus.
+pub fn moved_bytes(p: AccessPattern) -> u64 {
+    global_transactions(p) * SECTOR_BYTES
+}
+
+/// Coalescing efficiency in (0, 1]: useful / moved.
+pub fn coalescing_efficiency(p: AccessPattern) -> f64 {
+    if p.elements == 0 {
+        return 1.0;
+    }
+    useful_bytes(p) as f64 / moved_bytes(p) as f64
+}
+
+/// Shared-memory bank-conflict multiplier for a warp accessing 4-byte words
+/// at `stride_words` spacing: the access replays once per distinct request
+/// to the same bank, i.e. `32 / gcd(32, stride)` lanes hit
+/// `gcd(32, stride)` banks... concretely the conflict degree is
+/// `32 / number_of_distinct_banks`.
+pub fn smem_conflict_factor(stride_words: u64) -> u64 {
+    if stride_words == 0 {
+        return 1; // broadcast
+    }
+    let g = gcd(stride_words % SMEM_BANKS, SMEM_BANKS);
+    let distinct = SMEM_BANKS / g.max(1);
+    SMEM_BANKS / distinct.max(1)
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if a == 0 {
+        b
+    } else {
+        gcd(b % a, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_f64_moves_exactly_useful_bytes() {
+        let p = AccessPattern::contiguous(1024, 8);
+        assert_eq!(global_transactions(p), 1024 * 8 / 32);
+        assert_eq!(coalescing_efficiency(p), 1.0);
+    }
+
+    #[test]
+    fn contiguous_f32() {
+        let p = AccessPattern::contiguous(64, 4);
+        // 64 * 4 = 256 bytes = 8 sectors.
+        assert_eq!(global_transactions(p), 8);
+    }
+
+    #[test]
+    fn stride_two_doubles_traffic() {
+        let p = AccessPattern::strided(1024, 2, 8);
+        // 16 bytes between lanes: each sector holds 2 useful elements.
+        assert_eq!(coalescing_efficiency(p), 0.5);
+    }
+
+    #[test]
+    fn large_stride_one_sector_per_lane() {
+        let p = AccessPattern::strided(1024, 1000, 8);
+        assert_eq!(global_transactions(p), 1024);
+        assert_eq!(coalescing_efficiency(p), 0.25);
+    }
+
+    #[test]
+    fn stride_four_f64_is_fully_scattered() {
+        // 4 * 8 = 32 bytes = sector size: one lane per sector.
+        let p = AccessPattern::strided(320, 4, 8);
+        assert_eq!(global_transactions(p), 320);
+    }
+
+    #[test]
+    fn efficiency_degrades_monotonically_with_stride() {
+        let mut last = f64::INFINITY;
+        for stride in [1u64, 2, 4, 8, 16, 64] {
+            let e = coalescing_efficiency(AccessPattern::strided(4096, stride, 8));
+            assert!(e <= last + 1e-12, "stride {stride}");
+            last = e;
+        }
+    }
+
+    #[test]
+    fn tail_warps_counted() {
+        let p = AccessPattern::contiguous(33, 8); // one full warp + 1 lane
+        assert_eq!(global_transactions(p), 8 + 1);
+    }
+
+    #[test]
+    fn zero_elements() {
+        assert_eq!(global_transactions(AccessPattern::contiguous(0, 8)), 0);
+    }
+
+    #[test]
+    fn bank_conflicts() {
+        assert_eq!(smem_conflict_factor(1), 1); // conflict-free
+        assert_eq!(smem_conflict_factor(2), 2); // 2-way
+        assert_eq!(smem_conflict_factor(32), 32); // all lanes same bank
+        assert_eq!(smem_conflict_factor(33), 1); // odd stride: conflict-free
+        assert_eq!(smem_conflict_factor(16), 16);
+        assert_eq!(smem_conflict_factor(0), 1); // broadcast
+    }
+}

@@ -1,0 +1,85 @@
+//! Occupancy: how many thread blocks an SM can host, and how many waves a
+//! launch needs.
+
+use crate::device::DeviceSpec;
+use crate::profile::KernelProfile;
+
+/// Resident blocks one SM can hold for this kernel, limited by threads,
+/// shared memory, and the hardware block cap. Always at least 1 (a kernel
+/// that oversubscribes one SM simply serializes, which the wave count then
+/// reflects).
+pub fn blocks_per_sm(dev: &DeviceSpec, threads_per_block: u32, smem_per_block: u32) -> u32 {
+    let by_threads = if threads_per_block == 0 {
+        dev.max_blocks_per_sm
+    } else {
+        dev.max_threads_per_sm / threads_per_block.min(dev.max_threads_per_sm)
+    };
+    let by_smem = if smem_per_block == 0 {
+        dev.max_blocks_per_sm
+    } else {
+        dev.smem_per_sm / smem_per_block.min(dev.smem_per_sm)
+    };
+    by_threads.min(by_smem).min(dev.max_blocks_per_sm).max(1)
+}
+
+/// Number of sequential waves needed to run `profile.blocks` blocks.
+pub fn waves(dev: &DeviceSpec, profile: &KernelProfile) -> u64 {
+    let bpsm = blocks_per_sm(dev, profile.threads_per_block, profile.smem_per_block) as u64;
+    let capacity = bpsm * dev.sms as u64;
+    profile.blocks.max(1).div_ceil(capacity)
+}
+
+/// Fraction of the device the launch can keep busy in steady state
+/// (0, 1]. Drives stream-concurrency sharing.
+pub fn utilization(dev: &DeviceSpec, profile: &KernelProfile) -> f64 {
+    let bpsm = blocks_per_sm(dev, profile.threads_per_block, profile.smem_per_block) as u64;
+    let capacity = (bpsm * dev.sms as u64).max(1);
+    (profile.blocks.max(1) as f64 / capacity as f64).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_limited() {
+        let v = DeviceSpec::v100();
+        // 1024-thread blocks: 2048/1024 = 2 per SM.
+        assert_eq!(blocks_per_sm(&v, 1024, 0), 2);
+    }
+
+    #[test]
+    fn smem_limited() {
+        let v = DeviceSpec::v100();
+        // 48 KB blocks: 96/48 = 2 per SM even though threads would allow 8.
+        assert_eq!(blocks_per_sm(&v, 256, 48 * 1024), 2);
+    }
+
+    #[test]
+    fn hardware_cap() {
+        let v = DeviceSpec::v100();
+        assert_eq!(blocks_per_sm(&v, 32, 0), 32);
+    }
+
+    #[test]
+    fn tiny_launch_low_utilization() {
+        let v = DeviceSpec::v100();
+        let p = KernelProfile::launch(4, 256, 0, 8);
+        assert!(utilization(&v, &p) < 0.05);
+        assert_eq!(waves(&v, &p), 1);
+    }
+
+    #[test]
+    fn huge_launch_many_waves() {
+        let v = DeviceSpec::v100();
+        let p = KernelProfile::launch(1_000_000, 256, 0, 8);
+        assert!(waves(&v, &p) > 1);
+        assert_eq!(utilization(&v, &p), 1.0);
+    }
+
+    #[test]
+    fn oversized_block_still_runs() {
+        let v = DeviceSpec::v100();
+        assert_eq!(blocks_per_sm(&v, 4096, 0), 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! The cost ledger a simulated kernel accumulates.
+
+use crate::memory::{global_transactions, AccessPattern, SECTOR_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// Resource usage of one kernel launch, fed to
+/// [`timing::kernel_time`](crate::timing::kernel_time).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// 32-byte global-memory transactions (loads + stores).
+    pub global_transactions: u64,
+    /// Bytes the kernel actually consumes/produces (for throughput
+    /// reporting: `useful_bytes / time`).
+    pub useful_bytes: u64,
+    /// Shared-memory accesses in 4-byte words, *after* multiplying by the
+    /// bank-conflict replay factor.
+    pub smem_word_accesses: u64,
+    /// Floating-point operations.
+    pub flops: u64,
+    /// Average number of distinct divergent paths per warp (1 =
+    /// divergence-free). Scales compute time.
+    pub divergence: f64,
+    /// Thread blocks launched.
+    pub blocks: u64,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Shared memory per block, bytes.
+    pub smem_per_block: u32,
+    /// Scalar width (4 = f32, 8 = f64) — selects the FLOP rate.
+    pub elem_bytes: u32,
+    /// Dependent sequential phases inside the kernel (e.g. the
+    /// segment-by-segment sweeps of a tridiagonal solve): each exposes
+    /// latency that block-level parallelism cannot hide.
+    pub sequential_rounds: u64,
+}
+
+impl KernelProfile {
+    /// Start an empty profile for a launch geometry.
+    pub fn launch(blocks: u64, threads_per_block: u32, smem_per_block: u32, elem_bytes: u32) -> Self {
+        KernelProfile {
+            blocks,
+            threads_per_block,
+            smem_per_block,
+            elem_bytes,
+            divergence: 1.0,
+            ..Default::default()
+        }
+    }
+
+    /// Charge a global read/write with the given pattern.
+    pub fn global_access(&mut self, p: AccessPattern) -> &mut Self {
+        self.global_transactions += global_transactions(p);
+        self.useful_bytes += p.elements * p.elem_bytes;
+        self
+    }
+
+    /// Charge shared-memory traffic: `words` 4-byte accesses replayed
+    /// `conflict_factor` times.
+    pub fn smem_access(&mut self, words: u64, conflict_factor: u64) -> &mut Self {
+        self.smem_word_accesses += words * conflict_factor;
+        self
+    }
+
+    /// Charge floating-point work.
+    pub fn compute(&mut self, flops: u64) -> &mut Self {
+        self.flops += flops;
+        self
+    }
+
+    /// Set the average divergent-path count per warp.
+    pub fn with_divergence(&mut self, paths: f64) -> &mut Self {
+        self.divergence = paths.max(1.0);
+        self
+    }
+
+    /// Set the number of dependent sequential phases.
+    pub fn with_sequential_rounds(&mut self, rounds: u64) -> &mut Self {
+        self.sequential_rounds = rounds;
+        self
+    }
+
+    /// Bytes physically crossing the memory bus.
+    pub fn moved_bytes(&self) -> u64 {
+        self.global_transactions * SECTOR_BYTES
+    }
+
+    /// Merge another profile (e.g. accumulate per-level launches).
+    /// Launch geometry keeps the maximum block count; divergence keeps the
+    /// transaction-weighted blend.
+    pub fn merge(&mut self, other: &KernelProfile) {
+        let wa = self.global_transactions.max(1) as f64;
+        let wb = other.global_transactions.max(1) as f64;
+        self.divergence = (self.divergence * wa + other.divergence * wb) / (wa + wb);
+        self.global_transactions += other.global_transactions;
+        self.useful_bytes += other.useful_bytes;
+        self.smem_word_accesses += other.smem_word_accesses;
+        self.flops += other.flops;
+        self.blocks = self.blocks.max(other.blocks);
+        self.threads_per_block = self.threads_per_block.max(other.threads_per_block);
+        self.smem_per_block = self.smem_per_block.max(other.smem_per_block);
+        self.elem_bytes = self.elem_bytes.max(other.elem_bytes);
+        self.sequential_rounds += other.sequential_rounds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let mut p = KernelProfile::launch(10, 256, 4096, 8);
+        p.global_access(AccessPattern::contiguous(1024, 8))
+            .smem_access(100, 2)
+            .compute(5000);
+        assert_eq!(p.global_transactions, 256);
+        assert_eq!(p.useful_bytes, 8192);
+        assert_eq!(p.smem_word_accesses, 200);
+        assert_eq!(p.flops, 5000);
+        assert_eq!(p.moved_bytes(), 256 * 32);
+    }
+
+    #[test]
+    fn divergence_floor_is_one() {
+        let mut p = KernelProfile::default();
+        p.with_divergence(0.2);
+        assert_eq!(p.divergence, 1.0);
+    }
+
+    #[test]
+    fn merge_sums_and_blends() {
+        let mut a = KernelProfile::launch(4, 128, 0, 8);
+        a.global_access(AccessPattern::contiguous(32, 8));
+        let mut b = KernelProfile::launch(16, 256, 1024, 8);
+        b.global_access(AccessPattern::contiguous(32, 8));
+        b.with_divergence(3.0);
+        a.merge(&b);
+        assert_eq!(a.blocks, 16);
+        assert_eq!(a.threads_per_block, 256);
+        assert_eq!(a.useful_bytes, 512);
+        assert!(a.divergence > 1.0 && a.divergence < 3.0);
+    }
+}

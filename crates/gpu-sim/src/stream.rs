@@ -1,0 +1,217 @@
+//! CUDA-stream scheduler: utilization-sharing discrete-event model.
+//!
+//! The paper parallelizes its 2-D linear kernels across the slices of a
+//! 3-D volume with up to 64 CUDA streams (§III-D, Fig. 8): kernels in the
+//! same stream serialize, kernels in different streams overlap as long as
+//! the device has idle SMs. We model the device as a unit of capacity;
+//! each ready kernel demands its steady-state utilization (see
+//! [`occupancy::utilization`](crate::occupancy::utilization)) and, when
+//! total demand exceeds 1, every running kernel slows down by the demand
+//! ratio — the fair-share behaviour of the hardware work distributor.
+
+use crate::device::DeviceSpec;
+use crate::occupancy;
+use crate::profile::KernelProfile;
+use crate::timing::{kernel_time, mem_time};
+
+/// Fraction of the device a kernel demands when running: the larger of its
+/// SM-slot occupancy and the fraction of its solo runtime spent saturating
+/// the memory bus. A memory-bound kernel that fills the bus gains nothing
+/// from concurrency even at low SM occupancy; a launch-latency-dominated
+/// slice kernel overlaps almost freely — which is where the paper's Fig. 8
+/// stream speedups come from.
+fn effective_utilization(dev: &DeviceSpec, p: &KernelProfile) -> f64 {
+    let sm = occupancy::utilization(dev, p);
+    let solo = kernel_time(dev, p);
+    let bus = if solo > 0.0 { mem_time(dev, p) / solo } else { 0.0 };
+    sm.max(bus).clamp(1e-3, 1.0)
+}
+
+/// One kernel enqueued on a stream.
+#[derive(Clone, Debug)]
+pub struct StreamKernel {
+    /// Stream id (kernels with equal ids serialize in submission order).
+    pub stream: usize,
+    /// Cost profile of the kernel.
+    pub profile: KernelProfile,
+}
+
+/// Simulate the launch schedule; returns the makespan in seconds.
+///
+/// Kernels appear in submission order. Each stream is a FIFO; the device
+/// runs any set of front-of-queue kernels concurrently under fair-share
+/// slowdown.
+pub fn schedule_streams(dev: &DeviceSpec, kernels: &[StreamKernel]) -> f64 {
+    if kernels.is_empty() {
+        return 0.0;
+    }
+    let nstreams = kernels.iter().map(|k| k.stream).max().unwrap() + 1;
+    // Per-stream FIFO of kernel indices.
+    let mut queues: Vec<std::collections::VecDeque<usize>> =
+        vec![std::collections::VecDeque::new(); nstreams];
+    for (i, k) in kernels.iter().enumerate() {
+        queues[k.stream].push_back(i);
+    }
+
+    struct Running {
+        idx: usize,
+        remaining_work: f64, // seconds at full speed
+        utilization: f64,
+    }
+
+    let mut running: Vec<Running> = Vec::new();
+    let mut now = 0.0f64;
+
+    // Admit the head of every stream.
+    let admit = |running: &mut Vec<Running>, queues: &mut [std::collections::VecDeque<usize>]| {
+        for q in queues.iter_mut() {
+            if let Some(&idx) = q.front() {
+                let already = running.iter().any(|r| r.idx == idx);
+                if !already {
+                    let p = &kernels[idx].profile;
+                    running.push(Running {
+                        idx,
+                        remaining_work: kernel_time(dev, p),
+                        utilization: effective_utilization(dev, p),
+                    });
+                }
+            }
+        }
+    };
+
+    admit(&mut running, &mut queues);
+    while !running.is_empty() {
+        let demand: f64 = running.iter().map(|r| r.utilization).sum();
+        let slowdown = demand.max(1.0);
+        // Time until the first kernel finishes at the shared rate.
+        let dt = running
+            .iter()
+            .map(|r| r.remaining_work * slowdown)
+            .fold(f64::INFINITY, f64::min);
+        now += dt;
+        for r in running.iter_mut() {
+            r.remaining_work -= dt / slowdown;
+        }
+        // Retire finished kernels and pop their stream queues.
+        let mut finished: Vec<usize> = Vec::new();
+        running.retain(|r| {
+            if r.remaining_work <= 1e-15 {
+                finished.push(r.idx);
+                false
+            } else {
+                true
+            }
+        });
+        for idx in finished {
+            let s = kernels[idx].stream;
+            debug_assert_eq!(queues[s].front(), Some(&idx));
+            queues[s].pop_front();
+        }
+        admit(&mut running, &mut queues);
+    }
+    now
+}
+
+/// Convenience: run the same kernel `count` times distributed round-robin
+/// over `nstreams` streams; returns the makespan.
+pub fn replicate_over_streams(
+    dev: &DeviceSpec,
+    profile: &KernelProfile,
+    count: usize,
+    nstreams: usize,
+) -> f64 {
+    let ks: Vec<StreamKernel> = (0..count)
+        .map(|i| StreamKernel {
+            stream: i % nstreams.max(1),
+            profile: *profile,
+        })
+        .collect();
+    schedule_streams(dev, &ks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::AccessPattern;
+
+    /// A linear-framework-style slice kernel: a *batch of fibers* per
+    /// block (so block count is small for one 2-D slice), streaming the
+    /// slice once in and once out.
+    fn slice_kernel(elements: u64) -> KernelProfile {
+        let mut p = KernelProfile::launch(elements.div_ceil(8192), 256, 8 * 1024, 8);
+        p.global_access(AccessPattern::contiguous(elements, 8));
+        p.global_access(AccessPattern::contiguous(elements, 8));
+        p
+    }
+
+    #[test]
+    fn one_stream_serializes() {
+        let dev = DeviceSpec::v100();
+        let k = slice_kernel(1 << 18);
+        let solo = kernel_time(&dev, &k);
+        let t = replicate_over_streams(&dev, &k, 8, 1);
+        assert!((t - 8.0 * solo).abs() / (8.0 * solo) < 1e-9);
+    }
+
+    #[test]
+    fn small_kernels_overlap_with_streams() {
+        let dev = DeviceSpec::v100();
+        // A 513x513 slice kernel: ~1028 blocks of 256 threads — about 20%
+        // utilization on a V100.
+        let k = slice_kernel(513 * 513);
+        let t1 = replicate_over_streams(&dev, &k, 64, 1);
+        let t8 = replicate_over_streams(&dev, &k, 64, 8);
+        let speedup = t1 / t8;
+        assert!(speedup > 1.5, "speedup {speedup}");
+        // And cannot exceed the stream count or the inverse utilization.
+        assert!(speedup <= 8.0 + 1e-9);
+    }
+
+    #[test]
+    fn saturated_kernels_gain_nothing() {
+        let dev = DeviceSpec::v100();
+        let k = slice_kernel(1 << 26); // fills the device on its own
+        let t1 = replicate_over_streams(&dev, &k, 8, 1);
+        let t8 = replicate_over_streams(&dev, &k, 8, 8);
+        assert!(t1 / t8 < 1.15, "speedup {}", t1 / t8);
+    }
+
+    #[test]
+    fn stream_speedup_monotone_then_flat() {
+        let dev = DeviceSpec::v100();
+        let k = slice_kernel(513 * 513);
+        let t1 = replicate_over_streams(&dev, &k, 64, 1);
+        let mut last_speedup = 0.0;
+        for s in [1usize, 2, 4, 8] {
+            let sp = t1 / replicate_over_streams(&dev, &k, 64, s);
+            assert!(sp >= last_speedup - 1e-9, "streams {s}");
+            last_speedup = sp;
+        }
+        let sp16 = t1 / replicate_over_streams(&dev, &k, 64, 16);
+        let sp64 = t1 / replicate_over_streams(&dev, &k, 64, 64);
+        assert!((sp64 - sp16).abs() / sp16 < 0.35, "{sp16} vs {sp64}");
+    }
+
+    #[test]
+    fn empty_schedule_is_zero() {
+        assert_eq!(schedule_streams(&DeviceSpec::v100(), &[]), 0.0);
+    }
+
+    #[test]
+    fn mixed_streams_respect_fifo_order() {
+        let dev = DeviceSpec::v100();
+        let big = slice_kernel(1 << 22);
+        let small = slice_kernel(1 << 10);
+        // stream 0: big then small; stream 1: small.
+        let ks = vec![
+            StreamKernel { stream: 0, profile: big },
+            StreamKernel { stream: 0, profile: small },
+            StreamKernel { stream: 1, profile: small },
+        ];
+        let t = schedule_streams(&dev, &ks);
+        let serial: f64 =
+            kernel_time(&dev, &big) + 2.0 * kernel_time(&dev, &small);
+        assert!(t <= serial);
+        assert!(t >= kernel_time(&dev, &big));
+    }
+}

@@ -1,0 +1,133 @@
+//! Convert a [`KernelProfile`] + [`DeviceSpec`] into simulated kernel time.
+//!
+//! Roofline-style: a kernel takes the maximum of its global-memory time,
+//! shared-memory time, and compute time (they overlap on real hardware),
+//! plus launch overhead and a latency term per wave that models the
+//! exposed-latency regime at low occupancy. The refactoring kernels are
+//! memory-bound (paper §I), so the global term dominates at large sizes
+//! and the fixed terms dominate at small sizes — which is exactly the
+//! behaviour of the paper's Figure 7 and the min/max speedup spread in
+//! Tables II/III.
+
+use crate::device::DeviceSpec;
+use crate::memory::SECTOR_BYTES;
+use crate::occupancy;
+use crate::profile::KernelProfile;
+
+/// Global-memory time of a launch, seconds (exposed so the stream
+/// scheduler can account for bandwidth sharing between concurrent
+/// kernels).
+pub fn mem_time(dev: &DeviceSpec, p: &KernelProfile) -> f64 {
+    (p.global_transactions * SECTOR_BYTES) as f64 / dev.sustained_bw()
+}
+
+/// Simulated execution time of one kernel launch, in seconds.
+pub fn kernel_time(dev: &DeviceSpec, p: &KernelProfile) -> f64 {
+    let mem = mem_time(dev, p);
+    let smem = (p.smem_word_accesses * 4) as f64 / dev.smem_bw;
+    let flops_rate = dev.flops_for_width(p.elem_bytes.max(4) as usize);
+    let comp = p.flops as f64 * p.divergence.max(1.0) / flops_rate;
+    // Exposed latency: with many waves in flight the pipeline hides the
+    // per-wave latency and only the fill/drain shows; a single partial
+    // wave at low occupancy exposes it fully.
+    let util = occupancy::utilization(dev, p);
+    let waves = occupancy::waves(dev, p);
+    let latency = if waves <= 1 {
+        dev.wave_latency * (2.0 - util)
+    } else {
+        2.0 * dev.wave_latency
+    };
+    // Dependent sequential phases (e.g. tridiagonal sweeps) expose latency
+    // per phase; high occupancy hides roughly half of it via overlap
+    // between independent fibers.
+    let sequential = p.sequential_rounds as f64 * dev.wave_latency * (1.0 - 0.5 * util);
+    dev.launch_overhead + mem.max(smem).max(comp) + latency + sequential
+}
+
+/// Achieved useful throughput (bytes/s) of a launch.
+pub fn throughput(dev: &DeviceSpec, p: &KernelProfile) -> f64 {
+    p.useful_bytes as f64 / kernel_time(dev, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::AccessPattern;
+
+    fn streaming_kernel(elements: u64, stride: u64) -> KernelProfile {
+        let threads = 256u32;
+        let blocks = elements.div_ceil(threads as u64);
+        let mut p = KernelProfile::launch(blocks, threads, 0, 8);
+        p.global_access(AccessPattern::strided(elements, stride, 8));
+        p.global_access(AccessPattern::strided(elements, stride, 8)); // store
+        p.compute(3 * elements);
+        p
+    }
+
+    #[test]
+    fn large_coalesced_kernel_near_peak() {
+        let v = DeviceSpec::v100();
+        let p = streaming_kernel(64 * 1024 * 1024, 1);
+        let tp = throughput(&v, &p);
+        // Useful bytes = 1 GiB; should achieve a large fraction of
+        // sustained bandwidth.
+        assert!(tp > 0.85 * v.sustained_bw(), "throughput {tp:.3e}");
+        assert!(tp <= v.sustained_bw());
+    }
+
+    #[test]
+    fn strided_kernel_loses_bandwidth() {
+        let v = DeviceSpec::v100();
+        let coalesced = throughput(&v, &streaming_kernel(1 << 24, 1));
+        let strided = throughput(&v, &streaming_kernel(1 << 24, 4));
+        assert!(
+            coalesced / strided > 3.5,
+            "expected ~4x loss, got {:.2}",
+            coalesced / strided
+        );
+    }
+
+    #[test]
+    fn tiny_kernel_dominated_by_launch_overhead() {
+        let v = DeviceSpec::v100();
+        let p = streaming_kernel(32, 1);
+        let t = kernel_time(&v, &p);
+        assert!(t >= v.launch_overhead);
+        assert!(t < 3.0 * (v.launch_overhead + v.wave_latency * 2.0));
+        // Throughput collapses.
+        assert!(throughput(&v, &p) < 1e9);
+    }
+
+    #[test]
+    fn time_is_monotone_in_traffic() {
+        let v = DeviceSpec::v100();
+        let mut last = 0.0;
+        for log2n in [10u32, 14, 18, 22, 26] {
+            let t = kernel_time(&v, &streaming_kernel(1 << log2n, 1));
+            assert!(t > last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn fp64_compute_bound_on_consumer_card() {
+        // A FLOP-heavy f64 kernel is compute-bound on the RTX 2080 Ti but
+        // not on the V100.
+        let mut p = KernelProfile::launch(10_000, 256, 0, 8);
+        p.global_access(AccessPattern::contiguous(1 << 20, 8));
+        p.compute(1 << 32);
+        let t_v100 = kernel_time(&DeviceSpec::v100(), &p);
+        let t_2080 = kernel_time(&DeviceSpec::rtx2080ti(), &p);
+        assert!(t_2080 / t_v100 > 5.0);
+    }
+
+    #[test]
+    fn divergence_slows_compute() {
+        let dev = DeviceSpec::rtx2080ti();
+        let mut a = KernelProfile::launch(10_000, 256, 0, 8);
+        a.compute(1 << 32);
+        let mut b = a;
+        b.with_divergence(8.0);
+        assert!(kernel_time(&dev, &b) > 4.0 * kernel_time(&dev, &a));
+    }
+}

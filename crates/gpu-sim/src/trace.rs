@@ -1,0 +1,90 @@
+//! Address-level reference simulator.
+//!
+//! The closed-form transaction counts in [`memory`](crate::memory) are what
+//! the bench harnesses use (they must scale to 8193² grids); this module
+//! recomputes the same quantities by materializing every address of small
+//! patterns, so tests can assert the closed forms are exact rather than
+//! approximations.
+
+use crate::memory::{AccessPattern, SECTOR_BYTES, SMEM_BANKS};
+use std::collections::HashSet;
+
+/// Count global transactions by materializing lane addresses warp by warp.
+pub fn trace_global_transactions(p: AccessPattern) -> u64 {
+    let warp = 32u64;
+    let mut total = 0u64;
+    let mut i = 0u64;
+    while i < p.elements {
+        let lanes = warp.min(p.elements - i);
+        let mut sectors = HashSet::new();
+        for lane in 0..lanes {
+            let addr = (i + lane) * p.stride_elems * p.elem_bytes;
+            // an element may straddle sectors
+            let first = addr / SECTOR_BYTES;
+            let last = (addr + p.elem_bytes - 1) / SECTOR_BYTES;
+            for s in first..=last {
+                sectors.insert(s);
+            }
+        }
+        total += sectors.len() as u64;
+        i += lanes;
+    }
+    total
+}
+
+/// Count shared-memory replays for one warp accessing 4-byte words at the
+/// given stride: max requests aimed at a single bank.
+pub fn trace_smem_replays(stride_words: u64) -> u64 {
+    if stride_words == 0 {
+        return 1;
+    }
+    let mut per_bank = [0u64; 32];
+    for lane in 0..32u64 {
+        let word = lane * stride_words;
+        per_bank[(word % SMEM_BANKS) as usize] += 1;
+    }
+    *per_bank.iter().max().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::{global_transactions, smem_conflict_factor};
+
+    #[test]
+    fn closed_form_matches_trace_across_strides_f64() {
+        for stride in [1u64, 2, 3, 4, 5, 8, 16, 100] {
+            for elements in [1u64, 31, 32, 33, 64, 100, 1000] {
+                let p = AccessPattern::strided(elements, stride, 8);
+                assert_eq!(
+                    global_transactions(p),
+                    trace_global_transactions(p),
+                    "stride {stride}, n {elements}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_trace_f32() {
+        for stride in [1u64, 2, 4, 7, 8, 9, 64] {
+            let p = AccessPattern::strided(256, stride, 4);
+            assert_eq!(
+                global_transactions(p),
+                trace_global_transactions(p),
+                "stride {stride}"
+            );
+        }
+    }
+
+    #[test]
+    fn smem_conflicts_match_trace() {
+        for stride in 0..70u64 {
+            assert_eq!(
+                smem_conflict_factor(stride),
+                trace_smem_replays(stride),
+                "stride {stride}"
+            );
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the GPU execution model: the closed-form coalescing
+//! math must agree with address-level tracing on arbitrary patterns, and
+//! the stream scheduler must respect its structural bounds.
+
+use gpu_sim::device::DeviceSpec;
+use gpu_sim::memory::{
+    coalescing_efficiency, global_transactions, moved_bytes, useful_bytes, AccessPattern,
+};
+use gpu_sim::profile::KernelProfile;
+use gpu_sim::stream::{schedule_streams, StreamKernel};
+use gpu_sim::timing::kernel_time;
+use gpu_sim::trace::trace_global_transactions;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn closed_form_matches_trace(
+        elements in 0u64..5000,
+        stride in 1u64..200,
+        elem_bytes in prop::sample::select(vec![4u64, 8]),
+    ) {
+        let p = AccessPattern::strided(elements, stride, elem_bytes);
+        prop_assert_eq!(global_transactions(p), trace_global_transactions(p));
+    }
+
+    #[test]
+    fn moved_at_least_useful_and_bounded(
+        elements in 1u64..100_000,
+        stride in 1u64..4096,
+        elem_bytes in prop::sample::select(vec![4u64, 8]),
+    ) {
+        let p = AccessPattern::strided(elements, stride, elem_bytes);
+        let useful = useful_bytes(p);
+        let moved = moved_bytes(p);
+        prop_assert!(moved >= useful);
+        // A lane can waste at most a full sector per element.
+        prop_assert!(moved <= elements * 32);
+        let e = coalescing_efficiency(p);
+        prop_assert!(e > 0.0 && e <= 1.0);
+    }
+
+    #[test]
+    fn kernel_time_monotone_in_traffic(
+        base in 1u64..1_000_000,
+        extra in 0u64..1_000_000,
+    ) {
+        let dev = DeviceSpec::v100();
+        let mk = |n: u64| {
+            let mut p = KernelProfile::launch(n.div_ceil(256).max(1), 256, 0, 8);
+            p.global_access(AccessPattern::contiguous(n, 8));
+            p
+        };
+        let t1 = kernel_time(&dev, &mk(base));
+        let t2 = kernel_time(&dev, &mk(base + extra));
+        prop_assert!(t2 >= t1 * 0.999, "{t1} vs {t2}");
+    }
+
+    #[test]
+    fn scheduler_respects_bounds(
+        sizes in prop::collection::vec(1u64..1_000_000, 1..20),
+        nstreams in 1usize..8,
+    ) {
+        let dev = DeviceSpec::v100();
+        let kernels: Vec<StreamKernel> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let mut p = KernelProfile::launch(n.div_ceil(8192).max(1), 256, 0, 8);
+                p.global_access(AccessPattern::contiguous(n, 8));
+                StreamKernel { stream: i % nstreams, profile: p }
+            })
+            .collect();
+        let makespan = schedule_streams(&dev, &kernels);
+
+        let times: Vec<f64> = kernels.iter().map(|k| kernel_time(&dev, &k.profile)).collect();
+        let total: f64 = times.iter().sum();
+        // Longest single stream is a lower bound; total serial time an
+        // upper bound.
+        let mut per_stream = vec![0.0f64; nstreams];
+        for (k, t) in kernels.iter().zip(&times) {
+            per_stream[k.stream] += t;
+        }
+        let longest = per_stream.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(makespan <= total * (1.0 + 1e-9), "makespan {makespan} > serial {total}");
+        prop_assert!(makespan >= longest * (1.0 - 1e-9), "makespan {makespan} < stream bound {longest}");
+    }
+
+    #[test]
+    fn merge_preserves_totals(
+        a_elems in 1u64..100_000,
+        b_elems in 1u64..100_000,
+    ) {
+        let mut a = KernelProfile::launch(10, 256, 0, 8);
+        a.global_access(AccessPattern::contiguous(a_elems, 8));
+        let mut b = KernelProfile::launch(20, 256, 0, 8);
+        b.global_access(AccessPattern::contiguous(b_elems, 8));
+        let (ta, tb) = (a.global_transactions, b.global_transactions);
+        a.merge(&b);
+        prop_assert_eq!(a.global_transactions, ta + tb);
+        prop_assert_eq!(a.useful_bytes, (a_elems + b_elems) * 8);
+        prop_assert_eq!(a.blocks, 20);
+    }
+}

@@ -1,0 +1,44 @@
+//! Wall-clock benchmarks of the full MGARD-style compression pipeline
+//! (the measured side of Fig. 11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mg_compress::Compressor;
+use mg_grid::{NdArray, Shape};
+use std::hint::black_box;
+
+fn field(shape: Shape) -> NdArray<f64> {
+    NdArray::from_fn(shape, |i| {
+        let x = i[0] as f64 * 0.05;
+        let y = i[1] as f64 * 0.03;
+        (x + y).sin() + 0.2 * (3.0 * x).cos()
+    })
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let shape = Shape::d2(513, 513);
+    let data = field(shape);
+    let bytes = (shape.len() * 8) as u64;
+
+    let mut g = c.benchmark_group("compression");
+    g.throughput(Throughput::Bytes(bytes));
+    for (tag, parallel) in [("serial", false), ("parallel", true)] {
+        g.bench_with_input(BenchmarkId::new("compress", tag), &parallel, |b, &p| {
+            let mut comp = Compressor::<f64>::new(shape, 1e-3);
+            if p {
+                comp = comp.parallel();
+            }
+            b.iter(|| comp.compress(black_box(&data)))
+        });
+    }
+    let mut comp = Compressor::<f64>::new(shape, 1e-3);
+    let blob = comp.compress(&data);
+    g.bench_function("decompress", |b| b.iter(|| comp.decompress(black_box(&blob))));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compression
+}
+criterion_main!(benches);

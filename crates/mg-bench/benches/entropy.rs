@@ -1,0 +1,43 @@
+//! Wall-clock benchmarks of the entropy coder (the pipeline stage that
+//! stays on the CPU in Fig. 11 — its throughput bounds the off-loaded
+//! pipeline).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mg_compress::entropy::{decode, encode};
+use std::hint::black_box;
+
+fn quantized_like(n: usize) -> Vec<i64> {
+    // Mimics quantized multigrid coefficients: mostly near zero with
+    // occasional large values and long zero runs.
+    (0..n)
+        .map(|i| {
+            let r = (i * 2654435761) % 1000;
+            if r < 600 {
+                0
+            } else if r < 950 {
+                (r as i64 % 37) - 18
+            } else {
+                (r as i64 - 975) * 1000
+            }
+        })
+        .collect()
+}
+
+fn bench_entropy(c: &mut Criterion) {
+    let vals = quantized_like(1 << 20);
+    let bytes = (vals.len() * 8) as u64;
+    let encoded = encode(&vals);
+
+    let mut g = c.benchmark_group("entropy");
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("encode_1M", |b| b.iter(|| encode(black_box(&vals))));
+    g.bench_function("decode_1M", |b| b.iter(|| decode(black_box(&encoded)).unwrap()));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_entropy
+}
+criterion_main!(benches);

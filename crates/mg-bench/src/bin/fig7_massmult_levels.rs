@@ -1,0 +1,79 @@
+//! Figure 7: mass-matrix-multiplication throughput (GB/s) per
+//! decomposition level of a 4097x4097 grid, for three designs:
+//! serial CPU, naive GPU (vector-wise, unpacked), and the paper's
+//! linear-processing framework (packed).
+//!
+//! The paper's qualitative claims this must reproduce: the CPU and naive
+//! GPU curves *fall* as the level decreases (stride growth), while the
+//! framework sustains high throughput until the grids get too small to
+//! fill the device.
+
+use gpu_sim::cpu::{cpu_time, CpuSpec};
+use gpu_sim::device::DeviceSpec;
+use gpu_sim::timing::kernel_time;
+use mg_gpu::cpu_kernels::{cpu_mass, CpuSweep};
+use mg_gpu::kernels::{mass_profile, Variant};
+use mg_grid::{Axis, Hierarchy, Shape};
+
+fn main() {
+    let full = Shape::d2(4097, 4097);
+    let hier = Hierarchy::new(full).unwrap();
+    let dev = DeviceSpec::v100();
+    let cpu = CpuSpec::power9();
+    let full_strides = full.strides();
+
+    println!("== Fig. 7: mass matrix multiplication on 4097^2 (one V100 / one POWER9 core) ==");
+    println!(
+        "{:>5} {:>10} {:>16} {:>16} {:>16}",
+        "level", "grid", "CPU GB/s", "naive GPU GB/s", "framework GB/s"
+    );
+
+    for l in (1..=hier.nlevels()).rev() {
+        let ld = hier.level_dims(l);
+        let shape = ld.shape;
+        let step = ld.step[0] as u64;
+        let n = shape.len() as f64;
+        // One application = both axes (the per-level work of Algorithm 3,
+        // lines 6 & 9). Useful traffic: read + write each element per axis.
+        let useful = 2.0 * 2.0 * n * 8.0;
+
+        // Serial CPU: walks the unpacked grid.
+        let mut cpu_t = 0.0;
+        #[allow(clippy::needless_range_loop)]
+        for d in 0..2 {
+            let sweep = CpuSweep {
+                shape,
+                axis: Axis(d),
+                walk_stride: step * full_strides[d] as u64,
+                embed_extent: full.dim(Axis(d)) as u64,
+                elem: 8,
+            };
+            cpu_t += cpu_time(&cpu, &cpu_mass(&sweep));
+        }
+
+        // Naive GPU: vector-wise on the unpacked grid.
+        let mut naive_t = 0.0;
+        for d in 0..2 {
+            naive_t += kernel_time(&dev, &mass_profile(shape, Axis(d), step, 8, Variant::Naive));
+        }
+
+        // Linear-processing framework: packed, unit stride.
+        let mut fw_t = 0.0;
+        for d in 0..2 {
+            fw_t += kernel_time(&dev, &mass_profile(shape, Axis(d), 1, 8, Variant::Framework));
+        }
+
+        println!(
+            "{:>5} {:>10} {:>16.4} {:>16.4} {:>16.4}",
+            l,
+            format!("{}^2", shape.dim(Axis(0))),
+            useful / cpu_t / 1e9,
+            useful / naive_t / 1e9,
+            useful / fw_t / 1e9,
+        );
+    }
+
+    println!();
+    println!("paper shape check: CPU and naive GPU decay roughly 2x per level; the framework");
+    println!("sustains hundreds of GB/s on large levels and only degrades on tiny grids.");
+}

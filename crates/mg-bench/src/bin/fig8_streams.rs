@@ -1,0 +1,24 @@
+//! Figure 8: CUDA-stream speedup for 3-D 513^3 data on both devices,
+//! 1..64 streams, decomposition and recomposition.
+
+use gpu_sim::device::DeviceSpec;
+use mg_gpu::streams3d::stream_speedup_curve;
+use mg_grid::{Hierarchy, Shape};
+
+fn main() {
+    let hier = Hierarchy::new(Shape::d3(513, 513, 513)).unwrap();
+    let counts = [1usize, 2, 4, 8, 16, 32, 64];
+
+    for dev in [DeviceSpec::rtx2080ti(), DeviceSpec::v100()] {
+        println!("== Fig. 8: {} (3D 513^3) ==", dev.name);
+        println!("{:>8} {:>14} {:>14}", "streams", "decomp spdup", "recomp spdup");
+        let dec = stream_speedup_curve(&hier, 8, &dev, &counts, false);
+        let rec = stream_speedup_curve(&hier, 8, &dev, &counts, true);
+        for ((s, d), (_, r)) in dec.iter().zip(rec.iter()) {
+            println!("{:>8} {:>13.2}x {:>13.2}x", s, d, r);
+        }
+        println!();
+    }
+    println!("paper anchors (V100): up to 2.6x decomposition / 3.2x recomposition at 8 streams,");
+    println!("with no further gain beyond ~8 streams.");
+}

@@ -1,0 +1,66 @@
+//! Tables II & III: per-kernel speedups of the GPU designs over the
+//! serial CPU baseline, across grid-size sweeps.
+//!
+//! `--device rtx2080ti` reproduces Table II (desktop: RTX 2080 Ti vs one
+//! i7-9700K core); `--device v100` reproduces Table III (Summit: V100 vs
+//! one POWER9 core). Default: both.
+
+use gpu_sim::cpu::CpuSpec;
+use gpu_sim::device::DeviceSpec;
+use mg_bench::sweeps::{dyadic_cubes, dyadic_squares, kernel_speedup_rows};
+use mg_bench::table::fmt_x;
+
+fn run(dev: &DeviceSpec, cpu: &CpuSpec, paper_table: &str) {
+    println!("== {paper_table}: {} vs serial {} ==", dev.name, cpu.name);
+    println!("{:<12} {:<22} {:>10} {:>10} {:>10}", "Grid Size", "Kernel", "Max", "Min", "Avg.");
+
+    // 3-D sweep 5^3..513^3 (coefficients only, as in the paper's first row
+    // block).
+    let rows3 = kernel_speedup_rows(&dyadic_cubes(2, 9), dev, cpu);
+    let cc3 = &rows3[0];
+    println!(
+        "{:<12} {:<22} {:>10} {:>10} {:>10}",
+        "5^3-513^3",
+        cc3.kernel,
+        fmt_x(cc3.max),
+        fmt_x(cc3.min),
+        fmt_x(cc3.avg)
+    );
+
+    // 2-D sweep 5^2..8193^2 (all four kernels).
+    let rows2 = kernel_speedup_rows(&dyadic_squares(2, 13), dev, cpu);
+    for (i, r) in rows2.iter().enumerate() {
+        println!(
+            "{:<12} {:<22} {:>10} {:>10} {:>10}",
+            if i == 0 { "5^2-8193^2" } else { "" },
+            r.kernel,
+            fmt_x(r.max),
+            fmt_x(r.min),
+            fmt_x(r.avg)
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let arg = std::env::args().nth(2).or_else(|| std::env::args().nth(1));
+    let which = arg.as_deref().unwrap_or("both");
+    if which.contains("rtx") || which == "both" {
+        run(
+            &DeviceSpec::rtx2080ti(),
+            &CpuSpec::i7_9700k(),
+            "Table II (GPU-accelerated desktop)",
+        );
+        println!("paper Table II anchors: CC(2D) max 775x min 47x avg 317x; MM max 2406x avg 1155x;");
+        println!("                        TM max 791x avg 407x; SC max 506x avg 317x\n");
+    }
+    if which.contains("v100") || which == "both" {
+        run(
+            &DeviceSpec::v100(),
+            &CpuSpec::power9(),
+            "Table III (Summit@ORNL)",
+        );
+        println!("paper Table III anchors: CC(2D) max 2919x min 61x avg 1045x; MM max 2142x avg 1139x;");
+        println!("                         TM max 1950x avg 950x; SC max 330x min 154x avg 250x");
+    }
+}

@@ -1,0 +1,62 @@
+//! Table IV: end-to-end time breakdown per kernel category for
+//! decomposition and recomposition, serial CPU vs GPU, on 2-D 8193^2 and
+//! 3-D 513^3 (Summit models).
+
+use gpu_sim::cpu::CpuSpec;
+use gpu_sim::device::DeviceSpec;
+use mg_bench::table::fmt_secs;
+use mg_gpu::breakdown::SimBreakdown;
+use mg_gpu::kernels::Variant;
+use mg_gpu::sim::{cpu_decompose, cpu_recompose, sim_decompose, sim_recompose};
+use mg_grid::{Hierarchy, Shape};
+
+fn print_pair(label: &str, cpu: &SimBreakdown, gpu: &SimBreakdown) {
+    println!("-- {label} --");
+    println!(
+        "{:>4} {:>14} {:>7} {:>14} {:>7}",
+        "op", "serial CPU", "%", "GPU", "%"
+    );
+    for ((l, ct, cp), (_, gt, gp)) in cpu.rows().into_iter().zip(gpu.rows()) {
+        println!(
+            "{:>4} {:>14} {:>6.1}% {:>14} {:>6.1}%",
+            l,
+            fmt_secs(ct),
+            cp,
+            fmt_secs(gt),
+            gp
+        );
+    }
+    println!(
+        "{:>4} {:>14} {:>7} {:>14}",
+        "sum",
+        fmt_secs(cpu.total()),
+        "",
+        fmt_secs(gpu.total())
+    );
+    println!();
+}
+
+fn main() {
+    let dev = DeviceSpec::v100();
+    let cpu = CpuSpec::power9();
+
+    for (name, dims) in [
+        ("2D (8193 x 8193)", vec![8193usize, 8193]),
+        ("3D (513 x 513 x 513)", vec![513usize, 513, 513]),
+    ] {
+        let hier = Hierarchy::new(Shape::new(&dims)).unwrap();
+        println!("== Table IV, {name} ==");
+        print_pair(
+            "Decomposition",
+            &cpu_decompose(&hier, 8, &cpu),
+            &sim_decompose(&hier, 8, &dev, Variant::Framework),
+        );
+        print_pair(
+            "Recomposition",
+            &cpu_recompose(&hier, 8, &cpu),
+            &sim_recompose(&hier, 8, &dev, Variant::Framework),
+        );
+    }
+    println!("paper anchors (decomposition): 2D CPU 15.07s/GPU 48.2ms; 3D CPU 25.70s/GPU 631.6ms;");
+    println!("CPU shares roughly CC 17% MM 21% TM 19-20% SC 18% MC 23-26%; GPU 3D is SC-dominated (~50%).");
+}

@@ -1,0 +1,8 @@
+//! Shared helpers for the table/figure harness binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md's experiment index); this library holds the common sweep
+//! and formatting code.
+
+pub mod sweeps;
+pub mod table;

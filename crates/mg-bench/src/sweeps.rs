@@ -1,0 +1,108 @@
+//! Shared sweep logic for the table/figure harnesses.
+
+use gpu_sim::cpu::CpuSpec;
+use gpu_sim::device::DeviceSpec;
+use mg_gpu::breakdown::SimBreakdown;
+use mg_gpu::kernels::Variant;
+use mg_gpu::sim::{cpu_decompose, sim_decompose};
+use mg_grid::{Hierarchy, Shape};
+
+/// Per-kernel speedup statistics over a range of grid sizes
+/// (Tables II/III).
+#[derive(Clone, Debug)]
+pub struct KernelSpeedups {
+    pub kernel: &'static str,
+    pub max: f64,
+    pub min: f64,
+    pub avg: f64,
+}
+
+fn pick(b: &SimBreakdown, k: usize) -> f64 {
+    [b.cc, b.mm, b.tm, b.sc][k]
+}
+
+/// Compute per-kernel GPU-vs-serial-CPU speedups across the given grids
+/// (each grid contributes one sample: total kernel time across all levels
+/// and axes).
+pub fn kernel_speedup_rows(
+    grids: &[Vec<usize>],
+    dev: &DeviceSpec,
+    cpu: &CpuSpec,
+) -> Vec<KernelSpeedups> {
+    const NAMES: [&str; 4] = [
+        "Comp. Coefficients",
+        "Mass Matrix Mult.",
+        "Trans. Matrix Mult.",
+        "Solve Correction",
+    ];
+    let mut samples: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for dims in grids {
+        let hier = Hierarchy::new(Shape::new(dims)).expect("dyadic grid");
+        let g = sim_decompose(&hier, 8, dev, Variant::Framework);
+        let c = cpu_decompose(&hier, 8, cpu);
+        #[allow(clippy::needless_range_loop)]
+        for k in 0..4 {
+            let gt = pick(&g, k);
+            let ct = pick(&c, k);
+            if gt > 0.0 && ct > 0.0 {
+                samples[k].push(ct / gt);
+            }
+        }
+    }
+    (0..4)
+        .map(|k| {
+            let s = &samples[k];
+            KernelSpeedups {
+                kernel: NAMES[k],
+                max: s.iter().cloned().fold(f64::MIN, f64::max),
+                min: s.iter().cloned().fold(f64::MAX, f64::min),
+                avg: s.iter().sum::<f64>() / s.len().max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// Square/cubic dyadic grid sweeps used throughout the paper's §IV.
+pub fn dyadic_squares(min_exp: u32, max_exp: u32) -> Vec<Vec<usize>> {
+    (min_exp..=max_exp)
+        .map(|e| vec![(1usize << e) + 1, (1usize << e) + 1])
+        .collect()
+}
+
+pub fn dyadic_cubes(min_exp: u32, max_exp: u32) -> Vec<Vec<usize>> {
+    (min_exp..=max_exp)
+        .map(|e| vec![(1usize << e) + 1; 3])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shapes() {
+        assert_eq!(
+            dyadic_squares(2, 4),
+            vec![vec![5, 5], vec![9, 9], vec![17, 17]]
+        );
+        assert_eq!(dyadic_cubes(2, 3), vec![vec![5, 5, 5], vec![9, 9, 9]]);
+    }
+
+    #[test]
+    fn speedups_ordered_sensibly() {
+        let rows = kernel_speedup_rows(
+            &dyadic_squares(5, 9),
+            &DeviceSpec::v100(),
+            &CpuSpec::power9(),
+        );
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.min <= r.avg && r.avg <= r.max, "{r:?}");
+            assert!(r.max > 1.0, "{} never wins?", r.kernel);
+        }
+        // The paper's qualitative finding: the solve gains least.
+        let solve = rows[3].avg;
+        let mass = rows[1].avg;
+        assert!(solve < mass, "solve {solve} should trail mass {mass}");
+    }
+}

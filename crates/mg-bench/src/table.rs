@@ -1,0 +1,37 @@
+//! Minimal fixed-width table printer for harness output.
+
+/// Print a row of fixed-width cells.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cells.iter().zip(widths) {
+        line.push_str(&format!("{:>w$}  ", c, w = w));
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Format seconds in engineering style.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.2}us", s * 1e6)
+    }
+}
+
+/// Format a speedup.
+pub fn fmt_x(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}x")
+    } else if x >= 10.0 {
+        format!("{x:.1}x")
+    } else {
+        format!("{x:.2}x")
+    }
+}
+
+/// Format bytes/s as GB/s.
+pub fn fmt_gbps(bps: f64) -> String {
+    format!("{:.2} GB/s", bps / 1e9)
+}

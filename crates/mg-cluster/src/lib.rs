@@ -1,0 +1,317 @@
+//! Multi-node weak-scaling simulator (paper §IV-B.4, Fig. 9).
+//!
+//! The paper parallelizes refactoring by giving every GPU an independent
+//! 1 GB partition (one MPI rank per GPU, 4 GPUs per Summit node in the
+//! experiment) — embarrassingly parallel, so weak scaling is governed by
+//! per-rank throughput, host staging, and straggler jitter. This crate
+//! models exactly that and also the single-node all-GPUs vs all-cores
+//! comparison of Table VI.
+
+pub mod offload;
+
+use gpu_sim::cpu::CpuSpec;
+use gpu_sim::device::DeviceSpec;
+use mg_gpu::kernels::Variant;
+use mg_gpu::sim::{cpu_decompose, cpu_recompose, sim_decompose, sim_recompose};
+use mg_grid::{Hierarchy, Shape};
+use serde::{Deserialize, Serialize};
+
+/// Weak-scaling experiment configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WeakScaling {
+    /// Grid each rank owns (paper: ~1 GB of doubles).
+    pub rank_dims: Vec<usize>,
+    /// GPUs (= ranks) per node (paper: 4).
+    pub gpus_per_node: usize,
+    /// Host<->device staging bandwidth per GPU, bytes/s (NVLink-class).
+    pub staging_bw: f64,
+    /// Relative per-rank runtime jitter (straggler spread), e.g. 0.03.
+    pub jitter: f64,
+    /// MPI completion-barrier latency coefficient (seconds per log2 P).
+    pub barrier_coeff: f64,
+}
+
+impl Default for WeakScaling {
+    fn default() -> Self {
+        WeakScaling {
+            // 8193^2 doubles = 0.537 GB per rank in 2-D.
+            rank_dims: vec![8193, 8193],
+            gpus_per_node: 4,
+            staging_bw: 40.0e9,
+            jitter: 0.03,
+            barrier_coeff: 8.0e-6,
+        }
+    }
+}
+
+/// One point of the weak-scaling curve.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScalePoint {
+    /// Number of GPUs (ranks) in this run.
+    pub gpus: usize,
+    /// Wall-clock of the slowest rank, seconds.
+    pub seconds: f64,
+    /// Aggregate useful throughput, bytes/s.
+    pub throughput: f64,
+    /// Parallel efficiency vs one GPU.
+    pub efficiency: f64,
+}
+
+impl WeakScaling {
+    fn rank_bytes(&self) -> u64 {
+        self.rank_dims.iter().product::<usize>() as u64 * 8
+    }
+
+    /// Deterministic per-rank jitter factor in `[1, 1 + jitter]`.
+    fn jitter_factor(&self, rank: usize) -> f64 {
+        let mut x = rank as u64 ^ 0x9E37_79B9_7F4A_7C15;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        let u = (x >> 40) as f64 / (1u64 << 24) as f64; // [0,1)
+        1.0 + self.jitter * u
+    }
+
+    /// Simulate one operation at `gpus` ranks; `recompose` selects the
+    /// direction.
+    pub fn run(&self, dev: &DeviceSpec, gpus: usize, recompose: bool) -> ScalePoint {
+        assert!(gpus >= 1);
+        let shape = Shape::new(&self.rank_dims);
+        let hier = Hierarchy::new(shape).expect("rank grid must be dyadic");
+        let breakdown = if recompose {
+            sim_recompose(&hier, 8, dev, Variant::Framework)
+        } else {
+            sim_decompose(&hier, 8, dev, Variant::Framework)
+        };
+        // Stage data in and out of the device once per operation.
+        let staging = 2.0 * self.rank_bytes() as f64 / self.staging_bw;
+        let base = breakdown.total() + staging;
+
+        // Slowest rank + completion barrier.
+        let slowest = (0..gpus)
+            .map(|r| self.jitter_factor(r))
+            .fold(0.0f64, f64::max)
+            * base;
+        let barrier = self.barrier_coeff * (gpus as f64).log2().max(0.0);
+        let seconds = slowest + barrier;
+
+        let total_bytes = self.rank_bytes() * gpus as u64;
+        let t1 = base + 0.0; // single-GPU reference (no jitter, no barrier)
+        ScalePoint {
+            gpus,
+            seconds,
+            throughput: total_bytes as f64 / seconds,
+            efficiency: t1 / seconds,
+        }
+    }
+
+    /// Sweep the GPU counts (paper: 1..4096 by powers of two).
+    pub fn sweep(&self, dev: &DeviceSpec, counts: &[usize], recompose: bool) -> Vec<ScalePoint> {
+        counts.iter().map(|&g| self.run(dev, g, recompose)).collect()
+    }
+}
+
+/// Strong scaling: a *fixed* total dataset is split into ever-smaller
+/// per-rank partitions as GPUs are added. Unlike the paper's weak-scaling
+/// experiment, efficiency decays once partitions are small enough that
+/// per-kernel fixed costs dominate — the simulator exposes where that
+/// knee sits.
+#[derive(Clone, Debug)]
+pub struct StrongScaling {
+    /// Total square 2-D dataset extent (must stay dyadic when split:
+    /// partitions divide along the first axis in dyadic halves).
+    pub total_dims: Vec<usize>,
+    /// Host<->device staging bandwidth per GPU, bytes/s.
+    pub staging_bw: f64,
+}
+
+impl StrongScaling {
+    /// Simulate `gpus` ranks (power of two); each rank refactors a
+    /// `1/gpus` slab of the data (the slab keeps the full extent along
+    /// the remaining axes and a dyadic fraction along axis 0).
+    pub fn run(&self, dev: &DeviceSpec, gpus: usize) -> ScalePoint {
+        assert!(gpus.is_power_of_two(), "split in dyadic halves");
+        let full0 = self.total_dims[0] - 1; // 2^k
+        assert!(
+            full0.is_multiple_of(gpus) && full0 / gpus >= 2,
+            "cannot split {} ways",
+            gpus
+        );
+        let mut dims = self.total_dims.clone();
+        dims[0] = full0 / gpus + 1;
+        let shape = Shape::new(&dims);
+        let hier = Hierarchy::new(shape).expect("dyadic slab");
+        let per_rank = sim_decompose(&hier, 8, dev, Variant::Framework).total();
+        let rank_bytes = shape.len() as u64 * 8;
+        let staging = 2.0 * rank_bytes as f64 / self.staging_bw;
+        let seconds = per_rank + staging;
+
+        // Reference: one GPU holding everything.
+        let full_hier = Hierarchy::new(Shape::new(&self.total_dims)).unwrap();
+        let t1 = sim_decompose(&full_hier, 8, dev, Variant::Framework).total()
+            + 2.0 * (full_hier.finest().len() as u64 * 8) as f64 / self.staging_bw;
+
+        let total_bytes = full_hier.finest().len() as u64 * 8;
+        ScalePoint {
+            gpus,
+            seconds,
+            throughput: total_bytes as f64 / seconds,
+            efficiency: t1 / (seconds * gpus as f64),
+        }
+    }
+}
+
+/// Table VI: one desktop / one Summit node, all GPUs vs all CPU cores.
+#[derive(Clone, Debug)]
+pub struct NodeComparison {
+    /// GPU model on the node.
+    pub dev: DeviceSpec,
+    /// GPUs per node.
+    pub gpus: usize,
+    /// CPU core model (the `cores` field sets the core count).
+    pub cpu: CpuSpec,
+    /// Parallel efficiency of the multicore CPU run (OpenMP-style).
+    pub cpu_parallel_efficiency: f64,
+}
+
+impl NodeComparison {
+    /// One Summit node: 6 V100s vs 2x21 POWER9 cores.
+    pub fn summit_node() -> Self {
+        NodeComparison {
+            dev: DeviceSpec::v100(),
+            gpus: 6,
+            cpu: CpuSpec::power9(),
+            cpu_parallel_efficiency: 0.70,
+        }
+    }
+
+    /// The paper's desktop: 1 RTX 2080 Ti vs 8 i7 cores.
+    pub fn desktop() -> Self {
+        NodeComparison {
+            dev: DeviceSpec::rtx2080ti(),
+            gpus: 1,
+            cpu: CpuSpec::i7_9700k(),
+            cpu_parallel_efficiency: 0.80,
+        }
+    }
+
+    /// Speedup of all GPUs over all CPU cores for a workload of
+    /// `partitions` independent grids of the given shape (the paper
+    /// splits the node-level input across GPUs the same way).
+    pub fn speedup(&self, dims: &[usize], partitions: usize, recompose: bool) -> f64 {
+        let shape = Shape::new(dims);
+        let hier = Hierarchy::new(shape).expect("dyadic");
+        let gpu_one = if recompose {
+            sim_recompose(&hier, 8, &self.dev, Variant::Framework).total()
+        } else {
+            sim_decompose(&hier, 8, &self.dev, Variant::Framework).total()
+        };
+        // Partitions round-robin over the GPUs.
+        let rounds = partitions.div_ceil(self.gpus);
+        let gpu_total = gpu_one * rounds as f64;
+
+        let cpu_one = if recompose {
+            cpu_recompose(&hier, 8, &self.cpu).total()
+        } else {
+            cpu_decompose(&hier, 8, &self.cpu).total()
+        };
+        let cpu_total = cpu_one * partitions as f64
+            / (self.cpu.cores as f64 * self.cpu_parallel_efficiency);
+
+        cpu_total / gpu_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weak_scaling_is_nearly_linear() {
+        let ws = WeakScaling::default();
+        let dev = DeviceSpec::v100();
+        let pts = ws.sweep(&dev, &[1, 16, 256, 4096], false);
+        for p in &pts {
+            assert!(p.efficiency > 0.90, "efficiency at {} GPUs: {}", p.gpus, p.efficiency);
+        }
+        // Throughput grows ~linearly.
+        assert!(pts[3].throughput / pts[0].throughput > 3500.0);
+    }
+
+    #[test]
+    fn throughput_at_4096_matches_paper_order() {
+        // Paper Fig. 9: 45.42 TB/s decomposition at 4096 GPUs in 2-D.
+        let ws = WeakScaling::default();
+        let dev = DeviceSpec::v100();
+        let p = ws.run(&dev, 4096, false);
+        let tbps = p.throughput / 1e12;
+        assert!(
+            (10.0..120.0).contains(&tbps),
+            "2-D aggregate {tbps:.1} TB/s should be tens of TB/s"
+        );
+    }
+
+    #[test]
+    fn three_d_is_slower_than_two_d() {
+        // Paper: 17.78 TB/s (3-D) vs 45.42 TB/s (2-D).
+        let dev = DeviceSpec::v100();
+        let ws2 = WeakScaling::default();
+        let ws3 = WeakScaling {
+            rank_dims: vec![513, 513, 513],
+            ..WeakScaling::default()
+        };
+        let t2 = ws2.run(&dev, 4096, false).throughput;
+        let t3 = ws3.run(&dev, 4096, false).throughput;
+        assert!(t2 > t3, "2D {t2:.3e} vs 3D {t3:.3e}");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let ws = WeakScaling::default();
+        for r in 0..100 {
+            let f = ws.jitter_factor(r);
+            assert!((1.0..=1.0 + ws.jitter).contains(&f));
+            assert_eq!(f, ws.jitter_factor(r));
+        }
+    }
+
+    #[test]
+    fn summit_node_beats_desktop() {
+        // Table VI: Summit node (6 V100s vs 42 POWER9 cores) shows larger
+        // 2-D speedups than the desktop (1 RTX vs 8 i7 cores).
+        let summit = NodeComparison::summit_node().speedup(&[4097, 4097], 12, false);
+        let desktop = NodeComparison::desktop().speedup(&[4097, 4097], 12, false);
+        assert!(summit > desktop, "summit {summit:.1} vs desktop {desktop:.1}");
+        assert!(summit > 5.0 && summit < 400.0, "summit {summit}");
+        assert!(desktop > 1.0, "desktop {desktop}");
+    }
+
+    #[test]
+    fn strong_scaling_efficiency_decays() {
+        let ss = StrongScaling {
+            total_dims: vec![4097, 4097],
+            staging_bw: 40.0e9,
+        };
+        let dev = DeviceSpec::v100();
+        let mut last_eff = f64::INFINITY;
+        let mut effs = Vec::new();
+        for g in [1usize, 4, 16, 64] {
+            let p = ss.run(&dev, g);
+            assert!(p.efficiency <= last_eff * 1.01, "{effs:?}");
+            last_eff = p.efficiency;
+            effs.push((g, p.efficiency));
+        }
+        // Speedup still positive but sublinear at 64 ranks.
+        let e64 = effs.last().unwrap().1;
+        assert!(e64 < 0.95, "strong scaling should lose efficiency: {effs:?}");
+        assert!(e64 > 0.05, "but not collapse: {effs:?}");
+    }
+
+    #[test]
+    fn recompose_scaling_also_works() {
+        let ws = WeakScaling::default();
+        let dev = DeviceSpec::v100();
+        let p = ws.run(&dev, 64, true);
+        assert!(p.throughput > 0.0 && p.efficiency > 0.8);
+    }
+}

@@ -1,0 +1,141 @@
+//! Offload economics (paper §I): when does shipping data to a GPU pay?
+//!
+//! "For CPU-based scientific applications ... it can be cost-effective to
+//! offload the data refactoring workloads to GPUs when they are
+//! available, especially given that fast CPU-GPU interconnections such as
+//! PCIe and NVLinks are available" — and for GPU-resident data, GPUDirect
+//! avoids the trip back through the host entirely. This module prices the
+//! three strategies for a given grid.
+
+use gpu_sim::cpu::CpuSpec;
+use gpu_sim::device::DeviceSpec;
+use gpu_sim::interconnect::{export_cost, Interconnect};
+use mg_gpu::kernels::Variant;
+use mg_gpu::sim::{cpu_decompose, sim_decompose};
+use mg_grid::{Hierarchy, Shape};
+
+/// Host memory copy bandwidth used when staging through the host.
+const HOST_COPY_BW: f64 = 20.0e9;
+
+/// Cost of each refactor-and-export strategy, seconds.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct OffloadCosts {
+    /// Refactor on the CPU core where the data lives.
+    pub cpu_local: f64,
+    /// Ship to the GPU over `link`, refactor there, ship back.
+    pub gpu_offload: f64,
+    /// Data already on the GPU; refactor and export via GPUDirect.
+    pub gpu_direct: f64,
+}
+
+impl OffloadCosts {
+    /// Whether offloading beats staying on the CPU.
+    pub fn offload_wins(&self) -> bool {
+        self.gpu_offload < self.cpu_local
+    }
+}
+
+/// Price the three strategies for one decomposition of `dims`.
+pub fn offload_costs(
+    dims: &[usize],
+    dev: &DeviceSpec,
+    cpu: &CpuSpec,
+    link: &Interconnect,
+) -> OffloadCosts {
+    let shape = Shape::new(dims);
+    let hier = Hierarchy::new(shape).expect("dyadic grid");
+    let bytes = (shape.len() * 8) as u64;
+
+    let cpu_local = cpu_decompose(&hier, 8, cpu).total();
+    let gpu_compute = sim_decompose(&hier, 8, dev, Variant::Framework).total();
+
+    // CPU-resident data: in over the link, compute, then export — back
+    // over the link and relayed out of host memory (the path GPUDirect
+    // exists to avoid).
+    let gpu_offload =
+        link.transfer_time(bytes) + gpu_compute + export_cost(link, bytes, HOST_COPY_BW);
+
+    // GPU-resident data: compute in place, export refactored bytes via
+    // GPUDirect instead of relaying through host memory.
+    let gpu_direct = gpu_compute + export_cost(&Interconnect::gpudirect(), bytes, HOST_COPY_BW);
+
+    OffloadCosts {
+        cpu_local,
+        gpu_offload,
+        gpu_direct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offload_wins_for_large_grids_even_over_pcie() {
+        let c = offload_costs(
+            &[4097, 4097],
+            &DeviceSpec::v100(),
+            &CpuSpec::power9(),
+            &Interconnect::pcie3(),
+        );
+        assert!(c.offload_wins(), "{c:?}");
+        assert!(c.cpu_local / c.gpu_offload > 5.0, "{c:?}");
+    }
+
+    #[test]
+    fn offload_loses_for_tiny_grids() {
+        let c = offload_costs(
+            &[33, 33],
+            &DeviceSpec::v100(),
+            &CpuSpec::power9(),
+            &Interconnect::pcie3(),
+        );
+        assert!(!c.offload_wins(), "{c:?}");
+    }
+
+    #[test]
+    fn nvlink_improves_the_offload_case() {
+        let pcie = offload_costs(
+            &[2049, 2049],
+            &DeviceSpec::v100(),
+            &CpuSpec::power9(),
+            &Interconnect::pcie3(),
+        );
+        let nvlink = offload_costs(
+            &[2049, 2049],
+            &DeviceSpec::v100(),
+            &CpuSpec::power9(),
+            &Interconnect::nvlink2(),
+        );
+        assert!(nvlink.gpu_offload < pcie.gpu_offload);
+    }
+
+    #[test]
+    fn gpu_resident_data_is_cheapest_at_scale() {
+        let c = offload_costs(
+            &[513, 513, 513],
+            &DeviceSpec::v100(),
+            &CpuSpec::power9(),
+            &Interconnect::nvlink2(),
+        );
+        assert!(c.gpu_direct < c.gpu_offload);
+        assert!(c.gpu_direct < c.cpu_local);
+    }
+
+    #[test]
+    fn crossover_exists_and_is_monotone() {
+        // As grids grow, the offload advantage strictly improves.
+        let mut last_ratio = 0.0;
+        for n in [65usize, 257, 1025, 4097] {
+            let c = offload_costs(
+                &[n, n],
+                &DeviceSpec::v100(),
+                &CpuSpec::power9(),
+                &Interconnect::pcie3(),
+            );
+            let ratio = c.cpu_local / c.gpu_offload;
+            assert!(ratio > last_ratio, "n = {n}: {ratio} <= {last_ratio}");
+            last_ratio = ratio;
+        }
+    }
+}

@@ -1,0 +1,616 @@
+//! Lossless entropy coding: zero-run-length + canonical Huffman.
+//!
+//! Stands in for the ZLib stage of the original MGARD pipeline (§V-B).
+//! Quantized multigrid coefficients are strongly concentrated around zero
+//! with long exact-zero runs in the fine classes, so the coder first
+//! collapses zero runs, then Huffman-codes a small symbol alphabet:
+//!
+//! * symbols `0..=239`: zigzag-encoded small values;
+//! * symbols `240..=247` (ESC1..ESC8): larger value — the symbol selects
+//!   how many raw bytes of the zigzag value follow (1..=8);
+//! * symbol `255` (ZRUN): a run of zeros — varint length follows.
+//!
+//! The format is self-contained: a header with the symbol lengths
+//! precedes the bitstream, so decoding needs no side channel.
+
+/// Alphabet size: 240 literal symbols + 8 escape tiers + ZRUN.
+const ALPHABET: usize = 256;
+/// First escape symbol; ESC_BASE + k carries k+1 raw bytes.
+const ESC_BASE: u32 = 240;
+const ZRUN: u32 = 255;
+/// Zigzag values 0..=239 are literal symbols.
+const MAX_LITERAL_ZZ: u64 = 239;
+/// Minimum zero-run worth a ZRUN symbol.
+const MIN_RUN: usize = 4;
+/// Maximum Huffman code length (canonical, length-limited by rebuild).
+const MAX_CODE_LEN: u32 = 32;
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+// ---------------------------------------------------------------- bit io
+
+struct BitWriter {
+    out: Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter {
+            out: Vec::new(),
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    #[inline]
+    fn put(&mut self, bits: u64, n: u32) {
+        debug_assert!(n <= 57);
+        self.acc |= bits << self.nbits;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.out.push((self.acc & 0xFF) as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.out.push((self.acc & 0xFF) as u8);
+        }
+        self.out
+    }
+}
+
+struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        BitReader {
+            data,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    #[inline]
+    fn refill(&mut self) {
+        while self.nbits <= 56 && self.pos < self.data.len() {
+            self.acc |= (self.data[self.pos] as u64) << self.nbits;
+            self.pos += 1;
+            self.nbits += 8;
+        }
+    }
+
+    #[inline]
+    fn get(&mut self, n: u32) -> Option<u64> {
+        if n == 0 {
+            return Some(0);
+        }
+        self.refill();
+        if self.nbits < n {
+            return None;
+        }
+        let v = self.acc & ((1u64 << n) - 1);
+        self.acc >>= n;
+        self.nbits -= n;
+        Some(v)
+    }
+
+    /// Read one bit at a time until a valid Huffman code is found.
+    #[inline]
+    fn get_bit(&mut self) -> Option<u32> {
+        self.get(1).map(|b| b as u32)
+    }
+
+    /// Peek up to `n` bits without consuming; returns (bits, available).
+    #[inline]
+    fn peek(&mut self, n: u32) -> (u64, u32) {
+        self.refill();
+        let avail = self.nbits.min(n);
+        (self.acc & ((1u64 << avail) - 1), avail)
+    }
+
+    /// Consume `n` bits previously peeked.
+    #[inline]
+    fn consume(&mut self, n: u32) {
+        debug_assert!(self.nbits >= n);
+        self.acc >>= n;
+        self.nbits -= n;
+    }
+}
+
+// ----------------------------------------------------------- huffman
+
+/// Compute canonical Huffman code lengths for the given frequencies.
+fn code_lengths(freqs: &[u64]) -> Vec<u32> {
+    let n = freqs.len();
+    // Heap-based Huffman tree; ties broken by symbol index for
+    // determinism.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    struct Node(u64, usize); // (weight, node id)
+
+    let mut weights: Vec<u64> = freqs.to_vec();
+    let present: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    if present.is_empty() {
+        return vec![0; n];
+    }
+    if present.len() == 1 {
+        let mut l = vec![0; n];
+        l[present[0]] = 1;
+        return l;
+    }
+    let mut parent: Vec<usize> = vec![usize::MAX; n];
+    let mut heap: BinaryHeap<Reverse<Node>> = present
+        .iter()
+        .map(|&i| Reverse(Node(freqs[i], i)))
+        .collect();
+    while heap.len() > 1 {
+        let Reverse(Node(wa, a)) = heap.pop().unwrap();
+        let Reverse(Node(wb, b)) = heap.pop().unwrap();
+        let id = parent.len();
+        parent.push(usize::MAX);
+        weights.push(wa + wb);
+        parent[a] = id;
+        parent[b] = id;
+        heap.push(Reverse(Node(wa + wb, id)));
+    }
+    let mut lengths = vec![0u32; n];
+    for &i in &present {
+        let mut depth = 0;
+        let mut cur = i;
+        while parent[cur] != usize::MAX {
+            cur = parent[cur];
+            depth += 1;
+        }
+        lengths[i] = depth;
+    }
+    // Length-limit by flattening frequencies if needed (rare).
+    if lengths.iter().any(|&l| l > MAX_CODE_LEN) {
+        let flattened: Vec<u64> = freqs.iter().map(|&f| if f > 0 { 1 + f.ilog2() as u64 } else { 0 }).collect();
+        return code_lengths(&flattened);
+    }
+    lengths
+}
+
+/// Assign canonical codes from lengths: shorter codes first, then by
+/// symbol index; codes are emitted LSB-first in the stream, so we store
+/// the bit-reversed value.
+fn canonical_codes(lengths: &[u32]) -> Vec<u64> {
+    let mut symbols: Vec<usize> = (0..lengths.len()).filter(|&i| lengths[i] > 0).collect();
+    symbols.sort_by_key(|&i| (lengths[i], i));
+    let mut codes = vec![0u64; lengths.len()];
+    let mut code = 0u64;
+    let mut prev_len = 0u32;
+    for &s in &symbols {
+        code <<= lengths[s] - prev_len;
+        prev_len = lengths[s];
+        // reverse bits for LSB-first emission
+        let mut rev = 0u64;
+        for b in 0..lengths[s] {
+            rev |= ((code >> b) & 1) << (lengths[s] - 1 - b);
+        }
+        codes[s] = rev;
+        code += 1;
+    }
+    codes
+}
+
+/// Bits resolved by the decode lookup table; codes longer than this fall
+/// back to the per-length row walk.
+const LUT_BITS: u32 = 11;
+
+/// Canonical decoder: a `2^LUT_BITS` lookup table resolves short codes in
+/// one probe; per-length rows of (length, first code, start index, count)
+/// over the length-then-symbol-sorted alphabet handle the tail.
+struct FastDecoder {
+    /// per length: (first_code, start_index, count)
+    rows: Vec<(u32, u64, usize, usize)>,
+    sorted: Vec<usize>,
+    /// `lut[prefix] = (symbol, code_len)`; symbol == u16::MAX means the
+    /// code is longer than LUT_BITS.
+    lut: Vec<(u16, u8)>,
+}
+
+impl FastDecoder {
+    fn new(lengths: &[u32]) -> Self {
+        let mut symbols: Vec<usize> = (0..lengths.len()).filter(|&i| lengths[i] > 0).collect();
+        symbols.sort_by_key(|&i| (lengths[i], i));
+        let mut rows = Vec::new();
+        let mut code = 0u64;
+        let mut prev_len = 0u32;
+        let mut i = 0;
+        while i < symbols.len() {
+            let l = lengths[symbols[i]];
+            code <<= l - prev_len;
+            prev_len = l;
+            let first = code;
+            let start = i;
+            while i < symbols.len() && lengths[symbols[i]] == l {
+                code += 1;
+                i += 1;
+            }
+            rows.push((l, first, start, i - start));
+        }
+        // Build the lookup table: stream bits arrive LSB-first but the
+        // canonical code accumulates MSB-first, so index the table by the
+        // bit-reversed peek value.
+        let mut lut = vec![(u16::MAX, 0u8); 1 << LUT_BITS];
+        for &(l, first, start, count) in &rows {
+            if l > LUT_BITS {
+                continue;
+            }
+            for c in 0..count as u64 {
+                let code = first + c;
+                let sym = symbols[start + c as usize] as u16;
+                // All peek values whose first l stream bits spell `code`.
+                let fill = LUT_BITS - l;
+                for rest in 0..(1u64 << fill) {
+                    // stream bit i (i < l) = bit (l-1-i) of code
+                    let mut idx = 0u64;
+                    for i in 0..l {
+                        idx |= ((code >> (l - 1 - i)) & 1) << i;
+                    }
+                    idx |= rest << l;
+                    lut[idx as usize] = (sym, l as u8);
+                }
+            }
+        }
+        FastDecoder {
+            rows,
+            sorted: symbols,
+            lut,
+        }
+    }
+
+    #[inline]
+    fn decode(&self, r: &mut BitReader) -> Option<u32> {
+        // Fast path: one table probe when enough bits are buffered.
+        let (peek, avail) = r.peek(LUT_BITS);
+        if avail == LUT_BITS {
+            let (sym, len) = self.lut[peek as usize];
+            if sym != u16::MAX {
+                r.consume(len as u32);
+                return Some(sym as u32);
+            }
+        }
+        self.decode_slow(r)
+    }
+
+    /// Bit-by-bit row walk (long codes and end-of-stream tails).
+    fn decode_slow(&self, r: &mut BitReader) -> Option<u32> {
+        let mut code = 0u64;
+        let mut len = 0u32;
+        for &(l, first, start, count) in &self.rows {
+            while len < l {
+                code = (code << 1) | r.get_bit()? as u64;
+                len += 1;
+            }
+            if code >= first && code < first + count as u64 {
+                return Some(self.sorted[start + (code - first) as usize] as u32);
+            }
+        }
+        None
+    }
+}
+
+// ------------------------------------------------------------ public api
+
+/// Errors from [`decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntropyError {
+    /// Bitstream ended before all values were decoded.
+    Truncated,
+    /// Header malformed (size or code lengths).
+    BadHeader,
+    /// Decoded symbol inconsistent with the payload.
+    BadSymbol,
+}
+
+impl std::fmt::Display for EntropyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EntropyError::Truncated => write!(f, "bitstream truncated"),
+            EntropyError::BadHeader => write!(f, "malformed header"),
+            EntropyError::BadSymbol => write!(f, "invalid symbol"),
+        }
+    }
+}
+
+impl std::error::Error for EntropyError {}
+
+/// Encode a slice of signed quantization indices.
+pub fn encode(values: &[i64]) -> Vec<u8> {
+    // Tokenize: (symbol, extra-bits payload)
+    enum Tok {
+        Sym(u32),
+        /// (escape symbol, zigzag value, raw bytes)
+        Esc(u32, u64, u32),
+        Run(u64),
+    }
+    let mut toks: Vec<Tok> = Vec::new();
+    let mut freqs = vec![0u64; ALPHABET];
+    let mut i = 0;
+    while i < values.len() {
+        if values[i] == 0 {
+            let mut j = i;
+            while j < values.len() && values[j] == 0 {
+                j += 1;
+            }
+            let run = j - i;
+            if run >= MIN_RUN {
+                freqs[ZRUN as usize] += 1;
+                toks.push(Tok::Run(run as u64));
+                i = j;
+                continue;
+            }
+        }
+        let z = zigzag(values[i]);
+        if z <= MAX_LITERAL_ZZ {
+            freqs[z as usize] += 1;
+            toks.push(Tok::Sym(z as u32));
+        } else {
+            let nbytes = (64 - z.leading_zeros()).div_ceil(8).max(1);
+            let sym = ESC_BASE + nbytes - 1;
+            freqs[sym as usize] += 1;
+            toks.push(Tok::Esc(sym, z, nbytes));
+        }
+        i += 1;
+    }
+
+    let lengths = code_lengths(&freqs);
+    let codes = canonical_codes(&lengths);
+
+    let mut w = BitWriter::new();
+    // Header: value count (u64), then 256 lengths (6 bits each).
+    let mut out = Vec::with_capacity(values.len() / 2 + 64);
+    out.extend_from_slice(&(values.len() as u64).to_le_bytes());
+    for &l in &lengths {
+        debug_assert!(l <= MAX_CODE_LEN);
+        out.push(l as u8);
+    }
+    for t in &toks {
+        match *t {
+            Tok::Sym(s) => w.put(codes[s as usize], lengths[s as usize]),
+            Tok::Esc(sym, z, nbytes) => {
+                w.put(codes[sym as usize], lengths[sym as usize]);
+                // raw bytes, low to high (put() caps at 57 bits/call)
+                for b in 0..nbytes {
+                    w.put((z >> (8 * b)) & 0xFF, 8);
+                }
+            }
+            Tok::Run(r) => {
+                w.put(codes[ZRUN as usize], lengths[ZRUN as usize]);
+                // varint: 7 bits + continuation
+                let mut v = r;
+                loop {
+                    let byte = v & 0x7F;
+                    v >>= 7;
+                    w.put(byte | if v > 0 { 0x80 } else { 0 }, 8);
+                    if v == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    out.extend_from_slice(&w.finish());
+    out
+}
+
+/// Decode a buffer produced by [`encode`].
+pub fn decode(data: &[u8]) -> Result<Vec<i64>, EntropyError> {
+    if data.len() < 8 + ALPHABET {
+        return Err(EntropyError::BadHeader);
+    }
+    let count = u64::from_le_bytes(data[..8].try_into().unwrap()) as usize;
+    let lengths: Vec<u32> = data[8..8 + ALPHABET].iter().map(|&b| b as u32).collect();
+    if lengths.iter().any(|&l| l > MAX_CODE_LEN) {
+        return Err(EntropyError::BadHeader);
+    }
+    let dec = FastDecoder::new(&lengths);
+    let mut r = BitReader::new(&data[8 + ALPHABET..]);
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let s = dec.decode(&mut r).ok_or(EntropyError::Truncated)?;
+        match s {
+            s if (ESC_BASE..ZRUN).contains(&s) => {
+                let nbytes = s - ESC_BASE + 1;
+                let mut z = 0u64;
+                for b in 0..nbytes {
+                    let byte = r.get(8).ok_or(EntropyError::Truncated)?;
+                    z |= byte << (8 * b);
+                }
+                out.push(unzigzag(z));
+            }
+            ZRUN => {
+                let mut run = 0u64;
+                let mut shift = 0u32;
+                loop {
+                    let byte = r.get(8).ok_or(EntropyError::Truncated)?;
+                    run |= (byte & 0x7F) << shift;
+                    shift += 7;
+                    if byte & 0x80 == 0 {
+                        break;
+                    }
+                    if shift > 63 {
+                        return Err(EntropyError::BadSymbol);
+                    }
+                }
+                if out.len() + run as usize > count {
+                    return Err(EntropyError::BadSymbol);
+                }
+                out.extend(std::iter::repeat_n(0i64, run as usize));
+            }
+            z => out.push(unzigzag(z as u64)),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [-5i64, -1, 0, 1, 7, i64::MAX / 2, i64::MIN / 2] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn round_trip_small_values() {
+        let vals: Vec<i64> = (-100..100).collect();
+        assert_eq!(decode(&encode(&vals)).unwrap(), vals);
+    }
+
+    #[test]
+    fn round_trip_with_zero_runs() {
+        let mut vals = vec![0i64; 1000];
+        vals[500] = 42;
+        vals[999] = -7;
+        assert_eq!(decode(&encode(&vals)).unwrap(), vals);
+    }
+
+    #[test]
+    fn round_trip_large_escapes() {
+        let vals = vec![i64::MAX / 4, -(1 << 40), 3, 0, 0, 0, 0, 0, 1 << 33];
+        assert_eq!(decode(&encode(&vals)).unwrap(), vals);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(decode(&encode(&[])).unwrap(), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn single_symbol_stream() {
+        let vals = vec![5i64; 37];
+        assert_eq!(decode(&encode(&vals)).unwrap(), vals);
+    }
+
+    #[test]
+    fn compresses_sparse_data() {
+        let mut vals = vec![0i64; 100_000];
+        for i in (0..100_000).step_by(1000) {
+            vals[i] = (i % 50) as i64 - 25;
+        }
+        let enc = encode(&vals);
+        assert!(
+            enc.len() < vals.len() * 8 / 50,
+            "expected >50x compression on sparse data, got {} bytes",
+            enc.len()
+        );
+        assert_eq!(decode(&enc).unwrap(), vals);
+    }
+
+    #[test]
+    fn skewed_distribution_beats_flat_coding() {
+        // Mostly small symbols => average code length well under 8 bits.
+        let vals: Vec<i64> = (0..50_000i64).map(|i| ((i * i) % 7) - 3).collect();
+        let enc = encode(&vals);
+        assert!(enc.len() < 50_000 * 8 / 10, "got {}", enc.len());
+        assert_eq!(decode(&enc).unwrap(), vals);
+    }
+
+    #[test]
+    fn long_codes_exercise_the_slow_path() {
+        // Exponentially skewed frequencies push some code lengths past
+        // LUT_BITS, exercising the row-walk fallback alongside the table.
+        let mut vals: Vec<i64> = Vec::new();
+        let mut count = 1usize;
+        for sym in 0..40i64 {
+            for _ in 0..count {
+                vals.push(sym - 20);
+            }
+            if sym % 2 == 1 {
+                count = (count * 2).min(1 << 14);
+            }
+        }
+        let enc = encode(&vals);
+        assert_eq!(decode(&enc).unwrap(), vals);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let vals: Vec<i64> = (0..100).map(|i| i % 17 - 8).collect();
+        let enc = encode(&vals);
+        let cut = &enc[..enc.len() - 5];
+        assert!(decode(cut).is_err());
+    }
+
+    #[test]
+    fn header_validation() {
+        assert_eq!(decode(&[0u8; 4]), Err(EntropyError::BadHeader));
+        let mut bad = encode(&[1, 2, 3]);
+        bad[9] = 60; // invalid code length
+        assert_eq!(decode(&bad), Err(EntropyError::BadHeader));
+    }
+}
+
+#[cfg(test)]
+mod tests_edge {
+    use super::*;
+
+    #[test]
+    fn all_zeros_is_one_run() {
+        let vals = vec![0i64; 100_000];
+        let enc = encode(&vals);
+        // header (8 + 256) + one ZRUN token: a few bytes of stream.
+        assert!(enc.len() < 8 + 256 + 16, "got {}", enc.len());
+        assert_eq!(decode(&enc).unwrap(), vals);
+    }
+
+    #[test]
+    fn runs_below_threshold_stay_literal() {
+        // MIN_RUN-1 zeros between values: no ZRUN tokens, still correct.
+        let mut vals = Vec::new();
+        for i in 0..200i64 {
+            vals.push(i % 9 - 4);
+            vals.extend([0i64; 3]); // MIN_RUN is 4
+        }
+        assert_eq!(decode(&encode(&vals)).unwrap(), vals);
+    }
+
+    #[test]
+    fn exact_threshold_run() {
+        let mut vals = vec![7i64];
+        vals.extend([0i64; 4]); // exactly MIN_RUN
+        vals.push(-7);
+        assert_eq!(decode(&encode(&vals)).unwrap(), vals);
+    }
+
+    #[test]
+    fn extreme_values_round_trip() {
+        let vals = vec![i64::MAX, i64::MIN + 1, 0, -1, 1];
+        assert_eq!(decode(&encode(&vals)).unwrap(), vals);
+    }
+
+    #[test]
+    fn boundary_literal_vs_escape() {
+        // zigzag 239 is the last literal; 240 the first escape.
+        let v_lit = unzigzag(239);
+        let v_esc = unzigzag(240);
+        let vals = vec![v_lit, v_esc, v_lit, v_esc];
+        assert_eq!(decode(&encode(&vals)).unwrap(), vals);
+    }
+}

@@ -1,0 +1,24 @@
+//! MGARD-style error-bounded lossy compression (paper §V-B).
+//!
+//! The MGARD compression workflow has three stages: multigrid-based data
+//! refactoring, quantization, and entropy (lossless) encoding. This crate
+//! implements all three from scratch:
+//!
+//! * [`quantize`] — level-aware uniform scalar quantization whose bin
+//!   widths are chosen so the end-to-end reconstruction satisfies a
+//!   user-supplied L∞ error bound;
+//! * [`entropy`] — a canonical-Huffman + zero-run-length lossless coder
+//!   (standing in for the ZLib stage of the original, same pipeline
+//!   position);
+//! * [`snorm`] — level-weighted (smoothness-norm) quantization, the
+//!   paper's refs [5–7] capability: better ratios when accuracy matters
+//!   most at low frequencies;
+//! * [`pipeline`] — the end-to-end [`Compressor`](pipeline::Compressor)
+//!   with per-stage timing, used by the Fig. 11 harness.
+
+pub mod entropy;
+pub mod pipeline;
+pub mod quantize;
+pub mod snorm;
+
+pub use pipeline::{Compressed, Compressor, StageTimings};

@@ -1,0 +1,310 @@
+//! The end-to-end MGARD-style compressor (refactor → quantize → encode).
+
+use crate::entropy;
+use crate::quantize::{self, Quantized};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mg_core::{Exec, Refactorer};
+use mg_grid::{Hierarchy, NdArray, Real, Shape};
+use mg_refactor::classes::Refactored;
+use std::time::{Duration, Instant};
+
+/// Wall-clock time per pipeline stage (drives the Fig. 11 harness).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct StageTimings {
+    /// Multigrid decomposition (compress) or recomposition (decompress).
+    pub refactor: Duration,
+    /// Quantization / dequantization.
+    pub quantize: Duration,
+    /// Entropy encode / decode.
+    pub entropy: Duration,
+}
+
+impl StageTimings {
+    /// Sum of all stages.
+    pub fn total(&self) -> Duration {
+        self.refactor + self.quantize + self.entropy
+    }
+}
+
+/// A compressed payload plus bookkeeping.
+#[derive(Clone, Debug)]
+pub struct Compressed {
+    /// The encoded payload.
+    pub bytes: Bytes,
+    /// Size of the uncompressed input, bytes.
+    pub original_bytes: usize,
+    /// Wall-clock spent per stage while compressing.
+    pub timings: StageTimings,
+}
+
+impl Compressed {
+    /// Compression ratio (original / compressed).
+    pub fn ratio(&self) -> f64 {
+        self.original_bytes as f64 / self.bytes.len() as f64
+    }
+}
+
+const MAGIC: u32 = 0x4D47_435A; // "MGCZ"
+
+/// Error-bounded lossy compressor for dyadic grids.
+///
+/// Guarantees `||decompress(compress(u)) - u||_∞ <= tau`.
+pub struct Compressor<T: Real> {
+    refactorer: Refactorer<T>,
+    tau: f64,
+}
+
+impl<T: Real> Compressor<T> {
+    /// Compressor for `shape` with L-inf error bound `tau`.
+    pub fn new(shape: Shape, tau: f64) -> Self {
+        assert!(tau > 0.0, "error bound must be positive");
+        Compressor {
+            refactorer: Refactorer::new(shape).expect("dyadic shape required"),
+            tau,
+        }
+    }
+
+    /// Use rayon-parallel kernels for the refactoring stage.
+    pub fn parallel(mut self) -> Self {
+        self.refactorer = self.refactorer.exec(Exec::Parallel);
+        self
+    }
+
+    /// The configured error bound.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// The grid this compressor accepts.
+    pub fn shape(&self) -> Shape {
+        self.refactorer.hierarchy().finest()
+    }
+
+    /// Compress `data` (shape must match the compressor's grid).
+    pub fn compress(&mut self, data: &NdArray<T>) -> Compressed {
+        assert_eq!(data.shape(), self.shape());
+        let mut timings = StageTimings::default();
+
+        // Stage 1: multigrid decomposition.
+        let t0 = Instant::now();
+        let mut work = data.clone();
+        self.refactorer.decompose(&mut work);
+        let hier = self.refactorer.hierarchy().clone();
+        let refac = Refactored::from_array(&work, &hier);
+        timings.refactor = t0.elapsed();
+
+        // Stage 2: quantization.
+        let t0 = Instant::now();
+        let q = quantize::quantize(&refac, self.tau);
+        timings.quantize = t0.elapsed();
+
+        // Stage 3: entropy coding, one block per class (classes keep
+        // their identity so partial reads remain possible).
+        let t0 = Instant::now();
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_f64_le(q.bin);
+        buf.put_u8(self.shape().ndim() as u8);
+        for &d in self.shape().as_slice() {
+            buf.put_u64_le(d as u64);
+        }
+        buf.put_u32_le(q.classes.len() as u32);
+        for c in &q.classes {
+            let enc = entropy::encode(c);
+            buf.put_u64_le(enc.len() as u64);
+            buf.put_slice(&enc);
+        }
+        timings.entropy = t0.elapsed();
+
+        Compressed {
+            bytes: buf.freeze(),
+            original_bytes: data.len() * T::BYTES,
+            timings,
+        }
+    }
+
+    /// Decompress a payload produced by [`Compressor::compress`].
+    ///
+    /// # Panics
+    /// On malformed payloads (magic/shape mismatch, truncation).
+    pub fn decompress(&mut self, compressed: &Compressed) -> (NdArray<T>, StageTimings) {
+        self.decompress_prefix(compressed, usize::MAX)
+    }
+
+    /// Progressive decompression: decode only the first `count` classes
+    /// (the rest are treated as zero), trading accuracy for decode time
+    /// and read bytes — classes are independently entropy-coded exactly
+    /// so this works.
+    pub fn decompress_prefix(
+        &mut self,
+        compressed: &Compressed,
+        count: usize,
+    ) -> (NdArray<T>, StageTimings) {
+        let mut timings = StageTimings::default();
+        let mut buf = compressed.bytes.clone();
+
+        // Stage 3⁻¹: entropy decode.
+        let t0 = Instant::now();
+        assert_eq!(buf.get_u32_le(), MAGIC, "bad magic");
+        let bin = buf.get_f64_le();
+        let ndim = buf.get_u8() as usize;
+        let mut dims = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            dims.push(buf.get_u64_le() as usize);
+        }
+        let shape = Shape::new(&dims);
+        assert_eq!(shape, self.shape(), "shape mismatch");
+        let nclasses = buf.get_u32_le() as usize;
+        let hier_tmp = Hierarchy::new(shape).unwrap();
+        let mut classes = Vec::with_capacity(nclasses);
+        for k in 0..nclasses {
+            let len = buf.get_u64_le() as usize;
+            let block = buf.copy_to_bytes(len);
+            if k < count.max(1) {
+                classes.push(entropy::decode(&block).expect("corrupt entropy block"));
+            } else {
+                let expect = if k == 0 {
+                    hier_tmp.level_len(0)
+                } else {
+                    hier_tmp.class_len(k)
+                };
+                classes.push(vec![0i64; expect]);
+            }
+        }
+        timings.entropy = t0.elapsed();
+
+        // Stage 2⁻¹: dequantize.
+        let t0 = Instant::now();
+        let hier = Hierarchy::new(shape).unwrap();
+        let q = Quantized { classes, bin };
+        let refac: Refactored<T> = quantize::dequantize(&q, hier);
+        timings.quantize = t0.elapsed();
+
+        // Stage 1⁻¹: recompose.
+        let t0 = Instant::now();
+        let mut arr = refac.assemble(refac.num_classes());
+        self.refactorer.recompose(&mut arr);
+        timings.refactor = t0.elapsed();
+
+        (arr, timings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_grid::real::max_abs_diff;
+
+    fn smoothish(shape: Shape) -> NdArray<f64> {
+        NdArray::from_fn(shape, |i| {
+            let x = i[0] as f64 * 0.1;
+            let y = i.get(1).map(|&v| v as f64 * 0.07).unwrap_or(0.0);
+            (x + y).sin() + 0.3 * (2.0 * x - y).cos()
+        })
+    }
+
+    #[test]
+    fn error_bound_respected() {
+        for tau in [1e-2, 1e-4] {
+            let shape = Shape::d2(65, 65);
+            let data = smoothish(shape);
+            let mut c = Compressor::<f64>::new(shape, tau);
+            let blob = c.compress(&data);
+            let (back, _) = c.decompress(&blob);
+            let err = max_abs_diff(back.as_slice(), data.as_slice());
+            assert!(err <= tau, "tau {tau}: err {err}");
+        }
+    }
+
+    #[test]
+    fn smooth_data_compresses_well() {
+        let shape = Shape::d2(129, 129);
+        let data = smoothish(shape);
+        let mut c = Compressor::<f64>::new(shape, 1e-3);
+        let blob = c.compress(&data);
+        assert!(blob.ratio() > 2.5, "ratio {}", blob.ratio());
+    }
+
+    #[test]
+    fn looser_bound_compresses_better() {
+        let shape = Shape::d2(129, 129);
+        let data = smoothish(shape);
+        let r_loose = Compressor::<f64>::new(shape, 1e-1).compress(&data).ratio();
+        let r_tight = Compressor::<f64>::new(shape, 1e-6).compress(&data).ratio();
+        assert!(r_loose > r_tight, "{r_loose} vs {r_tight}");
+    }
+
+    #[test]
+    fn random_data_still_bounded() {
+        let shape = Shape::d2(33, 33);
+        let data = NdArray::from_fn(shape, |i| (((i[0] * 2654435761 + i[1] * 40503) % 1000) as f64) / 500.0 - 1.0);
+        let tau = 5e-2;
+        let mut c = Compressor::<f64>::new(shape, tau);
+        let blob = c.compress(&data);
+        let (back, _) = c.decompress(&blob);
+        assert!(max_abs_diff(back.as_slice(), data.as_slice()) <= tau);
+    }
+
+    #[test]
+    fn timings_populated() {
+        let shape = Shape::d2(65, 65);
+        let data = smoothish(shape);
+        let mut c = Compressor::<f64>::new(shape, 1e-3);
+        let blob = c.compress(&data);
+        assert!(blob.timings.refactor.as_nanos() > 0);
+        assert!(blob.timings.entropy.as_nanos() > 0);
+        let (_, dt) = c.decompress(&blob);
+        assert!(dt.refactor.as_nanos() > 0);
+    }
+
+    #[test]
+    fn parallel_compressor_matches_serial() {
+        let shape = Shape::d2(65, 65);
+        let data = smoothish(shape);
+        let blob_s = Compressor::<f64>::new(shape, 1e-3).compress(&data);
+        let blob_p = Compressor::<f64>::new(shape, 1e-3).parallel().compress(&data);
+        assert_eq!(blob_s.bytes, blob_p.bytes);
+    }
+
+    #[test]
+    fn three_d_round_trip() {
+        let shape = Shape::d3(17, 17, 17);
+        let data = NdArray::from_fn(shape, |i| ((i[0] + i[1] * 2 + i[2] * 3) as f64 * 0.2).sin());
+        let tau = 1e-3;
+        let mut c = Compressor::<f64>::new(shape, tau).parallel();
+        let blob = c.compress(&data);
+        let (back, _) = c.decompress(&blob);
+        assert!(max_abs_diff(back.as_slice(), data.as_slice()) <= tau);
+        assert!(blob.ratio() > 1.5, "ratio {}", blob.ratio());
+    }
+
+    #[test]
+    fn prefix_decompression_is_lossy_but_bounded_progression() {
+        let shape = Shape::d2(65, 65);
+        let data = smoothish(shape);
+        let mut c = Compressor::<f64>::new(shape, 1e-4);
+        let blob = c.compress(&data);
+        let mut last = f64::INFINITY;
+        let nclasses = 7; // L + 1 for 65x65
+        for k in [2usize, 4, nclasses] {
+            let (back, _) = c.decompress_prefix(&blob, k);
+            let err = max_abs_diff(back.as_slice(), data.as_slice());
+            assert!(err <= last * (1.0 + 1e-9), "k {k}: {err} > {last}");
+            last = err;
+        }
+        assert!(last <= 1e-4, "full prefix must meet tau: {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad magic")]
+    fn rejects_garbage() {
+        let shape = Shape::d1(9);
+        let mut c = Compressor::<f64>::new(shape, 1e-3);
+        let fake = Compressed {
+            bytes: Bytes::from_static(&[0u8; 64]),
+            original_bytes: 72,
+            timings: StageTimings::default(),
+        };
+        c.decompress(&fake);
+    }
+}

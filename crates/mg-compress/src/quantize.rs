@@ -1,0 +1,114 @@
+//! Error-controlled uniform quantization of refactored data.
+//!
+//! Quantizing coefficient class `l` with bin width `b` perturbs each
+//! coefficient by at most `b/2`; by the reconstruction-error indicator
+//! (see `mg_refactor::error`), the resulting L∞ error is at most
+//! `κ · Σ_l b_l / 2`. Choosing a uniform `b = 2·tau / (κ · nclasses)`
+//! therefore keeps the decompressed data within `tau` of the original.
+
+use mg_grid::Real;
+use mg_refactor::classes::Refactored;
+use mg_refactor::error::LINF_INDICATOR_KAPPA;
+
+/// Quantized refactored data: one symbol stream per class plus the bin
+/// width used.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Quantized {
+    /// Signed quantization indices, per class (class 0 first).
+    pub classes: Vec<Vec<i64>>,
+    /// Bin width used for every class.
+    pub bin: f64,
+}
+
+/// Bin width guaranteeing an end-to-end L∞ bound of `tau`.
+pub fn bin_for_tau(tau: f64, nclasses: usize) -> f64 {
+    assert!(tau > 0.0, "error bound must be positive");
+    2.0 * tau / (LINF_INDICATOR_KAPPA * nclasses.max(1) as f64)
+}
+
+/// Quantize every class with the bin width for `tau`.
+pub fn quantize<T: Real>(refac: &Refactored<T>, tau: f64) -> Quantized {
+    let bin = bin_for_tau(tau, refac.num_classes());
+    let classes = refac
+        .classes()
+        .iter()
+        .map(|c| {
+            c.iter()
+                .map(|&v| (v.to_f64() / bin).round() as i64)
+                .collect()
+        })
+        .collect();
+    Quantized { classes, bin }
+}
+
+/// Reconstruct the (perturbed) refactored representation.
+pub fn dequantize<T: Real>(
+    q: &Quantized,
+    hier: mg_grid::Hierarchy,
+) -> Refactored<T> {
+    let classes = q
+        .classes
+        .iter()
+        .map(|c| c.iter().map(|&i| T::from_f64(i as f64 * q.bin)).collect())
+        .collect();
+    Refactored::from_classes(hier, classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_core::Refactorer;
+    use mg_grid::{NdArray, Shape};
+    use mg_refactor::progressive::reconstruct_prefix;
+
+    fn refactored(shape: Shape) -> (NdArray<f64>, Refactored<f64>, Refactorer<f64>) {
+        let orig = NdArray::from_fn(shape, |i| {
+            ((i[0] * 13 + i[1] * 7) % 23) as f64 * 0.1 + (i[0] as f64 * 0.2).sin()
+        });
+        let mut r = Refactorer::<f64>::new(shape).unwrap();
+        let mut d = orig.clone();
+        r.decompose(&mut d);
+        let h = r.hierarchy().clone();
+        (orig, Refactored::from_array(&d, &h), r)
+    }
+
+    #[test]
+    fn quantization_error_within_half_bin() {
+        let (_, refac, _) = refactored(Shape::d2(17, 17));
+        let q = quantize(&refac, 1e-3);
+        let back: Refactored<f64> = dequantize(&q, refac.hierarchy().clone());
+        for k in 0..refac.num_classes() {
+            for (a, b) in refac.class(k).iter().zip(back.class(k)) {
+                assert!((a - b).abs() <= q.bin / 2.0 + 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn end_to_end_error_bounded_by_tau() {
+        for tau in [1e-1, 1e-3, 1e-6] {
+            let (orig, refac, mut r) = refactored(Shape::d2(33, 33));
+            let q = quantize(&refac, tau);
+            let back = dequantize::<f64>(&q, refac.hierarchy().clone());
+            let rec = reconstruct_prefix(&back, back.num_classes(), &mut r);
+            let err = mg_grid::real::max_abs_diff(rec.as_slice(), orig.as_slice());
+            assert!(err <= tau, "tau {tau}: err {err}");
+        }
+    }
+
+    #[test]
+    fn tighter_tau_means_larger_symbols() {
+        let (_, refac, _) = refactored(Shape::d2(17, 17));
+        let loose = quantize(&refac, 1e-1);
+        let tight = quantize(&refac, 1e-4);
+        let max_loose = loose.classes.iter().flatten().map(|v| v.abs()).max().unwrap();
+        let max_tight = tight.classes.iter().flatten().map(|v| v.abs()).max().unwrap();
+        assert!(max_tight > max_loose * 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_tau() {
+        bin_for_tau(0.0, 5);
+    }
+}

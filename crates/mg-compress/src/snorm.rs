@@ -1,0 +1,182 @@
+//! Level-weighted (s-norm) quantization.
+//!
+//! The Ainsworth et al. series (the paper's refs [5–7]) controls error in
+//! smoothness norms `H^s`: coarse-level coefficients represent low
+//! frequencies whose perturbation matters more (s > 0) or less (s < 0)
+//! than fine detail. Operationally this means *per-level bin widths*
+//! `b_l = b_base * 2^{s (L - l)}`: for `s > 0` the fine classes are
+//! quantized more aggressively, which is where most of the bytes live —
+//! the standard trick for better ratios when the consumer cares about
+//! smooth functionals of the data rather than point values.
+//!
+//! `s = 0` recovers the uniform quantizer of [`crate::quantize`] (same
+//! L∞ guarantee); for `s != 0` the guarantee is on the weighted
+//! coefficient norm, and tests verify the expected ratio/error
+//! monotonicity empirically.
+
+use crate::quantize::Quantized;
+use mg_grid::Real;
+use mg_refactor::classes::Refactored;
+use mg_refactor::error::LINF_INDICATOR_KAPPA;
+
+/// Per-level quantization of a refactored representation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SnormQuantized {
+    /// Signed indices per class.
+    pub classes: Vec<Vec<i64>>,
+    /// Bin width per class.
+    pub bins: Vec<f64>,
+}
+
+/// Per-class bin widths for target `tau` and smoothness parameter `s`.
+///
+/// Class `L` (finest) gets `b_L = base`; class `l` gets
+/// `base * 2^{-s (L - l)}` — so positive `s` narrows the coarse bins
+/// (protecting low frequencies) and widens nothing: the *sum* of the
+/// κ-weighted half-bins still equals `tau`, preserving a worst-case
+/// bound in the weighted norm.
+pub fn snorm_bins(tau: f64, nclasses: usize, s: f64) -> Vec<f64> {
+    assert!(tau > 0.0, "error bound must be positive");
+    assert!(nclasses >= 1);
+    let top = (nclasses - 1) as f64;
+    // weights w_l = 2^{-s (L - l)}; bins proportional to w_l, normalized
+    // so κ/2 * Σ b_l = tau.
+    let weights: Vec<f64> = (0..nclasses)
+        .map(|l| (2f64).powf(-s * (top - l as f64)))
+        .collect();
+    let wsum: f64 = weights.iter().sum();
+    let scale = 2.0 * tau / (LINF_INDICATOR_KAPPA * wsum);
+    weights.iter().map(|w| w * scale).collect()
+}
+
+/// Quantize with per-level bins.
+pub fn quantize_snorm<T: Real>(refac: &Refactored<T>, tau: f64, s: f64) -> SnormQuantized {
+    let bins = snorm_bins(tau, refac.num_classes(), s);
+    let classes = refac
+        .classes()
+        .iter()
+        .zip(&bins)
+        .map(|(c, &bin)| {
+            c.iter()
+                .map(|&v| (v.to_f64() / bin).round() as i64)
+                .collect()
+        })
+        .collect();
+    SnormQuantized { classes, bins }
+}
+
+/// Reconstruct the (perturbed) refactored representation.
+pub fn dequantize_snorm<T: Real>(
+    q: &SnormQuantized,
+    hier: mg_grid::Hierarchy,
+) -> Refactored<T> {
+    let classes = q
+        .classes
+        .iter()
+        .zip(&q.bins)
+        .map(|(c, &bin)| c.iter().map(|&i| T::from_f64(i as f64 * bin)).collect())
+        .collect();
+    Refactored::from_classes(hier, classes)
+}
+
+impl SnormQuantized {
+    /// View as a uniform [`Quantized`] when all bins are equal
+    /// (`s == 0`); panics otherwise.
+    pub fn into_uniform(self) -> Quantized {
+        let bin = self.bins[0];
+        assert!(
+            self.bins.iter().all(|&b| (b - bin).abs() < 1e-15 * bin.abs()),
+            "bins differ: not a uniform quantization"
+        );
+        Quantized {
+            classes: self.classes,
+            bin,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantize;
+    use mg_core::Refactorer;
+    use mg_grid::{NdArray, Shape};
+    use mg_refactor::progressive::reconstruct_prefix;
+
+    fn refactored(shape: Shape) -> (NdArray<f64>, Refactored<f64>, Refactorer<f64>) {
+        let orig = NdArray::from_fn(shape, |i| {
+            (i[0] as f64 * 0.07).sin() * (i[1] as f64 * 0.05).cos() + 0.1
+        });
+        let mut r = Refactorer::<f64>::new(shape).unwrap();
+        let mut d = orig.clone();
+        r.decompose(&mut d);
+        let h = r.hierarchy().clone();
+        (orig, Refactored::from_array(&d, &h), r)
+    }
+
+    #[test]
+    fn s_zero_matches_uniform_quantizer() {
+        let (_, refac, _) = refactored(Shape::d2(33, 33));
+        let tau = 1e-3;
+        let uniform = quantize::quantize(&refac, tau);
+        let snorm = quantize_snorm(&refac, tau, 0.0).into_uniform();
+        assert_eq!(uniform, snorm);
+    }
+
+    #[test]
+    fn bins_decay_toward_coarse_levels_for_positive_s() {
+        let bins = snorm_bins(1e-2, 6, 1.0);
+        for w in bins.windows(2) {
+            assert!(w[0] < w[1], "{bins:?}");
+        }
+        // bin ratio between adjacent classes = 2^s
+        assert!((bins[1] / bins[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positive_s_improves_compression_of_smooth_data() {
+        use crate::entropy;
+        let (_, refac, _) = refactored(Shape::d2(129, 129));
+        let tau = 1e-3;
+        let size = |q: &SnormQuantized| -> usize {
+            q.classes.iter().map(|c| entropy::encode(c).len()).sum()
+        };
+        let s0 = size(&quantize_snorm(&refac, tau, 0.0));
+        let s1 = size(&quantize_snorm(&refac, tau, 1.0));
+        assert!(
+            s1 < s0,
+            "s=1 should shrink the payload on smooth data: {s1} vs {s0}"
+        );
+    }
+
+    #[test]
+    fn round_trip_error_still_bounded_for_s_zero() {
+        let (orig, refac, mut r) = refactored(Shape::d2(33, 33));
+        let tau = 1e-3;
+        let q = quantize_snorm(&refac, tau, 0.0);
+        let back: Refactored<f64> = dequantize_snorm(&q, refac.hierarchy().clone());
+        let rec = reconstruct_prefix(&back, back.num_classes(), &mut r);
+        let err = mg_grid::real::max_abs_diff(rec.as_slice(), orig.as_slice());
+        assert!(err <= tau, "{err}");
+    }
+
+    #[test]
+    fn per_class_error_bounded_by_its_half_bin() {
+        let (_, refac, _) = refactored(Shape::d2(33, 33));
+        let q = quantize_snorm(&refac, 1e-2, 0.75);
+        let back: Refactored<f64> = dequantize_snorm(&q, refac.hierarchy().clone());
+        for k in 0..refac.num_classes() {
+            for (a, b) in refac.class(k).iter().zip(back.class(k)) {
+                assert!((a - b).abs() <= q.bins[k] / 2.0 + 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn negative_s_protects_fine_detail() {
+        let bins = snorm_bins(1e-2, 5, -0.5);
+        for w in bins.windows(2) {
+            assert!(w[0] > w[1], "{bins:?}");
+        }
+    }
+}

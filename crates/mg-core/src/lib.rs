@@ -1,0 +1,26 @@
+//! Decomposition and recomposition drivers for multigrid-based hierarchical
+//! data refactoring — the Rust analogue of the paper's Algorithm 3.
+//!
+//! [`Refactorer`] walks the dyadic level hierarchy: at each level it packs
+//! the level subgrid into working memory (the paper's node-packing
+//! optimization), computes coefficients, computes the global correction via
+//! the per-dimension mass/transfer/solve pipeline, and applies the
+//! correction to the next-coarser grid. Recomposition runs the exact
+//! inverse. After decomposition the data array holds the *refactored*
+//! representation in place: coarsest nodal values at the `N_0` positions
+//! and coefficient class `C_l` at the `N_l \ N_{l-1}` positions.
+//!
+//! [`padded`] extends the drivers to arbitrary (non-`2^k+1`) extents via
+//! the pre-/post-processing step the paper describes in §IV.
+
+// Index loops mirror the stride arithmetic throughout this crate and are
+// clearer than iterator chains for the kernel math.
+#![allow(clippy::needless_range_loop)]
+
+pub mod padded;
+pub mod refactorer;
+pub mod timing;
+
+pub use mg_kernels::Exec;
+pub use refactorer::Refactorer;
+pub use timing::KernelTimes;

@@ -1,0 +1,176 @@
+//! Pre-/post-processing for arbitrary (non-`2^k + 1`) extents.
+//!
+//! The paper notes (§IV) that inputs whose dimensions are not of the form
+//! `2^L + 1` need "one extra pre-processing step and the corresponding
+//! post-processing step". We realize that step by *embedding*: the array is
+//! extended to the next dyadic extent per dimension with edge-replicated
+//! values and uniformly continued coordinates, refactored at the padded
+//! size, and cropped back after recomposition. The original region round
+//! trips exactly (up to floating point); padding adds at most a factor of
+//! ~2 along each non-dyadic dimension and nothing for dyadic inputs.
+
+use crate::refactorer::Refactorer;
+use crate::timing::KernelTimes;
+use mg_grid::hierarchy::next_dyadic;
+use mg_grid::{Axis, NdArray, Real, Shape, MAX_DIMS};
+use mg_kernels::Exec;
+
+/// Smallest dyadic shape covering `shape`.
+pub fn padded_shape(shape: Shape) -> Shape {
+    let mut dims = [0usize; MAX_DIMS];
+    for d in 0..shape.ndim() {
+        dims[d] = next_dyadic(shape.dim(Axis(d)));
+    }
+    Shape::new(&dims[..shape.ndim()])
+}
+
+/// Extend `data` to `padded_shape(data.shape())` by edge replication
+/// (clamped indexing).
+pub fn pad_to_dyadic<T: Real>(data: &NdArray<T>) -> NdArray<T> {
+    let src_shape = data.shape();
+    let dst_shape = padded_shape(src_shape);
+    if dst_shape == src_shape {
+        return data.clone();
+    }
+    NdArray::from_fn(dst_shape, |idx| {
+        let mut clamped = [0usize; MAX_DIMS];
+        for d in 0..src_shape.ndim() {
+            clamped[d] = idx[d].min(src_shape.dim(Axis(d)) - 1);
+        }
+        data.get(&clamped[..src_shape.ndim()])
+    })
+}
+
+/// Crop the leading region of `padded` back to `orig` extents.
+pub fn crop<T: Real>(padded: &NdArray<T>, orig: Shape) -> NdArray<T> {
+    assert_eq!(padded.ndim(), orig.ndim());
+    for d in 0..orig.ndim() {
+        assert!(padded.shape().dim(Axis(d)) >= orig.dim(Axis(d)));
+    }
+    NdArray::from_fn(orig, |idx| padded.get(idx))
+}
+
+/// A refactorer for arrays of arbitrary extents.
+///
+/// Wraps a [`Refactorer`] over the padded dyadic shape; `decompose`
+/// produces the padded refactored representation (which downstream code —
+/// class extraction, quantization, I/O — treats like any other refactored
+/// array), and `recompose` inverts and crops.
+pub struct PaddedRefactorer<T> {
+    inner: Refactorer<T>,
+    orig: Shape,
+}
+
+impl<T: Real> PaddedRefactorer<T> {
+    /// Refactorer for data of (possibly non-dyadic) shape `orig`.
+    pub fn new(orig: Shape) -> Self {
+        let inner = Refactorer::new(padded_shape(orig))
+            .expect("padded shape is dyadic by construction");
+        PaddedRefactorer { inner, orig }
+    }
+
+    /// Select serial or rayon-parallel execution.
+    pub fn exec(mut self, exec: Exec) -> Self {
+        self.inner = self.inner.exec(exec);
+        self
+    }
+
+    /// The caller-visible (unpadded) shape.
+    pub fn original_shape(&self) -> Shape {
+        self.orig
+    }
+
+    /// The dyadic shape used internally.
+    pub fn padded_shape(&self) -> Shape {
+        self.inner.hierarchy().finest()
+    }
+
+    /// Ratio of padded to original element counts (>= 1).
+    pub fn padding_overhead(&self) -> f64 {
+        self.padded_shape().len() as f64 / self.orig.len() as f64
+    }
+
+    /// Take and reset the inner per-kernel timing breakdown.
+    pub fn take_times(&mut self) -> KernelTimes {
+        self.inner.take_times()
+    }
+
+    /// Pad (pre-process) and decompose; returns the padded refactored array.
+    pub fn decompose(&mut self, data: &NdArray<T>) -> NdArray<T> {
+        assert_eq!(data.shape(), self.orig);
+        let mut padded = pad_to_dyadic(data);
+        self.inner.decompose(&mut padded);
+        padded
+    }
+
+    /// Recompose a padded refactored array and crop (post-process).
+    pub fn recompose(&mut self, refactored: &NdArray<T>) -> NdArray<T> {
+        assert_eq!(refactored.shape(), self.padded_shape());
+        let mut padded = refactored.clone();
+        self.inner.recompose(&mut padded);
+        crop(&padded, self.orig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_grid::real::max_abs_diff;
+
+    #[test]
+    fn padded_shape_examples() {
+        assert_eq!(padded_shape(Shape::d2(6, 9)).as_slice(), &[9, 9]);
+        assert_eq!(padded_shape(Shape::d1(100)).as_slice(), &[129]);
+        assert_eq!(padded_shape(Shape::d3(5, 5, 5)).as_slice(), &[5, 5, 5]);
+    }
+
+    #[test]
+    fn pad_replicates_edges() {
+        let a = NdArray::from_fn(Shape::d1(4), |i| i[0] as f64);
+        let p = pad_to_dyadic(&a);
+        assert_eq!(p.shape().as_slice(), &[5]);
+        assert_eq!(p.as_slice(), &[0.0, 1.0, 2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn dyadic_input_is_untouched() {
+        let a = NdArray::from_fn(Shape::d2(5, 9), |i| (i[0] + i[1]) as f64);
+        let p = pad_to_dyadic(&a);
+        assert_eq!(p, a);
+    }
+
+    #[test]
+    fn arbitrary_size_round_trip_2d() {
+        let shape = Shape::d2(7, 12);
+        let orig = NdArray::from_fn(shape, |i| ((i[0] * 13 + i[1] * 7) % 19) as f64 * 0.21);
+        let mut r = PaddedRefactorer::new(shape);
+        let refac = r.decompose(&orig);
+        assert_eq!(refac.shape().as_slice(), &[9, 17]);
+        let back = r.recompose(&refac);
+        assert_eq!(back.shape(), shape);
+        assert!(max_abs_diff(back.as_slice(), orig.as_slice()) < 1e-11);
+    }
+
+    #[test]
+    fn arbitrary_size_round_trip_3d_parallel() {
+        let shape = Shape::d3(6, 10, 4);
+        let orig = NdArray::from_fn(shape, |i| ((i[0] + 2 * i[1] + 3 * i[2]) % 11) as f64 - 5.0);
+        let mut r = PaddedRefactorer::new(shape).exec(Exec::Parallel);
+        let refac = r.decompose(&orig);
+        let back = r.recompose(&refac);
+        assert!(max_abs_diff(back.as_slice(), orig.as_slice()) < 1e-11);
+    }
+
+    #[test]
+    fn overhead_reported() {
+        let r = PaddedRefactorer::<f64>::new(Shape::d1(6));
+        assert!((r.padding_overhead() - 9.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crop_takes_leading_region() {
+        let p = NdArray::from_fn(Shape::d2(3, 3), |i| (i[0] * 3 + i[1]) as f64);
+        let c = crop(&p, Shape::d2(2, 2));
+        assert_eq!(c.as_slice(), &[0.0, 1.0, 3.0, 4.0]);
+    }
+}

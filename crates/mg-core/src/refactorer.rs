@@ -1,0 +1,490 @@
+//! The end-to-end decomposition/recomposition driver (paper Algorithm 3).
+
+use crate::timing::KernelTimes;
+use mg_grid::hierarchy::NotDyadic;
+use mg_grid::pack::{for_each_level_offset, pack_level, unpack_level};
+use mg_grid::{Axis, CoordSet, Hierarchy, NdArray, Real, Shape};
+use mg_kernels::coeff;
+use mg_kernels::correction::{compute_correction, CorrectionScratch};
+use mg_kernels::level::LevelCtx;
+use mg_kernels::Exec;
+use std::time::Instant;
+
+/// Multigrid hierarchical data refactorer for one grid geometry.
+///
+/// Construction precomputes the level hierarchy, per-level coordinates and
+/// working buffers; [`Refactorer::decompose`] and [`Refactorer::recompose`]
+/// can then be called repeatedly on arrays of the same shape without
+/// allocating.
+///
+/// After `decompose`, the array holds the refactored representation *in
+/// place*: the coarsest grid `N_0` at its node positions and coefficient
+/// class `C_l` at the `N_l \ N_{l-1}` positions. `recompose` is the exact
+/// inverse (up to floating-point rounding).
+pub struct Refactorer<T> {
+    hier: Hierarchy,
+    coords: CoordSet<T>,
+    /// `ctxs[l - 1]` is the kernel context of level `l`, `l = 1..=L`.
+    ctxs: Vec<LevelCtx<T>>,
+    work: Vec<T>,
+    work2: Vec<T>,
+    scratch: CorrectionScratch<T>,
+    exec: Exec,
+    times: KernelTimes,
+}
+
+impl<T: Real> Refactorer<T> {
+    /// Refactorer with uniform coordinates on `[0, 1]` per dimension.
+    pub fn new(shape: Shape) -> Result<Self, NotDyadic> {
+        Self::with_coords(shape, CoordSet::uniform(shape))
+    }
+
+    /// Refactorer with explicit (possibly nonuniform) coordinates.
+    pub fn with_coords(shape: Shape, coords: CoordSet<T>) -> Result<Self, NotDyadic> {
+        let hier = Hierarchy::new(shape)?;
+        let mut ctxs = Vec::with_capacity(hier.nlevels());
+        for l in 1..=hier.nlevels() {
+            let ld = hier.level_dims(l);
+            let cs = (0..shape.ndim())
+                .map(|d| coords.level_coords(&hier, l, Axis(d)))
+                .collect();
+            ctxs.push(LevelCtx::new(ld.shape, cs));
+        }
+        Ok(Refactorer {
+            hier,
+            coords,
+            ctxs,
+            work: Vec::new(),
+            work2: Vec::new(),
+            scratch: CorrectionScratch::new(),
+            exec: Exec::Serial,
+            times: KernelTimes::default(),
+        })
+    }
+
+    /// Select serial (CPU-baseline) or rayon-parallel execution.
+    pub fn exec(mut self, exec: Exec) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// The level hierarchy this refactorer was built for.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hier
+    }
+
+    /// The node coordinates in use.
+    pub fn coords(&self) -> &CoordSet<T> {
+        &self.coords
+    }
+
+    /// Take and reset the accumulated per-kernel timing breakdown.
+    pub fn take_times(&mut self) -> KernelTimes {
+        // Fold the correction pipeline's internal stage times in.
+        let st = self.scratch.take_times();
+        self.times.mm += st.mass;
+        self.times.tm += st.transfer;
+        self.times.sc += st.solve;
+        std::mem::take(&mut self.times)
+    }
+
+    /// Bytes of working memory currently held (packing + ping-pong
+    /// correction buffers) — the driver's extra footprint relative to the
+    /// input array.
+    pub fn working_bytes(&self) -> usize {
+        (self.work.capacity() + self.work2.capacity()) * T::BYTES
+    }
+
+    /// Decompose `data` in place, finest level to coarsest.
+    pub fn decompose(&mut self, data: &mut NdArray<T>) {
+        let full = self.hier.finest();
+        assert_eq!(data.shape(), full, "data shape must match the hierarchy");
+        for l in (1..=self.hier.nlevels()).rev() {
+            self.decompose_level(data, l);
+        }
+    }
+
+    /// Recompose `data` in place, coarsest level to finest. Exact inverse
+    /// of [`Refactorer::decompose`].
+    pub fn recompose(&mut self, data: &mut NdArray<T>) {
+        let full = self.hier.finest();
+        assert_eq!(data.shape(), full, "data shape must match the hierarchy");
+        for l in 1..=self.hier.nlevels() {
+            self.recompose_level(data, l);
+        }
+    }
+
+    /// One decomposition step `l -> l-1` (public so walkthrough examples
+    /// and the bench harnesses can observe intermediate states).
+    pub fn decompose_level(&mut self, data: &mut NdArray<T>, l: usize) {
+        let full = self.hier.finest();
+        let ld = self.hier.level_dims(l);
+        let ctx = &self.ctxs[l - 1];
+
+        // Pack the level subgrid into working memory (PN).
+        let t0 = Instant::now();
+        pack_level(data.as_slice(), full, &ld, &mut self.work);
+        self.times.pn += t0.elapsed();
+
+        // Compute coefficients (CC).
+        let t0 = Instant::now();
+        match self.exec {
+            Exec::Serial => coeff::compute_serial(&mut self.work, ctx),
+            Exec::Parallel => {
+                self.work2.clear();
+                self.work2.resize(self.work.len(), T::ZERO);
+                coeff::compute_parallel(&self.work, &mut self.work2, ctx);
+                std::mem::swap(&mut self.work, &mut self.work2);
+            }
+        }
+        self.times.cc += t0.elapsed();
+
+        // Copy coefficients back to the input/output space (MC).
+        let t0 = Instant::now();
+        unpack_level(data.as_mut_slice(), full, &ld, &self.work);
+        self.times.mc += t0.elapsed();
+
+        // Zero coarse nodes so `work` holds C_l (PN — fused with packing in
+        // the paper's kernels).
+        let t0 = Instant::now();
+        coeff::zero_coarse(&mut self.work, ctx);
+        self.times.pn += t0.elapsed();
+
+        // Global correction (MM/TM/SC, timed inside the scratch).
+        let (z, zshape) = compute_correction(&self.work, ctx, self.exec, &mut self.scratch);
+        debug_assert_eq!(zshape, self.hier.level_dims(l - 1).shape);
+
+        // Apply the correction to the next-coarser nodes (MC, fused
+        // unpack-add).
+        let t0 = Instant::now();
+        let ld_coarse = self.hier.level_dims(l - 1);
+        let slice = data.as_mut_slice();
+        for_each_level_offset(full, &ld_coarse, |packed, unpacked| {
+            slice[unpacked] += z[packed];
+        });
+        self.times.mc += t0.elapsed();
+    }
+
+    /// One recomposition step `l-1 -> l`, the inverse of
+    /// [`Refactorer::decompose_level`].
+    pub fn recompose_level(&mut self, data: &mut NdArray<T>, l: usize) {
+        let full = self.hier.finest();
+        let ld = self.hier.level_dims(l);
+        let ctx = &self.ctxs[l - 1];
+
+        // Gather C_l: pack level nodes, zero the coarse positions (PN).
+        let t0 = Instant::now();
+        pack_level(data.as_slice(), full, &ld, &mut self.work);
+        coeff::zero_coarse(&mut self.work, ctx);
+        self.times.pn += t0.elapsed();
+
+        // Recompute the global correction from the stored coefficients.
+        let (z, _) = compute_correction(&self.work, ctx, self.exec, &mut self.scratch);
+
+        // Undo the correction on the coarse nodes (MC).
+        let t0 = Instant::now();
+        let ld_coarse = self.hier.level_dims(l - 1);
+        {
+            let slice = data.as_mut_slice();
+            for_each_level_offset(full, &ld_coarse, |packed, unpacked| {
+                slice[unpacked] -= z[packed];
+            });
+        }
+        self.times.mc += t0.elapsed();
+
+        // Re-pack (coarse nodes now hold the level-l nodal values) (PN).
+        let t0 = Instant::now();
+        pack_level(data.as_slice(), full, &ld, &mut self.work);
+        self.times.pn += t0.elapsed();
+
+        // Restore nodal values from coefficients (CC).
+        let t0 = Instant::now();
+        match self.exec {
+            Exec::Serial => coeff::restore_serial(&mut self.work, ctx),
+            Exec::Parallel => {
+                self.work2.clear();
+                self.work2.resize(self.work.len(), T::ZERO);
+                coeff::restore_parallel(&self.work, &mut self.work2, ctx);
+                std::mem::swap(&mut self.work, &mut self.work2);
+            }
+        }
+        self.times.cc += t0.elapsed();
+
+        // Scatter back to the input/output space (MC).
+        let t0 = Instant::now();
+        unpack_level(data.as_mut_slice(), full, &ld, &self.work);
+        self.times.mc += t0.elapsed();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_grid::real::max_abs_diff;
+
+    fn wiggle(shape: Shape) -> NdArray<f64> {
+        NdArray::from_fn(shape, |idx| {
+            let mut v = 0.7;
+            for (d, &i) in idx.iter().enumerate() {
+                v += ((i * (d + 3) * 7 + 13) % 29) as f64 * 0.05 - 0.6;
+            }
+            v
+        })
+    }
+
+    fn round_trip(shape: Shape, exec: Exec, stretch: f64) -> f64 {
+        let coords = CoordSet::<f64>::stretched(shape, stretch);
+        let mut r = Refactorer::with_coords(shape, coords).unwrap().exec(exec);
+        let orig = wiggle(shape);
+        let mut data = orig.clone();
+        r.decompose(&mut data);
+        assert_ne!(data, orig, "decomposition must change the data");
+        r.recompose(&mut data);
+        max_abs_diff(data.as_slice(), orig.as_slice())
+    }
+
+    #[test]
+    fn round_trip_1d() {
+        assert!(round_trip(Shape::d1(33), Exec::Serial, 0.3) < 1e-11);
+    }
+
+    #[test]
+    fn round_trip_2d_serial_and_parallel() {
+        for exec in [Exec::Serial, Exec::Parallel] {
+            let err = round_trip(Shape::d2(17, 33), exec, 0.25);
+            assert!(err < 1e-11, "{exec:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn round_trip_3d() {
+        for exec in [Exec::Serial, Exec::Parallel] {
+            let err = round_trip(Shape::d3(9, 17, 9), exec, 0.2);
+            assert!(err < 1e-11, "{exec:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn round_trip_mixed_levels() {
+        // dims bottom out at different steps
+        assert!(round_trip(Shape::d2(5, 33), Exec::Serial, 0.2) < 1e-11);
+        assert!(round_trip(Shape::d3(3, 17, 5), Exec::Serial, 0.2) < 1e-11);
+    }
+
+    #[test]
+    fn round_trip_minimum_grid() {
+        // 3 nodes: one level; 2 nodes in one dim.
+        assert!(round_trip(Shape::d1(3), Exec::Serial, 0.0) < 1e-13);
+        assert!(round_trip(Shape::d2(2, 3), Exec::Serial, 0.0) < 1e-13);
+    }
+
+    #[test]
+    fn serial_and_parallel_produce_identical_decompositions() {
+        let shape = Shape::d3(9, 9, 17);
+        let orig = wiggle(shape);
+        let coords = CoordSet::<f64>::stretched(shape, 0.25);
+
+        let mut a = orig.clone();
+        Refactorer::with_coords(shape, coords.clone())
+            .unwrap()
+            .exec(Exec::Serial)
+            .decompose(&mut a);
+
+        let mut b = orig.clone();
+        Refactorer::with_coords(shape, coords)
+            .unwrap()
+            .exec(Exec::Parallel)
+            .decompose(&mut b);
+
+        assert!(max_abs_diff(a.as_slice(), b.as_slice()) < 1e-12);
+    }
+
+    #[test]
+    fn linear_field_decomposes_to_coarse_subsample() {
+        // For (bi)linear data every coefficient and correction vanishes, so
+        // the refactored array equals: nodal values at N_0 positions, zeros
+        // elsewhere... more precisely coefficients are zero; coarse values
+        // keep the plane's values.
+        let shape = Shape::d2(9, 9);
+        let coords = CoordSet::<f64>::stretched(shape, 0.3);
+        let plane = NdArray::sample(shape, coords.as_vecs(), |x| 2.0 * x[0] - 3.0 * x[1] + 0.5);
+        let mut data = plane.clone();
+        let mut r = Refactorer::with_coords(shape, coords).unwrap();
+        r.decompose(&mut data);
+        let h = r.hierarchy().clone();
+        // All non-coarsest positions are coefficients == 0.
+        let ld0 = h.level_dims(0);
+        let mut coarse_offsets = std::collections::HashSet::new();
+        for_each_level_offset(shape, &ld0, |_, u| {
+            coarse_offsets.insert(u);
+        });
+        for (off, (&v, &orig)) in data
+            .as_slice()
+            .iter()
+            .zip(plane.as_slice())
+            .enumerate()
+        {
+            if coarse_offsets.contains(&off) {
+                assert!((v - orig).abs() < 1e-12, "coarse node changed");
+            } else {
+                assert!(v.abs() < 1e-12, "coefficient at {off} = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_use_reuses_buffers() {
+        let shape = Shape::d2(17, 17);
+        let mut r = Refactorer::<f64>::new(shape).unwrap();
+        let mut data = wiggle(shape);
+        r.decompose(&mut data);
+        let bytes_after_first = r.working_bytes();
+        for _ in 0..3 {
+            r.recompose(&mut data);
+            r.decompose(&mut data);
+        }
+        assert_eq!(r.working_bytes(), bytes_after_first);
+    }
+
+    #[test]
+    fn timing_breakdown_is_populated() {
+        let shape = Shape::d2(65, 65);
+        let mut r = Refactorer::<f64>::new(shape).unwrap();
+        let mut data = wiggle(shape);
+        r.decompose(&mut data);
+        let t = r.take_times();
+        assert!(t.total().as_nanos() > 0);
+        assert!(t.cc.as_nanos() > 0);
+        assert!(t.mm.as_nanos() > 0);
+        assert!(t.sc.as_nanos() > 0);
+        // take_times resets
+        assert_eq!(r.take_times().total().as_nanos(), 0);
+    }
+
+    #[test]
+    fn f32_round_trip() {
+        let shape = Shape::d2(33, 17);
+        let coords = CoordSet::<f32>::uniform(shape);
+        let mut r = Refactorer::with_coords(shape, coords).unwrap();
+        let orig = NdArray::from_fn(shape, |i| ((i[0] * 31 + i[1] * 17) % 23) as f32 * 0.1);
+        let mut data = orig.clone();
+        r.decompose(&mut data);
+        r.recompose(&mut data);
+        assert!(max_abs_diff(data.as_slice(), orig.as_slice()) < 1e-4);
+    }
+
+    #[test]
+    fn single_level_walkthrough_matches_full() {
+        let shape = Shape::d2(9, 9);
+        let orig = wiggle(shape);
+        let mut full = orig.clone();
+        let mut r = Refactorer::<f64>::new(shape).unwrap();
+        r.decompose(&mut full);
+
+        let mut stepped = orig.clone();
+        let mut r2 = Refactorer::<f64>::new(shape).unwrap();
+        for l in (1..=r2.hierarchy().nlevels()).rev() {
+            r2.decompose_level(&mut stepped, l);
+        }
+        assert_eq!(full, stepped);
+    }
+}
+
+#[cfg(test)]
+mod tests_4d {
+    use super::*;
+    use mg_grid::real::max_abs_diff;
+
+    /// 4-D refactoring (time-varying 3-D fields): the whole stack is
+    /// dimension-generic up to MAX_DIMS, so a 4-D hierarchy must round
+    /// trip like any other.
+    #[test]
+    fn round_trip_4d() {
+        let shape = Shape::new(&[5, 5, 9, 5]);
+        let coords = CoordSet::<f64>::stretched(shape, 0.2);
+        let orig = NdArray::from_fn(shape, |i| {
+            ((i[0] * 3 + i[1] * 5 + i[2] * 7 + i[3] * 11) % 13) as f64 * 0.17 - 1.0
+        });
+        for exec in [Exec::Serial, Exec::Parallel] {
+            let mut r = Refactorer::with_coords(shape, coords.clone()).unwrap().exec(exec);
+            let mut data = orig.clone();
+            r.decompose(&mut data);
+            assert_ne!(data, orig);
+            r.recompose(&mut data);
+            let err = max_abs_diff(data.as_slice(), orig.as_slice());
+            assert!(err < 1e-11, "{exec:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn quadrilinear_field_has_zero_coefficients_4d() {
+        let shape = Shape::new(&[3, 5, 3, 5]);
+        let coords = CoordSet::<f64>::uniform(shape);
+        let plane = NdArray::sample(shape, coords.as_vecs(), |x| {
+            1.0 + x[0] - 2.0 * x[1] + 3.0 * x[2] - 0.5 * x[3]
+        });
+        let mut r = Refactorer::with_coords(shape, coords).unwrap();
+        let mut data = plane.clone();
+        r.decompose(&mut data);
+        // Everything except the 2^4 coarsest corners must be ~0
+        // (coefficients of a multilinear function vanish).
+        let hier = r.hierarchy().clone();
+        let ld0 = hier.level_dims(0);
+        let mut coarse = std::collections::HashSet::new();
+        mg_grid::pack::for_each_level_offset(shape, &ld0, |_, u| {
+            coarse.insert(u);
+        });
+        for (off, &v) in data.as_slice().iter().enumerate() {
+            if !coarse.contains(&off) {
+                assert!(v.abs() < 1e-12, "coefficient at {off}: {v}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests_edge {
+    use super::*;
+
+    #[test]
+    fn zero_level_grid_is_a_no_op() {
+        // All dims at 2 nodes: nlevels == 0, nothing to decompose.
+        let shape = Shape::d2(2, 2);
+        let mut r = Refactorer::<f64>::new(shape).unwrap();
+        assert_eq!(r.hierarchy().nlevels(), 0);
+        let orig = NdArray::from_vec(shape, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut data = orig.clone();
+        r.decompose(&mut data);
+        assert_eq!(data, orig, "no levels, no change");
+        r.recompose(&mut data);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn constant_field_decomposes_to_constant_coarse_and_zero_coeffs() {
+        let shape = Shape::d2(9, 9);
+        let mut r = Refactorer::<f64>::new(shape).unwrap();
+        let mut data = NdArray::from_fn(shape, |_| 5.0);
+        r.decompose(&mut data);
+        let hier = r.hierarchy().clone();
+        let mut coarse = std::collections::HashSet::new();
+        mg_grid::pack::for_each_level_offset(shape, &hier.level_dims(0), |_, u| {
+            coarse.insert(u);
+        });
+        for (off, &v) in data.as_slice().iter().enumerate() {
+            if coarse.contains(&off) {
+                assert!((v - 5.0).abs() < 1e-12, "coarse node changed: {v}");
+            } else {
+                assert!(v.abs() < 1e-12, "nonzero coefficient {v} at {off}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the hierarchy")]
+    fn shape_mismatch_panics() {
+        let mut r = Refactorer::<f64>::new(Shape::d1(9)).unwrap();
+        let mut wrong = NdArray::<f64>::zeros(Shape::d1(17));
+        r.decompose(&mut wrong);
+    }
+}

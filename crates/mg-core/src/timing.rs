@@ -1,0 +1,105 @@
+//! Per-kernel wall-clock accounting for the end-to-end drivers.
+//!
+//! Mirrors the paper's Table IV row labels: CC (calculation of
+//! coefficients), MM (mass matrix multiplication), TM (transfer matrix
+//! multiplication), SC (solve for corrections), MC (memory copy), PN
+//! (packing nodes).
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Accumulated time per kernel category across one or more operations.
+#[derive(Copy, Clone, Debug, Default, Serialize, Deserialize)]
+pub struct KernelTimes {
+    /// Calculation of coefficients / restore from coefficients.
+    pub cc: Duration,
+    /// Mass matrix multiplication.
+    pub mm: Duration,
+    /// Transfer matrix multiplication.
+    pub tm: Duration,
+    /// Solve for corrections.
+    pub sc: Duration,
+    /// Memory copies between input/output and working space.
+    pub mc: Duration,
+    /// Packing/unpacking nodes (strided gather/scatter).
+    pub pn: Duration,
+}
+
+impl KernelTimes {
+    /// Sum of all categories.
+    pub fn total(&self) -> Duration {
+        self.cc + self.mm + self.tm + self.sc + self.mc + self.pn
+    }
+
+    /// Percentage share of one category (0–100).
+    pub fn percent(&self, d: Duration) -> f64 {
+        let t = self.total().as_secs_f64();
+        if t == 0.0 {
+            0.0
+        } else {
+            100.0 * d.as_secs_f64() / t
+        }
+    }
+
+    /// Accumulate another breakdown into this one.
+    pub fn merge(&mut self, other: &KernelTimes) {
+        self.cc += other.cc;
+        self.mm += other.mm;
+        self.tm += other.tm;
+        self.sc += other.sc;
+        self.mc += other.mc;
+        self.pn += other.pn;
+    }
+
+    /// `(label, duration, percent)` rows in the paper's Table IV order.
+    pub fn rows(&self) -> Vec<(&'static str, Duration, f64)> {
+        [
+            ("CC", self.cc),
+            ("MM", self.mm),
+            ("TM", self.tm),
+            ("SC", self.sc),
+            ("MC", self.mc),
+            ("PN", self.pn),
+        ]
+        .into_iter()
+        .map(|(l, d)| (l, d, self.percent(d)))
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_sums_to_100() {
+        let t = KernelTimes {
+            cc: Duration::from_millis(10),
+            mm: Duration::from_millis(20),
+            tm: Duration::from_millis(30),
+            sc: Duration::from_millis(15),
+            mc: Duration::from_millis(15),
+            pn: Duration::from_millis(10),
+        };
+        let sum: f64 = t.rows().iter().map(|r| r.2).sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = KernelTimes::default();
+        let b = KernelTimes {
+            cc: Duration::from_millis(5),
+            ..Default::default()
+        };
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.cc, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn empty_percent_is_zero() {
+        let t = KernelTimes::default();
+        assert_eq!(t.percent(Duration::from_secs(1)), 0.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Simulated per-kernel time breakdown (the Table IV categories).
+
+use serde::{Deserialize, Serialize};
+
+/// Simulated seconds per kernel category for one operation
+/// (decomposition or recomposition).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimBreakdown {
+    /// Calculation of coefficients / restore from coefficients.
+    pub cc: f64,
+    /// Mass matrix multiplication.
+    pub mm: f64,
+    /// Transfer matrix multiplication.
+    pub tm: f64,
+    /// Solve for corrections.
+    pub sc: f64,
+    /// Memory copies.
+    pub mc: f64,
+    /// Packing nodes.
+    pub pn: f64,
+}
+
+impl SimBreakdown {
+    /// Sum of all categories, seconds.
+    pub fn total(&self) -> f64 {
+        self.cc + self.mm + self.tm + self.sc + self.mc + self.pn
+    }
+
+    /// Accumulate another breakdown into this one.
+    pub fn merge(&mut self, o: &SimBreakdown) {
+        self.cc += o.cc;
+        self.mm += o.mm;
+        self.tm += o.tm;
+        self.sc += o.sc;
+        self.mc += o.mc;
+        self.pn += o.pn;
+    }
+
+    /// `(label, seconds, percent-of-total)` rows in Table IV order.
+    pub fn rows(&self) -> Vec<(&'static str, f64, f64)> {
+        let t = self.total();
+        [
+            ("CC", self.cc),
+            ("MM", self.mm),
+            ("TM", self.tm),
+            ("SC", self.sc),
+            ("MC", self.mc),
+            ("PN", self.pn),
+        ]
+        .into_iter()
+        .map(|(l, v)| (l, v, if t > 0.0 { 100.0 * v / t } else { 0.0 }))
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_and_rows() {
+        let b = SimBreakdown {
+            cc: 1.0,
+            mm: 2.0,
+            tm: 3.0,
+            sc: 4.0,
+            mc: 5.0,
+            pn: 5.0,
+        };
+        assert_eq!(b.total(), 20.0);
+        let rows = b.rows();
+        assert_eq!(rows.len(), 6);
+        assert!((rows.iter().map(|r| r.2).sum::<f64>() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = SimBreakdown::default();
+        a.merge(&SimBreakdown { cc: 1.5, ..Default::default() });
+        a.merge(&SimBreakdown { cc: 0.5, mm: 1.0, ..Default::default() });
+        assert_eq!(a.cc, 2.0);
+        assert_eq!(a.mm, 1.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Serial-CPU baseline cost profiles (the MGARD CPU implementation).
+//!
+//! The baseline operates *unpacked*: at level `l` it walks the level
+//! subgrid inside the full array, so the walk stride along an axis is
+//! `step * full_stride(axis)` elements and grows by 2× per level — beyond
+//! a cache line every access costs a full line, beyond a page it costs a
+//! TLB fill too. On top of the memory behaviour, the legacy loops spend
+//! index arithmetic proportional to the *embedding* extent of each fiber
+//! (the code iterates fine-grid indices and derives level positions),
+//! which is why the measured CPU curve in Fig. 7 keeps falling
+//! exponentially even after the line/TLB costs saturate.
+
+use gpu_sim::cpu::{CpuAccess, CpuProfile};
+use mg_grid::{Axis, Shape};
+
+/// Index-arithmetic operations charged per *embedding* element iterated.
+const INDEX_OPS: u64 = 4;
+
+fn fibers(shape: Shape, axis: Axis) -> u64 {
+    (shape.len() / shape.dim(axis)) as u64
+}
+
+/// Geometry of one serial linear-kernel sweep.
+#[derive(Copy, Clone, Debug)]
+pub struct CpuSweep {
+    /// Level extents of the array being processed.
+    pub shape: Shape,
+    /// Axis the kernel runs along.
+    pub axis: Axis,
+    /// Elements between adjacent level nodes along `axis`, in the *full*
+    /// array (= `2^{L-l} * full_stride(axis)`); 1 when data is contiguous.
+    pub walk_stride: u64,
+    /// Fine-grid extent the legacy loop iterates along `axis`
+    /// (`>= shape.dim(axis)`).
+    pub embed_extent: u64,
+    /// Scalar width, bytes.
+    pub elem: u64,
+}
+
+impl CpuSweep {
+    /// Contiguous sweep (finest level, row direction).
+    pub fn contiguous(shape: Shape, axis: Axis, elem: u64) -> Self {
+        CpuSweep {
+            shape,
+            axis,
+            walk_stride: 1,
+            embed_extent: shape.dim(axis) as u64,
+            elem,
+        }
+    }
+}
+
+/// Mass-matrix multiply: 3-point stencil along each fiber, in place.
+pub fn cpu_mass(s: &CpuSweep) -> CpuProfile {
+    let n = s.shape.len() as u64;
+    let nf = fibers(s.shape, s.axis);
+    let mut p = CpuProfile::new();
+    // The stencil slides along the fiber, so each element is loaded once
+    // (neighbours stay cache-resident) and stored once, at the walk
+    // stride.
+    p.access(CpuAccess::strided(n, s.walk_stride, s.elem));
+    p.access(CpuAccess::strided(n, s.walk_stride, s.elem));
+    p.compute(6 * n + INDEX_OPS * nf * s.embed_extent);
+    p.with_fibers(nf);
+    p
+}
+
+/// Transfer-matrix multiply: reads fine fiber, writes coarse fiber.
+pub fn cpu_transfer(s: &CpuSweep) -> CpuProfile {
+    let n = s.shape.len() as u64;
+    let next = s.shape.dim(s.axis) as u64;
+    let m_out = n / next * (next + 1) / 2;
+    let nf = fibers(s.shape, s.axis);
+    let mut p = CpuProfile::new();
+    // Reads the fine fiber once (sliding window), writes the coarse fiber.
+    p.access(CpuAccess::strided(n, s.walk_stride, s.elem));
+    p.access(CpuAccess::strided(m_out, 2 * s.walk_stride, s.elem));
+    p.compute(5 * m_out + INDEX_OPS * nf * s.embed_extent);
+    p.with_fibers(nf);
+    p
+}
+
+/// Thomas solve: forward + backward pass per fiber.
+pub fn cpu_solve(s: &CpuSweep) -> CpuProfile {
+    let n = s.shape.len() as u64;
+    let nf = fibers(s.shape, s.axis);
+    let mut p = CpuProfile::new();
+    p.access(CpuAccess::strided(2 * n, s.walk_stride, s.elem));
+    p.access(CpuAccess::strided(2 * n, s.walk_stride, s.elem));
+    // Division-heavy recurrences cost more per element.
+    p.compute(10 * n + INDEX_OPS * nf * s.embed_extent);
+    p.with_fibers(2 * nf);
+    p
+}
+
+/// Compute coefficients (or restore): multilinear interpolation at the
+/// `N_l \ N_{l-1}` nodes of the unpacked grid.
+///
+/// `row_stride` is the walk stride along the contiguous axis;
+/// `plane_stride` the (much larger) stride to neighbours in the other
+/// dims; `embed` the fine-grid iteration extent.
+pub fn cpu_coeff(
+    shape: Shape,
+    row_stride: u64,
+    plane_stride: u64,
+    embed: u64,
+    elem: u64,
+) -> CpuProfile {
+    let n = shape.len() as u64;
+    let d = shape.ndim() as u64;
+    let m: u64 = (0..shape.ndim())
+        .map(|k| {
+            let e = shape.dim(Axis(k));
+            (if e >= 3 { e.div_ceil(2) } else { e }) as u64
+        })
+        .product();
+    let ncoeff = n - m;
+    let mut p = CpuProfile::new();
+    // Node values stream at the row stride; corner reads hit other rows.
+    p.access(CpuAccess::strided(n, row_stride, elem));
+    p.access(CpuAccess::strided(2 * (d - 1) * ncoeff / d.max(1), plane_stride, elem));
+    p.access(CpuAccess::strided(2 * ncoeff / d.max(1), row_stride, elem));
+    p.access(CpuAccess::strided(ncoeff, row_stride, elem)); // stores
+    p.compute((3 * (1 << d) + 1) * ncoeff + INDEX_OPS * embed);
+    p.with_fibers(n / shape.dim(Axis(shape.ndim() - 1)) as u64);
+    p
+}
+
+/// Working-memory copy of `n` contiguous elements.
+pub fn cpu_copy(n: u64, elem: u64) -> CpuProfile {
+    let mut p = CpuProfile::new();
+    p.access(CpuAccess::contiguous(n, elem));
+    p.access(CpuAccess::contiguous(n, elem));
+    p.compute(n);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::cpu::{cpu_time, CpuSpec};
+
+    #[test]
+    fn strided_mass_is_much_slower_than_contiguous() {
+        let cpu = CpuSpec::i7_9700k();
+        let shape = Shape::d2(513, 513);
+        let fast = cpu_mass(&CpuSweep::contiguous(shape, Axis(1), 8));
+        let slow = cpu_mass(&CpuSweep {
+            shape,
+            axis: Axis(1),
+            walk_stride: 1024,
+            embed_extent: 513,
+            elem: 8,
+        });
+        let r = cpu_time(&cpu, &slow) / cpu_time(&cpu, &fast);
+        assert!(r > 3.0, "ratio {r}");
+    }
+
+    #[test]
+    fn embedding_overhead_keeps_coarse_levels_slow() {
+        // At a coarse level the level grid is tiny but the legacy loop
+        // still iterates the fine extent: per-useful-byte cost explodes.
+        let cpu = CpuSpec::i7_9700k();
+        let fine = CpuSweep {
+            shape: Shape::d2(4097, 4097),
+            axis: Axis(1),
+            walk_stride: 1,
+            embed_extent: 4097,
+            elem: 8,
+        };
+        let coarse = CpuSweep {
+            shape: Shape::d2(65, 65),
+            axis: Axis(1),
+            walk_stride: 64,
+            embed_extent: 4097,
+            elem: 8,
+        };
+        let fine_gbps =
+            (fine.shape.len() * 16) as f64 / cpu_time(&cpu, &cpu_mass(&fine)) / 1e9;
+        let coarse_gbps =
+            (coarse.shape.len() * 16) as f64 / cpu_time(&cpu, &cpu_mass(&coarse)) / 1e9;
+        assert!(
+            fine_gbps / coarse_gbps > 20.0,
+            "fine {fine_gbps} vs coarse {coarse_gbps}"
+        );
+    }
+
+    #[test]
+    fn solve_costs_more_flops_than_mass() {
+        let s = CpuSweep::contiguous(Shape::d1(1025), Axis(0), 8);
+        assert!(cpu_solve(&s).flops > cpu_mass(&s).flops);
+    }
+
+    #[test]
+    fn coeff_profile_counts_are_positive() {
+        let p = cpu_coeff(Shape::d2(65, 65), 1, 65, 65 * 65, 8);
+        assert!(p.flops > 0);
+        assert!(p.useful_bytes > 0);
+        assert!(!p.accesses.is_empty());
+    }
+
+    #[test]
+    fn copy_moves_two_sweeps() {
+        let p = cpu_copy(1000, 8);
+        assert_eq!(p.useful_bytes, 16_000);
+    }
+}

@@ -1,0 +1,39 @@
+//! The paper's GPU kernel designs as cost models over [`gpu_sim`].
+//!
+//! Section III of the paper develops two optimized kernel *frameworks* —
+//! grid processing (coefficients/restore) and linear processing
+//! (mass/transfer/solve) — plus program-structure optimizations (node
+//! packing, working-memory reuse, CUDA streams). This crate expresses each
+//! kernel × variant as a [`gpu_sim::KernelProfile`] builder capturing its
+//! memory-access structure, and composes them into simulated end-to-end
+//! decomposition/recomposition runs:
+//!
+//! * [`kernels`] — per-kernel GPU profiles, `Variant::Framework` (the
+//!   paper's design: packed unit-stride access, shared-memory tiles,
+//!   divergence-free warp re-assignment, fiber-batched linear pipeline)
+//!   vs `Variant::Naive` (vector-wise, unpacked, strided — the \[14\]-style
+//!   baseline of Fig. 7);
+//! * [`cpu_kernels`] — the serial-CPU baseline cost profiles (the MGARD
+//!   CPU code: full-extent loops, strided in-place fiber walks);
+//! * [`sim`] — level-by-level simulated decomposition/recomposition with
+//!   the paper's Table IV time-breakdown categories, and the Table V
+//!   extra-memory-footprint accounting;
+//! * [`streams3d`] — the Fig. 8 multi-stream schedule for 3-D data;
+//! * [`exec`] — a functional GPU-style refactorer: executes the real
+//!   kernels (rayon) while accumulating the simulated GPU cost, proving
+//!   the modeled code path computes the right answer.
+
+// Index loops mirror the stride arithmetic throughout this crate and are
+// clearer than iterator chains for the kernel math.
+#![allow(clippy::needless_range_loop)]
+
+pub mod breakdown;
+pub mod cpu_kernels;
+pub mod exec;
+pub mod kernels;
+pub mod sim;
+pub mod streams3d;
+
+pub use breakdown::SimBreakdown;
+pub use kernels::Variant;
+pub use sim::{extra_footprint_fraction, sim_decompose, sim_recompose, slice_plane_ratio};

@@ -1,0 +1,176 @@
+//! CUDA-stream parallelism over the 2-D slices of 3-D data (paper §III-D,
+//! Fig. 8).
+//!
+//! The paper builds its 3-D correction pipeline out of 2-D linear kernels:
+//! each x-y (then x-z) slice is processed independently, so slices can be
+//! issued on different CUDA streams. One slice of a 513-node level keeps
+//! only a fraction of a V100 busy — streams recover the idle SMs, topping
+//! out (Fig. 8) around 2.6×(decomposition)/3.2×(recomposition) at 8
+//! streams.
+
+use crate::kernels::{self, Variant};
+use gpu_sim::device::DeviceSpec;
+use gpu_sim::stream::{schedule_streams, StreamKernel};
+use gpu_sim::timing::kernel_time;
+use mg_grid::{Axis, Hierarchy, Shape};
+
+/// Simulated time of a 3-D decomposition/recomposition with the linear
+/// kernels issued slice-by-slice over `nstreams` CUDA streams.
+pub fn sim_3d_with_streams(
+    hier: &Hierarchy,
+    elem: u32,
+    dev: &DeviceSpec,
+    nstreams: usize,
+    recompose: bool,
+) -> f64 {
+    assert_eq!(hier.ndim(), 3, "stream batching targets 3-D data");
+    let nstreams = nstreams.max(1);
+    let mut total = 0.0f64;
+
+    for l in 1..=hier.nlevels() {
+        let ld = hier.level_dims(l);
+        let shape = ld.shape;
+        let last = shape.ndim() - 1;
+        let n_l = shape.len() as u64;
+        let gather_step = ld.step[last] as u64;
+
+        // Serial (non-sliced) portions: packing, coefficients, copies.
+        total += kernel_time(dev, &kernels::pack_profile(n_l, gather_step, elem));
+        if recompose {
+            total += kernel_time(dev, &kernels::pack_profile(n_l, gather_step, elem));
+        }
+        total += kernel_time(
+            dev,
+            &kernels::coeff_profile(shape, 1, elem, Variant::Framework),
+        );
+        total += kernel_time(dev, &kernels::pack_profile(n_l, gather_step, elem));
+
+        // Sliced linear pipeline: the 2-D kernels run per slice of the
+        // outermost dimension, round-robin over streams. Axis order
+        // follows Algorithm 3: each decimating axis gets
+        // mass -> transfer -> solve; slices along axis 0 (x-y planes for
+        // axes 1, 2; x-z handled identically by the 2-D design).
+        let mut cur = shape;
+        let mut kernels_q: Vec<StreamKernel> = Vec::new();
+        let mut stream_rr = 0usize;
+        for d in 0..3 {
+            let axis = Axis(d);
+            if cur.dim(axis) < 3 {
+                continue;
+            }
+            // Slice along a dimension different from the processed axis.
+            let slice_dim = if d == 0 { 1 } else { 0 };
+            let nslices = cur.dim(Axis(slice_dim));
+            // 2-D slice shape: remove `slice_dim`.
+            let mut dims = [0usize; 2];
+            let mut k = 0;
+            for dd in 0..3 {
+                if dd != slice_dim {
+                    dims[k] = cur.dim(Axis(dd));
+                    k += 1;
+                }
+            }
+            let slice_shape = Shape::d2(dims[0], dims[1]);
+            let slice_axis = if d == 0 {
+                Axis(0)
+            } else {
+                // position of axis d within the slice dims
+                Axis(d - 1)
+            };
+            let coarse_slice =
+                slice_shape.with_dim(slice_axis, slice_shape.dim(slice_axis).div_ceil(2));
+            for _ in 0..nslices {
+                let s = stream_rr % nstreams;
+                stream_rr += 1;
+                kernels_q.push(StreamKernel {
+                    stream: s,
+                    profile: kernels::mass_profile(slice_shape, slice_axis, 1, elem, Variant::Framework),
+                });
+                kernels_q.push(StreamKernel {
+                    stream: s,
+                    profile: kernels::transfer_profile(slice_shape, slice_axis, 1, elem, Variant::Framework),
+                });
+                kernels_q.push(StreamKernel {
+                    stream: s,
+                    profile: kernels::solve_profile(coarse_slice, slice_axis, 1, elem, Variant::Framework),
+                });
+            }
+            cur = cur.with_dim(axis, cur.dim(axis).div_ceil(2));
+        }
+        total += schedule_streams(dev, &kernels_q);
+
+        // Apply/undo correction.
+        let ld_c = hier.level_dims(l - 1);
+        total += kernel_time(
+            dev,
+            &kernels::pack_profile(ld_c.shape.len() as u64, ld_c.step[last] as u64, elem),
+        );
+    }
+    total
+}
+
+/// Stream-count sweep: `(nstreams, speedup over 1 stream)`.
+pub fn stream_speedup_curve(
+    hier: &Hierarchy,
+    elem: u32,
+    dev: &DeviceSpec,
+    stream_counts: &[usize],
+    recompose: bool,
+) -> Vec<(usize, f64)> {
+    let base = sim_3d_with_streams(hier, elem, dev, 1, recompose);
+    stream_counts
+        .iter()
+        .map(|&s| (s, base / sim_3d_with_streams(hier, elem, dev, s, recompose)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hier513() -> Hierarchy {
+        Hierarchy::new(Shape::d3(513, 513, 513)).unwrap()
+    }
+
+    #[test]
+    fn eight_streams_speed_up_513_cubed() {
+        // Paper Fig. 8: up to 2.6x (decomp) / 3.2x (recomp) at 8 streams
+        // on a V100.
+        let h = hier513();
+        let dev = DeviceSpec::v100();
+        let curve = stream_speedup_curve(&h, 8, &dev, &[8], false);
+        let s8 = curve[0].1;
+        assert!((1.5..5.0).contains(&s8), "8-stream speedup {s8}");
+    }
+
+    #[test]
+    fn speedup_monotone_then_saturates() {
+        let h = hier513();
+        let dev = DeviceSpec::v100();
+        let curve = stream_speedup_curve(&h, 8, &dev, &[1, 2, 4, 8, 16, 32, 64], false);
+        assert!((curve[0].1 - 1.0).abs() < 1e-9);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-6, "{curve:?}");
+        }
+        // Saturation: 64 streams gain little over 16.
+        let s16 = curve[4].1;
+        let s64 = curve[6].1;
+        assert!((s64 - s16) / s16 < 0.3, "{curve:?}");
+    }
+
+    #[test]
+    fn recompose_also_benefits() {
+        let h = hier513();
+        let dev = DeviceSpec::v100();
+        let curve = stream_speedup_curve(&h, 8, &dev, &[8], true);
+        assert!(curve[0].1 > 1.3, "{curve:?}");
+    }
+
+    #[test]
+    fn desktop_gpu_also_benefits() {
+        let h = hier513();
+        let dev = DeviceSpec::rtx2080ti();
+        let curve = stream_speedup_curve(&h, 8, &dev, &[8], false);
+        assert!(curve[0].1 > 1.2, "{curve:?}");
+    }
+}

@@ -1,0 +1,196 @@
+//! Row-major N-dimensional array owning its data.
+
+use crate::fiber::{FiberIter, FiberMut};
+use crate::real::Real;
+use crate::shape::{Axis, Shape};
+
+/// An owned, row-major N-dimensional array.
+///
+/// This is the unit of data every refactoring routine operates on. It is
+/// deliberately simple — contiguous `Vec` storage, explicit stride math —
+/// because the kernels in `mg-kernels`/`mg-gpu` do their own tiling and
+/// packing on top of it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NdArray<T> {
+    shape: Shape,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> NdArray<T> {
+    /// Zero-initialized array of the given shape.
+    pub fn zeros(shape: Shape) -> Self {
+        NdArray {
+            shape,
+            data: vec![T::default(); shape.len()],
+        }
+    }
+
+    /// Build from existing data.
+    ///
+    /// # Panics
+    /// If `data.len() != shape.len()`.
+    pub fn from_vec(shape: Shape, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "NdArray::from_vec: data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        NdArray { shape, data }
+    }
+
+    /// Build by evaluating `f` at every multi-index.
+    pub fn from_fn(shape: Shape, mut f: impl FnMut(&[usize]) -> T) -> Self {
+        let mut data = Vec::with_capacity(shape.len());
+        for idx in shape.indices() {
+            data.push(f(&idx[..shape.ndim()]));
+        }
+        NdArray { shape, data }
+    }
+
+    /// The array's shape.
+    #[inline]
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.shape.ndim()
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the array holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row-major view of the backing storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable row-major view of the backing storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume and return the backing vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    #[inline]
+    pub fn get(&self, idx: &[usize]) -> T {
+        self.data[self.shape.offset(idx)]
+    }
+
+    /// Set element at a multi-index.
+    #[inline]
+    pub fn set(&mut self, idx: &[usize], v: T) {
+        let off = self.shape.offset(idx);
+        self.data[off] = v;
+    }
+
+    /// Iterate over the 1-D fibers (lines) along `axis`.
+    ///
+    /// A fiber visits `shape.dim(axis)` elements spaced `shape.stride(axis)`
+    /// apart; there is one fiber per index combination of the other axes.
+    pub fn fibers(&self, axis: Axis) -> FiberIter<'_, T> {
+        FiberIter::new(&self.data, self.shape, axis)
+    }
+
+    /// Mutable access to fibers along `axis`, one at a time via a cursor.
+    pub fn fibers_mut(&mut self, axis: Axis) -> FiberMut<'_, T> {
+        FiberMut::new(&mut self.data, self.shape, axis)
+    }
+
+    /// Copy of this array reshaped to a 1-D view (same data order).
+    pub fn flattened_shape(&self) -> Shape {
+        Shape::d1(self.len())
+    }
+}
+
+impl<T: Real> NdArray<T> {
+    /// Fill with samples of a separable/general function of the *coordinates*
+    /// given per dimension: `f(x_0, ..., x_{d-1})`.
+    pub fn sample(shape: Shape, coords: &[Vec<T>], f: impl Fn(&[T]) -> T) -> Self {
+        assert_eq!(coords.len(), shape.ndim());
+        for (k, c) in coords.iter().enumerate() {
+            assert_eq!(
+                c.len(),
+                shape.dim(Axis(k)),
+                "coordinate vector {k} has wrong length"
+            );
+        }
+        let mut xs = [T::ZERO; crate::shape::MAX_DIMS];
+        NdArray::from_fn(shape, |idx| {
+            for (k, &i) in idx.iter().enumerate() {
+                xs[k] = coords[k][i];
+            }
+            f(&xs[..idx.len()])
+        })
+    }
+
+    /// Maximum absolute element.
+    pub fn max_abs(&self) -> f64 {
+        crate::real::max_abs(&self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_set_get() {
+        let mut a = NdArray::<f64>::zeros(Shape::d2(3, 4));
+        assert_eq!(a.len(), 12);
+        a.set(&[2, 3], 7.5);
+        assert_eq!(a.get(&[2, 3]), 7.5);
+        assert_eq!(a.as_slice()[11], 7.5);
+    }
+
+    #[test]
+    fn from_fn_row_major_order() {
+        let a = NdArray::from_fn(Shape::d2(2, 3), |i| (i[0] * 10 + i[1]) as f64);
+        assert_eq!(a.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_length_mismatch_panics() {
+        NdArray::from_vec(Shape::d1(3), vec![1.0f64, 2.0]);
+    }
+
+    #[test]
+    fn sample_uses_coordinates() {
+        let coords = vec![vec![0.0f64, 1.0, 4.0]];
+        let a = NdArray::sample(Shape::d1(3), &coords, |x| x[0] * x[0]);
+        assert_eq!(a.as_slice(), &[0.0, 1.0, 16.0]);
+    }
+
+    #[test]
+    fn sample_2d_nonuniform() {
+        let coords = vec![vec![0.0f64, 2.0], vec![0.0f64, 1.0, 3.0]];
+        let a = NdArray::sample(Shape::d2(2, 3), &coords, |x| x[0] + 10.0 * x[1]);
+        assert_eq!(a.get(&[1, 2]), 2.0 + 30.0);
+    }
+
+    #[test]
+    fn into_vec_round_trip() {
+        let a = NdArray::from_vec(Shape::d1(4), vec![1, 2, 3, 4]);
+        assert_eq!(a.into_vec(), vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Per-dimension node coordinates, possibly nonuniformly spaced.
+//!
+//! The Ainsworth et al. algorithms (and hence this reproduction) support
+//! *nonuniform* structured grids: every dimension carries a strictly
+//! increasing coordinate vector, and all interpolation / mass-matrix weights
+//! are derived from the spacings between those coordinates.
+
+use crate::hierarchy::Hierarchy;
+use crate::real::Real;
+use crate::shape::{Axis, Shape};
+
+/// Coordinates of the grid nodes, one strictly increasing vector per
+/// dimension of the finest grid.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoordSet<T> {
+    coords: Vec<Vec<T>>,
+}
+
+impl<T: Real> CoordSet<T> {
+    /// Uniform coordinates on `[0, 1]` in every dimension.
+    pub fn uniform(shape: Shape) -> Self {
+        let coords = shape
+            .as_slice()
+            .iter()
+            .map(|&n| {
+                let denom = T::from_usize(n - 1);
+                (0..n).map(|i| T::from_usize(i) / denom).collect()
+            })
+            .collect();
+        CoordSet { coords }
+    }
+
+    /// Build from explicit per-dimension coordinate vectors.
+    ///
+    /// # Panics
+    /// If the number of vectors does not match `shape.ndim()`, a vector has
+    /// the wrong length, or any vector is not strictly increasing.
+    pub fn from_vecs(shape: Shape, coords: Vec<Vec<T>>) -> Self {
+        assert_eq!(coords.len(), shape.ndim(), "one coord vector per dim");
+        for (d, c) in coords.iter().enumerate() {
+            assert_eq!(
+                c.len(),
+                shape.dim(Axis(d)),
+                "coordinate vector {d} length mismatch"
+            );
+            for w in c.windows(2) {
+                assert!(
+                    w[0] < w[1],
+                    "coordinates along dim {d} must be strictly increasing"
+                );
+            }
+        }
+        CoordSet { coords }
+    }
+
+    /// Random-looking but deterministic nonuniform coordinates on `[0, 1]`:
+    /// uniform nodes perturbed by a fixed fraction of the local spacing.
+    ///
+    /// Useful for tests/benches that must exercise the nonuniform code paths
+    /// without depending on an RNG.
+    pub fn stretched(shape: Shape, strength: f64) -> Self {
+        assert!((0.0..0.5).contains(&strength), "strength must be in [0, 0.5)");
+        let coords = shape
+            .as_slice()
+            .iter()
+            .map(|&n| {
+                let h = 1.0 / (n - 1) as f64;
+                (0..n)
+                    .map(|i| {
+                        let base = i as f64 * h;
+                        // Deterministic zig-zag perturbation; endpoints fixed.
+                        let p = if i == 0 || i == n - 1 {
+                            0.0
+                        } else {
+                            strength * h * if i % 2 == 0 { 1.0 } else { -1.0 }
+                        };
+                        T::from_f64(base + p)
+                    })
+                    .collect()
+            })
+            .collect();
+        CoordSet { coords }
+    }
+
+    /// Number of dimensions covered.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Coordinate vector along `axis` (finest grid).
+    #[inline]
+    pub fn dim(&self, axis: Axis) -> &[T] {
+        &self.coords[axis.0]
+    }
+
+    /// All coordinate vectors.
+    pub fn as_vecs(&self) -> &[Vec<T>] {
+        &self.coords
+    }
+
+    /// Coordinate of node `i` of the *level-`l`* grid along `axis`,
+    /// given the level hierarchy (level nodes subsample the finest nodes).
+    #[inline]
+    pub fn level_coord(&self, hier: &Hierarchy, l: usize, axis: Axis, i: usize) -> T {
+        let step = hier.level_dims(l).step[axis.0];
+        self.coords[axis.0][i * step]
+    }
+
+    /// Gather the level-`l` coordinates along `axis` into a vector.
+    pub fn level_coords(&self, hier: &Hierarchy, l: usize, axis: Axis) -> Vec<T> {
+        let ld = hier.level_dims(l);
+        let step = ld.step[axis.0];
+        let n = ld.shape.dim(axis);
+        (0..n).map(|i| self.coords[axis.0][i * step]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_endpoints() {
+        let c = CoordSet::<f64>::uniform(Shape::d2(5, 9));
+        assert_eq!(c.dim(Axis(0))[0], 0.0);
+        assert_eq!(c.dim(Axis(0))[4], 1.0);
+        assert_eq!(c.dim(Axis(1))[8], 1.0);
+        assert!((c.dim(Axis(1))[4] - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn stretched_is_monotone_and_endpoint_preserving() {
+        let c = CoordSet::<f64>::stretched(Shape::d1(17), 0.3);
+        let x = c.dim(Axis(0));
+        assert_eq!(x[0], 0.0);
+        assert_eq!(x[16], 1.0);
+        for w in x.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn from_vecs_validates() {
+        let shape = Shape::d1(3);
+        let ok = CoordSet::from_vecs(shape, vec![vec![0.0f64, 0.4, 1.0]]);
+        assert_eq!(ok.dim(Axis(0)).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_vecs_rejects_non_monotone() {
+        CoordSet::from_vecs(Shape::d1(3), vec![vec![0.0f64, 0.6, 0.5]]);
+    }
+
+    #[test]
+    fn level_coords_subsample() {
+        let shape = Shape::d1(9); // L = 3
+        let hier = Hierarchy::new(shape).unwrap();
+        let c = CoordSet::<f64>::uniform(shape);
+        let l2 = c.level_coords(&hier, 2, Axis(0));
+        assert_eq!(l2.len(), 5);
+        assert_eq!(l2, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+        let l1 = c.level_coords(&hier, 1, Axis(0));
+        assert_eq!(l1, vec![0.0, 0.5, 1.0]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Fiber (1-D line) iteration over row-major arrays.
+//!
+//! The linear-processing kernels of the paper (mass-matrix multiply,
+//! transfer-matrix multiply, correction solve) operate on every 1-D line of
+//! the grid along one axis. This module provides the index math for those
+//! lines: a *fiber* along `axis` visits `dim(axis)` elements spaced
+//! `stride(axis)` apart, and there is one fiber per combination of the other
+//! indices.
+
+use crate::shape::{Axis, Shape};
+
+/// Geometry of the set of fibers along one axis of a shape.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FiberSpec {
+    /// Number of fibers (product of the other extents).
+    pub count: usize,
+    /// Elements per fiber (`shape.dim(axis)`).
+    pub len: usize,
+    /// Element stride within a fiber (`shape.stride(axis)`).
+    pub stride: usize,
+}
+
+/// Compute the fiber geometry along `axis`.
+pub fn fiber_spec(shape: Shape, axis: Axis) -> FiberSpec {
+    let len = shape.dim(axis);
+    FiberSpec {
+        count: shape.len() / len,
+        len,
+        stride: shape.stride(axis),
+    }
+}
+
+/// Base (linear offset of element 0) of the `i`-th fiber along `axis`.
+///
+/// Fibers are numbered in row-major order of the remaining axes, so
+/// consecutive fiber indices are memory-adjacent whenever possible — this is
+/// what lets the GPU linear-processing framework batch fibers so that a warp
+/// reads consecutive addresses (paper §III-A.2).
+#[inline]
+pub fn fiber_base(shape: Shape, axis: Axis, i: usize) -> usize {
+    let stride = shape.stride(axis);
+    let len = shape.dim(axis);
+    // Split the fiber index into the part that indexes axes *before* `axis`
+    // (outer) and the part after (inner). Inner offsets are < stride; outer
+    // blocks are stride * len apart.
+    let inner = i % stride.max(1);
+    let outer = i / stride.max(1);
+    debug_assert!(i < shape.len() / len);
+    outer * stride * len + inner
+}
+
+/// A read-only view of one fiber.
+#[derive(Copy, Clone, Debug)]
+pub struct FiberRef<'a, T> {
+    data: &'a [T],
+    /// Linear offset of the fiber's element 0.
+    pub base: usize,
+    /// Element spacing within the fiber.
+    pub stride: usize,
+    /// Elements in the fiber.
+    pub len: usize,
+}
+
+impl<'a, T: Copy> FiberRef<'a, T> {
+    /// The `k`-th element of this fiber.
+    #[inline]
+    pub fn at(&self, k: usize) -> T {
+        debug_assert!(k < self.len);
+        self.data[self.base + k * self.stride]
+    }
+
+    /// Gather into a vector.
+    pub fn to_vec(&self) -> Vec<T> {
+        (0..self.len).map(|k| self.at(k)).collect()
+    }
+
+    /// Gather into a caller-provided buffer of length `len`.
+    pub fn copy_to(&self, out: &mut [T]) {
+        assert_eq!(out.len(), self.len);
+        for (k, o) in out.iter_mut().enumerate() {
+            *o = self.data[self.base + k * self.stride];
+        }
+    }
+}
+
+/// Iterator over the read-only fibers of an array along one axis.
+pub struct FiberIter<'a, T> {
+    data: &'a [T],
+    shape: Shape,
+    axis: Axis,
+    next: usize,
+    count: usize,
+}
+
+impl<'a, T> FiberIter<'a, T> {
+    pub(crate) fn new(data: &'a [T], shape: Shape, axis: Axis) -> Self {
+        let spec = fiber_spec(shape, axis);
+        FiberIter {
+            data,
+            shape,
+            axis,
+            next: 0,
+            count: spec.count,
+        }
+    }
+}
+
+impl<'a, T: Copy> Iterator for FiberIter<'a, T> {
+    type Item = FiberRef<'a, T>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.count {
+            return None;
+        }
+        let base = fiber_base(self.shape, self.axis, self.next);
+        self.next += 1;
+        Some(FiberRef {
+            data: self.data,
+            base,
+            stride: self.shape.stride(self.axis),
+            len: self.shape.dim(self.axis),
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.count - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl<'a, T: Copy> ExactSizeIterator for FiberIter<'a, T> {}
+
+/// Gather/modify/scatter access to the fibers of a mutable array.
+///
+/// Because fibers along non-contiguous axes interleave in memory, safe Rust
+/// cannot hand out disjoint `&mut` fiber views directly; instead this cursor
+/// gathers each fiber into a scratch buffer, lets the caller transform it,
+/// and scatters the result back. Kernels that need higher performance do
+/// their own block-structured splitting (see `mg-kernels::parallel`).
+pub struct FiberMut<'a, T> {
+    data: &'a mut [T],
+    shape: Shape,
+    axis: Axis,
+}
+
+impl<'a, T: Copy> FiberMut<'a, T> {
+    pub(crate) fn new(data: &'a mut [T], shape: Shape, axis: Axis) -> Self {
+        FiberMut { data, shape, axis }
+    }
+
+    /// Geometry of the fibers this cursor visits.
+    pub fn spec(&self) -> FiberSpec {
+        fiber_spec(self.shape, self.axis)
+    }
+
+    /// Apply `f` to every fiber. `f` receives the gathered fiber contents
+    /// and may modify them in place; results are scattered back.
+    pub fn for_each(&mut self, mut f: impl FnMut(usize, &mut [T])) {
+        let spec = self.spec();
+        let mut buf = vec![self.data[0]; spec.len];
+        for i in 0..spec.count {
+            let base = fiber_base(self.shape, self.axis, i);
+            for (k, b) in buf.iter_mut().enumerate() {
+                *b = self.data[base + k * spec.stride];
+            }
+            f(i, &mut buf);
+            for (k, b) in buf.iter().enumerate() {
+                self.data[base + k * spec.stride] = *b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::NdArray;
+
+    #[test]
+    fn spec_counts() {
+        let s = Shape::d3(2, 3, 4);
+        assert_eq!(
+            fiber_spec(s, Axis(0)),
+            FiberSpec {
+                count: 12,
+                len: 2,
+                stride: 12
+            }
+        );
+        assert_eq!(
+            fiber_spec(s, Axis(2)),
+            FiberSpec {
+                count: 6,
+                len: 4,
+                stride: 1
+            }
+        );
+    }
+
+    #[test]
+    fn bases_are_disjoint_and_cover() {
+        // Every element must belong to exactly one fiber, for every axis.
+        let s = Shape::d3(3, 4, 5);
+        for ax in 0..3 {
+            let spec = fiber_spec(s, Axis(ax));
+            let mut seen = vec![false; s.len()];
+            for i in 0..spec.count {
+                let base = fiber_base(s, Axis(ax), i);
+                for k in 0..spec.len {
+                    let off = base + k * spec.stride;
+                    assert!(!seen[off], "axis {ax} fiber {i} overlaps at {off}");
+                    seen[off] = true;
+                }
+            }
+            assert!(seen.iter().all(|&b| b), "axis {ax} does not cover");
+        }
+    }
+
+    #[test]
+    fn fiber_iter_reads_lines() {
+        let a = NdArray::from_fn(Shape::d2(2, 3), |i| (i[0] * 10 + i[1]) as f64);
+        // Fibers along axis 1 are the rows.
+        let rows: Vec<Vec<f64>> = a.fibers(Axis(1)).map(|f| f.to_vec()).collect();
+        assert_eq!(rows, vec![vec![0.0, 1.0, 2.0], vec![10.0, 11.0, 12.0]]);
+        // Fibers along axis 0 are the columns.
+        let cols: Vec<Vec<f64>> = a.fibers(Axis(0)).map(|f| f.to_vec()).collect();
+        assert_eq!(
+            cols,
+            vec![vec![0.0, 10.0], vec![1.0, 11.0], vec![2.0, 12.0]]
+        );
+    }
+
+    #[test]
+    fn fiber_mut_round_trips() {
+        let mut a = NdArray::from_fn(Shape::d2(3, 3), |i| (i[0] * 3 + i[1]) as f64);
+        let orig = a.clone();
+        // Reverse every column, twice => identity.
+        for _ in 0..2 {
+            a.fibers_mut(Axis(0)).for_each(|_, buf| buf.reverse());
+        }
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn fiber_mut_writes_back() {
+        let mut a = NdArray::<f64>::zeros(Shape::d2(2, 2));
+        a.fibers_mut(Axis(0)).for_each(|i, buf| {
+            for (k, b) in buf.iter_mut().enumerate() {
+                *b = (i * 10 + k) as f64;
+            }
+        });
+        // Column i gets values [i*10, i*10+1].
+        assert_eq!(a.get(&[0, 1]), 10.0);
+        assert_eq!(a.get(&[1, 1]), 11.0);
+    }
+
+    #[test]
+    fn copy_to_matches_to_vec() {
+        let a = NdArray::from_fn(Shape::d2(4, 3), |i| (i[0] + i[1]) as f32);
+        for f in a.fibers(Axis(0)) {
+            let mut buf = vec![0.0f32; f.len];
+            f.copy_to(&mut buf);
+            assert_eq!(buf, f.to_vec());
+        }
+    }
+}

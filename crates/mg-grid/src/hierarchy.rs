@@ -1,0 +1,270 @@
+//! The dyadic multigrid level structure.
+//!
+//! A refactorable grid has `2^{L_d} + 1` nodes along dimension `d` (the
+//! paper generates its evaluation data in exactly this form, §IV). The
+//! hierarchy assigns to each *global* level `l ∈ [0, L]` (with
+//! `L = max_d L_d`) a subgrid: dimensions are halved on every step down
+//! from `L` until they bottom out at 2 nodes, so dimensions with fewer
+//! levels simply stop shrinking early.
+//!
+//! Level `L` is the finest grid (the original data); level `0` is the
+//! coarsest. Decomposition runs `l = L, L-1, ..., 1`, producing coefficient
+//! class `C_l` at each step plus the final coarse nodes `N_0`.
+
+use crate::shape::{Axis, Shape, MAX_DIMS};
+use serde::{Deserialize, Serialize};
+
+/// Error returned when a shape cannot host a dyadic hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotDyadic {
+    /// Offending dimension index.
+    pub dim: usize,
+    /// Its extent (not of the form `2^k + 1`).
+    pub extent: usize,
+}
+
+impl std::fmt::Display for NotDyadic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dimension {} has extent {}, which is not of the form 2^k + 1",
+            self.dim, self.extent
+        )
+    }
+}
+
+impl std::error::Error for NotDyadic {}
+
+/// Returns `Some(k)` if `n == 2^k + 1` (with `n >= 2`), else `None`.
+pub fn dyadic_exponent(n: usize) -> Option<usize> {
+    if n < 2 {
+        return None;
+    }
+    let m = n - 1;
+    if m.is_power_of_two() {
+        Some(m.trailing_zeros() as usize)
+    } else {
+        None
+    }
+}
+
+/// The next extent `>= n` of the form `2^k + 1` (used by the arbitrary-size
+/// pre-processing step in `mg-core`).
+pub fn next_dyadic(n: usize) -> usize {
+    assert!(n >= 1);
+    if n <= 2 {
+        return 2;
+    }
+    if dyadic_exponent(n).is_some() {
+        return n;
+    }
+    ((n - 1).next_power_of_two()) + 1
+}
+
+/// Shape and subsampling step of one level of the hierarchy.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct LevelDims {
+    /// Extents of the level-`l` subgrid.
+    pub shape: Shape,
+    /// Per-dimension step, in *finest-grid* nodes, between adjacent level
+    /// nodes: level node `i` sits at finest index `i * step[d]`.
+    pub step: [usize; MAX_DIMS],
+}
+
+/// The dyadic level hierarchy of a grid.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hierarchy {
+    finest: Shape,
+    /// Per-dimension dyadic exponent (`extent = 2^{levels[d]} + 1`).
+    levels: [usize; MAX_DIMS],
+    /// `max_d levels[d]` — the number of decomposition steps.
+    nlevels: usize,
+}
+
+impl Hierarchy {
+    /// Build the hierarchy for a dyadic shape.
+    pub fn new(finest: Shape) -> Result<Self, NotDyadic> {
+        let mut levels = [0usize; MAX_DIMS];
+        for (d, &n) in finest.as_slice().iter().enumerate() {
+            levels[d] = dyadic_exponent(n).ok_or(NotDyadic { dim: d, extent: n })?;
+        }
+        let nlevels = finest
+            .as_slice()
+            .iter()
+            .enumerate()
+            .map(|(d, _)| levels[d])
+            .max()
+            .unwrap_or(0);
+        Ok(Hierarchy {
+            finest,
+            levels,
+            nlevels,
+        })
+    }
+
+    /// The finest (original-data) shape.
+    #[inline]
+    pub fn finest(&self) -> Shape {
+        self.finest
+    }
+
+    #[inline]
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.finest.ndim()
+    }
+
+    /// Number of decomposition steps `L`; levels are `0 ..= L`.
+    #[inline]
+    pub fn nlevels(&self) -> usize {
+        self.nlevels
+    }
+
+    /// Dyadic exponent of dimension `d` at the finest level.
+    #[inline]
+    pub fn dim_levels(&self, axis: Axis) -> usize {
+        self.levels[axis.0]
+    }
+
+    /// Per-dimension exponent at global level `l`:
+    /// `e_d(l) = max(levels[d] - (L - l), 0)`.
+    ///
+    /// Every dimension halves on each step down until it reaches 2 nodes.
+    #[inline]
+    pub fn exponent(&self, l: usize, axis: Axis) -> usize {
+        debug_assert!(l <= self.nlevels);
+        let shrink = self.nlevels - l;
+        self.levels[axis.0].saturating_sub(shrink)
+    }
+
+    /// Shape and subsampling step of the level-`l` grid.
+    pub fn level_dims(&self, l: usize) -> LevelDims {
+        assert!(l <= self.nlevels, "level {l} > {}", self.nlevels);
+        let mut dims = [1usize; MAX_DIMS];
+        let mut step = [1usize; MAX_DIMS];
+        let nd = self.finest.ndim();
+        for d in 0..nd {
+            let e = self.exponent(l, Axis(d));
+            dims[d] = (1usize << e) + 1;
+            step[d] = 1usize << (self.levels[d] - e);
+        }
+        LevelDims {
+            shape: Shape::new(&dims[..nd]),
+            step,
+        }
+    }
+
+    /// Whether dimension `d` actually shrinks between level `l` and `l-1`
+    /// (false once it has bottomed out at 2 nodes).
+    #[inline]
+    pub fn decimates(&self, l: usize, axis: Axis) -> bool {
+        debug_assert!(l >= 1);
+        self.exponent(l, axis) > self.exponent(l - 1, axis)
+    }
+
+    /// Number of nodes of the level-`l` grid.
+    pub fn level_len(&self, l: usize) -> usize {
+        self.level_dims(l).shape.len()
+    }
+
+    /// Number of coefficients produced at step `l` (`|N_l \ N_{l-1}|`).
+    pub fn class_len(&self, l: usize) -> usize {
+        assert!(l >= 1 && l <= self.nlevels);
+        self.level_len(l) - self.level_len(l - 1)
+    }
+
+    /// Total coefficients across classes `1..=L` plus the coarsest nodes —
+    /// always equals the original data size (the refactoring is a bijection).
+    pub fn total_refactored_len(&self) -> usize {
+        self.level_len(0) + (1..=self.nlevels).map(|l| self.class_len(l)).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dyadic_exponents() {
+        assert_eq!(dyadic_exponent(2), Some(0));
+        assert_eq!(dyadic_exponent(3), Some(1));
+        assert_eq!(dyadic_exponent(5), Some(2));
+        assert_eq!(dyadic_exponent(9), Some(3));
+        assert_eq!(dyadic_exponent(513), Some(9));
+        assert_eq!(dyadic_exponent(4), None);
+        assert_eq!(dyadic_exponent(1), None);
+        assert_eq!(dyadic_exponent(0), None);
+    }
+
+    #[test]
+    fn next_dyadic_values() {
+        assert_eq!(next_dyadic(1), 2);
+        assert_eq!(next_dyadic(2), 2);
+        assert_eq!(next_dyadic(3), 3);
+        assert_eq!(next_dyadic(4), 5);
+        assert_eq!(next_dyadic(6), 9);
+        assert_eq!(next_dyadic(100), 129);
+        assert_eq!(next_dyadic(513), 513);
+    }
+
+    #[test]
+    fn uniform_3d_hierarchy() {
+        let h = Hierarchy::new(Shape::d3(9, 9, 9)).unwrap();
+        assert_eq!(h.nlevels(), 3);
+        assert_eq!(h.level_dims(3).shape.as_slice(), &[9, 9, 9]);
+        assert_eq!(h.level_dims(2).shape.as_slice(), &[5, 5, 5]);
+        assert_eq!(h.level_dims(1).shape.as_slice(), &[3, 3, 3]);
+        assert_eq!(h.level_dims(0).shape.as_slice(), &[2, 2, 2]);
+        assert_eq!(h.level_dims(1).step[0], 4);
+        assert_eq!(h.level_dims(3).step[0], 1);
+    }
+
+    #[test]
+    fn mixed_levels_bottom_out() {
+        // dims 5 (L=2) x 17 (L=4): global L = 4.
+        let h = Hierarchy::new(Shape::d2(5, 17)).unwrap();
+        assert_eq!(h.nlevels(), 4);
+        assert_eq!(h.level_dims(4).shape.as_slice(), &[5, 17]);
+        assert_eq!(h.level_dims(3).shape.as_slice(), &[3, 9]);
+        assert_eq!(h.level_dims(2).shape.as_slice(), &[2, 5]);
+        // dim 0 has bottomed out at 2 nodes:
+        assert_eq!(h.level_dims(1).shape.as_slice(), &[2, 3]);
+        assert_eq!(h.level_dims(0).shape.as_slice(), &[2, 2]);
+        assert!(h.decimates(4, Axis(0)));
+        assert!(!h.decimates(1, Axis(0)));
+        assert!(h.decimates(1, Axis(1)));
+    }
+
+    #[test]
+    fn non_dyadic_rejected() {
+        let err = Hierarchy::new(Shape::d2(5, 6)).unwrap_err();
+        assert_eq!(err.dim, 1);
+        assert_eq!(err.extent, 6);
+    }
+
+    #[test]
+    fn class_sizes_sum_to_total() {
+        for shape in [Shape::d1(17), Shape::d2(9, 33), Shape::d3(5, 9, 17)] {
+            let h = Hierarchy::new(shape).unwrap();
+            assert_eq!(h.total_refactored_len(), shape.len(), "{shape:?}");
+        }
+    }
+
+    #[test]
+    fn class_len_2d_5x5() {
+        // Paper's Fig. 3 example: 5x5, two classes + 3x3... here coarsest is
+        // 2x2 after two steps; class sizes: 25-9=16 at l=2, 9-4=5 at l=1.
+        let h = Hierarchy::new(Shape::d2(5, 5)).unwrap();
+        assert_eq!(h.class_len(2), 16);
+        assert_eq!(h.class_len(1), 5);
+        assert_eq!(h.level_len(0), 4);
+    }
+
+    #[test]
+    fn steps_map_to_finest_indices() {
+        let h = Hierarchy::new(Shape::d1(17)).unwrap();
+        let ld = h.level_dims(2); // 5 nodes, step 4
+        assert_eq!(ld.shape.dim(Axis(0)), 5);
+        assert_eq!(ld.step[0], 4);
+    }
+}

@@ -1,0 +1,37 @@
+//! Tensor-grid substrate for multigrid-based hierarchical data refactoring.
+//!
+//! This crate provides the data-layout layer that the refactoring kernels in
+//! [`mg-kernels`] and the drivers in [`mg-core`] operate on:
+//!
+//! * [`Real`] — a small float abstraction so every algorithm is generic over
+//!   `f32`/`f64`;
+//! * [`Shape`] and [`NdArray`] — row-major N-dimensional arrays (1–4 dims)
+//!   with explicit stride math and fiber (1-D line) iteration;
+//! * [`CoordSet`] — per-dimension, possibly nonuniform node coordinates;
+//! * [`Hierarchy`] — the dyadic `2^l + 1` level structure used by the
+//!   Ainsworth et al. decomposition, including per-dimension level counts;
+//! * [`pack`] — packing/unpacking of the level-`l` subgrid into contiguous
+//!   working memory (the paper's "node packing" optimization, §III-C).
+//!
+//! Everything here is deterministic and allocation-conscious: shapes are
+//! small inline arrays, fiber iteration never allocates per fiber, and
+//! packing reuses caller-provided buffers.
+
+// Index loops mirror the stride arithmetic throughout this crate and are
+// clearer than iterator chains for the kernel math.
+#![allow(clippy::needless_range_loop)]
+
+pub mod array;
+pub mod coords;
+pub mod fiber;
+pub mod hierarchy;
+pub mod pack;
+pub mod real;
+pub mod shape;
+
+pub use array::NdArray;
+pub use coords::CoordSet;
+pub use fiber::{FiberIter, FiberMut};
+pub use hierarchy::{Hierarchy, LevelDims};
+pub use real::Real;
+pub use shape::{Axis, Shape, MAX_DIMS};

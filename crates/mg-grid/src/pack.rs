@@ -1,0 +1,213 @@
+//! Node packing: gather the level-`l` subgrid into contiguous memory.
+//!
+//! On the finest array, the level-`l` nodes sit `2^{L-l}` elements apart in
+//! every dimension, so touching them in place incurs strided access with a
+//! stride that grows exponentially as the decomposition proceeds — the
+//! effect the paper's Figure 7 shows killing the naive designs. The paper's
+//! fix (§III-C) is to *pack* the level nodes densely into the working buffer
+//! before a level's kernels run and unpack afterwards; the packing cost is
+//! fused with copies that the algorithm performs anyway.
+//!
+//! This module provides the gather/scatter primitives for that optimization.
+
+use crate::hierarchy::LevelDims;
+use crate::shape::{Axis, Shape};
+
+/// Gather the level subgrid of `src` (finest shape `full`) into `dst`
+/// (densely packed, row-major, `level.shape` extents).
+///
+/// `dst` is resized to fit.
+pub fn pack_level<T: Copy + Default>(
+    src: &[T],
+    full: Shape,
+    level: &LevelDims,
+    dst: &mut Vec<T>,
+) {
+    assert_eq!(src.len(), full.len(), "pack_level: src length mismatch");
+    assert_eq!(level.shape.ndim(), full.ndim());
+    dst.clear();
+    dst.resize(level.shape.len(), T::default());
+    for_each_level_offset(full, level, |packed, unpacked| {
+        dst[packed] = src[unpacked];
+    });
+}
+
+/// Scatter a densely packed level subgrid back into the finest array.
+pub fn unpack_level<T: Copy>(dst: &mut [T], full: Shape, level: &LevelDims, src: &[T]) {
+    assert_eq!(dst.len(), full.len(), "unpack_level: dst length mismatch");
+    assert_eq!(src.len(), level.shape.len(), "unpack_level: src length mismatch");
+    for_each_level_offset(full, level, |packed, unpacked| {
+        dst[unpacked] = src[packed];
+    });
+}
+
+/// Visit every node of the level subgrid, yielding
+/// `(packed_offset, unpacked_offset)` pairs in packed row-major order.
+///
+/// Dimensionality is dispatched to specialized nested loops for 1–3 dims
+/// (the hot cases); higher dims fall back to generic index iteration.
+pub fn for_each_level_offset(full: Shape, level: &LevelDims, mut f: impl FnMut(usize, usize)) {
+    let ls = level.shape;
+    let fstr = full.strides();
+    match full.ndim() {
+        1 => {
+            let s0 = level.step[0] * fstr[0];
+            for i in 0..ls.dim(Axis(0)) {
+                f(i, i * s0);
+            }
+        }
+        2 => {
+            let (n0, n1) = (ls.dim(Axis(0)), ls.dim(Axis(1)));
+            let s0 = level.step[0] * fstr[0];
+            let s1 = level.step[1] * fstr[1];
+            let mut packed = 0;
+            for i in 0..n0 {
+                let row = i * s0;
+                for j in 0..n1 {
+                    f(packed, row + j * s1);
+                    packed += 1;
+                }
+            }
+        }
+        3 => {
+            let (n0, n1, n2) = (ls.dim(Axis(0)), ls.dim(Axis(1)), ls.dim(Axis(2)));
+            let s0 = level.step[0] * fstr[0];
+            let s1 = level.step[1] * fstr[1];
+            let s2 = level.step[2] * fstr[2];
+            let mut packed = 0;
+            for i in 0..n0 {
+                let plane = i * s0;
+                for j in 0..n1 {
+                    let row = plane + j * s1;
+                    for k in 0..n2 {
+                        f(packed, row + k * s2);
+                        packed += 1;
+                    }
+                }
+            }
+        }
+        _ => {
+            for (packed, idx) in ls.indices().enumerate() {
+                let mut off = 0;
+                for d in 0..full.ndim() {
+                    off += idx[d] * level.step[d] * fstr[d];
+                }
+                f(packed, off);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::NdArray;
+    use crate::hierarchy::Hierarchy;
+
+    fn ramp(shape: Shape) -> NdArray<f64> {
+        let mut v = 0.0;
+        NdArray::from_fn(shape, |_| {
+            v += 1.0;
+            v
+        })
+    }
+
+    #[test]
+    fn pack_unpack_identity_1d() {
+        let shape = Shape::d1(9);
+        let h = Hierarchy::new(shape).unwrap();
+        let a = ramp(shape);
+        for l in 0..=h.nlevels() {
+            let ld = h.level_dims(l);
+            let mut packed = Vec::new();
+            pack_level(a.as_slice(), shape, &ld, &mut packed);
+            assert_eq!(packed.len(), ld.shape.len());
+            let mut out = a.clone();
+            unpack_level(out.as_mut_slice(), shape, &ld, &packed);
+            assert_eq!(out, a, "level {l}");
+        }
+    }
+
+    #[test]
+    fn packed_values_are_the_subsampled_nodes_2d() {
+        let shape = Shape::d2(5, 5);
+        let h = Hierarchy::new(shape).unwrap();
+        let a = NdArray::from_fn(shape, |i| (i[0] * 100 + i[1]) as f64);
+        let ld = h.level_dims(1); // 3x3, step 2
+        let mut packed = Vec::new();
+        pack_level(a.as_slice(), shape, &ld, &mut packed);
+        let expect: Vec<f64> = [0, 2, 4]
+            .iter()
+            .flat_map(|&r| [0, 2, 4].iter().map(move |&c| (r * 100 + c) as f64))
+            .collect();
+        assert_eq!(packed, expect);
+    }
+
+    #[test]
+    fn unpack_only_touches_level_nodes() {
+        let shape = Shape::d2(5, 5);
+        let h = Hierarchy::new(shape).unwrap();
+        let ld = h.level_dims(1);
+        let mut arr = NdArray::<f64>::zeros(shape);
+        let packed = vec![1.0; ld.shape.len()];
+        unpack_level(arr.as_mut_slice(), shape, &ld, &packed);
+        // 9 level nodes set to 1, everything else untouched.
+        let ones = arr.as_slice().iter().filter(|&&v| v == 1.0).count();
+        assert_eq!(ones, 9);
+        assert_eq!(arr.get(&[2, 2]), 1.0);
+        assert_eq!(arr.get(&[1, 1]), 0.0);
+    }
+
+    #[test]
+    fn pack_unpack_identity_3d_all_levels() {
+        let shape = Shape::d3(5, 9, 5);
+        let h = Hierarchy::new(shape).unwrap();
+        let a = ramp(shape);
+        for l in 0..=h.nlevels() {
+            let ld = h.level_dims(l);
+            let mut packed = Vec::new();
+            pack_level(a.as_slice(), shape, &ld, &mut packed);
+            let mut out = a.clone();
+            unpack_level(out.as_mut_slice(), shape, &ld, &packed);
+            assert_eq!(out, a, "level {l}");
+        }
+    }
+
+    #[test]
+    fn finest_level_pack_is_memcpy() {
+        let shape = Shape::d2(9, 9);
+        let h = Hierarchy::new(shape).unwrap();
+        let a = ramp(shape);
+        let ld = h.level_dims(h.nlevels());
+        let mut packed = Vec::new();
+        pack_level(a.as_slice(), shape, &ld, &mut packed);
+        assert_eq!(packed.as_slice(), a.as_slice());
+    }
+}
+
+#[cfg(test)]
+mod tests_4d {
+    use super::*;
+    use crate::array::NdArray;
+    use crate::hierarchy::Hierarchy;
+    use crate::shape::Shape;
+
+    #[test]
+    fn pack_unpack_identity_4d_generic_path() {
+        // ndim == 4 exercises the generic (non-specialized) offset loop.
+        let shape = Shape::d4(3, 5, 3, 5);
+        let h = Hierarchy::new(shape).unwrap();
+        let a = NdArray::from_fn(shape, |i| {
+            (i[0] * 1000 + i[1] * 100 + i[2] * 10 + i[3]) as f64
+        });
+        for l in 0..=h.nlevels() {
+            let ld = h.level_dims(l);
+            let mut packed = Vec::new();
+            pack_level(a.as_slice(), shape, &ld, &mut packed);
+            assert_eq!(packed.len(), ld.shape.len());
+            let mut out = a.clone();
+            unpack_level(out.as_mut_slice(), shape, &ld, &packed);
+            assert_eq!(out, a, "level {l}");
+        }
+    }
+}

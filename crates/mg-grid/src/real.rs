@@ -1,0 +1,213 @@
+//! Float abstraction used by every kernel in the workspace.
+//!
+//! The refactoring algorithms only need a handful of operations beyond
+//! ordinary arithmetic (absolute value, square root, conversions), so rather
+//! than pulling in a numerics crate we define the minimal trait here.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Minimal floating-point abstraction (`f32` or `f64`).
+///
+/// All refactoring kernels, drivers, and the compressor are generic over
+/// `Real` so that both single- and double-precision scientific data can be
+/// processed (the paper evaluates double precision; tests cover both).
+pub trait Real:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + PartialOrd
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// The constant 2.
+    const TWO: Self;
+
+    /// Machine epsilon for this precision.
+    const EPSILON: Self;
+
+    /// Lossy conversion from `f64`.
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// Conversion from a count/index.
+    fn from_usize(v: usize) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// IEEE maximum of two values.
+    fn max_val(self, other: Self) -> Self;
+    /// IEEE minimum of two values.
+    fn min_val(self, other: Self) -> Self;
+    /// True unless NaN or infinite.
+    fn is_finite(self) -> bool;
+    /// `self * a + b` (fused where the platform provides it).
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Reciprocal `1 / self`.
+    fn recip(self) -> Self;
+    /// Integer power.
+    fn powi(self, n: i32) -> Self;
+    /// Number of bytes of one scalar, as reported to cost models.
+    const BYTES: usize;
+}
+
+macro_rules! impl_real {
+    ($t:ty, $bytes:expr) => {
+        impl Real for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const TWO: Self = 2.0;
+            const EPSILON: Self = <$t>::EPSILON;
+
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn from_usize(v: usize) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn max_val(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline(always)]
+            fn min_val(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+            #[inline(always)]
+            fn recip(self) -> Self {
+                <$t>::recip(self)
+            }
+            #[inline(always)]
+            fn powi(self, n: i32) -> Self {
+                <$t>::powi(self, n)
+            }
+            const BYTES: usize = $bytes;
+        }
+    };
+}
+
+impl_real!(f32, 4);
+impl_real!(f64, 8);
+
+/// Maximum absolute difference between two slices, as `f64`.
+///
+/// Convenience used pervasively by tests and the error estimators.
+pub fn max_abs_diff<T: Real>(a: &[T], b: &[T]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_diff: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).abs().to_f64())
+        .fold(0.0, f64::max)
+}
+
+/// Root-mean-square difference between two slices, as `f64`.
+pub fn rms_diff<T: Real>(a: &[T], b: &[T]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rms_diff: length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = (x - y).to_f64();
+            d * d
+        })
+        .sum();
+    (sum / a.len() as f64).sqrt()
+}
+
+/// Largest absolute value in a slice, as `f64`.
+pub fn max_abs<T: Real>(a: &[T]) -> f64 {
+    a.iter().map(|&x| x.abs().to_f64()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_literals() {
+        assert_eq!(<f64 as Real>::ZERO, 0.0);
+        assert_eq!(<f64 as Real>::ONE, 1.0);
+        assert_eq!(<f32 as Real>::TWO, 2.0f32);
+        assert_eq!(<f32 as Real>::BYTES, 4);
+        assert_eq!(<f64 as Real>::BYTES, 8);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let v = 3.25f64;
+        assert_eq!(<f64 as Real>::from_f64(v).to_f64(), v);
+        assert_eq!(<f32 as Real>::from_f64(v).to_f64(), 3.25);
+        assert_eq!(<f64 as Real>::from_usize(7), 7.0);
+    }
+
+    #[test]
+    fn mul_add_matches_manual() {
+        let x = 1.5f64;
+        assert!((Real::mul_add(x, 2.0, 3.0) - 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn diff_helpers() {
+        let a = [1.0f64, 2.0, 3.0];
+        let b = [1.0f64, 2.5, 2.0];
+        assert_eq!(max_abs_diff(&a, &b), 1.0);
+        assert!((rms_diff(&a, &b) - ((0.25f64 + 1.0) / 3.0).sqrt()).abs() < 1e-15);
+        assert_eq!(max_abs(&b), 2.5);
+    }
+
+    #[test]
+    fn rms_diff_empty_is_zero() {
+        let a: [f64; 0] = [];
+        assert_eq!(rms_diff(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn min_max_val() {
+        assert_eq!(2.0f64.max_val(3.0), 3.0);
+        assert_eq!(2.0f64.min_val(3.0), 2.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Shapes, axes, and row-major stride math.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of dimensions supported by the workspace.
+///
+/// The paper evaluates 2-D and 3-D data; the whole stack here is
+/// dimension-generic up to 4, so time-varying 3-D fields refactor too
+/// (see `mg-core`'s 4-D round-trip tests).
+pub const MAX_DIMS: usize = 4;
+
+/// A dimension index. `Axis(0)` is the slowest-varying (outermost) dimension
+/// in row-major order; the last axis is contiguous in memory.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Axis(pub usize);
+
+/// The extents of an N-dimensional row-major array, `1 <= N <= MAX_DIMS`.
+///
+/// Stored inline (no heap allocation) because shapes are created in hot
+/// per-level loops.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: [usize; MAX_DIMS],
+    ndim: usize,
+}
+
+impl std::fmt::Debug for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Shape{:?}", self.as_slice())
+    }
+}
+
+impl Shape {
+    /// Create a shape from a slice of extents.
+    ///
+    /// # Panics
+    /// If the slice is empty, longer than [`MAX_DIMS`], or any extent is 0.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            !dims.is_empty() && dims.len() <= MAX_DIMS,
+            "Shape::new: need 1..={MAX_DIMS} dims, got {}",
+            dims.len()
+        );
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "Shape::new: zero-sized dimension in {dims:?}"
+        );
+        let mut a = [1usize; MAX_DIMS];
+        a[..dims.len()].copy_from_slice(dims);
+        Shape {
+            dims: a,
+            ndim: dims.len(),
+        }
+    }
+
+    /// 1-D shape.
+    pub fn d1(n: usize) -> Self {
+        Self::new(&[n])
+    }
+    /// 2-D shape (rows, cols).
+    pub fn d2(r: usize, c: usize) -> Self {
+        Self::new(&[r, c])
+    }
+    /// 3-D shape (depth, rows, cols).
+    pub fn d3(d: usize, r: usize, c: usize) -> Self {
+        Self::new(&[d, r, c])
+    }
+    /// 4-D shape (time, depth, rows, cols) — time-varying 3-D fields.
+    pub fn d4(t: usize, d: usize, r: usize, c: usize) -> Self {
+        Self::new(&[t, d, r, c])
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.ndim
+    }
+
+    /// Extent along `axis`.
+    #[inline]
+    pub fn dim(&self, axis: Axis) -> usize {
+        debug_assert!(axis.0 < self.ndim);
+        self.dims[axis.0]
+    }
+
+    /// All extents as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.dims[..self.ndim]
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.as_slice().iter().product()
+    }
+
+    /// True when the shape contains no elements (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major strides (in elements). The last axis has stride 1.
+    #[inline]
+    pub fn strides(&self) -> [usize; MAX_DIMS] {
+        let mut s = [1usize; MAX_DIMS];
+        for i in (0..self.ndim.saturating_sub(1)).rev() {
+            s[i] = s[i + 1] * self.dims[i + 1];
+        }
+        s
+    }
+
+    /// Stride (in elements) along `axis`.
+    #[inline]
+    pub fn stride(&self, axis: Axis) -> usize {
+        self.strides()[axis.0]
+    }
+
+    /// Linear row-major offset of a multi-index.
+    ///
+    /// `idx` must have `ndim` entries, each within bounds
+    /// (checked with `debug_assert`).
+    #[inline]
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.ndim);
+        let strides = self.strides();
+        let mut off = 0;
+        for (k, &i) in idx.iter().enumerate() {
+            debug_assert!(i < self.dims[k], "index {i} out of bounds for dim {k}");
+            off += i * strides[k];
+        }
+        off
+    }
+
+    /// Inverse of [`Shape::offset`]: decompose a linear offset into a
+    /// multi-index (row-major).
+    pub fn multi_index(&self, mut off: usize) -> [usize; MAX_DIMS] {
+        debug_assert!(off < self.len());
+        let strides = self.strides();
+        let mut idx = [0usize; MAX_DIMS];
+        for k in 0..self.ndim {
+            idx[k] = off / strides[k];
+            off %= strides[k];
+        }
+        idx
+    }
+
+    /// Iterate over all multi-indices in row-major order.
+    pub fn indices(&self) -> IndexIter {
+        IndexIter {
+            shape: *self,
+            next: 0,
+            total: self.len(),
+        }
+    }
+
+    /// Shape with one axis replaced by a new extent.
+    pub fn with_dim(&self, axis: Axis, extent: usize) -> Self {
+        assert!(axis.0 < self.ndim);
+        assert!(extent > 0);
+        let mut s = *self;
+        s.dims[axis.0] = extent;
+        s
+    }
+}
+
+/// Row-major iterator over all multi-indices of a shape.
+pub struct IndexIter {
+    shape: Shape,
+    next: usize,
+    total: usize,
+}
+
+impl Iterator for IndexIter {
+    type Item = [usize; MAX_DIMS];
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.total {
+            return None;
+        }
+        let idx = self.shape.multi_index(self.next);
+        self.next += 1;
+        Some(idx)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.total - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for IndexIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::d3(4, 5, 6);
+        assert_eq!(&s.strides()[..3], &[30, 6, 1]);
+        assert_eq!(s.stride(Axis(0)), 30);
+        assert_eq!(s.stride(Axis(2)), 1);
+        assert_eq!(s.len(), 120);
+    }
+
+    #[test]
+    fn offset_and_multi_index_are_inverse() {
+        let s = Shape::d3(3, 4, 5);
+        for off in 0..s.len() {
+            let idx = s.multi_index(off);
+            assert_eq!(s.offset(&idx[..3]), off);
+        }
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let s = Shape::d1(7);
+        assert_eq!(s.ndim(), 1);
+        assert_eq!(s.len(), 7);
+        assert_eq!(s.offset(&[3]), 3);
+    }
+
+    #[test]
+    fn indices_cover_everything_in_order() {
+        let s = Shape::d2(2, 3);
+        let all: Vec<_> = s.indices().map(|i| (i[0], i[1])).collect();
+        assert_eq!(
+            all,
+            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+        );
+    }
+
+    #[test]
+    fn with_dim_replaces_extent() {
+        let s = Shape::d2(5, 9).with_dim(Axis(1), 5);
+        assert_eq!(s.as_slice(), &[5, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized")]
+    fn zero_extent_panics() {
+        Shape::new(&[4, 0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_dims_panics() {
+        Shape::new(&[2, 2, 2, 2, 2]);
+    }
+}

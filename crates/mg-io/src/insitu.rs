@@ -1,0 +1,187 @@
+//! In-situ producer loop: Figure 1 as an executable timeline.
+//!
+//! A simulation emits one snapshot per output step; each snapshot is
+//! refactored (at a modeled rate), its classes placed across storage
+//! tiers, and a chosen prefix written out. The driver accumulates a
+//! per-step timeline and reports whether I/O keeps up with the simulation
+//! — the paper's core pitch is exactly that refactoring must be fast
+//! enough for this loop to stay compute-bound.
+
+use crate::placement::{plan_placement, Placement, PlacementError};
+use crate::tiers::StorageTier;
+
+/// Configuration of the in-situ output loop.
+#[derive(Clone, Debug)]
+pub struct InSituLoop {
+    /// Bytes per snapshot.
+    pub snapshot_bytes: u64,
+    /// Per-class sizes (most important first); must sum to
+    /// `snapshot_bytes`.
+    pub class_bytes: Vec<u64>,
+    /// Classes written out each step.
+    pub keep_classes: usize,
+    /// Simulation compute time per output step, seconds.
+    pub compute_seconds: f64,
+    /// Aggregate refactoring throughput of the job, bytes/s.
+    pub refactor_bps: f64,
+    /// Writer processes.
+    pub writers: usize,
+    /// Storage tiers, fastest first (capacities are consumed as steps
+    /// accumulate).
+    pub tiers: Vec<StorageTier>,
+}
+
+/// Outcome of one output step.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct StepCost {
+    pub step: usize,
+    /// Refactoring time, seconds.
+    pub refactor: f64,
+    /// Write time, seconds.
+    pub write: f64,
+    /// Whether output hid entirely under the next compute phase
+    /// (asynchronous staging assumed).
+    pub hidden: bool,
+}
+
+/// The accumulated timeline.
+#[derive(Clone, Debug)]
+pub struct Timeline {
+    pub steps: Vec<StepCost>,
+    /// Final class placement of the last step (all steps share a layout).
+    pub placement: Placement,
+}
+
+impl Timeline {
+    /// Total wall-clock including exposed (non-hidden) output time.
+    pub fn total_seconds(&self, compute_seconds: f64) -> f64 {
+        self.steps
+            .iter()
+            .map(|s| {
+                compute_seconds
+                    + if s.hidden {
+                        0.0
+                    } else {
+                        s.refactor + s.write - compute_seconds
+                    }
+            })
+            .sum()
+    }
+
+    /// Fraction of steps whose output was fully hidden under compute.
+    pub fn hidden_fraction(&self) -> f64 {
+        if self.steps.is_empty() {
+            return 1.0;
+        }
+        self.steps.iter().filter(|s| s.hidden).count() as f64 / self.steps.len() as f64
+    }
+}
+
+impl InSituLoop {
+    /// Run `nsteps` output steps.
+    pub fn run(&self, nsteps: usize) -> Result<Timeline, PlacementError> {
+        assert_eq!(
+            self.class_bytes.iter().sum::<u64>(),
+            self.snapshot_bytes,
+            "class sizes must sum to the snapshot size"
+        );
+        // Each step consumes tier capacity for the kept prefix; plan once
+        // with per-step sizes scaled by step count to validate capacity,
+        // then price a single step.
+        let kept: Vec<u64> = self.class_bytes[..self.keep_classes.min(self.class_bytes.len())]
+            .to_vec();
+        let total_per_class: Vec<u64> = kept.iter().map(|b| b * nsteps as u64).collect();
+        let placement = plan_placement(&self.tiers, &total_per_class, self.writers)?;
+
+        let refactor = self.snapshot_bytes as f64 / self.refactor_bps;
+        // Write cost of one step's prefix using the planned tier of each
+        // class (per-step bytes).
+        let mut write = 0.0f64;
+        for (k, &bytes) in kept.iter().enumerate() {
+            let tier = &self.tiers[placement.tier_of(k)];
+            write = write.max(tier.latency + bytes as f64 / tier.effective_bw(self.writers));
+        }
+
+        let steps = (0..nsteps)
+            .map(|step| StepCost {
+                step,
+                refactor,
+                write,
+                hidden: refactor + write <= self.compute_seconds,
+            })
+            .collect();
+        Ok(Timeline { steps, placement })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adios::class_sizes;
+
+    fn base_loop(refactor_bps: f64) -> InSituLoop {
+        let snapshot = 64u64 << 30; // 64 GiB per step
+        InSituLoop {
+            snapshot_bytes: snapshot,
+            class_bytes: class_sizes(snapshot, 10, 3),
+            keep_classes: 3,
+            compute_seconds: 30.0,
+            refactor_bps,
+            writers: 1024,
+            tiers: vec![StorageTier::nvme_burst_buffer(), StorageTier::parallel_fs()],
+        }
+    }
+
+    #[test]
+    fn gpu_rate_refactoring_hides_output() {
+        // Aggregate GPU refactoring at ~5 GB/s x 1024 ranks is far above
+        // what 64 GiB / 30 s needs.
+        let tl = base_loop(5.0e12).run(100).unwrap();
+        assert_eq!(tl.hidden_fraction(), 1.0, "{:?}", tl.steps[0]);
+        assert!((tl.total_seconds(30.0) - 3000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cpu_rate_refactoring_exposes_output() {
+        // A small CPU job (e.g. 20 ranks at ~50 MB/s = 1 GB/s aggregate)
+        // needs ~69 s to refactor a 64 GiB snapshot — more than the 30 s
+        // compute phase: the loop becomes output-bound.
+        let tl = base_loop(1.0e9).run(10).unwrap();
+        assert_eq!(tl.hidden_fraction(), 0.0);
+        assert!(tl.total_seconds(30.0) > 10.0 * 30.0);
+    }
+
+    #[test]
+    fn capacity_fills_up_over_long_runs() {
+        // Keep every class: the burst buffer alone cannot hold a long
+        // campaign; the planner spills to the PFS rather than failing.
+        let mut lp = base_loop(5.0e12);
+        lp.keep_classes = 10;
+        let tl = lp.run(500).unwrap();
+        let bytes = tl.placement.bytes_per_tier();
+        assert!(bytes[1] > 0, "long runs must spill to the PFS: {bytes:?}");
+    }
+
+    #[test]
+    fn infeasible_capacity_is_an_error() {
+        // Keeping every class, a 1 GiB-capacity tier cannot hold a
+        // 64 GiB-per-step campaign.
+        let mut lp = base_loop(5.0e12);
+        lp.keep_classes = 10;
+        lp.tiers = vec![StorageTier {
+            capacity: 1 << 30,
+            ..StorageTier::nvme_burst_buffer()
+        }];
+        assert!(lp.run(1000).is_err());
+    }
+
+    #[test]
+    fn fewer_classes_shrink_write_time() {
+        let mut lp = base_loop(5.0e12);
+        lp.keep_classes = 10;
+        let all = lp.run(5).unwrap().steps[0].write;
+        lp.keep_classes = 2;
+        let few = lp.run(5).unwrap().steps[0].write;
+        assert!(few < all);
+    }
+}

@@ -1,0 +1,19 @@
+//! Multi-tier storage / network simulator with an ADIOS-like API.
+//!
+//! Models the I/O side of the paper's Figure 1 and the §V-A visualization
+//! showcase: refactored data is written as a sequence of coefficient
+//! classes, and producers/consumers choose how many classes to move
+//! through each tier. Costs follow a latency + bandwidth model with
+//! aggregate-bandwidth sharing across parallel writers/readers.
+
+pub mod adios;
+pub mod insitu;
+pub mod placement;
+pub mod tiers;
+pub mod workflow;
+
+pub use adios::{IoCost, ParallelIo};
+pub use insitu::{InSituLoop, Timeline};
+pub use placement::{plan_placement, Placement};
+pub use tiers::StorageTier;
+pub use workflow::{VizWorkflow, WorkflowCost};

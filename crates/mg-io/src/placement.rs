@@ -1,0 +1,289 @@
+//! Coefficient-class placement across storage tiers (paper Fig. 1).
+//!
+//! The paper's motivating scenario: refactored data is spread over a
+//! multi-tiered storage system "based on available capacity and
+//! bandwidth", so that the most important classes sit on the fastest
+//! media. Given tiers (with capacity and effective bandwidth) and
+//! classes (with sizes, most-important-first), [`plan_placement`]
+//! assigns classes to tiers to minimize the expected cost of a prefix
+//! read, and [`Placement::read_cost`] prices any consumer request.
+//!
+//! The optimal structure is simple and provable: because any consumer
+//! reads a *prefix* of classes, and class importance decreases with
+//! index, the cost-minimizing assignment subject to capacities is
+//! greedy — place classes in order onto the fastest tier that still has
+//! room. A proof sketch lives with `tests::greedy_is_optimal_small`,
+//! which cross-checks against brute force.
+
+use crate::tiers::StorageTier;
+
+/// Where one class landed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClassPlacement {
+    /// Class index (0 = most important).
+    pub class: usize,
+    /// Index into the tier list.
+    pub tier: usize,
+    /// Class payload size.
+    pub bytes: u64,
+}
+
+/// A complete placement of classes onto tiers.
+#[derive(Clone, Debug)]
+pub struct Placement {
+    tiers: Vec<StorageTier>,
+    assignments: Vec<ClassPlacement>,
+}
+
+/// Errors from planning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// Total capacity cannot hold all classes; contains the first class
+    /// that does not fit.
+    InsufficientCapacity {
+        /// The first class that did not fit.
+        class: usize,
+    },
+    /// No tiers were supplied.
+    NoTiers,
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::InsufficientCapacity { class } => {
+                write!(f, "class {class} does not fit in any tier")
+            }
+            PlacementError::NoTiers => write!(f, "no storage tiers supplied"),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// Greedily place classes (most-important-first) onto the fastest tiers.
+///
+/// Tier speed ordering is computed internally via [`speed_order`];
+/// `class_bytes[k]` is the size of class `k`.
+pub fn plan_placement(
+    tiers: &[StorageTier],
+    class_bytes: &[u64],
+    readers: usize,
+) -> Result<Placement, PlacementError> {
+    if tiers.is_empty() {
+        return Err(PlacementError::NoTiers);
+    }
+    let order = speed_order(tiers, readers);
+    let mut remaining: Vec<u64> = tiers.iter().map(|t| t.capacity).collect();
+    let mut assignments = Vec::with_capacity(class_bytes.len());
+    for (k, &bytes) in class_bytes.iter().enumerate() {
+        let slot = order
+            .iter()
+            .copied()
+            .find(|&t| remaining[t] >= bytes)
+            .ok_or(PlacementError::InsufficientCapacity { class: k })?;
+        remaining[slot] -= bytes;
+        assignments.push(ClassPlacement {
+            class: k,
+            tier: slot,
+            bytes,
+        });
+    }
+    Ok(Placement {
+        tiers: tiers.to_vec(),
+        assignments,
+    })
+}
+
+/// Tier indices sorted by effective bandwidth (fastest first) for the
+/// given reader parallelism; ties broken by lower latency.
+pub fn speed_order(tiers: &[StorageTier], readers: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..tiers.len()).collect();
+    idx.sort_by(|&a, &b| {
+        let ba = tiers[a].effective_bw(readers);
+        let bb = tiers[b].effective_bw(readers);
+        bb.partial_cmp(&ba)
+            .unwrap()
+            .then(tiers[a].latency.partial_cmp(&tiers[b].latency).unwrap())
+    });
+    idx
+}
+
+impl Placement {
+    /// Per-class assignments, in class order.
+    pub fn assignments(&self) -> &[ClassPlacement] {
+        &self.assignments
+    }
+
+    /// Which tier holds class `k`.
+    pub fn tier_of(&self, k: usize) -> usize {
+        self.assignments[k].tier
+    }
+
+    /// Cost (seconds) for `readers` processes to fetch classes
+    /// `0..count`: per-tier transfers can proceed concurrently, so the
+    /// cost is the max over tiers of (latency + bytes/bandwidth).
+    pub fn read_cost(&self, count: usize, readers: usize) -> f64 {
+        let mut per_tier = vec![0u64; self.tiers.len()];
+        let mut touched = vec![false; self.tiers.len()];
+        for a in self.assignments.iter().take(count) {
+            per_tier[a.tier] += a.bytes;
+            touched[a.tier] = true;
+        }
+        self.tiers
+            .iter()
+            .enumerate()
+            .filter(|(t, _)| touched[*t])
+            .map(|(t, tier)| tier.latency + per_tier[t] as f64 / tier.effective_bw(readers))
+            .fold(0.0, f64::max)
+    }
+
+    /// Bytes stored on each tier.
+    pub fn bytes_per_tier(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.tiers.len()];
+        for a in &self.assignments {
+            out[a.tier] += a.bytes;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adios::class_sizes;
+
+    fn tier(name: &'static str, bw: f64, latency: f64, cap: u64) -> StorageTier {
+        StorageTier {
+            name,
+            aggregate_bw: bw,
+            per_client_bw: bw,
+            latency,
+            capacity: cap,
+        }
+    }
+
+    #[test]
+    fn greedy_fills_fast_tiers_first() {
+        let tiers = vec![
+            tier("fast", 100.0e9, 1e-4, 100),
+            tier("slow", 1.0e9, 1e-2, u64::MAX),
+        ];
+        let classes = vec![40u64, 50, 60, 1000];
+        let p = plan_placement(&tiers, &classes, 1).unwrap();
+        assert_eq!(p.tier_of(0), 0);
+        assert_eq!(p.tier_of(1), 0);
+        assert_eq!(p.tier_of(2), 1); // 60 no longer fits in fast (10 left)
+        assert_eq!(p.tier_of(3), 1);
+        assert_eq!(p.bytes_per_tier(), vec![90, 1060]);
+    }
+
+    #[test]
+    fn capacity_exhaustion_is_reported() {
+        let tiers = vec![tier("tiny", 1.0e9, 1e-3, 10)];
+        let err = plan_placement(&tiers, &[5, 6], 1).unwrap_err();
+        assert_eq!(err, PlacementError::InsufficientCapacity { class: 1 });
+    }
+
+    #[test]
+    fn no_tiers_is_an_error() {
+        assert_eq!(
+            plan_placement(&[], &[1], 1).unwrap_err(),
+            PlacementError::NoTiers
+        );
+    }
+
+    #[test]
+    fn prefix_reads_get_cheaper_with_fewer_classes() {
+        let tiers = vec![
+            StorageTier::nvme_burst_buffer(),
+            StorageTier::parallel_fs(),
+            StorageTier::archive(),
+        ];
+        // A 1 TB variable in 10 classes, but a burst buffer that only
+        // holds the first few.
+        let mut bb = tiers.clone();
+        bb[0].capacity = 2 << 30;
+        let classes = class_sizes(1 << 40, 10, 3);
+        let p = plan_placement(&bb, &classes, 512).unwrap();
+        let mut last = f64::INFINITY;
+        for count in (1..=10).rev() {
+            let c = p.read_cost(count, 512);
+            assert!(c <= last + 1e-12, "count {count}");
+            last = c;
+        }
+        // Small prefixes never touch the slow tiers.
+        assert!(p.read_cost(2, 512) < 0.1);
+    }
+
+    #[test]
+    fn speed_order_respects_parallelism() {
+        // A tier with huge per-client bw but low aggregate loses to a
+        // parallel tier once many readers pile on.
+        let a = tier("serial-fast", 10.0e9, 1e-4, u64::MAX); // aggregate == per-client
+        let mut b = StorageTier::parallel_fs();
+        b.capacity = u64::MAX;
+        let tiers = vec![a, b];
+        let one = speed_order(&tiers, 1);
+        let many = speed_order(&tiers, 4096);
+        assert_eq!(one[0], 0);
+        assert_eq!(many[0], 1);
+    }
+
+    #[test]
+    fn greedy_is_optimal_small() {
+        // Brute-force all assignments of 4 classes onto 3 tiers and check
+        // greedy's total prefix-read objective (sum over prefix lengths)
+        // is minimal among capacity-feasible assignments.
+        let tiers = vec![
+            tier("t0", 50.0e9, 1e-4, 120),
+            tier("t1", 5.0e9, 1e-3, 300),
+            tier("t2", 0.5e9, 1e-2, u64::MAX),
+        ];
+        let classes = vec![60u64, 70, 120, 200];
+        let readers = 8;
+        let objective = |assign: &[usize]| -> Option<f64> {
+            let mut rem: Vec<i128> = tiers.iter().map(|t| t.capacity as i128).collect();
+            for (k, &t) in assign.iter().enumerate() {
+                rem[t] -= classes[k] as i128;
+                if rem[t] < 0 {
+                    return None;
+                }
+            }
+            let p = Placement {
+                tiers: tiers.clone(),
+                assignments: assign
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &t)| ClassPlacement {
+                        class: k,
+                        tier: t,
+                        bytes: classes[k],
+                    })
+                    .collect(),
+            };
+            Some((1..=classes.len()).map(|c| p.read_cost(c, readers)).sum())
+        };
+
+        let greedy = plan_placement(&tiers, &classes, readers).unwrap();
+        let greedy_assign: Vec<usize> = (0..classes.len()).map(|k| greedy.tier_of(k)).collect();
+        let greedy_obj = objective(&greedy_assign).unwrap();
+
+        let mut best = f64::INFINITY;
+        for a in 0..3 {
+            for b in 0..3 {
+                for c in 0..3 {
+                    for d in 0..3 {
+                        if let Some(o) = objective(&[a, b, c, d]) {
+                            best = best.min(o);
+                        }
+                    }
+                }
+            }
+        }
+        assert!(
+            greedy_obj <= best * 1.0 + 1e-9,
+            "greedy {greedy_obj} vs brute force {best}"
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Storage-tier models (Fig. 1's multi-tiered-storage systems).
+
+use serde::{Deserialize, Serialize};
+
+/// One storage tier (or network hop) with a latency + bandwidth cost
+/// model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StorageTier {
+    /// Human-readable tier name.
+    pub name: &'static str,
+    /// Aggregate bandwidth available to a job, bytes/s.
+    pub aggregate_bw: f64,
+    /// Per-client (per-process) bandwidth ceiling, bytes/s.
+    pub per_client_bw: f64,
+    /// Fixed per-operation latency, seconds.
+    pub latency: f64,
+    /// Capacity, bytes (for placement decisions).
+    pub capacity: u64,
+}
+
+impl StorageTier {
+    /// Node-local NVMe burst buffer (Summit-class: 1.6 TB/node, ~2 GB/s
+    /// write per node; aggregate scales with nodes so we quote a large
+    /// job share).
+    pub fn nvme_burst_buffer() -> Self {
+        StorageTier {
+            name: "NVMe burst buffer",
+            aggregate_bw: 1.4e12,
+            per_client_bw: 2.0e9,
+            latency: 0.2e-3,
+            capacity: 1_600 * (1 << 30),
+        }
+    }
+
+    /// Center-wide parallel file system (GPFS/Alpine-class). The quoted
+    /// aggregate is a realistic single-job share, not the marketing peak.
+    pub fn parallel_fs() -> Self {
+        StorageTier {
+            name: "parallel FS",
+            aggregate_bw: 240.0e9,
+            per_client_bw: 1.2e9,
+            latency: 5.0e-3,
+            capacity: 250_000 * (1 << 30),
+        }
+    }
+
+    /// Archival tape system (HPSS-class).
+    pub fn archive() -> Self {
+        StorageTier {
+            name: "archive",
+            aggregate_bw: 10.0e9,
+            per_client_bw: 0.4e9,
+            latency: 30.0,
+            capacity: u64::MAX,
+        }
+    }
+
+    /// Wide-area network link between facilities.
+    pub fn wan() -> Self {
+        StorageTier {
+            name: "WAN",
+            aggregate_bw: 12.5e9, // 100 Gb/s
+            per_client_bw: 1.25e9,
+            latency: 50.0e-3,
+            capacity: u64::MAX,
+        }
+    }
+
+    /// Effective bandwidth for `clients` parallel processes.
+    pub fn effective_bw(&self, clients: usize) -> f64 {
+        (self.per_client_bw * clients.max(1) as f64).min(self.aggregate_bw)
+    }
+
+    /// Time to move `bytes` with `clients` parallel processes.
+    pub fn transfer_time(&self, bytes: u64, clients: usize) -> f64 {
+        self.latency + bytes as f64 / self.effective_bw(clients)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_are_ordered_by_speed() {
+        let bb = StorageTier::nvme_burst_buffer();
+        let pfs = StorageTier::parallel_fs();
+        let ar = StorageTier::archive();
+        let gb = 1u64 << 30;
+        let t_bb = bb.transfer_time(100 * gb, 1000);
+        let t_pfs = pfs.transfer_time(100 * gb, 1000);
+        let t_ar = ar.transfer_time(100 * gb, 1000);
+        assert!(t_bb < t_pfs && t_pfs < t_ar);
+    }
+
+    #[test]
+    fn bandwidth_saturates_at_aggregate() {
+        let pfs = StorageTier::parallel_fs();
+        assert_eq!(pfs.effective_bw(1_000_000), pfs.aggregate_bw);
+        assert_eq!(pfs.effective_bw(1), pfs.per_client_bw);
+    }
+
+    #[test]
+    fn more_clients_never_slower() {
+        let pfs = StorageTier::parallel_fs();
+        let mut last = f64::INFINITY;
+        for c in [1usize, 8, 64, 512, 4096] {
+            let t = pfs.transfer_time(1 << 40, c);
+            assert!(t <= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn latency_dominates_tiny_transfers() {
+        let ar = StorageTier::archive();
+        let t = ar.transfer_time(1024, 1);
+        assert!((t - ar.latency).abs() / ar.latency < 0.01);
+    }
+}

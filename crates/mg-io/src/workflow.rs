@@ -1,0 +1,171 @@
+//! The §V-A visualization workflow: simulation writes refactored data,
+//! a visualization job reads a class prefix and renders.
+//!
+//! Figure 10 of the paper plots, for each number of stored classes, the
+//! stacked cost of (refactoring + file write) on the producer side and
+//! (file read + recomposition) on the consumer side, with the
+//! refactoring/recomposition executed either on CPUs or on GPUs. The
+//! point of the figure: only when refactoring is fast (GPU) does writing
+//! fewer classes translate into an end-to-end I/O win.
+
+use crate::adios::{class_sizes, IoCost, ParallelIo};
+use crate::tiers::StorageTier;
+
+/// Cost breakdown of one workflow leg.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct WorkflowCost {
+    /// Decomposition (producer) or recomposition (consumer), seconds.
+    pub refactor: f64,
+    /// File write/read, seconds.
+    pub io: f64,
+    /// Coefficient classes moved.
+    pub classes: usize,
+    /// Bytes moved.
+    pub bytes: u64,
+}
+
+impl WorkflowCost {
+    /// Refactoring + I/O, seconds.
+    pub fn total(&self) -> f64 {
+        self.refactor + self.io
+    }
+}
+
+/// Configuration of the visualization workflow experiment.
+#[derive(Clone, Debug)]
+pub struct VizWorkflow {
+    /// Total dataset size, bytes (paper: 4 TB).
+    pub total_bytes: u64,
+    /// Coefficient classes the data refactors into (paper: 10).
+    pub nclasses: usize,
+    /// Dimensionality (drives the class-size distribution).
+    pub ndim: u32,
+    /// Writer processes (paper: 4096).
+    pub writers: usize,
+    /// Reader processes (paper: 512).
+    pub readers: usize,
+    /// Per-process refactoring throughput, bytes/s (from the GPU or CPU
+    /// model).
+    pub refactor_bps_per_proc: f64,
+    /// Storage tier carrying the shared file.
+    pub tier: StorageTier,
+}
+
+impl VizWorkflow {
+    /// Producer-side cost of storing the first `count` classes.
+    ///
+    /// Refactoring must always process the *full* data (the decomposition
+    /// is global); selecting classes only reduces what is written.
+    pub fn write_cost(&self, count: usize) -> WorkflowCost {
+        let sizes = class_sizes(self.total_bytes, self.nclasses, self.ndim);
+        let io: IoCost = ParallelIo::new(self.tier.clone(), self.writers)
+            .write_classes(&sizes, count);
+        let refactor = self.total_bytes as f64
+            / (self.refactor_bps_per_proc * self.writers as f64);
+        WorkflowCost {
+            refactor,
+            io: io.seconds,
+            classes: io.classes,
+            bytes: io.bytes,
+        }
+    }
+
+    /// Consumer-side cost of reading the first `count` classes and
+    /// recomposing an approximation.
+    pub fn read_cost(&self, count: usize) -> WorkflowCost {
+        let sizes = class_sizes(self.total_bytes, self.nclasses, self.ndim);
+        let io: IoCost = ParallelIo::new(self.tier.clone(), self.readers)
+            .read_classes(&sizes, count);
+        // Recomposition runs on the (zero-filled) full grid regardless of
+        // how many classes were fetched.
+        let refactor = self.total_bytes as f64
+            / (self.refactor_bps_per_proc * self.readers as f64);
+        WorkflowCost {
+            refactor,
+            io: io.seconds,
+            classes: io.classes,
+            bytes: io.bytes,
+        }
+    }
+
+    /// End-to-end (write then read) cost for `count` classes.
+    pub fn total_cost(&self, count: usize) -> f64 {
+        self.write_cost(count).total() + self.read_cost(count).total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workflow(refactor_bps: f64) -> VizWorkflow {
+        VizWorkflow {
+            total_bytes: 4 << 40,
+            nclasses: 10,
+            ndim: 3,
+            writers: 4096,
+            readers: 512,
+            refactor_bps_per_proc: refactor_bps,
+            tier: StorageTier::parallel_fs(),
+        }
+    }
+
+    #[test]
+    fn gpu_refactoring_makes_class_selection_pay_off() {
+        // GPU: ~5 GB/s per process. Writing 3 of 10 classes should cut
+        // the end-to-end cost by a large factor (paper: ~66% reduction).
+        let wf = workflow(5.0e9);
+        let all = wf.total_cost(10);
+        let three = wf.total_cost(3);
+        let reduction = 1.0 - three / all;
+        assert!(
+            reduction > 0.5,
+            "expected most of the I/O cost to vanish, got {reduction:.2}"
+        );
+    }
+
+    #[test]
+    fn cpu_refactoring_erodes_the_benefit() {
+        // Serial CPU: ~50 MB/s per process. Refactoring dominates, so
+        // dropping classes barely moves the total.
+        let wf = workflow(50.0e6);
+        let all = wf.total_cost(10);
+        let three = wf.total_cost(3);
+        let reduction = 1.0 - three / all;
+        assert!(
+            reduction < 0.3,
+            "CPU refactoring should dominate, got reduction {reduction:.2}"
+        );
+    }
+
+    #[test]
+    fn write_cost_decreases_with_fewer_classes() {
+        let wf = workflow(5.0e9);
+        let mut last = f64::INFINITY;
+        for k in (1..=10).rev() {
+            let c = wf.write_cost(k);
+            assert!(c.total() < last);
+            last = c.total();
+        }
+    }
+
+    #[test]
+    fn readers_below_saturation_read_slower() {
+        // With 4096 writers the aggregate is saturated; a small reader
+        // job (64 procs x 1.2 GB/s < 240 GB/s aggregate) is
+        // client-limited and therefore slower.
+        let wf = VizWorkflow {
+            readers: 64,
+            ..workflow(5.0e9)
+        };
+        let w = wf.write_cost(10);
+        let r = wf.read_cost(10);
+        assert!(r.io > w.io, "read {} vs write {}", r.io, w.io);
+    }
+
+    #[test]
+    fn refactor_cost_independent_of_class_count() {
+        let wf = workflow(5.0e9);
+        assert_eq!(wf.write_cost(1).refactor, wf.write_cost(10).refactor);
+    }
+}

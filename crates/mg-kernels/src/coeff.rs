@@ -1,0 +1,357 @@
+//! Grid-processing kernels: compute coefficients / restore from coefficients.
+//!
+//! At every node that has an odd index along at least one decimating
+//! dimension, the *coefficient* is the difference between the nodal value
+//! and the multilinear interpolant from the surrounding next-coarser-grid
+//! nodes (all-even corners). Restoration adds the interpolant back.
+//!
+//! The interpolation sources are always all-even (coarse) nodes, which the
+//! kernel never writes — so the serial variant updates strictly in place
+//! with zero extra footprint, matching the paper's grid-processing
+//! framework. The parallel variant reads a source array and writes a
+//! destination array so that rayon can hand out disjoint row chunks; the
+//! driver supplies its working buffer for this, keeping the footprint
+//! within the algorithm's existing scratch space.
+
+use crate::level::LevelCtx;
+use mg_grid::{Axis, Real, Shape, MAX_DIMS};
+use rayon::prelude::*;
+
+/// Direction of the grid-processing update.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Mode {
+    /// `u <- u - interp` (decomposition).
+    Subtract,
+    /// `u <- u + interp` (recomposition).
+    Add,
+}
+
+/// Per-axis interpolation info precomputed once per kernel launch.
+struct AxisInterp<T> {
+    wl: Vec<T>,
+    wr: Vec<T>,
+    stride: usize,
+    decimates: bool,
+}
+
+fn axis_interp<T: Real>(ctx: &LevelCtx<T>) -> Vec<AxisInterp<T>> {
+    (0..ctx.ndim())
+        .map(|d| {
+            let (wl, wr) = ctx.interp_weights(Axis(d));
+            AxisInterp {
+                wl,
+                wr,
+                stride: ctx.shape().stride(Axis(d)),
+                decimates: ctx.decimates(Axis(d)),
+            }
+        })
+        .collect()
+}
+
+/// Multilinear interpolant at the node `idx` (odd along `odd_dims`),
+/// reading the all-even corner nodes of `data`.
+///
+/// Iterates over the `2^k` corners; `k <= MAX_DIMS` so the loop is tiny.
+#[inline]
+fn interp_at<T: Real>(
+    data: &[T],
+    base: usize,
+    idx: &[usize],
+    axes: &[AxisInterp<T>],
+    odd_dims: &[usize],
+) -> T {
+    let k = odd_dims.len();
+    debug_assert!(k >= 1);
+    let mut acc = T::ZERO;
+    for mask in 0u32..(1u32 << k) {
+        let mut w = T::ONE;
+        // Start from the node offset and move each odd dim to a neighbour.
+        let mut off = base as isize;
+        for (b, &d) in odd_dims.iter().enumerate() {
+            let ax = &axes[d];
+            if mask & (1 << b) != 0 {
+                w *= ax.wr[idx[d]];
+                off += ax.stride as isize;
+            } else {
+                w *= ax.wl[idx[d]];
+                off -= ax.stride as isize;
+            }
+        }
+        acc += w * data[off as usize];
+    }
+    acc
+}
+
+fn run_serial<T: Real>(data: &mut [T], ctx: &LevelCtx<T>, mode: Mode) {
+    let shape = ctx.shape();
+    assert_eq!(data.len(), shape.len());
+    let axes = axis_interp(ctx);
+    let nd = shape.ndim();
+    let row_len = shape.dim(Axis(nd - 1));
+    let rows = shape.len() / row_len;
+    // The update is mathematically in place (writes touch odd nodes, reads
+    // touch all-even corner nodes — disjoint sets), but safe Rust cannot
+    // alias `&[T]` with `&mut [T]`, so each row is staged through a
+    // row-sized scratch and committed afterwards. The interpolation sources
+    // live on even *rows*, which a row being staged never shadows.
+    let mut scratch = vec![T::ZERO; row_len];
+    for r in 0..rows {
+        let base = r * row_len;
+        scratch.copy_from_slice(&data[base..base + row_len]);
+        run_rows_into_row(data, &mut scratch, shape, &axes, mode, r);
+        data[base..base + row_len].copy_from_slice(&scratch);
+    }
+}
+
+/// Like `run_rows` but writes one row into a row-local buffer.
+fn run_rows_into_row<T: Real>(
+    src: &[T],
+    row_out: &mut [T],
+    shape: Shape,
+    axes: &[AxisInterp<T>],
+    mode: Mode,
+    r: usize,
+) {
+    let nd = shape.ndim();
+    let row_len = shape.dim(Axis(nd - 1));
+    debug_assert_eq!(row_out.len(), row_len);
+    let last = &axes[nd - 1];
+    let mut idx = [0usize; MAX_DIMS];
+    let mut rem = r;
+    for d in (0..nd - 1).rev() {
+        idx[d] = rem % shape.dim(Axis(d));
+        rem /= shape.dim(Axis(d));
+    }
+    let mut odd_prefix = [0usize; MAX_DIMS];
+    let mut np = 0;
+    for d in 0..nd - 1 {
+        if axes[d].decimates && idx[d] % 2 == 1 {
+            odd_prefix[np] = d;
+            np += 1;
+        }
+    }
+    let base_row = r * row_len;
+    for j in 0..row_len {
+        idx[nd - 1] = j;
+        let j_odd = last.decimates && j % 2 == 1;
+        if np == 0 && !j_odd {
+            continue;
+        }
+        let mut odd = [0usize; MAX_DIMS];
+        odd[..np].copy_from_slice(&odd_prefix[..np]);
+        let mut k = np;
+        if j_odd {
+            odd[k] = nd - 1;
+            k += 1;
+        }
+        let off = base_row + j;
+        let v = interp_at(src, off, &idx[..nd], axes, &odd[..k]);
+        match mode {
+            Mode::Subtract => row_out[j] = src[off] - v,
+            Mode::Add => row_out[j] = src[off] + v,
+        }
+    }
+}
+
+fn run_parallel<T: Real>(src: &[T], dst: &mut [T], ctx: &LevelCtx<T>, mode: Mode) {
+    let shape = ctx.shape();
+    assert_eq!(src.len(), shape.len());
+    assert_eq!(dst.len(), shape.len());
+    let axes = axis_interp(ctx);
+    let nd = shape.ndim();
+    let row_len = shape.dim(Axis(nd - 1));
+    dst.copy_from_slice(src);
+    dst.par_chunks_mut(row_len).enumerate().for_each(|(r, row)| {
+        run_rows_into_row(src, row, shape, &axes, mode, r);
+    });
+}
+
+/// Compute coefficients in place (serial): at every node odd along a
+/// decimating dimension, `u <- u - Π_{l-1} u`. Even (coarse) nodes keep
+/// their nodal values.
+pub fn compute_serial<T: Real>(data: &mut [T], ctx: &LevelCtx<T>) {
+    run_serial(data, ctx, Mode::Subtract);
+}
+
+/// Restore nodal values in place (serial): `u <- c + Π_{l-1} u` at odd
+/// nodes. Exact inverse of [`compute_serial`].
+pub fn restore_serial<T: Real>(data: &mut [T], ctx: &LevelCtx<T>) {
+    run_serial(data, ctx, Mode::Add);
+}
+
+/// Parallel coefficient computation: reads `src`, writes the full result
+/// (coarse nodes copied through) to `dst`.
+pub fn compute_parallel<T: Real>(src: &[T], dst: &mut [T], ctx: &LevelCtx<T>) {
+    run_parallel(src, dst, ctx, Mode::Subtract);
+}
+
+/// Parallel restoration, inverse of [`compute_parallel`].
+pub fn restore_parallel<T: Real>(src: &[T], dst: &mut [T], ctx: &LevelCtx<T>) {
+    run_parallel(src, dst, ctx, Mode::Add);
+}
+
+/// Zero every coarse node (even along all decimating dimensions), leaving
+/// the coefficient array `C_l` the correction pipeline expects (paper §II:
+/// "coefficients at N_l \ N_{l-1} and zeros at N_{l-1}").
+pub fn zero_coarse<T: Real>(data: &mut [T], ctx: &LevelCtx<T>) {
+    let shape = ctx.shape();
+    assert_eq!(data.len(), shape.len());
+    let nd = shape.ndim();
+    let dec: Vec<bool> = (0..nd).map(|d| ctx.decimates(Axis(d))).collect();
+    for (off, idx) in shape.indices().enumerate() {
+        let coarse = (0..nd).all(|d| !dec[d] || idx[d] % 2 == 0);
+        if coarse {
+            data[off] = T::ZERO;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_grid::{CoordSet, Hierarchy, NdArray};
+
+    fn ctx_for<T: Real>(shape: Shape, coords: &CoordSet<T>, l: usize) -> LevelCtx<T> {
+        let h = Hierarchy::new(shape).unwrap();
+        let ld = h.level_dims(l);
+        let cs = (0..shape.ndim())
+            .map(|d| coords.level_coords(&h, l, Axis(d)))
+            .collect();
+        LevelCtx::new(ld.shape, cs)
+    }
+
+    #[test]
+    fn linear_data_has_zero_coefficients_1d() {
+        let shape = Shape::d1(9);
+        let coords = CoordSet::<f64>::stretched(shape, 0.3);
+        let ctx = ctx_for(shape, &coords, 3);
+        let mut data: Vec<f64> = coords.dim(Axis(0)).iter().map(|&x| 3.0 * x - 1.0).collect();
+        compute_serial(&mut data, &ctx);
+        for i in (1..9).step_by(2) {
+            assert!(data[i].abs() < 1e-14, "coeff at {i} = {}", data[i]);
+        }
+        // even nodes untouched
+        assert!((data[0] - (-1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quadratic_1d_uniform_coefficients() {
+        // Paper Fig. 2: y = x^2 - 6x + 5 on a uniform grid. The coefficient
+        // of a quadratic at an odd midpoint is -h^2 f''/2 / ... concretely:
+        // u(m) - (u(m-h)+u(m+h))/2 = -h^2 for f'' = 2, i.e. -(h^2).
+        let xs: Vec<f64> = (0..5).map(|i| i as f64).collect(); // h = 1
+        let ctx = LevelCtx::new(Shape::d1(5), vec![xs.clone()]);
+        let mut data: Vec<f64> = xs.iter().map(|&x| x * x - 6.0 * x + 5.0).collect();
+        compute_serial(&mut data, &ctx);
+        assert!((data[1] - (-1.0)).abs() < 1e-14);
+        assert!((data[3] - (-1.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn compute_restore_round_trip_2d() {
+        let shape = Shape::d2(5, 9);
+        let coords = CoordSet::<f64>::stretched(shape, 0.2);
+        let ctx = ctx_for(shape, &coords, Hierarchy::new(shape).unwrap().nlevels());
+        let orig = NdArray::from_fn(shape, |i| ((i[0] * 7 + i[1] * 13) % 11) as f64 * 0.37 + 1.0);
+        let mut data = orig.as_slice().to_vec();
+        compute_serial(&mut data, &ctx);
+        assert_ne!(data, orig.as_slice());
+        restore_serial(&mut data, &ctx);
+        for (a, b) in data.iter().zip(orig.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_3d() {
+        let shape = Shape::d3(5, 5, 9);
+        let coords = CoordSet::<f64>::stretched(shape, 0.25);
+        let ctx = ctx_for(shape, &coords, Hierarchy::new(shape).unwrap().nlevels());
+        let orig: Vec<f64> = (0..shape.len()).map(|i| ((i * 37) % 101) as f64 * 0.01).collect();
+
+        let mut serial = orig.clone();
+        compute_serial(&mut serial, &ctx);
+
+        let mut par = vec![0.0f64; orig.len()];
+        compute_parallel(&orig, &mut par, &ctx);
+        assert_eq!(serial, par);
+
+        let mut rs = vec![0.0f64; orig.len()];
+        restore_parallel(&par, &mut rs, &ctx);
+        for (a, b) in rs.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bilinear_data_zero_coefficients_2d_nonuniform() {
+        let shape = Shape::d2(9, 5);
+        let coords = CoordSet::<f64>::stretched(shape, 0.3);
+        let ctx = ctx_for(shape, &coords, Hierarchy::new(shape).unwrap().nlevels());
+        let xs = coords.dim(Axis(0)).to_vec();
+        let ys = coords.dim(Axis(1)).to_vec();
+        let mut data = Vec::new();
+        for &x in &xs {
+            for &y in &ys {
+                data.push(2.0 * x - 3.0 * y + 4.0 + 5.0 * x * y); // bilinear
+            }
+        }
+        let mut out = data.clone();
+        compute_serial(&mut out, &ctx);
+        for (off, idx) in shape.indices().enumerate() {
+            if idx[0] % 2 == 1 || idx[1] % 2 == 1 {
+                assert!(out[off].abs() < 1e-13, "idx {idx:?}: {}", out[off]);
+            } else {
+                assert_eq!(out[off], data[off]);
+            }
+        }
+    }
+
+    #[test]
+    fn bottomed_out_dim_is_passthrough() {
+        // 2 x 5: dim 0 bottomed out; only dim-1-odd nodes become coeffs.
+        let ctx = LevelCtx::new(
+            Shape::d2(2, 5),
+            vec![vec![0.0f64, 1.0], vec![0.0, 0.25, 0.5, 0.75, 1.0]],
+        );
+        let mut data = vec![1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        let orig = data.clone();
+        compute_serial(&mut data, &ctx);
+        // nodes (i, even j) untouched for all i
+        for i in 0..2 {
+            for j in [0usize, 2, 4] {
+                assert_eq!(data[i * 5 + j], orig[i * 5 + j]);
+            }
+        }
+        // node (1, 1): interp along dim 1 only: (v[1][0]+v[1][2])/2
+        assert!((data[5 + 1] - (7.0 - (6.0 + 8.0) / 2.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_coarse_zeroes_exactly_coarse_nodes() {
+        let shape = Shape::d2(5, 5);
+        let coords = CoordSet::<f64>::uniform(shape);
+        let ctx = ctx_for(shape, &coords, 2);
+        let mut data = vec![1.0f64; 25];
+        zero_coarse(&mut data, &ctx);
+        let zeros = data.iter().filter(|&&v| v == 0.0).count();
+        assert_eq!(zeros, 9); // 3x3 coarse nodes
+        assert_eq!(data[0], 0.0);
+        assert_eq!(data[2 * 5 + 4], 0.0);
+        assert_eq!(data[1], 1.0);
+    }
+
+    #[test]
+    fn f32_round_trip() {
+        let shape = Shape::d2(9, 9);
+        let coords = CoordSet::<f32>::uniform(shape);
+        let ctx = ctx_for(shape, &coords, 3);
+        let orig: Vec<f32> = (0..81).map(|i| ((i * 13) % 17) as f32 * 0.3).collect();
+        let mut data = orig.clone();
+        compute_serial(&mut data, &ctx);
+        restore_serial(&mut data, &ctx);
+        for (a, b) in data.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+}

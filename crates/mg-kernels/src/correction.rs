@@ -1,0 +1,408 @@
+//! The global-correction pipeline: `z = M_{l-1}^{-1} R_l M_l vec(C_l)`,
+//! computed dimension by dimension using the tensor-product factorization
+//! (paper §II.2 and Algorithm 3, lines 6–11).
+//!
+//! For every decimating axis `d`, in order: mass-matrix multiply with the
+//! fine (level-`l`) spacings, transfer-matrix multiply (fine → coarse
+//! extent), Thomas solve with the coarse (level-`l-1`) mass matrix.
+//! Bottomed-out axes contribute an identity factor and are skipped.
+
+use crate::level::LevelCtx;
+use crate::solve::ThomasFactors;
+use crate::{mass, solve, transfer, Exec};
+use mg_grid::{Axis, Real, Shape};
+
+/// Wall-clock time spent in each linear-processing stage, accumulated
+/// across calls (drives the Table IV breakdown harness).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct StageTimes {
+    /// Time in mass-matrix multiplication.
+    pub mass: std::time::Duration,
+    /// Time in transfer-matrix multiplication.
+    pub transfer: std::time::Duration,
+    /// Time in the correction solver.
+    pub solve: std::time::Duration,
+}
+
+impl StageTimes {
+    /// Sum of the three stages.
+    pub fn total(&self) -> std::time::Duration {
+        self.mass + self.transfer + self.solve
+    }
+}
+
+/// Reusable buffers for the correction pipeline (ping-pong working space).
+///
+/// Capacity is retained across calls, so per-level allocations disappear
+/// after the first decomposition pass.
+#[derive(Default)]
+pub struct CorrectionScratch<T> {
+    a: Vec<T>,
+    b: Vec<T>,
+    /// Accumulated per-stage wall-clock times; reset with [`Self::take_times`].
+    pub times: StageTimes,
+}
+
+impl<T: Real> CorrectionScratch<T> {
+    /// Fresh scratch (buffers allocate lazily on first use).
+    pub fn new() -> Self {
+        CorrectionScratch {
+            a: Vec::new(),
+            b: Vec::new(),
+            times: StageTimes::default(),
+        }
+    }
+
+    /// Return and reset the accumulated stage times.
+    pub fn take_times(&mut self) -> StageTimes {
+        std::mem::take(&mut self.times)
+    }
+}
+
+/// Compute the global correction for one level.
+///
+/// `coeffs` is the packed level-`l` array holding coefficients at the
+/// `N_l \ N_{l-1}` nodes and **zeros** at the coarse nodes (see
+/// [`coeff::zero_coarse`]). Returns the correction on the coarse grid
+/// (shape [`LevelCtx::coarse_shape`]).
+pub fn compute_correction<T: Real>(
+    coeffs: &[T],
+    ctx: &LevelCtx<T>,
+    exec: Exec,
+    scratch: &mut CorrectionScratch<T>,
+) -> (Vec<T>, Shape) {
+    let mut shape = ctx.shape();
+    assert_eq!(coeffs.len(), shape.len());
+
+    scratch.a.clear();
+    scratch.a.extend_from_slice(coeffs);
+    scratch.b.clear();
+    scratch.b.resize(shape.len(), T::ZERO);
+
+    // `cur` flag selects which scratch buffer currently holds the data.
+    let mut cur_is_a = true;
+    let mut times = StageTimes::default();
+
+    for d in 0..ctx.ndim() {
+        let axis = Axis(d);
+        if !ctx.decimates(axis) {
+            continue; // identity factor
+        }
+        let fine_coords = ctx.coords(axis);
+        let coarse_coords = ctx.coarse_coords(axis);
+        let coarse_shape = shape.with_dim(axis, shape.dim(axis).div_ceil(2));
+
+        let (cur, other) = if cur_is_a {
+            (&mut scratch.a, &mut scratch.b)
+        } else {
+            (&mut scratch.b, &mut scratch.a)
+        };
+
+        match exec {
+            Exec::Serial => {
+                let t0 = std::time::Instant::now();
+                mass::mass_apply_serial(&mut cur[..shape.len()], shape, axis, fine_coords);
+                let t1 = std::time::Instant::now();
+                times.mass += t1 - t0;
+                other.resize(coarse_shape.len().max(other.len()), T::ZERO);
+                transfer::transfer_apply_serial(
+                    &cur[..shape.len()],
+                    shape,
+                    &mut other[..coarse_shape.len()],
+                    axis,
+                    fine_coords,
+                );
+                let t2 = std::time::Instant::now();
+                times.transfer += t2 - t1;
+                let factors = ThomasFactors::new(&coarse_coords);
+                solve::solve_serial(&mut other[..coarse_shape.len()], coarse_shape, axis, &factors);
+                times.solve += t2.elapsed();
+            }
+            Exec::Parallel => {
+                let t0 = std::time::Instant::now();
+                other.resize(shape.len().max(other.len()), T::ZERO);
+                mass::mass_apply_parallel(
+                    &cur[..shape.len()],
+                    &mut other[..shape.len()],
+                    shape,
+                    axis,
+                    fine_coords,
+                );
+                let t1 = std::time::Instant::now();
+                times.mass += t1 - t0;
+                // other now holds M v at fine extent; transfer back into cur.
+                cur.resize(coarse_shape.len().max(cur.len()), T::ZERO);
+                transfer::transfer_apply_parallel(
+                    &other[..shape.len()],
+                    shape,
+                    &mut cur[..coarse_shape.len()],
+                    axis,
+                    fine_coords,
+                );
+                let t2 = std::time::Instant::now();
+                times.transfer += t2 - t1;
+                let factors = ThomasFactors::new(&coarse_coords);
+                solve::solve_parallel(&mut cur[..coarse_shape.len()], coarse_shape, axis, &factors);
+                times.solve += t2.elapsed();
+            }
+        }
+        // Where did the result land?
+        cur_is_a = match exec {
+            Exec::Serial => !cur_is_a, // landed in `other`
+            Exec::Parallel => cur_is_a, // landed back in `cur`
+        };
+        shape = coarse_shape;
+    }
+    scratch.times.mass += times.mass;
+    scratch.times.transfer += times.transfer;
+    scratch.times.solve += times.solve;
+
+    let src = if cur_is_a { &scratch.a } else { &scratch.b };
+    (src[..shape.len()].to_vec(), shape)
+}
+
+/// Apply the full per-axis mass multiply (all decimating axes, fine
+/// spacings) — test/diagnostic helper implementing `vec(M_l C)`.
+pub fn mass_all_axes<T: Real>(data: &mut [T], ctx: &LevelCtx<T>) -> Shape {
+    let shape = ctx.shape();
+    assert_eq!(data.len(), shape.len());
+    for d in 0..ctx.ndim() {
+        let axis = Axis(d);
+        if ctx.decimates(axis) {
+            mass::mass_apply_serial(data, shape, axis, ctx.coords(axis));
+        }
+    }
+    shape
+}
+
+/// Apply restriction along all decimating axes — test/diagnostic helper
+/// implementing `R_l v` on an already mass-weighted vector.
+pub fn restrict_all_axes<T: Real>(data: &[T], ctx: &LevelCtx<T>) -> (Vec<T>, Shape) {
+    let mut shape = ctx.shape();
+    let mut cur = data.to_vec();
+    for d in 0..ctx.ndim() {
+        let axis = Axis(d);
+        if !ctx.decimates(axis) {
+            continue;
+        }
+        let coarse_shape = shape.with_dim(axis, shape.dim(axis).div_ceil(2));
+        let mut out = vec![T::ZERO; coarse_shape.len()];
+        transfer::transfer_apply_serial(&cur, shape, &mut out, axis, ctx.coords(axis));
+        cur = out;
+        shape = coarse_shape;
+    }
+    (cur, shape)
+}
+
+/// Multi-linear prolongation of a coarse array to the fine level grid —
+/// test/diagnostic helper (`P v`, the transpose of `restrict_all_axes`'s
+/// operator).
+pub fn prolong_all_axes<T: Real>(coarse: &[T], ctx: &LevelCtx<T>) -> Vec<T> {
+    // Start from the coarse array and expand axis by axis, finest-last so
+    // shapes stay consistent.
+    let fine_shape = ctx.shape();
+    let mut shape_dims: Vec<usize> = (0..ctx.ndim())
+        .map(|d| {
+            let n = fine_shape.dim(Axis(d));
+            if n >= 3 {
+                n.div_ceil(2)
+            } else {
+                n
+            }
+        })
+        .collect();
+    let mut cur = coarse.to_vec();
+    for d in 0..ctx.ndim() {
+        let axis = Axis(d);
+        if !ctx.decimates(axis) {
+            continue;
+        }
+        let src_shape = Shape::new(&shape_dims);
+        shape_dims[d] = fine_shape.dim(axis);
+        let dst_shape = Shape::new(&shape_dims);
+        let mut out = vec![T::ZERO; dst_shape.len()];
+        let fine_coords = ctx.coords(axis);
+        // expand each fiber along `axis`
+        let sspec = mg_grid::fiber::fiber_spec(src_shape, axis);
+        let dspec = mg_grid::fiber::fiber_spec(dst_shape, axis);
+        for f in 0..sspec.count {
+            let sbase = mg_grid::fiber::fiber_base(src_shape, axis, f);
+            let dbase = mg_grid::fiber::fiber_base(dst_shape, axis, f);
+            let fiber: Vec<T> = (0..sspec.len)
+                .map(|k| cur[sbase + k * sspec.stride])
+                .collect();
+            let expanded = transfer::prolong_1d(&fiber, fine_coords);
+            for (k, &v) in expanded.iter().enumerate() {
+                out[dbase + k * dspec.stride] = v;
+            }
+        }
+        cur = out;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coeff;
+    use mg_grid::real::max_abs_diff;
+    use mg_grid::{CoordSet, Hierarchy};
+
+    fn ctx_for(shape: Shape, strength: f64) -> LevelCtx<f64> {
+        let h = Hierarchy::new(shape).unwrap();
+        let coords = CoordSet::<f64>::stretched(shape, strength);
+        let l = h.nlevels();
+        let cs = (0..shape.ndim())
+            .map(|d| coords.level_coords(&h, l, Axis(d)))
+            .collect();
+        LevelCtx::new(h.level_dims(l).shape, cs)
+    }
+
+    fn test_field(shape: Shape) -> Vec<f64> {
+        (0..shape.len())
+            .map(|i| ((i * 37 + 11) % 101) as f64 * 0.02 - 1.0)
+            .collect()
+    }
+
+    /// Build the coefficient array (zeros at coarse) from a data field.
+    fn coeff_array(data: &[f64], ctx: &LevelCtx<f64>) -> Vec<f64> {
+        let mut c = data.to_vec();
+        coeff::compute_serial(&mut c, ctx);
+        coeff::zero_coarse(&mut c, ctx);
+        c
+    }
+
+    #[test]
+    fn correction_satisfies_normal_equations_2d() {
+        // M_{l-1} z == R M_l c, verified by re-applying the coarse mass.
+        let shape = Shape::d2(9, 5);
+        let ctx = ctx_for(shape, 0.25);
+        let data = test_field(shape);
+        let c = coeff_array(&data, &ctx);
+
+        let mut scratch = CorrectionScratch::new();
+        let (z, zshape) = compute_correction(&c, &ctx, Exec::Serial, &mut scratch);
+        assert_eq!(zshape.as_slice(), &[5, 3]);
+
+        // rhs = R (M c)
+        let mut mc = c.clone();
+        mass_all_axes(&mut mc, &ctx);
+        let (rhs, rshape) = restrict_all_axes(&mc, &ctx);
+        assert_eq!(rshape, zshape);
+
+        // lhs = M_{l-1} z
+        let coarse_coords: Vec<Vec<f64>> = (0..2).map(|d| ctx.coarse_coords(Axis(d))).collect();
+        let coarse_ctx = LevelCtx::new(zshape, coarse_coords);
+        let mut lhs = z.clone();
+        mass_all_axes(&mut lhs, &coarse_ctx);
+
+        assert!(max_abs_diff(&lhs, &rhs) < 1e-12);
+    }
+
+    #[test]
+    fn corrected_coarse_is_l2_orthogonal_projection_1d() {
+        // After decomposition, (Q_l u - Q_{l-1} u) must be L2-orthogonal to
+        // the coarse space: R M_l (u - P u_coarse) == 0.
+        let shape = Shape::d1(17);
+        let ctx = ctx_for(shape, 0.3);
+        let data = test_field(shape);
+        let c = coeff_array(&data, &ctx);
+        let mut scratch = CorrectionScratch::new();
+        let (z, _) = compute_correction(&c, &ctx, Exec::Serial, &mut scratch);
+
+        // coarse nodal values after decomposition = subsample + correction
+        let coarse: Vec<f64> = (0..9).map(|j| data[2 * j] + z[j]).collect();
+        let pu = prolong_all_axes(&coarse, &ctx);
+        let mut diff: Vec<f64> = data.iter().zip(&pu).map(|(a, b)| a - b).collect();
+        mass_all_axes(&mut diff, &ctx);
+        let (orth, _) = restrict_all_axes(&diff, &ctx);
+        assert!(mg_grid::real::max_abs(&orth) < 1e-12, "{orth:?}");
+    }
+
+    #[test]
+    fn orthogonality_holds_in_2d_nonuniform() {
+        let shape = Shape::d2(9, 9);
+        let ctx = ctx_for(shape, 0.3);
+        let data = test_field(shape);
+        let c = coeff_array(&data, &ctx);
+        let mut scratch = CorrectionScratch::new();
+        let (z, zshape) = compute_correction(&c, &ctx, Exec::Serial, &mut scratch);
+
+        let mut coarse = vec![0.0f64; zshape.len()];
+        for (zi, idx) in zshape.indices().enumerate() {
+            let fine_off = (idx[0] * 2) * 9 + idx[1] * 2;
+            coarse[zi] = data[fine_off] + z[zi];
+        }
+        let pu = prolong_all_axes(&coarse, &ctx);
+        let mut diff: Vec<f64> = data.iter().zip(&pu).map(|(a, b)| a - b).collect();
+        mass_all_axes(&mut diff, &ctx);
+        let (orth, _) = restrict_all_axes(&diff, &ctx);
+        assert!(mg_grid::real::max_abs(&orth) < 1e-11, "{orth:?}");
+    }
+
+    #[test]
+    fn linear_field_produces_zero_correction_3d() {
+        let shape = Shape::d3(5, 5, 5);
+        let ctx = ctx_for(shape, 0.2);
+        // Trilinear field sampled at level coordinates.
+        let xs: Vec<Vec<f64>> = (0..3).map(|d| ctx.coords(Axis(d)).to_vec()).collect();
+        let mut data = Vec::new();
+        for &x in &xs[0] {
+            for &y in &xs[1] {
+                for &z in &xs[2] {
+                    data.push(1.0 + 2.0 * x - 0.5 * y + 3.0 * z);
+                }
+            }
+        }
+        let c = coeff_array(&data, &ctx);
+        assert!(mg_grid::real::max_abs(&c) < 1e-12, "coefficients nonzero");
+        let mut scratch = CorrectionScratch::new();
+        let (z, _) = compute_correction(&c, &ctx, Exec::Serial, &mut scratch);
+        assert!(mg_grid::real::max_abs(&z) < 1e-12);
+    }
+
+    #[test]
+    fn serial_and_parallel_corrections_agree_3d() {
+        let shape = Shape::d3(9, 5, 9);
+        let ctx = ctx_for(shape, 0.25);
+        let data = test_field(shape);
+        let c = coeff_array(&data, &ctx);
+        let mut s1 = CorrectionScratch::new();
+        let mut s2 = CorrectionScratch::new();
+        let (z_ser, sh1) = compute_correction(&c, &ctx, Exec::Serial, &mut s1);
+        let (z_par, sh2) = compute_correction(&c, &ctx, Exec::Parallel, &mut s2);
+        assert_eq!(sh1, sh2);
+        assert!(max_abs_diff(&z_ser, &z_par) < 1e-12);
+    }
+
+    #[test]
+    fn bottomed_out_axis_is_identity_factor() {
+        // 2 x 9: corrections along axis 1 only; axis 0 passes through.
+        let ctx = LevelCtx::new(
+            Shape::d2(2, 9),
+            vec![
+                vec![0.0f64, 1.0],
+                (0..9).map(|i| i as f64 / 8.0).collect(),
+            ],
+        );
+        let data: Vec<f64> = (0..18).map(|i| ((i * 7) % 5) as f64).collect();
+        let c = coeff_array(&data, &ctx);
+        let mut scratch = CorrectionScratch::new();
+        let (z, zshape) = compute_correction(&c, &ctx, Exec::Serial, &mut scratch);
+        assert_eq!(zshape.as_slice(), &[2, 5]);
+
+        // Row-wise 1D corrections must match.
+        for r in 0..2 {
+            let row_ctx = LevelCtx::new(
+                Shape::d1(9),
+                vec![(0..9).map(|i| i as f64 / 8.0).collect()],
+            );
+            let row_c = c[r * 9..(r + 1) * 9].to_vec();
+            let mut s = CorrectionScratch::new();
+            let (zr, _) = compute_correction(&row_c, &row_ctx, Exec::Serial, &mut s);
+            for j in 0..5 {
+                assert!((z[r * 5 + j] - zr[j]).abs() < 1e-13);
+            }
+        }
+    }
+}

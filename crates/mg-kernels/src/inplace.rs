@@ -1,0 +1,250 @@
+//! Segmented in-place linear processing — the paper's six-region
+//! algorithm (Figs. 5 & 6), functionally.
+//!
+//! The GPU linear-processing framework updates each fiber *in place* by
+//! iterating over fixed-size segments. At any moment the fiber is split
+//! into six regions: processed / **main** (current segment, staged in
+//! shared memory) / **ghost 1** (original value of the element before the
+//! segment, held in a register) / **ghost 2** (original value of the
+//! element after the segment) / **prefetch** (the next segment, loaded
+//! while computing) / unprocessed. The ghosts exist because the 3-point
+//! stencil needs *original* neighbour values that in-place stores would
+//! otherwise destroy.
+//!
+//! This module reproduces that algorithm on the CPU — the segment buffer
+//! plays the role of shared memory, the saved ghost scalars the role of
+//! registers — and is validated against the reference kernels. It
+//! processes along any axis by batching the `stride(axis)` interleaved
+//! fibers of each outer block, exactly like the GPU's plane batching.
+
+use crate::mass::mass_row;
+use crate::transfer::restriction_weights;
+use mg_grid::fiber::fiber_spec;
+use mg_grid::{Axis, Real, Shape};
+
+/// Default segment length (elements of each fiber staged per iteration);
+/// mirrors `mg_gpu::kernels::SEGMENT`.
+pub const DEFAULT_SEGMENT: usize = 64;
+
+/// In-place mass-matrix multiply along `axis` using the six-region
+/// segmented update.
+///
+/// Equivalent to [`crate::mass::mass_apply_serial`]; the segment length
+/// only affects the staging pattern, never the result.
+pub fn mass_apply_inplace_segmented<T: Real>(
+    data: &mut [T],
+    shape: Shape,
+    axis: Axis,
+    coords: &[T],
+    segment: usize,
+) {
+    let spec = fiber_spec(shape, axis);
+    assert_eq!(data.len(), shape.len());
+    assert_eq!(coords.len(), spec.len);
+    assert!(segment >= 1);
+    let h: Vec<T> = coords.windows(2).map(|w| w[1] - w[0]).collect();
+    let n = spec.len;
+    let inner = spec.stride;
+    let block = n * inner;
+
+    // Staging buffers, one lane per interleaved fiber of the block.
+    let mut main = vec![T::ZERO; segment * inner];
+    let mut ghost1 = vec![T::ZERO; inner]; // original v[a-1]
+    let mut ghost1_next = vec![T::ZERO; inner];
+
+    for blk in data.chunks_mut(block) {
+        // ghost1 starts undefined; row 0 has no left neighbour.
+        let mut a = 0usize;
+        while a < n {
+            let b = (a + segment).min(n);
+            let seg_len = b - a;
+            // Stage the main region (the "shared memory" copy).
+            main[..seg_len * inner].copy_from_slice(&blk[a * inner..b * inner]);
+            // Save the original of the segment's last element: it becomes
+            // ghost1 for the next iteration (register save in the paper).
+            ghost1_next.copy_from_slice(&blk[(b - 1) * inner..b * inner]);
+
+            for i in a..b {
+                let (ca, cb, cc) = mass_row(&h, i);
+                let li = (i - a) * inner; // local row in main
+                for kk in 0..inner {
+                    let mut t = cb * main[li + kk];
+                    if i > 0 {
+                        // left neighbour: ghost1 at the segment head,
+                        // staged main otherwise
+                        let left = if i == a {
+                            ghost1[kk]
+                        } else {
+                            main[li - inner + kk]
+                        };
+                        t += ca * left;
+                    }
+                    if i + 1 < n {
+                        // right neighbour: staged main inside the
+                        // segment, ghost2 (still-original global value)
+                        // at the tail
+                        let right = if i + 1 == b {
+                            blk[b * inner + kk]
+                        } else {
+                            main[li + inner + kk]
+                        };
+                        t += cc * right;
+                    }
+                    blk[i * inner + kk] = t;
+                }
+            }
+            std::mem::swap(&mut ghost1, &mut ghost1_next);
+            a = b;
+        }
+    }
+}
+
+/// In-place transfer-matrix multiply along `axis`: writes the coarse
+/// fiber over the head of each fine fiber (coarse node `j` lands at local
+/// index `j`).
+///
+/// Safe in place because coarse index `j` only reads fine indices
+/// `>= 2j - 1 >= j` when walked forward. The tail of each fiber
+/// (`(n+1)/2 ..`) is left as-is; callers compact it away (the paper fuses
+/// that with node packing).
+pub fn transfer_apply_inplace<T: Real>(data: &mut [T], shape: Shape, axis: Axis, fine_coords: &[T]) {
+    let spec = fiber_spec(shape, axis);
+    assert_eq!(data.len(), shape.len());
+    let n = spec.len;
+    assert_eq!(fine_coords.len(), n);
+    assert!(n >= 3 && n % 2 == 1, "transfer needs a decimating axis");
+    let m = n.div_ceil(2);
+    let (wl, wr) = restriction_weights::<T>(fine_coords);
+    let inner = spec.stride;
+    let block = n * inner;
+
+    // One lane-row of saved originals: v[2j] is overwritten by out[j]
+    // when j == 2j (j = 0) only, but v[2j-1] (odd) sits at index 2j-1
+    // which was overwritten by out[2j-1]... only once 2j-1 < m, i.e. the
+    // safe-forward argument: reads for output j touch indices 2j-1, 2j,
+    // 2j+1, all >= j except when j <= 1; handle j = 0, 1 with explicit
+    // saves.
+    for blk in data.chunks_mut(block) {
+        for kk in 0..inner {
+            // Save the two values the first outputs both read and clobber.
+            let v0 = blk[kk];
+            let v1 = blk[inner + kk];
+            // j = 0: v[0] + wr[0] * v[1]
+            blk[kk] = v0 + wr[0] * v1;
+            // j = 1 reads 1, 2, 3 and writes 1.
+            if m > 1 {
+                let t = blk[2 * inner + kk]
+                    + wl[1] * v1
+                    + if m > 2 {
+                        wr[1] * blk[3 * inner + kk]
+                    } else {
+                        T::ZERO
+                    };
+                blk[inner + kk] = t;
+            }
+        }
+        for j in 2..m {
+            let row = 2 * j * inner;
+            for kk in 0..inner {
+                let mut t = blk[row + kk] + wl[j] * blk[row - inner + kk];
+                if j + 1 < m {
+                    t += wr[j] * blk[row + inner + kk];
+                }
+                blk[j * inner + kk] = t;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mass::mass_apply_serial;
+    use crate::transfer::transfer_apply_serial;
+    use mg_grid::real::max_abs_diff;
+
+    fn field(shape: Shape) -> Vec<f64> {
+        (0..shape.len())
+            .map(|i| ((i * 43 + 5) % 97) as f64 * 0.041 - 2.0)
+            .collect()
+    }
+
+    #[test]
+    fn segmented_mass_matches_reference_all_segment_sizes() {
+        let shape = Shape::d1(129);
+        let coords: Vec<f64> = (0..129).map(|i| i as f64 + (i % 5) as f64 * 0.1).collect();
+        let src = field(shape);
+        let mut expect = src.clone();
+        mass_apply_serial(&mut expect, shape, Axis(0), &coords);
+        for segment in [1usize, 2, 7, 64, 128, 129, 500] {
+            let mut got = src.clone();
+            mass_apply_inplace_segmented(&mut got, shape, Axis(0), &coords, segment);
+            assert!(
+                max_abs_diff(&got, &expect) < 1e-13,
+                "segment {segment}"
+            );
+        }
+    }
+
+    #[test]
+    fn segmented_mass_matches_on_every_axis_3d() {
+        let shape = Shape::d3(9, 17, 5);
+        let src = field(shape);
+        for ax in 0..3 {
+            let n = shape.dim(Axis(ax));
+            let coords: Vec<f64> = (0..n).map(|i| (i as f64).mul_add(0.3, 1.0)).collect();
+            let mut expect = src.clone();
+            mass_apply_serial(&mut expect, shape, Axis(ax), &coords);
+            let mut got = src.clone();
+            mass_apply_inplace_segmented(&mut got, shape, Axis(ax), &coords, 4);
+            assert!(max_abs_diff(&got, &expect) < 1e-13, "axis {ax}");
+        }
+    }
+
+    #[test]
+    fn inplace_transfer_matches_reference() {
+        for n in [3usize, 5, 9, 33, 129] {
+            let shape = Shape::d1(n);
+            let coords: Vec<f64> = (0..n).map(|i| i as f64 * 0.5 + (i % 3) as f64 * 0.04).collect();
+            let src = field(shape);
+            let m = n.div_ceil(2);
+            let mut expect = vec![0.0f64; m];
+            transfer_apply_serial(&src, shape, &mut expect, Axis(0), &coords);
+            let mut got = src.clone();
+            transfer_apply_inplace(&mut got, shape, Axis(0), &coords);
+            assert!(
+                max_abs_diff(&got[..m], &expect) < 1e-13,
+                "n = {n}: {:?} vs {expect:?}",
+                &got[..m]
+            );
+        }
+    }
+
+    #[test]
+    fn inplace_transfer_multi_fiber() {
+        let shape = Shape::d2(9, 7); // transfer along axis 0: 7 interleaved fibers
+        let coords: Vec<f64> = (0..9).map(|i| i as f64).collect();
+        let src = field(shape);
+        let mut expect = vec![0.0f64; 5 * 7];
+        transfer_apply_serial(&src, shape, &mut expect, Axis(0), &coords);
+        let mut got = src.clone();
+        transfer_apply_inplace(&mut got, shape, Axis(0), &coords);
+        for j in 0..5 {
+            for k in 0..7 {
+                assert!((got[j * 7 + k] - expect[j * 7 + k]).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn f32_segmented_mass() {
+        let shape = Shape::d1(65);
+        let coords: Vec<f32> = (0..65).map(|i| i as f32).collect();
+        let src: Vec<f32> = (0..65).map(|i| (i as f32 * 0.3).sin()).collect();
+        let mut expect = src.clone();
+        mass_apply_serial(&mut expect, shape, Axis(0), &coords);
+        let mut got = src.clone();
+        mass_apply_inplace_segmented(&mut got, shape, Axis(0), &coords, DEFAULT_SEGMENT);
+        assert!(max_abs_diff(&got, &expect) < 1e-5);
+    }
+}

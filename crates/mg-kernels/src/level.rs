@@ -1,0 +1,148 @@
+//! Per-level kernel context: packed shape, level coordinates, and the
+//! interpolation weights derived from them.
+
+use mg_grid::{Axis, Real, Shape, MAX_DIMS};
+
+/// Everything a kernel needs to know about one level of the hierarchy.
+///
+/// `coords[d]` holds the coordinates of the *level* nodes along dimension
+/// `d` (length = packed extent). A dimension *decimates* at this level if it
+/// still has at least 3 nodes; bottomed-out dimensions (2 nodes) pass
+/// through every kernel untouched.
+#[derive(Clone, Debug)]
+pub struct LevelCtx<T> {
+    shape: Shape,
+    coords: Vec<Vec<T>>,
+}
+
+impl<T: Real> LevelCtx<T> {
+    /// Build a context; validates that coordinate lengths match the shape.
+    pub fn new(shape: Shape, coords: Vec<Vec<T>>) -> Self {
+        assert_eq!(coords.len(), shape.ndim(), "one coord vector per dim");
+        for (d, c) in coords.iter().enumerate() {
+            assert_eq!(c.len(), shape.dim(Axis(d)), "coords len mismatch dim {d}");
+        }
+        LevelCtx { shape, coords }
+    }
+
+    #[inline]
+    /// Packed extents of this level.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    #[inline]
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.ndim()
+    }
+
+    /// Level coordinates along `axis`.
+    #[inline]
+    pub fn coords(&self, axis: Axis) -> &[T] {
+        &self.coords[axis.0]
+    }
+
+    /// Whether `axis` still decimates at this level (>= 3 nodes).
+    #[inline]
+    pub fn decimates(&self, axis: Axis) -> bool {
+        self.shape.dim(axis) >= 3
+    }
+
+    /// Shape of the next-coarser grid: every decimating extent `n` becomes
+    /// `(n + 1) / 2`; bottomed-out extents stay.
+    pub fn coarse_shape(&self) -> Shape {
+        let mut dims = [0usize; MAX_DIMS];
+        for d in 0..self.ndim() {
+            let n = self.shape.dim(Axis(d));
+            dims[d] = if n >= 3 { n.div_ceil(2) } else { n };
+        }
+        Shape::new(&dims[..self.ndim()])
+    }
+
+    /// Coarse coordinates along `axis` (every other node if decimating).
+    pub fn coarse_coords(&self, axis: Axis) -> Vec<T> {
+        if self.decimates(axis) {
+            self.coords[axis.0].iter().copied().step_by(2).collect()
+        } else {
+            self.coords[axis.0].clone()
+        }
+    }
+
+    /// Interpolation weights for the odd nodes along `axis`.
+    ///
+    /// For odd node `i` (between even nodes `i-1`, `i+1`):
+    /// `wl[i] = (x[i+1] - x[i]) / (x[i+1] - x[i-1])` (weight of the left
+    /// neighbour) and `wr[i] = 1 - wl[i]`. Entries at even indices are 0.
+    pub fn interp_weights(&self, axis: Axis) -> (Vec<T>, Vec<T>) {
+        let x = self.coords(axis);
+        let n = x.len();
+        let mut wl = vec![T::ZERO; n];
+        let mut wr = vec![T::ZERO; n];
+        if n >= 3 {
+            let mut i = 1;
+            while i < n - 1 {
+                let span = x[i + 1] - x[i - 1];
+                wl[i] = (x[i + 1] - x[i]) / span;
+                wr[i] = (x[i] - x[i - 1]) / span;
+                i += 2;
+            }
+        }
+        (wl, wr)
+    }
+
+    /// Spacing `h_i = x[i+1] - x[i]` along `axis` (length `n - 1`).
+    pub fn spacings(&self, axis: Axis) -> Vec<T> {
+        self.coords(axis).windows(2).map(|w| w[1] - w[0]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_1d(xs: &[f64]) -> LevelCtx<f64> {
+        LevelCtx::new(Shape::d1(xs.len()), vec![xs.to_vec()])
+    }
+
+    #[test]
+    fn uniform_weights_are_half() {
+        let c = ctx_1d(&[0.0, 0.25, 0.5, 0.75, 1.0]);
+        let (wl, wr) = c.interp_weights(Axis(0));
+        assert_eq!(wl[1], 0.5);
+        assert_eq!(wr[3], 0.5);
+        assert_eq!(wl[0], 0.0); // even entries unused
+        assert_eq!(wl[2], 0.0);
+    }
+
+    #[test]
+    fn nonuniform_weights_sum_to_one() {
+        let c = ctx_1d(&[0.0, 0.1, 0.5, 0.8, 1.0]);
+        let (wl, wr) = c.interp_weights(Axis(0));
+        for i in (1..4).step_by(2) {
+            assert!((wl[i] + wr[i] - 1.0).abs() < 1e-15);
+        }
+        // node 1 at x=0.1 between 0.0 and 0.5: closer to left => left weight
+        // larger: wl = (0.5-0.1)/0.5 = 0.8.
+        assert!((wl[1] - 0.8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn coarse_shape_halves_decimating_dims() {
+        let c = LevelCtx::new(
+            Shape::d2(5, 2),
+            vec![vec![0.0f64, 0.25, 0.5, 0.75, 1.0], vec![0.0, 1.0]],
+        );
+        assert_eq!(c.coarse_shape().as_slice(), &[3, 2]);
+        assert!(c.decimates(Axis(0)));
+        assert!(!c.decimates(Axis(1)));
+        assert_eq!(c.coarse_coords(Axis(0)), vec![0.0, 0.5, 1.0]);
+        assert_eq!(c.coarse_coords(Axis(1)), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn spacings() {
+        let c = ctx_1d(&[0.0, 0.5, 2.0]);
+        assert_eq!(c.spacings(Axis(0)), vec![0.5, 1.5]);
+    }
+}

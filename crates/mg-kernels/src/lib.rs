@@ -1,0 +1,50 @@
+//! The five computational kernels of multigrid-based hierarchical data
+//! refactoring (paper §III-A), in serial-reference and rayon-parallel form.
+//!
+//! | Paper kernel | Type | Module |
+//! |---|---|---|
+//! | compute coefficients | grid processing | [`coeff::compute_serial`] / [`coeff::compute_parallel`] |
+//! | restore from coefficients | grid processing | [`coeff::restore_serial`] / [`coeff::restore_parallel`] |
+//! | mass matrix multiplication | linear processing | [`mass`] |
+//! | transfer matrix multiplication | linear processing | [`transfer`] |
+//! | correction solver | linear processing | [`solve`] |
+//!
+//! All kernels operate on *packed* level-`l` arrays: the driver in `mg-core`
+//! gathers the level subgrid densely (see `mg_grid::pack`), so extents here
+//! are `2^e + 1` per dimension (or 2 for bottomed-out dimensions) and access
+//! is unit-stride. Matrices are never materialized — mass/transfer row
+//! entries are recomputed from coordinate spacings on the fly, exactly like
+//! the paper's implicit-matrix storage (§III-B).
+//!
+//! [`inplace`] additionally provides a functional CPU rendering of the
+//! paper's six-region segmented in-place update (Figs. 5 & 6), validated
+//! against the reference kernels.
+//!
+//! The serial variants are written the way the CPU MGARD baseline works
+//! (fiber-by-fiber, in place, O(1) scratch); the parallel variants use the
+//! plane-batched decomposition the paper adopts for its GPU linear kernels,
+//! mapped onto rayon.
+
+// Index loops mirror the stride arithmetic throughout this crate and are
+// clearer than iterator chains for the kernel math.
+#![allow(clippy::needless_range_loop)]
+
+pub mod coeff;
+pub mod correction;
+pub mod inplace;
+pub mod level;
+pub mod mass;
+pub mod solve;
+pub mod transfer;
+
+pub use correction::{compute_correction, CorrectionScratch, StageTimes};
+pub use level::LevelCtx;
+
+/// Execution strategy selector shared by the kernels.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Exec {
+    /// Single-threaded reference implementation (the paper's CPU baseline).
+    Serial,
+    /// rayon data-parallel implementation.
+    Parallel,
+}

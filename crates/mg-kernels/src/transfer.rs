@@ -1,0 +1,220 @@
+//! Transfer-matrix multiplication along one axis (linear-processing kernel).
+//!
+//! The transfer matrix `R_l` converts a load vector expressed in the fine
+//! (level-`l`) nodal basis into the coarse (level-`l-1`) basis; it is the
+//! transpose of the piecewise-linear prolongation `P`:
+//!
+//! ```text
+//! (R v)_j = v[2j]
+//!         + v[2j-1] * (x[2j-1] - x[2j-2]) / (x[2j] - x[2j-2])   (if j > 0)
+//!         + v[2j+1] * (x[2j+2] - x[2j+1]) / (x[2j+2] - x[2j])   (if j < m-1)
+//! ```
+//!
+//! where `x` are the fine level coordinates. The output fiber has
+//! `m = (n+1)/2` elements. Non-decimating (2-node) axes use `R = I` and are
+//! skipped by the correction driver.
+
+use mg_grid::fiber::{fiber_base, fiber_spec};
+use mg_grid::{Axis, Real, Shape};
+use rayon::prelude::*;
+
+/// Weights `(w_left_odd[j], w_right_odd[j])` of the two odd fine neighbours
+/// feeding coarse node `j`. Index 0 of `w_left_odd` and the last entry of
+/// `w_right_odd` are unused (no neighbour beyond the boundary).
+pub fn restriction_weights<T: Real>(fine_coords: &[T]) -> (Vec<T>, Vec<T>) {
+    let n = fine_coords.len();
+    assert!(n >= 3 && n % 2 == 1, "fine extent must be odd >= 3, got {n}");
+    let m = n.div_ceil(2);
+    let x = fine_coords;
+    let mut wl = vec![T::ZERO; m];
+    let mut wr = vec![T::ZERO; m];
+    for j in 0..m {
+        if j > 0 {
+            // odd node 2j-1 between coarse 2j-2 and 2j
+            wl[j] = (x[2 * j - 1] - x[2 * j - 2]) / (x[2 * j] - x[2 * j - 2]);
+        }
+        if j + 1 < m {
+            // odd node 2j+1 between coarse 2j and 2j+2
+            wr[j] = (x[2 * j + 2] - x[2 * j + 1]) / (x[2 * j + 2] - x[2 * j]);
+        }
+    }
+    (wl, wr)
+}
+
+/// Serial `dst <- R src` along `axis`.
+///
+/// `src` has extent `n` along `axis`; `dst` must have extent `(n+1)/2`
+/// along `axis` and identical extents elsewhere.
+pub fn transfer_apply_serial<T: Real>(
+    src: &[T],
+    src_shape: Shape,
+    dst: &mut [T],
+    axis: Axis,
+    fine_coords: &[T],
+) {
+    let (dst_shape, wl, wr) = prepare::<T>(src, src_shape, dst, axis, fine_coords);
+    let sspec = fiber_spec(src_shape, axis);
+    let dspec = fiber_spec(dst_shape, axis);
+    let m = dspec.len;
+    for f in 0..dspec.count {
+        let sbase = fiber_base(src_shape, axis, f);
+        let dbase = fiber_base(dst_shape, axis, f);
+        for j in 0..m {
+            let mut t = src[sbase + 2 * j * sspec.stride];
+            if j > 0 {
+                t += wl[j] * src[sbase + (2 * j - 1) * sspec.stride];
+            }
+            if j + 1 < m {
+                t += wr[j] * src[sbase + (2 * j + 1) * sspec.stride];
+            }
+            dst[dbase + j * dspec.stride] = t;
+        }
+    }
+}
+
+/// Parallel `dst <- R src` along `axis` (plane-batched over outer blocks).
+pub fn transfer_apply_parallel<T: Real>(
+    src: &[T],
+    src_shape: Shape,
+    dst: &mut [T],
+    axis: Axis,
+    fine_coords: &[T],
+) {
+    let (dst_shape, wl, wr) = prepare::<T>(src, src_shape, dst, axis, fine_coords);
+    let sspec = fiber_spec(src_shape, axis);
+    let dspec = fiber_spec(dst_shape, axis);
+    debug_assert_eq!(sspec.stride, dspec.stride, "inner extents are unchanged");
+    let inner = dspec.stride;
+    let m = dspec.len;
+    let n = sspec.len;
+    dst.par_chunks_mut(m * inner)
+        .zip(src.par_chunks(n * inner))
+        .for_each(|(dblk, sblk)| {
+            for j in 0..m {
+                let drow = j * inner;
+                let srow = 2 * j * inner;
+                for kk in 0..inner {
+                    let mut t = sblk[srow + kk];
+                    if j > 0 {
+                        t += wl[j] * sblk[srow - inner + kk];
+                    }
+                    if j + 1 < m {
+                        t += wr[j] * sblk[srow + inner + kk];
+                    }
+                    dblk[drow + kk] = t;
+                }
+            }
+        });
+}
+
+fn prepare<T: Real>(
+    src: &[T],
+    src_shape: Shape,
+    dst: &[T],
+    axis: Axis,
+    fine_coords: &[T],
+) -> (Shape, Vec<T>, Vec<T>) {
+    let n = src_shape.dim(axis);
+    assert_eq!(src.len(), src_shape.len());
+    assert_eq!(fine_coords.len(), n);
+    assert!(n >= 3 && n % 2 == 1, "transfer needs a decimating axis");
+    let m = n.div_ceil(2);
+    let dst_shape = src_shape.with_dim(axis, m);
+    assert_eq!(dst.len(), dst_shape.len(), "dst must have coarse extent");
+    let (wl, wr) = restriction_weights::<T>(fine_coords);
+    (dst_shape, wl, wr)
+}
+
+/// Prolongation (coarse -> fine linear interpolation), the transpose of the
+/// restriction. Used by tests and by the orthogonality checks in
+/// `correction`.
+pub fn prolong_1d<T: Real>(coarse: &[T], fine_coords: &[T]) -> Vec<T> {
+    let n = fine_coords.len();
+    let m = n.div_ceil(2);
+    assert_eq!(coarse.len(), m);
+    let x = fine_coords;
+    let mut out = vec![T::ZERO; n];
+    for j in 0..m {
+        out[2 * j] = coarse[j];
+    }
+    for j in 0..m - 1 {
+        let o = 2 * j + 1;
+        let t = (x[o] - x[2 * j]) / (x[2 * j + 2] - x[2 * j]);
+        out[o] = coarse[j] * (T::ONE - t) + coarse[j + 1] * t;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_weights_are_half() {
+        let coords: Vec<f64> = (0..5).map(|i| i as f64).collect();
+        let (wl, wr) = restriction_weights(&coords);
+        assert_eq!(wl[1], 0.5);
+        assert_eq!(wr[0], 0.5);
+        assert_eq!(wl[0], 0.0);
+        assert_eq!(wr[2], 0.0);
+    }
+
+    #[test]
+    fn restriction_is_prolongation_transpose() {
+        // <R u, v>_coarse-dot == <u, P v>_fine-dot for arbitrary u, v.
+        let coords = vec![0.0f64, 0.2, 0.5, 0.8, 1.0, 1.7, 2.0];
+        let u: Vec<f64> = vec![1.0, -1.0, 2.0, 0.3, -0.7, 1.2, 0.4];
+        let v: Vec<f64> = vec![0.5, 1.5, -2.0, 0.9];
+        let mut ru = vec![0.0f64; 4];
+        transfer_apply_serial(&u, Shape::d1(7), &mut ru, Axis(0), &coords);
+        let pv = prolong_1d(&v, &coords);
+        let lhs: f64 = ru.iter().zip(&v).map(|(a, b)| a * b).sum();
+        let rhs: f64 = u.iter().zip(&pv).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_on_coarse_supported_vectors() {
+        // A vector that is zero at odd nodes restricts to its even part.
+        let coords: Vec<f64> = (0..5).map(|i| i as f64 * 0.25).collect();
+        let u = vec![3.0f64, 0.0, -1.0, 0.0, 2.0];
+        let mut out = vec![0.0f64; 3];
+        transfer_apply_serial(&u, Shape::d1(5), &mut out, Axis(0), &coords);
+        assert_eq!(out, vec![3.0, -1.0, 2.0]);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_all_axes_3d() {
+        let shape = Shape::d3(5, 9, 5);
+        let src: Vec<f64> = (0..shape.len()).map(|i| ((i * 17) % 23) as f64 * 0.13).collect();
+        for ax in 0..3 {
+            let n = shape.dim(Axis(ax));
+            let coords: Vec<f64> = (0..n).map(|i| (i as f64).mul_add(0.4, (i as f64).sqrt() * 0.05)).collect();
+            let m = n.div_ceil(2);
+            let out_len = shape.len() / n * m;
+            let mut ser = vec![0.0f64; out_len];
+            transfer_apply_serial(&src, shape, &mut ser, Axis(ax), &coords);
+            let mut par = vec![0.0f64; out_len];
+            transfer_apply_parallel(&src, shape, &mut par, Axis(ax), &coords);
+            assert_eq!(ser, par, "axis {ax}");
+        }
+    }
+
+    #[test]
+    fn prolong_reproduces_linears() {
+        let coords = vec![0.0f64, 0.3, 0.5, 0.75, 1.0];
+        let f = |x: f64| 2.0 * x + 1.0;
+        let coarse: Vec<f64> = [0.0, 0.5, 1.0].iter().map(|&x| f(x)).collect();
+        let fine = prolong_1d(&coarse, &coords);
+        for (i, &x) in coords.iter().enumerate() {
+            assert!((fine[i] - f(x)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "decimating axis")]
+    fn rejects_two_node_axis() {
+        let mut out = vec![0.0f64; 1];
+        transfer_apply_serial(&[1.0, 2.0], Shape::d1(2), &mut out, Axis(0), &[0.0, 1.0]);
+    }
+}

@@ -1,0 +1,259 @@
+//! Extraction and assembly of coefficient classes.
+
+use mg_grid::pack::for_each_level_offset;
+use mg_grid::{Axis, Hierarchy, NdArray, Real, Shape};
+
+/// Visit the finest-array offsets of class `k` in a deterministic order.
+///
+/// Class 0 visits the `N_0` (coarsest-grid) nodes; class `l >= 1` visits
+/// `N_l \ N_{l-1}` — the level-`l` nodes with an odd level index along at
+/// least one dimension that decimates at step `l`.
+pub fn for_each_class_offset(hier: &Hierarchy, k: usize, mut f: impl FnMut(usize)) {
+    assert!(k <= hier.nlevels(), "class {k} out of range");
+    let full = hier.finest();
+    if k == 0 {
+        let ld = hier.level_dims(0);
+        for_each_level_offset(full, &ld, |_, unpacked| f(unpacked));
+        return;
+    }
+    let ld = hier.level_dims(k);
+    let nd = full.ndim();
+    // A level-l node is in C_l iff it is odd along some decimating dim.
+    let dec: Vec<bool> = (0..nd).map(|d| hier.decimates(k, Axis(d))).collect();
+    let shape = ld.shape;
+    let mut level_idx = vec![0usize; nd];
+    for_each_level_offset(full, &ld, |packed, unpacked| {
+        // Decode the packed (level) index to check parity.
+        let mut rem = packed;
+        for d in (0..nd).rev() {
+            level_idx[d] = rem % shape.dim(Axis(d));
+            rem /= shape.dim(Axis(d));
+        }
+        let is_coeff = (0..nd).any(|d| dec[d] && level_idx[d] % 2 == 1);
+        if is_coeff {
+            f(unpacked);
+        }
+    });
+}
+
+/// Extract all classes from an in-place refactored array.
+///
+/// Returns `L + 1` buffers: `out[0]` = coarsest nodal values, `out[l]` =
+/// coefficient class `C_l`.
+pub fn extract_classes<T: Real>(data: &NdArray<T>, hier: &Hierarchy) -> Vec<Vec<T>> {
+    assert_eq!(data.shape(), hier.finest());
+    let mut out = Vec::with_capacity(hier.nlevels() + 1);
+    for k in 0..=hier.nlevels() {
+        let expect = if k == 0 {
+            hier.level_len(0)
+        } else {
+            hier.class_len(k)
+        };
+        let mut buf = Vec::with_capacity(expect);
+        for_each_class_offset(hier, k, |off| buf.push(data.as_slice()[off]));
+        debug_assert_eq!(buf.len(), expect);
+        out.push(buf);
+    }
+    out
+}
+
+/// A refactored dataset held as separate coefficient classes.
+///
+/// This is the unit that gets stored/transported selectively: keeping a
+/// *prefix* of classes yields a lower-accuracy (but complete) refactored
+/// array; [`Refactored::assemble`] rebuilds the in-place layout with
+/// missing classes zeroed.
+#[derive(Clone, Debug)]
+pub struct Refactored<T> {
+    hier: Hierarchy,
+    classes: Vec<Vec<T>>,
+}
+
+impl<T: Real> Refactored<T> {
+    /// Slice an in-place refactored array into classes.
+    pub fn from_array(data: &NdArray<T>, hier: &Hierarchy) -> Self {
+        Refactored {
+            hier: hier.clone(),
+            classes: extract_classes(data, hier),
+        }
+    }
+
+    /// Construct from explicit class buffers (used by deserialization).
+    ///
+    /// # Panics
+    /// If the class count or any class length does not match the hierarchy.
+    pub fn from_classes(hier: Hierarchy, classes: Vec<Vec<T>>) -> Self {
+        assert_eq!(classes.len(), hier.nlevels() + 1, "class count mismatch");
+        for (k, c) in classes.iter().enumerate() {
+            let expect = if k == 0 {
+                hier.level_len(0)
+            } else {
+                hier.class_len(k)
+            };
+            assert_eq!(c.len(), expect, "class {k} length mismatch");
+        }
+        Refactored { hier, classes }
+    }
+
+    /// The hierarchy the classes belong to.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hier
+    }
+
+    /// Number of classes (`L + 1`).
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The `k`-th class buffer.
+    pub fn class(&self, k: usize) -> &[T] {
+        &self.classes[k]
+    }
+
+    /// All class buffers, coarsest first.
+    pub fn classes(&self) -> &[Vec<T>] {
+        &self.classes
+    }
+
+    /// Bytes occupied by classes `0..count` (what a consumer would read).
+    pub fn prefix_bytes(&self, count: usize) -> usize {
+        self.classes[..count.min(self.classes.len())]
+            .iter()
+            .map(|c| c.len() * T::BYTES)
+            .sum()
+    }
+
+    /// Total payload bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.prefix_bytes(self.classes.len())
+    }
+
+    /// Rebuild the in-place refactored array using classes `0..count`;
+    /// classes beyond `count` are zeroed (their information is dropped).
+    pub fn assemble(&self, count: usize) -> NdArray<T> {
+        assert!(count >= 1, "at least the coarsest class is required");
+        let shape: Shape = self.hier.finest();
+        let mut arr = NdArray::<T>::zeros(shape);
+        for (k, class) in self.classes.iter().enumerate().take(count) {
+            let mut it = class.iter();
+            let slice = arr.as_mut_slice();
+            for_each_class_offset(&self.hier, k, |off| {
+                slice[off] = *it.next().expect("class length matches layout");
+            });
+        }
+        arr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_core::Refactorer;
+    use mg_grid::real::max_abs_diff;
+
+    fn field(shape: Shape) -> NdArray<f64> {
+        NdArray::from_fn(shape, |i| {
+            ((i.iter().enumerate().map(|(d, &v)| v * (d + 2)).sum::<usize>() * 31) % 97) as f64
+                * 0.037
+        })
+    }
+
+    #[test]
+    fn class_offsets_partition_the_array() {
+        for shape in [Shape::d1(17), Shape::d2(9, 5), Shape::d3(5, 5, 9)] {
+            let hier = Hierarchy::new(shape).unwrap();
+            let mut seen = vec![0usize; shape.len()];
+            for k in 0..=hier.nlevels() {
+                for_each_class_offset(&hier, k, |off| seen[off] += 1);
+            }
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "{shape:?}: offsets not a partition: {seen:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn class_lengths_match_hierarchy() {
+        let shape = Shape::d2(9, 17);
+        let hier = Hierarchy::new(shape).unwrap();
+        let data = field(shape);
+        let classes = extract_classes(&data, &hier);
+        assert_eq!(classes.len(), hier.nlevels() + 1);
+        assert_eq!(classes[0].len(), hier.level_len(0));
+        for (l, class) in classes.iter().enumerate().skip(1) {
+            assert_eq!(class.len(), hier.class_len(l));
+        }
+    }
+
+    #[test]
+    fn extract_assemble_full_is_identity() {
+        let shape = Shape::d3(5, 9, 5);
+        let hier = Hierarchy::new(shape).unwrap();
+        let data = field(shape);
+        let r = Refactored::from_array(&data, &hier);
+        let back = r.assemble(r.num_classes());
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn full_pipeline_recomposes_exactly() {
+        let shape = Shape::d2(17, 17);
+        let mut refactorer = Refactorer::<f64>::new(shape).unwrap();
+        let orig = field(shape);
+        let mut data = orig.clone();
+        refactorer.decompose(&mut data);
+        let hier = refactorer.hierarchy().clone();
+        let refac = Refactored::from_array(&data, &hier);
+        let mut rebuilt = refac.assemble(refac.num_classes());
+        refactorer.recompose(&mut rebuilt);
+        assert!(max_abs_diff(rebuilt.as_slice(), orig.as_slice()) < 1e-11);
+    }
+
+    #[test]
+    fn prefix_assembly_zeroes_dropped_classes() {
+        let shape = Shape::d2(9, 9);
+        let hier = Hierarchy::new(shape).unwrap();
+        let data = field(shape);
+        let r = Refactored::from_array(&data, &hier);
+        let partial = r.assemble(1); // coarsest only
+        // All C_l positions must be zero.
+        let mut nonzero_outside = 0;
+        for k in 1..=hier.nlevels() {
+            for_each_class_offset(&hier, k, |off| {
+                if partial.as_slice()[off] != 0.0 {
+                    nonzero_outside += 1;
+                }
+            });
+        }
+        assert_eq!(nonzero_outside, 0);
+        // Coarsest values present.
+        let mut present = 0;
+        for_each_class_offset(&hier, 0, |off| {
+            assert_eq!(partial.as_slice()[off], data.as_slice()[off]);
+            present += 1;
+        });
+        assert_eq!(present, hier.level_len(0));
+    }
+
+    #[test]
+    fn prefix_bytes_accumulate() {
+        let shape = Shape::d1(17);
+        let hier = Hierarchy::new(shape).unwrap();
+        let r = Refactored::from_array(&field(shape), &hier);
+        let mut last = 0;
+        for k in 1..=r.num_classes() {
+            let b = r.prefix_bytes(k);
+            assert!(b > last);
+            last = b;
+        }
+        assert_eq!(r.total_bytes(), 17 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "class 1 length mismatch")]
+    fn from_classes_validates_lengths() {
+        let hier = Hierarchy::new(Shape::d1(5)).unwrap();
+        Refactored::from_classes(hier, vec![vec![0.0f64; 2], vec![0.0; 99], vec![0.0; 2]]);
+    }
+}

@@ -1,0 +1,30 @@
+//! Coefficient classes and progressive reconstruction.
+//!
+//! Decomposition (see `mg-core`) leaves the refactored representation *in
+//! place*; this crate slices it into the paper's **coefficient classes**
+//! (Fig. 1): class 0 holds the coarsest nodal values `N_0`, class `l`
+//! (`1 <= l <= L`) holds the coefficients `C_l` at `N_l \ N_{l-1}`.
+//! Classes are ordered most- to least-important: a prefix of classes
+//! reconstructs an approximation whose accuracy improves as more classes
+//! are added, which is what lets producers and consumers trade accuracy
+//! for bytes when storing/reading (paper §I, §V-A).
+//!
+//! Modules:
+//! * [`classes`] — extraction/assembly between the in-place layout and
+//!   per-class buffers;
+//! * [`progressive`] — prefix reconstruction and accuracy/size trade-off
+//!   helpers;
+//! * [`error`] — per-class norms and reconstruction-error indicators;
+//! * [`serialize`] — a compact binary wire format for refactored data;
+//! * [`streaming`] — incremental decoding: classes become usable as their
+//!   bytes arrive (the Fig. 1 network/tier streaming consumer).
+
+pub mod classes;
+pub mod error;
+pub mod progressive;
+pub mod serialize;
+pub mod streaming;
+
+pub use classes::{extract_classes, for_each_class_offset, Refactored};
+pub use error::{class_norms, ClassNorms};
+pub use progressive::reconstruct_prefix;

@@ -1,0 +1,153 @@
+//! Progressive (prefix) reconstruction and size/accuracy trade-offs.
+
+use crate::classes::Refactored;
+use mg_core::Refactorer;
+use mg_grid::{NdArray, Real};
+
+/// Reconstruct an approximation from the first `count` classes.
+///
+/// `refactorer` must have been built for the same shape (and coordinates)
+/// as the refactored data. `count == num_classes()` reproduces the original
+/// to floating-point accuracy; smaller prefixes trade accuracy for bytes.
+pub fn reconstruct_prefix<T: Real>(
+    refac: &Refactored<T>,
+    count: usize,
+    refactorer: &mut Refactorer<T>,
+) -> NdArray<T> {
+    assert_eq!(
+        refactorer.hierarchy(),
+        refac.hierarchy(),
+        "refactorer/hierarchy mismatch"
+    );
+    let mut arr = refac.assemble(count);
+    refactorer.recompose(&mut arr);
+    arr
+}
+
+/// Accuracy/size curve: for every prefix length `k = 1..=num_classes()`,
+/// the bytes read and the actual L∞ / RMS error against `original`.
+///
+/// This is the measurement behind the paper's §V-A accuracy-vs-classes
+/// trade-off (and our Fig. 10 harness).
+pub fn accuracy_curve<T: Real>(
+    refac: &Refactored<T>,
+    original: &NdArray<T>,
+    refactorer: &mut Refactorer<T>,
+) -> Vec<PrefixAccuracy> {
+    (1..=refac.num_classes())
+        .map(|k| {
+            let approx = reconstruct_prefix(refac, k, refactorer);
+            PrefixAccuracy {
+                classes: k,
+                bytes: refac.prefix_bytes(k),
+                linf: mg_grid::real::max_abs_diff(approx.as_slice(), original.as_slice()),
+                rms: mg_grid::real::rms_diff(approx.as_slice(), original.as_slice()),
+            }
+        })
+        .collect()
+}
+
+/// One point of the accuracy/size curve.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct PrefixAccuracy {
+    /// Classes used for the reconstruction.
+    pub classes: usize,
+    /// Bytes a consumer must read for this prefix.
+    pub bytes: usize,
+    /// Measured maximum absolute error.
+    pub linf: f64,
+    /// Measured root-mean-square error.
+    pub rms: f64,
+}
+
+/// Smallest prefix whose byte count fits the budget (always at least the
+/// coarsest class). Returns the number of classes to keep.
+pub fn classes_for_budget<T: Real>(refac: &Refactored<T>, budget_bytes: usize) -> usize {
+    let mut k = 1;
+    while k < refac.num_classes() && refac.prefix_bytes(k + 1) <= budget_bytes {
+        k += 1;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_grid::{CoordSet, Shape};
+
+    fn smooth(shape: Shape, coords: &CoordSet<f64>) -> NdArray<f64> {
+        NdArray::sample(shape, coords.as_vecs(), |x| {
+            let mut v = 1.0;
+            for &xi in x {
+                v *= (2.5 * xi).sin() + 1.3;
+            }
+            v
+        })
+    }
+
+    fn setup(shape: Shape) -> (NdArray<f64>, Refactored<f64>, Refactorer<f64>) {
+        let coords = CoordSet::<f64>::uniform(shape);
+        let orig = smooth(shape, &coords);
+        let mut r = Refactorer::with_coords(shape, coords).unwrap();
+        let mut data = orig.clone();
+        r.decompose(&mut data);
+        let hier = r.hierarchy().clone();
+        (orig, Refactored::from_array(&data, &hier), r)
+    }
+
+    #[test]
+    fn full_prefix_is_lossless() {
+        let (orig, refac, mut r) = setup(Shape::d2(33, 33));
+        let rec = reconstruct_prefix(&refac, refac.num_classes(), &mut r);
+        assert!(mg_grid::real::max_abs_diff(rec.as_slice(), orig.as_slice()) < 1e-11);
+    }
+
+    #[test]
+    fn error_decreases_with_more_classes_on_smooth_data() {
+        let (orig, refac, mut r) = setup(Shape::d2(65, 65));
+        let curve = accuracy_curve(&refac, &orig, &mut r);
+        assert_eq!(curve.len(), refac.num_classes());
+        // Smooth data: every extra class improves (or at least does not
+        // worsen) both norms; allow tiny FP slack.
+        for w in curve.windows(2) {
+            assert!(
+                w[1].linf <= w[0].linf * (1.0 + 1e-9) + 1e-12,
+                "linf not decreasing: {curve:?}"
+            );
+            assert!(w[1].rms <= w[0].rms * (1.0 + 1e-9) + 1e-12);
+        }
+        // and the last point is lossless
+        assert!(curve.last().unwrap().linf < 1e-11);
+    }
+
+    #[test]
+    fn bytes_increase_along_curve() {
+        let (orig, refac, mut r) = setup(Shape::d1(129));
+        let curve = accuracy_curve(&refac, &orig, &mut r);
+        for w in curve.windows(2) {
+            assert!(w[1].bytes > w[0].bytes);
+        }
+        assert_eq!(curve.last().unwrap().bytes, 129 * 8);
+    }
+
+    #[test]
+    fn budget_selection() {
+        let (_, refac, _) = setup(Shape::d1(17));
+        // Classes: 2 + 1 + 2 + 4 + 8 values (f64 = 8 bytes each).
+        assert_eq!(classes_for_budget(&refac, 0), 1);
+        assert_eq!(classes_for_budget(&refac, refac.total_bytes()), refac.num_classes());
+        let half = refac.total_bytes() / 2;
+        let k = classes_for_budget(&refac, half);
+        assert!(refac.prefix_bytes(k) <= half || k == 1);
+    }
+
+    #[test]
+    fn reconstruction_with_3d_data() {
+        let (orig, refac, mut r) = setup(Shape::d3(9, 17, 9));
+        let rec_all = reconstruct_prefix(&refac, refac.num_classes(), &mut r);
+        assert!(mg_grid::real::max_abs_diff(rec_all.as_slice(), orig.as_slice()) < 1e-11);
+        let rec_1 = reconstruct_prefix(&refac, 1, &mut r);
+        let e1 = mg_grid::real::max_abs_diff(rec_1.as_slice(), orig.as_slice());
+        assert!(e1 > 1e-6, "dropping all detail must cost accuracy");
+    }
+}

@@ -1,0 +1,282 @@
+//! Binary wire format for refactored data.
+//!
+//! Layout (little endian):
+//!
+//! ```text
+//! magic     u32   0x4D475244 ("MGRD")
+//! version   u16   1
+//! precision u8    4 = f32, 8 = f64
+//! ndim      u8
+//! dims      u64 × ndim
+//! nclasses  u32   (always L + 1 on write; readers may stop early)
+//! classes   per class: u64 length + raw little-endian scalars
+//! ```
+//!
+//! Because classes are stored most-important-first, a reader can stop
+//! after any class boundary and still deserialize a valid (lower-accuracy)
+//! representation — this is what the tiered-storage simulator in `mg-io`
+//! exploits to fetch only the prefix a consumer needs.
+
+use crate::classes::Refactored;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mg_grid::{Hierarchy, Real, Shape};
+
+const MAGIC: u32 = 0x4D47_5244;
+const VERSION: u16 = 1;
+
+/// Errors produced when decoding refactored data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Wrong magic number (not an mg-refactor payload).
+    BadMagic(u32),
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Scalar width does not match the requested type.
+    BadPrecision(u8),
+    /// Shape invalid or not dyadic.
+    BadShape(String),
+    /// Buffer ended mid-payload.
+    Truncated,
+    /// A class block declared an impossible length.
+    LengthMismatch {
+        /// Class index.
+        class: usize,
+        /// Length the hierarchy requires.
+        expect: usize,
+        /// Length the payload declared.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic(m) => write!(f, "bad magic 0x{m:08X}"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            DecodeError::BadPrecision(p) => write!(f, "bad precision tag {p}"),
+            DecodeError::BadShape(s) => write!(f, "bad shape: {s}"),
+            DecodeError::Truncated => write!(f, "buffer truncated"),
+            DecodeError::LengthMismatch { class, expect, got } => {
+                write!(f, "class {class}: expected {expect} values, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serialize the first `count` classes (pass `num_classes()` for all).
+pub fn encode_prefix<T: Real>(refac: &Refactored<T>, count: usize) -> Bytes {
+    let count = count.clamp(1, refac.num_classes());
+    let hier = refac.hierarchy();
+    let shape = hier.finest();
+    let mut buf = BytesMut::with_capacity(32 + refac.prefix_bytes(count));
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u8(T::BYTES as u8);
+    buf.put_u8(shape.ndim() as u8);
+    for &d in shape.as_slice() {
+        buf.put_u64_le(d as u64);
+    }
+    buf.put_u32_le(count as u32);
+    for class in refac.classes().iter().take(count) {
+        buf.put_u64_le(class.len() as u64);
+        for &v in class {
+            if T::BYTES == 4 {
+                buf.put_f32_le(v.to_f64() as f32);
+            } else {
+                buf.put_f64_le(v.to_f64());
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Serialize every class.
+pub fn encode<T: Real>(refac: &Refactored<T>) -> Bytes {
+    encode_prefix(refac, refac.num_classes())
+}
+
+/// Decode a (possibly prefix-only) refactored payload. Missing trailing
+/// classes are zero-filled, matching prefix reconstruction semantics.
+pub fn decode<T: Real>(mut buf: Bytes) -> Result<Refactored<T>, DecodeError> {
+    macro_rules! need {
+        ($n:expr) => {
+            if buf.remaining() < $n {
+                return Err(DecodeError::Truncated);
+            }
+        };
+    }
+    need!(4 + 2 + 1 + 1);
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let precision = buf.get_u8();
+    if precision as usize != T::BYTES {
+        return Err(DecodeError::BadPrecision(precision));
+    }
+    let ndim = buf.get_u8() as usize;
+    if ndim == 0 || ndim > mg_grid::MAX_DIMS {
+        return Err(DecodeError::BadShape(format!("ndim = {ndim}")));
+    }
+    need!(8 * ndim);
+    let mut dims = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        let d = buf.get_u64_le() as usize;
+        if d == 0 {
+            return Err(DecodeError::BadShape("zero extent".into()));
+        }
+        dims.push(d);
+    }
+    let shape = Shape::new(&dims);
+    let hier = Hierarchy::new(shape)
+        .map_err(|e| DecodeError::BadShape(e.to_string()))?;
+    need!(4);
+    let stored = buf.get_u32_le() as usize;
+    if stored == 0 || stored > hier.nlevels() + 1 {
+        return Err(DecodeError::BadShape(format!("{stored} classes")));
+    }
+
+    let mut classes = Vec::with_capacity(hier.nlevels() + 1);
+    for k in 0..=hier.nlevels() {
+        let expect = if k == 0 { hier.level_len(0) } else { hier.class_len(k) };
+        if k < stored {
+            need!(8);
+            let got = buf.get_u64_le() as usize;
+            if got != expect {
+                return Err(DecodeError::LengthMismatch { class: k, expect, got });
+            }
+            need!(expect * T::BYTES);
+            let mut c = Vec::with_capacity(expect);
+            for _ in 0..expect {
+                let v = if T::BYTES == 4 {
+                    T::from_f64(buf.get_f32_le() as f64)
+                } else {
+                    T::from_f64(buf.get_f64_le())
+                };
+                c.push(v);
+            }
+            classes.push(c);
+        } else {
+            classes.push(vec![T::ZERO; expect]);
+        }
+    }
+    Ok(Refactored::from_classes(hier, classes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_core::Refactorer;
+    use mg_grid::NdArray;
+
+    fn sample() -> (Refactored<f64>, NdArray<f64>) {
+        let shape = Shape::d2(9, 17);
+        let orig = NdArray::from_fn(shape, |i| ((i[0] * 5 + i[1] * 3) % 13) as f64 * 0.11);
+        let mut r = Refactorer::<f64>::new(shape).unwrap();
+        let mut d = orig.clone();
+        r.decompose(&mut d);
+        let hier = r.hierarchy().clone();
+        (Refactored::from_array(&d, &hier), orig)
+    }
+
+    #[test]
+    fn round_trip_all_classes() {
+        let (refac, _) = sample();
+        let bytes = encode(&refac);
+        let back = decode::<f64>(bytes).unwrap();
+        assert_eq!(back.num_classes(), refac.num_classes());
+        for k in 0..refac.num_classes() {
+            assert_eq!(back.class(k), refac.class(k));
+        }
+    }
+
+    #[test]
+    fn prefix_round_trip_zero_fills() {
+        let (refac, _) = sample();
+        let bytes = encode_prefix(&refac, 2);
+        assert!(bytes.len() < encode(&refac).len());
+        let back = decode::<f64>(bytes).unwrap();
+        assert_eq!(back.class(0), refac.class(0));
+        assert_eq!(back.class(1), refac.class(1));
+        for k in 2..refac.num_classes() {
+            assert!(back.class(k).iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let (refac, _) = sample();
+        let mut b = encode(&refac).to_vec();
+        b[0] ^= 0xFF;
+        assert!(matches!(
+            decode::<f64>(Bytes::from(b)),
+            Err(DecodeError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_precision() {
+        let (refac, _) = sample();
+        let b = encode(&refac);
+        assert!(matches!(
+            decode::<f32>(b),
+            Err(DecodeError::BadPrecision(8))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_mid_class() {
+        let (refac, _) = sample();
+        let b = encode(&refac);
+        let cut = b.slice(..b.len() - 3);
+        assert!(matches!(decode::<f64>(cut), Err(DecodeError::Truncated)));
+    }
+
+    #[test]
+    fn rejects_non_dyadic_dims() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u8(8);
+        buf.put_u8(1);
+        buf.put_u64_le(6); // not 2^k + 1
+        buf.put_u32_le(1);
+        assert!(matches!(
+            decode::<f64>(buf.freeze()),
+            Err(DecodeError::BadShape(_))
+        ));
+    }
+
+    #[test]
+    fn f32_payloads() {
+        let shape = Shape::d1(9);
+        let orig = NdArray::from_fn(shape, |i| i[0] as f32 * 0.5);
+        let mut r = Refactorer::<f32>::new(shape).unwrap();
+        let mut d = orig.clone();
+        r.decompose(&mut d);
+        let hier = r.hierarchy().clone();
+        let refac = Refactored::from_array(&d, &hier);
+        let bytes = encode(&refac);
+        let back = decode::<f32>(bytes).unwrap();
+        assert_eq!(back.class(0), refac.class(0));
+    }
+
+    #[test]
+    fn encoded_size_is_header_plus_payload() {
+        let (refac, _) = sample();
+        let bytes = encode(&refac);
+        let header = 4 + 2 + 1 + 1 + 8 * 2 + 4;
+        let payload: usize = refac
+            .classes()
+            .iter()
+            .map(|c| 8 + c.len() * 8)
+            .sum();
+        assert_eq!(bytes.len(), header + payload);
+    }
+}

@@ -1,0 +1,298 @@
+//! Incremental decoding of refactored payloads.
+//!
+//! In the Fig. 1 scenario, coefficient classes arrive over a network or
+//! from progressively slower storage tiers. [`StreamingDecoder`] consumes
+//! byte chunks as they arrive and exposes each class the moment its last
+//! byte lands, so a consumer can begin reconstructing (and refine its
+//! approximation) without waiting for the full payload.
+//!
+//! The format is the `serialize` wire format; the decoder is a hand-rolled
+//! incremental parser over the same layout.
+
+use crate::classes::Refactored;
+use crate::serialize::DecodeError;
+use mg_grid::{Hierarchy, Real, Shape};
+
+/// Parser state.
+enum State {
+    Header,
+    ClassLen { class: usize },
+    ClassBody { class: usize, expect: usize },
+    Done,
+}
+
+/// Incremental wire-format decoder.
+///
+/// Feed bytes with [`StreamingDecoder::push`]; inspect progress with
+/// [`StreamingDecoder::classes_ready`]; take a (zero-filled beyond the
+/// ready prefix) [`Refactored`] snapshot at any time with
+/// [`StreamingDecoder::snapshot`].
+pub struct StreamingDecoder<T> {
+    buf: Vec<u8>,
+    state: State,
+    hier: Option<Hierarchy>,
+    stored: usize,
+    classes: Vec<Vec<T>>,
+}
+
+impl<T: Real> Default for StreamingDecoder<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Real> StreamingDecoder<T> {
+    /// Fresh decoder awaiting the header.
+    pub fn new() -> Self {
+        StreamingDecoder {
+            buf: Vec::new(),
+            state: State::Header,
+            hier: None,
+            stored: 0,
+            classes: Vec::new(),
+        }
+    }
+
+    /// Number of classes fully received so far.
+    pub fn classes_ready(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether every advertised class has arrived.
+    pub fn is_complete(&self) -> bool {
+        matches!(self.state, State::Done)
+    }
+
+    /// The hierarchy, once the header has been parsed.
+    pub fn hierarchy(&self) -> Option<&Hierarchy> {
+        self.hier.as_ref()
+    }
+
+    /// Feed a chunk; returns the number of classes now ready.
+    pub fn push(&mut self, chunk: &[u8]) -> Result<usize, DecodeError> {
+        self.buf.extend_from_slice(chunk);
+        loop {
+            match &self.state {
+                State::Header => {
+                    // fixed part: magic(4) version(2) precision(1) ndim(1)
+                    if self.buf.len() < 8 {
+                        break;
+                    }
+                    // Validate the fixed fields as soon as they arrive so
+                    // a bad stream fails fast.
+                    let magic = u32::from_le_bytes(self.buf[0..4].try_into().unwrap());
+                    if magic != 0x4D47_5244 {
+                        return Err(DecodeError::BadMagic(magic));
+                    }
+                    let version = u16::from_le_bytes(self.buf[4..6].try_into().unwrap());
+                    if version != 1 {
+                        return Err(DecodeError::BadVersion(version));
+                    }
+                    let precision = self.buf[6];
+                    if precision as usize != T::BYTES {
+                        return Err(DecodeError::BadPrecision(precision));
+                    }
+                    let ndim = self.buf[7] as usize;
+                    if ndim == 0 || ndim > mg_grid::MAX_DIMS {
+                        return Err(DecodeError::BadShape(format!("ndim = {ndim}")));
+                    }
+                    let need = 8 + 8 * ndim + 4;
+                    if self.buf.len() < need {
+                        break;
+                    }
+                    let mut dims = Vec::with_capacity(ndim);
+                    for d in 0..ndim {
+                        let off = 8 + 8 * d;
+                        let v = u64::from_le_bytes(self.buf[off..off + 8].try_into().unwrap());
+                        if v == 0 {
+                            return Err(DecodeError::BadShape("zero extent".into()));
+                        }
+                        dims.push(v as usize);
+                    }
+                    if dims.len() > mg_grid::MAX_DIMS {
+                        return Err(DecodeError::BadShape("too many dims".into()));
+                    }
+                    let shape = Shape::new(&dims);
+                    let hier = Hierarchy::new(shape)
+                        .map_err(|e| DecodeError::BadShape(e.to_string()))?;
+                    let stored = u32::from_le_bytes(
+                        self.buf[8 + 8 * ndim..8 + 8 * ndim + 4].try_into().unwrap(),
+                    ) as usize;
+                    if stored == 0 || stored > hier.nlevels() + 1 {
+                        return Err(DecodeError::BadShape(format!("{stored} classes")));
+                    }
+                    self.buf.drain(..need);
+                    self.hier = Some(hier);
+                    self.stored = stored;
+                    self.state = State::ClassLen { class: 0 };
+                }
+                State::ClassLen { class } => {
+                    let class = *class;
+                    if class >= self.stored {
+                        self.state = State::Done;
+                        continue;
+                    }
+                    if self.buf.len() < 8 {
+                        break;
+                    }
+                    let got =
+                        u64::from_le_bytes(self.buf[..8].try_into().unwrap()) as usize;
+                    let hier = self.hier.as_ref().unwrap();
+                    let expect = if class == 0 {
+                        hier.level_len(0)
+                    } else {
+                        hier.class_len(class)
+                    };
+                    if got != expect {
+                        return Err(DecodeError::LengthMismatch {
+                            class,
+                            expect,
+                            got,
+                        });
+                    }
+                    self.buf.drain(..8);
+                    self.state = State::ClassBody { class, expect };
+                }
+                State::ClassBody { class, expect } => {
+                    let (class, expect) = (*class, *expect);
+                    let need = expect * T::BYTES;
+                    if self.buf.len() < need {
+                        break;
+                    }
+                    let mut vals = Vec::with_capacity(expect);
+                    for i in 0..expect {
+                        let off = i * T::BYTES;
+                        let v = if T::BYTES == 4 {
+                            T::from_f64(f32::from_le_bytes(
+                                self.buf[off..off + 4].try_into().unwrap(),
+                            ) as f64)
+                        } else {
+                            T::from_f64(f64::from_le_bytes(
+                                self.buf[off..off + 8].try_into().unwrap(),
+                            ))
+                        };
+                        vals.push(v);
+                    }
+                    self.buf.drain(..need);
+                    self.classes.push(vals);
+                    self.state = State::ClassLen { class: class + 1 };
+                }
+                State::Done => break,
+            }
+        }
+        Ok(self.classes.len())
+    }
+
+    /// Current best representation: ready classes as-is, the rest
+    /// zero-filled. `None` until the header has arrived.
+    pub fn snapshot(&self) -> Option<Refactored<T>> {
+        let hier = self.hier.as_ref()?;
+        let mut classes = Vec::with_capacity(hier.nlevels() + 1);
+        for k in 0..=hier.nlevels() {
+            let expect = if k == 0 {
+                hier.level_len(0)
+            } else {
+                hier.class_len(k)
+            };
+            if k < self.classes.len() {
+                classes.push(self.classes[k].clone());
+            } else {
+                classes.push(vec![T::ZERO; expect]);
+            }
+        }
+        Some(Refactored::from_classes(hier.clone(), classes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::progressive::reconstruct_prefix;
+    use crate::serialize::encode;
+    use mg_core::Refactorer;
+    use mg_grid::NdArray;
+
+    fn payload() -> (Vec<u8>, NdArray<f64>, Refactored<f64>) {
+        let shape = Shape::d2(17, 17);
+        let orig = NdArray::from_fn(shape, |i| ((i[0] * 7 + i[1] * 5) % 13) as f64 * 0.21);
+        let mut r = Refactorer::<f64>::new(shape).unwrap();
+        let mut d = orig.clone();
+        r.decompose(&mut d);
+        let hier = r.hierarchy().clone();
+        let refac = Refactored::from_array(&d, &hier);
+        (encode(&refac).to_vec(), orig, refac)
+    }
+
+    #[test]
+    fn byte_at_a_time_matches_batch_decoder() {
+        let (bytes, _, refac) = payload();
+        let mut dec = StreamingDecoder::<f64>::new();
+        for b in &bytes {
+            dec.push(std::slice::from_ref(b)).unwrap();
+        }
+        assert!(dec.is_complete());
+        assert_eq!(dec.classes_ready(), refac.num_classes());
+        let snap = dec.snapshot().unwrap();
+        for k in 0..refac.num_classes() {
+            assert_eq!(snap.class(k), refac.class(k));
+        }
+    }
+
+    #[test]
+    fn classes_become_ready_monotonically() {
+        let (bytes, _, refac) = payload();
+        let mut dec = StreamingDecoder::<f64>::new();
+        let mut last = 0;
+        for chunk in bytes.chunks(13) {
+            let ready = dec.push(chunk).unwrap();
+            assert!(ready >= last);
+            last = ready;
+        }
+        assert_eq!(last, refac.num_classes());
+    }
+
+    #[test]
+    fn partial_stream_gives_usable_snapshot() {
+        let (bytes, orig, _) = payload();
+        let mut dec = StreamingDecoder::<f64>::new();
+        // Feed 40% of the payload.
+        dec.push(&bytes[..bytes.len() * 2 / 5]).unwrap();
+        assert!(!dec.is_complete());
+        let ready = dec.classes_ready();
+        assert!(ready >= 1, "some classes should be complete");
+        let snap = dec.snapshot().unwrap();
+        let shape = orig.shape();
+        let mut r = Refactorer::<f64>::new(shape).unwrap();
+        let approx = reconstruct_prefix(&snap, snap.num_classes(), &mut r);
+        // A valid (lossy) approximation, not garbage.
+        assert!(approx.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn header_errors_are_reported_early() {
+        let (mut bytes, _, _) = payload();
+        bytes[0] ^= 0xAA;
+        let mut dec = StreamingDecoder::<f64>::new();
+        assert!(matches!(
+            dec.push(&bytes[..16]),
+            Err(DecodeError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_before_header_is_none() {
+        let dec = StreamingDecoder::<f64>::new();
+        assert!(dec.snapshot().is_none());
+        assert_eq!(dec.classes_ready(), 0);
+    }
+
+    #[test]
+    fn wrong_precision_rejected() {
+        let (bytes, _, _) = payload();
+        let mut dec = StreamingDecoder::<f32>::new();
+        assert!(matches!(
+            dec.push(&bytes),
+            Err(DecodeError::BadPrecision(8))
+        ));
+    }
+}

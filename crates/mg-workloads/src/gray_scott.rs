@@ -1,0 +1,254 @@
+//! 3-D Gray–Scott reaction-diffusion simulation.
+//!
+//! The model (Pearson, *Science* 1993 — the paper's citation [12]) evolves
+//! two species `u`, `v` on a periodic cubic grid:
+//!
+//! ```text
+//! du/dt = Du ∇²u - u v² + F (1 - u)
+//! dv/dt = Dv ∇²v + u v² - (F + k) v
+//! ```
+//!
+//! Integrated with forward Euler and the tutorial's normalized 7-point
+//! Laplacian (`(Σ neighbours - 6u) / 6`, which keeps `dt = 1` stable),
+//! parallelized
+//! over z-slabs with rayon. The default parameters produce the
+//! labyrinthine patterns the ADIOS Gray–Scott tutorial (citation [13])
+//! ships, which is the dataset class of the paper's evaluation.
+
+use mg_grid::{NdArray, Shape};
+use rayon::prelude::*;
+
+/// Gray–Scott model parameters.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct GrayScottParams {
+    /// Diffusion rate of `u`.
+    pub du: f64,
+    /// Diffusion rate of `v`.
+    pub dv: f64,
+    /// Feed rate.
+    pub f: f64,
+    /// Kill rate.
+    pub k: f64,
+    /// Time step.
+    pub dt: f64,
+    /// Seed noise amplitude.
+    pub noise: f64,
+}
+
+impl Default for GrayScottParams {
+    fn default() -> Self {
+        // The ADIOS tutorial's defaults (labyrinthine regime).
+        GrayScottParams {
+            du: 0.2,
+            dv: 0.1,
+            f: 0.02,
+            k: 0.048,
+            dt: 1.0,
+            noise: 0.01,
+        }
+    }
+}
+
+/// A running Gray–Scott simulation on an `n × n × n` periodic grid.
+pub struct GrayScott {
+    n: usize,
+    params: GrayScottParams,
+    u: Vec<f64>,
+    v: Vec<f64>,
+    u2: Vec<f64>,
+    v2: Vec<f64>,
+    steps_done: usize,
+}
+
+impl GrayScott {
+    /// Initialize: `u = 1`, `v = 0` everywhere except a seeded cube in the
+    /// center (`u = 0.25`, `v = 0.5`), plus deterministic noise.
+    pub fn new(n: usize, params: GrayScottParams) -> Self {
+        assert!(n >= 4, "grid too small");
+        let len = n * n * n;
+        let mut u = vec![1.0f64; len];
+        let mut v = vec![0.0f64; len];
+        let lo = n / 2 - n / 8;
+        let hi = n / 2 + n / 8;
+        for z in lo..hi {
+            for y in lo..hi {
+                for x in lo..hi {
+                    let i = (z * n + y) * n + x;
+                    u[i] = 0.25;
+                    v[i] = 0.5;
+                }
+            }
+        }
+        // Deterministic multiplicative-congruential noise, so datasets are
+        // reproducible without threading an RNG through.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        for i in 0..len {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let r = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+            u[i] += params.noise * r;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let r = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+            v[i] += params.noise * r * 0.5;
+        }
+        GrayScott {
+            n,
+            params,
+            u2: u.clone(),
+            v2: v.clone(),
+            u,
+            v,
+            steps_done: 0,
+        }
+    }
+
+    /// Grid extent per dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Time steps taken so far.
+    pub fn steps_done(&self) -> usize {
+        self.steps_done
+    }
+
+    /// Advance `steps` time steps.
+    pub fn step(&mut self, steps: usize) {
+        let n = self.n;
+        let p = self.params;
+        for _ in 0..steps {
+            let u = &self.u;
+            let v = &self.v;
+            let plane = n * n;
+            self.u2
+                .par_chunks_mut(plane)
+                .zip(self.v2.par_chunks_mut(plane))
+                .enumerate()
+                .for_each(|(z, (uz, vz))| {
+                    let zm = (z + n - 1) % n;
+                    let zp = (z + 1) % n;
+                    for y in 0..n {
+                        let ym = (y + n - 1) % n;
+                        let yp = (y + 1) % n;
+                        for x in 0..n {
+                            let xm = (x + n - 1) % n;
+                            let xp = (x + 1) % n;
+                            let at = |zz: usize, yy: usize, xx: usize| (zz * n + yy) * n + xx;
+                            let i = at(z, y, x);
+                            let lap_u = u[at(zm, y, x)]
+                                + u[at(zp, y, x)]
+                                + u[at(z, ym, x)]
+                                + u[at(z, yp, x)]
+                                + u[at(z, y, xm)]
+                                + u[at(z, y, xp)]
+                                - 6.0 * u[i];
+                            let lap_u = lap_u / 6.0;
+                            let lap_v = v[at(zm, y, x)]
+                                + v[at(zp, y, x)]
+                                + v[at(z, ym, x)]
+                                + v[at(z, yp, x)]
+                                + v[at(z, y, xm)]
+                                + v[at(z, y, xp)]
+                                - 6.0 * v[i];
+                            let lap_v = lap_v / 6.0;
+                            let uvv = u[i] * v[i] * v[i];
+                            uz[y * n + x] =
+                                u[i] + p.dt * (p.du * lap_u - uvv + p.f * (1.0 - u[i]));
+                            vz[y * n + x] =
+                                v[i] + p.dt * (p.dv * lap_v + uvv - (p.f + p.k) * v[i]);
+                        }
+                    }
+                });
+            std::mem::swap(&mut self.u, &mut self.u2);
+            std::mem::swap(&mut self.v, &mut self.v2);
+            self.steps_done += 1;
+        }
+    }
+
+    /// The `u` field as an `n × n × n` array.
+    pub fn u_field(&self) -> NdArray<f64> {
+        NdArray::from_vec(Shape::d3(self.n, self.n, self.n), self.u.clone())
+    }
+
+    /// The `v` field as an `n × n × n` array.
+    pub fn v_field(&self) -> NdArray<f64> {
+        NdArray::from_vec(Shape::d3(self.n, self.n, self.n), self.v.clone())
+    }
+
+    /// Sample the `u` field onto a dyadic `(2^L+1)^3` grid (periodic wrap
+    /// for the final node), ready for refactoring — the paper generates
+    /// its inputs directly in this form (§IV).
+    pub fn u_field_dyadic(&self, target: usize) -> NdArray<f64> {
+        assert!(
+            mg_grid::hierarchy::dyadic_exponent(target).is_some(),
+            "target extent must be 2^k + 1"
+        );
+        let n = self.n;
+        NdArray::from_fn(Shape::d3(target, target, target), |idx| {
+            let map = |i: usize| (i * n / (target - 1)).min(n - 1) % n;
+            self.u[(map(idx[0]) * n + map(idx[1])) * n + map(idx[2])]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conserves_sane_ranges() {
+        let mut gs = GrayScott::new(24, GrayScottParams::default());
+        gs.step(50);
+        let u = gs.u_field();
+        let v = gs.v_field();
+        for &x in u.as_slice() {
+            assert!((-0.2..=1.4).contains(&x), "u out of range: {x}");
+        }
+        for &x in v.as_slice() {
+            assert!((-0.2..=1.0).contains(&x), "v out of range: {x}");
+        }
+    }
+
+    #[test]
+    fn pattern_develops() {
+        // After enough steps the seeded reaction spreads: v becomes
+        // non-trivial outside the seed cube.
+        let mut gs = GrayScott::new(32, GrayScottParams::default());
+        let v0: f64 = gs.v_field().as_slice().iter().sum();
+        gs.step(200);
+        let v1: f64 = gs.v_field().as_slice().iter().sum();
+        assert!(v1 > v0 * 1.02, "reaction should spread: {v0} -> {v1}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = GrayScott::new(16, GrayScottParams::default());
+        let mut b = GrayScott::new(16, GrayScottParams::default());
+        a.step(20);
+        b.step(20);
+        assert_eq!(a.u_field(), b.u_field());
+    }
+
+    #[test]
+    fn dyadic_sampling_shape() {
+        let mut gs = GrayScott::new(20, GrayScottParams::default());
+        gs.step(5);
+        let f = gs.u_field_dyadic(17);
+        assert_eq!(f.shape().as_slice(), &[17, 17, 17]);
+        assert!(f.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k + 1")]
+    fn dyadic_sampling_validates() {
+        let gs = GrayScott::new(16, GrayScottParams::default());
+        gs.u_field_dyadic(16);
+    }
+
+    #[test]
+    fn step_counter() {
+        let mut gs = GrayScott::new(8, GrayScottParams::default());
+        gs.step(3);
+        gs.step(2);
+        assert_eq!(gs.steps_done(), 5);
+    }
+}

@@ -1,0 +1,261 @@
+//! Iso-surface area extraction by marching tetrahedra.
+//!
+//! The paper's visualization showcase (§V-A) measures "the total area of
+//! the iso-surfaces" as the accuracy feature of reconstructed data. We
+//! compute that quantity directly: every grid cell is split into six
+//! tetrahedra (Kuhn triangulation — consistent across neighbouring cells),
+//! each tetrahedron contributes the polygon where the trilinear field
+//! crosses the iso-value, and areas are accumulated in parallel over
+//! z-slabs.
+
+use mg_grid::{Axis, NdArray, Shape};
+use rayon::prelude::*;
+
+/// The six tetrahedra around the main diagonal (corner 0 -> corner 7) of a
+/// cube whose corners are indexed by bits (z << 2 | y << 1 | x).
+const TETS: [[usize; 4]; 6] = [
+    [0, 1, 3, 7],
+    [0, 3, 2, 7],
+    [0, 2, 6, 7],
+    [0, 6, 4, 7],
+    [0, 4, 5, 7],
+    [0, 5, 1, 7],
+];
+
+/// Corner offsets (dz, dy, dx) for bit-indexed cube corners.
+const CORNER: [[f64; 3]; 8] = [
+    [0.0, 0.0, 0.0],
+    [0.0, 0.0, 1.0],
+    [0.0, 1.0, 0.0],
+    [0.0, 1.0, 1.0],
+    [1.0, 0.0, 0.0],
+    [1.0, 0.0, 1.0],
+    [1.0, 1.0, 0.0],
+    [1.0, 1.0, 1.0],
+];
+
+#[inline]
+fn lerp(a: [f64; 3], b: [f64; 3], fa: f64, fb: f64) -> [f64; 3] {
+    // fa and fb have opposite signs; find the zero crossing.
+    let t = fa / (fa - fb);
+    [
+        a[0] + t * (b[0] - a[0]),
+        a[1] + t * (b[1] - a[1]),
+        a[2] + t * (b[2] - a[2]),
+    ]
+}
+
+#[inline]
+fn tri_area(a: [f64; 3], b: [f64; 3], c: [f64; 3]) -> f64 {
+    let u = [b[0] - a[0], b[1] - a[1], b[2] - a[2]];
+    let v = [c[0] - a[0], c[1] - a[1], c[2] - a[2]];
+    let cx = u[1] * v[2] - u[2] * v[1];
+    let cy = u[2] * v[0] - u[0] * v[2];
+    let cz = u[0] * v[1] - u[1] * v[0];
+    0.5 * (cx * cx + cy * cy + cz * cz).sqrt()
+}
+
+/// Iso-surface area contributed by one tetrahedron.
+fn tet_area(p: &[[f64; 3]; 8], f: &[f64; 8], tet: &[usize; 4]) -> f64 {
+    let mut neg: Vec<usize> = Vec::with_capacity(4);
+    let mut pos: Vec<usize> = Vec::with_capacity(4);
+    for &vi in tet {
+        if f[vi] < 0.0 {
+            neg.push(vi);
+        } else {
+            pos.push(vi);
+        }
+    }
+    match (neg.len(), pos.len()) {
+        (0, _) | (_, 0) => 0.0,
+        (1, 3) | (3, 1) => {
+            let (lone, rest) = if neg.len() == 1 {
+                (neg[0], pos)
+            } else {
+                (pos[0], neg)
+            };
+            let v: Vec<[f64; 3]> = rest
+                .iter()
+                .map(|&r| lerp(p[lone], p[r], f[lone], f[r]))
+                .collect();
+            tri_area(v[0], v[1], v[2])
+        }
+        (2, 2) => {
+            // Quad on the four mixed-sign edges, in cyclic order.
+            let (a, b) = (neg[0], neg[1]);
+            let (c, d) = (pos[0], pos[1]);
+            let q0 = lerp(p[a], p[c], f[a], f[c]);
+            let q1 = lerp(p[a], p[d], f[a], f[d]);
+            let q2 = lerp(p[b], p[d], f[b], f[d]);
+            let q3 = lerp(p[b], p[c], f[b], f[c]);
+            tri_area(q0, q1, q2) + tri_area(q0, q2, q3)
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Total iso-surface area of `field` at `iso`, in grid units (unit cell
+/// spacing).
+///
+/// # Panics
+/// If `field` is not 3-dimensional.
+pub fn isosurface_area(field: &NdArray<f64>, iso: f64) -> f64 {
+    let shape: Shape = field.shape();
+    assert_eq!(shape.ndim(), 3, "iso-surface extraction needs 3-D data");
+    let (nz, ny, nx) = (
+        shape.dim(Axis(0)),
+        shape.dim(Axis(1)),
+        shape.dim(Axis(2)),
+    );
+    if nz < 2 || ny < 2 || nx < 2 {
+        return 0.0;
+    }
+    let data = field.as_slice();
+    (0..nz - 1)
+        .into_par_iter()
+        .map(|z| {
+            let mut acc = 0.0f64;
+            for y in 0..ny - 1 {
+                for x in 0..nx - 1 {
+                    let at = |dz: usize, dy: usize, dx: usize| {
+                        data[((z + dz) * ny + (y + dy)) * nx + (x + dx)] - iso
+                    };
+                    let f = [
+                        at(0, 0, 0),
+                        at(0, 0, 1),
+                        at(0, 1, 0),
+                        at(0, 1, 1),
+                        at(1, 0, 0),
+                        at(1, 0, 1),
+                        at(1, 1, 0),
+                        at(1, 1, 1),
+                    ];
+                    // Quick reject: all same sign.
+                    if f.iter().all(|&v| v >= 0.0) || f.iter().all(|&v| v < 0.0) {
+                        continue;
+                    }
+                    let mut p = CORNER;
+                    for c in p.iter_mut() {
+                        c[0] += z as f64;
+                        c[1] += y as f64;
+                        c[2] += x as f64;
+                    }
+                    for tet in &TETS {
+                        acc += tet_area(&p, &f, tet);
+                    }
+                }
+            }
+            acc
+        })
+        .sum()
+}
+
+/// Relative accuracy of a reconstructed field's iso-surface area against
+/// the original's: `1 - |A_rec - A_orig| / A_orig` (clamped at 0).
+pub fn isosurface_accuracy(original: &NdArray<f64>, reconstructed: &NdArray<f64>, iso: f64) -> f64 {
+    let a = isosurface_area(original, iso);
+    let b = isosurface_area(reconstructed, iso);
+    if a == 0.0 {
+        return if b == 0.0 { 1.0 } else { 0.0 };
+    }
+    (1.0 - (a - b).abs() / a).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize, f: impl Fn(f64, f64, f64) -> f64) -> NdArray<f64> {
+        NdArray::from_fn(Shape::d3(n, n, n), |i| {
+            f(i[0] as f64, i[1] as f64, i[2] as f64)
+        })
+    }
+
+    #[test]
+    fn axis_aligned_plane_has_exact_area() {
+        // f = x - c: the iso-surface is a plane of area (n-1)^2.
+        let n = 9;
+        let field = sample(n, |_, _, x| x - 3.5);
+        let area = isosurface_area(&field, 0.0);
+        let expect = ((n - 1) * (n - 1)) as f64;
+        assert!((area - expect).abs() < 1e-9, "{area} vs {expect}");
+    }
+
+    #[test]
+    fn diagonal_plane_area() {
+        // f = x + y - c: plane at 45 degrees; intersection with the cube
+        // has area sqrt(2) * (n-1)^2 when it cuts the full cross-section.
+        let n = 17;
+        let field = sample(n, |_, y, x| x + y - (n as f64 - 1.0));
+        let area = isosurface_area(&field, 0.0);
+        let expect = std::f64::consts::SQRT_2 * ((n - 1) * (n - 1)) as f64;
+        assert!(
+            (area - expect).abs() / expect < 1e-9,
+            "{area} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn sphere_area_converges() {
+        // f = r^2 - R^2 around the center: area -> 4 pi R^2.
+        let n = 65;
+        let c = (n as f64 - 1.0) / 2.0;
+        let r = 20.0;
+        let field = sample(n, |z, y, x| {
+            (x - c).powi(2) + (y - c).powi(2) + (z - c).powi(2) - r * r
+        });
+        let area = isosurface_area(&field, 0.0);
+        let expect = 4.0 * std::f64::consts::PI * r * r;
+        assert!(
+            (area - expect).abs() / expect < 0.02,
+            "{area} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn no_crossing_no_area() {
+        let field = sample(8, |_, _, _| 1.0);
+        assert_eq!(isosurface_area(&field, 0.0), 0.0);
+        assert_eq!(isosurface_area(&field, 2.0), 0.0); // all below
+    }
+
+    #[test]
+    fn iso_value_shifts_the_surface() {
+        let n = 33;
+        let field = sample(n, |_, _, x| x);
+        // surface x = iso: any iso in (0, n-1) gives a full plane.
+        let a1 = isosurface_area(&field, 5.0);
+        let a2 = isosurface_area(&field, 20.5);
+        assert!((a1 - a2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accuracy_of_identical_fields_is_one() {
+        let n = 17;
+        let c = (n as f64 - 1.0) / 2.0;
+        let f = sample(n, |z, y, x| {
+            (x - c).powi(2) + (y - c).powi(2) + (z - c).powi(2) - 16.0
+        });
+        assert_eq!(isosurface_accuracy(&f, &f.clone(), 0.0), 1.0);
+    }
+
+    #[test]
+    fn accuracy_penalizes_perturbation() {
+        let n = 33;
+        let c = (n as f64 - 1.0) / 2.0;
+        let f = sample(n, |z, y, x| {
+            ((x - c).powi(2) + (y - c).powi(2) + (z - c).powi(2)).sqrt() - 8.0
+        });
+        let rough = NdArray::from_fn(f.shape(), |i| {
+            f.get(i) + if (i[0] + i[1] + i[2]) % 2 == 0 { 0.4 } else { -0.4 }
+        });
+        let acc = isosurface_accuracy(&f, &rough, 0.0);
+        assert!(acc < 0.999, "perturbation must reduce accuracy: {acc}");
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        let field = NdArray::from_fn(Shape::d3(1, 5, 5), |_| 1.0);
+        assert_eq!(isosurface_area(&field, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Workload generators for the evaluation harnesses.
+//!
+//! The paper evaluates on data "generated from the Gray-Scott
+//! Reaction-Diffusion simulation" (§IV) and demonstrates its visualization
+//! showcase on iso-surface features (§V-A). This crate reimplements both:
+//!
+//! * [`gray_scott`] — a real 3-D Gray–Scott integrator (periodic boundary,
+//!   forward-Euler, rayon-parallel) producing the same class of labyrinthine
+//!   pattern data;
+//! * [`isosurface`] — iso-surface *area* extraction by marching tetrahedra
+//!   (the derived quantity whose accuracy §V-A tracks);
+//! * [`synthetic`] — deterministic analytic fields for tests and benches.
+
+pub mod gray_scott;
+pub mod isosurface;
+pub mod synthetic;
+
+pub use gray_scott::{GrayScott, GrayScottParams};
+pub use isosurface::isosurface_area;

@@ -1,0 +1,99 @@
+//! Deterministic analytic fields for tests and benches.
+
+use mg_grid::{NdArray, Real, Shape};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Smooth multi-frequency field on the unit cube: a fixed sum of
+/// sinusoids, deterministic and dimension-agnostic.
+pub fn smooth<T: Real>(shape: Shape) -> NdArray<T> {
+    let nd = shape.ndim();
+    NdArray::from_fn(shape, |idx| {
+        let mut v = 0.0f64;
+        for (d, &i) in idx.iter().take(nd).enumerate() {
+            let x = i as f64 / (shape.as_slice()[d].max(2) - 1) as f64;
+            v += ((d as f64 + 2.0) * std::f64::consts::PI * x).sin() * (1.0 / (d + 1) as f64);
+            v += (7.3 * x + d as f64).cos() * 0.25;
+        }
+        T::from_f64(v)
+    })
+}
+
+/// A Gaussian bump centred in the domain (localized feature).
+pub fn gaussian_bump<T: Real>(shape: Shape, width: f64) -> NdArray<T> {
+    let nd = shape.ndim();
+    NdArray::from_fn(shape, |idx| {
+        let mut r2 = 0.0f64;
+        for (d, &i) in idx.iter().take(nd).enumerate() {
+            let x = i as f64 / (shape.as_slice()[d].max(2) - 1) as f64 - 0.5;
+            r2 += x * x;
+        }
+        T::from_f64((-r2 / (width * width)).exp())
+    })
+}
+
+/// Uniform random field in `[-1, 1]`, seeded (rough data — the hardest
+/// case for progressive reconstruction).
+pub fn random<T: Real>(shape: Shape, seed: u64) -> NdArray<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    NdArray::from_fn(shape, |_| T::from_f64(rng.gen_range(-1.0..1.0)))
+}
+
+/// Piecewise-constant "shock" field: 1 inside a centred ball, 0 outside
+/// (discontinuous data, exercises worst-case coefficient decay).
+pub fn shock<T: Real>(shape: Shape) -> NdArray<T> {
+    let nd = shape.ndim();
+    NdArray::from_fn(shape, |idx| {
+        let mut r2 = 0.0f64;
+        for (d, &i) in idx.iter().take(nd).enumerate() {
+            let x = i as f64 / (shape.as_slice()[d].max(2) - 1) as f64 - 0.5;
+            r2 += x * x;
+        }
+        T::from_f64(if r2 < 0.09 { 1.0 } else { 0.0 })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smooth_is_deterministic_and_finite() {
+        let a = smooth::<f64>(Shape::d2(17, 33));
+        let b = smooth::<f64>(Shape::d2(17, 33));
+        assert_eq!(a, b);
+        assert!(a.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn gaussian_peaks_at_center() {
+        let g = gaussian_bump::<f64>(Shape::d1(33), 0.2);
+        let max = g.as_slice().iter().cloned().fold(f64::MIN, f64::max);
+        assert!((g.get(&[16]) - max).abs() < 1e-12);
+        assert!(g.get(&[0]) < 0.01);
+    }
+
+    #[test]
+    fn random_is_seeded() {
+        let a = random::<f64>(Shape::d1(64), 7);
+        let b = random::<f64>(Shape::d1(64), 7);
+        let c = random::<f64>(Shape::d1(64), 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.as_slice().iter().all(|v| (-1.0..1.0).contains(v)));
+    }
+
+    #[test]
+    fn shock_is_binary() {
+        let s = shock::<f64>(Shape::d3(17, 17, 17));
+        assert!(s.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+        assert_eq!(s.get(&[8, 8, 8]), 1.0);
+        assert_eq!(s.get(&[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn f32_variants_work() {
+        let s = smooth::<f32>(Shape::d1(9));
+        assert_eq!(s.len(), 9);
+    }
+}

@@ -1,0 +1,236 @@
+//! `mgard-cli` — refactor, reconstruct, compress, and inspect scientific
+//! data files from the command line.
+//!
+//! Data files are raw little-endian `f64` arrays; the grid shape is given
+//! with `--shape`, e.g. `--shape 513x513`. Refactored payloads use the
+//! `mg-refactor` wire format, compressed payloads the `mg-compress`
+//! format.
+//!
+//! ```text
+//! mgard-cli refactor   --shape 65x65x65 in.f64 out.mgrd [--classes K]
+//! mgard-cli reconstruct out.mgrd back.f64 [--classes K]
+//! mgard-cli compress   --shape 65x65x65 --tau 1e-3 in.f64 out.mgz
+//! mgard-cli decompress --shape 65x65x65 --tau 1e-3 out.mgz back.f64
+//! mgard-cli info       out.mgrd
+//! ```
+
+use mgard::mg_compress::{Compressed, Compressor, StageTimings};
+use mgard::prelude::*;
+use std::io::{Read as _, Write as _};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  mgard-cli refactor   --shape DxHxW IN.f64 OUT.mgrd [--classes K]
+  mgard-cli reconstruct IN.mgrd OUT.f64 [--classes K]
+  mgard-cli compress   --shape DxHxW --tau T IN.f64 OUT.mgz
+  mgard-cli decompress --shape DxHxW --tau T IN.mgz OUT.f64
+  mgard-cli info       IN.mgrd";
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Parsed flag/positional arguments.
+struct Opts {
+    positional: Vec<String>,
+    shape: Option<Shape>,
+    tau: Option<f64>,
+    classes: Option<usize>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, Box<dyn std::error::Error>> {
+    let mut o = Opts {
+        positional: Vec::new(),
+        shape: None,
+        tau: None,
+        classes: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--shape" => {
+                let v = it.next().ok_or("--shape needs a value like 65x65")?;
+                let dims: Result<Vec<usize>, _> = v.split('x').map(str::parse).collect();
+                o.shape = Some(Shape::new(&dims.map_err(|_| "bad --shape")?));
+            }
+            "--tau" => {
+                let v = it.next().ok_or("--tau needs a value")?;
+                o.tau = Some(v.parse().map_err(|_| "bad --tau")?);
+            }
+            "--classes" => {
+                let v = it.next().ok_or("--classes needs a value")?;
+                o.classes = Some(v.parse().map_err(|_| "bad --classes")?);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}").into()),
+            other => o.positional.push(other.to_string()),
+        }
+    }
+    Ok(o)
+}
+
+fn run(args: &[String]) -> CliResult {
+    let cmd = args.first().ok_or("missing command")?.clone();
+    let o = parse_opts(&args[1..])?;
+    match cmd.as_str() {
+        "refactor" => refactor(&o),
+        "reconstruct" => reconstruct(&o),
+        "compress" => compress(&o),
+        "decompress" => decompress(&o),
+        "info" => info(&o),
+        other => Err(format!("unknown command {other}").into()),
+    }
+}
+
+fn read_f64_file(path: &str, shape: Shape) -> Result<NdArray<f64>, Box<dyn std::error::Error>> {
+    let mut buf = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut buf)?;
+    if buf.len() != shape.len() * 8 {
+        return Err(format!(
+            "{path}: {} bytes but shape {:?} needs {}",
+            buf.len(),
+            shape.as_slice(),
+            shape.len() * 8
+        )
+        .into());
+    }
+    let data = buf
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    Ok(NdArray::from_vec(shape, data))
+}
+
+fn write_f64_file(path: &str, arr: &NdArray<f64>) -> CliResult {
+    let mut f = std::fs::File::create(path)?;
+    for &v in arr.as_slice() {
+        f.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn refactor(o: &Opts) -> CliResult {
+    let shape = o.shape.ok_or("refactor needs --shape")?;
+    let [input, output] = o.positional.as_slice() else {
+        return Err("refactor needs IN and OUT paths".into());
+    };
+    let data = read_f64_file(input, shape)?;
+    let mut r = Refactorer::<f64>::new(shape)
+        .map_err(|e| format!("{e} (use a 2^k+1 shape or pad first)"))?
+        .exec(Exec::Parallel);
+    let mut work = data;
+    r.decompose(&mut work);
+    let hier = r.hierarchy().clone();
+    let refac = Refactored::from_array(&work, &hier);
+    let count = o.classes.unwrap_or(refac.num_classes());
+    let bytes = encode_prefix(&refac, count);
+    std::fs::write(output, &bytes)?;
+    println!(
+        "refactored {:?} -> {} classes, {} bytes (kept {})",
+        shape.as_slice(),
+        refac.num_classes(),
+        bytes.len(),
+        count.min(refac.num_classes())
+    );
+    Ok(())
+}
+
+fn reconstruct(o: &Opts) -> CliResult {
+    let [input, output] = o.positional.as_slice() else {
+        return Err("reconstruct needs IN and OUT paths".into());
+    };
+    let bytes = std::fs::read(input)?;
+    let refac: Refactored<f64> = decode(bytes.into())?;
+    let shape = refac.hierarchy().finest();
+    let mut r = Refactorer::<f64>::new(shape).unwrap().exec(Exec::Parallel);
+    let count = o.classes.unwrap_or(refac.num_classes()).clamp(1, refac.num_classes());
+    let arr = reconstruct_prefix(&refac, count, &mut r);
+    write_f64_file(output, &arr)?;
+    println!(
+        "reconstructed {:?} from {count}/{} classes",
+        shape.as_slice(),
+        refac.num_classes()
+    );
+    Ok(())
+}
+
+fn compress(o: &Opts) -> CliResult {
+    let shape = o.shape.ok_or("compress needs --shape")?;
+    let tau = o.tau.ok_or("compress needs --tau")?;
+    let [input, output] = o.positional.as_slice() else {
+        return Err("compress needs IN and OUT paths".into());
+    };
+    let data = read_f64_file(input, shape)?;
+    let mut c = Compressor::<f64>::new(shape, tau).parallel();
+    let blob = c.compress(&data);
+    std::fs::write(output, &blob.bytes)?;
+    report_timings("compressed", &blob.timings);
+    println!(
+        "ratio {:.2}x ({} -> {} bytes), L-inf bound {tau}",
+        blob.ratio(),
+        blob.original_bytes,
+        blob.bytes.len()
+    );
+    Ok(())
+}
+
+fn decompress(o: &Opts) -> CliResult {
+    let shape = o.shape.ok_or("decompress needs --shape")?;
+    let tau = o.tau.ok_or("decompress needs --tau (compressor config)")?;
+    let [input, output] = o.positional.as_slice() else {
+        return Err("decompress needs IN and OUT paths".into());
+    };
+    let payload = std::fs::read(input)?;
+    let mut c = Compressor::<f64>::new(shape, tau).parallel();
+    let blob = Compressed {
+        bytes: payload.into(),
+        original_bytes: shape.len() * 8,
+        timings: StageTimings::default(),
+    };
+    let (arr, timings) = c.decompress(&blob);
+    write_f64_file(output, &arr)?;
+    report_timings("decompressed", &timings);
+    Ok(())
+}
+
+fn info(o: &Opts) -> CliResult {
+    let [input] = o.positional.as_slice() else {
+        return Err("info needs one path".into());
+    };
+    let bytes = std::fs::read(input)?;
+    let refac: Refactored<f64> = decode(bytes.into())?;
+    let hier = refac.hierarchy();
+    println!("shape: {:?}", hier.finest().as_slice());
+    println!("levels: {}", hier.nlevels());
+    println!("classes:");
+    for k in 0..refac.num_classes() {
+        let c = refac.class(k);
+        let linf = c.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        println!(
+            "  {k}: {} values, {} bytes, max |c| = {linf:.4e}",
+            c.len(),
+            c.len() * 8
+        );
+    }
+    Ok(())
+}
+
+fn report_timings(verb: &str, t: &StageTimings) {
+    println!(
+        "{verb} in {:?} (refactor {:?}, quantize {:?}, entropy {:?})",
+        t.total(),
+        t.refactor,
+        t.quantize,
+        t.entropy
+    );
+}

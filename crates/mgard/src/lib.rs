@@ -1,0 +1,94 @@
+//! # mgard — multigrid-based hierarchical scientific data refactoring
+//!
+//! A from-scratch Rust reproduction of *"Accelerating Multigrid-based
+//! Hierarchical Scientific Data Refactoring on GPUs"* (Chen et al.,
+//! IPDPS 2021): the Ainsworth et al. multilevel decomposition, the paper's
+//! GPU kernel frameworks expressed over a GPU execution model, progressive
+//! coefficient-class reconstruction, an MGARD-style error-bounded
+//! compressor, and the I/O / cluster simulators behind the paper's
+//! evaluation figures.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mgard::prelude::*;
+//!
+//! // A 2-D field on a 33x33 grid (extents must be 2^k + 1; see
+//! // mg_core::padded for arbitrary sizes).
+//! let shape = Shape::d2(33, 33);
+//! let original = NdArray::from_fn(shape, |i| (i[0] as f64 * 0.3).sin() + i[1] as f64 * 0.01);
+//!
+//! // Decompose in place, slice into coefficient classes.
+//! let mut refactorer = Refactorer::<f64>::new(shape).unwrap();
+//! let mut data = original.clone();
+//! refactorer.decompose(&mut data);
+//! let hier = refactorer.hierarchy().clone();
+//! let refac = Refactored::from_array(&data, &hier);
+//!
+//! // Reconstruct from half of the classes.
+//! let k = refac.num_classes() / 2;
+//! let approx = reconstruct_prefix(&refac, k, &mut refactorer);
+//! assert_eq!(approx.shape(), shape);
+//!
+//! // All classes reproduce the original to floating-point accuracy.
+//! let exact = reconstruct_prefix(&refac, refac.num_classes(), &mut refactorer);
+//! let err = mg_grid::real::max_abs_diff(exact.as_slice(), original.as_slice());
+//! assert!(err < 1e-11);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Layer | Crate | Contents |
+//! |---|---|---|
+//! | grids | [`mg_grid`] | shapes, fibers, dyadic hierarchy, coordinates, packing |
+//! | kernels | [`mg_kernels`] | the five refactoring kernels (serial + rayon) |
+//! | drivers | [`mg_core`] | decomposition/recomposition, arbitrary sizes |
+//! | classes | [`mg_refactor`] | coefficient classes, progressive reconstruction, wire format |
+//! | GPU model | [`gpu_sim`] | device specs, coalescing/occupancy/stream models |
+//! | GPU design | [`mg_gpu`] | the paper's kernel frameworks as cost models + functional exec |
+//! | compression | [`mg_compress`] | quantizer + entropy coder + pipeline (§V-B) |
+//! | I/O | [`mg_io`] | tiered storage + ADIOS-like selective class I/O (§V-A) |
+//! | scale-out | [`mg_cluster`] | weak scaling and node-level comparisons (Fig. 9, Table VI) |
+//! | data | [`mg_workloads`] | Gray–Scott, iso-surfaces, synthetic fields |
+
+pub use gpu_sim;
+pub use mg_cluster;
+pub use mg_compress;
+pub use mg_core;
+pub use mg_gpu;
+pub use mg_grid;
+pub use mg_io;
+pub use mg_kernels;
+pub use mg_refactor;
+pub use mg_workloads;
+
+/// The most commonly used types, one `use` away.
+pub mod prelude {
+    pub use gpu_sim::device::DeviceSpec;
+    pub use mg_compress::{Compressed, Compressor};
+    pub use mg_core::padded::PaddedRefactorer;
+    pub use mg_core::{Exec, Refactorer};
+    pub use mg_gpu::exec::GpuRefactorer;
+    pub use mg_grid::{Axis, CoordSet, Hierarchy, NdArray, Real, Shape};
+    pub use mg_refactor::classes::Refactored;
+    pub use mg_refactor::progressive::{accuracy_curve, reconstruct_prefix};
+    pub use mg_refactor::serialize::{decode, encode, encode_prefix};
+    pub use mg_workloads::gray_scott::{GrayScott, GrayScottParams};
+    pub use mg_workloads::isosurface::{isosurface_area, isosurface_accuracy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_compose() {
+        let shape = Shape::d2(9, 9);
+        let data = NdArray::from_fn(shape, |i| (i[0] + i[1]) as f64);
+        let mut r = Refactorer::<f64>::new(shape).unwrap();
+        let mut d = data.clone();
+        r.decompose(&mut d);
+        r.recompose(&mut d);
+        assert!(mg_grid::real::max_abs_diff(d.as_slice(), data.as_slice()) < 1e-12);
+    }
+}

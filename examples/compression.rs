@@ -1,0 +1,42 @@
+//! MGARD-style error-bounded lossy compression (paper §V-B).
+//!
+//! Compresses a Gray–Scott field at several L∞ error bounds, verifies the
+//! bound holds, and reports ratio plus per-stage timing — the laptop-scale
+//! version of the paper's Figure 11 experiment.
+//!
+//! Run with: `cargo run --release --example compression`
+
+use mgard::prelude::*;
+
+fn main() {
+    let mut gs = GrayScott::new(96, GrayScottParams::default());
+    gs.step(500);
+    let field = gs.u_field_dyadic(129);
+    let shape = field.shape();
+    let raw_mib = (field.len() * 8) as f64 / (1 << 20) as f64;
+    println!("input: Gray–Scott u field, {shape:?}, {raw_mib:.1} MiB\n");
+
+    println!("tau        ratio   max-error   refactor   quantize   entropy");
+    for tau in [1e-1, 1e-2, 1e-3, 1e-5] {
+        let mut c = Compressor::<f64>::new(shape, tau).parallel();
+        let blob = c.compress(&field);
+        let (back, _) = c.decompress(&blob);
+        let err = mg_grid::real::max_abs_diff(back.as_slice(), field.as_slice());
+        assert!(err <= tau, "error bound violated: {err} > {tau}");
+        let t = blob.timings;
+        println!(
+            "{:>7.0e}  {:>6.2}x  {:>9.2e}  {:>8.1?}  {:>8.1?}  {:>8.1?}",
+            tau,
+            blob.ratio(),
+            err,
+            t.refactor,
+            t.quantize,
+            t.entropy
+        );
+    }
+
+    println!(
+        "\nEvery bound holds; looser bounds compress better — the refactoring\n\
+         concentrates the signal in coarse classes so fine-class symbols shrink."
+    );
+}

@@ -1,0 +1,66 @@
+//! Quickstart: refactor a Gray–Scott field and trade accuracy for bytes.
+//!
+//! Reproduces, on laptop scale, the core promise of the paper's Figure 1:
+//! decompose once, then reconstruct approximations from any prefix of
+//! coefficient classes. Also walks the paper's Figure 2 example (the 1-D
+//! quadratic `y = x^2 - 6x + 5`).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mgard::prelude::*;
+
+fn main() {
+    fig2_walkthrough();
+    progressive_gray_scott();
+}
+
+/// Paper Fig. 2: decomposing a 1-D quadratic.
+fn fig2_walkthrough() {
+    println!("== Fig. 2 walkthrough: y = x^2 - 6x + 5 on 5 nodes ==");
+    let shape = Shape::d1(5);
+    let coords = CoordSet::from_vecs(shape, vec![(0..5).map(|i| i as f64).collect()]);
+    let original = NdArray::sample(shape, coords.as_vecs(), |x| x[0] * x[0] - 6.0 * x[0] + 5.0);
+    println!("original nodal values: {:?}", original.as_slice());
+
+    let mut r = Refactorer::with_coords(shape, coords).unwrap();
+    let mut data = original.clone();
+    r.decompose_level(&mut data, 2);
+    println!("after level-2 step:    {:?}", data.as_slice());
+    r.decompose_level(&mut data, 1);
+    println!("fully decomposed:      {:?}", data.as_slice());
+
+    r.recompose(&mut data);
+    let err = mg_grid::real::max_abs_diff(data.as_slice(), original.as_slice());
+    println!("recomposition max error: {err:.2e}\n");
+}
+
+/// Progressive reconstruction of a 3-D Gray–Scott field.
+fn progressive_gray_scott() {
+    println!("== Progressive reconstruction: Gray–Scott 65^3 ==");
+    let mut gs = GrayScott::new(64, GrayScottParams::default());
+    gs.step(400);
+    let field = gs.u_field_dyadic(65);
+
+    let shape = field.shape();
+    let mut refactorer = Refactorer::<f64>::new(shape).unwrap().exec(Exec::Parallel);
+    let mut data = field.clone();
+    refactorer.decompose(&mut data);
+    let hier = refactorer.hierarchy().clone();
+    let refac = Refactored::from_array(&data, &hier);
+
+    println!(
+        "{} classes, total {} KiB",
+        refac.num_classes(),
+        refac.total_bytes() / 1024
+    );
+    println!("classes  bytes(KiB)  L-inf error     RMS error");
+    for p in accuracy_curve(&refac, &field, &mut refactorer) {
+        println!(
+            "{:>7}  {:>10}  {:>12.3e}  {:>12.3e}",
+            p.classes,
+            p.bytes / 1024,
+            p.linf,
+            p.rms
+        );
+    }
+}

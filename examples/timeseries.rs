@@ -1,0 +1,84 @@
+//! 4-D refactoring of a time series: exploit temporal correlation.
+//!
+//! The paper's conclusion points at "temporal fidelity" as a benefit of
+//! inline refactoring; this example shows the stack is dimension-generic
+//! enough to treat time as a fourth grid axis. Five Gray–Scott snapshots
+//! form a 5×33×33×33 field; decomposing in 4-D (time included) is
+//! compared against refactoring each snapshot independently in 3-D at
+//! equal byte budgets.
+//!
+//! Run with: `cargo run --release --example timeseries`
+
+use mgard::prelude::*;
+
+fn main() {
+    // --- build the time series -------------------------------------------
+    let n = 33usize;
+    let steps_between = 40;
+    let mut gs = GrayScott::new(48, GrayScottParams::default());
+    gs.step(200);
+    let mut snapshots = Vec::new();
+    for _ in 0..5 {
+        snapshots.push(gs.u_field_dyadic(n));
+        gs.step(steps_between);
+    }
+    let shape4 = Shape::d4(5, n, n, n);
+    let series = NdArray::from_fn(shape4, |i| snapshots[i[0]].get(&i[1..4]));
+
+    // --- 4-D refactoring ---------------------------------------------------
+    let mut r4 = Refactorer::<f64>::new(shape4).unwrap().exec(Exec::Parallel);
+    let mut data4 = series.clone();
+    r4.decompose(&mut data4);
+    let h4 = r4.hierarchy().clone();
+    let refac4 = Refactored::from_array(&data4, &h4);
+
+    println!("== 4-D (time as a grid axis) vs per-snapshot 3-D ==");
+    println!(
+        "series: 5 x {n}^3 doubles = {} KiB, {} classes in 4-D\n",
+        series.len() * 8 / 1024,
+        refac4.num_classes()
+    );
+
+    // --- per-snapshot 3-D refactoring --------------------------------------
+    let shape3 = Shape::d3(n, n, n);
+    let mut r3 = Refactorer::<f64>::new(shape3).unwrap().exec(Exec::Parallel);
+    let refac3: Vec<Refactored<f64>> = snapshots
+        .iter()
+        .map(|s| {
+            let mut d = s.clone();
+            r3.decompose(&mut d);
+            let h3 = r3.hierarchy().clone();
+            Refactored::from_array(&d, &h3)
+        })
+        .collect();
+
+    // --- compare at matched byte budgets ------------------------------------
+    println!("{:>10} {:>14} {:>14}", "bytes%", "4-D L-inf", "3-D L-inf");
+    for k4 in 1..=refac4.num_classes() {
+        let budget = refac4.prefix_bytes(k4);
+        let frac = budget as f64 / refac4.total_bytes() as f64;
+
+        let rec4 = reconstruct_prefix(&refac4, k4, &mut r4);
+        let err4 = mg_grid::real::max_abs_diff(rec4.as_slice(), series.as_slice());
+
+        // Spend the same budget evenly across the five 3-D snapshots.
+        let per_snap = budget / 5;
+        let k3 = mgard::mg_refactor::progressive::classes_for_budget(&refac3[0], per_snap);
+        let err3 = snapshots
+            .iter()
+            .zip(&refac3)
+            .map(|(orig, rf)| {
+                let rec = reconstruct_prefix(rf, k3, &mut r3);
+                mg_grid::real::max_abs_diff(rec.as_slice(), orig.as_slice())
+            })
+            .fold(0.0f64, f64::max);
+
+        println!("{:>9.2}% {:>14.3e} {:>14.3e}", 100.0 * frac, err4, err3);
+    }
+
+    println!(
+        "\nAt intermediate byte budgets the 4-D hierarchy reaches lower error:\n\
+         adjacent snapshots are highly correlated, so temporal coefficients are\n\
+         tiny and the coarse 4-D classes carry more information per byte."
+    );
+}

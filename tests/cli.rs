@@ -1,0 +1,180 @@
+//! End-to-end smoke tests of the `mgard-cli` binary: refactor →
+//! reconstruct and compress → decompress through real files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mgard-cli"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mgard-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn write_field(path: &PathBuf, n: usize) -> Vec<f64> {
+    let vals: Vec<f64> = (0..n * n)
+        .map(|i| ((i * 37) % 101) as f64 * 0.03 - 1.5)
+        .collect();
+    let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+    std::fs::write(path, bytes).unwrap();
+    vals
+}
+
+fn read_field(path: &PathBuf) -> Vec<f64> {
+    std::fs::read(path)
+        .unwrap()
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+#[test]
+fn refactor_reconstruct_round_trip() {
+    let d = tmpdir("rt");
+    let input = d.join("in.f64");
+    let refac = d.join("out.mgrd");
+    let output = d.join("back.f64");
+    let vals = write_field(&input, 33);
+
+    let s = cli()
+        .args(["refactor", "--shape", "33x33"])
+        .arg(&input)
+        .arg(&refac)
+        .status()
+        .unwrap();
+    assert!(s.success());
+
+    let s = cli()
+        .arg("reconstruct")
+        .arg(&refac)
+        .arg(&output)
+        .status()
+        .unwrap();
+    assert!(s.success());
+
+    let back = read_field(&output);
+    assert_eq!(back.len(), vals.len());
+    for (a, b) in back.iter().zip(&vals) {
+        assert!((a - b).abs() < 1e-10);
+    }
+    std::fs::remove_dir_all(d).unwrap();
+}
+
+#[test]
+fn prefix_reconstruction_is_lossy_but_valid() {
+    let d = tmpdir("prefix");
+    let input = d.join("in.f64");
+    let refac = d.join("out.mgrd");
+    let output = d.join("approx.f64");
+    let vals = write_field(&input, 33);
+
+    assert!(cli()
+        .args(["refactor", "--shape", "33x33", "--classes", "3"])
+        .arg(&input)
+        .arg(&refac)
+        .status()
+        .unwrap()
+        .success());
+    assert!(cli()
+        .arg("reconstruct")
+        .arg(&refac)
+        .arg(&output)
+        .status()
+        .unwrap()
+        .success());
+
+    let approx = read_field(&output);
+    assert_eq!(approx.len(), vals.len());
+    let err: f64 = approx
+        .iter()
+        .zip(&vals)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    assert!(err > 1e-6, "3-class prefix should be lossy");
+    assert!(err < 100.0, "but bounded");
+    std::fs::remove_dir_all(d).unwrap();
+}
+
+#[test]
+fn compress_decompress_respects_tau() {
+    let d = tmpdir("comp");
+    let input = d.join("in.f64");
+    let comp = d.join("out.mgz");
+    let output = d.join("back.f64");
+    let vals = write_field(&input, 65);
+
+    assert!(cli()
+        .args(["compress", "--shape", "65x65", "--tau", "1e-3"])
+        .arg(&input)
+        .arg(&comp)
+        .status()
+        .unwrap()
+        .success());
+    assert!(cli()
+        .args(["decompress", "--shape", "65x65", "--tau", "1e-3"])
+        .arg(&comp)
+        .arg(&output)
+        .status()
+        .unwrap()
+        .success());
+
+    let back = read_field(&output);
+    let err: f64 = back
+        .iter()
+        .zip(&vals)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    assert!(err <= 1e-3, "bound violated: {err}");
+    std::fs::remove_dir_all(d).unwrap();
+}
+
+#[test]
+fn info_prints_classes() {
+    let d = tmpdir("info");
+    let input = d.join("in.f64");
+    let refac = d.join("out.mgrd");
+    write_field(&input, 17);
+    assert!(cli()
+        .args(["refactor", "--shape", "17x17"])
+        .arg(&input)
+        .arg(&refac)
+        .status()
+        .unwrap()
+        .success());
+    let out = cli().arg("info").arg(&refac).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("shape: [17, 17]"));
+    assert!(text.contains("levels: 4"));
+    std::fs::remove_dir_all(d).unwrap();
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    // Unknown command.
+    let out = cli().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    // Shape mismatch.
+    let d = tmpdir("bad");
+    let input = d.join("in.f64");
+    write_field(&input, 9);
+    let out = cli()
+        .args(["refactor", "--shape", "33x33"])
+        .arg(&input)
+        .arg(d.join("x.mgrd"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    // Non-dyadic shape.
+    let out = cli()
+        .args(["refactor", "--shape", "9x10"])
+        .arg(&input)
+        .arg(d.join("x.mgrd"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(d).unwrap();
+}

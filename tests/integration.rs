@@ -1,0 +1,172 @@
+//! Cross-crate integration tests: the full producer-to-consumer pipeline
+//! (workload generation → refactoring → class extraction → serialization
+//! → reconstruction → feature analysis), compression, and the simulated
+//! GPU path, all working together.
+
+use mgard::mg_core::padded::PaddedRefactorer;
+use mgard::mg_gpu::kernels::Variant;
+use mgard::mg_workloads::synthetic;
+use mgard::prelude::*;
+
+fn gray_scott_field(n_sim: usize, steps: usize, dyadic: usize) -> NdArray<f64> {
+    let mut gs = GrayScott::new(n_sim, GrayScottParams::default());
+    gs.step(steps);
+    gs.u_field_dyadic(dyadic)
+}
+
+#[test]
+fn full_pipeline_gray_scott_to_consumer() {
+    // Producer: simulate, refactor (parallel kernels), serialize a prefix.
+    let field = gray_scott_field(48, 150, 33);
+    let shape = field.shape();
+    let mut refactorer = Refactorer::<f64>::new(shape).unwrap().exec(Exec::Parallel);
+    let mut data = field.clone();
+    refactorer.decompose(&mut data);
+    let hier = refactorer.hierarchy().clone();
+    let refac = Refactored::from_array(&data, &hier);
+
+    // Wire: ship only 4 of the classes, then everything.
+    let partial_bytes = encode_prefix(&refac, 4);
+    let full_bytes = encode(&refac);
+    assert!(partial_bytes.len() < full_bytes.len());
+
+    // Consumer: decode, recompose, compare.
+    let partial: Refactored<f64> = decode(partial_bytes).unwrap();
+    let approx = reconstruct_prefix(&partial, partial.num_classes(), &mut refactorer);
+    let err_partial = mg_grid::real::max_abs_diff(approx.as_slice(), field.as_slice());
+
+    let full: Refactored<f64> = decode(full_bytes).unwrap();
+    let exact = reconstruct_prefix(&full, full.num_classes(), &mut refactorer);
+    let err_full = mg_grid::real::max_abs_diff(exact.as_slice(), field.as_slice());
+
+    assert!(err_full < 1e-11, "full prefix must be lossless: {err_full}");
+    assert!(err_partial > err_full, "partial prefix loses information");
+}
+
+#[test]
+fn feature_accuracy_improves_with_classes() {
+    let field = gray_scott_field(48, 400, 33);
+    let shape = field.shape();
+    let mut refactorer = Refactorer::<f64>::new(shape).unwrap();
+    let mut data = field.clone();
+    refactorer.decompose(&mut data);
+    let hier = refactorer.hierarchy().clone();
+    let refac = Refactored::from_array(&data, &hier);
+
+    let iso = 0.5;
+    let k_few = 2;
+    let k_most = refac.num_classes();
+    let a_few = {
+        let rec = reconstruct_prefix(&refac, k_few, &mut refactorer);
+        isosurface_accuracy(&field, &rec, iso)
+    };
+    let a_all = {
+        let rec = reconstruct_prefix(&refac, k_most, &mut refactorer);
+        isosurface_accuracy(&field, &rec, iso)
+    };
+    assert!(a_all > 0.999, "all classes must reproduce the feature: {a_all}");
+    assert!(a_all >= a_few, "accuracy must not degrade with more classes");
+}
+
+#[test]
+fn compression_of_simulation_data_is_bounded_and_effective() {
+    let field = gray_scott_field(64, 300, 65);
+    let shape = field.shape();
+    let tau = 1e-3;
+    let mut c = Compressor::<f64>::new(shape, tau).parallel();
+    let blob = c.compress(&field);
+    let (back, _) = c.decompress(&blob);
+    let err = mg_grid::real::max_abs_diff(back.as_slice(), field.as_slice());
+    assert!(err <= tau, "bound violated: {err}");
+    assert!(blob.ratio() > 2.0, "Gray-Scott data should compress: {}", blob.ratio());
+}
+
+#[test]
+fn gpu_model_path_is_bit_identical_to_reference() {
+    let field = gray_scott_field(32, 100, 17);
+    let shape = field.shape();
+
+    let mut reference = field.clone();
+    Refactorer::<f64>::new(shape).unwrap().decompose(&mut reference);
+
+    let mut modeled = field.clone();
+    let mut g = GpuRefactorer::<f64>::new(shape, DeviceSpec::v100()).unwrap();
+    let breakdown = g.decompose(&mut modeled);
+
+    assert!(
+        mg_grid::real::max_abs_diff(modeled.as_slice(), reference.as_slice()) < 1e-12,
+        "GPU-modeled execution must match the serial reference"
+    );
+    assert!(breakdown.total() > 0.0);
+}
+
+#[test]
+fn arbitrary_sizes_flow_through_classes_and_back() {
+    // Non-dyadic input: pad, refactor, class-slice, reconstruct, crop.
+    let shape = Shape::d3(12, 20, 7);
+    let field = synthetic::smooth::<f64>(shape);
+    let mut pr = PaddedRefactorer::<f64>::new(shape).exec(Exec::Parallel);
+    let refactored = pr.decompose(&field);
+
+    let hier = Hierarchy::new(refactored.shape()).unwrap();
+    let refac = Refactored::from_array(&refactored, &hier);
+    let rebuilt = refac.assemble(refac.num_classes());
+    let back = pr.recompose(&rebuilt);
+
+    assert_eq!(back.shape(), shape);
+    assert!(mg_grid::real::max_abs_diff(back.as_slice(), field.as_slice()) < 1e-10);
+}
+
+#[test]
+fn simulated_showcase_numbers_are_consistent() {
+    // The two showcase simulators agree with the refactoring model on
+    // direction: GPU refactoring throughput >> CPU, and fewer classes
+    // means less I/O.
+    use mgard::gpu_sim::cpu::CpuSpec;
+    use mgard::mg_gpu::sim::{cpu_decompose, sim_decompose};
+    use mgard::mg_io::{StorageTier, VizWorkflow};
+
+    let hier = Hierarchy::new(Shape::d2(4097, 4097)).unwrap();
+    let bytes = (4097.0f64 * 4097.0) * 8.0;
+    let gpu_bps = bytes / sim_decompose(&hier, 8, &DeviceSpec::v100(), Variant::Framework).total();
+    let cpu_bps = bytes / cpu_decompose(&hier, 8, &CpuSpec::power9()).total();
+    assert!(gpu_bps > 20.0 * cpu_bps);
+
+    let wf = VizWorkflow {
+        total_bytes: 1 << 40,
+        nclasses: 10,
+        ndim: 2,
+        writers: 1024,
+        readers: 256,
+        refactor_bps_per_proc: gpu_bps,
+        tier: StorageTier::parallel_fs(),
+    };
+    assert!(wf.total_cost(3) < wf.total_cost(10));
+}
+
+#[test]
+fn weak_scaling_simulation_composes_with_device_models() {
+    use mgard::mg_cluster::WeakScaling;
+    let ws = WeakScaling {
+        rank_dims: vec![1025, 1025],
+        ..WeakScaling::default()
+    };
+    let pts = ws.sweep(&DeviceSpec::v100(), &[1, 64, 1024], false);
+    assert_eq!(pts.len(), 3);
+    assert!(pts[2].throughput > 500.0 * pts[0].throughput);
+}
+
+#[test]
+fn f32_pipeline_end_to_end() {
+    let shape = Shape::d2(33, 33);
+    let field = NdArray::from_fn(shape, |i| ((i[0] * 7 + i[1] * 3) % 11) as f32 * 0.1);
+    let mut r = Refactorer::<f32>::new(shape).unwrap();
+    let mut d = field.clone();
+    r.decompose(&mut d);
+    let hier = r.hierarchy().clone();
+    let refac = Refactored::from_array(&d, &hier);
+    let bytes = encode(&refac);
+    let back: Refactored<f32> = decode(bytes).unwrap();
+    let rec = reconstruct_prefix(&back, back.num_classes(), &mut r);
+    assert!(mg_grid::real::max_abs_diff(rec.as_slice(), field.as_slice()) < 1e-4);
+}

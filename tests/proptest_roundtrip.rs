@@ -1,0 +1,221 @@
+//! Property-based tests over the core invariants:
+//!
+//! * decomposition/recomposition is a bijection (round-trips to FP
+//!   accuracy) for arbitrary dyadic shapes, data, coordinates, and
+//!   execution strategies;
+//! * class extraction/assembly and the wire format are lossless;
+//! * quantization respects its half-bin bound and the compressor its
+//!   end-to-end bound;
+//! * the entropy coder is lossless on arbitrary symbol streams.
+
+use mgard::mg_compress::entropy;
+use mgard::mg_compress::quantize;
+use mgard::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a dyadic extent in {2, 3, 5, 9, 17}.
+fn dyadic_extent() -> impl Strategy<Value = usize> {
+    prop::sample::select(vec![2usize, 3, 5, 9, 17])
+}
+
+/// Strategy: 1-4 dyadic dims with a bounded total size.
+fn dyadic_shape() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(dyadic_extent(), 1..=4)
+        .prop_filter("bounded size", |dims| dims.iter().product::<usize>() <= 5000)
+}
+
+fn field_for(dims: &[usize], seed: u64) -> NdArray<f64> {
+    let shape = Shape::new(dims);
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    NdArray::from_fn(shape, |_| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 30) as f64) - 1.0
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn decompose_recompose_round_trips(dims in dyadic_shape(), seed in any::<u64>(), parallel in any::<bool>()) {
+        let shape = Shape::new(&dims);
+        let orig = field_for(&dims, seed);
+        let exec = if parallel { Exec::Parallel } else { Exec::Serial };
+        let mut r = Refactorer::<f64>::new(shape).unwrap().exec(exec);
+        let mut data = orig.clone();
+        r.decompose(&mut data);
+        r.recompose(&mut data);
+        let err = mg_grid::real::max_abs_diff(data.as_slice(), orig.as_slice());
+        prop_assert!(err < 1e-10, "round trip error {err} on {dims:?}");
+    }
+
+    #[test]
+    fn nonuniform_coordinates_round_trip(dims in dyadic_shape(), seed in any::<u64>(), stretch in 0.0f64..0.45) {
+        let shape = Shape::new(&dims);
+        let coords = CoordSet::<f64>::stretched(shape, stretch);
+        let orig = field_for(&dims, seed);
+        let mut r = Refactorer::with_coords(shape, coords).unwrap();
+        let mut data = orig.clone();
+        r.decompose(&mut data);
+        r.recompose(&mut data);
+        let err = mg_grid::real::max_abs_diff(data.as_slice(), orig.as_slice());
+        prop_assert!(err < 1e-10, "round trip error {err} on {dims:?} stretch {stretch}");
+    }
+
+    #[test]
+    fn serial_and_parallel_agree(dims in dyadic_shape(), seed in any::<u64>()) {
+        let shape = Shape::new(&dims);
+        let orig = field_for(&dims, seed);
+        let mut a = orig.clone();
+        Refactorer::<f64>::new(shape).unwrap().decompose(&mut a);
+        let mut b = orig.clone();
+        Refactorer::<f64>::new(shape).unwrap().exec(Exec::Parallel).decompose(&mut b);
+        let err = mg_grid::real::max_abs_diff(a.as_slice(), b.as_slice());
+        prop_assert!(err < 1e-11);
+    }
+
+    #[test]
+    fn wire_format_round_trips(dims in dyadic_shape(), seed in any::<u64>()) {
+        let shape = Shape::new(&dims);
+        let orig = field_for(&dims, seed);
+        let mut r = Refactorer::<f64>::new(shape).unwrap();
+        let mut data = orig.clone();
+        r.decompose(&mut data);
+        let hier = r.hierarchy().clone();
+        let refac = Refactored::from_array(&data, &hier);
+        let back: Refactored<f64> = decode(encode(&refac)).unwrap();
+        for k in 0..refac.num_classes() {
+            prop_assert_eq!(back.class(k), refac.class(k));
+        }
+    }
+
+    #[test]
+    fn wire_prefixes_zero_fill(dims in dyadic_shape(), seed in any::<u64>(), keep in 1usize..6) {
+        let shape = Shape::new(&dims);
+        let orig = field_for(&dims, seed);
+        let mut r = Refactorer::<f64>::new(shape).unwrap();
+        let mut data = orig.clone();
+        r.decompose(&mut data);
+        let hier = r.hierarchy().clone();
+        let refac = Refactored::from_array(&data, &hier);
+        let keep = keep.min(refac.num_classes());
+        let back: Refactored<f64> = decode(encode_prefix(&refac, keep)).unwrap();
+        for k in 0..keep {
+            prop_assert_eq!(back.class(k), refac.class(k));
+        }
+        for k in keep..refac.num_classes() {
+            prop_assert!(back.class(k).iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn entropy_codec_is_lossless(vals in prop::collection::vec(any::<i64>(), 0..2000)) {
+        let enc = entropy::encode(&vals);
+        prop_assert_eq!(entropy::decode(&enc).unwrap(), vals);
+    }
+
+    #[test]
+    fn entropy_codec_handles_zero_runs(runs in prop::collection::vec((0usize..200, -50i64..50), 0..50)) {
+        let mut vals = Vec::new();
+        for (zeros, v) in runs {
+            vals.extend(std::iter::repeat_n(0i64, zeros));
+            vals.push(v);
+        }
+        let enc = entropy::encode(&vals);
+        prop_assert_eq!(entropy::decode(&enc).unwrap(), vals);
+    }
+
+    #[test]
+    fn quantizer_respects_half_bin(dims in dyadic_shape(), seed in any::<u64>(), tau in 1e-6f64..1.0) {
+        let shape = Shape::new(&dims);
+        let orig = field_for(&dims, seed);
+        let mut r = Refactorer::<f64>::new(shape).unwrap();
+        let mut data = orig.clone();
+        r.decompose(&mut data);
+        let hier = r.hierarchy().clone();
+        let refac = Refactored::from_array(&data, &hier);
+        let q = quantize::quantize(&refac, tau);
+        let back: Refactored<f64> = quantize::dequantize(&q, hier);
+        for k in 0..refac.num_classes() {
+            for (a, b) in refac.class(k).iter().zip(back.class(k)) {
+                prop_assert!((a - b).abs() <= q.bin / 2.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn compressor_meets_its_bound(seed in any::<u64>(), tau in 1e-4f64..1e-1) {
+        let shape = Shape::d2(17, 17);
+        let orig = field_for(&[17, 17], seed);
+        let mut c = Compressor::<f64>::new(shape, tau);
+        let blob = c.compress(&orig);
+        let (back, _) = c.decompress(&blob);
+        let err = mg_grid::real::max_abs_diff(back.as_slice(), orig.as_slice());
+        prop_assert!(err <= tau, "err {err} > tau {tau}");
+    }
+
+    #[test]
+    fn padded_refactorer_round_trips(d0 in 2usize..12, d1 in 2usize..12, seed in any::<u64>()) {
+        use mgard::mg_core::padded::PaddedRefactorer;
+        let shape = Shape::d2(d0, d1);
+        let orig = field_for(&[d0, d1], seed);
+        let mut pr = PaddedRefactorer::<f64>::new(shape);
+        let refac = pr.decompose(&orig);
+        let back = pr.recompose(&refac);
+        let err = mg_grid::real::max_abs_diff(back.as_slice(), orig.as_slice());
+        prop_assert!(err < 1e-10);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Robustness: decoders must never panic on arbitrary bytes — they return
+// structured errors (or, for streaming, fail fast) instead.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn wire_decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode::<f64>(bytes::Bytes::from(bytes.clone()));
+        let _ = decode::<f32>(bytes::Bytes::from(bytes));
+    }
+
+    #[test]
+    fn entropy_decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = entropy::decode(&bytes);
+    }
+
+    #[test]
+    fn streaming_decoder_never_panics_on_garbage(
+        chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 0..16),
+    ) {
+        use mgard::mg_refactor::streaming::StreamingDecoder;
+        let mut dec = StreamingDecoder::<f64>::new();
+        for c in &chunks {
+            if dec.push(c).is_err() {
+                break;
+            }
+        }
+        let _ = dec.snapshot();
+    }
+
+    #[test]
+    fn flipped_bytes_never_panic_the_wire_decoder(
+        seed in any::<u64>(),
+        flip_at in 0usize..400,
+        flip_with in 1u8..=255,
+    ) {
+        let shape = Shape::d2(9, 9);
+        let orig = field_for(&[9, 9], seed);
+        let mut r = Refactorer::<f64>::new(shape).unwrap();
+        let mut data = orig.clone();
+        r.decompose(&mut data);
+        let hier = r.hierarchy().clone();
+        let refac = Refactored::from_array(&data, &hier);
+        let mut bytes = encode(&refac).to_vec();
+        let i = flip_at % bytes.len();
+        bytes[i] ^= flip_with;
+        // Either decodes (flip hit payload data) or errors — never panics.
+        let _ = decode::<f64>(bytes::Bytes::from(bytes));
+    }
+}
