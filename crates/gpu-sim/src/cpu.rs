@@ -210,9 +210,11 @@ mod tests {
     fn strided_sweep_is_slower() {
         let cpu = CpuSpec::i7_9700k();
         let mut fast = CpuProfile::new();
-        fast.access(CpuAccess::contiguous(1 << 20, 8)).compute(3 << 20);
+        fast.access(CpuAccess::contiguous(1 << 20, 8))
+            .compute(3 << 20);
         let mut slow = CpuProfile::new();
-        slow.access(CpuAccess::strided(1 << 20, 4096, 8)).compute(3 << 20);
+        slow.access(CpuAccess::strided(1 << 20, 4096, 8))
+            .compute(3 << 20);
         let r = cpu_time(&cpu, &slow) / cpu_time(&cpu, &fast);
         assert!(r > 4.0, "ratio {r}");
     }
@@ -221,7 +223,9 @@ mod tests {
     fn overheads_dominate_tiny_kernels() {
         let cpu = CpuSpec::i7_9700k();
         let mut p = CpuProfile::new();
-        p.access(CpuAccess::contiguous(8, 8)).compute(24).with_fibers(4);
+        p.access(CpuAccess::contiguous(8, 8))
+            .compute(24)
+            .with_fibers(4);
         let t = cpu_time(&cpu, &p);
         assert!(t >= cpu.call_overhead);
         assert!(t < 2.0 * cpu.call_overhead);
@@ -230,7 +234,8 @@ mod tests {
     #[test]
     fn power9_core_is_slower_than_i7_core() {
         let mut p = CpuProfile::new();
-        p.access(CpuAccess::contiguous(1 << 22, 8)).compute(10 << 22);
+        p.access(CpuAccess::contiguous(1 << 22, 8))
+            .compute(10 << 22);
         assert!(cpu_time(&CpuSpec::power9(), &p) > cpu_time(&CpuSpec::i7_9700k(), &p));
     }
 

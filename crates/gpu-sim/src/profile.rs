@@ -36,7 +36,12 @@ pub struct KernelProfile {
 
 impl KernelProfile {
     /// Start an empty profile for a launch geometry.
-    pub fn launch(blocks: u64, threads_per_block: u32, smem_per_block: u32, elem_bytes: u32) -> Self {
+    pub fn launch(
+        blocks: u64,
+        threads_per_block: u32,
+        smem_per_block: u32,
+        elem_bytes: u32,
+    ) -> Self {
         KernelProfile {
             blocks,
             threads_per_block,

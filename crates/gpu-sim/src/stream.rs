@@ -23,7 +23,11 @@ use crate::timing::{kernel_time, mem_time};
 fn effective_utilization(dev: &DeviceSpec, p: &KernelProfile) -> f64 {
     let sm = occupancy::utilization(dev, p);
     let solo = kernel_time(dev, p);
-    let bus = if solo > 0.0 { mem_time(dev, p) / solo } else { 0.0 };
+    let bus = if solo > 0.0 {
+        mem_time(dev, p) / solo
+    } else {
+        0.0
+    };
     sm.max(bus).clamp(1e-3, 1.0)
 }
 
@@ -204,13 +208,21 @@ mod tests {
         let small = slice_kernel(1 << 10);
         // stream 0: big then small; stream 1: small.
         let ks = vec![
-            StreamKernel { stream: 0, profile: big },
-            StreamKernel { stream: 0, profile: small },
-            StreamKernel { stream: 1, profile: small },
+            StreamKernel {
+                stream: 0,
+                profile: big,
+            },
+            StreamKernel {
+                stream: 0,
+                profile: small,
+            },
+            StreamKernel {
+                stream: 1,
+                profile: small,
+            },
         ];
         let t = schedule_streams(&dev, &ks);
-        let serial: f64 =
-            kernel_time(&dev, &big) + 2.0 * kernel_time(&dev, &small);
+        let serial: f64 = kernel_time(&dev, &big) + 2.0 * kernel_time(&dev, &small);
         assert!(t <= serial);
         assert!(t >= kernel_time(&dev, &big));
     }

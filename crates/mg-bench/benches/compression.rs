@@ -32,7 +32,9 @@ fn bench_compression(c: &mut Criterion) {
     }
     let mut comp = Compressor::<f64>::new(shape, 1e-3);
     let blob = comp.compress(&data);
-    g.bench_function("decompress", |b| b.iter(|| comp.decompress(black_box(&blob))));
+    g.bench_function("decompress", |b| {
+        b.iter(|| comp.decompress(black_box(&blob)))
+    });
     g.finish();
 }
 

@@ -31,7 +31,9 @@ fn bench_entropy(c: &mut Criterion) {
     let mut g = c.benchmark_group("entropy");
     g.throughput(Throughput::Bytes(bytes));
     g.bench_function("encode_1M", |b| b.iter(|| encode(black_box(&vals))));
-    g.bench_function("decode_1M", |b| b.iter(|| decode(black_box(&encoded)).unwrap()));
+    g.bench_function("decode_1M", |b| {
+        b.iter(|| decode(black_box(&encoded)).unwrap())
+    });
     g.finish();
 }
 

@@ -7,11 +7,11 @@
 //! Tables II/III.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mg_grid::{Axis, CoordSet, Hierarchy, Shape};
 use mg_kernels::inplace::mass_apply_inplace_segmented;
 use mg_kernels::level::LevelCtx;
 use mg_kernels::solve::ThomasFactors;
 use mg_kernels::{coeff, mass, solve, transfer};
-use mg_grid::{Axis, CoordSet, Hierarchy, Shape};
 use std::hint::black_box;
 
 fn make_ctx(shape: Shape) -> LevelCtx<f64> {
@@ -68,17 +68,29 @@ fn bench_mass(c: &mut Criterion) {
         let mut out = vec![0.0f64; data.len()];
         g.bench_with_input(BenchmarkId::new("parallel_axis0", n), &n, |b, _| {
             b.iter(|| {
-                mass::mass_apply_parallel(black_box(&data), black_box(&mut out), shape, Axis(0), &coords)
+                mass::mass_apply_parallel(
+                    black_box(&data),
+                    black_box(&mut out),
+                    shape,
+                    Axis(0),
+                    &coords,
+                )
             })
         });
         // The paper's six-region segmented in-place variant.
-        g.bench_with_input(BenchmarkId::new("inplace_segmented_axis0", n), &n, |b, _| {
-            b.iter_batched(
-                || data.clone(),
-                |mut d| mass_apply_inplace_segmented(black_box(&mut d), shape, Axis(0), &coords, 64),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        g.bench_with_input(
+            BenchmarkId::new("inplace_segmented_axis0", n),
+            &n,
+            |b, _| {
+                b.iter_batched(
+                    || data.clone(),
+                    |mut d| {
+                        mass_apply_inplace_segmented(black_box(&mut d), shape, Axis(0), &coords, 64)
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
     }
     g.finish();
 }
@@ -94,12 +106,24 @@ fn bench_transfer(c: &mut Criterion) {
     let mut out = vec![0.0f64; m * n];
     g.bench_function("serial_axis0", |b| {
         b.iter(|| {
-            transfer::transfer_apply_serial(black_box(&data), shape, black_box(&mut out), Axis(0), &coords)
+            transfer::transfer_apply_serial(
+                black_box(&data),
+                shape,
+                black_box(&mut out),
+                Axis(0),
+                &coords,
+            )
         })
     });
     g.bench_function("parallel_axis0", |b| {
         b.iter(|| {
-            transfer::transfer_apply_parallel(black_box(&data), shape, black_box(&mut out), Axis(0), &coords)
+            transfer::transfer_apply_parallel(
+                black_box(&data),
+                shape,
+                black_box(&mut out),
+                Axis(0),
+                &coords,
+            )
         })
     });
     g.finish();

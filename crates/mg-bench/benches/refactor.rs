@@ -8,7 +8,10 @@ use std::hint::black_box;
 
 fn field(shape: Shape) -> NdArray<f64> {
     NdArray::from_fn(shape, |i| {
-        i.iter().enumerate().map(|(d, &v)| ((v * (d + 7)) % 31) as f64 * 0.06).sum()
+        i.iter()
+            .enumerate()
+            .map(|(d, &v)| ((v * (d + 7)) % 31) as f64 * 0.06)
+            .sum()
     })
 }
 
@@ -41,7 +44,9 @@ fn bench_recompose(c: &mut Criterion) {
     let mut g = c.benchmark_group("recompose");
     let shape = Shape::d2(1025, 1025);
     let mut refactored = field(shape);
-    Refactorer::<f64>::new(shape).unwrap().decompose(&mut refactored);
+    Refactorer::<f64>::new(shape)
+        .unwrap()
+        .decompose(&mut refactored);
     g.throughput(Throughput::Bytes((shape.len() * 8) as u64));
     for (exec, tag) in [(Exec::Serial, "serial"), (Exec::Parallel, "parallel")] {
         let mut r = Refactorer::<f64>::new(shape).unwrap().exec(exec);

@@ -16,25 +16,45 @@ use mg_grid::{Axis, Hierarchy, Shape};
 fn main() {
     let dev = DeviceSpec::v100();
 
-    println!("== Ablation 1+3: packing & the linear framework, per kernel (4097^2, level stride 16) ==");
+    println!(
+        "== Ablation 1+3: packing & the linear framework, per kernel (4097^2, level stride 16) =="
+    );
     let shape = Shape::d2(257, 257); // level-8 subgrid of a 4097^2 input
     let step = 16u64;
-    println!("{:<22} {:>14} {:>14} {:>8}", "kernel", "framework", "naive", "ratio");
+    println!(
+        "{:<22} {:>14} {:>14} {:>8}",
+        "kernel", "framework", "naive", "ratio"
+    );
     for (name, fw, nv) in [
         (
             "mass multiply",
-            kernel_time(&dev, &mass_profile(shape, Axis(0), 1, 8, Variant::Framework)),
+            kernel_time(
+                &dev,
+                &mass_profile(shape, Axis(0), 1, 8, Variant::Framework),
+            ),
             kernel_time(&dev, &mass_profile(shape, Axis(0), step, 8, Variant::Naive)),
         ),
         (
             "transfer multiply",
-            kernel_time(&dev, &transfer_profile(shape, Axis(0), 1, 8, Variant::Framework)),
-            kernel_time(&dev, &transfer_profile(shape, Axis(0), step, 8, Variant::Naive)),
+            kernel_time(
+                &dev,
+                &transfer_profile(shape, Axis(0), 1, 8, Variant::Framework),
+            ),
+            kernel_time(
+                &dev,
+                &transfer_profile(shape, Axis(0), step, 8, Variant::Naive),
+            ),
         ),
         (
             "correction solve",
-            kernel_time(&dev, &solve_profile(shape, Axis(0), 1, 8, Variant::Framework)),
-            kernel_time(&dev, &solve_profile(shape, Axis(0), step, 8, Variant::Naive)),
+            kernel_time(
+                &dev,
+                &solve_profile(shape, Axis(0), 1, 8, Variant::Framework),
+            ),
+            kernel_time(
+                &dev,
+                &solve_profile(shape, Axis(0), step, 8, Variant::Naive),
+            ),
         ),
     ] {
         println!(
@@ -79,7 +99,5 @@ fn main() {
 
     println!("\n== Ablation 5: slice-plane choice for 3-D linear kernels ==");
     let ratio = slice_plane_ratio(&Hierarchy::new(Shape::d3(513, 513, 513)).unwrap(), 8, &dev);
-    println!(
-        "x-y/x-z plane batching vs slicing along the processed axis: {ratio:.2}x cheaper"
-    );
+    println!("x-y/x-z plane batching vs slicing along the processed axis: {ratio:.2}x cheaper");
 }

@@ -14,27 +14,45 @@ fn main() {
     let h2 = Hierarchy::new(Shape::d2(8193, 8193)).unwrap();
     let c2 = cpu_decompose(&h2, 8, &p9);
     let g2 = sim_decompose(&h2, 8, &v100, Variant::Framework);
-    println!("2D 8193^2 CPU total {:.2}s (paper 15.07s) GPU total {:.4}s (paper 0.0482s)", c2.total(), g2.total());
-    for (l, t, pct) in c2.rows() { println!("  CPU {l}: {t:.2}s {pct:.1}%"); }
-    for (l, t, pct) in g2.rows() { println!("  GPU {l}: {:.2}ms {pct:.1}%", t*1e3); }
+    println!(
+        "2D 8193^2 CPU total {:.2}s (paper 15.07s) GPU total {:.4}s (paper 0.0482s)",
+        c2.total(),
+        g2.total()
+    );
+    for (l, t, pct) in c2.rows() {
+        println!("  CPU {l}: {t:.2}s {pct:.1}%");
+    }
+    for (l, t, pct) in g2.rows() {
+        println!("  GPU {l}: {:.2}ms {pct:.1}%", t * 1e3);
+    }
 
     let h3 = Hierarchy::new(Shape::d3(513, 513, 513)).unwrap();
     let c3 = cpu_decompose(&h3, 8, &p9);
     let g3 = sim_decompose(&h3, 8, &v100, Variant::Framework);
-    println!("3D 513^3 CPU total {:.2}s (paper 25.70s) GPU total {:.4}s (paper 0.6316s)", c3.total(), g3.total());
-    for (l, t, pct) in c3.rows() { println!("  CPU {l}: {t:.2}s {pct:.1}%"); }
-    for (l, t, pct) in g3.rows() { println!("  GPU {l}: {:.2}ms {pct:.1}%", t*1e3); }
+    println!(
+        "3D 513^3 CPU total {:.2}s (paper 25.70s) GPU total {:.4}s (paper 0.6316s)",
+        c3.total(),
+        g3.total()
+    );
+    for (l, t, pct) in c3.rows() {
+        println!("  CPU {l}: {t:.2}s {pct:.1}%");
+    }
+    for (l, t, pct) in g3.rows() {
+        println!("  GPU {l}: {:.2}ms {pct:.1}%", t * 1e3);
+    }
 
     println!("== Table V anchors (Summit, decomposition speedups) ==");
     for n in [33usize, 129, 513, 2049, 8193] {
         let h = Hierarchy::new(Shape::d2(n, n)).unwrap();
-        let s = cpu_decompose(&h, 8, &p9).total() / sim_decompose(&h, 8, &v100, Variant::Framework).total();
+        let s = cpu_decompose(&h, 8, &p9).total()
+            / sim_decompose(&h, 8, &v100, Variant::Framework).total();
         println!("2D {n}^2: {s:.2}x");
     }
     println!("(paper: 33^2=0.30x 129^2=2.29x 513^2=19.46x 2049^2=108.77x 8193^2=311.18x)");
     for n in [33usize, 129, 513] {
         let h = Hierarchy::new(Shape::d3(n, n, n)).unwrap();
-        let s = cpu_decompose(&h, 8, &p9).total() / sim_decompose(&h, 8, &v100, Variant::Framework).total();
+        let s = cpu_decompose(&h, 8, &p9).total()
+            / sim_decompose(&h, 8, &v100, Variant::Framework).total();
         println!("3D {n}^3: {s:.2}x");
     }
     println!("(paper: 33^3=1.14x 129^3=16.20x 513^3=103.41x)");

@@ -31,8 +31,7 @@ fn io_cost_part() {
     // the 4 TB variable, ~0.5 GB per process).
     let hier = Hierarchy::new(Shape::d2(8193, 8193)).unwrap();
     let bytes = (8193.0f64 * 8193.0) * 8.0;
-    let gpu_bps =
-        bytes / sim_decompose(&hier, 8, &DeviceSpec::v100(), Variant::Framework).total();
+    let gpu_bps = bytes / sim_decompose(&hier, 8, &DeviceSpec::v100(), Variant::Framework).total();
     let cpu_bps = bytes / cpu_decompose(&hier, 8, &CpuSpec::power9()).total();
 
     let base = VizWorkflow {

@@ -8,9 +8,7 @@ use mg_grid::{NdArray, Shape};
 fn print_grid(title: &str, a: &NdArray<f64>) {
     println!("{title}:");
     for r in 0..5 {
-        let row: Vec<String> = (0..5)
-            .map(|c| format!("{:>8.3}", a.get(&[r, c])))
-            .collect();
+        let row: Vec<String> = (0..5).map(|c| format!("{:>8.3}", a.get(&[r, c]))).collect();
         println!("  {}", row.join(" "));
     }
     println!();

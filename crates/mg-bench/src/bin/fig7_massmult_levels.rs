@@ -60,7 +60,10 @@ fn main() {
         // Linear-processing framework: packed, unit stride.
         let mut fw_t = 0.0;
         for d in 0..2 {
-            fw_t += kernel_time(&dev, &mass_profile(shape, Axis(d), 1, 8, Variant::Framework));
+            fw_t += kernel_time(
+                &dev,
+                &mass_profile(shape, Axis(d), 1, 8, Variant::Framework),
+            );
         }
 
         println!(

@@ -11,7 +11,10 @@ fn main() {
 
     for dev in [DeviceSpec::rtx2080ti(), DeviceSpec::v100()] {
         println!("== Fig. 8: {} (3D 513^3) ==", dev.name);
-        println!("{:>8} {:>14} {:>14}", "streams", "decomp spdup", "recomp spdup");
+        println!(
+            "{:>8} {:>14} {:>14}",
+            "streams", "decomp spdup", "recomp spdup"
+        );
         let dec = stream_speedup_curve(&hier, 8, &dev, &counts, false);
         let rec = stream_speedup_curve(&hier, 8, &dev, &counts, true);
         for ((s, d), (_, r)) in dec.iter().zip(rec.iter()) {

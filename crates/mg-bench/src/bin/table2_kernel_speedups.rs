@@ -12,7 +12,10 @@ use mg_bench::table::fmt_x;
 
 fn run(dev: &DeviceSpec, cpu: &CpuSpec, paper_table: &str) {
     println!("== {paper_table}: {} vs serial {} ==", dev.name, cpu.name);
-    println!("{:<12} {:<22} {:>10} {:>10} {:>10}", "Grid Size", "Kernel", "Max", "Min", "Avg.");
+    println!(
+        "{:<12} {:<22} {:>10} {:>10} {:>10}",
+        "Grid Size", "Kernel", "Max", "Min", "Avg."
+    );
 
     // 3-D sweep 5^3..513^3 (coefficients only, as in the paper's first row
     // block).
@@ -51,7 +54,9 @@ fn main() {
             &CpuSpec::i7_9700k(),
             "Table II (GPU-accelerated desktop)",
         );
-        println!("paper Table II anchors: CC(2D) max 775x min 47x avg 317x; MM max 2406x avg 1155x;");
+        println!(
+            "paper Table II anchors: CC(2D) max 775x min 47x avg 317x; MM max 2406x avg 1155x;"
+        );
         println!("                        TM max 791x avg 407x; SC max 506x avg 317x\n");
     }
     if which.contains("v100") || which == "both" {
@@ -60,7 +65,9 @@ fn main() {
             &CpuSpec::power9(),
             "Table III (Summit@ORNL)",
         );
-        println!("paper Table III anchors: CC(2D) max 2919x min 61x avg 1045x; MM max 2142x avg 1139x;");
+        println!(
+            "paper Table III anchors: CC(2D) max 2919x min 61x avg 1045x; MM max 2142x avg 1139x;"
+        );
         println!("                         TM max 1950x avg 950x; SC max 330x min 154x avg 250x");
     }
 }

@@ -107,7 +107,10 @@ impl WeakScaling {
 
     /// Sweep the GPU counts (paper: 1..4096 by powers of two).
     pub fn sweep(&self, dev: &DeviceSpec, counts: &[usize], recompose: bool) -> Vec<ScalePoint> {
-        counts.iter().map(|&g| self.run(dev, g, recompose)).collect()
+        counts
+            .iter()
+            .map(|&g| self.run(dev, g, recompose))
+            .collect()
     }
 }
 
@@ -215,8 +218,8 @@ impl NodeComparison {
         } else {
             cpu_decompose(&hier, 8, &self.cpu).total()
         };
-        let cpu_total = cpu_one * partitions as f64
-            / (self.cpu.cores as f64 * self.cpu_parallel_efficiency);
+        let cpu_total =
+            cpu_one * partitions as f64 / (self.cpu.cores as f64 * self.cpu_parallel_efficiency);
 
         cpu_total / gpu_total
     }
@@ -232,7 +235,12 @@ mod tests {
         let dev = DeviceSpec::v100();
         let pts = ws.sweep(&dev, &[1, 16, 256, 4096], false);
         for p in &pts {
-            assert!(p.efficiency > 0.90, "efficiency at {} GPUs: {}", p.gpus, p.efficiency);
+            assert!(
+                p.efficiency > 0.90,
+                "efficiency at {} GPUs: {}",
+                p.gpus,
+                p.efficiency
+            );
         }
         // Throughput grows ~linearly.
         assert!(pts[3].throughput / pts[0].throughput > 3500.0);
@@ -281,7 +289,10 @@ mod tests {
         // 2-D speedups than the desktop (1 RTX vs 8 i7 cores).
         let summit = NodeComparison::summit_node().speedup(&[4097, 4097], 12, false);
         let desktop = NodeComparison::desktop().speedup(&[4097, 4097], 12, false);
-        assert!(summit > desktop, "summit {summit:.1} vs desktop {desktop:.1}");
+        assert!(
+            summit > desktop,
+            "summit {summit:.1} vs desktop {desktop:.1}"
+        );
         assert!(summit > 5.0 && summit < 400.0, "summit {summit}");
         assert!(desktop > 1.0, "desktop {desktop}");
     }
@@ -303,7 +314,10 @@ mod tests {
         }
         // Speedup still positive but sublinear at 64 ranks.
         let e64 = effs.last().unwrap().1;
-        assert!(e64 < 0.95, "strong scaling should lose efficiency: {effs:?}");
+        assert!(
+            e64 < 0.95,
+            "strong scaling should lose efficiency: {effs:?}"
+        );
         assert!(e64 > 0.05, "but not collapse: {effs:?}");
     }
 

@@ -185,7 +185,10 @@ fn code_lengths(freqs: &[u64]) -> Vec<u32> {
     }
     // Length-limit by flattening frequencies if needed (rare).
     if lengths.iter().any(|&l| l > MAX_CODE_LEN) {
-        let flattened: Vec<u64> = freqs.iter().map(|&f| if f > 0 { 1 + f.ilog2() as u64 } else { 0 }).collect();
+        let flattened: Vec<u64> = freqs
+            .iter()
+            .map(|&f| if f > 0 { 1 + f.ilog2() as u64 } else { 0 })
+            .collect();
         return code_lengths(&flattened);
     }
     lengths

@@ -237,7 +237,9 @@ mod tests {
     #[test]
     fn random_data_still_bounded() {
         let shape = Shape::d2(33, 33);
-        let data = NdArray::from_fn(shape, |i| (((i[0] * 2654435761 + i[1] * 40503) % 1000) as f64) / 500.0 - 1.0);
+        let data = NdArray::from_fn(shape, |i| {
+            (((i[0] * 2654435761 + i[1] * 40503) % 1000) as f64) / 500.0 - 1.0
+        });
         let tau = 5e-2;
         let mut c = Compressor::<f64>::new(shape, tau);
         let blob = c.compress(&data);
@@ -262,7 +264,9 @@ mod tests {
         let shape = Shape::d2(65, 65);
         let data = smoothish(shape);
         let blob_s = Compressor::<f64>::new(shape, 1e-3).compress(&data);
-        let blob_p = Compressor::<f64>::new(shape, 1e-3).parallel().compress(&data);
+        let blob_p = Compressor::<f64>::new(shape, 1e-3)
+            .parallel()
+            .compress(&data);
         assert_eq!(blob_s.bytes, blob_p.bytes);
     }
 

@@ -42,10 +42,7 @@ pub fn quantize<T: Real>(refac: &Refactored<T>, tau: f64) -> Quantized {
 }
 
 /// Reconstruct the (perturbed) refactored representation.
-pub fn dequantize<T: Real>(
-    q: &Quantized,
-    hier: mg_grid::Hierarchy,
-) -> Refactored<T> {
+pub fn dequantize<T: Real>(q: &Quantized, hier: mg_grid::Hierarchy) -> Refactored<T> {
     let classes = q
         .classes
         .iter()
@@ -101,8 +98,20 @@ mod tests {
         let (_, refac, _) = refactored(Shape::d2(17, 17));
         let loose = quantize(&refac, 1e-1);
         let tight = quantize(&refac, 1e-4);
-        let max_loose = loose.classes.iter().flatten().map(|v| v.abs()).max().unwrap();
-        let max_tight = tight.classes.iter().flatten().map(|v| v.abs()).max().unwrap();
+        let max_loose = loose
+            .classes
+            .iter()
+            .flatten()
+            .map(|v| v.abs())
+            .max()
+            .unwrap();
+        let max_tight = tight
+            .classes
+            .iter()
+            .flatten()
+            .map(|v| v.abs())
+            .max()
+            .unwrap();
         assert!(max_tight > max_loose * 100);
     }
 

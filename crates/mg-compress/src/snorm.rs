@@ -66,10 +66,7 @@ pub fn quantize_snorm<T: Real>(refac: &Refactored<T>, tau: f64, s: f64) -> Snorm
 }
 
 /// Reconstruct the (perturbed) refactored representation.
-pub fn dequantize_snorm<T: Real>(
-    q: &SnormQuantized,
-    hier: mg_grid::Hierarchy,
-) -> Refactored<T> {
+pub fn dequantize_snorm<T: Real>(q: &SnormQuantized, hier: mg_grid::Hierarchy) -> Refactored<T> {
     let classes = q
         .classes
         .iter()
@@ -85,7 +82,9 @@ impl SnormQuantized {
     pub fn into_uniform(self) -> Quantized {
         let bin = self.bins[0];
         assert!(
-            self.bins.iter().all(|&b| (b - bin).abs() < 1e-15 * bin.abs()),
+            self.bins
+                .iter()
+                .all(|&b| (b - bin).abs() < 1e-15 * bin.abs()),
             "bins differ: not a uniform quantization"
         );
         Quantized {

@@ -64,8 +64,8 @@ pub struct PaddedRefactorer<T> {
 impl<T: Real> PaddedRefactorer<T> {
     /// Refactorer for data of (possibly non-dyadic) shape `orig`.
     pub fn new(orig: Shape) -> Self {
-        let inner = Refactorer::new(padded_shape(orig))
-            .expect("padded shape is dyadic by construction");
+        let inner =
+            Refactorer::new(padded_shape(orig)).expect("padded shape is dyadic by construction");
         PaddedRefactorer { inner, orig }
     }
 

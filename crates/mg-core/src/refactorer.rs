@@ -318,12 +318,7 @@ mod tests {
         for_each_level_offset(shape, &ld0, |_, u| {
             coarse_offsets.insert(u);
         });
-        for (off, (&v, &orig)) in data
-            .as_slice()
-            .iter()
-            .zip(plane.as_slice())
-            .enumerate()
-        {
+        for (off, (&v, &orig)) in data.as_slice().iter().zip(plane.as_slice()).enumerate() {
             if coarse_offsets.contains(&off) {
                 assert!((v - orig).abs() < 1e-12, "coarse node changed");
             } else {
@@ -406,7 +401,9 @@ mod tests_4d {
             ((i[0] * 3 + i[1] * 5 + i[2] * 7 + i[3] * 11) % 13) as f64 * 0.17 - 1.0
         });
         for exec in [Exec::Serial, Exec::Parallel] {
-            let mut r = Refactorer::with_coords(shape, coords.clone()).unwrap().exec(exec);
+            let mut r = Refactorer::with_coords(shape, coords.clone())
+                .unwrap()
+                .exec(exec);
             let mut data = orig.clone();
             r.decompose(&mut data);
             assert_ne!(data, orig);

@@ -76,8 +76,15 @@ mod tests {
     #[test]
     fn merge_adds() {
         let mut a = SimBreakdown::default();
-        a.merge(&SimBreakdown { cc: 1.5, ..Default::default() });
-        a.merge(&SimBreakdown { cc: 0.5, mm: 1.0, ..Default::default() });
+        a.merge(&SimBreakdown {
+            cc: 1.5,
+            ..Default::default()
+        });
+        a.merge(&SimBreakdown {
+            cc: 0.5,
+            mm: 1.0,
+            ..Default::default()
+        });
         assert_eq!(a.cc, 2.0);
         assert_eq!(a.mm, 1.0);
     }

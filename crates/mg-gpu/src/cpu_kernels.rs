@@ -118,7 +118,11 @@ pub fn cpu_coeff(
     let mut p = CpuProfile::new();
     // Node values stream at the row stride; corner reads hit other rows.
     p.access(CpuAccess::strided(n, row_stride, elem));
-    p.access(CpuAccess::strided(2 * (d - 1) * ncoeff / d.max(1), plane_stride, elem));
+    p.access(CpuAccess::strided(
+        2 * (d - 1) * ncoeff / d.max(1),
+        plane_stride,
+        elem,
+    ));
     p.access(CpuAccess::strided(2 * ncoeff / d.max(1), row_stride, elem));
     p.access(CpuAccess::strided(ncoeff, row_stride, elem)); // stores
     p.compute((3 * (1 << d) + 1) * ncoeff + INDEX_OPS * embed);
@@ -175,8 +179,7 @@ mod tests {
             embed_extent: 4097,
             elem: 8,
         };
-        let fine_gbps =
-            (fine.shape.len() * 16) as f64 / cpu_time(&cpu, &cpu_mass(&fine)) / 1e9;
+        let fine_gbps = (fine.shape.len() * 16) as f64 / cpu_time(&cpu, &cpu_mass(&fine)) / 1e9;
         let coarse_gbps =
             (coarse.shape.len() * 16) as f64 / cpu_time(&cpu, &cpu_mass(&coarse)) / 1e9;
         assert!(

@@ -144,7 +144,9 @@ mod tests {
             .decompose(&mut gpu_data);
 
         let mut cpu_data = orig.clone();
-        Refactorer::with_coords(shape, coords).unwrap().decompose(&mut cpu_data);
+        Refactorer::with_coords(shape, coords)
+            .unwrap()
+            .decompose(&mut cpu_data);
 
         assert!(max_abs_diff(gpu_data.as_slice(), cpu_data.as_slice()) < 1e-12);
     }

@@ -125,7 +125,13 @@ pub fn coeff_profile(shape: Shape, step: u64, elem: u32, variant: Variant) -> Ke
 }
 
 /// Mass-matrix multiplication along `axis`.
-pub fn mass_profile(shape: Shape, axis: Axis, step: u64, elem: u32, variant: Variant) -> KernelProfile {
+pub fn mass_profile(
+    shape: Shape,
+    axis: Axis,
+    step: u64,
+    elem: u32,
+    variant: Variant,
+) -> KernelProfile {
     let n = shape.len() as u64;
     let nf = fibers(shape, axis);
     match variant {
@@ -162,7 +168,13 @@ pub fn mass_profile(shape: Shape, axis: Axis, step: u64, elem: u32, variant: Var
 
 /// Transfer-matrix multiplication along `axis` (fine extent `n`, writes
 /// coarse extent `(n+1)/2`).
-pub fn transfer_profile(shape: Shape, axis: Axis, step: u64, elem: u32, variant: Variant) -> KernelProfile {
+pub fn transfer_profile(
+    shape: Shape,
+    axis: Axis,
+    step: u64,
+    elem: u32,
+    variant: Variant,
+) -> KernelProfile {
     let n = shape.len() as u64;
     let next = shape.dim(axis);
     let m_out = n / next as u64 * next.div_ceil(2) as u64;
@@ -194,7 +206,13 @@ pub fn transfer_profile(shape: Shape, axis: Axis, step: u64, elem: u32, variant:
 
 /// Correction (Thomas) solve along `axis`; `shape` already has the coarse
 /// extent along `axis`.
-pub fn solve_profile(shape: Shape, axis: Axis, step: u64, elem: u32, variant: Variant) -> KernelProfile {
+pub fn solve_profile(
+    shape: Shape,
+    axis: Axis,
+    step: u64,
+    elem: u32,
+    variant: Variant,
+) -> KernelProfile {
     let n = shape.len() as u64;
     let nf = fibers(shape, axis);
     match variant {
@@ -277,8 +295,14 @@ mod tests {
         let t1 = kernel_time(&dev, &mass_profile(shape, Axis(0), 1, 8, Variant::Naive));
         let t8 = kernel_time(&dev, &mass_profile(shape, Axis(0), 8, 8, Variant::Naive));
         assert!(t8 > 1.5 * t1, "naive should degrade: {t1} vs {t8}");
-        let f1 = kernel_time(&dev, &mass_profile(shape, Axis(0), 1, 8, Variant::Framework));
-        let f8 = kernel_time(&dev, &mass_profile(shape, Axis(0), 8, 8, Variant::Framework));
+        let f1 = kernel_time(
+            &dev,
+            &mass_profile(shape, Axis(0), 1, 8, Variant::Framework),
+        );
+        let f8 = kernel_time(
+            &dev,
+            &mass_profile(shape, Axis(0), 8, 8, Variant::Framework),
+        );
         assert!((f8 - f1).abs() < 1e-12, "framework is stride-independent");
     }
 
@@ -287,7 +311,10 @@ mod tests {
         let dev = DeviceSpec::v100();
         let p = mass_profile(Shape::d2(4097, 4097), Axis(0), 1, 8, Variant::Framework);
         let tp = throughput(&dev, &p);
-        assert!(tp > 100.0e9, "throughput {tp:.3e} — paper Fig. 7 sustains >128 GB/s");
+        assert!(
+            tp > 100.0e9,
+            "throughput {tp:.3e} — paper Fig. 7 sustains >128 GB/s"
+        );
     }
 
     #[test]

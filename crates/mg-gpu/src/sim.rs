@@ -56,7 +56,11 @@ pub(crate) fn slice_geometry(shape: Shape, axis: Axis) -> (Shape, Axis, usize) {
             k += 1;
         }
     }
-    let slice_axis = if axis.0 == 0 { Axis(0) } else { Axis(axis.0 - 1) };
+    let slice_axis = if axis.0 == 0 {
+        Axis(0)
+    } else {
+        Axis(axis.0 - 1)
+    };
     (Shape::d2(dims[0], dims[1]), slice_axis, nslices)
 }
 
@@ -110,12 +114,22 @@ fn correction_stages(hier: &Hierarchy, l: usize) -> Vec<AxisGeom> {
 }
 
 /// Simulated GPU decomposition time breakdown.
-pub fn sim_decompose(hier: &Hierarchy, elem: u32, dev: &DeviceSpec, variant: Variant) -> SimBreakdown {
+pub fn sim_decompose(
+    hier: &Hierarchy,
+    elem: u32,
+    dev: &DeviceSpec,
+    variant: Variant,
+) -> SimBreakdown {
     sim_walk(hier, elem, dev, variant, false)
 }
 
 /// Simulated GPU recomposition time breakdown.
-pub fn sim_recompose(hier: &Hierarchy, elem: u32, dev: &DeviceSpec, variant: Variant) -> SimBreakdown {
+pub fn sim_recompose(
+    hier: &Hierarchy,
+    elem: u32,
+    dev: &DeviceSpec,
+    variant: Variant,
+) -> SimBreakdown {
     sim_walk(hier, elem, dev, variant, true)
 }
 
@@ -161,13 +175,25 @@ fn sim_walk(
 
         // Coefficient computation (decompose) or restore (recompose) —
         // identical cost structure.
-        let cstep = if variant == Variant::Framework { 1 } else { gather_step };
+        let cstep = if variant == Variant::Framework {
+            1
+        } else {
+            gather_step
+        };
         b.cc += kernel_time(dev, &kernels::coeff_profile(ld.shape, cstep, elem, variant));
 
         // Copy coefficients between working and I/O space.
         b.mc += kernel_time(
             dev,
-            &kernels::pack_profile(n_l, if variant == Variant::Framework { gather_step } else { 1 }, elem),
+            &kernels::pack_profile(
+                n_l,
+                if variant == Variant::Framework {
+                    gather_step
+                } else {
+                    1
+                },
+                elem,
+            ),
         );
 
         // Correction pipeline. In 3-D the paper reuses the 2-D linear
@@ -364,7 +390,11 @@ mod tests {
         let cpu = CpuSpec::power9();
         let g = sim_decompose(&h, 8, &dev, Variant::Framework).total();
         let c = cpu_decompose(&h, 8, &cpu).total();
-        assert!(c / g < 10.0, "tiny grids must not show huge speedups: {}", c / g);
+        assert!(
+            c / g < 10.0,
+            "tiny grids must not show huge speedups: {}",
+            c / g
+        );
     }
 
     #[test]
@@ -414,6 +444,9 @@ mod tests {
         let per2 = c2 / (513.0 * 513.0);
         let per3 = c3 / (65.0 * 65.0 * 65.0);
         let ratio = per3 / per2;
-        assert!((0.3..1.5).contains(&ratio), "3D/2D per-element ratio {ratio}");
+        assert!(
+            (0.3..1.5).contains(&ratio),
+            "3D/2D per-element ratio {ratio}"
+        );
     }
 }

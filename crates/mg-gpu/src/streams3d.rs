@@ -84,15 +84,33 @@ pub fn sim_3d_with_streams(
                 stream_rr += 1;
                 kernels_q.push(StreamKernel {
                     stream: s,
-                    profile: kernels::mass_profile(slice_shape, slice_axis, 1, elem, Variant::Framework),
+                    profile: kernels::mass_profile(
+                        slice_shape,
+                        slice_axis,
+                        1,
+                        elem,
+                        Variant::Framework,
+                    ),
                 });
                 kernels_q.push(StreamKernel {
                     stream: s,
-                    profile: kernels::transfer_profile(slice_shape, slice_axis, 1, elem, Variant::Framework),
+                    profile: kernels::transfer_profile(
+                        slice_shape,
+                        slice_axis,
+                        1,
+                        elem,
+                        Variant::Framework,
+                    ),
                 });
                 kernels_q.push(StreamKernel {
                     stream: s,
-                    profile: kernels::solve_profile(coarse_slice, slice_axis, 1, elem, Variant::Framework),
+                    profile: kernels::solve_profile(
+                        coarse_slice,
+                        slice_axis,
+                        1,
+                        elem,
+                        Variant::Framework,
+                    ),
                 });
             }
             cur = cur.with_dim(axis, cur.dim(axis).div_ceil(2));

@@ -59,7 +59,10 @@ impl<T: Real> CoordSet<T> {
     /// Useful for tests/benches that must exercise the nonuniform code paths
     /// without depending on an RNG.
     pub fn stretched(shape: Shape, strength: f64) -> Self {
-        assert!((0.0..0.5).contains(&strength), "strength must be in [0, 0.5)");
+        assert!(
+            (0.0..0.5).contains(&strength),
+            "strength must be in [0, 0.5)"
+        );
         let coords = shape
             .as_slice()
             .iter()

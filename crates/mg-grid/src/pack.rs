@@ -17,12 +17,7 @@ use crate::shape::{Axis, Shape};
 /// (densely packed, row-major, `level.shape` extents).
 ///
 /// `dst` is resized to fit.
-pub fn pack_level<T: Copy + Default>(
-    src: &[T],
-    full: Shape,
-    level: &LevelDims,
-    dst: &mut Vec<T>,
-) {
+pub fn pack_level<T: Copy + Default>(src: &[T], full: Shape, level: &LevelDims, dst: &mut Vec<T>) {
     assert_eq!(src.len(), full.len(), "pack_level: src length mismatch");
     assert_eq!(level.shape.ndim(), full.ndim());
     dst.clear();
@@ -35,7 +30,11 @@ pub fn pack_level<T: Copy + Default>(
 /// Scatter a densely packed level subgrid back into the finest array.
 pub fn unpack_level<T: Copy>(dst: &mut [T], full: Shape, level: &LevelDims, src: &[T]) {
     assert_eq!(dst.len(), full.len(), "unpack_level: dst length mismatch");
-    assert_eq!(src.len(), level.shape.len(), "unpack_level: src length mismatch");
+    assert_eq!(
+        src.len(),
+        level.shape.len(),
+        "unpack_level: src length mismatch"
+    );
     for_each_level_offset(full, level, |packed, unpacked| {
         dst[unpacked] = src[packed];
     });

@@ -227,10 +227,7 @@ mod tests {
     fn indices_cover_everything_in_order() {
         let s = Shape::d2(2, 3);
         let all: Vec<_> = s.indices().map(|i| (i[0], i[1])).collect();
-        assert_eq!(
-            all,
-            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
-        );
+        assert_eq!(all, vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]);
     }
 
     #[test]

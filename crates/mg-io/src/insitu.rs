@@ -88,8 +88,8 @@ impl InSituLoop {
         // Each step consumes tier capacity for the kept prefix; plan once
         // with per-step sizes scaled by step count to validate capacity,
         // then price a single step.
-        let kept: Vec<u64> = self.class_bytes[..self.keep_classes.min(self.class_bytes.len())]
-            .to_vec();
+        let kept: Vec<u64> =
+            self.class_bytes[..self.keep_classes.min(self.class_bytes.len())].to_vec();
         let total_per_class: Vec<u64> = kept.iter().map(|b| b * nsteps as u64).collect();
         let placement = plan_placement(&self.tiers, &total_per_class, self.writers)?;
 

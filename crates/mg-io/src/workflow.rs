@@ -58,10 +58,9 @@ impl VizWorkflow {
     /// is global); selecting classes only reduces what is written.
     pub fn write_cost(&self, count: usize) -> WorkflowCost {
         let sizes = class_sizes(self.total_bytes, self.nclasses, self.ndim);
-        let io: IoCost = ParallelIo::new(self.tier.clone(), self.writers)
-            .write_classes(&sizes, count);
-        let refactor = self.total_bytes as f64
-            / (self.refactor_bps_per_proc * self.writers as f64);
+        let io: IoCost =
+            ParallelIo::new(self.tier.clone(), self.writers).write_classes(&sizes, count);
+        let refactor = self.total_bytes as f64 / (self.refactor_bps_per_proc * self.writers as f64);
         WorkflowCost {
             refactor,
             io: io.seconds,
@@ -74,12 +73,11 @@ impl VizWorkflow {
     /// recomposing an approximation.
     pub fn read_cost(&self, count: usize) -> WorkflowCost {
         let sizes = class_sizes(self.total_bytes, self.nclasses, self.ndim);
-        let io: IoCost = ParallelIo::new(self.tier.clone(), self.readers)
-            .read_classes(&sizes, count);
+        let io: IoCost =
+            ParallelIo::new(self.tier.clone(), self.readers).read_classes(&sizes, count);
         // Recomposition runs on the (zero-filled) full grid regardless of
         // how many classes were fetched.
-        let refactor = self.total_bytes as f64
-            / (self.refactor_bps_per_proc * self.readers as f64);
+        let refactor = self.total_bytes as f64 / (self.refactor_bps_per_proc * self.readers as f64);
         WorkflowCost {
             refactor,
             io: io.seconds,

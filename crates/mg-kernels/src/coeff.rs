@@ -161,9 +161,11 @@ fn run_parallel<T: Real>(src: &[T], dst: &mut [T], ctx: &LevelCtx<T>, mode: Mode
     let nd = shape.ndim();
     let row_len = shape.dim(Axis(nd - 1));
     dst.copy_from_slice(src);
-    dst.par_chunks_mut(row_len).enumerate().for_each(|(r, row)| {
-        run_rows_into_row(src, row, shape, &axes, mode, r);
-    });
+    dst.par_chunks_mut(row_len)
+        .enumerate()
+        .for_each(|(r, row)| {
+            run_rows_into_row(src, row, shape, &axes, mode, r);
+        });
 }
 
 /// Compute coefficients in place (serial): at every node odd along a
@@ -267,7 +269,9 @@ mod tests {
         let shape = Shape::d3(5, 5, 9);
         let coords = CoordSet::<f64>::stretched(shape, 0.25);
         let ctx = ctx_for(shape, &coords, Hierarchy::new(shape).unwrap().nlevels());
-        let orig: Vec<f64> = (0..shape.len()).map(|i| ((i * 37) % 101) as f64 * 0.01).collect();
+        let orig: Vec<f64> = (0..shape.len())
+            .map(|i| ((i * 37) % 101) as f64 * 0.01)
+            .collect();
 
         let mut serial = orig.clone();
         compute_serial(&mut serial, &ctx);

@@ -115,7 +115,12 @@ pub fn compute_correction<T: Real>(
                 let t2 = std::time::Instant::now();
                 times.transfer += t2 - t1;
                 let factors = ThomasFactors::new(&coarse_coords);
-                solve::solve_serial(&mut other[..coarse_shape.len()], coarse_shape, axis, &factors);
+                solve::solve_serial(
+                    &mut other[..coarse_shape.len()],
+                    coarse_shape,
+                    axis,
+                    &factors,
+                );
                 times.solve += t2.elapsed();
             }
             Exec::Parallel => {
@@ -148,7 +153,7 @@ pub fn compute_correction<T: Real>(
         }
         // Where did the result land?
         cur_is_a = match exec {
-            Exec::Serial => !cur_is_a, // landed in `other`
+            Exec::Serial => !cur_is_a,  // landed in `other`
             Exec::Parallel => cur_is_a, // landed back in `cur`
         };
         shape = coarse_shape;
@@ -380,10 +385,7 @@ mod tests {
         // 2 x 9: corrections along axis 1 only; axis 0 passes through.
         let ctx = LevelCtx::new(
             Shape::d2(2, 9),
-            vec![
-                vec![0.0f64, 1.0],
-                (0..9).map(|i| i as f64 / 8.0).collect(),
-            ],
+            vec![vec![0.0f64, 1.0], (0..9).map(|i| i as f64 / 8.0).collect()],
         );
         let data: Vec<f64> = (0..18).map(|i| ((i * 7) % 5) as f64).collect();
         let c = coeff_array(&data, &ctx);
@@ -393,10 +395,8 @@ mod tests {
 
         // Row-wise 1D corrections must match.
         for r in 0..2 {
-            let row_ctx = LevelCtx::new(
-                Shape::d1(9),
-                vec![(0..9).map(|i| i as f64 / 8.0).collect()],
-            );
+            let row_ctx =
+                LevelCtx::new(Shape::d1(9), vec![(0..9).map(|i| i as f64 / 8.0).collect()]);
             let row_c = c[r * 9..(r + 1) * 9].to_vec();
             let mut s = CorrectionScratch::new();
             let (zr, _) = compute_correction(&row_c, &row_ctx, Exec::Serial, &mut s);

@@ -107,7 +107,12 @@ pub fn mass_apply_inplace_segmented<T: Real>(
 /// `>= 2j - 1 >= j` when walked forward. The tail of each fiber
 /// (`(n+1)/2 ..`) is left as-is; callers compact it away (the paper fuses
 /// that with node packing).
-pub fn transfer_apply_inplace<T: Real>(data: &mut [T], shape: Shape, axis: Axis, fine_coords: &[T]) {
+pub fn transfer_apply_inplace<T: Real>(
+    data: &mut [T],
+    shape: Shape,
+    axis: Axis,
+    fine_coords: &[T],
+) {
     let spec = fiber_spec(shape, axis);
     assert_eq!(data.len(), shape.len());
     let n = spec.len;
@@ -179,10 +184,7 @@ mod tests {
         for segment in [1usize, 2, 7, 64, 128, 129, 500] {
             let mut got = src.clone();
             mass_apply_inplace_segmented(&mut got, shape, Axis(0), &coords, segment);
-            assert!(
-                max_abs_diff(&got, &expect) < 1e-13,
-                "segment {segment}"
-            );
+            assert!(max_abs_diff(&got, &expect) < 1e-13, "segment {segment}");
         }
     }
 
@@ -205,7 +207,9 @@ mod tests {
     fn inplace_transfer_matches_reference() {
         for n in [3usize, 5, 9, 33, 129] {
             let shape = Shape::d1(n);
-            let coords: Vec<f64> = (0..n).map(|i| i as f64 * 0.5 + (i % 3) as f64 * 0.04).collect();
+            let coords: Vec<f64> = (0..n)
+                .map(|i| i as f64 * 0.5 + (i % 3) as f64 * 0.04)
+                .collect();
             let src = field(shape);
             let m = n.div_ceil(2);
             let mut expect = vec![0.0f64; m];

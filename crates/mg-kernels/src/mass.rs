@@ -170,10 +170,14 @@ mod tests {
     #[test]
     fn serial_and_parallel_agree_all_axes_3d() {
         let shape = Shape::d3(5, 4, 6);
-        let src: Vec<f64> = (0..shape.len()).map(|i| ((i * 31) % 13) as f64 * 0.21).collect();
+        let src: Vec<f64> = (0..shape.len())
+            .map(|i| ((i * 31) % 13) as f64 * 0.21)
+            .collect();
         for ax in 0..3 {
             let n = shape.dim(Axis(ax));
-            let coords: Vec<f64> = (0..n).map(|i| i as f64 * 0.5 + (i as f64).powi(2) * 0.01).collect();
+            let coords: Vec<f64> = (0..n)
+                .map(|i| i as f64 * 0.5 + (i as f64).powi(2) * 0.01)
+                .collect();
             let mut ser = src.clone();
             mass_apply_serial(&mut ser, shape, Axis(ax), &coords);
             let mut par = vec![0.0f64; src.len()];

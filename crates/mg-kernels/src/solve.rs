@@ -205,7 +205,9 @@ mod tests {
     #[test]
     fn serial_and_parallel_agree_all_axes_3d() {
         let shape = Shape::d3(5, 3, 9);
-        let src: Vec<f64> = (0..shape.len()).map(|i| ((i * 29) % 17) as f64 * 0.31 - 2.0).collect();
+        let src: Vec<f64> = (0..shape.len())
+            .map(|i| ((i * 29) % 17) as f64 * 0.31 - 2.0)
+            .collect();
         for ax in 0..3 {
             let n = shape.dim(Axis(ax));
             let coords: Vec<f64> = (0..n).map(|i| i as f64 * (1.0 + 0.1 * i as f64)).collect();

@@ -23,7 +23,10 @@ use rayon::prelude::*;
 /// `w_right_odd` are unused (no neighbour beyond the boundary).
 pub fn restriction_weights<T: Real>(fine_coords: &[T]) -> (Vec<T>, Vec<T>) {
     let n = fine_coords.len();
-    assert!(n >= 3 && n % 2 == 1, "fine extent must be odd >= 3, got {n}");
+    assert!(
+        n >= 3 && n % 2 == 1,
+        "fine extent must be odd >= 3, got {n}"
+    );
     let m = n.div_ceil(2);
     let x = fine_coords;
     let mut wl = vec![T::ZERO; m];
@@ -186,10 +189,14 @@ mod tests {
     #[test]
     fn serial_and_parallel_agree_all_axes_3d() {
         let shape = Shape::d3(5, 9, 5);
-        let src: Vec<f64> = (0..shape.len()).map(|i| ((i * 17) % 23) as f64 * 0.13).collect();
+        let src: Vec<f64> = (0..shape.len())
+            .map(|i| ((i * 17) % 23) as f64 * 0.13)
+            .collect();
         for ax in 0..3 {
             let n = shape.dim(Axis(ax));
-            let coords: Vec<f64> = (0..n).map(|i| (i as f64).mul_add(0.4, (i as f64).sqrt() * 0.05)).collect();
+            let coords: Vec<f64> = (0..n)
+                .map(|i| (i as f64).mul_add(0.4, (i as f64).sqrt() * 0.05))
+                .collect();
             let m = n.div_ceil(2);
             let out_len = shape.len() / n * m;
             let mut ser = vec![0.0f64; out_len];

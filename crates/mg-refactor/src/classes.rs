@@ -153,7 +153,12 @@ mod tests {
 
     fn field(shape: Shape) -> NdArray<f64> {
         NdArray::from_fn(shape, |i| {
-            ((i.iter().enumerate().map(|(d, &v)| v * (d + 2)).sum::<usize>() * 31) % 97) as f64
+            ((i.iter()
+                .enumerate()
+                .map(|(d, &v)| v * (d + 2))
+                .sum::<usize>()
+                * 31)
+                % 97) as f64
                 * 0.037
         })
     }
@@ -217,7 +222,7 @@ mod tests {
         let data = field(shape);
         let r = Refactored::from_array(&data, &hier);
         let partial = r.assemble(1); // coarsest only
-        // All C_l positions must be zero.
+                                     // All C_l positions must be zero.
         let mut nonzero_outside = 0;
         for k in 1..=hier.nlevels() {
             for_each_class_offset(&hier, k, |off| {

@@ -31,7 +31,11 @@ pub fn class_norms<T: Real>(refac: &Refactored<T>) -> Vec<ClassNorms> {
         .enumerate()
         .map(|(k, c)| {
             let linf = c.iter().map(|v| v.abs().to_f64()).fold(0.0, f64::max);
-            let l2 = c.iter().map(|v| v.to_f64() * v.to_f64()).sum::<f64>().sqrt();
+            let l2 = c
+                .iter()
+                .map(|v| v.to_f64() * v.to_f64())
+                .sum::<f64>()
+                .sqrt();
             ClassNorms {
                 class: k,
                 len: c.len(),

@@ -135,7 +135,10 @@ mod tests {
         let (_, refac, _) = setup(Shape::d1(17));
         // Classes: 2 + 1 + 2 + 4 + 8 values (f64 = 8 bytes each).
         assert_eq!(classes_for_budget(&refac, 0), 1);
-        assert_eq!(classes_for_budget(&refac, refac.total_bytes()), refac.num_classes());
+        assert_eq!(
+            classes_for_budget(&refac, refac.total_bytes()),
+            refac.num_classes()
+        );
         let half = refac.total_bytes() / 2;
         let k = classes_for_budget(&refac, half);
         assert!(refac.prefix_bytes(k) <= half || k == 1);

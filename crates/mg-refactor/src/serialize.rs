@@ -134,8 +134,7 @@ pub fn decode<T: Real>(mut buf: Bytes) -> Result<Refactored<T>, DecodeError> {
         dims.push(d);
     }
     let shape = Shape::new(&dims);
-    let hier = Hierarchy::new(shape)
-        .map_err(|e| DecodeError::BadShape(e.to_string()))?;
+    let hier = Hierarchy::new(shape).map_err(|e| DecodeError::BadShape(e.to_string()))?;
     need!(4);
     let stored = buf.get_u32_le() as usize;
     if stored == 0 || stored > hier.nlevels() + 1 {
@@ -144,12 +143,20 @@ pub fn decode<T: Real>(mut buf: Bytes) -> Result<Refactored<T>, DecodeError> {
 
     let mut classes = Vec::with_capacity(hier.nlevels() + 1);
     for k in 0..=hier.nlevels() {
-        let expect = if k == 0 { hier.level_len(0) } else { hier.class_len(k) };
+        let expect = if k == 0 {
+            hier.level_len(0)
+        } else {
+            hier.class_len(k)
+        };
         if k < stored {
             need!(8);
             let got = buf.get_u64_le() as usize;
             if got != expect {
-                return Err(DecodeError::LengthMismatch { class: k, expect, got });
+                return Err(DecodeError::LengthMismatch {
+                    class: k,
+                    expect,
+                    got,
+                });
             }
             need!(expect * T::BYTES);
             let mut c = Vec::with_capacity(expect);
@@ -272,11 +279,7 @@ mod tests {
         let (refac, _) = sample();
         let bytes = encode(&refac);
         let header = 4 + 2 + 1 + 1 + 8 * 2 + 4;
-        let payload: usize = refac
-            .classes()
-            .iter()
-            .map(|c| 8 + c.len() * 8)
-            .sum();
+        let payload: usize = refac.classes().iter().map(|c| 8 + c.len() * 8).sum();
         assert_eq!(bytes.len(), header + payload);
     }
 }

@@ -113,8 +113,8 @@ impl<T: Real> StreamingDecoder<T> {
                         return Err(DecodeError::BadShape("too many dims".into()));
                     }
                     let shape = Shape::new(&dims);
-                    let hier = Hierarchy::new(shape)
-                        .map_err(|e| DecodeError::BadShape(e.to_string()))?;
+                    let hier =
+                        Hierarchy::new(shape).map_err(|e| DecodeError::BadShape(e.to_string()))?;
                     let stored = u32::from_le_bytes(
                         self.buf[8 + 8 * ndim..8 + 8 * ndim + 4].try_into().unwrap(),
                     ) as usize;
@@ -135,8 +135,7 @@ impl<T: Real> StreamingDecoder<T> {
                     if self.buf.len() < 8 {
                         break;
                     }
-                    let got =
-                        u64::from_le_bytes(self.buf[..8].try_into().unwrap()) as usize;
+                    let got = u64::from_le_bytes(self.buf[..8].try_into().unwrap()) as usize;
                     let hier = self.hier.as_ref().unwrap();
                     let expect = if class == 0 {
                         hier.level_len(0)
@@ -144,11 +143,7 @@ impl<T: Real> StreamingDecoder<T> {
                         hier.class_len(class)
                     };
                     if got != expect {
-                        return Err(DecodeError::LengthMismatch {
-                            class,
-                            expect,
-                            got,
-                        });
+                        return Err(DecodeError::LengthMismatch { class, expect, got });
                     }
                     self.buf.drain(..8);
                     self.state = State::ClassBody { class, expect };

@@ -83,10 +83,14 @@ impl GrayScott {
         // reproducible without threading an RNG through.
         let mut state = 0x2545F4914F6CDD1Du64;
         for i in 0..len {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let r = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
             u[i] += params.noise * r;
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let r = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
             v[i] += params.noise * r * 0.5;
         }
@@ -151,10 +155,8 @@ impl GrayScott {
                                 - 6.0 * v[i];
                             let lap_v = lap_v / 6.0;
                             let uvv = u[i] * v[i] * v[i];
-                            uz[y * n + x] =
-                                u[i] + p.dt * (p.du * lap_u - uvv + p.f * (1.0 - u[i]));
-                            vz[y * n + x] =
-                                v[i] + p.dt * (p.dv * lap_v + uvv - (p.f + p.k) * v[i]);
+                            uz[y * n + x] = u[i] + p.dt * (p.du * lap_u - uvv + p.f * (1.0 - u[i]));
+                            vz[y * n + x] = v[i] + p.dt * (p.dv * lap_v + uvv - (p.f + p.k) * v[i]);
                         }
                     }
                 });

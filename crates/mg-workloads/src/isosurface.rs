@@ -102,11 +102,7 @@ fn tet_area(p: &[[f64; 3]; 8], f: &[f64; 8], tet: &[usize; 4]) -> f64 {
 pub fn isosurface_area(field: &NdArray<f64>, iso: f64) -> f64 {
     let shape: Shape = field.shape();
     assert_eq!(shape.ndim(), 3, "iso-surface extraction needs 3-D data");
-    let (nz, ny, nx) = (
-        shape.dim(Axis(0)),
-        shape.dim(Axis(1)),
-        shape.dim(Axis(2)),
-    );
+    let (nz, ny, nx) = (shape.dim(Axis(0)), shape.dim(Axis(1)), shape.dim(Axis(2)));
     if nz < 2 || ny < 2 || nx < 2 {
         return 0.0;
     }
@@ -189,10 +185,7 @@ mod tests {
         let field = sample(n, |_, y, x| x + y - (n as f64 - 1.0));
         let area = isosurface_area(&field, 0.0);
         let expect = std::f64::consts::SQRT_2 * ((n - 1) * (n - 1)) as f64;
-        assert!(
-            (area - expect).abs() / expect < 1e-9,
-            "{area} vs {expect}"
-        );
+        assert!((area - expect).abs() / expect < 1e-9, "{area} vs {expect}");
     }
 
     #[test]
@@ -206,10 +199,7 @@ mod tests {
         });
         let area = isosurface_area(&field, 0.0);
         let expect = 4.0 * std::f64::consts::PI * r * r;
-        assert!(
-            (area - expect).abs() / expect < 0.02,
-            "{area} vs {expect}"
-        );
+        assert!((area - expect).abs() / expect < 0.02, "{area} vs {expect}");
     }
 
     #[test]
@@ -247,7 +237,12 @@ mod tests {
             ((x - c).powi(2) + (y - c).powi(2) + (z - c).powi(2)).sqrt() - 8.0
         });
         let rough = NdArray::from_fn(f.shape(), |i| {
-            f.get(i) + if (i[0] + i[1] + i[2]) % 2 == 0 { 0.4 } else { -0.4 }
+            f.get(i)
+                + if (i[0] + i[1] + i[2]) % 2 == 0 {
+                    0.4
+                } else {
+                    -0.4
+                }
         });
         let acc = isosurface_accuracy(&f, &rough, 0.0);
         assert!(acc < 0.999, "perturbation must reduce accuracy: {acc}");

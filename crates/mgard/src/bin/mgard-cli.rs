@@ -153,7 +153,10 @@ fn reconstruct(o: &Opts) -> CliResult {
     let refac: Refactored<f64> = decode(bytes.into())?;
     let shape = refac.hierarchy().finest();
     let mut r = Refactorer::<f64>::new(shape).unwrap().exec(Exec::Parallel);
-    let count = o.classes.unwrap_or(refac.num_classes()).clamp(1, refac.num_classes());
+    let count = o
+        .classes
+        .unwrap_or(refac.num_classes())
+        .clamp(1, refac.num_classes());
     let arr = reconstruct_prefix(&refac, count, &mut r);
     write_f64_file(output, &arr)?;
     println!(

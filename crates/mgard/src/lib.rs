@@ -74,7 +74,7 @@ pub mod prelude {
     pub use mg_refactor::progressive::{accuracy_curve, reconstruct_prefix};
     pub use mg_refactor::serialize::{decode, encode, encode_prefix};
     pub use mg_workloads::gray_scott::{GrayScott, GrayScottParams};
-    pub use mg_workloads::isosurface::{isosurface_area, isosurface_accuracy};
+    pub use mg_workloads::isosurface::{isosurface_accuracy, isosurface_area};
 }
 
 #[cfg(test)]

@@ -41,7 +41,10 @@ fn main() {
         let hier = Hierarchy::new(shape).unwrap();
         let fw = sim_decompose(&hier, 8, &v100, Variant::Framework).total();
         let nv = sim_decompose(&hier, 8, &v100, Variant::Naive).total();
-        println!("{dims:?}: optimized frameworks are {:.1}x faster than naive", nv / fw);
+        println!(
+            "{dims:?}: optimized frameworks are {:.1}x faster than naive",
+            nv / fw
+        );
     }
 
     println!("\n== CUDA-stream scaling, 3-D 513^3 (paper Fig. 8) ==");

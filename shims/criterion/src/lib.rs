@@ -1,0 +1,295 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset its benches use: `criterion_group!` /
+//! `criterion_main!`, benchmark groups, `bench_function` /
+//! `bench_with_input`, `Bencher::iter` / `iter_batched`, throughput
+//! annotation, and `BenchmarkId`.
+//!
+//! Measurements are simple wall-clock statistics (median over
+//! `sample_size` samples, each sample auto-scaled to run long enough to
+//! be readable on a monotonic clock) printed one line per benchmark —
+//! no plots, no statistical regression machinery.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier for one benchmark within a group: `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Units processed per iteration, used to report throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Hint for how expensive `iter_batched` setup values are to hold.
+/// The shim runs one setup per routine call regardless.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Collects timing samples for a single benchmark.
+pub struct Bencher {
+    samples: usize,
+    /// Median seconds per iteration, filled in by `iter`/`iter_batched`.
+    per_iter: f64,
+}
+
+/// Minimum measured time per sample; iteration counts auto-scale up
+/// until a sample takes at least this long.
+const MIN_SAMPLE: Duration = Duration::from_millis(2);
+
+impl Bencher {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Scale iterations until one sample is long enough to measure.
+        let mut iters = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            if t.elapsed() >= MIN_SAMPLE || iters >= (1 << 30) {
+                break;
+            }
+            iters *= 2;
+        }
+        let mut times: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    std_black_box(routine());
+                }
+                t.elapsed().as_secs_f64() / iters as f64
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        self.per_iter = times[times.len() / 2];
+    }
+
+    /// Time `routine` over fresh values from `setup`; setup is untimed.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut times: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let input = setup();
+                let t = Instant::now();
+                std_black_box(routine(input));
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        self.per_iter = times[times.len() / 2];
+    }
+}
+
+fn human_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn report(name: &str, per_iter: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) if per_iter > 0.0 => {
+            format!("  {:.2} GiB/s", b as f64 / per_iter / (1u64 << 30) as f64)
+        }
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  {:.2} Melem/s", n as f64 / per_iter / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!("{name:<48} {:>12}/iter{rate}", human_time(per_iter));
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput used for rate reporting of subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    fn run(&self, id: BenchmarkId, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.criterion.sample_size,
+            per_iter: 0.0,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            b.per_iter,
+            self.throughput,
+        );
+    }
+
+    /// Benchmark `f` under `id`.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher)) {
+        self.run(id.into(), f);
+    }
+
+    /// Benchmark `f` under `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.run(id, |b| f(b, input));
+    }
+
+    /// End the group (no-op beyond matching the real API).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver configuration.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            per_iter: 0.0,
+        };
+        f(&mut b);
+        report(name, b.per_iter, None);
+    }
+}
+
+/// Define a benchmark group entry point, mirroring criterion's macro
+/// (both the `name =`/`config =`/`targets =` form and the simple list
+/// form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_nothing(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Bytes(8));
+        g.bench_with_input(BenchmarkId::new("add", 1), &1u64, |b, &x| {
+            b.iter(|| black_box(x) + 1)
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![0u8; 16], |v| v.len(), BatchSize::LargeInput)
+        });
+        g.finish();
+        c.bench_function("top_level", |b| b.iter(|| 2 + 2));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = bench_nothing
+    }
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

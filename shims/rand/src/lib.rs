@@ -1,0 +1,150 @@
+//! Offline stand-in for the [`rand`](https://docs.rs/rand) crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the tiny subset it uses: a deterministic, seedable
+//! [`rngs::StdRng`] and [`Rng::gen_range`] over half-open numeric
+//! ranges. The generator is SplitMix64 — statistically fine for test
+//! fields, not a drop-in for the real crate's ChaCha-based `StdRng`
+//! stream (seeded sequences differ).
+
+use std::ops::Range;
+
+/// Marker + sampling for types drawable from a uniform range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Draw uniformly from `[low, high)` given one 64-bit random word.
+    fn sample_from(word: u64, low: Self, high: Self) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_from(word: u64, low: Self, high: Self) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1). The final
+        // clamp keeps the half-open contract even when rounding of
+        // `low + unit * span` lands exactly on `high` (ulp-thin spans).
+        let unit = (word >> 11) as f64 / (1u64 << 53) as f64;
+        let v = low + unit * (high - low);
+        if v < high {
+            v
+        } else {
+            low
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_from(word: u64, low: Self, high: Self) -> Self {
+        let unit = (word >> 40) as f32 / (1u64 << 24) as f32;
+        let v = low + unit * (high - low);
+        if v < high {
+            v
+        } else {
+            low
+        }
+    }
+}
+
+impl SampleUniform for u64 {
+    fn sample_from(word: u64, low: Self, high: Self) -> Self {
+        low + word % (high - low)
+    }
+}
+
+impl SampleUniform for usize {
+    fn sample_from(word: u64, low: Self, high: Self) -> Self {
+        low + (word % (high - low) as u64) as usize
+    }
+}
+
+impl SampleUniform for i64 {
+    fn sample_from(word: u64, low: Self, high: Self) -> Self {
+        let span = (high - low) as u64;
+        low + (word % span) as i64
+    }
+}
+
+/// The random-number-generator interface used by this workspace.
+pub trait Rng {
+    /// Next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from the half-open range `low..high`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        T::sample_from(self.next_u64(), range.start, range.end)
+    }
+}
+
+/// Construction of RNGs from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic SplitMix64 generator (see module docs for the
+    /// caveat versus the real crate's `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&v));
+            let n = r.gen_range(3usize..10);
+            assert!((3..10).contains(&n));
+        }
+    }
+
+    #[test]
+    fn f64_draws_cover_the_range() {
+        let mut r = StdRng::seed_from_u64(1);
+        let draws: Vec<f64> = (0..1000).map(|_| r.gen_range(0.0..1.0)).collect();
+        let lo = draws.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = draws.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(lo < 0.1 && hi > 0.9, "poor coverage: [{lo}, {hi}]");
+    }
+}

@@ -1,0 +1,251 @@
+//! Offline stand-in for the [`rayon`](https://docs.rs/rayon) crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the data-parallel subset it uses: `par_chunks` /
+//! `par_chunks_mut` on slices, `into_par_iter` on ranges, and the
+//! `zip` / `enumerate` / `map` / `for_each` / `sum` combinators.
+//!
+//! Unlike a pure sequential polyfill, terminal operations really run in
+//! parallel: work items are split into contiguous buckets, one per
+//! available core, and executed on `std::thread::scope` threads. There is
+//! no work stealing, which is fine for this workspace's uniformly-sized
+//! chunk workloads.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use (available parallelism, min 1).
+fn nthreads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// An eager "parallel iterator": the items are materialised up front and
+/// the terminal operation distributes them over scoped threads.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    fn new(items: Vec<I>) -> Self {
+        ParIter { items }
+    }
+
+    /// Pair items positionally with another parallel iterator.
+    pub fn zip<J: Send>(self, other: impl IntoParallelIterator<Item = J>) -> ParIter<(I, J)> {
+        let other = other.into_par_iter();
+        ParIter::new(self.items.into_iter().zip(other.items).collect())
+    }
+
+    /// Attach each item's index.
+    pub fn enumerate(self) -> ParIter<(usize, I)> {
+        ParIter::new(self.items.into_iter().enumerate().collect())
+    }
+
+    /// Lazily map each item; the closure runs on the worker threads of
+    /// the terminal operation.
+    pub fn map<R, F>(self, f: F) -> ParMap<I, F>
+    where
+        F: Fn(I) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Consume every item, in parallel across available cores.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        run_buckets(self.items, &|item| f(item));
+    }
+}
+
+/// Result of [`ParIter::map`]: items plus a pending per-item closure.
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I, R, F> ParMap<I, F>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    /// Apply the mapped closure to every item in parallel.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(R) + Sync,
+    {
+        let f = &self.f;
+        run_buckets(self.items, &|item| g(f(item)));
+    }
+
+    /// Map every item in parallel and sum the results (order of the
+    /// additions follows item order within and across buckets).
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R> + std::iter::Sum<S> + Send,
+    {
+        let f = &self.f;
+        let partials = collect_buckets(self.items, &|bucket| bucket.into_iter().map(f).sum::<S>());
+        partials.into_iter().sum()
+    }
+
+    /// Map every item in parallel, preserving order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<R>,
+    {
+        let f = &self.f;
+        let per_bucket = collect_buckets(self.items, &|bucket| {
+            bucket.into_iter().map(f).collect::<Vec<R>>()
+        });
+        per_bucket.into_iter().flatten().collect()
+    }
+}
+
+/// Split `items` into one contiguous bucket per core and run `work` on
+/// each item, on scoped threads.
+fn run_buckets<I: Send>(items: Vec<I>, work: &(dyn Fn(I) + Sync)) {
+    collect_buckets(items, &|bucket| {
+        for item in bucket {
+            work(item);
+        }
+    });
+}
+
+/// Split `items` into one contiguous bucket per core, run `work` on each
+/// bucket on a scoped thread, and return the per-bucket results in order.
+fn collect_buckets<I: Send, R: Send>(items: Vec<I>, work: &(dyn Fn(Vec<I>) -> R + Sync)) -> Vec<R> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = nthreads().min(items.len());
+    if workers <= 1 {
+        return vec![work(items)];
+    }
+    let mut buckets: Vec<Vec<I>> = Vec::with_capacity(workers);
+    let chunk = items.len().div_ceil(workers);
+    let mut it = items.into_iter();
+    loop {
+        let bucket: Vec<I> = it.by_ref().take(chunk).collect();
+        if bucket.is_empty() {
+            break;
+        }
+        buckets.push(bucket);
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| s.spawn(move || work(bucket)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon shim worker panicked"))
+            .collect()
+    })
+}
+
+/// Types convertible into a [`ParIter`] by value.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Materialise the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I: Send> IntoParallelIterator for ParIter<I> {
+    type Item = I;
+    fn into_par_iter(self) -> ParIter<I> {
+        self
+    }
+}
+
+impl<T> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator,
+    <std::ops::Range<T> as Iterator>::Item: Send,
+{
+    type Item = <std::ops::Range<T> as Iterator>::Item;
+    fn into_par_iter(self) -> ParIter<Self::Item> {
+        ParIter::new(self.collect())
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter::new(self)
+    }
+}
+
+/// `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `size`-element chunks (last may be short).
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        ParIter::new(self.chunks(size).collect())
+    }
+}
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over disjoint mutable `size`-element chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        ParIter::new(self.chunks_mut(size).collect())
+    }
+}
+
+/// Everything call sites need, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_mut_zip_enumerate_for_each() {
+        let mut dst = vec![0u64; 1000];
+        let src: Vec<u64> = (0..1000).collect();
+        dst.par_chunks_mut(10)
+            .zip(src.as_slice().par_chunks(10))
+            .enumerate()
+            .for_each(|(i, (d, s))| {
+                for (dv, sv) in d.iter_mut().zip(s) {
+                    *dv = sv + i as u64;
+                }
+            });
+        assert_eq!(dst[999], 999 + 99);
+        assert_eq!(dst[0], 0);
+        assert_eq!(dst[10], 10 + 1);
+    }
+
+    #[test]
+    fn range_map_sum_matches_serial() {
+        let par: u64 = (0u64..10_000).into_par_iter().map(|x| x * x).sum();
+        let ser: u64 = (0u64..10_000).map(|x| x * x).sum();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let mut v: Vec<u32> = Vec::new();
+        v.par_chunks_mut(4)
+            .for_each(|_| panic!("no chunks expected"));
+        let s: f64 = (0..0).into_par_iter().map(|_| 1.0f64).sum();
+        assert_eq!(s, 0.0);
+    }
+}

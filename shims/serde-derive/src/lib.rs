@@ -1,0 +1,22 @@
+//! No-op derive macros backing the offline `serde` shim.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as
+//! documentation of intent — nothing actually serialises through serde
+//! traits (the wire formats are hand-rolled in `mg-refactor` and
+//! `mg-compress`). These derives therefore expand to nothing, which
+//! keeps every annotated type compiling without pulling in a full
+//! serde implementation.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

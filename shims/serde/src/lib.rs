@@ -1,0 +1,10 @@
+//! Offline stand-in for the [`serde`](https://docs.rs/serde) crate.
+//!
+//! The build environment has no access to crates.io. This workspace uses
+//! serde only as `#[derive(Serialize, Deserialize)]` annotations marking
+//! types intended for serialisation — no code path calls serde's traits
+//! (wire formats are hand-rolled). The shim therefore re-exports no-op
+//! derive macros and nothing else; swapping in the real crate later
+//! requires no source changes at the call sites.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -64,8 +64,14 @@ fn feature_accuracy_improves_with_classes() {
         let rec = reconstruct_prefix(&refac, k_most, &mut refactorer);
         isosurface_accuracy(&field, &rec, iso)
     };
-    assert!(a_all > 0.999, "all classes must reproduce the feature: {a_all}");
-    assert!(a_all >= a_few, "accuracy must not degrade with more classes");
+    assert!(
+        a_all > 0.999,
+        "all classes must reproduce the feature: {a_all}"
+    );
+    assert!(
+        a_all >= a_few,
+        "accuracy must not degrade with more classes"
+    );
 }
 
 #[test]
@@ -78,7 +84,11 @@ fn compression_of_simulation_data_is_bounded_and_effective() {
     let (back, _) = c.decompress(&blob);
     let err = mg_grid::real::max_abs_diff(back.as_slice(), field.as_slice());
     assert!(err <= tau, "bound violated: {err}");
-    assert!(blob.ratio() > 2.0, "Gray-Scott data should compress: {}", blob.ratio());
+    assert!(
+        blob.ratio() > 2.0,
+        "Gray-Scott data should compress: {}",
+        blob.ratio()
+    );
 }
 
 #[test]
@@ -87,7 +97,9 @@ fn gpu_model_path_is_bit_identical_to_reference() {
     let shape = field.shape();
 
     let mut reference = field.clone();
-    Refactorer::<f64>::new(shape).unwrap().decompose(&mut reference);
+    Refactorer::<f64>::new(shape)
+        .unwrap()
+        .decompose(&mut reference);
 
     let mut modeled = field.clone();
     let mut g = GpuRefactorer::<f64>::new(shape, DeviceSpec::v100()).unwrap();

@@ -20,15 +20,18 @@ fn dyadic_extent() -> impl Strategy<Value = usize> {
 
 /// Strategy: 1-4 dyadic dims with a bounded total size.
 fn dyadic_shape() -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::vec(dyadic_extent(), 1..=4)
-        .prop_filter("bounded size", |dims| dims.iter().product::<usize>() <= 5000)
+    prop::collection::vec(dyadic_extent(), 1..=4).prop_filter("bounded size", |dims| {
+        dims.iter().product::<usize>() <= 5000
+    })
 }
 
 fn field_for(dims: &[usize], seed: u64) -> NdArray<f64> {
     let shape = Shape::new(dims);
     let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
     NdArray::from_fn(shape, |_| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as f64 / (1u64 << 30) as f64) - 1.0
     })
 }
