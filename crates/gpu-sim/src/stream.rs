@@ -5,7 +5,7 @@
 //! same stream serialize, kernels in different streams overlap as long as
 //! the device has idle SMs. We model the device as a unit of capacity;
 //! each ready kernel demands its steady-state utilization (see
-//! [`occupancy::utilization`](crate::occupancy::utilization)) and, when
+//! [`occupancy::utilization`]) and, when
 //! total demand exceeds 1, every running kernel slows down by the demand
 //! ratio — the fair-share behaviour of the hardware work distributor.
 

@@ -7,8 +7,8 @@
 //! Tables II/III.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mg_grid::{Axis, CoordSet, Hierarchy, Shape};
-use mg_kernels::inplace::mass_apply_inplace_segmented;
+use mg_grid::{Axis, CoordSet, GridView, Hierarchy, Shape};
+use mg_kernels::inplace::{mass_apply_inplace_segmented, mass_apply_inplace_segmented_parallel};
 use mg_kernels::level::LevelCtx;
 use mg_kernels::solve::ThomasFactors;
 use mg_kernels::{coeff, mass, solve, transfer};
@@ -91,6 +91,76 @@ fn bench_mass(c: &mut Criterion) {
                 )
             },
         );
+        g.bench_with_input(
+            BenchmarkId::new("inplace_segmented_parallel_axis0", n),
+            &n,
+            |b, _| {
+                b.iter_batched(
+                    || data.clone(),
+                    |mut d| {
+                        mass_apply_inplace_segmented_parallel(
+                            black_box(&mut d),
+                            shape,
+                            Axis(0),
+                            &coords,
+                            64,
+                        )
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+/// The Fig. 7 layout comparison on one kernel: the same mass multiply on
+/// a level subgrid touched three ways — naive strided (embedded view),
+/// pack → packed kernel → unpack, and the six-region segmented in-place
+/// update.
+fn bench_mass_layouts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mass_layouts");
+    let full = Shape::d2(1025, 1025);
+    let hier = Hierarchy::new(full).unwrap();
+    let data: Vec<f64> = field(full);
+    for l in [hier.nlevels(), hier.nlevels() - 3] {
+        let ld = hier.level_dims(l);
+        let view = GridView::embedded(full, &ld);
+        let n = ld.shape.dim(Axis(0));
+        let coords: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        g.bench_with_input(BenchmarkId::new("strided", l), &l, |b, _| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| mass::mass_apply_view_serial(black_box(&mut d), &view, Axis(0), &coords),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("packed", l), &l, |b, _| {
+            let mut packed = Vec::new();
+            b.iter_batched(
+                || data.clone(),
+                |mut d| {
+                    mg_grid::pack::pack_level(&d, full, &ld, &mut packed);
+                    mass::mass_apply_serial(black_box(&mut packed), ld.shape, Axis(0), &coords);
+                    mg_grid::pack::unpack_level(&mut d, full, &ld, &packed);
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        // The in-place backend's linear stage: the six-region segmented
+        // update on the already-dense working buffer (no gather/scatter
+        // bracket at all — staging is fused with the coefficient copy).
+        let mut level_buf = Vec::new();
+        mg_grid::pack::pack_level(&data, full, &ld, &mut level_buf);
+        g.bench_with_input(BenchmarkId::new("inplace_segmented", l), &l, |b, _| {
+            b.iter_batched(
+                || level_buf.clone(),
+                |mut d| {
+                    mass_apply_inplace_segmented(black_box(&mut d), ld.shape, Axis(0), &coords, 64)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
     }
     g.finish();
 }
@@ -156,6 +226,6 @@ fn bench_solve(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_coeff, bench_mass, bench_transfer, bench_solve
+    targets = bench_coeff, bench_mass, bench_mass_layouts, bench_transfer, bench_solve
 }
 criterion_main!(benches);

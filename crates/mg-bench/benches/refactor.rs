@@ -1,10 +1,15 @@
-//! Wall-clock end-to-end decomposition/recomposition benchmarks,
-//! serial vs rayon-parallel (the host-scale analogue of Table V).
+//! Wall-clock end-to-end decomposition/recomposition benchmarks across
+//! the full execution-plan matrix (threading × layout) — the host-scale
+//! analogue of Table V and the paper's Fig. 7 layout comparison.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mg_core::{Exec, Refactorer};
+use mg_core::{ExecPlan, Refactorer};
 use mg_grid::{NdArray, Shape};
 use std::hint::black_box;
+
+fn plan_tag(plan: ExecPlan) -> String {
+    format!("{}_{}", plan.threading.as_str(), plan.layout.as_str())
+}
 
 fn field(shape: Shape) -> NdArray<f64> {
     NdArray::from_fn(shape, |i| {
@@ -26,9 +31,9 @@ fn bench_decompose(c: &mut Criterion) {
         let shape = Shape::new(&dims);
         let data = field(shape);
         g.throughput(Throughput::Bytes((shape.len() * 8) as u64));
-        for (exec, tag) in [(Exec::Serial, "serial"), (Exec::Parallel, "parallel")] {
-            let mut r = Refactorer::<f64>::new(shape).unwrap().exec(exec);
-            g.bench_with_input(BenchmarkId::new(tag, label), &dims, |b, _| {
+        for plan in ExecPlan::ALL {
+            let mut r = Refactorer::<f64>::new(shape).unwrap().plan(plan);
+            g.bench_with_input(BenchmarkId::new(plan_tag(plan), label), &dims, |b, _| {
                 b.iter_batched(
                     || data.clone(),
                     |mut d| r.decompose(black_box(&mut d)),
@@ -48,9 +53,9 @@ fn bench_recompose(c: &mut Criterion) {
         .unwrap()
         .decompose(&mut refactored);
     g.throughput(Throughput::Bytes((shape.len() * 8) as u64));
-    for (exec, tag) in [(Exec::Serial, "serial"), (Exec::Parallel, "parallel")] {
-        let mut r = Refactorer::<f64>::new(shape).unwrap().exec(exec);
-        g.bench_function(BenchmarkId::new(tag, "1025x1025"), |b| {
+    for plan in ExecPlan::ALL {
+        let mut r = Refactorer::<f64>::new(shape).unwrap().plan(plan);
+        g.bench_function(BenchmarkId::new(plan_tag(plan), "1025x1025"), |b| {
             b.iter_batched(
                 || refactored.clone(),
                 |mut d| r.recompose(black_box(&mut d)),

@@ -1,0 +1,134 @@
+//! `bench_refactor` — machine-readable refactoring benchmark.
+//!
+//! Sweeps the execution-plan matrix (threading × layout) over a set of
+//! grid shapes, timing one decompose + recompose per cell and collecting
+//! the per-kernel wall-clock breakdown (the paper's Table IV categories),
+//! then writes the results as JSON so the perf trajectory can be tracked
+//! across commits (`BENCH_*.json`).
+//!
+//! ```text
+//! bench_refactor [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` restricts the sweep to small shapes and a single repetition
+//! (the CI smoke configuration); the default output path is
+//! `BENCH_refactor.json` in the current directory.
+
+use mg_core::{ExecPlan, Refactorer};
+use mg_grid::{NdArray, Shape};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn field(shape: Shape) -> NdArray<f64> {
+    NdArray::from_fn(shape, |i| {
+        i.iter()
+            .enumerate()
+            .map(|(d, &v)| ((v * (d + 7)) % 31) as f64 * 0.06)
+            .sum()
+    })
+}
+
+fn shape_tag(shape: Shape) -> String {
+    shape
+        .as_slice()
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join("x")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = String::from("BENCH_refactor.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = it.next().expect("--out needs a path").clone(),
+            other => {
+                eprintln!("usage: bench_refactor [--quick] [--out PATH] (got {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let shapes: Vec<Shape> = if quick {
+        vec![Shape::d2(65, 65), Shape::d3(17, 17, 17)]
+    } else {
+        vec![
+            Shape::d2(513, 513),
+            Shape::d2(1025, 1025),
+            Shape::d3(65, 65, 65),
+            Shape::d3(129, 129, 129),
+        ]
+    };
+    let reps = if quick { 1 } else { 3 };
+
+    let mut rows = Vec::new();
+    for &shape in &shapes {
+        let data = field(shape);
+        for plan in ExecPlan::ALL {
+            let mut r = Refactorer::<f64>::new(shape).unwrap().plan(plan);
+            // Warm-up pass allocates the working buffers.
+            let mut warm = data.clone();
+            r.decompose(&mut warm);
+            r.recompose(&mut warm);
+            let _ = r.take_times();
+
+            let mut best_dec = u128::MAX;
+            let mut best_rec = u128::MAX;
+            for _ in 0..reps {
+                let mut d = data.clone();
+                let t0 = Instant::now();
+                r.decompose(&mut d);
+                best_dec = best_dec.min(t0.elapsed().as_nanos());
+                let t0 = Instant::now();
+                r.recompose(&mut d);
+                best_rec = best_rec.min(t0.elapsed().as_nanos());
+            }
+            // Per-kernel breakdown from exactly one decompose + recompose
+            // pair, so the kernel sums are comparable to
+            // decompose_ns + recompose_ns regardless of `reps`.
+            let _ = r.take_times();
+            let mut d = data.clone();
+            r.decompose(&mut d);
+            r.recompose(&mut d);
+            let times = r.take_times();
+            let mut kernels = String::new();
+            for (i, (label, dur, _)) in times.rows().iter().enumerate() {
+                if i > 0 {
+                    kernels.push_str(", ");
+                }
+                write!(kernels, "\"{}\": {}", label.to_lowercase(), dur.as_nanos()).unwrap();
+            }
+            rows.push(format!(
+                "    {{\"shape\": \"{}\", \"layout\": \"{}\", \"threading\": \"{}\", \
+                 \"decompose_ns\": {}, \"recompose_ns\": {}, \"kernels\": {{{}}}}}",
+                shape_tag(shape),
+                plan.layout,
+                plan.threading,
+                best_dec,
+                best_rec,
+                kernels
+            ));
+            eprintln!(
+                "{} {}/{}: decompose {:.3} ms, recompose {:.3} ms",
+                shape_tag(shape),
+                plan.layout,
+                plan.threading,
+                best_dec as f64 / 1e6,
+                best_rec as f64 / 1e6
+            );
+        }
+    }
+
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let json = format!(
+        "{{\n  \"bench\": \"refactor\",\n  \"quick\": {quick},\n  \
+         \"host_threads\": {threads},\n  \"reps\": {reps},\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out, &json).expect("write BENCH json");
+    println!("wrote {} ({} result rows)", out, rows.len());
+}

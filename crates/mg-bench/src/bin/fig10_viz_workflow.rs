@@ -11,7 +11,7 @@
 
 use gpu_sim::cpu::CpuSpec;
 use gpu_sim::device::DeviceSpec;
-use mg_core::{Exec, Refactorer};
+use mg_core::{ExecPlan, Refactorer};
 use mg_gpu::kernels::Variant;
 use mg_gpu::sim::{cpu_decompose, sim_decompose};
 use mg_grid::{Hierarchy, Shape};
@@ -92,7 +92,9 @@ fn accuracy_part() {
     println!("Gray–Scott 65^3, iso u={iso}: true area {area:.1}\n");
 
     let shape = field.shape();
-    let mut r = Refactorer::<f64>::new(shape).unwrap().exec(Exec::Parallel);
+    let mut r = Refactorer::<f64>::new(shape)
+        .unwrap()
+        .plan(ExecPlan::parallel());
     let mut data = field.clone();
     r.decompose(&mut data);
     let hier = r.hierarchy().clone();

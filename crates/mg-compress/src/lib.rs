@@ -13,7 +13,7 @@
 //! * [`snorm`] — level-weighted (smoothness-norm) quantization, the
 //!   paper's refs [5–7] capability: better ratios when accuracy matters
 //!   most at low frequencies;
-//! * [`pipeline`] — the end-to-end [`Compressor`](pipeline::Compressor)
+//! * [`pipeline`] — the end-to-end [`Compressor`]
 //!   with per-stage timing, used by the Fig. 11 harness.
 
 pub mod entropy;

@@ -3,7 +3,7 @@
 use crate::entropy;
 use crate::quantize::{self, Quantized};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use mg_core::{Exec, Refactorer};
+use mg_core::{ExecPlan, Refactorer};
 use mg_grid::{Hierarchy, NdArray, Real, Shape};
 use mg_refactor::classes::Refactored;
 use std::time::{Duration, Instant};
@@ -64,9 +64,21 @@ impl<T: Real> Compressor<T> {
         }
     }
 
-    /// Use rayon-parallel kernels for the refactoring stage.
+    /// Use rayon-parallel kernels for the refactoring stage (keeps the
+    /// current layout).
     pub fn parallel(mut self) -> Self {
-        self.refactorer = self.refactorer.exec(Exec::Parallel);
+        let plan = self
+            .refactorer
+            .current_plan()
+            .with_threading(mg_core::Threading::Parallel);
+        self.refactorer = self.refactorer.plan(plan);
+        self
+    }
+
+    /// Select the full execution plan (threading × layout) for the
+    /// refactoring stage; all plans produce identical payloads.
+    pub fn plan(mut self, plan: impl Into<ExecPlan>) -> Self {
+        self.refactorer = self.refactorer.plan(plan);
         self
     }
 
@@ -268,6 +280,25 @@ mod tests {
             .parallel()
             .compress(&data);
         assert_eq!(blob_s.bytes, blob_p.bytes);
+    }
+
+    #[test]
+    fn all_plans_produce_identical_payloads() {
+        use mg_core::{Layout, Threading};
+        let shape = Shape::d2(65, 65);
+        let data = smoothish(shape);
+        let reference = Compressor::<f64>::new(shape, 1e-3).compress(&data);
+        for layout in [Layout::Packed, Layout::InPlace] {
+            for threading in [Threading::Serial, Threading::Parallel] {
+                let plan = ExecPlan::new(threading, layout);
+                let mut c = Compressor::<f64>::new(shape, 1e-3).plan(plan);
+                let blob = c.compress(&data);
+                assert_eq!(blob.bytes, reference.bytes, "{plan:?}");
+                let (back, _) = c.decompress(&blob);
+                let err = max_abs_diff(back.as_slice(), data.as_slice());
+                assert!(err <= 1e-3, "{plan:?}: {err}");
+            }
+        }
     }
 
     #[test]

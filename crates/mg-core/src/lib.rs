@@ -1,14 +1,19 @@
 //! Decomposition and recomposition drivers for multigrid-based hierarchical
 //! data refactoring — the Rust analogue of the paper's Algorithm 3.
 //!
-//! [`Refactorer`] walks the dyadic level hierarchy: at each level it packs
-//! the level subgrid into working memory (the paper's node-packing
-//! optimization), computes coefficients, computes the global correction via
-//! the per-dimension mass/transfer/solve pipeline, and applies the
-//! correction to the next-coarser grid. Recomposition runs the exact
-//! inverse. After decomposition the data array holds the *refactored*
-//! representation in place: coarsest nodal values at the `N_0` positions
-//! and coefficient class `C_l` at the `N_l \ N_{l-1}` positions.
+//! [`Refactorer`] walks the dyadic level hierarchy: at each level it
+//! computes coefficients, computes the global correction via the
+//! per-dimension mass/transfer/solve pipeline, and applies the correction
+//! to the next-coarser grid. Recomposition runs the exact inverse. After
+//! decomposition the data array holds the *refactored* representation in
+//! place: coarsest nodal values at the `N_0` positions and coefficient
+//! class `C_l` at the `N_l \ N_{l-1}` positions.
+//!
+//! *How* each level subgrid is touched is selected by the [`ExecPlan`]
+//! (threading × layout): the packed layout gathers the level densely into
+//! working memory first (the paper's node-packing optimization, §III-C),
+//! the in-place layout drives the kernels directly on the finest array
+//! with the six-region segmented update (Figs. 5 & 6) and never packs.
 //!
 //! [`padded`] extends the drivers to arbitrary (non-`2^k+1`) extents via
 //! the pre-/post-processing step the paper describes in §IV.
@@ -21,6 +26,6 @@ pub mod padded;
 pub mod refactorer;
 pub mod timing;
 
-pub use mg_kernels::Exec;
+pub use mg_kernels::{ExecPlan, Layout, Threading};
 pub use refactorer::Refactorer;
 pub use timing::KernelTimes;

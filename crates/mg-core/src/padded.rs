@@ -13,7 +13,7 @@ use crate::refactorer::Refactorer;
 use crate::timing::KernelTimes;
 use mg_grid::hierarchy::next_dyadic;
 use mg_grid::{Axis, NdArray, Real, Shape, MAX_DIMS};
-use mg_kernels::Exec;
+use mg_kernels::ExecPlan;
 
 /// Smallest dyadic shape covering `shape`.
 pub fn padded_shape(shape: Shape) -> Shape {
@@ -69,9 +69,10 @@ impl<T: Real> PaddedRefactorer<T> {
         PaddedRefactorer { inner, orig }
     }
 
-    /// Select serial or rayon-parallel execution.
-    pub fn exec(mut self, exec: Exec) -> Self {
-        self.inner = self.inner.exec(exec);
+    /// Select the execution plan (threading × layout) of the inner
+    /// refactorer.
+    pub fn plan(mut self, plan: impl Into<ExecPlan>) -> Self {
+        self.inner = self.inner.plan(plan);
         self
     }
 
@@ -155,7 +156,7 @@ mod tests {
     fn arbitrary_size_round_trip_3d_parallel() {
         let shape = Shape::d3(6, 10, 4);
         let orig = NdArray::from_fn(shape, |i| ((i[0] + 2 * i[1] + 3 * i[2]) % 11) as f64 - 5.0);
-        let mut r = PaddedRefactorer::new(shape).exec(Exec::Parallel);
+        let mut r = PaddedRefactorer::new(shape).plan(ExecPlan::parallel());
         let refac = r.decompose(&orig);
         let back = r.recompose(&refac);
         assert!(max_abs_diff(back.as_slice(), orig.as_slice()) < 1e-11);

@@ -1,7 +1,7 @@
 //! Tensor-grid substrate for multigrid-based hierarchical data refactoring.
 //!
 //! This crate provides the data-layout layer that the refactoring kernels in
-//! [`mg-kernels`] and the drivers in [`mg-core`] operate on:
+//! `mg-kernels` and the drivers in `mg-core` operate on:
 //!
 //! * [`Real`] — a small float abstraction so every algorithm is generic over
 //!   `f32`/`f64`;
@@ -11,7 +11,10 @@
 //! * [`Hierarchy`] — the dyadic `2^l + 1` level structure used by the
 //!   Ainsworth et al. decomposition, including per-dimension level counts;
 //! * [`pack`] — packing/unpacking of the level-`l` subgrid into contiguous
-//!   working memory (the paper's "node packing" optimization, §III-C).
+//!   working memory (the paper's "node packing" optimization, §III-C);
+//! * [`GridView`] — stride-aware views over packed or embedded level
+//!   subgrids, the substrate of the kernel layer's layout axis (packed
+//!   gather/scatter vs the segmented in-place design).
 //!
 //! Everything here is deterministic and allocation-conscious: shapes are
 //! small inline arrays, fiber iteration never allocates per fiber, and
@@ -28,6 +31,7 @@ pub mod hierarchy;
 pub mod pack;
 pub mod real;
 pub mod shape;
+pub mod view;
 
 pub use array::NdArray;
 pub use coords::CoordSet;
@@ -35,3 +39,4 @@ pub use fiber::{FiberIter, FiberMut};
 pub use hierarchy::{Hierarchy, LevelDims};
 pub use real::Real;
 pub use shape::{Axis, Shape, MAX_DIMS};
+pub use view::GridView;

@@ -12,12 +12,36 @@
 
 use crate::hierarchy::LevelDims;
 use crate::shape::{Axis, Shape};
+use std::cell::Cell;
+
+thread_local! {
+    static PACK_CALLS: Cell<usize> = const { Cell::new(0) };
+    static UNPACK_CALLS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of [`pack_level`] calls made *by this thread* so far.
+///
+/// Diagnostic counter backing the layout-backend tests: the in-place
+/// execution plan must drive decomposition/recomposition without a single
+/// gather/scatter pass, which tests assert by sampling this counter around
+/// the operation. Thread-local (the drivers invoke packing from their
+/// calling thread) so concurrently running tests don't perturb each other.
+pub fn pack_call_count() -> usize {
+    PACK_CALLS.with(Cell::get)
+}
+
+/// Number of [`unpack_level`] calls made by this thread so far (see
+/// [`pack_call_count`]).
+pub fn unpack_call_count() -> usize {
+    UNPACK_CALLS.with(Cell::get)
+}
 
 /// Gather the level subgrid of `src` (finest shape `full`) into `dst`
 /// (densely packed, row-major, `level.shape` extents).
 ///
 /// `dst` is resized to fit.
 pub fn pack_level<T: Copy + Default>(src: &[T], full: Shape, level: &LevelDims, dst: &mut Vec<T>) {
+    PACK_CALLS.with(|c| c.set(c.get() + 1));
     assert_eq!(src.len(), full.len(), "pack_level: src length mismatch");
     assert_eq!(level.shape.ndim(), full.ndim());
     dst.clear();
@@ -29,6 +53,7 @@ pub fn pack_level<T: Copy + Default>(src: &[T], full: Shape, level: &LevelDims, 
 
 /// Scatter a densely packed level subgrid back into the finest array.
 pub fn unpack_level<T: Copy>(dst: &mut [T], full: Shape, level: &LevelDims, src: &[T]) {
+    UNPACK_CALLS.with(|c| c.set(c.get() + 1));
     assert_eq!(dst.len(), full.len(), "unpack_level: dst length mismatch");
     assert_eq!(
         src.len(),

@@ -1,0 +1,240 @@
+//! Stride-aware grid views: one index space, two memory layouts.
+//!
+//! The refactoring kernels touch the level-`l` subgrid either *densely
+//! packed* (gathered into contiguous working memory, the paper's §III-C
+//! node-packing optimization) or *embedded* in the finest array, where
+//! adjacent level nodes sit `2^{L-l}` finest elements apart per dimension.
+//! [`GridView`] abstracts over both: it pairs the logical level extents
+//! with per-dimension element strides into the backing slice, so a kernel
+//! written against a view runs unchanged on a packed buffer
+//! ([`GridView::packed`]) or directly on the finest array
+//! ([`GridView::embedded`]) — the layout axis of `mg_kernels::ExecPlan`.
+
+use crate::hierarchy::LevelDims;
+use crate::shape::{Axis, Shape, MAX_DIMS};
+
+/// A strided window onto a backing slice: logical extents plus the element
+/// stride of each dimension.
+///
+/// The view always starts at backing offset 0 (level subgrids share the
+/// origin with the finest grid).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct GridView {
+    shape: Shape,
+    strides: [usize; MAX_DIMS],
+    backing_len: usize,
+}
+
+impl GridView {
+    /// Dense row-major view: strides are the shape's own strides and the
+    /// backing slice holds exactly the level data.
+    pub fn packed(shape: Shape) -> Self {
+        GridView {
+            shape,
+            strides: shape.strides(),
+            backing_len: shape.len(),
+        }
+    }
+
+    /// View of the level subgrid embedded in the finest array: the stride
+    /// along dimension `d` is `level.step[d]` finest nodes, i.e.
+    /// `step[d] * full.stride(d)` elements.
+    pub fn embedded(full: Shape, level: &LevelDims) -> Self {
+        assert_eq!(level.shape.ndim(), full.ndim());
+        let fstr = full.strides();
+        let mut strides = [1usize; MAX_DIMS];
+        for d in 0..full.ndim() {
+            strides[d] = level.step[d] * fstr[d];
+        }
+        GridView {
+            shape: level.shape,
+            strides,
+            backing_len: full.len(),
+        }
+    }
+
+    /// Logical extents of the view.
+    #[inline]
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Element stride along `axis` in the backing slice.
+    #[inline]
+    pub fn stride(&self, axis: Axis) -> usize {
+        self.strides[axis.0]
+    }
+
+    /// Required length of the backing slice.
+    #[inline]
+    pub fn backing_len(&self) -> usize {
+        self.backing_len
+    }
+
+    /// Whether this view is dense row-major (packed layout).
+    pub fn is_packed(&self) -> bool {
+        self.strides[..self.shape.ndim()] == self.shape.strides()[..self.shape.ndim()]
+            && self.backing_len == self.shape.len()
+    }
+
+    /// Backing offset of a logical multi-index.
+    #[inline]
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.shape.ndim());
+        let mut off = 0;
+        for (d, &i) in idx.iter().enumerate() {
+            debug_assert!(i < self.shape.dim(Axis(d)));
+            off += i * self.strides[d];
+        }
+        off
+    }
+
+    /// Visit every view node in logical row-major order, yielding
+    /// `(logical_offset, backing_offset)` pairs — the view analogue of
+    /// [`crate::pack::for_each_level_offset`].
+    pub fn for_each_offset(&self, mut f: impl FnMut(usize, usize)) {
+        let nd = self.shape.ndim();
+        let mut idx = [0usize; MAX_DIMS];
+        let mut back = 0usize;
+        let total = self.shape.len();
+        let mut logical = 0usize;
+        while logical < total {
+            f(logical, back);
+            logical += 1;
+            // Odometer increment, maintaining the backing offset.
+            for d in (0..nd).rev() {
+                idx[d] += 1;
+                back += self.strides[d];
+                if idx[d] < self.shape.dim(Axis(d)) {
+                    break;
+                }
+                back -= idx[d] * self.strides[d];
+                idx[d] = 0;
+            }
+        }
+    }
+
+    /// Visit the base offset of every fiber along `axis`, in row-major
+    /// order of the remaining dimensions — the same fiber numbering as
+    /// [`crate::fiber::fiber_base`] uses for packed arrays. The callback
+    /// receives `(fiber_ordinal, backing_base)`.
+    pub fn for_each_fiber_base(&self, axis: Axis, mut f: impl FnMut(usize, usize)) {
+        let nd = self.shape.ndim();
+        let mut rem_dims = [0usize; MAX_DIMS];
+        let mut rem_strides = [0usize; MAX_DIMS];
+        let mut k = 0;
+        for d in 0..nd {
+            if d != axis.0 {
+                rem_dims[k] = self.shape.dim(Axis(d));
+                rem_strides[k] = self.strides[d];
+                k += 1;
+            }
+        }
+        if k == 0 {
+            f(0, 0);
+            return;
+        }
+        let count: usize = rem_dims[..k].iter().product();
+        let mut idx = [0usize; MAX_DIMS];
+        let mut base = 0usize;
+        for ordinal in 0..count {
+            f(ordinal, base);
+            for j in (0..k).rev() {
+                idx[j] += 1;
+                base += rem_strides[j];
+                if idx[j] < rem_dims[j] {
+                    break;
+                }
+                base -= idx[j] * rem_strides[j];
+                idx[j] = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fiber::{fiber_base, fiber_spec};
+    use crate::hierarchy::Hierarchy;
+    use crate::pack::for_each_level_offset;
+
+    #[test]
+    fn packed_view_matches_shape_strides() {
+        let s = Shape::d3(3, 4, 5);
+        let v = GridView::packed(s);
+        assert!(v.is_packed());
+        assert_eq!(v.stride(Axis(0)), 20);
+        assert_eq!(v.stride(Axis(2)), 1);
+        assert_eq!(v.backing_len(), 60);
+        assert_eq!(v.offset(&[1, 2, 3]), 33);
+    }
+
+    #[test]
+    fn embedded_view_matches_level_offsets() {
+        let full = Shape::d2(9, 9);
+        let h = Hierarchy::new(full).unwrap();
+        for l in 0..=h.nlevels() {
+            let ld = h.level_dims(l);
+            let v = GridView::embedded(full, &ld);
+            assert_eq!(v.shape(), ld.shape);
+            assert_eq!(v.backing_len(), full.len());
+            let mut expect = Vec::new();
+            for_each_level_offset(full, &ld, |p, u| expect.push((p, u)));
+            let mut got = Vec::new();
+            v.for_each_offset(|p, u| got.push((p, u)));
+            assert_eq!(got, expect, "level {l}");
+        }
+    }
+
+    #[test]
+    fn finest_embedded_view_is_packed() {
+        let full = Shape::d3(5, 9, 5);
+        let h = Hierarchy::new(full).unwrap();
+        let v = GridView::embedded(full, &h.level_dims(h.nlevels()));
+        assert!(v.is_packed());
+        let coarse = GridView::embedded(full, &h.level_dims(0));
+        assert!(!coarse.is_packed());
+    }
+
+    #[test]
+    fn fiber_bases_match_packed_fiber_math() {
+        let s = Shape::d3(3, 4, 5);
+        let v = GridView::packed(s);
+        for ax in 0..3 {
+            let spec = fiber_spec(s, Axis(ax));
+            let mut got = Vec::new();
+            v.for_each_fiber_base(Axis(ax), |i, base| got.push((i, base)));
+            assert_eq!(got.len(), spec.count);
+            for (i, base) in got {
+                assert_eq!(base, fiber_base(s, Axis(ax), i), "axis {ax} fiber {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn embedded_fiber_bases_are_level_nodes() {
+        let full = Shape::d2(9, 5);
+        let h = Hierarchy::new(full).unwrap();
+        let ld = h.level_dims(2); // 5x3, steps (2, 2)
+        assert_eq!(ld.shape.as_slice(), &[5, 3]);
+        assert_eq!(&ld.step[..2], &[2, 2]);
+        let v = GridView::embedded(full, &ld);
+        let mut bases = Vec::new();
+        v.for_each_fiber_base(Axis(0), |_, b| bases.push(b));
+        // Fibers along axis 0: one per level column, spaced 2 elements.
+        assert_eq!(bases, vec![0, 2, 4]);
+        assert_eq!(v.stride(Axis(0)), 2 * 5);
+    }
+
+    #[test]
+    fn one_dimensional_view() {
+        let v = GridView::packed(Shape::d1(7));
+        let mut count = 0;
+        v.for_each_fiber_base(Axis(0), |i, b| {
+            assert_eq!((i, b), (0, 0));
+            count += 1;
+        });
+        assert_eq!(count, 1);
+    }
+}

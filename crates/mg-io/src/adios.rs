@@ -1,6 +1,6 @@
 //! ADIOS-like parallel I/O of refactored (class-structured) data.
 //!
-//! The real workflow uses the ADIOS library (paper citation [15]) to write
+//! The real workflow uses the ADIOS library (paper citation \[15\]) to write
 //! one variable as a set of coefficient classes so that readers can fetch
 //! any prefix. [`ParallelIo`] reproduces the cost structure: per-class
 //! metadata latency plus banded data transfer on the chosen tier.

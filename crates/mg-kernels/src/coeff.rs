@@ -14,7 +14,7 @@
 //! within the algorithm's existing scratch space.
 
 use crate::level::LevelCtx;
-use mg_grid::{Axis, Real, Shape, MAX_DIMS};
+use mg_grid::{Axis, GridView, Real, Shape, MAX_DIMS};
 use rayon::prelude::*;
 
 /// Direction of the grid-processing update.
@@ -190,6 +190,315 @@ pub fn compute_parallel<T: Real>(src: &[T], dst: &mut [T], ctx: &LevelCtx<T>) {
 /// Parallel restoration, inverse of [`compute_parallel`].
 pub fn restore_parallel<T: Real>(src: &[T], dst: &mut [T], ctx: &LevelCtx<T>) {
     run_parallel(src, dst, ctx, Mode::Add);
+}
+
+// ---------------------------------------------------------------------
+// Stride-aware (view) entry points: the same grid-processing update on a
+// dense-packed or embedded-strided `GridView` — the in-place layout's
+// coefficient kernels. Writes touch nodes that are odd along at least one
+// decimating dimension; reads touch only all-even corner nodes, so the
+// two sets are disjoint and the update is safely in place.
+
+/// Per-axis interpolation info with *view* strides.
+fn axis_interp_view<T: Real>(ctx: &LevelCtx<T>, view: &GridView) -> Vec<AxisInterp<T>> {
+    (0..ctx.ndim())
+        .map(|d| {
+            let (wl, wr) = ctx.interp_weights(Axis(d));
+            AxisInterp {
+                wl,
+                wr,
+                stride: view.stride(Axis(d)),
+                decimates: ctx.decimates(Axis(d)),
+            }
+        })
+        .collect()
+}
+
+/// The odd-dimension set of a logical index (decimating dims with odd
+/// index), written into `odd`; returns its length.
+#[inline]
+fn odd_dims_of<T: Real>(
+    idx: &[usize],
+    axes: &[AxisInterp<T>],
+    odd: &mut [usize; MAX_DIMS],
+) -> usize {
+    let mut k = 0;
+    for (d, &i) in idx.iter().enumerate() {
+        if axes[d].decimates && i % 2 == 1 {
+            odd[k] = d;
+            k += 1;
+        }
+    }
+    k
+}
+
+fn run_view_serial<T: Real>(data: &mut [T], view: &GridView, ctx: &LevelCtx<T>, mode: Mode) {
+    let shape = ctx.shape();
+    assert_eq!(shape, view.shape(), "view must cover the level extents");
+    assert_eq!(data.len(), view.backing_len());
+    let axes = axis_interp_view(ctx, view);
+    let nd = shape.ndim();
+    let row_len = shape.dim(Axis(nd - 1));
+    let rows = shape.len() / row_len;
+    let last_stride = view.stride(Axis(nd - 1));
+    let mut idx = [0usize; MAX_DIMS];
+    let mut odd = [0usize; MAX_DIMS];
+    for r in 0..rows {
+        let mut rem = r;
+        for d in (0..nd - 1).rev() {
+            idx[d] = rem % shape.dim(Axis(d));
+            rem /= shape.dim(Axis(d));
+        }
+        let row_base: usize = (0..nd - 1).map(|d| idx[d] * view.stride(Axis(d))).sum();
+        let np = odd_dims_of(&idx[..nd - 1], &axes, &mut odd);
+        let last = &axes[nd - 1];
+        for j in 0..row_len {
+            idx[nd - 1] = j;
+            let j_odd = last.decimates && j % 2 == 1;
+            if np == 0 && !j_odd {
+                continue;
+            }
+            let mut k = np;
+            if j_odd {
+                odd[k] = nd - 1;
+                k += 1;
+            }
+            let off = row_base + j * last_stride;
+            let v = interp_at(data, off, &idx[..nd], &axes, &odd[..k]);
+            match mode {
+                Mode::Subtract => data[off] -= v,
+                Mode::Add => data[off] += v,
+            }
+        }
+    }
+}
+
+/// Gather the all-even corner lattice of the level into `corners`
+/// (dense, [`LevelCtx::coarse_shape`] extents): decimating dims keep even
+/// indices only, bottomed-out dims pass through whole.
+fn gather_corner_lattice<T: Real>(
+    data: &[T],
+    view: &GridView,
+    ctx: &LevelCtx<T>,
+    corners: &mut Vec<T>,
+) -> Shape {
+    let cshape = ctx.coarse_shape();
+    corners.clear();
+    corners.resize(cshape.len(), T::ZERO);
+    let nd = cshape.ndim();
+    let mut c = 0usize;
+    let mut idx = [0usize; MAX_DIMS];
+    loop {
+        let mut off = 0usize;
+        for d in 0..nd {
+            let i = if ctx.decimates(Axis(d)) {
+                idx[d] * 2
+            } else {
+                idx[d]
+            };
+            off += i * view.stride(Axis(d));
+        }
+        corners[c] = data[off];
+        c += 1;
+        let mut d = nd;
+        loop {
+            if d == 0 {
+                return cshape;
+            }
+            d -= 1;
+            idx[d] += 1;
+            if idx[d] < cshape.dim(Axis(d)) {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+}
+
+/// Multilinear interpolant at `idx` reading the dense corner lattice.
+/// Follows [`interp_at`]'s mask/weight order exactly so the two paths
+/// produce bitwise-identical sums.
+#[inline]
+fn interp_from_corners<T: Real>(
+    corners: &[T],
+    cstrides: &[usize; MAX_DIMS],
+    idx: &[usize],
+    axes: &[AxisInterp<T>],
+    odd_dims: &[usize],
+) -> T {
+    let k = odd_dims.len();
+    debug_assert!(k >= 1);
+    // Base = the all-left corner: odd indices floor to their left (even)
+    // neighbour, even indices map through.
+    let mut base = 0usize;
+    for (d, &i) in idx.iter().enumerate() {
+        let c = if axes[d].decimates { i >> 1 } else { i };
+        base += c * cstrides[d];
+    }
+    let mut acc = T::ZERO;
+    for mask in 0u32..(1u32 << k) {
+        let mut w = T::ONE;
+        let mut off = base;
+        for (b, &d) in odd_dims.iter().enumerate() {
+            let ax = &axes[d];
+            if mask & (1 << b) != 0 {
+                w *= ax.wr[idx[d]];
+                off += cstrides[d];
+            } else {
+                w *= ax.wl[idx[d]];
+            }
+        }
+        acc += w * corners[off];
+    }
+    acc
+}
+
+/// Parallel view update: reads all corner values from a gathered snapshot
+/// (the interpolation sources are all-even nodes the kernel never writes),
+/// then updates odd nodes chunk-parallel over dimension-0 slabs. `corners`
+/// is caller-provided scratch, resized to the coarse lattice.
+fn run_view_parallel<T: Real>(
+    data: &mut [T],
+    view: &GridView,
+    ctx: &LevelCtx<T>,
+    mode: Mode,
+    corners: &mut Vec<T>,
+) {
+    let shape = ctx.shape();
+    let nd = shape.ndim();
+    if nd == 1 {
+        // A single fiber: nothing to batch, the serial walk is the kernel.
+        run_view_serial(data, view, ctx, mode);
+        return;
+    }
+    assert_eq!(shape, view.shape(), "view must cover the level extents");
+    assert_eq!(data.len(), view.backing_len());
+    let cshape = gather_corner_lattice(data, view, ctx, corners);
+    let cstrides = cshape.strides();
+    let axes = axis_interp_view(ctx, view);
+    let row_len = shape.dim(Axis(nd - 1));
+    let last_stride = view.stride(Axis(nd - 1));
+    // Slabs of one view step along dimension 0 each contain exactly one
+    // level hyperplane (all nodes with that dim-0 index), so writes stay
+    // chunk-local while reads go to the shared corner snapshot.
+    let slab = view.stride(Axis(0));
+    let n0 = shape.dim(Axis(0));
+    let corners: &[T] = corners;
+    let axes = &axes;
+    data.par_chunks_mut(slab)
+        .enumerate()
+        .for_each(|(i0, chunk)| {
+            if i0 >= n0 {
+                return; // trailing non-level rows of the finest array
+            }
+            let mut idx = [0usize; MAX_DIMS];
+            let mut odd = [0usize; MAX_DIMS];
+            idx[0] = i0;
+            let mid_rows: usize = (1..nd - 1).map(|d| shape.dim(Axis(d))).product();
+            let last = &axes[nd - 1];
+            for r in 0..mid_rows {
+                let mut rem = r;
+                for d in (1..nd - 1).rev() {
+                    idx[d] = rem % shape.dim(Axis(d));
+                    rem /= shape.dim(Axis(d));
+                }
+                let row_base: usize = (1..nd - 1).map(|d| idx[d] * view.stride(Axis(d))).sum();
+                let np = odd_dims_of(&idx[..nd - 1], axes, &mut odd);
+                for j in 0..row_len {
+                    idx[nd - 1] = j;
+                    let j_odd = last.decimates && j % 2 == 1;
+                    if np == 0 && !j_odd {
+                        continue;
+                    }
+                    let mut k = np;
+                    if j_odd {
+                        odd[k] = nd - 1;
+                        k += 1;
+                    }
+                    let off = row_base + j * last_stride;
+                    let v = interp_from_corners(corners, &cstrides, &idx[..nd], axes, &odd[..k]);
+                    match mode {
+                        Mode::Subtract => chunk[off] -= v,
+                        Mode::Add => chunk[off] += v,
+                    }
+                }
+            }
+        });
+}
+
+/// Compute coefficients in place on a stride-aware view (serial): the
+/// view-layout analogue of [`compute_serial`], used by the in-place
+/// execution plan directly on the finest array.
+pub fn compute_view_serial<T: Real>(data: &mut [T], view: &GridView, ctx: &LevelCtx<T>) {
+    run_view_serial(data, view, ctx, Mode::Subtract);
+}
+
+/// Restore nodal values in place on a stride-aware view (serial); exact
+/// inverse of [`compute_view_serial`].
+pub fn restore_view_serial<T: Real>(data: &mut [T], view: &GridView, ctx: &LevelCtx<T>) {
+    run_view_serial(data, view, ctx, Mode::Add);
+}
+
+/// Parallel in-place coefficient computation on a view. `corners` is
+/// caller scratch for the all-even corner snapshot (≈ `1/2^d` of the
+/// level size — far below a packed copy).
+pub fn compute_view_parallel<T: Real>(
+    data: &mut [T],
+    view: &GridView,
+    ctx: &LevelCtx<T>,
+    corners: &mut Vec<T>,
+) {
+    run_view_parallel(data, view, ctx, Mode::Subtract, corners);
+}
+
+/// Parallel in-place restoration on a view, inverse of
+/// [`compute_view_parallel`].
+pub fn restore_view_parallel<T: Real>(
+    data: &mut [T],
+    view: &GridView,
+    ctx: &LevelCtx<T>,
+    corners: &mut Vec<T>,
+) {
+    run_view_parallel(data, view, ctx, Mode::Add, corners);
+}
+
+/// Gather the coefficient array `C_l` — coefficients at the odd nodes,
+/// zeros at the coarse nodes — from a view into the dense buffer the
+/// correction pipeline expects. The in-place driver's replacement for
+/// `pack_level` + [`zero_coarse`]: it reads *only* the odd nodes.
+pub fn gather_coeffs_view<T: Real>(
+    data: &[T],
+    view: &GridView,
+    ctx: &LevelCtx<T>,
+    out: &mut Vec<T>,
+) {
+    let shape = ctx.shape();
+    assert_eq!(shape, view.shape());
+    assert_eq!(data.len(), view.backing_len());
+    let nd = shape.ndim();
+    out.clear();
+    out.resize(shape.len(), T::ZERO);
+    let row_len = shape.dim(Axis(nd - 1));
+    let rows = shape.len() / row_len;
+    let last_stride = view.stride(Axis(nd - 1));
+    let last_dec = ctx.decimates(Axis(nd - 1));
+    let mut idx = [0usize; MAX_DIMS];
+    let mut p = 0usize;
+    for r in 0..rows {
+        let mut rem = r;
+        for d in (0..nd - 1).rev() {
+            idx[d] = rem % shape.dim(Axis(d));
+            rem /= shape.dim(Axis(d));
+        }
+        let row_base: usize = (0..nd - 1).map(|d| idx[d] * view.stride(Axis(d))).sum();
+        let row_odd = (0..nd - 1).any(|d| ctx.decimates(Axis(d)) && idx[d] % 2 == 1);
+        for j in 0..row_len {
+            if row_odd || (last_dec && j % 2 == 1) {
+                out[p] = data[row_base + j * last_stride];
+            }
+            p += 1;
+        }
+    }
 }
 
 /// Zero every coarse node (even along all decimating dimensions), leaving

@@ -6,10 +6,17 @@
 //! fine (level-`l`) spacings, transfer-matrix multiply (fine → coarse
 //! extent), Thomas solve with the coarse (level-`l-1`) mass matrix.
 //! Bottomed-out axes contribute an identity factor and are skipped.
+//!
+//! Two layouts drive the pipeline ([`crate::ExecPlan`]): the packed plan
+//! ping-pongs between two scratch buffers (out-of-place parallel-friendly
+//! kernels), while the in-place plan runs the paper's six-region segmented
+//! update ([`crate::inplace`]) in a single buffer — mass and transfer
+//! update in place, the coarse results are compacted forward, and the
+//! Thomas solve already works in place.
 
 use crate::level::LevelCtx;
 use crate::solve::ThomasFactors;
-use crate::{mass, solve, transfer, Exec};
+use crate::{inplace, mass, solve, transfer, ExecPlan, Layout, Threading};
 use mg_grid::{Axis, Real, Shape};
 
 /// Wall-clock time spent in each linear-processing stage, accumulated
@@ -57,25 +64,56 @@ impl<T: Real> CorrectionScratch<T> {
     pub fn take_times(&mut self) -> StageTimes {
         std::mem::take(&mut self.times)
     }
+
+    /// The staging buffer the pipeline starts from: drivers that already
+    /// hold the coefficient array elsewhere fill this directly and call
+    /// [`compute_correction_staged`], skipping the input copy of
+    /// [`compute_correction`].
+    pub fn stage(&mut self) -> &mut Vec<T> {
+        &mut self.a
+    }
 }
 
 /// Compute the global correction for one level.
 ///
 /// `coeffs` is the packed level-`l` array holding coefficients at the
 /// `N_l \ N_{l-1}` nodes and **zeros** at the coarse nodes (see
-/// [`coeff::zero_coarse`]). Returns the correction on the coarse grid
+/// [`crate::coeff::zero_coarse`]). Returns the correction on the coarse grid
 /// (shape [`LevelCtx::coarse_shape`]).
 pub fn compute_correction<T: Real>(
     coeffs: &[T],
     ctx: &LevelCtx<T>,
-    exec: Exec,
+    plan: ExecPlan,
+    scratch: &mut CorrectionScratch<T>,
+) -> (Vec<T>, Shape) {
+    assert_eq!(coeffs.len(), ctx.shape().len());
+    scratch.a.clear();
+    scratch.a.extend_from_slice(coeffs);
+    compute_correction_staged(ctx, plan, scratch)
+}
+
+/// [`compute_correction`] for a coefficient array already staged in
+/// [`CorrectionScratch::stage`] (the in-place driver gathers `C_l` there
+/// directly, avoiding one level-sized copy).
+pub fn compute_correction_staged<T: Real>(
+    ctx: &LevelCtx<T>,
+    plan: ExecPlan,
+    scratch: &mut CorrectionScratch<T>,
+) -> (Vec<T>, Shape) {
+    assert!(scratch.a.len() >= ctx.shape().len(), "stage C_l first");
+    match plan.layout {
+        Layout::Packed => correction_packed(ctx, plan.threading, scratch),
+        Layout::InPlace => correction_inplace(ctx, plan.threading, scratch),
+    }
+}
+
+/// Packed-layout pipeline: ping-pong between the two scratch buffers.
+fn correction_packed<T: Real>(
+    ctx: &LevelCtx<T>,
+    threading: Threading,
     scratch: &mut CorrectionScratch<T>,
 ) -> (Vec<T>, Shape) {
     let mut shape = ctx.shape();
-    assert_eq!(coeffs.len(), shape.len());
-
-    scratch.a.clear();
-    scratch.a.extend_from_slice(coeffs);
     scratch.b.clear();
     scratch.b.resize(shape.len(), T::ZERO);
 
@@ -98,8 +136,8 @@ pub fn compute_correction<T: Real>(
             (&mut scratch.b, &mut scratch.a)
         };
 
-        match exec {
-            Exec::Serial => {
+        match threading {
+            Threading::Serial => {
                 let t0 = std::time::Instant::now();
                 mass::mass_apply_serial(&mut cur[..shape.len()], shape, axis, fine_coords);
                 let t1 = std::time::Instant::now();
@@ -123,7 +161,7 @@ pub fn compute_correction<T: Real>(
                 );
                 times.solve += t2.elapsed();
             }
-            Exec::Parallel => {
+            Threading::Parallel => {
                 let t0 = std::time::Instant::now();
                 other.resize(shape.len().max(other.len()), T::ZERO);
                 mass::mass_apply_parallel(
@@ -152,9 +190,9 @@ pub fn compute_correction<T: Real>(
             }
         }
         // Where did the result land?
-        cur_is_a = match exec {
-            Exec::Serial => !cur_is_a,  // landed in `other`
-            Exec::Parallel => cur_is_a, // landed back in `cur`
+        cur_is_a = match threading {
+            Threading::Serial => !cur_is_a,  // landed in `other`
+            Threading::Parallel => cur_is_a, // landed back in `cur`
         };
         shape = coarse_shape;
     }
@@ -164,6 +202,88 @@ pub fn compute_correction<T: Real>(
 
     let src = if cur_is_a { &scratch.a } else { &scratch.b };
     (src[..shape.len()].to_vec(), shape)
+}
+
+/// In-place-layout pipeline: the six-region segmented update runs every
+/// stage in the single staging buffer (`scratch.b` is never touched).
+/// Arithmetic matches the packed pipeline operation for operation, so the
+/// two layouts produce bitwise-identical corrections.
+fn correction_inplace<T: Real>(
+    ctx: &LevelCtx<T>,
+    threading: Threading,
+    scratch: &mut CorrectionScratch<T>,
+) -> (Vec<T>, Shape) {
+    let mut shape = ctx.shape();
+    let buf = &mut scratch.a;
+    let mut times = StageTimes::default();
+
+    for d in 0..ctx.ndim() {
+        let axis = Axis(d);
+        if !ctx.decimates(axis) {
+            continue; // identity factor
+        }
+        let fine_coords = ctx.coords(axis);
+        let coarse_coords = ctx.coarse_coords(axis);
+
+        let t0 = std::time::Instant::now();
+        let seg = inplace::DEFAULT_SEGMENT;
+        match threading {
+            Threading::Serial => {
+                inplace::mass_apply_inplace_segmented(
+                    &mut buf[..shape.len()],
+                    shape,
+                    axis,
+                    fine_coords,
+                    seg,
+                );
+            }
+            Threading::Parallel => {
+                inplace::mass_apply_inplace_segmented_parallel(
+                    &mut buf[..shape.len()],
+                    shape,
+                    axis,
+                    fine_coords,
+                    seg,
+                );
+            }
+        }
+        let t1 = std::time::Instant::now();
+        times.mass += t1 - t0;
+
+        match threading {
+            Threading::Serial => {
+                inplace::transfer_apply_inplace(&mut buf[..shape.len()], shape, axis, fine_coords);
+            }
+            Threading::Parallel => {
+                inplace::transfer_apply_inplace_parallel(
+                    &mut buf[..shape.len()],
+                    shape,
+                    axis,
+                    fine_coords,
+                );
+            }
+        }
+        let coarse_shape = inplace::compact_coarse(&mut buf[..shape.len()], shape, axis);
+        let t2 = std::time::Instant::now();
+        times.transfer += t2 - t1;
+
+        let factors = ThomasFactors::new(&coarse_coords);
+        match threading {
+            Threading::Serial => {
+                solve::solve_serial(&mut buf[..coarse_shape.len()], coarse_shape, axis, &factors);
+            }
+            Threading::Parallel => {
+                solve::solve_parallel(&mut buf[..coarse_shape.len()], coarse_shape, axis, &factors);
+            }
+        }
+        times.solve += t2.elapsed();
+        shape = coarse_shape;
+    }
+    scratch.times.mass += times.mass;
+    scratch.times.transfer += times.transfer;
+    scratch.times.solve += times.solve;
+
+    (buf[..shape.len()].to_vec(), shape)
 }
 
 /// Apply the full per-axis mass multiply (all decimating axes, fine
@@ -286,7 +406,7 @@ mod tests {
         let c = coeff_array(&data, &ctx);
 
         let mut scratch = CorrectionScratch::new();
-        let (z, zshape) = compute_correction(&c, &ctx, Exec::Serial, &mut scratch);
+        let (z, zshape) = compute_correction(&c, &ctx, ExecPlan::serial(), &mut scratch);
         assert_eq!(zshape.as_slice(), &[5, 3]);
 
         // rhs = R (M c)
@@ -313,7 +433,7 @@ mod tests {
         let data = test_field(shape);
         let c = coeff_array(&data, &ctx);
         let mut scratch = CorrectionScratch::new();
-        let (z, _) = compute_correction(&c, &ctx, Exec::Serial, &mut scratch);
+        let (z, _) = compute_correction(&c, &ctx, ExecPlan::serial(), &mut scratch);
 
         // coarse nodal values after decomposition = subsample + correction
         let coarse: Vec<f64> = (0..9).map(|j| data[2 * j] + z[j]).collect();
@@ -331,7 +451,7 @@ mod tests {
         let data = test_field(shape);
         let c = coeff_array(&data, &ctx);
         let mut scratch = CorrectionScratch::new();
-        let (z, zshape) = compute_correction(&c, &ctx, Exec::Serial, &mut scratch);
+        let (z, zshape) = compute_correction(&c, &ctx, ExecPlan::serial(), &mut scratch);
 
         let mut coarse = vec![0.0f64; zshape.len()];
         for (zi, idx) in zshape.indices().enumerate() {
@@ -362,7 +482,7 @@ mod tests {
         let c = coeff_array(&data, &ctx);
         assert!(mg_grid::real::max_abs(&c) < 1e-12, "coefficients nonzero");
         let mut scratch = CorrectionScratch::new();
-        let (z, _) = compute_correction(&c, &ctx, Exec::Serial, &mut scratch);
+        let (z, _) = compute_correction(&c, &ctx, ExecPlan::serial(), &mut scratch);
         assert!(mg_grid::real::max_abs(&z) < 1e-12);
     }
 
@@ -374,8 +494,8 @@ mod tests {
         let c = coeff_array(&data, &ctx);
         let mut s1 = CorrectionScratch::new();
         let mut s2 = CorrectionScratch::new();
-        let (z_ser, sh1) = compute_correction(&c, &ctx, Exec::Serial, &mut s1);
-        let (z_par, sh2) = compute_correction(&c, &ctx, Exec::Parallel, &mut s2);
+        let (z_ser, sh1) = compute_correction(&c, &ctx, ExecPlan::serial(), &mut s1);
+        let (z_par, sh2) = compute_correction(&c, &ctx, ExecPlan::parallel(), &mut s2);
         assert_eq!(sh1, sh2);
         assert!(max_abs_diff(&z_ser, &z_par) < 1e-12);
     }
@@ -390,7 +510,7 @@ mod tests {
         let data: Vec<f64> = (0..18).map(|i| ((i * 7) % 5) as f64).collect();
         let c = coeff_array(&data, &ctx);
         let mut scratch = CorrectionScratch::new();
-        let (z, zshape) = compute_correction(&c, &ctx, Exec::Serial, &mut scratch);
+        let (z, zshape) = compute_correction(&c, &ctx, ExecPlan::serial(), &mut scratch);
         assert_eq!(zshape.as_slice(), &[2, 5]);
 
         // Row-wise 1D corrections must match.
@@ -399,7 +519,7 @@ mod tests {
                 LevelCtx::new(Shape::d1(9), vec![(0..9).map(|i| i as f64 / 8.0).collect()]);
             let row_c = c[r * 9..(r + 1) * 9].to_vec();
             let mut s = CorrectionScratch::new();
-            let (zr, _) = compute_correction(&row_c, &row_ctx, Exec::Serial, &mut s);
+            let (zr, _) = compute_correction(&row_c, &row_ctx, ExecPlan::serial(), &mut s);
             for j in 0..5 {
                 assert!((z[r * 5 + j] - zr[j]).abs() < 1e-13);
             }

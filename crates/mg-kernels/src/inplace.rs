@@ -21,6 +21,7 @@ use crate::mass::mass_row;
 use crate::transfer::restriction_weights;
 use mg_grid::fiber::fiber_spec;
 use mg_grid::{Axis, Real, Shape};
+use rayon::prelude::*;
 
 /// Default segment length (elements of each fiber staged per iteration);
 /// mirrors `mg_gpu::kernels::SEGMENT`.
@@ -99,6 +100,79 @@ pub fn mass_apply_inplace_segmented<T: Real>(
     }
 }
 
+/// Parallel six-region segmented mass multiply: identical arithmetic to
+/// [`mass_apply_inplace_segmented`], with the independent outer blocks
+/// (slabs of `dim(axis) * stride(axis)` elements) distributed over rayon.
+/// Each block stages into its own segment buffer (the per-thread-block
+/// shared memory of the GPU design). For `axis == 0` there is a single
+/// block, so this degrades to the serial walk — the GPU gets its axis-0
+/// parallelism from the interleaved lanes, which a CPU thread vectorizes
+/// over instead.
+pub fn mass_apply_inplace_segmented_parallel<T: Real>(
+    data: &mut [T],
+    shape: Shape,
+    axis: Axis,
+    coords: &[T],
+    segment: usize,
+) {
+    let spec = fiber_spec(shape, axis);
+    assert_eq!(data.len(), shape.len());
+    assert_eq!(coords.len(), spec.len);
+    assert!(segment >= 1);
+    let h: Vec<T> = coords.windows(2).map(|w| w[1] - w[0]).collect();
+    let n = spec.len;
+    let inner = spec.stride;
+    let block = n * inner;
+    let h = &h;
+
+    // Group blocks into a bounded number of tasks so the staging buffers
+    // are allocated once per task, not once per block (the last axis of a
+    // large 3-D grid has tens of thousands of tiny blocks).
+    let nblocks = data.len() / block;
+    let task = nblocks.div_ceil(256).max(1) * block;
+
+    data.par_chunks_mut(task).for_each(|chunk| {
+        let mut main = vec![T::ZERO; segment * inner];
+        let mut ghost1 = vec![T::ZERO; inner];
+        let mut ghost1_next = vec![T::ZERO; inner];
+        for blk in chunk.chunks_mut(block) {
+            let mut a = 0usize;
+            while a < n {
+                let b = (a + segment).min(n);
+                let seg_len = b - a;
+                main[..seg_len * inner].copy_from_slice(&blk[a * inner..b * inner]);
+                ghost1_next.copy_from_slice(&blk[(b - 1) * inner..b * inner]);
+                for i in a..b {
+                    let (ca, cb, cc) = mass_row(h, i);
+                    let li = (i - a) * inner;
+                    for kk in 0..inner {
+                        let mut t = cb * main[li + kk];
+                        if i > 0 {
+                            let left = if i == a {
+                                ghost1[kk]
+                            } else {
+                                main[li - inner + kk]
+                            };
+                            t += ca * left;
+                        }
+                        if i + 1 < n {
+                            let right = if i + 1 == b {
+                                blk[b * inner + kk]
+                            } else {
+                                main[li + inner + kk]
+                            };
+                            t += cc * right;
+                        }
+                        blk[i * inner + kk] = t;
+                    }
+                }
+                std::mem::swap(&mut ghost1, &mut ghost1_next);
+                a = b;
+            }
+        }
+    });
+}
+
 /// In-place transfer-matrix multiply along `axis`: writes the coarse
 /// fiber over the head of each fine fiber (coarse node `j` lands at local
 /// index `j`).
@@ -159,6 +233,74 @@ pub fn transfer_apply_inplace<T: Real>(
             }
         }
     }
+}
+
+/// Parallel in-place transfer: the outer blocks are independent, so each
+/// runs the [`transfer_apply_inplace`] update on its own rayon chunk.
+pub fn transfer_apply_inplace_parallel<T: Real>(
+    data: &mut [T],
+    shape: Shape,
+    axis: Axis,
+    fine_coords: &[T],
+) {
+    let spec = fiber_spec(shape, axis);
+    assert_eq!(data.len(), shape.len());
+    let n = spec.len;
+    assert_eq!(fine_coords.len(), n);
+    assert!(n >= 3 && n % 2 == 1, "transfer needs a decimating axis");
+    let m = n.div_ceil(2);
+    let (wl, wr) = restriction_weights::<T>(fine_coords);
+    let inner = spec.stride;
+    let block = n * inner;
+    let (wl, wr) = (&wl, &wr);
+
+    data.par_chunks_mut(block).for_each(|blk| {
+        for kk in 0..inner {
+            let v0 = blk[kk];
+            let v1 = blk[inner + kk];
+            blk[kk] = v0 + wr[0] * v1;
+            if m > 1 {
+                let t = blk[2 * inner + kk]
+                    + wl[1] * v1
+                    + if m > 2 {
+                        wr[1] * blk[3 * inner + kk]
+                    } else {
+                        T::ZERO
+                    };
+                blk[inner + kk] = t;
+            }
+        }
+        for j in 2..m {
+            let row = 2 * j * inner;
+            for kk in 0..inner {
+                let mut t = blk[row + kk] + wl[j] * blk[row - inner + kk];
+                if j + 1 < m {
+                    t += wr[j] * blk[row + inner + kk];
+                }
+                blk[j * inner + kk] = t;
+            }
+        }
+    });
+}
+
+/// Compact the coarse results after an in-place transfer along `axis`:
+/// each `dim(axis) * stride(axis)` block holds its coarse fiber heads in
+/// its first `(n+1)/2 * stride(axis)` elements; slide the blocks together
+/// so `data[..coarse_shape.len()]` becomes the dense coarse-extent array.
+/// This is the tail compaction the paper fuses with node packing.
+pub fn compact_coarse<T: Copy>(data: &mut [T], shape: Shape, axis: Axis) -> Shape {
+    let spec = fiber_spec(shape, axis);
+    assert_eq!(data.len(), shape.len());
+    let n = spec.len;
+    let m = n.div_ceil(2);
+    let inner = spec.stride;
+    let block = n * inner;
+    let cblock = m * inner;
+    let nblocks = shape.len() / block;
+    for b in 1..nblocks {
+        data.copy_within(b * block..b * block + cblock, b * cblock);
+    }
+    shape.with_dim(axis, m)
 }
 
 #[cfg(test)]
@@ -237,6 +379,51 @@ mod tests {
             for k in 0..7 {
                 assert!((got[j * 7 + k] - expect[j * 7 + k]).abs() < 1e-13);
             }
+        }
+    }
+
+    #[test]
+    fn parallel_segmented_matches_serial_all_axes() {
+        let shape = Shape::d3(9, 17, 5);
+        let src = field(shape);
+        for ax in 0..3 {
+            let n = shape.dim(Axis(ax));
+            let coords: Vec<f64> = (0..n).map(|i| (i as f64).mul_add(0.7, 0.2)).collect();
+            let mut ser = src.clone();
+            mass_apply_inplace_segmented(&mut ser, shape, Axis(ax), &coords, 4);
+            let mut par = src.clone();
+            mass_apply_inplace_segmented_parallel(&mut par, shape, Axis(ax), &coords, 4);
+            assert_eq!(ser, par, "mass axis {ax}");
+
+            if n >= 3 && n % 2 == 1 {
+                let mut ser = src.clone();
+                transfer_apply_inplace(&mut ser, shape, Axis(ax), &coords);
+                let mut par = src.clone();
+                transfer_apply_inplace_parallel(&mut par, shape, Axis(ax), &coords);
+                assert_eq!(ser, par, "transfer axis {ax}");
+            }
+        }
+    }
+
+    #[test]
+    fn compact_after_transfer_matches_out_of_place() {
+        let shape = Shape::d3(5, 9, 5);
+        let src = field(shape);
+        for ax in 0..3 {
+            let n = shape.dim(Axis(ax));
+            let coords: Vec<f64> = (0..n).map(|i| i as f64 * 0.3 + 0.1).collect();
+            let m = n.div_ceil(2);
+            let cshape = shape.with_dim(Axis(ax), m);
+            let mut expect = vec![0.0f64; cshape.len()];
+            transfer_apply_serial(&src, shape, &mut expect, Axis(ax), &coords);
+            let mut got = src.clone();
+            transfer_apply_inplace(&mut got, shape, Axis(ax), &coords);
+            let out_shape = compact_coarse(&mut got, shape, Axis(ax));
+            assert_eq!(out_shape, cshape);
+            assert!(
+                max_abs_diff(&got[..cshape.len()], &expect) < 1e-13,
+                "axis {ax}"
+            );
         }
     }
 

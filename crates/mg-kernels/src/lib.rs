@@ -9,16 +9,32 @@
 //! | transfer matrix multiplication | linear processing | [`transfer`] |
 //! | correction solver | linear processing | [`solve`] |
 //!
-//! All kernels operate on *packed* level-`l` arrays: the driver in `mg-core`
-//! gathers the level subgrid densely (see `mg_grid::pack`), so extents here
-//! are `2^e + 1` per dimension (or 2 for bottomed-out dimensions) and access
-//! is unit-stride. Matrices are never materialized — mass/transfer row
-//! entries are recomputed from coordinate spacings on the fly, exactly like
-//! the paper's implicit-matrix storage (§III-B).
+//! ## The layout axis
 //!
-//! [`inplace`] additionally provides a functional CPU rendering of the
-//! paper's six-region segmented in-place update (Figs. 5 & 6), validated
-//! against the reference kernels.
+//! *How* a level subgrid is touched is an explicit execution dimension
+//! ([`ExecPlan`] = [`Threading`] × [`Layout`]), reproducing the paper's
+//! central design comparison (§III-B/C, Figs. 5–7):
+//!
+//! * [`Layout::Packed`] — the driver gathers the level subgrid densely
+//!   into working memory (`mg_grid::pack`) before a level's kernels run
+//!   and scatters afterwards, so kernels see unit-stride `2^e + 1`
+//!   extents. This is the paper's node-packing optimization.
+//! * [`Layout::InPlace`] — kernels operate directly on the level subgrid
+//!   *embedded* in the finest array through a stride-aware
+//!   [`mg_grid::GridView`]; the grid-processing kernels update odd nodes
+//!   in place ([`coeff::compute_view_serial`] and friends) and the linear
+//!   pipeline uses the six-region segmented in-place update of [`inplace`]
+//!   (Figs. 5 & 6), eliminating the per-level gather/scatter pass
+//!   entirely.
+//!
+//! Every kernel additionally exposes a stride-aware `*_view` entry point
+//! that runs unchanged on dense-packed or embedded-strided views — the
+//! naive strided baseline of Fig. 7 is `GridView::embedded` fed to those
+//! entries.
+//!
+//! Matrices are never materialized — mass/transfer row entries are
+//! recomputed from coordinate spacings on the fly, exactly like the
+//! paper's implicit-matrix storage (§III-B).
 //!
 //! The serial variants are written the way the CPU MGARD baseline works
 //! (fiber-by-fiber, in place, O(1) scratch); the parallel variants use the
@@ -40,11 +56,170 @@ pub mod transfer;
 pub use correction::{compute_correction, CorrectionScratch, StageTimes};
 pub use level::LevelCtx;
 
-/// Execution strategy selector shared by the kernels.
+/// Threading strategy of an execution plan.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
-pub enum Exec {
+pub enum Threading {
     /// Single-threaded reference implementation (the paper's CPU baseline).
     Serial,
     /// rayon data-parallel implementation.
     Parallel,
+}
+
+impl Threading {
+    /// Lower-case tag (`"serial"` / `"parallel"`) for CLIs and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Threading::Serial => "serial",
+            Threading::Parallel => "parallel",
+        }
+    }
+}
+
+impl std::fmt::Display for Threading {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Threading {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "serial" => Ok(Threading::Serial),
+            "parallel" => Ok(Threading::Parallel),
+            other => Err(format!("unknown threading {other:?} (serial|parallel)")),
+        }
+    }
+}
+
+/// Memory-layout strategy: how level subgrids are touched (paper §III-C).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Layout {
+    /// Gather each level subgrid densely into working memory before the
+    /// kernels run, scatter afterwards (node packing).
+    Packed,
+    /// Operate directly on the embedded strided subgrid with the
+    /// six-region segmented in-place update — no gather/scatter pass.
+    InPlace,
+}
+
+impl Layout {
+    /// Lower-case tag (`"packed"` / `"inplace"`) for CLIs and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Layout::Packed => "packed",
+            Layout::InPlace => "inplace",
+        }
+    }
+}
+
+impl std::fmt::Display for Layout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Layout {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "packed" => Ok(Layout::Packed),
+            "inplace" | "in-place" => Ok(Layout::InPlace),
+            other => Err(format!("unknown layout {other:?} (packed|inplace)")),
+        }
+    }
+}
+
+/// Execution plan shared by the kernels and drivers: threading × layout.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ExecPlan {
+    /// Serial reference or rayon-parallel kernels.
+    pub threading: Threading,
+    /// Packed gather/scatter or segmented in-place level access.
+    pub layout: Layout,
+}
+
+impl ExecPlan {
+    /// Every threading × layout combination, for exhaustive sweeps
+    /// (tests, benches, the `bench_refactor` JSON emitter).
+    pub const ALL: [ExecPlan; 4] = [
+        ExecPlan::new(Threading::Serial, Layout::Packed),
+        ExecPlan::new(Threading::Parallel, Layout::Packed),
+        ExecPlan::new(Threading::Serial, Layout::InPlace),
+        ExecPlan::new(Threading::Parallel, Layout::InPlace),
+    ];
+
+    /// Plan from explicit threading and layout.
+    pub const fn new(threading: Threading, layout: Layout) -> Self {
+        ExecPlan { threading, layout }
+    }
+
+    /// Serial threading, packed layout (the default).
+    pub const fn serial() -> Self {
+        Self::new(Threading::Serial, Layout::Packed)
+    }
+
+    /// Parallel threading, packed layout.
+    pub const fn parallel() -> Self {
+        Self::new(Threading::Parallel, Layout::Packed)
+    }
+
+    /// This plan with a different layout.
+    pub const fn with_layout(self, layout: Layout) -> Self {
+        Self::new(self.threading, layout)
+    }
+
+    /// This plan with a different threading strategy.
+    pub const fn with_threading(self, threading: Threading) -> Self {
+        Self::new(threading, self.layout)
+    }
+}
+
+impl Default for ExecPlan {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+impl From<Threading> for ExecPlan {
+    fn from(threading: Threading) -> Self {
+        Self::new(threading, Layout::Packed)
+    }
+}
+
+impl From<Layout> for ExecPlan {
+    fn from(layout: Layout) -> Self {
+        Self::new(Threading::Serial, layout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builders_compose() {
+        assert_eq!(ExecPlan::default(), ExecPlan::serial());
+        assert_eq!(
+            ExecPlan::parallel().with_layout(Layout::InPlace),
+            ExecPlan::new(Threading::Parallel, Layout::InPlace)
+        );
+        assert_eq!(ExecPlan::from(Threading::Parallel), ExecPlan::parallel());
+        assert_eq!(
+            ExecPlan::from(Layout::InPlace),
+            ExecPlan::serial().with_layout(Layout::InPlace)
+        );
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for t in [Threading::Serial, Threading::Parallel] {
+            assert_eq!(t.as_str().parse::<Threading>().unwrap(), t);
+        }
+        for l in [Layout::Packed, Layout::InPlace] {
+            assert_eq!(l.as_str().parse::<Layout>().unwrap(), l);
+        }
+        assert!("gpu".parse::<Layout>().is_err());
+        assert!("gpu".parse::<Threading>().is_err());
+    }
 }

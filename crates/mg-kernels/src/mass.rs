@@ -22,7 +22,7 @@
 //! so rayon can split the destination into disjoint chunks.
 
 use mg_grid::fiber::{fiber_base, fiber_spec};
-use mg_grid::{Axis, Real, Shape};
+use mg_grid::{Axis, GridView, Real, Shape};
 use rayon::prelude::*;
 
 /// Tridiagonal row coefficients at row `i` for spacing vector `h`.
@@ -113,6 +113,36 @@ pub fn mass_apply_parallel<T: Real>(
                 }
             }
         });
+}
+
+/// Stride-aware, in-place `v <- M v` along `axis` for every fiber of a
+/// [`GridView`] — runs unchanged on dense-packed or embedded-strided
+/// level subgrids (the Fig. 7 strided baseline is
+/// `GridView::embedded` fed here). Same sliding-ghost walk as
+/// [`mass_apply_serial`], so results are bitwise identical.
+pub fn mass_apply_view_serial<T: Real>(data: &mut [T], view: &GridView, axis: Axis, coords: &[T]) {
+    let n = view.shape().dim(axis);
+    assert_eq!(data.len(), view.backing_len());
+    assert_eq!(coords.len(), n);
+    let h: Vec<T> = coords.windows(2).map(|w| w[1] - w[0]).collect();
+    let stride = view.stride(axis);
+    view.for_each_fiber_base(axis, |_, base| {
+        let mut prev_orig = T::ZERO;
+        for i in 0..n {
+            let off = base + i * stride;
+            let cur_orig = data[off];
+            let (a, b, c) = mass_row(&h, i);
+            let mut t = b * cur_orig;
+            if i > 0 {
+                t += a * prev_orig;
+            }
+            if i + 1 < n {
+                t += c * data[off + stride];
+            }
+            data[off] = t;
+            prev_orig = cur_orig;
+        }
+    });
 }
 
 /// Dense reference multiply used only by tests: materializes `M` and does a
@@ -211,6 +241,38 @@ mod tests {
         mass_apply_serial(&mut v, Shape::d1(2), Axis(0), &coords);
         assert!((v[0] - (1.0 + 2.0 * 0.5)).abs() < 1e-14); // 1*1 + 0.5*2
         assert!((v[1] - (0.5 + 2.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn view_kernel_matches_packed_on_embedded_levels() {
+        // The stride-aware entry on an embedded level view must equal
+        // pack -> packed kernel -> unpack, bit for bit, on every level
+        // and axis.
+        use mg_grid::pack::{pack_level, unpack_level};
+        use mg_grid::{GridView, Hierarchy};
+        let full = Shape::d2(9, 17);
+        let hier = Hierarchy::new(full).unwrap();
+        let src: Vec<f64> = (0..full.len())
+            .map(|i| ((i * 31 + 7) % 53) as f64 * 0.11 - 2.0)
+            .collect();
+        for l in 1..=hier.nlevels() {
+            let ld = hier.level_dims(l);
+            let view = GridView::embedded(full, &ld);
+            for ax in 0..2 {
+                let n = ld.shape.dim(Axis(ax));
+                let coords: Vec<f64> = (0..n).map(|i| i as f64 * 0.4 + 0.1).collect();
+
+                let mut expect = src.clone();
+                let mut packed = Vec::new();
+                pack_level(&expect, full, &ld, &mut packed);
+                mass_apply_serial(&mut packed, ld.shape, Axis(ax), &coords);
+                unpack_level(&mut expect, full, &ld, &packed);
+
+                let mut got = src.clone();
+                mass_apply_view_serial(&mut got, &view, Axis(ax), &coords);
+                assert_eq!(got, expect, "level {l} axis {ax}");
+            }
+        }
     }
 
     #[test]

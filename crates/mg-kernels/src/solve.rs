@@ -10,7 +10,7 @@
 
 use crate::mass::mass_row;
 use mg_grid::fiber::{fiber_base, fiber_spec};
-use mg_grid::{Axis, Real, Shape};
+use mg_grid::{Axis, GridView, Real, Shape};
 use rayon::prelude::*;
 
 /// Precomputed Thomas factorization of a 1-D mass matrix.
@@ -105,6 +105,34 @@ pub fn solve_serial<T: Real>(data: &mut [T], shape: Shape, axis: Axis, factors: 
             data[off] -= factors.cprime[i] * next;
         }
     }
+}
+
+/// Stride-aware, in-place solve of `M x = d` for every fiber of a
+/// [`GridView`] (dense-packed or embedded-strided); same sweeps as
+/// [`solve_serial`].
+pub fn solve_view_serial<T: Real>(
+    data: &mut [T],
+    view: &GridView,
+    axis: Axis,
+    factors: &ThomasFactors<T>,
+) {
+    let n = view.shape().dim(axis);
+    assert_eq!(data.len(), view.backing_len());
+    assert_eq!(factors.n(), n);
+    let stride = view.stride(axis);
+    view.for_each_fiber_base(axis, |_, base| {
+        data[base] *= factors.inv_denom[0];
+        for i in 1..n {
+            let off = base + i * stride;
+            let prev = data[off - stride];
+            data[off] = (data[off] - factors.sub[i] * prev) * factors.inv_denom[i];
+        }
+        for i in (0..n - 1).rev() {
+            let off = base + i * stride;
+            let next = data[off + stride];
+            data[off] -= factors.cprime[i] * next;
+        }
+    });
 }
 
 /// Parallel, in-place solve along `axis`.
@@ -218,6 +246,36 @@ mod tests {
             solve_parallel(&mut par, shape, Axis(ax), &f);
             for (a, b) in ser.iter().zip(&par) {
                 assert!((a - b).abs() < 1e-12, "axis {ax}");
+            }
+        }
+    }
+
+    #[test]
+    fn view_kernel_matches_packed_on_embedded_levels() {
+        use mg_grid::pack::{pack_level, unpack_level};
+        use mg_grid::{GridView, Hierarchy};
+        let full = Shape::d2(9, 17);
+        let hier = Hierarchy::new(full).unwrap();
+        let src: Vec<f64> = (0..full.len())
+            .map(|i| ((i * 19 + 5) % 37) as f64 * 0.23 - 2.0)
+            .collect();
+        for l in 1..=hier.nlevels() {
+            let ld = hier.level_dims(l);
+            let view = GridView::embedded(full, &ld);
+            for ax in 0..2 {
+                let n = ld.shape.dim(Axis(ax));
+                let coords: Vec<f64> = (0..n).map(|i| i as f64 * (1.0 + 0.2 * i as f64)).collect();
+                let f = ThomasFactors::new(&coords);
+
+                let mut expect = src.clone();
+                let mut packed = Vec::new();
+                pack_level(&expect, full, &ld, &mut packed);
+                solve_serial(&mut packed, ld.shape, Axis(ax), &f);
+                unpack_level(&mut expect, full, &ld, &packed);
+
+                let mut got = src.clone();
+                solve_view_serial(&mut got, &view, Axis(ax), &f);
+                assert_eq!(got, expect, "level {l} axis {ax}");
             }
         }
     }

@@ -1,6 +1,6 @@
 //! 3-D Gray–Scott reaction-diffusion simulation.
 //!
-//! The model (Pearson, *Science* 1993 — the paper's citation [12]) evolves
+//! The model (Pearson, *Science* 1993 — the paper's citation \[12\]) evolves
 //! two species `u`, `v` on a periodic cubic grid:
 //!
 //! ```text
@@ -12,7 +12,7 @@
 //! Laplacian (`(Σ neighbours - 6u) / 6`, which keeps `dt = 1` stable),
 //! parallelized
 //! over z-slabs with rayon. The default parameters produce the
-//! labyrinthine patterns the ADIOS Gray–Scott tutorial (citation [13])
+//! labyrinthine patterns the ADIOS Gray–Scott tutorial (citation \[13\])
 //! ships, which is the dataset class of the paper's evaluation.
 
 use mg_grid::{NdArray, Shape};

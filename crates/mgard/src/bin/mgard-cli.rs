@@ -13,6 +13,13 @@
 //! mgard-cli decompress --shape 65x65x65 --tau 1e-3 out.mgz back.f64
 //! mgard-cli info       out.mgrd
 //! ```
+//!
+//! Every refactoring command additionally takes `--layout packed|inplace`
+//! (how level subgrids are touched: gathered densely into working memory,
+//! or updated in place with the paper's six-region segmented design) and
+//! `--threads N` (1 = the serial reference kernels; any other value runs
+//! the data-parallel kernels on N worker threads). All combinations
+//! produce identical payloads.
 
 use mgard::mg_compress::{Compressed, Compressor, StageTimings};
 use mgard::prelude::*;
@@ -37,7 +44,11 @@ const USAGE: &str = "usage:
   mgard-cli reconstruct IN.mgrd OUT.f64 [--classes K]
   mgard-cli compress   --shape DxHxW --tau T IN.f64 OUT.mgz
   mgard-cli decompress --shape DxHxW --tau T IN.mgz OUT.f64
-  mgard-cli info       IN.mgrd";
+  mgard-cli info       IN.mgrd
+
+options (refactor/reconstruct/compress/decompress):
+  --layout packed|inplace   level-subgrid access strategy (default packed)
+  --threads N               1 = serial kernels, else parallel on N threads";
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
@@ -47,6 +58,20 @@ struct Opts {
     shape: Option<Shape>,
     tau: Option<f64>,
     classes: Option<usize>,
+    layout: Layout,
+    threads: Option<usize>,
+}
+
+impl Opts {
+    /// The execution plan selected by `--layout` / `--threads`
+    /// (default: parallel, packed — the historical CLI behaviour).
+    fn plan(&self) -> ExecPlan {
+        let threading = match self.threads {
+            Some(1) => Threading::Serial,
+            _ => Threading::Parallel,
+        };
+        ExecPlan::new(threading, self.layout)
+    }
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, Box<dyn std::error::Error>> {
@@ -55,6 +80,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, Box<dyn std::error::Error>> {
         shape: None,
         tau: None,
         classes: None,
+        layout: Layout::Packed,
+        threads: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -72,6 +99,18 @@ fn parse_opts(args: &[String]) -> Result<Opts, Box<dyn std::error::Error>> {
                 let v = it.next().ok_or("--classes needs a value")?;
                 o.classes = Some(v.parse().map_err(|_| "bad --classes")?);
             }
+            "--layout" => {
+                let v = it.next().ok_or("--layout needs packed|inplace")?;
+                o.layout = v.parse()?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a count")?;
+                let n: usize = v.parse().map_err(|_| "bad --threads")?;
+                if n == 0 {
+                    return Err("--threads must be >= 1".into());
+                }
+                o.threads = Some(n);
+            }
             other if other.starts_with("--") => return Err(format!("unknown flag {other}").into()),
             other => o.positional.push(other.to_string()),
         }
@@ -82,6 +121,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, Box<dyn std::error::Error>> {
 fn run(args: &[String]) -> CliResult {
     let cmd = args.first().ok_or("missing command")?.clone();
     let o = parse_opts(&args[1..])?;
+    if let Some(n) = o.threads {
+        // The rayon shim sizes its worker pool from this variable.
+        std::env::set_var("MGARD_THREADS", n.to_string());
+    }
     match cmd.as_str() {
         "refactor" => refactor(&o),
         "reconstruct" => reconstruct(&o),
@@ -127,7 +170,7 @@ fn refactor(o: &Opts) -> CliResult {
     let data = read_f64_file(input, shape)?;
     let mut r = Refactorer::<f64>::new(shape)
         .map_err(|e| format!("{e} (use a 2^k+1 shape or pad first)"))?
-        .exec(Exec::Parallel);
+        .plan(o.plan());
     let mut work = data;
     r.decompose(&mut work);
     let hier = r.hierarchy().clone();
@@ -152,7 +195,9 @@ fn reconstruct(o: &Opts) -> CliResult {
     let bytes = std::fs::read(input)?;
     let refac: Refactored<f64> = decode(bytes.into())?;
     let shape = refac.hierarchy().finest();
-    let mut r = Refactorer::<f64>::new(shape).unwrap().exec(Exec::Parallel);
+    let mut r = Refactorer::<f64>::new(shape)
+        .map_err(|e| format!("payload has a non-dyadic shape: {e}"))?
+        .plan(o.plan());
     let count = o
         .classes
         .unwrap_or(refac.num_classes())
@@ -174,7 +219,7 @@ fn compress(o: &Opts) -> CliResult {
         return Err("compress needs IN and OUT paths".into());
     };
     let data = read_f64_file(input, shape)?;
-    let mut c = Compressor::<f64>::new(shape, tau).parallel();
+    let mut c = Compressor::<f64>::new(shape, tau).plan(o.plan());
     let blob = c.compress(&data);
     std::fs::write(output, &blob.bytes)?;
     report_timings("compressed", &blob.timings);
@@ -194,7 +239,7 @@ fn decompress(o: &Opts) -> CliResult {
         return Err("decompress needs IN and OUT paths".into());
     };
     let payload = std::fs::read(input)?;
-    let mut c = Compressor::<f64>::new(shape, tau).parallel();
+    let mut c = Compressor::<f64>::new(shape, tau).plan(o.plan());
     let blob = Compressed {
         bytes: payload.into(),
         original_bytes: shape.len() * 8,

@@ -41,7 +41,7 @@
 //! | Layer | Crate | Contents |
 //! |---|---|---|
 //! | grids | [`mg_grid`] | shapes, fibers, dyadic hierarchy, coordinates, packing |
-//! | kernels | [`mg_kernels`] | the five refactoring kernels (serial + rayon) |
+//! | kernels | [`mg_kernels`] | the five refactoring kernels (serial + rayon, packed + in-place layouts) |
 //! | drivers | [`mg_core`] | decomposition/recomposition, arbitrary sizes |
 //! | classes | [`mg_refactor`] | coefficient classes, progressive reconstruction, wire format |
 //! | GPU model | [`gpu_sim`] | device specs, coalescing/occupancy/stream models |
@@ -67,7 +67,7 @@ pub mod prelude {
     pub use gpu_sim::device::DeviceSpec;
     pub use mg_compress::{Compressed, Compressor};
     pub use mg_core::padded::PaddedRefactorer;
-    pub use mg_core::{Exec, Refactorer};
+    pub use mg_core::{ExecPlan, Layout, Refactorer, Threading};
     pub use mg_gpu::exec::GpuRefactorer;
     pub use mg_grid::{Axis, CoordSet, Hierarchy, NdArray, Real, Shape};
     pub use mg_refactor::classes::Refactored;

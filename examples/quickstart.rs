@@ -42,7 +42,9 @@ fn progressive_gray_scott() {
     let field = gs.u_field_dyadic(65);
 
     let shape = field.shape();
-    let mut refactorer = Refactorer::<f64>::new(shape).unwrap().exec(Exec::Parallel);
+    let mut refactorer = Refactorer::<f64>::new(shape)
+        .unwrap()
+        .plan(ExecPlan::parallel());
     let mut data = field.clone();
     refactorer.decompose(&mut data);
     let hier = refactorer.hierarchy().clone();

@@ -26,7 +26,9 @@ fn main() {
     let series = NdArray::from_fn(shape4, |i| snapshots[i[0]].get(&i[1..4]));
 
     // --- 4-D refactoring ---------------------------------------------------
-    let mut r4 = Refactorer::<f64>::new(shape4).unwrap().exec(Exec::Parallel);
+    let mut r4 = Refactorer::<f64>::new(shape4)
+        .unwrap()
+        .plan(ExecPlan::parallel());
     let mut data4 = series.clone();
     r4.decompose(&mut data4);
     let h4 = r4.hierarchy().clone();
@@ -41,7 +43,9 @@ fn main() {
 
     // --- per-snapshot 3-D refactoring --------------------------------------
     let shape3 = Shape::d3(n, n, n);
-    let mut r3 = Refactorer::<f64>::new(shape3).unwrap().exec(Exec::Parallel);
+    let mut r3 = Refactorer::<f64>::new(shape3)
+        .unwrap()
+        .plan(ExecPlan::parallel());
     let refac3: Vec<Refactored<f64>> = snapshots
         .iter()
         .map(|s| {

@@ -24,7 +24,9 @@ fn main() {
 
     // --- refactor and measure per-prefix feature accuracy ----------------
     let shape = field.shape();
-    let mut refactorer = Refactorer::<f64>::new(shape).unwrap().exec(Exec::Parallel);
+    let mut refactorer = Refactorer::<f64>::new(shape)
+        .unwrap()
+        .plan(ExecPlan::parallel());
     let mut data = field.clone();
     refactorer.decompose(&mut data);
     let hier = refactorer.hierarchy().clone();

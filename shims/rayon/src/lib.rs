@@ -13,8 +13,17 @@
 
 use std::num::NonZeroUsize;
 
-/// Number of worker threads to use (available parallelism, min 1).
+/// Number of worker threads to use: the `MGARD_THREADS` environment
+/// variable if set to a positive integer (the knob behind
+/// `mgard-cli --threads`), otherwise available parallelism, min 1.
 fn nthreads() -> usize {
+    if let Ok(v) = std::env::var("MGARD_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)

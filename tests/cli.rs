@@ -153,6 +153,68 @@ fn info_prints_classes() {
 }
 
 #[test]
+fn layout_and_threads_flags_round_trip_identically() {
+    // Acceptance: --layout inplace and --layout packed must produce
+    // bit-identical payloads and both reconstruct, for serial and
+    // parallel threading.
+    let d = tmpdir("layout");
+    let input = d.join("in.f64");
+    let vals = write_field(&input, 33);
+    let mut payloads = Vec::new();
+    for (layout, threads) in [
+        ("packed", "1"),
+        ("packed", "4"),
+        ("inplace", "1"),
+        ("inplace", "4"),
+    ] {
+        let refac = d.join(format!("out-{layout}-{threads}.mgrd"));
+        let output = d.join(format!("back-{layout}-{threads}.f64"));
+        assert!(cli()
+            .args([
+                "refactor",
+                "--shape",
+                "33x33",
+                "--layout",
+                layout,
+                "--threads",
+                threads
+            ])
+            .arg(&input)
+            .arg(&refac)
+            .status()
+            .unwrap()
+            .success());
+        assert!(cli()
+            .args(["reconstruct", "--layout", layout, "--threads", threads])
+            .arg(&refac)
+            .arg(&output)
+            .status()
+            .unwrap()
+            .success());
+        let back = read_field(&output);
+        let err: f64 = back
+            .iter()
+            .zip(&vals)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-11, "{layout}/{threads}: err {err}");
+        payloads.push(std::fs::read(&refac).unwrap());
+    }
+    for p in &payloads[1..] {
+        assert_eq!(p, &payloads[0], "payloads must be bit-identical");
+    }
+    // Bad flag values fail cleanly.
+    let out = cli()
+        .args(["refactor", "--shape", "33x33", "--layout", "diagonal"])
+        .arg(&input)
+        .arg(d.join("x.mgrd"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(d).unwrap();
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     // Unknown command.
     let out = cli().arg("frobnicate").output().unwrap();

@@ -19,7 +19,9 @@ fn full_pipeline_gray_scott_to_consumer() {
     // Producer: simulate, refactor (parallel kernels), serialize a prefix.
     let field = gray_scott_field(48, 150, 33);
     let shape = field.shape();
-    let mut refactorer = Refactorer::<f64>::new(shape).unwrap().exec(Exec::Parallel);
+    let mut refactorer = Refactorer::<f64>::new(shape)
+        .unwrap()
+        .plan(ExecPlan::parallel());
     let mut data = field.clone();
     refactorer.decompose(&mut data);
     let hier = refactorer.hierarchy().clone();
@@ -117,7 +119,7 @@ fn arbitrary_sizes_flow_through_classes_and_back() {
     // Non-dyadic input: pad, refactor, class-slice, reconstruct, crop.
     let shape = Shape::d3(12, 20, 7);
     let field = synthetic::smooth::<f64>(shape);
-    let mut pr = PaddedRefactorer::<f64>::new(shape).exec(Exec::Parallel);
+    let mut pr = PaddedRefactorer::<f64>::new(shape).plan(ExecPlan::parallel());
     let refactored = pr.decompose(&field);
 
     let hier = Hierarchy::new(refactored.shape()).unwrap();

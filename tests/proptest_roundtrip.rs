@@ -43,13 +43,54 @@ proptest! {
     fn decompose_recompose_round_trips(dims in dyadic_shape(), seed in any::<u64>(), parallel in any::<bool>()) {
         let shape = Shape::new(&dims);
         let orig = field_for(&dims, seed);
-        let exec = if parallel { Exec::Parallel } else { Exec::Serial };
-        let mut r = Refactorer::<f64>::new(shape).unwrap().exec(exec);
+        let threading = if parallel { Threading::Parallel } else { Threading::Serial };
+        let mut r = Refactorer::<f64>::new(shape).unwrap().plan(threading);
         let mut data = orig.clone();
         r.decompose(&mut data);
         r.recompose(&mut data);
         let err = mg_grid::real::max_abs_diff(data.as_slice(), orig.as_slice());
         prop_assert!(err < 1e-10, "round trip error {err} on {dims:?}");
+    }
+
+    #[test]
+    fn packed_and_inplace_layouts_agree(
+        dims in dyadic_shape(),
+        seed in any::<u64>(),
+        stretch in 0.0f64..0.45,
+    ) {
+        // The paper's layout axis: for random dyadic shapes and nonuniform
+        // coordinates, every threading × layout combination must produce
+        // the same decomposition and round-trip, all within 1e-11.
+        let shape = Shape::new(&dims);
+        let coords = CoordSet::<f64>::stretched(shape, stretch);
+        let orig = field_for(&dims, seed);
+        let mut decomposed_ref: Option<NdArray<f64>> = None;
+        let mut recomposed_ref: Option<NdArray<f64>> = None;
+        for layout in [Layout::Packed, Layout::InPlace] {
+            for threading in [Threading::Serial, Threading::Parallel] {
+                let plan = ExecPlan::new(threading, layout);
+                let mut r = Refactorer::with_coords(shape, coords.clone()).unwrap().plan(plan);
+                let mut data = orig.clone();
+                r.decompose(&mut data);
+                match &decomposed_ref {
+                    None => decomposed_ref = Some(data.clone()),
+                    Some(rf) => {
+                        let err = mg_grid::real::max_abs_diff(data.as_slice(), rf.as_slice());
+                        prop_assert!(err < 1e-11, "{plan:?} decomposition diverged by {err} on {dims:?}");
+                    }
+                }
+                r.recompose(&mut data);
+                match &recomposed_ref {
+                    None => recomposed_ref = Some(data.clone()),
+                    Some(rf) => {
+                        let err = mg_grid::real::max_abs_diff(data.as_slice(), rf.as_slice());
+                        prop_assert!(err < 1e-11, "{plan:?} recomposition diverged by {err} on {dims:?}");
+                    }
+                }
+                let err = mg_grid::real::max_abs_diff(data.as_slice(), orig.as_slice());
+                prop_assert!(err < 1e-10, "{plan:?} round trip error {err} on {dims:?} stretch {stretch}");
+            }
+        }
     }
 
     #[test]
@@ -72,7 +113,7 @@ proptest! {
         let mut a = orig.clone();
         Refactorer::<f64>::new(shape).unwrap().decompose(&mut a);
         let mut b = orig.clone();
-        Refactorer::<f64>::new(shape).unwrap().exec(Exec::Parallel).decompose(&mut b);
+        Refactorer::<f64>::new(shape).unwrap().plan(ExecPlan::parallel()).decompose(&mut b);
         let err = mg_grid::real::max_abs_diff(a.as_slice(), b.as_slice());
         prop_assert!(err < 1e-11);
     }
