@@ -1,20 +1,30 @@
 //! `bench_refactor` — machine-readable refactoring benchmark.
 //!
-//! Sweeps the execution-plan matrix (threading × layout) over a set of
-//! grid shapes, timing one decompose + recompose per cell and collecting
-//! the per-kernel wall-clock breakdown (the paper's Table IV categories),
-//! then writes the results as JSON so the perf trajectory can be tracked
-//! across commits (`BENCH_*.json`).
+//! Sweeps the execution-plan matrix (threading × layout, all four layouts)
+//! over a set of grid shapes, timing one decompose + recompose per cell
+//! and collecting the per-kernel wall-clock breakdown (the paper's
+//! Table IV categories), then writes the results as JSON so the perf
+//! trajectory can be tracked across commits (`BENCH_*.json`).
 //!
 //! ```text
-//! bench_refactor [--quick] [--out PATH]
+//! bench_refactor [--quick] [--out PATH] [--tile N] [--tile-sweep N,N,..]
+//!                [--compare BASELINE.json] [--tolerance PCT]
 //! ```
 //!
-//! `--quick` restricts the sweep to small shapes and a single repetition
-//! (the CI smoke configuration); the default output path is
-//! `BENCH_refactor.json` in the current directory.
+//! * `--quick` restricts the sweep to small shapes and a single repetition
+//!   (the CI smoke configuration).
+//! * `--tile N` sets the tile size used by the tiled-layout cells
+//!   (default `mg_kernels::DEFAULT_TILE`).
+//! * `--tile-sweep 8,32,128` adds parallel tiled cells at each listed tile
+//!   size (rows carry a `"tile"` field).
+//! * `--compare BASELINE.json` re-reads a previous run and **exits
+//!   nonzero** if any matching cell's per-kernel time regressed by more
+//!   than `--tolerance` percent (default 15) beyond a 2 ms noise floor —
+//!   the per-commit regression gate. Baselines are only comparable on the
+//!   machine that produced them; cross-machine comparisons need a wide
+//!   tolerance.
 
-use mg_core::{ExecPlan, Refactorer};
+use mg_core::{ExecPlan, Layout, Refactorer, Threading};
 use mg_grid::{NdArray, Shape};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -37,17 +47,245 @@ fn shape_tag(shape: Shape) -> String {
         .join("x")
 }
 
+/// One benchmark cell, serializable to a JSON row and re-parsable for
+/// `--compare`.
+struct Row {
+    shape: String,
+    layout: String,
+    threading: String,
+    tile: Option<usize>,
+    decompose_ns: u128,
+    recompose_ns: u128,
+    kernels: Vec<(String, u128)>,
+}
+
+impl Row {
+    fn key(&self) -> String {
+        format!(
+            "{}/{}{}/{}",
+            self.shape,
+            self.layout,
+            self.tile.map(|t| format!(":{t}")).unwrap_or_default(),
+            self.threading
+        )
+    }
+
+    fn to_json(&self) -> String {
+        let mut kernels = String::new();
+        for (i, (label, ns)) in self.kernels.iter().enumerate() {
+            if i > 0 {
+                kernels.push_str(", ");
+            }
+            write!(kernels, "\"{label}\": {ns}").unwrap();
+        }
+        let tile = self
+            .tile
+            .map(|t| format!("\"tile\": {t}, "))
+            .unwrap_or_default();
+        format!(
+            "    {{\"shape\": \"{}\", \"layout\": \"{}\", {}\"threading\": \"{}\", \
+             \"decompose_ns\": {}, \"recompose_ns\": {}, \"kernels\": {{{}}}}}",
+            self.shape,
+            self.layout,
+            tile,
+            self.threading,
+            self.decompose_ns,
+            self.recompose_ns,
+            kernels
+        )
+    }
+}
+
+/// Time one plan on one shape.
+fn bench_cell(shape: Shape, data: &NdArray<f64>, plan: ExecPlan, reps: usize) -> Row {
+    let mut r = Refactorer::<f64>::new(shape).unwrap().plan(plan);
+    // Warm-up pass allocates the working buffers.
+    let mut warm = data.clone();
+    r.decompose(&mut warm);
+    r.recompose(&mut warm);
+    let _ = r.take_times();
+
+    let mut best_dec = u128::MAX;
+    let mut best_rec = u128::MAX;
+    for _ in 0..reps {
+        let mut d = data.clone();
+        let t0 = Instant::now();
+        r.decompose(&mut d);
+        best_dec = best_dec.min(t0.elapsed().as_nanos());
+        let t0 = Instant::now();
+        r.recompose(&mut d);
+        best_rec = best_rec.min(t0.elapsed().as_nanos());
+    }
+    // Per-kernel breakdown from exactly one decompose + recompose pair, so
+    // the kernel sums are comparable to decompose_ns + recompose_ns
+    // regardless of `reps`.
+    let _ = r.take_times();
+    let mut d = data.clone();
+    r.decompose(&mut d);
+    r.recompose(&mut d);
+    let times = r.take_times();
+    let kernels = times
+        .rows()
+        .iter()
+        .map(|(label, dur, _)| (label.to_lowercase(), dur.as_nanos()))
+        .collect();
+    let tile = match plan.layout {
+        Layout::Tiled { tile } => Some(tile),
+        _ => None,
+    };
+    let row = Row {
+        shape: shape_tag(shape),
+        layout: plan.layout.as_str().to_string(),
+        threading: plan.threading.to_string(),
+        tile,
+        decompose_ns: best_dec,
+        recompose_ns: best_rec,
+        kernels,
+    };
+    eprintln!(
+        "{}: decompose {:.3} ms, recompose {:.3} ms",
+        row.key(),
+        best_dec as f64 / 1e6,
+        best_rec as f64 / 1e6
+    );
+    row
+}
+
+// --- minimal JSON row re-parser for --compare -------------------------
+
+fn json_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let at = line.find(&pat)? + pat.len();
+    let end = line[at..].find('"')?;
+    Some(line[at..at + end].to_string())
+}
+
+fn json_num(line: &str, key: &str) -> Option<u128> {
+    let pat = format!("\"{key}\": ");
+    let at = line.find(&pat)? + pat.len();
+    let digits: String = line[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+fn parse_rows(json: &str) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for line in json.lines() {
+        let Some(shape) = json_str(line, "shape") else {
+            continue;
+        };
+        let mut kernels = Vec::new();
+        if let Some(at) = line.find("\"kernels\": {") {
+            let body = &line[at + "\"kernels\": {".len()..];
+            if let Some(end) = body.find('}') {
+                for pair in body[..end].split(',') {
+                    let mut it = pair.split(':');
+                    if let (Some(k), Some(v)) = (it.next(), it.next()) {
+                        if let Ok(ns) = v.trim().parse() {
+                            kernels.push((k.trim().trim_matches('"').to_string(), ns));
+                        }
+                    }
+                }
+            }
+        }
+        rows.push(Row {
+            shape,
+            layout: json_str(line, "layout").unwrap_or_default(),
+            threading: json_str(line, "threading").unwrap_or_default(),
+            tile: json_num(line, "tile").map(|t| t as usize),
+            decompose_ns: json_num(line, "decompose_ns").unwrap_or(0),
+            recompose_ns: json_num(line, "recompose_ns").unwrap_or(0),
+            kernels,
+        });
+    }
+    rows
+}
+
+/// Compare `current` against a baseline file; returns the regression
+/// report lines (empty = pass). A cell regresses when it is both
+/// `tolerance_pct` percent and 2 ms slower than baseline.
+fn compare(current: &[Row], baseline_json: &str, tolerance_pct: f64) -> Vec<String> {
+    const NOISE_FLOOR_NS: u128 = 2_000_000;
+    let baseline = parse_rows(baseline_json);
+    let mut report = Vec::new();
+    let mut matched = 0usize;
+    for row in current {
+        let Some(base) = baseline.iter().find(|b| b.key() == row.key()) else {
+            continue; // new cell, nothing to gate against
+        };
+        matched += 1;
+        let mut checks: Vec<(String, u128, u128)> = vec![
+            ("decompose".into(), base.decompose_ns, row.decompose_ns),
+            ("recompose".into(), base.recompose_ns, row.recompose_ns),
+        ];
+        for (label, ns) in &row.kernels {
+            if let Some((_, base_ns)) = base.kernels.iter().find(|(l, _)| l == label) {
+                checks.push((format!("kernel {label}"), *base_ns, *ns));
+            }
+        }
+        for (what, old, new) in checks {
+            let limit = old + (old as f64 * tolerance_pct / 100.0) as u128;
+            if new > limit && new - old > NOISE_FLOOR_NS {
+                report.push(format!(
+                    "REGRESSION {} {what}: {:.3} ms -> {:.3} ms (+{:.0}%, tolerance {:.0}%)",
+                    row.key(),
+                    old as f64 / 1e6,
+                    new as f64 / 1e6,
+                    (new as f64 / old as f64 - 1.0) * 100.0,
+                    tolerance_pct
+                ));
+            }
+        }
+    }
+    if matched == 0 {
+        report.push("REGRESSION gate matched no baseline cells (format drift?)".into());
+    }
+    report
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut out = String::from("BENCH_refactor.json");
+    let mut tile: Option<usize> = None;
+    let mut tile_sweep: Vec<usize> = Vec::new();
+    let mut baseline: Option<String> = None;
+    let mut tolerance = 15.0f64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--out" => out = it.next().expect("--out needs a path").clone(),
+            "--tile" => {
+                tile = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--tile needs a size"),
+                )
+            }
+            "--tile-sweep" => {
+                tile_sweep = it
+                    .next()
+                    .expect("--tile-sweep needs a list like 8,32,128")
+                    .split(',')
+                    .map(|v| v.parse().expect("bad tile size"))
+                    .collect()
+            }
+            "--compare" => baseline = Some(it.next().expect("--compare needs a path").clone()),
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tolerance needs a percentage")
+            }
             other => {
-                eprintln!("usage: bench_refactor [--quick] [--out PATH] (got {other:?})");
+                eprintln!(
+                    "usage: bench_refactor [--quick] [--out PATH] [--tile N] \
+                     [--tile-sweep N,N,..] [--compare BASELINE.json] [--tolerance PCT] \
+                     (got {other:?})"
+                );
                 std::process::exit(2);
             }
         }
@@ -68,67 +306,38 @@ fn main() {
     let mut rows = Vec::new();
     for &shape in &shapes {
         let data = field(shape);
-        for plan in ExecPlan::ALL {
-            let mut r = Refactorer::<f64>::new(shape).unwrap().plan(plan);
-            // Warm-up pass allocates the working buffers.
-            let mut warm = data.clone();
-            r.decompose(&mut warm);
-            r.recompose(&mut warm);
-            let _ = r.take_times();
-
-            let mut best_dec = u128::MAX;
-            let mut best_rec = u128::MAX;
-            for _ in 0..reps {
-                let mut d = data.clone();
-                let t0 = Instant::now();
-                r.decompose(&mut d);
-                best_dec = best_dec.min(t0.elapsed().as_nanos());
-                let t0 = Instant::now();
-                r.recompose(&mut d);
-                best_rec = best_rec.min(t0.elapsed().as_nanos());
+        for mut plan in ExecPlan::ALL {
+            if let (Layout::Tiled { .. }, Some(t)) = (plan.layout, tile) {
+                plan = plan.with_layout(Layout::Tiled { tile: t });
             }
-            // Per-kernel breakdown from exactly one decompose + recompose
-            // pair, so the kernel sums are comparable to
-            // decompose_ns + recompose_ns regardless of `reps`.
-            let _ = r.take_times();
-            let mut d = data.clone();
-            r.decompose(&mut d);
-            r.recompose(&mut d);
-            let times = r.take_times();
-            let mut kernels = String::new();
-            for (i, (label, dur, _)) in times.rows().iter().enumerate() {
-                if i > 0 {
-                    kernels.push_str(", ");
-                }
-                write!(kernels, "\"{}\": {}", label.to_lowercase(), dur.as_nanos()).unwrap();
-            }
-            rows.push(format!(
-                "    {{\"shape\": \"{}\", \"layout\": \"{}\", \"threading\": \"{}\", \
-                 \"decompose_ns\": {}, \"recompose_ns\": {}, \"kernels\": {{{}}}}}",
-                shape_tag(shape),
-                plan.layout,
-                plan.threading,
-                best_dec,
-                best_rec,
-                kernels
-            ));
-            eprintln!(
-                "{} {}/{}: decompose {:.3} ms, recompose {:.3} ms",
-                shape_tag(shape),
-                plan.layout,
-                plan.threading,
-                best_dec as f64 / 1e6,
-                best_rec as f64 / 1e6
-            );
+            rows.push(bench_cell(shape, &data, plan, reps));
+        }
+        for &t in &tile_sweep {
+            let plan = ExecPlan::new(Threading::Parallel, Layout::Tiled { tile: t });
+            rows.push(bench_cell(shape, &data, plan, reps));
         }
     }
 
     let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let body: Vec<String> = rows.iter().map(Row::to_json).collect();
     let json = format!(
         "{{\n  \"bench\": \"refactor\",\n  \"quick\": {quick},\n  \
          \"host_threads\": {threads},\n  \"reps\": {reps},\n  \"results\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+        body.join(",\n")
     );
     std::fs::write(&out, &json).expect("write BENCH json");
     println!("wrote {} ({} result rows)", out, rows.len());
+
+    if let Some(path) = baseline {
+        let base = std::fs::read_to_string(&path).expect("read baseline json");
+        let report = compare(&rows, &base, tolerance);
+        if report.is_empty() {
+            println!("compare: no regressions vs {path} (tolerance {tolerance}%)");
+        } else {
+            for line in &report {
+                eprintln!("{line}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -1,0 +1,187 @@
+//! `bench_stream` — end-to-end refactor+write overlap benchmark.
+//!
+//! Measures the same job two ways: decompose fully *then* write the
+//! payload (serial), versus `mg_core::decompose_streaming` writing each
+//! coefficient class from the I/O thread while the next level decomposes
+//! (pipelined). `--throttle-mbps` (default 100, a realistic shared
+//! parallel-FS lane per writer — the Fig. 1 regime the pipeline targets)
+//! rate-limits the writer; set it to 0 to benchmark the raw device.
+//!
+//! Expect the pipeline to win when the *device* is the bottleneck (slow
+//! tiers: sleeps overlap fully with compute) and to tie or lose when the
+//! writer is CPU/cache-bound on a host with few cores — writing through
+//! the page cache evicts the decomposition's working set, so overlap buys
+//! nothing and LLC interference costs extra. See the README's measured
+//! numbers for both regimes.
+//!
+//! ```text
+//! bench_stream [--quick] [--out PATH] [--throttle-mbps N]
+//! ```
+//!
+//! Emits `BENCH_stream.json` with serial/pipelined wall times and the
+//! hidden-I/O fraction per shape.
+
+use mg_core::{decompose_streaming, Refactorer};
+use mg_grid::{NdArray, Shape};
+use mg_io::StreamSink;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+fn field(shape: Shape) -> NdArray<f64> {
+    NdArray::from_fn(shape, |i| {
+        i.iter()
+            .enumerate()
+            .map(|(d, &v)| ((v * (d + 5)) % 29) as f64 * 0.07)
+            .sum()
+    })
+}
+
+/// Writer that models a `bps` bytes/second device: each write occupies the
+/// device for `n / bps` seconds starting when the device is next free, and
+/// the caller sleeps until its write completes (idle gaps earn no credit).
+struct Throttled<W: Write> {
+    inner: W,
+    bps: f64,
+    free_at: Option<Instant>,
+}
+
+impl<W: Write> Throttled<W> {
+    fn new(inner: W, bps: f64) -> Self {
+        Throttled {
+            inner,
+            bps,
+            free_at: None,
+        }
+    }
+}
+
+impl<W: Write> Write for Throttled<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        if self.bps > 0.0 {
+            let now = Instant::now();
+            let start = self.free_at.map_or(now, |f| f.max(now));
+            let free = start + Duration::from_secs_f64(n as f64 / self.bps);
+            self.free_at = Some(free);
+            if free > now {
+                std::thread::sleep(free - now);
+            }
+        }
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = String::from("BENCH_stream.json");
+    let mut throttle_mbps = 100.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = it.next().expect("--out needs a path").clone(),
+            "--throttle-mbps" => {
+                throttle_mbps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--throttle-mbps needs a number")
+            }
+            other => {
+                eprintln!("usage: bench_stream [--quick] [--out PATH] [--throttle-mbps N] (got {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+    let bps = throttle_mbps * 1e6;
+
+    let shapes: Vec<Shape> = if quick {
+        vec![Shape::d2(129, 129), Shape::d3(17, 17, 17)]
+    } else {
+        vec![Shape::d2(1025, 1025), Shape::d3(129, 129, 129)]
+    };
+
+    let dir = std::env::temp_dir().join(format!("bench-stream-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+
+    let mut rows = Vec::new();
+    for &shape in &shapes {
+        let tag: String = shape
+            .as_slice()
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join("x");
+        let data = field(shape);
+
+        // Serial: decompose, then write everything through the same sink
+        // stack (throttled file) using the streaming format for parity.
+        let path_serial = dir.join(format!("{tag}-serial.mgst"));
+        let mut r = Refactorer::<f64>::new(shape).unwrap();
+        let mut d = data.clone();
+        let t0 = Instant::now();
+        r.decompose(&mut d);
+        let file = Throttled::new(
+            std::io::BufWriter::new(std::fs::File::create(&path_serial).unwrap()),
+            bps,
+        );
+        let mut sink = StreamSink::new(file, r.hierarchy(), 8).unwrap();
+        {
+            use mg_core::ClassSink;
+            let hier = r.hierarchy().clone();
+            let mut buf = Vec::new();
+            for k in (0..=hier.nlevels()).rev() {
+                buf.clear();
+                mg_grid::pack::for_each_class_offset(&hier, k, |off| buf.push(d.as_slice()[off]));
+                ClassSink::<f64>::write_class(&mut sink, k, &buf).unwrap();
+            }
+        }
+        sink.finish().unwrap().flush().unwrap();
+        let serial = t0.elapsed();
+
+        // Pipelined: the streaming driver overlaps level kernels with the
+        // write-out of the previous level's class.
+        let path_stream = dir.join(format!("{tag}-stream.mgst"));
+        let mut r = Refactorer::<f64>::new(shape).unwrap();
+        let mut d = data.clone();
+        let t0 = Instant::now();
+        let file = Throttled::new(
+            std::io::BufWriter::new(std::fs::File::create(&path_stream).unwrap()),
+            bps,
+        );
+        let mut sink = StreamSink::new(file, r.hierarchy(), 8).unwrap();
+        let stats = decompose_streaming(&mut r, &mut d, &mut sink).unwrap();
+        sink.finish().unwrap().flush().unwrap();
+        let pipelined = t0.elapsed();
+
+        let speedup = serial.as_secs_f64() / pipelined.as_secs_f64();
+        eprintln!(
+            "{tag}: serial {serial:?}, pipelined {pipelined:?} ({speedup:.2}x), \
+             io {:?} ({:.0}% hidden)",
+            stats.io,
+            stats.hidden_fraction() * 100.0
+        );
+        rows.push(format!(
+            "    {{\"shape\": \"{tag}\", \"serial_ns\": {}, \"pipelined_ns\": {}, \
+             \"compute_ns\": {}, \"io_ns\": {}, \"hidden_fraction\": {:.4}}}",
+            serial.as_nanos(),
+            pipelined.as_nanos(),
+            stats.compute.as_nanos(),
+            stats.io.as_nanos(),
+            stats.hidden_fraction()
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let json = format!(
+        "{{\n  \"bench\": \"stream\",\n  \"quick\": {quick},\n  \
+         \"throttle_mbps\": {throttle_mbps},\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out, &json).expect("write BENCH json");
+    println!("wrote {out}");
+}

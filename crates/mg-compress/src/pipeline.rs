@@ -288,7 +288,12 @@ mod tests {
         let shape = Shape::d2(65, 65);
         let data = smoothish(shape);
         let reference = Compressor::<f64>::new(shape, 1e-3).compress(&data);
-        for layout in [Layout::Packed, Layout::InPlace] {
+        for layout in [
+            Layout::Packed,
+            Layout::InPlace,
+            Layout::tiled(),
+            Layout::Strided,
+        ] {
             for threading in [Threading::Serial, Threading::Parallel] {
                 let plan = ExecPlan::new(threading, layout);
                 let mut c = Compressor::<f64>::new(shape, 1e-3).plan(plan);

@@ -24,8 +24,10 @@
 
 pub mod padded;
 pub mod refactorer;
+pub mod streaming;
 pub mod timing;
 
 pub use mg_kernels::{ExecPlan, Layout, Threading};
 pub use refactorer::Refactorer;
+pub use streaming::{decompose_streaming, ClassSink, StreamStats};
 pub use timing::KernelTimes;

@@ -7,6 +7,8 @@ use mg_grid::{Axis, CoordSet, GridView, Hierarchy, NdArray, Real, Shape};
 use mg_kernels::coeff;
 use mg_kernels::correction::{compute_correction_staged, CorrectionScratch};
 use mg_kernels::level::LevelCtx;
+use mg_kernels::solve::ThomasFactors;
+use mg_kernels::{mass, solve, tiled, transfer};
 use mg_kernels::{ExecPlan, Layout, Threading};
 use std::time::Instant;
 
@@ -37,6 +39,8 @@ pub struct Refactorer<T> {
     ctxs: Vec<LevelCtx<T>>,
     work: Vec<T>,
     work2: Vec<T>,
+    /// Halo planes for the tiled coefficient kernels.
+    halo: Vec<T>,
     scratch: CorrectionScratch<T>,
     plan: ExecPlan,
     times: KernelTimes,
@@ -65,6 +69,7 @@ impl<T: Real> Refactorer<T> {
             ctxs,
             work: Vec::new(),
             work2: Vec::new(),
+            halo: Vec::new(),
             scratch: CorrectionScratch::new(),
             plan: ExecPlan::serial(),
             times: KernelTimes::default(),
@@ -108,7 +113,11 @@ impl<T: Real> Refactorer<T> {
     /// correction buffers) — the driver's extra footprint relative to the
     /// input array.
     pub fn working_bytes(&self) -> usize {
-        (self.work.capacity() + self.work2.capacity()) * T::BYTES
+        (self.work.capacity()
+            + self.work2.capacity()
+            + self.halo.capacity()
+            + self.scratch.capacity_elems())
+            * T::BYTES
     }
 
     /// Decompose `data` in place, finest level to coarsest.
@@ -136,6 +145,8 @@ impl<T: Real> Refactorer<T> {
         match self.plan.layout {
             Layout::Packed => self.decompose_level_packed(data, l),
             Layout::InPlace => self.decompose_level_inplace(data, l),
+            Layout::Tiled { tile } => self.decompose_level_tiled(data, l, tile),
+            Layout::Strided => self.decompose_level_strided(data, l),
         }
     }
 
@@ -145,6 +156,8 @@ impl<T: Real> Refactorer<T> {
         match self.plan.layout {
             Layout::Packed => self.recompose_level_packed(data, l),
             Layout::InPlace => self.recompose_level_inplace(data, l),
+            Layout::Tiled { tile } => self.recompose_level_tiled(data, l, tile),
+            Layout::Strided => self.recompose_level_strided(data, l),
         }
     }
 
@@ -193,10 +206,7 @@ impl<T: Real> Refactorer<T> {
         // unpack-add).
         let t0 = Instant::now();
         let ld_coarse = self.hier.level_dims(l - 1);
-        let slice = data.as_mut_slice();
-        for_each_level_offset(full, &ld_coarse, |packed, unpacked| {
-            slice[unpacked] += z[packed];
-        });
+        apply_correction(data.as_mut_slice(), full, &ld_coarse, z, false);
         self.times.mc += t0.elapsed();
     }
 
@@ -220,12 +230,7 @@ impl<T: Real> Refactorer<T> {
         // Undo the correction on the coarse nodes (MC).
         let t0 = Instant::now();
         let ld_coarse = self.hier.level_dims(l - 1);
-        {
-            let slice = data.as_mut_slice();
-            for_each_level_offset(full, &ld_coarse, |packed, unpacked| {
-                slice[unpacked] -= z[packed];
-            });
-        }
+        apply_correction(data.as_mut_slice(), full, &ld_coarse, z, true);
         self.times.mc += t0.elapsed();
 
         // Re-pack (coarse nodes now hold the level-l nodal values) (PN).
@@ -286,10 +291,7 @@ impl<T: Real> Refactorer<T> {
         // Apply the correction to the next-coarser nodes (MC).
         let t0 = Instant::now();
         let ld_coarse = self.hier.level_dims(l - 1);
-        let slice = data.as_mut_slice();
-        for_each_level_offset(full, &ld_coarse, |packed, unpacked| {
-            slice[unpacked] += z[packed];
-        });
+        apply_correction(data.as_mut_slice(), full, &ld_coarse, z, false);
         self.times.mc += t0.elapsed();
     }
 
@@ -312,12 +314,7 @@ impl<T: Real> Refactorer<T> {
         // Undo the correction on the coarse nodes (MC).
         let t0 = Instant::now();
         let ld_coarse = self.hier.level_dims(l - 1);
-        {
-            let slice = data.as_mut_slice();
-            for_each_level_offset(full, &ld_coarse, |packed, unpacked| {
-                slice[unpacked] -= z[packed];
-            });
-        }
+        apply_correction(data.as_mut_slice(), full, &ld_coarse, z, true);
         self.times.mc += t0.elapsed();
 
         // Restore nodal values in place on the strided subgrid (CC).
@@ -330,6 +327,204 @@ impl<T: Real> Refactorer<T> {
         }
         self.times.cc += t0.elapsed();
     }
+
+    /// Tiled decomposition step: like the in-place step, but the
+    /// coefficient kernel runs in cache-sized dim-0 tiles with halo
+    /// exchange ([`mg_kernels::tiled`]) and the correction pipeline uses
+    /// tile-sized segments plus the tiled axis-0 kernels. Still performs
+    /// zero pack/unpack calls.
+    fn decompose_level_tiled(&mut self, data: &mut NdArray<T>, l: usize, tile: usize) {
+        let full = self.hier.finest();
+        let ld = self.hier.level_dims(l);
+        let ctx = &self.ctxs[l - 1];
+        let view = GridView::embedded(full, &ld);
+        let par = self.plan.threading == Threading::Parallel;
+
+        // Compute coefficients tile-by-tile on the strided subgrid (CC).
+        let t0 = Instant::now();
+        tiled::compute_coeffs_tiled(data.as_mut_slice(), &view, ctx, tile, par, &mut self.halo);
+        self.times.cc += t0.elapsed();
+
+        // Stage C_l for the correction (PN).
+        let t0 = Instant::now();
+        coeff::gather_coeffs_view(data.as_slice(), &view, ctx, self.scratch.stage());
+        self.times.pn += t0.elapsed();
+
+        // Global correction via the tiled pipeline (MM/TM/SC).
+        let (z, zshape) = compute_correction_staged(ctx, self.plan, &mut self.scratch);
+        debug_assert_eq!(zshape, self.hier.level_dims(l - 1).shape);
+
+        // Apply the correction to the next-coarser nodes (MC).
+        let t0 = Instant::now();
+        let ld_coarse = self.hier.level_dims(l - 1);
+        apply_correction(data.as_mut_slice(), full, &ld_coarse, z, false);
+        self.times.mc += t0.elapsed();
+    }
+
+    /// Tiled recomposition step, the exact inverse of
+    /// [`Refactorer::decompose_level_tiled`].
+    fn recompose_level_tiled(&mut self, data: &mut NdArray<T>, l: usize, tile: usize) {
+        let full = self.hier.finest();
+        let ld = self.hier.level_dims(l);
+        let ctx = &self.ctxs[l - 1];
+        let view = GridView::embedded(full, &ld);
+        let par = self.plan.threading == Threading::Parallel;
+
+        // Stage C_l (PN).
+        let t0 = Instant::now();
+        coeff::gather_coeffs_view(data.as_slice(), &view, ctx, self.scratch.stage());
+        self.times.pn += t0.elapsed();
+
+        // Recompute the global correction from the stored coefficients.
+        let (z, _) = compute_correction_staged(ctx, self.plan, &mut self.scratch);
+
+        // Undo the correction on the coarse nodes (MC).
+        let t0 = Instant::now();
+        let ld_coarse = self.hier.level_dims(l - 1);
+        apply_correction(data.as_mut_slice(), full, &ld_coarse, z, true);
+        self.times.mc += t0.elapsed();
+
+        // Restore nodal values tile-by-tile (CC).
+        let t0 = Instant::now();
+        tiled::restore_coeffs_tiled(data.as_mut_slice(), &view, ctx, tile, par, &mut self.halo);
+        self.times.cc += t0.elapsed();
+    }
+
+    /// Naive strided decomposition step (the paper's Fig. 7 baseline):
+    /// every kernel — coefficients *and* the whole correction pipeline —
+    /// walks the level subgrid embedded in the finest array, with strides
+    /// doubling at each axis reduction. Threading applies to the
+    /// grid-processing kernels; the linear pipeline is the serial strided
+    /// walk (the naive design has no fiber batching to parallelize).
+    fn decompose_level_strided(&mut self, data: &mut NdArray<T>, l: usize) {
+        let full = self.hier.finest();
+        let ld = self.hier.level_dims(l);
+        let ctx = &self.ctxs[l - 1];
+        let view = GridView::embedded(full, &ld);
+
+        // Compute coefficients in place on the strided subgrid (CC).
+        let t0 = Instant::now();
+        match self.plan.threading {
+            Threading::Serial => coeff::compute_view_serial(data.as_mut_slice(), &view, ctx),
+            Threading::Parallel => {
+                coeff::compute_view_parallel(data.as_mut_slice(), &view, ctx, &mut self.work2)
+            }
+        }
+        self.times.cc += t0.elapsed();
+
+        // Stage C_l embedded at the level positions of the working buffer
+        // (PN) — no packing: the copy keeps the strided geometry.
+        let t0 = Instant::now();
+        coeff::stage_coeffs_embedded(data.as_slice(), &view, ctx, &mut self.work);
+        self.times.pn += t0.elapsed();
+
+        // Naive embedded correction.
+        let zview = strided_correction(ctx, view, &mut self.work, &mut self.times);
+        debug_assert_eq!(zview.shape(), self.hier.level_dims(l - 1).shape);
+
+        // Apply the correction at the embedded coarse positions (MC).
+        let t0 = Instant::now();
+        let slice = data.as_mut_slice();
+        let work = &self.work;
+        zview.for_each_offset(|_, unpacked| {
+            slice[unpacked] += work[unpacked];
+        });
+        self.times.mc += t0.elapsed();
+    }
+
+    /// Strided recomposition step, the exact inverse of
+    /// [`Refactorer::decompose_level_strided`].
+    fn recompose_level_strided(&mut self, data: &mut NdArray<T>, l: usize) {
+        let full = self.hier.finest();
+        let ld = self.hier.level_dims(l);
+        let ctx = &self.ctxs[l - 1];
+        let view = GridView::embedded(full, &ld);
+
+        // Stage C_l embedded (PN).
+        let t0 = Instant::now();
+        coeff::stage_coeffs_embedded(data.as_slice(), &view, ctx, &mut self.work);
+        self.times.pn += t0.elapsed();
+
+        // Recompute the correction from the stored coefficients.
+        let zview = strided_correction(ctx, view, &mut self.work, &mut self.times);
+
+        // Undo the correction on the coarse nodes (MC).
+        let t0 = Instant::now();
+        {
+            let slice = data.as_mut_slice();
+            let work = &self.work;
+            zview.for_each_offset(|_, unpacked| {
+                slice[unpacked] -= work[unpacked];
+            });
+        }
+        self.times.mc += t0.elapsed();
+
+        // Restore nodal values in place on the strided subgrid (CC).
+        let t0 = Instant::now();
+        match self.plan.threading {
+            Threading::Serial => coeff::restore_view_serial(data.as_mut_slice(), &view, ctx),
+            Threading::Parallel => {
+                coeff::restore_view_parallel(data.as_mut_slice(), &view, ctx, &mut self.work2)
+            }
+        }
+        self.times.cc += t0.elapsed();
+    }
+}
+
+/// Add (decompose) or subtract (recompose) the packed coarse-grid
+/// correction `z` at the next-coarser nodes of `data` — the MC step every
+/// dense-staged layout driver ends with.
+fn apply_correction<T: Real>(
+    data: &mut [T],
+    full: Shape,
+    ld_coarse: &mg_grid::hierarchy::LevelDims,
+    z: &[T],
+    undo: bool,
+) {
+    for_each_level_offset(full, ld_coarse, |packed, unpacked| {
+        if undo {
+            data[unpacked] -= z[packed];
+        } else {
+            data[unpacked] += z[packed];
+        }
+    });
+}
+
+/// The naive strided correction pipeline: mass / restriction / solve all
+/// walk the subgrid embedded in `buf` through stride-aware views, the
+/// restriction writing coarse node `j` over fine node `2j` so the view's
+/// stride doubles per decimating axis. Returns the view of the embedded
+/// coarse-grid correction. Arithmetic matches the packed pipeline
+/// operation for operation, so all layouts agree bitwise.
+fn strided_correction<T: Real>(
+    ctx: &LevelCtx<T>,
+    view: GridView,
+    buf: &mut [T],
+    times: &mut KernelTimes,
+) -> GridView {
+    let mut v = view;
+    for d in 0..ctx.ndim() {
+        let axis = Axis(d);
+        if !ctx.decimates(axis) {
+            continue; // identity factor
+        }
+        let fine_coords = ctx.coords(axis);
+
+        let t0 = Instant::now();
+        mass::mass_apply_view_serial(buf, &v, axis, fine_coords);
+        let t1 = Instant::now();
+        times.mm += t1 - t0;
+
+        transfer::transfer_apply_view_inplace(buf, &v, axis, fine_coords);
+        v = v.coarsened(axis);
+        let t2 = Instant::now();
+        times.tm += t2 - t1;
+
+        let factors = ThomasFactors::new(&ctx.coarse_coords(axis));
+        solve::solve_view_serial(buf, &v, axis, &factors);
+        times.sc += t2.elapsed();
+    }
+    v
 }
 
 #[cfg(test)]
@@ -500,6 +695,74 @@ mod tests {
     }
 
     #[test]
+    fn tiled_and_strided_layouts_perform_zero_pack_calls() {
+        // Neither new layout may touch the gather/scatter primitives.
+        let shape = Shape::d3(9, 9, 17);
+        let mut data = wiggle(shape);
+        for layout in [Layout::Tiled { tile: 3 }, Layout::Strided] {
+            let mut r = Refactorer::<f64>::new(shape)
+                .unwrap()
+                .plan(ExecPlan::parallel().with_layout(layout));
+            let packs = mg_grid::pack::pack_call_count();
+            let unpacks = mg_grid::pack::unpack_call_count();
+            r.decompose(&mut data);
+            r.recompose(&mut data);
+            assert_eq!(mg_grid::pack::pack_call_count(), packs, "{layout:?}");
+            assert_eq!(mg_grid::pack::unpack_call_count(), unpacks, "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn tiled_matches_packed_bitwise_across_tile_sizes() {
+        // Including tile = 1, non-divisible tiles, and tile > extent.
+        let shape = Shape::d3(9, 17, 5);
+        let orig = wiggle(shape);
+        let coords = CoordSet::<f64>::stretched(shape, 0.25);
+        let mut reference = orig.clone();
+        Refactorer::with_coords(shape, coords.clone())
+            .unwrap()
+            .decompose(&mut reference);
+        for tile in [1usize, 2, 3, 5, 7, 32, 10_000] {
+            for threading in [Threading::Serial, Threading::Parallel] {
+                let plan = ExecPlan::new(threading, Layout::Tiled { tile });
+                let mut r = Refactorer::with_coords(shape, coords.clone())
+                    .unwrap()
+                    .plan(plan);
+                let mut data = orig.clone();
+                r.decompose(&mut data);
+                assert_eq!(data, reference, "decompose diverged: {plan:?}");
+                r.recompose(&mut data);
+                let err = max_abs_diff(data.as_slice(), orig.as_slice());
+                assert!(err < 1e-11, "{plan:?}: {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_decomposition_grows_no_correction_scratch() {
+        // The correction pipeline must reuse its scratch (including the
+        // returned z slice) once warm — the allocation analogue of the
+        // zero-pack-calls guarantee.
+        let shape = Shape::d2(33, 33);
+        for plan in ExecPlan::ALL {
+            let mut r = Refactorer::<f64>::new(shape).unwrap().plan(plan);
+            let mut data = wiggle(shape);
+            r.decompose(&mut data);
+            r.recompose(&mut data);
+            let before = mg_kernels::correction::scratch_alloc_count();
+            for _ in 0..3 {
+                r.decompose(&mut data);
+                r.recompose(&mut data);
+            }
+            assert_eq!(
+                mg_kernels::correction::scratch_alloc_count(),
+                before,
+                "{plan:?} grew correction scratch in steady state"
+            );
+        }
+    }
+
+    #[test]
     fn inplace_round_trip_mixed_levels_and_edges() {
         for plan in [
             ExecPlan::from(Layout::InPlace),
@@ -510,6 +773,25 @@ mod tests {
             assert!(round_trip(Shape::d1(33), plan, 0.3) < 1e-11);
             assert!(round_trip(Shape::d1(3), plan, 0.0) < 1e-13);
             assert!(round_trip(Shape::d2(2, 3), plan, 0.0) < 1e-13);
+        }
+    }
+
+    #[test]
+    fn tiled_and_strided_round_trip_mixed_levels_and_edges() {
+        for layout in [Layout::Tiled { tile: 2 }, Layout::tiled(), Layout::Strided] {
+            for plan in [
+                ExecPlan::from(layout),
+                ExecPlan::parallel().with_layout(layout),
+            ] {
+                assert!(round_trip(Shape::d2(5, 33), plan, 0.2) < 1e-11, "{plan:?}");
+                assert!(
+                    round_trip(Shape::d3(3, 17, 5), plan, 0.2) < 1e-11,
+                    "{plan:?}"
+                );
+                assert!(round_trip(Shape::d1(33), plan, 0.3) < 1e-11, "{plan:?}");
+                assert!(round_trip(Shape::d1(3), plan, 0.0) < 1e-13, "{plan:?}");
+                assert!(round_trip(Shape::d2(2, 3), plan, 0.0) < 1e-13, "{plan:?}");
+            }
         }
     }
 

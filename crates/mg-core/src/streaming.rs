@@ -1,0 +1,253 @@
+//! Streaming decomposition: overlap per-level kernels with write-out.
+//!
+//! Decomposition finalizes coefficient class `C_l` the moment level `l`'s
+//! step completes — later steps only touch the coarser `N_{l-1}` nodes. So
+//! the end-to-end refactor-then-write job does not have to serialize:
+//! while the compute thread decomposes level `l - 1`, an I/O thread writes
+//! class `C_l` out. This is the CPU rendering of the paper's Fig. 8 stream
+//! schedule (kernels on one CUDA stream, transfers on another) applied to
+//! the Fig. 1 in-situ loop, where refactoring throughput only matters
+//! insofar as the combined refactor + write pipeline keeps up with the
+//! simulation.
+//!
+//! The pipeline is double-buffered: two class buffers circulate between
+//! the compute thread and the single I/O thread, so compute never waits
+//! unless the sink falls a full class behind, and memory stays bounded at
+//! two classes regardless of grid size.
+
+use crate::refactorer::Refactorer;
+use mg_grid::pack::for_each_class_offset;
+use mg_grid::{NdArray, Real};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Destination of streamed coefficient classes.
+///
+/// Classes arrive in completion order — finest (`C_L`) first, the coarsest
+/// nodal class `0` last — each exactly once, on a dedicated I/O thread.
+pub trait ClassSink<T> {
+    /// Persist one class payload. Values follow the canonical class
+    /// ordering of [`mg_grid::pack::for_each_class_offset`].
+    fn write_class(&mut self, class: usize, values: &[T]) -> std::io::Result<()>;
+}
+
+/// Every in-memory `Vec` collector is a sink (classes indexed by id;
+/// useful for tests and for staging into other transports).
+impl<T: Real> ClassSink<T> for Vec<Option<Vec<T>>> {
+    fn write_class(&mut self, class: usize, values: &[T]) -> std::io::Result<()> {
+        if self.len() <= class {
+            self.resize(class + 1, None);
+        }
+        self[class] = Some(values.to_vec());
+        Ok(())
+    }
+}
+
+/// Timing breakdown of one streamed decomposition.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct StreamStats {
+    /// Wall-clock of the whole pipeline (compute + exposed I/O).
+    pub wall: Duration,
+    /// Compute-thread work: `decompose_level` plus class extraction (both
+    /// run serially on the calling thread, so both count as compute when
+    /// attributing the remainder of `wall` to exposed I/O).
+    pub compute: Duration,
+    /// Time the I/O thread spent inside the sink.
+    pub io: Duration,
+    /// Classes handed to the sink (`L + 1`).
+    pub classes_written: usize,
+}
+
+impl StreamStats {
+    /// I/O time not hidden under compute (`wall - compute`): the pipeline's
+    /// exposed cost relative to a compute-only decomposition.
+    pub fn exposed_io(&self) -> Duration {
+        self.wall.saturating_sub(self.compute)
+    }
+
+    /// Fraction of I/O time that overlapped with compute (1.0 = fully
+    /// hidden, the Fig. 1 goal).
+    pub fn hidden_fraction(&self) -> f64 {
+        if self.io.is_zero() {
+            return 1.0;
+        }
+        let hidden = self.io.saturating_sub(self.exposed_io());
+        hidden.as_secs_f64() / self.io.as_secs_f64()
+    }
+}
+
+/// Decompose `data` in place while streaming each finished coefficient
+/// class to `sink` from a dedicated I/O thread (double-buffered).
+///
+/// On return, `data` holds exactly the refactored representation a plain
+/// [`Refactorer::decompose`] produces (same plan, bitwise identical), and
+/// the sink has received classes `L, L-1, ..., 1, 0`. Sink errors abort
+/// the write-out (remaining classes are dropped) but the decomposition
+/// itself always completes; the first error is returned.
+pub fn decompose_streaming<T, S>(
+    r: &mut Refactorer<T>,
+    data: &mut NdArray<T>,
+    sink: &mut S,
+) -> std::io::Result<StreamStats>
+where
+    T: Real,
+    S: ClassSink<T> + Send,
+{
+    let hier = r.hierarchy().clone();
+    let nlevels = hier.nlevels();
+    let t_wall = Instant::now();
+    let mut compute = Duration::ZERO;
+
+    let (work_tx, work_rx) = mpsc::channel::<(usize, Vec<T>)>();
+    let (back_tx, back_rx) = mpsc::channel::<Vec<T>>();
+    // Two buffers in flight: one being filled, one being written.
+    for _ in 0..2 {
+        back_tx.send(Vec::new()).expect("receiver alive");
+    }
+
+    let (io_time, io_result) = std::thread::scope(|s| {
+        let io = s.spawn(move || {
+            let mut io_time = Duration::ZERO;
+            let mut result = Ok(());
+            while let Ok((class, buf)) = work_rx.recv() {
+                let t0 = Instant::now();
+                result = sink.write_class(class, &buf);
+                io_time += t0.elapsed();
+                if result.is_err() {
+                    // Stop consuming; the compute side sees the closed
+                    // channels and finishes the decomposition alone.
+                    break;
+                }
+                let _ = back_tx.send(buf);
+            }
+            (io_time, result)
+        });
+
+        let ship = |class: usize, data: &NdArray<T>, compute: &mut Duration| {
+            let Ok(mut buf) = back_rx.recv() else {
+                return; // I/O thread bailed; keep decomposing.
+            };
+            // Extraction is compute-thread work (the recv wait above is
+            // backpressure, not compute).
+            let t0 = Instant::now();
+            buf.clear();
+            for_each_class_offset(&hier, class, |off| buf.push(data.as_slice()[off]));
+            *compute += t0.elapsed();
+            let _ = work_tx.send((class, buf));
+        };
+
+        for l in (1..=nlevels).rev() {
+            let t0 = Instant::now();
+            r.decompose_level(data, l);
+            compute += t0.elapsed();
+            ship(l, data, &mut compute);
+        }
+        // The coarsest nodal values are final once every level is done.
+        ship(0, data, &mut compute);
+        drop(work_tx);
+        io.join().expect("I/O thread panicked")
+    });
+    io_result?;
+
+    Ok(StreamStats {
+        wall: t_wall.elapsed(),
+        compute,
+        io: io_time,
+        classes_written: nlevels + 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_grid::Shape;
+    use mg_kernels::{ExecPlan, Layout};
+
+    fn field(shape: Shape) -> NdArray<f64> {
+        NdArray::from_fn(shape, |i| {
+            ((i.iter()
+                .enumerate()
+                .map(|(d, &v)| v * (d + 3))
+                .sum::<usize>()
+                * 31)
+                % 89) as f64
+                * 0.043
+                - 1.7
+        })
+    }
+
+    #[test]
+    fn streamed_classes_match_plain_decomposition() {
+        let shape = Shape::d2(17, 33);
+        for plan in [
+            ExecPlan::serial(),
+            ExecPlan::parallel().with_layout(Layout::tiled()),
+        ] {
+            let orig = field(shape);
+
+            let mut plain = orig.clone();
+            let mut r1 = Refactorer::<f64>::new(shape).unwrap().plan(plan);
+            r1.decompose(&mut plain);
+            let hier = r1.hierarchy().clone();
+
+            let mut streamed = orig.clone();
+            let mut r2 = Refactorer::<f64>::new(shape).unwrap().plan(plan);
+            let mut sink: Vec<Option<Vec<f64>>> = Vec::new();
+            let stats = decompose_streaming(&mut r2, &mut streamed, &mut sink).unwrap();
+
+            assert_eq!(streamed, plain, "streaming must not perturb results");
+            assert_eq!(stats.classes_written, hier.nlevels() + 1);
+            assert_eq!(sink.len(), hier.nlevels() + 1);
+            for k in 0..=hier.nlevels() {
+                let got = sink[k].as_ref().expect("class written");
+                let mut expect = Vec::new();
+                for_each_class_offset(&hier, k, |off| expect.push(plain.as_slice()[off]));
+                assert_eq!(got, &expect, "class {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_level_grid_streams_single_class() {
+        let shape = Shape::d2(2, 2);
+        let mut r = Refactorer::<f64>::new(shape).unwrap();
+        let mut data = field(shape);
+        let orig = data.clone();
+        let mut sink: Vec<Option<Vec<f64>>> = Vec::new();
+        let stats = decompose_streaming(&mut r, &mut data, &mut sink).unwrap();
+        assert_eq!(stats.classes_written, 1);
+        assert_eq!(sink[0].as_ref().unwrap(), orig.as_slice());
+    }
+
+    #[test]
+    fn sink_errors_surface_but_decomposition_completes() {
+        struct FailingSink;
+        impl ClassSink<f64> for FailingSink {
+            fn write_class(&mut self, _: usize, _: &[f64]) -> std::io::Result<()> {
+                Err(std::io::Error::other("disk full"))
+            }
+        }
+        let shape = Shape::d2(17, 17);
+        let orig = field(shape);
+        let mut data = orig.clone();
+        let mut r = Refactorer::<f64>::new(shape).unwrap();
+        let err = decompose_streaming(&mut r, &mut data, &mut FailingSink).unwrap_err();
+        assert_eq!(err.to_string(), "disk full");
+        // The array still holds the full decomposition.
+        let mut plain = orig.clone();
+        Refactorer::<f64>::new(shape).unwrap().decompose(&mut plain);
+        assert_eq!(data, plain);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let shape = Shape::d2(65, 65);
+        let mut r = Refactorer::<f64>::new(shape).unwrap();
+        let mut data = field(shape);
+        let mut sink: Vec<Option<Vec<f64>>> = Vec::new();
+        let stats = decompose_streaming(&mut r, &mut data, &mut sink).unwrap();
+        assert!(stats.wall >= stats.compute);
+        assert!(stats.compute.as_nanos() > 0);
+        assert!((0.0..=1.0).contains(&stats.hidden_fraction()));
+    }
+}

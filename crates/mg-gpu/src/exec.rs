@@ -53,13 +53,15 @@ impl<T: Real> GpuRefactorer<T> {
         self
     }
 
-    /// Select the functional execution plan. Both CPU layouts realize the
-    /// paper's *framework* design on the modeled device — node packing
-    /// and the six-region segmented update are the two renderings of the
-    /// same unit-stride access structure (§III-C) — so the cost model
-    /// keeps its current [`Variant`] (default [`Variant::Framework`]);
-    /// the strided [`Variant::Naive`] baseline remains an explicit
-    /// ablation via [`GpuRefactorer::variant`].
+    /// Select the functional execution plan. The packed, in-place, and
+    /// tiled CPU layouts all realize the paper's *framework* design on the
+    /// modeled device — node packing, the six-region segmented update, and
+    /// halo-exchange tiling are renderings of the same unit-stride access
+    /// structure (§III-C) — so the cost model keeps its current
+    /// [`Variant`] (default [`Variant::Framework`]). The strided CPU
+    /// layout is the functional twin of the [`Variant::Naive`] cost
+    /// ablation; pairing them is the caller's choice via
+    /// [`GpuRefactorer::variant`].
     pub fn plan(mut self, plan: impl Into<ExecPlan>) -> Self {
         self.inner = self.inner.plan(plan);
         self
@@ -179,6 +181,27 @@ mod tests {
         assert_eq!(packed, inplace, "layouts must agree functionally");
         // Both layouts model the framework design, so simulated cost ties.
         assert_eq!(bp.total(), bi.total());
+    }
+
+    #[test]
+    fn every_layout_plan_propagates_and_matches() {
+        // The plan passes straight through to the functional driver: all
+        // four layouts must agree bitwise on the modeled device too.
+        let shape = Shape::d3(9, 17, 9);
+        let orig = NdArray::from_fn(shape, |i| ((i[0] * 7 + i[1] * 3 + i[2]) % 13) as f64 * 0.3);
+        let mut reference: Option<NdArray<f64>> = None;
+        for plan in mg_core::ExecPlan::ALL {
+            let mut data = orig.clone();
+            let b = GpuRefactorer::<f64>::new(shape, DeviceSpec::v100())
+                .unwrap()
+                .plan(plan)
+                .decompose(&mut data);
+            assert!(b.total() > 0.0);
+            match &reference {
+                None => reference = Some(data),
+                Some(r) => assert_eq!(&data, r, "{plan:?} diverged"),
+            }
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!
 //! This module provides the gather/scatter primitives for that optimization.
 
-use crate::hierarchy::LevelDims;
+use crate::hierarchy::{Hierarchy, LevelDims};
 use crate::shape::{Axis, Shape};
 use std::cell::Cell;
 
@@ -120,6 +120,42 @@ pub fn for_each_level_offset(full: Shape, level: &LevelDims, mut f: impl FnMut(u
             }
         }
     }
+}
+
+/// Visit the finest-array offsets of coefficient class `k` in a
+/// deterministic order.
+///
+/// Class 0 visits the `N_0` (coarsest-grid) nodes; class `l >= 1` visits
+/// `N_l \ N_{l-1}` — the level-`l` nodes with an odd level index along at
+/// least one dimension that decimates at step `l`. This is the canonical
+/// class layout shared by the class extraction in `mg-refactor` and the
+/// streaming write-out in `mg-core`.
+pub fn for_each_class_offset(hier: &Hierarchy, k: usize, mut f: impl FnMut(usize)) {
+    assert!(k <= hier.nlevels(), "class {k} out of range");
+    let full = hier.finest();
+    if k == 0 {
+        let ld = hier.level_dims(0);
+        for_each_level_offset(full, &ld, |_, unpacked| f(unpacked));
+        return;
+    }
+    let ld = hier.level_dims(k);
+    let nd = full.ndim();
+    // A level-l node is in C_l iff it is odd along some decimating dim.
+    let dec: Vec<bool> = (0..nd).map(|d| hier.decimates(k, Axis(d))).collect();
+    let shape = ld.shape;
+    let mut level_idx = vec![0usize; nd];
+    for_each_level_offset(full, &ld, |packed, unpacked| {
+        // Decode the packed (level) index to check parity.
+        let mut rem = packed;
+        for d in (0..nd).rev() {
+            level_idx[d] = rem % shape.dim(Axis(d));
+            rem /= shape.dim(Axis(d));
+        }
+        let is_coeff = (0..nd).any(|d| dec[d] && level_idx[d] % 2 == 1);
+        if is_coeff {
+            f(unpacked);
+        }
+    });
 }
 
 #[cfg(test)]

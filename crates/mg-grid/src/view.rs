@@ -53,6 +53,20 @@ impl GridView {
         }
     }
 
+    /// This view with `axis` reduced to its coarse extent `(n+1)/2` and
+    /// the stride along `axis` doubled — the subgrid that remains after a
+    /// restriction that writes coarse node `j` at the position of fine
+    /// node `2j` (the strided correction pipeline of the naive Fig. 7
+    /// design).
+    pub fn coarsened(&self, axis: Axis) -> Self {
+        let n = self.shape.dim(axis);
+        assert!(n >= 3, "coarsening needs a decimating axis");
+        let mut v = *self;
+        v.shape = self.shape.with_dim(axis, n.div_ceil(2));
+        v.strides[axis.0] = 2 * self.strides[axis.0];
+        v
+    }
+
     /// Logical extents of the view.
     #[inline]
     pub fn shape(&self) -> Shape {
@@ -225,6 +239,24 @@ mod tests {
         // Fibers along axis 0: one per level column, spaced 2 elements.
         assert_eq!(bases, vec![0, 2, 4]);
         assert_eq!(v.stride(Axis(0)), 2 * 5);
+    }
+
+    #[test]
+    fn coarsened_view_matches_next_level() {
+        // Coarsening the embedded level-l view along every decimating axis
+        // yields the embedded level-(l-1) view.
+        let full = Shape::d2(9, 17);
+        let h = Hierarchy::new(full).unwrap();
+        for l in 1..=h.nlevels() {
+            let fine = GridView::embedded(full, &h.level_dims(l));
+            let mut v = fine;
+            for d in 0..2 {
+                if v.shape().dim(Axis(d)) >= 3 {
+                    v = v.coarsened(Axis(d));
+                }
+            }
+            assert_eq!(v, GridView::embedded(full, &h.level_dims(l - 1)), "l={l}");
+        }
     }
 
     #[test]

@@ -5,15 +5,21 @@
 //! classes, and producers/consumers choose how many classes to move
 //! through each tier. Costs follow a latency + bandwidth model with
 //! aggregate-bandwidth sharing across parallel writers/readers.
+//!
+//! [`stream`] is the *real* I/O end of that story: a [`StreamSink`] hooks
+//! `mg_core::decompose_streaming`'s I/O thread to a file (or any `Write`),
+//! so refactoring overlaps write-out instead of serializing with it.
 
 pub mod adios;
 pub mod insitu;
 pub mod placement;
+pub mod stream;
 pub mod tiers;
 pub mod workflow;
 
 pub use adios::{IoCost, ParallelIo};
 pub use insitu::{InSituLoop, Timeline};
 pub use placement::{plan_placement, Placement};
+pub use stream::{read_stream, StreamSink, STREAM_MAGIC};
 pub use tiers::StorageTier;
 pub use workflow::{VizWorkflow, WorkflowCost};

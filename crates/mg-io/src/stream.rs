@@ -1,0 +1,278 @@
+//! The streamed-payload wire format: real I/O for the streaming pipeline.
+//!
+//! [`StreamSink`] is the in-situ end of `mg_core::decompose_streaming`: it
+//! implements [`ClassSink`] over any `Write`, so the I/O thread appends
+//! each coefficient class to a file (or socket) the moment the class is
+//! final — classes land in completion order, finest first.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! header:  magic u32 ("MGST") | version u16 | precision u8 | ndim u8
+//!          | dims u64 × ndim | nclasses u32
+//! record:  class u32 | count u64 | count values (f32 or f64)
+//! ```
+//!
+//! The header mirrors `mg-refactor`'s batch wire format but with its own
+//! magic, so readers can sniff which format a payload uses; records are
+//! self-describing and may appear in any order. [`read_stream`]
+//! reassembles a complete payload into coarsest-first class buffers.
+
+use mg_core::ClassSink;
+use mg_grid::{Hierarchy, Real, Shape};
+use std::io::Write;
+
+/// Magic number of the streamed format (`"MGST"` read as LE bytes).
+pub const STREAM_MAGIC: u32 = 0x5453_474D;
+
+/// Format version written by [`StreamSink`].
+pub const STREAM_VERSION: u16 = 1;
+
+/// Errors from [`read_stream`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamDecodeError {
+    /// Not a streamed payload (magic mismatch).
+    BadMagic(u32),
+    /// Unsupported version.
+    BadVersion(u16),
+    /// Element width does not match the requested precision.
+    BadPrecision(u8),
+    /// Malformed shape / hierarchy.
+    BadShape(String),
+    /// Truncated payload.
+    Truncated,
+    /// A class record disagrees with the hierarchy.
+    BadClass(String),
+    /// A class is missing from the payload.
+    MissingClass(usize),
+}
+
+impl std::fmt::Display for StreamDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamDecodeError::BadMagic(m) => write!(f, "not a streamed payload (magic {m:#x})"),
+            StreamDecodeError::BadVersion(v) => write!(f, "unsupported stream version {v}"),
+            StreamDecodeError::BadPrecision(p) => write!(f, "payload precision {p} bytes"),
+            StreamDecodeError::BadShape(s) => write!(f, "bad shape: {s}"),
+            StreamDecodeError::Truncated => write!(f, "truncated streamed payload"),
+            StreamDecodeError::BadClass(s) => write!(f, "bad class record: {s}"),
+            StreamDecodeError::MissingClass(k) => write!(f, "class {k} missing from stream"),
+        }
+    }
+}
+
+impl std::error::Error for StreamDecodeError {}
+
+/// [`ClassSink`] that appends stream records to a `Write` destination.
+pub struct StreamSink<W: Write> {
+    w: W,
+}
+
+impl<W: Write> StreamSink<W> {
+    /// Write the stream header for `hier` / element width
+    /// `precision_bytes` (4 or 8) and return the sink.
+    pub fn new(mut w: W, hier: &Hierarchy, precision_bytes: usize) -> std::io::Result<Self> {
+        assert!(
+            precision_bytes == 4 || precision_bytes == 8,
+            "precision must be f32 or f64"
+        );
+        let shape = hier.finest();
+        w.write_all(&STREAM_MAGIC.to_le_bytes())?;
+        w.write_all(&STREAM_VERSION.to_le_bytes())?;
+        w.write_all(&[precision_bytes as u8, shape.ndim() as u8])?;
+        for &d in shape.as_slice() {
+            w.write_all(&(d as u64).to_le_bytes())?;
+        }
+        w.write_all(&((hier.nlevels() + 1) as u32).to_le_bytes())?;
+        Ok(StreamSink { w })
+    }
+
+    /// Flush and hand back the destination.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+impl<T: Real, W: Write> ClassSink<T> for StreamSink<W> {
+    fn write_class(&mut self, class: usize, values: &[T]) -> std::io::Result<()> {
+        self.w.write_all(&(class as u32).to_le_bytes())?;
+        self.w.write_all(&(values.len() as u64).to_le_bytes())?;
+        // Serialize in slabs so the hot loop appends to a local buffer
+        // instead of making one BufWriter call per value.
+        const SLAB: usize = 16 * 1024;
+        let mut buf = Vec::with_capacity(SLAB.min(values.len()) * T::BYTES);
+        for chunk in values.chunks(SLAB.max(1)) {
+            buf.clear();
+            if T::BYTES == 4 {
+                for v in chunk {
+                    buf.extend_from_slice(&(v.to_f64() as f32).to_le_bytes());
+                }
+            } else {
+                for v in chunk {
+                    buf.extend_from_slice(&v.to_f64().to_le_bytes());
+                }
+            }
+            self.w.write_all(&buf)?;
+        }
+        Ok(())
+    }
+}
+
+fn take<'a>(bytes: &mut &'a [u8], n: usize) -> Result<&'a [u8], StreamDecodeError> {
+    if bytes.len() < n {
+        return Err(StreamDecodeError::Truncated);
+    }
+    let (head, tail) = bytes.split_at(n);
+    *bytes = tail;
+    Ok(head)
+}
+
+/// Decode a complete streamed payload into `(hierarchy, classes)` with
+/// classes ordered coarsest-first (index = class id), validating every
+/// record against the hierarchy.
+pub fn read_stream<T: Real>(
+    mut bytes: &[u8],
+) -> Result<(Hierarchy, Vec<Vec<T>>), StreamDecodeError> {
+    let b = &mut bytes;
+    let magic = u32::from_le_bytes(take(b, 4)?.try_into().unwrap());
+    if magic != STREAM_MAGIC {
+        return Err(StreamDecodeError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(take(b, 2)?.try_into().unwrap());
+    if version != STREAM_VERSION {
+        return Err(StreamDecodeError::BadVersion(version));
+    }
+    let head = take(b, 2)?;
+    let (precision, ndim) = (head[0], head[1] as usize);
+    if precision as usize != T::BYTES {
+        return Err(StreamDecodeError::BadPrecision(precision));
+    }
+    if ndim == 0 || ndim > mg_grid::MAX_DIMS {
+        return Err(StreamDecodeError::BadShape(format!("ndim = {ndim}")));
+    }
+    let mut dims = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        let v = u64::from_le_bytes(take(b, 8)?.try_into().unwrap());
+        if v == 0 {
+            return Err(StreamDecodeError::BadShape("zero extent".into()));
+        }
+        dims.push(v as usize);
+    }
+    let hier = Hierarchy::new(Shape::new(&dims))
+        .map_err(|e| StreamDecodeError::BadShape(e.to_string()))?;
+    let nclasses = u32::from_le_bytes(take(b, 4)?.try_into().unwrap()) as usize;
+    if nclasses != hier.nlevels() + 1 {
+        return Err(StreamDecodeError::BadShape(format!(
+            "{nclasses} classes for {} levels",
+            hier.nlevels()
+        )));
+    }
+
+    let mut classes: Vec<Option<Vec<T>>> = vec![None; nclasses];
+    while !b.is_empty() {
+        let class = u32::from_le_bytes(take(b, 4)?.try_into().unwrap()) as usize;
+        let count = u64::from_le_bytes(take(b, 8)?.try_into().unwrap()) as usize;
+        if class >= nclasses {
+            return Err(StreamDecodeError::BadClass(format!("id {class}")));
+        }
+        let expect = if class == 0 {
+            hier.level_len(0)
+        } else {
+            hier.class_len(class)
+        };
+        if count != expect {
+            return Err(StreamDecodeError::BadClass(format!(
+                "class {class}: {count} values, expected {expect}"
+            )));
+        }
+        if classes[class].is_some() {
+            return Err(StreamDecodeError::BadClass(format!("duplicate {class}")));
+        }
+        let raw = take(b, count * T::BYTES)?;
+        let vals: Vec<T> = if T::BYTES == 4 {
+            raw.chunks_exact(4)
+                .map(|c| T::from_f64(f32::from_le_bytes(c.try_into().unwrap()) as f64))
+                .collect()
+        } else {
+            raw.chunks_exact(8)
+                .map(|c| T::from_f64(f64::from_le_bytes(c.try_into().unwrap())))
+                .collect()
+        };
+        classes[class] = Some(vals);
+    }
+    let classes: Vec<Vec<T>> = classes
+        .into_iter()
+        .enumerate()
+        .map(|(k, c)| c.ok_or(StreamDecodeError::MissingClass(k)))
+        .collect::<Result<_, _>>()?;
+    Ok((hier, classes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_core::{decompose_streaming, Refactorer};
+    use mg_grid::pack::for_each_class_offset;
+    use mg_grid::NdArray;
+
+    fn streamed_payload(shape: Shape) -> (Vec<u8>, NdArray<f64>) {
+        let orig = NdArray::from_fn(shape, |i| ((i[0] * 13 + i[1] * 7) % 19) as f64 * 0.11 - 0.9);
+        let mut data = orig.clone();
+        let mut r = Refactorer::<f64>::new(shape).unwrap();
+        let mut sink = StreamSink::new(Vec::new(), r.hierarchy(), 8).unwrap();
+        decompose_streaming(&mut r, &mut data, &mut sink).unwrap();
+        (sink.finish().unwrap(), data)
+    }
+
+    #[test]
+    fn round_trips_through_the_stream_format() {
+        let shape = Shape::d2(17, 9);
+        let (bytes, refactored) = streamed_payload(shape);
+        let (hier, classes) = read_stream::<f64>(&bytes).unwrap();
+        assert_eq!(hier.finest(), shape);
+        assert_eq!(classes.len(), hier.nlevels() + 1);
+        for (k, class) in classes.iter().enumerate() {
+            let mut expect = Vec::new();
+            for_each_class_offset(&hier, k, |off| expect.push(refactored.as_slice()[off]));
+            assert_eq!(class, &expect, "class {k}");
+        }
+    }
+
+    #[test]
+    fn sniffing_rejects_foreign_payloads() {
+        let (mut bytes, _) = streamed_payload(Shape::d2(9, 9));
+        bytes[0] ^= 0x5A;
+        assert!(matches!(
+            read_stream::<f64>(&bytes),
+            Err(StreamDecodeError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_and_precision_mismatch_detected() {
+        let (bytes, _) = streamed_payload(Shape::d2(9, 9));
+        assert!(matches!(
+            read_stream::<f64>(&bytes[..bytes.len() - 3]),
+            Err(StreamDecodeError::Truncated)
+        ));
+        assert!(matches!(
+            read_stream::<f32>(&bytes),
+            Err(StreamDecodeError::BadPrecision(8))
+        ));
+    }
+
+    #[test]
+    fn missing_class_detected() {
+        // Header advertises L+1 classes; stop after the first record.
+        let shape = Shape::d2(9, 9);
+        let (bytes, _) = streamed_payload(shape);
+        let hier = Hierarchy::new(shape).unwrap();
+        // header: 4+2+2 + 8*2 + 4 = 28 bytes; first record is class L.
+        let first_record = 4 + 8 + hier.class_len(hier.nlevels()) * 8;
+        assert!(matches!(
+            read_stream::<f64>(&bytes[..28 + first_record]),
+            Err(StreamDecodeError::MissingClass(_))
+        ));
+    }
+}

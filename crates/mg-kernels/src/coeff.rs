@@ -27,11 +27,11 @@ enum Mode {
 }
 
 /// Per-axis interpolation info precomputed once per kernel launch.
-struct AxisInterp<T> {
-    wl: Vec<T>,
-    wr: Vec<T>,
-    stride: usize,
-    decimates: bool,
+pub(crate) struct AxisInterp<T> {
+    pub(crate) wl: Vec<T>,
+    pub(crate) wr: Vec<T>,
+    pub(crate) stride: usize,
+    pub(crate) decimates: bool,
 }
 
 fn axis_interp<T: Real>(ctx: &LevelCtx<T>) -> Vec<AxisInterp<T>> {
@@ -200,7 +200,7 @@ pub fn restore_parallel<T: Real>(src: &[T], dst: &mut [T], ctx: &LevelCtx<T>) {
 // two sets are disjoint and the update is safely in place.
 
 /// Per-axis interpolation info with *view* strides.
-fn axis_interp_view<T: Real>(ctx: &LevelCtx<T>, view: &GridView) -> Vec<AxisInterp<T>> {
+pub(crate) fn axis_interp_view<T: Real>(ctx: &LevelCtx<T>, view: &GridView) -> Vec<AxisInterp<T>> {
     (0..ctx.ndim())
         .map(|d| {
             let (wl, wr) = ctx.interp_weights(Axis(d));
@@ -217,7 +217,7 @@ fn axis_interp_view<T: Real>(ctx: &LevelCtx<T>, view: &GridView) -> Vec<AxisInte
 /// The odd-dimension set of a logical index (decimating dims with odd
 /// index), written into `odd`; returns its length.
 #[inline]
-fn odd_dims_of<T: Real>(
+pub(crate) fn odd_dims_of<T: Real>(
     idx: &[usize],
     axes: &[AxisInterp<T>],
     odd: &mut [usize; MAX_DIMS],
@@ -497,6 +497,49 @@ pub fn gather_coeffs_view<T: Real>(
                 out[p] = data[row_base + j * last_stride];
             }
             p += 1;
+        }
+    }
+}
+
+/// Stage the coefficient array `C_l` *embedded* in the finest index space:
+/// `out` is sized to the view's backing length and, at every view node,
+/// receives the coefficient (odd nodes) or zero (coarse nodes); non-view
+/// positions are left untouched (the strided pipeline never reads them).
+/// The [`crate::Layout::Strided`] driver's replacement for
+/// `pack_level` + [`zero_coarse`].
+pub fn stage_coeffs_embedded<T: Real>(
+    data: &[T],
+    view: &GridView,
+    ctx: &LevelCtx<T>,
+    out: &mut Vec<T>,
+) {
+    let shape = ctx.shape();
+    assert_eq!(shape, view.shape());
+    assert_eq!(data.len(), view.backing_len());
+    let nd = shape.ndim();
+    if out.len() < view.backing_len() {
+        out.resize(view.backing_len(), T::ZERO);
+    }
+    let row_len = shape.dim(Axis(nd - 1));
+    let rows = shape.len() / row_len;
+    let last_stride = view.stride(Axis(nd - 1));
+    let last_dec = ctx.decimates(Axis(nd - 1));
+    let mut idx = [0usize; MAX_DIMS];
+    for r in 0..rows {
+        let mut rem = r;
+        for d in (0..nd - 1).rev() {
+            idx[d] = rem % shape.dim(Axis(d));
+            rem /= shape.dim(Axis(d));
+        }
+        let row_base: usize = (0..nd - 1).map(|d| idx[d] * view.stride(Axis(d))).sum();
+        let row_odd = (0..nd - 1).any(|d| ctx.decimates(Axis(d)) && idx[d] % 2 == 1);
+        for j in 0..row_len {
+            let off = row_base + j * last_stride;
+            out[off] = if row_odd || (last_dec && j % 2 == 1) {
+                data[off]
+            } else {
+                T::ZERO
+            };
         }
     }
 }

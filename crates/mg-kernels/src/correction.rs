@@ -16,8 +16,33 @@
 
 use crate::level::LevelCtx;
 use crate::solve::ThomasFactors;
-use crate::{inplace, mass, solve, transfer, ExecPlan, Layout, Threading};
+use crate::{inplace, mass, solve, tiled, transfer, ExecPlan, Layout, Threading};
 use mg_grid::{Axis, Real, Shape};
+use std::cell::Cell;
+
+thread_local! {
+    static SCRATCH_ALLOCS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of times the correction pipeline had to grow a scratch buffer
+/// *on this thread* — the allocation analogue of
+/// `mg_grid::pack::pack_call_count`. After a warm-up pass the pipeline
+/// reuses its [`CorrectionScratch`] capacity, so steady-state decompose /
+/// recompose loops must leave this counter unchanged (enforced by a
+/// driver test).
+pub fn scratch_alloc_count() -> usize {
+    SCRATCH_ALLOCS.with(Cell::get)
+}
+
+/// Grow `v` to at least `len` valid elements, counting real (re)allocations.
+fn grow<T: Real>(v: &mut Vec<T>, len: usize) {
+    if v.capacity() < len {
+        SCRATCH_ALLOCS.with(|c| c.set(c.get() + 1));
+    }
+    if v.len() < len {
+        v.resize(len, T::ZERO);
+    }
+}
 
 /// Wall-clock time spent in each linear-processing stage, accumulated
 /// across calls (drives the Table IV breakdown harness).
@@ -46,6 +71,8 @@ impl StageTimes {
 pub struct CorrectionScratch<T> {
     a: Vec<T>,
     b: Vec<T>,
+    /// Halo planes for the tiled axis-0 kernels.
+    halo: Vec<T>,
     /// Accumulated per-stage wall-clock times; reset with [`Self::take_times`].
     pub times: StageTimes,
 }
@@ -56,6 +83,7 @@ impl<T: Real> CorrectionScratch<T> {
         CorrectionScratch {
             a: Vec::new(),
             b: Vec::new(),
+            halo: Vec::new(),
             times: StageTimes::default(),
         }
     }
@@ -63,6 +91,12 @@ impl<T: Real> CorrectionScratch<T> {
     /// Return and reset the accumulated stage times.
     pub fn take_times(&mut self) -> StageTimes {
         std::mem::take(&mut self.times)
+    }
+
+    /// Elements of scratch capacity currently held (ping-pong buffers +
+    /// halo planes), for driver footprint accounting.
+    pub fn capacity_elems(&self) -> usize {
+        self.a.capacity() + self.b.capacity() + self.halo.capacity()
     }
 
     /// The staging buffer the pipeline starts from: drivers that already
@@ -79,13 +113,14 @@ impl<T: Real> CorrectionScratch<T> {
 /// `coeffs` is the packed level-`l` array holding coefficients at the
 /// `N_l \ N_{l-1}` nodes and **zeros** at the coarse nodes (see
 /// [`crate::coeff::zero_coarse`]). Returns the correction on the coarse grid
-/// (shape [`LevelCtx::coarse_shape`]).
-pub fn compute_correction<T: Real>(
+/// (shape [`LevelCtx::coarse_shape`]), borrowed from the scratch buffers —
+/// no per-call allocation once the scratch capacity is warm.
+pub fn compute_correction<'a, T: Real>(
     coeffs: &[T],
     ctx: &LevelCtx<T>,
     plan: ExecPlan,
-    scratch: &mut CorrectionScratch<T>,
-) -> (Vec<T>, Shape) {
+    scratch: &'a mut CorrectionScratch<T>,
+) -> (&'a [T], Shape) {
     assert_eq!(coeffs.len(), ctx.shape().len());
     scratch.a.clear();
     scratch.a.extend_from_slice(coeffs);
@@ -95,27 +130,32 @@ pub fn compute_correction<T: Real>(
 /// [`compute_correction`] for a coefficient array already staged in
 /// [`CorrectionScratch::stage`] (the in-place driver gathers `C_l` there
 /// directly, avoiding one level-sized copy).
-pub fn compute_correction_staged<T: Real>(
+///
+/// [`Layout::Strided`] has no dense staged pipeline — its driver keeps the
+/// correction embedded in the finest index space (`mg-core`); a direct
+/// call falls back to the arithmetic-equivalent packed pipeline.
+pub fn compute_correction_staged<'a, T: Real>(
     ctx: &LevelCtx<T>,
     plan: ExecPlan,
-    scratch: &mut CorrectionScratch<T>,
-) -> (Vec<T>, Shape) {
+    scratch: &'a mut CorrectionScratch<T>,
+) -> (&'a [T], Shape) {
     assert!(scratch.a.len() >= ctx.shape().len(), "stage C_l first");
     match plan.layout {
-        Layout::Packed => correction_packed(ctx, plan.threading, scratch),
+        Layout::Packed | Layout::Strided => correction_packed(ctx, plan.threading, scratch),
         Layout::InPlace => correction_inplace(ctx, plan.threading, scratch),
+        Layout::Tiled { tile } => correction_tiled(ctx, plan.threading, tile, scratch),
     }
 }
 
 /// Packed-layout pipeline: ping-pong between the two scratch buffers.
-fn correction_packed<T: Real>(
+fn correction_packed<'a, T: Real>(
     ctx: &LevelCtx<T>,
     threading: Threading,
-    scratch: &mut CorrectionScratch<T>,
-) -> (Vec<T>, Shape) {
+    scratch: &'a mut CorrectionScratch<T>,
+) -> (&'a [T], Shape) {
     let mut shape = ctx.shape();
     scratch.b.clear();
-    scratch.b.resize(shape.len(), T::ZERO);
+    grow(&mut scratch.b, shape.len());
 
     // `cur` flag selects which scratch buffer currently holds the data.
     let mut cur_is_a = true;
@@ -142,7 +182,7 @@ fn correction_packed<T: Real>(
                 mass::mass_apply_serial(&mut cur[..shape.len()], shape, axis, fine_coords);
                 let t1 = std::time::Instant::now();
                 times.mass += t1 - t0;
-                other.resize(coarse_shape.len().max(other.len()), T::ZERO);
+                grow(other, coarse_shape.len());
                 transfer::transfer_apply_serial(
                     &cur[..shape.len()],
                     shape,
@@ -163,7 +203,7 @@ fn correction_packed<T: Real>(
             }
             Threading::Parallel => {
                 let t0 = std::time::Instant::now();
-                other.resize(shape.len().max(other.len()), T::ZERO);
+                grow(other, shape.len());
                 mass::mass_apply_parallel(
                     &cur[..shape.len()],
                     &mut other[..shape.len()],
@@ -174,7 +214,7 @@ fn correction_packed<T: Real>(
                 let t1 = std::time::Instant::now();
                 times.mass += t1 - t0;
                 // other now holds M v at fine extent; transfer back into cur.
-                cur.resize(coarse_shape.len().max(cur.len()), T::ZERO);
+                grow(cur, coarse_shape.len());
                 transfer::transfer_apply_parallel(
                     &other[..shape.len()],
                     shape,
@@ -201,18 +241,144 @@ fn correction_packed<T: Real>(
     scratch.times.solve += times.solve;
 
     let src = if cur_is_a { &scratch.a } else { &scratch.b };
-    (src[..shape.len()].to_vec(), shape)
+    (&src[..shape.len()], shape)
+}
+
+/// Tiled-layout pipeline: the in-place segmented kernels run with
+/// `tile`-sized segments for every axis except the outermost, whose single
+/// block they cannot split; axis 0 instead runs the halo-exchange tiled
+/// kernels of [`crate::tiled`] (in-place tiled mass, out-of-place tiled
+/// transfer into the second scratch buffer), recovering cross-tile
+/// parallelism on the axis that dominates large grids. Arithmetic matches
+/// the packed pipeline operation for operation.
+fn correction_tiled<'a, T: Real>(
+    ctx: &LevelCtx<T>,
+    threading: Threading,
+    tile: usize,
+    scratch: &'a mut CorrectionScratch<T>,
+) -> (&'a [T], Shape) {
+    let mut shape = ctx.shape();
+    let par = threading == Threading::Parallel;
+    let mut cur_is_a = true;
+    let mut times = StageTimes::default();
+
+    for d in 0..ctx.ndim() {
+        let axis = Axis(d);
+        if !ctx.decimates(axis) {
+            continue; // identity factor
+        }
+        let fine_coords = ctx.coords(axis);
+        let coarse_coords = ctx.coarse_coords(axis);
+        let coarse_shape = shape.with_dim(axis, shape.dim(axis).div_ceil(2));
+
+        let (cur, other) = if cur_is_a {
+            (&mut scratch.a, &mut scratch.b)
+        } else {
+            (&mut scratch.b, &mut scratch.a)
+        };
+
+        // Mass in place on `cur`.
+        let t0 = std::time::Instant::now();
+        if d == 0 {
+            tiled::mass_apply_tiled_axis0(
+                &mut cur[..shape.len()],
+                shape,
+                fine_coords,
+                tile,
+                par,
+                &mut scratch.halo,
+            );
+        } else if par {
+            inplace::mass_apply_inplace_segmented_parallel(
+                &mut cur[..shape.len()],
+                shape,
+                axis,
+                fine_coords,
+                tile.max(1),
+            );
+        } else {
+            inplace::mass_apply_inplace_segmented(
+                &mut cur[..shape.len()],
+                shape,
+                axis,
+                fine_coords,
+                tile.max(1),
+            );
+        }
+        let t1 = std::time::Instant::now();
+        times.mass += t1 - t0;
+
+        // Transfer `cur` -> `other` (tiled over coarse rows on axis 0;
+        // block-parallel elsewhere).
+        grow(other, coarse_shape.len());
+        if d == 0 {
+            tiled::transfer_apply_tiled_axis0(
+                &cur[..shape.len()],
+                shape,
+                &mut other[..coarse_shape.len()],
+                fine_coords,
+                tile,
+                par,
+            );
+        } else if par {
+            transfer::transfer_apply_parallel(
+                &cur[..shape.len()],
+                shape,
+                &mut other[..coarse_shape.len()],
+                axis,
+                fine_coords,
+            );
+        } else {
+            transfer::transfer_apply_serial(
+                &cur[..shape.len()],
+                shape,
+                &mut other[..coarse_shape.len()],
+                axis,
+                fine_coords,
+            );
+        }
+        let t2 = std::time::Instant::now();
+        times.transfer += t2 - t1;
+
+        // Solve in `other`.
+        let factors = ThomasFactors::new(&coarse_coords);
+        if par {
+            solve::solve_parallel(
+                &mut other[..coarse_shape.len()],
+                coarse_shape,
+                axis,
+                &factors,
+            );
+        } else {
+            solve::solve_serial(
+                &mut other[..coarse_shape.len()],
+                coarse_shape,
+                axis,
+                &factors,
+            );
+        }
+        times.solve += t2.elapsed();
+
+        cur_is_a = !cur_is_a;
+        shape = coarse_shape;
+    }
+    scratch.times.mass += times.mass;
+    scratch.times.transfer += times.transfer;
+    scratch.times.solve += times.solve;
+
+    let src = if cur_is_a { &scratch.a } else { &scratch.b };
+    (&src[..shape.len()], shape)
 }
 
 /// In-place-layout pipeline: the six-region segmented update runs every
 /// stage in the single staging buffer (`scratch.b` is never touched).
 /// Arithmetic matches the packed pipeline operation for operation, so the
 /// two layouts produce bitwise-identical corrections.
-fn correction_inplace<T: Real>(
+fn correction_inplace<'a, T: Real>(
     ctx: &LevelCtx<T>,
     threading: Threading,
-    scratch: &mut CorrectionScratch<T>,
-) -> (Vec<T>, Shape) {
+    scratch: &'a mut CorrectionScratch<T>,
+) -> (&'a [T], Shape) {
     let mut shape = ctx.shape();
     let buf = &mut scratch.a;
     let mut times = StageTimes::default();
@@ -283,7 +449,7 @@ fn correction_inplace<T: Real>(
     scratch.times.transfer += times.transfer;
     scratch.times.solve += times.solve;
 
-    (buf[..shape.len()].to_vec(), shape)
+    (&scratch.a[..shape.len()], shape)
 }
 
 /// Apply the full per-axis mass multiply (all decimating axes, fine
@@ -407,6 +573,7 @@ mod tests {
 
         let mut scratch = CorrectionScratch::new();
         let (z, zshape) = compute_correction(&c, &ctx, ExecPlan::serial(), &mut scratch);
+        let z = z.to_vec();
         assert_eq!(zshape.as_slice(), &[5, 3]);
 
         // rhs = R (M c)
@@ -483,7 +650,7 @@ mod tests {
         assert!(mg_grid::real::max_abs(&c) < 1e-12, "coefficients nonzero");
         let mut scratch = CorrectionScratch::new();
         let (z, _) = compute_correction(&c, &ctx, ExecPlan::serial(), &mut scratch);
-        assert!(mg_grid::real::max_abs(&z) < 1e-12);
+        assert!(mg_grid::real::max_abs(z) < 1e-12);
     }
 
     #[test]
@@ -497,7 +664,50 @@ mod tests {
         let (z_ser, sh1) = compute_correction(&c, &ctx, ExecPlan::serial(), &mut s1);
         let (z_par, sh2) = compute_correction(&c, &ctx, ExecPlan::parallel(), &mut s2);
         assert_eq!(sh1, sh2);
-        assert!(max_abs_diff(&z_ser, &z_par) < 1e-12);
+        assert!(max_abs_diff(z_ser, z_par) < 1e-12);
+    }
+
+    #[test]
+    fn tiled_correction_matches_packed_bitwise() {
+        let shape = Shape::d3(9, 17, 5);
+        let ctx = ctx_for(shape, 0.25);
+        let data = test_field(shape);
+        let c = coeff_array(&data, &ctx);
+        let mut sp = CorrectionScratch::new();
+        let (zp, shp) = compute_correction(&c, &ctx, ExecPlan::serial(), &mut sp);
+        let zp = zp.to_vec();
+        for tile in [1usize, 2, 3, 8, 64, 1000] {
+            for threading in [Threading::Serial, Threading::Parallel] {
+                let plan = ExecPlan::new(threading, Layout::Tiled { tile });
+                let mut st = CorrectionScratch::new();
+                let (zt, sht) = compute_correction(&c, &ctx, plan, &mut st);
+                assert_eq!(shp, sht);
+                assert_eq!(zt, &zp[..], "tile {tile} {threading:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_performs_no_steady_state_allocations() {
+        let shape = Shape::d2(17, 17);
+        let ctx = ctx_for(shape, 0.2);
+        let data = test_field(shape);
+        let c = coeff_array(&data, &ctx);
+        for layout in [Layout::Packed, Layout::InPlace, Layout::tiled()] {
+            let plan = ExecPlan::new(Threading::Serial, layout);
+            let mut scratch = CorrectionScratch::new();
+            // Warm-up sizes the buffers.
+            let _ = compute_correction(&c, &ctx, plan, &mut scratch);
+            let before = scratch_alloc_count();
+            for _ in 0..3 {
+                let _ = compute_correction(&c, &ctx, plan, &mut scratch);
+            }
+            assert_eq!(
+                scratch_alloc_count(),
+                before,
+                "{layout:?} grew scratch in steady state"
+            );
+        }
     }
 
     #[test]

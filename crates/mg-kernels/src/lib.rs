@@ -26,6 +26,14 @@
 //!   pipeline uses the six-region segmented in-place update of [`inplace`]
 //!   (Figs. 5 & 6), eliminating the per-level gather/scatter pass
 //!   entirely.
+//! * [`Layout::Tiled`] — the in-place design processed in cache-sized
+//!   blocks of outermost rows with halo exchange at tile boundaries
+//!   ([`tiled`]), so each tile's working set stays L2-resident and tiles
+//!   parallelize across rayon workers even on the outermost axis.
+//! * [`Layout::Strided`] — the naive baseline of Fig. 7: every kernel runs
+//!   on the subgrid embedded in the finest array through stride-aware
+//!   views, strides doubling per axis reduction. Deliberately
+//!   cache-hostile; kept as the end-to-end reference curve.
 //!
 //! Every kernel additionally exposes a stride-aware `*_view` entry point
 //! that runs unchanged on dense-packed or embedded-strided views — the
@@ -51,10 +59,12 @@ pub mod inplace;
 pub mod level;
 pub mod mass;
 pub mod solve;
+pub mod tiled;
 pub mod transfer;
 
 pub use correction::{compute_correction, CorrectionScratch, StageTimes};
 pub use level::LevelCtx;
+pub use tiled::DEFAULT_TILE;
 
 /// Threading strategy of an execution plan.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -101,14 +111,38 @@ pub enum Layout {
     /// Operate directly on the embedded strided subgrid with the
     /// six-region segmented in-place update — no gather/scatter pass.
     InPlace,
+    /// Like [`Layout::InPlace`], but every kernel walks the data in
+    /// cache-sized blocks of `tile` outermost rows with halo exchange at
+    /// the block boundaries, and tiles run rayon-parallel — including on
+    /// the outermost axis, where the segmented design is serial.
+    Tiled {
+        /// Outermost-dimension rows per tile (see [`tiled::DEFAULT_TILE`]).
+        tile: usize,
+    },
+    /// The naive embedded-view design of the paper's Fig. 7: every kernel
+    /// — including the whole correction pipeline — runs directly on the
+    /// subgrid strided through the finest array, with strides doubling at
+    /// each axis reduction. The cache-hostile baseline the other layouts
+    /// are measured against.
+    Strided,
 }
 
 impl Layout {
-    /// Lower-case tag (`"packed"` / `"inplace"`) for CLIs and reports.
+    /// Tiled layout with the default tile size.
+    pub const fn tiled() -> Self {
+        Layout::Tiled {
+            tile: tiled::DEFAULT_TILE,
+        }
+    }
+
+    /// Lower-case tag (`"packed"` / `"inplace"` / `"tiled"` /
+    /// `"strided"`) for CLIs and reports; the tile size is not encoded.
     pub fn as_str(self) -> &'static str {
         match self {
             Layout::Packed => "packed",
             Layout::InPlace => "inplace",
+            Layout::Tiled { .. } => "tiled",
+            Layout::Strided => "strided",
         }
     }
 }
@@ -125,7 +159,23 @@ impl std::str::FromStr for Layout {
         match s {
             "packed" => Ok(Layout::Packed),
             "inplace" | "in-place" => Ok(Layout::InPlace),
-            other => Err(format!("unknown layout {other:?} (packed|inplace)")),
+            "tiled" => Ok(Layout::tiled()),
+            "strided" => Ok(Layout::Strided),
+            other => {
+                // "tiled:N" selects an explicit tile size.
+                if let Some(n) = other.strip_prefix("tiled:") {
+                    let tile: usize = n
+                        .parse()
+                        .map_err(|_| format!("bad tile size in layout {other:?}"))?;
+                    if tile == 0 {
+                        return Err("tile size must be >= 1".into());
+                    }
+                    return Ok(Layout::Tiled { tile });
+                }
+                Err(format!(
+                    "unknown layout {other:?} (packed|inplace|tiled[:N]|strided)"
+                ))
+            }
         }
     }
 }
@@ -140,13 +190,18 @@ pub struct ExecPlan {
 }
 
 impl ExecPlan {
-    /// Every threading × layout combination, for exhaustive sweeps
-    /// (tests, benches, the `bench_refactor` JSON emitter).
-    pub const ALL: [ExecPlan; 4] = [
+    /// Every threading × layout combination (tiled at the default tile
+    /// size), for exhaustive sweeps (tests, benches, the `bench_refactor`
+    /// JSON emitter).
+    pub const ALL: [ExecPlan; 8] = [
         ExecPlan::new(Threading::Serial, Layout::Packed),
         ExecPlan::new(Threading::Parallel, Layout::Packed),
         ExecPlan::new(Threading::Serial, Layout::InPlace),
         ExecPlan::new(Threading::Parallel, Layout::InPlace),
+        ExecPlan::new(Threading::Serial, Layout::tiled()),
+        ExecPlan::new(Threading::Parallel, Layout::tiled()),
+        ExecPlan::new(Threading::Serial, Layout::Strided),
+        ExecPlan::new(Threading::Parallel, Layout::Strided),
     ];
 
     /// Plan from explicit threading and layout.
@@ -216,9 +271,20 @@ mod tests {
         for t in [Threading::Serial, Threading::Parallel] {
             assert_eq!(t.as_str().parse::<Threading>().unwrap(), t);
         }
-        for l in [Layout::Packed, Layout::InPlace] {
+        for l in [
+            Layout::Packed,
+            Layout::InPlace,
+            Layout::tiled(),
+            Layout::Strided,
+        ] {
             assert_eq!(l.as_str().parse::<Layout>().unwrap(), l);
         }
+        assert_eq!(
+            "tiled:128".parse::<Layout>().unwrap(),
+            Layout::Tiled { tile: 128 }
+        );
+        assert!("tiled:0".parse::<Layout>().is_err());
+        assert!("tiled:x".parse::<Layout>().is_err());
         assert!("gpu".parse::<Layout>().is_err());
         assert!("gpu".parse::<Threading>().is_err());
     }

@@ -1,0 +1,547 @@
+//! Cache-blocked tiled kernels with halo exchange at tile boundaries.
+//!
+//! The tiled layout ([`crate::Layout::Tiled`]) processes the data in
+//! blocks of `tile` outermost-dimension rows. Each tile's working set is a
+//! contiguous slab sized to stay L2-resident, and tiles are independent —
+//! they parallelize across the rayon workers — because every value a tile
+//! needs from its neighbours is captured in *halo planes* before the
+//! in-place pass starts. The halo is the CPU rendering of the GPU
+//! six-region design's ghost regions (paper Figs. 5 & 6): the tridiagonal
+//! stencils of the coefficient and mass kernels read original neighbour
+//! values that in-place stores would otherwise destroy, and at a tile
+//! boundary the destroyer is another thread rather than the same fiber
+//! walk.
+//!
+//! Three kernels need tiling beyond what the segmented in-place module
+//! already provides (its outer blocks parallelize every axis except the
+//! outermost, where there is a single block):
+//!
+//! * [`compute_coeffs_tiled`] / [`restore_coeffs_tiled`] — the
+//!   grid-processing kernels, tiled directly over the finest array through
+//!   a [`GridView`] (no packing).
+//! * [`mass_apply_tiled_axis0`] — axis-0 mass multiply with one halo row
+//!   pair per tile boundary.
+//! * [`transfer_apply_tiled_axis0`] — axis-0 restriction, out of place so
+//!   the coarse-row tiles are trivially independent.
+//!
+//! Every entry point performs arithmetic in exactly the order of the
+//! serial reference kernels, so tiled results are bitwise identical to the
+//! packed layout for any tile size (including `tile = 1` and
+//! `tile > extent`).
+
+use crate::coeff::{axis_interp_view, odd_dims_of, AxisInterp};
+use crate::level::LevelCtx;
+use crate::mass::mass_row;
+use crate::transfer::restriction_weights;
+use mg_grid::{Axis, GridView, Real, Shape, MAX_DIMS};
+use rayon::prelude::*;
+
+/// Default tile size (outermost-dimension rows per tile).
+///
+/// With `f64` data, a tile of a `513^2` grid is ~128 KiB and a tile of a
+/// `129^3` grid is ~4 MiB of fine rows — the sweet spot depends on the
+/// row footprint; see the README's tile-size guidance and
+/// `bench_refactor --tile-sweep`.
+pub const DEFAULT_TILE: usize = 32;
+
+/// Update direction (mirrors the private mode switch of `coeff`).
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum Dir {
+    Subtract,
+    Add,
+}
+
+/// Span, in backing elements, of one dim-0 row of the view (distance from
+/// a row's first to one past its last touched element).
+fn row_span(view: &GridView) -> usize {
+    let shape = view.shape();
+    1 + (1..shape.ndim())
+        .map(|d| (shape.dim(Axis(d)) - 1) * view.stride(Axis(d)))
+        .sum::<usize>()
+}
+
+/// Gather the halo planes for a dim-0 tiling of `view` over `data`: for
+/// every tile boundary `b = k * tile < n0`, the original rows `b - 1` and
+/// `b` (each `span` elements starting at `row * stride0`), stored
+/// consecutively per boundary.
+fn gather_halos<T: Real>(
+    data: &[T],
+    stride0: usize,
+    span: usize,
+    n0: usize,
+    tile: usize,
+    halo: &mut Vec<T>,
+) {
+    let nb = (n0 - 1) / tile; // boundaries strictly inside [0, n0)
+    halo.clear();
+    halo.resize(nb * 2 * span, T::ZERO);
+    for j in 1..=nb {
+        let b = j * tile;
+        let at = (j - 1) * 2 * span;
+        halo[at..at + span].copy_from_slice(&data[(b - 1) * stride0..(b - 1) * stride0 + span]);
+        halo[at + span..at + 2 * span].copy_from_slice(&data[b * stride0..b * stride0 + span]);
+    }
+}
+
+/// Dim-0 tiling geometry of one tile: level rows `[a, b)`, backed by a
+/// chunk starting at element `chunk_base`.
+#[derive(Copy, Clone)]
+struct TileGeo {
+    a: usize,
+    b: usize,
+    stride0: usize,
+    span: usize,
+    tile: usize,
+    chunk_base: usize,
+}
+
+/// Read a corner value at backing offset `off`. Corner reads land on
+/// all-even (never-written) nodes: inside the tile they are original
+/// values in `chunk`; the rows `a - 1` and `b` live in the halo snapshot.
+#[inline]
+fn read_corner<T: Real>(chunk: &[T], halo: &[T], g: &TileGeo, off: usize) -> T {
+    let c0 = off / g.stride0;
+    if (g.a..g.b).contains(&c0) {
+        chunk[off - g.chunk_base]
+    } else if c0 + 1 == g.a {
+        halo[(g.a / g.tile - 1) * 2 * g.span + (off - c0 * g.stride0)]
+    } else {
+        debug_assert_eq!(c0, g.b);
+        halo[(g.b / g.tile - 1) * 2 * g.span + g.span + (off - c0 * g.stride0)]
+    }
+}
+
+/// The interpolant at `idx`, corners via [`read_corner`] — the mask/weight
+/// order of `coeff::interp_at`, verbatim, so sums are bitwise identical.
+#[inline]
+fn interp_halo<T: Real>(
+    chunk: &[T],
+    halo: &[T],
+    g: &TileGeo,
+    axes: &[AxisInterp<T>],
+    idx: &[usize],
+    odd_dims: &[usize],
+    base: usize,
+) -> T {
+    let k = odd_dims.len();
+    let mut acc = T::ZERO;
+    for mask in 0u32..(1u32 << k) {
+        let mut w = T::ONE;
+        let mut off = base as isize;
+        for (bit, &d) in odd_dims.iter().enumerate() {
+            let ax = &axes[d];
+            if mask & (1 << bit) != 0 {
+                w *= ax.wr[idx[d]];
+                off += ax.stride as isize;
+            } else {
+                w *= ax.wl[idx[d]];
+                off -= ax.stride as isize;
+            }
+        }
+        acc += w * read_corner(chunk, halo, g, off as usize);
+    }
+    acc
+}
+
+/// Process the coefficient update of one tile.
+#[allow(clippy::too_many_arguments)]
+fn coeff_tile<T: Real>(
+    chunk: &mut [T],
+    a: usize,
+    b: usize,
+    shape: Shape,
+    axes: &[AxisInterp<T>],
+    stride0: usize,
+    span: usize,
+    tile: usize,
+    halo: &[T],
+    dir: Dir,
+) {
+    let nd = shape.ndim();
+    let chunk_base = a * stride0;
+    let geo = TileGeo {
+        a,
+        b,
+        stride0,
+        span,
+        tile,
+        chunk_base,
+    };
+
+    let mut idx = [0usize; MAX_DIMS];
+    let mut odd = [0usize; MAX_DIMS];
+    if nd == 1 {
+        // Dim 0 is the fiber itself: odd nodes of [a, b).
+        for i in a..b {
+            if !(axes[0].decimates && i % 2 == 1) {
+                continue;
+            }
+            idx[0] = i;
+            odd[0] = 0;
+            let off = i * stride0;
+            let v = interp_halo(chunk, halo, &geo, axes, &idx[..1], &odd[..1], off);
+            match dir {
+                Dir::Subtract => chunk[off - chunk_base] -= v,
+                Dir::Add => chunk[off - chunk_base] += v,
+            }
+        }
+        return;
+    }
+
+    let row_len = shape.dim(Axis(nd - 1));
+    let last_stride = axes[nd - 1].stride;
+    let mid_rows: usize = (1..nd - 1).map(|d| shape.dim(Axis(d))).product();
+    let last = &axes[nd - 1];
+    for i0 in a..b {
+        idx[0] = i0;
+        for r in 0..mid_rows {
+            let mut rem = r;
+            for d in (1..nd - 1).rev() {
+                idx[d] = rem % shape.dim(Axis(d));
+                rem /= shape.dim(Axis(d));
+            }
+            let row_base: usize =
+                i0 * stride0 + (1..nd - 1).map(|d| idx[d] * axes[d].stride).sum::<usize>();
+            let np = odd_dims_of(&idx[..nd - 1], axes, &mut odd);
+            for j in 0..row_len {
+                idx[nd - 1] = j;
+                let j_odd = last.decimates && j % 2 == 1;
+                if np == 0 && !j_odd {
+                    continue;
+                }
+                let mut k = np;
+                if j_odd {
+                    odd[k] = nd - 1;
+                    k += 1;
+                }
+                let off = row_base + j * last_stride;
+                let v = interp_halo(chunk, halo, &geo, axes, &idx[..nd], &odd[..k], off);
+                match dir {
+                    Dir::Subtract => chunk[off - chunk_base] -= v,
+                    Dir::Add => chunk[off - chunk_base] += v,
+                }
+            }
+        }
+    }
+}
+
+fn run_coeffs_tiled<T: Real>(
+    data: &mut [T],
+    view: &GridView,
+    ctx: &LevelCtx<T>,
+    tile: usize,
+    parallel: bool,
+    dir: Dir,
+    halo: &mut Vec<T>,
+) {
+    let shape = ctx.shape();
+    assert_eq!(shape, view.shape(), "view must cover the level extents");
+    assert_eq!(data.len(), view.backing_len());
+    let tile = tile.max(1);
+    let n0 = shape.dim(Axis(0));
+    let stride0 = view.stride(Axis(0));
+    let span = row_span(view);
+    debug_assert!(span <= stride0 || n0 == 1);
+    let axes = axis_interp_view(ctx, view);
+    gather_halos(data, stride0, span, n0, tile, halo);
+
+    let chunk_elems = tile * stride0;
+    let axes = &axes;
+    let halo: &[T] = halo;
+    let work = |k: usize, chunk: &mut [T]| {
+        let a = k * tile;
+        if a >= n0 {
+            return; // trailing fine rows past the last level row
+        }
+        let b = ((k + 1) * tile).min(n0);
+        coeff_tile(chunk, a, b, shape, axes, stride0, span, tile, halo, dir);
+    };
+    if parallel {
+        data.par_chunks_mut(chunk_elems)
+            .enumerate()
+            .for_each(|(k, chunk)| work(k, chunk));
+    } else {
+        for (k, chunk) in data.chunks_mut(chunk_elems).enumerate() {
+            work(k, chunk);
+        }
+    }
+}
+
+/// Tiled, in-place coefficient computation on a stride-aware view —
+/// the tiled layout's grid-processing kernel. Bitwise identical to
+/// [`crate::coeff::compute_view_serial`] for every tile size. `halo` is
+/// caller scratch for the boundary planes.
+pub fn compute_coeffs_tiled<T: Real>(
+    data: &mut [T],
+    view: &GridView,
+    ctx: &LevelCtx<T>,
+    tile: usize,
+    parallel: bool,
+    halo: &mut Vec<T>,
+) {
+    run_coeffs_tiled(data, view, ctx, tile, parallel, Dir::Subtract, halo);
+}
+
+/// Tiled, in-place restoration on a view; exact inverse of
+/// [`compute_coeffs_tiled`].
+pub fn restore_coeffs_tiled<T: Real>(
+    data: &mut [T],
+    view: &GridView,
+    ctx: &LevelCtx<T>,
+    tile: usize,
+    parallel: bool,
+    halo: &mut Vec<T>,
+) {
+    run_coeffs_tiled(data, view, ctx, tile, parallel, Dir::Add, halo);
+}
+
+/// In-place `v <- M v` along axis 0 in tiles of `tile` rows.
+///
+/// The segmented in-place kernel parallelizes over outer blocks, of which
+/// axis 0 has exactly one — this kernel recovers axis-0 parallelism by
+/// saving one pair of halo rows per tile boundary (the originals of rows
+/// `b - 1` and `b`) and letting each tile run the sliding-ghost walk of
+/// [`crate::mass::mass_apply_serial`] independently. Bitwise identical to
+/// the serial kernel. `halo` is caller scratch.
+pub fn mass_apply_tiled_axis0<T: Real>(
+    data: &mut [T],
+    shape: Shape,
+    coords: &[T],
+    tile: usize,
+    parallel: bool,
+    halo: &mut Vec<T>,
+) {
+    let n = shape.dim(Axis(0));
+    assert_eq!(data.len(), shape.len());
+    assert_eq!(coords.len(), n);
+    let tile = tile.max(1);
+    let inner = shape.len() / n;
+    let h: Vec<T> = coords.windows(2).map(|w| w[1] - w[0]).collect();
+    gather_halos(data, inner, inner, n, tile, halo);
+
+    let h = &h;
+    let halo: &[T] = halo;
+    // Sliding ghost lanes: originals of row i-1 (and of row i while it is
+    // being overwritten).
+    let work = |k: usize, chunk: &mut [T], prev: &mut Vec<T>, cur: &mut Vec<T>| {
+        let a = k * tile;
+        let b = ((k + 1) * tile).min(n);
+        prev.clear();
+        prev.resize(inner, T::ZERO);
+        cur.clear();
+        cur.resize(inner, T::ZERO);
+        if a > 0 {
+            prev.copy_from_slice(&halo[(a / tile - 1) * 2 * inner..][..inner]);
+        }
+        for i in a..b {
+            let row = (i - a) * inner;
+            cur.copy_from_slice(&chunk[row..row + inner]);
+            let (ca, cb, cc) = mass_row(h, i);
+            for kk in 0..inner {
+                let mut t = cb * cur[kk];
+                if i > 0 {
+                    t += ca * prev[kk];
+                }
+                if i + 1 < n {
+                    let right = if i + 1 == b {
+                        halo[(b / tile - 1) * 2 * inner + inner + kk]
+                    } else {
+                        chunk[row + inner + kk]
+                    };
+                    t += cc * right;
+                }
+                chunk[row + kk] = t;
+            }
+            std::mem::swap(prev, cur);
+        }
+    };
+    if parallel {
+        // One ghost-lane pair per rayon task (the same per-task staging
+        // the segmented kernels use — tasks cannot share scratch).
+        data.par_chunks_mut(tile * inner)
+            .enumerate()
+            .for_each(|(k, chunk)| {
+                let (mut prev, mut cur) = (Vec::new(), Vec::new());
+                work(k, chunk, &mut prev, &mut cur);
+            });
+    } else {
+        // Serial walk reuses one pair across all tiles.
+        let (mut prev, mut cur) = (Vec::new(), Vec::new());
+        for (k, chunk) in data.chunks_mut(tile * inner).enumerate() {
+            work(k, chunk, &mut prev, &mut cur);
+        }
+    }
+}
+
+/// Out-of-place `dst <- R src` along axis 0 in tiles of `tile` coarse
+/// rows. `src` is immutable, so tiles need no halo at all; each coarse-row
+/// tile reads the fine rows `2j - 1 ..= 2j + 1` it depends on. Bitwise
+/// identical to [`crate::transfer::transfer_apply_serial`].
+pub fn transfer_apply_tiled_axis0<T: Real>(
+    src: &[T],
+    src_shape: Shape,
+    dst: &mut [T],
+    coords: &[T],
+    tile: usize,
+    parallel: bool,
+) {
+    let n = src_shape.dim(Axis(0));
+    assert_eq!(src.len(), src_shape.len());
+    assert_eq!(coords.len(), n);
+    assert!(n >= 3 && n % 2 == 1, "transfer needs a decimating axis");
+    let m = n.div_ceil(2);
+    let inner = src_shape.len() / n;
+    assert_eq!(dst.len(), m * inner, "dst must have coarse extent");
+    let tile = tile.max(1);
+    let (wl, wr) = restriction_weights::<T>(coords);
+    let (wl, wr) = (&wl, &wr);
+
+    let work = |k: usize, dchunk: &mut [T]| {
+        let j0 = k * tile;
+        let j1 = (j0 + tile).min(m);
+        for j in j0..j1 {
+            let drow = (j - j0) * inner;
+            let srow = 2 * j * inner;
+            for kk in 0..inner {
+                let mut t = src[srow + kk];
+                if j > 0 {
+                    t += wl[j] * src[srow - inner + kk];
+                }
+                if j + 1 < m {
+                    t += wr[j] * src[srow + inner + kk];
+                }
+                dchunk[drow + kk] = t;
+            }
+        }
+    };
+    if parallel {
+        dst.par_chunks_mut(tile * inner)
+            .enumerate()
+            .for_each(|(k, chunk)| work(k, chunk));
+    } else {
+        for (k, chunk) in dst.chunks_mut(tile * inner).enumerate() {
+            work(k, chunk);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{coeff, mass, transfer};
+    use mg_grid::{CoordSet, Hierarchy};
+
+    const TILES: [usize; 6] = [1, 2, 3, 7, 64, 1000];
+
+    fn ctx_for(shape: Shape, coords: &CoordSet<f64>, l: usize) -> LevelCtx<f64> {
+        let h = Hierarchy::new(shape).unwrap();
+        let ld = h.level_dims(l);
+        let cs = (0..shape.ndim())
+            .map(|d| coords.level_coords(&h, l, Axis(d)))
+            .collect();
+        LevelCtx::new(ld.shape, cs)
+    }
+
+    fn field(len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| ((i * 37 + 11) % 101) as f64 * 0.04 - 2.0)
+            .collect()
+    }
+
+    #[test]
+    fn tiled_coeffs_match_view_serial_every_level_and_tile() {
+        let full = Shape::d2(17, 9);
+        let coords = CoordSet::<f64>::stretched(full, 0.25);
+        let hier = Hierarchy::new(full).unwrap();
+        let src = field(full.len());
+        for l in 1..=hier.nlevels() {
+            let ld = hier.level_dims(l);
+            let view = GridView::embedded(full, &ld);
+            let ctx = ctx_for(full, &coords, l);
+            let mut expect = src.clone();
+            coeff::compute_view_serial(&mut expect, &view, &ctx);
+            for tile in TILES {
+                for parallel in [false, true] {
+                    let mut got = src.clone();
+                    let mut halo = Vec::new();
+                    compute_coeffs_tiled(&mut got, &view, &ctx, tile, parallel, &mut halo);
+                    assert_eq!(got, expect, "level {l} tile {tile} parallel {parallel}");
+                    restore_coeffs_tiled(&mut got, &view, &ctx, tile, parallel, &mut halo);
+                    let mut rt = src.clone();
+                    coeff::compute_view_serial(&mut rt, &view, &ctx);
+                    coeff::restore_view_serial(&mut rt, &view, &ctx);
+                    assert_eq!(got, rt, "restore level {l} tile {tile}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_coeffs_match_in_1d_and_3d() {
+        for full in [Shape::d1(33), Shape::d3(5, 9, 5)] {
+            let coords = CoordSet::<f64>::stretched(full, 0.2);
+            let hier = Hierarchy::new(full).unwrap();
+            let src = field(full.len());
+            for l in 1..=hier.nlevels() {
+                let view = GridView::embedded(full, &hier.level_dims(l));
+                let ctx = ctx_for(full, &coords, l);
+                let mut expect = src.clone();
+                coeff::compute_view_serial(&mut expect, &view, &ctx);
+                for tile in [1usize, 3, 8, 100] {
+                    let mut got = src.clone();
+                    let mut halo = Vec::new();
+                    compute_coeffs_tiled(&mut got, &view, &ctx, tile, true, &mut halo);
+                    assert_eq!(got, expect, "{full:?} level {l} tile {tile}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_mass_axis0_matches_serial() {
+        let shape = Shape::d2(17, 7);
+        let coords: Vec<f64> = (0..17)
+            .map(|i| i as f64 * 0.4 + (i % 3) as f64 * 0.05)
+            .collect();
+        let src = field(shape.len());
+        let mut expect = src.clone();
+        mass::mass_apply_serial(&mut expect, shape, Axis(0), &coords);
+        for tile in TILES {
+            for parallel in [false, true] {
+                let mut got = src.clone();
+                let mut halo = Vec::new();
+                mass_apply_tiled_axis0(&mut got, shape, &coords, tile, parallel, &mut halo);
+                assert_eq!(got, expect, "tile {tile} parallel {parallel}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_transfer_axis0_matches_serial() {
+        let shape = Shape::d2(17, 5);
+        let coords: Vec<f64> = (0..17).map(|i| i as f64 * 0.3 + 0.1).collect();
+        let src = field(shape.len());
+        let mut expect = vec![0.0f64; 9 * 5];
+        transfer::transfer_apply_serial(&src, shape, &mut expect, Axis(0), &coords);
+        for tile in TILES {
+            for parallel in [false, true] {
+                let mut got = vec![0.0f64; 9 * 5];
+                transfer_apply_tiled_axis0(&src, shape, &mut got, &coords, tile, parallel);
+                assert_eq!(got, expect, "tile {tile} parallel {parallel}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_dimensional_mass_tiles() {
+        let shape = Shape::d1(129);
+        let coords: Vec<f64> = (0..129).map(|i| i as f64 + (i % 5) as f64 * 0.1).collect();
+        let src = field(129);
+        let mut expect = src.clone();
+        mass::mass_apply_serial(&mut expect, shape, Axis(0), &coords);
+        let mut got = src.clone();
+        let mut halo = Vec::new();
+        mass_apply_tiled_axis0(&mut got, shape, &coords, 16, true, &mut halo);
+        assert_eq!(got, expect);
+    }
+}

@@ -146,6 +146,43 @@ pub fn transfer_apply_view_serial<T: Real>(
     });
 }
 
+/// Stride-aware in-place `v <- R v` along `axis`, writing coarse node `j`
+/// at the position of **fine node `2j`** of the view — the naive strided
+/// design (Fig. 7): the coarse result stays embedded in the finest index
+/// space and the view's stride along `axis` doubles
+/// ([`mg_grid::GridView::coarsened`]). Same per-node arithmetic as
+/// [`transfer_apply_serial`], so results are bitwise identical.
+///
+/// Safe in place walking `j` forward: writes land on even fine indices
+/// `2j`, while every not-yet-computed output `j' > j` reads fine indices
+/// `>= 2j' - 1 > 2j`.
+pub fn transfer_apply_view_inplace<T: Real>(
+    data: &mut [T],
+    view: &GridView,
+    axis: Axis,
+    fine_coords: &[T],
+) {
+    let n = view.shape().dim(axis);
+    assert_eq!(data.len(), view.backing_len());
+    assert_eq!(fine_coords.len(), n);
+    assert!(n >= 3 && n % 2 == 1, "transfer needs a decimating axis");
+    let m = n.div_ceil(2);
+    let (wl, wr) = restriction_weights::<T>(fine_coords);
+    let stride = view.stride(axis);
+    view.for_each_fiber_base(axis, |_, base| {
+        for j in 0..m {
+            let mut t = data[base + 2 * j * stride];
+            if j > 0 {
+                t += wl[j] * data[base + (2 * j - 1) * stride];
+            }
+            if j + 1 < m {
+                t += wr[j] * data[base + (2 * j + 1) * stride];
+            }
+            data[base + 2 * j * stride] = t;
+        }
+    });
+}
+
 fn prepare<T: Real>(
     src: &[T],
     src_shape: Shape,
@@ -274,6 +311,42 @@ mod tests {
                 let mut got = vec![0.0f64; out_len];
                 transfer_apply_view_serial(&src, &view, &mut got, Axis(ax), &coords);
                 assert_eq!(got, expect, "level {l} axis {ax}");
+            }
+        }
+    }
+
+    #[test]
+    fn view_inplace_matches_dense_on_embedded_levels() {
+        // The embedded in-place restriction must leave, at the positions of
+        // the coarsened view, exactly the dense coarse array the serial
+        // kernel produces.
+        use mg_grid::{GridView, Hierarchy};
+        let full = Shape::d2(17, 9);
+        let hier = Hierarchy::new(full).unwrap();
+        let src: Vec<f64> = (0..full.len())
+            .map(|i| ((i * 29 + 7) % 43) as f64 * 0.19 - 1.0)
+            .collect();
+        for l in 1..=hier.nlevels() {
+            let ld = hier.level_dims(l);
+            let view = GridView::embedded(full, &ld);
+            for ax in 0..2 {
+                let n = ld.shape.dim(Axis(ax));
+                if n < 3 {
+                    continue;
+                }
+                let coords: Vec<f64> = (0..n).map(|i| i as f64 * 0.7 + 0.3).collect();
+                let m = n.div_ceil(2);
+                let out_len = ld.shape.len() / n * m;
+
+                let mut expect = vec![0.0f64; out_len];
+                transfer_apply_view_serial(&src, &view, &mut expect, Axis(ax), &coords);
+
+                let mut got = src.clone();
+                transfer_apply_view_inplace(&mut got, &view, Axis(ax), &coords);
+                let coarse = view.coarsened(Axis(ax));
+                let mut at_coarse = vec![0.0f64; out_len];
+                coarse.for_each_offset(|p, u| at_coarse[p] = got[u]);
+                assert_eq!(at_coarse, expect, "level {l} axis {ax}");
             }
         }
     }

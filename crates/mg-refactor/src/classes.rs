@@ -1,40 +1,11 @@
 //! Extraction and assembly of coefficient classes.
 
-use mg_grid::pack::for_each_level_offset;
-use mg_grid::{Axis, Hierarchy, NdArray, Real, Shape};
+use mg_grid::{Hierarchy, NdArray, Real, Shape};
 
-/// Visit the finest-array offsets of class `k` in a deterministic order.
-///
-/// Class 0 visits the `N_0` (coarsest-grid) nodes; class `l >= 1` visits
-/// `N_l \ N_{l-1}` — the level-`l` nodes with an odd level index along at
-/// least one dimension that decimates at step `l`.
-pub fn for_each_class_offset(hier: &Hierarchy, k: usize, mut f: impl FnMut(usize)) {
-    assert!(k <= hier.nlevels(), "class {k} out of range");
-    let full = hier.finest();
-    if k == 0 {
-        let ld = hier.level_dims(0);
-        for_each_level_offset(full, &ld, |_, unpacked| f(unpacked));
-        return;
-    }
-    let ld = hier.level_dims(k);
-    let nd = full.ndim();
-    // A level-l node is in C_l iff it is odd along some decimating dim.
-    let dec: Vec<bool> = (0..nd).map(|d| hier.decimates(k, Axis(d))).collect();
-    let shape = ld.shape;
-    let mut level_idx = vec![0usize; nd];
-    for_each_level_offset(full, &ld, |packed, unpacked| {
-        // Decode the packed (level) index to check parity.
-        let mut rem = packed;
-        for d in (0..nd).rev() {
-            level_idx[d] = rem % shape.dim(Axis(d));
-            rem /= shape.dim(Axis(d));
-        }
-        let is_coeff = (0..nd).any(|d| dec[d] && level_idx[d] % 2 == 1);
-        if is_coeff {
-            f(unpacked);
-        }
-    });
-}
+/// Visit the finest-array offsets of class `k` in a deterministic order
+/// (re-export of [`mg_grid::pack::for_each_class_offset`], the canonical
+/// class layout also used by the streaming write-out in `mg-core`).
+pub use mg_grid::pack::for_each_class_offset;
 
 /// Extract all classes from an in-place refactored array.
 ///

@@ -14,12 +14,20 @@
 //! mgard-cli info       out.mgrd
 //! ```
 //!
-//! Every refactoring command additionally takes `--layout packed|inplace`
-//! (how level subgrids are touched: gathered densely into working memory,
-//! or updated in place with the paper's six-region segmented design) and
+//! Every refactoring command additionally takes
+//! `--layout packed|inplace|tiled|strided` (how level subgrids are
+//! touched: gathered densely into working memory, updated in place with
+//! the paper's six-region segmented design, processed in cache-sized
+//! tiles with halo exchange, or walked naively through the embedded
+//! strided view), `--tile N` (tile size for `--layout tiled`) and
 //! `--threads N` (1 = the serial reference kernels; any other value runs
 //! the data-parallel kernels on N worker threads). All combinations
 //! produce identical payloads.
+//!
+//! `refactor --stream` pipelines the decomposition with the write-out:
+//! each coefficient class is appended to the output by an I/O thread while
+//! the next level decomposes (the streamed wire format; `reconstruct`
+//! auto-detects it).
 
 use mgard::mg_compress::{Compressed, Compressor, StageTimings};
 use mgard::prelude::*;
@@ -40,15 +48,18 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  mgard-cli refactor   --shape DxHxW IN.f64 OUT.mgrd [--classes K]
+  mgard-cli refactor   --shape DxHxW IN.f64 OUT.mgrd [--classes K] [--stream]
   mgard-cli reconstruct IN.mgrd OUT.f64 [--classes K]
   mgard-cli compress   --shape DxHxW --tau T IN.f64 OUT.mgz
   mgard-cli decompress --shape DxHxW --tau T IN.mgz OUT.f64
   mgard-cli info       IN.mgrd
 
 options (refactor/reconstruct/compress/decompress):
-  --layout packed|inplace   level-subgrid access strategy (default packed)
-  --threads N               1 = serial kernels, else parallel on N threads";
+  --layout packed|inplace|tiled|strided
+                            level-subgrid access strategy (default packed)
+  --tile N                  tile size for --layout tiled (outermost rows)
+  --threads N               1 = serial kernels, else parallel on N threads
+  --stream                  (refactor) overlap decomposition with write-out";
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
@@ -59,18 +70,27 @@ struct Opts {
     tau: Option<f64>,
     classes: Option<usize>,
     layout: Layout,
+    tile: Option<usize>,
     threads: Option<usize>,
+    stream: bool,
 }
 
 impl Opts {
-    /// The execution plan selected by `--layout` / `--threads`
+    /// The execution plan selected by `--layout` / `--tile` / `--threads`
     /// (default: parallel, packed — the historical CLI behaviour).
-    fn plan(&self) -> ExecPlan {
+    fn plan(&self) -> Result<ExecPlan, Box<dyn std::error::Error>> {
         let threading = match self.threads {
             Some(1) => Threading::Serial,
             _ => Threading::Parallel,
         };
-        ExecPlan::new(threading, self.layout)
+        let layout = match (self.layout, self.tile) {
+            (Layout::Tiled { .. }, Some(tile)) => Layout::Tiled { tile },
+            (other, Some(_)) => {
+                return Err(format!("--tile requires --layout tiled (got {other})").into())
+            }
+            (layout, None) => layout,
+        };
+        Ok(ExecPlan::new(threading, layout))
     }
 }
 
@@ -81,7 +101,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, Box<dyn std::error::Error>> {
         tau: None,
         classes: None,
         layout: Layout::Packed,
+        tile: None,
         threads: None,
+        stream: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -100,9 +122,20 @@ fn parse_opts(args: &[String]) -> Result<Opts, Box<dyn std::error::Error>> {
                 o.classes = Some(v.parse().map_err(|_| "bad --classes")?);
             }
             "--layout" => {
-                let v = it.next().ok_or("--layout needs packed|inplace")?;
+                let v = it
+                    .next()
+                    .ok_or("--layout needs packed|inplace|tiled|strided")?;
                 o.layout = v.parse()?;
             }
+            "--tile" => {
+                let v = it.next().ok_or("--tile needs a size")?;
+                let n: usize = v.parse().map_err(|_| "bad --tile")?;
+                if n == 0 {
+                    return Err("--tile must be >= 1".into());
+                }
+                o.tile = Some(n);
+            }
+            "--stream" => o.stream = true,
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a count")?;
                 let n: usize = v.parse().map_err(|_| "bad --threads")?;
@@ -121,6 +154,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, Box<dyn std::error::Error>> {
 fn run(args: &[String]) -> CliResult {
     let cmd = args.first().ok_or("missing command")?.clone();
     let o = parse_opts(&args[1..])?;
+    if o.stream && cmd != "refactor" {
+        return Err("--stream only applies to refactor".into());
+    }
     if let Some(n) = o.threads {
         // The rayon shim sizes its worker pool from this variable.
         std::env::set_var("MGARD_THREADS", n.to_string());
@@ -170,8 +206,32 @@ fn refactor(o: &Opts) -> CliResult {
     let data = read_f64_file(input, shape)?;
     let mut r = Refactorer::<f64>::new(shape)
         .map_err(|e| format!("{e} (use a 2^k+1 shape or pad first)"))?
-        .plan(o.plan());
+        .plan(o.plan()?);
     let mut work = data;
+
+    if o.stream {
+        if o.classes.is_some() {
+            return Err("--stream writes every class as it completes; drop --classes".into());
+        }
+        let file = std::io::BufWriter::new(std::fs::File::create(output)?);
+        let mut sink = StreamSink::new(file, r.hierarchy(), 8)?;
+        let stats = decompose_streaming(&mut r, &mut work, &mut sink)?;
+        sink.finish()?.flush()?;
+        let bytes = std::fs::metadata(output)?.len();
+        println!(
+            "streamed {:?} -> {} classes, {} bytes (compute {:?}, io {:?}, \
+             exposed io {:?}, {:.0}% of io hidden)",
+            shape.as_slice(),
+            stats.classes_written,
+            bytes,
+            stats.compute,
+            stats.io,
+            stats.exposed_io(),
+            stats.hidden_fraction() * 100.0
+        );
+        return Ok(());
+    }
+
     r.decompose(&mut work);
     let hier = r.hierarchy().clone();
     let refac = Refactored::from_array(&work, &hier);
@@ -188,16 +248,28 @@ fn refactor(o: &Opts) -> CliResult {
     Ok(())
 }
 
+/// Decode a refactored payload in either container: the magic picks
+/// between the streamed format (reassembled into classes) and the batch
+/// wire format.
+fn decode_any(bytes: Vec<u8>) -> Result<Refactored<f64>, Box<dyn std::error::Error>> {
+    if bytes.len() >= 4 && bytes[..4] == STREAM_MAGIC.to_le_bytes() {
+        let (hier, classes) = read_stream::<f64>(&bytes)?;
+        Ok(Refactored::from_classes(hier, classes))
+    } else {
+        Ok(decode(bytes.into())?)
+    }
+}
+
 fn reconstruct(o: &Opts) -> CliResult {
     let [input, output] = o.positional.as_slice() else {
         return Err("reconstruct needs IN and OUT paths".into());
     };
     let bytes = std::fs::read(input)?;
-    let refac: Refactored<f64> = decode(bytes.into())?;
+    let refac = decode_any(bytes)?;
     let shape = refac.hierarchy().finest();
     let mut r = Refactorer::<f64>::new(shape)
         .map_err(|e| format!("payload has a non-dyadic shape: {e}"))?
-        .plan(o.plan());
+        .plan(o.plan()?);
     let count = o
         .classes
         .unwrap_or(refac.num_classes())
@@ -219,7 +291,7 @@ fn compress(o: &Opts) -> CliResult {
         return Err("compress needs IN and OUT paths".into());
     };
     let data = read_f64_file(input, shape)?;
-    let mut c = Compressor::<f64>::new(shape, tau).plan(o.plan());
+    let mut c = Compressor::<f64>::new(shape, tau).plan(o.plan()?);
     let blob = c.compress(&data);
     std::fs::write(output, &blob.bytes)?;
     report_timings("compressed", &blob.timings);
@@ -239,7 +311,7 @@ fn decompress(o: &Opts) -> CliResult {
         return Err("decompress needs IN and OUT paths".into());
     };
     let payload = std::fs::read(input)?;
-    let mut c = Compressor::<f64>::new(shape, tau).plan(o.plan());
+    let mut c = Compressor::<f64>::new(shape, tau).plan(o.plan()?);
     let blob = Compressed {
         bytes: payload.into(),
         original_bytes: shape.len() * 8,
@@ -256,7 +328,7 @@ fn info(o: &Opts) -> CliResult {
         return Err("info needs one path".into());
     };
     let bytes = std::fs::read(input)?;
-    let refac: Refactored<f64> = decode(bytes.into())?;
+    let refac = decode_any(bytes)?;
     let hier = refac.hierarchy();
     println!("shape: {:?}", hier.finest().as_slice());
     println!("levels: {}", hier.nlevels());

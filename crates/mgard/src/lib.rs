@@ -67,9 +67,11 @@ pub mod prelude {
     pub use gpu_sim::device::DeviceSpec;
     pub use mg_compress::{Compressed, Compressor};
     pub use mg_core::padded::PaddedRefactorer;
+    pub use mg_core::{decompose_streaming, ClassSink, StreamStats};
     pub use mg_core::{ExecPlan, Layout, Refactorer, Threading};
     pub use mg_gpu::exec::GpuRefactorer;
     pub use mg_grid::{Axis, CoordSet, Hierarchy, NdArray, Real, Shape};
+    pub use mg_io::{read_stream, StreamSink, STREAM_MAGIC};
     pub use mg_refactor::classes::Refactored;
     pub use mg_refactor::progressive::{accuracy_curve, reconstruct_prefix};
     pub use mg_refactor::serialize::{decode, encode, encode_prefix};

@@ -215,6 +215,123 @@ fn layout_and_threads_flags_round_trip_identically() {
 }
 
 #[test]
+fn tiled_and_strided_layouts_round_trip_identically() {
+    // The new layout backends through the CLI: payloads must be
+    // bit-identical to packed and reconstruct exactly, including an
+    // explicit non-divisible tile size and tile > extent.
+    let d = tmpdir("tiled");
+    let input = d.join("in.f64");
+    let vals = write_field(&input, 33);
+    let mut payloads = Vec::new();
+    for (tag, extra) in [
+        ("packed", vec![]),
+        ("tiled", vec![]),
+        ("tiled", vec!["--tile", "5"]),
+        ("tiled", vec!["--tile", "100"]),
+        ("strided", vec![]),
+    ] {
+        let suffix = format!("{tag}-{}", extra.join("")).replace("--", "");
+        let refac = d.join(format!("out-{suffix}.mgrd"));
+        let output = d.join(format!("back-{suffix}.f64"));
+        let mut args = vec!["refactor", "--shape", "33x33", "--layout", tag];
+        args.extend(extra.iter());
+        assert!(cli()
+            .args(&args)
+            .arg(&input)
+            .arg(&refac)
+            .status()
+            .unwrap()
+            .success());
+        assert!(cli()
+            .args(["reconstruct", "--layout", tag])
+            .arg(&refac)
+            .arg(&output)
+            .status()
+            .unwrap()
+            .success());
+        let back = read_field(&output);
+        let err: f64 = back
+            .iter()
+            .zip(&vals)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-11, "{suffix}: err {err}");
+        payloads.push(std::fs::read(&refac).unwrap());
+    }
+    for p in &payloads[1..] {
+        assert_eq!(p, &payloads[0], "payloads must be bit-identical");
+    }
+    // --tile without --layout tiled fails cleanly.
+    let out = cli()
+        .args(["refactor", "--shape", "33x33", "--tile", "8"])
+        .arg(&input)
+        .arg(d.join("x.mgrd"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(d).unwrap();
+}
+
+#[test]
+fn streamed_refactor_reconstructs_exactly() {
+    let d = tmpdir("stream");
+    let input = d.join("in.f64");
+    let streamed = d.join("out.mgst");
+    let batch = d.join("out.mgrd");
+    let output = d.join("back.f64");
+    let vals = write_field(&input, 33);
+
+    let out = cli()
+        .args(["refactor", "--shape", "33x33", "--stream"])
+        .arg(&input)
+        .arg(&streamed)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("streamed"), "{text}");
+
+    // reconstruct auto-detects the streamed format.
+    assert!(cli()
+        .arg("reconstruct")
+        .arg(&streamed)
+        .arg(&output)
+        .status()
+        .unwrap()
+        .success());
+    let back = read_field(&output);
+    let err: f64 = back
+        .iter()
+        .zip(&vals)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    assert!(err < 1e-10, "err {err}");
+
+    // Same information as the batch payload, different container: sizes
+    // match up to the per-class record framing.
+    assert!(cli()
+        .args(["refactor", "--shape", "33x33"])
+        .arg(&input)
+        .arg(&batch)
+        .status()
+        .unwrap()
+        .success());
+    let sbytes = std::fs::metadata(&streamed).unwrap().len();
+    let bbytes = std::fs::metadata(&batch).unwrap().len();
+    assert!(sbytes.abs_diff(bbytes) < 256, "{sbytes} vs {bbytes}");
+
+    // --stream with --classes is rejected.
+    let out = cli()
+        .args(["refactor", "--shape", "33x33", "--stream", "--classes", "2"])
+        .arg(&input)
+        .arg(d.join("x.mgst"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(d).unwrap();
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     // Unknown command.
     let out = cli().arg("frobnicate").output().unwrap();

@@ -53,7 +53,7 @@ proptest! {
     }
 
     #[test]
-    fn packed_and_inplace_layouts_agree(
+    fn all_layouts_agree(
         dims in dyadic_shape(),
         seed in any::<u64>(),
         stretch in 0.0f64..0.45,
@@ -66,7 +66,7 @@ proptest! {
         let orig = field_for(&dims, seed);
         let mut decomposed_ref: Option<NdArray<f64>> = None;
         let mut recomposed_ref: Option<NdArray<f64>> = None;
-        for layout in [Layout::Packed, Layout::InPlace] {
+        for layout in [Layout::Packed, Layout::InPlace, Layout::tiled(), Layout::Strided] {
             for threading in [Threading::Serial, Threading::Parallel] {
                 let plan = ExecPlan::new(threading, layout);
                 let mut r = Refactorer::with_coords(shape, coords.clone()).unwrap().plan(plan);
@@ -90,6 +90,60 @@ proptest! {
                 let err = mg_grid::real::max_abs_diff(data.as_slice(), orig.as_slice());
                 prop_assert!(err < 1e-10, "{plan:?} round trip error {err} on {dims:?} stretch {stretch}");
             }
+        }
+    }
+
+    #[test]
+    fn tiled_is_bit_identical_to_packed(
+        dims in dyadic_shape(),
+        seed in any::<u64>(),
+        stretch in 0.0f64..0.45,
+        tile in 1usize..40,
+        parallel in any::<bool>(),
+    ) {
+        // Bit-identity (==, not epsilon) for arbitrary tile sizes: the
+        // 1..40 range against extents up to 17 covers tile = 1,
+        // non-divisible tiles, and tile > extent.
+        let shape = Shape::new(&dims);
+        let coords = CoordSet::<f64>::stretched(shape, stretch);
+        let orig = field_for(&dims, seed);
+        let threading = if parallel { Threading::Parallel } else { Threading::Serial };
+
+        let mut packed = orig.clone();
+        Refactorer::with_coords(shape, coords.clone()).unwrap()
+            .plan(ExecPlan::new(threading, Layout::Packed))
+            .decompose(&mut packed);
+
+        let plan = ExecPlan::new(threading, Layout::Tiled { tile });
+        let mut r = Refactorer::with_coords(shape, coords).unwrap().plan(plan);
+        let mut tiled = orig.clone();
+        r.decompose(&mut tiled);
+        prop_assert_eq!(&tiled, &packed, "decompose differs: {:?} {:?}", dims, plan);
+        r.recompose(&mut tiled);
+        let err = mg_grid::real::max_abs_diff(tiled.as_slice(), orig.as_slice());
+        prop_assert!(err < 1e-10, "round trip error {err} for tile {tile} on {dims:?}");
+    }
+
+    #[test]
+    fn streamed_classes_match_batch_extraction(dims in dyadic_shape(), seed in any::<u64>()) {
+        // The streaming pipeline must emit exactly the classes the batch
+        // extractor produces, for any shape.
+        let shape = Shape::new(&dims);
+        let orig = field_for(&dims, seed);
+        let mut plain = orig.clone();
+        let mut r = Refactorer::<f64>::new(shape).unwrap();
+        r.decompose(&mut plain);
+        let hier = r.hierarchy().clone();
+        let refac = Refactored::from_array(&plain, &hier);
+
+        let mut streamed = orig.clone();
+        let mut r2 = Refactorer::<f64>::new(shape).unwrap();
+        let mut sink: Vec<Option<Vec<f64>>> = Vec::new();
+        mg_core::decompose_streaming(&mut r2, &mut streamed, &mut sink).unwrap();
+        prop_assert_eq!(&streamed, &plain);
+        prop_assert_eq!(sink.len(), refac.num_classes());
+        for (k, got) in sink.iter().enumerate() {
+            prop_assert_eq!(got.as_deref().unwrap(), refac.class(k), "class {}", k);
         }
     }
 
