@@ -1,0 +1,217 @@
+//! `bench_serve` — throughput/latency benchmark of the progressive-
+//! retrieval server under concurrent clients at mixed error bounds.
+//!
+//! Spins up two in-process servers over the same catalog: one with the
+//! encoded-prefix cache disabled (every fetch re-encodes — the *cold*
+//! path) and one with a pre-warmed cache (every fetch is a lookup — the
+//! *cached* path), then fires `--clients` threads × `--requests` fetches
+//! each, cycling through a fixed τ ladder. Emits `BENCH_serve.json` with
+//! wall time, request rate, mean/p50/p95 latency, and cache hit rate per
+//! phase; on a healthy build the cached rows beat the cold rows because
+//! repeat requests at a τ skip the prefix encoding entirely.
+//!
+//! ```text
+//! bench_serve [--quick] [--out PATH] [--clients N] [--requests N]
+//! ```
+
+use mg_grid::{NdArray, Shape};
+use mg_serve::{client, Catalog, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::time::Instant;
+
+/// Mixed error bounds, cycled per request (0.0 = full payload).
+const TAUS: [f64; 5] = [1e-1, 1e-2, 1e-3, 1e-5, 0.0];
+
+fn field(shape: Shape) -> NdArray<f64> {
+    NdArray::from_fn(shape, |i| {
+        i.iter()
+            .enumerate()
+            .map(|(d, &v)| ((v as f64) * 0.029 * (d + 1) as f64).sin())
+            .product::<f64>()
+    })
+}
+
+fn shape_tag(shape: Shape) -> String {
+    shape
+        .as_slice()
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join("x")
+}
+
+struct PhaseResult {
+    wall_ms: f64,
+    reqs_per_s: f64,
+    mean_ms: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    hit_rate: f64,
+    payload_bytes: u64,
+}
+
+/// One pass over the τ ladder: spins up worker threads / populates the
+/// cache (when enabled) so the measured phase sees a warm server.
+fn warmup(addr: SocketAddr, dataset: &str) {
+    for &tau in &TAUS {
+        let _ = client::fetch_tau(addr, dataset, tau).expect("warmup fetch");
+    }
+}
+
+/// Fire `clients × requests` fetches at `addr` and collect latencies.
+fn run_phase(
+    addr: SocketAddr,
+    dataset: &str,
+    clients: usize,
+    requests: usize,
+) -> (PhaseResult, Vec<f64>) {
+    let before = client::stats(addr).expect("stats");
+    let t0 = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut lats = Vec::with_capacity(requests);
+                    for i in 0..requests {
+                        let tau = TAUS[(c + i) % TAUS.len()];
+                        let t = Instant::now();
+                        let got = client::fetch_tau(addr, dataset, tau).expect("fetch");
+                        lats.push((t.elapsed().as_secs_f64() * 1e3, got.raw.len() as u64));
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .map(|(ms, _)| ms)
+            .collect()
+    });
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = latencies.len();
+    // Counter deltas isolate this phase from the warmup pass.
+    let after = client::stats(addr).expect("stats");
+    let hits = after.cache_hits - before.cache_hits;
+    let misses = after.cache_misses - before.cache_misses;
+    let result = PhaseResult {
+        wall_ms,
+        reqs_per_s: n as f64 / (wall_ms / 1e3),
+        mean_ms: latencies.iter().sum::<f64>() / n as f64,
+        p50_ms: latencies[n / 2],
+        p95_ms: latencies[(n * 95 / 100).min(n - 1)],
+        hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+        payload_bytes: after.payload_bytes - before.payload_bytes,
+    };
+    (result, latencies)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = String::from("BENCH_serve.json");
+    let mut clients = 8usize;
+    let mut requests = 16usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = it.next().expect("--out needs a path").clone(),
+            "--clients" => {
+                clients = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--clients needs a count")
+            }
+            "--requests" => {
+                requests = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--requests needs a count")
+            }
+            other => {
+                eprintln!(
+                    "usage: bench_serve [--quick] [--out PATH] [--clients N] [--requests N] \
+                     (got {other:?})"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if quick {
+        clients = clients.min(4);
+        requests = requests.min(8);
+    }
+
+    let shapes: Vec<Shape> = if quick {
+        vec![Shape::d2(129, 129)]
+    } else {
+        vec![Shape::d2(513, 513), Shape::d3(65, 65, 65)]
+    };
+
+    let mut rows = Vec::new();
+    for &shape in &shapes {
+        let tag = shape_tag(shape);
+        let data = field(shape);
+        let catalog = Catalog::new();
+        catalog.insert_array(&tag, &data).expect("dyadic shape");
+
+        let pool = ServerConfig {
+            workers: clients.min(8),
+            ..ServerConfig::default()
+        };
+
+        // Cold: caching disabled, every fetch re-encodes its prefix.
+        // (The warmup pass only spins up the worker threads.)
+        let cold_server = Server::bind(
+            "127.0.0.1:0",
+            catalog.clone(),
+            ServerConfig {
+                cache_bytes: 0,
+                ..pool
+            },
+        )
+        .expect("bind cold server");
+        warmup(cold_server.local_addr(), &tag);
+        let (cold, _) = run_phase(cold_server.local_addr(), &tag, clients, requests);
+        cold_server.shutdown().expect("shutdown cold server");
+
+        // Cached: default cache, pre-warmed with one pass over the τ
+        // ladder so the measured phase is all hits.
+        let warm_server =
+            Server::bind("127.0.0.1:0", catalog.clone(), pool).expect("bind warm server");
+        warmup(warm_server.local_addr(), &tag);
+        let (cached, _) = run_phase(warm_server.local_addr(), &tag, clients, requests);
+        warm_server.shutdown().expect("shutdown warm server");
+
+        let speedup = cold.mean_ms / cached.mean_ms;
+        eprintln!(
+            "{tag}: cold {:.3} ms/req ({:.0} req/s), cached {:.3} ms/req \
+             ({:.0} req/s) -> {speedup:.2}x, hit rate {:.0}%",
+            cold.mean_ms,
+            cold.reqs_per_s,
+            cached.mean_ms,
+            cached.reqs_per_s,
+            cached.hit_rate * 100.0
+        );
+        for (phase, r) in [("cold", &cold), ("cached", &cached)] {
+            rows.push(format!(
+                "    {{\"dataset\": \"{tag}\", \"phase\": \"{phase}\", \"clients\": {clients}, \
+                 \"requests_per_client\": {requests}, \"wall_ms\": {:.3}, \
+                 \"reqs_per_s\": {:.1}, \"mean_ms\": {:.4}, \"p50_ms\": {:.4}, \
+                 \"p95_ms\": {:.4}, \"hit_rate\": {:.4}, \"payload_bytes\": {}}}",
+                r.wall_ms, r.reqs_per_s, r.mean_ms, r.p50_ms, r.p95_ms, r.hit_rate, r.payload_bytes
+            ));
+        }
+    }
+
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"quick\": {quick},\n  \"host_threads\": {threads},\n  \
+         \"taus\": [0.1, 0.01, 0.001, 0.00001, 0.0],\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out, &json).expect("write BENCH json");
+    println!("wrote {out}");
+}

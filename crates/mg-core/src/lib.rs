@@ -29,5 +29,7 @@ pub mod timing;
 
 pub use mg_kernels::{ExecPlan, Layout, Threading};
 pub use refactorer::Refactorer;
-pub use streaming::{decompose_streaming, ClassSink, StreamStats};
+pub use streaming::{
+    decompose_streaming, recompose_streaming, ClassSink, ClassSource, StreamStats,
+};
 pub use timing::KernelTimes;

@@ -157,6 +157,126 @@ where
     })
 }
 
+/// Source of streamed coefficient classes for [`recompose_streaming`] —
+/// the consumer-side mirror of [`ClassSink`].
+///
+/// Classes are requested in recomposition order — coarsest (`0`) first,
+/// `C_L` last — from a dedicated I/O thread, so a source backed by the
+/// batch wire format (whose classes are stored coarsest-first) can stream
+/// tier-by-tier without ever holding the whole payload. A prefix source
+/// returns zero-filled buffers for classes it does not hold.
+pub trait ClassSource<T> {
+    /// Fetch class `class`'s values, in the canonical ordering of
+    /// [`mg_grid::pack::for_each_class_offset`].
+    fn read_class(&mut self, class: usize) -> std::io::Result<Vec<T>>;
+}
+
+/// Every in-memory class collection is a source (classes indexed by id;
+/// the inverse of the `Vec` [`ClassSink`]).
+impl<T: Real> ClassSource<T> for Vec<Vec<T>> {
+    fn read_class(&mut self, class: usize) -> std::io::Result<Vec<T>> {
+        self.get(class)
+            .cloned()
+            .ok_or_else(|| std::io::Error::other(format!("class {class} not in source")))
+    }
+}
+
+/// Recompose an approximation from classes streamed out of `source`,
+/// overlapping the read of class `l + 1` with the level-`l` recomposition
+/// step (the consumer mirror of [`decompose_streaming`]).
+///
+/// Returns the reconstructed array plus pipeline stats ([`StreamStats`]
+/// with `classes_written` counting classes *consumed*). The result is
+/// bitwise identical to assembling every class into an array and running a
+/// plain [`Refactorer::recompose`]: class positions are disjoint, so
+/// scattering class `l` just before its level's step is equivalent to
+/// scattering everything up front. Source errors abort the pipeline and
+/// surface as the returned error.
+pub fn recompose_streaming<T, S>(
+    r: &mut Refactorer<T>,
+    source: &mut S,
+) -> std::io::Result<(NdArray<T>, StreamStats)>
+where
+    T: Real,
+    S: ClassSource<T> + Send,
+{
+    let hier = r.hierarchy().clone();
+    let nlevels = hier.nlevels();
+    let t_wall = Instant::now();
+    let mut compute = Duration::ZERO;
+    let mut out = NdArray::<T>::zeros(hier.finest());
+
+    // Bounded to two classes in flight: one being consumed, one being
+    // prefetched — same memory bound as the producer pipeline.
+    let (work_tx, work_rx) = mpsc::sync_channel::<(usize, Vec<T>)>(2);
+
+    let (io_time, io_result) = std::thread::scope(|s| {
+        let io = s.spawn(move || {
+            let mut io_time = Duration::ZERO;
+            for class in 0..=nlevels {
+                let t0 = Instant::now();
+                let res = source.read_class(class);
+                io_time += t0.elapsed();
+                match res {
+                    Ok(buf) => {
+                        if work_tx.send((class, buf)).is_err() {
+                            break; // consumer bailed
+                        }
+                    }
+                    Err(e) => return (io_time, Err(e)),
+                }
+            }
+            (io_time, Ok(()))
+        });
+
+        let mut consume_err = None;
+        for class in 0..=nlevels {
+            let Ok((got, buf)) = work_rx.recv() else {
+                break; // I/O thread errored; its error is returned below.
+            };
+            debug_assert_eq!(got, class);
+            let expect = if class == 0 {
+                hier.level_len(0)
+            } else {
+                hier.class_len(class)
+            };
+            if buf.len() != expect {
+                consume_err = Some(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("class {class}: {} values, expected {expect}", buf.len()),
+                ));
+                break;
+            }
+            let t0 = Instant::now();
+            {
+                let slice = out.as_mut_slice();
+                let mut it = buf.iter();
+                for_each_class_offset(&hier, class, |off| {
+                    slice[off] = *it.next().expect("length checked above");
+                });
+            }
+            if class >= 1 {
+                r.recompose_level(&mut out, class);
+            }
+            compute += t0.elapsed();
+        }
+        drop(work_rx);
+        let (io_time, io_result) = io.join().expect("I/O thread panicked");
+        (io_time, consume_err.map(Err).unwrap_or(io_result))
+    });
+    io_result?;
+
+    Ok((
+        out,
+        StreamStats {
+            wall: t_wall.elapsed(),
+            compute,
+            io: io_time,
+            classes_written: nlevels + 1,
+        },
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +357,92 @@ mod tests {
         let mut plain = orig.clone();
         Refactorer::<f64>::new(shape).unwrap().decompose(&mut plain);
         assert_eq!(data, plain);
+    }
+
+    /// Decompose a field and return `(original, refactored classes)`.
+    fn classes_of(shape: Shape) -> (NdArray<f64>, Vec<Vec<f64>>) {
+        let orig = field(shape);
+        let mut d = orig.clone();
+        let mut r = Refactorer::<f64>::new(shape).unwrap();
+        r.decompose(&mut d);
+        let hier = r.hierarchy().clone();
+        let mut classes = Vec::new();
+        for k in 0..=hier.nlevels() {
+            let mut buf = Vec::new();
+            for_each_class_offset(&hier, k, |off| buf.push(d.as_slice()[off]));
+            classes.push(buf);
+        }
+        (orig, classes)
+    }
+
+    #[test]
+    fn streaming_recompose_inverts_decomposition() {
+        let shape = Shape::d2(17, 33);
+        let (orig, mut classes) = classes_of(shape);
+        let mut r = Refactorer::<f64>::new(shape).unwrap();
+        let (out, stats) = recompose_streaming(&mut r, &mut classes).unwrap();
+        let err = mg_grid::real::max_abs_diff(out.as_slice(), orig.as_slice());
+        assert!(err < 1e-11, "round trip error {err}");
+        assert_eq!(stats.classes_written, r.hierarchy().nlevels() + 1);
+        assert!(stats.wall >= stats.compute);
+    }
+
+    #[test]
+    fn streaming_recompose_matches_batch_recompose_bitwise() {
+        let shape = Shape::d3(9, 5, 9);
+        let (_, classes) = classes_of(shape);
+        for keep in [1, 2, classes.len()] {
+            // Zero-filled trailing classes model a prefix fetch.
+            let mut prefix: Vec<Vec<f64>> = classes
+                .iter()
+                .enumerate()
+                .map(|(k, c)| {
+                    if k < keep {
+                        c.clone()
+                    } else {
+                        vec![0.0; c.len()]
+                    }
+                })
+                .collect();
+
+            // Batch path: scatter everything, then recompose.
+            let mut r = Refactorer::<f64>::new(shape).unwrap();
+            let hier = r.hierarchy().clone();
+            let mut batch = NdArray::<f64>::zeros(shape);
+            for (k, c) in prefix.iter().enumerate() {
+                let mut it = c.iter();
+                let slice = batch.as_mut_slice();
+                for_each_class_offset(&hier, k, |off| slice[off] = *it.next().unwrap());
+            }
+            r.recompose(&mut batch);
+
+            let mut r2 = Refactorer::<f64>::new(shape).unwrap();
+            let (streamed, _) = recompose_streaming(&mut r2, &mut prefix).unwrap();
+            assert_eq!(streamed, batch, "keep = {keep}");
+        }
+    }
+
+    #[test]
+    fn source_errors_surface() {
+        struct FailingSource;
+        impl ClassSource<f64> for FailingSource {
+            fn read_class(&mut self, class: usize) -> std::io::Result<Vec<f64>> {
+                Err(std::io::Error::other(format!("tier {class} unreachable")))
+            }
+        }
+        let mut r = Refactorer::<f64>::new(Shape::d2(9, 9)).unwrap();
+        let err = recompose_streaming(&mut r, &mut FailingSource).unwrap_err();
+        assert_eq!(err.to_string(), "tier 0 unreachable");
+    }
+
+    #[test]
+    fn short_class_buffers_are_rejected() {
+        let shape = Shape::d2(9, 9);
+        let (_, mut classes) = classes_of(shape);
+        classes[1].pop();
+        let mut r = Refactorer::<f64>::new(shape).unwrap();
+        let err = recompose_streaming(&mut r, &mut classes).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 
     #[test]

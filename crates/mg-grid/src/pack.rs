@@ -130,7 +130,96 @@ pub fn for_each_level_offset(full: Shape, level: &LevelDims, mut f: impl FnMut(u
 /// least one dimension that decimates at step `l`. This is the canonical
 /// class layout shared by the class extraction in `mg-refactor` and the
 /// streaming write-out in `mg-core`.
+///
+/// Dimensionality is dispatched to specialized nested loops for 1–3 dims
+/// (mirroring [`for_each_level_offset`]; the generic path decodes a level
+/// index per node, which dominates class extraction in `bench_stream`
+/// profiles); higher dims fall back to
+/// [`for_each_class_offset_generic`], which visits the same offsets in
+/// the same order.
 pub fn for_each_class_offset(hier: &Hierarchy, k: usize, mut f: impl FnMut(usize)) {
+    assert!(k <= hier.nlevels(), "class {k} out of range");
+    let full = hier.finest();
+    if k == 0 {
+        let ld = hier.level_dims(0);
+        for_each_level_offset(full, &ld, |_, unpacked| f(unpacked));
+        return;
+    }
+    let ld = hier.level_dims(k);
+    let ls = ld.shape;
+    let fstr = full.strides();
+    // In every specialization below, a level node belongs to C_k iff its
+    // level index is odd along at least one decimating dimension; rows
+    // whose outer indices already qualify take the dense inner loop, the
+    // rest visit only the odd inner positions.
+    match full.ndim() {
+        1 => {
+            let n0 = ls.dim(Axis(0));
+            let s0 = ld.step[0] * fstr[0];
+            if hier.decimates(k, Axis(0)) {
+                let mut i = 1;
+                while i < n0 {
+                    f(i * s0);
+                    i += 2;
+                }
+            }
+        }
+        2 => {
+            let (n0, n1) = (ls.dim(Axis(0)), ls.dim(Axis(1)));
+            let s0 = ld.step[0] * fstr[0];
+            let s1 = ld.step[1] * fstr[1];
+            let d0 = hier.decimates(k, Axis(0));
+            let d1 = hier.decimates(k, Axis(1));
+            for i in 0..n0 {
+                let row = i * s0;
+                if d0 && i % 2 == 1 {
+                    for j in 0..n1 {
+                        f(row + j * s1);
+                    }
+                } else if d1 {
+                    let mut j = 1;
+                    while j < n1 {
+                        f(row + j * s1);
+                        j += 2;
+                    }
+                }
+            }
+        }
+        3 => {
+            let (n0, n1, n2) = (ls.dim(Axis(0)), ls.dim(Axis(1)), ls.dim(Axis(2)));
+            let s0 = ld.step[0] * fstr[0];
+            let s1 = ld.step[1] * fstr[1];
+            let s2 = ld.step[2] * fstr[2];
+            let d0 = hier.decimates(k, Axis(0));
+            let d1 = hier.decimates(k, Axis(1));
+            let d2 = hier.decimates(k, Axis(2));
+            for i in 0..n0 {
+                let plane = i * s0;
+                let i_odd = d0 && i % 2 == 1;
+                for j in 0..n1 {
+                    let row = plane + j * s1;
+                    if i_odd || (d1 && j % 2 == 1) {
+                        for m in 0..n2 {
+                            f(row + m * s2);
+                        }
+                    } else if d2 {
+                        let mut m = 1;
+                        while m < n2 {
+                            f(row + m * s2);
+                            m += 2;
+                        }
+                    }
+                }
+            }
+        }
+        _ => for_each_class_offset_generic(hier, k, f),
+    }
+}
+
+/// Generic (any-dimensional) implementation of [`for_each_class_offset`]:
+/// decodes the level index of every node to test class membership. Public
+/// so tests can pin the specialized paths against it.
+pub fn for_each_class_offset_generic(hier: &Hierarchy, k: usize, mut f: impl FnMut(usize)) {
     assert!(k <= hier.nlevels(), "class {k} out of range");
     let full = hier.finest();
     if k == 0 {
@@ -230,6 +319,35 @@ mod tests {
             let mut out = a.clone();
             unpack_level(out.as_mut_slice(), shape, &ld, &packed);
             assert_eq!(out, a, "level {l}");
+        }
+    }
+
+    #[test]
+    fn specialized_class_offsets_match_generic_path() {
+        // The 1-D/2-D/3-D fast paths must visit exactly the offsets the
+        // generic index-decoding path visits, in the same order — including
+        // shapes with mixed per-dimension levels where some dimensions have
+        // bottomed out (and so stop decimating).
+        for shape in [
+            Shape::d1(2),
+            Shape::d1(33),
+            Shape::d2(2, 2),
+            Shape::d2(9, 9),
+            Shape::d2(5, 17),
+            Shape::d2(33, 3),
+            Shape::d3(2, 2, 2),
+            Shape::d3(5, 5, 9),
+            Shape::d3(17, 3, 5),
+            Shape::d3(3, 9, 2),
+        ] {
+            let h = Hierarchy::new(shape).unwrap();
+            for k in 0..=h.nlevels() {
+                let mut fast = Vec::new();
+                for_each_class_offset(&h, k, |off| fast.push(off));
+                let mut generic = Vec::new();
+                for_each_class_offset_generic(&h, k, |off| generic.push(off));
+                assert_eq!(fast, generic, "{shape:?} class {k}");
+            }
         }
     }
 

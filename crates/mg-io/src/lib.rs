@@ -21,5 +21,5 @@ pub use adios::{IoCost, ParallelIo};
 pub use insitu::{InSituLoop, Timeline};
 pub use placement::{plan_placement, Placement};
 pub use stream::{read_stream, StreamSink, STREAM_MAGIC};
-pub use tiers::StorageTier;
+pub use tiers::{transfer_costs, StorageTier, TransferCost};
 pub use workflow::{VizWorkflow, WorkflowCost};

@@ -66,6 +66,18 @@ impl StorageTier {
         }
     }
 
+    /// The standard tier ladder, fastest first — the tiers a served
+    /// response is modeled against when `mg-serve` reports how long a
+    /// payload would take to move out of each storage/network layer.
+    pub fn standard_ladder() -> Vec<StorageTier> {
+        vec![
+            StorageTier::nvme_burst_buffer(),
+            StorageTier::parallel_fs(),
+            StorageTier::wan(),
+            StorageTier::archive(),
+        ]
+    }
+
     /// Effective bandwidth for `clients` parallel processes.
     pub fn effective_bw(&self, clients: usize) -> f64 {
         (self.per_client_bw * clients.max(1) as f64).min(self.aggregate_bw)
@@ -77,9 +89,41 @@ impl StorageTier {
     }
 }
 
+/// Modeled time to move one payload across a tier (one row of the
+/// per-response transfer report `mg-serve` attaches to every fetch).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TransferCost {
+    /// Tier name.
+    pub tier: String,
+    /// Modeled transfer time, seconds.
+    pub seconds: f64,
+}
+
+/// Model moving `bytes` through every tier of the standard ladder with
+/// `clients` parallel readers, fastest tier first.
+pub fn transfer_costs(bytes: u64, clients: usize) -> Vec<TransferCost> {
+    StorageTier::standard_ladder()
+        .into_iter()
+        .map(|t| TransferCost {
+            seconds: t.transfer_time(bytes, clients),
+            tier: t.name.to_string(),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn transfer_report_covers_the_ladder_in_speed_order() {
+        let costs = transfer_costs(1 << 30, 1);
+        assert_eq!(costs.len(), StorageTier::standard_ladder().len());
+        assert_eq!(costs[0].tier, "NVMe burst buffer");
+        for w in costs.windows(2) {
+            assert!(w[0].seconds < w[1].seconds, "{costs:?}");
+        }
+    }
 
     #[test]
     fn tiers_are_ordered_by_speed() {

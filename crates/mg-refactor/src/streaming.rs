@@ -26,13 +26,17 @@ enum State {
 /// Feed bytes with [`StreamingDecoder::push`]; inspect progress with
 /// [`StreamingDecoder::classes_ready`]; take a (zero-filled beyond the
 /// ready prefix) [`Refactored`] snapshot at any time with
-/// [`StreamingDecoder::snapshot`].
+/// [`StreamingDecoder::snapshot`], or move completed classes out one at a
+/// time with [`StreamingDecoder::take_class`] so a tier-by-tier consumer
+/// (e.g. `mg_core::recompose_streaming`) never holds the whole payload.
 pub struct StreamingDecoder<T> {
     buf: Vec<u8>,
     state: State,
     hier: Option<Hierarchy>,
     stored: usize,
-    classes: Vec<Vec<T>>,
+    /// Completed classes, coarsest first; `None` marks a class moved out
+    /// via [`StreamingDecoder::take_class`].
+    classes: Vec<Option<Vec<T>>>,
 }
 
 impl<T: Real> Default for StreamingDecoder<T> {
@@ -53,9 +57,24 @@ impl<T: Real> StreamingDecoder<T> {
         }
     }
 
-    /// Number of classes fully received so far.
+    /// Number of classes fully received so far (including any already
+    /// moved out with [`StreamingDecoder::take_class`]).
     pub fn classes_ready(&self) -> usize {
         self.classes.len()
+    }
+
+    /// Number of classes the payload header advertises, once it has been
+    /// parsed. Prefix payloads advertise fewer than `L + 1` classes.
+    pub fn classes_stored(&self) -> Option<usize> {
+        self.hier.as_ref().map(|_| self.stored)
+    }
+
+    /// Move a completed class's values out of the decoder (freeing its
+    /// memory), or `None` if the class has not fully arrived — or was
+    /// already taken. Taken classes appear zero-filled in
+    /// [`StreamingDecoder::snapshot`].
+    pub fn take_class(&mut self, k: usize) -> Option<Vec<T>> {
+        self.classes.get_mut(k)?.take()
     }
 
     /// Whether every advertised class has arrived.
@@ -169,7 +188,7 @@ impl<T: Real> StreamingDecoder<T> {
                         vals.push(v);
                     }
                     self.buf.drain(..need);
-                    self.classes.push(vals);
+                    self.classes.push(Some(vals));
                     self.state = State::ClassLen { class: class + 1 };
                 }
                 State::Done => break,
@@ -178,7 +197,8 @@ impl<T: Real> StreamingDecoder<T> {
         Ok(self.classes.len())
     }
 
-    /// Current best representation: ready classes as-is, the rest
+    /// Current best representation: ready classes as-is, the rest (and any
+    /// classes moved out via [`StreamingDecoder::take_class`])
     /// zero-filled. `None` until the header has arrived.
     pub fn snapshot(&self) -> Option<Refactored<T>> {
         let hier = self.hier.as_ref()?;
@@ -189,10 +209,9 @@ impl<T: Real> StreamingDecoder<T> {
             } else {
                 hier.class_len(k)
             };
-            if k < self.classes.len() {
-                classes.push(self.classes[k].clone());
-            } else {
-                classes.push(vec![T::ZERO; expect]);
+            match self.classes.get(k) {
+                Some(Some(c)) => classes.push(c.clone()),
+                _ => classes.push(vec![T::ZERO; expect]),
             }
         }
         Some(Refactored::from_classes(hier.clone(), classes))
@@ -261,6 +280,40 @@ mod tests {
         let approx = reconstruct_prefix(&snap, snap.num_classes(), &mut r);
         // A valid (lossy) approximation, not garbage.
         assert!(approx.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn take_class_moves_classes_out_incrementally() {
+        let (bytes, _, refac) = payload();
+        let mut dec = StreamingDecoder::<f64>::new();
+        let mut taken = 0usize;
+        for chunk in bytes.chunks(7) {
+            dec.push(chunk).unwrap();
+            // Drain every class the moment it completes.
+            while taken < dec.classes_ready() {
+                let vals = dec.take_class(taken).expect("ready class");
+                assert_eq!(vals.as_slice(), refac.class(taken), "class {taken}");
+                taken += 1;
+            }
+        }
+        assert_eq!(taken, refac.num_classes());
+        assert_eq!(dec.classes_stored(), Some(refac.num_classes()));
+        // A second take returns None; the snapshot zero-fills taken classes.
+        assert!(dec.take_class(0).is_none());
+        let snap = dec.snapshot().unwrap();
+        assert!(snap.class(0).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn classes_stored_reports_prefix_headers() {
+        let (_, _, refac) = payload();
+        let bytes = crate::serialize::encode_prefix(&refac, 2);
+        let mut dec = StreamingDecoder::<f64>::new();
+        assert_eq!(dec.classes_stored(), None);
+        dec.push(&bytes).unwrap();
+        assert_eq!(dec.classes_stored(), Some(2));
+        assert!(dec.is_complete());
+        assert_eq!(dec.classes_ready(), 2);
     }
 
     #[test]

@@ -1,0 +1,355 @@
+//! The in-memory dataset catalog and the encoded-prefix LRU cache.
+
+use bytes::Bytes;
+use mg_grid::hierarchy::NotDyadic;
+use mg_grid::NdArray;
+use mg_refactor::error::{class_norms, LINF_INDICATOR_KAPPA};
+use mg_refactor::progressive::classes_for_budget;
+use mg_refactor::serialize::encode_prefix;
+use mg_refactor::Refactored;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Monotonic dataset generation counter: cache keys embed it so replacing
+/// a dataset under the same name can never serve stale cached prefixes.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+
+/// One refactored dataset, ready to answer prefix-selection queries from
+/// precomputed per-class norms (no payload scan per request).
+pub struct Dataset {
+    refac: Refactored<f64>,
+    /// `suffix_ind[k]` = conservative L∞ indicator when serving classes
+    /// `0..k` (κ · Σ_{l >= k} ‖C_l‖∞); length `num_classes + 1`, last
+    /// entry 0.
+    suffix_ind: Vec<f64>,
+    generation: u64,
+}
+
+impl Dataset {
+    /// Refactor `data` (decompose + slice into classes) into a dataset.
+    pub fn from_array(data: &NdArray<f64>) -> Result<Self, NotDyadic> {
+        let mut r = mg_core::Refactorer::<f64>::new(data.shape())?;
+        let mut work = data.clone();
+        r.decompose(&mut work);
+        let hier = r.hierarchy().clone();
+        Ok(Self::from_refactored(Refactored::from_array(&work, &hier)))
+    }
+
+    /// Wrap an already-refactored dataset.
+    pub fn from_refactored(refac: Refactored<f64>) -> Self {
+        let norms = class_norms(&refac);
+        let n = refac.num_classes();
+        let mut suffix_ind = vec![0.0; n + 1];
+        for k in (0..n).rev() {
+            suffix_ind[k] = suffix_ind[k + 1] + norms[k].linf * LINF_INDICATOR_KAPPA;
+        }
+        Dataset {
+            refac,
+            suffix_ind,
+            generation: GENERATION.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// The refactored classes.
+    pub fn refactored(&self) -> &Refactored<f64> {
+        &self.refac
+    }
+
+    /// Number of coefficient classes (`L + 1`).
+    pub fn num_classes(&self) -> usize {
+        self.refac.num_classes()
+    }
+
+    /// Total payload bytes of the full dataset.
+    pub fn total_bytes(&self) -> usize {
+        self.refac.total_bytes()
+    }
+
+    /// Smallest prefix whose conservative L∞ indicator is `<= tau` (all
+    /// classes if the target is unreachable; mirrors
+    /// `mg_refactor::error::classes_for_accuracy`, but answered from the
+    /// precomputed suffix sums).
+    pub fn classes_for_tau(&self, tau: f64) -> usize {
+        let n = self.num_classes();
+        (1..n).find(|&k| self.suffix_ind[k] <= tau).unwrap_or(n)
+    }
+
+    /// Largest prefix whose payload fits `budget_bytes` (at least the
+    /// coarsest class).
+    pub fn classes_for_budget(&self, budget_bytes: usize) -> usize {
+        classes_for_budget(&self.refac, budget_bytes)
+    }
+
+    /// Conservative L∞ indicator for serving classes `0..count`.
+    pub fn indicator(&self, count: usize) -> f64 {
+        self.suffix_ind[count.min(self.num_classes())]
+    }
+}
+
+/// Shared, thread-safe map of named datasets. Cloning shares the
+/// underlying map, so datasets can be registered while a server built
+/// from a clone is live.
+#[derive(Clone, Default)]
+pub struct Catalog {
+    inner: Arc<RwLock<HashMap<String, Arc<Dataset>>>>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Refactor `data` and register it under `name` (replacing any
+    /// previous dataset of that name).
+    pub fn insert_array(&self, name: &str, data: &NdArray<f64>) -> Result<(), NotDyadic> {
+        let ds = Dataset::from_array(data)?;
+        self.insert(name, ds);
+        Ok(())
+    }
+
+    /// Register a prepared dataset under `name`.
+    pub fn insert(&self, name: &str, dataset: Dataset) {
+        self.inner
+            .write()
+            .expect("catalog lock")
+            .insert(name.to_string(), Arc::new(dataset));
+    }
+
+    /// Look up a dataset.
+    pub fn get(&self, name: &str) -> Option<Arc<Dataset>> {
+        self.inner.read().expect("catalog lock").get(name).cloned()
+    }
+
+    /// Number of datasets registered.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("catalog lock").len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .inner
+            .read()
+            .expect("catalog lock")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+/// Key of one cached encoded prefix: (dataset generation, class count).
+/// Same τ ⇒ same class count ⇒ same entry, so repeat requests at one τ
+/// skip re-encoding entirely.
+type CacheKey = (u64, usize);
+
+struct CacheInner {
+    /// Payload plus last-use stamp; recency is the stamp ordering, so a
+    /// hit is O(1) (no recency list to splice under the lock).
+    map: HashMap<CacheKey, (Bytes, u64)>,
+    clock: u64,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+}
+
+/// Byte-bounded LRU cache of encoded class prefixes.
+pub struct PrefixCache {
+    capacity_bytes: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl PrefixCache {
+    /// Cache bounded to `capacity_bytes` of payload (0 disables caching).
+    pub fn new(capacity_bytes: usize) -> Self {
+        PrefixCache {
+            capacity_bytes,
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                clock: 0,
+                bytes: 0,
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// The encoded `count`-class prefix of `dataset`, from cache when
+    /// warm. Returns `(payload, was_hit)`.
+    pub fn get_or_encode(&self, dataset: &Dataset, count: usize) -> (Bytes, bool) {
+        let key = (dataset.generation, count);
+        {
+            let mut inner = self.inner.lock().expect("cache lock");
+            inner.clock += 1;
+            let stamp = inner.clock;
+            if let Some((bytes, last_use)) = inner.map.get_mut(&key) {
+                *last_use = stamp;
+                let bytes = bytes.clone();
+                inner.hits += 1;
+                return (bytes, true);
+            }
+            inner.misses += 1;
+        }
+        // Encode outside the lock: concurrent misses may duplicate work,
+        // but never block each other on the (possibly large) encoding.
+        let bytes = encode_prefix(dataset.refactored(), count);
+        let mut inner = self.inner.lock().expect("cache lock");
+        if self.capacity_bytes > 0 && !inner.map.contains_key(&key) {
+            inner.clock += 1;
+            let stamp = inner.clock;
+            inner.bytes += bytes.len();
+            inner.map.insert(key, (bytes.clone(), stamp));
+            // Evict least-recently-used entries down to the budget (or
+            // the single-entry floor). Eviction scans the map, but only
+            // runs on over-budget inserts — the hit path stays O(1).
+            while inner.bytes > self.capacity_bytes && inner.map.len() > 1 {
+                let evict = inner
+                    .map
+                    .iter()
+                    .min_by_key(|(_, (_, last_use))| *last_use)
+                    .map(|(k, _)| *k)
+                    .expect("non-empty");
+                if let Some((old, _)) = inner.map.remove(&evict) {
+                    inner.bytes -= old.len();
+                }
+            }
+        }
+        (bytes, false)
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn counters(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("cache lock");
+        (inner.hits, inner.misses)
+    }
+
+    /// Bytes currently cached.
+    pub fn cached_bytes(&self) -> usize {
+        self.inner.lock().expect("cache lock").bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_grid::Shape;
+
+    fn field(shape: Shape) -> NdArray<f64> {
+        NdArray::from_fn(shape, |i| {
+            ((i.iter().sum::<usize>() * 29) % 83) as f64 * 0.05 - 2.0
+        })
+    }
+
+    #[test]
+    fn tau_selection_matches_reference_implementation() {
+        let ds = Dataset::from_array(&field(Shape::d2(33, 33))).unwrap();
+        for tau in [0.0, 1e-9, 1e-4, 1e-2, 0.5, 10.0, 1e9] {
+            assert_eq!(
+                ds.classes_for_tau(tau),
+                mg_refactor::error::classes_for_accuracy(ds.refactored(), tau),
+                "tau = {tau}"
+            );
+        }
+        assert_eq!(ds.classes_for_tau(0.0), ds.num_classes());
+        assert_eq!(ds.classes_for_tau(f64::INFINITY), 1);
+    }
+
+    #[test]
+    fn indicator_matches_reference() {
+        let ds = Dataset::from_array(&field(Shape::d2(17, 17))).unwrap();
+        for k in 1..=ds.num_classes() {
+            let reference = mg_refactor::error::linf_indicator(ds.refactored(), k);
+            assert!((ds.indicator(k) - reference).abs() <= 1e-12 * (1.0 + reference));
+        }
+    }
+
+    #[test]
+    fn catalog_insert_get_replace() {
+        let cat = Catalog::new();
+        assert!(cat.is_empty());
+        cat.insert_array("a", &field(Shape::d2(9, 9))).unwrap();
+        cat.insert_array("b", &field(Shape::d1(17))).unwrap();
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.names(), vec!["a".to_string(), "b".to_string()]);
+        let gen_before = cat.get("a").unwrap().generation;
+        cat.insert_array("a", &field(Shape::d2(9, 9))).unwrap();
+        assert_ne!(cat.get("a").unwrap().generation, gen_before);
+        assert!(cat.get("missing").is_none());
+        assert!(cat
+            .insert_array("bad", &NdArray::zeros(Shape::d1(6)))
+            .is_err());
+    }
+
+    #[test]
+    fn cache_hits_skip_reencoding() {
+        let ds = Dataset::from_array(&field(Shape::d2(17, 17))).unwrap();
+        let cache = PrefixCache::new(1 << 20);
+        let (a, hit) = cache.get_or_encode(&ds, 2);
+        assert!(!hit);
+        let (b, hit) = cache.get_or_encode(&ds, 2);
+        assert!(hit);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_eq!(cache.counters(), (1, 1));
+        // The cached prefix is byte-for-byte the direct encoding.
+        assert_eq!(
+            a.as_slice(),
+            encode_prefix(ds.refactored(), 2).as_slice(),
+            "cache must be transparent"
+        );
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_budget() {
+        let ds = Dataset::from_array(&field(Shape::d2(17, 17))).unwrap();
+        // Small budget: only the smallest prefixes can coexist.
+        let small = encode_prefix(ds.refactored(), 1).len();
+        let cache = PrefixCache::new(3 * small);
+        for count in 1..=ds.num_classes() {
+            let _ = cache.get_or_encode(&ds, count);
+        }
+        // Over-budget entries were evicted down to the single-entry floor.
+        let full = encode_prefix(ds.refactored(), ds.num_classes()).len();
+        assert!(
+            cache.cached_bytes() <= (3 * small).max(full),
+            "{} bytes cached",
+            cache.cached_bytes()
+        );
+        // The most recently inserted entry survives; the first was evicted.
+        let (_, hit) = cache.get_or_encode(&ds, ds.num_classes());
+        assert!(hit, "most recent entry must survive");
+        let (_, hit) = cache.get_or_encode(&ds, 1);
+        assert!(!hit, "LRU entry must have been evicted");
+    }
+
+    #[test]
+    fn generation_keys_prevent_stale_hits_after_replace() {
+        let cache = PrefixCache::new(1 << 20);
+        let cat = Catalog::new();
+        cat.insert_array("x", &field(Shape::d2(9, 9))).unwrap();
+        let first = cat.get("x").unwrap();
+        let (_, hit) = cache.get_or_encode(&first, 1);
+        assert!(!hit);
+        cat.insert_array("x", &field(Shape::d2(9, 9))).unwrap();
+        let second = cat.get("x").unwrap();
+        let (_, hit) = cache.get_or_encode(&second, 1);
+        assert!(!hit, "replaced dataset must not hit the old entry");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let ds = Dataset::from_array(&field(Shape::d1(9))).unwrap();
+        let cache = PrefixCache::new(0);
+        let (_, hit) = cache.get_or_encode(&ds, 1);
+        let (_, hit2) = cache.get_or_encode(&ds, 1);
+        assert!(!hit && !hit2);
+        assert_eq!(cache.cached_bytes(), 0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Blocking client: fetch a class prefix and decode it *as it arrives*.
+//!
+//! The fetch payload is the `mg-refactor` batch wire format, streamed over
+//! the socket. The client feeds every received chunk straight into a
+//! [`StreamingDecoder`], so coefficient classes become usable the moment
+//! their last byte lands — the [`FetchResult::progress`] log records
+//! exactly when each class completed, which is what "progressive
+//! retrieval" means on the consumer side: reconstruct coarse first,
+//! refine as later tiers arrive.
+
+use crate::protocol::{self, FetchHeader, Request, Response, StatsReport};
+use mg_io::TransferCost;
+use mg_refactor::streaming::StreamingDecoder;
+use mg_refactor::Refactored;
+use std::io::{self, Read};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Socket read chunk size; small enough that multi-class payloads take
+/// several reads (exercising true incremental decode), large enough to
+/// amortize syscalls.
+const CHUNK: usize = 16 * 1024;
+
+/// One entry of the progressive-decode log: after `bytes` payload bytes,
+/// `classes_ready` classes were fully decoded.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FetchProgress {
+    /// Payload bytes consumed so far.
+    pub bytes: usize,
+    /// Classes fully decoded at that point.
+    pub classes_ready: usize,
+}
+
+/// A completed fetch.
+#[derive(Debug)]
+pub struct FetchResult {
+    /// The fetched prefix as refactored classes (classes beyond the
+    /// prefix zero-filled), ready for `reconstruct_prefix`.
+    pub refac: Refactored<f64>,
+    /// The raw payload, byte-for-byte as served (bitwise identical to a
+    /// local `encode_prefix` at [`FetchResult::classes_sent`]).
+    pub raw: Vec<u8>,
+    /// Classes in the payload.
+    pub classes_sent: usize,
+    /// Classes the full dataset holds.
+    pub total_classes: usize,
+    /// Server-side conservative L∞ indicator for this prefix.
+    pub indicator_linf: f64,
+    /// Whether the server answered from its prefix cache.
+    pub cache_hit: bool,
+    /// Modeled transfer cost of this payload across the storage ladder.
+    pub tiers: Vec<TransferCost>,
+    /// Class-completion log (one entry per newly completed class).
+    pub progress: Vec<FetchProgress>,
+}
+
+fn server_error(kind: io::ErrorKind, msg: String) -> io::Error {
+    io::Error::new(kind, msg)
+}
+
+fn connect(addr: impl ToSocketAddrs) -> io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}
+
+fn fetch(addr: impl ToSocketAddrs, req: &Request) -> io::Result<FetchResult> {
+    let mut stream = connect(addr)?;
+    protocol::write_request(&mut stream, req)?;
+    let header = match protocol::read_response(&mut stream)? {
+        Response::Fetch(h) => h,
+        Response::NotFound(msg) => return Err(server_error(io::ErrorKind::NotFound, msg)),
+        Response::BadRequest(msg) => return Err(server_error(io::ErrorKind::InvalidInput, msg)),
+        other => {
+            return Err(server_error(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response {other:?}"),
+            ))
+        }
+    };
+    read_payload(&mut stream, header)
+}
+
+/// Drain `header.payload_len` bytes, decoding incrementally.
+fn read_payload(stream: &mut TcpStream, header: FetchHeader) -> io::Result<FetchResult> {
+    let total = header.payload_len as usize;
+    let mut raw = Vec::with_capacity(total);
+    let mut decoder = StreamingDecoder::<f64>::new();
+    let mut progress = Vec::new();
+    let mut ready = 0usize;
+    let mut chunk = vec![0u8; CHUNK];
+    while raw.len() < total {
+        let want = CHUNK.min(total - raw.len());
+        let n = stream.read(&mut chunk[..want])?;
+        if n == 0 {
+            return Err(server_error(
+                io::ErrorKind::UnexpectedEof,
+                format!("payload truncated at {} of {total} bytes", raw.len()),
+            ));
+        }
+        raw.extend_from_slice(&chunk[..n]);
+        let now_ready = decoder
+            .push(&chunk[..n])
+            .map_err(|e| server_error(io::ErrorKind::InvalidData, e.to_string()))?;
+        // One log entry per newly completed class, so consumers can see
+        // refinement points even when a chunk completes several classes.
+        while ready < now_ready {
+            ready += 1;
+            progress.push(FetchProgress {
+                bytes: raw.len(),
+                classes_ready: ready,
+            });
+        }
+    }
+    if !decoder.is_complete() || ready != header.classes_sent as usize {
+        return Err(server_error(
+            io::ErrorKind::InvalidData,
+            format!(
+                "payload ended with {ready} classes decoded, header promised {}",
+                header.classes_sent
+            ),
+        ));
+    }
+    let refac = decoder
+        .snapshot()
+        .ok_or_else(|| server_error(io::ErrorKind::InvalidData, "empty payload".to_string()))?;
+    Ok(FetchResult {
+        refac,
+        raw,
+        classes_sent: header.classes_sent as usize,
+        total_classes: header.total_classes as usize,
+        indicator_linf: header.indicator_linf,
+        cache_hit: header.cache_hit,
+        tiers: header.tiers,
+        progress,
+    })
+}
+
+/// Fetch the smallest class prefix of `dataset` whose conservative L∞
+/// indicator is `<= tau` (`tau = 0.0` fetches every class).
+pub fn fetch_tau(addr: impl ToSocketAddrs, dataset: &str, tau: f64) -> io::Result<FetchResult> {
+    fetch(
+        addr,
+        &Request::FetchTau {
+            dataset: dataset.to_string(),
+            tau,
+        },
+    )
+}
+
+/// Fetch the largest class prefix of `dataset` that fits `budget_bytes`
+/// of payload.
+pub fn fetch_budget(
+    addr: impl ToSocketAddrs,
+    dataset: &str,
+    budget_bytes: u64,
+) -> io::Result<FetchResult> {
+    fetch(
+        addr,
+        &Request::FetchBudget {
+            dataset: dataset.to_string(),
+            budget_bytes,
+        },
+    )
+}
+
+/// Fetch the server's counters.
+pub fn stats(addr: impl ToSocketAddrs) -> io::Result<StatsReport> {
+    let mut stream = connect(addr)?;
+    protocol::write_request(&mut stream, &Request::Stats)?;
+    match protocol::read_response(&mut stream)? {
+        Response::Stats(report) => Ok(report),
+        other => Err(server_error(
+            io::ErrorKind::InvalidData,
+            format!("unexpected response {other:?}"),
+        )),
+    }
+}
+
+/// Ask the server to shut down gracefully; returns once acknowledged.
+pub fn shutdown(addr: impl ToSocketAddrs) -> io::Result<()> {
+    let mut stream = connect(addr)?;
+    protocol::write_request(&mut stream, &Request::Shutdown)?;
+    match protocol::read_response(&mut stream)? {
+        Response::ShuttingDown => Ok(()),
+        other => Err(server_error(
+            io::ErrorKind::InvalidData,
+            format!("unexpected response {other:?}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Catalog, Server, ServerConfig};
+    use mg_grid::{NdArray, Shape};
+
+    #[test]
+    fn progressive_decode_sees_classes_before_the_payload_ends() {
+        // A payload much larger than one read chunk, so classes complete
+        // across many socket reads.
+        let shape = Shape::d2(129, 129);
+        let data = NdArray::from_fn(shape, |i| {
+            (i[0] as f64 * 0.11).sin() * (i[1] as f64 * 0.07).cos()
+        });
+        let cat = Catalog::new();
+        cat.insert_array("big", &data).unwrap();
+        let server = Server::bind("127.0.0.1:0", cat, ServerConfig::default()).unwrap();
+        let got = fetch_tau(server.local_addr(), "big", 0.0).unwrap();
+        server.shutdown().unwrap();
+
+        assert_eq!(got.classes_sent, got.total_classes);
+        assert_eq!(got.progress.len(), got.classes_sent);
+        // Progress is monotone in both coordinates…
+        for w in got.progress.windows(2) {
+            assert!(w[0].bytes <= w[1].bytes);
+            assert_eq!(w[0].classes_ready + 1, w[1].classes_ready);
+        }
+        // …and at least one class was usable before the last byte: the
+        // coarse prefix occupies a tiny fraction of a 129² payload.
+        let first = got.progress.first().unwrap();
+        assert!(
+            first.bytes < got.raw.len() / 2,
+            "first class complete at {} of {} bytes",
+            first.bytes,
+            got.raw.len()
+        );
+    }
+
+    #[test]
+    fn budget_fetches_respect_the_byte_budget() {
+        let shape = Shape::d2(33, 33);
+        let data = NdArray::from_fn(shape, |i| (i[0] * 3 + i[1]) as f64 * 0.01);
+        let cat = Catalog::new();
+        cat.insert_array("d", &data).unwrap();
+        let total = cat.get("d").unwrap().total_bytes();
+        let server = Server::bind("127.0.0.1:0", cat, ServerConfig::default()).unwrap();
+        let addr = server.local_addr();
+
+        let half = fetch_budget(addr, "d", (total / 2) as u64).unwrap();
+        assert!(half.classes_sent < half.total_classes);
+        assert!(half.refac.prefix_bytes(half.classes_sent) <= total / 2 || half.classes_sent == 1);
+        let all = fetch_budget(addr, "d", total as u64).unwrap();
+        assert_eq!(all.classes_sent, all.total_classes);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn tier_costs_ride_along() {
+        let cat = Catalog::new();
+        cat.insert_array("d", &NdArray::from_fn(Shape::d1(33), |i| i[0] as f64))
+            .unwrap();
+        let server = Server::bind("127.0.0.1:0", cat, ServerConfig::default()).unwrap();
+        let got = fetch_tau(server.local_addr(), "d", 0.0).unwrap();
+        server.shutdown().unwrap();
+        let expect = mg_io::transfer_costs(got.raw.len() as u64, 1);
+        assert_eq!(got.tiers, expect);
+    }
+}

@@ -1,0 +1,50 @@
+//! Progressive-retrieval service for refactored data.
+//!
+//! The whole point of multigrid refactoring is that a consumer can fetch
+//! *just enough* coefficient classes to meet an error bound (paper Fig. 1:
+//! classes flow over networks and tiered storage, most-important first).
+//! This crate turns that property into an actual multi-client service:
+//!
+//! * [`Catalog`] — datasets refactored into coefficient classes, held in
+//!   memory with their per-class norms, ready to answer "how many classes
+//!   do I need for L∞ ≤ τ?" without touching the payload;
+//! * [`Server`] — a std-only TCP server with a fixed worker pool that
+//!   answers progressive-retrieval requests *(dataset, τ | byte budget)*
+//!   by streaming the minimal class prefix, with a per-dataset
+//!   encoded-prefix LRU cache, request/byte/latency stats, and graceful
+//!   shutdown;
+//! * [`client`] — a blocking client that drives
+//!   `mg_refactor::StreamingDecoder` as bytes arrive, so callers can
+//!   reconstruct incrementally tier by tier;
+//! * [`protocol`] — the small length-prefixed wire protocol between them.
+//!
+//! Every response also carries the modeled transfer cost of its payload
+//! across the [`mg_io::tiers`] standard ladder, connecting the live
+//! byte counts back to the paper's storage-tier analysis.
+//!
+//! ```no_run
+//! use mg_grid::{NdArray, Shape};
+//! use mg_serve::{client, Catalog, Server, ServerConfig};
+//!
+//! let catalog = Catalog::new();
+//! let shape = Shape::d2(65, 65);
+//! let data = NdArray::from_fn(shape, |i| (i[0] as f64 * 0.17).sin() + i[1] as f64 * 0.01);
+//! catalog.insert_array("demo", &data).unwrap();
+//!
+//! let server = Server::bind("127.0.0.1:0", catalog, ServerConfig::default()).unwrap();
+//! let addr = server.local_addr();
+//!
+//! let fetched = client::fetch_tau(addr, "demo", 1e-3).unwrap();
+//! assert!(fetched.classes_sent <= fetched.total_classes);
+//! server.shutdown().unwrap();
+//! ```
+
+pub mod catalog;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use catalog::{Catalog, Dataset};
+pub use client::{FetchProgress, FetchResult};
+pub use protocol::{Request, StatsReport};
+pub use server::{Server, ServerConfig, ServerStats};

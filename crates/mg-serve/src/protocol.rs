@@ -1,0 +1,477 @@
+//! The length-prefixed wire protocol between `mg-serve` clients and
+//! servers.
+//!
+//! One request, one response, one connection (HTTP/1.0 style — trivially
+//! robust under a worker pool). All integers are little-endian.
+//!
+//! ```text
+//! request:  magic u32 "MGRQ" | version u16 | op u8
+//!           op 0 (fetch, τ):      name_len u16 | name | tau f64
+//!           op 1 (fetch, budget): name_len u16 | name | budget u64
+//!           op 2 (stats):         —
+//!           op 3 (shutdown):      —
+//!
+//! response: magic u32 "MGRP" | version u16 | status u8
+//!           status 0 (fetch ok):  classes_sent u32 | total_classes u32
+//!                                 | indicator_linf f64 | cache_hit u8
+//!                                 | payload_len u64
+//!                                 | ntiers u8 × { name_len u16 | name
+//!                                               | seconds f64 }
+//!                                 | payload (mg-refactor batch format)
+//!           status 1 (not found) / 2 (bad request): msg_len u16 | msg
+//!           status 3 (stats):     StatsReport fields (see below)
+//!           status 4 (shutdown):  —
+//! ```
+//!
+//! The fetch payload is byte-for-byte the output of
+//! `mg_refactor::serialize::encode_prefix` at the class count the server
+//! selected, so a client can verify integrity against a local encoding and
+//! feed the bytes straight into `mg_refactor::StreamingDecoder` — classes
+//! are usable the moment their last byte arrives.
+
+use mg_io::TransferCost;
+use std::io::{self, Read, Write};
+
+/// Request magic (`"MGRQ"`).
+pub const REQUEST_MAGIC: u32 = u32::from_le_bytes(*b"MGRQ");
+/// Response magic (`"MGRP"`).
+pub const RESPONSE_MAGIC: u32 = u32::from_le_bytes(*b"MGRP");
+/// Protocol version spoken by this crate.
+pub const PROTOCOL_VERSION: u16 = 1;
+/// Upper bound on dataset-name length (also bounds error messages).
+pub const MAX_NAME_LEN: usize = 4096;
+
+/// One client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Fetch the smallest class prefix whose conservative L∞ indicator is
+    /// at or below `tau` (0.0 fetches every class).
+    FetchTau {
+        /// Dataset name in the server catalog.
+        dataset: String,
+        /// Target L∞ error bound.
+        tau: f64,
+    },
+    /// Fetch the largest class prefix whose payload fits `budget_bytes`
+    /// (always at least the coarsest class).
+    FetchBudget {
+        /// Dataset name in the server catalog.
+        dataset: String,
+        /// Payload byte budget.
+        budget_bytes: u64,
+    },
+    /// Ask for the server's request/byte/latency counters.
+    Stats,
+    /// Ask the server to shut down gracefully (drain, then exit).
+    Shutdown,
+}
+
+/// Header of a successful fetch response; `payload_len` bytes follow.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FetchHeader {
+    /// Classes in the payload (the minimal prefix for the request).
+    pub classes_sent: u32,
+    /// Classes the full dataset holds.
+    pub total_classes: u32,
+    /// Conservative L∞ indicator of the served prefix (what the
+    /// reconstruction error is guaranteed to stay below).
+    pub indicator_linf: f64,
+    /// Whether the encoded prefix came out of the server's LRU cache.
+    pub cache_hit: bool,
+    /// Payload length in bytes.
+    pub payload_len: u64,
+    /// Modeled transfer cost of the payload across the standard storage
+    /// ladder (fastest tier first).
+    pub tiers: Vec<TransferCost>,
+}
+
+/// Server counters, as reported over the wire.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsReport {
+    /// Total requests handled (any op).
+    pub requests: u64,
+    /// Successful fetches.
+    pub fetches: u64,
+    /// Fetches for unknown datasets.
+    pub not_found: u64,
+    /// Malformed requests.
+    pub bad_requests: u64,
+    /// Payload bytes served.
+    pub payload_bytes: u64,
+    /// Prefix-cache hits.
+    pub cache_hits: u64,
+    /// Prefix-cache misses (encodes performed).
+    pub cache_misses: u64,
+    /// Mean request latency, microseconds.
+    pub mean_latency_us: u64,
+    /// Datasets currently in the catalog.
+    pub datasets: u32,
+}
+
+/// One server response header (fetch payload bytes follow separately).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Fetch accepted; `payload_len` bytes follow this header.
+    Fetch(FetchHeader),
+    /// Dataset not in the catalog.
+    NotFound(String),
+    /// Request malformed or unsatisfiable.
+    BadRequest(String),
+    /// Stats snapshot.
+    Stats(StatsReport),
+    /// Shutdown acknowledged; the server drains and exits.
+    ShuttingDown,
+}
+
+// --- primitive helpers ------------------------------------------------
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn read_array<const N: usize>(r: &mut impl Read) -> io::Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn read_u8(r: &mut impl Read) -> io::Result<u8> {
+    Ok(read_array::<1>(r)?[0])
+}
+
+fn read_u16(r: &mut impl Read) -> io::Result<u16> {
+    Ok(u16::from_le_bytes(read_array(r)?))
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    Ok(u32::from_le_bytes(read_array(r)?))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    Ok(u64::from_le_bytes(read_array(r)?))
+}
+
+fn read_f64(r: &mut impl Read) -> io::Result<f64> {
+    Ok(f64::from_le_bytes(read_array(r)?))
+}
+
+fn read_string(r: &mut impl Read) -> io::Result<String> {
+    let len = read_u16(r)? as usize;
+    if len > MAX_NAME_LEN {
+        return Err(bad_data(format!("string length {len} exceeds cap")));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| bad_data("string is not UTF-8"))
+}
+
+fn put_string(buf: &mut Vec<u8>, s: &str) -> io::Result<()> {
+    if s.len() > MAX_NAME_LEN {
+        return Err(bad_data(format!("string length {} exceeds cap", s.len())));
+    }
+    buf.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+/// Truncate to at most [`MAX_NAME_LEN`] bytes on a char boundary, so an
+/// error response always fits the wire format (a client must never be
+/// left with a closed connection instead of the error it asked about).
+fn truncate_msg(msg: &str) -> &str {
+    if msg.len() <= MAX_NAME_LEN {
+        return msg;
+    }
+    let mut end = MAX_NAME_LEN;
+    while !msg.is_char_boundary(end) {
+        end -= 1;
+    }
+    &msg[..end]
+}
+
+fn check_envelope(r: &mut impl Read, magic: u32, what: &str) -> io::Result<()> {
+    let got = read_u32(r)?;
+    if got != magic {
+        return Err(bad_data(format!("bad {what} magic 0x{got:08X}")));
+    }
+    let version = read_u16(r)?;
+    if version != PROTOCOL_VERSION {
+        return Err(bad_data(format!("unsupported {what} version {version}")));
+    }
+    Ok(())
+}
+
+// --- requests ---------------------------------------------------------
+
+/// Serialize and send one request.
+pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(64);
+    buf.extend_from_slice(&REQUEST_MAGIC.to_le_bytes());
+    buf.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    match req {
+        Request::FetchTau { dataset, tau } => {
+            buf.push(0);
+            put_string(&mut buf, dataset)?;
+            buf.extend_from_slice(&tau.to_le_bytes());
+        }
+        Request::FetchBudget {
+            dataset,
+            budget_bytes,
+        } => {
+            buf.push(1);
+            put_string(&mut buf, dataset)?;
+            buf.extend_from_slice(&budget_bytes.to_le_bytes());
+        }
+        Request::Stats => buf.push(2),
+        Request::Shutdown => buf.push(3),
+    }
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Read and validate one request.
+pub fn read_request(r: &mut impl Read) -> io::Result<Request> {
+    check_envelope(r, REQUEST_MAGIC, "request")?;
+    match read_u8(r)? {
+        0 => {
+            let dataset = read_string(r)?;
+            let tau = read_f64(r)?;
+            if !tau.is_finite() || tau < 0.0 {
+                return Err(bad_data(format!("tau {tau} must be finite and >= 0")));
+            }
+            Ok(Request::FetchTau { dataset, tau })
+        }
+        1 => Ok(Request::FetchBudget {
+            dataset: read_string(r)?,
+            budget_bytes: read_u64(r)?,
+        }),
+        2 => Ok(Request::Stats),
+        3 => Ok(Request::Shutdown),
+        op => Err(bad_data(format!("unknown op {op}"))),
+    }
+}
+
+// --- responses --------------------------------------------------------
+
+/// Serialize and send one response header (fetch payload bytes are
+/// written separately, straight after the header).
+pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(128);
+    buf.extend_from_slice(&RESPONSE_MAGIC.to_le_bytes());
+    buf.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    match resp {
+        Response::Fetch(h) => {
+            buf.push(0);
+            buf.extend_from_slice(&h.classes_sent.to_le_bytes());
+            buf.extend_from_slice(&h.total_classes.to_le_bytes());
+            buf.extend_from_slice(&h.indicator_linf.to_le_bytes());
+            buf.push(h.cache_hit as u8);
+            buf.extend_from_slice(&h.payload_len.to_le_bytes());
+            buf.push(h.tiers.len().min(255) as u8);
+            for t in h.tiers.iter().take(255) {
+                put_string(&mut buf, &t.tier)?;
+                buf.extend_from_slice(&t.seconds.to_le_bytes());
+            }
+        }
+        Response::NotFound(msg) => {
+            buf.push(1);
+            put_string(&mut buf, truncate_msg(msg))?;
+        }
+        Response::BadRequest(msg) => {
+            buf.push(2);
+            put_string(&mut buf, truncate_msg(msg))?;
+        }
+        Response::Stats(s) => {
+            buf.push(3);
+            for v in [
+                s.requests,
+                s.fetches,
+                s.not_found,
+                s.bad_requests,
+                s.payload_bytes,
+                s.cache_hits,
+                s.cache_misses,
+                s.mean_latency_us,
+            ] {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+            buf.extend_from_slice(&s.datasets.to_le_bytes());
+        }
+        Response::ShuttingDown => buf.push(4),
+    }
+    w.write_all(&buf)
+}
+
+/// Read one response header.
+pub fn read_response(r: &mut impl Read) -> io::Result<Response> {
+    check_envelope(r, RESPONSE_MAGIC, "response")?;
+    match read_u8(r)? {
+        0 => {
+            let classes_sent = read_u32(r)?;
+            let total_classes = read_u32(r)?;
+            let indicator_linf = read_f64(r)?;
+            let cache_hit = read_u8(r)? != 0;
+            let payload_len = read_u64(r)?;
+            let ntiers = read_u8(r)? as usize;
+            let mut tiers = Vec::with_capacity(ntiers);
+            for _ in 0..ntiers {
+                let tier = read_string(r)?;
+                let seconds = read_f64(r)?;
+                tiers.push(TransferCost { tier, seconds });
+            }
+            Ok(Response::Fetch(FetchHeader {
+                classes_sent,
+                total_classes,
+                indicator_linf,
+                cache_hit,
+                payload_len,
+                tiers,
+            }))
+        }
+        1 => Ok(Response::NotFound(read_string(r)?)),
+        2 => Ok(Response::BadRequest(read_string(r)?)),
+        3 => Ok(Response::Stats(StatsReport {
+            requests: read_u64(r)?,
+            fetches: read_u64(r)?,
+            not_found: read_u64(r)?,
+            bad_requests: read_u64(r)?,
+            payload_bytes: read_u64(r)?,
+            cache_hits: read_u64(r)?,
+            cache_misses: read_u64(r)?,
+            mean_latency_us: read_u64(r)?,
+            datasets: read_u32(r)?,
+        })),
+        4 => Ok(Response::ShuttingDown),
+        status => Err(bad_data(format!("unknown status {status}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        let back = read_request(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::FetchTau {
+            dataset: "turbulence".into(),
+            tau: 1.25e-3,
+        });
+        round_trip_request(Request::FetchBudget {
+            dataset: "Ω-field".into(),
+            budget_bytes: 1 << 33,
+        });
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::Shutdown);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        let back = read_response(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Fetch(FetchHeader {
+            classes_sent: 3,
+            total_classes: 7,
+            indicator_linf: 4.2e-4,
+            cache_hit: true,
+            payload_len: 123_456,
+            tiers: mg_io::transfer_costs(123_456, 1),
+        }));
+        round_trip_response(Response::NotFound("no such dataset".into()));
+        round_trip_response(Response::BadRequest("tau must be finite".into()));
+        round_trip_response(Response::Stats(StatsReport {
+            requests: 10,
+            fetches: 7,
+            not_found: 1,
+            bad_requests: 2,
+            payload_bytes: 9999,
+            cache_hits: 4,
+            cache_misses: 3,
+            mean_latency_us: 120,
+            datasets: 2,
+        }));
+        round_trip_response(Response::ShuttingDown);
+    }
+
+    #[test]
+    fn bad_magic_and_negative_tau_rejected() {
+        let mut buf = Vec::new();
+        write_request(
+            &mut buf,
+            &Request::FetchTau {
+                dataset: "x".into(),
+                tau: 1.0,
+            },
+        )
+        .unwrap();
+        buf[0] ^= 0xFF;
+        assert!(read_request(&mut buf.as_slice()).is_err());
+
+        let mut buf = Vec::new();
+        write_request(
+            &mut buf,
+            &Request::FetchTau {
+                dataset: "x".into(),
+                tau: f64::NAN,
+            },
+        )
+        .unwrap();
+        assert!(read_request(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn oversized_names_rejected_on_write() {
+        let req = Request::FetchTau {
+            dataset: "n".repeat(MAX_NAME_LEN + 1),
+            tau: 1.0,
+        };
+        assert!(write_request(&mut Vec::new(), &req).is_err());
+    }
+
+    #[test]
+    fn oversized_error_messages_are_truncated_not_dropped() {
+        // A nearly-max-length dataset name produces an error message over
+        // the string cap; the response must still make it onto the wire.
+        let long = format!(
+            "dataset {:?} is not in the catalog",
+            "n".repeat(MAX_NAME_LEN)
+        );
+        assert!(long.len() > MAX_NAME_LEN);
+        let mut buf = Vec::new();
+        write_response(&mut buf, &Response::NotFound(long.clone())).unwrap();
+        match read_response(&mut buf.as_slice()).unwrap() {
+            Response::NotFound(msg) => {
+                assert_eq!(msg.len(), MAX_NAME_LEN);
+                assert!(long.starts_with(&msg));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Truncation lands on a char boundary for multi-byte text.
+        let wide = "Ω".repeat(MAX_NAME_LEN); // 2 bytes per char
+        let mut buf = Vec::new();
+        write_response(&mut buf, &Response::BadRequest(wide)).unwrap();
+        assert!(matches!(
+            read_response(&mut buf.as_slice()).unwrap(),
+            Response::BadRequest(m) if m.len() <= MAX_NAME_LEN
+        ));
+    }
+
+    #[test]
+    fn truncated_headers_error_cleanly() {
+        let mut buf = Vec::new();
+        write_response(&mut buf, &Response::ShuttingDown).unwrap();
+        for cut in 0..buf.len() {
+            assert!(read_response(&mut &buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! The TCP server: fixed worker pool, prefix cache, stats, graceful
+//! shutdown.
+
+use crate::catalog::{Catalog, PrefixCache};
+use crate::protocol::{self, FetchHeader, Request, Response, StatsReport};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Copy, Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Byte budget of the encoded-prefix LRU cache (0 disables caching).
+    pub cache_bytes: usize,
+    /// Per-connection read/write timeout (guards the pool against stuck
+    /// peers); `None` blocks forever.
+    pub io_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            cache_bytes: 64 << 20,
+            io_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Snapshot of the server's counters.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct ServerStats {
+    /// Requests handled (any op).
+    pub requests: u64,
+    /// Successful fetches.
+    pub fetches: u64,
+    /// Fetches for unknown datasets.
+    pub not_found: u64,
+    /// Malformed requests.
+    pub bad_requests: u64,
+    /// Payload bytes served.
+    pub payload_bytes: u64,
+    /// Prefix-cache hits.
+    pub cache_hits: u64,
+    /// Prefix-cache misses.
+    pub cache_misses: u64,
+    /// Mean request latency.
+    pub mean_latency: Duration,
+    /// Worst request latency.
+    pub max_latency: Duration,
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    fetches: AtomicU64,
+    not_found: AtomicU64,
+    bad_requests: AtomicU64,
+    payload_bytes: AtomicU64,
+    latency_ns_total: AtomicU64,
+    latency_ns_max: AtomicU64,
+}
+
+struct Shared {
+    catalog: Catalog,
+    cache: PrefixCache,
+    counters: Counters,
+    shutting_down: AtomicBool,
+}
+
+/// A running progressive-retrieval server.
+///
+/// Accepts connections on a listener thread, hands them to a fixed pool
+/// of workers, and serves until [`Server::shutdown`] is called (or a
+/// client sends [`Request::Shutdown`]). Dropping without shutting down
+/// detaches the threads (they exit with the process) — call
+/// [`Server::shutdown`] or [`Server::wait`] for a clean drain.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// accepting. The catalog is shared: datasets registered on a clone
+    /// of `catalog` after this call are immediately servable.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        catalog: Catalog,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            catalog,
+            cache: PrefixCache::new(config.cache_bytes),
+            counters: Counters::default(),
+            shutting_down: AtomicBool::new(false),
+        });
+
+        let workers = config.workers.max(1);
+        // Bounded queue: accepting backs off once every worker is busy
+        // and a connection per worker is already parked.
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(workers);
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.shutting_down.load(Ordering::SeqCst) {
+                        break; // wake-up connection or late client
+                    }
+                    let Ok(stream) = stream else { continue };
+                    if conn_tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                // Dropping conn_tx drains the workers.
+            })
+        };
+
+        let worker_handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let conn_rx = Arc::clone(&conn_rx);
+                let timeout = config.io_timeout;
+                std::thread::spawn(move || loop {
+                    let conn = conn_rx.lock().expect("queue lock").recv();
+                    match conn {
+                        Ok(stream) => handle_connection(stream, &shared, timeout, local),
+                        Err(_) => break, // acceptor gone: drain complete
+                    }
+                })
+            })
+            .collect();
+
+        Ok(Server {
+            addr: local,
+            shared,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A clone of the served catalog (datasets registered on it become
+    /// servable immediately).
+    pub fn catalog(&self) -> Catalog {
+        self.shared.catalog.clone()
+    }
+
+    /// Snapshot the request/byte/latency counters.
+    pub fn stats(&self) -> ServerStats {
+        snapshot(&self.shared)
+    }
+
+    /// Stop accepting, drain in-flight connections, join every thread,
+    /// and return the final counters.
+    pub fn shutdown(mut self) -> io::Result<ServerStats> {
+        trigger_shutdown(&self.shared, self.addr);
+        self.join_threads();
+        Ok(snapshot(&self.shared))
+    }
+
+    /// Block until the server shuts down (via [`Request::Shutdown`] from
+    /// a client) and return the final counters.
+    pub fn wait(mut self) -> ServerStats {
+        self.join_threads();
+        snapshot(&self.shared)
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Flip the shutdown flag and poke the listener so `accept` wakes up.
+fn trigger_shutdown(shared: &Shared, addr: SocketAddr) {
+    if !shared.shutting_down.swap(true, Ordering::SeqCst) {
+        // The wake-up connection is observed by the acceptor *after* the
+        // flag is set, so it breaks out of the accept loop.
+        let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+    }
+}
+
+fn snapshot(shared: &Shared) -> ServerStats {
+    let c = &shared.counters;
+    let requests = c.requests.load(Ordering::Relaxed);
+    let total_ns = c.latency_ns_total.load(Ordering::Relaxed);
+    let (hits, misses) = shared.cache.counters();
+    ServerStats {
+        requests,
+        fetches: c.fetches.load(Ordering::Relaxed),
+        not_found: c.not_found.load(Ordering::Relaxed),
+        bad_requests: c.bad_requests.load(Ordering::Relaxed),
+        payload_bytes: c.payload_bytes.load(Ordering::Relaxed),
+        cache_hits: hits,
+        cache_misses: misses,
+        mean_latency: Duration::from_nanos(total_ns.checked_div(requests).unwrap_or(0)),
+        max_latency: Duration::from_nanos(c.latency_ns_max.load(Ordering::Relaxed)),
+    }
+}
+
+fn stats_report(shared: &Shared) -> StatsReport {
+    let s = snapshot(shared);
+    StatsReport {
+        requests: s.requests,
+        fetches: s.fetches,
+        not_found: s.not_found,
+        bad_requests: s.bad_requests,
+        payload_bytes: s.payload_bytes,
+        cache_hits: s.cache_hits,
+        cache_misses: s.cache_misses,
+        mean_latency_us: s.mean_latency.as_micros() as u64,
+        datasets: shared.catalog.len() as u32,
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    shared: &Shared,
+    timeout: Option<Duration>,
+    local: SocketAddr,
+) {
+    let _ = stream.set_read_timeout(timeout);
+    let _ = stream.set_write_timeout(timeout);
+    let _ = stream.set_nodelay(true);
+    let t0 = Instant::now();
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+
+    let outcome = match protocol::read_request(&mut reader) {
+        Ok(Request::FetchTau { dataset, tau }) => {
+            serve_fetch(&mut writer, shared, &dataset, Selection::Tau(tau))
+        }
+        Ok(Request::FetchBudget {
+            dataset,
+            budget_bytes,
+        }) => serve_fetch(
+            &mut writer,
+            shared,
+            &dataset,
+            Selection::Budget(budget_bytes),
+        ),
+        Ok(Request::Stats) => {
+            protocol::write_response(&mut writer, &Response::Stats(stats_report(shared)))
+        }
+        Ok(Request::Shutdown) => {
+            let r = protocol::write_response(&mut writer, &Response::ShuttingDown);
+            trigger_shutdown(shared, local);
+            r
+        }
+        Err(e) => {
+            shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            protocol::write_response(&mut writer, &Response::BadRequest(e.to_string()))
+        }
+    };
+    let _ = outcome.and_then(|()| writer.flush());
+
+    let c = &shared.counters;
+    c.requests.fetch_add(1, Ordering::Relaxed);
+    let ns = t0.elapsed().as_nanos() as u64;
+    c.latency_ns_total.fetch_add(ns, Ordering::Relaxed);
+    c.latency_ns_max.fetch_max(ns, Ordering::Relaxed);
+}
+
+enum Selection {
+    Tau(f64),
+    Budget(u64),
+}
+
+fn serve_fetch(
+    w: &mut impl Write,
+    shared: &Shared,
+    dataset: &str,
+    sel: Selection,
+) -> io::Result<()> {
+    let Some(ds) = shared.catalog.get(dataset) else {
+        shared.counters.not_found.fetch_add(1, Ordering::Relaxed);
+        return protocol::write_response(
+            w,
+            &Response::NotFound(format!("dataset {dataset:?} is not in the catalog")),
+        );
+    };
+    let count = match sel {
+        Selection::Tau(tau) => ds.classes_for_tau(tau),
+        Selection::Budget(bytes) => ds.classes_for_budget(bytes as usize),
+    };
+    let (payload, cache_hit) = shared.cache.get_or_encode(&ds, count);
+    let header = FetchHeader {
+        classes_sent: count as u32,
+        total_classes: ds.num_classes() as u32,
+        indicator_linf: ds.indicator(count),
+        cache_hit,
+        payload_len: payload.len() as u64,
+        tiers: mg_io::transfer_costs(payload.len() as u64, 1),
+    };
+    protocol::write_response(w, &Response::Fetch(header))?;
+    w.write_all(payload.as_slice())?;
+    let c = &shared.counters;
+    c.fetches.fetch_add(1, Ordering::Relaxed);
+    c.payload_bytes
+        .fetch_add(payload.len() as u64, Ordering::Relaxed);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use mg_grid::{NdArray, Shape};
+
+    fn catalog_with(name: &str, shape: Shape) -> (Catalog, NdArray<f64>) {
+        let data = NdArray::from_fn(shape, |i| {
+            ((i.iter().sum::<usize>() * 41) % 97) as f64 * 0.021 - 1.0
+        });
+        let cat = Catalog::new();
+        cat.insert_array(name, &data).unwrap();
+        (cat, data)
+    }
+
+    #[test]
+    fn serves_and_shuts_down_gracefully() {
+        let (cat, _) = catalog_with("d", Shape::d2(17, 17));
+        let server = Server::bind("127.0.0.1:0", cat, ServerConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let got = client::fetch_tau(addr, "d", 0.0).unwrap();
+        assert_eq!(got.classes_sent, got.total_classes);
+        let stats = server.shutdown().unwrap();
+        assert_eq!(stats.fetches, 1);
+        assert_eq!(stats.requests, 1);
+        assert!(stats.payload_bytes > 0);
+        assert!(stats.max_latency >= stats.mean_latency);
+    }
+
+    #[test]
+    fn unknown_dataset_and_garbage_are_rejected() {
+        let (cat, _) = catalog_with("d", Shape::d1(9));
+        let server = Server::bind("127.0.0.1:0", cat, ServerConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let err = client::fetch_tau(addr, "nope", 1e-3).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+
+        // A garbage request gets a BadRequest response, not a hang.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        let resp = protocol::read_response(&mut s).unwrap();
+        assert!(matches!(resp, Response::BadRequest(_)), "{resp:?}");
+
+        let stats = server.shutdown().unwrap();
+        assert_eq!(stats.not_found, 1);
+        assert_eq!(stats.bad_requests, 1);
+    }
+
+    #[test]
+    fn wire_shutdown_drains_the_pool() {
+        let (cat, _) = catalog_with("d", Shape::d1(9));
+        let server = Server::bind("127.0.0.1:0", cat, ServerConfig::default()).unwrap();
+        let addr = server.local_addr();
+        client::shutdown(addr).unwrap();
+        let stats = server.wait();
+        assert_eq!(stats.requests, 1);
+        // The port is released: connecting now fails (or is refused).
+        assert!(client::fetch_tau(addr, "d", 0.0).is_err());
+    }
+
+    #[test]
+    fn stats_over_the_wire_match_local_counters() {
+        let (cat, _) = catalog_with("d", Shape::d2(9, 9));
+        let server = Server::bind("127.0.0.1:0", cat, ServerConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let _ = client::fetch_tau(addr, "d", 0.0).unwrap();
+        let _ = client::fetch_tau(addr, "d", 0.0).unwrap();
+        let report = client::stats(addr).unwrap();
+        assert_eq!(report.fetches, 2);
+        assert_eq!(report.datasets, 1);
+        assert_eq!(report.cache_hits, 1, "second identical fetch must hit");
+        server.shutdown().unwrap();
+    }
+}

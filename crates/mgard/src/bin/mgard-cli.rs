@@ -27,11 +27,20 @@
 //! `refactor --stream` pipelines the decomposition with the write-out:
 //! each coefficient class is appended to the output by an I/O thread while
 //! the next level decomposes (the streamed wire format; `reconstruct`
-//! auto-detects it).
+//! auto-detects it). `reconstruct --stream` is the consumer mirror: the
+//! batch payload is parsed tier-by-tier through a `StreamingDecoder` and
+//! recomposed incrementally (class `l + 1` loads while level `l`
+//! recomposes) instead of buffering the whole payload.
+//!
+//! `serve` exposes a catalog of refactored datasets over TCP; `fetch`
+//! retrieves the minimal class prefix for an error bound (`--tau`) or a
+//! byte budget (`--budget`) and reconstructs it; `shutdown` stops a
+//! server gracefully. See `mg-serve` for the wire protocol.
 
 use mgard::mg_compress::{Compressed, Compressor, StageTimings};
+use mgard::mg_serve::{client as serve_client, Catalog, Server, ServerConfig};
 use mgard::prelude::*;
-use std::io::{Read as _, Write as _};
+use std::io::{BufRead as _, Read as _, Write as _};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -49,17 +58,24 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   mgard-cli refactor   --shape DxHxW IN.f64 OUT.mgrd [--classes K] [--stream]
-  mgard-cli reconstruct IN.mgrd OUT.f64 [--classes K]
+  mgard-cli reconstruct IN.mgrd OUT.f64 [--classes K] [--stream]
   mgard-cli compress   --shape DxHxW --tau T IN.f64 OUT.mgz
   mgard-cli decompress --shape DxHxW --tau T IN.mgz OUT.f64
   mgard-cli info       IN.mgrd
+  mgard-cli serve      [--listen ADDR] --data NAME=FILE.f64:DxHxW ...
+                       [--synthetic NAME=DxHxW ...] [--workers N] [--cache-mb N]
+  mgard-cli fetch      ADDR NAME OUT.f64 [--tau T | --budget BYTES]
+                       [--save-raw OUT.mgrd]
+  mgard-cli shutdown   ADDR
 
 options (refactor/reconstruct/compress/decompress):
   --layout packed|inplace|tiled|strided
                             level-subgrid access strategy (default packed)
   --tile N                  tile size for --layout tiled (outermost rows)
   --threads N               1 = serial kernels, else parallel on N threads
-  --stream                  (refactor) overlap decomposition with write-out";
+  --stream                  (refactor) overlap decomposition with write-out
+                            (reconstruct) recompose tier-by-tier while
+                            later classes load, without buffering the payload";
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
@@ -73,6 +89,14 @@ struct Opts {
     tile: Option<usize>,
     threads: Option<usize>,
     stream: bool,
+    // serve/fetch options
+    listen: String,
+    data: Vec<String>,
+    synthetic: Vec<String>,
+    workers: Option<usize>,
+    cache_mb: Option<usize>,
+    budget: Option<u64>,
+    save_raw: Option<String>,
 }
 
 impl Opts {
@@ -104,14 +128,20 @@ fn parse_opts(args: &[String]) -> Result<Opts, Box<dyn std::error::Error>> {
         tile: None,
         threads: None,
         stream: false,
+        listen: String::from("127.0.0.1:7373"),
+        data: Vec::new(),
+        synthetic: Vec::new(),
+        workers: None,
+        cache_mb: None,
+        budget: None,
+        save_raw: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--shape" => {
                 let v = it.next().ok_or("--shape needs a value like 65x65")?;
-                let dims: Result<Vec<usize>, _> = v.split('x').map(str::parse).collect();
-                o.shape = Some(Shape::new(&dims.map_err(|_| "bad --shape")?));
+                o.shape = Some(parse_shape_str(v)?);
             }
             "--tau" => {
                 let v = it.next().ok_or("--tau needs a value")?;
@@ -136,6 +166,36 @@ fn parse_opts(args: &[String]) -> Result<Opts, Box<dyn std::error::Error>> {
                 o.tile = Some(n);
             }
             "--stream" => o.stream = true,
+            "--listen" => {
+                o.listen = it.next().ok_or("--listen needs an address")?.clone();
+            }
+            "--data" => {
+                let v = it.next().ok_or("--data needs NAME=FILE.f64:DxHxW")?;
+                o.data.push(v.clone());
+            }
+            "--synthetic" => {
+                let v = it.next().ok_or("--synthetic needs NAME=DxHxW")?;
+                o.synthetic.push(v.clone());
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a count")?;
+                let n: usize = v.parse().map_err(|_| "bad --workers")?;
+                if n == 0 {
+                    return Err("--workers must be >= 1".into());
+                }
+                o.workers = Some(n);
+            }
+            "--cache-mb" => {
+                let v = it.next().ok_or("--cache-mb needs a size")?;
+                o.cache_mb = Some(v.parse().map_err(|_| "bad --cache-mb")?);
+            }
+            "--budget" => {
+                let v = it.next().ok_or("--budget needs a byte count")?;
+                o.budget = Some(v.parse().map_err(|_| "bad --budget")?);
+            }
+            "--save-raw" => {
+                o.save_raw = Some(it.next().ok_or("--save-raw needs a path")?.clone());
+            }
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a count")?;
                 let n: usize = v.parse().map_err(|_| "bad --threads")?;
@@ -154,8 +214,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, Box<dyn std::error::Error>> {
 fn run(args: &[String]) -> CliResult {
     let cmd = args.first().ok_or("missing command")?.clone();
     let o = parse_opts(&args[1..])?;
-    if o.stream && cmd != "refactor" {
-        return Err("--stream only applies to refactor".into());
+    if o.stream && cmd != "refactor" && cmd != "reconstruct" {
+        return Err("--stream only applies to refactor and reconstruct".into());
     }
     if let Some(n) = o.threads {
         // The rayon shim sizes its worker pool from this variable.
@@ -167,6 +227,9 @@ fn run(args: &[String]) -> CliResult {
         "compress" => compress(&o),
         "decompress" => decompress(&o),
         "info" => info(&o),
+        "serve" => serve(&o),
+        "fetch" => fetch(&o),
+        "shutdown" => shutdown(&o),
         other => Err(format!("unknown command {other}").into()),
     }
 }
@@ -260,10 +323,128 @@ fn decode_any(bytes: Vec<u8>) -> Result<Refactored<f64>, Box<dyn std::error::Err
     }
 }
 
+/// [`ClassSource`] over a batch-format file: reads the payload in chunks
+/// through a [`StreamingDecoder`], handing each class to the recompose
+/// pipeline the moment it completes — the process never holds more than a
+/// read chunk plus the classes still in flight.
+struct FileClassSource {
+    reader: std::io::BufReader<std::fs::File>,
+    dec: StreamingDecoder<f64>,
+    chunk: Vec<u8>,
+    eof: bool,
+}
+
+impl FileClassSource {
+    fn open(path: &str) -> Result<Self, Box<dyn std::error::Error>> {
+        let mut reader = std::io::BufReader::new(std::fs::File::open(path)?);
+        // Friendlier diagnostics for the streamed (MGST) container, whose
+        // records land finest-first — the wrong order for incremental
+        // recomposition.
+        let head = reader.fill_buf()?;
+        if head.len() >= 4 && head[..4] == STREAM_MAGIC.to_le_bytes() {
+            return Err(format!(
+                "{path}: streamed (.mgst) container records classes finest-first; \
+                 reconstruct --stream needs the batch (.mgrd) format (coarsest-first). \
+                 Re-run without --stream to buffer and reassemble instead."
+            )
+            .into());
+        }
+        let mut src = FileClassSource {
+            reader,
+            dec: StreamingDecoder::new(),
+            chunk: vec![0u8; 64 * 1024],
+            eof: false,
+        };
+        // Parse the header so the caller can size the refactorer.
+        while src.dec.hierarchy().is_none() {
+            if !src.fill()? {
+                return Err(format!("{path}: truncated before the payload header").into());
+            }
+        }
+        Ok(src)
+    }
+
+    /// Read one chunk into the decoder; false at EOF.
+    fn fill(&mut self) -> std::io::Result<bool> {
+        use std::io::Read as _;
+        if self.eof {
+            return Ok(false);
+        }
+        let n = self.reader.read(&mut self.chunk)?;
+        if n == 0 {
+            self.eof = true;
+            return Ok(false);
+        }
+        self.dec
+            .push(&self.chunk[..n])
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok(true)
+    }
+
+    fn hierarchy(&self) -> &Hierarchy {
+        self.dec.hierarchy().expect("header parsed in open()")
+    }
+}
+
+impl ClassSource<f64> for FileClassSource {
+    fn read_class(&mut self, class: usize) -> std::io::Result<Vec<f64>> {
+        loop {
+            if let Some(vals) = self.dec.take_class(class) {
+                return Ok(vals);
+            }
+            // Prefix payloads advertise fewer classes; the missing tail
+            // reconstructs as zeros (standard prefix semantics).
+            let stored = self.dec.classes_stored().unwrap_or(0);
+            if class >= stored && self.dec.is_complete() {
+                let hier = self.hierarchy();
+                let len = if class == 0 {
+                    hier.level_len(0)
+                } else {
+                    hier.class_len(class)
+                };
+                return Ok(vec![0.0; len]);
+            }
+            if !self.fill()? {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!("payload truncated before class {class}"),
+                ));
+            }
+        }
+    }
+}
+
+fn reconstruct_streaming_cli(o: &Opts, input: &str, output: &str) -> CliResult {
+    if o.classes.is_some() {
+        return Err("--stream recomposes every stored class; drop --classes".into());
+    }
+    let mut src = FileClassSource::open(input)?;
+    let hier = src.hierarchy().clone();
+    let shape = hier.finest();
+    let mut r = Refactorer::<f64>::new(shape)
+        .map_err(|e| format!("payload has a non-dyadic shape: {e}"))?
+        .plan(o.plan()?);
+    let (arr, stats) = recompose_streaming(&mut r, &mut src)?;
+    write_f64_file(output, &arr)?;
+    println!(
+        "stream-reconstructed {:?} from {} classes (compute {:?}, io {:?}, \
+         {:.0}% of io hidden)",
+        shape.as_slice(),
+        stats.classes_written,
+        stats.compute,
+        stats.io,
+        stats.hidden_fraction() * 100.0
+    );
+    Ok(())
+}
+
 fn reconstruct(o: &Opts) -> CliResult {
     let [input, output] = o.positional.as_slice() else {
         return Err("reconstruct needs IN and OUT paths".into());
     };
+    if o.stream {
+        return reconstruct_streaming_cli(o, input, output);
+    }
     let bytes = std::fs::read(input)?;
     let refac = decode_any(bytes)?;
     let shape = refac.hierarchy().finest();
@@ -342,6 +523,131 @@ fn info(o: &Opts) -> CliResult {
             c.len() * 8
         );
     }
+    Ok(())
+}
+
+/// Parse `NAME=rest` (first `=` splits).
+fn split_spec(spec: &str) -> Result<(&str, &str), Box<dyn std::error::Error>> {
+    spec.split_once('=')
+        .filter(|(name, rest)| !name.is_empty() && !rest.is_empty())
+        .ok_or_else(|| format!("bad spec {spec:?} (expected NAME=...)").into())
+}
+
+fn parse_shape_str(s: &str) -> Result<Shape, Box<dyn std::error::Error>> {
+    let dims: Result<Vec<usize>, _> = s.split('x').map(str::parse).collect();
+    Ok(Shape::new(&dims.map_err(|_| format!("bad shape {s:?}"))?))
+}
+
+fn serve(o: &Opts) -> CliResult {
+    if !o.positional.is_empty() {
+        return Err("serve takes no positional arguments".into());
+    }
+    if o.data.is_empty() && o.synthetic.is_empty() {
+        return Err(
+            "serve needs at least one --data NAME=FILE.f64:DxHxW or --synthetic NAME=DxHxW".into(),
+        );
+    }
+    let catalog = Catalog::new();
+    for spec in &o.data {
+        let (name, rest) = split_spec(spec)?;
+        let (path, shape_str) = rest
+            .rsplit_once(':')
+            .ok_or_else(|| format!("bad --data {spec:?} (expected NAME=FILE.f64:DxHxW)"))?;
+        let shape = parse_shape_str(shape_str)?;
+        let data = read_f64_file(path, shape)?;
+        catalog
+            .insert_array(name, &data)
+            .map_err(|e| format!("{name}: {e} (use a 2^k+1 shape or pad first)"))?;
+        println!("loaded {name}: {:?} from {path}", shape.as_slice());
+    }
+    for spec in &o.synthetic {
+        let (name, shape_str) = split_spec(spec)?;
+        let shape = parse_shape_str(shape_str)?;
+        let data = NdArray::from_fn(shape, |i| {
+            i.iter()
+                .enumerate()
+                .map(|(d, &v)| ((v as f64) * 0.37 * (d + 1) as f64).sin())
+                .sum()
+        });
+        catalog
+            .insert_array(name, &data)
+            .map_err(|e| format!("{name}: {e} (use a 2^k+1 shape)"))?;
+        println!("generated {name}: {:?}", shape.as_slice());
+    }
+
+    let config = ServerConfig {
+        workers: o.workers.unwrap_or(ServerConfig::default().workers),
+        cache_bytes: o
+            .cache_mb
+            .map_or(ServerConfig::default().cache_bytes, |mb| mb << 20),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(o.listen.as_str(), catalog, config)?;
+    // Tests (and scripts) parse this line for the ephemeral port.
+    println!("serving on {}", server.local_addr());
+    std::io::stdout().flush()?;
+    let stats = server.wait();
+    println!(
+        "served {} requests ({} fetches, {} bytes; cache {}/{} hits; \
+         mean latency {:?}, max {:?})",
+        stats.requests,
+        stats.fetches,
+        stats.payload_bytes,
+        stats.cache_hits,
+        stats.cache_hits + stats.cache_misses,
+        stats.mean_latency,
+        stats.max_latency
+    );
+    Ok(())
+}
+
+fn fetch(o: &Opts) -> CliResult {
+    let [addr, name, output] = o.positional.as_slice() else {
+        return Err("fetch needs ADDR NAME OUT.f64".into());
+    };
+    if o.tau.is_some() && o.budget.is_some() {
+        return Err("pick one of --tau and --budget".into());
+    }
+    let result = match o.budget {
+        Some(b) => serve_client::fetch_budget(addr.as_str(), name, b)?,
+        None => serve_client::fetch_tau(addr.as_str(), name, o.tau.unwrap_or(0.0))?,
+    };
+    if let Some(raw_path) = &o.save_raw {
+        std::fs::write(raw_path, &result.raw)?;
+    }
+    let shape = result.refac.hierarchy().finest();
+    let mut r = Refactorer::<f64>::new(shape)
+        .map_err(|e| format!("payload has a non-dyadic shape: {e}"))?
+        .plan(o.plan()?);
+    let arr = reconstruct_prefix(&result.refac, result.refac.num_classes(), &mut r);
+    write_f64_file(output, &arr)?;
+    println!(
+        "fetched {name}: {}/{} classes, {} bytes ({}), L-inf indicator {:.3e}",
+        result.classes_sent,
+        result.total_classes,
+        result.raw.len(),
+        if result.cache_hit { "cached" } else { "cold" },
+        result.indicator_linf
+    );
+    if let Some(first) = result.progress.first() {
+        println!(
+            "first class usable after {} of {} bytes",
+            first.bytes,
+            result.raw.len()
+        );
+    }
+    for t in &result.tiers {
+        println!("  modeled transfer via {}: {:.3e} s", t.tier, t.seconds);
+    }
+    Ok(())
+}
+
+fn shutdown(o: &Opts) -> CliResult {
+    let [addr] = o.positional.as_slice() else {
+        return Err("shutdown needs ADDR".into());
+    };
+    serve_client::shutdown(addr.as_str())?;
+    println!("server at {addr} acknowledged shutdown");
     Ok(())
 }
 

@@ -48,6 +48,7 @@
 //! | GPU design | [`mg_gpu`] | the paper's kernel frameworks as cost models + functional exec |
 //! | compression | [`mg_compress`] | quantizer + entropy coder + pipeline (§V-B) |
 //! | I/O | [`mg_io`] | tiered storage + ADIOS-like selective class I/O (§V-A) |
+//! | serving | [`mg_serve`] | concurrent progressive-retrieval TCP server + client |
 //! | scale-out | [`mg_cluster`] | weak scaling and node-level comparisons (Fig. 9, Table VI) |
 //! | data | [`mg_workloads`] | Gray–Scott, iso-surfaces, synthetic fields |
 
@@ -60,6 +61,7 @@ pub use mg_grid;
 pub use mg_io;
 pub use mg_kernels;
 pub use mg_refactor;
+pub use mg_serve;
 pub use mg_workloads;
 
 /// The most commonly used types, one `use` away.
@@ -68,13 +70,17 @@ pub mod prelude {
     pub use mg_compress::{Compressed, Compressor};
     pub use mg_core::padded::PaddedRefactorer;
     pub use mg_core::{decompose_streaming, ClassSink, StreamStats};
+    pub use mg_core::{recompose_streaming, ClassSource};
     pub use mg_core::{ExecPlan, Layout, Refactorer, Threading};
     pub use mg_gpu::exec::GpuRefactorer;
     pub use mg_grid::{Axis, CoordSet, Hierarchy, NdArray, Real, Shape};
-    pub use mg_io::{read_stream, StreamSink, STREAM_MAGIC};
+    pub use mg_io::{read_stream, transfer_costs, StorageTier, StreamSink, STREAM_MAGIC};
     pub use mg_refactor::classes::Refactored;
-    pub use mg_refactor::progressive::{accuracy_curve, reconstruct_prefix};
+    pub use mg_refactor::error::{classes_for_accuracy, linf_indicator};
+    pub use mg_refactor::progressive::{accuracy_curve, classes_for_budget, reconstruct_prefix};
     pub use mg_refactor::serialize::{decode, encode, encode_prefix};
+    pub use mg_refactor::streaming::StreamingDecoder;
+    pub use mg_serve::{client as serve_client, Catalog, Server, ServerConfig};
     pub use mg_workloads::gray_scott::{GrayScott, GrayScottParams};
     pub use mg_workloads::isosurface::{isosurface_accuracy, isosurface_area};
 }

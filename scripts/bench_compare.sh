@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Compare this commit's bench_refactor numbers against the previous
+# commit's archived CI artifact, with the strict tolerance.
+#
+# Per-kernel baselines are only meaningful between runs on the same
+# machine, so the in-CI gate against the committed BENCH_baseline.json
+# runs wide open (500%). This script closes the loop on a *pinned*
+# runner: it downloads the `bench-json-<sha>` artifact that CI uploaded
+# for the previous commit and gates the fresh run against it at the
+# strict default (15%, override with TOLERANCE).
+#
+#   scripts/bench_compare.sh [BASE_SHA]
+#
+# BASE_SHA defaults to HEAD^. Needs the `gh` CLI authenticated against
+# the repo (GH_TOKEN in CI). Exits 0 with a warning when no artifact
+# exists for the base commit (first run, expired retention, forked PR),
+# so it is safe to wire into CI as a best-effort step.
+
+set -euo pipefail
+
+base_sha=${1:-$(git rev-parse HEAD^)}
+tolerance=${TOLERANCE:-15}
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+if ! command -v gh >/dev/null 2>&1; then
+    echo "bench_compare: gh CLI not available; skipping" >&2
+    exit 0
+fi
+
+artifact="bench-json-${base_sha}"
+echo "bench_compare: looking for artifact ${artifact}" >&2
+# gh run download needs the concrete run that built the base commit
+# (without an ID it errors in non-interactive mode).
+run_id=$(gh run list --commit "$base_sha" --status success \
+    --json databaseId --jq '.[0].databaseId' 2>/dev/null || true)
+if [[ -z "$run_id" ]]; then
+    echo "bench_compare: no successful CI run for ${base_sha}; skipping" >&2
+    exit 0
+fi
+if ! gh run download "$run_id" --name "$artifact" --dir "$workdir" 2>/dev/null; then
+    echo "bench_compare: no artifact for ${base_sha}; skipping (first run or expired)" >&2
+    exit 0
+fi
+baseline="$workdir/BENCH_refactor.json"
+if [[ ! -s "$baseline" ]]; then
+    echo "bench_compare: artifact has no BENCH_refactor.json; skipping" >&2
+    exit 0
+fi
+
+# Re-run the quick sweep on this machine and gate at the strict
+# tolerance. bench_refactor exits nonzero on regression.
+cargo run --release -p mg-bench --bin bench_refactor -- \
+    --quick --out BENCH_refactor.json \
+    --compare "$baseline" --tolerance "$tolerance"
+
+# Archive the companion benches alongside, so the per-commit artifact
+# set stays complete for the *next* comparison.
+cargo run --release -p mg-bench --bin bench_stream -- --quick --out BENCH_stream.json
+cargo run --release -p mg-bench --bin bench_serve -- --quick --out BENCH_serve.json
+echo "bench_compare: no regressions vs ${base_sha} (tolerance ${tolerance}%)"

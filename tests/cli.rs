@@ -332,6 +332,156 @@ fn streamed_refactor_reconstructs_exactly() {
 }
 
 #[test]
+fn reconstruct_stream_matches_batch_reconstruction() {
+    let d = tmpdir("recstream");
+    let input = d.join("in.f64");
+    let refac = d.join("out.mgrd");
+    let prefix = d.join("prefix.mgrd");
+    write_field(&input, 33);
+
+    let cases: [(&PathBuf, Option<&str>); 2] = [(&refac, None), (&prefix, Some("3"))];
+    for (payload, classes) in cases {
+        let mut args = vec!["refactor", "--shape", "33x33"];
+        if let Some(k) = classes {
+            args.extend(["--classes", k]);
+        }
+        assert!(cli()
+            .args(&args)
+            .arg(&input)
+            .arg(payload)
+            .status()
+            .unwrap()
+            .success());
+
+        let batch_out = d.join("batch.f64");
+        let stream_out = d.join("stream.f64");
+        assert!(cli()
+            .arg("reconstruct")
+            .arg(payload)
+            .arg(&batch_out)
+            .status()
+            .unwrap()
+            .success());
+        let out = cli()
+            .args(["reconstruct", "--stream"])
+            .arg(payload)
+            .arg(&stream_out)
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("stream-reconstructed"), "{text}");
+        // Tier-by-tier recomposition must be bitwise identical to the
+        // buffered path, full payloads and prefixes alike.
+        assert_eq!(
+            std::fs::read(&batch_out).unwrap(),
+            std::fs::read(&stream_out).unwrap(),
+            "classes = {classes:?}"
+        );
+    }
+
+    // The streamed (MGST) container records classes finest-first and is
+    // rejected with a pointer to the buffered path.
+    let mgst = d.join("out.mgst");
+    assert!(cli()
+        .args(["refactor", "--shape", "33x33", "--stream"])
+        .arg(&input)
+        .arg(&mgst)
+        .status()
+        .unwrap()
+        .success());
+    let out = cli()
+        .args(["reconstruct", "--stream"])
+        .arg(&mgst)
+        .arg(d.join("x.f64"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8(out.stderr).unwrap();
+    assert!(text.contains("finest-first"), "{text}");
+    std::fs::remove_dir_all(d).unwrap();
+}
+
+#[test]
+fn serve_fetch_shutdown_session() {
+    use std::io::BufRead;
+    let d = tmpdir("serve");
+    let input = d.join("in.f64");
+    write_field(&input, 33);
+
+    let mut server = cli()
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--synthetic",
+            "syn=65x65",
+        ])
+        .arg("--data")
+        .arg(format!("demo={}:33x33", input.display()))
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    // Parse the ephemeral port from the startup banner.
+    let mut reader = std::io::BufReader::new(server.stdout.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "banner not seen");
+        if let Some(rest) = line.trim().strip_prefix("serving on ") {
+            break rest.to_string();
+        }
+    };
+
+    // Full fetch reconstructs the input exactly.
+    let out_full = d.join("full.f64");
+    let out = cli()
+        .args(["fetch", &addr, "demo"])
+        .arg(&out_full)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let back = read_field(&out_full);
+    let orig = read_field(&input);
+    let err: f64 = back
+        .iter()
+        .zip(&orig)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    assert!(err < 1e-10, "full fetch must be lossless, err {err}");
+
+    // A lossy τ fetch prints the prefix summary; unknown datasets fail.
+    let out = cli()
+        .args(["fetch", &addr, "syn", "--tau", "0.1"])
+        .arg(d.join("lossy.f64"))
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("fetched syn"), "{text}");
+    assert!(text.contains("modeled transfer via"), "{text}");
+    assert!(!cli()
+        .args(["fetch", &addr, "missing"])
+        .arg(d.join("x.f64"))
+        .output()
+        .unwrap()
+        .status
+        .success());
+
+    // Graceful shutdown: the server prints its final stats and exits 0.
+    assert!(cli().args(["shutdown", &addr]).status().unwrap().success());
+    let status = server.wait().unwrap();
+    assert!(status.success());
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut reader, &mut rest).unwrap();
+    assert!(rest.contains("served"), "{rest}");
+    std::fs::remove_dir_all(d).unwrap();
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     // Unknown command.
     let out = cli().arg("frobnicate").output().unwrap();

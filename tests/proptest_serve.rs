@@ -1,0 +1,125 @@
+//! Property tests of the serve path: for random dyadic arrays and random
+//! τ (or byte budgets), a served/fetched prefix
+//!
+//! * reconstructs with measured L∞ error ≤ τ, and
+//! * is bitwise-identical to a local `encode_prefix` at the same class
+//!   count.
+//!
+//! One server (ephemeral port) is shared by every case; each case
+//! registers its dataset under a fresh name through the live catalog.
+
+use mgard::mg_serve::{client, Catalog, Server, ServerConfig};
+use mgard::prelude::*;
+use proptest::prelude::*;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+static SERVER: OnceLock<(SocketAddr, Catalog)> = OnceLock::new();
+static NAME_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn live_server() -> &'static (SocketAddr, Catalog) {
+    SERVER.get_or_init(|| {
+        let catalog = Catalog::new();
+        let server = Server::bind("127.0.0.1:0", catalog.clone(), ServerConfig::default())
+            .expect("bind ephemeral port");
+        let addr = server.local_addr();
+        // Dropping the handle detaches the threads; the server lives for
+        // the remainder of the test process.
+        drop(server);
+        (addr, catalog)
+    })
+}
+
+fn dyadic_extent() -> impl Strategy<Value = usize> {
+    prop::sample::select(vec![2usize, 3, 5, 9, 17, 33])
+}
+
+fn dyadic_shape() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(dyadic_extent(), 1..=3).prop_filter("bounded size", |dims| {
+        dims.iter().product::<usize>() <= 4000
+    })
+}
+
+fn field_for(dims: &[usize], seed: u64) -> NdArray<f64> {
+    let shape = Shape::new(dims);
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    NdArray::from_fn(shape, |_| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 30) as f64) - 1.0
+    })
+}
+
+/// Register `data` under a fresh name; returns (name, local refactoring).
+fn register(data: &NdArray<f64>) -> (String, Refactored<f64>) {
+    let (_, catalog) = live_server();
+    let name = format!("case-{}", NAME_SEQ.fetch_add(1, Ordering::Relaxed));
+    catalog
+        .insert_array(&name, data)
+        .expect("dyadic by construction");
+    let mut r = Refactorer::<f64>::new(data.shape()).unwrap();
+    let mut work = data.clone();
+    r.decompose(&mut work);
+    let hier = r.hierarchy().clone();
+    (name, Refactored::from_array(&work, &hier))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn served_tau_prefixes_meet_the_bound_and_match_local_encoding(
+        dims in dyadic_shape(),
+        seed in any::<u64>(),
+        // τ well above FP noise for these sizes: the bound must hold even
+        // when the server decides it needs every class.
+        tau_exp in -8.0f64..0.6,
+    ) {
+        let tau = 10f64.powf(tau_exp);
+        let data = field_for(&dims, seed);
+        let (name, local) = register(&data);
+        let (addr, _) = live_server();
+
+        let got = client::fetch_tau(*addr, &name, tau).unwrap();
+        // Bitwise: the wire payload is exactly the local prefix encoding.
+        let expect = encode_prefix(&local, got.classes_sent);
+        prop_assert_eq!(got.raw.as_slice(), expect.as_slice());
+        prop_assert_eq!(got.total_classes, local.num_classes());
+
+        // Accuracy: the reconstruction meets the requested bound.
+        let mut r = Refactorer::<f64>::new(data.shape()).unwrap();
+        let rec = reconstruct_prefix(&got.refac, got.refac.num_classes(), &mut r);
+        let measured = mg_grid::real::max_abs_diff(rec.as_slice(), data.as_slice());
+        prop_assert!(
+            measured <= tau,
+            "measured {} > tau {} ({} of {} classes on {:?})",
+            measured, tau, got.classes_sent, got.total_classes, dims
+        );
+        // And the server's indicator was honest about it.
+        prop_assert!(measured <= got.indicator_linf + 1e-9);
+    }
+
+    #[test]
+    fn served_budget_prefixes_fit_and_match_local_encoding(
+        dims in dyadic_shape(),
+        seed in any::<u64>(),
+        budget in 16u64..40_000,
+    ) {
+        let data = field_for(&dims, seed);
+        let (name, local) = register(&data);
+        let (addr, _) = live_server();
+
+        let got = client::fetch_budget(*addr, &name, budget).unwrap();
+        let expect = encode_prefix(&local, got.classes_sent);
+        prop_assert_eq!(got.raw.as_slice(), expect.as_slice());
+        // The prefix respects the budget (modulo the at-least-one-class
+        // floor), and is maximal: one more class would overflow.
+        let k = got.classes_sent;
+        prop_assert!(local.prefix_bytes(k) as u64 <= budget || k == 1);
+        if k < local.num_classes() {
+            prop_assert!(local.prefix_bytes(k + 1) as u64 > budget);
+        }
+    }
+}

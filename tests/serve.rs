@@ -1,0 +1,165 @@
+//! Integration tests of the progressive-retrieval server: concurrent
+//! clients at distinct error bounds, payload integrity against local
+//! encodings, cache behaviour, and graceful shutdown.
+
+use mgard::mg_serve::{client, Catalog, Server, ServerConfig};
+use mgard::prelude::*;
+
+/// A smooth field whose class norms decay, so distinct τ values select
+/// distinct prefixes.
+fn smooth_field(shape: Shape) -> NdArray<f64> {
+    NdArray::from_fn(shape, |i| {
+        i.iter()
+            .enumerate()
+            .map(|(d, &v)| ((v as f64) * 0.043 * (d + 1) as f64).sin())
+            .product::<f64>()
+    })
+}
+
+fn refactored(data: &NdArray<f64>) -> (Refactored<f64>, Refactorer<f64>) {
+    let mut r = Refactorer::<f64>::new(data.shape()).unwrap();
+    let mut work = data.clone();
+    r.decompose(&mut work);
+    let hier = r.hierarchy().clone();
+    (Refactored::from_array(&work, &hier), r)
+}
+
+#[test]
+fn concurrent_clients_at_distinct_error_bounds() {
+    let shape = Shape::d2(65, 65);
+    let data = smooth_field(shape);
+    let (local, _) = refactored(&data);
+
+    let catalog = Catalog::new();
+    catalog.insert_array("field", &data).unwrap();
+    let server = Server::bind("127.0.0.1:0", catalog, ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // >= 4 concurrent clients, each with its own error bound (plus one
+    // byte-budget client for the other request form).
+    let taus = [1e-1, 1e-2, 1e-3, 1e-5, 0.0];
+    let results: Vec<_> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for &tau in &taus {
+            handles.push(s.spawn(move || (tau, client::fetch_tau(addr, "field", tau).unwrap())));
+        }
+        let budget = s.spawn(move || client::fetch_budget(addr, "field", 2_000).unwrap());
+        let mut out: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let b = budget.join().unwrap();
+        assert!(b.refac.prefix_bytes(b.classes_sent) <= 2_000 || b.classes_sent == 1);
+        out.push((f64::NAN, b));
+        out
+    });
+
+    let mut distinct_counts = std::collections::HashSet::new();
+    for (tau, got) in &results {
+        // The payload is byte-for-byte a local encode_prefix at the same
+        // class count.
+        let expect = encode_prefix(&local, got.classes_sent);
+        assert_eq!(
+            got.raw.as_slice(),
+            expect.as_slice(),
+            "payload must match local encoding (tau {tau})"
+        );
+        // The reconstruction meets the requested bound (0.0 = lossless to
+        // FP accuracy).
+        let mut r = Refactorer::<f64>::new(shape).unwrap();
+        let rec = reconstruct_prefix(&got.refac, got.refac.num_classes(), &mut r);
+        let measured = mg_grid::real::max_abs_diff(rec.as_slice(), data.as_slice());
+        let bound = if *tau > 0.0 { *tau } else { 1e-10 };
+        if tau.is_finite() {
+            assert!(
+                measured <= bound,
+                "tau {tau}: measured {measured} > bound {bound}"
+            );
+            assert!(measured <= got.indicator_linf + 1e-10, "indicator violated");
+        }
+        distinct_counts.insert(got.classes_sent);
+    }
+    assert!(
+        distinct_counts.len() >= 3,
+        "distinct bounds should select distinct prefixes: {distinct_counts:?}"
+    );
+
+    let stats = server.shutdown().unwrap();
+    assert_eq!(stats.fetches, results.len() as u64);
+    assert_eq!(stats.requests, results.len() as u64);
+    assert!(stats.payload_bytes >= results.iter().map(|(_, g)| g.raw.len() as u64).sum());
+}
+
+#[test]
+fn repeat_requests_hit_the_prefix_cache() {
+    let data = smooth_field(Shape::d2(33, 33));
+    let catalog = Catalog::new();
+    catalog.insert_array("field", &data).unwrap();
+    let server = Server::bind("127.0.0.1:0", catalog, ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let cold = client::fetch_tau(addr, "field", 1e-4).unwrap();
+    assert!(!cold.cache_hit);
+    for _ in 0..3 {
+        let warm = client::fetch_tau(addr, "field", 1e-4).unwrap();
+        assert!(warm.cache_hit, "repeat request at the same tau must hit");
+        assert_eq!(warm.raw, cold.raw, "cache must be transparent");
+    }
+    // A different tau selecting a different prefix is a fresh miss.
+    let other = client::fetch_tau(addr, "field", 10.0).unwrap();
+    assert!(!other.cache_hit);
+    assert_ne!(other.classes_sent, cold.classes_sent);
+
+    let stats = server.shutdown().unwrap();
+    assert_eq!(stats.cache_hits, 3);
+    assert_eq!(stats.cache_misses, 2);
+}
+
+#[test]
+fn datasets_registered_while_live_are_served() {
+    let catalog = Catalog::new();
+    let server = Server::bind("127.0.0.1:0", catalog.clone(), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    assert!(client::fetch_tau(addr, "late", 0.0).is_err());
+    let data = smooth_field(Shape::d1(129));
+    catalog.insert_array("late", &data).unwrap();
+    let got = client::fetch_tau(addr, "late", 0.0).unwrap();
+    assert_eq!(got.classes_sent, got.total_classes);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn progressive_consumption_reconstructs_incrementally() {
+    // Drive the streamed payload tier-by-tier: every prefix of classes
+    // that completed mid-stream reconstructs to a valid approximation
+    // whose error shrinks as classes arrive.
+    let shape = Shape::d2(65, 65);
+    let data = smooth_field(shape);
+    let catalog = Catalog::new();
+    catalog.insert_array("field", &data).unwrap();
+    let server = Server::bind("127.0.0.1:0", catalog, ServerConfig::default()).unwrap();
+    let got = client::fetch_tau(server.local_addr(), "field", 0.0).unwrap();
+    server.shutdown().unwrap();
+
+    assert_eq!(got.progress.len(), got.classes_sent);
+    let mut r = Refactorer::<f64>::new(shape).unwrap();
+    let mut last_err = f64::INFINITY;
+    let mut dec = StreamingDecoder::<f64>::new();
+    let mut fed = 0usize;
+    for p in &got.progress {
+        // Replay the stream up to this class-completion point.
+        dec.push(&got.raw[fed..p.bytes]).unwrap();
+        fed = p.bytes;
+        assert!(dec.classes_ready() >= p.classes_ready);
+        let snap = dec.snapshot().unwrap();
+        let rec = reconstruct_prefix(&snap, snap.num_classes(), &mut r);
+        let err = mg_grid::real::max_abs_diff(rec.as_slice(), data.as_slice());
+        assert!(
+            err <= last_err * (1.0 + 1e-9) + 1e-12,
+            "refinement must not hurt: {err} after {last_err}"
+        );
+        last_err = err;
+    }
+    assert!(
+        last_err < 1e-10,
+        "full payload must be lossless: {last_err}"
+    );
+}
