@@ -1,0 +1,322 @@
+//! `bench_gateway` — latency/throughput of the gateway tier against
+//! direct backend access, and of keep-alive (protocol v2) connections
+//! against one-shot (v1) fetches.
+//!
+//! Three topologies over the same dataset mix:
+//!
+//! * `direct`   — clients hit one mg-serve backend, no gateway;
+//! * `gateway1` — one gateway fronting that backend (what the proxy hop
+//!   plus the gateway response cache costs/buys);
+//! * `gateway3` — one gateway fronting three backends with the catalog
+//!   sharded by the gateway's own consistent-hash ring (replication 2).
+//!
+//! Each topology runs twice: `oneshot` opens a fresh connection per
+//! request; `keepalive` rides one v2 connection per client thread. On a
+//! healthy build keep-alive beats one-shot on repeat fetches in every
+//! topology (no connect/teardown per request), and `gateway1` cached
+//! fetches land close to `direct` despite the extra hop.
+//!
+//! ```text
+//! bench_gateway [--quick] [--out PATH] [--clients N] [--requests N]
+//! ```
+
+use mg_gateway::{Gateway, GatewayConfig, Ring};
+use mg_grid::{NdArray, Shape};
+use mg_serve::{client, Catalog, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Mixed error bounds, cycled per request (0.0 = full payload).
+const TAUS: [f64; 4] = [1e-1, 1e-3, 1e-5, 0.0];
+
+fn field(shape: Shape, seed: usize) -> NdArray<f64> {
+    NdArray::from_fn(shape, |i| {
+        i.iter()
+            .enumerate()
+            .map(|(d, &v)| ((v as f64 + seed as f64) * 0.031 * (d + 1) as f64).sin())
+            .product::<f64>()
+    })
+}
+
+struct Phase {
+    topology: &'static str,
+    transport: &'static str,
+    wall_ms: f64,
+    reqs_per_s: f64,
+    mean_ms: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    payload_bytes: u64,
+}
+
+/// Fire `clients × requests` fetches of `datasets` at `addr`.
+fn run_phase(
+    addr: SocketAddr,
+    datasets: &[String],
+    clients: usize,
+    requests: usize,
+    keep_alive: bool,
+) -> (Vec<f64>, u64) {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut conn = keep_alive.then(|| client::Connection::open(addr).unwrap());
+                    let mut lats = Vec::with_capacity(requests);
+                    let mut bytes = 0u64;
+                    for i in 0..requests {
+                        let dataset = &datasets[(c + i) % datasets.len()];
+                        let tau = TAUS[(c + i) % TAUS.len()];
+                        let t = Instant::now();
+                        let got = match &mut conn {
+                            Some(conn) => conn.fetch_tau(dataset, tau).expect("fetch"),
+                            None => client::fetch_tau(addr, dataset, tau).expect("fetch"),
+                        };
+                        lats.push(t.elapsed().as_secs_f64() * 1e3);
+                        bytes += got.raw.len() as u64;
+                    }
+                    (lats, bytes)
+                })
+            })
+            .collect();
+        let mut lats = Vec::new();
+        let mut bytes = 0u64;
+        for h in handles {
+            let (l, b) = h.join().expect("client thread");
+            lats.extend(l);
+            bytes += b;
+        }
+        (lats, bytes)
+    })
+}
+
+fn measure(
+    topology: &'static str,
+    transport: &'static str,
+    addr: SocketAddr,
+    datasets: &[String],
+    clients: usize,
+    requests: usize,
+) -> Phase {
+    // One warmup pass fills caches and spins up workers.
+    run_phase(
+        addr,
+        datasets,
+        clients,
+        requests.min(4),
+        transport == "keepalive",
+    );
+    let t0 = Instant::now();
+    let (mut lats, payload_bytes) =
+        run_phase(addr, datasets, clients, requests, transport == "keepalive");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = lats.len();
+    Phase {
+        topology,
+        transport,
+        wall_ms,
+        reqs_per_s: n as f64 / (wall_ms / 1e3),
+        mean_ms: lats.iter().sum::<f64>() / n as f64,
+        p50_ms: lats[n / 2],
+        p95_ms: lats[(n * 95 / 100).min(n - 1)],
+        payload_bytes,
+    }
+}
+
+fn gateway_config(clients: usize) -> GatewayConfig {
+    GatewayConfig {
+        workers: clients.max(8),
+        probe_interval: Duration::from_millis(500),
+        ..GatewayConfig::default()
+    }
+}
+
+fn backend_config(clients: usize) -> ServerConfig {
+    ServerConfig {
+        // Headroom for the gateway's parked pool connections plus the
+        // concurrently forwarded requests.
+        workers: clients + 4,
+        ..ServerConfig::default()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = String::from("BENCH_gateway.json");
+    let mut clients = 6usize;
+    let mut requests = 48usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = it.next().expect("--out needs a path").clone(),
+            "--clients" => {
+                clients = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--clients needs a count")
+            }
+            "--requests" => {
+                requests = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--requests needs a count")
+            }
+            other => {
+                eprintln!(
+                    "usage: bench_gateway [--quick] [--out PATH] [--clients N] [--requests N] \
+                     (got {other:?})"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if quick {
+        clients = clients.min(4);
+        requests = requests.min(24);
+    }
+    let shape = if quick {
+        Shape::d2(65, 65)
+    } else {
+        Shape::d2(129, 129)
+    };
+
+    let datasets: Vec<String> = (0..6).map(|i| format!("ds-{i}")).collect();
+    let fields: Vec<NdArray<f64>> = (0..datasets.len()).map(|i| field(shape, i)).collect();
+    let mut phases: Vec<Phase> = Vec::new();
+
+    // --- direct + gateway1: one backend holding everything -------------
+    {
+        let catalog = Catalog::new();
+        for (name, data) in datasets.iter().zip(&fields) {
+            catalog.insert_array(name, data).expect("dyadic shape");
+        }
+        let backend =
+            Server::bind("127.0.0.1:0", catalog, backend_config(clients)).expect("bind backend");
+        let backend_addr = backend.local_addr();
+        for transport in ["oneshot", "keepalive"] {
+            phases.push(measure(
+                "direct",
+                transport,
+                backend_addr,
+                &datasets,
+                clients,
+                requests,
+            ));
+        }
+        let gw = Gateway::bind(
+            "127.0.0.1:0",
+            vec![backend_addr.to_string()],
+            GatewayConfig {
+                replication: 1,
+                ..gateway_config(clients)
+            },
+        )
+        .expect("bind gateway1");
+        for transport in ["oneshot", "keepalive"] {
+            phases.push(measure(
+                "gateway1",
+                transport,
+                gw.local_addr(),
+                &datasets,
+                clients,
+                requests,
+            ));
+        }
+        gw.shutdown().expect("shutdown gateway1");
+        backend.shutdown().expect("shutdown backend");
+    }
+
+    // --- gateway3: three backends, catalog sharded by the ring ---------
+    {
+        let mut servers = Vec::new();
+        let mut catalogs = Vec::new();
+        let mut addrs = Vec::new();
+        for _ in 0..3 {
+            let cat = Catalog::new();
+            let server = Server::bind("127.0.0.1:0", cat.clone(), backend_config(clients))
+                .expect("bind shard");
+            addrs.push(server.local_addr().to_string());
+            servers.push(server);
+            catalogs.push(cat);
+        }
+        let config = gateway_config(clients);
+        let ring = Ring::new(addrs.clone(), config.vnodes);
+        for (name, data) in datasets.iter().zip(&fields) {
+            for replica in ring.replicas(name, config.replication) {
+                let slot = addrs.iter().position(|a| a == replica).unwrap();
+                catalogs[slot].insert_array(name, data).expect("dyadic");
+            }
+        }
+        let gw = Gateway::bind("127.0.0.1:0", addrs, config).expect("bind gateway3");
+        for transport in ["oneshot", "keepalive"] {
+            phases.push(measure(
+                "gateway3",
+                transport,
+                gw.local_addr(),
+                &datasets,
+                clients,
+                requests,
+            ));
+        }
+        let stats = gw.shutdown().expect("shutdown gateway3");
+        eprintln!(
+            "gateway3 internals: {} cache hits / {} misses, pool {} dials / {} reuses",
+            stats.cache_hits, stats.cache_misses, stats.backend_dials, stats.backend_reuses
+        );
+        for server in servers {
+            server.shutdown().expect("shutdown shard");
+        }
+    }
+
+    for w in phases.chunks(2) {
+        let speedup = w[0].mean_ms / w[1].mean_ms;
+        eprintln!(
+            "{:>8}: oneshot {:.3} ms/req, keepalive {:.3} ms/req -> {speedup:.2}x",
+            w[0].topology, w[0].mean_ms, w[1].mean_ms
+        );
+    }
+
+    let rows: Vec<String> = phases
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"topology\": \"{}\", \"transport\": \"{}\", \"clients\": {clients}, \
+                 \"requests_per_client\": {requests}, \"wall_ms\": {:.3}, \
+                 \"reqs_per_s\": {:.1}, \"mean_ms\": {:.4}, \"p50_ms\": {:.4}, \
+                 \"p95_ms\": {:.4}, \"payload_bytes\": {}}}",
+                p.topology,
+                p.transport,
+                p.wall_ms,
+                p.reqs_per_s,
+                p.mean_ms,
+                p.p50_ms,
+                p.p95_ms,
+                p.payload_bytes
+            )
+        })
+        .collect();
+    let keepalive_speedup: Vec<String> = phases
+        .chunks(2)
+        .map(|w| {
+            format!(
+                "    {{\"topology\": \"{}\", \"oneshot_over_keepalive\": {:.4}}}",
+                w[0].topology,
+                w[0].mean_ms / w[1].mean_ms
+            )
+        })
+        .collect();
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let json = format!(
+        "{{\n  \"bench\": \"gateway\",\n  \"quick\": {quick},\n  \"host_threads\": {threads},\n  \
+         \"datasets\": {},\n  \"taus\": [0.1, 0.001, 0.00001, 0.0],\n  \"results\": [\n{}\n  ],\n  \
+         \"keepalive_speedup\": [\n{}\n  ]\n}}\n",
+        datasets.len(),
+        rows.join(",\n"),
+        keepalive_speedup.join(",\n")
+    );
+    std::fs::write(&out, &json).expect("write BENCH json");
+    println!("wrote {out}");
+}

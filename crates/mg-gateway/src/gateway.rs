@@ -1,0 +1,552 @@
+//! The TCP front: accepts client connections speaking the mg-serve
+//! protocol (v1 one-shot and v2 keep-alive), routes fetches through the
+//! [`Router`], and aggregates request/byte/latency stats across the
+//! backend fleet.
+
+use crate::pool::Pool;
+use crate::ring::{Ring, DEFAULT_VNODES};
+use crate::router::{Routed, Router, RouterConfig};
+use mg_serve::protocol::{self, Request, Response, StatsReport, PROTOCOL_V2};
+use mg_serve::server::{run_connection_loop, ConnAction, ConnRegistry};
+use std::io::{self, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Gateway tuning knobs.
+#[derive(Copy, Clone, Debug)]
+pub struct GatewayConfig {
+    /// Worker threads handling client connections.
+    pub workers: usize,
+    /// Replicas per dataset on the consistent-hash ring.
+    pub replication: usize,
+    /// Virtual nodes per backend on the ring.
+    pub vnodes: usize,
+    /// Gateway response-cache budget in bytes (0 disables).
+    pub cache_bytes: usize,
+    /// Parked keep-alive connections per backend (keep below the
+    /// backend's worker count — each parks a backend worker).
+    pub max_idle_per_backend: usize,
+    /// Max concurrent requests per backend before shedding.
+    pub max_inflight_per_backend: usize,
+    /// Client-side read/write timeout (reclaims workers from idle
+    /// keep-alive clients); `None` blocks forever.
+    pub io_timeout: Option<Duration>,
+    /// Backend connect timeout.
+    pub connect_timeout: Duration,
+    /// Backend per-op I/O timeout.
+    pub backend_io_timeout: Option<Duration>,
+    /// Interval between health sweeps (stats-op probes of every live
+    /// backend; dead ones rejoin via exponential backoff).
+    pub probe_interval: Duration,
+    /// First retry delay for a dead backend's probe.
+    pub probe_backoff_initial: Duration,
+    /// Probe backoff cap.
+    pub probe_backoff_max: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            workers: 8,
+            replication: 2,
+            vnodes: DEFAULT_VNODES,
+            cache_bytes: 64 << 20,
+            max_idle_per_backend: 2,
+            max_inflight_per_backend: 32,
+            io_timeout: Some(Duration::from_secs(30)),
+            connect_timeout: Duration::from_secs(2),
+            backend_io_timeout: Some(Duration::from_secs(30)),
+            probe_interval: Duration::from_secs(2),
+            probe_backoff_initial: Duration::from_millis(100),
+            probe_backoff_max: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Snapshot of the gateway's aggregated counters.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct GatewayStats {
+    /// Client requests handled (any op).
+    pub requests: u64,
+    /// Successful fetches (cache or backend).
+    pub fetches: u64,
+    /// Fetches answered NotFound.
+    pub not_found: u64,
+    /// Malformed client requests.
+    pub bad_requests: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests that failed over past the primary replica.
+    pub failovers: u64,
+    /// Requests with no reachable replica.
+    pub unavailable: u64,
+    /// Payload bytes returned to clients.
+    pub payload_bytes: u64,
+    /// Gateway response-cache hits.
+    pub cache_hits: u64,
+    /// Gateway response-cache misses.
+    pub cache_misses: u64,
+    /// Fresh dials to backends.
+    pub backend_dials: u64,
+    /// Keep-alive reuses of pooled backend connections.
+    pub backend_reuses: u64,
+    /// Backend request failures observed.
+    pub backend_errors: u64,
+    /// Backends currently believed alive.
+    pub alive_backends: usize,
+    /// Mean client-request latency.
+    pub mean_latency: Duration,
+    /// Worst client-request latency.
+    pub max_latency: Duration,
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    fetches: AtomicU64,
+    not_found: AtomicU64,
+    bad_requests: AtomicU64,
+    unavailable: AtomicU64,
+    payload_bytes: AtomicU64,
+    latency_ns_total: AtomicU64,
+    latency_ns_max: AtomicU64,
+}
+
+struct Shared {
+    router: Router,
+    counters: Counters,
+    shutting_down: AtomicBool,
+    connections: ConnRegistry,
+}
+
+/// A running gateway.
+///
+/// Accepts on a listener thread, sheds with `Overloaded` once the worker
+/// queue is full, and serves until [`Gateway::shutdown`] (or a wire
+/// shutdown op) — the same lifecycle as `mg_serve::Server`, one tier up.
+pub struct Gateway {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    health: Option<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Bind `addr` and front `backends` (mg-serve server addresses).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        backends: Vec<String>,
+        config: GatewayConfig,
+    ) -> io::Result<Gateway> {
+        if backends.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "gateway needs at least one backend",
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+
+        let ring = Ring::new(backends, config.vnodes);
+        let pool = Pool::new(
+            config.max_idle_per_backend,
+            config.connect_timeout,
+            config.backend_io_timeout,
+        );
+        let router_config = RouterConfig {
+            replication: config.replication,
+            max_inflight_per_backend: config.max_inflight_per_backend,
+            cache_bytes: config.cache_bytes,
+            probe_backoff_initial: config.probe_backoff_initial,
+            probe_backoff_max: config.probe_backoff_max,
+        };
+        let shared = Arc::new(Shared {
+            router: Router::new(ring, pool, router_config),
+            counters: Counters::default(),
+            shutting_down: AtomicBool::new(false),
+            connections: ConnRegistry::default(),
+        });
+
+        let workers = config.workers.max(1);
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(workers);
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.shutting_down.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    // Queue-depth shedding: a full worker queue answers
+                    // Overloaded immediately instead of queueing without
+                    // bound (short write timeout so a slow client can't
+                    // park the acceptor).
+                    if let Err(mpsc::TrySendError::Full(stream)) = conn_tx.try_send(stream) {
+                        shed_connection(&shared, stream);
+                        continue;
+                    }
+                }
+            })
+        };
+
+        let worker_handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let conn_rx = Arc::clone(&conn_rx);
+                let timeout = config.io_timeout;
+                std::thread::spawn(move || loop {
+                    let conn = conn_rx.lock().expect("queue lock").recv();
+                    match conn {
+                        Ok(stream) => handle_connection(stream, &shared, timeout, local),
+                        Err(_) => break,
+                    }
+                })
+            })
+            .collect();
+
+        let health = {
+            let shared = Arc::clone(&shared);
+            let interval = config.probe_interval;
+            std::thread::spawn(move || {
+                // Option, not `now() - interval`: Instant is monotonic
+                // time since boot and subtraction would panic on a
+                // freshly booted host. The first pass always sweeps.
+                let mut last_sweep: Option<Instant> = None;
+                while !shared.shutting_down.load(Ordering::SeqCst) {
+                    let sweep = last_sweep.is_none_or(|t| t.elapsed() >= interval);
+                    if sweep {
+                        last_sweep = Some(Instant::now());
+                    }
+                    // Dead backends are probed as soon as their backoff
+                    // expires; live ones only on the periodic sweep.
+                    for addr in shared.router.probe_due(sweep) {
+                        if shared.shutting_down.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        shared.router.probe(&addr);
+                    }
+                    // Short naps keep shutdown prompt without busy-spin.
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            })
+        };
+
+        Ok(Gateway {
+            addr: local,
+            shared,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+            health: Some(health),
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The placement ring (what maps datasets to backends).
+    pub fn ring(&self) -> &Ring {
+        self.shared.router.ring()
+    }
+
+    /// Snapshot of the aggregated counters.
+    pub fn stats(&self) -> GatewayStats {
+        snapshot(&self.shared)
+    }
+
+    /// Stop accepting, drain, join every thread, return final counters.
+    pub fn shutdown(mut self) -> io::Result<GatewayStats> {
+        trigger_shutdown(&self.shared, self.addr);
+        self.join_threads();
+        Ok(snapshot(&self.shared))
+    }
+
+    /// Block until a wire shutdown op arrives; return final counters.
+    pub fn wait(mut self) -> GatewayStats {
+        self.join_threads();
+        snapshot(&self.shared)
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(health) = self.health.take() {
+            let _ = health.join();
+        }
+    }
+}
+
+fn trigger_shutdown(shared: &Shared, addr: SocketAddr) {
+    if !shared.shutting_down.swap(true, Ordering::SeqCst) {
+        let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+        // Parked keep-alive clients wake with EOF and drain promptly.
+        shared.connections.close_all();
+    }
+}
+
+/// Answer `Overloaded` on the acceptor thread and drop the connection.
+fn shed_connection(shared: &Shared, stream: TcpStream) {
+    shared.router.counters.shed.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut writer = BufWriter::new(stream);
+    let _ = protocol::write_response(
+        &mut writer,
+        &Response::Overloaded("gateway worker queue is full, retry".into()),
+    );
+    let _ = writer.flush();
+}
+
+fn snapshot(shared: &Shared) -> GatewayStats {
+    let c = &shared.counters;
+    let r = &shared.router.counters;
+    let requests = c.requests.load(Ordering::Relaxed);
+    let total_ns = c.latency_ns_total.load(Ordering::Relaxed);
+    let (dials, reuses) = shared.router.pool_counters();
+    let (cache_hits, cache_misses) = shared.router.cache_counters();
+    GatewayStats {
+        requests,
+        fetches: c.fetches.load(Ordering::Relaxed),
+        not_found: c.not_found.load(Ordering::Relaxed),
+        bad_requests: c.bad_requests.load(Ordering::Relaxed),
+        shed: r.shed.load(Ordering::Relaxed),
+        failovers: r.failovers.load(Ordering::Relaxed),
+        unavailable: c.unavailable.load(Ordering::Relaxed),
+        payload_bytes: c.payload_bytes.load(Ordering::Relaxed),
+        cache_hits,
+        cache_misses,
+        backend_dials: dials,
+        backend_reuses: reuses,
+        backend_errors: r.backend_errors.load(Ordering::Relaxed),
+        alive_backends: shared.router.alive_count(),
+        mean_latency: Duration::from_nanos(total_ns.checked_div(requests).unwrap_or(0)),
+        max_latency: Duration::from_nanos(c.latency_ns_max.load(Ordering::Relaxed)),
+    }
+}
+
+/// The gateway's wire stats: aggregated over the fleet. `datasets`
+/// reports the number of *alive backends* (the gateway does not own a
+/// catalog); cache counters are the gateway response cache.
+fn stats_report(shared: &Shared) -> StatsReport {
+    let s = snapshot(shared);
+    StatsReport {
+        requests: s.requests,
+        fetches: s.fetches,
+        not_found: s.not_found,
+        bad_requests: s.bad_requests,
+        payload_bytes: s.payload_bytes,
+        cache_hits: s.cache_hits,
+        cache_misses: s.cache_misses,
+        mean_latency_us: s.mean_latency.as_micros() as u64,
+        datasets: s.alive_backends as u32,
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    shared: &Shared,
+    timeout: Option<Duration>,
+    local: SocketAddr,
+) {
+    // The version-negotiated keep-alive loop is shared with the backend
+    // server (`mg_serve::server::run_connection_loop`); only the
+    // dispatch differs — fetches route through the ring instead of a
+    // local catalog.
+    run_connection_loop(
+        stream,
+        timeout,
+        &shared.shutting_down,
+        &shared.connections,
+        |parsed, writer| {
+            let keep_alive = match parsed {
+                Ok((req @ (Request::FetchTau { .. } | Request::FetchBudget { .. }), version)) => {
+                    let ok = serve_fetch(writer, shared, &req, version).is_ok();
+                    ok && version >= PROTOCOL_V2
+                }
+                Ok((Request::Stats, version)) => {
+                    let r = protocol::write_response_versioned(
+                        writer,
+                        &Response::Stats(stats_report(shared)),
+                        version,
+                    );
+                    r.is_ok() && version >= PROTOCOL_V2
+                }
+                Ok((Request::Shutdown, version)) => {
+                    let _ = protocol::write_response_versioned(
+                        writer,
+                        &Response::ShuttingDown,
+                        version,
+                    )
+                    .and_then(|()| writer.flush()); // ack before sockets close
+                    trigger_shutdown(shared, local);
+                    false
+                }
+                Err(e) => {
+                    shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    let _ = protocol::write_response(writer, &Response::BadRequest(e.to_string()));
+                    false
+                }
+            };
+            if keep_alive {
+                ConnAction::KeepOpen
+            } else {
+                ConnAction::Close
+            }
+        },
+        |elapsed| {
+            let c = &shared.counters;
+            c.requests.fetch_add(1, Ordering::Relaxed);
+            let ns = elapsed.as_nanos() as u64;
+            c.latency_ns_total.fetch_add(ns, Ordering::Relaxed);
+            c.latency_ns_max.fetch_max(ns, Ordering::Relaxed);
+        },
+    );
+}
+
+fn serve_fetch(w: &mut impl Write, shared: &Shared, req: &Request, version: u16) -> io::Result<()> {
+    match shared.router.route_fetch(req) {
+        Routed::Fetch(header, payload) => {
+            protocol::write_response_versioned(w, &Response::Fetch(header), version)?;
+            w.write_all(&payload)?;
+            let c = &shared.counters;
+            c.fetches.fetch_add(1, Ordering::Relaxed);
+            c.payload_bytes
+                .fetch_add(payload.len() as u64, Ordering::Relaxed);
+            Ok(())
+        }
+        Routed::Other(resp) => {
+            if matches!(resp, Response::NotFound(_)) {
+                shared.counters.not_found.fetch_add(1, Ordering::Relaxed);
+            }
+            protocol::write_response_versioned(w, &resp, version)
+        }
+        Routed::Overloaded(msg) => {
+            protocol::write_response_versioned(w, &Response::Overloaded(msg), version)
+        }
+        Routed::Unavailable(msg) => {
+            shared.counters.unavailable.fetch_add(1, Ordering::Relaxed);
+            // A transient full outage must stay distinguishable from a
+            // genuinely absent dataset: Overloaded says "retry later",
+            // which is the honest signal while replicas restart —
+            // NotFound here would poison negative caches downstream.
+            protocol::write_response_versioned(w, &Response::Overloaded(msg), version)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_grid::{NdArray, Shape};
+    use mg_serve::{client, Catalog, Server, ServerConfig};
+
+    fn quick_config() -> GatewayConfig {
+        GatewayConfig {
+            probe_interval: Duration::from_millis(100),
+            probe_backoff_initial: Duration::from_millis(30),
+            probe_backoff_max: Duration::from_millis(300),
+            connect_timeout: Duration::from_millis(500),
+            io_timeout: Some(Duration::from_secs(5)),
+            backend_io_timeout: Some(Duration::from_secs(5)),
+            ..GatewayConfig::default()
+        }
+    }
+
+    fn backend(names: &[&str]) -> (Server, String) {
+        let cat = Catalog::new();
+        for name in names {
+            cat.insert_array(
+                name,
+                &NdArray::from_fn(Shape::d2(17, 17), |i| (i[0] * 3 + i[1]) as f64 * 0.05),
+            )
+            .unwrap();
+        }
+        let server = Server::bind("127.0.0.1:0", cat, ServerConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        (server, addr)
+    }
+
+    #[test]
+    fn gateway_speaks_the_client_protocol_transparently() {
+        let (server, addr) = backend(&["d"]);
+        let gw = Gateway::bind("127.0.0.1:0", vec![addr.clone()], quick_config()).unwrap();
+        let gw_addr = gw.local_addr();
+
+        // One-shot v1 client through the gateway == direct fetch.
+        let via = client::fetch_tau(gw_addr, "d", 0.0).unwrap();
+        let direct = client::fetch_tau(addr.as_str(), "d", 0.0).unwrap();
+        assert_eq!(via.raw, direct.raw, "gateway must be byte-transparent");
+
+        // Keep-alive v2 session through the gateway.
+        let mut conn = client::Connection::open(gw_addr).unwrap();
+        for _ in 0..3 {
+            let got = conn.fetch_tau("d", 0.0).unwrap();
+            assert_eq!(got.raw, direct.raw);
+        }
+        // Second identical fetch came from the gateway cache.
+        assert!(conn.fetch_tau("d", 0.0).unwrap().cache_hit);
+
+        // Unknown datasets surface NotFound through the gateway.
+        let err = client::fetch_tau(gw_addr, "nope", 0.0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+
+        let stats = gw.shutdown().unwrap();
+        assert!(stats.fetches >= 5);
+        assert!(stats.cache_hits >= 3);
+        assert_eq!(stats.alive_backends, 1);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn gateway_stats_op_reports_aggregates() {
+        let (server, addr) = backend(&["d"]);
+        let gw = Gateway::bind("127.0.0.1:0", vec![addr], quick_config()).unwrap();
+        let _ = client::fetch_tau(gw.local_addr(), "d", 0.0).unwrap();
+        let report = client::stats(gw.local_addr()).unwrap();
+        assert_eq!(report.fetches, 1);
+        assert_eq!(report.datasets, 1, "datasets field = alive backends");
+        gw.shutdown().unwrap();
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn wire_shutdown_stops_the_gateway_not_the_backends() {
+        let (server, addr) = backend(&["d"]);
+        let gw = Gateway::bind("127.0.0.1:0", vec![addr.clone()], quick_config()).unwrap();
+        let gw_addr = gw.local_addr();
+        client::shutdown(gw_addr).unwrap();
+        let stats = gw.wait();
+        assert_eq!(stats.requests, 1);
+        // The backend is untouched and still serves directly.
+        assert!(client::fetch_tau(addr.as_str(), "d", 0.0).is_ok());
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn bad_frames_get_bad_request_and_the_gateway_survives() {
+        let (server, addr) = backend(&["d"]);
+        let gw = Gateway::bind("127.0.0.1:0", vec![addr], quick_config()).unwrap();
+        let gw_addr = gw.local_addr();
+
+        let mut s = TcpStream::connect(gw_addr).unwrap();
+        s.write_all(b"POST /fetch HTTP/1.1\r\n\r\n").unwrap();
+        let (resp, _) = protocol::read_response(&mut s).unwrap();
+        assert!(matches!(resp, Response::BadRequest(_)), "{resp:?}");
+        drop(s);
+
+        assert!(client::fetch_tau(gw_addr, "d", 0.0).is_ok());
+        let stats = gw.shutdown().unwrap();
+        assert_eq!(stats.bad_requests, 1);
+        server.shutdown().unwrap();
+    }
+}

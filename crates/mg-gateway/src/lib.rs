@@ -1,0 +1,53 @@
+//! Sharded, keep-alive progressive-retrieval gateway over `mg-serve`
+//! backends.
+//!
+//! One `mg_serve::Server` holds its whole catalog in RAM and parks a
+//! worker per connection — fine for one node, not for "heavy traffic
+//! from millions of users" over datasets bigger than one machine. This
+//! crate adds the front tier that fixes both, mirroring how `mg-cluster`
+//! models embarrassingly-parallel per-rank refactoring (paper §IV-B.4)
+//! on the *serving* side:
+//!
+//! * [`Ring`] — a deterministic consistent-hash ring placing datasets on
+//!   backends with a configurable replication factor; join/leave moves
+//!   only the key fraction the changed backend owns;
+//! * [`pool::Pool`] — a keep-alive (protocol v2) backend connection
+//!   pool: one TCP stream per backend carries many forwarded requests,
+//!   no connect/teardown per fetch;
+//! * [`Router`] — per-request replica failover over health-checked
+//!   backends (periodic stats-op probes, exponential backoff on dead
+//!   peers), a byte-bounded response cache keyed like the catalog LRU,
+//!   and per-backend admission control that sheds with
+//!   `status: overloaded` instead of queueing without bound;
+//! * [`Gateway`] — the TCP front itself, speaking the same
+//!   client-facing protocol as a single backend (v1 one-shot and v2
+//!   keep-alive), so `mg_serve::client` — and `mgard-cli fetch` — work
+//!   against a gateway unchanged.
+//!
+//! ```no_run
+//! use mg_gateway::{Gateway, GatewayConfig, Ring};
+//! use mg_serve::client;
+//!
+//! // Three running mg-serve backends, datasets placed by the same ring
+//! // the gateway will build (deterministic: both sides agree).
+//! let backends = vec![
+//!     "10.0.0.1:7373".to_string(),
+//!     "10.0.0.2:7373".to_string(),
+//!     "10.0.0.3:7373".to_string(),
+//! ];
+//! let ring = Ring::new(backends.clone(), mg_gateway::DEFAULT_VNODES);
+//! assert_eq!(ring.replicas("turbulence", 2).len(), 2);
+//!
+//! let gw = Gateway::bind("0.0.0.0:7474", backends, GatewayConfig::default()).unwrap();
+//! let got = client::fetch_tau(gw.local_addr(), "turbulence", 1e-3).unwrap();
+//! assert!(got.classes_sent <= got.total_classes);
+//! ```
+
+pub mod gateway;
+pub mod pool;
+pub mod ring;
+pub mod router;
+
+pub use gateway::{Gateway, GatewayConfig, GatewayStats};
+pub use ring::{Ring, DEFAULT_VNODES};
+pub use router::{Routed, Router, RouterConfig};

@@ -1,0 +1,208 @@
+//! Keep-alive backend connection pool.
+//!
+//! The gateway talks protocol v2 to its backends: one TCP connection
+//! carries many requests. The pool keeps up to `max_idle_per_backend`
+//! parked connections per backend and hands them out on checkout; a
+//! connection that survives its request is checked back in for the next
+//! one. Dial-vs-reuse counters feed the gateway's stats (and the
+//! `bench_gateway` keep-alive comparison).
+//!
+//! Note that every parked connection also parks a *worker* on the
+//! backend (mg-serve's pool is worker-per-connection), so
+//! `max_idle_per_backend` should stay well below the backend's
+//! `ServerConfig::workers`.
+
+use mg_serve::client::Connection;
+use std::collections::HashMap;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A pooled connection: tagged with whether it was freshly dialed, so
+/// the router can treat a failure on a *reused* stream as a stale
+/// connection (retry with a fresh dial) rather than a dead backend.
+pub struct PooledConn {
+    /// The underlying keep-alive connection.
+    pub conn: Connection,
+    /// `true` when this checkout reused a parked connection.
+    pub reused: bool,
+}
+
+/// Keep-alive connection pool over the gateway's backends.
+pub struct Pool {
+    max_idle_per_backend: usize,
+    connect_timeout: Duration,
+    io_timeout: Option<Duration>,
+    idle: Mutex<HashMap<String, Vec<Connection>>>,
+    dials: AtomicU64,
+    reuses: AtomicU64,
+}
+
+impl Pool {
+    /// Pool keeping at most `max_idle_per_backend` parked connections per
+    /// backend; dials bound by `connect_timeout`, per-op I/O by
+    /// `io_timeout`.
+    pub fn new(
+        max_idle_per_backend: usize,
+        connect_timeout: Duration,
+        io_timeout: Option<Duration>,
+    ) -> Pool {
+        Pool {
+            max_idle_per_backend,
+            connect_timeout,
+            io_timeout,
+            idle: Mutex::new(HashMap::new()),
+            dials: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+        }
+    }
+
+    /// Check out a connection to `addr`: a parked one when available,
+    /// otherwise a fresh dial.
+    pub fn checkout(&self, addr: &str) -> io::Result<PooledConn> {
+        if let Some(conn) = self
+            .idle
+            .lock()
+            .expect("pool lock")
+            .get_mut(addr)
+            .and_then(Vec::pop)
+        {
+            self.reuses.fetch_add(1, Ordering::Relaxed);
+            return Ok(PooledConn { conn, reused: true });
+        }
+        self.dial(addr).map(|conn| PooledConn {
+            conn,
+            reused: false,
+        })
+    }
+
+    /// Dial `addr` directly, bypassing the idle stack (used to replace a
+    /// stale reused connection).
+    pub fn dial(&self, addr: &str) -> io::Result<Connection> {
+        let conn = self.dial_uncounted(addr)?;
+        self.dials.fetch_add(1, Ordering::Relaxed);
+        Ok(conn)
+    }
+
+    /// Dial without touching the dial counter — health probes use this
+    /// so the keep-alive dial/reuse metric reflects request traffic only.
+    pub fn dial_uncounted(&self, addr: &str) -> io::Result<Connection> {
+        // Resolve hostnames too (`localhost:7373`, DNS names) — the
+        // client side accepts them, so the backend list must as well.
+        let sock = addr
+            .to_socket_addrs()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("{addr}: {e}")))?
+            .next()
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("{addr}: resolved to no address"),
+                )
+            })?;
+        let stream = TcpStream::connect_timeout(&sock, self.connect_timeout)?;
+        stream.set_nodelay(true)?;
+        let conn = Connection::from_stream(stream)?;
+        conn.set_io_timeout(self.io_timeout)?;
+        Ok(conn)
+    }
+
+    /// Return a healthy connection to the pool (dropped when the idle
+    /// stack is full).
+    pub fn checkin(&self, addr: &str, conn: Connection) {
+        if self.max_idle_per_backend == 0 {
+            return;
+        }
+        let mut idle = self.idle.lock().expect("pool lock");
+        let stack = idle.entry(addr.to_string()).or_default();
+        if stack.len() < self.max_idle_per_backend {
+            stack.push(conn);
+        }
+    }
+
+    /// Drop every parked connection to `addr` (called when the backend is
+    /// marked dead, so nothing hands out known-stale streams).
+    pub fn evict(&self, addr: &str) {
+        self.idle.lock().expect("pool lock").remove(addr);
+    }
+
+    /// `(dials, reuses)` so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.dials.load(Ordering::Relaxed),
+            self.reuses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Parked connections right now (all backends).
+    pub fn idle_count(&self) -> usize {
+        self.idle
+            .lock()
+            .expect("pool lock")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_grid::{NdArray, Shape};
+    use mg_serve::{Catalog, Server, ServerConfig};
+
+    fn backend() -> (Server, String) {
+        let cat = Catalog::new();
+        cat.insert_array(
+            "d",
+            &NdArray::from_fn(Shape::d2(17, 17), |i| (i[0] + i[1]) as f64 * 0.1),
+        )
+        .unwrap();
+        let server = Server::bind("127.0.0.1:0", cat, ServerConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        (server, addr)
+    }
+
+    #[test]
+    fn checkout_reuses_checked_in_connections() {
+        let (server, addr) = backend();
+        let pool = Pool::new(2, Duration::from_secs(1), None);
+
+        let mut c = pool.checkout(&addr).unwrap();
+        assert!(!c.reused);
+        c.conn.fetch_tau("d", 0.0).unwrap();
+        pool.checkin(&addr, c.conn);
+        assert_eq!(pool.idle_count(), 1);
+
+        let mut c = pool.checkout(&addr).unwrap();
+        assert!(c.reused, "second checkout must reuse the parked stream");
+        c.conn.fetch_tau("d", 0.0).unwrap();
+        pool.checkin(&addr, c.conn);
+
+        assert_eq!(pool.counters(), (1, 1));
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn idle_stack_is_bounded_and_evictable() {
+        let (server, addr) = backend();
+        let pool = Pool::new(1, Duration::from_secs(1), None);
+        let a = pool.checkout(&addr).unwrap().conn;
+        let b = pool.checkout(&addr).unwrap().conn;
+        pool.checkin(&addr, a);
+        pool.checkin(&addr, b); // over the cap: dropped
+        assert_eq!(pool.idle_count(), 1);
+        pool.evict(&addr);
+        assert_eq!(pool.idle_count(), 0);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn dead_backend_fails_the_dial_quickly() {
+        let (server, addr) = backend();
+        server.shutdown().unwrap();
+        let pool = Pool::new(1, Duration::from_millis(500), None);
+        assert!(pool.checkout(&addr).is_err());
+    }
+}

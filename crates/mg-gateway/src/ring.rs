@@ -1,0 +1,232 @@
+//! Consistent-hash ring: deterministic dataset → backend placement with
+//! replication.
+//!
+//! Every backend contributes `vnodes` points to a 64-bit hash circle;
+//! a dataset lands on the first `replication` *distinct* backends at or
+//! after its own hash, walking clockwise. Two properties matter for a
+//! sharded serving tier:
+//!
+//! * **Determinism** — placement depends only on the backend *set* (not
+//!   insertion order, not process state), so a gateway and the loader
+//!   that populates the backends agree on where every dataset lives by
+//!   construction. The hash is FNV-1a, fixed here and never tied to
+//!   `std`'s randomized `DefaultHasher`.
+//! * **Minimal movement** — adding or removing one backend only remaps
+//!   the keys whose arcs the changed backend owned (≈ `1/n` of the key
+//!   space), which is the whole point of consistent hashing over
+//!   `hash % n`.
+
+/// Default virtual nodes per backend (smooths the load split).
+pub const DEFAULT_VNODES: usize = 64;
+
+/// 64-bit FNV-1a with a murmur-style finalizer: tiny, deterministic,
+/// and well-spread even over the short, similar keys vnode labels are
+/// (bare FNV-1a avalanches too weakly there and skews the arcs).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^ (h >> 33)
+}
+
+/// A consistent-hash ring over named backends.
+#[derive(Clone, Debug)]
+pub struct Ring {
+    backends: Vec<String>,
+    vnodes: usize,
+    /// `(point, backend index)` sorted by point.
+    points: Vec<(u64, u32)>,
+}
+
+impl Ring {
+    /// Build a ring over `backends` with `vnodes` virtual nodes each.
+    /// Duplicate backends collapse to one entry — a repeated address
+    /// must not masquerade as an extra replica.
+    pub fn new<S: Into<String>>(backends: impl IntoIterator<Item = S>, vnodes: usize) -> Ring {
+        let mut unique: Vec<String> = Vec::new();
+        for b in backends {
+            let b = b.into();
+            if !unique.contains(&b) {
+                unique.push(b);
+            }
+        }
+        let mut ring = Ring {
+            backends: unique,
+            vnodes: vnodes.max(1),
+            points: Vec::new(),
+        };
+        ring.rebuild();
+        ring
+    }
+
+    fn rebuild(&mut self) {
+        self.points.clear();
+        self.points.reserve(self.backends.len() * self.vnodes);
+        for (i, b) in self.backends.iter().enumerate() {
+            for v in 0..self.vnodes {
+                let point = fnv1a(format!("{b}#{v}").as_bytes());
+                self.points.push((point, i as u32));
+            }
+        }
+        self.points.sort_unstable();
+    }
+
+    /// The backends on the ring, in registration order.
+    pub fn backends(&self) -> &[String] {
+        &self.backends
+    }
+
+    /// Add a backend (no-op if already present); rebuilds the point set.
+    pub fn add_backend(&mut self, backend: &str) {
+        if !self.backends.iter().any(|b| b == backend) {
+            self.backends.push(backend.to_string());
+            self.rebuild();
+        }
+    }
+
+    /// Remove a backend (no-op if absent); rebuilds the point set.
+    pub fn remove_backend(&mut self, backend: &str) {
+        let before = self.backends.len();
+        self.backends.retain(|b| b != backend);
+        if self.backends.len() != before {
+            self.rebuild();
+        }
+    }
+
+    /// The first `replication` distinct backends clockwise from `key`'s
+    /// hash (fewer if the ring has fewer backends). The first entry is
+    /// the primary.
+    pub fn replicas(&self, key: &str, replication: usize) -> Vec<&str> {
+        if self.backends.is_empty() || replication == 0 {
+            return Vec::new();
+        }
+        let want = replication.min(self.backends.len());
+        let h = fnv1a(key.as_bytes());
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let mut seen = Vec::with_capacity(want);
+        for i in 0..self.points.len() {
+            let (_, idx) = self.points[(start + i) % self.points.len()];
+            if !seen.contains(&idx) {
+                seen.push(idx);
+                if seen.len() == want {
+                    break;
+                }
+            }
+        }
+        seen.iter()
+            .map(|&i| self.backends[i as usize].as_str())
+            .collect()
+    }
+
+    /// The primary backend for `key`.
+    pub fn primary(&self, key: &str) -> Option<&str> {
+        self.replicas(key, 1).first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("dataset-{i}")).collect()
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_order_independent() {
+        let a = Ring::new(["b0", "b1", "b2"], DEFAULT_VNODES);
+        let b = Ring::new(["b2", "b0", "b1"], DEFAULT_VNODES);
+        for k in keys(200) {
+            assert_eq!(a.replicas(&k, 2), b.replicas(&k, 2), "key {k}");
+        }
+    }
+
+    #[test]
+    fn duplicate_backends_collapse_to_one_entry() {
+        let dup = Ring::new(["b0", "b1", "b0", "b0"], DEFAULT_VNODES);
+        assert_eq!(dup.backends(), ["b0".to_string(), "b1".to_string()]);
+        let clean = Ring::new(["b0", "b1"], DEFAULT_VNODES);
+        for k in keys(100) {
+            let r = dup.replicas(&k, 2);
+            assert_eq!(r, clean.replicas(&k, 2));
+            assert_ne!(r[0], r[1], "a duplicate must never act as a replica");
+        }
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_capped_by_ring_size() {
+        let ring = Ring::new(["b0", "b1", "b2"], DEFAULT_VNODES);
+        for k in keys(100) {
+            let r = ring.replicas(&k, 2);
+            assert_eq!(r.len(), 2);
+            assert_ne!(r[0], r[1], "replicas of {k} must be distinct");
+            let all = ring.replicas(&k, 99);
+            assert_eq!(all.len(), 3, "replication caps at the backend count");
+        }
+        assert!(Ring::new(Vec::<String>::new(), 8)
+            .replicas("x", 2)
+            .is_empty());
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let ring = Ring::new(["b0", "b1", "b2", "b3"], DEFAULT_VNODES);
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        let n = 4000;
+        for k in keys(n) {
+            *counts
+                .entry(ring.primary(&k).unwrap().to_string())
+                .or_default() += 1;
+        }
+        for (b, c) in &counts {
+            let share = *c as f64 / n as f64;
+            assert!(
+                (0.10..=0.45).contains(&share),
+                "backend {b} owns {share:.2} of the keys"
+            );
+        }
+        assert_eq!(counts.len(), 4, "every backend owns some keys");
+    }
+
+    #[test]
+    fn join_and_leave_move_a_minimal_key_fraction() {
+        let before = Ring::new(["b0", "b1", "b2"], DEFAULT_VNODES);
+        let mut after = before.clone();
+        after.add_backend("b3");
+
+        let n = 3000;
+        let moved = keys(n)
+            .iter()
+            .filter(|k| before.primary(k) != after.primary(k))
+            .count();
+        // Ideal movement is 1/4 of the keys; allow generous slack but
+        // rule out the rehash-everything failure mode.
+        let frac = moved as f64 / n as f64;
+        assert!(
+            (0.10..=0.45).contains(&frac),
+            "join moved {frac:.2} of the keys"
+        );
+
+        // Every moved key moved *to* the new backend (deterministic
+        // rebalancing: existing arcs are untouched).
+        for k in keys(n) {
+            if before.primary(&k) != after.primary(&k) {
+                assert_eq!(after.primary(&k), Some("b3"), "key {k}");
+            }
+        }
+
+        // Leave is the exact inverse of join.
+        let mut back = after.clone();
+        back.remove_backend("b3");
+        for k in keys(n) {
+            assert_eq!(back.replicas(&k, 2), before.replicas(&k, 2));
+        }
+    }
+}

@@ -1,0 +1,659 @@
+//! Request routing: replica failover, health tracking with exponential
+//! backoff, a byte-bounded response cache, and per-backend admission
+//! control.
+//!
+//! A fetch walks the dataset's replica list (primary first, from the
+//! consistent-hash [`crate::ring::Ring`]):
+//!
+//! 1. the gateway response cache answers repeat requests without
+//!    touching any backend;
+//! 2. live replicas are tried first (ring order), then dead-marked ones
+//!    as a last resort — so a stale liveness snapshot never turns a
+//!    servable request into an error, and a fully-dead replica set is
+//!    still probed by the request itself;
+//! 3. backends at their in-flight cap are skipped (admission control);
+//!    if no replica could serve and any was at its cap, the request is
+//!    shed with `Overloaded` rather than queued without bound;
+//! 4. a request failure on a *reused* pooled connection is retried once
+//!    on a fresh dial before the backend is declared dead — a stale
+//!    keep-alive stream is not a dead peer;
+//! 5. a dead backend's next probe is scheduled with exponential backoff
+//!    (the health thread in [`crate::gateway`] drives the probes).
+
+use crate::pool::Pool;
+use crate::ring::Ring;
+use bytes::Bytes;
+use mg_serve::catalog::ByteLru;
+use mg_serve::client::{Connection, RawFetch};
+use mg_serve::protocol::{FetchHeader, Request, Response};
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Health + admission state of one backend.
+pub struct BackendState {
+    addr: String,
+    alive: AtomicBool,
+    consecutive_failures: AtomicU32,
+    inflight: AtomicUsize,
+    /// Millis (on the router clock) before which a dead backend is not
+    /// probed again — exponential backoff, so a dead peer costs probes,
+    /// not request latency.
+    probe_not_before_ms: AtomicU64,
+}
+
+impl BackendState {
+    fn new(addr: String) -> Self {
+        BackendState {
+            addr,
+            alive: AtomicBool::new(true),
+            consecutive_failures: AtomicU32::new(0),
+            inflight: AtomicUsize::new(0),
+            probe_not_before_ms: AtomicU64::new(0),
+        }
+    }
+
+    /// The backend address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Whether the backend is currently believed healthy.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Relaxed)
+    }
+}
+
+/// What a routed fetch produced.
+pub enum Routed {
+    /// A fetch header + raw payload (forward verbatim to the client).
+    Fetch(FetchHeader, Bytes),
+    /// An application-level response from the backend (NotFound, …).
+    Other(Response),
+    /// Every candidate was at its in-flight cap: shed.
+    Overloaded(String),
+    /// No replica could serve (all dead/unreachable).
+    Unavailable(String),
+}
+
+/// Router configuration knobs (a subset of `GatewayConfig`).
+#[derive(Copy, Clone, Debug)]
+pub struct RouterConfig {
+    /// Replicas per dataset on the ring.
+    pub replication: usize,
+    /// Max concurrent requests per backend before shedding.
+    pub max_inflight_per_backend: usize,
+    /// Gateway response-cache budget in bytes (0 disables).
+    pub cache_bytes: usize,
+    /// First retry delay for a dead backend's probe.
+    pub probe_backoff_initial: Duration,
+    /// Backoff cap.
+    pub probe_backoff_max: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            replication: 2,
+            max_inflight_per_backend: 32,
+            cache_bytes: 64 << 20,
+            probe_backoff_initial: Duration::from_millis(100),
+            probe_backoff_max: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Cache key: the request itself (dataset + selector). Mirrors the
+/// catalog prefix-cache design — repeat requests at one τ/budget are the
+/// common case a front tier sees — but keyed on the *request* because the
+/// gateway never learns backend-side generations. Re-registering a
+/// dataset under a live gateway therefore serves cached responses until
+/// they age out; bound staleness with `cache_bytes = 0` or a restart.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum CacheKey {
+    Tau(String, u64),
+    Budget(String, u64),
+}
+
+impl CacheKey {
+    fn for_request(req: &Request) -> Option<CacheKey> {
+        match req {
+            Request::FetchTau { dataset, tau } => {
+                Some(CacheKey::Tau(dataset.clone(), tau.to_bits()))
+            }
+            Request::FetchBudget {
+                dataset,
+                budget_bytes,
+            } => Some(CacheKey::Budget(dataset.clone(), *budget_bytes)),
+            _ => None,
+        }
+    }
+}
+
+/// Byte-bounded LRU of full fetch responses (header + refcounted
+/// payload bytes) — the gateway instance of the same
+/// [`mg_serve::catalog::ByteLru`] the backend prefix cache uses. `Bytes`
+/// payloads make a hit an O(1) stamp bump plus a refcount, with no
+/// payload memcpy under the lock.
+type ResponseCache = ByteLru<CacheKey, (FetchHeader, Bytes)>;
+
+#[derive(Default)]
+pub(crate) struct RouterCounters {
+    pub failovers: AtomicU64,
+    pub shed: AtomicU64,
+    pub backend_errors: AtomicU64,
+}
+
+/// The routing core shared by gateway workers and the health thread.
+pub struct Router {
+    ring: Ring,
+    config: RouterConfig,
+    backends: Vec<BackendState>,
+    pool: Pool,
+    cache: ResponseCache,
+    epoch: Instant,
+    pub(crate) counters: RouterCounters,
+}
+
+impl Router {
+    /// Build a router over `ring` using `pool` for backend connections.
+    pub fn new(ring: Ring, pool: Pool, config: RouterConfig) -> Router {
+        let backends = ring
+            .backends()
+            .iter()
+            .map(|b| BackendState::new(b.clone()))
+            .collect();
+        Router {
+            ring,
+            config,
+            backends,
+            pool,
+            cache: ResponseCache::new(config.cache_bytes),
+            epoch: Instant::now(),
+            counters: RouterCounters::default(),
+        }
+    }
+
+    /// The placement ring.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// Per-backend health states.
+    pub fn backends(&self) -> &[BackendState] {
+        &self.backends
+    }
+
+    /// Backends currently believed alive.
+    pub fn alive_count(&self) -> usize {
+        self.backends.iter().filter(|b| b.is_alive()).count()
+    }
+
+    /// `(dials, reuses)` of the backend connection pool.
+    pub fn pool_counters(&self) -> (u64, u64) {
+        self.pool.counters()
+    }
+
+    /// Bytes currently held by the gateway response cache.
+    pub fn cache_bytes(&self) -> usize {
+        self.cache.cached_bytes()
+    }
+
+    /// `(hits, misses)` of the gateway response cache.
+    pub fn cache_counters(&self) -> (u64, u64) {
+        self.cache.counters()
+    }
+
+    fn state(&self, addr: &str) -> &BackendState {
+        self.backends
+            .iter()
+            .find(|b| b.addr == addr)
+            .expect("ring backends and router states are built together")
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Record a request failure: mark dead, evict pooled streams, and
+    /// push the next probe out exponentially.
+    pub fn mark_failure(&self, addr: &str) {
+        let s = self.state(addr);
+        s.alive.store(false, Ordering::Relaxed);
+        let failures = s.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        let backoff = self
+            .config
+            .probe_backoff_initial
+            .saturating_mul(1u32 << (failures - 1).min(16))
+            .min(self.config.probe_backoff_max);
+        s.probe_not_before_ms.store(
+            self.now_ms() + backoff.as_millis() as u64,
+            Ordering::Relaxed,
+        );
+        self.pool.evict(addr);
+        self.counters.backend_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a successful exchange (probe or request).
+    pub fn mark_success(&self, addr: &str) {
+        let s = self.state(addr);
+        s.alive.store(true, Ordering::Relaxed);
+        s.consecutive_failures.store(0, Ordering::Relaxed);
+    }
+
+    /// Backends whose probe is due (dead ones past their backoff, plus
+    /// all live ones when `include_live` — the periodic health sweep).
+    pub fn probe_due(&self, include_live: bool) -> Vec<String> {
+        let now = self.now_ms();
+        self.backends
+            .iter()
+            .filter(|s| {
+                if s.is_alive() {
+                    include_live
+                } else {
+                    now >= s.probe_not_before_ms.load(Ordering::Relaxed)
+                }
+            })
+            .map(|s| s.addr.clone())
+            .collect()
+    }
+
+    /// Probe one backend with a stats exchange on a fresh connection
+    /// (uncounted, so probes don't pollute the dial/reuse metric).
+    pub fn probe(&self, addr: &str) -> bool {
+        match self.pool.dial_uncounted(addr).and_then(|mut c| c.stats()) {
+            Ok(_) => {
+                self.mark_success(addr);
+                true
+            }
+            Err(_) => {
+                self.mark_failure(addr);
+                false
+            }
+        }
+    }
+
+    /// Route one fetch request (must be `FetchTau`/`FetchBudget`).
+    pub fn route_fetch(&self, req: &Request) -> Routed {
+        let key = CacheKey::for_request(req).expect("route_fetch takes fetch requests");
+        let dataset = match req {
+            Request::FetchTau { dataset, .. } | Request::FetchBudget { dataset, .. } => dataset,
+            _ => unreachable!(),
+        };
+        if let Some((mut header, payload)) = self.cache.get(&key) {
+            // Surface the *gateway* cache to the client, mirroring the
+            // backend's own cache_hit semantics one tier up.
+            header.cache_hit = true;
+            return Routed::Fetch(header, payload);
+        }
+
+        let replicas: Vec<String> = self
+            .ring
+            .replicas(dataset, self.config.replication)
+            .into_iter()
+            .map(String::from)
+            .collect();
+        if replicas.is_empty() {
+            return Routed::Unavailable("gateway has no backends".into());
+        }
+        // Candidate order: live replicas in ring order, then dead ones
+        // whose probe backoff has expired as a last resort. A liveness
+        // snapshot gone stale mid-walk (the last live replica failing
+        // right now) then still falls through to a recovery attempt
+        // instead of an error — but a replica inside its backoff window
+        // is never dialed on the request path, so a blackholed replica
+        // set costs at most one connect timeout per backoff expiry, not
+        // per request (the health thread handles revival in between).
+        let now = self.now_ms();
+        let (live, dead): (Vec<&String>, Vec<&String>) =
+            replicas.iter().partition(|r| self.state(r).is_alive());
+        let dead: Vec<&String> = dead
+            .into_iter()
+            .filter(|r| now >= self.state(r).probe_not_before_ms.load(Ordering::Relaxed))
+            .collect();
+        let mut attempted = 0usize;
+        let mut saw_shed = false;
+        let mut last_err: Option<io::Error> = None;
+        let mut not_found: Option<Response> = None;
+        let mut bad_request: Option<Response> = None;
+        let mut shed_msg: Option<String> = None;
+
+        for addr in live.into_iter().chain(dead) {
+            let state = self.state(addr);
+            // Admission control: atomically claim an in-flight slot — an
+            // over-cap claim is undone and the replica skipped, so
+            // concurrent workers can never queue past the cap behind one
+            // backend.
+            if state.inflight.fetch_add(1, Ordering::Relaxed)
+                >= self.config.max_inflight_per_backend
+            {
+                state.inflight.fetch_sub(1, Ordering::Relaxed);
+                saw_shed = true;
+                continue;
+            }
+            if attempted > 0 || *addr != replicas[0] {
+                self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+            }
+            attempted += 1;
+            let outcome = self.try_backend(addr, req);
+            state.inflight.fetch_sub(1, Ordering::Relaxed);
+            match outcome {
+                Ok(RawFetch::Fetch(header, payload)) => {
+                    self.mark_success(addr);
+                    let payload = Bytes::from(payload);
+                    self.cache.insert(
+                        key.clone(),
+                        (header.clone(), payload.clone()),
+                        payload.len(),
+                    );
+                    return Routed::Fetch(header, payload);
+                }
+                Ok(RawFetch::Refused(resp)) => {
+                    // The backend answered at the protocol level, so it
+                    // is healthy — but NotFound might be a gap on this
+                    // replica only, and Overloaded might clear on the
+                    // next replica; remember both and keep walking.
+                    self.mark_success(addr);
+                    match resp {
+                        Response::NotFound(msg) => not_found = Some(Response::NotFound(msg)),
+                        Response::Overloaded(msg) => {
+                            saw_shed = true;
+                            shed_msg = Some(msg);
+                        }
+                        // Even BadRequest keeps the walk going: a
+                        // version-mismatched (e.g. mid-upgrade) backend
+                        // rejects frames a newer replica serves fine.
+                        other => bad_request = Some(other),
+                    }
+                }
+                Err(e) => {
+                    self.mark_failure(addr);
+                    last_err = Some(e);
+                }
+            }
+        }
+        // Shed beats NotFound beats Unavailable: any replica at its cap
+        // (ours or the backend's own) means "retry later" is the honest
+        // signal, even when other replicas were down or missing the
+        // dataset — an overloaded replica may well hold it.
+        if saw_shed {
+            self.counters.shed.fetch_add(1, Ordering::Relaxed);
+            return Routed::Overloaded(shed_msg.unwrap_or_else(|| {
+                format!("replicas of {dataset:?} are at their in-flight cap",)
+            }));
+        }
+        if let Some(resp) = not_found {
+            return Routed::Other(resp);
+        }
+        if let Some(resp) = bad_request {
+            return Routed::Other(resp);
+        }
+        Routed::Unavailable(match last_err {
+            Some(e) => format!("no replica of {dataset:?} reachable: {e}"),
+            None => format!("no replica of {dataset:?} reachable"),
+        })
+    }
+
+    /// One backend attempt; a failure on a reused pooled stream gets one
+    /// retry on a fresh dial before counting as a backend failure.
+    fn try_backend(&self, addr: &str, req: &Request) -> io::Result<RawFetch> {
+        let pooled = self.pool.checkout(addr)?;
+        let reused = pooled.reused;
+        match self.exchange(pooled.conn, addr, req) {
+            Ok(out) => Ok(out),
+            Err(_) if reused => {
+                // Stale keep-alive stream (backend restarted, idle
+                // timeout fired): not evidence the backend is down. If
+                // the fresh dial fails too, *its* error is the
+                // informative one (e.g. connection refused), not the
+                // stale stream's EOF.
+                let fresh = self.pool.dial(addr)?;
+                self.exchange(fresh, addr, req)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn exchange(&self, mut conn: Connection, addr: &str, req: &Request) -> io::Result<RawFetch> {
+        // A refused fetch still means the backend *answered* — but only
+        // NotFound/Overloaded leave the connection reusable; after
+        // BadRequest the server closes its end, so the stream must not
+        // go back in the pool. `Err` is a transport or protocol failure
+        // (timeouts included) after which the connection must be
+        // dropped, never checked back in mid-frame.
+        match conn.fetch_raw(req) {
+            Ok(out) => {
+                if !matches!(out, RawFetch::Refused(Response::BadRequest(_))) {
+                    self.pool.checkin(addr, conn);
+                }
+                Ok(out)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::DEFAULT_VNODES;
+    use mg_grid::{NdArray, Shape};
+    use mg_serve::{Catalog, Server, ServerConfig};
+
+    fn field(seed: usize) -> NdArray<f64> {
+        NdArray::from_fn(Shape::d2(17, 17), |i| {
+            ((i[0] * 7 + i[1] * 3 + seed) % 23) as f64 * 0.07 - 0.5
+        })
+    }
+
+    fn start_backend(datasets: &[(&str, usize)]) -> (Server, String) {
+        let cat = Catalog::new();
+        for &(name, seed) in datasets {
+            cat.insert_array(name, &field(seed)).unwrap();
+        }
+        let server = Server::bind("127.0.0.1:0", cat, ServerConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        (server, addr)
+    }
+
+    fn router_over(addrs: &[String], config: RouterConfig) -> Router {
+        let ring = Ring::new(addrs.iter().cloned(), DEFAULT_VNODES);
+        let pool = Pool::new(2, Duration::from_millis(500), None);
+        Router::new(ring, pool, config)
+    }
+
+    fn tau_req(dataset: &str) -> Request {
+        Request::FetchTau {
+            dataset: dataset.into(),
+            tau: 0.0,
+        }
+    }
+
+    #[test]
+    fn cache_hits_skip_the_backend_entirely() {
+        let (server, addr) = start_backend(&[("d", 1)]);
+        let router = router_over(&[addr], RouterConfig::default());
+        let Routed::Fetch(h1, p1) = router.route_fetch(&tau_req("d")) else {
+            panic!("first fetch must succeed");
+        };
+        assert!(!h1.cache_hit);
+        server.shutdown().unwrap(); // backend gone…
+        let Routed::Fetch(h2, p2) = router.route_fetch(&tau_req("d")) else {
+            panic!("cached fetch must succeed with the backend down");
+        };
+        assert!(h2.cache_hit, "gateway cache must answer");
+        assert_eq!(p1, p2);
+        assert_eq!(router.cache_counters().0, 1);
+    }
+
+    #[test]
+    fn zero_inflight_cap_sheds_with_overloaded() {
+        let (server, addr) = start_backend(&[("d", 1)]);
+        let router = router_over(
+            &[addr],
+            RouterConfig {
+                max_inflight_per_backend: 0,
+                cache_bytes: 0,
+                ..RouterConfig::default()
+            },
+        );
+        match router.route_fetch(&tau_req("d")) {
+            Routed::Overloaded(msg) => assert!(msg.contains("in-flight cap"), "{msg}"),
+            _ => panic!("cap 0 must shed"),
+        }
+        assert_eq!(router.counters.shed.load(Ordering::Relaxed), 1);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn failover_reaches_the_replica_when_the_primary_dies() {
+        // Both backends hold the dataset (replication 2); kill whichever
+        // the ring names primary and the fetch must still succeed.
+        let (s0, a0) = start_backend(&[("d", 1)]);
+        let (s1, a1) = start_backend(&[("d", 1)]);
+        let addrs = vec![a0.clone(), a1.clone()];
+        let router = router_over(
+            &addrs,
+            RouterConfig {
+                cache_bytes: 0,
+                ..RouterConfig::default()
+            },
+        );
+        let primary = router.ring().primary("d").unwrap().to_string();
+        let (dead, alive) = if primary == a0 { (s0, s1) } else { (s1, s0) };
+        dead.shutdown().unwrap();
+
+        let Routed::Fetch(_, payload) = router.route_fetch(&tau_req("d")) else {
+            panic!("failover fetch must succeed");
+        };
+        assert!(router.counters.failovers.load(Ordering::Relaxed) >= 1);
+        // The primary is now marked dead; the next fetch skips it
+        // without paying the connect timeout.
+        assert_eq!(router.alive_count(), 1);
+        let Routed::Fetch(_, payload2) = router.route_fetch(&tau_req("d")) else {
+            panic!("post-failover fetch must succeed");
+        };
+        assert_eq!(payload, payload2);
+        alive.shutdown().unwrap();
+    }
+
+    #[test]
+    fn not_found_everywhere_is_not_a_failover_storm() {
+        let (server, addr) = start_backend(&[("d", 1)]);
+        let router = router_over(&[addr], RouterConfig::default());
+        match router.route_fetch(&tau_req("missing")) {
+            Routed::Other(Response::NotFound(_)) => {}
+            _ => panic!("unknown dataset must surface NotFound"),
+        }
+        assert_eq!(router.alive_count(), 1, "NotFound must not mark dead");
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn stale_dead_mark_does_not_block_recovery() {
+        // Replica A is believed alive but just died; replica B is marked
+        // dead from an old transient failure but has recovered. The walk
+        // must fall through from the failing live replica to the
+        // dead-marked one instead of erroring.
+        let (s0, a0) = start_backend(&[("d", 1)]);
+        let (s1, a1) = start_backend(&[("d", 1)]);
+        let router = router_over(
+            &[a0.clone(), a1.clone()],
+            RouterConfig {
+                cache_bytes: 0,
+                probe_backoff_initial: Duration::from_millis(5),
+                ..RouterConfig::default()
+            },
+        );
+        // Pick by ring order so the stale-dead replica is walked last.
+        let primary = router.ring().primary("d").unwrap().to_string();
+        let (down, down_server, marked, marked_server) = if primary == a0 {
+            (a0.clone(), s0, a1.clone(), s1)
+        } else {
+            (a1.clone(), s1, a0.clone(), s0)
+        };
+        router.mark_failure(&marked); // stale: the backend is actually up
+        down_server.shutdown().unwrap(); // stale the other way: marked alive, now down
+        assert_eq!(router.alive_count(), 1);
+        // Inside the backoff window the dead-marked replica is off the
+        // request path entirely — the walk must not dial it.
+        match router.route_fetch(&tau_req("d")) {
+            Routed::Unavailable(_) => {}
+            _ => panic!("within backoff, only the down replica is walked"),
+        }
+        std::thread::sleep(Duration::from_millis(15)); // backoff expires
+
+        let Routed::Fetch(..) = router.route_fetch(&tau_req("d")) else {
+            panic!("the recovered-but-dead-marked replica must serve");
+        };
+        // The request itself revived the marked replica.
+        assert!(router.state(&marked).is_alive());
+        assert!(!router.state(&down).is_alive());
+        marked_server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shed_beats_unavailable_when_the_backend_is_down() {
+        // A capped replica means "retry later" even when the attemptable
+        // replicas are unreachable: Overloaded, never NotFound-ish.
+        let (server, addr) = start_backend(&[("d", 1)]);
+        server.shutdown().unwrap();
+        let router = router_over(
+            std::slice::from_ref(&addr),
+            RouterConfig {
+                max_inflight_per_backend: 0,
+                cache_bytes: 0,
+                ..RouterConfig::default()
+            },
+        );
+        match router.route_fetch(&tau_req("d")) {
+            Routed::Overloaded(_) => {}
+            other => panic!(
+                "capped + unreachable must shed, got {}",
+                match other {
+                    Routed::Fetch(..) => "Fetch",
+                    Routed::Other(_) => "Other",
+                    Routed::Overloaded(_) => "Overloaded",
+                    Routed::Unavailable(_) => "Unavailable",
+                }
+            ),
+        }
+        assert_eq!(router.counters.shed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn dead_backend_probes_back_off_exponentially_and_recover() {
+        let (server, addr) = start_backend(&[("d", 1)]);
+        let config = RouterConfig {
+            probe_backoff_initial: Duration::from_millis(30),
+            probe_backoff_max: Duration::from_millis(200),
+            ..RouterConfig::default()
+        };
+        let router = router_over(std::slice::from_ref(&addr), config);
+        server.shutdown().unwrap();
+
+        assert!(!router.probe(&addr));
+        assert!(!router.backends()[0].is_alive());
+        // Immediately after the failure the probe is backed off…
+        assert!(router.probe_due(false).is_empty());
+        std::thread::sleep(Duration::from_millis(40));
+        // …and due again once the initial backoff elapses.
+        assert_eq!(router.probe_due(false), vec![addr.clone()]);
+        assert!(!router.probe(&addr));
+        // Second failure doubles the wait.
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(router.probe_due(false).is_empty());
+
+        // Restart a backend on the same port to watch recovery.
+        let cat = Catalog::new();
+        cat.insert_array("d", &field(1)).unwrap();
+        let revived = Server::bind(addr.as_str(), cat, ServerConfig::default()).unwrap();
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(router.probe(&addr), "revived backend must probe healthy");
+        assert!(router.backends()[0].is_alive());
+        let Routed::Fetch(..) = router.route_fetch(&tau_req("d")) else {
+            panic!("fetch after recovery must succeed");
+        };
+        revived.shutdown().unwrap();
+    }
+}

@@ -2,7 +2,7 @@
 
 use bytes::Bytes;
 use mg_grid::hierarchy::NotDyadic;
-use mg_grid::NdArray;
+use mg_grid::{NdArray, Real};
 use mg_refactor::error::{class_norms, LINF_INDICATOR_KAPPA};
 use mg_refactor::progressive::classes_for_budget;
 use mg_refactor::serialize::encode_prefix;
@@ -15,10 +15,59 @@ use std::sync::{Arc, Mutex, RwLock};
 /// a dataset under the same name can never serve stale cached prefixes.
 static GENERATION: AtomicU64 = AtomicU64::new(0);
 
+/// Refactored classes at either supported scalar precision. The batch
+/// wire format already carries a `precision` byte, so a consumer learns
+/// the width from the payload itself.
+pub enum ClassData {
+    /// Double-precision classes (8-byte scalars on the wire).
+    F64(Refactored<f64>),
+    /// Single-precision classes (4-byte scalars on the wire).
+    F32(Refactored<f32>),
+}
+
+impl ClassData {
+    fn num_classes(&self) -> usize {
+        match self {
+            ClassData::F64(r) => r.num_classes(),
+            ClassData::F32(r) => r.num_classes(),
+        }
+    }
+
+    fn prefix_bytes(&self, count: usize) -> usize {
+        match self {
+            ClassData::F64(r) => r.prefix_bytes(count),
+            ClassData::F32(r) => r.prefix_bytes(count),
+        }
+    }
+
+    fn ndim(&self) -> usize {
+        match self {
+            ClassData::F64(r) => r.hierarchy().finest().ndim(),
+            ClassData::F32(r) => r.hierarchy().finest().ndim(),
+        }
+    }
+
+    fn suffix_indicators(&self) -> Vec<f64> {
+        fn build<T: Real>(refac: &Refactored<T>) -> Vec<f64> {
+            let norms = class_norms(refac);
+            let n = refac.num_classes();
+            let mut suffix = vec![0.0; n + 1];
+            for k in (0..n).rev() {
+                suffix[k] = suffix[k + 1] + norms[k].linf * LINF_INDICATOR_KAPPA;
+            }
+            suffix
+        }
+        match self {
+            ClassData::F64(r) => build(r),
+            ClassData::F32(r) => build(r),
+        }
+    }
+}
+
 /// One refactored dataset, ready to answer prefix-selection queries from
 /// precomputed per-class norms (no payload scan per request).
 pub struct Dataset {
-    refac: Refactored<f64>,
+    data: ClassData,
     /// `suffix_ind[k]` = conservative L∞ indicator when serving classes
     /// `0..k` (κ · Σ_{l >= k} ‖C_l‖∞); length `num_classes + 1`, last
     /// entry 0.
@@ -36,34 +85,78 @@ impl Dataset {
         Ok(Self::from_refactored(Refactored::from_array(&work, &hier)))
     }
 
-    /// Wrap an already-refactored dataset.
+    /// Refactor single-precision `data` into an f32 dataset (4-byte
+    /// scalars on the wire — half the payload of the f64 path).
+    pub fn from_array_f32(data: &NdArray<f32>) -> Result<Self, NotDyadic> {
+        let mut r = mg_core::Refactorer::<f32>::new(data.shape())?;
+        let mut work = data.clone();
+        r.decompose(&mut work);
+        let hier = r.hierarchy().clone();
+        Ok(Self::from_class_data(ClassData::F32(
+            Refactored::from_array(&work, &hier),
+        )))
+    }
+
+    /// Wrap an already-refactored f64 dataset.
     pub fn from_refactored(refac: Refactored<f64>) -> Self {
-        let norms = class_norms(&refac);
-        let n = refac.num_classes();
-        let mut suffix_ind = vec![0.0; n + 1];
-        for k in (0..n).rev() {
-            suffix_ind[k] = suffix_ind[k + 1] + norms[k].linf * LINF_INDICATOR_KAPPA;
-        }
+        Self::from_class_data(ClassData::F64(refac))
+    }
+
+    /// Wrap an already-refactored f32 dataset.
+    pub fn from_refactored_f32(refac: Refactored<f32>) -> Self {
+        Self::from_class_data(ClassData::F32(refac))
+    }
+
+    /// Wrap refactored classes at either precision.
+    pub fn from_class_data(data: ClassData) -> Self {
+        let suffix_ind = data.suffix_indicators();
         Dataset {
-            refac,
+            data,
             suffix_ind,
             generation: GENERATION.fetch_add(1, Ordering::Relaxed),
         }
     }
 
-    /// The refactored classes.
-    pub fn refactored(&self) -> &Refactored<f64> {
-        &self.refac
+    /// The refactored f64 classes (`None` for an f32 dataset).
+    pub fn refactored(&self) -> Option<&Refactored<f64>> {
+        match &self.data {
+            ClassData::F64(r) => Some(r),
+            ClassData::F32(_) => None,
+        }
+    }
+
+    /// The refactored f32 classes (`None` for an f64 dataset).
+    pub fn refactored_f32(&self) -> Option<&Refactored<f32>> {
+        match &self.data {
+            ClassData::F32(r) => Some(r),
+            ClassData::F64(_) => None,
+        }
+    }
+
+    /// Scalar width on the wire (8 for f64 datasets, 4 for f32).
+    pub fn precision_bytes(&self) -> usize {
+        match &self.data {
+            ClassData::F64(_) => 8,
+            ClassData::F32(_) => 4,
+        }
     }
 
     /// Number of coefficient classes (`L + 1`).
     pub fn num_classes(&self) -> usize {
-        self.refac.num_classes()
+        self.data.num_classes()
     }
 
-    /// Total payload bytes of the full dataset.
+    /// Total payload bytes of the full dataset (scalars only).
     pub fn total_bytes(&self) -> usize {
-        self.refac.total_bytes()
+        self.data.prefix_bytes(self.num_classes())
+    }
+
+    /// Encode the first `count` classes in the batch wire format.
+    pub fn encode_prefix(&self, count: usize) -> Bytes {
+        match &self.data {
+            ClassData::F64(r) => encode_prefix(r, count),
+            ClassData::F32(r) => encode_prefix(r, count),
+        }
     }
 
     /// Smallest prefix whose conservative L∞ indicator is `<= tau` (all
@@ -75,10 +168,40 @@ impl Dataset {
         (1..n).find(|&k| self.suffix_ind[k] <= tau).unwrap_or(n)
     }
 
-    /// Largest prefix whose payload fits `budget_bytes` (at least the
-    /// coarsest class).
+    /// Largest prefix whose *scalar payload* fits `budget_bytes` (at
+    /// least the coarsest class). Ignores wire framing; see
+    /// [`Dataset::classes_for_wire_budget`] for the bytes-on-the-wire
+    /// variant a byte-budgeted fetch actually wants.
     pub fn classes_for_budget(&self, budget_bytes: usize) -> usize {
-        classes_for_budget(&self.refac, budget_bytes)
+        match &self.data {
+            ClassData::F64(r) => classes_for_budget(r, budget_bytes),
+            ClassData::F32(r) => classes_for_budget(r, budget_bytes),
+        }
+    }
+
+    /// Bytes of the encoded wire header (`encode_prefix` overhead before
+    /// the first class): magic, version, precision, ndim, dims, nclasses.
+    pub fn wire_header_bytes(&self) -> usize {
+        4 + 2 + 1 + 1 + 8 * self.data.ndim() + 4
+    }
+
+    /// Exact bytes-on-the-wire of the encoded `count`-class prefix:
+    /// header, per-class `u64` length framing, and the scalars.
+    pub fn wire_prefix_bytes(&self, count: usize) -> usize {
+        let count = count.clamp(1, self.num_classes());
+        self.wire_header_bytes() + 8 * count + self.data.prefix_bytes(count)
+    }
+
+    /// Largest prefix whose *encoded payload* — header and per-class
+    /// framing included — fits `budget_bytes`, so the response body never
+    /// exceeds the byte budget the client asked for (always at least the
+    /// coarsest class).
+    pub fn classes_for_wire_budget(&self, budget_bytes: usize) -> usize {
+        let mut k = 1;
+        while k < self.num_classes() && self.wire_prefix_bytes(k + 1) <= budget_bytes {
+            k += 1;
+        }
+        k
     }
 
     /// Conservative L∞ indicator for serving classes `0..count`.
@@ -105,6 +228,13 @@ impl Catalog {
     /// previous dataset of that name).
     pub fn insert_array(&self, name: &str, data: &NdArray<f64>) -> Result<(), NotDyadic> {
         let ds = Dataset::from_array(data)?;
+        self.insert(name, ds);
+        Ok(())
+    }
+
+    /// Refactor single-precision `data` and register it under `name`.
+    pub fn insert_array_f32(&self, name: &str, data: &NdArray<f32>) -> Result<(), NotDyadic> {
+        let ds = Dataset::from_array_f32(data)?;
         self.insert(name, ds);
         Ok(())
     }
@@ -146,33 +276,33 @@ impl Catalog {
     }
 }
 
-/// Key of one cached encoded prefix: (dataset generation, class count).
-/// Same τ ⇒ same class count ⇒ same entry, so repeat requests at one τ
-/// skip re-encoding entirely.
-type CacheKey = (u64, usize);
-
-struct CacheInner {
-    /// Payload plus last-use stamp; recency is the stamp ordering, so a
-    /// hit is O(1) (no recency list to splice under the lock).
-    map: HashMap<CacheKey, (Bytes, u64)>,
+struct LruInner<K, V> {
+    /// Value, caller-declared byte size, last-use stamp; recency is the
+    /// stamp ordering, so a hit is O(1) (no recency list to splice under
+    /// the lock).
+    map: HashMap<K, (V, usize, u64)>,
     clock: u64,
     bytes: usize,
     hits: u64,
     misses: u64,
 }
 
-/// Byte-bounded LRU cache of encoded class prefixes.
-pub struct PrefixCache {
+/// A generic byte-bounded LRU with stamped O(1) hits and scan-on-evict —
+/// the shape both the server's encoded-prefix cache and the gateway's
+/// response cache need. Values should be cheap to clone (`Bytes`, `Arc`),
+/// since [`ByteLru::get`] clones under the lock.
+pub struct ByteLru<K, V> {
     capacity_bytes: usize,
-    inner: Mutex<CacheInner>,
+    inner: Mutex<LruInner<K, V>>,
 }
 
-impl PrefixCache {
-    /// Cache bounded to `capacity_bytes` of payload (0 disables caching).
+impl<K: std::hash::Hash + Eq + Clone, V: Clone> ByteLru<K, V> {
+    /// Cache bounded to `capacity_bytes` of declared value sizes (0
+    /// disables insertion; gets then always miss).
     pub fn new(capacity_bytes: usize) -> Self {
-        PrefixCache {
+        ByteLru {
             capacity_bytes,
-            inner: Mutex::new(CacheInner {
+            inner: Mutex::new(LruInner {
                 map: HashMap::new(),
                 clock: 0,
                 bytes: 0,
@@ -182,47 +312,54 @@ impl PrefixCache {
         }
     }
 
-    /// The encoded `count`-class prefix of `dataset`, from cache when
-    /// warm. Returns `(payload, was_hit)`.
-    pub fn get_or_encode(&self, dataset: &Dataset, count: usize) -> (Bytes, bool) {
-        let key = (dataset.generation, count);
-        {
-            let mut inner = self.inner.lock().expect("cache lock");
-            inner.clock += 1;
-            let stamp = inner.clock;
-            if let Some((bytes, last_use)) = inner.map.get_mut(&key) {
-                *last_use = stamp;
-                let bytes = bytes.clone();
-                inner.hits += 1;
-                return (bytes, true);
-            }
-            inner.misses += 1;
-        }
-        // Encode outside the lock: concurrent misses may duplicate work,
-        // but never block each other on the (possibly large) encoding.
-        let bytes = encode_prefix(dataset.refactored(), count);
+    /// Look up `key`, bumping its recency stamp and the hit/miss
+    /// counters.
+    pub fn get(&self, key: &K) -> Option<V> {
         let mut inner = self.inner.lock().expect("cache lock");
-        if self.capacity_bytes > 0 && !inner.map.contains_key(&key) {
-            inner.clock += 1;
-            let stamp = inner.clock;
-            inner.bytes += bytes.len();
-            inner.map.insert(key, (bytes.clone(), stamp));
-            // Evict least-recently-used entries down to the budget (or
-            // the single-entry floor). Eviction scans the map, but only
-            // runs on over-budget inserts — the hit path stays O(1).
-            while inner.bytes > self.capacity_bytes && inner.map.len() > 1 {
-                let evict = inner
-                    .map
-                    .iter()
-                    .min_by_key(|(_, (_, last_use))| *last_use)
-                    .map(|(k, _)| *k)
-                    .expect("non-empty");
-                if let Some((old, _)) = inner.map.remove(&evict) {
-                    inner.bytes -= old.len();
-                }
+        inner.clock += 1;
+        let stamp = inner.clock;
+        match inner.map.get_mut(key) {
+            Some((value, _, last_use)) => {
+                *last_use = stamp;
+                let value = value.clone();
+                inner.hits += 1;
+                Some(value)
+            }
+            None => {
+                inner.misses += 1;
+                None
             }
         }
-        (bytes, false)
+    }
+
+    /// Insert `value` accounted as `bytes`; no-op when the key is
+    /// already present or the capacity is 0. Evicts least-recently-used
+    /// entries down to the budget (or the single-entry floor) — the
+    /// eviction scans the map, but only runs on over-budget inserts, so
+    /// the hit path stays O(1).
+    pub fn insert(&self, key: K, value: V, bytes: usize) {
+        if self.capacity_bytes == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        if inner.map.contains_key(&key) {
+            return;
+        }
+        inner.clock += 1;
+        let stamp = inner.clock;
+        inner.bytes += bytes;
+        inner.map.insert(key, (value, bytes, stamp));
+        while inner.bytes > self.capacity_bytes && inner.map.len() > 1 {
+            let evict = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (_, _, last_use))| *last_use)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty");
+            if let Some((_, old_bytes, _)) = inner.map.remove(&evict) {
+                inner.bytes -= old_bytes;
+            }
+        }
     }
 
     /// `(hits, misses)` so far.
@@ -231,9 +368,52 @@ impl PrefixCache {
         (inner.hits, inner.misses)
     }
 
-    /// Bytes currently cached.
+    /// Declared bytes currently cached.
     pub fn cached_bytes(&self) -> usize {
         self.inner.lock().expect("cache lock").bytes
+    }
+}
+
+/// Key of one cached encoded prefix: (dataset generation, class count).
+/// Same τ ⇒ same class count ⇒ same entry, so repeat requests at one τ
+/// skip re-encoding entirely.
+type CacheKey = (u64, usize);
+
+/// Byte-bounded LRU cache of encoded class prefixes.
+pub struct PrefixCache {
+    lru: ByteLru<CacheKey, Bytes>,
+}
+
+impl PrefixCache {
+    /// Cache bounded to `capacity_bytes` of payload (0 disables caching).
+    pub fn new(capacity_bytes: usize) -> Self {
+        PrefixCache {
+            lru: ByteLru::new(capacity_bytes),
+        }
+    }
+
+    /// The encoded `count`-class prefix of `dataset`, from cache when
+    /// warm. Returns `(payload, was_hit)`.
+    pub fn get_or_encode(&self, dataset: &Dataset, count: usize) -> (Bytes, bool) {
+        let key = (dataset.generation, count);
+        if let Some(bytes) = self.lru.get(&key) {
+            return (bytes, true);
+        }
+        // Encode outside the lock: concurrent misses may duplicate work,
+        // but never block each other on the (possibly large) encoding.
+        let bytes = dataset.encode_prefix(count);
+        self.lru.insert(key, bytes.clone(), bytes.len());
+        (bytes, false)
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn counters(&self) -> (u64, u64) {
+        self.lru.counters()
+    }
+
+    /// Bytes currently cached.
+    pub fn cached_bytes(&self) -> usize {
+        self.lru.cached_bytes()
     }
 }
 
@@ -254,7 +434,7 @@ mod tests {
         for tau in [0.0, 1e-9, 1e-4, 1e-2, 0.5, 10.0, 1e9] {
             assert_eq!(
                 ds.classes_for_tau(tau),
-                mg_refactor::error::classes_for_accuracy(ds.refactored(), tau),
+                mg_refactor::error::classes_for_accuracy(ds.refactored().unwrap(), tau),
                 "tau = {tau}"
             );
         }
@@ -266,7 +446,7 @@ mod tests {
     fn indicator_matches_reference() {
         let ds = Dataset::from_array(&field(Shape::d2(17, 17))).unwrap();
         for k in 1..=ds.num_classes() {
-            let reference = mg_refactor::error::linf_indicator(ds.refactored(), k);
+            let reference = mg_refactor::error::linf_indicator(ds.refactored().unwrap(), k);
             assert!((ds.indicator(k) - reference).abs() <= 1e-12 * (1.0 + reference));
         }
     }
@@ -301,7 +481,7 @@ mod tests {
         // The cached prefix is byte-for-byte the direct encoding.
         assert_eq!(
             a.as_slice(),
-            encode_prefix(ds.refactored(), 2).as_slice(),
+            encode_prefix(ds.refactored().unwrap(), 2).as_slice(),
             "cache must be transparent"
         );
     }
@@ -310,13 +490,13 @@ mod tests {
     fn lru_eviction_respects_the_byte_budget() {
         let ds = Dataset::from_array(&field(Shape::d2(17, 17))).unwrap();
         // Small budget: only the smallest prefixes can coexist.
-        let small = encode_prefix(ds.refactored(), 1).len();
+        let small = encode_prefix(ds.refactored().unwrap(), 1).len();
         let cache = PrefixCache::new(3 * small);
         for count in 1..=ds.num_classes() {
             let _ = cache.get_or_encode(&ds, count);
         }
         // Over-budget entries were evicted down to the single-entry floor.
-        let full = encode_prefix(ds.refactored(), ds.num_classes()).len();
+        let full = encode_prefix(ds.refactored().unwrap(), ds.num_classes()).len();
         assert!(
             cache.cached_bytes() <= (3 * small).max(full),
             "{} bytes cached",
@@ -351,5 +531,80 @@ mod tests {
         let (_, hit2) = cache.get_or_encode(&ds, 1);
         assert!(!hit && !hit2);
         assert_eq!(cache.cached_bytes(), 0);
+    }
+
+    #[test]
+    fn wire_prefix_bytes_match_the_actual_encoding() {
+        for ds in [
+            Dataset::from_array(&field(Shape::d2(17, 17))).unwrap(),
+            Dataset::from_array_f32(&NdArray::from_fn(Shape::d3(5, 9, 5), |i| {
+                (i[0] + i[1] * 2 + i[2]) as f32 * 0.3
+            }))
+            .unwrap(),
+        ] {
+            for k in 1..=ds.num_classes() {
+                assert_eq!(
+                    ds.wire_prefix_bytes(k),
+                    ds.encode_prefix(k).len(),
+                    "k = {k}, precision = {}",
+                    ds.precision_bytes()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wire_budget_selection_never_overflows_the_budget() {
+        let ds = Dataset::from_array(&field(Shape::d2(33, 33))).unwrap();
+        let full = ds.wire_prefix_bytes(ds.num_classes());
+        for budget in [0, 50, 200, 1000, full / 2, full - 1, full, full + 999] {
+            let k = ds.classes_for_wire_budget(budget);
+            // Within budget (modulo the at-least-one-class floor)…
+            assert!(
+                ds.encode_prefix(k).len() <= budget || k == 1,
+                "budget {budget}: {} encoded bytes",
+                ds.encode_prefix(k).len()
+            );
+            // …and maximal: one more class would overflow.
+            if k < ds.num_classes() {
+                assert!(ds.wire_prefix_bytes(k + 1) > budget);
+            }
+        }
+        assert_eq!(ds.classes_for_wire_budget(full), ds.num_classes());
+        // The wire selection is never looser than the payload-only one.
+        for budget in [100usize, 1000, 4000, full] {
+            assert!(ds.classes_for_wire_budget(budget) <= ds.classes_for_budget(budget));
+        }
+    }
+
+    #[test]
+    fn f32_datasets_answer_selection_queries() {
+        let data = NdArray::from_fn(Shape::d2(33, 33), |i| {
+            ((i[0] as f32) * 0.21).sin() * ((i[1] as f32) * 0.13).cos()
+        });
+        let ds = Dataset::from_array_f32(&data).unwrap();
+        assert_eq!(ds.precision_bytes(), 4);
+        assert!(ds.refactored().is_none());
+        let refac = ds.refactored_f32().unwrap();
+        assert_eq!(ds.total_bytes(), refac.total_bytes());
+        // τ selection mirrors the generic reference implementation.
+        for tau in [0.0, 1e-4, 1e-2, 1.0] {
+            assert_eq!(
+                ds.classes_for_tau(tau),
+                mg_refactor::error::classes_for_accuracy(refac, tau),
+                "tau = {tau}"
+            );
+        }
+        // The encoded payload decodes as f32 and round-trips class 0.
+        let bytes = ds.encode_prefix(ds.num_classes());
+        assert_eq!(bytes.len(), ds.wire_prefix_bytes(ds.num_classes()));
+        let back = mg_refactor::serialize::decode::<f32>(bytes).unwrap();
+        assert_eq!(back.class(0), refac.class(0));
+        // An f32 payload is materially smaller than its f64 twin.
+        let twin = Dataset::from_array(&NdArray::from_fn(Shape::d2(33, 33), |i| {
+            ((i[0] as f64) * 0.21).sin() * ((i[1] as f64) * 0.13).cos()
+        }))
+        .unwrap();
+        assert!(ds.total_bytes() * 2 == twin.total_bytes());
     }
 }

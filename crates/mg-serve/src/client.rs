@@ -7,8 +7,25 @@
 //! exactly when each class completed, which is what "progressive
 //! retrieval" means on the consumer side: reconstruct coarse first,
 //! refine as later tiers arrive.
+//!
+//! Two transports:
+//!
+//! * the free functions ([`fetch_tau`], [`fetch_budget`], [`stats`], …)
+//!   speak protocol **v1**: one connection per request, closed by the
+//!   server after the response (the original one-shot mode, kept for
+//!   compatibility);
+//! * [`Connection`] speaks protocol **v2**: one TCP connection carries any
+//!   number of requests back-to-back, which is what a gateway's backend
+//!   pool (and any latency-sensitive client) wants — no connect/teardown
+//!   per request.
+//!
+//! Datasets served at f32 decode through the same machinery: use the
+//! `*_as::<f32>` variants (the payload's `precision` byte is validated by
+//! the decoder, so fetching an f32 dataset with an f64 decoder fails
+//! cleanly, not silently).
 
-use crate::protocol::{self, FetchHeader, Request, Response, StatsReport};
+use crate::protocol::{self, FetchHeader, Request, Response, StatsReport, PROTOCOL_V2};
+use mg_grid::Real;
 use mg_io::TransferCost;
 use mg_refactor::streaming::StreamingDecoder;
 use mg_refactor::Refactored;
@@ -30,12 +47,12 @@ pub struct FetchProgress {
     pub classes_ready: usize,
 }
 
-/// A completed fetch.
+/// A completed fetch (at scalar precision `T`; f64 by default).
 #[derive(Debug)]
-pub struct FetchResult {
+pub struct FetchResult<T: Real = f64> {
     /// The fetched prefix as refactored classes (classes beyond the
     /// prefix zero-filled), ready for `reconstruct_prefix`.
-    pub refac: Refactored<f64>,
+    pub refac: Refactored<T>,
     /// The raw payload, byte-for-byte as served (bitwise identical to a
     /// local `encode_prefix` at [`FetchResult::classes_sent`]).
     pub raw: Vec<u8>,
@@ -45,7 +62,8 @@ pub struct FetchResult {
     pub total_classes: usize,
     /// Server-side conservative L∞ indicator for this prefix.
     pub indicator_linf: f64,
-    /// Whether the server answered from its prefix cache.
+    /// Whether the server answered from its prefix cache (when fetching
+    /// through a gateway: from the gateway's response cache).
     pub cache_hit: bool,
     /// Modeled transfer cost of this payload across the storage ladder.
     pub tiers: Vec<TransferCost>,
@@ -57,34 +75,61 @@ fn server_error(kind: io::ErrorKind, msg: String) -> io::Error {
     io::Error::new(kind, msg)
 }
 
+/// Map an error/unexpected response onto an `io::Error` a caller can
+/// match on: `NotFound`, `InvalidInput` (bad request), `WouldBlock`
+/// (overloaded — back off and retry), `InvalidData` (protocol confusion).
+fn response_error(resp: Response) -> io::Error {
+    match resp {
+        Response::NotFound(msg) => server_error(io::ErrorKind::NotFound, msg),
+        Response::BadRequest(msg) => server_error(io::ErrorKind::InvalidInput, msg),
+        Response::Overloaded(msg) => server_error(io::ErrorKind::WouldBlock, msg),
+        other => server_error(
+            io::ErrorKind::InvalidData,
+            format!("unexpected response {other:?}"),
+        ),
+    }
+}
+
 fn connect(addr: impl ToSocketAddrs) -> io::Result<TcpStream> {
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
     Ok(stream)
 }
 
-fn fetch(addr: impl ToSocketAddrs, req: &Request) -> io::Result<FetchResult> {
-    let mut stream = connect(addr)?;
-    protocol::write_request(&mut stream, req)?;
-    let header = match protocol::read_response(&mut stream)? {
-        Response::Fetch(h) => h,
-        Response::NotFound(msg) => return Err(server_error(io::ErrorKind::NotFound, msg)),
-        Response::BadRequest(msg) => return Err(server_error(io::ErrorKind::InvalidInput, msg)),
-        other => {
+/// Cap on the bytes pre-reserved from a wire-declared `payload_len`: a
+/// corrupt or desynced header must cost a clean read error, never an
+/// absurd up-front allocation. Honest payloads larger than this just
+/// grow the buffer as bytes actually arrive.
+const MAX_PREALLOC: usize = 16 << 20;
+
+/// Read exactly `header.payload_len` raw payload bytes (no decoding) —
+/// what a proxy forwarding or caching the payload wants.
+fn read_payload_raw(stream: &mut impl Read, header: &FetchHeader) -> io::Result<Vec<u8>> {
+    let total = header.payload_len as usize;
+    let mut raw = Vec::with_capacity(total.min(MAX_PREALLOC));
+    let mut chunk = vec![0u8; CHUNK];
+    while raw.len() < total {
+        let want = CHUNK.min(total - raw.len());
+        let n = stream.read(&mut chunk[..want])?;
+        if n == 0 {
             return Err(server_error(
-                io::ErrorKind::InvalidData,
-                format!("unexpected response {other:?}"),
-            ))
+                io::ErrorKind::UnexpectedEof,
+                format!("payload truncated at {} of {total} bytes", raw.len()),
+            ));
         }
-    };
-    read_payload(&mut stream, header)
+        raw.extend_from_slice(&chunk[..n]);
+    }
+    Ok(raw)
 }
 
 /// Drain `header.payload_len` bytes, decoding incrementally.
-fn read_payload(stream: &mut TcpStream, header: FetchHeader) -> io::Result<FetchResult> {
+fn read_payload<T: Real>(
+    stream: &mut impl Read,
+    header: FetchHeader,
+) -> io::Result<FetchResult<T>> {
     let total = header.payload_len as usize;
-    let mut raw = Vec::with_capacity(total);
-    let mut decoder = StreamingDecoder::<f64>::new();
+    let mut raw = Vec::with_capacity(total.min(MAX_PREALLOC));
+    let mut decoder = StreamingDecoder::<T>::new();
     let mut progress = Vec::new();
     let mut ready = 0usize;
     let mut chunk = vec![0u8; CHUNK];
@@ -135,9 +180,37 @@ fn read_payload(stream: &mut TcpStream, header: FetchHeader) -> io::Result<Fetch
     })
 }
 
+/// Read a response expected to be a fetch header.
+fn read_fetch_header(r: &mut impl Read) -> io::Result<FetchHeader> {
+    match protocol::read_response(r)?.0 {
+        Response::Fetch(h) => Ok(h),
+        other => Err(response_error(other)),
+    }
+}
+
+fn fetch<T: Real>(addr: impl ToSocketAddrs, req: &Request) -> io::Result<FetchResult<T>> {
+    let mut stream = connect(addr)?;
+    protocol::write_request_versioned(&mut stream, req, protocol::PROTOCOL_V1)?;
+    // Buffer the response side: header parsing is many small field
+    // reads, one syscall each against a bare socket.
+    let mut reader = io::BufReader::new(stream);
+    let header = read_fetch_header(&mut reader)?;
+    read_payload(&mut reader, header)
+}
+
 /// Fetch the smallest class prefix of `dataset` whose conservative L∞
 /// indicator is `<= tau` (`tau = 0.0` fetches every class).
 pub fn fetch_tau(addr: impl ToSocketAddrs, dataset: &str, tau: f64) -> io::Result<FetchResult> {
+    fetch_tau_as::<f64>(addr, dataset, tau)
+}
+
+/// [`fetch_tau`] at an explicit scalar precision (`T = f32` for datasets
+/// registered via `Catalog::insert_array_f32`).
+pub fn fetch_tau_as<T: Real>(
+    addr: impl ToSocketAddrs,
+    dataset: &str,
+    tau: f64,
+) -> io::Result<FetchResult<T>> {
     fetch(
         addr,
         &Request::FetchTau {
@@ -147,13 +220,22 @@ pub fn fetch_tau(addr: impl ToSocketAddrs, dataset: &str, tau: f64) -> io::Resul
     )
 }
 
-/// Fetch the largest class prefix of `dataset` that fits `budget_bytes`
-/// of payload.
+/// Fetch the largest class prefix of `dataset` whose *encoded payload*
+/// (header and class framing included) fits `budget_bytes`.
 pub fn fetch_budget(
     addr: impl ToSocketAddrs,
     dataset: &str,
     budget_bytes: u64,
 ) -> io::Result<FetchResult> {
+    fetch_budget_as::<f64>(addr, dataset, budget_bytes)
+}
+
+/// [`fetch_budget`] at an explicit scalar precision.
+pub fn fetch_budget_as<T: Real>(
+    addr: impl ToSocketAddrs,
+    dataset: &str,
+    budget_bytes: u64,
+) -> io::Result<FetchResult<T>> {
     fetch(
         addr,
         &Request::FetchBudget {
@@ -167,12 +249,9 @@ pub fn fetch_budget(
 pub fn stats(addr: impl ToSocketAddrs) -> io::Result<StatsReport> {
     let mut stream = connect(addr)?;
     protocol::write_request(&mut stream, &Request::Stats)?;
-    match protocol::read_response(&mut stream)? {
+    match protocol::read_response(&mut stream)?.0 {
         Response::Stats(report) => Ok(report),
-        other => Err(server_error(
-            io::ErrorKind::InvalidData,
-            format!("unexpected response {other:?}"),
-        )),
+        other => Err(response_error(other)),
     }
 }
 
@@ -180,12 +259,151 @@ pub fn stats(addr: impl ToSocketAddrs) -> io::Result<StatsReport> {
 pub fn shutdown(addr: impl ToSocketAddrs) -> io::Result<()> {
     let mut stream = connect(addr)?;
     protocol::write_request(&mut stream, &Request::Shutdown)?;
-    match protocol::read_response(&mut stream)? {
+    match protocol::read_response(&mut stream)?.0 {
         Response::ShuttingDown => Ok(()),
-        other => Err(server_error(
-            io::ErrorKind::InvalidData,
-            format!("unexpected response {other:?}"),
-        )),
+        other => Err(response_error(other)),
+    }
+}
+
+/// Outcome of a [`Connection::fetch_raw`]: either the served bytes, or
+/// an application-level refusal.
+#[derive(Debug)]
+pub enum RawFetch {
+    /// Fetch accepted: header + payload, byte-for-byte as served.
+    Fetch(FetchHeader, Vec<u8>),
+    /// The server answered `NotFound` / `BadRequest` / `Overloaded`.
+    /// After `NotFound` and `Overloaded` the connection remains usable
+    /// for further requests; after `BadRequest` the server closes it
+    /// (a request it could not parse means it no longer trusts the
+    /// stream to be frame-aligned) — do not reuse the connection.
+    Refused(Response),
+}
+
+/// A persistent protocol-v2 connection: any number of requests ride one
+/// TCP stream (the server parks a worker on it until the client drops it
+/// or the idle timeout fires).
+///
+/// Dropping the connection closes it; the server observes a clean EOF
+/// between requests and recycles the worker.
+pub struct Connection {
+    /// Write half (a clone sharing the socket with the reader's half).
+    writer: TcpStream,
+    /// Buffered read half: response headers are many small field reads,
+    /// which would otherwise each cost a syscall on the proxy hot path.
+    reader: io::BufReader<TcpStream>,
+    requests_sent: u64,
+}
+
+impl Connection {
+    /// Dial `addr`; the v2 envelope of the first request upgrades the
+    /// connection to keep-alive mode.
+    pub fn open(addr: impl ToSocketAddrs) -> io::Result<Connection> {
+        Connection::try_from_stream(connect(addr)?)
+    }
+
+    /// Wrap an already-connected stream (e.g. one dialed with
+    /// `TcpStream::connect_timeout` by a connection pool). Fails only if
+    /// the read-half clone does (e.g. fd exhaustion).
+    pub fn from_stream(stream: TcpStream) -> io::Result<Connection> {
+        Connection::try_from_stream(stream)
+    }
+
+    fn try_from_stream(stream: TcpStream) -> io::Result<Connection> {
+        let read_half = stream.try_clone()?;
+        Ok(Connection {
+            writer: stream,
+            reader: io::BufReader::new(read_half),
+            requests_sent: 0,
+        })
+    }
+
+    /// Bound the time any single read/write may block (e.g. a gateway
+    /// guarding against a stuck backend); `None` blocks forever.
+    pub fn set_io_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        // The halves share one socket, so setting through either applies.
+        self.writer.set_read_timeout(timeout)?;
+        self.writer.set_write_timeout(timeout)
+    }
+
+    /// Requests issued on this connection so far.
+    pub fn requests_sent(&self) -> u64 {
+        self.requests_sent
+    }
+
+    /// Fetch by error bound on this connection (f64 datasets).
+    pub fn fetch_tau(&mut self, dataset: &str, tau: f64) -> io::Result<FetchResult> {
+        self.fetch_tau_as::<f64>(dataset, tau)
+    }
+
+    /// Fetch by error bound at an explicit scalar precision.
+    pub fn fetch_tau_as<T: Real>(&mut self, dataset: &str, tau: f64) -> io::Result<FetchResult<T>> {
+        self.fetch_as(&Request::FetchTau {
+            dataset: dataset.to_string(),
+            tau,
+        })
+    }
+
+    /// Fetch by wire-byte budget on this connection (f64 datasets).
+    pub fn fetch_budget(&mut self, dataset: &str, budget_bytes: u64) -> io::Result<FetchResult> {
+        self.fetch_budget_as::<f64>(dataset, budget_bytes)
+    }
+
+    /// Fetch by wire-byte budget at an explicit scalar precision.
+    pub fn fetch_budget_as<T: Real>(
+        &mut self,
+        dataset: &str,
+        budget_bytes: u64,
+    ) -> io::Result<FetchResult<T>> {
+        self.fetch_as(&Request::FetchBudget {
+            dataset: dataset.to_string(),
+            budget_bytes,
+        })
+    }
+
+    fn fetch_as<T: Real>(&mut self, req: &Request) -> io::Result<FetchResult<T>> {
+        self.requests_sent += 1;
+        protocol::write_request_versioned(&mut self.writer, req, PROTOCOL_V2)?;
+        let header = read_fetch_header(&mut self.reader)?;
+        read_payload(&mut self.reader, header)
+    }
+
+    /// Fetch without decoding: the response header plus the raw payload
+    /// bytes, exactly as served. This is the proxy path — a gateway
+    /// forwards (and caches) the bytes without paying for a decode.
+    ///
+    /// Application-level refusals come back as [`RawFetch::Refused`]
+    /// rather than an error, so a caller can tell "the backend answered
+    /// no, the stream is still frame-aligned and reusable" apart from a
+    /// transport failure (`Err`) after which the connection must be
+    /// dropped — an `ErrorKind` alone cannot carry that distinction
+    /// (a socket read timeout and a served `Overloaded` both surface as
+    /// `WouldBlock` through the decoding fetchers).
+    pub fn fetch_raw(&mut self, req: &Request) -> io::Result<RawFetch> {
+        self.requests_sent += 1;
+        protocol::write_request_versioned(&mut self.writer, req, PROTOCOL_V2)?;
+        match protocol::read_response(&mut self.reader)?.0 {
+            Response::Fetch(header) => {
+                let raw = read_payload_raw(&mut self.reader, &header)?;
+                Ok(RawFetch::Fetch(header, raw))
+            }
+            resp @ (Response::NotFound(_) | Response::BadRequest(_) | Response::Overloaded(_)) => {
+                Ok(RawFetch::Refused(resp))
+            }
+            other => Err(server_error(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response {other:?}"),
+            )),
+        }
+    }
+
+    /// Fetch the server's counters on this connection.
+    pub fn stats(&mut self) -> io::Result<StatsReport> {
+        self.requests_sent += 1;
+        protocol::write_request_versioned(&mut self.writer, &Request::Stats, PROTOCOL_V2)?;
+        match protocol::read_response(&mut self.reader)?.0 {
+            Response::Stats(report) => Ok(report),
+            other => Err(response_error(other)),
+        }
     }
 }
 
@@ -228,20 +446,130 @@ mod tests {
     }
 
     #[test]
-    fn budget_fetches_respect_the_byte_budget() {
+    fn budget_fetches_respect_the_wire_byte_budget() {
         let shape = Shape::d2(33, 33);
         let data = NdArray::from_fn(shape, |i| (i[0] * 3 + i[1]) as f64 * 0.01);
         let cat = Catalog::new();
         cat.insert_array("d", &data).unwrap();
-        let total = cat.get("d").unwrap().total_bytes();
+        let ds = cat.get("d").unwrap();
+        let full_wire = ds.wire_prefix_bytes(ds.num_classes());
         let server = Server::bind("127.0.0.1:0", cat, ServerConfig::default()).unwrap();
         let addr = server.local_addr();
 
-        let half = fetch_budget(addr, "d", (total / 2) as u64).unwrap();
+        // The budget bounds the actual bytes on the wire, not just the
+        // scalar payload.
+        let half = fetch_budget(addr, "d", (full_wire / 2) as u64).unwrap();
         assert!(half.classes_sent < half.total_classes);
-        assert!(half.refac.prefix_bytes(half.classes_sent) <= total / 2 || half.classes_sent == 1);
-        let all = fetch_budget(addr, "d", total as u64).unwrap();
+        assert!(half.raw.len() <= full_wire / 2 || half.classes_sent == 1);
+        let all = fetch_budget(addr, "d", full_wire as u64).unwrap();
         assert_eq!(all.classes_sent, all.total_classes);
+        assert_eq!(all.raw.len(), full_wire);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn keep_alive_connection_carries_many_requests() {
+        let cat = Catalog::new();
+        let data = NdArray::from_fn(Shape::d2(33, 33), |i| {
+            (i[0] as f64 * 0.19).sin() + i[1] as f64
+        });
+        cat.insert_array("d", &data).unwrap();
+        let server = Server::bind("127.0.0.1:0", cat, ServerConfig::default()).unwrap();
+        let addr = server.local_addr();
+
+        let mut conn = Connection::open(addr).unwrap();
+        let first = conn.fetch_tau("d", 0.0).unwrap();
+        for _ in 0..4 {
+            let again = conn.fetch_tau("d", 0.0).unwrap();
+            assert_eq!(again.raw, first.raw, "keep-alive must be transparent");
+        }
+        // Mixed ops on the same connection, including app-level errors
+        // (NotFound must not poison the stream).
+        let err = conn.fetch_tau("missing", 0.0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        let report = conn.stats().unwrap();
+        assert_eq!(report.fetches, 5);
+        assert_eq!(conn.requests_sent(), 7);
+        drop(conn);
+
+        // The whole session rode one connection: the server counted 7
+        // requests but only ever parked one stream.
+        let stats = server.shutdown().unwrap();
+        assert_eq!(stats.requests, 7);
+    }
+
+    #[test]
+    fn v1_and_v2_clients_interoperate_on_one_server() {
+        // Version negotiation: a one-shot (v1) fetch and a keep-alive
+        // (v2) session against the same server return identical bytes,
+        // and the response envelope echoes each client's version.
+        let cat = Catalog::new();
+        let data = NdArray::from_fn(Shape::d1(65), |i| (i[0] as f64 * 0.3).cos());
+        cat.insert_array("d", &data).unwrap();
+        let server = Server::bind("127.0.0.1:0", cat, ServerConfig::default()).unwrap();
+        let addr = server.local_addr();
+
+        let one_shot = fetch_tau(addr, "d", 0.0).unwrap();
+        let mut conn = Connection::open(addr).unwrap();
+        let keep_alive = conn.fetch_tau("d", 0.0).unwrap();
+        assert_eq!(one_shot.raw, keep_alive.raw);
+
+        // Raw envelope check: a v1 request is answered with a v1 envelope
+        // and the server closes; a v2 request gets a v2 envelope and the
+        // connection stays open for another request.
+        let mut s = connect(addr).unwrap();
+        protocol::write_request_versioned(&mut s, &Request::Stats, protocol::PROTOCOL_V1).unwrap();
+        let (_, ver) = protocol::read_response(&mut s).unwrap();
+        assert_eq!(ver, protocol::PROTOCOL_V1);
+        let mut rest = Vec::new();
+        s.read_to_end(&mut rest).unwrap(); // server closed after v1
+        assert!(rest.is_empty());
+
+        let mut s = connect(addr).unwrap();
+        for _ in 0..2 {
+            protocol::write_request_versioned(&mut s, &Request::Stats, PROTOCOL_V2).unwrap();
+            let (resp, ver) = protocol::read_response(&mut s).unwrap();
+            assert_eq!(ver, PROTOCOL_V2);
+            assert!(matches!(resp, Response::Stats(_)));
+        }
+        drop(s);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn f32_datasets_fetch_and_decode_end_to_end() {
+        let shape = Shape::d2(33, 33);
+        let data32 = NdArray::from_fn(shape, |i| {
+            ((i[0] as f32) * 0.17).sin() * ((i[1] as f32) * 0.23).cos()
+        });
+        let cat = Catalog::new();
+        cat.insert_array_f32("small", &data32).unwrap();
+        let total32 = cat.get("small").unwrap().total_bytes();
+        let server = Server::bind("127.0.0.1:0", cat, ServerConfig::default()).unwrap();
+        let addr = server.local_addr();
+
+        let got = fetch_tau_as::<f32>(addr, "small", 0.0).unwrap();
+        assert_eq!(got.classes_sent, got.total_classes);
+        assert_eq!(got.raw[6], 4, "payload precision byte must say f32");
+        // Lossless reconstruction at f32 accuracy.
+        let mut r = mg_core::Refactorer::<f32>::new(shape).unwrap();
+        let rec = mg_refactor::progressive::reconstruct_prefix(
+            &got.refac,
+            got.refac.num_classes(),
+            &mut r,
+        );
+        let err = rec
+            .as_slice()
+            .iter()
+            .zip(data32.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(err < 1e-4, "f32 round trip error {err}");
+        // The payload really is the 4-byte-per-scalar size class.
+        assert!(got.raw.len() < total32 + 200);
+        // Fetching an f32 dataset with the f64 decoder fails cleanly.
+        let err = fetch_tau(addr, "small", 0.0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         server.shutdown().unwrap();
     }
 

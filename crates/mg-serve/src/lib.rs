@@ -15,8 +15,16 @@
 //!   shutdown;
 //! * [`client`] — a blocking client that drives
 //!   `mg_refactor::StreamingDecoder` as bytes arrive, so callers can
-//!   reconstruct incrementally tier by tier;
-//! * [`protocol`] — the small length-prefixed wire protocol between them.
+//!   reconstruct incrementally tier by tier; one-shot (protocol v1) free
+//!   functions plus a keep-alive (protocol v2) [`client::Connection`]
+//!   that carries any number of requests on one TCP stream;
+//! * [`protocol`] — the small length-prefixed wire protocol between them
+//!   (version-negotiated: v1 one-shot, v2 keep-alive).
+//!
+//! Datasets register at f64 or f32 ([`Catalog::insert_array_f32`]); byte
+//! budgets bound the *encoded* payload (header + class framing included),
+//! so a `--budget N` fetch never puts more than `N` payload bytes on the
+//! wire.
 //!
 //! Every response also carries the modeled transfer cost of its payload
 //! across the [`mg_io::tiers`] standard ladder, connecting the live
@@ -44,7 +52,7 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use catalog::{Catalog, Dataset};
-pub use client::{FetchProgress, FetchResult};
+pub use catalog::{ByteLru, Catalog, ClassData, Dataset};
+pub use client::{Connection, FetchProgress, FetchResult, RawFetch};
 pub use protocol::{Request, StatsReport};
 pub use server::{Server, ServerConfig, ServerStats};

@@ -1,17 +1,26 @@
 //! The length-prefixed wire protocol between `mg-serve` clients and
 //! servers.
 //!
-//! One request, one response, one connection (HTTP/1.0 style — trivially
-//! robust under a worker pool). All integers are little-endian.
+//! Two connection modes, negotiated per request by the envelope version:
+//!
+//! * **v1 — one-shot** (HTTP/1.0 style): one request, one response, the
+//!   server closes the connection. Trivially robust under a worker pool.
+//! * **v2 — keep-alive** (HTTP/1.1 style): the server answers and then
+//!   waits for the next request on the same connection, until the client
+//!   closes, the idle timeout fires, or a shutdown op arrives. The
+//!   response envelope echoes the request's version, so a client can
+//!   confirm the server agreed to keep the connection open.
+//!
+//! Frames are identical in both versions. All integers are little-endian.
 //!
 //! ```text
-//! request:  magic u32 "MGRQ" | version u16 | op u8
+//! request:  magic u32 "MGRQ" | version u16 (1 or 2) | op u8
 //!           op 0 (fetch, τ):      name_len u16 | name | tau f64
 //!           op 1 (fetch, budget): name_len u16 | name | budget u64
 //!           op 2 (stats):         —
 //!           op 3 (shutdown):      —
 //!
-//! response: magic u32 "MGRP" | version u16 | status u8
+//! response: magic u32 "MGRP" | version u16 (echoed) | status u8
 //!           status 0 (fetch ok):  classes_sent u32 | total_classes u32
 //!                                 | indicator_linf f64 | cache_hit u8
 //!                                 | payload_len u64
@@ -21,13 +30,20 @@
 //!           status 1 (not found) / 2 (bad request): msg_len u16 | msg
 //!           status 3 (stats):     StatsReport fields (see below)
 //!           status 4 (shutdown):  —
+//!           status 5 (overloaded): msg_len u16 | msg
 //! ```
 //!
 //! The fetch payload is byte-for-byte the output of
 //! `mg_refactor::serialize::encode_prefix` at the class count the server
 //! selected, so a client can verify integrity against a local encoding and
 //! feed the bytes straight into `mg_refactor::StreamingDecoder` — classes
-//! are usable the moment their last byte arrives.
+//! are usable the moment their last byte arrives. The `precision` byte of
+//! the payload tells the consumer whether the dataset is f32 or f64.
+//!
+//! `status 5 (overloaded)` is the admission-control shed signal: the
+//! server (typically a gateway) refused the request because its queues or
+//! per-backend in-flight limits are full. Clients should back off and
+//! retry; the connection stays usable in v2.
 
 use mg_io::TransferCost;
 use std::io::{self, Read, Write};
@@ -36,8 +52,12 @@ use std::io::{self, Read, Write};
 pub const REQUEST_MAGIC: u32 = u32::from_le_bytes(*b"MGRQ");
 /// Response magic (`"MGRP"`).
 pub const RESPONSE_MAGIC: u32 = u32::from_le_bytes(*b"MGRP");
-/// Protocol version spoken by this crate.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// One-shot protocol version (connection closes after the response).
+pub const PROTOCOL_V1: u16 = 1;
+/// Keep-alive protocol version (N requests per connection).
+pub const PROTOCOL_V2: u16 = 2;
+/// Highest protocol version spoken by this crate.
+pub const PROTOCOL_VERSION: u16 = PROTOCOL_V2;
 /// Upper bound on dataset-name length (also bounds error messages).
 pub const MAX_NAME_LEN: usize = 4096;
 
@@ -121,6 +141,8 @@ pub enum Response {
     Stats(StatsReport),
     /// Shutdown acknowledged; the server drains and exits.
     ShuttingDown,
+    /// Admission control shed the request (queues full); retry later.
+    Overloaded(String),
 }
 
 // --- primitive helpers ------------------------------------------------
@@ -188,25 +210,32 @@ fn truncate_msg(msg: &str) -> &str {
     &msg[..end]
 }
 
-fn check_envelope(r: &mut impl Read, magic: u32, what: &str) -> io::Result<()> {
+/// Validate the magic + version envelope; returns the negotiated version.
+fn check_envelope(r: &mut impl Read, magic: u32, what: &str) -> io::Result<u16> {
     let got = read_u32(r)?;
     if got != magic {
         return Err(bad_data(format!("bad {what} magic 0x{got:08X}")));
     }
     let version = read_u16(r)?;
-    if version != PROTOCOL_VERSION {
+    if version != PROTOCOL_V1 && version != PROTOCOL_V2 {
         return Err(bad_data(format!("unsupported {what} version {version}")));
     }
-    Ok(())
+    Ok(version)
 }
 
 // --- requests ---------------------------------------------------------
 
-/// Serialize and send one request.
+/// Serialize and send one request in one-shot (v1) mode.
 pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
+    write_request_versioned(w, req, PROTOCOL_V1)
+}
+
+/// Serialize and send one request under an explicit protocol version
+/// ([`PROTOCOL_V1`] = one-shot, [`PROTOCOL_V2`] = keep-alive).
+pub fn write_request_versioned(w: &mut impl Write, req: &Request, version: u16) -> io::Result<()> {
     let mut buf = Vec::with_capacity(64);
     buf.extend_from_slice(&REQUEST_MAGIC.to_le_bytes());
-    buf.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    buf.extend_from_slice(&version.to_le_bytes());
     match req {
         Request::FetchTau { dataset, tau } => {
             buf.push(0);
@@ -228,36 +257,49 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
     w.flush()
 }
 
-/// Read and validate one request.
-pub fn read_request(r: &mut impl Read) -> io::Result<Request> {
-    check_envelope(r, REQUEST_MAGIC, "request")?;
-    match read_u8(r)? {
+/// Read and validate one request; returns the request and the protocol
+/// version the client spoke (which the response must echo).
+pub fn read_request(r: &mut impl Read) -> io::Result<(Request, u16)> {
+    let version = check_envelope(r, REQUEST_MAGIC, "request")?;
+    let req = match read_u8(r)? {
         0 => {
             let dataset = read_string(r)?;
             let tau = read_f64(r)?;
             if !tau.is_finite() || tau < 0.0 {
                 return Err(bad_data(format!("tau {tau} must be finite and >= 0")));
             }
-            Ok(Request::FetchTau { dataset, tau })
+            Request::FetchTau { dataset, tau }
         }
-        1 => Ok(Request::FetchBudget {
+        1 => Request::FetchBudget {
             dataset: read_string(r)?,
             budget_bytes: read_u64(r)?,
-        }),
-        2 => Ok(Request::Stats),
-        3 => Ok(Request::Shutdown),
-        op => Err(bad_data(format!("unknown op {op}"))),
-    }
+        },
+        2 => Request::Stats,
+        3 => Request::Shutdown,
+        op => return Err(bad_data(format!("unknown op {op}"))),
+    };
+    Ok((req, version))
 }
 
 // --- responses --------------------------------------------------------
 
-/// Serialize and send one response header (fetch payload bytes are
-/// written separately, straight after the header).
+/// Serialize and send one response header in one-shot (v1) mode.
 pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+    write_response_versioned(w, resp, PROTOCOL_V1)
+}
+
+/// Serialize and send one response header under an explicit protocol
+/// version — servers echo the version of the request they are answering
+/// (fetch payload bytes are written separately, straight after the
+/// header).
+pub fn write_response_versioned(
+    w: &mut impl Write,
+    resp: &Response,
+    version: u16,
+) -> io::Result<()> {
     let mut buf = Vec::with_capacity(128);
     buf.extend_from_slice(&RESPONSE_MAGIC.to_le_bytes());
-    buf.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    buf.extend_from_slice(&version.to_le_bytes());
     match resp {
         Response::Fetch(h) => {
             buf.push(0);
@@ -297,14 +339,19 @@ pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
             buf.extend_from_slice(&s.datasets.to_le_bytes());
         }
         Response::ShuttingDown => buf.push(4),
+        Response::Overloaded(msg) => {
+            buf.push(5);
+            put_string(&mut buf, truncate_msg(msg))?;
+        }
     }
     w.write_all(&buf)
 }
 
-/// Read one response header.
-pub fn read_response(r: &mut impl Read) -> io::Result<Response> {
-    check_envelope(r, RESPONSE_MAGIC, "response")?;
-    match read_u8(r)? {
+/// Read one response header; returns the response and the version the
+/// server echoed (v2 means the server keeps the connection open).
+pub fn read_response(r: &mut impl Read) -> io::Result<(Response, u16)> {
+    let version = check_envelope(r, RESPONSE_MAGIC, "response")?;
+    let resp = match read_u8(r)? {
         0 => {
             let classes_sent = read_u32(r)?;
             let total_classes = read_u32(r)?;
@@ -318,18 +365,18 @@ pub fn read_response(r: &mut impl Read) -> io::Result<Response> {
                 let seconds = read_f64(r)?;
                 tiers.push(TransferCost { tier, seconds });
             }
-            Ok(Response::Fetch(FetchHeader {
+            Response::Fetch(FetchHeader {
                 classes_sent,
                 total_classes,
                 indicator_linf,
                 cache_hit,
                 payload_len,
                 tiers,
-            }))
+            })
         }
-        1 => Ok(Response::NotFound(read_string(r)?)),
-        2 => Ok(Response::BadRequest(read_string(r)?)),
-        3 => Ok(Response::Stats(StatsReport {
+        1 => Response::NotFound(read_string(r)?),
+        2 => Response::BadRequest(read_string(r)?),
+        3 => Response::Stats(StatsReport {
             requests: read_u64(r)?,
             fetches: read_u64(r)?,
             not_found: read_u64(r)?,
@@ -339,10 +386,12 @@ pub fn read_response(r: &mut impl Read) -> io::Result<Response> {
             cache_misses: read_u64(r)?,
             mean_latency_us: read_u64(r)?,
             datasets: read_u32(r)?,
-        })),
-        4 => Ok(Response::ShuttingDown),
-        status => Err(bad_data(format!("unknown status {status}"))),
-    }
+        }),
+        4 => Response::ShuttingDown,
+        5 => Response::Overloaded(read_string(r)?),
+        status => return Err(bad_data(format!("unknown status {status}"))),
+    };
+    Ok((resp, version))
 }
 
 #[cfg(test)]
@@ -350,10 +399,13 @@ mod tests {
     use super::*;
 
     fn round_trip_request(req: Request) {
-        let mut buf = Vec::new();
-        write_request(&mut buf, &req).unwrap();
-        let back = read_request(&mut buf.as_slice()).unwrap();
-        assert_eq!(back, req);
+        for version in [PROTOCOL_V1, PROTOCOL_V2] {
+            let mut buf = Vec::new();
+            write_request_versioned(&mut buf, &req, version).unwrap();
+            let (back, ver) = read_request(&mut buf.as_slice()).unwrap();
+            assert_eq!(back, req);
+            assert_eq!(ver, version, "envelope version must round-trip");
+        }
     }
 
     #[test]
@@ -371,10 +423,13 @@ mod tests {
     }
 
     fn round_trip_response(resp: Response) {
-        let mut buf = Vec::new();
-        write_response(&mut buf, &resp).unwrap();
-        let back = read_response(&mut buf.as_slice()).unwrap();
-        assert_eq!(back, resp);
+        for version in [PROTOCOL_V1, PROTOCOL_V2] {
+            let mut buf = Vec::new();
+            write_response_versioned(&mut buf, &resp, version).unwrap();
+            let (back, ver) = read_response(&mut buf.as_slice()).unwrap();
+            assert_eq!(back, resp);
+            assert_eq!(ver, version, "envelope version must round-trip");
+        }
     }
 
     #[test]
@@ -401,6 +456,17 @@ mod tests {
             datasets: 2,
         }));
         round_trip_response(Response::ShuttingDown);
+        round_trip_response(Response::Overloaded("queue full, retry".into()));
+    }
+
+    #[test]
+    fn unknown_versions_rejected() {
+        let mut buf = Vec::new();
+        write_request_versioned(&mut buf, &Request::Stats, 3).unwrap();
+        assert!(read_request(&mut buf.as_slice()).is_err());
+        let mut buf = Vec::new();
+        write_response_versioned(&mut buf, &Response::ShuttingDown, 0).unwrap();
+        assert!(read_response(&mut buf.as_slice()).is_err());
     }
 
     #[test]
@@ -449,7 +515,7 @@ mod tests {
         assert!(long.len() > MAX_NAME_LEN);
         let mut buf = Vec::new();
         write_response(&mut buf, &Response::NotFound(long.clone())).unwrap();
-        match read_response(&mut buf.as_slice()).unwrap() {
+        match read_response(&mut buf.as_slice()).unwrap().0 {
             Response::NotFound(msg) => {
                 assert_eq!(msg.len(), MAX_NAME_LEN);
                 assert!(long.starts_with(&msg));
@@ -461,7 +527,7 @@ mod tests {
         let mut buf = Vec::new();
         write_response(&mut buf, &Response::BadRequest(wide)).unwrap();
         assert!(matches!(
-            read_response(&mut buf.as_slice()).unwrap(),
+            read_response(&mut buf.as_slice()).unwrap().0,
             Response::BadRequest(m) if m.len() <= MAX_NAME_LEN
         ));
     }

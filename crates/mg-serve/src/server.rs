@@ -1,9 +1,18 @@
-//! The TCP server: fixed worker pool, prefix cache, stats, graceful
-//! shutdown.
+//! The TCP server: fixed worker pool, keep-alive connections, prefix
+//! cache, stats, graceful shutdown.
+//!
+//! Connections negotiate per request: a v1 envelope gets one response and
+//! a close (the original one-shot mode); a v2 envelope keeps the
+//! connection parked on its worker for the next request, until the client
+//! closes, the idle timeout fires, or a shutdown op arrives. The worker
+//! pool is fixed, so a long-lived v2 connection occupies a worker for its
+//! whole life — size `ServerConfig::workers` to the expected number of
+//! concurrent keep-alive peers (e.g. a gateway's pool), and rely on
+//! `ServerConfig::io_timeout` to reclaim workers from idle peers.
 
 use crate::catalog::{Catalog, PrefixCache};
-use crate::protocol::{self, FetchHeader, Request, Response, StatsReport};
-use std::io::{self, BufReader, BufWriter, Write};
+use crate::protocol::{self, FetchHeader, Request, Response, StatsReport, PROTOCOL_V2};
+use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -66,11 +75,59 @@ struct Counters {
     latency_ns_max: AtomicU64,
 }
 
+/// Live-connection registry: keep-alive workers park in `read` between
+/// requests, so a graceful drain must actively close their sockets —
+/// otherwise shutdown waits out the idle timeout per parked connection.
+///
+/// A connection registers *once* for its whole life (the handle is moved
+/// in, so tracking can never fail mid-connection, e.g. under fd
+/// exhaustion) and flips its `parked` flag around each blocking
+/// between-requests read; [`ConnRegistry::close_all`] only shuts down
+/// sockets currently parked, leaving in-flight requests to drain.
+#[derive(Default)]
+pub struct ConnRegistry {
+    next: AtomicU64,
+    live: Mutex<std::collections::HashMap<u64, (TcpStream, Arc<AtomicBool>)>>,
+}
+
+impl ConnRegistry {
+    /// Track a connection for its lifetime; returns a token for
+    /// [`ConnRegistry::deregister`] and the shared parked flag.
+    pub fn register(&self, stream: TcpStream) -> (u64, Arc<AtomicBool>) {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        let parked = Arc::new(AtomicBool::new(false));
+        self.live
+            .lock()
+            .expect("registry lock")
+            .insert(id, (stream, Arc::clone(&parked)));
+        (id, parked)
+    }
+
+    /// Stop tracking a finished connection.
+    pub fn deregister(&self, id: u64) {
+        self.live.lock().expect("registry lock").remove(&id);
+    }
+
+    /// Shut down the *read* half of every parked socket: the blocking
+    /// between-requests read wakes with EOF, while a worker that just
+    /// un-parked to serve a racing request can still write its response
+    /// (the parked flag is only a hint — read-only shutdown makes the
+    /// race harmless either way).
+    pub fn close_all(&self) {
+        for (s, parked) in self.live.lock().expect("registry lock").values() {
+            if parked.load(Ordering::SeqCst) {
+                let _ = s.shutdown(std::net::Shutdown::Read);
+            }
+        }
+    }
+}
+
 struct Shared {
     catalog: Catalog,
     cache: PrefixCache,
     counters: Counters,
     shutting_down: AtomicBool,
+    connections: ConnRegistry,
 }
 
 /// A running progressive-retrieval server.
@@ -103,6 +160,7 @@ impl Server {
             cache: PrefixCache::new(config.cache_bytes),
             counters: Counters::default(),
             shutting_down: AtomicBool::new(false),
+            connections: ConnRegistry::default(),
         });
 
         let workers = config.workers.max(1);
@@ -191,12 +249,14 @@ impl Server {
     }
 }
 
-/// Flip the shutdown flag and poke the listener so `accept` wakes up.
+/// Flip the shutdown flag, poke the listener so `accept` wakes up, and
+/// close parked keep-alive connections so their workers drain promptly.
 fn trigger_shutdown(shared: &Shared, addr: SocketAddr) {
     if !shared.shutting_down.swap(true, Ordering::SeqCst) {
         // The wake-up connection is observed by the acceptor *after* the
         // flag is set, so it breaks out of the accept loop.
         let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+        shared.connections.close_all();
     }
 }
 
@@ -233,55 +293,154 @@ fn stats_report(shared: &Shared) -> StatsReport {
     }
 }
 
+/// The dispatcher's verdict on a connection after one request.
+pub enum ConnAction {
+    /// Park the connection for the next request (protocol v2).
+    KeepOpen,
+    /// Close after this response (protocol v1, error, or shutdown).
+    Close,
+}
+
+/// Drive one client connection through the version-negotiated keep-alive
+/// loop shared by the server and the gateway front.
+///
+/// Each iteration serves one request: the connection is flagged *parked*
+/// around the blocking between-requests read (so a graceful drain can
+/// close it out of that read) and un-flagged while serving (in-flight
+/// requests complete). The first read of an iteration distinguishes a
+/// clean close — EOF between requests, normal v2 teardown, also the
+/// idle-timeout escape — from a truncated frame, which reaches
+/// `dispatch` as the parse error. `dispatch` writes the response (the
+/// loop flushes, and a failed flush closes the connection: a peer that
+/// never received its response must not be parked for the next request);
+/// `record` gets the per-request wall time for the owner's counters.
+pub fn run_connection_loop(
+    stream: TcpStream,
+    timeout: Option<Duration>,
+    shutting_down: &AtomicBool,
+    registry: &ConnRegistry,
+    mut dispatch: impl FnMut(io::Result<(Request, u16)>, &mut BufWriter<TcpStream>) -> ConnAction,
+    mut record: impl FnMut(Duration),
+) {
+    let _ = stream.set_read_timeout(timeout);
+    let _ = stream.set_write_timeout(timeout);
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let Ok(park_handle) = stream.try_clone() else {
+        return;
+    };
+    let (token, parked) = registry.register(park_handle);
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+
+    loop {
+        parked.store(true, Ordering::SeqCst);
+        // Re-check after flagging: a drain that swept between our first
+        // check and the flag flip would have skipped this socket.
+        if shutting_down.load(Ordering::SeqCst) {
+            parked.store(false, Ordering::SeqCst);
+            break;
+        }
+        let mut first = [0u8; 1];
+        let got = reader.read(&mut first);
+        parked.store(false, Ordering::SeqCst);
+        match got {
+            Ok(0) | Err(_) => break, // peer closed between requests, or idle timeout
+            Ok(_) => {}
+        }
+        let t0 = Instant::now();
+        let mut framed = (&first[..]).chain(&mut reader);
+
+        let action = dispatch(protocol::read_request(&mut framed), &mut writer);
+        let flushed = writer.flush().is_ok();
+        record(t0.elapsed());
+
+        if !flushed {
+            break; // response never fully left: the stream is not reusable
+        }
+        match action {
+            ConnAction::KeepOpen => {}
+            ConnAction::Close => break,
+        }
+    }
+    registry.deregister(token);
+}
+
 fn handle_connection(
     stream: TcpStream,
     shared: &Shared,
     timeout: Option<Duration>,
     local: SocketAddr,
 ) {
-    let _ = stream.set_read_timeout(timeout);
-    let _ = stream.set_write_timeout(timeout);
-    let _ = stream.set_nodelay(true);
-    let t0 = Instant::now();
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-
-    let outcome = match protocol::read_request(&mut reader) {
-        Ok(Request::FetchTau { dataset, tau }) => {
-            serve_fetch(&mut writer, shared, &dataset, Selection::Tau(tau))
-        }
-        Ok(Request::FetchBudget {
-            dataset,
-            budget_bytes,
-        }) => serve_fetch(
-            &mut writer,
-            shared,
-            &dataset,
-            Selection::Budget(budget_bytes),
-        ),
-        Ok(Request::Stats) => {
-            protocol::write_response(&mut writer, &Response::Stats(stats_report(shared)))
-        }
-        Ok(Request::Shutdown) => {
-            let r = protocol::write_response(&mut writer, &Response::ShuttingDown);
-            trigger_shutdown(shared, local);
-            r
-        }
-        Err(e) => {
-            shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-            protocol::write_response(&mut writer, &Response::BadRequest(e.to_string()))
-        }
-    };
-    let _ = outcome.and_then(|()| writer.flush());
-
-    let c = &shared.counters;
-    c.requests.fetch_add(1, Ordering::Relaxed);
-    let ns = t0.elapsed().as_nanos() as u64;
-    c.latency_ns_total.fetch_add(ns, Ordering::Relaxed);
-    c.latency_ns_max.fetch_max(ns, Ordering::Relaxed);
+    run_connection_loop(
+        stream,
+        timeout,
+        &shared.shutting_down,
+        &shared.connections,
+        |parsed, writer| {
+            let keep_alive = match parsed {
+                Ok((Request::FetchTau { dataset, tau }, version)) => {
+                    let r = serve_fetch(writer, shared, &dataset, Selection::Tau(tau), version);
+                    r.is_ok() && version >= PROTOCOL_V2
+                }
+                Ok((
+                    Request::FetchBudget {
+                        dataset,
+                        budget_bytes,
+                    },
+                    version,
+                )) => {
+                    let r = serve_fetch(
+                        writer,
+                        shared,
+                        &dataset,
+                        Selection::Budget(budget_bytes),
+                        version,
+                    );
+                    r.is_ok() && version >= PROTOCOL_V2
+                }
+                Ok((Request::Stats, version)) => {
+                    let r = protocol::write_response_versioned(
+                        writer,
+                        &Response::Stats(stats_report(shared)),
+                        version,
+                    );
+                    r.is_ok() && version >= PROTOCOL_V2
+                }
+                Ok((Request::Shutdown, version)) => {
+                    let _ = protocol::write_response_versioned(
+                        writer,
+                        &Response::ShuttingDown,
+                        version,
+                    )
+                    .and_then(|()| writer.flush()); // ack before sockets close
+                    trigger_shutdown(shared, local);
+                    false
+                }
+                Err(e) => {
+                    // The stream can no longer be trusted to be
+                    // frame-aligned: answer and close, whatever the version.
+                    shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    let _ = protocol::write_response(writer, &Response::BadRequest(e.to_string()));
+                    false
+                }
+            };
+            if keep_alive {
+                ConnAction::KeepOpen
+            } else {
+                ConnAction::Close
+            }
+        },
+        |elapsed| {
+            let c = &shared.counters;
+            c.requests.fetch_add(1, Ordering::Relaxed);
+            let ns = elapsed.as_nanos() as u64;
+            c.latency_ns_total.fetch_add(ns, Ordering::Relaxed);
+            c.latency_ns_max.fetch_max(ns, Ordering::Relaxed);
+        },
+    );
 }
 
 enum Selection {
@@ -294,17 +453,21 @@ fn serve_fetch(
     shared: &Shared,
     dataset: &str,
     sel: Selection,
+    version: u16,
 ) -> io::Result<()> {
     let Some(ds) = shared.catalog.get(dataset) else {
         shared.counters.not_found.fetch_add(1, Ordering::Relaxed);
-        return protocol::write_response(
+        return protocol::write_response_versioned(
             w,
             &Response::NotFound(format!("dataset {dataset:?} is not in the catalog")),
+            version,
         );
     };
     let count = match sel {
         Selection::Tau(tau) => ds.classes_for_tau(tau),
-        Selection::Budget(bytes) => ds.classes_for_budget(bytes as usize),
+        // Budgets bound bytes-on-the-wire: the encoded payload with its
+        // header and per-class framing, not just the scalars.
+        Selection::Budget(bytes) => ds.classes_for_wire_budget(bytes as usize),
     };
     let (payload, cache_hit) = shared.cache.get_or_encode(&ds, count);
     let header = FetchHeader {
@@ -315,7 +478,7 @@ fn serve_fetch(
         payload_len: payload.len() as u64,
         tiers: mg_io::transfer_costs(payload.len() as u64, 1),
     };
-    protocol::write_response(w, &Response::Fetch(header))?;
+    protocol::write_response_versioned(w, &Response::Fetch(header), version)?;
     w.write_all(payload.as_slice())?;
     let c = &shared.counters;
     c.fetches.fetch_add(1, Ordering::Relaxed);
@@ -364,7 +527,7 @@ mod tests {
         // A garbage request gets a BadRequest response, not a hang.
         let mut s = TcpStream::connect(addr).unwrap();
         s.write_all(b"GET / HTTP/1.0\r\n\r\n").unwrap();
-        let resp = protocol::read_response(&mut s).unwrap();
+        let (resp, _) = protocol::read_response(&mut s).unwrap();
         assert!(matches!(resp, Response::BadRequest(_)), "{resp:?}");
 
         let stats = server.shutdown().unwrap();

@@ -34,10 +34,16 @@
 //!
 //! `serve` exposes a catalog of refactored datasets over TCP; `fetch`
 //! retrieves the minimal class prefix for an error bound (`--tau`) or a
-//! byte budget (`--budget`) and reconstructs it; `shutdown` stops a
-//! server gracefully. See `mg-serve` for the wire protocol.
+//! byte budget (`--budget`, bounding bytes-on-the-wire) and reconstructs
+//! it; `shutdown` stops a server gracefully. See `mg-serve` for the wire
+//! protocol. `gateway` fronts several servers behind one address: a
+//! consistent-hash ring places datasets (with replication), a keep-alive
+//! connection pool reaches the backends, and failed backends are failed
+//! over and health-probed. `fetch --via-gateway` runs the fetch and a
+//! stats query over one keep-alive (protocol v2) connection.
 
 use mgard::mg_compress::{Compressed, Compressor, StageTimings};
+use mgard::mg_gateway::{Gateway, GatewayConfig};
 use mgard::mg_serve::{client as serve_client, Catalog, Server, ServerConfig};
 use mgard::prelude::*;
 use std::io::{BufRead as _, Read as _, Write as _};
@@ -64,8 +70,11 @@ const USAGE: &str = "usage:
   mgard-cli info       IN.mgrd
   mgard-cli serve      [--listen ADDR] --data NAME=FILE.f64:DxHxW ...
                        [--synthetic NAME=DxHxW ...] [--workers N] [--cache-mb N]
+  mgard-cli gateway    [--listen ADDR] --backend ADDR [--backend ADDR ...]
+                       [--replication N] [--workers N] [--cache-mb N]
+                       [--max-inflight N]
   mgard-cli fetch      ADDR NAME OUT.f64 [--tau T | --budget BYTES]
-                       [--save-raw OUT.mgrd]
+                       [--save-raw OUT.mgrd] [--via-gateway]
   mgard-cli shutdown   ADDR
 
 options (refactor/reconstruct/compress/decompress):
@@ -89,7 +98,7 @@ struct Opts {
     tile: Option<usize>,
     threads: Option<usize>,
     stream: bool,
-    // serve/fetch options
+    // serve/fetch/gateway options
     listen: String,
     data: Vec<String>,
     synthetic: Vec<String>,
@@ -97,6 +106,10 @@ struct Opts {
     cache_mb: Option<usize>,
     budget: Option<u64>,
     save_raw: Option<String>,
+    backends: Vec<String>,
+    replication: Option<usize>,
+    max_inflight: Option<usize>,
+    via_gateway: bool,
 }
 
 impl Opts {
@@ -135,6 +148,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, Box<dyn std::error::Error>> {
         cache_mb: None,
         budget: None,
         save_raw: None,
+        backends: Vec::new(),
+        replication: None,
+        max_inflight: None,
+        via_gateway: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -196,6 +213,23 @@ fn parse_opts(args: &[String]) -> Result<Opts, Box<dyn std::error::Error>> {
             "--save-raw" => {
                 o.save_raw = Some(it.next().ok_or("--save-raw needs a path")?.clone());
             }
+            "--backend" => {
+                o.backends
+                    .push(it.next().ok_or("--backend needs an address")?.clone());
+            }
+            "--replication" => {
+                let v = it.next().ok_or("--replication needs a count")?;
+                let n: usize = v.parse().map_err(|_| "bad --replication")?;
+                if n == 0 {
+                    return Err("--replication must be >= 1".into());
+                }
+                o.replication = Some(n);
+            }
+            "--max-inflight" => {
+                let v = it.next().ok_or("--max-inflight needs a count")?;
+                o.max_inflight = Some(v.parse().map_err(|_| "bad --max-inflight")?);
+            }
+            "--via-gateway" => o.via_gateway = true,
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a count")?;
                 let n: usize = v.parse().map_err(|_| "bad --threads")?;
@@ -228,6 +262,7 @@ fn run(args: &[String]) -> CliResult {
         "decompress" => decompress(&o),
         "info" => info(&o),
         "serve" => serve(&o),
+        "gateway" => gateway(&o),
         "fetch" => fetch(&o),
         "shutdown" => shutdown(&o),
         other => Err(format!("unknown command {other}").into()),
@@ -601,6 +636,51 @@ fn serve(o: &Opts) -> CliResult {
     Ok(())
 }
 
+fn gateway(o: &Opts) -> CliResult {
+    if !o.positional.is_empty() {
+        return Err("gateway takes no positional arguments".into());
+    }
+    if o.backends.is_empty() {
+        return Err("gateway needs at least one --backend ADDR".into());
+    }
+    let defaults = GatewayConfig::default();
+    let config = GatewayConfig {
+        workers: o.workers.unwrap_or(defaults.workers),
+        replication: o.replication.unwrap_or(defaults.replication),
+        cache_bytes: o.cache_mb.map_or(defaults.cache_bytes, |mb| mb << 20),
+        max_inflight_per_backend: o.max_inflight.unwrap_or(defaults.max_inflight_per_backend),
+        ..defaults
+    };
+    let gw = Gateway::bind(o.listen.as_str(), o.backends.clone(), config)?;
+    // Tests (and scripts) parse this line for the ephemeral port.
+    println!(
+        "gateway on {} fronting {} backends (replication {})",
+        gw.local_addr(),
+        o.backends.len(),
+        config.replication
+    );
+    std::io::stdout().flush()?;
+    let stats = gw.wait();
+    println!(
+        "routed {} requests ({} fetches, {} bytes; cache {}/{} hits; \
+         {} failovers, {} shed, {} unavailable; pool {} dials / {} reuses; \
+         mean latency {:?}, max {:?})",
+        stats.requests,
+        stats.fetches,
+        stats.payload_bytes,
+        stats.cache_hits,
+        stats.cache_hits + stats.cache_misses,
+        stats.failovers,
+        stats.shed,
+        stats.unavailable,
+        stats.backend_dials,
+        stats.backend_reuses,
+        stats.mean_latency,
+        stats.max_latency
+    );
+    Ok(())
+}
+
 fn fetch(o: &Opts) -> CliResult {
     let [addr, name, output] = o.positional.as_slice() else {
         return Err("fetch needs ADDR NAME OUT.f64".into());
@@ -608,9 +688,29 @@ fn fetch(o: &Opts) -> CliResult {
     if o.tau.is_some() && o.budget.is_some() {
         return Err("pick one of --tau and --budget".into());
     }
-    let result = match o.budget {
-        Some(b) => serve_client::fetch_budget(addr.as_str(), name, b)?,
-        None => serve_client::fetch_tau(addr.as_str(), name, o.tau.unwrap_or(0.0))?,
+    let result = if o.via_gateway {
+        // One keep-alive (v2) connection carries the fetch and a stats
+        // query — the gateway session pattern.
+        let mut conn = serve_client::Connection::open(addr.as_str())?;
+        let result = match o.budget {
+            Some(b) => conn.fetch_budget(name, b)?,
+            None => conn.fetch_tau(name, o.tau.unwrap_or(0.0))?,
+        };
+        let report = conn.stats()?;
+        println!(
+            "gateway session: {} requests on one connection; gateway totals: \
+             {} fetches, {} cache hits, {} alive backends",
+            conn.requests_sent(),
+            report.fetches,
+            report.cache_hits,
+            report.datasets
+        );
+        result
+    } else {
+        match o.budget {
+            Some(b) => serve_client::fetch_budget(addr.as_str(), name, b)?,
+            None => serve_client::fetch_tau(addr.as_str(), name, o.tau.unwrap_or(0.0))?,
+        }
     };
     if let Some(raw_path) = &o.save_raw {
         std::fs::write(raw_path, &result.raw)?;

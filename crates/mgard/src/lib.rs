@@ -49,6 +49,7 @@
 //! | compression | [`mg_compress`] | quantizer + entropy coder + pipeline (§V-B) |
 //! | I/O | [`mg_io`] | tiered storage + ADIOS-like selective class I/O (§V-A) |
 //! | serving | [`mg_serve`] | concurrent progressive-retrieval TCP server + client |
+//! | gateway | [`mg_gateway`] | sharded, keep-alive gateway fronting many servers |
 //! | scale-out | [`mg_cluster`] | weak scaling and node-level comparisons (Fig. 9, Table VI) |
 //! | data | [`mg_workloads`] | Gray–Scott, iso-surfaces, synthetic fields |
 
@@ -56,6 +57,7 @@ pub use gpu_sim;
 pub use mg_cluster;
 pub use mg_compress;
 pub use mg_core;
+pub use mg_gateway;
 pub use mg_gpu;
 pub use mg_grid;
 pub use mg_io;

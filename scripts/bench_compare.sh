@@ -58,4 +58,5 @@ cargo run --release -p mg-bench --bin bench_refactor -- \
 # set stays complete for the *next* comparison.
 cargo run --release -p mg-bench --bin bench_stream -- --quick --out BENCH_stream.json
 cargo run --release -p mg-bench --bin bench_serve -- --quick --out BENCH_serve.json
+cargo run --release -p mg-bench --bin bench_gateway -- --quick --out BENCH_gateway.json
 echo "bench_compare: no regressions vs ${base_sha} (tolerance ${tolerance}%)"

@@ -482,6 +482,104 @@ fn serve_fetch_shutdown_session() {
 }
 
 #[test]
+fn gateway_fronts_backends_for_fetch_sessions() {
+    use std::io::BufRead;
+    let d = tmpdir("gateway");
+
+    // Spawn a process and parse its startup banner for the bound address.
+    fn spawn_and_parse(
+        mut cmd: Command,
+        prefix: &str,
+    ) -> (
+        std::process::Child,
+        std::io::BufReader<std::process::ChildStdout>,
+        String,
+    ) {
+        let mut child = cmd.stdout(std::process::Stdio::piped()).spawn().unwrap();
+        let mut reader = std::io::BufReader::new(child.stdout.take().unwrap());
+        let addr = loop {
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).unwrap() > 0, "banner not seen");
+            if let Some(rest) = line.trim().strip_prefix(prefix) {
+                break rest.split_whitespace().next().unwrap().to_string();
+            }
+        };
+        (child, reader, addr)
+    }
+
+    let mut serve_cmd = cli();
+    serve_cmd.args([
+        "serve",
+        "--listen",
+        "127.0.0.1:0",
+        "--synthetic",
+        "syn=65x65",
+    ]);
+    let (mut server, _server_out, backend_addr) = spawn_and_parse(serve_cmd, "serving on ");
+
+    let mut gw_cmd = cli();
+    gw_cmd.args([
+        "gateway",
+        "--listen",
+        "127.0.0.1:0",
+        "--backend",
+        &backend_addr,
+        "--replication",
+        "1",
+    ]);
+    let (mut gateway, mut gw_out, gw_addr) = spawn_and_parse(gw_cmd, "gateway on ");
+
+    // Fetch through the gateway over one keep-alive session; compare with
+    // a direct backend fetch.
+    let via = d.join("via.f64");
+    let out = cli()
+        .args(["fetch", &gw_addr, "syn", "--via-gateway"])
+        .arg(&via)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("gateway session:"), "{text}");
+    assert!(text.contains("fetched syn"), "{text}");
+
+    let direct = d.join("direct.f64");
+    assert!(cli()
+        .args(["fetch", &backend_addr, "syn"])
+        .arg(&direct)
+        .status()
+        .unwrap()
+        .success());
+    assert_eq!(
+        std::fs::read(&via).unwrap(),
+        std::fs::read(&direct).unwrap(),
+        "gateway fetch must reconstruct identically to a direct fetch"
+    );
+
+    // Shut the gateway down (its banner line reports routing totals),
+    // then the backend.
+    assert!(cli()
+        .args(["shutdown", &gw_addr])
+        .status()
+        .unwrap()
+        .success());
+    assert!(gateway.wait().unwrap().success());
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut gw_out, &mut rest).unwrap();
+    assert!(rest.contains("routed"), "{rest}");
+    assert!(cli()
+        .args(["shutdown", &backend_addr])
+        .status()
+        .unwrap()
+        .success());
+    assert!(server.wait().unwrap().success());
+    std::fs::remove_dir_all(d).unwrap();
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     // Unknown command.
     let out = cli().arg("frobnicate").output().unwrap();

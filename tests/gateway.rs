@@ -1,0 +1,289 @@
+//! Integration tests of the gateway tier: three sharded backends behind
+//! one gateway, concurrent clients, payload integrity against local
+//! encodings, replica failover under a mid-run backend kill, and
+//! admission-control shedding.
+
+use mgard::mg_gateway::{Gateway, GatewayConfig, Ring};
+use mgard::mg_serve::{client, Catalog, Server, ServerConfig};
+use mgard::prelude::*;
+use std::time::Duration;
+
+fn quick_config() -> GatewayConfig {
+    GatewayConfig {
+        probe_interval: Duration::from_millis(100),
+        probe_backoff_initial: Duration::from_millis(30),
+        probe_backoff_max: Duration::from_millis(300),
+        connect_timeout: Duration::from_millis(500),
+        io_timeout: Some(Duration::from_secs(10)),
+        backend_io_timeout: Some(Duration::from_secs(10)),
+        ..GatewayConfig::default()
+    }
+}
+
+/// A smooth field whose class norms decay, so distinct τ values select
+/// distinct prefixes.
+fn smooth_field(shape: Shape, seed: usize) -> NdArray<f64> {
+    NdArray::from_fn(shape, |i| {
+        i.iter()
+            .enumerate()
+            .map(|(d, &v)| ((v as f64 + seed as f64) * 0.043 * (d + 1) as f64).sin())
+            .product::<f64>()
+    })
+}
+
+fn refactored(data: &NdArray<f64>) -> Refactored<f64> {
+    let mut r = Refactorer::<f64>::new(data.shape()).unwrap();
+    let mut work = data.clone();
+    r.decompose(&mut work);
+    let hier = r.hierarchy().clone();
+    Refactored::from_array(&work, &hier)
+}
+
+/// Three empty backends, datasets placed on them by the same ring the
+/// gateway will build — the determinism the sharded tier relies on.
+struct Cluster {
+    servers: Vec<Server>,
+    addrs: Vec<String>,
+    ring: Ring,
+    /// `(name, local refactoring)` for every registered dataset.
+    datasets: Vec<(String, Refactored<f64>)>,
+}
+
+fn start_cluster(replication: usize) -> Cluster {
+    let mut servers = Vec::new();
+    let mut catalogs = Vec::new();
+    let mut addrs = Vec::new();
+    for _ in 0..3 {
+        let cat = Catalog::new();
+        let server = Server::bind("127.0.0.1:0", cat.clone(), ServerConfig::default()).unwrap();
+        addrs.push(server.local_addr().to_string());
+        servers.push(server);
+        catalogs.push(cat);
+    }
+    let ring = Ring::new(addrs.clone(), GatewayConfig::default().vnodes);
+
+    let shapes = [
+        Shape::d2(33, 33),
+        Shape::d2(17, 17),
+        Shape::d1(129),
+        Shape::d3(9, 9, 9),
+        Shape::d2(65, 65),
+        Shape::d1(257),
+    ];
+    let mut datasets = Vec::new();
+    for (i, &shape) in shapes.iter().enumerate() {
+        let name = format!("ds-{i}");
+        let data = smooth_field(shape, i);
+        for replica in ring.replicas(&name, replication) {
+            let slot = addrs.iter().position(|a| a == replica).unwrap();
+            catalogs[slot].insert_array(&name, &data).unwrap();
+        }
+        datasets.push((name, refactored(&data)));
+    }
+    Cluster {
+        servers,
+        addrs,
+        ring,
+        datasets,
+    }
+}
+
+#[test]
+fn sharded_fetches_are_bitwise_identical_to_direct_fetches() {
+    let cluster = start_cluster(2);
+    let gw = Gateway::bind("127.0.0.1:0", cluster.addrs.clone(), quick_config()).unwrap();
+    let gw_addr = gw.local_addr();
+
+    // The catalog really is sharded: with replication 2 over 3 backends,
+    // every dataset is missing from exactly one backend.
+    for (name, _) in &cluster.datasets {
+        let holders = cluster.ring.replicas(name, 2);
+        let absent: Vec<&String> = cluster
+            .addrs
+            .iter()
+            .filter(|a| !holders.contains(&a.as_str()))
+            .collect();
+        assert_eq!(absent.len(), 1);
+        let err = client::fetch_tau(absent[0].as_str(), name, 0.0).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    }
+
+    // Concurrent clients, each walking every dataset at its own τ (plus
+    // one byte-budget client): payloads must be bitwise identical to a
+    // local encode_prefix AND to a direct fetch from a holding backend.
+    let taus = [1e-1, 1e-3, 0.0];
+    std::thread::scope(|s| {
+        for &tau in &taus {
+            let datasets = &cluster.datasets;
+            let ring = &cluster.ring;
+            s.spawn(move || {
+                for (name, local) in datasets {
+                    let got = client::fetch_tau(gw_addr, name, tau).unwrap();
+                    let expect = encode_prefix(local, got.classes_sent);
+                    assert_eq!(
+                        got.raw.as_slice(),
+                        expect.as_slice(),
+                        "gateway payload must match local encoding ({name}, tau {tau})"
+                    );
+                    let primary = ring.replicas(name, 2)[0];
+                    let direct = client::fetch_tau(primary, name, tau).unwrap();
+                    assert_eq!(
+                        got.raw, direct.raw,
+                        "gateway payload must match direct backend fetch"
+                    );
+                }
+            });
+        }
+        let datasets = &cluster.datasets;
+        s.spawn(move || {
+            for (name, local) in datasets {
+                let budget = 1500u64;
+                let got = client::fetch_budget(gw_addr, name, budget).unwrap();
+                assert!(
+                    got.raw.len() as u64 <= budget || got.classes_sent == 1,
+                    "{name}: {} wire bytes for budget {budget}",
+                    got.raw.len()
+                );
+                let expect = encode_prefix(local, got.classes_sent);
+                assert_eq!(got.raw.as_slice(), expect.as_slice());
+            }
+        });
+    });
+
+    let stats = gw.shutdown().unwrap();
+    let expected = (taus.len() + 1) * cluster.datasets.len();
+    assert_eq!(stats.fetches, expected as u64);
+    assert_eq!(stats.alive_backends, 3);
+    assert_eq!(stats.shed, 0);
+    for server in cluster.servers {
+        server.shutdown().unwrap();
+    }
+}
+
+#[test]
+fn replica_failover_survives_a_backend_killed_mid_run() {
+    let cluster = start_cluster(2);
+    // Cache off: every fetch must really reach a backend, so the kill is
+    // actually exercised.
+    let config = GatewayConfig {
+        cache_bytes: 0,
+        ..quick_config()
+    };
+    let gw = Gateway::bind("127.0.0.1:0", cluster.addrs.clone(), config).unwrap();
+    let gw_addr = gw.local_addr();
+
+    // Kill the primary of dataset 0 mid-run: requests to it must fail
+    // over to the surviving replica without any client seeing an error.
+    let victim_addr = cluster.ring.replicas(&cluster.datasets[0].0, 1)[0].to_string();
+    let victim_slot = cluster
+        .addrs
+        .iter()
+        .position(|a| *a == victim_addr)
+        .unwrap();
+
+    let rounds = 30usize;
+    let kill_after = 5usize; // rounds each client completes before the kill
+    let mut servers: Vec<Option<Server>> = cluster.servers.into_iter().map(Some).collect();
+    let victim = servers[victim_slot].take().unwrap();
+    let rounds_done = std::sync::atomic::AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        // Three client threads hammer every dataset for the whole run.
+        let handles: Vec<_> = (0..3)
+            .map(|c| {
+                let datasets = &cluster.datasets;
+                let rounds_done = &rounds_done;
+                s.spawn(move || {
+                    for round in 0..rounds {
+                        for (name, local) in datasets {
+                            let tau = [1e-2, 1e-4, 0.0][(c + round) % 3];
+                            let got = client::fetch_tau(gw_addr, name, tau)
+                                .unwrap_or_else(|e| panic!("round {round} ({name}): {e}"));
+                            let expect = encode_prefix(local, got.classes_sent);
+                            assert_eq!(got.raw.as_slice(), expect.as_slice(), "{name}");
+                        }
+                        rounds_done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+
+        // Kill the victim once every client has a few rounds in flight —
+        // guaranteed mid-run, whatever the host's speed.
+        while rounds_done.load(std::sync::atomic::Ordering::Relaxed) < 3 * kill_after {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        victim.shutdown().unwrap();
+
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+
+    let stats = gw.shutdown().unwrap();
+    assert_eq!(
+        stats.fetches,
+        (3 * rounds * cluster.datasets.len()) as u64,
+        "every request must have succeeded despite the kill"
+    );
+    assert!(
+        stats.failovers >= 1,
+        "the victim's datasets must have failed over"
+    );
+    assert_eq!(stats.alive_backends, 2, "the victim must be marked dead");
+    assert_eq!(stats.unavailable, 0);
+    for server in servers.into_iter().flatten() {
+        server.shutdown().unwrap();
+    }
+}
+
+#[test]
+fn admission_cap_sheds_with_overloaded() {
+    let cluster = start_cluster(2);
+    let config = GatewayConfig {
+        max_inflight_per_backend: 0,
+        cache_bytes: 0,
+        ..quick_config()
+    };
+    let gw = Gateway::bind("127.0.0.1:0", cluster.addrs.clone(), config).unwrap();
+    let err = client::fetch_tau(gw.local_addr(), &cluster.datasets[0].0, 0.0).unwrap_err();
+    assert_eq!(
+        err.kind(),
+        std::io::ErrorKind::WouldBlock,
+        "shed must surface as Overloaded: {err}"
+    );
+    let stats = gw.shutdown().unwrap();
+    assert!(stats.shed >= 1);
+    for server in cluster.servers {
+        server.shutdown().unwrap();
+    }
+}
+
+#[test]
+fn f32_datasets_pass_through_the_gateway() {
+    // The gateway is byte-transparent, so precision is a backend/client
+    // concern: register an f32 dataset on every backend and fetch it
+    // through the gateway with the f32 decoder.
+    let mut addrs = Vec::new();
+    let mut servers = Vec::new();
+    let shape = Shape::d2(17, 17);
+    let data32 = NdArray::from_fn(shape, |i| ((i[0] * 5 + i[1]) as f32 * 0.11).sin());
+    for _ in 0..2 {
+        let cat = Catalog::new();
+        cat.insert_array_f32("f32-field", &data32).unwrap();
+        let server = Server::bind("127.0.0.1:0", cat, ServerConfig::default()).unwrap();
+        addrs.push(server.local_addr().to_string());
+        servers.push(server);
+    }
+    let gw = Gateway::bind("127.0.0.1:0", addrs.clone(), quick_config()).unwrap();
+
+    let got = client::fetch_tau_as::<f32>(gw.local_addr(), "f32-field", 0.0).unwrap();
+    assert_eq!(got.raw[6], 4, "precision byte must say f32");
+    let direct = client::fetch_tau_as::<f32>(addrs[0].as_str(), "f32-field", 0.0).unwrap();
+    assert_eq!(got.raw, direct.raw);
+
+    gw.shutdown().unwrap();
+    for server in servers {
+        server.shutdown().unwrap();
+    }
+}

@@ -1,0 +1,206 @@
+//! Protocol robustness: mutated, truncated, and garbage frames must
+//! yield clean errors — `BadRequest` on the wire, `Err` from the decode
+//! functions — and never a panic or a wedged worker, on the server, the
+//! gateway, and the client decode paths alike.
+
+use mgard::mg_gateway::{Gateway, GatewayConfig};
+use mgard::mg_serve::protocol::{self, FetchHeader, Request, Response, StatsReport, PROTOCOL_V2};
+use mgard::mg_serve::{client, Catalog, Server, ServerConfig};
+use mgard::prelude::*;
+use proptest::prelude::*;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// One shared server + gateway pair for every barrage case. Short I/O
+/// timeouts so a wedged connection would fail the test loudly instead of
+/// hanging it.
+static STACK: OnceLock<(SocketAddr, SocketAddr)> = OnceLock::new();
+
+fn live_stack() -> (SocketAddr, SocketAddr) {
+    *STACK.get_or_init(|| {
+        let catalog = Catalog::new();
+        catalog
+            .insert_array(
+                "probe",
+                &NdArray::from_fn(Shape::d1(17), |i| i[0] as f64 * 0.2),
+            )
+            .unwrap();
+        let server = Server::bind(
+            "127.0.0.1:0",
+            catalog,
+            ServerConfig {
+                io_timeout: Some(Duration::from_millis(500)),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let server_addr = server.local_addr();
+        let gateway = Gateway::bind(
+            "127.0.0.1:0",
+            vec![server_addr.to_string()],
+            GatewayConfig {
+                io_timeout: Some(Duration::from_millis(500)),
+                backend_io_timeout: Some(Duration::from_millis(500)),
+                connect_timeout: Duration::from_millis(500),
+                ..GatewayConfig::default()
+            },
+        )
+        .unwrap();
+        let gateway_addr = gateway.local_addr();
+        // Dropping the handles detaches the threads; both live for the
+        // remainder of the test process.
+        drop(server);
+        std::mem::forget(gateway);
+        (server_addr, gateway_addr)
+    })
+}
+
+/// A valid request frame to mutate.
+fn valid_request_bytes(pick: usize, name_len: usize) -> Vec<u8> {
+    let dataset = "d".repeat(name_len.max(1));
+    let req = match pick % 4 {
+        0 => Request::FetchTau { dataset, tau: 0.25 },
+        1 => Request::FetchBudget {
+            dataset,
+            budget_bytes: 4096,
+        },
+        2 => Request::Stats,
+        _ => Request::FetchTau { dataset, tau: 1e-6 },
+    };
+    let mut buf = Vec::new();
+    protocol::write_request_versioned(&mut buf, &req, PROTOCOL_V2).unwrap();
+    buf
+}
+
+enum Mutation {
+    Truncate(usize),
+    FlipByte {
+        index: usize,
+        mask: u8,
+    },
+    /// Overwrite the `name_len` field (offset 7) with an oversized value.
+    OversizeNameLen(u16),
+}
+
+fn mutate(mut frame: Vec<u8>, m: &Mutation) -> Vec<u8> {
+    match m {
+        Mutation::Truncate(keep) => {
+            frame.truncate(*keep % (frame.len() + 1));
+            frame
+        }
+        Mutation::FlipByte { index, mask } => {
+            let i = index % frame.len();
+            frame[i] ^= mask | 1; // never a no-op flip
+            frame
+        }
+        Mutation::OversizeNameLen(len) => {
+            if frame.len() >= 9 {
+                frame[7..9].copy_from_slice(&len.to_le_bytes());
+            }
+            frame
+        }
+    }
+}
+
+fn mutation_strategy() -> impl Strategy<Value = Mutation> {
+    (0usize..3, any::<u64>(), any::<u64>()).prop_map(|(kind, a, b)| match kind {
+        0 => Mutation::Truncate(a as usize),
+        1 => Mutation::FlipByte {
+            index: a as usize,
+            mask: (b & 0xFF) as u8,
+        },
+        _ => Mutation::OversizeNameLen(0x8000 | (a & 0xFFFF) as u16),
+    })
+}
+
+/// Throw `bytes` at `addr`, half-close, and drain whatever comes back.
+/// The contract: the peer answers (BadRequest, or a valid response when
+/// the mutation happened to keep the frame parseable) or closes — it
+/// never wedges past its I/O timeout, and it stays healthy afterwards.
+fn barrage(addr: SocketAddr, bytes: &[u8]) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.set_write_timeout(Some(Duration::from_secs(5))).unwrap();
+    let _ = s.write_all(bytes);
+    let _ = s.shutdown(std::net::Shutdown::Write);
+    let mut sink = Vec::new();
+    let _ = s.read_to_end(&mut sink); // response, close, or clean timeout
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mutated_request_frames_never_panic_the_decoder(
+        pick in 0usize..4,
+        name_len in 1usize..64,
+        m in mutation_strategy(),
+    ) {
+        let frame = mutate(valid_request_bytes(pick, name_len), &m);
+        // Decode must return (Ok or Err), never panic; oversized
+        // name_len in particular must be capped, not allocated.
+        let _ = protocol::read_request(&mut frame.as_slice());
+    }
+
+    #[test]
+    fn server_and_gateway_survive_mutated_frames(
+        pick in 0usize..4,
+        name_len in 1usize..64,
+        m in mutation_strategy(),
+    ) {
+        let (server_addr, gateway_addr) = live_stack();
+        let frame = mutate(valid_request_bytes(pick, name_len), &m);
+        barrage(server_addr, &frame);
+        barrage(gateway_addr, &frame);
+        // Both tiers still answer a valid fetch afterwards: no worker
+        // died, no state was poisoned.
+        let direct = client::fetch_tau(server_addr, "probe", 0.0).unwrap();
+        let via = client::fetch_tau(gateway_addr, "probe", 0.0).unwrap();
+        prop_assert_eq!(direct.raw, via.raw);
+    }
+
+    #[test]
+    fn mutated_response_frames_never_panic_the_client_decoder(
+        m in mutation_strategy(),
+        which in 0usize..3,
+    ) {
+        let resp = match which {
+            0 => Response::Fetch(FetchHeader {
+                classes_sent: 3,
+                total_classes: 5,
+                indicator_linf: 1e-3,
+                cache_hit: false,
+                payload_len: 999,
+                tiers: mgard::mg_io::transfer_costs(999, 1),
+            }),
+            1 => Response::Stats(StatsReport::default()),
+            _ => Response::NotFound("x".repeat(40)),
+        };
+        let mut frame = Vec::new();
+        protocol::write_response_versioned(&mut frame, &resp, PROTOCOL_V2).unwrap();
+        let frame = mutate(frame, &m);
+        let _ = protocol::read_response(&mut frame.as_slice());
+    }
+
+    #[test]
+    fn mutated_payloads_never_panic_the_streaming_decoder(
+        m in mutation_strategy(),
+        chunk in 1usize..64,
+    ) {
+        let data = NdArray::from_fn(Shape::d2(9, 9), |i| (i[0] * 9 + i[1]) as f64 * 0.01);
+        let mut r = Refactorer::<f64>::new(data.shape()).unwrap();
+        let mut work = data.clone();
+        r.decompose(&mut work);
+        let hier = r.hierarchy().clone();
+        let payload = encode_prefix(&Refactored::from_array(&work, &hier), 3).to_vec();
+        let payload = mutate(payload, &m);
+        let mut dec = StreamingDecoder::<f64>::new();
+        for piece in payload.chunks(chunk) {
+            if dec.push(piece).is_err() {
+                break; // clean error, decoder refuses further state
+            }
+        }
+    }
+}

@@ -114,12 +114,14 @@ proptest! {
         let got = client::fetch_budget(*addr, &name, budget).unwrap();
         let expect = encode_prefix(&local, got.classes_sent);
         prop_assert_eq!(got.raw.as_slice(), expect.as_slice());
-        // The prefix respects the budget (modulo the at-least-one-class
-        // floor), and is maximal: one more class would overflow.
+        // Budgets bound bytes-on-the-wire: the encoded payload the
+        // client actually received fits (modulo the at-least-one-class
+        // floor), and the prefix is maximal — one more class's encoding
+        // would overflow.
         let k = got.classes_sent;
-        prop_assert!(local.prefix_bytes(k) as u64 <= budget || k == 1);
+        prop_assert!(got.raw.len() as u64 <= budget || k == 1);
         if k < local.num_classes() {
-            prop_assert!(local.prefix_bytes(k + 1) as u64 > budget);
+            prop_assert!(encode_prefix(&local, k + 1).len() as u64 > budget);
         }
     }
 }

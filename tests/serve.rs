@@ -46,7 +46,9 @@ fn concurrent_clients_at_distinct_error_bounds() {
         let budget = s.spawn(move || client::fetch_budget(addr, "field", 2_000).unwrap());
         let mut out: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         let b = budget.join().unwrap();
-        assert!(b.refac.prefix_bytes(b.classes_sent) <= 2_000 || b.classes_sent == 1);
+        // The budget bounds bytes-on-the-wire (encoded payload incl.
+        // header and class framing), not just the scalar payload.
+        assert!(b.raw.len() <= 2_000 || b.classes_sent == 1);
         out.push((f64::NAN, b));
         out
     });
