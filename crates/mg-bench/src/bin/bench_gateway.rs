@@ -69,8 +69,18 @@ fn run_phase(
                         let tau = TAUS[(c + i) % TAUS.len()];
                         let t = Instant::now();
                         let got = match &mut conn {
-                            Some(conn) => conn.fetch_tau(dataset, tau).expect("fetch"),
-                            None => client::fetch_tau(addr, dataset, tau).expect("fetch"),
+                            Some(conn) => {
+                                conn.fetch(&client::FetchRequest::new(dataset).tau(tau))
+                                    .expect("fetch")
+                                    .result
+                            }
+                            None => {
+                                client::FetchRequest::new(dataset)
+                                    .tau(tau)
+                                    .send(addr)
+                                    .expect("fetch")
+                                    .result
+                            }
                         };
                         lats.push(t.elapsed().as_secs_f64() * 1e3);
                         bytes += got.raw.len() as u64;

@@ -1,0 +1,401 @@
+//! `bench_qos` — goodput under overload for three admission policies,
+//! same workload, same cluster, only the gateway's QoS config differing:
+//!
+//! * `shed`      — FIFO with a tiny wait queue: over-cap requests are
+//!   answered `Overloaded` immediately (the classic binary shed);
+//! * `unbounded` — a deep, patient queue and no degradation: nothing is
+//!   turned away, everything waits at full fidelity;
+//! * `degrade`   — fidelity-aware admission: under queue pressure the
+//!   gateway serves a coarser class prefix (never past each client's
+//!   own `--floor`), shedding only as a backstop.
+//!
+//! Clients run closed-loop against a deliberately serialized gateway
+//! (`max_concurrent = 1`) for a fixed duration. A response produces
+//! *usable* bytes when it arrives within the client's latency deadline —
+//! fidelity within the floor is guaranteed by the server, which never
+//! degrades past `floor_tau`. Goodput is usable bytes over wall time.
+//! On a healthy build `degrade` strictly dominates both alternatives on
+//! goodput and keeps p99 bounded: full-fidelity payloads cannot meet the
+//! deadline once a queue forms, so `unbounded` misses on latency and
+//! `shed` wastes its slot on responses that arrive too late, while
+//! coarse prefixes are cheap enough to drain the whole queue in time.
+//!
+//! ```text
+//! bench_qos [--quick] [--out PATH] [--clients N] [--seconds S]
+//!           [--deadline-mult X]
+//! ```
+
+use mg_gateway::{Gateway, GatewayConfig};
+use mg_grid::{NdArray, Shape};
+use mg_serve::client::{Connection, FetchRequest};
+use mg_serve::protocol::Priority;
+use mg_serve::qos::{DegradePolicy, QosConfig};
+use mg_serve::{Catalog, Server, ServerConfig};
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+fn field(shape: Shape) -> NdArray<f64> {
+    NdArray::from_fn(shape, |i| {
+        i.iter()
+            .enumerate()
+            .map(|(d, &v)| ((v as f64) * 0.0137 * (d + 1) as f64).sin())
+            .product::<f64>()
+    })
+}
+
+/// One client's profile: who they are and how coarse an answer they can
+/// still use (their fidelity floor).
+struct ClientProfile {
+    tenant: String,
+    priority: Priority,
+    floor_tau: f64,
+}
+
+fn profiles(clients: usize) -> Vec<ClientProfile> {
+    (0..clients)
+        .map(|i| match i % 3 {
+            // Interactive dashboards: high priority, coarse previews OK.
+            0 => ClientProfile {
+                tenant: format!("dash-{}", i / 3),
+                priority: Priority::High,
+                floor_tau: 1e-1,
+            },
+            // Analysis notebooks: normal priority, mid fidelity floor.
+            1 => ClientProfile {
+                tenant: format!("notebook-{}", i / 3),
+                priority: Priority::Normal,
+                floor_tau: 1e-2,
+            },
+            // Bulk archival readers: low priority, any fidelity usable.
+            _ => ClientProfile {
+                tenant: format!("bulk-{}", i / 3),
+                priority: Priority::Low,
+                floor_tau: f64::INFINITY,
+            },
+        })
+        .collect()
+}
+
+struct Scenario {
+    name: &'static str,
+    qos: QosConfig,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let degrade_off = DegradePolicy {
+        max_degrade: [0; 3],
+        ..DegradePolicy::default()
+    };
+    vec![
+        Scenario {
+            name: "shed",
+            qos: QosConfig {
+                max_concurrent: 1,
+                queue_cap: 1,
+                queue_timeout: Duration::from_secs(30),
+                degrade: degrade_off,
+                ..QosConfig::default()
+            },
+        },
+        Scenario {
+            name: "unbounded",
+            qos: QosConfig {
+                max_concurrent: 1,
+                queue_cap: 1 << 20,
+                queue_timeout: Duration::from_secs(300),
+                degrade: degrade_off,
+                ..QosConfig::default()
+            },
+        },
+        Scenario {
+            name: "degrade",
+            qos: QosConfig {
+                max_concurrent: 1,
+                queue_cap: 1 << 20,
+                queue_timeout: Duration::from_secs(300),
+                // Aggressive: coarsen one level from the first request on
+                // (degrade_start 0) so a draining queue never re-admits
+                // full-fidelity stragglers that would stall everyone
+                // behind them, and deepen with the queue.
+                degrade: DegradePolicy {
+                    degrade_start: [0, 0, 0],
+                    depth_per_level: 1,
+                    max_degrade: [8, 6, 4],
+                },
+                ..QosConfig::default()
+            },
+        },
+    ]
+}
+
+#[derive(Default)]
+struct Tally {
+    latencies_ms: Vec<f64>,
+    usable_bytes: u64,
+    total_bytes: u64,
+    responses: u64,
+    degraded: u64,
+    shed: u64,
+    deadline_misses: u64,
+}
+
+/// Closed-loop clients against `addr` for `seconds`, each looping its
+/// profile's request on a keep-alive connection (the protocol keeps the
+/// connection usable after an `Overloaded` answer). A shed gets a short
+/// polite backoff; everything else retries immediately (closed loop).
+fn run_scenario(
+    addr: SocketAddr,
+    profiles: &[ClientProfile],
+    seconds: f64,
+    deadline: Duration,
+) -> (Tally, f64) {
+    let stop = AtomicBool::new(false);
+    let t0 = Instant::now();
+    let tally = std::thread::scope(|s| {
+        let handles: Vec<_> = profiles
+            .iter()
+            .map(|p| {
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut t = Tally::default();
+                    let mut req = FetchRequest::new("field")
+                        .tau(0.0)
+                        .tenant(p.tenant.clone())
+                        .priority(p.priority);
+                    if p.floor_tau.is_finite() {
+                        req = req.floor_tau(p.floor_tau);
+                    }
+                    let mut conn = Connection::open(addr).expect("open client connection");
+                    while !stop.load(Ordering::Relaxed) {
+                        let start = Instant::now();
+                        match conn.fetch(&req) {
+                            Ok(got) => {
+                                let lat = start.elapsed();
+                                t.latencies_ms.push(lat.as_secs_f64() * 1e3);
+                                t.responses += 1;
+                                t.total_bytes += got.raw.len() as u64;
+                                if got.degraded() {
+                                    t.degraded += 1;
+                                }
+                                if lat <= deadline {
+                                    t.usable_bytes += got.raw.len() as u64;
+                                } else {
+                                    t.deadline_misses += 1;
+                                }
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                t.shed += 1;
+                                std::thread::sleep(Duration::from_micros(500));
+                            }
+                            Err(e) => panic!("fetch failed: {e}"),
+                        }
+                    }
+                    t
+                })
+            })
+            .collect();
+        // The timer thread is this scope's main thread.
+        while t0.elapsed().as_secs_f64() < seconds {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        stop.store(true, Ordering::Relaxed);
+        let mut all = Tally::default();
+        for h in handles {
+            let t = h.join().expect("client thread");
+            all.latencies_ms.extend(t.latencies_ms);
+            all.usable_bytes += t.usable_bytes;
+            all.total_bytes += t.total_bytes;
+            all.responses += t.responses;
+            all.degraded += t.degraded;
+            all.shed += t.shed;
+            all.deadline_misses += t.deadline_misses;
+        }
+        all
+    });
+    (tally, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * p).floor() as usize).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = String::from("BENCH_qos.json");
+    let mut clients = 9usize;
+    let mut seconds = 3.0f64;
+    let mut deadline_mult = 1.5f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = it.next().expect("--out needs a path").clone(),
+            "--clients" => {
+                clients = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--clients needs a count")
+            }
+            "--seconds" => {
+                seconds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seconds needs a duration")
+            }
+            "--deadline-mult" => {
+                deadline_mult = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--deadline-mult needs a factor")
+            }
+            other => {
+                eprintln!(
+                    "usage: bench_qos [--quick] [--out PATH] [--clients N] [--seconds S] \
+                     [--deadline-mult X] (got {other:?})"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if quick {
+        clients = clients.min(6);
+        seconds = seconds.min(1.0);
+    }
+    // A big payload makes full-fidelity service genuinely expensive, so
+    // the latency SLO separates the policies.
+    let shape = if quick {
+        Shape::d2(513, 513)
+    } else {
+        Shape::d2(1025, 1025)
+    };
+
+    let catalog = Catalog::new();
+    catalog
+        .insert_array("field", &field(shape))
+        .expect("dyadic");
+    let backend = Server::bind(
+        "127.0.0.1:0",
+        catalog,
+        ServerConfig {
+            workers: clients + 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind backend");
+
+    let gateway_config = |qos: QosConfig| GatewayConfig {
+        workers: clients + 2,
+        replication: 1,
+        // The gateway cache would answer every repeat fetch and no queue
+        // would ever form; overload needs real per-request service.
+        cache_bytes: 0,
+        probe_interval: Duration::from_millis(500),
+        qos,
+        ..GatewayConfig::default()
+    };
+
+    // Calibrate the deadline: the unloaded full-fidelity latency through
+    // a gateway, warm. The SLO is "as fast as unloaded" × the multiplier
+    // — once a full-payload queue forms, full fidelity cannot meet it.
+    let calib = Gateway::bind(
+        "127.0.0.1:0",
+        vec![backend.local_addr().to_string()],
+        gateway_config(QosConfig::default()),
+    )
+    .expect("bind calibration gateway");
+    let mut unloaded = Vec::new();
+    let mut calib_conn = Connection::open(calib.local_addr()).expect("open calibration conn");
+    let calib_req = FetchRequest::new("field").tau(0.0);
+    for i in 0..12 {
+        let t = Instant::now();
+        calib_conn.fetch(&calib_req).expect("calibration fetch");
+        if i >= 2 {
+            unloaded.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    drop(calib_conn);
+    calib.shutdown().expect("shutdown calibration gateway");
+    unloaded.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let unloaded_ms = unloaded[unloaded.len() / 2];
+    let deadline = Duration::from_secs_f64(unloaded_ms * deadline_mult / 1e3);
+
+    let profs = profiles(clients);
+    let mut rows = Vec::new();
+    let mut goodputs = Vec::new();
+    for scenario in scenarios() {
+        let gw = Gateway::bind(
+            "127.0.0.1:0",
+            vec![backend.local_addr().to_string()],
+            gateway_config(scenario.qos),
+        )
+        .expect("bind scenario gateway");
+        let (mut tally, wall_ms) = run_scenario(gw.local_addr(), &profs, seconds, deadline);
+        gw.shutdown().expect("shutdown scenario gateway");
+        tally.latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let goodput = tally.usable_bytes as f64 / (wall_ms / 1e3);
+        let p50 = percentile(&tally.latencies_ms, 0.50);
+        let p99 = percentile(&tally.latencies_ms, 0.99);
+        eprintln!(
+            "{:>9}: goodput {:>8.2} MB/s ({} responses, {} degraded, {} shed, \
+             {} late; p50 {:.2} ms, p99 {:.2} ms)",
+            scenario.name,
+            goodput / 1e6,
+            tally.responses,
+            tally.degraded,
+            tally.shed,
+            tally.deadline_misses,
+            p50,
+            p99,
+        );
+        goodputs.push((scenario.name, goodput));
+        rows.push(format!(
+            "    {{\"scenario\": \"{}\", \"goodput_bytes_per_s\": {:.1}, \
+             \"usable_bytes\": {}, \"total_bytes\": {}, \"responses\": {}, \
+             \"degraded\": {}, \"shed\": {}, \"deadline_misses\": {}, \
+             \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"wall_ms\": {:.1}}}",
+            scenario.name,
+            goodput,
+            tally.usable_bytes,
+            tally.total_bytes,
+            tally.responses,
+            tally.degraded,
+            tally.shed,
+            tally.deadline_misses,
+            p50,
+            p99,
+            wall_ms,
+        ));
+    }
+    backend.shutdown().expect("shutdown backend");
+
+    let by_name = |n: &str| goodputs.iter().find(|(s, _)| *s == n).unwrap().1;
+    let degrade = by_name("degrade");
+    let over_shed = degrade / by_name("shed").max(1.0);
+    let over_unbounded = degrade / by_name("unbounded").max(1.0);
+    eprintln!(
+        "degrade goodput: {over_shed:.2}x over shed, {over_unbounded:.2}x over unbounded \
+         (deadline {:.2} ms = {deadline_mult} x unloaded {unloaded_ms:.2} ms)",
+        deadline.as_secs_f64() * 1e3
+    );
+
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let json = format!(
+        "{{\n  \"bench\": \"qos\",\n  \"quick\": {quick},\n  \"host_threads\": {threads},\n  \
+         \"clients\": {clients},\n  \"seconds\": {seconds},\n  \
+         \"deadline_ms\": {:.4},\n  \"unloaded_ms\": {unloaded_ms:.4},\n  \
+         \"deadline_mult\": {deadline_mult},\n  \"results\": [\n{}\n  ],\n  \
+         \"dominance\": {{\"degrade_over_shed\": {over_shed:.4}, \
+         \"degrade_over_unbounded\": {over_unbounded:.4}}}\n}}\n",
+        deadline.as_secs_f64() * 1e3,
+        rows.join(",\n"),
+    );
+    std::fs::write(&out, &json).expect("write BENCH json");
+    println!("wrote {out}");
+}

@@ -54,7 +54,10 @@ struct PhaseResult {
 /// cache (when enabled) so the measured phase sees a warm server.
 fn warmup(addr: SocketAddr, dataset: &str) {
     for &tau in &TAUS {
-        let _ = client::fetch_tau(addr, dataset, tau).expect("warmup fetch");
+        let _ = client::FetchRequest::new(dataset)
+            .tau(tau)
+            .send(addr)
+            .expect("warmup fetch");
     }
 }
 
@@ -75,7 +78,10 @@ fn run_phase(
                     for i in 0..requests {
                         let tau = TAUS[(c + i) % TAUS.len()];
                         let t = Instant::now();
-                        let got = client::fetch_tau(addr, dataset, tau).expect("fetch");
+                        let got = client::FetchRequest::new(dataset)
+                            .tau(tau)
+                            .send(addr)
+                            .expect("fetch");
                         lats.push((t.elapsed().as_secs_f64() * 1e3, got.raw.len() as u64));
                     }
                     lats

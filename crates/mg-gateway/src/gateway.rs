@@ -6,7 +6,9 @@
 use crate::pool::Pool;
 use crate::ring::{Ring, DEFAULT_VNODES};
 use crate::router::{Routed, Router, RouterConfig};
-use mg_serve::protocol::{self, Request, Response, StatsReport, PROTOCOL_V2};
+use mg_serve::ops::{self, Dispatched, OpsHost};
+use mg_serve::protocol::{self, FetchSpec, Response, StatsReport, TenantStatsReport, PROTOCOL_V2};
+use mg_serve::qos::{Admission, FairScheduler, QosConfig};
 use mg_serve::server::{run_connection_loop, ConnAction, ConnRegistry};
 use std::io::{self, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -45,6 +47,12 @@ pub struct GatewayConfig {
     pub probe_backoff_initial: Duration,
     /// Probe backoff cap.
     pub probe_backoff_max: Duration,
+    /// Fidelity-aware admission control (weighted fair queueing across
+    /// tenants plus pressure-based degradation). The default keeps the
+    /// scheduler unlimited — it only maintains the per-tenant ledger —
+    /// so shedding still comes from the worker queue and the per-backend
+    /// in-flight caps unless a deployment opts in.
+    pub qos: QosConfig,
 }
 
 impl Default for GatewayConfig {
@@ -62,6 +70,7 @@ impl Default for GatewayConfig {
             probe_interval: Duration::from_secs(2),
             probe_backoff_initial: Duration::from_millis(100),
             probe_backoff_max: Duration::from_secs(5),
+            qos: QosConfig::default(),
         }
     }
 }
@@ -117,6 +126,7 @@ struct Counters {
 
 struct Shared {
     router: Router,
+    scheduler: FairScheduler,
     counters: Counters,
     shutting_down: AtomicBool,
     connections: ConnRegistry,
@@ -166,6 +176,7 @@ impl Gateway {
         };
         let shared = Arc::new(Shared {
             router: Router::new(ring, pool, router_config),
+            scheduler: FairScheduler::new(config.qos),
             counters: Counters::default(),
             shutting_down: AtomicBool::new(false),
             connections: ConnRegistry::default(),
@@ -261,6 +272,11 @@ impl Gateway {
         snapshot(&self.shared)
     }
 
+    /// Snapshot of the per-tenant QoS ledger.
+    pub fn tenant_stats(&self) -> TenantStatsReport {
+        self.shared.scheduler.tenant_stats()
+    }
+
     /// Stop accepting, drain, join every thread, return final counters.
     pub fn shutdown(mut self) -> io::Result<GatewayStats> {
         trigger_shutdown(&self.shared, self.addr);
@@ -349,6 +365,34 @@ fn stats_report(shared: &Shared) -> StatsReport {
         cache_misses: s.cache_misses,
         mean_latency_us: s.mean_latency.as_micros() as u64,
         datasets: s.alive_backends as u32,
+        catalog_generation: shared.router.catalog_generation_sum(),
+    }
+}
+
+/// The gateway's side of the shared non-fetch op dispatch.
+struct GatewayOps<'a> {
+    shared: &'a Shared,
+    local: SocketAddr,
+}
+
+impl OpsHost for GatewayOps<'_> {
+    fn stats_report(&self) -> StatsReport {
+        stats_report(self.shared)
+    }
+
+    fn tenant_stats_report(&self) -> TenantStatsReport {
+        self.shared.scheduler.tenant_stats()
+    }
+
+    fn note_bad_request(&self) {
+        self.shared
+            .counters
+            .bad_requests
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn begin_shutdown(&self) {
+        trigger_shutdown(self.shared, self.local);
     }
 }
 
@@ -367,40 +411,15 @@ fn handle_connection(
         timeout,
         &shared.shutting_down,
         &shared.connections,
-        |parsed, writer| {
-            let keep_alive = match parsed {
-                Ok((req @ (Request::FetchTau { .. } | Request::FetchBudget { .. }), version)) => {
-                    let ok = serve_fetch(writer, shared, &req, version).is_ok();
-                    ok && version >= PROTOCOL_V2
+        |parsed, writer| match ops::dispatch_ops(&GatewayOps { shared, local }, parsed, writer) {
+            Dispatched::Done(action) => action,
+            Dispatched::Fetch(spec, version) => {
+                let ok = serve_fetch(writer, shared, &spec, version).is_ok();
+                if ok && version >= PROTOCOL_V2 {
+                    ConnAction::KeepOpen
+                } else {
+                    ConnAction::Close
                 }
-                Ok((Request::Stats, version)) => {
-                    let r = protocol::write_response_versioned(
-                        writer,
-                        &Response::Stats(stats_report(shared)),
-                        version,
-                    );
-                    r.is_ok() && version >= PROTOCOL_V2
-                }
-                Ok((Request::Shutdown, version)) => {
-                    let _ = protocol::write_response_versioned(
-                        writer,
-                        &Response::ShuttingDown,
-                        version,
-                    )
-                    .and_then(|()| writer.flush()); // ack before sockets close
-                    trigger_shutdown(shared, local);
-                    false
-                }
-                Err(e) => {
-                    shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-                    let _ = protocol::write_response(writer, &Response::BadRequest(e.to_string()));
-                    false
-                }
-            };
-            if keep_alive {
-                ConnAction::KeepOpen
-            } else {
-                ConnAction::Close
             }
         },
         |elapsed| {
@@ -413,15 +432,45 @@ fn handle_connection(
     );
 }
 
-fn serve_fetch(w: &mut impl Write, shared: &Shared, req: &Request, version: u16) -> io::Result<()> {
-    match shared.router.route_fetch(req) {
+fn serve_fetch(
+    w: &mut impl Write,
+    shared: &Shared,
+    spec: &FetchSpec,
+    version: u16,
+) -> io::Result<()> {
+    // Fidelity-aware admission: wait for a weighted-fair slot; under
+    // pressure the scheduler answers with a degrade level that stacks on
+    // whatever the client already asked to drop, and only queue overflow
+    // or a wait timeout sheds outright.
+    let (permit, sched_degrade) = match shared.scheduler.admit(&spec.qos.tenant, spec.qos.priority)
+    {
+        Admission::Granted { permit, degrade } => (permit, degrade),
+        Admission::Shed => {
+            shared.router.counters.shed.fetch_add(1, Ordering::Relaxed);
+            return protocol::write_response_versioned(
+                w,
+                &Response::Overloaded("gateway admission queue is full, retry".into()),
+                version,
+            );
+        }
+    };
+    let routed = if sched_degrade == 0 {
+        shared.router.route_fetch(spec)
+    } else {
+        let mut coarser = spec.clone();
+        coarser.qos.degrade = coarser.qos.degrade.saturating_add(sched_degrade);
+        shared.router.route_fetch(&coarser)
+    };
+    match routed {
         Routed::Fetch(header, payload) => {
+            let degraded = header.qos.is_some_and(|q| q.degraded());
             protocol::write_response_versioned(w, &Response::Fetch(header), version)?;
             w.write_all(&payload)?;
             let c = &shared.counters;
             c.fetches.fetch_add(1, Ordering::Relaxed);
             c.payload_bytes
                 .fetch_add(payload.len() as u64, Ordering::Relaxed);
+            permit.served(payload.len() as u64, degraded);
             Ok(())
         }
         Routed::Other(resp) => {
@@ -431,6 +480,7 @@ fn serve_fetch(w: &mut impl Write, shared: &Shared, req: &Request, version: u16)
             protocol::write_response_versioned(w, &resp, version)
         }
         Routed::Overloaded(msg) => {
+            permit.shed_downstream();
             protocol::write_response_versioned(w, &Response::Overloaded(msg), version)
         }
         Routed::Unavailable(msg) => {
@@ -483,21 +533,25 @@ mod tests {
         let gw_addr = gw.local_addr();
 
         // One-shot v1 client through the gateway == direct fetch.
-        let via = client::fetch_tau(gw_addr, "d", 0.0).unwrap();
-        let direct = client::fetch_tau(addr.as_str(), "d", 0.0).unwrap();
+        let req = client::FetchRequest::new("d").tau(0.0);
+        let via = req.clone().send(gw_addr).unwrap();
+        let direct = req.clone().send(addr.as_str()).unwrap();
         assert_eq!(via.raw, direct.raw, "gateway must be byte-transparent");
 
         // Keep-alive v2 session through the gateway.
         let mut conn = client::Connection::open(gw_addr).unwrap();
         for _ in 0..3 {
-            let got = conn.fetch_tau("d", 0.0).unwrap();
+            let got = conn.fetch(&req).unwrap();
             assert_eq!(got.raw, direct.raw);
         }
         // Second identical fetch came from the gateway cache.
-        assert!(conn.fetch_tau("d", 0.0).unwrap().cache_hit);
+        assert!(conn.fetch(&req).unwrap().cache_hit);
 
         // Unknown datasets surface NotFound through the gateway.
-        let err = client::fetch_tau(gw_addr, "nope", 0.0).unwrap_err();
+        let err = client::FetchRequest::new("nope")
+            .tau(0.0)
+            .send(gw_addr)
+            .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::NotFound);
 
         let stats = gw.shutdown().unwrap();
@@ -511,7 +565,10 @@ mod tests {
     fn gateway_stats_op_reports_aggregates() {
         let (server, addr) = backend(&["d"]);
         let gw = Gateway::bind("127.0.0.1:0", vec![addr], quick_config()).unwrap();
-        let _ = client::fetch_tau(gw.local_addr(), "d", 0.0).unwrap();
+        let _ = client::FetchRequest::new("d")
+            .tau(0.0)
+            .send(gw.local_addr())
+            .unwrap();
         let report = client::stats(gw.local_addr()).unwrap();
         assert_eq!(report.fetches, 1);
         assert_eq!(report.datasets, 1, "datasets field = alive backends");
@@ -528,7 +585,10 @@ mod tests {
         let stats = gw.wait();
         assert_eq!(stats.requests, 1);
         // The backend is untouched and still serves directly.
-        assert!(client::fetch_tau(addr.as_str(), "d", 0.0).is_ok());
+        assert!(client::FetchRequest::new("d")
+            .tau(0.0)
+            .send(addr.as_str())
+            .is_ok());
         server.shutdown().unwrap();
     }
 
@@ -544,7 +604,10 @@ mod tests {
         assert!(matches!(resp, Response::BadRequest(_)), "{resp:?}");
         drop(s);
 
-        assert!(client::fetch_tau(gw_addr, "d", 0.0).is_ok());
+        assert!(client::FetchRequest::new("d")
+            .tau(0.0)
+            .send(gw_addr)
+            .is_ok());
         let stats = gw.shutdown().unwrap();
         assert_eq!(stats.bad_requests, 1);
         server.shutdown().unwrap();

@@ -39,7 +39,10 @@
 //! assert_eq!(ring.replicas("turbulence", 2).len(), 2);
 //!
 //! let gw = Gateway::bind("0.0.0.0:7474", backends, GatewayConfig::default()).unwrap();
-//! let got = client::fetch_tau(gw.local_addr(), "turbulence", 1e-3).unwrap();
+//! let got = client::FetchRequest::new("turbulence")
+//!     .tau(1e-3)
+//!     .send(gw.local_addr())
+//!     .unwrap();
 //! assert!(got.classes_sent <= got.total_classes);
 //! ```
 

@@ -171,13 +171,17 @@ mod tests {
 
         let mut c = pool.checkout(&addr).unwrap();
         assert!(!c.reused);
-        c.conn.fetch_tau("d", 0.0).unwrap();
+        c.conn
+            .fetch(&mg_serve::client::FetchRequest::new("d").tau(0.0))
+            .unwrap();
         pool.checkin(&addr, c.conn);
         assert_eq!(pool.idle_count(), 1);
 
         let mut c = pool.checkout(&addr).unwrap();
         assert!(c.reused, "second checkout must reuse the parked stream");
-        c.conn.fetch_tau("d", 0.0).unwrap();
+        c.conn
+            .fetch(&mg_serve::client::FetchRequest::new("d").tau(0.0))
+            .unwrap();
         pool.checkin(&addr, c.conn);
 
         assert_eq!(pool.counters(), (1, 1));

@@ -25,7 +25,7 @@ use crate::ring::Ring;
 use bytes::Bytes;
 use mg_serve::catalog::ByteLru;
 use mg_serve::client::{Connection, RawFetch};
-use mg_serve::protocol::{FetchHeader, Request, Response};
+use mg_serve::protocol::{FetchHeader, FetchSpec, Request, Response, Selector};
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -36,6 +36,10 @@ pub struct BackendState {
     alive: AtomicBool,
     consecutive_failures: AtomicU32,
     inflight: AtomicUsize,
+    /// Catalog generation this backend last reported in a stats probe;
+    /// folded into the response-cache key so re-registering a dataset
+    /// invalidates stale entries once a probe observes the bump.
+    catalog_gen: AtomicU64,
     /// Millis (on the router clock) before which a dead backend is not
     /// probed again — exponential backoff, so a dead peer costs probes,
     /// not request latency.
@@ -49,6 +53,7 @@ impl BackendState {
             alive: AtomicBool::new(true),
             consecutive_failures: AtomicU32::new(0),
             inflight: AtomicUsize::new(0),
+            catalog_gen: AtomicU64::new(0),
             probe_not_before_ms: AtomicU64::new(0),
         }
     }
@@ -61,6 +66,12 @@ impl BackendState {
     /// Whether the backend is currently believed healthy.
     pub fn is_alive(&self) -> bool {
         self.alive.load(Ordering::Relaxed)
+    }
+
+    /// The catalog generation this backend last reported (0 until the
+    /// first successful stats probe).
+    pub fn catalog_generation(&self) -> u64 {
+        self.catalog_gen.load(Ordering::Relaxed)
     }
 }
 
@@ -103,29 +114,37 @@ impl Default for RouterConfig {
     }
 }
 
-/// Cache key: the request itself (dataset + selector). Mirrors the
-/// catalog prefix-cache design — repeat requests at one τ/budget are the
-/// common case a front tier sees — but keyed on the *request* because the
-/// gateway never learns backend-side generations. Re-registering a
-/// dataset under a live gateway therefore serves cached responses until
-/// they age out; bound staleness with `cache_bytes = 0` or a restart.
+/// Cache key: every fidelity-relevant field of the fetch spec plus the
+/// replica set's summed catalog generation. Tenant and priority are
+/// deliberately excluded — they steer *scheduling*, not bytes — while
+/// the selector, degradation floor, and degrade level all change the
+/// served prefix. Folding in the generation (learned by stats probes)
+/// closes the stale-read hole the old request-keyed design had:
+/// re-registering a dataset bumps the backend's catalog generation, the
+/// next health probe observes it, and every stale entry stops matching.
 #[derive(Clone, PartialEq, Eq, Hash)]
-enum CacheKey {
-    Tau(String, u64),
-    Budget(String, u64),
+struct CacheKey {
+    dataset: String,
+    /// Selector discriminant, τ bits, budget (unused halves zeroed).
+    selector: (u8, u64, u64),
+    floor_bits: u64,
+    degrade: u8,
+    catalog_generation: u64,
 }
 
 impl CacheKey {
-    fn for_request(req: &Request) -> Option<CacheKey> {
-        match req {
-            Request::FetchTau { dataset, tau } => {
-                Some(CacheKey::Tau(dataset.clone(), tau.to_bits()))
-            }
-            Request::FetchBudget {
-                dataset,
-                budget_bytes,
-            } => Some(CacheKey::Budget(dataset.clone(), *budget_bytes)),
-            _ => None,
+    fn for_spec(spec: &FetchSpec, catalog_generation: u64) -> CacheKey {
+        let selector = match spec.selector {
+            Selector::Tau(tau) => (0u8, tau.to_bits(), 0u64),
+            Selector::Budget(budget_bytes) => (1, 0, budget_bytes),
+            Selector::TauBudget { tau, budget_bytes } => (2, tau.to_bits(), budget_bytes),
+        };
+        CacheKey {
+            dataset: spec.dataset.clone(),
+            selector,
+            floor_bits: spec.qos.floor_tau.to_bits(),
+            degrade: spec.qos.degrade,
+            catalog_generation,
         }
     }
 }
@@ -262,7 +281,10 @@ impl Router {
     /// (uncounted, so probes don't pollute the dial/reuse metric).
     pub fn probe(&self, addr: &str) -> bool {
         match self.pool.dial_uncounted(addr).and_then(|mut c| c.stats()) {
-            Ok(_) => {
+            Ok(report) => {
+                self.state(addr)
+                    .catalog_gen
+                    .store(report.catalog_generation, Ordering::Relaxed);
                 self.mark_success(addr);
                 true
             }
@@ -273,20 +295,17 @@ impl Router {
         }
     }
 
-    /// Route one fetch request (must be `FetchTau`/`FetchBudget`).
-    pub fn route_fetch(&self, req: &Request) -> Routed {
-        let key = CacheKey::for_request(req).expect("route_fetch takes fetch requests");
-        let dataset = match req {
-            Request::FetchTau { dataset, .. } | Request::FetchBudget { dataset, .. } => dataset,
-            _ => unreachable!(),
-        };
-        if let Some((mut header, payload)) = self.cache.get(&key) {
-            // Surface the *gateway* cache to the client, mirroring the
-            // backend's own cache_hit semantics one tier up.
-            header.cache_hit = true;
-            return Routed::Fetch(header, payload);
-        }
+    /// Summed catalog generation over all backends (what a front tier
+    /// one level up would fold into *its* cache key).
+    pub fn catalog_generation_sum(&self) -> u64 {
+        self.backends
+            .iter()
+            .fold(0u64, |acc, b| acc.wrapping_add(b.catalog_generation()))
+    }
 
+    /// Route one fetch spec through the cache and the replica walk.
+    pub fn route_fetch(&self, spec: &FetchSpec) -> Routed {
+        let dataset = &spec.dataset;
         let replicas: Vec<String> = self
             .ring
             .replicas(dataset, self.config.replication)
@@ -296,6 +315,17 @@ impl Router {
         if replicas.is_empty() {
             return Routed::Unavailable("gateway has no backends".into());
         }
+        let generation = replicas.iter().fold(0u64, |acc, r| {
+            acc.wrapping_add(self.state(r).catalog_generation())
+        });
+        let key = CacheKey::for_spec(spec, generation);
+        if let Some((mut header, payload)) = self.cache.get(&key) {
+            // Surface the *gateway* cache to the client, mirroring the
+            // backend's own cache_hit semantics one tier up.
+            header.cache_hit = true;
+            return Routed::Fetch(header, payload);
+        }
+        let req = Request::Fetch(spec.clone());
         // Candidate order: live replicas in ring order, then dead ones
         // whose probe backoff has expired as a last resort. A liveness
         // snapshot gone stale mid-walk (the last live replica failing
@@ -335,7 +365,7 @@ impl Router {
                 self.counters.failovers.fetch_add(1, Ordering::Relaxed);
             }
             attempted += 1;
-            let outcome = self.try_backend(addr, req);
+            let outcome = self.try_backend(addr, &req);
             state.inflight.fetch_sub(1, Ordering::Relaxed);
             match outcome {
                 Ok(RawFetch::Fetch(header, payload)) => {
@@ -462,28 +492,48 @@ mod tests {
         Router::new(ring, pool, config)
     }
 
-    fn tau_req(dataset: &str) -> Request {
-        Request::FetchTau {
-            dataset: dataset.into(),
-            tau: 0.0,
-        }
+    fn tau_spec(dataset: &str) -> FetchSpec {
+        FetchSpec::tau(dataset, 0.0)
     }
 
     #[test]
     fn cache_hits_skip_the_backend_entirely() {
         let (server, addr) = start_backend(&[("d", 1)]);
         let router = router_over(&[addr], RouterConfig::default());
-        let Routed::Fetch(h1, p1) = router.route_fetch(&tau_req("d")) else {
+        let Routed::Fetch(h1, p1) = router.route_fetch(&tau_spec("d")) else {
             panic!("first fetch must succeed");
         };
         assert!(!h1.cache_hit);
         server.shutdown().unwrap(); // backend gone…
-        let Routed::Fetch(h2, p2) = router.route_fetch(&tau_req("d")) else {
+        let Routed::Fetch(h2, p2) = router.route_fetch(&tau_spec("d")) else {
             panic!("cached fetch must succeed with the backend down");
         };
         assert!(h2.cache_hit, "gateway cache must answer");
         assert_eq!(p1, p2);
         assert_eq!(router.cache_counters().0, 1);
+    }
+
+    #[test]
+    fn reregistration_invalidates_the_cache_once_a_probe_sees_it() {
+        // The catalog is Arc-shared with the live server, so inserting
+        // under the same name re-registers the dataset in place.
+        let cat = Catalog::new();
+        cat.insert_array("d", &field(1)).unwrap();
+        let server = Server::bind("127.0.0.1:0", cat.clone(), ServerConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let router = router_over(std::slice::from_ref(&addr), RouterConfig::default());
+
+        let Routed::Fetch(_, before) = router.route_fetch(&tau_spec("d")) else {
+            panic!("first fetch must succeed");
+        };
+        cat.insert_array("d", &field(2)).unwrap();
+        assert!(router.probe(&addr), "probe learns the bumped generation");
+        let Routed::Fetch(header, after) = router.route_fetch(&tau_spec("d")) else {
+            panic!("post-re-registration fetch must succeed");
+        };
+        assert!(!header.cache_hit, "generation bump must miss the cache");
+        assert_ne!(before, after, "stale bytes must not be served");
+        server.shutdown().unwrap();
     }
 
     #[test]
@@ -497,7 +547,7 @@ mod tests {
                 ..RouterConfig::default()
             },
         );
-        match router.route_fetch(&tau_req("d")) {
+        match router.route_fetch(&tau_spec("d")) {
             Routed::Overloaded(msg) => assert!(msg.contains("in-flight cap"), "{msg}"),
             _ => panic!("cap 0 must shed"),
         }
@@ -523,14 +573,14 @@ mod tests {
         let (dead, alive) = if primary == a0 { (s0, s1) } else { (s1, s0) };
         dead.shutdown().unwrap();
 
-        let Routed::Fetch(_, payload) = router.route_fetch(&tau_req("d")) else {
+        let Routed::Fetch(_, payload) = router.route_fetch(&tau_spec("d")) else {
             panic!("failover fetch must succeed");
         };
         assert!(router.counters.failovers.load(Ordering::Relaxed) >= 1);
         // The primary is now marked dead; the next fetch skips it
         // without paying the connect timeout.
         assert_eq!(router.alive_count(), 1);
-        let Routed::Fetch(_, payload2) = router.route_fetch(&tau_req("d")) else {
+        let Routed::Fetch(_, payload2) = router.route_fetch(&tau_spec("d")) else {
             panic!("post-failover fetch must succeed");
         };
         assert_eq!(payload, payload2);
@@ -541,7 +591,7 @@ mod tests {
     fn not_found_everywhere_is_not_a_failover_storm() {
         let (server, addr) = start_backend(&[("d", 1)]);
         let router = router_over(&[addr], RouterConfig::default());
-        match router.route_fetch(&tau_req("missing")) {
+        match router.route_fetch(&tau_spec("missing")) {
             Routed::Other(Response::NotFound(_)) => {}
             _ => panic!("unknown dataset must surface NotFound"),
         }
@@ -577,13 +627,13 @@ mod tests {
         assert_eq!(router.alive_count(), 1);
         // Inside the backoff window the dead-marked replica is off the
         // request path entirely — the walk must not dial it.
-        match router.route_fetch(&tau_req("d")) {
+        match router.route_fetch(&tau_spec("d")) {
             Routed::Unavailable(_) => {}
             _ => panic!("within backoff, only the down replica is walked"),
         }
         std::thread::sleep(Duration::from_millis(15)); // backoff expires
 
-        let Routed::Fetch(..) = router.route_fetch(&tau_req("d")) else {
+        let Routed::Fetch(..) = router.route_fetch(&tau_spec("d")) else {
             panic!("the recovered-but-dead-marked replica must serve");
         };
         // The request itself revived the marked replica.
@@ -606,7 +656,7 @@ mod tests {
                 ..RouterConfig::default()
             },
         );
-        match router.route_fetch(&tau_req("d")) {
+        match router.route_fetch(&tau_spec("d")) {
             Routed::Overloaded(_) => {}
             other => panic!(
                 "capped + unreachable must shed, got {}",
@@ -651,7 +701,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(80));
         assert!(router.probe(&addr), "revived backend must probe healthy");
         assert!(router.backends()[0].is_alive());
-        let Routed::Fetch(..) = router.route_fetch(&tau_req("d")) else {
+        let Routed::Fetch(..) = router.route_fetch(&tau_spec("d")) else {
             panic!("fetch after recovery must succeed");
         };
         revived.shutdown().unwrap();

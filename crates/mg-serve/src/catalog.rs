@@ -216,12 +216,21 @@ impl Dataset {
 #[derive(Clone, Default)]
 pub struct Catalog {
     inner: Arc<RwLock<HashMap<String, Arc<Dataset>>>>,
+    /// Bumped on every registration; front tiers key response caches on
+    /// it so a re-registered dataset can never be served stale.
+    generation: Arc<AtomicU64>,
 }
 
 impl Catalog {
     /// Empty catalog.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Catalog change counter: monotonically bumped by every
+    /// (re-)registration, shared across clones.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
     }
 
     /// Refactor `data` and register it under `name` (replacing any
@@ -245,6 +254,7 @@ impl Catalog {
             .write()
             .expect("catalog lock")
             .insert(name.to_string(), Arc::new(dataset));
+        self.generation.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Look up a dataset.

@@ -8,23 +8,48 @@
 //! retrieval" means on the consumer side: reconstruct coarse first,
 //! refine as later tiers arrive.
 //!
+//! Fetches are described by a [`FetchRequest`] builder — selector (τ
+//! and/or byte budget), scalar precision, tenant, priority, and
+//! degradation floor in one place — and answered with a [`FetchOutcome`]
+//! reporting requested-versus-achieved fidelity:
+//!
+//! ```no_run
+//! use mg_serve::client::FetchRequest;
+//! use mg_serve::protocol::Priority;
+//!
+//! let got = FetchRequest::new("turbulence")
+//!     .tau(1e-3)
+//!     .tenant("team-a")
+//!     .priority(Priority::High)
+//!     .floor_tau(1e-1) // accept degradation down to this indicator
+//!     .send("127.0.0.1:4096")?;
+//! if got.degraded() {
+//!     eprintln!("served {} of {} requested classes", got.classes_sent,
+//!               got.requested_classes().unwrap());
+//! }
+//! # std::io::Result::Ok(())
+//! ```
+//!
 //! Two transports:
 //!
-//! * the free functions ([`fetch_tau`], [`fetch_budget`], [`stats`], …)
-//!   speak protocol **v1**: one connection per request, closed by the
-//!   server after the response (the original one-shot mode, kept for
-//!   compatibility);
+//! * [`FetchRequest::send`] (and the free functions [`stats`],
+//!   [`shutdown`], …) speak protocol **v1**: one connection per request,
+//!   closed by the server after the response (the original one-shot
+//!   mode, kept for compatibility);
 //! * [`Connection`] speaks protocol **v2**: one TCP connection carries any
 //!   number of requests back-to-back, which is what a gateway's backend
 //!   pool (and any latency-sensitive client) wants — no connect/teardown
 //!   per request.
 //!
 //! Datasets served at f32 decode through the same machinery: use the
-//! `*_as::<f32>` variants (the payload's `precision` byte is validated by
-//! the decoder, so fetching an f32 dataset with an f64 decoder fails
+//! `send_as::<f32>` variants (the payload's `precision` byte is validated
+//! by the decoder, so fetching an f32 dataset with an f64 decoder fails
 //! cleanly, not silently).
 
-use crate::protocol::{self, FetchHeader, Request, Response, StatsReport, PROTOCOL_V2};
+use crate::protocol::{
+    self, FetchHeader, FetchQosInfo, FetchSpec, Priority, QosSpec, Request, Response, Selector,
+    StatsReport, TenantStatsReport, PROTOCOL_V2,
+};
 use mg_grid::Real;
 use mg_io::TransferCost;
 use mg_refactor::streaming::StreamingDecoder;
@@ -188,61 +213,206 @@ fn read_fetch_header(r: &mut impl Read) -> io::Result<FetchHeader> {
     }
 }
 
-fn fetch<T: Real>(addr: impl ToSocketAddrs, req: &Request) -> io::Result<FetchResult<T>> {
-    let mut stream = connect(addr)?;
-    protocol::write_request_versioned(&mut stream, req, protocol::PROTOCOL_V1)?;
-    // Buffer the response side: header parsing is many small field
-    // reads, one syscall each against a bare socket.
-    let mut reader = io::BufReader::new(stream);
-    let header = read_fetch_header(&mut reader)?;
-    read_payload(&mut reader, header)
+/// One fetch, declaratively: dataset, selector (τ and/or byte budget),
+/// tenant, priority, and degradation floor. Build it, then [`send`] it
+/// one-shot (protocol v1) or on a [`Connection`] (protocol v2) via
+/// [`Connection::fetch`].
+///
+/// With neither [`tau`] nor [`budget`] set, the request fetches every
+/// class (τ = 0). With both, the server meets τ when a prefix that does
+/// fits the budget — the budget wins otherwise.
+///
+/// [`send`]: FetchRequest::send
+/// [`tau`]: FetchRequest::tau
+/// [`budget`]: FetchRequest::budget
+#[derive(Clone, Debug)]
+pub struct FetchRequest {
+    dataset: String,
+    tau: Option<f64>,
+    budget_bytes: Option<u64>,
+    qos: QosSpec,
+}
+
+impl FetchRequest {
+    /// A fetch of `dataset` (every class, shared tenant, normal priority
+    /// until the builder methods say otherwise).
+    pub fn new(dataset: impl Into<String>) -> FetchRequest {
+        FetchRequest {
+            dataset: dataset.into(),
+            tau: None,
+            budget_bytes: None,
+            qos: QosSpec::default(),
+        }
+    }
+
+    /// Select the smallest class prefix whose conservative L∞ indicator
+    /// is `<= tau` (0.0 = every class).
+    pub fn tau(mut self, tau: f64) -> FetchRequest {
+        self.tau = Some(tau);
+        self
+    }
+
+    /// Bound the encoded payload (header and class framing included) to
+    /// `budget_bytes` on the wire.
+    pub fn budget(mut self, budget_bytes: u64) -> FetchRequest {
+        self.budget_bytes = Some(budget_bytes);
+        self
+    }
+
+    /// Attribute the request to a tenant (empty = the shared default
+    /// tenant) for fair queueing and per-tenant stats.
+    pub fn tenant(mut self, tenant: impl Into<String>) -> FetchRequest {
+        self.qos.tenant = tenant.into();
+        self
+    }
+
+    /// Priority tier: higher tiers get a larger fair share under load
+    /// and degrade later.
+    pub fn priority(mut self, priority: Priority) -> FetchRequest {
+        self.qos.priority = priority;
+        self
+    }
+
+    /// Worst L∞ indicator the caller accepts under load shedding — the
+    /// server degrades fidelity down to (never past) this floor instead
+    /// of rejecting. Unset (`+∞`), any fidelity beats a shed.
+    pub fn floor_tau(mut self, floor_tau: f64) -> FetchRequest {
+        self.qos.floor_tau = floor_tau;
+        self
+    }
+
+    /// Explicitly drop `levels` classes below the selector's choice —
+    /// what a front tier sets when forwarding under pressure; also handy
+    /// for reproducing a degraded response deterministically.
+    pub fn degrade(mut self, levels: u8) -> FetchRequest {
+        self.qos.degrade = levels;
+        self
+    }
+
+    /// The wire-level spec this builder describes.
+    pub fn spec(&self) -> FetchSpec {
+        let selector = match (self.tau, self.budget_bytes) {
+            (Some(tau), None) => Selector::Tau(tau),
+            (None, Some(budget_bytes)) => Selector::Budget(budget_bytes),
+            (Some(tau), Some(budget_bytes)) => Selector::TauBudget { tau, budget_bytes },
+            (None, None) => Selector::Tau(0.0),
+        };
+        FetchSpec {
+            dataset: self.dataset.clone(),
+            selector,
+            qos: self.qos.clone(),
+        }
+    }
+
+    /// One-shot (protocol v1) fetch of an f64 dataset.
+    pub fn send(&self, addr: impl ToSocketAddrs) -> io::Result<FetchOutcome> {
+        self.send_as::<f64>(addr)
+    }
+
+    /// One-shot fetch at an explicit scalar precision (`T = f32` for
+    /// datasets registered via `Catalog::insert_array_f32`).
+    pub fn send_as<T: Real>(&self, addr: impl ToSocketAddrs) -> io::Result<FetchOutcome<T>> {
+        let mut stream = connect(addr)?;
+        protocol::write_request_versioned(
+            &mut stream,
+            &Request::Fetch(self.spec()),
+            protocol::PROTOCOL_V1,
+        )?;
+        // Buffer the response side: header parsing is many small field
+        // reads, one syscall each against a bare socket.
+        let mut reader = io::BufReader::new(stream);
+        let header = read_fetch_header(&mut reader)?;
+        let qos = header.qos;
+        Ok(FetchOutcome {
+            result: read_payload(&mut reader, header)?,
+            qos,
+        })
+    }
+}
+
+/// A completed [`FetchRequest`]: the decoded [`FetchResult`] plus the
+/// requested-versus-achieved QoS report. Derefs to the result, so
+/// payload fields read through directly.
+#[derive(Debug)]
+pub struct FetchOutcome<T: Real = f64> {
+    /// The decoded payload.
+    pub result: FetchResult<T>,
+    /// The server's requested-vs-served report. `Some` whenever the
+    /// request carried QoS fields or degradation applied; `None` on a
+    /// legacy full-fidelity response.
+    pub qos: Option<FetchQosInfo>,
+}
+
+impl<T: Real> FetchOutcome<T> {
+    /// Whether the response was degraded below the selector's choice.
+    pub fn degraded(&self) -> bool {
+        self.qos.is_some_and(|q| q.degraded())
+    }
+
+    /// Classes dropped below the selector's choice (0 = full fidelity).
+    pub fn degrade_levels(&self) -> u32 {
+        self.qos.map_or(0, |q| q.degrade_levels)
+    }
+
+    /// Classes the selector alone would have served, when the server
+    /// reported it (any QoS fetch does).
+    pub fn requested_classes(&self) -> Option<u32> {
+        self.qos.map(|q| q.requested_classes)
+    }
+}
+
+impl<T: Real> std::ops::Deref for FetchOutcome<T> {
+    type Target = FetchResult<T>;
+    fn deref(&self) -> &FetchResult<T> {
+        &self.result
+    }
 }
 
 /// Fetch the smallest class prefix of `dataset` whose conservative L∞
 /// indicator is `<= tau` (`tau = 0.0` fetches every class).
+#[deprecated(note = "use FetchRequest::new(dataset).tau(tau).send(addr)")]
 pub fn fetch_tau(addr: impl ToSocketAddrs, dataset: &str, tau: f64) -> io::Result<FetchResult> {
-    fetch_tau_as::<f64>(addr, dataset, tau)
+    Ok(FetchRequest::new(dataset).tau(tau).send(addr)?.result)
 }
 
-/// [`fetch_tau`] at an explicit scalar precision (`T = f32` for datasets
-/// registered via `Catalog::insert_array_f32`).
+/// [`fetch_tau`] at an explicit scalar precision.
+#[deprecated(note = "use FetchRequest::new(dataset).tau(tau).send_as::<T>(addr)")]
 pub fn fetch_tau_as<T: Real>(
     addr: impl ToSocketAddrs,
     dataset: &str,
     tau: f64,
 ) -> io::Result<FetchResult<T>> {
-    fetch(
-        addr,
-        &Request::FetchTau {
-            dataset: dataset.to_string(),
-            tau,
-        },
-    )
+    Ok(FetchRequest::new(dataset)
+        .tau(tau)
+        .send_as::<T>(addr)?
+        .result)
 }
 
 /// Fetch the largest class prefix of `dataset` whose *encoded payload*
 /// (header and class framing included) fits `budget_bytes`.
+#[deprecated(note = "use FetchRequest::new(dataset).budget(bytes).send(addr)")]
 pub fn fetch_budget(
     addr: impl ToSocketAddrs,
     dataset: &str,
     budget_bytes: u64,
 ) -> io::Result<FetchResult> {
-    fetch_budget_as::<f64>(addr, dataset, budget_bytes)
+    Ok(FetchRequest::new(dataset)
+        .budget(budget_bytes)
+        .send(addr)?
+        .result)
 }
 
 /// [`fetch_budget`] at an explicit scalar precision.
+#[deprecated(note = "use FetchRequest::new(dataset).budget(bytes).send_as::<T>(addr)")]
 pub fn fetch_budget_as<T: Real>(
     addr: impl ToSocketAddrs,
     dataset: &str,
     budget_bytes: u64,
 ) -> io::Result<FetchResult<T>> {
-    fetch(
-        addr,
-        &Request::FetchBudget {
-            dataset: dataset.to_string(),
-            budget_bytes,
-        },
-    )
+    Ok(FetchRequest::new(dataset)
+        .budget(budget_bytes)
+        .send_as::<T>(addr)?
+        .result)
 }
 
 /// Fetch the server's counters.
@@ -251,6 +421,16 @@ pub fn stats(addr: impl ToSocketAddrs) -> io::Result<StatsReport> {
     protocol::write_request(&mut stream, &Request::Stats)?;
     match protocol::read_response(&mut stream)?.0 {
         Response::Stats(report) => Ok(report),
+        other => Err(response_error(other)),
+    }
+}
+
+/// Fetch the server's per-tenant QoS counters.
+pub fn tenant_stats(addr: impl ToSocketAddrs) -> io::Result<TenantStatsReport> {
+    let mut stream = connect(addr)?;
+    protocol::write_request(&mut stream, &Request::TenantStats)?;
+    match protocol::read_response(&mut stream)?.0 {
+        Response::TenantStats(report) => Ok(report),
         other => Err(response_error(other)),
     }
 }
@@ -330,41 +510,60 @@ impl Connection {
         self.requests_sent
     }
 
-    /// Fetch by error bound on this connection (f64 datasets).
-    pub fn fetch_tau(&mut self, dataset: &str, tau: f64) -> io::Result<FetchResult> {
-        self.fetch_tau_as::<f64>(dataset, tau)
+    /// Run a [`FetchRequest`] on this connection (f64 datasets).
+    pub fn fetch(&mut self, req: &FetchRequest) -> io::Result<FetchOutcome> {
+        self.fetch_as::<f64>(req)
     }
 
-    /// Fetch by error bound at an explicit scalar precision.
-    pub fn fetch_tau_as<T: Real>(&mut self, dataset: &str, tau: f64) -> io::Result<FetchResult<T>> {
-        self.fetch_as(&Request::FetchTau {
-            dataset: dataset.to_string(),
-            tau,
+    /// Run a [`FetchRequest`] on this connection at an explicit scalar
+    /// precision.
+    pub fn fetch_as<T: Real>(&mut self, req: &FetchRequest) -> io::Result<FetchOutcome<T>> {
+        self.requests_sent += 1;
+        protocol::write_request_versioned(
+            &mut self.writer,
+            &Request::Fetch(req.spec()),
+            PROTOCOL_V2,
+        )?;
+        let header = read_fetch_header(&mut self.reader)?;
+        let qos = header.qos;
+        Ok(FetchOutcome {
+            result: read_payload(&mut self.reader, header)?,
+            qos,
         })
     }
 
+    /// Fetch by error bound on this connection (f64 datasets).
+    #[deprecated(note = "use Connection::fetch with a FetchRequest")]
+    pub fn fetch_tau(&mut self, dataset: &str, tau: f64) -> io::Result<FetchResult> {
+        Ok(self.fetch(&FetchRequest::new(dataset).tau(tau))?.result)
+    }
+
+    /// Fetch by error bound at an explicit scalar precision.
+    #[deprecated(note = "use Connection::fetch_as with a FetchRequest")]
+    pub fn fetch_tau_as<T: Real>(&mut self, dataset: &str, tau: f64) -> io::Result<FetchResult<T>> {
+        Ok(self
+            .fetch_as::<T>(&FetchRequest::new(dataset).tau(tau))?
+            .result)
+    }
+
     /// Fetch by wire-byte budget on this connection (f64 datasets).
+    #[deprecated(note = "use Connection::fetch with a FetchRequest")]
     pub fn fetch_budget(&mut self, dataset: &str, budget_bytes: u64) -> io::Result<FetchResult> {
-        self.fetch_budget_as::<f64>(dataset, budget_bytes)
+        Ok(self
+            .fetch(&FetchRequest::new(dataset).budget(budget_bytes))?
+            .result)
     }
 
     /// Fetch by wire-byte budget at an explicit scalar precision.
+    #[deprecated(note = "use Connection::fetch_as with a FetchRequest")]
     pub fn fetch_budget_as<T: Real>(
         &mut self,
         dataset: &str,
         budget_bytes: u64,
     ) -> io::Result<FetchResult<T>> {
-        self.fetch_as(&Request::FetchBudget {
-            dataset: dataset.to_string(),
-            budget_bytes,
-        })
-    }
-
-    fn fetch_as<T: Real>(&mut self, req: &Request) -> io::Result<FetchResult<T>> {
-        self.requests_sent += 1;
-        protocol::write_request_versioned(&mut self.writer, req, PROTOCOL_V2)?;
-        let header = read_fetch_header(&mut self.reader)?;
-        read_payload(&mut self.reader, header)
+        Ok(self
+            .fetch_as::<T>(&FetchRequest::new(dataset).budget(budget_bytes))?
+            .result)
     }
 
     /// Fetch without decoding: the response header plus the raw payload
@@ -405,6 +604,16 @@ impl Connection {
             other => Err(response_error(other)),
         }
     }
+
+    /// Fetch the server's per-tenant QoS counters on this connection.
+    pub fn tenant_stats(&mut self) -> io::Result<TenantStatsReport> {
+        self.requests_sent += 1;
+        protocol::write_request_versioned(&mut self.writer, &Request::TenantStats, PROTOCOL_V2)?;
+        match protocol::read_response(&mut self.reader)?.0 {
+            Response::TenantStats(report) => Ok(report),
+            other => Err(response_error(other)),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -424,7 +633,10 @@ mod tests {
         let cat = Catalog::new();
         cat.insert_array("big", &data).unwrap();
         let server = Server::bind("127.0.0.1:0", cat, ServerConfig::default()).unwrap();
-        let got = fetch_tau(server.local_addr(), "big", 0.0).unwrap();
+        let got = FetchRequest::new("big")
+            .tau(0.0)
+            .send(server.local_addr())
+            .unwrap();
         server.shutdown().unwrap();
 
         assert_eq!(got.classes_sent, got.total_classes);
@@ -458,12 +670,45 @@ mod tests {
 
         // The budget bounds the actual bytes on the wire, not just the
         // scalar payload.
-        let half = fetch_budget(addr, "d", (full_wire / 2) as u64).unwrap();
+        let half = FetchRequest::new("d")
+            .budget((full_wire / 2) as u64)
+            .send(addr)
+            .unwrap();
         assert!(half.classes_sent < half.total_classes);
         assert!(half.raw.len() <= full_wire / 2 || half.classes_sent == 1);
-        let all = fetch_budget(addr, "d", full_wire as u64).unwrap();
+        let all = FetchRequest::new("d")
+            .budget(full_wire as u64)
+            .send(addr)
+            .unwrap();
         assert_eq!(all.classes_sent, all.total_classes);
         assert_eq!(all.raw.len(), full_wire);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_answer() {
+        // The pre-FetchRequest surface stays for one release; it must
+        // keep returning the same bytes as the builder path.
+        let cat = Catalog::new();
+        cat.insert_array("d", &NdArray::from_fn(Shape::d2(9, 9), |i| i[0] as f64))
+            .unwrap();
+        let server = Server::bind("127.0.0.1:0", cat, ServerConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let via_tau = FetchRequest::new("d").tau(0.0).send(addr).unwrap();
+        let via_budget = FetchRequest::new("d").budget(u64::MAX).send(addr).unwrap();
+        assert_eq!(fetch_tau(addr, "d", 0.0).unwrap().raw, via_tau.raw);
+        assert_eq!(
+            fetch_budget(addr, "d", u64::MAX).unwrap().raw,
+            via_budget.raw
+        );
+        let mut conn = Connection::open(addr).unwrap();
+        assert_eq!(conn.fetch_tau("d", 0.0).unwrap().raw, via_tau.raw);
+        assert_eq!(
+            conn.fetch_budget("d", u64::MAX).unwrap().raw,
+            via_budget.raw
+        );
+        drop(conn);
         server.shutdown().unwrap();
     }
 
@@ -478,14 +723,17 @@ mod tests {
         let addr = server.local_addr();
 
         let mut conn = Connection::open(addr).unwrap();
-        let first = conn.fetch_tau("d", 0.0).unwrap();
+        let full = FetchRequest::new("d").tau(0.0);
+        let first = conn.fetch(&full).unwrap();
         for _ in 0..4 {
-            let again = conn.fetch_tau("d", 0.0).unwrap();
+            let again = conn.fetch(&full).unwrap();
             assert_eq!(again.raw, first.raw, "keep-alive must be transparent");
         }
         // Mixed ops on the same connection, including app-level errors
         // (NotFound must not poison the stream).
-        let err = conn.fetch_tau("missing", 0.0).unwrap_err();
+        let err = conn
+            .fetch(&FetchRequest::new("missing").tau(0.0))
+            .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::NotFound);
         let report = conn.stats().unwrap();
         assert_eq!(report.fetches, 5);
@@ -509,9 +757,10 @@ mod tests {
         let server = Server::bind("127.0.0.1:0", cat, ServerConfig::default()).unwrap();
         let addr = server.local_addr();
 
-        let one_shot = fetch_tau(addr, "d", 0.0).unwrap();
+        let full = FetchRequest::new("d").tau(0.0);
+        let one_shot = full.send(addr).unwrap();
         let mut conn = Connection::open(addr).unwrap();
-        let keep_alive = conn.fetch_tau("d", 0.0).unwrap();
+        let keep_alive = conn.fetch(&full).unwrap();
         assert_eq!(one_shot.raw, keep_alive.raw);
 
         // Raw envelope check: a v1 request is answered with a v1 envelope
@@ -548,7 +797,10 @@ mod tests {
         let server = Server::bind("127.0.0.1:0", cat, ServerConfig::default()).unwrap();
         let addr = server.local_addr();
 
-        let got = fetch_tau_as::<f32>(addr, "small", 0.0).unwrap();
+        let got = FetchRequest::new("small")
+            .tau(0.0)
+            .send_as::<f32>(addr)
+            .unwrap();
         assert_eq!(got.classes_sent, got.total_classes);
         assert_eq!(got.raw[6], 4, "payload precision byte must say f32");
         // Lossless reconstruction at f32 accuracy.
@@ -568,7 +820,7 @@ mod tests {
         // The payload really is the 4-byte-per-scalar size class.
         assert!(got.raw.len() < total32 + 200);
         // Fetching an f32 dataset with the f64 decoder fails cleanly.
-        let err = fetch_tau(addr, "small", 0.0).unwrap_err();
+        let err = FetchRequest::new("small").tau(0.0).send(addr).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         server.shutdown().unwrap();
     }
@@ -579,7 +831,10 @@ mod tests {
         cat.insert_array("d", &NdArray::from_fn(Shape::d1(33), |i| i[0] as f64))
             .unwrap();
         let server = Server::bind("127.0.0.1:0", cat, ServerConfig::default()).unwrap();
-        let got = fetch_tau(server.local_addr(), "d", 0.0).unwrap();
+        let got = FetchRequest::new("d")
+            .tau(0.0)
+            .send(server.local_addr())
+            .unwrap();
         server.shutdown().unwrap();
         let expect = mg_io::transfer_costs(got.raw.len() as u64, 1);
         assert_eq!(got.tiers, expect);

@@ -15,11 +15,19 @@
 //!   shutdown;
 //! * [`client`] — a blocking client that drives
 //!   `mg_refactor::StreamingDecoder` as bytes arrive, so callers can
-//!   reconstruct incrementally tier by tier; one-shot (protocol v1) free
-//!   functions plus a keep-alive (protocol v2) [`client::Connection`]
-//!   that carries any number of requests on one TCP stream;
+//!   reconstruct incrementally tier by tier; fetches are described by a
+//!   [`client::FetchRequest`] builder (τ and/or byte budget, precision,
+//!   tenant, priority, degradation floor) and answered one-shot
+//!   (protocol v1) or over a keep-alive (protocol v2)
+//!   [`client::Connection`] carrying any number of requests on one TCP
+//!   stream;
 //! * [`protocol`] — the small length-prefixed wire protocol between them
-//!   (version-negotiated: v1 one-shot, v2 keep-alive).
+//!   (version-negotiated: v1 one-shot, v2 keep-alive; QoS fetches ride a
+//!   v2 op extension carrying tenant, priority, and degradation floor);
+//! * [`qos`] — the weighted-fair admission controller behind
+//!   fidelity-aware load shedding: under pressure a fetch is served at a
+//!   coarser class prefix (down to the caller's floor) instead of being
+//!   rejected, and every tenant gets an aggregated ledger.
 //!
 //! Datasets register at f64 or f32 ([`Catalog::insert_array_f32`]); byte
 //! budgets bound the *encoded* payload (header + class framing included),
@@ -42,17 +50,21 @@
 //! let server = Server::bind("127.0.0.1:0", catalog, ServerConfig::default()).unwrap();
 //! let addr = server.local_addr();
 //!
-//! let fetched = client::fetch_tau(addr, "demo", 1e-3).unwrap();
+//! let fetched = client::FetchRequest::new("demo").tau(1e-3).send(addr).unwrap();
 //! assert!(fetched.classes_sent <= fetched.total_classes);
+//! assert!(!fetched.degraded(), "no pressure, full fidelity");
 //! server.shutdown().unwrap();
 //! ```
 
 pub mod catalog;
 pub mod client;
+pub mod ops;
 pub mod protocol;
+pub mod qos;
 pub mod server;
 
 pub use catalog::{ByteLru, Catalog, ClassData, Dataset};
-pub use client::{Connection, FetchProgress, FetchResult, RawFetch};
-pub use protocol::{Request, StatsReport};
+pub use client::{Connection, FetchOutcome, FetchProgress, FetchRequest, FetchResult, RawFetch};
+pub use protocol::{Priority, Request, StatsReport, TenantStatsReport};
+pub use qos::{DegradePolicy, FairScheduler, QosConfig};
 pub use server::{Server, ServerConfig, ServerStats};

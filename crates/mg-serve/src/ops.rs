@@ -1,0 +1,82 @@
+//! Shared dispatch of the non-fetch ops (stats, tenant stats, shutdown,
+//! parse errors) between the backend server and any front tier speaking
+//! the same protocol (the gateway). The fetch path is the only thing
+//! that differs between tiers — a local catalog versus a routed fleet —
+//! so [`dispatch_ops`] hands fetches back to the caller and fully
+//! handles everything else.
+
+use crate::protocol::{self, FetchSpec, Request, Response, StatsReport, TenantStatsReport};
+use crate::server::ConnAction;
+use std::io::{self, Write};
+
+/// What a tier must provide for the shared ops to be answerable.
+pub trait OpsHost {
+    /// The tier's aggregate wire stats.
+    fn stats_report(&self) -> StatsReport;
+    /// The tier's per-tenant QoS ledger.
+    fn tenant_stats_report(&self) -> TenantStatsReport;
+    /// A malformed frame arrived (bump the tier's bad-request counter).
+    fn note_bad_request(&self);
+    /// A wire shutdown op arrived; begin the tier's graceful drain.
+    fn begin_shutdown(&self);
+}
+
+/// The outcome of [`dispatch_ops`].
+pub enum Dispatched {
+    /// The request was fully handled (response written); the connection
+    /// should take this action.
+    Done(ConnAction),
+    /// A fetch, which only the tier itself can serve, under the given
+    /// protocol version.
+    Fetch(FetchSpec, u16),
+}
+
+/// Answer every op a tier handles identically — stats, tenant stats,
+/// shutdown, and parse errors — and hand fetches back to the caller.
+///
+/// Keep-alive follows the protocol rule: a successfully answered v2
+/// request parks the connection, anything else closes it. A parse error
+/// closes regardless of version (the stream is no longer frame-aligned)
+/// and is answered with a v1 `BadRequest` envelope. A shutdown op is
+/// acked (response flushed *before* sockets start closing) and closes.
+pub fn dispatch_ops<W: Write>(
+    host: &impl OpsHost,
+    parsed: io::Result<(Request, u16)>,
+    writer: &mut W,
+) -> Dispatched {
+    let keep_alive = match parsed {
+        Ok((Request::Fetch(spec), version)) => return Dispatched::Fetch(spec, version),
+        Ok((Request::Stats, version)) => {
+            let r = protocol::write_response_versioned(
+                writer,
+                &Response::Stats(host.stats_report()),
+                version,
+            );
+            r.is_ok() && version >= protocol::PROTOCOL_V2
+        }
+        Ok((Request::TenantStats, version)) => {
+            let r = protocol::write_response_versioned(
+                writer,
+                &Response::TenantStats(host.tenant_stats_report()),
+                version,
+            );
+            r.is_ok() && version >= protocol::PROTOCOL_V2
+        }
+        Ok((Request::Shutdown, version)) => {
+            let _ = protocol::write_response_versioned(writer, &Response::ShuttingDown, version)
+                .and_then(|()| writer.flush()); // ack before sockets close
+            host.begin_shutdown();
+            false
+        }
+        Err(e) => {
+            host.note_bad_request();
+            let _ = protocol::write_response(writer, &Response::BadRequest(e.to_string()));
+            false
+        }
+    };
+    Dispatched::Done(if keep_alive {
+        ConnAction::KeepOpen
+    } else {
+        ConnAction::Close
+    })
+}

@@ -19,6 +19,13 @@
 //!           op 1 (fetch, budget): name_len u16 | name | budget u64
 //!           op 2 (stats):         —
 //!           op 3 (shutdown):      —
+//!           op 4 (fetch, QoS):    name_len u16 | name
+//!                                 | selector u8 (0 τ / 1 budget / 2 both)
+//!                                 | [tau f64] [budget u64]
+//!                                 | tenant_len u16 | tenant
+//!                                 | priority u8 (0 low / 1 normal / 2 high)
+//!                                 | floor_tau f64 | degrade u8
+//!           op 5 (tenant stats):  —
 //!
 //! response: magic u32 "MGRP" | version u16 (echoed) | status u8
 //!           status 0 (fetch ok):  classes_sent u32 | total_classes u32
@@ -31,6 +38,14 @@
 //!           status 3 (stats):     StatsReport fields (see below)
 //!           status 4 (shutdown):  —
 //!           status 5 (overloaded): msg_len u16 | msg
+//!           status 6 (fetch ok, QoS): status-0 fields
+//!                                 | requested_classes u32
+//!                                 | degrade_levels u32
+//!                                 | payload
+//!           status 7 (tenant stats): ntenants u32 × { tenant_len u16
+//!                                 | tenant | requests u64 | fetches u64
+//!                                 | degraded u64 | shed u64
+//!                                 | payload_bytes u64 | queue_wait_us u64 }
 //! ```
 //!
 //! The fetch payload is byte-for-byte the output of
@@ -44,6 +59,27 @@
 //! server (typically a gateway) refused the request because its queues or
 //! per-backend in-flight limits are full. Clients should back off and
 //! retry; the connection stays usable in v2.
+//!
+//! ## QoS extension (op 4 / status 6)
+//!
+//! Op 4 is the fidelity-aware fetch: alongside the selector (τ, byte
+//! budget, or both — "meet τ if it fits the budget"), the request names a
+//! **tenant** (empty = the shared default tenant), a **priority tier**,
+//! a **degradation floor** `floor_tau` (the worst L∞ indicator the caller
+//! will accept; `+∞` = any fidelity beats a shed), and a **degrade hint**
+//! (classes to drop below the selector's choice — set by a gateway
+//! forwarding under pressure, or explicitly by tests). Writers emit the
+//! legacy ops 0/1 whenever the QoS block is all-default, so old servers
+//! interoperate and v1/v2-without-QoS requests parse to the shared tenant
+//! at normal priority.
+//!
+//! A fetch answered under op 4 uses status 6: the status-0 header plus
+//! `requested_classes` (what the selector alone chose) and
+//! `degrade_levels` (classes dropped below that by load shedding). A
+//! degraded response is still a *maximal class prefix* — bitwise identical
+//! to `encode_prefix` at the degraded count — and its `indicator_linf`
+//! reflects the classes actually sent, so the client sees exactly what it
+//! got.
 
 use mg_io::TransferCost;
 use std::io::{self, Read, Write};
@@ -58,32 +94,170 @@ pub const PROTOCOL_V1: u16 = 1;
 pub const PROTOCOL_V2: u16 = 2;
 /// Highest protocol version spoken by this crate.
 pub const PROTOCOL_VERSION: u16 = PROTOCOL_V2;
-/// Upper bound on dataset-name length (also bounds error messages).
+/// Upper bound on dataset-name length (also bounds error messages and
+/// tenant ids).
 pub const MAX_NAME_LEN: usize = 4096;
+/// Upper bound on tenant rows in a tenant-stats response.
+pub const MAX_TENANT_ROWS: usize = 4096;
+
+/// Priority tier of a QoS fetch. Higher tiers get a larger weighted-fair
+/// share and degrade later under load.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Priority {
+    /// Background / bulk traffic: degrades first, smallest fair share.
+    Low = 0,
+    /// The default tier.
+    #[default]
+    Normal = 1,
+    /// Latency- or fidelity-critical traffic: degrades last.
+    High = 2,
+}
+
+impl Priority {
+    /// Tier index (0 = low, 1 = normal, 2 = high) into per-tier knobs.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    fn from_wire(byte: u8) -> io::Result<Priority> {
+        match byte {
+            0 => Ok(Priority::Low),
+            1 => Ok(Priority::Normal),
+            2 => Ok(Priority::High),
+            other => Err(bad_data(format!("unknown priority {other}"))),
+        }
+    }
+}
+
+impl std::str::FromStr for Priority {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Priority, String> {
+        match s {
+            "low" => Ok(Priority::Low),
+            "normal" => Ok(Priority::Normal),
+            "high" => Ok(Priority::High),
+            other => Err(format!("unknown priority {other:?} (low|normal|high)")),
+        }
+    }
+}
+
+/// How the class prefix is selected.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum Selector {
+    /// Smallest prefix whose conservative L∞ indicator is `<= tau`
+    /// (0.0 fetches every class).
+    Tau(f64),
+    /// Largest prefix whose *encoded payload* fits the byte budget
+    /// (always at least the coarsest class).
+    Budget(u64),
+    /// Meet `tau` if a prefix that does fits `budget_bytes`; otherwise
+    /// the budget caps the prefix (budget wins).
+    TauBudget {
+        /// Target L∞ error bound.
+        tau: f64,
+        /// Payload byte budget (bytes-on-the-wire).
+        budget_bytes: u64,
+    },
+}
+
+/// The QoS block of a fetch: tenant identity, priority tier, degradation
+/// floor, and an explicit degrade hint. [`QosSpec::default`] is the
+/// shared tenant at normal priority with no floor and no degradation —
+/// exactly what a legacy op-0/1 request means.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QosSpec {
+    /// Tenant id (empty = the shared default tenant).
+    pub tenant: String,
+    /// Priority tier.
+    pub priority: Priority,
+    /// Worst acceptable L∞ indicator under degradation (`+∞` = any
+    /// fidelity beats a shed). Degradation never drops classes the floor
+    /// needs.
+    pub floor_tau: f64,
+    /// Classes to drop below the selector's choice. Set by a gateway
+    /// forwarding under pressure; clients normally leave it 0.
+    pub degrade: u8,
+}
+
+impl Default for QosSpec {
+    fn default() -> Self {
+        QosSpec {
+            tenant: String::new(),
+            priority: Priority::Normal,
+            floor_tau: f64::INFINITY,
+            degrade: 0,
+        }
+    }
+}
+
+impl QosSpec {
+    /// Whether every field is the default (such a fetch is emitted as a
+    /// legacy op-0/1 frame).
+    pub fn is_default(&self) -> bool {
+        *self == QosSpec::default()
+    }
+}
+
+/// One fetch request: dataset, prefix selector, QoS block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FetchSpec {
+    /// Dataset name in the server catalog.
+    pub dataset: String,
+    /// How the class prefix is selected.
+    pub selector: Selector,
+    /// Tenant / priority / degradation parameters.
+    pub qos: QosSpec,
+}
+
+impl FetchSpec {
+    /// A default-QoS τ fetch.
+    pub fn tau(dataset: impl Into<String>, tau: f64) -> FetchSpec {
+        FetchSpec {
+            dataset: dataset.into(),
+            selector: Selector::Tau(tau),
+            qos: QosSpec::default(),
+        }
+    }
+
+    /// A default-QoS byte-budget fetch.
+    pub fn budget(dataset: impl Into<String>, budget_bytes: u64) -> FetchSpec {
+        FetchSpec {
+            dataset: dataset.into(),
+            selector: Selector::Budget(budget_bytes),
+            qos: QosSpec::default(),
+        }
+    }
+}
 
 /// One client request.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
-    /// Fetch the smallest class prefix whose conservative L∞ indicator is
-    /// at or below `tau` (0.0 fetches every class).
-    FetchTau {
-        /// Dataset name in the server catalog.
-        dataset: String,
-        /// Target L∞ error bound.
-        tau: f64,
-    },
-    /// Fetch the largest class prefix whose payload fits `budget_bytes`
-    /// (always at least the coarsest class).
-    FetchBudget {
-        /// Dataset name in the server catalog.
-        dataset: String,
-        /// Payload byte budget.
-        budget_bytes: u64,
-    },
+    /// Fetch a class prefix (op 0/1/4 on the wire, depending on the
+    /// selector and QoS block).
+    Fetch(FetchSpec),
     /// Ask for the server's request/byte/latency counters.
     Stats,
     /// Ask the server to shut down gracefully (drain, then exit).
     Shutdown,
+    /// Ask for the per-tenant QoS counters.
+    TenantStats,
+}
+
+/// QoS report of a fetch response (status 6): what the selector alone
+/// would have chosen versus what load shedding actually served.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FetchQosInfo {
+    /// Classes the selector chose before degradation.
+    pub requested_classes: u32,
+    /// Classes dropped below that by degradation (0 = full fidelity).
+    pub degrade_levels: u32,
+}
+
+impl FetchQosInfo {
+    /// Whether the response was degraded below the selector's choice.
+    pub fn degraded(&self) -> bool {
+        self.degrade_levels > 0
+    }
 }
 
 /// Header of a successful fetch response; `payload_len` bytes follow.
@@ -103,6 +277,9 @@ pub struct FetchHeader {
     /// Modeled transfer cost of the payload across the standard storage
     /// ladder (fastest tier first).
     pub tiers: Vec<TransferCost>,
+    /// Requested-vs-served QoS report; `Some` answers a QoS (op 4) fetch
+    /// with status 6, `None` a legacy fetch with status 0.
+    pub qos: Option<FetchQosInfo>,
 }
 
 /// Server counters, as reported over the wire.
@@ -124,14 +301,46 @@ pub struct StatsReport {
     pub cache_misses: u64,
     /// Mean request latency, microseconds.
     pub mean_latency_us: u64,
+    /// Catalog change counter: bumped on every dataset (re-)registration,
+    /// so a front tier can key its response cache on it and never serve
+    /// stale bytes after a re-register. A gateway reports the sum over
+    /// the backends it has probed.
+    pub catalog_generation: u64,
     /// Datasets currently in the catalog.
     pub datasets: u32,
+}
+
+/// Per-tenant QoS counters of one tenant.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Tenant id (empty = the shared default tenant).
+    pub tenant: String,
+    /// Fetches attempted by this tenant (served or shed).
+    pub requests: u64,
+    /// Fetches served.
+    pub fetches: u64,
+    /// Served fetches that were degraded below the selector's choice.
+    pub degraded: u64,
+    /// Fetches shed by admission control.
+    pub shed: u64,
+    /// Payload bytes served to this tenant.
+    pub payload_bytes: u64,
+    /// Total time this tenant's requests waited in the fair queue, µs.
+    pub queue_wait_us: u64,
+}
+
+/// Per-tenant QoS counters, as reported over the wire (status 7).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TenantStatsReport {
+    /// One row per tenant, sorted by tenant id.
+    pub tenants: Vec<TenantStats>,
 }
 
 /// One server response header (fetch payload bytes follow separately).
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
-    /// Fetch accepted; `payload_len` bytes follow this header.
+    /// Fetch accepted; `payload_len` bytes follow this header (status 0
+    /// when `qos` is `None`, status 6 when `Some`).
     Fetch(FetchHeader),
     /// Dataset not in the catalog.
     NotFound(String),
@@ -143,6 +352,8 @@ pub enum Response {
     ShuttingDown,
     /// Admission control shed the request (queues full); retry later.
     Overloaded(String),
+    /// Per-tenant QoS counters.
+    TenantStats(TenantStatsReport),
 }
 
 // --- primitive helpers ------------------------------------------------
@@ -210,6 +421,22 @@ fn truncate_msg(msg: &str) -> &str {
     &msg[..end]
 }
 
+/// A τ must be a finite non-negative target.
+fn check_tau(tau: f64) -> io::Result<f64> {
+    if !tau.is_finite() || tau < 0.0 {
+        return Err(bad_data(format!("tau {tau} must be finite and >= 0")));
+    }
+    Ok(tau)
+}
+
+/// A degradation floor may additionally be `+∞` ("any fidelity").
+fn check_floor(floor: f64) -> io::Result<f64> {
+    if floor.is_nan() || floor < 0.0 {
+        return Err(bad_data(format!("floor_tau {floor} must be >= 0")));
+    }
+    Ok(floor)
+}
+
 /// Validate the magic + version envelope; returns the negotiated version.
 fn check_envelope(r: &mut impl Read, magic: u32, what: &str) -> io::Result<u16> {
     let got = read_u32(r)?;
@@ -233,25 +460,52 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
 /// Serialize and send one request under an explicit protocol version
 /// ([`PROTOCOL_V1`] = one-shot, [`PROTOCOL_V2`] = keep-alive).
 pub fn write_request_versioned(w: &mut impl Write, req: &Request, version: u16) -> io::Result<()> {
-    let mut buf = Vec::with_capacity(64);
+    let mut buf = Vec::with_capacity(96);
     buf.extend_from_slice(&REQUEST_MAGIC.to_le_bytes());
     buf.extend_from_slice(&version.to_le_bytes());
     match req {
-        Request::FetchTau { dataset, tau } => {
-            buf.push(0);
-            put_string(&mut buf, dataset)?;
-            buf.extend_from_slice(&tau.to_le_bytes());
-        }
-        Request::FetchBudget {
-            dataset,
-            budget_bytes,
-        } => {
-            buf.push(1);
-            put_string(&mut buf, dataset)?;
-            buf.extend_from_slice(&budget_bytes.to_le_bytes());
+        Request::Fetch(spec) => {
+            // Default-QoS τ/budget fetches ride the legacy ops, so old
+            // servers interoperate and the frames stay minimal.
+            match (&spec.selector, spec.qos.is_default()) {
+                (Selector::Tau(tau), true) => {
+                    buf.push(0);
+                    put_string(&mut buf, &spec.dataset)?;
+                    buf.extend_from_slice(&tau.to_le_bytes());
+                }
+                (Selector::Budget(budget_bytes), true) => {
+                    buf.push(1);
+                    put_string(&mut buf, &spec.dataset)?;
+                    buf.extend_from_slice(&budget_bytes.to_le_bytes());
+                }
+                _ => {
+                    buf.push(4);
+                    put_string(&mut buf, &spec.dataset)?;
+                    match spec.selector {
+                        Selector::Tau(tau) => {
+                            buf.push(0);
+                            buf.extend_from_slice(&tau.to_le_bytes());
+                        }
+                        Selector::Budget(budget_bytes) => {
+                            buf.push(1);
+                            buf.extend_from_slice(&budget_bytes.to_le_bytes());
+                        }
+                        Selector::TauBudget { tau, budget_bytes } => {
+                            buf.push(2);
+                            buf.extend_from_slice(&tau.to_le_bytes());
+                            buf.extend_from_slice(&budget_bytes.to_le_bytes());
+                        }
+                    }
+                    put_string(&mut buf, &spec.qos.tenant)?;
+                    buf.push(spec.qos.priority as u8);
+                    buf.extend_from_slice(&spec.qos.floor_tau.to_le_bytes());
+                    buf.push(spec.qos.degrade);
+                }
+            }
         }
         Request::Stats => buf.push(2),
         Request::Shutdown => buf.push(3),
+        Request::TenantStats => buf.push(5),
     }
     w.write_all(&buf)?;
     w.flush()
@@ -264,18 +518,39 @@ pub fn read_request(r: &mut impl Read) -> io::Result<(Request, u16)> {
     let req = match read_u8(r)? {
         0 => {
             let dataset = read_string(r)?;
-            let tau = read_f64(r)?;
-            if !tau.is_finite() || tau < 0.0 {
-                return Err(bad_data(format!("tau {tau} must be finite and >= 0")));
-            }
-            Request::FetchTau { dataset, tau }
+            let tau = check_tau(read_f64(r)?)?;
+            Request::Fetch(FetchSpec::tau(dataset, tau))
         }
-        1 => Request::FetchBudget {
-            dataset: read_string(r)?,
-            budget_bytes: read_u64(r)?,
-        },
+        1 => Request::Fetch(FetchSpec::budget(read_string(r)?, read_u64(r)?)),
         2 => Request::Stats,
         3 => Request::Shutdown,
+        4 => {
+            let dataset = read_string(r)?;
+            let selector = match read_u8(r)? {
+                0 => Selector::Tau(check_tau(read_f64(r)?)?),
+                1 => Selector::Budget(read_u64(r)?),
+                2 => Selector::TauBudget {
+                    tau: check_tau(read_f64(r)?)?,
+                    budget_bytes: read_u64(r)?,
+                },
+                sel => return Err(bad_data(format!("unknown selector {sel}"))),
+            };
+            let tenant = read_string(r)?;
+            let priority = Priority::from_wire(read_u8(r)?)?;
+            let floor_tau = check_floor(read_f64(r)?)?;
+            let degrade = read_u8(r)?;
+            Request::Fetch(FetchSpec {
+                dataset,
+                selector,
+                qos: QosSpec {
+                    tenant,
+                    priority,
+                    floor_tau,
+                    degrade,
+                },
+            })
+        }
+        5 => Request::TenantStats,
         op => return Err(bad_data(format!("unknown op {op}"))),
     };
     Ok((req, version))
@@ -302,7 +577,7 @@ pub fn write_response_versioned(
     buf.extend_from_slice(&version.to_le_bytes());
     match resp {
         Response::Fetch(h) => {
-            buf.push(0);
+            buf.push(if h.qos.is_some() { 6 } else { 0 });
             buf.extend_from_slice(&h.classes_sent.to_le_bytes());
             buf.extend_from_slice(&h.total_classes.to_le_bytes());
             buf.extend_from_slice(&h.indicator_linf.to_le_bytes());
@@ -312,6 +587,10 @@ pub fn write_response_versioned(
             for t in h.tiers.iter().take(255) {
                 put_string(&mut buf, &t.tier)?;
                 buf.extend_from_slice(&t.seconds.to_le_bytes());
+            }
+            if let Some(q) = &h.qos {
+                buf.extend_from_slice(&q.requested_classes.to_le_bytes());
+                buf.extend_from_slice(&q.degrade_levels.to_le_bytes());
             }
         }
         Response::NotFound(msg) => {
@@ -333,6 +612,7 @@ pub fn write_response_versioned(
                 s.cache_hits,
                 s.cache_misses,
                 s.mean_latency_us,
+                s.catalog_generation,
             ] {
                 buf.extend_from_slice(&v.to_le_bytes());
             }
@@ -343,8 +623,58 @@ pub fn write_response_versioned(
             buf.push(5);
             put_string(&mut buf, truncate_msg(msg))?;
         }
+        Response::TenantStats(report) => {
+            buf.push(7);
+            let rows = report.tenants.len().min(MAX_TENANT_ROWS);
+            buf.extend_from_slice(&(rows as u32).to_le_bytes());
+            for t in report.tenants.iter().take(rows) {
+                put_string(&mut buf, &t.tenant)?;
+                for v in [
+                    t.requests,
+                    t.fetches,
+                    t.degraded,
+                    t.shed,
+                    t.payload_bytes,
+                    t.queue_wait_us,
+                ] {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
     }
     w.write_all(&buf)
+}
+
+fn read_fetch_header(r: &mut impl Read, with_qos: bool) -> io::Result<FetchHeader> {
+    let classes_sent = read_u32(r)?;
+    let total_classes = read_u32(r)?;
+    let indicator_linf = read_f64(r)?;
+    let cache_hit = read_u8(r)? != 0;
+    let payload_len = read_u64(r)?;
+    let ntiers = read_u8(r)? as usize;
+    let mut tiers = Vec::with_capacity(ntiers);
+    for _ in 0..ntiers {
+        let tier = read_string(r)?;
+        let seconds = read_f64(r)?;
+        tiers.push(TransferCost { tier, seconds });
+    }
+    let qos = if with_qos {
+        Some(FetchQosInfo {
+            requested_classes: read_u32(r)?,
+            degrade_levels: read_u32(r)?,
+        })
+    } else {
+        None
+    };
+    Ok(FetchHeader {
+        classes_sent,
+        total_classes,
+        indicator_linf,
+        cache_hit,
+        payload_len,
+        tiers,
+        qos,
+    })
 }
 
 /// Read one response header; returns the response and the version the
@@ -352,28 +682,7 @@ pub fn write_response_versioned(
 pub fn read_response(r: &mut impl Read) -> io::Result<(Response, u16)> {
     let version = check_envelope(r, RESPONSE_MAGIC, "response")?;
     let resp = match read_u8(r)? {
-        0 => {
-            let classes_sent = read_u32(r)?;
-            let total_classes = read_u32(r)?;
-            let indicator_linf = read_f64(r)?;
-            let cache_hit = read_u8(r)? != 0;
-            let payload_len = read_u64(r)?;
-            let ntiers = read_u8(r)? as usize;
-            let mut tiers = Vec::with_capacity(ntiers);
-            for _ in 0..ntiers {
-                let tier = read_string(r)?;
-                let seconds = read_f64(r)?;
-                tiers.push(TransferCost { tier, seconds });
-            }
-            Response::Fetch(FetchHeader {
-                classes_sent,
-                total_classes,
-                indicator_linf,
-                cache_hit,
-                payload_len,
-                tiers,
-            })
-        }
+        0 => Response::Fetch(read_fetch_header(r, false)?),
         1 => Response::NotFound(read_string(r)?),
         2 => Response::BadRequest(read_string(r)?),
         3 => Response::Stats(StatsReport {
@@ -385,10 +694,31 @@ pub fn read_response(r: &mut impl Read) -> io::Result<(Response, u16)> {
             cache_hits: read_u64(r)?,
             cache_misses: read_u64(r)?,
             mean_latency_us: read_u64(r)?,
+            catalog_generation: read_u64(r)?,
             datasets: read_u32(r)?,
         }),
         4 => Response::ShuttingDown,
         5 => Response::Overloaded(read_string(r)?),
+        6 => Response::Fetch(read_fetch_header(r, true)?),
+        7 => {
+            let rows = read_u32(r)? as usize;
+            if rows > MAX_TENANT_ROWS {
+                return Err(bad_data(format!("{rows} tenant rows exceeds cap")));
+            }
+            let mut tenants = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                tenants.push(TenantStats {
+                    tenant: read_string(r)?,
+                    requests: read_u64(r)?,
+                    fetches: read_u64(r)?,
+                    degraded: read_u64(r)?,
+                    shed: read_u64(r)?,
+                    payload_bytes: read_u64(r)?,
+                    queue_wait_us: read_u64(r)?,
+                });
+            }
+            Response::TenantStats(TenantStatsReport { tenants })
+        }
         status => return Err(bad_data(format!("unknown status {status}"))),
     };
     Ok((resp, version))
@@ -410,16 +740,87 @@ mod tests {
 
     #[test]
     fn requests_round_trip() {
-        round_trip_request(Request::FetchTau {
-            dataset: "turbulence".into(),
-            tau: 1.25e-3,
-        });
-        round_trip_request(Request::FetchBudget {
-            dataset: "Ω-field".into(),
-            budget_bytes: 1 << 33,
-        });
+        round_trip_request(Request::Fetch(FetchSpec::tau("turbulence", 1.25e-3)));
+        round_trip_request(Request::Fetch(FetchSpec::budget("Ω-field", 1 << 33)));
         round_trip_request(Request::Stats);
         round_trip_request(Request::Shutdown);
+        round_trip_request(Request::TenantStats);
+    }
+
+    #[test]
+    fn qos_requests_round_trip() {
+        for selector in [
+            Selector::Tau(2.5e-4),
+            Selector::Budget(10_000),
+            Selector::TauBudget {
+                tau: 1e-3,
+                budget_bytes: 4096,
+            },
+        ] {
+            round_trip_request(Request::Fetch(FetchSpec {
+                dataset: "climate".into(),
+                selector,
+                qos: QosSpec {
+                    tenant: "team-a".into(),
+                    priority: Priority::High,
+                    floor_tau: 0.5,
+                    degrade: 3,
+                },
+            }));
+        }
+        // An infinite floor (the "any fidelity" default) survives the wire.
+        round_trip_request(Request::Fetch(FetchSpec {
+            dataset: "d".into(),
+            selector: Selector::Tau(0.0),
+            qos: QosSpec {
+                tenant: "t".into(),
+                ..QosSpec::default()
+            },
+        }));
+    }
+
+    #[test]
+    fn default_qos_fetches_use_the_legacy_ops() {
+        // Compatibility: a default-QoS fetch must be byte-identical to
+        // the pre-QoS frame, so old servers keep working.
+        let mut qos_frame = Vec::new();
+        write_request(
+            &mut qos_frame,
+            &Request::Fetch(FetchSpec::tau("legacy", 0.25)),
+        )
+        .unwrap();
+        assert_eq!(qos_frame[6], 0, "default-QoS tau fetch must be op 0");
+        let mut budget_frame = Vec::new();
+        write_request(
+            &mut budget_frame,
+            &Request::Fetch(FetchSpec::budget("legacy", 4096)),
+        )
+        .unwrap();
+        assert_eq!(budget_frame[6], 1, "default-QoS budget fetch must be op 1");
+        // And a legacy frame parses to the default QoS block: shared
+        // tenant, normal priority, no floor, no degradation.
+        let (req, _) = read_request(&mut qos_frame.as_slice()).unwrap();
+        let Request::Fetch(spec) = req else {
+            panic!("fetch expected");
+        };
+        assert!(spec.qos.is_default());
+        assert_eq!(spec.qos.priority, Priority::Normal);
+        assert_eq!(spec.qos.tenant, "");
+        // A non-default block forces op 4.
+        let mut tenant_frame = Vec::new();
+        write_request(
+            &mut tenant_frame,
+            &Request::Fetch(FetchSpec {
+                dataset: "legacy".into(),
+                selector: Selector::Tau(0.25),
+                qos: QosSpec {
+                    tenant: "t".into(),
+                    ..QosSpec::default()
+                },
+            }),
+        )
+        .unwrap();
+        assert_eq!(tenant_frame[6], 4);
     }
 
     fn round_trip_response(resp: Response) {
@@ -441,6 +842,7 @@ mod tests {
             cache_hit: true,
             payload_len: 123_456,
             tiers: mg_io::transfer_costs(123_456, 1),
+            qos: None,
         }));
         round_trip_response(Response::NotFound("no such dataset".into()));
         round_trip_response(Response::BadRequest("tau must be finite".into()));
@@ -453,10 +855,51 @@ mod tests {
             cache_hits: 4,
             cache_misses: 3,
             mean_latency_us: 120,
+            catalog_generation: 42,
             datasets: 2,
         }));
         round_trip_response(Response::ShuttingDown);
         round_trip_response(Response::Overloaded("queue full, retry".into()));
+    }
+
+    #[test]
+    fn qos_responses_round_trip() {
+        // A degraded fetch uses status 6 and carries the QoS report.
+        let degraded = Response::Fetch(FetchHeader {
+            classes_sent: 2,
+            total_classes: 7,
+            indicator_linf: 3.1e-2,
+            cache_hit: false,
+            payload_len: 999,
+            tiers: mg_io::transfer_costs(999, 1),
+            qos: Some(FetchQosInfo {
+                requested_classes: 5,
+                degrade_levels: 3,
+            }),
+        });
+        let mut buf = Vec::new();
+        write_response(&mut buf, &degraded).unwrap();
+        assert_eq!(buf[6], 6, "QoS fetch must use status 6");
+        round_trip_response(degraded);
+        round_trip_response(Response::TenantStats(TenantStatsReport {
+            tenants: vec![
+                TenantStats {
+                    tenant: String::new(),
+                    requests: 9,
+                    fetches: 8,
+                    degraded: 2,
+                    shed: 1,
+                    payload_bytes: 123,
+                    queue_wait_us: 456,
+                },
+                TenantStats {
+                    tenant: "team-b".into(),
+                    requests: 1,
+                    ..TenantStats::default()
+                },
+            ],
+        }));
+        round_trip_response(Response::TenantStats(TenantStatsReport::default()));
     }
 
     #[test]
@@ -472,36 +915,64 @@ mod tests {
     #[test]
     fn bad_magic_and_negative_tau_rejected() {
         let mut buf = Vec::new();
-        write_request(
-            &mut buf,
-            &Request::FetchTau {
-                dataset: "x".into(),
-                tau: 1.0,
-            },
-        )
-        .unwrap();
+        write_request(&mut buf, &Request::Fetch(FetchSpec::tau("x", 1.0))).unwrap();
         buf[0] ^= 0xFF;
         assert!(read_request(&mut buf.as_slice()).is_err());
 
         let mut buf = Vec::new();
-        write_request(
-            &mut buf,
-            &Request::FetchTau {
-                dataset: "x".into(),
-                tau: f64::NAN,
-            },
-        )
-        .unwrap();
+        write_request(&mut buf, &Request::Fetch(FetchSpec::tau("x", f64::NAN))).unwrap();
         assert!(read_request(&mut buf.as_slice()).is_err());
     }
 
     #[test]
+    fn bad_qos_fields_rejected() {
+        // NaN floor, bogus priority, bogus selector: each must error
+        // cleanly out of the decoder.
+        let good = Request::Fetch(FetchSpec {
+            dataset: "d".into(),
+            selector: Selector::Tau(1.0),
+            qos: QosSpec {
+                tenant: "t".into(),
+                priority: Priority::Low,
+                floor_tau: 0.1,
+                degrade: 1,
+            },
+        });
+        let mut frame = Vec::new();
+        write_request(&mut frame, &good).unwrap();
+        assert_eq!(frame[6], 4);
+        // magic(4)+version(2)+op(1) put name_len at 7, the 1-byte name at
+        // 9, the selector byte at 10, tau at 11..19, tenant_len at 19,
+        // the 1-byte tenant at 21, priority at 22, floor at 23..31, and
+        // degrade at 31.
+        let mut bad_floor = frame.clone();
+        bad_floor[23..31].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(read_request(&mut bad_floor.as_slice()).is_err());
+        let mut bad_priority = frame.clone();
+        bad_priority[22] = 9;
+        assert!(read_request(&mut bad_priority.as_slice()).is_err());
+        let mut bad_selector = frame.clone();
+        bad_selector[10] = 7;
+        assert!(read_request(&mut bad_selector.as_slice()).is_err());
+    }
+
+    #[test]
     fn oversized_names_rejected_on_write() {
-        let req = Request::FetchTau {
-            dataset: "n".repeat(MAX_NAME_LEN + 1),
-            tau: 1.0,
-        };
+        let req = Request::Fetch(FetchSpec::tau("n".repeat(MAX_NAME_LEN + 1), 1.0));
         assert!(write_request(&mut Vec::new(), &req).is_err());
+    }
+
+    #[test]
+    fn oversized_tenant_rows_rejected_on_read() {
+        let mut buf = Vec::new();
+        write_response(
+            &mut buf,
+            &Response::TenantStats(TenantStatsReport::default()),
+        )
+        .unwrap();
+        // Row count sits straight after magic(4)+version(2)+status(1).
+        buf[7..11].copy_from_slice(&(MAX_TENANT_ROWS as u32 + 1).to_le_bytes());
+        assert!(read_response(&mut buf.as_slice()).is_err());
     }
 
     #[test]
@@ -538,6 +1009,28 @@ mod tests {
         write_response(&mut buf, &Response::ShuttingDown).unwrap();
         for cut in 0..buf.len() {
             assert!(read_response(&mut &buf[..cut]).is_err(), "cut at {cut}");
+        }
+        // Same for a QoS request frame — every truncation is a clean Err.
+        let mut buf = Vec::new();
+        write_request(
+            &mut buf,
+            &Request::Fetch(FetchSpec {
+                dataset: "d".into(),
+                selector: Selector::TauBudget {
+                    tau: 1e-2,
+                    budget_bytes: 512,
+                },
+                qos: QosSpec {
+                    tenant: "t".into(),
+                    priority: Priority::High,
+                    floor_tau: 1.0,
+                    degrade: 2,
+                },
+            }),
+        )
+        .unwrap();
+        for cut in 0..buf.len() {
+            assert!(read_request(&mut &buf[..cut]).is_err(), "cut at {cut}");
         }
     }
 }

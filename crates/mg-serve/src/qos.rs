@@ -1,0 +1,485 @@
+//! Fidelity-aware admission control: weighted fair queueing across
+//! tenants with priority tiers, plus a degradation policy that trades
+//! fidelity for latency under pressure instead of shedding outright.
+//!
+//! The scheduler is a start-time fair queue: each admission request gets
+//! a *virtual finish tag* `max(virtual_now, tenant_finish) + cost/weight`
+//! and waits until it holds the smallest tag among the waiters **and** a
+//! service slot is free. Heavier traffic from one tenant pushes that
+//! tenant's tags further into the virtual future, so a light tenant slips
+//! past a heavy one regardless of arrival order, and higher priority
+//! tiers (larger weights) accumulate virtual time more slowly — a larger
+//! fair share.
+//!
+//! Degradation is the second half of the controller: when a request is
+//! finally admitted, the queue depth behind it sets a *degrade level*
+//! (classes to drop below what the selector chose), bounded per priority
+//! tier by [`DegradePolicy::max_degrade`] and never past the caller's own
+//! `floor_tau`. A degraded response is still a maximal class prefix with
+//! an honest L∞ indicator — a coarser answer now instead of an
+//! `Overloaded` and a retry storm. Outright shedding remains the backstop
+//! when the wait queue itself overflows ([`QosConfig::queue_cap`]) or a
+//! waiter times out ([`QosConfig::queue_timeout`]).
+
+use crate::protocol::{Priority, TenantStats, TenantStatsReport};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Virtual-time cost of one request at weight 1 (the unit is arbitrary;
+/// only ratios between weights matter).
+const COST_SCALE: u64 = 1 << 16;
+
+/// How fidelity degrades as queue pressure rises, per priority tier
+/// (index 0 = low, 1 = normal, 2 = high — see [`Priority::index`]).
+#[derive(Copy, Clone, Debug)]
+pub struct DegradePolicy {
+    /// Queue depth (waiters behind an admitted request) at which that
+    /// tier starts degrading.
+    pub degrade_start: [u32; 3],
+    /// Additional waiters per extra degrade level beyond the start.
+    pub depth_per_level: u32,
+    /// Max classes dropped per tier — the tier's min-fidelity floor
+    /// (0 disables degradation for the tier).
+    pub max_degrade: [u8; 3],
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        DegradePolicy {
+            degrade_start: [1, 2, 4],
+            depth_per_level: 2,
+            max_degrade: [4, 3, 2],
+        }
+    }
+}
+
+/// Admission-control knobs.
+#[derive(Copy, Clone, Debug)]
+pub struct QosConfig {
+    /// Concurrent fetches in service (0 = unlimited: the scheduler only
+    /// keeps the per-tenant ledger and never queues, degrades, or sheds).
+    pub max_concurrent: u32,
+    /// Max waiters in the fair queue before outright shedding.
+    pub queue_cap: u32,
+    /// Max time a request may wait for admission before it is shed.
+    pub queue_timeout: Duration,
+    /// Fair-share weights per priority tier (low, normal, high); a tier
+    /// with twice the weight gets twice the throughput share under
+    /// contention.
+    pub weights: [u32; 3],
+    /// Fidelity-degradation policy.
+    pub degrade: DegradePolicy,
+}
+
+impl Default for QosConfig {
+    fn default() -> Self {
+        QosConfig {
+            max_concurrent: 0,
+            queue_cap: 1024,
+            queue_timeout: Duration::from_secs(5),
+            weights: [1, 2, 4],
+            degrade: DegradePolicy::default(),
+        }
+    }
+}
+
+impl QosConfig {
+    /// The degrade level for a request admitted with `depth` waiters
+    /// still queued behind it.
+    pub fn degrade_for(&self, depth: u32, priority: Priority) -> u8 {
+        let tier = priority.index();
+        let max = self.degrade.max_degrade[tier];
+        let start = self.degrade.degrade_start[tier];
+        if max == 0 || depth < start {
+            return 0;
+        }
+        let level = 1 + (depth - start) / self.degrade.depth_per_level.max(1);
+        level.min(max as u32) as u8
+    }
+}
+
+#[derive(Default)]
+struct TenantEntry {
+    /// Virtual finish tag of this tenant's most recent admission request.
+    virtual_finish: u64,
+    stats: TenantStats,
+}
+
+#[derive(Default)]
+struct SchedState {
+    in_service: u32,
+    virtual_now: u64,
+    next_seq: u64,
+    /// Waiters ordered by (virtual finish tag, arrival seq).
+    queue: BTreeSet<(u64, u64)>,
+    tenants: HashMap<String, TenantEntry>,
+}
+
+/// The verdict of [`FairScheduler::admit`].
+pub enum Admission<'a> {
+    /// Serve, dropping `degrade` classes below the selector's choice
+    /// (0 = full fidelity). Hold `permit` for the duration of service.
+    Granted {
+        /// Releases the service slot on drop; call [`Permit::served`]
+        /// first to credit the tenant ledger.
+        permit: Permit<'a>,
+        /// Classes to drop below the selector's choice.
+        degrade: u8,
+    },
+    /// Queue full or wait timed out: answer `Overloaded`.
+    Shed,
+}
+
+/// A held service slot (RAII): dropping it releases the slot and wakes
+/// the next waiter.
+pub struct Permit<'a> {
+    sched: &'a FairScheduler,
+    tenant: String,
+}
+
+impl Permit<'_> {
+    /// Credit the tenant ledger for a served fetch.
+    pub fn served(&self, payload_bytes: u64, degraded: bool) {
+        let mut st = self.sched.state.lock().expect("qos lock");
+        let entry = st.tenants.entry(self.tenant.clone()).or_default();
+        entry.stats.fetches += 1;
+        entry.stats.payload_bytes += payload_bytes;
+        if degraded {
+            entry.stats.degraded += 1;
+        }
+    }
+
+    /// Record a shed that happened *after* admission (e.g. a downstream
+    /// in-flight cap refused the request).
+    pub fn shed_downstream(&self) {
+        let mut st = self.sched.state.lock().expect("qos lock");
+        st.tenants
+            .entry(self.tenant.clone())
+            .or_default()
+            .stats
+            .shed += 1;
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut st = self.sched.state.lock().expect("qos lock");
+        st.in_service = st.in_service.saturating_sub(1);
+        drop(st);
+        self.sched.cv.notify_all();
+    }
+}
+
+/// Weighted-fair admission controller with pressure-based degradation
+/// and a per-tenant ledger. See the module docs for the algorithm.
+pub struct FairScheduler {
+    config: QosConfig,
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+impl FairScheduler {
+    /// Build a scheduler from `config`.
+    pub fn new(config: QosConfig) -> FairScheduler {
+        FairScheduler {
+            config,
+            state: Mutex::new(SchedState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The configuration the scheduler runs.
+    pub fn config(&self) -> &QosConfig {
+        &self.config
+    }
+
+    /// Effective concurrency limit (0 in the config means unlimited).
+    fn slots(&self) -> u32 {
+        match self.config.max_concurrent {
+            0 => u32::MAX,
+            n => n,
+        }
+    }
+
+    /// Wait for a service slot under weighted fair queueing. Blocks up
+    /// to [`QosConfig::queue_timeout`]; returns [`Admission::Shed`] if
+    /// the queue is full or the wait times out.
+    pub fn admit(&self, tenant: &str, priority: Priority) -> Admission<'_> {
+        let weight = self.config.weights[priority.index()].max(1) as u64;
+        let mut st = self.state.lock().expect("qos lock");
+        {
+            let entry = st.tenants.entry(tenant.to_string()).or_default();
+            entry.stats.requests += 1;
+        }
+
+        // Fast path: a free slot and nobody queued ahead of us.
+        if st.in_service < self.slots() && st.queue.is_empty() {
+            st.in_service += 1;
+            let tag = st.virtual_now + COST_SCALE / weight;
+            st.tenants
+                .entry(tenant.to_string())
+                .or_default()
+                .virtual_finish = tag;
+            let degrade = self.config.degrade_for(0, priority);
+            drop(st);
+            return Admission::Granted {
+                permit: Permit {
+                    sched: self,
+                    tenant: tenant.to_string(),
+                },
+                degrade,
+            };
+        }
+
+        if st.queue.len() as u32 >= self.config.queue_cap {
+            st.tenants.entry(tenant.to_string()).or_default().stats.shed += 1;
+            return Admission::Shed;
+        }
+
+        // Enqueue under our virtual finish tag and wait for it to reach
+        // the head with a slot free.
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        let tag = {
+            let virtual_now = st.virtual_now;
+            let entry = st.tenants.entry(tenant.to_string()).or_default();
+            let tag = virtual_now.max(entry.virtual_finish) + COST_SCALE / weight;
+            entry.virtual_finish = tag;
+            tag
+        };
+        st.queue.insert((tag, seq));
+
+        let start = Instant::now();
+        loop {
+            let admissible = st.in_service < self.slots() && st.queue.first() == Some(&(tag, seq));
+            if admissible {
+                st.queue.remove(&(tag, seq));
+                st.in_service += 1;
+                st.virtual_now = st.virtual_now.max(tag);
+                let depth = st.queue.len() as u32;
+                let waited = start.elapsed().as_micros() as u64;
+                let entry = st.tenants.entry(tenant.to_string()).or_default();
+                entry.stats.queue_wait_us += waited;
+                let degrade = self.config.degrade_for(depth, priority);
+                drop(st);
+                // More slots may be free (or the new head admissible).
+                self.cv.notify_all();
+                return Admission::Granted {
+                    permit: Permit {
+                        sched: self,
+                        tenant: tenant.to_string(),
+                    },
+                    degrade,
+                };
+            }
+            let waited = start.elapsed();
+            if waited >= self.config.queue_timeout {
+                st.queue.remove(&(tag, seq));
+                st.tenants.entry(tenant.to_string()).or_default().stats.shed += 1;
+                drop(st);
+                // Our removal may make the next waiter the head.
+                self.cv.notify_all();
+                return Admission::Shed;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(st, self.config.queue_timeout - waited)
+                .expect("qos lock");
+            st = guard;
+        }
+    }
+
+    /// Record a shed that bypassed [`FairScheduler::admit`] (e.g. the
+    /// acceptor turning connections away), so the tenant ledger stays
+    /// complete.
+    pub fn record_shed(&self, tenant: &str) {
+        let mut st = self.state.lock().expect("qos lock");
+        let entry = st.tenants.entry(tenant.to_string()).or_default();
+        entry.stats.requests += 1;
+        entry.stats.shed += 1;
+    }
+
+    /// Snapshot the per-tenant ledger, rows sorted by tenant id.
+    pub fn tenant_stats(&self) -> TenantStatsReport {
+        let st = self.state.lock().expect("qos lock");
+        let mut tenants: Vec<TenantStats> = st
+            .tenants
+            .iter()
+            .map(|(name, entry)| TenantStats {
+                tenant: name.clone(),
+                ..entry.stats.clone()
+            })
+            .collect();
+        tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        TenantStatsReport { tenants }
+    }
+
+    /// `(in service, waiting)` — the live pressure gauge.
+    pub fn pressure(&self) -> (u32, u32) {
+        let st = self.state.lock().expect("qos lock");
+        (st.in_service, st.queue.len() as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn granted<'a>(sched: &'a FairScheduler, tenant: &str, p: Priority) -> (Permit<'a>, u8) {
+        match sched.admit(tenant, p) {
+            Admission::Granted { permit, degrade } => (permit, degrade),
+            Admission::Shed => panic!("unexpected shed for {tenant}"),
+        }
+    }
+
+    #[test]
+    fn unlimited_scheduler_admits_immediately_at_full_fidelity() {
+        let sched = FairScheduler::new(QosConfig::default());
+        let mut permits = Vec::new();
+        for i in 0..64 {
+            let (permit, degrade) = granted(&sched, &format!("t{}", i % 3), Priority::Low);
+            assert_eq!(degrade, 0, "no pressure, no degradation");
+            permits.push(permit);
+        }
+        assert_eq!(sched.pressure(), (64, 0));
+        drop(permits);
+        assert_eq!(sched.pressure(), (0, 0));
+        let report = sched.tenant_stats();
+        assert_eq!(report.tenants.len(), 3);
+        assert!(report.tenants.iter().all(|t| t.requests > 0 && t.shed == 0));
+    }
+
+    #[test]
+    fn queue_overflow_sheds() {
+        let sched = FairScheduler::new(QosConfig {
+            max_concurrent: 1,
+            queue_cap: 0,
+            ..QosConfig::default()
+        });
+        let (held, _) = granted(&sched, "a", Priority::Normal);
+        assert!(matches!(
+            sched.admit("b", Priority::Normal),
+            Admission::Shed
+        ));
+        drop(held);
+        // Slot free again: admission resumes.
+        let (_p, _) = granted(&sched, "b", Priority::Normal);
+        let report = sched.tenant_stats();
+        let b = report.tenants.iter().find(|t| t.tenant == "b").unwrap();
+        assert_eq!((b.requests, b.shed), (2, 1));
+    }
+
+    #[test]
+    fn queue_timeout_sheds() {
+        let sched = FairScheduler::new(QosConfig {
+            max_concurrent: 1,
+            queue_timeout: Duration::from_millis(30),
+            ..QosConfig::default()
+        });
+        let (held, _) = granted(&sched, "a", Priority::Normal);
+        let t0 = Instant::now();
+        assert!(matches!(
+            sched.admit("b", Priority::Normal),
+            Admission::Shed
+        ));
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+        drop(held);
+        assert_eq!(sched.pressure(), (0, 0), "timed-out waiter left the queue");
+    }
+
+    #[test]
+    fn high_priority_overtakes_a_backlogged_bulk_tenant() {
+        let sched = FairScheduler::new(QosConfig {
+            max_concurrent: 1,
+            queue_timeout: Duration::from_secs(10),
+            ..QosConfig::default()
+        });
+        let (held, _) = granted(&sched, "bulk", Priority::Low);
+        let (order_tx, order_rx) = mpsc::channel::<&'static str>();
+        std::thread::scope(|s| {
+            // Four bulk waiters enqueue first; their chained finish tags
+            // stretch into the virtual future.
+            for _ in 0..4 {
+                let tx = order_tx.clone();
+                let sched = &sched;
+                s.spawn(move || {
+                    let (permit, _) = granted(sched, "bulk", Priority::Low);
+                    tx.send("bulk").unwrap();
+                    drop(permit);
+                });
+            }
+            while sched.pressure().1 < 4 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            // A latecomer on the high tier tags below all of them.
+            let tx = order_tx;
+            let sched_ref = &sched;
+            s.spawn(move || {
+                let (permit, _) = granted(sched_ref, "urgent", Priority::High);
+                tx.send("urgent").unwrap();
+                drop(permit);
+            });
+            while sched.pressure().1 < 5 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            drop(held);
+        });
+        let order: Vec<_> = order_rx.try_iter().collect();
+        assert_eq!(order.len(), 5);
+        assert_eq!(
+            order[0], "urgent",
+            "fair queueing must admit the light high-priority tenant first: {order:?}"
+        );
+    }
+
+    #[test]
+    fn degradation_scales_with_queue_depth_and_respects_tier_caps() {
+        let config = QosConfig::default();
+        // Depth below the tier's start: full fidelity.
+        assert_eq!(config.degrade_for(0, Priority::Low), 0);
+        assert_eq!(config.degrade_for(3, Priority::High), 0);
+        // Levels grow with depth...
+        assert_eq!(config.degrade_for(1, Priority::Low), 1);
+        assert_eq!(config.degrade_for(3, Priority::Low), 2);
+        assert!(config.degrade_for(9, Priority::Low) >= 3);
+        // ...but never past the tier cap, and high degrades least.
+        for depth in 0..100 {
+            let low = config.degrade_for(depth, Priority::Low);
+            let high = config.degrade_for(depth, Priority::High);
+            assert!(low <= config.degrade.max_degrade[0]);
+            assert!(high <= config.degrade.max_degrade[2]);
+            assert!(high <= low, "depth {depth}: high {high} > low {low}");
+        }
+        // A zeroed cap disables degradation outright.
+        let off = QosConfig {
+            degrade: DegradePolicy {
+                max_degrade: [0; 3],
+                ..DegradePolicy::default()
+            },
+            ..config
+        };
+        assert_eq!(off.degrade_for(1000, Priority::Low), 0);
+    }
+
+    #[test]
+    fn ledger_tracks_served_bytes_and_degradation() {
+        let sched = FairScheduler::new(QosConfig::default());
+        let (permit, _) = granted(&sched, "t", Priority::Normal);
+        permit.served(100, false);
+        drop(permit);
+        let (permit, _) = granted(&sched, "t", Priority::Normal);
+        permit.served(50, true);
+        permit.shed_downstream(); // a later request refused downstream
+        drop(permit);
+        let report = sched.tenant_stats();
+        let t = &report.tenants[0];
+        assert_eq!(t.tenant, "t");
+        assert_eq!(t.requests, 2);
+        assert_eq!(t.fetches, 2);
+        assert_eq!(t.payload_bytes, 150);
+        assert_eq!(t.degraded, 1);
+        assert_eq!(t.shed, 1);
+    }
+}

@@ -11,7 +11,12 @@
 //! `ServerConfig::io_timeout` to reclaim workers from idle peers.
 
 use crate::catalog::{Catalog, PrefixCache};
-use crate::protocol::{self, FetchHeader, Request, Response, StatsReport, PROTOCOL_V2};
+use crate::ops::{self, Dispatched, OpsHost};
+use crate::protocol::{
+    self, FetchHeader, FetchQosInfo, FetchSpec, Request, Response, Selector, StatsReport,
+    TenantStatsReport, PROTOCOL_V2,
+};
+use crate::qos::{Admission, FairScheduler, QosConfig};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -29,6 +34,12 @@ pub struct ServerConfig {
     /// Per-connection read/write timeout (guards the pool against stuck
     /// peers); `None` blocks forever.
     pub io_timeout: Option<Duration>,
+    /// Admission control and fidelity degradation. The default is
+    /// permissive (unlimited concurrency: never queues, degrades, or
+    /// sheds) but still keeps the per-tenant ledger; set
+    /// `qos.max_concurrent` to bound concurrent fetch service and let
+    /// queue pressure degrade fidelity per [`QosConfig`].
+    pub qos: QosConfig,
 }
 
 impl Default for ServerConfig {
@@ -37,6 +48,7 @@ impl Default for ServerConfig {
             workers: 4,
             cache_bytes: 64 << 20,
             io_timeout: Some(Duration::from_secs(30)),
+            qos: QosConfig::default(),
         }
     }
 }
@@ -126,6 +138,7 @@ struct Shared {
     catalog: Catalog,
     cache: PrefixCache,
     counters: Counters,
+    scheduler: FairScheduler,
     shutting_down: AtomicBool,
     connections: ConnRegistry,
 }
@@ -159,6 +172,7 @@ impl Server {
             catalog,
             cache: PrefixCache::new(config.cache_bytes),
             counters: Counters::default(),
+            scheduler: FairScheduler::new(config.qos),
             shutting_down: AtomicBool::new(false),
             connections: ConnRegistry::default(),
         });
@@ -222,6 +236,11 @@ impl Server {
     /// Snapshot the request/byte/latency counters.
     pub fn stats(&self) -> ServerStats {
         snapshot(&self.shared)
+    }
+
+    /// Snapshot the per-tenant QoS ledger.
+    pub fn tenant_stats(&self) -> TenantStatsReport {
+        self.shared.scheduler.tenant_stats()
     }
 
     /// Stop accepting, drain in-flight connections, join every thread,
@@ -289,6 +308,7 @@ fn stats_report(shared: &Shared) -> StatsReport {
         cache_hits: s.cache_hits,
         cache_misses: s.cache_misses,
         mean_latency_us: s.mean_latency.as_micros() as u64,
+        catalog_generation: shared.catalog.generation(),
         datasets: shared.catalog.len() as u32,
     }
 }
@@ -368,6 +388,33 @@ pub fn run_connection_loop(
     registry.deregister(token);
 }
 
+/// The server's view of the shared non-fetch ops.
+struct ServerOps<'a> {
+    shared: &'a Shared,
+    local: SocketAddr,
+}
+
+impl OpsHost for ServerOps<'_> {
+    fn stats_report(&self) -> StatsReport {
+        stats_report(self.shared)
+    }
+
+    fn tenant_stats_report(&self) -> TenantStatsReport {
+        self.shared.scheduler.tenant_stats()
+    }
+
+    fn note_bad_request(&self) {
+        self.shared
+            .counters
+            .bad_requests
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn begin_shutdown(&self) {
+        trigger_shutdown(self.shared, self.local);
+    }
+}
+
 fn handle_connection(
     stream: TcpStream,
     shared: &Shared,
@@ -379,58 +426,15 @@ fn handle_connection(
         timeout,
         &shared.shutting_down,
         &shared.connections,
-        |parsed, writer| {
-            let keep_alive = match parsed {
-                Ok((Request::FetchTau { dataset, tau }, version)) => {
-                    let r = serve_fetch(writer, shared, &dataset, Selection::Tau(tau), version);
-                    r.is_ok() && version >= PROTOCOL_V2
+        |parsed, writer| match ops::dispatch_ops(&ServerOps { shared, local }, parsed, writer) {
+            Dispatched::Done(action) => action,
+            Dispatched::Fetch(spec, version) => {
+                let ok = serve_fetch(writer, shared, &spec, version).is_ok();
+                if ok && version >= PROTOCOL_V2 {
+                    ConnAction::KeepOpen
+                } else {
+                    ConnAction::Close
                 }
-                Ok((
-                    Request::FetchBudget {
-                        dataset,
-                        budget_bytes,
-                    },
-                    version,
-                )) => {
-                    let r = serve_fetch(
-                        writer,
-                        shared,
-                        &dataset,
-                        Selection::Budget(budget_bytes),
-                        version,
-                    );
-                    r.is_ok() && version >= PROTOCOL_V2
-                }
-                Ok((Request::Stats, version)) => {
-                    let r = protocol::write_response_versioned(
-                        writer,
-                        &Response::Stats(stats_report(shared)),
-                        version,
-                    );
-                    r.is_ok() && version >= PROTOCOL_V2
-                }
-                Ok((Request::Shutdown, version)) => {
-                    let _ = protocol::write_response_versioned(
-                        writer,
-                        &Response::ShuttingDown,
-                        version,
-                    )
-                    .and_then(|()| writer.flush()); // ack before sockets close
-                    trigger_shutdown(shared, local);
-                    false
-                }
-                Err(e) => {
-                    // The stream can no longer be trusted to be
-                    // frame-aligned: answer and close, whatever the version.
-                    shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-                    let _ = protocol::write_response(writer, &Response::BadRequest(e.to_string()));
-                    false
-                }
-            };
-            if keep_alive {
-                ConnAction::KeepOpen
-            } else {
-                ConnAction::Close
             }
         },
         |elapsed| {
@@ -443,43 +447,80 @@ fn handle_connection(
     );
 }
 
-enum Selection {
-    Tau(f64),
-    Budget(u64),
+/// The class count the selector alone asks for (before degradation).
+fn selected_count(ds: &crate::catalog::Dataset, selector: &Selector) -> usize {
+    match *selector {
+        Selector::Tau(tau) => ds.classes_for_tau(tau),
+        // Budgets bound bytes-on-the-wire: the encoded payload with its
+        // header and per-class framing, not just the scalars.
+        Selector::Budget(bytes) => ds.classes_for_wire_budget(bytes as usize),
+        // Meet τ when a prefix that does fits the budget; the budget wins
+        // otherwise.
+        Selector::TauBudget { tau, budget_bytes } => ds
+            .classes_for_tau(tau)
+            .min(ds.classes_for_wire_budget(budget_bytes as usize)),
+    }
 }
 
 fn serve_fetch(
     w: &mut impl Write,
     shared: &Shared,
-    dataset: &str,
-    sel: Selection,
+    spec: &FetchSpec,
     version: u16,
 ) -> io::Result<()> {
-    let Some(ds) = shared.catalog.get(dataset) else {
+    // Admission first: under the default permissive config this grants
+    // immediately at full fidelity; with a bounded `max_concurrent` it
+    // enforces weighted fair queueing and may degrade or shed.
+    let (permit, sched_degrade) = match shared.scheduler.admit(&spec.qos.tenant, spec.qos.priority)
+    {
+        Admission::Granted { permit, degrade } => (permit, degrade),
+        Admission::Shed => {
+            return protocol::write_response_versioned(
+                w,
+                &Response::Overloaded("server admission queue is full, retry".into()),
+                version,
+            );
+        }
+    };
+    let Some(ds) = shared.catalog.get(&spec.dataset) else {
         shared.counters.not_found.fetch_add(1, Ordering::Relaxed);
         return protocol::write_response_versioned(
             w,
-            &Response::NotFound(format!("dataset {dataset:?} is not in the catalog")),
+            &Response::NotFound(format!("dataset {:?} is not in the catalog", spec.dataset)),
             version,
         );
     };
-    let count = match sel {
-        Selection::Tau(tau) => ds.classes_for_tau(tau),
-        // Budgets bound bytes-on-the-wire: the encoded payload with its
-        // header and per-class framing, not just the scalars.
-        Selection::Budget(bytes) => ds.classes_for_wire_budget(bytes as usize),
-    };
-    let (payload, cache_hit) = shared.cache.get_or_encode(&ds, count);
+    let requested = selected_count(&ds, &spec.selector);
+    // Degradation drops classes below the selector's choice — pressure
+    // from our own scheduler plus whatever a front tier already decided
+    // (`spec.qos.degrade`) — but never past the caller's fidelity floor.
+    let degrade = sched_degrade as usize + spec.qos.degrade as usize;
+    let floor = ds.classes_for_tau(spec.qos.floor_tau);
+    let served = requested
+        .saturating_sub(degrade)
+        .max(floor)
+        .min(requested)
+        .max(1);
+    let (payload, cache_hit) = shared.cache.get_or_encode(&ds, served);
+    // A QoS fetch (op 4) is always answered with the requested-vs-served
+    // report; a legacy fetch only when degradation actually applied (the
+    // only case where the legacy status would mislead).
+    let qos = (!spec.qos.is_default() || served < requested).then_some(FetchQosInfo {
+        requested_classes: requested as u32,
+        degrade_levels: (requested - served) as u32,
+    });
     let header = FetchHeader {
-        classes_sent: count as u32,
+        classes_sent: served as u32,
         total_classes: ds.num_classes() as u32,
-        indicator_linf: ds.indicator(count),
+        indicator_linf: ds.indicator(served),
         cache_hit,
         payload_len: payload.len() as u64,
         tiers: mg_io::transfer_costs(payload.len() as u64, 1),
+        qos,
     };
     protocol::write_response_versioned(w, &Response::Fetch(header), version)?;
     w.write_all(payload.as_slice())?;
+    permit.served(payload.len() as u64, served < requested);
     let c = &shared.counters;
     c.fetches.fetch_add(1, Ordering::Relaxed);
     c.payload_bytes
@@ -507,7 +548,7 @@ mod tests {
         let (cat, _) = catalog_with("d", Shape::d2(17, 17));
         let server = Server::bind("127.0.0.1:0", cat, ServerConfig::default()).unwrap();
         let addr = server.local_addr();
-        let got = client::fetch_tau(addr, "d", 0.0).unwrap();
+        let got = client::FetchRequest::new("d").tau(0.0).send(addr).unwrap();
         assert_eq!(got.classes_sent, got.total_classes);
         let stats = server.shutdown().unwrap();
         assert_eq!(stats.fetches, 1);
@@ -521,7 +562,10 @@ mod tests {
         let (cat, _) = catalog_with("d", Shape::d1(9));
         let server = Server::bind("127.0.0.1:0", cat, ServerConfig::default()).unwrap();
         let addr = server.local_addr();
-        let err = client::fetch_tau(addr, "nope", 1e-3).unwrap_err();
+        let err = client::FetchRequest::new("nope")
+            .tau(1e-3)
+            .send(addr)
+            .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::NotFound);
 
         // A garbage request gets a BadRequest response, not a hang.
@@ -544,7 +588,7 @@ mod tests {
         let stats = server.wait();
         assert_eq!(stats.requests, 1);
         // The port is released: connecting now fails (or is refused).
-        assert!(client::fetch_tau(addr, "d", 0.0).is_err());
+        assert!(client::FetchRequest::new("d").tau(0.0).send(addr).is_err());
     }
 
     #[test]
@@ -552,8 +596,8 @@ mod tests {
         let (cat, _) = catalog_with("d", Shape::d2(9, 9));
         let server = Server::bind("127.0.0.1:0", cat, ServerConfig::default()).unwrap();
         let addr = server.local_addr();
-        let _ = client::fetch_tau(addr, "d", 0.0).unwrap();
-        let _ = client::fetch_tau(addr, "d", 0.0).unwrap();
+        let _ = client::FetchRequest::new("d").tau(0.0).send(addr).unwrap();
+        let _ = client::FetchRequest::new("d").tau(0.0).send(addr).unwrap();
         let report = client::stats(addr).unwrap();
         assert_eq!(report.fetches, 2);
         assert_eq!(report.datasets, 1);

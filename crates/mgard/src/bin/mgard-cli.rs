@@ -44,6 +44,8 @@
 
 use mgard::mg_compress::{Compressed, Compressor, StageTimings};
 use mgard::mg_gateway::{Gateway, GatewayConfig};
+use mgard::mg_serve::protocol::Priority;
+use mgard::mg_serve::qos::QosConfig;
 use mgard::mg_serve::{client as serve_client, Catalog, Server, ServerConfig};
 use mgard::prelude::*;
 use std::io::{BufRead as _, Read as _, Write as _};
@@ -72,9 +74,11 @@ const USAGE: &str = "usage:
                        [--synthetic NAME=DxHxW ...] [--workers N] [--cache-mb N]
   mgard-cli gateway    [--listen ADDR] --backend ADDR [--backend ADDR ...]
                        [--replication N] [--workers N] [--cache-mb N]
-                       [--max-inflight N]
-  mgard-cli fetch      ADDR NAME OUT.f64 [--tau T | --budget BYTES]
-                       [--save-raw OUT.mgrd] [--via-gateway]
+                       [--max-inflight N] [--max-concurrent N]
+  mgard-cli fetch      ADDR NAME OUT.f64 [--tau T] [--budget BYTES]
+                       [--tenant ID] [--priority low|normal|high]
+                       [--floor-tau T] [--save-raw OUT.mgrd] [--via-gateway]
+  mgard-cli tenant-stats ADDR
   mgard-cli shutdown   ADDR
 
 options (refactor/reconstruct/compress/decompress):
@@ -109,7 +113,11 @@ struct Opts {
     backends: Vec<String>,
     replication: Option<usize>,
     max_inflight: Option<usize>,
+    max_concurrent: Option<u32>,
     via_gateway: bool,
+    tenant: Option<String>,
+    priority: Option<Priority>,
+    floor_tau: Option<f64>,
 }
 
 impl Opts {
@@ -151,7 +159,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, Box<dyn std::error::Error>> {
         backends: Vec::new(),
         replication: None,
         max_inflight: None,
+        max_concurrent: None,
         via_gateway: false,
+        tenant: None,
+        priority: None,
+        floor_tau: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -229,7 +241,22 @@ fn parse_opts(args: &[String]) -> Result<Opts, Box<dyn std::error::Error>> {
                 let v = it.next().ok_or("--max-inflight needs a count")?;
                 o.max_inflight = Some(v.parse().map_err(|_| "bad --max-inflight")?);
             }
+            "--max-concurrent" => {
+                let v = it.next().ok_or("--max-concurrent needs a count")?;
+                o.max_concurrent = Some(v.parse().map_err(|_| "bad --max-concurrent")?);
+            }
             "--via-gateway" => o.via_gateway = true,
+            "--tenant" => {
+                o.tenant = Some(it.next().ok_or("--tenant needs an id")?.clone());
+            }
+            "--priority" => {
+                let v = it.next().ok_or("--priority needs low|normal|high")?;
+                o.priority = Some(v.parse()?);
+            }
+            "--floor-tau" => {
+                let v = it.next().ok_or("--floor-tau needs a value")?;
+                o.floor_tau = Some(v.parse().map_err(|_| "bad --floor-tau")?);
+            }
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a count")?;
                 let n: usize = v.parse().map_err(|_| "bad --threads")?;
@@ -264,6 +291,7 @@ fn run(args: &[String]) -> CliResult {
         "serve" => serve(&o),
         "gateway" => gateway(&o),
         "fetch" => fetch(&o),
+        "tenant-stats" => tenant_stats(&o),
         "shutdown" => shutdown(&o),
         other => Err(format!("unknown command {other}").into()),
     }
@@ -649,6 +677,10 @@ fn gateway(o: &Opts) -> CliResult {
         replication: o.replication.unwrap_or(defaults.replication),
         cache_bytes: o.cache_mb.map_or(defaults.cache_bytes, |mb| mb << 20),
         max_inflight_per_backend: o.max_inflight.unwrap_or(defaults.max_inflight_per_backend),
+        qos: QosConfig {
+            max_concurrent: o.max_concurrent.unwrap_or(defaults.qos.max_concurrent),
+            ..defaults.qos
+        },
         ..defaults
     };
     let gw = Gateway::bind(o.listen.as_str(), o.backends.clone(), config)?;
@@ -685,17 +717,29 @@ fn fetch(o: &Opts) -> CliResult {
     let [addr, name, output] = o.positional.as_slice() else {
         return Err("fetch needs ADDR NAME OUT.f64".into());
     };
-    if o.tau.is_some() && o.budget.is_some() {
-        return Err("pick one of --tau and --budget".into());
+    // One builder covers every combination: τ and/or budget (both means
+    // "whichever selects fewer classes"), plus the QoS envelope.
+    let mut req = serve_client::FetchRequest::new(name.as_str());
+    if let Some(tau) = o.tau {
+        req = req.tau(tau);
     }
-    let result = if o.via_gateway {
+    if let Some(b) = o.budget {
+        req = req.budget(b);
+    }
+    if let Some(tenant) = &o.tenant {
+        req = req.tenant(tenant.clone());
+    }
+    if let Some(p) = o.priority {
+        req = req.priority(p);
+    }
+    if let Some(floor) = o.floor_tau {
+        req = req.floor_tau(floor);
+    }
+    let outcome = if o.via_gateway {
         // One keep-alive (v2) connection carries the fetch and a stats
         // query — the gateway session pattern.
         let mut conn = serve_client::Connection::open(addr.as_str())?;
-        let result = match o.budget {
-            Some(b) => conn.fetch_budget(name, b)?,
-            None => conn.fetch_tau(name, o.tau.unwrap_or(0.0))?,
-        };
+        let outcome = conn.fetch(&req)?;
         let report = conn.stats()?;
         println!(
             "gateway session: {} requests on one connection; gateway totals: \
@@ -705,13 +749,11 @@ fn fetch(o: &Opts) -> CliResult {
             report.cache_hits,
             report.datasets
         );
-        result
+        outcome
     } else {
-        match o.budget {
-            Some(b) => serve_client::fetch_budget(addr.as_str(), name, b)?,
-            None => serve_client::fetch_tau(addr.as_str(), name, o.tau.unwrap_or(0.0))?,
-        }
+        req.send(addr.as_str())?
     };
+    let result = &outcome.result;
     if let Some(raw_path) = &o.save_raw {
         std::fs::write(raw_path, &result.raw)?;
     }
@@ -736,8 +778,51 @@ fn fetch(o: &Opts) -> CliResult {
             result.raw.len()
         );
     }
+    if let Some(q) = outcome.qos {
+        if q.degraded() {
+            println!(
+                "degraded under load: served {}/{} requested classes ({} levels shed)",
+                result.classes_sent, q.requested_classes, q.degrade_levels
+            );
+        } else {
+            println!(
+                "qos: full fidelity ({} classes requested)",
+                q.requested_classes
+            );
+        }
+    }
     for t in &result.tiers {
         println!("  modeled transfer via {}: {:.3e} s", t.tier, t.seconds);
+    }
+    Ok(())
+}
+
+fn tenant_stats(o: &Opts) -> CliResult {
+    let [addr] = o.positional.as_slice() else {
+        return Err("tenant-stats needs ADDR".into());
+    };
+    let report = serve_client::tenant_stats(addr.as_str())?;
+    if report.tenants.is_empty() {
+        println!("no tenants recorded at {addr}");
+        return Ok(());
+    }
+    println!("tenants at {addr}:");
+    for t in &report.tenants {
+        println!(
+            "  {}: {} requests, {} fetches ({} degraded, {} shed), \
+             {} bytes, {} us queued",
+            if t.tenant.is_empty() {
+                "(shared)"
+            } else {
+                &t.tenant
+            },
+            t.requests,
+            t.fetches,
+            t.degraded,
+            t.shed,
+            t.payload_bytes,
+            t.queue_wait_us
+        );
     }
     Ok(())
 }

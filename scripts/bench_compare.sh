@@ -59,4 +59,5 @@ cargo run --release -p mg-bench --bin bench_refactor -- \
 cargo run --release -p mg-bench --bin bench_stream -- --quick --out BENCH_stream.json
 cargo run --release -p mg-bench --bin bench_serve -- --quick --out BENCH_serve.json
 cargo run --release -p mg-bench --bin bench_gateway -- --quick --out BENCH_gateway.json
+cargo run --release -p mg-bench --bin bench_qos -- --quick --out BENCH_qos.json
 echo "bench_compare: no regressions vs ${base_sha} (tolerance ${tolerance}%)"

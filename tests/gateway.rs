@@ -104,7 +104,10 @@ fn sharded_fetches_are_bitwise_identical_to_direct_fetches() {
             .filter(|a| !holders.contains(&a.as_str()))
             .collect();
         assert_eq!(absent.len(), 1);
-        let err = client::fetch_tau(absent[0].as_str(), name, 0.0).unwrap_err();
+        let err = client::FetchRequest::new(name)
+            .tau(0.0)
+            .send(absent[0].as_str())
+            .unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
     }
 
@@ -118,7 +121,10 @@ fn sharded_fetches_are_bitwise_identical_to_direct_fetches() {
             let ring = &cluster.ring;
             s.spawn(move || {
                 for (name, local) in datasets {
-                    let got = client::fetch_tau(gw_addr, name, tau).unwrap();
+                    let got = client::FetchRequest::new(name)
+                        .tau(tau)
+                        .send(gw_addr)
+                        .unwrap();
                     let expect = encode_prefix(local, got.classes_sent);
                     assert_eq!(
                         got.raw.as_slice(),
@@ -126,7 +132,10 @@ fn sharded_fetches_are_bitwise_identical_to_direct_fetches() {
                         "gateway payload must match local encoding ({name}, tau {tau})"
                     );
                     let primary = ring.replicas(name, 2)[0];
-                    let direct = client::fetch_tau(primary, name, tau).unwrap();
+                    let direct = client::FetchRequest::new(name)
+                        .tau(tau)
+                        .send(primary)
+                        .unwrap();
                     assert_eq!(
                         got.raw, direct.raw,
                         "gateway payload must match direct backend fetch"
@@ -138,7 +147,10 @@ fn sharded_fetches_are_bitwise_identical_to_direct_fetches() {
         s.spawn(move || {
             for (name, local) in datasets {
                 let budget = 1500u64;
-                let got = client::fetch_budget(gw_addr, name, budget).unwrap();
+                let got = client::FetchRequest::new(name)
+                    .budget(budget)
+                    .send(gw_addr)
+                    .unwrap();
                 assert!(
                     got.raw.len() as u64 <= budget || got.classes_sent == 1,
                     "{name}: {} wire bytes for budget {budget}",
@@ -197,7 +209,9 @@ fn replica_failover_survives_a_backend_killed_mid_run() {
                     for round in 0..rounds {
                         for (name, local) in datasets {
                             let tau = [1e-2, 1e-4, 0.0][(c + round) % 3];
-                            let got = client::fetch_tau(gw_addr, name, tau)
+                            let got = client::FetchRequest::new(name)
+                                .tau(tau)
+                                .send(gw_addr)
                                 .unwrap_or_else(|e| panic!("round {round} ({name}): {e}"));
                             let expect = encode_prefix(local, got.classes_sent);
                             assert_eq!(got.raw.as_slice(), expect.as_slice(), "{name}");
@@ -246,7 +260,10 @@ fn admission_cap_sheds_with_overloaded() {
         ..quick_config()
     };
     let gw = Gateway::bind("127.0.0.1:0", cluster.addrs.clone(), config).unwrap();
-    let err = client::fetch_tau(gw.local_addr(), &cluster.datasets[0].0, 0.0).unwrap_err();
+    let err = client::FetchRequest::new(&cluster.datasets[0].0)
+        .tau(0.0)
+        .send(gw.local_addr())
+        .unwrap_err();
     assert_eq!(
         err.kind(),
         std::io::ErrorKind::WouldBlock,
@@ -277,9 +294,15 @@ fn f32_datasets_pass_through_the_gateway() {
     }
     let gw = Gateway::bind("127.0.0.1:0", addrs.clone(), quick_config()).unwrap();
 
-    let got = client::fetch_tau_as::<f32>(gw.local_addr(), "f32-field", 0.0).unwrap();
+    let got = client::FetchRequest::new("f32-field")
+        .tau(0.0)
+        .send_as::<f32>(gw.local_addr())
+        .unwrap();
     assert_eq!(got.raw[6], 4, "precision byte must say f32");
-    let direct = client::fetch_tau_as::<f32>(addrs[0].as_str(), "f32-field", 0.0).unwrap();
+    let direct = client::FetchRequest::new("f32-field")
+        .tau(0.0)
+        .send_as::<f32>(addrs[0].as_str())
+        .unwrap();
     assert_eq!(got.raw, direct.raw);
 
     gw.shutdown().unwrap();

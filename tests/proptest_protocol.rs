@@ -4,7 +4,10 @@
 //! gateway, and the client decode paths alike.
 
 use mgard::mg_gateway::{Gateway, GatewayConfig};
-use mgard::mg_serve::protocol::{self, FetchHeader, Request, Response, StatsReport, PROTOCOL_V2};
+use mgard::mg_serve::protocol::{
+    self, FetchHeader, FetchSpec, Priority, QosSpec, Request, Response, Selector, StatsReport,
+    PROTOCOL_V2,
+};
 use mgard::mg_serve::{client, Catalog, Server, ServerConfig};
 use mgard::prelude::*;
 use proptest::prelude::*;
@@ -57,17 +60,30 @@ fn live_stack() -> (SocketAddr, SocketAddr) {
     })
 }
 
-/// A valid request frame to mutate.
+/// A valid request frame to mutate. Covers the legacy ops (0/1), the
+/// metadata ops, and the QoS fetch op (4) with a fully-populated
+/// envelope.
 fn valid_request_bytes(pick: usize, name_len: usize) -> Vec<u8> {
     let dataset = "d".repeat(name_len.max(1));
-    let req = match pick % 4 {
-        0 => Request::FetchTau { dataset, tau: 0.25 },
-        1 => Request::FetchBudget {
-            dataset,
-            budget_bytes: 4096,
-        },
+    let req = match pick % 6 {
+        0 => Request::Fetch(FetchSpec::tau(dataset, 0.25)),
+        1 => Request::Fetch(FetchSpec::budget(dataset, 4096)),
         2 => Request::Stats,
-        _ => Request::FetchTau { dataset, tau: 1e-6 },
+        3 => Request::TenantStats,
+        4 => Request::Fetch(FetchSpec {
+            dataset,
+            selector: Selector::TauBudget {
+                tau: 1e-4,
+                budget_bytes: 1 << 20,
+            },
+            qos: QosSpec {
+                tenant: "tenant-a".into(),
+                priority: Priority::High,
+                floor_tau: 0.5,
+                degrade: 2,
+            },
+        }),
+        _ => Request::Fetch(FetchSpec::tau(dataset, 1e-6)),
     };
     let mut buf = Vec::new();
     protocol::write_request_versioned(&mut buf, &req, PROTOCOL_V2).unwrap();
@@ -134,7 +150,7 @@ proptest! {
 
     #[test]
     fn mutated_request_frames_never_panic_the_decoder(
-        pick in 0usize..4,
+        pick in 0usize..6,
         name_len in 1usize..64,
         m in mutation_strategy(),
     ) {
@@ -146,7 +162,7 @@ proptest! {
 
     #[test]
     fn server_and_gateway_survive_mutated_frames(
-        pick in 0usize..4,
+        pick in 0usize..6,
         name_len in 1usize..64,
         m in mutation_strategy(),
     ) {
@@ -156,15 +172,16 @@ proptest! {
         barrage(gateway_addr, &frame);
         // Both tiers still answer a valid fetch afterwards: no worker
         // died, no state was poisoned.
-        let direct = client::fetch_tau(server_addr, "probe", 0.0).unwrap();
-        let via = client::fetch_tau(gateway_addr, "probe", 0.0).unwrap();
+        let probe = client::FetchRequest::new("probe").tau(0.0);
+        let direct = probe.clone().send(server_addr).unwrap();
+        let via = probe.send(gateway_addr).unwrap();
         prop_assert_eq!(direct.raw, via.raw);
     }
 
     #[test]
     fn mutated_response_frames_never_panic_the_client_decoder(
         m in mutation_strategy(),
-        which in 0usize..3,
+        which in 0usize..4,
     ) {
         let resp = match which {
             0 => Response::Fetch(FetchHeader {
@@ -174,8 +191,21 @@ proptest! {
                 cache_hit: false,
                 payload_len: 999,
                 tiers: mgard::mg_io::transfer_costs(999, 1),
+                qos: None,
             }),
             1 => Response::Stats(StatsReport::default()),
+            2 => Response::Fetch(FetchHeader {
+                classes_sent: 2,
+                total_classes: 5,
+                indicator_linf: 2e-2,
+                cache_hit: true,
+                payload_len: 123,
+                tiers: mgard::mg_io::transfer_costs(123, 1),
+                qos: Some(protocol::FetchQosInfo {
+                    requested_classes: 4,
+                    degrade_levels: 2,
+                }),
+            }),
             _ => Response::NotFound("x".repeat(40)),
         };
         let mut frame = Vec::new();

@@ -3,7 +3,12 @@
 //!
 //! * reconstructs with measured L∞ error ≤ τ, and
 //! * is bitwise-identical to a local `encode_prefix` at the same class
-//!   count.
+//!   count —
+//!
+//! and for random degradation levels and fidelity floors, a degraded
+//! response is still a *maximal* class prefix with a conservative L∞
+//! indicator, and the served count matches the degradation contract
+//! exactly.
 //!
 //! One server (ephemeral port) is shared by every case; each case
 //! registers its dataset under a fresh name through the live catalog.
@@ -82,7 +87,7 @@ proptest! {
         let (name, local) = register(&data);
         let (addr, _) = live_server();
 
-        let got = client::fetch_tau(*addr, &name, tau).unwrap();
+        let got = client::FetchRequest::new(&name).tau(tau).send(*addr).unwrap();
         // Bitwise: the wire payload is exactly the local prefix encoding.
         let expect = encode_prefix(&local, got.classes_sent);
         prop_assert_eq!(got.raw.as_slice(), expect.as_slice());
@@ -111,7 +116,10 @@ proptest! {
         let (name, local) = register(&data);
         let (addr, _) = live_server();
 
-        let got = client::fetch_budget(*addr, &name, budget).unwrap();
+        let got = client::FetchRequest::new(&name)
+            .budget(budget)
+            .send(*addr)
+            .unwrap();
         let expect = encode_prefix(&local, got.classes_sent);
         prop_assert_eq!(got.raw.as_slice(), expect.as_slice());
         // Budgets bound bytes-on-the-wire: the encoded payload the
@@ -123,5 +131,76 @@ proptest! {
         if k < local.num_classes() {
             prop_assert!(encode_prefix(&local, k + 1).len() as u64 > budget);
         }
+    }
+
+    #[test]
+    fn degraded_prefixes_stay_maximal_and_conservative(
+        dims in dyadic_shape(),
+        seed in any::<u64>(),
+        budget in 64u64..40_000,
+        degrade in 0u8..6,
+        has_floor in any::<bool>(),
+        floor_exp in -6.0f64..0.5,
+    ) {
+        let data = field_for(&dims, seed);
+        let (name, local) = register(&data);
+        let (addr, catalog) = live_server();
+        let floor_tau = if has_floor {
+            10f64.powf(floor_exp)
+        } else {
+            f64::INFINITY // no floor: degradation may go all the way down
+        };
+
+        // What the selector alone would pick, via a default-QoS fetch.
+        let base = client::FetchRequest::new(&name)
+            .budget(budget)
+            .send(*addr)
+            .unwrap();
+        let requested = base.classes_sent;
+
+        let mut req = client::FetchRequest::new(&name)
+            .budget(budget)
+            .tenant("prop")
+            .degrade(degrade);
+        if floor_tau.is_finite() {
+            req = req.floor_tau(floor_tau);
+        }
+        let got = req.send(*addr).unwrap();
+
+        // The degradation contract, computed independently: drop
+        // `degrade` classes below the selector's choice, but never past
+        // the floor τ's own selection and never to zero classes.
+        let ds = catalog.get(&name).unwrap();
+        let floor_classes = ds.classes_for_tau(floor_tau);
+        let expect_served = requested
+            .saturating_sub(degrade as usize)
+            .max(floor_classes)
+            .min(requested)
+            .max(1);
+        prop_assert_eq!(got.classes_sent, expect_served);
+
+        // Degraded or not, the payload is exactly the local prefix
+        // encoding at the served count — a maximal class prefix, never a
+        // truncated frame.
+        let expect = encode_prefix(&local, got.classes_sent);
+        prop_assert_eq!(got.raw.as_slice(), expect.as_slice());
+
+        // The QoS report reconciles with the served count.
+        let q = got.qos.expect("QoS fetches always carry the report");
+        prop_assert_eq!(q.requested_classes as usize, requested);
+        prop_assert_eq!(
+            (q.requested_classes - q.degrade_levels) as usize,
+            got.classes_sent
+        );
+
+        // The indicator on the degraded prefix stays conservative.
+        let mut r = Refactorer::<f64>::new(data.shape()).unwrap();
+        let rec = reconstruct_prefix(&got.refac, got.refac.num_classes(), &mut r);
+        let measured = mg_grid::real::max_abs_diff(rec.as_slice(), data.as_slice());
+        prop_assert!(
+            measured <= got.indicator_linf + 1e-9,
+            "measured {} > indicator {} ({} of {} classes, degrade {})",
+            measured, got.indicator_linf, got.classes_sent, got.total_classes, degrade
+        );
     }
 }

@@ -41,9 +41,22 @@ fn concurrent_clients_at_distinct_error_bounds() {
     let results: Vec<_> = std::thread::scope(|s| {
         let mut handles = Vec::new();
         for &tau in &taus {
-            handles.push(s.spawn(move || (tau, client::fetch_tau(addr, "field", tau).unwrap())));
+            handles.push(s.spawn(move || {
+                (
+                    tau,
+                    client::FetchRequest::new("field")
+                        .tau(tau)
+                        .send(addr)
+                        .unwrap(),
+                )
+            }));
         }
-        let budget = s.spawn(move || client::fetch_budget(addr, "field", 2_000).unwrap());
+        let budget = s.spawn(move || {
+            client::FetchRequest::new("field")
+                .budget(2_000)
+                .send(addr)
+                .unwrap()
+        });
         let mut out: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         let b = budget.join().unwrap();
         // The budget bounds bytes-on-the-wire (encoded payload incl.
@@ -97,15 +110,24 @@ fn repeat_requests_hit_the_prefix_cache() {
     let server = Server::bind("127.0.0.1:0", catalog, ServerConfig::default()).unwrap();
     let addr = server.local_addr();
 
-    let cold = client::fetch_tau(addr, "field", 1e-4).unwrap();
+    let cold = client::FetchRequest::new("field")
+        .tau(1e-4)
+        .send(addr)
+        .unwrap();
     assert!(!cold.cache_hit);
     for _ in 0..3 {
-        let warm = client::fetch_tau(addr, "field", 1e-4).unwrap();
+        let warm = client::FetchRequest::new("field")
+            .tau(1e-4)
+            .send(addr)
+            .unwrap();
         assert!(warm.cache_hit, "repeat request at the same tau must hit");
         assert_eq!(warm.raw, cold.raw, "cache must be transparent");
     }
     // A different tau selecting a different prefix is a fresh miss.
-    let other = client::fetch_tau(addr, "field", 10.0).unwrap();
+    let other = client::FetchRequest::new("field")
+        .tau(10.0)
+        .send(addr)
+        .unwrap();
     assert!(!other.cache_hit);
     assert_ne!(other.classes_sent, cold.classes_sent);
 
@@ -120,10 +142,16 @@ fn datasets_registered_while_live_are_served() {
     let server = Server::bind("127.0.0.1:0", catalog.clone(), ServerConfig::default()).unwrap();
     let addr = server.local_addr();
 
-    assert!(client::fetch_tau(addr, "late", 0.0).is_err());
+    assert!(client::FetchRequest::new("late")
+        .tau(0.0)
+        .send(addr)
+        .is_err());
     let data = smooth_field(Shape::d1(129));
     catalog.insert_array("late", &data).unwrap();
-    let got = client::fetch_tau(addr, "late", 0.0).unwrap();
+    let got = client::FetchRequest::new("late")
+        .tau(0.0)
+        .send(addr)
+        .unwrap();
     assert_eq!(got.classes_sent, got.total_classes);
     server.shutdown().unwrap();
 }
@@ -138,7 +166,10 @@ fn progressive_consumption_reconstructs_incrementally() {
     let catalog = Catalog::new();
     catalog.insert_array("field", &data).unwrap();
     let server = Server::bind("127.0.0.1:0", catalog, ServerConfig::default()).unwrap();
-    let got = client::fetch_tau(server.local_addr(), "field", 0.0).unwrap();
+    let got = client::FetchRequest::new("field")
+        .tau(0.0)
+        .send(server.local_addr())
+        .unwrap();
     server.shutdown().unwrap();
 
     assert_eq!(got.progress.len(), got.classes_sent);
