@@ -123,6 +123,7 @@ fn scenarios() -> Vec<Scenario> {
                     degrade_start: [0, 0, 0],
                     depth_per_level: 1,
                     max_degrade: [8, 6, 4],
+                    ..DegradePolicy::default()
                 },
                 ..QosConfig::default()
             },

@@ -11,8 +11,9 @@
 //!                [--compare BASELINE.json] [--tolerance PCT]
 //! ```
 //!
-//! * `--quick` restricts the sweep to small shapes and a single repetition
-//!   (the CI smoke configuration).
+//! * `--quick` restricts the sweep to three shapes (two small plus one
+//!   realistic 129³ volume) at best-of-2 reps (the CI smoke
+//!   configuration).
 //! * `--tile N` sets the tile size used by the tiled-layout cells
 //!   (default `mg_kernels::DEFAULT_TILE`).
 //! * `--tile-sweep 8,32,128` adds parallel tiled cells at each listed tile
@@ -117,18 +118,28 @@ fn bench_cell(shape: Shape, data: &NdArray<f64>, plan: ExecPlan, reps: usize) ->
         best_rec = best_rec.min(t0.elapsed().as_nanos());
     }
     // Per-kernel breakdown from exactly one decompose + recompose pair, so
-    // the kernel sums are comparable to decompose_ns + recompose_ns
-    // regardless of `reps`.
-    let _ = r.take_times();
-    let mut d = data.clone();
-    r.decompose(&mut d);
-    r.recompose(&mut d);
-    let times = r.take_times();
-    let kernels = times
-        .rows()
-        .iter()
-        .map(|(label, dur, _)| (label.to_lowercase(), dur.as_nanos()))
-        .collect();
+    // the kernel sums are comparable to decompose_ns + recompose_ns. Taken
+    // from the quietest of `reps` pairs (smallest total) — keeping one
+    // coherent pass rather than per-kernel minima across passes, so the
+    // breakdown still sums to a real end-to-end time.
+    let mut kernels: Vec<(String, u128)> = Vec::new();
+    let mut best_total = u128::MAX;
+    for _ in 0..reps {
+        let _ = r.take_times();
+        let mut d = data.clone();
+        r.decompose(&mut d);
+        r.recompose(&mut d);
+        let times = r.take_times();
+        let total: u128 = times.rows().iter().map(|(_, dur, _)| dur.as_nanos()).sum();
+        if total < best_total {
+            best_total = total;
+            kernels = times
+                .rows()
+                .iter()
+                .map(|(label, dur, _)| (label.to_lowercase(), dur.as_nanos()))
+                .collect();
+        }
+    }
     let tile = match plan.layout {
         Layout::Tiled { tile } => Some(tile),
         _ => None,
@@ -292,7 +303,15 @@ fn main() {
     }
 
     let shapes: Vec<Shape> = if quick {
-        vec![Shape::d2(65, 65), Shape::d3(17, 17, 17)]
+        // Two smoke shapes plus one realistic 129³-class volume — the
+        // size where parallel kernels should overtake serial on a
+        // multi-core host, so the committed baseline tracks the
+        // crossover cell too.
+        vec![
+            Shape::d2(65, 65),
+            Shape::d3(17, 17, 17),
+            Shape::d3(129, 129, 129),
+        ]
     } else {
         vec![
             Shape::d2(513, 513),
@@ -301,7 +320,10 @@ fn main() {
             Shape::d3(129, 129, 129),
         ]
     };
-    let reps = if quick { 1 } else { 3 };
+    // Quick mode now carries a 129³-class cell, where single-shot numbers
+    // are too noisy to gate on — best-of-2 keeps the sweep fast while
+    // damping scheduler noise.
+    let reps = if quick { 2 } else { 3 };
 
     let mut rows = Vec::new();
     for &shape in &shapes {
@@ -319,14 +341,26 @@ fn main() {
     }
 
     let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    // Worker-pool counters across the whole sweep: `spawned_threads`
+    // must stay at one warmup pool (≤ pool size - 1) no matter how many
+    // cells ran — the flat-spawn guarantee the shim's persistent pool
+    // makes. `dispatches` counts parallel batch hand-offs, sized by
+    // `host_threads` / `MGARD_THREADS`.
+    let pool = format!(
+        "{{\"size\": {}, \"spawned_threads\": {}, \"dispatches\": {}}}",
+        rayon::pool_size(),
+        rayon::thread_spawn_count(),
+        rayon::pool_dispatch_count()
+    );
     let body: Vec<String> = rows.iter().map(Row::to_json).collect();
     let json = format!(
         "{{\n  \"bench\": \"refactor\",\n  \"quick\": {quick},\n  \
-         \"host_threads\": {threads},\n  \"reps\": {reps},\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"host_threads\": {threads},\n  \"pool\": {pool},\n  \"reps\": {reps},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
         body.join(",\n")
     );
     std::fs::write(&out, &json).expect("write BENCH json");
-    println!("wrote {} ({} result rows)", out, rows.len());
+    println!("wrote {} ({} result rows, pool {pool})", out, rows.len());
 
     if let Some(path) = baseline {
         let base = std::fs::read_to_string(&path).expect("read baseline json");

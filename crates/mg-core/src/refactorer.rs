@@ -763,6 +763,31 @@ mod tests {
     }
 
     #[test]
+    fn steady_state_decomposition_spawns_no_threads() {
+        // The rayon shim keeps a persistent worker pool: after the first
+        // parallel dispatch warms it up, further decompose/recompose
+        // passes must not spawn a single OS thread — the thread analogue
+        // of the zero-pack-calls and zero-realloc guarantees.
+        let shape = Shape::d2(33, 33);
+        for plan in ExecPlan::ALL {
+            let mut r = Refactorer::<f64>::new(shape).unwrap().plan(plan);
+            let mut data = wiggle(shape);
+            r.decompose(&mut data);
+            r.recompose(&mut data);
+            let before = rayon::thread_spawn_count();
+            for _ in 0..3 {
+                r.decompose(&mut data);
+                r.recompose(&mut data);
+            }
+            assert_eq!(
+                rayon::thread_spawn_count(),
+                before,
+                "{plan:?} spawned threads in steady state"
+            );
+        }
+    }
+
+    #[test]
     fn inplace_round_trip_mixed_levels_and_edges() {
         for plan in [
             ExecPlan::from(Layout::InPlace),

@@ -1,0 +1,20 @@
+//! Probes the active `rustc` for nightly features so the `simd` cargo
+//! feature can select the explicit `std::simd` span path when available
+//! and fall back to the autovectorized scalar path on stable.
+
+use std::process::Command;
+
+fn main() {
+    println!("cargo::rustc-check-cfg=cfg(mg_nightly_simd)");
+    println!("cargo::rerun-if-changed=build.rs");
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".into());
+    let version = Command::new(rustc)
+        .arg("--version")
+        .output()
+        .map(|o| String::from_utf8_lossy(&o.stdout).into_owned())
+        .unwrap_or_default();
+    // `portable_simd` needs a nightly (or local dev) toolchain.
+    if version.contains("nightly") || version.contains("-dev") {
+        println!("cargo::rustc-cfg=mg_nightly_simd");
+    }
+}

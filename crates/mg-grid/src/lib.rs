@@ -23,6 +23,10 @@
 // Index loops mirror the stride arithmetic throughout this crate and are
 // clearer than iterator chains for the kernel math.
 #![allow(clippy::needless_range_loop)]
+// `std::simd` is nightly-only; build.rs sets `mg_nightly_simd` when the
+// active toolchain supports it, so the `simd` feature degrades gracefully
+// to the autovectorized scalar path on stable.
+#![cfg_attr(all(feature = "simd", mg_nightly_simd), feature(portable_simd))]
 
 pub mod array;
 pub mod coords;
@@ -31,6 +35,7 @@ pub mod hierarchy;
 pub mod pack;
 pub mod real;
 pub mod shape;
+pub mod span;
 pub mod view;
 
 pub use array::NdArray;

@@ -13,8 +13,11 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 /// All refactoring kernels, drivers, and the compressor are generic over
 /// `Real` so that both single- and double-precision scientific data can be
 /// processed (the paper evaluates double precision; tests cover both).
+/// The [`SpanOps`](crate::span::SpanOps) supertrait supplies the stride-1
+/// row primitives the kernel inner loops are built from.
 pub trait Real:
-    Copy
+    crate::span::SpanOps
+    + Copy
     + Clone
     + Debug
     + Display

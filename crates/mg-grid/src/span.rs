@@ -1,0 +1,438 @@
+//! Stride-1 span primitives for the kernel inner loops.
+//!
+//! Every hot loop in `mg-kernels` (mass multiply, transfer/restriction,
+//! Thomas solve sweeps) reduces to one of the elementwise row operations
+//! below, applied to contiguous spans with all boundary branching hoisted
+//! into the choice of primitive (`*_first` / `*_interior` / `*_last`).
+//! The scalar bodies are written so LLVM autovectorizes them; with the
+//! `simd` cargo feature **and** a nightly toolchain (detected by
+//! `build.rs`, which sets the `mg_nightly_simd` cfg), an explicit
+//! [`std::simd`] path is used instead. On stable toolchains the `simd`
+//! feature degrades gracefully to the autovectorized scalar bodies.
+//!
+//! **Bitwise contract:** the SIMD path performs exactly the same IEEE-754
+//! operations in the same per-element order as the scalar path — the
+//! primitives are purely elementwise (no horizontal reductions), so lane
+//! width cannot change results. All accumulation orders mirror the
+//! original kernel loops (`t = b*cur; t += a*prev; t += c*next`), and
+//! boundary rows use separate two-term primitives rather than zero
+//! weights, because `x + 0.0*y` is not an IEEE no-op (`-0.0`, NaN, Inf).
+
+/// Elementwise row primitives over `f32`/`f64` spans. A supertrait of
+/// [`Real`](crate::Real), so kernel code can call these on any `T: Real`.
+pub trait SpanOps: Copy {
+    /// Degenerate 1-node mass row: `dst[k] = b*cur[k]`.
+    fn mass_single(dst: &mut [Self], cur: &[Self], b: Self);
+    /// First mass row: `dst[k] = b*cur[k] + c*next[k]`.
+    fn mass_first(dst: &mut [Self], cur: &[Self], next: &[Self], b: Self, c: Self);
+    /// Interior mass row: `dst[k] = b*cur[k] + a*prev[k] + c*next[k]`
+    /// (accumulated in exactly that order).
+    fn mass_interior(
+        dst: &mut [Self],
+        prev: &[Self],
+        cur: &[Self],
+        next: &[Self],
+        a: Self,
+        b: Self,
+        c: Self,
+    );
+    /// Last mass row: `dst[k] = b*cur[k] + a*prev[k]`.
+    fn mass_last(dst: &mut [Self], prev: &[Self], cur: &[Self], a: Self, b: Self);
+    /// First restriction row: `dst[k] = even[k] + wr*right[k]`.
+    fn restrict_first(dst: &mut [Self], even: &[Self], right: &[Self], wr: Self);
+    /// Interior restriction row:
+    /// `dst[k] = even[k] + wl*left[k] + wr*right[k]` (in that order).
+    fn restrict_interior(
+        dst: &mut [Self],
+        left: &[Self],
+        even: &[Self],
+        right: &[Self],
+        wl: Self,
+        wr: Self,
+    );
+    /// Last restriction row: `dst[k] = even[k] + wl*left[k]`.
+    fn restrict_last(dst: &mut [Self], left: &[Self], even: &[Self], wl: Self);
+    /// Thomas first forward row: `cur[k] *= inv`.
+    fn scale(cur: &mut [Self], inv: Self);
+    /// Thomas forward elimination: `cur[k] = (cur[k] - a*prev[k]) * inv`.
+    fn fwd_elim(cur: &mut [Self], prev: &[Self], a: Self, inv: Self);
+    /// Thomas back substitution: `cur[k] -= cp*next[k]`.
+    fn back_subst(cur: &mut [Self], next: &[Self], cp: Self);
+}
+
+/// Number of SIMD lanes used by the explicit path (both precisions).
+#[cfg(all(feature = "simd", mg_nightly_simd))]
+const LANES: usize = 8;
+
+/// Expands to the span loop of one primitive.
+///
+/// * `$dst` — destination span (also an operand for the in-place Thomas
+///   primitives, whose combiner reads it via an operand name).
+/// * `[$($src),*]` — read-only source spans, all `$dst.len()` long.
+/// * `[$($coef),*]` — scalar coefficients referenced by the combiner.
+/// * `|ops...| body` — per-element expression; operand names bind to
+///   `$dst`'s current element first (in-place forms), then each `$src`.
+///
+/// Scalar expansion: re-sliced indexing loop LLVM can autovectorize.
+/// SIMD expansion: a `std::simd` main loop on `LANES`-wide vectors (with
+/// coefficients shadow-splatted so the same combiner body type-checks
+/// lanewise) plus a scalar tail with the identical expression.
+#[cfg(not(all(feature = "simd", mg_nightly_simd)))]
+macro_rules! span_body {
+    ($t:ty, $dst:ident, [$($src:ident),*], [$($coef:ident),*],
+     |$($op:ident),*| $body:expr) => {{
+        let n = $dst.len();
+        $(let $src = &$src[..n];)*
+        for k in 0..n {
+            span_bind!(k, $dst, [$($src),*], [$($op),*]);
+            $dst[k] = $body;
+        }
+    }};
+}
+
+#[cfg(all(feature = "simd", mg_nightly_simd))]
+macro_rules! span_body {
+    ($t:ty, $dst:ident, [$($src:ident),*], [$($coef:ident),*],
+     |$($op:ident),*| $body:expr) => {{
+        use std::simd::Simd;
+        let n = $dst.len();
+        $(let $src = &$src[..n];)*
+        let mut k = 0;
+        {
+            // Shadow the scalar coefficients with lane splats so the
+            // combiner body evaluates lanewise unchanged (every op it
+            // uses is elementwise => bitwise identical to scalar).
+            $(let $coef = Simd::<$t, LANES>::splat($coef);)*
+            while k + LANES <= n {
+                span_bind_simd!($t, k, $dst, [$($src),*], [$($op),*]);
+                let r: Simd<$t, LANES> = $body;
+                r.copy_to_slice(&mut $dst[k..k + LANES]);
+                k += LANES;
+            }
+        }
+        while k < n {
+            span_bind!(k, $dst, [$($src),*], [$($op),*]);
+            $dst[k] = $body;
+            k += 1;
+        }
+    }};
+}
+
+/// Binds scalar operands for element `k`: the first operand name takes
+/// `$dst[k]` when there are more names than sources (in-place forms),
+/// otherwise names bind to the sources in order.
+macro_rules! span_bind {
+    ($k:ident, $dst:ident, [$($src:ident),*], [$($op:ident),*]) => {
+        span_bind_inner!($k, $dst, [$($src),*], [$($op),*]);
+    };
+}
+
+macro_rules! span_bind_inner {
+    // Same number of operands as sources: pure write.
+    ($k:ident, $dst:ident, [$s0:ident], [$o0:ident]) => {
+        let $o0 = $s0[$k];
+    };
+    ($k:ident, $dst:ident, [$s0:ident, $s1:ident], [$o0:ident, $o1:ident]) => {
+        let $o0 = $s0[$k];
+        let $o1 = $s1[$k];
+    };
+    ($k:ident, $dst:ident, [$s0:ident, $s1:ident, $s2:ident],
+     [$o0:ident, $o1:ident, $o2:ident]) => {
+        let $o0 = $s0[$k];
+        let $o1 = $s1[$k];
+        let $o2 = $s2[$k];
+    };
+    // One more operand than sources: first operand is dst's element.
+    ($k:ident, $dst:ident, [], [$o0:ident]) => {
+        let $o0 = $dst[$k];
+    };
+    ($k:ident, $dst:ident, [$s0:ident], [$o0:ident, $o1:ident]) => {
+        let $o0 = $dst[$k];
+        let $o1 = $s0[$k];
+    };
+}
+
+#[cfg(all(feature = "simd", mg_nightly_simd))]
+macro_rules! span_bind_simd {
+    ($t:ty, $k:ident, $dst:ident, [$s0:ident], [$o0:ident]) => {
+        let $o0 = Simd::<$t, LANES>::from_slice(&$s0[$k..$k + LANES]);
+    };
+    ($t:ty, $k:ident, $dst:ident, [$s0:ident, $s1:ident], [$o0:ident, $o1:ident]) => {
+        let $o0 = Simd::<$t, LANES>::from_slice(&$s0[$k..$k + LANES]);
+        let $o1 = Simd::<$t, LANES>::from_slice(&$s1[$k..$k + LANES]);
+    };
+    ($t:ty, $k:ident, $dst:ident, [$s0:ident, $s1:ident, $s2:ident],
+     [$o0:ident, $o1:ident, $o2:ident]) => {
+        let $o0 = Simd::<$t, LANES>::from_slice(&$s0[$k..$k + LANES]);
+        let $o1 = Simd::<$t, LANES>::from_slice(&$s1[$k..$k + LANES]);
+        let $o2 = Simd::<$t, LANES>::from_slice(&$s2[$k..$k + LANES]);
+    };
+    ($t:ty, $k:ident, $dst:ident, [], [$o0:ident]) => {
+        let $o0 = Simd::<$t, LANES>::from_slice(&$dst[$k..$k + LANES]);
+    };
+    ($t:ty, $k:ident, $dst:ident, [$s0:ident], [$o0:ident, $o1:ident]) => {
+        let $o0 = Simd::<$t, LANES>::from_slice(&$dst[$k..$k + LANES]);
+        let $o1 = Simd::<$t, LANES>::from_slice(&$s0[$k..$k + LANES]);
+    };
+}
+
+macro_rules! impl_span_ops {
+    ($t:ty) => {
+        impl SpanOps for $t {
+            #[inline]
+            fn mass_single(dst: &mut [$t], cur: &[$t], b: $t) {
+                span_body!($t, dst, [cur], [b], |cu| b * cu);
+            }
+
+            #[inline]
+            fn mass_first(dst: &mut [$t], cur: &[$t], next: &[$t], b: $t, c: $t) {
+                span_body!($t, dst, [cur, next], [b, c], |cu, nx| {
+                    let mut t = b * cu;
+                    t += c * nx;
+                    t
+                });
+            }
+
+            #[inline]
+            fn mass_interior(
+                dst: &mut [$t],
+                prev: &[$t],
+                cur: &[$t],
+                next: &[$t],
+                a: $t,
+                b: $t,
+                c: $t,
+            ) {
+                span_body!($t, dst, [prev, cur, next], [a, b, c], |pv, cu, nx| {
+                    let mut t = b * cu;
+                    t += a * pv;
+                    t += c * nx;
+                    t
+                });
+            }
+
+            #[inline]
+            fn mass_last(dst: &mut [$t], prev: &[$t], cur: &[$t], a: $t, b: $t) {
+                span_body!($t, dst, [prev, cur], [a, b], |pv, cu| {
+                    let mut t = b * cu;
+                    t += a * pv;
+                    t
+                });
+            }
+
+            #[inline]
+            fn restrict_first(dst: &mut [$t], even: &[$t], right: &[$t], wr: $t) {
+                span_body!($t, dst, [even, right], [wr], |ev, rt| {
+                    let mut t = ev;
+                    t += wr * rt;
+                    t
+                });
+            }
+
+            #[inline]
+            fn restrict_interior(
+                dst: &mut [$t],
+                left: &[$t],
+                even: &[$t],
+                right: &[$t],
+                wl: $t,
+                wr: $t,
+            ) {
+                span_body!($t, dst, [left, even, right], [wl, wr], |lf, ev, rt| {
+                    let mut t = ev;
+                    t += wl * lf;
+                    t += wr * rt;
+                    t
+                });
+            }
+
+            #[inline]
+            fn restrict_last(dst: &mut [$t], left: &[$t], even: &[$t], wl: $t) {
+                span_body!($t, dst, [left, even], [wl], |lf, ev| {
+                    let mut t = ev;
+                    t += wl * lf;
+                    t
+                });
+            }
+
+            #[inline]
+            fn scale(cur: &mut [$t], inv: $t) {
+                span_body!($t, cur, [], [inv], |c| c * inv);
+            }
+
+            #[inline]
+            fn fwd_elim(cur: &mut [$t], prev: &[$t], a: $t, inv: $t) {
+                span_body!($t, cur, [prev], [a, inv], |c, pv| (c - a * pv) * inv);
+            }
+
+            #[inline]
+            fn back_subst(cur: &mut [$t], next: &[$t], cp: $t) {
+                span_body!($t, cur, [next], [cp], |c, nx| c - cp * nx);
+            }
+        }
+    };
+}
+
+impl_span_ops!(f32);
+impl_span_ops!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::SpanOps;
+
+    // Scalar references written independently of the span macro, so these
+    // tests pin the bitwise contract for whichever path is compiled in
+    // (plain scalar, autovectorized, or explicit SIMD).
+    fn data(n: usize, seed: u64) -> Vec<f64> {
+        (0..n)
+            .map(|i| (((i as u64 * 2654435761 + seed) % 1000) as f64) * 0.0173 - 8.0)
+            .collect()
+    }
+
+    #[test]
+    fn mass_rows_match_reference_bitwise() {
+        for n in [0, 1, 3, 7, 8, 9, 16, 31, 100] {
+            let prev = data(n, 1);
+            let cur = data(n, 2);
+            let next = data(n, 3);
+            let (a, b, c) = (0.3125, -1.75, 0.0625);
+            let mut dst = vec![0.0f64; n];
+            f64::mass_interior(&mut dst, &prev, &cur, &next, a, b, c);
+            let expect: Vec<f64> = (0..n)
+                .map(|k| {
+                    let mut t = b * cur[k];
+                    t += a * prev[k];
+                    t += c * next[k];
+                    t
+                })
+                .collect();
+            assert_eq!(dst, expect);
+
+            f64::mass_first(&mut dst, &cur, &next, b, c);
+            let expect: Vec<f64> = (0..n)
+                .map(|k| {
+                    let mut t = b * cur[k];
+                    t += c * next[k];
+                    t
+                })
+                .collect();
+            assert_eq!(dst, expect);
+
+            f64::mass_last(&mut dst, &prev, &cur, a, b);
+            let expect: Vec<f64> = (0..n)
+                .map(|k| {
+                    let mut t = b * cur[k];
+                    t += a * prev[k];
+                    t
+                })
+                .collect();
+            assert_eq!(dst, expect);
+
+            f64::mass_single(&mut dst, &cur, 1.0);
+            assert_eq!(dst, cur);
+        }
+    }
+
+    #[test]
+    fn restrict_rows_match_reference_bitwise() {
+        for n in [0, 1, 5, 8, 13, 64] {
+            let left = data(n, 4);
+            let even = data(n, 5);
+            let right = data(n, 6);
+            let (wl, wr) = (0.4375, 0.5625);
+            let mut dst = vec![0.0f64; n];
+            f64::restrict_interior(&mut dst, &left, &even, &right, wl, wr);
+            let expect: Vec<f64> = (0..n)
+                .map(|k| {
+                    let mut t = even[k];
+                    t += wl * left[k];
+                    t += wr * right[k];
+                    t
+                })
+                .collect();
+            assert_eq!(dst, expect);
+
+            f64::restrict_first(&mut dst, &even, &right, wr);
+            let expect: Vec<f64> = (0..n)
+                .map(|k| {
+                    let mut t = even[k];
+                    t += wr * right[k];
+                    t
+                })
+                .collect();
+            assert_eq!(dst, expect);
+
+            f64::restrict_last(&mut dst, &left, &even, wl);
+            let expect: Vec<f64> = (0..n)
+                .map(|k| {
+                    let mut t = even[k];
+                    t += wl * left[k];
+                    t
+                })
+                .collect();
+            assert_eq!(dst, expect);
+        }
+    }
+
+    #[test]
+    fn thomas_rows_match_reference_bitwise() {
+        for n in [0, 2, 8, 17] {
+            let prev = data(n, 7);
+            let orig = data(n, 8);
+            let (a, inv, cp) = (0.21875, 1.3125, -0.84375);
+
+            let mut cur = orig.clone();
+            f64::scale(&mut cur, inv);
+            let expect: Vec<f64> = orig.iter().map(|&x| x * inv).collect();
+            assert_eq!(cur, expect);
+
+            let mut cur = orig.clone();
+            f64::fwd_elim(&mut cur, &prev, a, inv);
+            let expect: Vec<f64> = (0..n).map(|k| (orig[k] - a * prev[k]) * inv).collect();
+            assert_eq!(cur, expect);
+
+            let mut cur = orig.clone();
+            f64::back_subst(&mut cur, &prev, cp);
+            let expect: Vec<f64> = (0..n).map(|k| orig[k] - cp * prev[k]).collect();
+            assert_eq!(cur, expect);
+        }
+    }
+
+    #[test]
+    fn boundary_primitives_preserve_ieee_edge_cases() {
+        // x + 0.0*y is not an IEEE no-op: signed zeros and NaNs differ,
+        // which is why boundary rows get two-term primitives instead of
+        // zero weights.
+        let even = [-0.0f64, 1.0];
+        let right = [0.0f64, f64::NAN];
+        let mut dst = [9.0f64; 2];
+        f64::restrict_first(&mut dst, &even, &right, 0.5);
+        // With a real weight the NaN propagates...
+        assert!(dst[1].is_nan());
+        // ...and a 1-term copy-through preserves -0.0 exactly.
+        let mut dst2 = [9.0f64; 2];
+        f64::mass_single(&mut dst2, &even, 1.0);
+        assert_eq!(dst2[0].to_bits(), (-0.0f64).to_bits());
+        // Whereas a zero-weight extra term would have destroyed it:
+        let left = [5.0f64, 5.0];
+        f64::restrict_last(&mut dst2, &left, &even, 0.0);
+        assert_eq!(dst2[0].to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn f32_paths_match_reference_bitwise() {
+        let n = 21;
+        let cur: Vec<f32> = (0..n).map(|i| i as f32 * 0.37 - 2.0).collect();
+        let next: Vec<f32> = (0..n).map(|i| i as f32 * -0.11 + 1.0).collect();
+        let mut dst = vec![0.0f32; n];
+        f32::mass_first(&mut dst, &cur, &next, 0.625f32, -0.375f32);
+        let expect: Vec<f32> = (0..n)
+            .map(|k| {
+                let mut t = 0.625f32 * cur[k];
+                t += -0.375f32 * next[k];
+                t
+            })
+            .collect();
+        assert_eq!(dst, expect);
+    }
+}

@@ -103,7 +103,20 @@ fn run_serial<T: Real>(data: &mut [T], ctx: &LevelCtx<T>, mode: Mode) {
     }
 }
 
+/// Upper bound on prefix (non-last-dim) corner-table entries: at most
+/// `MAX_DIMS - 1` prefix dimensions can be odd.
+const MAX_PREFIX_CORNERS: usize = 1 << (MAX_DIMS - 1);
+
 /// Like `run_rows` but writes one row into a row-local buffer.
+///
+/// The corner weights and offsets contributed by the *prefix* dimensions
+/// (all but the last) are fixed for the whole row, so they are hoisted
+/// into per-row tables (`pw`/`pd`) and the `j` loop splits into an
+/// even-`j` branch (prefix corners only) and an odd-`j` branch (prefix
+/// corners × the two last-dim neighbours) with no per-element branching.
+/// Weight products and corner accumulation follow [`interp_at`]'s mask
+/// order term for term (prefix bits low, last dim high; weights
+/// multiplied prefix-first), so the hoisted form is bitwise identical.
 fn run_rows_into_row<T: Real>(
     src: &[T],
     row_out: &mut [T],
@@ -130,25 +143,71 @@ fn run_rows_into_row<T: Real>(
             np += 1;
         }
     }
+    if np == 0 && !last.decimates {
+        return; // no odd node anywhere in this row
+    }
+    let nc = 1usize << np;
+    let mut pw = [T::ONE; MAX_PREFIX_CORNERS];
+    let mut pd = [0isize; MAX_PREFIX_CORNERS];
+    for (m, (w_out, d_out)) in pw[..nc].iter_mut().zip(&mut pd[..nc]).enumerate() {
+        let mut w = T::ONE;
+        let mut off = 0isize;
+        for (b, &d) in odd_prefix[..np].iter().enumerate() {
+            let ax = &axes[d];
+            if m & (1 << b) != 0 {
+                w *= ax.wr[idx[d]];
+                off += ax.stride as isize;
+            } else {
+                w *= ax.wl[idx[d]];
+                off -= ax.stride as isize;
+            }
+        }
+        *w_out = w;
+        *d_out = off;
+    }
     let base_row = r * row_len;
-    for j in 0..row_len {
-        idx[nd - 1] = j;
-        let j_odd = last.decimates && j % 2 == 1;
-        if np == 0 && !j_odd {
-            continue;
+    let apply = |row_out: &mut [T], j: usize, nodal: T, v: T| match mode {
+        Mode::Subtract => row_out[j] = nodal - v,
+        Mode::Add => row_out[j] = nodal + v,
+    };
+    if last.decimates {
+        // Even j: prefix corners only (skipped entirely when np == 0 —
+        // those nodes are coarse).
+        if np > 0 {
+            for j in (0..row_len).step_by(2) {
+                let off = (base_row + j) as isize;
+                let mut acc = T::ZERO;
+                for m in 0..nc {
+                    acc += pw[m] * src[(off + pd[m]) as usize];
+                }
+                apply(row_out, j, src[off as usize], acc);
+            }
         }
-        let mut odd = [0usize; MAX_DIMS];
-        odd[..np].copy_from_slice(&odd_prefix[..np]);
-        let mut k = np;
-        if j_odd {
-            odd[k] = nd - 1;
-            k += 1;
+        // Odd j: each prefix corner splits into its left/right last-dim
+        // neighbours; left half (last bit clear) accumulates first.
+        let ls = last.stride as isize;
+        for j in (1..row_len).step_by(2) {
+            let off = (base_row + j) as isize;
+            let (wlj, wrj) = (last.wl[j], last.wr[j]);
+            let mut acc = T::ZERO;
+            for m in 0..nc {
+                acc += pw[m] * wlj * src[(off + pd[m] - ls) as usize];
+            }
+            for m in 0..nc {
+                acc += pw[m] * wrj * src[(off + pd[m] + ls) as usize];
+            }
+            apply(row_out, j, src[off as usize], acc);
         }
-        let off = base_row + j;
-        let v = interp_at(src, off, &idx[..nd], axes, &odd[..k]);
-        match mode {
-            Mode::Subtract => row_out[j] = src[off] - v,
-            Mode::Add => row_out[j] = src[off] + v,
+    } else {
+        // Bottomed-out last dim: every j interpolates over the prefix
+        // corners (np > 0 here).
+        for j in 0..row_len {
+            let off = (base_row + j) as isize;
+            let mut acc = T::ZERO;
+            for m in 0..nc {
+                acc += pw[m] * src[(off + pd[m]) as usize];
+            }
+            apply(row_out, j, src[off as usize], acc);
         }
     }
 }

@@ -16,7 +16,7 @@
 
 use crate::level::LevelCtx;
 use crate::solve::ThomasFactors;
-use crate::{inplace, mass, solve, tiled, transfer, ExecPlan, Layout, Threading};
+use crate::{fused, inplace, mass, solve, transfer, ExecPlan, Layout, Threading};
 use mg_grid::{Axis, Real, Shape};
 use std::cell::Cell;
 
@@ -244,13 +244,17 @@ fn correction_packed<'a, T: Real>(
     (&src[..shape.len()], shape)
 }
 
-/// Tiled-layout pipeline: the in-place segmented kernels run with
-/// `tile`-sized segments for every axis except the outermost, whose single
-/// block they cannot split; axis 0 instead runs the halo-exchange tiled
-/// kernels of [`crate::tiled`] (in-place tiled mass, out-of-place tiled
-/// transfer into the second scratch buffer), recovering cross-tile
-/// parallelism on the axis that dominates large grids. Arithmetic matches
-/// the packed pipeline operation for operation.
+/// Tiled-layout pipeline: per decimating axis, the mass multiply and the
+/// restriction run as ONE fused tile-resident pass
+/// ([`fused::mass_restrict_fused`]) that reads `cur` read-only and writes
+/// coarse rows straight into the other scratch buffer — each tile stays
+/// cache-resident across both kernels and the intermediate mass array is
+/// never materialized. Axis 0 tiles over `tile` coarse rows (recovering
+/// cross-tile parallelism on the axis that dominates large grids); inner
+/// axes parallelize over their independent outer blocks. The Thomas solve
+/// stays a separate sweep (its recurrence is global along the axis).
+/// Arithmetic matches the packed pipeline operation for operation, so the
+/// layouts stay bitwise identical.
 fn correction_tiled<'a, T: Real>(
     ctx: &LevelCtx<T>,
     threading: Threading,
@@ -277,68 +281,23 @@ fn correction_tiled<'a, T: Real>(
             (&mut scratch.b, &mut scratch.a)
         };
 
-        // Mass in place on `cur`.
+        // Fused mass + restriction: `cur` stays read-only (it is dead
+        // after this axis), coarse rows land directly in `other`. The
+        // fused time is reported under the mass stage; the transfer
+        // stage it absorbs costs ~nothing extra per tile.
         let t0 = std::time::Instant::now();
-        if d == 0 {
-            tiled::mass_apply_tiled_axis0(
-                &mut cur[..shape.len()],
-                shape,
-                fine_coords,
-                tile,
-                par,
-                &mut scratch.halo,
-            );
-        } else if par {
-            inplace::mass_apply_inplace_segmented_parallel(
-                &mut cur[..shape.len()],
-                shape,
-                axis,
-                fine_coords,
-                tile.max(1),
-            );
-        } else {
-            inplace::mass_apply_inplace_segmented(
-                &mut cur[..shape.len()],
-                shape,
-                axis,
-                fine_coords,
-                tile.max(1),
-            );
-        }
-        let t1 = std::time::Instant::now();
-        times.mass += t1 - t0;
-
-        // Transfer `cur` -> `other` (tiled over coarse rows on axis 0;
-        // block-parallel elsewhere).
         grow(other, coarse_shape.len());
-        if d == 0 {
-            tiled::transfer_apply_tiled_axis0(
-                &cur[..shape.len()],
-                shape,
-                &mut other[..coarse_shape.len()],
-                fine_coords,
-                tile,
-                par,
-            );
-        } else if par {
-            transfer::transfer_apply_parallel(
-                &cur[..shape.len()],
-                shape,
-                &mut other[..coarse_shape.len()],
-                axis,
-                fine_coords,
-            );
-        } else {
-            transfer::transfer_apply_serial(
-                &cur[..shape.len()],
-                shape,
-                &mut other[..coarse_shape.len()],
-                axis,
-                fine_coords,
-            );
-        }
+        fused::mass_restrict_fused(
+            &cur[..shape.len()],
+            shape,
+            &mut other[..coarse_shape.len()],
+            axis,
+            fine_coords,
+            tile,
+            par,
+        );
         let t2 = std::time::Instant::now();
-        times.transfer += t2 - t1;
+        times.mass += t2 - t0;
 
         // Solve in `other`.
         let factors = ThomasFactors::new(&coarse_coords);

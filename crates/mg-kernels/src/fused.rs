@@ -1,0 +1,271 @@
+//! Fused tile-resident mass + restriction pass for the tiled layout.
+//!
+//! The unfused correction streams the level data three times per axis:
+//! mass multiply (in place), restriction (out of place), then the Thomas
+//! solve. The first two are fusable because the mass output is consumed
+//! *only* by the restriction — so [`mass_restrict_fused`] reads the
+//! original data read-only, computes each needed mass row on the fly in a
+//! sliding three-row window of lane buffers, combines it immediately with
+//! the restriction weights, and writes coarse rows straight to the
+//! destination. Each tile's working set (three `inner`-sized lanes plus
+//! the fine rows it reads) stays cache-resident across both kernels, and
+//! one full write + one full read of the fine array disappear compared to
+//! the unfused sequence.
+//!
+//! Because the source is immutable, tiles need **no halo exchange at
+//! all** — a coarse-row tile simply reads the fine rows `2j - 2 ..= 2j +
+//! 2` it depends on, unlike the in-place mass kernel whose tile
+//! boundaries race with neighbour tiles.
+//!
+//! The Thomas solve stays a separate sweep: its forward/backward
+//! recurrences are global along the axis, so it cannot be made
+//! tile-resident without changing the factorization (and therefore the
+//! bits).
+//!
+//! **Bitwise contract:** every mass row is computed from original values
+//! with the exact accumulation order of [`crate::mass::mass_apply_serial`]
+//! (`t = b*cur; t += a*prev; t += c*next`), and the combine step uses the
+//! order of [`crate::transfer::transfer_apply_serial`] (`t = even; t +=
+//! wl*left; t += wr*right`), both via the shared span primitives — so the
+//! fused result is bitwise identical to the unfused pair for every tile
+//! size and threading.
+
+use crate::mass::mass_row;
+use crate::transfer::restriction_weights;
+use mg_grid::{Axis, Real, Shape};
+use rayon::prelude::*;
+
+/// Sliding window of mass-row lanes: the mass values of fine rows
+/// `2j - 1`, `2j`, `2j + 1` while coarse row `j` is being emitted.
+struct MassLanes<T> {
+    left: Vec<T>,
+    even: Vec<T>,
+    right: Vec<T>,
+}
+
+impl<T: Real> MassLanes<T> {
+    fn new(inner: usize) -> Self {
+        MassLanes {
+            left: vec![T::ZERO; inner],
+            even: vec![T::ZERO; inner],
+            right: vec![T::ZERO; inner],
+        }
+    }
+}
+
+/// Compute the mass multiply of fine row `i` of `sblk` into `lane`,
+/// branch-hoisted onto the span primitives (`n >= 3` here, so the
+/// degenerate single-row case cannot occur).
+#[inline]
+fn mass_row_into<T: Real>(lane: &mut [T], sblk: &[T], inner: usize, n: usize, i: usize, h: &[T]) {
+    let (a, b, c) = mass_row(h, i);
+    let row = i * inner;
+    let cur = &sblk[row..row + inner];
+    if i == 0 {
+        T::mass_first(lane, cur, &sblk[row + inner..], b, c);
+    } else if i + 1 == n {
+        T::mass_last(lane, &sblk[row - inner..], cur, a, b);
+    } else {
+        T::mass_interior(
+            lane,
+            &sblk[row - inner..],
+            cur,
+            &sblk[row + inner..],
+            a,
+            b,
+            c,
+        );
+    }
+}
+
+/// Emit coarse rows `[j0, j0 + dblk.len() / inner)` of one outer block:
+/// `dblk[j] <- M[2j] + wl[j]*M[2j-1] + wr[j]*M[2j+1]` where `M[i]` is the
+/// mass multiply of fine row `i` of `sblk`, computed on the fly.
+#[allow(clippy::too_many_arguments)]
+fn fused_block<T: Real>(
+    sblk: &[T],
+    dblk: &mut [T],
+    inner: usize,
+    n: usize,
+    m: usize,
+    j0: usize,
+    h: &[T],
+    wl: &[T],
+    wr: &[T],
+    lanes: &mut MassLanes<T>,
+) {
+    let j1 = j0 + dblk.len() / inner;
+    debug_assert!(j1 <= m);
+    // Prime the window for coarse row j0.
+    if j0 > 0 {
+        mass_row_into(&mut lanes.left, sblk, inner, n, 2 * j0 - 1, h);
+    }
+    mass_row_into(&mut lanes.even, sblk, inner, n, 2 * j0, h);
+    if j0 + 1 < m {
+        mass_row_into(&mut lanes.right, sblk, inner, n, 2 * j0 + 1, h);
+    }
+    for j in j0..j1 {
+        let drow = &mut dblk[(j - j0) * inner..(j - j0 + 1) * inner];
+        if j == 0 {
+            T::restrict_first(drow, &lanes.even, &lanes.right, wr[j]);
+        } else if j + 1 == m {
+            T::restrict_last(drow, &lanes.left, &lanes.even, wl[j]);
+        } else {
+            T::restrict_interior(drow, &lanes.left, &lanes.even, &lanes.right, wl[j], wr[j]);
+        }
+        if j + 1 < j1 {
+            // Slide: fine row 2j+1 becomes the next row's left neighbour.
+            std::mem::swap(&mut lanes.left, &mut lanes.right);
+            mass_row_into(&mut lanes.even, sblk, inner, n, 2 * j + 2, h);
+            if j + 2 < m {
+                mass_row_into(&mut lanes.right, sblk, inner, n, 2 * j + 3, h);
+            }
+        }
+    }
+}
+
+/// Fused `dst <- R (M src)` along `axis`: mass multiply and restriction
+/// in one tile-resident pass, `src` untouched. Bitwise identical to
+/// [`crate::mass::mass_apply_serial`] followed by
+/// [`crate::transfer::transfer_apply_serial`].
+///
+/// Axis 0 tiles over `tile` coarse rows (the tiled layout's axis-0
+/// parallelism); inner axes parallelize over the outer blocks, which are
+/// already independent.
+pub fn mass_restrict_fused<T: Real>(
+    src: &[T],
+    shape: Shape,
+    dst: &mut [T],
+    axis: Axis,
+    coords: &[T],
+    tile: usize,
+    parallel: bool,
+) {
+    let n = shape.dim(axis);
+    assert_eq!(src.len(), shape.len());
+    assert_eq!(coords.len(), n);
+    assert!(n >= 3 && n % 2 == 1, "restriction needs a decimating axis");
+    let m = n.div_ceil(2);
+    let inner: usize = (axis.0 + 1..shape.ndim())
+        .map(|d| shape.dim(Axis(d)))
+        .product();
+    let outer = shape.len() / (n * inner);
+    assert_eq!(dst.len(), outer * m * inner, "dst must have coarse extent");
+    let tile = tile.max(1);
+
+    let h: Vec<T> = coords.windows(2).map(|w| w[1] - w[0]).collect();
+    let (wl, wr) = restriction_weights::<T>(coords);
+    let (h, wl, wr) = (&h, &wl, &wr);
+
+    if axis.0 == 0 {
+        // One outer block; tile the coarse rows.
+        let work = |k: usize, dchunk: &mut [T], lanes: &mut MassLanes<T>| {
+            fused_block(src, dchunk, inner, n, m, k * tile, h, wl, wr, lanes);
+        };
+        if parallel {
+            // Per-task lane windows (tasks cannot share scratch).
+            dst.par_chunks_mut(tile * inner)
+                .enumerate()
+                .for_each(|(k, dchunk)| work(k, dchunk, &mut MassLanes::new(inner)));
+        } else {
+            let mut lanes = MassLanes::new(inner);
+            for (k, dchunk) in dst.chunks_mut(tile * inner).enumerate() {
+                work(k, dchunk, &mut lanes);
+            }
+        }
+    } else {
+        // Outer blocks are independent; each fuses its full coarse sweep.
+        let blk = n * inner;
+        let work = |k: usize, dchunk: &mut [T], lanes: &mut MassLanes<T>| {
+            fused_block(
+                &src[k * blk..][..blk],
+                dchunk,
+                inner,
+                n,
+                m,
+                0,
+                h,
+                wl,
+                wr,
+                lanes,
+            );
+        };
+        if parallel {
+            dst.par_chunks_mut(m * inner)
+                .enumerate()
+                .for_each(|(k, dchunk)| work(k, dchunk, &mut MassLanes::new(inner)));
+        } else {
+            let mut lanes = MassLanes::new(inner);
+            for (k, dchunk) in dst.chunks_mut(m * inner).enumerate() {
+                work(k, dchunk, &mut lanes);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mass, transfer};
+
+    fn field(len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| ((i * 53 + 29) % 97) as f64 * 0.031 - 1.5)
+            .collect()
+    }
+
+    fn unfused(src: &[f64], shape: Shape, axis: Axis, coords: &[f64]) -> Vec<f64> {
+        let mut massed = src.to_vec();
+        mass::mass_apply_serial(&mut massed, shape, axis, coords);
+        let m = shape.dim(axis).div_ceil(2);
+        let coarse = shape.with_dim(axis, m);
+        let mut out = vec![0.0f64; coarse.len()];
+        transfer::transfer_apply_serial(&massed, shape, &mut out, axis, coords);
+        out
+    }
+
+    #[test]
+    fn fused_matches_unfused_axis0_every_tile() {
+        let shape = Shape::d2(17, 7);
+        let coords: Vec<f64> = (0..17)
+            .map(|i| i as f64 * 0.4 + (i % 3) as f64 * 0.05)
+            .collect();
+        let src = field(shape.len());
+        let expect = unfused(&src, shape, Axis(0), &coords);
+        for tile in [1usize, 2, 3, 7, 64, 1000] {
+            for parallel in [false, true] {
+                let mut got = vec![0.0f64; expect.len()];
+                mass_restrict_fused(&src, shape, &mut got, Axis(0), &coords, tile, parallel);
+                assert_eq!(got, expect, "tile {tile} parallel {parallel}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_matches_unfused_inner_axes_and_1d() {
+        let shape = Shape::d3(5, 9, 5);
+        let src = field(shape.len());
+        for d in 0..3 {
+            let n = shape.dim(Axis(d));
+            let coords: Vec<f64> = (0..n)
+                .map(|i| i as f64 * 0.3 + (i % 2) as f64 * 0.02)
+                .collect();
+            let expect = unfused(&src, shape, Axis(d), &coords);
+            for parallel in [false, true] {
+                let mut got = vec![0.0f64; expect.len()];
+                mass_restrict_fused(&src, shape, &mut got, Axis(d), &coords, 4, parallel);
+                assert_eq!(got, expect, "axis {d} parallel {parallel}");
+            }
+        }
+
+        let shape = Shape::d1(129);
+        let coords: Vec<f64> = (0..129).map(|i| i as f64 + (i % 5) as f64 * 0.1).collect();
+        let src = field(129);
+        let expect = unfused(&src, shape, Axis(0), &coords);
+        for tile in [1usize, 16, 1000] {
+            let mut got = vec![0.0f64; expect.len()];
+            mass_restrict_fused(&src, shape, &mut got, Axis(0), &coords, tile, true);
+            assert_eq!(got, expect, "1-d tile {tile}");
+        }
+    }
+}

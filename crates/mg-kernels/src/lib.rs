@@ -55,6 +55,7 @@
 
 pub mod coeff;
 pub mod correction;
+pub mod fused;
 pub mod inplace;
 pub mod level;
 pub mod mass;

@@ -46,13 +46,30 @@ pub fn mass_row<T: Real>(h: &[T], i: usize) -> (T, T, T) {
 /// Serial, in-place `v <- M v` along `axis`, for every fiber.
 ///
 /// `coords` are the level coordinates along `axis` (length =
-/// `shape.dim(axis)`). O(1) scratch per fiber.
+/// `shape.dim(axis)`). For the contiguous last axis each fiber is walked
+/// with an O(1) sliding ghost; for outer axes the fibers are batched
+/// plane-wise so the inner loop runs unit-stride over [`SpanOps`]
+/// primitives (two row-sized ghost buffers of scratch). Both paths
+/// perform the identical per-element arithmetic, so results are bitwise
+/// independent of the axis stride.
 pub fn mass_apply_serial<T: Real>(data: &mut [T], shape: Shape, axis: Axis, coords: &[T]) {
     let spec = fiber_spec(shape, axis);
     assert_eq!(data.len(), shape.len());
     assert_eq!(coords.len(), spec.len);
     let h: Vec<T> = coords.windows(2).map(|w| w[1] - w[0]).collect();
     let n = spec.len;
+    if spec.stride > 1 {
+        // Plane-batched: rows of `stride` interleaved fibers, walked in
+        // place with row-sized ghosts holding the original values of
+        // rows i-1 and i.
+        let inner = spec.stride;
+        let mut ghost = vec![T::ZERO; inner];
+        let mut ghost_next = vec![T::ZERO; inner];
+        for blk in data.chunks_mut(n * inner) {
+            mass_block_inplace(blk, inner, n, &h, &mut ghost, &mut ghost_next);
+        }
+        return;
+    }
     for f in 0..spec.count {
         let base = fiber_base(shape, axis, f);
         // Sliding ghost: original value of element i-1.
@@ -71,6 +88,35 @@ pub fn mass_apply_serial<T: Real>(data: &mut [T], shape: Shape, axis: Axis, coor
             data[off] = t;
             prev_orig = cur_orig;
         }
+    }
+}
+
+/// In-place mass multiply of one contiguous `n x inner` block, row `i`
+/// reading the original rows i-1 (from `ghost`) and i+1 (still
+/// untouched), with boundary rows hoisted to two-term primitives.
+fn mass_block_inplace<T: Real>(
+    blk: &mut [T],
+    inner: usize,
+    n: usize,
+    h: &[T],
+    ghost: &mut Vec<T>,
+    ghost_next: &mut Vec<T>,
+) {
+    for i in 0..n {
+        let (a, b, c) = mass_row(h, i);
+        let (head, tail) = blk.split_at_mut((i + 1) * inner);
+        let cur = &mut head[i * inner..];
+        ghost_next.copy_from_slice(cur);
+        if n == 1 {
+            T::mass_single(cur, ghost_next, b);
+        } else if i == 0 {
+            T::mass_first(cur, ghost_next, &tail[..inner], b, c);
+        } else if i + 1 == n {
+            T::mass_last(cur, ghost, ghost_next, a, b);
+        } else {
+            T::mass_interior(cur, ghost, ghost_next, &tail[..inner], a, b, c);
+        }
+        std::mem::swap(ghost, ghost_next);
     }
 }
 
@@ -97,22 +143,36 @@ pub fn mass_apply_parallel<T: Real>(
     let block = n * inner;
     dst.par_chunks_mut(block)
         .zip(src.par_chunks(block))
-        .for_each(|(dblk, sblk)| {
-            for i in 0..n {
-                let (a, b, c) = mass_row(&h, i);
-                let row = i * inner;
-                for jj in 0..inner {
-                    let mut t = b * sblk[row + jj];
-                    if i > 0 {
-                        t += a * sblk[row - inner + jj];
-                    }
-                    if i + 1 < n {
-                        t += c * sblk[row + inner + jj];
-                    }
-                    dblk[row + jj] = t;
-                }
-            }
-        });
+        .for_each(|(dblk, sblk)| mass_block_out(dblk, sblk, inner, n, &h));
+}
+
+/// Out-of-place mass multiply of one contiguous `n x inner` block, with
+/// boundary rows hoisted to two-term [`SpanOps`] primitives so the row
+/// loops are branch-free and stride-1.
+pub(crate) fn mass_block_out<T: Real>(dblk: &mut [T], sblk: &[T], inner: usize, n: usize, h: &[T]) {
+    for i in 0..n {
+        let (a, b, c) = mass_row(h, i);
+        let row = i * inner;
+        let dst = &mut dblk[row..row + inner];
+        let cur = &sblk[row..row + inner];
+        if n == 1 {
+            T::mass_single(dst, cur, b);
+        } else if i == 0 {
+            T::mass_first(dst, cur, &sblk[row + inner..row + 2 * inner], b, c);
+        } else if i + 1 == n {
+            T::mass_last(dst, &sblk[row - inner..row], cur, a, b);
+        } else {
+            T::mass_interior(
+                dst,
+                &sblk[row - inner..row],
+                cur,
+                &sblk[row + inner..row + 2 * inner],
+                a,
+                b,
+                c,
+            );
+        }
+    }
 }
 
 /// Stride-aware, in-place `v <- M v` along `axis` for every fiber of a

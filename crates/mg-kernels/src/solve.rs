@@ -89,6 +89,16 @@ pub fn solve_serial<T: Real>(data: &mut [T], shape: Shape, axis: Axis, factors: 
     assert_eq!(data.len(), shape.len());
     assert_eq!(factors.n(), spec.len);
     let n = spec.len;
+    if spec.stride > 1 {
+        // Plane-batched: the sweeps run row-sequentially (the Thomas
+        // recurrence) but stride-1 across the interleaved fibers of each
+        // outer block, through the same span primitives as the parallel
+        // variant — identical per-element arithmetic either way.
+        for blk in data.chunks_mut(n * spec.stride) {
+            solve_block(blk, spec.stride, factors);
+        }
+        return;
+    }
     for f in 0..spec.count {
         let base = fiber_base(shape, axis, f);
         // Forward sweep.
@@ -154,31 +164,31 @@ pub fn solve_parallel<T: Real>(
     assert_eq!(factors.n(), spec.len);
     let n = spec.len;
     let inner = spec.stride;
-    data.par_chunks_mut(n * inner).for_each(|blk| {
-        // Forward sweep, one "row" (plane of fibers) at a time.
-        for kk in 0..inner {
-            blk[kk] *= factors.inv_denom[0];
-        }
-        for i in 1..n {
-            let (prev_rows, cur) = blk.split_at_mut(i * inner);
-            let prev = &prev_rows[(i - 1) * inner..];
-            let a = factors.sub[i];
-            let inv = factors.inv_denom[i];
-            for kk in 0..inner {
-                cur[kk] = (cur[kk] - a * prev[kk]) * inv;
-            }
-        }
-        // Back substitution.
-        for i in (0..n - 1).rev() {
-            let (head, tail) = blk.split_at_mut((i + 1) * inner);
-            let cur = &mut head[i * inner..];
-            let next = &tail[..inner];
-            let cp = factors.cprime[i];
-            for kk in 0..inner {
-                cur[kk] -= cp * next[kk];
-            }
-        }
-    });
+    data.par_chunks_mut(n * inner)
+        .for_each(|blk| solve_block(blk, inner, factors));
+}
+
+/// Thomas solve of one contiguous `n x inner` block: forward sweep and
+/// back substitution one row (plane of fibers) at a time, stride-1
+/// through [`SpanOps`] primitives.
+fn solve_block<T: Real>(blk: &mut [T], inner: usize, factors: &ThomasFactors<T>) {
+    let n = factors.n();
+    // Forward sweep.
+    T::scale(&mut blk[..inner], factors.inv_denom[0]);
+    for i in 1..n {
+        let (prev_rows, cur) = blk.split_at_mut(i * inner);
+        T::fwd_elim(
+            &mut cur[..inner],
+            &prev_rows[(i - 1) * inner..],
+            factors.sub[i],
+            factors.inv_denom[i],
+        );
+    }
+    // Back substitution.
+    for i in (0..n - 1).rev() {
+        let (head, tail) = blk.split_at_mut((i + 1) * inner);
+        T::back_subst(&mut head[i * inner..], &tail[..inner], factors.cprime[i]);
+    }
 }
 
 #[cfg(test)]

@@ -59,6 +59,17 @@ pub fn transfer_apply_serial<T: Real>(
     let sspec = fiber_spec(src_shape, axis);
     let dspec = fiber_spec(dst_shape, axis);
     let m = dspec.len;
+    let n = sspec.len;
+    if sspec.stride > 1 {
+        // Plane-batched: each outer block restricts rows of `stride`
+        // interleaved fibers through stride-1 span primitives.
+        debug_assert_eq!(sspec.stride, dspec.stride, "inner extents are unchanged");
+        let inner = dspec.stride;
+        for (dblk, sblk) in dst.chunks_mut(m * inner).zip(src.chunks(n * inner)) {
+            transfer_block(dblk, sblk, inner, m, &wl, &wr);
+        }
+        return;
+    }
     for f in 0..dspec.count {
         let sbase = fiber_base(src_shape, axis, f);
         let dbase = fiber_base(dst_shape, axis, f);
@@ -71,6 +82,38 @@ pub fn transfer_apply_serial<T: Real>(
                 t += wr[j] * src[sbase + (2 * j + 1) * sspec.stride];
             }
             dst[dbase + j * dspec.stride] = t;
+        }
+    }
+}
+
+/// Restriction of one contiguous block (`2m-1 x inner` fine rows into
+/// `m x inner` coarse rows), boundary rows hoisted to two-term
+/// [`SpanOps`] primitives. `m >= 2` (decimating axis).
+pub(crate) fn transfer_block<T: Real>(
+    dblk: &mut [T],
+    sblk: &[T],
+    inner: usize,
+    m: usize,
+    wl: &[T],
+    wr: &[T],
+) {
+    for j in 0..m {
+        let srow = 2 * j * inner;
+        let dst = &mut dblk[j * inner..(j + 1) * inner];
+        let even = &sblk[srow..srow + inner];
+        if j == 0 {
+            T::restrict_first(dst, even, &sblk[srow + inner..srow + 2 * inner], wr[j]);
+        } else if j + 1 == m {
+            T::restrict_last(dst, &sblk[srow - inner..srow], even, wl[j]);
+        } else {
+            T::restrict_interior(
+                dst,
+                &sblk[srow - inner..srow],
+                even,
+                &sblk[srow + inner..srow + 2 * inner],
+                wl[j],
+                wr[j],
+            );
         }
     }
 }
@@ -92,22 +135,7 @@ pub fn transfer_apply_parallel<T: Real>(
     let n = sspec.len;
     dst.par_chunks_mut(m * inner)
         .zip(src.par_chunks(n * inner))
-        .for_each(|(dblk, sblk)| {
-            for j in 0..m {
-                let drow = j * inner;
-                let srow = 2 * j * inner;
-                for kk in 0..inner {
-                    let mut t = sblk[srow + kk];
-                    if j > 0 {
-                        t += wl[j] * sblk[srow - inner + kk];
-                    }
-                    if j + 1 < m {
-                        t += wr[j] * sblk[srow + inner + kk];
-                    }
-                    dblk[drow + kk] = t;
-                }
-            }
-        });
+        .for_each(|(dblk, sblk)| transfer_block(dblk, sblk, inner, m, &wl, &wr));
 }
 
 /// Stride-aware `dst <- R src` reading the fine fibers of a [`GridView`]

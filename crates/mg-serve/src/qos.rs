@@ -12,9 +12,13 @@
 //! fair share.
 //!
 //! Degradation is the second half of the controller: when a request is
-//! finally admitted, the queue depth behind it sets a *degrade level*
-//! (classes to drop below what the selector chose), bounded per priority
-//! tier by [`DegradePolicy::max_degrade`] and never past the caller's own
+//! finally admitted, a *smoothed* queue-pressure signal — rise-fast /
+//! fall-slow EWMA of the depth behind it, so bursts degrade immediately
+//! but a draining queue ratchets back to full fidelity monotonically
+//! instead of oscillating ([`DegradePolicy::smoothing`]) — sets a
+//! *degrade level* (classes to drop below what the selector chose),
+//! bounded per priority tier by
+//! [`DegradePolicy::max_degrade`] and never past the caller's own
 //! `floor_tau`. A degraded response is still a maximal class prefix with
 //! an honest L∞ indicator — a coarser answer now instead of an
 //! `Overloaded` and a retry storm. Outright shedding remains the backstop
@@ -42,6 +46,13 @@ pub struct DegradePolicy {
     /// Max classes dropped per tier — the tier's min-fidelity floor
     /// (0 disables degradation for the tier).
     pub max_degrade: [u8; 3],
+    /// Smoothing divisor of the pressure signal: the smoothed depth
+    /// *rises instantly* to the observed queue depth but *decays* toward
+    /// it by only `1/smoothing` of the gap per admission, so a transient
+    /// dip in a draining queue cannot flip fidelity back and forth
+    /// between consecutive responses. `1` disables smoothing
+    /// (instantaneous sampling, the old behaviour); `0` is treated as 1.
+    pub smoothing: u32,
 }
 
 impl Default for DegradePolicy {
@@ -50,7 +61,36 @@ impl Default for DegradePolicy {
             degrade_start: [1, 2, 4],
             depth_per_level: 2,
             max_degrade: [4, 3, 2],
+            smoothing: 4,
         }
+    }
+}
+
+/// Rise-fast / fall-slow queue-pressure EWMA (fixed point, 8 fractional
+/// bits). Observed depths at or above the average take effect instantly
+/// — bursts degrade immediately — while lower depths pull the average
+/// down by `1/smoothing` of the gap per observation, so the degrade
+/// level ratchets down monotonically as a queue drains instead of
+/// oscillating with instantaneous depth samples.
+#[derive(Debug, Default)]
+struct PressureEwma {
+    ewma_x256: u64,
+}
+
+impl PressureEwma {
+    /// Fold in an observed queue depth; returns the smoothed depth
+    /// (rounded up) to feed [`QosConfig::degrade_for`].
+    fn observe(&mut self, depth: u32, smoothing: u32) -> u32 {
+        let dx = (depth as u64) << 8;
+        if dx >= self.ewma_x256 {
+            self.ewma_x256 = dx;
+        } else {
+            // Decay at least one fixed-point step so the signal reaches
+            // zero instead of sticking just above it.
+            let step = ((self.ewma_x256 - dx) / smoothing.max(1) as u64).max(1);
+            self.ewma_x256 -= step;
+        }
+        self.ewma_x256.div_ceil(256) as u32
     }
 }
 
@@ -113,6 +153,8 @@ struct SchedState {
     next_seq: u64,
     /// Waiters ordered by (virtual finish tag, arrival seq).
     queue: BTreeSet<(u64, u64)>,
+    /// Smoothed queue-depth signal driving degradation.
+    pressure: PressureEwma,
     tenants: HashMap<String, TenantEntry>,
 }
 
@@ -221,7 +263,8 @@ impl FairScheduler {
                 .entry(tenant.to_string())
                 .or_default()
                 .virtual_finish = tag;
-            let degrade = self.config.degrade_for(0, priority);
+            let eff = st.pressure.observe(0, self.config.degrade.smoothing);
+            let degrade = self.config.degrade_for(eff, priority);
             drop(st);
             return Admission::Granted {
                 permit: Permit {
@@ -259,9 +302,10 @@ impl FairScheduler {
                 st.virtual_now = st.virtual_now.max(tag);
                 let depth = st.queue.len() as u32;
                 let waited = start.elapsed().as_micros() as u64;
+                let eff = st.pressure.observe(depth, self.config.degrade.smoothing);
                 let entry = st.tenants.entry(tenant.to_string()).or_default();
                 entry.stats.queue_wait_us += waited;
-                let degrade = self.config.degrade_for(depth, priority);
+                let degrade = self.config.degrade_for(eff, priority);
                 drop(st);
                 // More slots may be free (or the new head admissible).
                 self.cv.notify_all();
@@ -461,6 +505,60 @@ mod tests {
             ..config
         };
         assert_eq!(off.degrade_for(1000, Priority::Low), 0);
+    }
+
+    #[test]
+    fn smoothed_pressure_transitions_monotonically_while_draining() {
+        let config = QosConfig::default();
+        let smoothing = config.degrade.smoothing;
+        // A draining queue whose instantaneous depth flickers (late
+        // stragglers admitted between bursts). Raw sampling would bounce
+        // the degrade level between 0 and 3+ from one response to the
+        // next; the rise-fast/fall-slow signal must ratchet down.
+        let observed = [8u32, 0, 6, 0, 4, 0, 2, 0, 1, 0, 0, 0];
+        let mut ewma = PressureEwma::default();
+        let mut levels = Vec::new();
+        let mut raw_levels = Vec::new();
+        for &depth in &observed {
+            let eff = ewma.observe(depth, smoothing);
+            levels.push(config.degrade_for(eff, Priority::Low));
+            raw_levels.push(config.degrade_for(depth, Priority::Low));
+        }
+        // The unsmoothed signal oscillates on this trace...
+        assert!(
+            raw_levels.windows(2).any(|w| w[1] > w[0]),
+            "trace should make raw sampling oscillate: {raw_levels:?}"
+        );
+        // ...the smoothed one is monotone non-increasing.
+        for w in levels.windows(2) {
+            assert!(w[1] <= w[0], "level rose while draining: {levels:?}");
+        }
+        // Starts degraded (burst takes effect instantly, not averaged
+        // away) and recovers to full fidelity once drained.
+        assert!(levels[0] >= 3, "burst must degrade immediately: {levels:?}");
+        let mut eff = u32::MAX;
+        for _ in 0..64 {
+            eff = ewma.observe(0, smoothing);
+        }
+        assert_eq!(eff, 0, "signal must fully decay to zero");
+        assert_eq!(config.degrade_for(0, Priority::Low), 0);
+    }
+
+    #[test]
+    fn pressure_rises_instantly_on_a_new_burst() {
+        let mut ewma = PressureEwma::default();
+        let smoothing = 4;
+        assert_eq!(ewma.observe(0, smoothing), 0);
+        // A sudden burst is never smoothed away.
+        assert_eq!(ewma.observe(9, smoothing), 9);
+        // Falling depth decays gradually: strictly between the new
+        // observation and the old average.
+        let eff = ewma.observe(1, smoothing);
+        assert!(eff > 1 && eff < 9, "decay should be gradual, got {eff}");
+        // smoothing = 1 reproduces instantaneous sampling.
+        let mut raw = PressureEwma::default();
+        assert_eq!(raw.observe(7, 1), 7);
+        assert_eq!(raw.observe(2, 1), 2);
     }
 
     #[test]

@@ -6,16 +6,34 @@
 //! `zip` / `enumerate` / `map` / `for_each` / `sum` combinators.
 //!
 //! Unlike a pure sequential polyfill, terminal operations really run in
-//! parallel: work items are split into contiguous buckets, one per
-//! available core, and executed on `std::thread::scope` threads. There is
-//! no work stealing, which is fine for this workspace's uniformly-sized
-//! chunk workloads.
+//! parallel — and unlike the earlier thread-per-call model, they run on a
+//! **persistent worker pool**: `N - 1` long-lived workers (where `N` is
+//! [`pool_size`]) are spawned once on first use and then parked on a
+//! condvar, and every terminal operation dispatches its buckets to them,
+//! with the calling thread executing buckets as the `N`-th participant.
+//! A steady-state `Refactorer` run therefore costs **zero thread spawns**
+//! — observable via [`thread_spawn_count`], which mirrors the
+//! `scratch_alloc_count` pattern used to prove allocation-free steady
+//! state in `mg-kernels`.
+//!
+//! Work items are split into contiguous buckets, one per pool slot. There
+//! is no work stealing between buckets, which is fine for this
+//! workspace's uniformly-sized chunk workloads, but bucket *claiming* is
+//! dynamic: any pool participant picks up the next unclaimed bucket, so
+//! nested dispatch (a bucket body that itself calls `par_iter`) cannot
+//! deadlock — the nested caller simply works through its own buckets
+//! while parked workers help.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
 
 /// Number of worker threads to use: the `MGARD_THREADS` environment
 /// variable if set to a positive integer (the knob behind
 /// `mgard-cli --threads`), otherwise available parallelism, min 1.
+///
+/// Read once when the pool is first used; later changes to the
+/// environment variable do not resize a live pool.
 fn nthreads() -> usize {
     if let Ok(v) = std::env::var("MGARD_THREADS") {
         if let Ok(n) = v.parse::<usize>() {
@@ -29,8 +47,231 @@ fn nthreads() -> usize {
         .unwrap_or(1)
 }
 
+/// Total worker threads ever spawned by the pool (lifetime counter).
+static SPAWNED_THREADS: AtomicUsize = AtomicUsize::new(0);
+/// Total batches dispatched to the pool (inline single-thread runs are
+/// not dispatches).
+static DISPATCHES: AtomicUsize = AtomicUsize::new(0);
+
+/// Lifetime count of worker threads spawned by the shim. Flat after
+/// warmup: a steady-state `Refactorer::decompose` performs zero spawns.
+pub fn thread_spawn_count() -> usize {
+    SPAWNED_THREADS.load(Ordering::Relaxed)
+}
+
+/// Lifetime count of bucket batches dispatched to the worker pool.
+pub fn pool_dispatch_count() -> usize {
+    DISPATCHES.load(Ordering::Relaxed)
+}
+
+/// Pool width: the number of concurrent participants (`N - 1` parked
+/// workers plus the dispatching thread). Reports the width a pool would
+/// get if it has not been started yet.
+pub fn pool_size() -> usize {
+    match POOL.get() {
+        Some(p) => p.size,
+        None => nthreads(),
+    }
+}
+
+/// One outstanding batch of buckets, owned by the dispatching caller's
+/// stack frame. All fields are guarded by the pool mutex; the caller is
+/// barred from returning (and thus freeing this) until `done == total`.
+struct BatchCtrl {
+    /// Type-erased bucket runner: `run(ctx, i)` executes bucket `i`.
+    run: unsafe fn(*const (), usize),
+    ctx: *const (),
+    /// Next unclaimed bucket index.
+    next: usize,
+    /// Total buckets in the batch.
+    total: usize,
+    /// Buckets that have finished running.
+    done: usize,
+    /// First panic payload captured from a bucket, rethrown by the caller.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// Raw pointer to a caller-owned [`BatchCtrl`]; only dereferenced while
+/// holding the pool mutex, and only while the batch is provably alive
+/// (the caller blocks until `done == total`).
+struct BatchRef(*mut BatchCtrl);
+// SAFETY: the pointee is only accessed under the pool mutex and outlives
+// every access (see `BatchCtrl` invariant above).
+unsafe impl Send for BatchRef {}
+
+/// A claimed bucket, copied out of a live batch under the queue lock:
+/// batch pointer, type-erased runner, runner context, bucket index.
+type Job = (
+    *mut BatchCtrl,
+    unsafe fn(*const (), usize),
+    *const (),
+    usize,
+);
+
+struct Pool {
+    /// Concurrent participants: `size - 1` spawned workers + the caller.
+    size: usize,
+    /// Batches with unclaimed buckets, in dispatch order.
+    queue: Mutex<Vec<BatchRef>>,
+    /// Wakes parked workers when a batch is pushed.
+    work_cv: Condvar,
+    /// Wakes dispatching callers when a bucket completes.
+    done_cv: Condvar,
+}
+
+static POOL: OnceLock<&'static Pool> = OnceLock::new();
+
+impl Pool {
+    fn global() -> &'static Pool {
+        POOL.get_or_init(|| {
+            let size = nthreads();
+            let pool: &'static Pool = Box::leak(Box::new(Pool {
+                size,
+                queue: Mutex::new(Vec::new()),
+                work_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+            }));
+            for i in 0..size.saturating_sub(1) {
+                SPAWNED_THREADS.fetch_add(1, Ordering::Relaxed);
+                std::thread::Builder::new()
+                    .name(format!("mgard-worker-{i}"))
+                    .spawn(move || pool.worker_loop())
+                    .expect("rayon shim: failed to spawn pool worker");
+            }
+            pool
+        })
+    }
+
+    /// Claim the next unclaimed bucket from any queued batch. Must be
+    /// called with the queue lock held; returns the batch pointer plus a
+    /// copy of its runner so the job can execute outside the lock.
+    fn claim(queue: &mut Vec<BatchRef>) -> Option<Job> {
+        for slot in 0..queue.len() {
+            let ctrl = queue[slot].0;
+            // SAFETY: ctrl is in the queue, hence alive (caller blocked).
+            let b = unsafe { &mut *ctrl };
+            if b.next < b.total {
+                let idx = b.next;
+                b.next += 1;
+                let job = (ctrl, b.run, b.ctx, idx);
+                if b.next == b.total {
+                    // Fully claimed: no further claims may see this batch.
+                    queue.remove(slot);
+                }
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Execute one claimed bucket and record its completion.
+    fn finish(
+        &self,
+        ctrl: *mut BatchCtrl,
+        run: unsafe fn(*const (), usize),
+        ctx: *const (),
+        idx: usize,
+    ) {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // SAFETY: `run`/`ctx` were copied out of a live batch; the
+            // dispatching caller keeps the closure alive until `done ==
+            // total`, which cannot happen before our increment below.
+            unsafe { run(ctx, idx) }
+        }));
+        let queue = self.queue.lock().unwrap();
+        // SAFETY: alive until `done == total`; our increment is pending.
+        let b = unsafe { &mut *ctrl };
+        if let Err(payload) = result {
+            if b.panic.is_none() {
+                b.panic = Some(payload);
+            }
+        }
+        b.done += 1;
+        if b.done == b.total {
+            drop(queue);
+            self.done_cv.notify_all();
+        }
+    }
+
+    fn worker_loop(&self) {
+        let mut queue = self.queue.lock().unwrap();
+        loop {
+            match Self::claim(&mut queue) {
+                Some((ctrl, run, ctx, idx)) => {
+                    drop(queue);
+                    self.finish(ctrl, run, ctx, idx);
+                    queue = self.queue.lock().unwrap();
+                }
+                None => {
+                    queue = self.work_cv.wait(queue).unwrap();
+                }
+            }
+        }
+    }
+
+    /// Run `f(0..total)` across the pool, the calling thread included.
+    /// Blocks until every bucket has finished.
+    fn run_batch<F: Fn(usize) + Sync>(&self, total: usize, f: &F) {
+        unsafe fn call<F: Fn(usize) + Sync>(ctx: *const (), i: usize) {
+            // SAFETY: `ctx` is the `&F` passed to `run_batch`, alive for
+            // the whole batch.
+            let f = unsafe { &*(ctx as *const F) };
+            f(i);
+        }
+        let mut ctrl = BatchCtrl {
+            run: call::<F>,
+            ctx: f as *const F as *const (),
+            next: 0,
+            total,
+            done: 0,
+            panic: None,
+        };
+        DISPATCHES.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut queue = self.queue.lock().unwrap();
+            queue.push(BatchRef(&mut ctrl));
+            drop(queue);
+            self.work_cv.notify_all();
+        }
+        // Participate: execute this batch's unclaimed buckets ourselves.
+        // Claiming only from our own batch keeps the dispatch latency of
+        // concurrent callers independent.
+        loop {
+            let mut queue = self.queue.lock().unwrap();
+            if ctrl.next >= ctrl.total {
+                break;
+            }
+            let idx = ctrl.next;
+            ctrl.next += 1;
+            if ctrl.next == ctrl.total {
+                if let Some(slot) = queue.iter().position(|b| std::ptr::eq(b.0, &raw mut ctrl)) {
+                    queue.remove(slot);
+                }
+            }
+            drop(queue);
+            self.finish(&mut ctrl, ctrl.run, ctrl.ctx, idx);
+        }
+        // Wait for workers to drain the remaining buckets. (`ctrl.done`
+        // is advanced by workers through the queued `BatchRef` while we
+        // hold no lock — a `loop` rather than `while` so clippy's
+        // immutable-condition check doesn't misread the cross-thread
+        // mutation.)
+        let mut queue = self.queue.lock().unwrap();
+        loop {
+            if ctrl.done >= ctrl.total {
+                break;
+            }
+            queue = self.done_cv.wait(queue).unwrap();
+        }
+        drop(queue);
+        if let Some(payload) = ctrl.panic.take() {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
 /// An eager "parallel iterator": the items are materialised up front and
-/// the terminal operation distributes them over scoped threads.
+/// the terminal operation distributes them over the worker pool.
 pub struct ParIter<I> {
     items: Vec<I>,
 }
@@ -63,7 +304,7 @@ impl<I: Send> ParIter<I> {
         }
     }
 
-    /// Consume every item, in parallel across available cores.
+    /// Consume every item, in parallel across the pool.
     pub fn for_each<F>(self, f: F)
     where
         F: Fn(I) + Sync,
@@ -117,8 +358,8 @@ where
     }
 }
 
-/// Split `items` into one contiguous bucket per core and run `work` on
-/// each item, on scoped threads.
+/// Split `items` into one contiguous bucket per pool slot and run `work`
+/// on each item, on the persistent pool.
 fn run_buckets<I: Send>(items: Vec<I>, work: &(dyn Fn(I) + Sync)) {
     collect_buckets(items, &|bucket| {
         for item in bucket {
@@ -127,36 +368,47 @@ fn run_buckets<I: Send>(items: Vec<I>, work: &(dyn Fn(I) + Sync)) {
     });
 }
 
-/// Split `items` into one contiguous bucket per core, run `work` on each
-/// bucket on a scoped thread, and return the per-bucket results in order.
+/// Split `items` into one contiguous bucket per pool slot, dispatch the
+/// buckets to the persistent worker pool (the calling thread
+/// participates), and return the per-bucket results in order.
 fn collect_buckets<I: Send, R: Send>(items: Vec<I>, work: &(dyn Fn(Vec<I>) -> R + Sync)) -> Vec<R> {
     if items.is_empty() {
         return Vec::new();
     }
-    let workers = nthreads().min(items.len());
+    let pool = Pool::global();
+    let workers = pool.size.min(items.len());
     if workers <= 1 {
         return vec![work(items)];
     }
-    let mut buckets: Vec<Vec<I>> = Vec::with_capacity(workers);
     let chunk = items.len().div_ceil(workers);
+    let mut buckets: Vec<Mutex<Option<Vec<I>>>> = Vec::with_capacity(workers);
     let mut it = items.into_iter();
     loop {
         let bucket: Vec<I> = it.by_ref().take(chunk).collect();
         if bucket.is_empty() {
             break;
         }
-        buckets.push(bucket);
+        buckets.push(Mutex::new(Some(bucket)));
     }
-    std::thread::scope(|s| {
-        let handles: Vec<_> = buckets
-            .into_iter()
-            .map(|bucket| s.spawn(move || work(bucket)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rayon shim worker panicked"))
-            .collect()
-    })
+    let results: Vec<Mutex<Option<R>>> = (0..buckets.len()).map(|_| Mutex::new(None)).collect();
+    let job = |i: usize| {
+        let bucket = buckets[i]
+            .lock()
+            .unwrap()
+            .take()
+            .expect("rayon shim: bucket claimed twice");
+        let r = work(bucket);
+        *results[i].lock().unwrap() = Some(r);
+    };
+    pool.run_batch(results.len(), &job);
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap()
+                .expect("rayon shim: bucket produced no result")
+        })
+        .collect()
 }
 
 /// Types convertible into a [`ParIter`] by value.
@@ -256,5 +508,58 @@ mod tests {
             .for_each(|_| panic!("no chunks expected"));
         let s: f64 = (0..0).into_par_iter().map(|_| 1.0f64).sum();
         assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn pool_spawns_are_flat_after_warmup() {
+        // Warm the pool.
+        (0u64..1000).into_par_iter().for_each(|_| {});
+        let spawned = super::thread_spawn_count();
+        let dispatched = super::pool_dispatch_count();
+        for _ in 0..50 {
+            let s: u64 = (0u64..1000).into_par_iter().map(|x| x).sum();
+            assert_eq!(s, 499_500);
+        }
+        assert_eq!(
+            super::thread_spawn_count(),
+            spawned,
+            "steady-state parallel calls must not spawn threads"
+        );
+        // Each multi-participant terminal op is exactly one dispatch.
+        if super::pool_size() > 1 {
+            assert_eq!(super::pool_dispatch_count(), dispatched + 50);
+        }
+        assert!(super::thread_spawn_count() <= super::pool_size().saturating_sub(1));
+    }
+
+    #[test]
+    fn nested_dispatch_does_not_deadlock() {
+        let outer: Vec<u64> = (0..8).collect();
+        let total: u64 = outer
+            .into_par_iter()
+            .map(|o| {
+                (0u64..100)
+                    .into_par_iter()
+                    .map(|i| o * 100 + i)
+                    .sum::<u64>()
+            })
+            .sum();
+        let expect: u64 = (0u64..800).sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn bucket_panics_propagate_to_caller() {
+        let caught = std::panic::catch_unwind(|| {
+            (0u64..1000).into_par_iter().for_each(|i| {
+                if i == 777 {
+                    panic!("bucket boom");
+                }
+            });
+        });
+        assert!(caught.is_err(), "panic inside a bucket must propagate");
+        // The pool must remain usable after a panicked batch.
+        let s: u64 = (0u64..100).into_par_iter().map(|x| x).sum();
+        assert_eq!(s, 4950);
     }
 }

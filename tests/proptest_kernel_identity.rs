@@ -1,0 +1,168 @@
+//! Property-based bitwise-identity gates for the kernel fast paths:
+//!
+//! * every threading × layout plan — including edge tile sizes (tile = 1,
+//!   non-divisible, tile > extent) on 1-D through 4-D dyadic shapes —
+//!   produces the **bit-identical** decomposition and recomposition;
+//! * the fused tile-resident mass+restriction pass equals the unfused
+//!   mass-then-transfer sequence bit for bit on every axis;
+//! * the span primitives equal independently written scalar references
+//!   bit for bit — compiled with `--features simd` on a nightly
+//!   toolchain this pins the explicit `std::simd` path to the scalar
+//!   semantics, and on stable it pins the autovectorized scalar path.
+//!
+//! Everything here asserts `==` on f64 bit patterns, not epsilon
+//! closeness: the optimized paths must be indistinguishable from the
+//! references, not merely near them.
+
+use mgard::mg_kernels::fused::mass_restrict_fused;
+use mgard::mg_kernels::{mass, transfer};
+use mgard::prelude::*;
+use proptest::prelude::*;
+
+/// A dyadic extent in {2, 3, 5, 9, 17} (2 = bottomed-out axis).
+fn dyadic_extent() -> impl Strategy<Value = usize> {
+    prop::sample::select(vec![2usize, 3, 5, 9, 17])
+}
+
+/// 1-4 dyadic dims with a bounded total size.
+fn dyadic_shape() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(dyadic_extent(), 1..=4).prop_filter("bounded size", |dims| {
+        dims.iter().product::<usize>() <= 5000
+    })
+}
+
+fn field_for(dims: &[usize], seed: u64) -> NdArray<f64> {
+    let shape = Shape::new(dims);
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    NdArray::from_fn(shape, |_| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 30) as f64) - 1.0
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_exec_plan_is_bitwise_identical(
+        dims in dyadic_shape(),
+        seed in any::<u64>(),
+        stretch in 0.0f64..0.45,
+        tile in 1usize..40,
+    ) {
+        // All 8 plans of ExecPlan::ALL plus the drawn edge tile size, in
+        // both threadings, against the serial packed reference — `==` on
+        // the raw arrays, decompose AND recompose.
+        let shape = Shape::new(&dims);
+        let coords = CoordSet::<f64>::stretched(shape, stretch);
+        let orig = field_for(&dims, seed);
+
+        let mut reference = orig.clone();
+        let mut r0 = Refactorer::with_coords(shape, coords.clone()).unwrap();
+        r0.decompose(&mut reference);
+        let mut reference_rt = reference.clone();
+        r0.recompose(&mut reference_rt);
+
+        let mut plans: Vec<ExecPlan> = ExecPlan::ALL.to_vec();
+        for threading in [Threading::Serial, Threading::Parallel] {
+            plans.push(ExecPlan::new(threading, Layout::Tiled { tile }));
+        }
+        for plan in plans {
+            let mut r = Refactorer::with_coords(shape, coords.clone()).unwrap().plan(plan);
+            let mut data = orig.clone();
+            r.decompose(&mut data);
+            prop_assert_eq!(&data, &reference, "decompose diverged: {:?} on {:?}", plan, dims);
+            r.recompose(&mut data);
+            prop_assert_eq!(&data, &reference_rt, "recompose diverged: {:?} on {:?}", plan, dims);
+        }
+    }
+
+    #[test]
+    fn fused_mass_restrict_is_bitwise_identical_to_unfused(
+        dims in dyadic_shape(),
+        seed in any::<u64>(),
+        stretch in 0.0f64..0.45,
+        tile in 1usize..40,
+        parallel in any::<bool>(),
+    ) {
+        // The fused tile-resident pass vs the two-sweep reference, on
+        // every decimating axis of the shape.
+        let shape = Shape::new(&dims);
+        let coords = CoordSet::<f64>::stretched(shape, stretch);
+        let src = field_for(&dims, seed);
+        for d in 0..shape.ndim() {
+            let axis = Axis(d);
+            let n = shape.dim(axis);
+            if n < 3 || n.is_multiple_of(2) {
+                continue; // bottomed-out axis: no restriction to fuse
+            }
+            let axis_coords = coords.dim(axis);
+            let mut massed = src.as_slice().to_vec();
+            mass::mass_apply_serial(&mut massed, shape, axis, axis_coords);
+            let coarse = shape.with_dim(axis, n.div_ceil(2));
+            let mut expect = vec![0.0f64; coarse.len()];
+            transfer::transfer_apply_serial(&massed, shape, &mut expect, axis, axis_coords);
+
+            let mut got = vec![0.0f64; coarse.len()];
+            mass_restrict_fused(src.as_slice(), shape, &mut got, axis, axis_coords, tile, parallel);
+            prop_assert_eq!(&got, &expect, "axis {} tile {} on {:?}", d, tile, dims);
+        }
+    }
+
+    #[test]
+    fn span_primitives_match_scalar_references(
+        len in 0usize..70,
+        seed in any::<u64>(),
+        a in -3.0f64..3.0,
+        b in -3.0f64..3.0,
+        c in -3.0f64..3.0,
+    ) {
+        use mgard::mg_grid::span::SpanOps;
+        let mut state = seed | 1;
+        let mut draw = || {
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                v.push(((state >> 33) as f64 / (1u64 << 30) as f64) - 1.0);
+            }
+            v
+        };
+        let (prev, cur, next) = (draw(), draw(), draw());
+
+        let mut dst = vec![0.0f64; len];
+        f64::mass_interior(&mut dst, &prev, &cur, &next, a, b, c);
+        for k in 0..len {
+            let mut t = b * cur[k];
+            t += a * prev[k];
+            t += c * next[k];
+            prop_assert_eq!(dst[k].to_bits(), t.to_bits(), "mass_interior at {}", k);
+        }
+
+        let mut dst = vec![0.0f64; len];
+        f64::restrict_interior(&mut dst, &prev, &cur, &next, a, c);
+        for k in 0..len {
+            let mut t = cur[k];
+            t += a * prev[k];
+            t += c * next[k];
+            prop_assert_eq!(dst[k].to_bits(), t.to_bits(), "restrict_interior at {}", k);
+        }
+
+        let mut dst = cur.clone();
+        f64::fwd_elim(&mut dst, &prev, a, b);
+        for k in 0..len {
+            let t = (cur[k] - a * prev[k]) * b;
+            prop_assert_eq!(dst[k].to_bits(), t.to_bits(), "fwd_elim at {}", k);
+        }
+
+        let mut dst = cur.clone();
+        f64::back_subst(&mut dst, &next, c);
+        for k in 0..len {
+            let t = cur[k] - c * next[k];
+            prop_assert_eq!(dst[k].to_bits(), t.to_bits(), "back_subst at {}", k);
+        }
+    }
+}

@@ -39,6 +39,7 @@ fn degrading_qos() -> QosConfig {
             degrade_start: [1, 1, 1],
             depth_per_level: 1,
             max_degrade: [4, 3, 2],
+            ..DegradePolicy::default()
         },
         ..QosConfig::default()
     }
