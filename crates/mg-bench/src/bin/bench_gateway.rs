@@ -16,6 +16,15 @@
 //! topology (no connect/teardown per request), and `gateway1` cached
 //! fetches land close to `direct` despite the extra hop.
 //!
+//! A final `degraded` scenario puts one of three backends behind an
+//! `mg_faults` proxy with a flaky-NIC profile: connections stall on
+//! accept for ~120 ms at random and die mid-stream every ~32 KiB. The
+//! common case stays fast, so the router's observed p95 — and with it
+//! the hedge delay — stays low, and the rare stalled exchange is
+//! re-issued to a healthy replica milliseconds in instead of burning
+//! the full stall. The same load runs with hedging off and on; on a
+//! healthy build `hedge_p99_speedup` > 1.
+//!
 //! ```text
 //! bench_gateway [--quick] [--out PATH] [--clients N] [--requests N]
 //! ```
@@ -46,6 +55,7 @@ struct Phase {
     mean_ms: f64,
     p50_ms: f64,
     p95_ms: f64,
+    p99_ms: f64,
     payload_bytes: u64,
 }
 
@@ -130,6 +140,7 @@ fn measure(
         mean_ms: lats.iter().sum::<f64>() / n as f64,
         p50_ms: lats[n / 2],
         p95_ms: lats[(n * 95 / 100).min(n - 1)],
+        p99_ms: lats[(n * 99 / 100).min(n - 1)],
         payload_bytes,
     }
 }
@@ -281,6 +292,117 @@ fn main() {
         }
     }
 
+    // --- degraded: one of three backends behind a trickling proxy ------
+    let mut degraded: Vec<Phase> = Vec::new();
+    {
+        let mut servers = Vec::new();
+        let mut catalogs = Vec::new();
+        let mut addrs = Vec::new();
+        for _ in 0..3 {
+            let cat = Catalog::new();
+            let server = Server::bind("127.0.0.1:0", cat.clone(), backend_config(clients))
+                .expect("bind shard");
+            addrs.push(server.local_addr().to_string());
+            servers.push(server);
+            catalogs.push(cat);
+        }
+        // The proxy's address is backend 0's identity on the ring. Cuts
+        // keep killing pooled connections so the gateway must re-dial,
+        // and ~a third of those dials stall well past the fast path's
+        // latency — rare, severe, and exactly the tail hedging targets.
+        let proxy = mg_faults::FaultProxy::spawn(
+            &addrs[0],
+            mg_faults::Injector::new(
+                7,
+                mg_faults::FaultSpec {
+                    stall_per_mille: 150,
+                    stall: Duration::from_millis(120),
+                    cut_per_mille: 1000,
+                    cut_window: 32 * 1024,
+                    ..mg_faults::FaultSpec::default()
+                },
+            ),
+        )
+        .expect("spawn fault proxy");
+        addrs[0] = proxy.local_addr().to_string();
+
+        let base = gateway_config(clients);
+        let ring = Ring::new(addrs.clone(), base.vnodes);
+        // The ring hashes ephemeral addresses, so dataset placement
+        // would vary run to run. Pick names until exactly two of six
+        // have the degraded backend as their primary — every run then
+        // sends the same share of traffic through the slow path.
+        let mut deg_datasets: Vec<String> = Vec::new();
+        let (mut slow_primary, mut fast_primary) = (0, 0);
+        for i in 0.. {
+            let name = format!("deg-{i}");
+            if ring.primary(&name) == Some(addrs[0].as_str()) {
+                if slow_primary == 2 {
+                    continue;
+                }
+                slow_primary += 1;
+            } else {
+                if fast_primary == 4 {
+                    continue;
+                }
+                fast_primary += 1;
+            }
+            deg_datasets.push(name);
+            if slow_primary == 2 && fast_primary == 4 {
+                break;
+            }
+        }
+        for (name, data) in deg_datasets.iter().zip(&fields) {
+            for replica in ring.replicas(name, base.replication) {
+                let slot = addrs.iter().position(|a| a == replica).unwrap();
+                catalogs[slot].insert_array(name, data).expect("dyadic");
+            }
+        }
+        for (mode, hedge) in [
+            ("unhedged", None),
+            ("hedged", Some(Duration::from_millis(2))),
+        ] {
+            let gw = Gateway::bind(
+                "127.0.0.1:0",
+                addrs.clone(),
+                GatewayConfig {
+                    hedge,
+                    cache_bytes: 0, // every fetch crosses the slow path
+                    // Keep the circuit breaker out of this comparison:
+                    // a tripped breaker would bench the breaker, not
+                    // hedging, by parking all traffic on the replicas.
+                    breaker_threshold: 1 << 20,
+                    ..gateway_config(clients)
+                },
+            )
+            .expect("bind degraded gateway");
+            degraded.push(measure(
+                "degraded",
+                mode,
+                gw.local_addr(),
+                &deg_datasets,
+                clients,
+                requests,
+            ));
+            let stats = gw.shutdown().expect("shutdown degraded gateway");
+            if mode == "hedged" {
+                eprintln!(
+                    "degraded internals: {} hedges, {} hedge wins",
+                    stats.hedges, stats.hedge_wins
+                );
+            }
+        }
+        proxy.shutdown();
+        for server in servers {
+            server.shutdown().expect("shutdown shard");
+        }
+    }
+    let hedge_p99_speedup = degraded[0].p99_ms / degraded[1].p99_ms;
+    eprintln!(
+        "degraded: unhedged p99 {:.3} ms, hedged p99 {:.3} ms -> {hedge_p99_speedup:.2}x",
+        degraded[0].p99_ms, degraded[1].p99_ms
+    );
+
     for w in phases.chunks(2) {
         let speedup = w[0].mean_ms / w[1].mean_ms;
         eprintln!(
@@ -289,22 +411,31 @@ fn main() {
         );
     }
 
-    let rows: Vec<String> = phases
+    let row = |p: &Phase| {
+        format!(
+            "    {{\"topology\": \"{}\", \"transport\": \"{}\", \"clients\": {clients}, \
+             \"requests_per_client\": {requests}, \"wall_ms\": {:.3}, \
+             \"reqs_per_s\": {:.1}, \"mean_ms\": {:.4}, \"p50_ms\": {:.4}, \
+             \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"payload_bytes\": {}}}",
+            p.topology,
+            p.transport,
+            p.wall_ms,
+            p.reqs_per_s,
+            p.mean_ms,
+            p.p50_ms,
+            p.p95_ms,
+            p.p99_ms,
+            p.payload_bytes
+        )
+    };
+    let rows: Vec<String> = phases.iter().map(row).collect();
+    let degraded_rows: Vec<String> = degraded
         .iter()
         .map(|p| {
             format!(
-                "    {{\"topology\": \"{}\", \"transport\": \"{}\", \"clients\": {clients}, \
-                 \"requests_per_client\": {requests}, \"wall_ms\": {:.3}, \
-                 \"reqs_per_s\": {:.1}, \"mean_ms\": {:.4}, \"p50_ms\": {:.4}, \
-                 \"p95_ms\": {:.4}, \"payload_bytes\": {}}}",
-                p.topology,
-                p.transport,
-                p.wall_ms,
-                p.reqs_per_s,
-                p.mean_ms,
-                p.p50_ms,
-                p.p95_ms,
-                p.payload_bytes
+                "    {{\"scenario\": \"degraded\", \"mode\": \"{}\", \"mean_ms\": {:.4}, \
+                 \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}}}",
+                p.transport, p.mean_ms, p.p50_ms, p.p95_ms, p.p99_ms
             )
         })
         .collect();
@@ -322,10 +453,12 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"gateway\",\n  \"quick\": {quick},\n  \"host_threads\": {threads},\n  \
          \"datasets\": {},\n  \"taus\": [0.1, 0.001, 0.00001, 0.0],\n  \"results\": [\n{}\n  ],\n  \
-         \"keepalive_speedup\": [\n{}\n  ]\n}}\n",
+         \"keepalive_speedup\": [\n{}\n  ],\n  \"degraded\": [\n{}\n  ],\n  \
+         \"hedge_p99_speedup\": {hedge_p99_speedup:.4}\n}}\n",
         datasets.len(),
         rows.join(",\n"),
-        keepalive_speedup.join(",\n")
+        keepalive_speedup.join(",\n"),
+        degraded_rows.join(",\n")
     );
     std::fs::write(&out, &json).expect("write BENCH json");
     println!("wrote {out}");

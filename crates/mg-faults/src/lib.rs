@@ -1,0 +1,667 @@
+//! Deterministic, seeded fault injection for the serve/gateway wire path.
+//!
+//! The harness has three pieces:
+//!
+//! - [`Injector`]: a cheap clonable handle owning a seed and a per-scope
+//!   operation counter. Every accepted connection (or dial) draws one
+//!   [`ConnPlan`] from it; the plan is a pure function of
+//!   `(seed, label, op_index)` — no wall clock anywhere in the schedule —
+//!   so a run is exactly reproducible from its seed.
+//! - [`FaultStream`]: a `Read`/`Write` wrapper applying one side of a plan
+//!   to a raw stream: byte-trickle slow IO, mid-frame disconnects,
+//!   bit-flipped bytes, and first-byte latency spikes.
+//! - [`FaultProxy`]: a self-contained TCP proxy that fronts an unmodified
+//!   server and applies a plan per accepted connection. It needs no
+//!   feature gates or server cooperation, which makes it usable from
+//!   property tests and benches against any backend.
+//!
+//! `mg-serve` and `mg-gateway` additionally accept an `Injector` directly
+//! (behind their `faults` cargo feature) so faults can be injected inside
+//! the real accept loop — connection refusal and accept-then-stall happen
+//! before any bytes flow, which a proxy can only approximate.
+//!
+//! Plan derivation order is part of the schedule contract: for each
+//! connection the injector draws, in order, refuse → stall → latency →
+//! read-trickle → write-trickle → cut → flip. Changing a rate changes
+//! which connections a later draw selects, but the same `FaultSpec` +
+//! seed + op index always yields the same plan.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// SplitMix64: the mixing function behind the whole schedule. Public so
+/// callers (jitter, tests) can reuse the same deterministic stream.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over bytes: labels (backend addresses) become schedule scopes.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A small deterministic draw stream seeded from one u64.
+struct Draw(u64);
+
+impl Draw {
+    fn next(&mut self) -> u64 {
+        self.0 = splitmix64(self.0);
+        self.0
+    }
+
+    /// True with probability `per_mille`/1000.
+    fn chance(&mut self, per_mille: u16) -> bool {
+        (self.next() % 1000) < per_mille as u64
+    }
+
+    /// Uniform in `[lo, hi)` (`lo` when the range is empty).
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.next() % (hi - lo)
+    }
+}
+
+/// Per-mille rates and shapes for every fault kind the injector can
+/// schedule. All rates default to zero: an `Injector` with the default
+/// spec is a no-op.
+#[derive(Clone, Debug)]
+pub struct FaultSpec {
+    /// Connection refused outright (dropped before any byte).
+    pub refuse_per_mille: u16,
+    /// Accepted, held silent for `stall`, then dropped.
+    pub stall_per_mille: u16,
+    pub stall: Duration,
+    /// Latency spike: the first byte written back is delayed by `latency`.
+    pub latency_per_mille: u16,
+    pub latency: Duration,
+    /// Byte-trickle slow reads: incoming bytes arrive `trickle_chunk` at a
+    /// time with `trickle_delay` between chunks.
+    pub trickle_read_per_mille: u16,
+    /// Byte-trickle slow writes (same shape, outgoing direction).
+    pub trickle_write_per_mille: u16,
+    pub trickle_chunk: usize,
+    pub trickle_delay: Duration,
+    /// Mid-frame disconnect: the write side dies after a deterministic
+    /// number of bytes in `[8, cut_window)`.
+    pub cut_per_mille: u16,
+    pub cut_window: u64,
+    /// Bit flip: one byte at a deterministic offset in `[0, flip_window)`
+    /// is XORed with a non-zero mask.
+    pub flip_per_mille: u16,
+    pub flip_window: u64,
+    /// Which direction the flip corrupts: `false` = incoming request
+    /// bytes (safe everywhere: requests carry no payload), `true` =
+    /// outgoing response bytes (keep `flip_window <= 7` so corruption
+    /// hits the response envelope and is detected before any payload
+    /// byte is trusted).
+    pub flip_on_write: bool,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            refuse_per_mille: 0,
+            stall_per_mille: 0,
+            stall: Duration::from_millis(100),
+            latency_per_mille: 0,
+            latency: Duration::from_millis(50),
+            trickle_read_per_mille: 0,
+            trickle_write_per_mille: 0,
+            trickle_chunk: 256,
+            trickle_delay: Duration::from_millis(1),
+            cut_per_mille: 0,
+            cut_window: 4096,
+            flip_per_mille: 0,
+            flip_window: 7,
+            flip_on_write: true,
+        }
+    }
+}
+
+/// One direction of a connection plan, applied by [`FaultStream`].
+#[derive(Clone, Debug, Default)]
+pub struct StreamPlan {
+    /// `(chunk, delay)`: at most `chunk` bytes move per syscall, with
+    /// `delay` slept before each.
+    pub trickle: Option<(usize, Duration)>,
+    /// The stream dies after this many bytes: reads report EOF, writes
+    /// report `BrokenPipe`.
+    pub cut_after: Option<u64>,
+    /// `(offset, mask)`: the byte at `offset` is XORed with `mask`.
+    pub flip: Option<(u64, u8)>,
+    /// Slept once, before the first byte moves in this direction.
+    pub first_byte_delay: Option<Duration>,
+}
+
+impl StreamPlan {
+    pub fn is_noop(&self) -> bool {
+        self.trickle.is_none()
+            && self.cut_after.is_none()
+            && self.flip.is_none()
+            && self.first_byte_delay.is_none()
+    }
+}
+
+/// The full fault plan for one connection.
+#[derive(Clone, Debug, Default)]
+pub struct ConnPlan {
+    /// Drop the connection before any byte (connection refused).
+    pub refuse: bool,
+    /// Accept, sleep this long, then drop without a byte.
+    pub stall: Option<Duration>,
+    /// Faults on the incoming (request) direction.
+    pub read: StreamPlan,
+    /// Faults on the outgoing (response) direction.
+    pub write: StreamPlan,
+}
+
+impl ConnPlan {
+    pub fn is_noop(&self) -> bool {
+        !self.refuse && self.stall.is_none() && self.read.is_noop() && self.write.is_noop()
+    }
+}
+
+/// How many faults of each kind the injector has scheduled so far.
+/// Chaos tests assert against these to prove the storm actually fired.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultCounts {
+    pub connections: u64,
+    pub refused: u64,
+    pub stalled: u64,
+    pub latency_spikes: u64,
+    pub trickled: u64,
+    pub cut: u64,
+    pub flipped: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    refused: AtomicU64,
+    stalled: AtomicU64,
+    latency_spikes: AtomicU64,
+    trickled: AtomicU64,
+    cut: AtomicU64,
+    flipped: AtomicU64,
+}
+
+struct Inner {
+    seed: u64,
+    label: u64,
+    spec: FaultSpec,
+    ops: AtomicU64,
+    counts: Counters,
+}
+
+/// The seeded fault scheduler. Clones share one op counter, so a single
+/// injector handed to an accept loop yields one deterministic schedule
+/// across all its worker threads.
+#[derive(Clone)]
+pub struct Injector {
+    inner: Arc<Inner>,
+}
+
+impl Injector {
+    pub fn new(seed: u64, spec: FaultSpec) -> Injector {
+        Injector::labeled(seed, "", spec)
+    }
+
+    /// A labeled scope: per-backend injectors derive distinct schedules
+    /// from one seed by labeling each with the backend address.
+    pub fn labeled(seed: u64, label: &str, spec: FaultSpec) -> Injector {
+        Injector {
+            inner: Arc::new(Inner {
+                seed,
+                label: fnv1a(label.as_bytes()),
+                spec,
+                ops: AtomicU64::new(0),
+                counts: Counters::default(),
+            }),
+        }
+    }
+
+    /// Draw the plan for the next connection and advance the op counter.
+    pub fn connection_plan(&self) -> ConnPlan {
+        let inner = &self.inner;
+        let n = inner.ops.fetch_add(1, Ordering::Relaxed);
+        inner.counts.connections.fetch_add(1, Ordering::Relaxed);
+        let mut draw = Draw(splitmix64(
+            inner.seed ^ inner.label ^ n.wrapping_mul(0x9e3779b97f4a7c15),
+        ));
+        let spec = &inner.spec;
+        let mut plan = ConnPlan::default();
+
+        if draw.chance(spec.refuse_per_mille) {
+            inner.counts.refused.fetch_add(1, Ordering::Relaxed);
+            plan.refuse = true;
+            return plan;
+        }
+        if draw.chance(spec.stall_per_mille) {
+            inner.counts.stalled.fetch_add(1, Ordering::Relaxed);
+            plan.stall = Some(spec.stall);
+            return plan;
+        }
+        if draw.chance(spec.latency_per_mille) {
+            inner.counts.latency_spikes.fetch_add(1, Ordering::Relaxed);
+            plan.write.first_byte_delay = Some(spec.latency);
+        }
+        if draw.chance(spec.trickle_read_per_mille) {
+            inner.counts.trickled.fetch_add(1, Ordering::Relaxed);
+            plan.read.trickle = Some((spec.trickle_chunk.max(1), spec.trickle_delay));
+        }
+        if draw.chance(spec.trickle_write_per_mille) {
+            inner.counts.trickled.fetch_add(1, Ordering::Relaxed);
+            plan.write.trickle = Some((spec.trickle_chunk.max(1), spec.trickle_delay));
+        }
+        if draw.chance(spec.cut_per_mille) {
+            inner.counts.cut.fetch_add(1, Ordering::Relaxed);
+            plan.write.cut_after = Some(draw.range(8, spec.cut_window.max(9)));
+        }
+        if draw.chance(spec.flip_per_mille) {
+            inner.counts.flipped.fetch_add(1, Ordering::Relaxed);
+            let offset = draw.range(0, spec.flip_window.max(1));
+            let mask = (draw.range(1, 256)) as u8;
+            let side = if spec.flip_on_write {
+                &mut plan.write
+            } else {
+                &mut plan.read
+            };
+            side.flip = Some((offset, mask));
+        }
+        plan
+    }
+
+    /// Connections scheduled so far (the op counter).
+    pub fn connections_planned(&self) -> u64 {
+        self.inner.ops.load(Ordering::Relaxed)
+    }
+
+    pub fn counts(&self) -> FaultCounts {
+        let c = &self.inner.counts;
+        FaultCounts {
+            connections: c.connections.load(Ordering::Relaxed),
+            refused: c.refused.load(Ordering::Relaxed),
+            stalled: c.stalled.load(Ordering::Relaxed),
+            latency_spikes: c.latency_spikes.load(Ordering::Relaxed),
+            trickled: c.trickled.load(Ordering::Relaxed),
+            cut: c.cut.load(Ordering::Relaxed),
+            flipped: c.flipped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A `Read`/`Write` wrapper applying one [`StreamPlan`] direction to an
+/// underlying stream. Wrap each half of a connection separately: the
+/// reader half with `plan.read`, the writer half with `plan.write`.
+pub struct FaultStream<S> {
+    inner: S,
+    plan: StreamPlan,
+    pos: u64,
+    first_delay_pending: bool,
+}
+
+impl<S> FaultStream<S> {
+    pub fn new(inner: S, plan: StreamPlan) -> FaultStream<S> {
+        let first_delay_pending = plan.first_byte_delay.is_some();
+        FaultStream {
+            inner,
+            plan,
+            pos: 0,
+            first_delay_pending,
+        }
+    }
+
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    fn apply_flip(&self, buf: &mut [u8], n: usize) {
+        if let Some((offset, mask)) = self.plan.flip {
+            if offset >= self.pos && offset < self.pos + n as u64 {
+                buf[(offset - self.pos) as usize] ^= mask;
+            }
+        }
+    }
+}
+
+impl<S: Read> Read for FaultStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        if let Some(cut) = self.plan.cut_after {
+            if self.pos >= cut {
+                return Ok(0); // peer "disconnected"
+            }
+        }
+        let mut cap = buf.len();
+        if let Some((chunk, delay)) = self.plan.trickle {
+            cap = cap.min(chunk);
+            std::thread::sleep(delay);
+        }
+        if let Some(cut) = self.plan.cut_after {
+            cap = cap.min((cut - self.pos) as usize);
+        }
+        let n = self.inner.read(&mut buf[..cap])?;
+        self.apply_flip(buf, n);
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+impl<S: Write> Write for FaultStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        if self.first_delay_pending {
+            self.first_delay_pending = false;
+            if let Some(delay) = self.plan.first_byte_delay {
+                std::thread::sleep(delay);
+            }
+        }
+        if let Some(cut) = self.plan.cut_after {
+            if self.pos >= cut {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "injected mid-frame disconnect",
+                ));
+            }
+        }
+        let mut cap = buf.len();
+        if let Some((chunk, delay)) = self.plan.trickle {
+            cap = cap.min(chunk);
+            std::thread::sleep(delay);
+        }
+        if let Some(cut) = self.plan.cut_after {
+            cap = cap.min((cut - self.pos) as usize);
+        }
+        let mut chunk = buf[..cap].to_vec();
+        self.apply_flip(&mut chunk, cap);
+        let n = self.inner.write(&chunk)?;
+        self.pos += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A TCP proxy applying a fault plan per accepted connection: incoming
+/// bytes (client→upstream) pass through `plan.read`, outgoing bytes
+/// (upstream→client) through `plan.write`. Lets tests and benches storm
+/// an unmodified server or gateway.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Listen on an ephemeral loopback port, forwarding to `upstream`.
+    pub fn spawn(upstream: &str, injector: Injector) -> io::Result<FaultProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let upstream = upstream.to_string();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept_handle = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop2.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Ok(client) = stream else { continue };
+                let plan = injector.connection_plan();
+                if plan.refuse {
+                    drop(client);
+                    continue;
+                }
+                if let Some(stall) = plan.stall {
+                    std::thread::spawn(move || {
+                        std::thread::sleep(stall);
+                        drop(client);
+                    });
+                    continue;
+                }
+                let upstream = upstream.clone();
+                std::thread::spawn(move || {
+                    let _ = Self::pump(client, &upstream, plan);
+                });
+            }
+        });
+        Ok(FaultProxy {
+            addr,
+            stop,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    fn pump(client: TcpStream, upstream: &str, plan: ConnPlan) -> io::Result<()> {
+        let server = TcpStream::connect(upstream)?;
+        // Bound every leg so pump threads can't outlive a test run.
+        let cap = Some(Duration::from_secs(60));
+        let _ = client.set_read_timeout(cap);
+        let _ = server.set_read_timeout(cap);
+        let c2u = {
+            let from = FaultStream::new(client.try_clone()?, plan.read);
+            let to = server.try_clone()?;
+            let client = client.try_clone()?;
+            let server = server.try_clone()?;
+            std::thread::spawn(move || {
+                Self::copy_until_error(from, to);
+                let _ = client.shutdown(std::net::Shutdown::Both);
+                let _ = server.shutdown(std::net::Shutdown::Both);
+            })
+        };
+        let from = server.try_clone()?;
+        let to = FaultStream::new(client.try_clone()?, plan.write);
+        Self::copy_until_error(from, to);
+        let _ = client.shutdown(std::net::Shutdown::Both);
+        let _ = server.shutdown(std::net::Shutdown::Both);
+        let _ = c2u.join();
+        Ok(())
+    }
+
+    fn copy_until_error(mut from: impl Read, mut to: impl Write) {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match from.read(&mut buf) {
+                Ok(0) | Err(_) => return,
+                Ok(n) => {
+                    if to.write_all(&buf[..n]).is_err() || to.flush().is_err() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept loop. Active pump threads
+    /// drain on their own as their sockets close.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Poke the listener so `incoming()` yields once more.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stormy_spec() -> FaultSpec {
+        FaultSpec {
+            refuse_per_mille: 150,
+            stall_per_mille: 100,
+            stall: Duration::from_millis(1),
+            latency_per_mille: 100,
+            latency: Duration::from_millis(1),
+            trickle_read_per_mille: 200,
+            trickle_write_per_mille: 200,
+            cut_per_mille: 150,
+            flip_per_mille: 150,
+            ..FaultSpec::default()
+        }
+    }
+
+    #[test]
+    fn schedules_are_deterministic_in_seed_and_op_index() {
+        let a = Injector::new(42, stormy_spec());
+        let b = Injector::new(42, stormy_spec());
+        for _ in 0..500 {
+            let (pa, pb) = (a.connection_plan(), b.connection_plan());
+            assert_eq!(format!("{pa:?}"), format!("{pb:?}"));
+        }
+        assert_eq!(a.connections_planned(), 500);
+    }
+
+    #[test]
+    fn seeds_and_labels_shift_the_schedule() {
+        let base = Injector::new(42, stormy_spec());
+        let other_seed = Injector::new(43, stormy_spec());
+        let other_label = Injector::labeled(42, "backend-1", stormy_spec());
+        let plans = |inj: &Injector| {
+            (0..200)
+                .map(|_| format!("{:?}", inj.connection_plan()))
+                .collect::<Vec<_>>()
+        };
+        let b = plans(&base);
+        assert_ne!(b, plans(&other_seed));
+        assert_ne!(b, plans(&other_label));
+    }
+
+    #[test]
+    fn default_spec_is_a_noop() {
+        let inj = Injector::new(7, FaultSpec::default());
+        for _ in 0..100 {
+            assert!(inj.connection_plan().is_noop());
+        }
+        let c = inj.counts();
+        assert_eq!(c.connections, 100);
+        assert_eq!(
+            c.refused + c.stalled + c.latency_spikes + c.trickled + c.cut + c.flipped,
+            0
+        );
+    }
+
+    #[test]
+    fn storm_actually_schedules_every_kind() {
+        let inj = Injector::new(0xC0FFEE, stormy_spec());
+        for _ in 0..2000 {
+            inj.connection_plan();
+        }
+        let c = inj.counts();
+        assert!(c.refused > 0, "{c:?}");
+        assert!(c.stalled > 0, "{c:?}");
+        assert!(c.latency_spikes > 0, "{c:?}");
+        assert!(c.trickled > 0, "{c:?}");
+        assert!(c.cut > 0, "{c:?}");
+        assert!(c.flipped > 0, "{c:?}");
+    }
+
+    #[test]
+    fn fault_stream_flips_exactly_one_byte_at_the_planned_offset() {
+        let data: Vec<u8> = (0..64u8).collect();
+        let plan = StreamPlan {
+            flip: Some((10, 0b100)),
+            ..StreamPlan::default()
+        };
+        let mut fs = FaultStream::new(data.as_slice(), plan);
+        let mut out = Vec::new();
+        // Tiny reads force the flip to land across chunk boundaries.
+        let mut chunk = [0u8; 3];
+        loop {
+            let n = fs.read(&mut chunk).unwrap();
+            if n == 0 {
+                break;
+            }
+            out.extend_from_slice(&chunk[..n]);
+        }
+        let mut expect: Vec<u8> = (0..64u8).collect();
+        expect[10] ^= 0b100;
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn fault_stream_cuts_writes_mid_frame() {
+        let plan = StreamPlan {
+            cut_after: Some(10),
+            ..StreamPlan::default()
+        };
+        let mut sink = Vec::new();
+        let mut fs = FaultStream::new(&mut sink, plan);
+        let payload = [7u8; 64];
+        let err = fs.write_all(&payload).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert_eq!(sink.len(), 10, "exactly cut_after bytes must pass");
+    }
+
+    #[test]
+    fn fault_stream_trickles_in_chunks() {
+        let data = [1u8; 100];
+        let plan = StreamPlan {
+            trickle: Some((7, Duration::from_micros(10))),
+            ..StreamPlan::default()
+        };
+        let mut fs = FaultStream::new(&data[..], plan);
+        let mut buf = [0u8; 64];
+        let n = fs.read(&mut buf).unwrap();
+        assert_eq!(n, 7, "reads must be capped at the trickle chunk");
+    }
+
+    #[test]
+    fn proxy_passes_bytes_through_clean_plans() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let upstream = listener.local_addr().unwrap();
+        let echo = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 5];
+            s.read_exact(&mut buf).unwrap();
+            s.write_all(&buf).unwrap();
+        });
+        let proxy = FaultProxy::spawn(
+            &upstream.to_string(),
+            Injector::new(1, FaultSpec::default()),
+        )
+        .unwrap();
+        let mut c = TcpStream::connect(proxy.local_addr()).unwrap();
+        c.write_all(b"hello").unwrap();
+        let mut back = [0u8; 5];
+        c.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"hello");
+        echo.join().unwrap();
+        proxy.shutdown();
+    }
+}

@@ -6,8 +6,11 @@
 use crate::pool::Pool;
 use crate::ring::{Ring, DEFAULT_VNODES};
 use crate::router::{Routed, Router, RouterConfig};
+use mg_serve::auth::AuthKey;
 use mg_serve::ops::{self, Dispatched, OpsHost};
-use mg_serve::protocol::{self, FetchSpec, Response, StatsReport, TenantStatsReport, PROTOCOL_V2};
+use mg_serve::protocol::{
+    self, Deadline, Envelope, FetchSpec, Response, StatsReport, TenantStatsReport, PROTOCOL_V2,
+};
 use mg_serve::qos::{Admission, FairScheduler, QosConfig};
 use mg_serve::server::{run_connection_loop, ConnAction, ConnRegistry};
 use std::io::{self, BufWriter, Write};
@@ -53,6 +56,16 @@ pub struct GatewayConfig {
     /// so shedding still comes from the worker queue and the per-backend
     /// in-flight caps unless a deployment opts in.
     pub qos: QosConfig,
+    /// Cluster shared secret: when set, client frames must carry a valid
+    /// auth tag, and every backend request is tagged with the same key.
+    pub auth: Option<AuthKey>,
+    /// Consecutive backend failures before its circuit breaker opens
+    /// (1 = open on first failure, the pre-breaker behaviour).
+    pub breaker_threshold: u32,
+    /// Hedging floor: when set, a fetch unanswered after
+    /// `max(floor, observed backend p95)` starts a second replica walk;
+    /// the first completed response wins. `None` disables hedging.
+    pub hedge: Option<Duration>,
 }
 
 impl Default for GatewayConfig {
@@ -71,6 +84,9 @@ impl Default for GatewayConfig {
             probe_backoff_initial: Duration::from_millis(100),
             probe_backoff_max: Duration::from_secs(5),
             qos: QosConfig::default(),
+            auth: None,
+            breaker_threshold: 1,
+            hedge: None,
         }
     }
 }
@@ -106,6 +122,17 @@ pub struct GatewayStats {
     pub backend_errors: u64,
     /// Backends currently believed alive.
     pub alive_backends: usize,
+    /// Requests refused because their deadline budget ran out at the
+    /// gateway (before, during, or after admission).
+    pub deadline_exceeded: u64,
+    /// Backend circuit breakers opened (backend dead-marked).
+    pub breaker_opened: u64,
+    /// Backend circuit breakers closed (backend revived).
+    pub breaker_closed: u64,
+    /// Hedged second attempts launched.
+    pub hedges: u64,
+    /// Hedged attempts whose second walk produced the winning response.
+    pub hedge_wins: u64,
     /// Mean client-request latency.
     pub mean_latency: Duration,
     /// Worst client-request latency.
@@ -119,13 +146,23 @@ struct Counters {
     not_found: AtomicU64,
     bad_requests: AtomicU64,
     unavailable: AtomicU64,
+    deadline_exceeded: AtomicU64,
     payload_bytes: AtomicU64,
     latency_ns_total: AtomicU64,
     latency_ns_max: AtomicU64,
 }
 
+/// Carrier for the optional backend-dial fault injector; zero-sized
+/// when the `faults` feature is off, so the plain bind path pays
+/// nothing.
+#[derive(Default)]
+struct FaultsHandle {
+    #[cfg(feature = "faults")]
+    dial_faults: Option<mg_faults::Injector>,
+}
+
 struct Shared {
-    router: Router,
+    router: Arc<Router>,
     scheduler: FairScheduler,
     counters: Counters,
     shutting_down: AtomicBool,
@@ -152,6 +189,36 @@ impl Gateway {
         backends: Vec<String>,
         config: GatewayConfig,
     ) -> io::Result<Gateway> {
+        Gateway::bind_impl(addr, backends, config, FaultsHandle::default())
+    }
+
+    /// [`Gateway::bind`] with every backend *dial* routed through a
+    /// deterministic fault injector — the chaos-test entry point. Client
+    /// connections are not faulted here (fault the backends themselves
+    /// with `mg_serve::Server::bind_faulted` for that).
+    #[cfg(feature = "faults")]
+    pub fn bind_faulted(
+        addr: impl ToSocketAddrs,
+        backends: Vec<String>,
+        config: GatewayConfig,
+        dial_faults: mg_faults::Injector,
+    ) -> io::Result<Gateway> {
+        Gateway::bind_impl(
+            addr,
+            backends,
+            config,
+            FaultsHandle {
+                dial_faults: Some(dial_faults),
+            },
+        )
+    }
+
+    fn bind_impl(
+        addr: impl ToSocketAddrs,
+        backends: Vec<String>,
+        config: GatewayConfig,
+        faults: FaultsHandle,
+    ) -> io::Result<Gateway> {
         if backends.is_empty() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
@@ -162,20 +229,27 @@ impl Gateway {
         let local = listener.local_addr()?;
 
         let ring = Ring::new(backends, config.vnodes);
-        let pool = Pool::new(
+        let mut pool = Pool::new(
             config.max_idle_per_backend,
             config.connect_timeout,
             config.backend_io_timeout,
         );
+        pool.set_auth(config.auth);
+        #[cfg(feature = "faults")]
+        pool.set_dial_faults(faults.dial_faults);
+        #[cfg(not(feature = "faults"))]
+        let _ = faults; // zero-sized without the feature
         let router_config = RouterConfig {
             replication: config.replication,
             max_inflight_per_backend: config.max_inflight_per_backend,
             cache_bytes: config.cache_bytes,
             probe_backoff_initial: config.probe_backoff_initial,
             probe_backoff_max: config.probe_backoff_max,
+            breaker_threshold: config.breaker_threshold,
+            hedge: config.hedge,
         };
         let shared = Arc::new(Shared {
-            router: Router::new(ring, pool, router_config),
+            router: Arc::new(Router::new(ring, pool, router_config)),
             scheduler: FairScheduler::new(config.qos),
             counters: Counters::default(),
             shutting_down: AtomicBool::new(false),
@@ -211,10 +285,11 @@ impl Gateway {
                 let shared = Arc::clone(&shared);
                 let conn_rx = Arc::clone(&conn_rx);
                 let timeout = config.io_timeout;
+                let auth = config.auth;
                 std::thread::spawn(move || loop {
                     let conn = conn_rx.lock().expect("queue lock").recv();
                     match conn {
-                        Ok(stream) => handle_connection(stream, &shared, timeout, local),
+                        Ok(stream) => handle_connection(stream, &shared, timeout, auth, local),
                         Err(_) => break,
                     }
                 })
@@ -345,6 +420,11 @@ fn snapshot(shared: &Shared) -> GatewayStats {
         backend_reuses: reuses,
         backend_errors: r.backend_errors.load(Ordering::Relaxed),
         alive_backends: shared.router.alive_count(),
+        deadline_exceeded: c.deadline_exceeded.load(Ordering::Relaxed),
+        breaker_opened: r.breaker_opened.load(Ordering::Relaxed),
+        breaker_closed: r.breaker_closed.load(Ordering::Relaxed),
+        hedges: r.hedges.load(Ordering::Relaxed),
+        hedge_wins: r.hedge_wins.load(Ordering::Relaxed),
         mean_latency: Duration::from_nanos(total_ns.checked_div(requests).unwrap_or(0)),
         max_latency: Duration::from_nanos(c.latency_ns_max.load(Ordering::Relaxed)),
     }
@@ -400,6 +480,7 @@ fn handle_connection(
     stream: TcpStream,
     shared: &Shared,
     timeout: Option<Duration>,
+    auth: Option<AuthKey>,
     local: SocketAddr,
 ) {
     // The version-negotiated keep-alive loop is shared with the backend
@@ -409,13 +490,14 @@ fn handle_connection(
     run_connection_loop(
         stream,
         timeout,
+        auth,
         &shared.shutting_down,
         &shared.connections,
         |parsed, writer| match ops::dispatch_ops(&GatewayOps { shared, local }, parsed, writer) {
             Dispatched::Done(action) => action,
-            Dispatched::Fetch(spec, version) => {
-                let ok = serve_fetch(writer, shared, &spec, version).is_ok();
-                if ok && version >= PROTOCOL_V2 {
+            Dispatched::Fetch(spec, env) => {
+                let ok = serve_fetch(writer, shared, &spec, &env).is_ok();
+                if ok && env.version >= PROTOCOL_V2 {
                     ConnAction::KeepOpen
                 } else {
                     ConnAction::Close
@@ -432,34 +514,78 @@ fn handle_connection(
     );
 }
 
+/// Refuse a fetch whose budget ran out at the gateway: bump the counter
+/// and answer with the typed status (the connection stays usable).
+fn refuse_expired(w: &mut impl Write, shared: &Shared, version: u16, msg: &str) -> io::Result<()> {
+    shared
+        .counters
+        .deadline_exceeded
+        .fetch_add(1, Ordering::Relaxed);
+    protocol::write_response_versioned(w, &Response::DeadlineExceeded(msg.into()), version)
+}
+
 fn serve_fetch(
     w: &mut impl Write,
     shared: &Shared,
     spec: &FetchSpec,
-    version: u16,
+    env: &Envelope,
 ) -> io::Result<()> {
-    // Fidelity-aware admission: wait for a weighted-fair slot; under
-    // pressure the scheduler answers with a degrade level that stacks on
-    // whatever the client already asked to drop, and only queue overflow
-    // or a wait timeout sheds outright.
-    let (permit, sched_degrade) = match shared.scheduler.admit(&spec.qos.tenant, spec.qos.priority)
-    {
-        Admission::Granted { permit, degrade } => (permit, degrade),
-        Admission::Shed => {
-            shared.router.counters.shed.fetch_add(1, Ordering::Relaxed);
-            return protocol::write_response_versioned(
-                w,
-                &Response::Overloaded("gateway admission queue is full, retry".into()),
-                version,
-            );
-        }
-    };
+    let version = env.version;
+    // Re-anchor the caller's remaining budget on arrival; everything the
+    // gateway spends (queueing, routing, hedging) is subtracted before
+    // the remainder is re-encoded on backend frames.
+    let deadline = env.deadline().map(Deadline::new);
+    if deadline.is_some_and(|d| d.expired()) {
+        return refuse_expired(
+            w,
+            shared,
+            version,
+            "deadline budget exhausted on arrival at the gateway",
+        );
+    }
+    // Fidelity-aware admission: wait for a weighted-fair slot (never
+    // longer than the remaining budget); under pressure the scheduler
+    // answers with a degrade level that stacks on whatever the client
+    // already asked to drop, and only queue overflow or a wait timeout
+    // sheds outright.
+    let wait_cap = deadline.map(|d| d.remaining());
+    let (permit, sched_degrade) =
+        match shared
+            .scheduler
+            .admit_within(&spec.qos.tenant, spec.qos.priority, wait_cap)
+        {
+            Admission::Granted { permit, degrade } => (permit, degrade),
+            Admission::Shed => {
+                if deadline.is_some_and(|d| d.expired()) {
+                    return refuse_expired(
+                        w,
+                        shared,
+                        version,
+                        "deadline expired waiting for gateway admission",
+                    );
+                }
+                shared.router.counters.shed.fetch_add(1, Ordering::Relaxed);
+                return protocol::write_response_versioned(
+                    w,
+                    &Response::Overloaded("gateway admission queue is full, retry".into()),
+                    version,
+                );
+            }
+        };
+    if deadline.is_some_and(|d| d.expired()) {
+        return refuse_expired(
+            w,
+            shared,
+            version,
+            "gateway queue wait consumed the deadline budget",
+        );
+    }
     let routed = if sched_degrade == 0 {
-        shared.router.route_fetch(spec)
+        shared.router.route_fetch_hedged(spec, deadline)
     } else {
         let mut coarser = spec.clone();
         coarser.qos.degrade = coarser.qos.degrade.saturating_add(sched_degrade);
-        shared.router.route_fetch(&coarser)
+        shared.router.route_fetch_hedged(&coarser, deadline)
     };
     match routed {
         Routed::Fetch(header, payload) => {
@@ -476,6 +602,12 @@ fn serve_fetch(
         Routed::Other(resp) => {
             if matches!(resp, Response::NotFound(_)) {
                 shared.counters.not_found.fetch_add(1, Ordering::Relaxed);
+            }
+            if matches!(resp, Response::DeadlineExceeded(_)) {
+                shared
+                    .counters
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
             }
             protocol::write_response_versioned(w, &resp, version)
         }

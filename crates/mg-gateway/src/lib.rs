@@ -53,4 +53,4 @@ pub mod router;
 
 pub use gateway::{Gateway, GatewayConfig, GatewayStats};
 pub use ring::{Ring, DEFAULT_VNODES};
-pub use router::{Routed, Router, RouterConfig};
+pub use router::{CircuitState, Routed, Router, RouterConfig};

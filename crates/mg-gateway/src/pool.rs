@@ -12,6 +12,7 @@
 //! `max_idle_per_backend` should stay well below the backend's
 //! `ServerConfig::workers`.
 
+use mg_serve::auth::AuthKey;
 use mg_serve::client::Connection;
 use std::collections::HashMap;
 use std::io;
@@ -35,6 +36,9 @@ pub struct Pool {
     max_idle_per_backend: usize,
     connect_timeout: Duration,
     io_timeout: Option<Duration>,
+    auth: Option<AuthKey>,
+    #[cfg(feature = "faults")]
+    dial_faults: Option<mg_faults::Injector>,
     idle: Mutex<HashMap<String, Vec<Connection>>>,
     dials: AtomicU64,
     reuses: AtomicU64,
@@ -53,10 +57,33 @@ impl Pool {
             max_idle_per_backend,
             connect_timeout,
             io_timeout,
+            auth: None,
+            #[cfg(feature = "faults")]
+            dial_faults: None,
             idle: Mutex::new(HashMap::new()),
             dials: AtomicU64::new(0),
             reuses: AtomicU64::new(0),
         }
+    }
+
+    /// Tag every backend request with `key` (cluster shared secret).
+    /// Applied to each dialed connection, so pooled reuse keeps the key.
+    pub fn set_auth(&mut self, key: Option<AuthKey>) {
+        self.auth = key;
+    }
+
+    /// The per-op I/O timeout dialed connections start with.
+    pub fn io_timeout(&self) -> Option<Duration> {
+        self.io_timeout
+    }
+
+    /// Route every dial through a deterministic fault injector:
+    /// a `refuse` draw fails the dial with `ConnectionRefused`, a
+    /// `stall` draw burns the connect timeout and fails with `TimedOut`,
+    /// and a first-byte latency draw sleeps before dialing (a slow SYN).
+    #[cfg(feature = "faults")]
+    pub fn set_dial_faults(&mut self, injector: Option<mg_faults::Injector>) {
+        self.dial_faults = injector;
     }
 
     /// Check out a connection to `addr`: a parked one when available,
@@ -89,6 +116,28 @@ impl Pool {
     /// Dial without touching the dial counter — health probes use this
     /// so the keep-alive dial/reuse metric reflects request traffic only.
     pub fn dial_uncounted(&self, addr: &str) -> io::Result<Connection> {
+        #[cfg(feature = "faults")]
+        if let Some(injector) = &self.dial_faults {
+            let plan = injector.connection_plan();
+            if plan.refuse {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    format!("{addr}: injected dial refusal"),
+                ));
+            }
+            if let Some(stall) = plan.stall {
+                std::thread::sleep(stall.min(self.connect_timeout));
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("{addr}: injected dial stall"),
+                ));
+            }
+            if let Some(delay) = plan.write.first_byte_delay {
+                // The injector's latency-spike draw lands on the write
+                // plan; on the dial path it models a slow handshake.
+                std::thread::sleep(delay.min(self.connect_timeout));
+            }
+        }
         // Resolve hostnames too (`localhost:7373`, DNS names) — the
         // client side accepts them, so the backend list must as well.
         let sock = addr
@@ -103,8 +152,9 @@ impl Pool {
             })?;
         let stream = TcpStream::connect_timeout(&sock, self.connect_timeout)?;
         stream.set_nodelay(true)?;
-        let conn = Connection::from_stream(stream)?;
+        let mut conn = Connection::from_stream(stream)?;
         conn.set_io_timeout(self.io_timeout)?;
+        conn.set_auth(self.auth);
         Ok(conn)
     }
 

@@ -15,19 +15,32 @@
 //!    if no replica could serve and any was at its cap, the request is
 //!    shed with `Overloaded` rather than queued without bound;
 //! 4. a request failure on a *reused* pooled connection is retried once
-//!    on a fresh dial before the backend is declared dead — a stale
+//!    on a fresh dial before counting against the backend — a stale
 //!    keep-alive stream is not a dead peer;
-//! 5. a dead backend's next probe is scheduled with exponential backoff
-//!    (the health thread in [`crate::gateway`] drives the probes).
+//! 5. each backend sits behind a circuit breaker: it opens (dead-marked,
+//!    off the request path) after [`RouterConfig::breaker_threshold`]
+//!    consecutive failures, half-opens when the jittered exponential
+//!    probe backoff expires (one trial request or health probe), and
+//!    closes again on the first success;
+//! 6. optionally ([`RouterConfig::hedge`]) a straggling fetch is hedged:
+//!    after a delay derived from observed backend latency (p95 of a
+//!    sliding sample window, floored by the config), a second walk
+//!    starts from the next replica and the first completed response
+//!    wins — cutting tail latency when one backend is slow but alive.
+//!
+//! Deadlines propagate: a request arriving with a remaining budget has
+//! that budget re-encoded on every backend frame, caps the per-exchange
+//! socket timeouts, and stops the replica walk the moment it expires.
 
 use crate::pool::Pool;
 use crate::ring::Ring;
 use bytes::Bytes;
 use mg_serve::catalog::ByteLru;
 use mg_serve::client::{Connection, RawFetch};
-use mg_serve::protocol::{FetchHeader, FetchSpec, Request, Response, Selector};
+use mg_serve::protocol::{Deadline, FetchHeader, FetchSpec, Request, Response, Selector};
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// Health + admission state of one backend.
@@ -100,6 +113,15 @@ pub struct RouterConfig {
     pub probe_backoff_initial: Duration,
     /// Backoff cap.
     pub probe_backoff_max: Duration,
+    /// Consecutive failures before the breaker opens (backend marked
+    /// dead and taken off the request path). 1 — the default — opens on
+    /// the first failure, matching the pre-breaker behaviour; higher
+    /// values tolerate isolated blips from an otherwise healthy peer.
+    pub breaker_threshold: u32,
+    /// Hedging floor: when set, a fetch still unanswered after
+    /// `max(floor, observed p95)` starts a second replica walk from the
+    /// next replica; the first completed response wins. `None` disables.
+    pub hedge: Option<Duration>,
 }
 
 impl Default for RouterConfig {
@@ -110,7 +132,89 @@ impl Default for RouterConfig {
             cache_bytes: 64 << 20,
             probe_backoff_initial: Duration::from_millis(100),
             probe_backoff_max: Duration::from_secs(5),
+            breaker_threshold: 1,
+            hedge: None,
         }
+    }
+}
+
+/// Circuit-breaker position of one backend, derived from its health
+/// state: `Closed` (healthy, on the request path), `Open` (dead-marked,
+/// inside its probe backoff — no traffic at all), `HalfOpen` (backoff
+/// expired — the next request or health probe is the trial that either
+/// closes the breaker or re-opens it with a longer backoff).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CircuitState {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic probe-backoff jitter: scale by a factor in [0.75, 1.0)
+/// drawn from the backend identity and failure count, so replicas that
+/// died together do not probe in lockstep (and a retried failure count
+/// re-rolls the factor). Purely a function of its inputs — no wall
+/// clock — so fault-injection runs stay reproducible.
+fn jittered_backoff(backoff: Duration, addr: &str, failures: u32) -> Duration {
+    let z = splitmix64(fnv1a(addr.as_bytes()) ^ failures as u64);
+    let frac = (z >> 11) as f64 / (1u64 << 53) as f64;
+    backoff.mul_f64(0.75 + 0.25 * frac)
+}
+
+/// Sliding window of successful backend exchange latencies, kept for
+/// the hedging delay (p95). Lock-free writes into a fixed ring; the
+/// occasional reader copies and sorts — 256 u64s, trivial next to a
+/// network exchange.
+struct LatencyRing {
+    samples: [AtomicU64; LatencyRing::CAP],
+    recorded: AtomicUsize,
+}
+
+impl LatencyRing {
+    const CAP: usize = 256;
+    /// Below this many samples p95 is noise; hedging falls back to the
+    /// configured floor alone.
+    const MIN_SAMPLES: usize = 8;
+
+    fn new() -> LatencyRing {
+        LatencyRing {
+            samples: std::array::from_fn(|_| AtomicU64::new(0)),
+            recorded: AtomicUsize::new(0),
+        }
+    }
+
+    fn record(&self, d: Duration) {
+        let i = self.recorded.fetch_add(1, Ordering::Relaxed);
+        self.samples[i % Self::CAP].store(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn p95(&self) -> Option<Duration> {
+        let n = self.recorded.load(Ordering::Relaxed).min(Self::CAP);
+        if n < Self::MIN_SAMPLES {
+            return None;
+        }
+        let mut v: Vec<u64> = self.samples[..n]
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect();
+        v.sort_unstable();
+        Some(Duration::from_nanos(v[(n * 95 / 100).min(n - 1)]))
     }
 }
 
@@ -161,6 +265,10 @@ pub(crate) struct RouterCounters {
     pub failovers: AtomicU64,
     pub shed: AtomicU64,
     pub backend_errors: AtomicU64,
+    pub breaker_opened: AtomicU64,
+    pub breaker_closed: AtomicU64,
+    pub hedges: AtomicU64,
+    pub hedge_wins: AtomicU64,
 }
 
 /// The routing core shared by gateway workers and the health thread.
@@ -171,6 +279,7 @@ pub struct Router {
     pool: Pool,
     cache: ResponseCache,
     epoch: Instant,
+    latency: LatencyRing,
     pub(crate) counters: RouterCounters,
 }
 
@@ -189,6 +298,7 @@ impl Router {
             pool,
             cache: ResponseCache::new(config.cache_bytes),
             epoch: Instant::now(),
+            latency: LatencyRing::new(),
             counters: RouterCounters::default(),
         }
     }
@@ -234,30 +344,57 @@ impl Router {
         self.epoch.elapsed().as_millis() as u64
     }
 
-    /// Record a request failure: mark dead, evict pooled streams, and
-    /// push the next probe out exponentially.
+    /// Record a request failure. Pooled streams to the backend are
+    /// evicted immediately; once the consecutive-failure count reaches
+    /// [`RouterConfig::breaker_threshold`] the breaker opens — the
+    /// backend is dead-marked, off the request path, and its next probe
+    /// is pushed out on a jittered exponential backoff.
     pub fn mark_failure(&self, addr: &str) {
         let s = self.state(addr);
-        s.alive.store(false, Ordering::Relaxed);
         let failures = s.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        self.counters.backend_errors.fetch_add(1, Ordering::Relaxed);
+        // Whatever the breaker says, streams that just failed are gone.
+        self.pool.evict(addr);
+        let threshold = self.config.breaker_threshold.max(1);
+        if failures < threshold {
+            return; // breaker still closed: accumulating evidence
+        }
+        if s.alive.swap(false, Ordering::Relaxed) {
+            self.counters.breaker_opened.fetch_add(1, Ordering::Relaxed);
+        }
         let backoff = self
             .config
             .probe_backoff_initial
-            .saturating_mul(1u32 << (failures - 1).min(16))
+            .saturating_mul(1u32 << (failures - threshold).min(16))
             .min(self.config.probe_backoff_max);
+        let backoff = jittered_backoff(backoff, addr, failures);
         s.probe_not_before_ms.store(
             self.now_ms() + backoff.as_millis() as u64,
             Ordering::Relaxed,
         );
-        self.pool.evict(addr);
-        self.counters.backend_errors.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Record a successful exchange (probe or request).
+    /// Record a successful exchange (probe or request). A success on a
+    /// dead-marked backend closes its breaker.
     pub fn mark_success(&self, addr: &str) {
         let s = self.state(addr);
-        s.alive.store(true, Ordering::Relaxed);
+        let was_dead = !s.alive.swap(true, Ordering::Relaxed);
         s.consecutive_failures.store(0, Ordering::Relaxed);
+        if was_dead {
+            self.counters.breaker_closed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The breaker position of one backend right now.
+    pub fn circuit_state(&self, addr: &str) -> CircuitState {
+        let s = self.state(addr);
+        if s.is_alive() {
+            CircuitState::Closed
+        } else if self.now_ms() >= s.probe_not_before_ms.load(Ordering::Relaxed) {
+            CircuitState::HalfOpen
+        } else {
+            CircuitState::Open
+        }
     }
 
     /// Backends whose probe is due (dead ones past their backoff, plus
@@ -305,8 +442,106 @@ impl Router {
 
     /// Route one fetch spec through the cache and the replica walk.
     pub fn route_fetch(&self, spec: &FetchSpec) -> Routed {
+        self.route_fetch_walk(spec, None, 0)
+    }
+
+    /// [`Router::route_fetch`] with a caller deadline: the remaining
+    /// budget is re-encoded on every backend frame, caps per-exchange
+    /// socket timeouts, and stops the walk when it expires.
+    pub fn route_fetch_deadline(&self, spec: &FetchSpec, deadline: Option<&Deadline>) -> Routed {
+        self.route_fetch_walk(spec, deadline, 0)
+    }
+
+    /// Deadline-aware routing with optional hedging. With
+    /// [`RouterConfig::hedge`] unset (or fewer than two replicas) this
+    /// is [`Router::route_fetch_deadline`]. Otherwise a primary walk
+    /// starts immediately; if it has not answered within
+    /// `max(hedge floor, observed backend p95)`, a second walk starts
+    /// from the next replica and the first completed *fetch* wins. The
+    /// losing walk finishes on its own thread — its connection is
+    /// checked in (or torn down) by the normal exchange path, never
+    /// abandoned mid-frame.
+    pub fn route_fetch_hedged(
+        self: &Arc<Self>,
+        spec: &FetchSpec,
+        deadline: Option<Deadline>,
+    ) -> Routed {
+        let Some(floor) = self.config.hedge else {
+            return self.route_fetch_walk(spec, deadline.as_ref(), 0);
+        };
+        if self
+            .ring
+            .replicas(&spec.dataset, self.config.replication)
+            .len()
+            < 2
+        {
+            return self.route_fetch_walk(spec, deadline.as_ref(), 0);
+        }
+        let mut delay = match self.latency.p95() {
+            Some(p95) => p95.max(floor),
+            None => floor,
+        };
+        if let Some(d) = deadline.as_ref() {
+            if d.expired() {
+                return Routed::Other(Response::DeadlineExceeded(
+                    "deadline expired before routing".into(),
+                ));
+            }
+            delay = delay.min(d.remaining());
+        }
+        let (tx, rx) = mpsc::channel::<(usize, Routed)>();
+        let spawn_walk = |rotate: usize, tx: mpsc::Sender<(usize, Routed)>| {
+            let me = Arc::clone(self);
+            let spec = spec.clone();
+            std::thread::spawn(move || {
+                let routed = me.route_fetch_walk(&spec, deadline.as_ref(), rotate);
+                let _ = tx.send((rotate, routed));
+            });
+        };
+        spawn_walk(0, tx.clone());
+        match rx.recv_timeout(delay) {
+            Ok((_, routed)) => routed,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                Routed::Unavailable("hedged walk vanished".into())
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                self.counters.hedges.fetch_add(1, Ordering::Relaxed);
+                spawn_walk(1, tx);
+                let Ok((rotate, routed)) = rx.recv() else {
+                    return Routed::Unavailable("hedged walks vanished".into());
+                };
+                if matches!(routed, Routed::Fetch(..)) {
+                    if rotate == 1 {
+                        self.counters.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return routed;
+                }
+                // First finisher failed; give the straggler its say —
+                // it may still produce the bytes.
+                match rx.recv() {
+                    Ok((rotate2, routed2)) if matches!(routed2, Routed::Fetch(..)) => {
+                        if rotate2 == 1 {
+                            self.counters.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                        routed2
+                    }
+                    _ => routed,
+                }
+            }
+        }
+    }
+
+    /// The replica walk. `rotate` shifts the candidate order (hedged
+    /// attempts start from the next replica so the two walks do not pile
+    /// onto the same slow backend).
+    fn route_fetch_walk(
+        &self,
+        spec: &FetchSpec,
+        deadline: Option<&Deadline>,
+        rotate: usize,
+    ) -> Routed {
         let dataset = &spec.dataset;
-        let replicas: Vec<String> = self
+        let mut replicas: Vec<String> = self
             .ring
             .replicas(dataset, self.config.replication)
             .into_iter()
@@ -315,6 +550,13 @@ impl Router {
         if replicas.is_empty() {
             return Routed::Unavailable("gateway has no backends".into());
         }
+        if deadline.is_some_and(|d| d.expired()) {
+            return Routed::Other(Response::DeadlineExceeded(
+                "deadline expired before routing".into(),
+            ));
+        }
+        let len = replicas.len();
+        replicas.rotate_left(rotate % len);
         let generation = replicas.iter().fold(0u64, |acc, r| {
             acc.wrapping_add(self.state(r).catalog_generation())
         });
@@ -349,6 +591,11 @@ impl Router {
         let mut shed_msg: Option<String> = None;
 
         for addr in live.into_iter().chain(dead) {
+            if deadline.is_some_and(|d| d.expired()) {
+                return Routed::Other(Response::DeadlineExceeded(
+                    "deadline expired during the replica walk".into(),
+                ));
+            }
             let state = self.state(addr);
             // Admission control: atomically claim an in-flight slot — an
             // over-cap claim is undone and the replica skipped, so
@@ -365,7 +612,7 @@ impl Router {
                 self.counters.failovers.fetch_add(1, Ordering::Relaxed);
             }
             attempted += 1;
-            let outcome = self.try_backend(addr, &req);
+            let outcome = self.try_backend(addr, &req, deadline);
             state.inflight.fetch_sub(1, Ordering::Relaxed);
             match outcome {
                 Ok(RawFetch::Fetch(header, payload)) => {
@@ -389,6 +636,17 @@ impl Router {
                         Response::Overloaded(msg) => {
                             saw_shed = true;
                             shed_msg = Some(msg);
+                        }
+                        // The budget is global: if this backend could
+                        // not finish in time, walking further replicas
+                        // only burns more of a budget that is gone.
+                        Response::DeadlineExceeded(msg) => {
+                            return Routed::Other(Response::DeadlineExceeded(msg));
+                        }
+                        // A key mismatch is gateway misconfiguration,
+                        // identical on every replica: surface it.
+                        Response::AuthFailure(msg) => {
+                            return Routed::Other(Response::AuthFailure(msg));
                         }
                         // Even BadRequest keeps the walk going: a
                         // version-mismatched (e.g. mid-upgrade) backend
@@ -426,10 +684,15 @@ impl Router {
 
     /// One backend attempt; a failure on a reused pooled stream gets one
     /// retry on a fresh dial before counting as a backend failure.
-    fn try_backend(&self, addr: &str, req: &Request) -> io::Result<RawFetch> {
+    fn try_backend(
+        &self,
+        addr: &str,
+        req: &Request,
+        deadline: Option<&Deadline>,
+    ) -> io::Result<RawFetch> {
         let pooled = self.pool.checkout(addr)?;
         let reused = pooled.reused;
-        match self.exchange(pooled.conn, addr, req) {
+        match self.exchange(pooled.conn, addr, req, deadline) {
             Ok(out) => Ok(out),
             Err(_) if reused => {
                 // Stale keep-alive stream (backend restarted, idle
@@ -438,23 +701,58 @@ impl Router {
                 // informative one (e.g. connection refused), not the
                 // stale stream's EOF.
                 let fresh = self.pool.dial(addr)?;
-                self.exchange(fresh, addr, req)
+                self.exchange(fresh, addr, req, deadline)
             }
             Err(e) => Err(e),
         }
     }
 
-    fn exchange(&self, mut conn: Connection, addr: &str, req: &Request) -> io::Result<RawFetch> {
+    fn exchange(
+        &self,
+        mut conn: Connection,
+        addr: &str,
+        req: &Request,
+        deadline: Option<&Deadline>,
+    ) -> io::Result<RawFetch> {
+        // Cap the socket timeouts by the remaining budget so a stalled
+        // backend surfaces TimedOut within the deadline instead of the
+        // pool's (much longer) io timeout. Always re-set — pooled
+        // streams may carry a cap from the previous request.
+        let io_cap = match deadline {
+            Some(d) => {
+                let remaining = d.remaining();
+                if remaining.is_zero() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "deadline expired before the backend exchange",
+                    ));
+                }
+                Some(match self.pool.io_timeout() {
+                    Some(t) => t.min(remaining),
+                    None => remaining,
+                })
+            }
+            None => self.pool.io_timeout(),
+        };
+        conn.set_io_timeout(io_cap)?;
         // A refused fetch still means the backend *answered* — but only
-        // NotFound/Overloaded leave the connection reusable; after
-        // BadRequest the server closes its end, so the stream must not
-        // go back in the pool. `Err` is a transport or protocol failure
-        // (timeouts included) after which the connection must be
-        // dropped, never checked back in mid-frame.
-        match conn.fetch_raw(req) {
+        // NotFound/Overloaded/DeadlineExceeded leave the connection
+        // reusable; after BadRequest or AuthFailure the server closes
+        // its end, so the stream must not go back in the pool. `Err` is
+        // a transport or protocol failure (timeouts included) after
+        // which the connection must be dropped, never checked back in
+        // mid-frame.
+        let started = Instant::now();
+        match conn.fetch_raw_deadline(req, deadline) {
             Ok(out) => {
-                if !matches!(out, RawFetch::Refused(Response::BadRequest(_))) {
+                if !matches!(
+                    out,
+                    RawFetch::Refused(Response::BadRequest(_) | Response::AuthFailure(_))
+                ) {
                     self.pool.checkin(addr, conn);
+                }
+                if matches!(out, RawFetch::Fetch(..)) {
+                    self.latency.record(started.elapsed());
                 }
                 Ok(out)
             }
@@ -669,6 +967,141 @@ mod tests {
             ),
         }
         assert_eq!(router.counters.shed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn probe_backoff_jitter_is_deterministic_and_bounded() {
+        let nominal = Duration::from_millis(100);
+        for failures in 1..=6u32 {
+            let j = jittered_backoff(nominal, "10.0.0.1:7373", failures);
+            assert!(
+                j >= nominal.mul_f64(0.75) && j < nominal,
+                "factor out of [0.75, 1.0): {j:?}"
+            );
+            assert_eq!(
+                j,
+                jittered_backoff(nominal, "10.0.0.1:7373", failures),
+                "jitter must be a pure function of (addr, failures)"
+            );
+        }
+        // Replicas that died together must not probe in lockstep, and a
+        // repeated failure re-rolls the factor.
+        let a = jittered_backoff(nominal, "10.0.0.1:7373", 1);
+        assert_ne!(a, jittered_backoff(nominal, "10.0.0.2:7373", 1));
+        assert_ne!(a, jittered_backoff(nominal, "10.0.0.1:7373", 2));
+    }
+
+    #[test]
+    fn breaker_opens_at_the_threshold_and_closes_on_success() {
+        let (server, addr) = start_backend(&[("d", 1)]);
+        let router = router_over(
+            std::slice::from_ref(&addr),
+            RouterConfig {
+                breaker_threshold: 3,
+                cache_bytes: 0,
+                probe_backoff_initial: Duration::from_millis(5),
+                ..RouterConfig::default()
+            },
+        );
+        assert_eq!(router.circuit_state(&addr), CircuitState::Closed);
+        router.mark_failure(&addr);
+        router.mark_failure(&addr);
+        assert_eq!(
+            router.circuit_state(&addr),
+            CircuitState::Closed,
+            "two failures stay below threshold 3"
+        );
+        assert!(router.backends()[0].is_alive());
+        router.mark_failure(&addr);
+        assert_eq!(router.circuit_state(&addr), CircuitState::Open);
+        assert!(!router.backends()[0].is_alive());
+        assert_eq!(router.counters.breaker_opened.load(Ordering::Relaxed), 1);
+        // Backoff expiry half-opens the breaker; the trial probe (the
+        // backend is actually fine) closes it.
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(router.circuit_state(&addr), CircuitState::HalfOpen);
+        assert!(router.probe(&addr));
+        assert_eq!(router.circuit_state(&addr), CircuitState::Closed);
+        assert_eq!(router.counters.breaker_closed.load(Ordering::Relaxed), 1);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn expired_deadlines_stop_routing_before_any_backend_work() {
+        let (server, addr) = start_backend(&[("d", 1)]);
+        let router = router_over(
+            std::slice::from_ref(&addr),
+            RouterConfig {
+                cache_bytes: 0,
+                ..RouterConfig::default()
+            },
+        );
+        let spent = Deadline::new(Duration::ZERO);
+        match router.route_fetch_deadline(&tau_spec("d"), Some(&spent)) {
+            Routed::Other(Response::DeadlineExceeded(_)) => {}
+            _ => panic!("expired deadline must be refused as such"),
+        }
+        let (dials, _) = router.pool_counters();
+        assert_eq!(dials, 0, "no backend work on an expired budget");
+        let roomy = Deadline::new(Duration::from_secs(5));
+        let Routed::Fetch(..) = router.route_fetch_deadline(&tau_spec("d"), Some(&roomy)) else {
+            panic!("a roomy deadline must not change the happy path");
+        };
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn hedged_fetch_wins_on_the_replica_when_the_primary_stalls() {
+        // A backend that accepts and never answers (accept-then-stall),
+        // plus a real backend. Pick a dataset whose ring primary is the
+        // staller so the hedge deterministically fires.
+        let stall_listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let stall_addr = stall_listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let mut held = Vec::new();
+            while let Ok((s, _)) = stall_listener.accept() {
+                held.push(s); // parked forever: reads on the peer block
+            }
+        });
+        let names: Vec<String> = (0..32).map(|i| format!("d{i}")).collect();
+        let cat = Catalog::new();
+        for name in &names {
+            cat.insert_array(name, &field(1)).unwrap();
+        }
+        let server = Server::bind("127.0.0.1:0", cat, ServerConfig::default()).unwrap();
+        let real_addr = server.local_addr().to_string();
+
+        let ring = Ring::new([stall_addr.clone(), real_addr.clone()], DEFAULT_VNODES);
+        let pool = Pool::new(
+            2,
+            Duration::from_millis(500),
+            Some(Duration::from_millis(400)),
+        );
+        let router = Arc::new(Router::new(
+            ring,
+            pool,
+            RouterConfig {
+                cache_bytes: 0,
+                hedge: Some(Duration::from_millis(20)),
+                ..RouterConfig::default()
+            },
+        ));
+        let dataset = names
+            .iter()
+            .find(|n| router.ring().primary(n) == Some(stall_addr.as_str()))
+            .expect("some dataset must land on the staller first");
+
+        let started = Instant::now();
+        let Routed::Fetch(..) = router.route_fetch_hedged(&tau_spec(dataset), None) else {
+            panic!("the hedge must produce the replica's bytes");
+        };
+        assert!(
+            started.elapsed() < Duration::from_millis(390),
+            "the winner must not wait out the stalled primary's io timeout"
+        );
+        assert_eq!(router.counters.hedges.load(Ordering::Relaxed), 1);
+        assert_eq!(router.counters.hedge_wins.load(Ordering::Relaxed), 1);
+        server.shutdown().unwrap();
     }
 
     #[test]

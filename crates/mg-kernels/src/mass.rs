@@ -48,7 +48,7 @@ pub fn mass_row<T: Real>(h: &[T], i: usize) -> (T, T, T) {
 /// `coords` are the level coordinates along `axis` (length =
 /// `shape.dim(axis)`). For the contiguous last axis each fiber is walked
 /// with an O(1) sliding ghost; for outer axes the fibers are batched
-/// plane-wise so the inner loop runs unit-stride over [`SpanOps`]
+/// plane-wise so the inner loop runs unit-stride over [`SpanOps`](mg_grid::span::SpanOps)
 /// primitives (two row-sized ghost buffers of scratch). Both paths
 /// perform the identical per-element arithmetic, so results are bitwise
 /// independent of the axis stride.
@@ -147,7 +147,7 @@ pub fn mass_apply_parallel<T: Real>(
 }
 
 /// Out-of-place mass multiply of one contiguous `n x inner` block, with
-/// boundary rows hoisted to two-term [`SpanOps`] primitives so the row
+/// boundary rows hoisted to two-term [`SpanOps`](mg_grid::span::SpanOps) primitives so the row
 /// loops are branch-free and stride-1.
 pub(crate) fn mass_block_out<T: Real>(dblk: &mut [T], sblk: &[T], inner: usize, n: usize, h: &[T]) {
     for i in 0..n {

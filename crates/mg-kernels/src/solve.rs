@@ -170,7 +170,7 @@ pub fn solve_parallel<T: Real>(
 
 /// Thomas solve of one contiguous `n x inner` block: forward sweep and
 /// back substitution one row (plane of fibers) at a time, stride-1
-/// through [`SpanOps`] primitives.
+/// through [`SpanOps`](mg_grid::span::SpanOps) primitives.
 fn solve_block<T: Real>(blk: &mut [T], inner: usize, factors: &ThomasFactors<T>) {
     let n = factors.n();
     // Forward sweep.

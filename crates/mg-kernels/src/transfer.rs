@@ -88,7 +88,8 @@ pub fn transfer_apply_serial<T: Real>(
 
 /// Restriction of one contiguous block (`2m-1 x inner` fine rows into
 /// `m x inner` coarse rows), boundary rows hoisted to two-term
-/// [`SpanOps`] primitives. `m >= 2` (decimating axis).
+/// [`SpanOps`](mg_grid::span::SpanOps) primitives. `m >= 2`
+/// (decimating axis).
 pub(crate) fn transfer_block<T: Real>(
     dblk: &mut [T],
     sblk: &[T],

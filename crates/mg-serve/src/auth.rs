@@ -1,0 +1,263 @@
+//! Shared-secret request authentication for the wire protocol.
+//!
+//! An [`AuthKey`] is a 32-byte key derived from an arbitrary secret via
+//! SHA-256. Protocol v3 frames may carry a 16-byte truncated HMAC-SHA256
+//! tag over the envelope and request body; a server configured with a key
+//! rejects untagged or mis-tagged requests with the `auth_failure` status.
+//! Verification is constant-time in the tag bytes. This is request
+//! authentication on a trusted-confidentiality network — it proves the
+//! sender holds the secret and the frame was not altered, but does not
+//! encrypt anything (TLS remains the ROADMAP item for that).
+//!
+//! The SHA-256 implementation is the FIPS 180-4 compression function,
+//! vendored here because the build environment is offline; it is pinned
+//! by the standard test vectors below.
+
+/// Truncated HMAC-SHA256 tag length carried on the wire.
+pub const TAG_LEN: usize = 16;
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Incremental SHA-256 over a byte stream.
+struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total: u64,
+}
+
+impl Sha256 {
+    fn new() -> Sha256 {
+        Sha256 {
+            state: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
+            ],
+            buf: [0u8; 64],
+            buf_len: 0,
+            total: 0,
+        }
+    }
+
+    fn update(&mut self, mut data: &[u8]) {
+        self.total = self.total.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len < 64 {
+                return; // data exhausted without filling a block
+            }
+            let block = self.buf;
+            self.compress(&block);
+            self.buf_len = 0;
+        }
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            self.compress(block.try_into().unwrap());
+            data = rest;
+        }
+        self.buf[..data.len()].copy_from_slice(data);
+        self.buf_len = data.len();
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().unwrap());
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+
+    fn finish(mut self) -> [u8; 32] {
+        let bit_len = self.total.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        self.update(&bit_len.to_be_bytes());
+        let mut out = [0u8; 32];
+        for (chunk, s) in out.chunks_exact_mut(4).zip(self.state) {
+            chunk.copy_from_slice(&s.to_be_bytes());
+        }
+        out
+    }
+}
+
+/// One-shot SHA-256.
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finish()
+}
+
+/// A 32-byte shared secret for request authentication. `Copy` so server
+/// and gateway configs stay plain-old-data.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct AuthKey([u8; 32]);
+
+impl std::fmt::Debug for AuthKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.write_str("AuthKey(..)")
+    }
+}
+
+impl AuthKey {
+    /// Derive a key from an arbitrary secret (passphrase, random bytes).
+    pub fn from_secret(secret: &[u8]) -> AuthKey {
+        AuthKey(sha256(secret))
+    }
+
+    pub fn from_bytes(bytes: [u8; 32]) -> AuthKey {
+        AuthKey(bytes)
+    }
+
+    /// HMAC-SHA256 over the concatenation of `parts`, truncated to
+    /// [`TAG_LEN`] bytes.
+    pub fn tag(&self, parts: &[&[u8]]) -> [u8; TAG_LEN] {
+        let mut ipad = [0x36u8; 64];
+        let mut opad = [0x5cu8; 64];
+        for (i, &b) in self.0.iter().enumerate() {
+            ipad[i] ^= b;
+            opad[i] ^= b;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        for part in parts {
+            inner.update(part);
+        }
+        let inner_hash = inner.finish();
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        outer.update(&inner_hash);
+        let full = outer.finish();
+        let mut out = [0u8; TAG_LEN];
+        out.copy_from_slice(&full[..TAG_LEN]);
+        out
+    }
+
+    /// Constant-time tag verification: the comparison touches every byte
+    /// regardless of where a mismatch occurs.
+    pub fn verify(&self, parts: &[&[u8]], tag: &[u8; TAG_LEN]) -> bool {
+        let expect = self.tag(parts);
+        let mut diff = 0u8;
+        for (a, b) in expect.iter().zip(tag.iter()) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn sha256_matches_standard_vectors() {
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        // Two-block message (FIPS 180-4 example).
+        assert_eq!(
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // Incremental updates across block boundaries agree with one-shot.
+        let data: Vec<u8> = (0..300u16).map(|i| i as u8).collect();
+        let mut inc = Sha256::new();
+        for chunk in data.chunks(7) {
+            inc.update(chunk);
+        }
+        assert_eq!(inc.finish(), sha256(&data));
+    }
+
+    #[test]
+    fn hmac_matches_rfc4231_vector() {
+        // RFC 4231 test case 2 uses the raw key "Jefe"; replicate by
+        // constructing the key bytes the HMAC pads (our AuthKey hashes
+        // secrets, so build the padded key directly).
+        let mut key_bytes = [0u8; 32];
+        key_bytes[..4].copy_from_slice(b"Jefe");
+        let key = AuthKey::from_bytes(key_bytes);
+        // Our key is zero-padded to 32 bytes, which HMAC then pads to the
+        // block size — identical to HMAC("Jefe", ...) since HMAC zero-pads
+        // short keys. So the RFC vector applies.
+        let tag = key.tag(&[b"what do ya want ", b"for nothing?"]);
+        assert_eq!(hex(&tag), "5bdcc146bf60754e6a042426089575c7");
+    }
+
+    #[test]
+    fn verify_accepts_good_and_rejects_tampered_tags() {
+        let key = AuthKey::from_secret(b"cluster secret");
+        let tag = key.tag(&[b"payload"]);
+        assert!(key.verify(&[b"payload"], &tag));
+        assert!(!key.verify(&[b"payloae"], &tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!key.verify(&[b"payload"], &bad));
+        let other = AuthKey::from_secret(b"different secret");
+        assert!(!other.verify(&[b"payload"], &tag));
+    }
+
+    #[test]
+    fn keys_from_distinct_secrets_differ() {
+        assert_ne!(
+            AuthKey::from_secret(b"a").0,
+            AuthKey::from_secret(b"b").0,
+            "derivation must separate secrets"
+        );
+    }
+}

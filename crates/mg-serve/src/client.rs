@@ -46,9 +46,10 @@
 //! by the decoder, so fetching an f32 dataset with an f64 decoder fails
 //! cleanly, not silently).
 
+use crate::auth::AuthKey;
 use crate::protocol::{
-    self, FetchHeader, FetchQosInfo, FetchSpec, Priority, QosSpec, Request, Response, Selector,
-    StatsReport, TenantStatsReport, PROTOCOL_V2,
+    self, Deadline, FetchHeader, FetchQosInfo, FetchSpec, Priority, QosSpec, Request, Response,
+    Selector, StatsReport, TenantStatsReport, PROTOCOL_V1, PROTOCOL_V2,
 };
 use mg_grid::Real;
 use mg_io::TransferCost;
@@ -56,6 +57,8 @@ use mg_refactor::streaming::StreamingDecoder;
 use mg_refactor::Refactored;
 use std::io::{self, Read};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Socket read chunk size; small enough that multi-class payloads take
 /// several reads (exercising true incremental decode), large enough to
@@ -102,16 +105,62 @@ fn server_error(kind: io::ErrorKind, msg: String) -> io::Error {
 
 /// Map an error/unexpected response onto an `io::Error` a caller can
 /// match on: `NotFound`, `InvalidInput` (bad request), `WouldBlock`
-/// (overloaded — back off and retry), `InvalidData` (protocol confusion).
+/// (overloaded — back off and retry), `TimedOut` (deadline exceeded),
+/// `PermissionDenied` (auth failure), `InvalidData` (protocol
+/// confusion).
 fn response_error(resp: Response) -> io::Error {
     match resp {
         Response::NotFound(msg) => server_error(io::ErrorKind::NotFound, msg),
         Response::BadRequest(msg) => server_error(io::ErrorKind::InvalidInput, msg),
         Response::Overloaded(msg) => server_error(io::ErrorKind::WouldBlock, msg),
+        Response::DeadlineExceeded(msg) => server_error(io::ErrorKind::TimedOut, msg),
+        Response::AuthFailure(msg) => server_error(io::ErrorKind::PermissionDenied, msg),
         other => server_error(
             io::ErrorKind::InvalidData,
             format!("unexpected response {other:?}"),
         ),
+    }
+}
+
+/// Whether a failed attempt is worth repeating on a fresh connection:
+/// transport-level failures (the peer vanished, refused, or the stream
+/// broke mid-exchange) and explicit back-off signals (`Overloaded`)
+/// are; application verdicts (`NotFound`, `BadRequest`, auth failures,
+/// decode errors) would only fail identically again.
+fn retryable(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::NotConnected
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::TimedOut
+    )
+}
+
+/// Capped exponential backoff with deterministic-per-process jitter in
+/// [0.5, 1.0)× the nominal step, bounded so a retry is only scheduled
+/// when the remaining deadline budget can still cover the pause.
+/// Returns `None` when the budget is spent — give up instead.
+fn retry_backoff(attempt: u32, deadline: Option<&Deadline>) -> Option<Duration> {
+    static SALT: AtomicU64 = AtomicU64::new(0x9e3779b97f4a7c15);
+    let nominal = Duration::from_millis(10 << attempt.min(4)).min(Duration::from_millis(200));
+    // splitmix64 over a process-global counter: cheap, lock-free, and
+    // decorrelates concurrent retriers without wall-clock entropy.
+    let mut z = SALT.fetch_add(0x9e3779b97f4a7c15, Ordering::Relaxed);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^= z >> 31;
+    let frac = (z >> 11) as f64 / (1u64 << 53) as f64;
+    let pause = nominal.mul_f64(0.5 + 0.5 * frac);
+    match deadline {
+        None => Some(pause),
+        // A retry needs budget for the pause *and* a fresh attempt.
+        Some(d) if d.remaining() > pause => Some(pause),
+        Some(_) => None,
     }
 }
 
@@ -231,6 +280,9 @@ pub struct FetchRequest {
     tau: Option<f64>,
     budget_bytes: Option<u64>,
     qos: QosSpec,
+    deadline: Option<Duration>,
+    retries: u32,
+    auth: Option<AuthKey>,
 }
 
 impl FetchRequest {
@@ -242,6 +294,9 @@ impl FetchRequest {
             tau: None,
             budget_bytes: None,
             qos: QosSpec::default(),
+            deadline: None,
+            retries: 0,
+            auth: None,
         }
     }
 
@@ -289,6 +344,40 @@ impl FetchRequest {
         self
     }
 
+    /// End-to-end deadline for the whole fetch, retries included. The
+    /// clock starts at [`send`](FetchRequest::send); the *remaining*
+    /// budget rides the v3 envelope so every hop (gateway, backend)
+    /// knows how much time is actually left, refuses work it cannot
+    /// finish (`TimedOut` to the caller), and caps its queue wait.
+    pub fn deadline(mut self, deadline: Duration) -> FetchRequest {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// [`deadline`](FetchRequest::deadline) in milliseconds (the wire
+    /// granularity).
+    pub fn deadline_ms(self, ms: u64) -> FetchRequest {
+        self.deadline(Duration::from_millis(ms))
+    }
+
+    /// Retry transport failures and `Overloaded` refusals up to `n`
+    /// extra attempts, each on a fresh connection, with capped
+    /// exponential backoff and jitter between attempts. Fetches are
+    /// idempotent reads, so a retry can never double-apply; attempts
+    /// stop early once a deadline's remaining budget cannot cover the
+    /// next backoff pause.
+    pub fn retries(mut self, n: u32) -> FetchRequest {
+        self.retries = n;
+        self
+    }
+
+    /// Tag the request with a shared-secret HMAC so servers configured
+    /// with the matching key accept it.
+    pub fn auth(mut self, key: AuthKey) -> FetchRequest {
+        self.auth = Some(key);
+        self
+    }
+
     /// The wire-level spec this builder describes.
     pub fn spec(&self) -> FetchSpec {
         let selector = match (self.tau, self.budget_bytes) {
@@ -310,13 +399,56 @@ impl FetchRequest {
     }
 
     /// One-shot fetch at an explicit scalar precision (`T = f32` for
-    /// datasets registered via `Catalog::insert_array_f32`).
+    /// datasets registered via `Catalog::insert_array_f32`), honouring
+    /// the builder's deadline and retry budget.
     pub fn send_as<T: Real>(&self, addr: impl ToSocketAddrs) -> io::Result<FetchOutcome<T>> {
+        let deadline = self.deadline.map(Deadline::new);
+        let mut attempt = 0u32;
+        loop {
+            match self.send_attempt::<T>(&addr, deadline.as_ref()) {
+                Ok(out) => return Ok(out),
+                Err(e) => {
+                    if attempt >= self.retries || !retryable(&e) {
+                        return Err(e);
+                    }
+                    let Some(pause) = retry_backoff(attempt, deadline.as_ref()) else {
+                        return Err(e); // not enough budget left to try again
+                    };
+                    std::thread::sleep(pause);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// One connect-and-exchange. With a deadline, socket reads/writes
+    /// are bounded by the remaining budget and the frame carries it so
+    /// the server can refuse work it cannot finish in time.
+    fn send_attempt<T: Real>(
+        &self,
+        addr: &impl ToSocketAddrs,
+        deadline: Option<&Deadline>,
+    ) -> io::Result<FetchOutcome<T>> {
         let mut stream = connect(addr)?;
-        protocol::write_request_versioned(
+        let mut deadline_ms = None;
+        if let Some(d) = deadline {
+            if d.expired() {
+                return Err(server_error(
+                    io::ErrorKind::TimedOut,
+                    "deadline expired before the request could be sent".into(),
+                ));
+            }
+            let rem = d.remaining();
+            stream.set_read_timeout(Some(rem))?;
+            stream.set_write_timeout(Some(rem))?;
+            deadline_ms = Some(d.remaining_ms());
+        }
+        protocol::write_request_framed(
             &mut stream,
             &Request::Fetch(self.spec()),
-            protocol::PROTOCOL_V1,
+            PROTOCOL_V1,
+            deadline_ms,
+            self.auth.as_ref(),
         )?;
         // Buffer the response side: header parsing is many small field
         // reads, one syscall each against a bare socket.
@@ -368,57 +500,15 @@ impl<T: Real> std::ops::Deref for FetchOutcome<T> {
     }
 }
 
-/// Fetch the smallest class prefix of `dataset` whose conservative L∞
-/// indicator is `<= tau` (`tau = 0.0` fetches every class).
-#[deprecated(note = "use FetchRequest::new(dataset).tau(tau).send(addr)")]
-pub fn fetch_tau(addr: impl ToSocketAddrs, dataset: &str, tau: f64) -> io::Result<FetchResult> {
-    Ok(FetchRequest::new(dataset).tau(tau).send(addr)?.result)
-}
-
-/// [`fetch_tau`] at an explicit scalar precision.
-#[deprecated(note = "use FetchRequest::new(dataset).tau(tau).send_as::<T>(addr)")]
-pub fn fetch_tau_as<T: Real>(
-    addr: impl ToSocketAddrs,
-    dataset: &str,
-    tau: f64,
-) -> io::Result<FetchResult<T>> {
-    Ok(FetchRequest::new(dataset)
-        .tau(tau)
-        .send_as::<T>(addr)?
-        .result)
-}
-
-/// Fetch the largest class prefix of `dataset` whose *encoded payload*
-/// (header and class framing included) fits `budget_bytes`.
-#[deprecated(note = "use FetchRequest::new(dataset).budget(bytes).send(addr)")]
-pub fn fetch_budget(
-    addr: impl ToSocketAddrs,
-    dataset: &str,
-    budget_bytes: u64,
-) -> io::Result<FetchResult> {
-    Ok(FetchRequest::new(dataset)
-        .budget(budget_bytes)
-        .send(addr)?
-        .result)
-}
-
-/// [`fetch_budget`] at an explicit scalar precision.
-#[deprecated(note = "use FetchRequest::new(dataset).budget(bytes).send_as::<T>(addr)")]
-pub fn fetch_budget_as<T: Real>(
-    addr: impl ToSocketAddrs,
-    dataset: &str,
-    budget_bytes: u64,
-) -> io::Result<FetchResult<T>> {
-    Ok(FetchRequest::new(dataset)
-        .budget(budget_bytes)
-        .send_as::<T>(addr)?
-        .result)
-}
-
 /// Fetch the server's counters.
 pub fn stats(addr: impl ToSocketAddrs) -> io::Result<StatsReport> {
+    stats_with(addr, None)
+}
+
+/// [`stats`], attaching a request tag when the server requires auth.
+pub fn stats_with(addr: impl ToSocketAddrs, auth: Option<&AuthKey>) -> io::Result<StatsReport> {
     let mut stream = connect(addr)?;
-    protocol::write_request(&mut stream, &Request::Stats)?;
+    protocol::write_request_framed(&mut stream, &Request::Stats, PROTOCOL_V1, None, auth)?;
     match protocol::read_response(&mut stream)?.0 {
         Response::Stats(report) => Ok(report),
         other => Err(response_error(other)),
@@ -427,8 +517,17 @@ pub fn stats(addr: impl ToSocketAddrs) -> io::Result<StatsReport> {
 
 /// Fetch the server's per-tenant QoS counters.
 pub fn tenant_stats(addr: impl ToSocketAddrs) -> io::Result<TenantStatsReport> {
+    tenant_stats_with(addr, None)
+}
+
+/// [`tenant_stats`], attaching a request tag when the server requires
+/// auth.
+pub fn tenant_stats_with(
+    addr: impl ToSocketAddrs,
+    auth: Option<&AuthKey>,
+) -> io::Result<TenantStatsReport> {
     let mut stream = connect(addr)?;
-    protocol::write_request(&mut stream, &Request::TenantStats)?;
+    protocol::write_request_framed(&mut stream, &Request::TenantStats, PROTOCOL_V1, None, auth)?;
     match protocol::read_response(&mut stream)?.0 {
         Response::TenantStats(report) => Ok(report),
         other => Err(response_error(other)),
@@ -437,8 +536,14 @@ pub fn tenant_stats(addr: impl ToSocketAddrs) -> io::Result<TenantStatsReport> {
 
 /// Ask the server to shut down gracefully; returns once acknowledged.
 pub fn shutdown(addr: impl ToSocketAddrs) -> io::Result<()> {
+    shutdown_with(addr, None)
+}
+
+/// [`shutdown`], attaching a request tag when the server requires auth —
+/// an authed deployment must not accept unauthenticated shutdowns.
+pub fn shutdown_with(addr: impl ToSocketAddrs, auth: Option<&AuthKey>) -> io::Result<()> {
     let mut stream = connect(addr)?;
-    protocol::write_request(&mut stream, &Request::Shutdown)?;
+    protocol::write_request_framed(&mut stream, &Request::Shutdown, PROTOCOL_V1, None, auth)?;
     match protocol::read_response(&mut stream)?.0 {
         Response::ShuttingDown => Ok(()),
         other => Err(response_error(other)),
@@ -451,11 +556,13 @@ pub fn shutdown(addr: impl ToSocketAddrs) -> io::Result<()> {
 pub enum RawFetch {
     /// Fetch accepted: header + payload, byte-for-byte as served.
     Fetch(FetchHeader, Vec<u8>),
-    /// The server answered `NotFound` / `BadRequest` / `Overloaded`.
-    /// After `NotFound` and `Overloaded` the connection remains usable
-    /// for further requests; after `BadRequest` the server closes it
-    /// (a request it could not parse means it no longer trusts the
-    /// stream to be frame-aligned) — do not reuse the connection.
+    /// The server answered `NotFound` / `BadRequest` / `Overloaded` /
+    /// `DeadlineExceeded` / `AuthFailure`. After `NotFound`,
+    /// `Overloaded`, and `DeadlineExceeded` the connection remains
+    /// usable for further requests; after `BadRequest` or `AuthFailure`
+    /// the server closes it (a request it could not parse or trust
+    /// means it no longer trusts the stream) — do not reuse the
+    /// connection.
     Refused(Response),
 }
 
@@ -472,6 +579,8 @@ pub struct Connection {
     /// which would otherwise each cost a syscall on the proxy hot path.
     reader: io::BufReader<TcpStream>,
     requests_sent: u64,
+    /// Tag every outgoing request with this key (v3 frames) when set.
+    auth: Option<AuthKey>,
 }
 
 impl Connection {
@@ -494,7 +603,14 @@ impl Connection {
             writer: stream,
             reader: io::BufReader::new(read_half),
             requests_sent: 0,
+            auth: None,
         })
+    }
+
+    /// Tag every request issued on this connection with `key` (servers
+    /// configured with the matching key reject everything else).
+    pub fn set_auth(&mut self, key: Option<AuthKey>) {
+        self.auth = key;
     }
 
     /// Bound the time any single read/write may block (e.g. a gateway
@@ -516,13 +632,20 @@ impl Connection {
     }
 
     /// Run a [`FetchRequest`] on this connection at an explicit scalar
-    /// precision.
+    /// precision. The request's deadline (if any) rides the envelope;
+    /// its retry budget does not apply here — a broken keep-alive
+    /// stream is not re-dialable from inside the connection, so
+    /// transport errors surface to the owner (e.g. a pool) to replace
+    /// the connection.
     pub fn fetch_as<T: Real>(&mut self, req: &FetchRequest) -> io::Result<FetchOutcome<T>> {
         self.requests_sent += 1;
-        protocol::write_request_versioned(
+        let deadline_ms = req.deadline.map(|d| Deadline::new(d).remaining_ms());
+        protocol::write_request_framed(
             &mut self.writer,
             &Request::Fetch(req.spec()),
             PROTOCOL_V2,
+            deadline_ms,
+            self.auth.as_ref(),
         )?;
         let header = read_fetch_header(&mut self.reader)?;
         let qos = header.qos;
@@ -530,40 +653,6 @@ impl Connection {
             result: read_payload(&mut self.reader, header)?,
             qos,
         })
-    }
-
-    /// Fetch by error bound on this connection (f64 datasets).
-    #[deprecated(note = "use Connection::fetch with a FetchRequest")]
-    pub fn fetch_tau(&mut self, dataset: &str, tau: f64) -> io::Result<FetchResult> {
-        Ok(self.fetch(&FetchRequest::new(dataset).tau(tau))?.result)
-    }
-
-    /// Fetch by error bound at an explicit scalar precision.
-    #[deprecated(note = "use Connection::fetch_as with a FetchRequest")]
-    pub fn fetch_tau_as<T: Real>(&mut self, dataset: &str, tau: f64) -> io::Result<FetchResult<T>> {
-        Ok(self
-            .fetch_as::<T>(&FetchRequest::new(dataset).tau(tau))?
-            .result)
-    }
-
-    /// Fetch by wire-byte budget on this connection (f64 datasets).
-    #[deprecated(note = "use Connection::fetch with a FetchRequest")]
-    pub fn fetch_budget(&mut self, dataset: &str, budget_bytes: u64) -> io::Result<FetchResult> {
-        Ok(self
-            .fetch(&FetchRequest::new(dataset).budget(budget_bytes))?
-            .result)
-    }
-
-    /// Fetch by wire-byte budget at an explicit scalar precision.
-    #[deprecated(note = "use Connection::fetch_as with a FetchRequest")]
-    pub fn fetch_budget_as<T: Real>(
-        &mut self,
-        dataset: &str,
-        budget_bytes: u64,
-    ) -> io::Result<FetchResult<T>> {
-        Ok(self
-            .fetch_as::<T>(&FetchRequest::new(dataset).budget(budget_bytes))?
-            .result)
     }
 
     /// Fetch without decoding: the response header plus the raw payload
@@ -578,16 +667,37 @@ impl Connection {
     /// (a socket read timeout and a served `Overloaded` both surface as
     /// `WouldBlock` through the decoding fetchers).
     pub fn fetch_raw(&mut self, req: &Request) -> io::Result<RawFetch> {
+        self.fetch_raw_deadline(req, None)
+    }
+
+    /// [`Connection::fetch_raw`] carrying a remaining-deadline budget on
+    /// the envelope: the peer refuses (with `DeadlineExceeded`, which
+    /// comes back as a reusable [`RawFetch::Refused`]) rather than
+    /// serving work the caller can no longer use.
+    pub fn fetch_raw_deadline(
+        &mut self,
+        req: &Request,
+        deadline: Option<&Deadline>,
+    ) -> io::Result<RawFetch> {
         self.requests_sent += 1;
-        protocol::write_request_versioned(&mut self.writer, req, PROTOCOL_V2)?;
+        let deadline_ms = deadline.map(|d| d.remaining_ms());
+        protocol::write_request_framed(
+            &mut self.writer,
+            req,
+            PROTOCOL_V2,
+            deadline_ms,
+            self.auth.as_ref(),
+        )?;
         match protocol::read_response(&mut self.reader)?.0 {
             Response::Fetch(header) => {
                 let raw = read_payload_raw(&mut self.reader, &header)?;
                 Ok(RawFetch::Fetch(header, raw))
             }
-            resp @ (Response::NotFound(_) | Response::BadRequest(_) | Response::Overloaded(_)) => {
-                Ok(RawFetch::Refused(resp))
-            }
+            resp @ (Response::NotFound(_)
+            | Response::BadRequest(_)
+            | Response::Overloaded(_)
+            | Response::DeadlineExceeded(_)
+            | Response::AuthFailure(_)) => Ok(RawFetch::Refused(resp)),
             other => Err(server_error(
                 io::ErrorKind::InvalidData,
                 format!("unexpected response {other:?}"),
@@ -598,7 +708,13 @@ impl Connection {
     /// Fetch the server's counters on this connection.
     pub fn stats(&mut self) -> io::Result<StatsReport> {
         self.requests_sent += 1;
-        protocol::write_request_versioned(&mut self.writer, &Request::Stats, PROTOCOL_V2)?;
+        protocol::write_request_framed(
+            &mut self.writer,
+            &Request::Stats,
+            PROTOCOL_V2,
+            None,
+            self.auth.as_ref(),
+        )?;
         match protocol::read_response(&mut self.reader)?.0 {
             Response::Stats(report) => Ok(report),
             other => Err(response_error(other)),
@@ -608,7 +724,13 @@ impl Connection {
     /// Fetch the server's per-tenant QoS counters on this connection.
     pub fn tenant_stats(&mut self) -> io::Result<TenantStatsReport> {
         self.requests_sent += 1;
-        protocol::write_request_versioned(&mut self.writer, &Request::TenantStats, PROTOCOL_V2)?;
+        protocol::write_request_framed(
+            &mut self.writer,
+            &Request::TenantStats,
+            PROTOCOL_V2,
+            None,
+            self.auth.as_ref(),
+        )?;
         match protocol::read_response(&mut self.reader)?.0 {
             Response::TenantStats(report) => Ok(report),
             other => Err(response_error(other)),
@@ -686,30 +808,106 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_answer() {
-        // The pre-FetchRequest surface stays for one release; it must
-        // keep returning the same bytes as the builder path.
+    fn deadline_fetches_succeed_with_budget_and_authed_servers_enforce_keys() {
         let cat = Catalog::new();
         cat.insert_array("d", &NdArray::from_fn(Shape::d2(9, 9), |i| i[0] as f64))
             .unwrap();
-        let server = Server::bind("127.0.0.1:0", cat, ServerConfig::default()).unwrap();
+        let key = AuthKey::from_secret(b"test cluster secret");
+        let config = ServerConfig {
+            auth: Some(key),
+            ..ServerConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", cat, config).unwrap();
         let addr = server.local_addr();
-        let via_tau = FetchRequest::new("d").tau(0.0).send(addr).unwrap();
-        let via_budget = FetchRequest::new("d").budget(u64::MAX).send(addr).unwrap();
-        assert_eq!(fetch_tau(addr, "d", 0.0).unwrap().raw, via_tau.raw);
-        assert_eq!(
-            fetch_budget(addr, "d", u64::MAX).unwrap().raw,
-            via_budget.raw
-        );
+
+        // Plenty of budget + the right key: served normally, and the
+        // bytes match an unconstrained authed fetch.
+        let plain = FetchRequest::new("d").tau(0.0).auth(key);
+        let baseline = plain.clone().send(addr).unwrap();
+        let with_deadline = plain
+            .clone()
+            .deadline(Duration::from_secs(10))
+            .send(addr)
+            .unwrap();
+        assert_eq!(with_deadline.raw, baseline.raw);
+
+        // No key (or the wrong key): PermissionDenied, not a hang.
+        let err = FetchRequest::new("d").tau(0.0).send(addr).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        let err = FetchRequest::new("d")
+            .tau(0.0)
+            .auth(AuthKey::from_secret(b"wrong"))
+            .send(addr)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+
+        // Keep-alive connections tag per-request once the key is set.
         let mut conn = Connection::open(addr).unwrap();
-        assert_eq!(conn.fetch_tau("d", 0.0).unwrap().raw, via_tau.raw);
-        assert_eq!(
-            conn.fetch_budget("d", u64::MAX).unwrap().raw,
-            via_budget.raw
-        );
+        conn.set_auth(Some(key));
+        let via_conn = conn.fetch(&plain).unwrap();
+        assert_eq!(via_conn.raw, baseline.raw);
         drop(conn);
         server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn retries_recover_from_a_backend_that_starts_late() {
+        // No listener yet: the first attempts are refused; the backend
+        // comes up while the client is still inside its retry budget.
+        let cat = Catalog::new();
+        cat.insert_array(
+            "d",
+            &NdArray::from_fn(Shape::d1(17), |i| (i[0] as f64 * 0.37).sin()),
+        )
+        .unwrap();
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe); // free the port; refused until the server binds it
+        let starter = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            Server::bind(addr, cat, ServerConfig::default()).unwrap()
+        });
+        let got = FetchRequest::new("d")
+            .tau(0.0)
+            .retries(8)
+            .deadline(Duration::from_secs(10))
+            .send(addr)
+            .unwrap();
+        assert_eq!(got.classes_sent, got.total_classes);
+        starter.join().unwrap().shutdown().unwrap();
+
+        // Zero retries against a dead port fails immediately.
+        let err = FetchRequest::new("d").tau(0.0).send(addr).unwrap_err();
+        assert!(retryable(&err), "{err:?} should be a retryable kind");
+    }
+
+    #[test]
+    fn an_expired_deadline_is_refused_as_timed_out() {
+        let cat = Catalog::new();
+        cat.insert_array("d", &NdArray::from_fn(Shape::d1(17), |i| i[0] as f64))
+            .unwrap();
+        let server = Server::bind("127.0.0.1:0", cat, ServerConfig::default()).unwrap();
+        let addr = server.local_addr();
+        // A 1ms budget burned before send: the client itself refuses.
+        let req = FetchRequest::new("d").tau(0.0).deadline(Duration::ZERO);
+        let err = req.send(addr).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        // Over the wire: a frame arriving with zero remaining budget is
+        // refused by the server with the dedicated status.
+        let mut s = connect(addr).unwrap();
+        protocol::write_request_framed(
+            &mut s,
+            &Request::Fetch(FetchRequest::new("d").tau(0.0).spec()),
+            PROTOCOL_V1,
+            Some(0),
+            None,
+        )
+        .unwrap();
+        let (resp, _) = protocol::read_response(&mut s).unwrap();
+        assert!(matches!(resp, Response::DeadlineExceeded(_)), "{resp:?}");
+        drop(s);
+        let stats = server.shutdown().unwrap();
+        assert!(stats.requests >= 1);
     }
 
     #[test]

@@ -56,6 +56,7 @@
 //! server.shutdown().unwrap();
 //! ```
 
+pub mod auth;
 pub mod catalog;
 pub mod client;
 pub mod ops;
@@ -63,8 +64,9 @@ pub mod protocol;
 pub mod qos;
 pub mod server;
 
+pub use auth::AuthKey;
 pub use catalog::{ByteLru, Catalog, ClassData, Dataset};
 pub use client::{Connection, FetchOutcome, FetchProgress, FetchRequest, FetchResult, RawFetch};
-pub use protocol::{Priority, Request, StatsReport, TenantStatsReport};
+pub use protocol::{Deadline, Envelope, Priority, Request, StatsReport, TenantStatsReport};
 pub use qos::{DegradePolicy, FairScheduler, QosConfig};
 pub use server::{Server, ServerConfig, ServerStats};

@@ -5,7 +5,9 @@
 //! so [`dispatch_ops`] hands fetches back to the caller and fully
 //! handles everything else.
 
-use crate::protocol::{self, FetchSpec, Request, Response, StatsReport, TenantStatsReport};
+use crate::protocol::{
+    self, Envelope, FetchSpec, Request, Response, StatsReport, TenantStatsReport,
+};
 use crate::server::ConnAction;
 use std::io::{self, Write};
 
@@ -27,50 +29,58 @@ pub enum Dispatched {
     /// should take this action.
     Done(ConnAction),
     /// A fetch, which only the tier itself can serve, under the given
-    /// protocol version.
-    Fetch(FetchSpec, u16),
+    /// envelope (protocol version + deadline).
+    Fetch(FetchSpec, Envelope),
 }
 
 /// Answer every op a tier handles identically — stats, tenant stats,
 /// shutdown, and parse errors — and hand fetches back to the caller.
 ///
-/// Keep-alive follows the protocol rule: a successfully answered v2
+/// Keep-alive follows the protocol rule: a successfully answered v2+
 /// request parks the connection, anything else closes it. A parse error
 /// closes regardless of version (the stream is no longer frame-aligned)
-/// and is answered with a v1 `BadRequest` envelope. A shutdown op is
-/// acked (response flushed *before* sockets start closing) and closes.
+/// and is answered with a v1 `BadRequest` envelope — or `AuthFailure`
+/// when the error is the reader's `PermissionDenied` (missing/bad auth
+/// tag). A shutdown op is acked (response flushed *before* sockets
+/// start closing) and closes.
 pub fn dispatch_ops<W: Write>(
     host: &impl OpsHost,
-    parsed: io::Result<(Request, u16)>,
+    parsed: io::Result<(Request, Envelope)>,
     writer: &mut W,
 ) -> Dispatched {
     let keep_alive = match parsed {
-        Ok((Request::Fetch(spec), version)) => return Dispatched::Fetch(spec, version),
-        Ok((Request::Stats, version)) => {
+        Ok((Request::Fetch(spec), env)) => return Dispatched::Fetch(spec, env),
+        Ok((Request::Stats, env)) => {
             let r = protocol::write_response_versioned(
                 writer,
                 &Response::Stats(host.stats_report()),
-                version,
+                env.version,
             );
-            r.is_ok() && version >= protocol::PROTOCOL_V2
+            r.is_ok() && env.version >= protocol::PROTOCOL_V2
         }
-        Ok((Request::TenantStats, version)) => {
+        Ok((Request::TenantStats, env)) => {
             let r = protocol::write_response_versioned(
                 writer,
                 &Response::TenantStats(host.tenant_stats_report()),
-                version,
+                env.version,
             );
-            r.is_ok() && version >= protocol::PROTOCOL_V2
+            r.is_ok() && env.version >= protocol::PROTOCOL_V2
         }
-        Ok((Request::Shutdown, version)) => {
-            let _ = protocol::write_response_versioned(writer, &Response::ShuttingDown, version)
-                .and_then(|()| writer.flush()); // ack before sockets close
+        Ok((Request::Shutdown, env)) => {
+            let _ =
+                protocol::write_response_versioned(writer, &Response::ShuttingDown, env.version)
+                    .and_then(|()| writer.flush()); // ack before sockets close
             host.begin_shutdown();
             false
         }
         Err(e) => {
             host.note_bad_request();
-            let _ = protocol::write_response(writer, &Response::BadRequest(e.to_string()));
+            let resp = if e.kind() == io::ErrorKind::PermissionDenied {
+                Response::AuthFailure(e.to_string())
+            } else {
+                Response::BadRequest(e.to_string())
+            };
+            let _ = protocol::write_response(writer, &resp);
             false
         }
     };

@@ -1,7 +1,7 @@
 //! The length-prefixed wire protocol between `mg-serve` clients and
 //! servers.
 //!
-//! Two connection modes, negotiated per request by the envelope version:
+//! Three envelope versions, negotiated per request:
 //!
 //! * **v1 — one-shot** (HTTP/1.0 style): one request, one response, the
 //!   server closes the connection. Trivially robust under a worker pool.
@@ -10,11 +10,25 @@
 //!   closes, the idle timeout fires, or a shutdown op arrives. The
 //!   response envelope echoes the request's version, so a client can
 //!   confirm the server agreed to keep the connection open.
+//! * **v3 — keep-alive with envelope extensions**: a flags byte follows
+//!   the version, optionally carrying a **deadline** (`deadline_ms u32`,
+//!   the remaining budget the sender grants this request; servers refuse
+//!   work they cannot finish in time with `status 8 deadline_exceeded`)
+//!   and/or an **auth tag** (`body_len u32 | tag [u8;16]`, a truncated
+//!   HMAC-SHA256 over `version | flags | deadline | body` under the
+//!   shared [`crate::auth::AuthKey`]; servers configured with a key
+//!   reject untagged or mis-tagged requests with `status 9
+//!   auth_failure`). Writers emit v3 **only** when a deadline or key is
+//!   present, so default frames stay byte-identical to v1/v2.
 //!
-//! Frames are identical in both versions. All integers are little-endian.
+//! Ops and statuses are identical in all versions. All integers are
+//! little-endian.
 //!
 //! ```text
-//! request:  magic u32 "MGRQ" | version u16 (1 or 2) | op u8
+//! request:  magic u32 "MGRQ" | version u16 (1, 2 or 3)
+//!           v3 only: flags u8 | [deadline_ms u32 if flags&1]
+//!                    | [body_len u32 | tag [u8;16] if flags&2]
+//!           op u8
 //!           op 0 (fetch, τ):      name_len u16 | name | tau f64
 //!           op 1 (fetch, budget): name_len u16 | name | budget u64
 //!           op 2 (stats):         —
@@ -46,7 +60,15 @@
 //!                                 | tenant | requests u64 | fetches u64
 //!                                 | degraded u64 | shed u64
 //!                                 | payload_bytes u64 | queue_wait_us u64 }
+//!           status 8 (deadline exceeded) / 9 (auth failure):
+//!                                 msg_len u16 | msg
 //! ```
+//!
+//! Response envelopes never carry flags — deadline and tag are
+//! request-side only; the response simply echoes the request's version.
+//! `status 8` keeps a v2/v3 connection open (the request was refused, not
+//! the connection); `status 9` is answered and then the server closes,
+//! since an unauthenticated peer gets no further service.
 //!
 //! The fetch payload is byte-for-byte the output of
 //! `mg_refactor::serialize::encode_prefix` at the class count the server
@@ -81,8 +103,10 @@
 //! reflects the classes actually sent, so the client sees exactly what it
 //! got.
 
+use crate::auth::{AuthKey, TAG_LEN};
 use mg_io::TransferCost;
 use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
 
 /// Request magic (`"MGRQ"`).
 pub const REQUEST_MAGIC: u32 = u32::from_le_bytes(*b"MGRQ");
@@ -92,8 +116,18 @@ pub const RESPONSE_MAGIC: u32 = u32::from_le_bytes(*b"MGRP");
 pub const PROTOCOL_V1: u16 = 1;
 /// Keep-alive protocol version (N requests per connection).
 pub const PROTOCOL_V2: u16 = 2;
+/// Keep-alive with envelope extensions: deadline propagation and an
+/// optional HMAC auth tag. Emitted only when one of those is present.
+pub const PROTOCOL_V3: u16 = 3;
 /// Highest protocol version spoken by this crate.
-pub const PROTOCOL_VERSION: u16 = PROTOCOL_V2;
+pub const PROTOCOL_VERSION: u16 = PROTOCOL_V3;
+/// v3 envelope flag: a `deadline_ms u32` follows the flags byte.
+pub const FLAG_DEADLINE: u8 = 1;
+/// v3 envelope flag: the op+body is length-prefixed and HMAC-tagged.
+pub const FLAG_AUTH: u8 = 2;
+const KNOWN_FLAGS: u8 = FLAG_DEADLINE | FLAG_AUTH;
+/// Cap on the length-prefixed body of an authenticated (v3) request.
+pub const MAX_V3_BODY: usize = 64 * 1024;
 /// Upper bound on dataset-name length (also bounds error messages and
 /// tenant ids).
 pub const MAX_NAME_LEN: usize = 4096;
@@ -229,6 +263,85 @@ impl FetchSpec {
     }
 }
 
+/// Per-request envelope metadata a server learns while parsing: the
+/// protocol version spoken (which the response must echo) and the v3
+/// extension fields, if any.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// Protocol version of the request frame.
+    pub version: u16,
+    /// Remaining deadline budget granted by the sender, wire form.
+    pub deadline_ms: Option<u32>,
+    /// Whether the frame carried a verified (or unverifiable-but-present,
+    /// on keyless servers) auth tag.
+    pub authed: bool,
+}
+
+impl Envelope {
+    /// A plain v1/v2 envelope with no extensions.
+    pub fn bare(version: u16) -> Envelope {
+        Envelope {
+            version,
+            deadline_ms: None,
+            authed: false,
+        }
+    }
+
+    /// The deadline budget as a [`Duration`], if one was sent.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline_ms.map(|ms| Duration::from_millis(ms as u64))
+    }
+}
+
+/// A request deadline: a fixed budget measured from a start instant.
+/// Each tier re-anchors one when the request arrives, spends elapsed
+/// time locally, and forwards only the remainder downstream.
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline {
+    start: Instant,
+    budget: Duration,
+}
+
+impl Deadline {
+    /// Start the clock now on a budget.
+    pub fn new(budget: Duration) -> Deadline {
+        Deadline {
+            start: Instant::now(),
+            budget,
+        }
+    }
+
+    /// Start the clock now on a wire-format budget.
+    pub fn from_ms(ms: u32) -> Deadline {
+        Deadline::new(Duration::from_millis(ms as u64))
+    }
+
+    /// The full budget this deadline was created with.
+    pub fn budget(&self) -> Duration {
+        self.budget
+    }
+
+    /// Budget not yet spent (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.budget.saturating_sub(self.start.elapsed())
+    }
+
+    pub fn expired(&self) -> bool {
+        self.remaining().is_zero()
+    }
+
+    /// Remaining budget as wire milliseconds: at least 1 while unexpired
+    /// (so a sub-millisecond remainder still propagates as a deadline),
+    /// 0 once expired.
+    pub fn remaining_ms(&self) -> u32 {
+        let rem = self.remaining();
+        if rem.is_zero() {
+            return 0;
+        }
+        rem.as_millis().clamp(1, u32::MAX as u128) as u32
+    }
+}
+
 /// One client request.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
@@ -354,12 +467,22 @@ pub enum Response {
     Overloaded(String),
     /// Per-tenant QoS counters.
     TenantStats(TenantStatsReport),
+    /// The request's deadline expired (or would expire) before the work
+    /// could finish; nothing was served. The connection stays usable.
+    DeadlineExceeded(String),
+    /// The request lacked a valid auth tag on a server that requires
+    /// one. The server closes the connection after this response.
+    AuthFailure(String),
 }
 
 // --- primitive helpers ------------------------------------------------
 
 fn bad_data(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn auth_err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::PermissionDenied, msg.into())
 }
 
 fn read_array<const N: usize>(r: &mut impl Read) -> io::Result<[u8; N]> {
@@ -444,7 +567,7 @@ fn check_envelope(r: &mut impl Read, magic: u32, what: &str) -> io::Result<u16> 
         return Err(bad_data(format!("bad {what} magic 0x{got:08X}")));
     }
     let version = read_u16(r)?;
-    if version != PROTOCOL_V1 && version != PROTOCOL_V2 {
+    if !(PROTOCOL_V1..=PROTOCOL_V3).contains(&version) {
         return Err(bad_data(format!("unsupported {what} version {version}")));
     }
     Ok(version)
@@ -460,9 +583,64 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
 /// Serialize and send one request under an explicit protocol version
 /// ([`PROTOCOL_V1`] = one-shot, [`PROTOCOL_V2`] = keep-alive).
 pub fn write_request_versioned(w: &mut impl Write, req: &Request, version: u16) -> io::Result<()> {
-    let mut buf = Vec::with_capacity(96);
+    write_request_framed(w, req, version, None, None)
+}
+
+/// Serialize and send one request with optional envelope extensions.
+/// Without a deadline or key this is exactly
+/// [`write_request_versioned`] — byte-identical legacy v1/v2 frames;
+/// with either, the frame is a v3 envelope (keep-alive semantics) and
+/// `version` is ignored.
+pub fn write_request_framed(
+    w: &mut impl Write,
+    req: &Request,
+    version: u16,
+    deadline_ms: Option<u32>,
+    key: Option<&AuthKey>,
+) -> io::Result<()> {
+    let body = encode_request_body(req)?;
+    let mut buf = Vec::with_capacity(body.len() + 32);
     buf.extend_from_slice(&REQUEST_MAGIC.to_le_bytes());
-    buf.extend_from_slice(&version.to_le_bytes());
+    if deadline_ms.is_none() && key.is_none() {
+        buf.extend_from_slice(&version.to_le_bytes());
+        buf.extend_from_slice(&body);
+        w.write_all(&buf)?;
+        return w.flush();
+    }
+    if body.len() > MAX_V3_BODY {
+        return Err(bad_data(format!(
+            "request body {} exceeds v3 cap",
+            body.len()
+        )));
+    }
+    let mut flags = 0u8;
+    if deadline_ms.is_some() {
+        flags |= FLAG_DEADLINE;
+    }
+    if key.is_some() {
+        flags |= FLAG_AUTH;
+    }
+    buf.extend_from_slice(&PROTOCOL_V3.to_le_bytes());
+    buf.push(flags);
+    let deadline_bytes = deadline_ms.map(|ms| ms.to_le_bytes());
+    if let Some(db) = &deadline_bytes {
+        buf.extend_from_slice(db);
+    }
+    if let Some(key) = key {
+        buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        let dl: &[u8] = deadline_bytes.as_ref().map_or(&[], |db| db);
+        let tag = key.tag(&[&PROTOCOL_V3.to_le_bytes(), &[flags], dl, &body]);
+        buf.extend_from_slice(&tag);
+    }
+    buf.extend_from_slice(&body);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Serialize the op byte + body of a request (everything after the
+/// envelope, shared by every envelope version).
+fn encode_request_body(req: &Request) -> io::Result<Vec<u8>> {
+    let mut buf = Vec::with_capacity(64);
     match req {
         Request::Fetch(spec) => {
             // Default-QoS τ/budget fetches ride the legacy ops, so old
@@ -507,14 +685,90 @@ pub fn write_request_versioned(w: &mut impl Write, req: &Request, version: u16) 
         Request::Shutdown => buf.push(3),
         Request::TenantStats => buf.push(5),
     }
-    w.write_all(&buf)?;
-    w.flush()
+    Ok(buf)
 }
 
-/// Read and validate one request; returns the request and the protocol
-/// version the client spoke (which the response must echo).
-pub fn read_request(r: &mut impl Read) -> io::Result<(Request, u16)> {
+/// Read and validate one request on a keyless server; returns the
+/// request and its envelope (whose version the response must echo).
+pub fn read_request(r: &mut impl Read) -> io::Result<(Request, Envelope)> {
+    read_request_keyed(r, None)
+}
+
+/// Read and validate one request, enforcing authentication when `key`
+/// is `Some`: v1/v2 and untagged v3 frames are rejected with a
+/// `PermissionDenied` error, as are frames whose tag fails constant-time
+/// verification. A keyless server accepts tagged frames without
+/// verifying them.
+pub fn read_request_keyed(
+    r: &mut impl Read,
+    key: Option<&AuthKey>,
+) -> io::Result<(Request, Envelope)> {
     let version = check_envelope(r, REQUEST_MAGIC, "request")?;
+    if version < PROTOCOL_V3 {
+        if key.is_some() {
+            return Err(auth_err("authentication required"));
+        }
+        let req = read_request_ops(r)?;
+        return Ok((req, Envelope::bare(version)));
+    }
+    let flags = read_u8(r)?;
+    if flags & !KNOWN_FLAGS != 0 {
+        return Err(bad_data(format!("unknown v3 envelope flags 0x{flags:02x}")));
+    }
+    let mut deadline_ms = None;
+    let mut deadline_bytes = [0u8; 4];
+    if flags & FLAG_DEADLINE != 0 {
+        deadline_bytes = read_array(r)?;
+        deadline_ms = Some(u32::from_le_bytes(deadline_bytes));
+    }
+    if flags & FLAG_AUTH == 0 {
+        if key.is_some() {
+            return Err(auth_err("authentication required"));
+        }
+        let req = read_request_ops(r)?;
+        return Ok((
+            req,
+            Envelope {
+                version,
+                deadline_ms,
+                authed: false,
+            },
+        ));
+    }
+    let body_len = read_u32(r)? as usize;
+    if body_len > MAX_V3_BODY {
+        return Err(bad_data(format!("v3 body length {body_len} exceeds cap")));
+    }
+    let tag: [u8; TAG_LEN] = read_array(r)?;
+    let mut body = vec![0u8; body_len];
+    r.read_exact(&mut body)?;
+    if let Some(key) = key {
+        let dl: &[u8] = if flags & FLAG_DEADLINE != 0 {
+            &deadline_bytes
+        } else {
+            &[]
+        };
+        if !key.verify(&[&PROTOCOL_V3.to_le_bytes(), &[flags], dl, &body], &tag) {
+            return Err(auth_err("request tag verification failed"));
+        }
+    }
+    let mut s = body.as_slice();
+    let req = read_request_ops(&mut s)?;
+    if !s.is_empty() {
+        return Err(bad_data("trailing bytes after authenticated body"));
+    }
+    Ok((
+        req,
+        Envelope {
+            version,
+            deadline_ms,
+            authed: true,
+        },
+    ))
+}
+
+/// Parse the op byte + body of a request (everything after the envelope).
+fn read_request_ops(r: &mut impl Read) -> io::Result<Request> {
     let req = match read_u8(r)? {
         0 => {
             let dataset = read_string(r)?;
@@ -553,7 +807,7 @@ pub fn read_request(r: &mut impl Read) -> io::Result<(Request, u16)> {
         5 => Request::TenantStats,
         op => return Err(bad_data(format!("unknown op {op}"))),
     };
-    Ok((req, version))
+    Ok(req)
 }
 
 // --- responses --------------------------------------------------------
@@ -641,6 +895,14 @@ pub fn write_response_versioned(
                 }
             }
         }
+        Response::DeadlineExceeded(msg) => {
+            buf.push(8);
+            put_string(&mut buf, truncate_msg(msg))?;
+        }
+        Response::AuthFailure(msg) => {
+            buf.push(9);
+            put_string(&mut buf, truncate_msg(msg))?;
+        }
     }
     w.write_all(&buf)
 }
@@ -719,6 +981,8 @@ pub fn read_response(r: &mut impl Read) -> io::Result<(Response, u16)> {
             }
             Response::TenantStats(TenantStatsReport { tenants })
         }
+        8 => Response::DeadlineExceeded(read_string(r)?),
+        9 => Response::AuthFailure(read_string(r)?),
         status => return Err(bad_data(format!("unknown status {status}"))),
     };
     Ok((resp, version))
@@ -732,9 +996,11 @@ mod tests {
         for version in [PROTOCOL_V1, PROTOCOL_V2] {
             let mut buf = Vec::new();
             write_request_versioned(&mut buf, &req, version).unwrap();
-            let (back, ver) = read_request(&mut buf.as_slice()).unwrap();
+            let (back, env) = read_request(&mut buf.as_slice()).unwrap();
             assert_eq!(back, req);
-            assert_eq!(ver, version, "envelope version must round-trip");
+            assert_eq!(env.version, version, "envelope version must round-trip");
+            assert_eq!(env.deadline_ms, None);
+            assert!(!env.authed);
         }
     }
 
@@ -824,7 +1090,7 @@ mod tests {
     }
 
     fn round_trip_response(resp: Response) {
-        for version in [PROTOCOL_V1, PROTOCOL_V2] {
+        for version in [PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_V3] {
             let mut buf = Vec::new();
             write_response_versioned(&mut buf, &resp, version).unwrap();
             let (back, ver) = read_response(&mut buf.as_slice()).unwrap();
@@ -860,6 +1126,8 @@ mod tests {
         }));
         round_trip_response(Response::ShuttingDown);
         round_trip_response(Response::Overloaded("queue full, retry".into()));
+        round_trip_response(Response::DeadlineExceeded("12ms left, need ~40ms".into()));
+        round_trip_response(Response::AuthFailure("authentication required".into()));
     }
 
     #[test]
@@ -904,12 +1172,143 @@ mod tests {
 
     #[test]
     fn unknown_versions_rejected() {
+        // v3 became a valid envelope in PR 8, so the first unknown
+        // version is now 4.
         let mut buf = Vec::new();
-        write_request_versioned(&mut buf, &Request::Stats, 3).unwrap();
+        write_request_versioned(&mut buf, &Request::Stats, 4).unwrap();
         assert!(read_request(&mut buf.as_slice()).is_err());
+        for bad in [0u16, 4] {
+            let mut buf = Vec::new();
+            write_response_versioned(&mut buf, &Response::ShuttingDown, bad).unwrap();
+            assert!(read_response(&mut buf.as_slice()).is_err());
+        }
+    }
+
+    #[test]
+    fn framed_without_extensions_is_byte_identical_to_versioned() {
+        let req = Request::Fetch(FetchSpec::tau("compat", 0.5));
+        for version in [PROTOCOL_V1, PROTOCOL_V2] {
+            let mut legacy = Vec::new();
+            write_request_versioned(&mut legacy, &req, version).unwrap();
+            let mut framed = Vec::new();
+            write_request_framed(&mut framed, &req, version, None, None).unwrap();
+            assert_eq!(legacy, framed, "no-extension frames must stay legacy");
+        }
+    }
+
+    #[test]
+    fn v3_deadline_round_trips() {
+        let req = Request::Fetch(FetchSpec::tau("d", 1e-3));
         let mut buf = Vec::new();
-        write_response_versioned(&mut buf, &Response::ShuttingDown, 0).unwrap();
-        assert!(read_response(&mut buf.as_slice()).is_err());
+        write_request_framed(&mut buf, &req, PROTOCOL_V2, Some(1500), None).unwrap();
+        assert_eq!(buf[4..6], PROTOCOL_V3.to_le_bytes(), "deadline forces v3");
+        let (back, env) = read_request(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(env.version, PROTOCOL_V3);
+        assert_eq!(env.deadline_ms, Some(1500));
+        assert_eq!(env.deadline(), Some(Duration::from_millis(1500)));
+        assert!(!env.authed);
+    }
+
+    #[test]
+    fn v3_auth_round_trips_and_rejects_tampering() {
+        let key = AuthKey::from_secret(b"cluster secret");
+        let req = Request::Fetch(FetchSpec {
+            dataset: "secure".into(),
+            selector: Selector::Budget(4096),
+            qos: QosSpec {
+                tenant: "team-a".into(),
+                ..QosSpec::default()
+            },
+        });
+        let mut buf = Vec::new();
+        write_request_framed(&mut buf, &req, PROTOCOL_V2, Some(900), Some(&key)).unwrap();
+
+        // The right key verifies and parses.
+        let (back, env) = read_request_keyed(&mut buf.as_slice(), Some(&key)).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(env.deadline_ms, Some(900));
+        assert!(env.authed);
+        // A keyless reader accepts the tagged frame without verifying.
+        assert!(read_request(&mut buf.as_slice()).is_ok());
+
+        // Tampering anywhere under the tag — deadline, tag itself, or
+        // body — must fail closed with PermissionDenied.
+        let tag_start = 4 + 2 + 1 + 4 + 4; // magic|ver|flags|deadline|body_len
+        for tamper in [7usize, tag_start, tag_start + TAG_LEN, buf.len() - 1] {
+            let mut bad = buf.clone();
+            bad[tamper] ^= 0x20;
+            let err = read_request_keyed(&mut bad.as_slice(), Some(&key)).unwrap_err();
+            assert_eq!(
+                err.kind(),
+                io::ErrorKind::PermissionDenied,
+                "tamper at byte {tamper}: {err}"
+            );
+        }
+
+        // The wrong key fails, as do untagged frames of any version.
+        let wrong = AuthKey::from_secret(b"not the secret");
+        assert_eq!(
+            read_request_keyed(&mut buf.as_slice(), Some(&wrong))
+                .unwrap_err()
+                .kind(),
+            io::ErrorKind::PermissionDenied
+        );
+        for untagged in [
+            {
+                let mut b = Vec::new();
+                write_request_versioned(&mut b, &req, PROTOCOL_V2).unwrap();
+                b
+            },
+            {
+                let mut b = Vec::new();
+                write_request_framed(&mut b, &req, PROTOCOL_V2, Some(900), None).unwrap();
+                b
+            },
+        ] {
+            assert_eq!(
+                read_request_keyed(&mut untagged.as_slice(), Some(&key))
+                    .unwrap_err()
+                    .kind(),
+                io::ErrorKind::PermissionDenied
+            );
+        }
+    }
+
+    #[test]
+    fn v3_unknown_flags_and_oversized_bodies_rejected() {
+        let req = Request::Stats;
+        let mut buf = Vec::new();
+        write_request_framed(&mut buf, &req, PROTOCOL_V2, Some(5), None).unwrap();
+        buf[6] |= 0x80; // an undefined flag bit
+        assert!(read_request(&mut buf.as_slice()).is_err());
+
+        let key = AuthKey::from_secret(b"k");
+        let mut buf = Vec::new();
+        write_request_framed(&mut buf, &req, PROTOCOL_V2, None, Some(&key)).unwrap();
+        // Inflate the body length past the cap: flags byte at 6, then len.
+        buf[7..11].copy_from_slice(&(MAX_V3_BODY as u32 + 1).to_le_bytes());
+        assert!(read_request_keyed(&mut buf.as_slice(), Some(&key)).is_err());
+    }
+
+    #[test]
+    fn v3_frames_error_cleanly_on_truncation() {
+        let key = AuthKey::from_secret(b"k");
+        let mut buf = Vec::new();
+        write_request_framed(
+            &mut buf,
+            &Request::Fetch(FetchSpec::tau("d", 0.1)),
+            PROTOCOL_V2,
+            Some(250),
+            Some(&key),
+        )
+        .unwrap();
+        for cut in 0..buf.len() {
+            assert!(
+                read_request_keyed(&mut &buf[..cut], Some(&key)).is_err(),
+                "cut at {cut}"
+            );
+        }
     }
 
     #[test]

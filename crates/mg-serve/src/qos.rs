@@ -248,6 +248,23 @@ impl FairScheduler {
     /// to [`QosConfig::queue_timeout`]; returns [`Admission::Shed`] if
     /// the queue is full or the wait times out.
     pub fn admit(&self, tenant: &str, priority: Priority) -> Admission<'_> {
+        self.admit_within(tenant, priority, None)
+    }
+
+    /// [`FairScheduler::admit`] with the queue wait additionally capped
+    /// by `cap` (a request deadline's remaining budget): the effective
+    /// timeout is the smaller of `cap` and
+    /// [`QosConfig::queue_timeout`]. `None` means no extra cap.
+    pub fn admit_within(
+        &self,
+        tenant: &str,
+        priority: Priority,
+        cap: Option<Duration>,
+    ) -> Admission<'_> {
+        let timeout = match cap {
+            Some(cap) => cap.min(self.config.queue_timeout),
+            None => self.config.queue_timeout,
+        };
         let weight = self.config.weights[priority.index()].max(1) as u64;
         let mut st = self.state.lock().expect("qos lock");
         {
@@ -318,7 +335,7 @@ impl FairScheduler {
                 };
             }
             let waited = start.elapsed();
-            if waited >= self.config.queue_timeout {
+            if waited >= timeout {
                 st.queue.remove(&(tag, seq));
                 st.tenants.entry(tenant.to_string()).or_default().stats.shed += 1;
                 drop(st);
@@ -328,7 +345,7 @@ impl FairScheduler {
             }
             let (guard, _) = self
                 .cv
-                .wait_timeout(st, self.config.queue_timeout - waited)
+                .wait_timeout(st, timeout - waited)
                 .expect("qos lock");
             st = guard;
         }

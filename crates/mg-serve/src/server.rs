@@ -10,11 +10,12 @@
 //! concurrent keep-alive peers (e.g. a gateway's pool), and rely on
 //! `ServerConfig::io_timeout` to reclaim workers from idle peers.
 
+use crate::auth::AuthKey;
 use crate::catalog::{Catalog, PrefixCache};
 use crate::ops::{self, Dispatched, OpsHost};
 use crate::protocol::{
-    self, FetchHeader, FetchQosInfo, FetchSpec, Request, Response, Selector, StatsReport,
-    TenantStatsReport, PROTOCOL_V2,
+    self, Deadline, Envelope, FetchHeader, FetchQosInfo, FetchSpec, Request, Response, Selector,
+    StatsReport, TenantStatsReport, PROTOCOL_V2,
 };
 use crate::qos::{Admission, FairScheduler, QosConfig};
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -40,6 +41,11 @@ pub struct ServerConfig {
     /// `qos.max_concurrent` to bound concurrent fetch service and let
     /// queue pressure degrade fidelity per [`QosConfig`].
     pub qos: QosConfig,
+    /// Shared-secret request authentication: when set, every request
+    /// must carry a valid v3 HMAC tag or it is answered with
+    /// `auth_failure` and the connection closes. `None` (the default)
+    /// accepts everything, tagged or not.
+    pub auth: Option<AuthKey>,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +55,7 @@ impl Default for ServerConfig {
             cache_bytes: 64 << 20,
             io_timeout: Some(Duration::from_secs(30)),
             qos: QosConfig::default(),
+            auth: None,
         }
     }
 }
@@ -70,6 +77,9 @@ pub struct ServerStats {
     pub cache_hits: u64,
     /// Prefix-cache misses.
     pub cache_misses: u64,
+    /// Fetches refused because their deadline budget was already spent
+    /// (queue wait included) before service could start.
+    pub deadline_exceeded: u64,
     /// Mean request latency.
     pub mean_latency: Duration,
     /// Worst request latency.
@@ -82,6 +92,7 @@ struct Counters {
     fetches: AtomicU64,
     not_found: AtomicU64,
     bad_requests: AtomicU64,
+    deadline_exceeded: AtomicU64,
     payload_bytes: AtomicU64,
     latency_ns_total: AtomicU64,
     latency_ns_max: AtomicU64,
@@ -157,6 +168,17 @@ pub struct Server {
     workers: Vec<JoinHandle<()>>,
 }
 
+/// Per-server fault-injection handle: empty unless built with the
+/// `faults` feature *and* the server was started via
+/// [`Server::bind_faulted`]. Keeping the type around unconditionally
+/// (zero-sized without the feature) lets the accept path stay identical
+/// in both builds.
+#[derive(Clone, Default)]
+struct FaultsHandle {
+    #[cfg(feature = "faults")]
+    injector: Option<mg_faults::Injector>,
+}
+
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
     /// accepting. The catalog is shared: datasets registered on a clone
@@ -165,6 +187,37 @@ impl Server {
         addr: impl ToSocketAddrs,
         catalog: Catalog,
         config: ServerConfig,
+    ) -> io::Result<Server> {
+        Self::bind_impl(addr, catalog, config, FaultsHandle::default())
+    }
+
+    /// Like [`Server::bind`], but every accepted connection consults the
+    /// deterministic `injector` first: the connection may be refused,
+    /// stalled, or served through byte-level read/write faults. Only for
+    /// chaos tests — the injector's schedule is a pure function of its
+    /// seed and per-connection counter, so runs replay exactly.
+    #[cfg(feature = "faults")]
+    pub fn bind_faulted(
+        addr: impl ToSocketAddrs,
+        catalog: Catalog,
+        config: ServerConfig,
+        injector: mg_faults::Injector,
+    ) -> io::Result<Server> {
+        Self::bind_impl(
+            addr,
+            catalog,
+            config,
+            FaultsHandle {
+                injector: Some(injector),
+            },
+        )
+    }
+
+    fn bind_impl(
+        addr: impl ToSocketAddrs,
+        catalog: Catalog,
+        config: ServerConfig,
+        faults: FaultsHandle,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
@@ -204,10 +257,14 @@ impl Server {
                 let shared = Arc::clone(&shared);
                 let conn_rx = Arc::clone(&conn_rx);
                 let timeout = config.io_timeout;
+                let auth = config.auth;
+                let faults = faults.clone();
                 std::thread::spawn(move || loop {
                     let conn = conn_rx.lock().expect("queue lock").recv();
                     match conn {
-                        Ok(stream) => handle_connection(stream, &shared, timeout, local),
+                        Ok(stream) => {
+                            handle_connection(stream, &shared, timeout, auth, local, &faults)
+                        }
                         Err(_) => break, // acceptor gone: drain complete
                     }
                 })
@@ -289,6 +346,7 @@ fn snapshot(shared: &Shared) -> ServerStats {
         fetches: c.fetches.load(Ordering::Relaxed),
         not_found: c.not_found.load(Ordering::Relaxed),
         bad_requests: c.bad_requests.load(Ordering::Relaxed),
+        deadline_exceeded: c.deadline_exceeded.load(Ordering::Relaxed),
         payload_bytes: c.payload_bytes.load(Ordering::Relaxed),
         cache_hits: hits,
         cache_misses: misses,
@@ -337,10 +395,11 @@ pub enum ConnAction {
 pub fn run_connection_loop(
     stream: TcpStream,
     timeout: Option<Duration>,
+    auth: Option<AuthKey>,
     shutting_down: &AtomicBool,
     registry: &ConnRegistry,
-    mut dispatch: impl FnMut(io::Result<(Request, u16)>, &mut BufWriter<TcpStream>) -> ConnAction,
-    mut record: impl FnMut(Duration),
+    dispatch: impl FnMut(io::Result<(Request, Envelope)>, &mut BufWriter<TcpStream>) -> ConnAction,
+    record: impl FnMut(Duration),
 ) {
     let _ = stream.set_read_timeout(timeout);
     let _ = stream.set_write_timeout(timeout);
@@ -348,12 +407,40 @@ pub fn run_connection_loop(
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let Ok(park_handle) = stream.try_clone() else {
+    let Ok(write_half) = stream.try_clone() else {
         return;
     };
-    let (token, parked) = registry.register(park_handle);
+    run_connection_loop_io(
+        stream, // registered for drain; reads/writes go through the clones
+        read_half,
+        write_half,
+        auth,
+        shutting_down,
+        registry,
+        dispatch,
+        record,
+    );
+}
+
+/// [`run_connection_loop`] with the IO halves split out, so callers can
+/// interpose byte-level wrappers (the `faults` feature wraps both halves
+/// in `mg_faults::FaultStream`). `park` must be a handle to the real
+/// socket — the drain registry shuts its read half down to wake parked
+/// reads — and socket options (timeouts, nodelay) are the caller's job.
+#[allow(clippy::too_many_arguments)]
+pub fn run_connection_loop_io<R: Read, W: Write>(
+    park: TcpStream,
+    read_half: R,
+    write_half: W,
+    auth: Option<AuthKey>,
+    shutting_down: &AtomicBool,
+    registry: &ConnRegistry,
+    mut dispatch: impl FnMut(io::Result<(Request, Envelope)>, &mut BufWriter<W>) -> ConnAction,
+    mut record: impl FnMut(Duration),
+) {
+    let (token, parked) = registry.register(park);
     let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
+    let mut writer = BufWriter::new(write_half);
 
     loop {
         parked.store(true, Ordering::SeqCst);
@@ -373,7 +460,10 @@ pub fn run_connection_loop(
         let t0 = Instant::now();
         let mut framed = (&first[..]).chain(&mut reader);
 
-        let action = dispatch(protocol::read_request(&mut framed), &mut writer);
+        let action = dispatch(
+            protocol::read_request_keyed(&mut framed, auth.as_ref()),
+            &mut writer,
+        );
         let flushed = writer.flush().is_ok();
         record(t0.elapsed());
 
@@ -419,32 +509,98 @@ fn handle_connection(
     stream: TcpStream,
     shared: &Shared,
     timeout: Option<Duration>,
+    auth: Option<AuthKey>,
     local: SocketAddr,
+    faults: &FaultsHandle,
 ) {
+    #[cfg(feature = "faults")]
+    if let Some(injector) = &faults.injector {
+        let plan = injector.connection_plan();
+        if plan.refuse {
+            return; // dropped without a byte: the client sees a reset
+        }
+        if let Some(stall) = plan.stall {
+            std::thread::sleep(stall);
+            return; // accepted, then went dark until the client times out
+        }
+        let _ = stream.set_read_timeout(timeout);
+        let _ = stream.set_write_timeout(timeout);
+        let _ = stream.set_nodelay(true);
+        let Ok(read_half) = stream.try_clone() else {
+            return;
+        };
+        let Ok(write_half) = stream.try_clone() else {
+            return;
+        };
+        return serve_connection_io(
+            stream,
+            mg_faults::FaultStream::new(read_half, plan.read),
+            mg_faults::FaultStream::new(write_half, plan.write),
+            shared,
+            auth,
+            local,
+        );
+    }
+    let _ = faults;
     run_connection_loop(
         stream,
         timeout,
+        auth,
         &shared.shutting_down,
         &shared.connections,
-        |parsed, writer| match ops::dispatch_ops(&ServerOps { shared, local }, parsed, writer) {
-            Dispatched::Done(action) => action,
-            Dispatched::Fetch(spec, version) => {
-                let ok = serve_fetch(writer, shared, &spec, version).is_ok();
-                if ok && version >= PROTOCOL_V2 {
-                    ConnAction::KeepOpen
-                } else {
-                    ConnAction::Close
-                }
-            }
-        },
-        |elapsed| {
-            let c = &shared.counters;
-            c.requests.fetch_add(1, Ordering::Relaxed);
-            let ns = elapsed.as_nanos() as u64;
-            c.latency_ns_total.fetch_add(ns, Ordering::Relaxed);
-            c.latency_ns_max.fetch_max(ns, Ordering::Relaxed);
-        },
+        |parsed, writer| server_dispatch(shared, local, parsed, writer),
+        |elapsed| record_latency(shared, elapsed),
     );
+}
+
+/// The faulted twin of [`handle_connection`]'s plain path: same dispatch,
+/// byte-level fault wrappers around both halves.
+#[cfg(feature = "faults")]
+fn serve_connection_io<R: Read, W: Write>(
+    park: TcpStream,
+    read_half: R,
+    write_half: W,
+    shared: &Shared,
+    auth: Option<AuthKey>,
+    local: SocketAddr,
+) {
+    run_connection_loop_io(
+        park,
+        read_half,
+        write_half,
+        auth,
+        &shared.shutting_down,
+        &shared.connections,
+        |parsed, writer| server_dispatch(shared, local, parsed, writer),
+        |elapsed| record_latency(shared, elapsed),
+    );
+}
+
+fn server_dispatch<W: Write>(
+    shared: &Shared,
+    local: SocketAddr,
+    parsed: io::Result<(Request, Envelope)>,
+    writer: &mut W,
+) -> ConnAction {
+    match ops::dispatch_ops(&ServerOps { shared, local }, parsed, writer) {
+        Dispatched::Done(action) => action,
+        Dispatched::Fetch(spec, env) => {
+            let ok = serve_fetch(writer, shared, &spec, &env).is_ok();
+            if ok && env.version >= PROTOCOL_V2 {
+                ConnAction::KeepOpen
+            } else {
+                ConnAction::Close
+            }
+        }
+    }
+}
+
+fn record_latency(shared: &Shared, elapsed: Duration) {
+    let c = &shared.counters;
+    c.requests.fetch_add(1, Ordering::Relaxed);
+    let ns = elapsed.as_nanos() as u64;
+    c.latency_ns_total.fetch_add(ns, Ordering::Relaxed);
+    c.latency_ns_max.fetch_max(ns, Ordering::Relaxed);
 }
 
 /// The class count the selector alone asks for (before degradation).
@@ -466,22 +622,66 @@ fn serve_fetch(
     w: &mut impl Write,
     shared: &Shared,
     spec: &FetchSpec,
-    version: u16,
+    env: &Envelope,
 ) -> io::Result<()> {
-    // Admission first: under the default permissive config this grants
-    // immediately at full fidelity; with a bounded `max_concurrent` it
-    // enforces weighted fair queueing and may degrade or shed.
-    let (permit, sched_degrade) = match shared.scheduler.admit(&spec.qos.tenant, spec.qos.priority)
-    {
-        Admission::Granted { permit, degrade } => (permit, degrade),
-        Admission::Shed => {
+    let version = env.version;
+    // The deadline clock starts when service starts: the client already
+    // subtracted its own queue/transit time by re-encoding the remaining
+    // budget at send, so what arrives is what this hop may spend.
+    let deadline = env.deadline().map(Deadline::new);
+    if let Some(d) = &deadline {
+        if d.expired() {
+            shared
+                .counters
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
             return protocol::write_response_versioned(
                 w,
-                &Response::Overloaded("server admission queue is full, retry".into()),
+                &Response::DeadlineExceeded("deadline budget exhausted before service".into()),
                 version,
             );
         }
+    }
+    // Admission next: under the default permissive config this grants
+    // immediately at full fidelity; with a bounded `max_concurrent` it
+    // enforces weighted fair queueing and may degrade or shed. A
+    // deadline caps the queue wait — no point waiting past the budget.
+    let wait_cap = deadline.as_ref().map(|d| d.remaining());
+    let admission = shared
+        .scheduler
+        .admit_within(&spec.qos.tenant, spec.qos.priority, wait_cap);
+    let (permit, sched_degrade) = match admission {
+        Admission::Granted { permit, degrade } => (permit, degrade),
+        Admission::Shed => {
+            let resp = if deadline.as_ref().is_some_and(|d| d.expired()) {
+                shared
+                    .counters
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::DeadlineExceeded("deadline expired waiting for admission".into())
+            } else {
+                Response::Overloaded("server admission queue is full, retry".into())
+            };
+            return protocol::write_response_versioned(w, &resp, version);
+        }
     };
+    // Queue wait may have consumed the budget even when admission won.
+    if let Some(d) = &deadline {
+        if d.expired() {
+            shared
+                .counters
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
+            return protocol::write_response_versioned(
+                w,
+                &Response::DeadlineExceeded(format!(
+                    "queue wait consumed the {}ms budget",
+                    d.budget().as_millis()
+                )),
+                version,
+            );
+        }
+    }
     let Some(ds) = shared.catalog.get(&spec.dataset) else {
         shared.counters.not_found.fetch_add(1, Ordering::Relaxed);
         return protocol::write_response_versioned(

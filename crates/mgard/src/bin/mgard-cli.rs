@@ -46,7 +46,7 @@ use mgard::mg_compress::{Compressed, Compressor, StageTimings};
 use mgard::mg_gateway::{Gateway, GatewayConfig};
 use mgard::mg_serve::protocol::Priority;
 use mgard::mg_serve::qos::QosConfig;
-use mgard::mg_serve::{client as serve_client, Catalog, Server, ServerConfig};
+use mgard::mg_serve::{client as serve_client, AuthKey, Catalog, Server, ServerConfig};
 use mgard::prelude::*;
 use std::io::{BufRead as _, Read as _, Write as _};
 use std::process::ExitCode;
@@ -72,14 +72,17 @@ const USAGE: &str = "usage:
   mgard-cli info       IN.mgrd
   mgard-cli serve      [--listen ADDR] --data NAME=FILE.f64:DxHxW ...
                        [--synthetic NAME=DxHxW ...] [--workers N] [--cache-mb N]
+                       [--secret S]
   mgard-cli gateway    [--listen ADDR] --backend ADDR [--backend ADDR ...]
                        [--replication N] [--workers N] [--cache-mb N]
                        [--max-inflight N] [--max-concurrent N]
+                       [--hedge MS] [--breaker-threshold N] [--secret S]
   mgard-cli fetch      ADDR NAME OUT.f64 [--tau T] [--budget BYTES]
                        [--tenant ID] [--priority low|normal|high]
                        [--floor-tau T] [--save-raw OUT.mgrd] [--via-gateway]
-  mgard-cli tenant-stats ADDR
-  mgard-cli shutdown   ADDR
+                       [--deadline-ms MS] [--retries N] [--secret S]
+  mgard-cli tenant-stats ADDR [--secret S]
+  mgard-cli shutdown   ADDR [--secret S]
 
 options (refactor/reconstruct/compress/decompress):
   --layout packed|inplace|tiled|strided
@@ -88,7 +91,19 @@ options (refactor/reconstruct/compress/decompress):
   --threads N               1 = serial kernels, else parallel on N threads
   --stream                  (refactor) overlap decomposition with write-out
                             (reconstruct) recompose tier-by-tier while
-                            later classes load, without buffering the payload";
+                            later classes load, without buffering the payload
+
+robustness options:
+  --deadline-ms MS          (fetch) total budget; servers refuse work they
+                            cannot finish in time with deadline_exceeded
+  --retries N               (fetch) retry transient transport failures with
+                            capped jittered backoff (idempotent fetches only)
+  --hedge MS                (gateway) hedge straggling fetches after
+                            max(MS, observed backend p95); first answer wins
+  --breaker-threshold N     (gateway) consecutive backend failures before
+                            its circuit breaker opens (default 1)
+  --secret S                shared secret: servers require a valid request
+                            tag, clients and the gateway attach one";
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
@@ -118,6 +133,11 @@ struct Opts {
     tenant: Option<String>,
     priority: Option<Priority>,
     floor_tau: Option<f64>,
+    deadline_ms: Option<u64>,
+    retries: Option<u32>,
+    hedge_ms: Option<u64>,
+    breaker_threshold: Option<u32>,
+    secret: Option<String>,
 }
 
 impl Opts {
@@ -164,6 +184,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, Box<dyn std::error::Error>> {
         tenant: None,
         priority: None,
         floor_tau: None,
+        deadline_ms: None,
+        retries: None,
+        hedge_ms: None,
+        breaker_threshold: None,
+        secret: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -256,6 +281,33 @@ fn parse_opts(args: &[String]) -> Result<Opts, Box<dyn std::error::Error>> {
             "--floor-tau" => {
                 let v = it.next().ok_or("--floor-tau needs a value")?;
                 o.floor_tau = Some(v.parse().map_err(|_| "bad --floor-tau")?);
+            }
+            "--deadline-ms" => {
+                let v = it.next().ok_or("--deadline-ms needs milliseconds")?;
+                let ms: u64 = v.parse().map_err(|_| "bad --deadline-ms")?;
+                if ms == 0 {
+                    return Err("--deadline-ms must be >= 1".into());
+                }
+                o.deadline_ms = Some(ms);
+            }
+            "--retries" => {
+                let v = it.next().ok_or("--retries needs a count")?;
+                o.retries = Some(v.parse().map_err(|_| "bad --retries")?);
+            }
+            "--hedge" => {
+                let v = it.next().ok_or("--hedge needs milliseconds")?;
+                o.hedge_ms = Some(v.parse().map_err(|_| "bad --hedge")?);
+            }
+            "--breaker-threshold" => {
+                let v = it.next().ok_or("--breaker-threshold needs a count")?;
+                let n: u32 = v.parse().map_err(|_| "bad --breaker-threshold")?;
+                if n == 0 {
+                    return Err("--breaker-threshold must be >= 1".into());
+                }
+                o.breaker_threshold = Some(n);
+            }
+            "--secret" => {
+                o.secret = Some(it.next().ok_or("--secret needs a value")?.clone());
             }
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a count")?;
@@ -643,6 +695,10 @@ fn serve(o: &Opts) -> CliResult {
         cache_bytes: o
             .cache_mb
             .map_or(ServerConfig::default().cache_bytes, |mb| mb << 20),
+        auth: o
+            .secret
+            .as_ref()
+            .map(|s| AuthKey::from_secret(s.as_bytes())),
         ..ServerConfig::default()
     };
     let server = Server::bind(o.listen.as_str(), catalog, config)?;
@@ -681,6 +737,12 @@ fn gateway(o: &Opts) -> CliResult {
             max_concurrent: o.max_concurrent.unwrap_or(defaults.qos.max_concurrent),
             ..defaults.qos
         },
+        hedge: o.hedge_ms.map(std::time::Duration::from_millis),
+        breaker_threshold: o.breaker_threshold.unwrap_or(defaults.breaker_threshold),
+        auth: o
+            .secret
+            .as_ref()
+            .map(|s| AuthKey::from_secret(s.as_bytes())),
         ..defaults
     };
     let gw = Gateway::bind(o.listen.as_str(), o.backends.clone(), config)?;
@@ -735,10 +797,24 @@ fn fetch(o: &Opts) -> CliResult {
     if let Some(floor) = o.floor_tau {
         req = req.floor_tau(floor);
     }
+    if let Some(ms) = o.deadline_ms {
+        req = req.deadline_ms(ms);
+    }
+    if let Some(n) = o.retries {
+        req = req.retries(n);
+    }
+    let key = o
+        .secret
+        .as_ref()
+        .map(|s| AuthKey::from_secret(s.as_bytes()));
+    if let Some(key) = key {
+        req = req.auth(key);
+    }
     let outcome = if o.via_gateway {
         // One keep-alive (v2) connection carries the fetch and a stats
         // query — the gateway session pattern.
         let mut conn = serve_client::Connection::open(addr.as_str())?;
+        conn.set_auth(key);
         let outcome = conn.fetch(&req)?;
         let report = conn.stats()?;
         println!(
@@ -801,7 +877,11 @@ fn tenant_stats(o: &Opts) -> CliResult {
     let [addr] = o.positional.as_slice() else {
         return Err("tenant-stats needs ADDR".into());
     };
-    let report = serve_client::tenant_stats(addr.as_str())?;
+    let key = o
+        .secret
+        .as_ref()
+        .map(|s| AuthKey::from_secret(s.as_bytes()));
+    let report = serve_client::tenant_stats_with(addr.as_str(), key.as_ref())?;
     if report.tenants.is_empty() {
         println!("no tenants recorded at {addr}");
         return Ok(());
@@ -831,7 +911,11 @@ fn shutdown(o: &Opts) -> CliResult {
     let [addr] = o.positional.as_slice() else {
         return Err("shutdown needs ADDR".into());
     };
-    serve_client::shutdown(addr.as_str())?;
+    let key = o
+        .secret
+        .as_ref()
+        .map(|s| AuthKey::from_secret(s.as_bytes()));
+    serve_client::shutdown_with(addr.as_str(), key.as_ref())?;
     println!("server at {addr} acknowledged shutdown");
     Ok(())
 }

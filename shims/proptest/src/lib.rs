@@ -243,6 +243,8 @@ macro_rules! impl_strategy_tuple {
 impl_strategy_tuple!(A: 0, B: 1);
 impl_strategy_tuple!(A: 0, B: 1, C: 2);
 impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
 
 /// `any::<T>()` support.
 pub mod arbitrary {

@@ -1,0 +1,459 @@
+//! Chaos test: a faulted backend cluster behind a gateway under a
+//! deterministic fault storm (`--features faults`).
+//!
+//! Every storm backend's accept path runs through a seeded `mg_faults`
+//! injector (refused connections, accept-then-stall, latency spikes,
+//! byte-trickle, mid-frame cuts, bit-flipped response magic), and the
+//! gateway's backend dials run through another. The fault *schedule* is
+//! a pure function of the pinned seed and a per-connection op counter —
+//! no wall clock — so a failing storm replays exactly.
+//!
+//! The invariants under fire, per the robustness contract:
+//!
+//! * every successful fetch is bitwise identical to the local encoding
+//!   (no torn, stale, or corrupted payload is ever served);
+//! * every failure surfaces as a typed client error — `TimedOut`
+//!   (deadline exceeded) or `WouldBlock` (overloaded / no replica) —
+//!   within the deadline budget plus scheduling slack, never a hang or
+//!   a panic;
+//! * the defenses demonstrably engaged: a blackout phase drives one
+//!   backend through the full breaker cycle (closed → open on
+//!   consecutive failures → closed again once probes get through) with
+//!   a hedged fetch rescuing the stalled request from a replica, and
+//!   the injectors actually scheduled faults (a storm that never fired
+//!   proves nothing).
+
+use mgard::mg_gateway::{Gateway, GatewayConfig, Ring};
+use mgard::mg_serve::{client, AuthKey, Catalog, Server, ServerConfig};
+use mgard::prelude::*;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A smooth field whose class norms decay, so distinct τ values select
+/// distinct prefixes.
+fn smooth_field(shape: Shape, seed: usize) -> NdArray<f64> {
+    NdArray::from_fn(shape, |i| {
+        i.iter()
+            .enumerate()
+            .map(|(d, &v)| ((v as f64 + seed as f64) * 0.043 * (d + 1) as f64).sin())
+            .product::<f64>()
+    })
+}
+
+fn refactored(data: &NdArray<f64>) -> Refactored<f64> {
+    let mut r = Refactorer::<f64>::new(data.shape()).unwrap();
+    let mut work = data.clone();
+    r.decompose(&mut work);
+    let hier = r.hierarchy().clone();
+    Refactored::from_array(&work, &hier)
+}
+
+/// The per-backend storm. Rates are per *connection plan*, and the
+/// gateway's keep-alive pool reuses healthy connections indefinitely —
+/// so they are set high enough that faulted connections keep dying,
+/// getting evicted, and forcing fresh dials (each a fresh draw). The
+/// request path still succeeds most of the time through failover,
+/// retries, and hedging, so the test exercises recovery, not just
+/// failure.
+fn storm_spec() -> mg_faults::FaultSpec {
+    mg_faults::FaultSpec {
+        refuse_per_mille: 250,
+        stall_per_mille: 120,
+        // Longer than the gateway's backend io timeout: a stall always
+        // costs a timeout, never a long hang.
+        stall: Duration::from_millis(400),
+        latency_per_mille: 100,
+        latency: Duration::from_millis(60),
+        trickle_read_per_mille: 200,
+        trickle_write_per_mille: 200,
+        trickle_chunk: 512,
+        trickle_delay: Duration::from_millis(1),
+        cut_per_mille: 150,
+        cut_window: 4096,
+        flip_per_mille: 120,
+        // Flips restricted to the response magic: corruption is always
+        // detected at the frame boundary, before any payload byte could
+        // be trusted (the protocol has no response MAC to catch deeper
+        // flips — that asymmetry is documented, not asserted away).
+        flip_window: 4,
+        flip_on_write: true,
+    }
+}
+
+/// One direction of the flaky proxy: forward bytes while `healthy`,
+/// tear both sockets down within one poll interval of a blackout.
+fn pump(mut from: TcpStream, mut to: TcpStream, healthy: Arc<AtomicBool>) {
+    from.set_read_timeout(Some(Duration::from_millis(20))).ok();
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        if !healthy.load(Ordering::Relaxed) {
+            break;
+        }
+        match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => break,
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+/// A TCP proxy with a health switch, fronting one clean backend. While
+/// healthy it forwards transparently; during a blackout it accepts and
+/// then stalls every connection (and severs established ones), so the
+/// gateway sees connect-success followed by exchange timeouts — the
+/// consecutive-failure pattern that must trip the circuit breaker.
+fn spawn_flaky_proxy(upstream: String, healthy: Arc<AtomicBool>) -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            let upstream = upstream.clone();
+            let healthy = healthy.clone();
+            std::thread::spawn(move || {
+                if !healthy.load(Ordering::Relaxed) {
+                    // Accept-then-stall: hold the socket past the
+                    // gateway's backend io timeout, then drop it.
+                    std::thread::sleep(Duration::from_millis(400));
+                    return;
+                }
+                let Ok(up) = TcpStream::connect(&upstream) else {
+                    return;
+                };
+                let (c2s_from, c2s_to) = (stream.try_clone().unwrap(), up.try_clone().unwrap());
+                let h = healthy.clone();
+                let t = std::thread::spawn(move || pump(c2s_from, c2s_to, h));
+                pump(up, stream, healthy);
+                let _ = t.join();
+            });
+        }
+    });
+    addr
+}
+
+struct Storm {
+    servers: Vec<Server>,
+    injectors: Vec<mg_faults::Injector>,
+    dial_injector: mg_faults::Injector,
+    gateway: Gateway,
+    datasets: Vec<(String, Refactored<f64>)>,
+    key: AuthKey,
+    proxy_healthy: Arc<AtomicBool>,
+    /// A dataset whose ring-primary is the flaky proxy, for the
+    /// deterministic blackout phase.
+    proxied_dataset: String,
+}
+
+/// Three faulted backends plus one clean backend behind the flaky
+/// proxy (replication 2, so every dataset has a failover replica),
+/// all fronted by a gateway with the full defense stack on: deadlines,
+/// hedging, a 2-failure circuit breaker, request auth, and faulted
+/// backend dials.
+fn start_storm(seed: u64) -> Storm {
+    let key = AuthKey::from_secret(b"chaos cluster secret");
+    let mut servers = Vec::new();
+    let mut catalogs = Vec::new();
+    let mut addrs = Vec::new();
+    let mut injectors = Vec::new();
+    for b in 0..3 {
+        let cat = Catalog::new();
+        let injector = mg_faults::Injector::labeled(seed, &format!("backend-{b}"), storm_spec());
+        let server = Server::bind_faulted(
+            "127.0.0.1:0",
+            cat.clone(),
+            ServerConfig {
+                auth: Some(key),
+                ..ServerConfig::default()
+            },
+            injector.clone(),
+        )
+        .unwrap();
+        addrs.push(server.local_addr().to_string());
+        servers.push(server);
+        catalogs.push(cat);
+        injectors.push(injector);
+    }
+
+    // The clean backend reached only through the flaky proxy; the
+    // gateway knows the proxy's address as the backend identity.
+    let clean_cat = Catalog::new();
+    let clean = Server::bind(
+        "127.0.0.1:0",
+        clean_cat.clone(),
+        ServerConfig {
+            auth: Some(key),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let proxy_healthy = Arc::new(AtomicBool::new(true));
+    let proxy_addr = spawn_flaky_proxy(clean.local_addr().to_string(), proxy_healthy.clone());
+    servers.push(clean);
+    catalogs.push(clean_cat);
+    addrs.push(proxy_addr.clone());
+
+    let config = GatewayConfig {
+        replication: 2,
+        cache_bytes: 0, // every fetch must really cross the storm
+        probe_interval: Duration::from_millis(50),
+        probe_backoff_initial: Duration::from_millis(20),
+        probe_backoff_max: Duration::from_millis(200),
+        connect_timeout: Duration::from_millis(250),
+        io_timeout: Some(Duration::from_secs(10)),
+        backend_io_timeout: Some(Duration::from_millis(250)),
+        breaker_threshold: 2,
+        hedge: Some(Duration::from_millis(25)),
+        auth: Some(key),
+        ..GatewayConfig::default()
+    };
+    let ring = Ring::new(addrs.clone(), config.vnodes);
+    let shapes = [
+        Shape::d2(33, 33),
+        Shape::d2(17, 17),
+        Shape::d1(129),
+        Shape::d3(9, 9, 9),
+    ];
+    // Every dataset lives on every backend: the storm randomizes which
+    // replica walk order the ring picks, and the blackout phase needs a
+    // live failover target no matter where the ring lands.
+    let mut datasets = Vec::new();
+    for (i, &shape) in shapes.iter().enumerate() {
+        let name = format!("ds-{i}");
+        let data = smooth_field(shape, i);
+        for cat in &catalogs {
+            cat.insert_array(&name, &data).unwrap();
+        }
+        datasets.push((name, refactored(&data)));
+    }
+    // A dataset whose primary replica is the flaky proxy.
+    let proxied_dataset = (0..)
+        .map(|i| format!("px-{i}"))
+        .find(|name| ring.primary(name) == Some(proxy_addr.as_str()))
+        .unwrap();
+    let data = smooth_field(Shape::d2(17, 17), 77);
+    for cat in &catalogs {
+        cat.insert_array(&proxied_dataset, &data).unwrap();
+    }
+    datasets.push((proxied_dataset.clone(), refactored(&data)));
+
+    let dial_injector = mg_faults::Injector::labeled(
+        seed,
+        "gateway-dial",
+        mg_faults::FaultSpec {
+            refuse_per_mille: 30,
+            ..mg_faults::FaultSpec::default()
+        },
+    );
+    let gateway =
+        Gateway::bind_faulted("127.0.0.1:0", addrs, config, dial_injector.clone()).unwrap();
+    Storm {
+        servers,
+        injectors,
+        dial_injector,
+        gateway,
+        datasets,
+        key,
+        proxy_healthy,
+        proxied_dataset,
+    }
+}
+
+fn run_storm(seed: u64) {
+    let storm = start_storm(seed);
+    let gw_addr = storm.gateway.local_addr();
+    let deadline = Duration::from_secs(3);
+    // Generous: a success must land within the budget plus client retry
+    // backoff (3 retries × ≤200ms) and thread-scheduling slack.
+    let slack = Duration::from_secs(3);
+    let rounds = 12usize;
+    let successes = AtomicU64::new(0);
+    let failures = AtomicU64::new(0);
+
+    // Phase 1 — the storm: concurrent clients through the faulted
+    // cluster, asserting integrity on success and typed errors on
+    // failure.
+    std::thread::scope(|s| {
+        for c in 0..3usize {
+            let datasets = &storm.datasets;
+            let successes = &successes;
+            let failures = &failures;
+            let key = storm.key;
+            s.spawn(move || {
+                for round in 0..rounds {
+                    for (name, local) in datasets {
+                        let tau = [1e-2, 1e-4, 0.0][(c + round) % 3];
+                        let started = Instant::now();
+                        let outcome = client::FetchRequest::new(name)
+                            .tau(tau)
+                            .deadline(deadline)
+                            .retries(3)
+                            .auth(key)
+                            .send(gw_addr);
+                        let elapsed = started.elapsed();
+                        assert!(
+                            elapsed <= deadline + slack,
+                            "{name} round {round}: {elapsed:?} blew the deadline budget"
+                        );
+                        match outcome {
+                            Ok(got) => {
+                                let expect = encode_prefix(local, got.classes_sent);
+                                assert_eq!(
+                                    got.raw.as_slice(),
+                                    expect.as_slice(),
+                                    "{name} round {round}: payload must be bitwise identical \
+                                     to the local encoding"
+                                );
+                                successes.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => {
+                                assert!(
+                                    matches!(
+                                        e.kind(),
+                                        std::io::ErrorKind::TimedOut
+                                            | std::io::ErrorKind::WouldBlock
+                                    ),
+                                    "{name} round {round}: untyped failure {:?}: {e}",
+                                    e.kind()
+                                );
+                                failures.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let total = (3 * rounds * storm.datasets.len()) as u64;
+    let ok = successes.load(Ordering::Relaxed);
+    let failed = failures.load(Ordering::Relaxed);
+    assert_eq!(ok + failed, total, "every request must resolve");
+    assert!(
+        ok >= total / 2,
+        "the storm must not take the cluster down: {ok}/{total} succeeded"
+    );
+
+    // Phase 2 — blackout: stall the proxy and fetch the dataset whose
+    // primary it is. The walk's consecutive exchange timeouts must trip
+    // the breaker, while a hedged attempt rescues the request from the
+    // replica well inside the deadline.
+    let before = storm.gateway.stats();
+    storm.proxy_healthy.store(false, Ordering::Relaxed);
+    let (name, local) = storm
+        .datasets
+        .iter()
+        .find(|(n, _)| *n == storm.proxied_dataset)
+        .unwrap();
+    let opened_by = Instant::now() + Duration::from_secs(5);
+    loop {
+        // The replica is itself faulted, so a blackout fetch may still
+        // fail — but only with a typed error; most are rescued.
+        match client::FetchRequest::new(name)
+            .tau(1e-4)
+            .deadline(deadline)
+            .retries(3)
+            .auth(storm.key)
+            .send(gw_addr)
+        {
+            Ok(got) => {
+                assert_eq!(
+                    got.raw.as_slice(),
+                    encode_prefix(local, got.classes_sent).as_slice(),
+                    "blackout fetch must stay bitwise identical"
+                );
+            }
+            Err(e) => assert!(
+                matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ),
+                "blackout fetch failed untyped: {:?}: {e}",
+                e.kind()
+            ),
+        }
+        // The losing (stalled) walk finishes failing in the background;
+        // give its mark_failure calls a moment to land.
+        std::thread::sleep(Duration::from_millis(100));
+        if storm.gateway.stats().breaker_opened > before.breaker_opened {
+            break;
+        }
+        assert!(
+            Instant::now() < opened_by,
+            "blackout never opened the breaker: {:?}",
+            storm.gateway.stats()
+        );
+    }
+
+    // Phase 3 — recovery: heal the proxy; health probes must close the
+    // breaker again without any client traffic.
+    storm.proxy_healthy.store(true, Ordering::Relaxed);
+    let closed_by = Instant::now() + Duration::from_secs(5);
+    while storm.gateway.stats().breaker_closed <= before.breaker_closed {
+        assert!(
+            Instant::now() < closed_by,
+            "probes never closed the breaker after recovery: {:?}",
+            storm.gateway.stats()
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    let stats = storm.gateway.shutdown().unwrap();
+    assert!(
+        stats.breaker_opened >= 1,
+        "consecutive backend failures must open a breaker: {stats:?}"
+    );
+    assert!(
+        stats.breaker_closed >= 1,
+        "probes through a healed path must close a breaker: {stats:?}"
+    );
+    assert!(
+        stats.hedges >= 1,
+        "stalled backends must trigger hedged attempts: {stats:?}"
+    );
+    assert!(
+        stats.backend_errors >= 1,
+        "the storm must have been visible to the router: {stats:?}"
+    );
+
+    // The injectors really scheduled faults (per-backend schedules plus
+    // the gateway's dial path) — a silent storm proves nothing.
+    let scheduled: u64 = storm
+        .injectors
+        .iter()
+        .chain(std::iter::once(&storm.dial_injector))
+        .map(|i| {
+            let c = i.counts();
+            c.refused + c.stalled + c.latency_spikes + c.trickled + c.cut + c.flipped
+        })
+        .sum();
+    assert!(scheduled >= 10, "only {scheduled} faults scheduled");
+
+    for server in storm.servers {
+        server.shutdown().unwrap();
+    }
+}
+
+#[test]
+fn fault_storm_seed_a_preserves_integrity_and_typed_failures() {
+    run_storm(0x00C0_FFEE);
+}
+
+#[test]
+fn fault_storm_seed_b_preserves_integrity_and_typed_failures() {
+    run_storm(0xDEAD_BEEF);
+}

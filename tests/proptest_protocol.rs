@@ -1,7 +1,10 @@
 //! Protocol robustness: mutated, truncated, and garbage frames must
 //! yield clean errors — `BadRequest` on the wire, `Err` from the decode
 //! functions — and never a panic or a wedged worker, on the server, the
-//! gateway, and the client decode paths alike.
+//! gateway, and the client decode paths alike. A final property drives
+//! whole fetches through an `mg_faults` proxy with arbitrary fault
+//! schedules: successes must be bitwise identical to a direct fetch,
+//! failures must be clean `io::Error`s, and nothing may hang.
 
 use mgard::mg_gateway::{Gateway, GatewayConfig};
 use mgard::mg_serve::protocol::{
@@ -131,6 +134,55 @@ fn mutation_strategy() -> impl Strategy<Value = Mutation> {
     })
 }
 
+/// The direct-fetch baseline every proxied fetch must match bitwise.
+static DIRECT_RAW: OnceLock<Vec<u8>> = OnceLock::new();
+
+fn direct_raw(server_addr: SocketAddr) -> &'static [u8] {
+    DIRECT_RAW.get_or_init(|| {
+        client::FetchRequest::new("probe")
+            .tau(0.0)
+            .send(server_addr)
+            .expect("direct baseline fetch")
+            .raw
+            .to_vec()
+    })
+}
+
+/// An arbitrary fault schedule. Rates up to 400‰ each; flip offsets
+/// stay inside the response envelope (magic/version/status), mirroring
+/// the documented detection boundary — the protocol carries no response
+/// MAC, so deeper flips are out of contract.
+fn fault_spec_strategy() -> impl Strategy<Value = mg_faults::FaultSpec> {
+    (
+        0u16..=400,                             // refuse
+        0u16..=400,                             // stall
+        0u16..=400,                             // latency
+        (0u16..=400, 0u16..=400, 16usize..512), // trickle read/write + chunk
+        (0u16..=400, 64u64..4096),              // cut + window
+        (0u16..=400, 1u64..=7, any::<bool>()),  // flip + window + direction
+    )
+        .prop_map(
+            |(refuse, stall, latency, (tr, tw, chunk), (cut, cut_window), (flip, fw, on_write))| {
+                mg_faults::FaultSpec {
+                    refuse_per_mille: refuse,
+                    stall_per_mille: stall,
+                    stall: Duration::from_millis(80),
+                    latency_per_mille: latency,
+                    latency: Duration::from_millis(20),
+                    trickle_read_per_mille: tr,
+                    trickle_write_per_mille: tw,
+                    trickle_chunk: chunk,
+                    trickle_delay: Duration::from_millis(1),
+                    cut_per_mille: cut,
+                    cut_window,
+                    flip_per_mille: flip,
+                    flip_window: fw,
+                    flip_on_write: on_write,
+                }
+            },
+        )
+}
+
 /// Throw `bytes` at `addr`, half-close, and drain whatever comes back.
 /// The contract: the peer answers (BadRequest, or a valid response when
 /// the mutation happened to keep the frame parseable) or closes — it
@@ -212,6 +264,34 @@ proptest! {
         protocol::write_response_versioned(&mut frame, &resp, PROTOCOL_V2).unwrap();
         let frame = mutate(frame, &m);
         let _ = protocol::read_response(&mut frame.as_slice());
+    }
+
+    #[test]
+    fn arbitrary_fault_schedules_never_corrupt_a_fetch(
+        spec in fault_spec_strategy(),
+        seed in any::<u64>(),
+        retries in 0u32..3,
+    ) {
+        let (server_addr, _) = live_stack();
+        let expect = direct_raw(server_addr);
+        let proxy = mg_faults::FaultProxy::spawn(
+            &server_addr.to_string(),
+            mg_faults::Injector::new(seed, spec),
+        ).unwrap();
+        let got = client::FetchRequest::new("probe")
+            .tau(0.0)
+            .deadline(Duration::from_secs(2))
+            .retries(retries)
+            .send(proxy.local_addr());
+        proxy.shutdown();
+        // A fetch that survived the schedule is bitwise identical to a
+        // direct one — faults may slow or kill an exchange, never
+        // silently alter it. A clean io::Error within the deadline is
+        // the other legal outcome; reaching here at all proves no
+        // panic or hang.
+        if let Ok(g) = got {
+            prop_assert_eq!(g.raw.as_slice(), expect);
+        }
     }
 
     #[test]
