@@ -31,6 +31,7 @@
 
 use mg_gateway::{Gateway, GatewayConfig, Ring};
 use mg_grid::{NdArray, Shape};
+use mg_obs::{HistView, Histogram};
 use mg_serve::{client, Catalog, Server, ServerConfig};
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
@@ -52,27 +53,36 @@ struct Phase {
     transport: &'static str,
     wall_ms: f64,
     reqs_per_s: f64,
-    mean_ms: f64,
-    p50_ms: f64,
-    p95_ms: f64,
-    p99_ms: f64,
+    latency_us: HistView,
     payload_bytes: u64,
 }
 
-/// Fire `clients × requests` fetches of `datasets` at `addr`.
+impl Phase {
+    fn mean_ms(&self) -> f64 {
+        self.latency_us.mean() / 1e3
+    }
+
+    /// A quantile of the latency histogram, in milliseconds.
+    fn q_ms(&self, q: f64) -> f64 {
+        self.latency_us.quantile(q).unwrap_or(0) as f64 / 1e3
+    }
+}
+
+/// Fire `clients × requests` fetches of `datasets` at `addr`; latencies
+/// land in one shared sharded histogram.
 fn run_phase(
     addr: SocketAddr,
     datasets: &[String],
     clients: usize,
     requests: usize,
     keep_alive: bool,
-) -> (Vec<f64>, u64) {
+    latency_us: &Histogram,
+) -> u64 {
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 s.spawn(move || {
                     let mut conn = keep_alive.then(|| client::Connection::open(addr).unwrap());
-                    let mut lats = Vec::with_capacity(requests);
                     let mut bytes = 0u64;
                     for i in 0..requests {
                         let dataset = &datasets[(c + i) % datasets.len()];
@@ -92,21 +102,17 @@ fn run_phase(
                                     .result
                             }
                         };
-                        lats.push(t.elapsed().as_secs_f64() * 1e3);
+                        latency_us.record_duration(t.elapsed());
                         bytes += got.raw.len() as u64;
                     }
-                    (lats, bytes)
+                    bytes
                 })
             })
             .collect();
-        let mut lats = Vec::new();
-        let mut bytes = 0u64;
-        for h in handles {
-            let (l, b) = h.join().expect("client thread");
-            lats.extend(l);
-            bytes += b;
-        }
-        (lats, bytes)
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .sum()
     })
 }
 
@@ -118,29 +124,34 @@ fn measure(
     clients: usize,
     requests: usize,
 ) -> Phase {
-    // One warmup pass fills caches and spins up workers.
+    // One warmup pass fills caches and spins up workers (its latencies
+    // go to a throwaway histogram).
     run_phase(
         addr,
         datasets,
         clients,
         requests.min(4),
         transport == "keepalive",
+        &Histogram::new(),
     );
+    let latency_us = Histogram::new();
     let t0 = Instant::now();
-    let (mut lats, payload_bytes) =
-        run_phase(addr, datasets, clients, requests, transport == "keepalive");
+    let payload_bytes = run_phase(
+        addr,
+        datasets,
+        clients,
+        requests,
+        transport == "keepalive",
+        &latency_us,
+    );
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-    lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let n = lats.len();
+    let n = clients * requests;
     Phase {
         topology,
         transport,
         wall_ms,
         reqs_per_s: n as f64 / (wall_ms / 1e3),
-        mean_ms: lats.iter().sum::<f64>() / n as f64,
-        p50_ms: lats[n / 2],
-        p95_ms: lats[(n * 95 / 100).min(n - 1)],
-        p99_ms: lats[(n * 99 / 100).min(n - 1)],
+        latency_us: latency_us.snapshot(),
         payload_bytes,
     }
 }
@@ -397,17 +408,20 @@ fn main() {
             server.shutdown().expect("shutdown shard");
         }
     }
-    let hedge_p99_speedup = degraded[0].p99_ms / degraded[1].p99_ms;
+    let hedge_p99_speedup = degraded[0].q_ms(0.99) / degraded[1].q_ms(0.99);
     eprintln!(
         "degraded: unhedged p99 {:.3} ms, hedged p99 {:.3} ms -> {hedge_p99_speedup:.2}x",
-        degraded[0].p99_ms, degraded[1].p99_ms
+        degraded[0].q_ms(0.99),
+        degraded[1].q_ms(0.99)
     );
 
     for w in phases.chunks(2) {
-        let speedup = w[0].mean_ms / w[1].mean_ms;
+        let speedup = w[0].mean_ms() / w[1].mean_ms();
         eprintln!(
             "{:>8}: oneshot {:.3} ms/req, keepalive {:.3} ms/req -> {speedup:.2}x",
-            w[0].topology, w[0].mean_ms, w[1].mean_ms
+            w[0].topology,
+            w[0].mean_ms(),
+            w[1].mean_ms()
         );
     }
 
@@ -415,27 +429,31 @@ fn main() {
         format!(
             "    {{\"topology\": \"{}\", \"transport\": \"{}\", \"clients\": {clients}, \
              \"requests_per_client\": {requests}, \"wall_ms\": {:.3}, \
-             \"reqs_per_s\": {:.1}, \"mean_ms\": {:.4}, \"p50_ms\": {:.4}, \
-             \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"payload_bytes\": {}}}",
+             \"reqs_per_s\": {:.1}, \"payload_bytes\": {}, \"latency_us\": {}}}",
             p.topology,
             p.transport,
             p.wall_ms,
             p.reqs_per_s,
-            p.mean_ms,
-            p.p50_ms,
-            p.p95_ms,
-            p.p99_ms,
-            p.payload_bytes
+            p.payload_bytes,
+            p.latency_us.to_json()
         )
     };
     let rows: Vec<String> = phases.iter().map(row).collect();
+    // The degraded rows quote their tail quantiles (p99/p99.9) straight
+    // from the latency histogram — the numbers hedging exists to fix.
     let degraded_rows: Vec<String> = degraded
         .iter()
         .map(|p| {
             format!(
-                "    {{\"scenario\": \"degraded\", \"mode\": \"{}\", \"mean_ms\": {:.4}, \
-                 \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}}}",
-                p.transport, p.mean_ms, p.p50_ms, p.p95_ms, p.p99_ms
+                "    {{\"scenario\": \"degraded\", \"mode\": \"{}\", \"p50_ms\": {:.4}, \
+                 \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"p999_ms\": {:.4}, \
+                 \"latency_us\": {}}}",
+                p.transport,
+                p.q_ms(0.50),
+                p.q_ms(0.95),
+                p.q_ms(0.99),
+                p.q_ms(0.999),
+                p.latency_us.to_json()
             )
         })
         .collect();
@@ -445,7 +463,7 @@ fn main() {
             format!(
                 "    {{\"topology\": \"{}\", \"oneshot_over_keepalive\": {:.4}}}",
                 w[0].topology,
-                w[0].mean_ms / w[1].mean_ms
+                w[0].mean_ms() / w[1].mean_ms()
             )
         })
         .collect();

@@ -27,6 +27,7 @@
 
 use mg_gateway::{Gateway, GatewayConfig};
 use mg_grid::{NdArray, Shape};
+use mg_obs::Histogram;
 use mg_serve::client::{Connection, FetchRequest};
 use mg_serve::protocol::Priority;
 use mg_serve::qos::{DegradePolicy, QosConfig};
@@ -133,7 +134,6 @@ fn scenarios() -> Vec<Scenario> {
 
 #[derive(Default)]
 struct Tally {
-    latencies_ms: Vec<f64>,
     usable_bytes: u64,
     total_bytes: u64,
     responses: u64,
@@ -151,6 +151,7 @@ fn run_scenario(
     profiles: &[ClientProfile],
     seconds: f64,
     deadline: Duration,
+    latency_us: &Histogram,
 ) -> (Tally, f64) {
     let stop = AtomicBool::new(false);
     let t0 = Instant::now();
@@ -174,7 +175,7 @@ fn run_scenario(
                         match conn.fetch(&req) {
                             Ok(got) => {
                                 let lat = start.elapsed();
-                                t.latencies_ms.push(lat.as_secs_f64() * 1e3);
+                                latency_us.record_duration(lat);
                                 t.responses += 1;
                                 t.total_bytes += got.raw.len() as u64;
                                 if got.degraded() {
@@ -205,7 +206,6 @@ fn run_scenario(
         let mut all = Tally::default();
         for h in handles {
             let t = h.join().expect("client thread");
-            all.latencies_ms.extend(t.latencies_ms);
             all.usable_bytes += t.usable_bytes;
             all.total_bytes += t.total_bytes;
             all.responses += t.responses;
@@ -216,14 +216,6 @@ fn run_scenario(
         all
     });
     (tally, t0.elapsed().as_secs_f64() * 1e3)
-}
-
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() as f64 * p).floor() as usize).min(sorted.len() - 1);
-    sorted[idx]
 }
 
 fn main() {
@@ -337,12 +329,14 @@ fn main() {
             gateway_config(scenario.qos),
         )
         .expect("bind scenario gateway");
-        let (mut tally, wall_ms) = run_scenario(gw.local_addr(), &profs, seconds, deadline);
+        let latency_us = Histogram::new();
+        let (tally, wall_ms) =
+            run_scenario(gw.local_addr(), &profs, seconds, deadline, &latency_us);
         gw.shutdown().expect("shutdown scenario gateway");
-        tally.latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let lat = latency_us.snapshot();
         let goodput = tally.usable_bytes as f64 / (wall_ms / 1e3);
-        let p50 = percentile(&tally.latencies_ms, 0.50);
-        let p99 = percentile(&tally.latencies_ms, 0.99);
+        let p50 = lat.quantile(0.50).unwrap_or(0) as f64 / 1e3;
+        let p99 = lat.quantile(0.99).unwrap_or(0) as f64 / 1e3;
         eprintln!(
             "{:>9}: goodput {:>8.2} MB/s ({} responses, {} degraded, {} shed, \
              {} late; p50 {:.2} ms, p99 {:.2} ms)",
@@ -360,7 +354,7 @@ fn main() {
             "    {{\"scenario\": \"{}\", \"goodput_bytes_per_s\": {:.1}, \
              \"usable_bytes\": {}, \"total_bytes\": {}, \"responses\": {}, \
              \"degraded\": {}, \"shed\": {}, \"deadline_misses\": {}, \
-             \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"wall_ms\": {:.1}}}",
+             \"wall_ms\": {:.1}, \"latency_us\": {}}}",
             scenario.name,
             goodput,
             tally.usable_bytes,
@@ -369,9 +363,8 @@ fn main() {
             tally.degraded,
             tally.shed,
             tally.deadline_misses,
-            p50,
-            p99,
             wall_ms,
+            lat.to_json(),
         ));
     }
     backend.shutdown().expect("shutdown backend");

@@ -27,6 +27,7 @@
 
 use mg_core::{ExecPlan, Layout, Refactorer, Threading};
 use mg_grid::{NdArray, Shape};
+use mg_obs::{HistView, Histogram};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -57,6 +58,9 @@ struct Row {
     tile: Option<usize>,
     decompose_ns: u128,
     recompose_ns: u128,
+    /// Per-rep wall times (µs) — the spread behind the best-of numbers.
+    decompose_us: HistView,
+    recompose_us: HistView,
     kernels: Vec<(String, u128)>,
 }
 
@@ -85,13 +89,16 @@ impl Row {
             .unwrap_or_default();
         format!(
             "    {{\"shape\": \"{}\", \"layout\": \"{}\", {}\"threading\": \"{}\", \
-             \"decompose_ns\": {}, \"recompose_ns\": {}, \"kernels\": {{{}}}}}",
+             \"decompose_ns\": {}, \"recompose_ns\": {}, \
+             \"decompose_us\": {}, \"recompose_us\": {}, \"kernels\": {{{}}}}}",
             self.shape,
             self.layout,
             tile,
             self.threading,
             self.decompose_ns,
             self.recompose_ns,
+            self.decompose_us.to_json(),
+            self.recompose_us.to_json(),
             kernels
         )
     }
@@ -108,14 +115,20 @@ fn bench_cell(shape: Shape, data: &NdArray<f64>, plan: ExecPlan, reps: usize) ->
 
     let mut best_dec = u128::MAX;
     let mut best_rec = u128::MAX;
+    let dec_us = Histogram::new();
+    let rec_us = Histogram::new();
     for _ in 0..reps {
         let mut d = data.clone();
         let t0 = Instant::now();
         r.decompose(&mut d);
-        best_dec = best_dec.min(t0.elapsed().as_nanos());
+        let dec = t0.elapsed();
+        dec_us.record_duration(dec);
+        best_dec = best_dec.min(dec.as_nanos());
         let t0 = Instant::now();
         r.recompose(&mut d);
-        best_rec = best_rec.min(t0.elapsed().as_nanos());
+        let rec = t0.elapsed();
+        rec_us.record_duration(rec);
+        best_rec = best_rec.min(rec.as_nanos());
     }
     // Per-kernel breakdown from exactly one decompose + recompose pair, so
     // the kernel sums are comparable to decompose_ns + recompose_ns. Taken
@@ -151,6 +164,8 @@ fn bench_cell(shape: Shape, data: &NdArray<f64>, plan: ExecPlan, reps: usize) ->
         tile,
         decompose_ns: best_dec,
         recompose_ns: best_rec,
+        decompose_us: dec_us.snapshot(),
+        recompose_us: rec_us.snapshot(),
         kernels,
     };
     eprintln!(
@@ -208,6 +223,10 @@ fn parse_rows(json: &str) -> Vec<Row> {
             tile: json_num(line, "tile").map(|t| t as usize),
             decompose_ns: json_num(line, "decompose_ns").unwrap_or(0),
             recompose_ns: json_num(line, "recompose_ns").unwrap_or(0),
+            // The gate compares the best-of scalars; the histogram
+            // spread is informational and not re-parsed.
+            decompose_us: HistView::default(),
+            recompose_us: HistView::default(),
             kernels,
         });
     }

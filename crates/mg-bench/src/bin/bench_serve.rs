@@ -6,18 +6,27 @@
 //! path) and one with a pre-warmed cache (every fetch is a lookup — the
 //! *cached* path), then fires `--clients` threads × `--requests` fetches
 //! each, cycling through a fixed τ ladder. Emits `BENCH_serve.json` with
-//! wall time, request rate, mean/p50/p95 latency, and cache hit rate per
-//! phase; on a healthy build the cached rows beat the cold rows because
-//! repeat requests at a τ skip the prefix encoding entirely.
+//! wall time, request rate, a full `mg_obs` latency histogram
+//! (`latency_us`: count/sum/min/max/p50/p90/p99/p999 + buckets), and
+//! cache hit rate per phase; on a healthy build the cached rows beat the
+//! cold rows because repeat requests at a τ skip the prefix encoding
+//! entirely.
+//!
+//! `--obs-gate` additionally measures the metrics hot path itself
+//! (counter increments + sharded histogram records, the per-request work
+//! the server's instrumentation does) and **exits nonzero** if that work
+//! costs 2% or more of a cached request — the CI guard that keeps the
+//! observability layer off the serving fast path.
 //!
 //! ```text
-//! bench_serve [--quick] [--out PATH] [--clients N] [--requests N]
+//! bench_serve [--quick] [--out PATH] [--clients N] [--requests N] [--obs-gate]
 //! ```
 
 use mg_grid::{NdArray, Shape};
+use mg_obs::{Counter, HistView, Histogram};
 use mg_serve::{client, Catalog, Server, ServerConfig};
 use std::net::SocketAddr;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Mixed error bounds, cycled per request (0.0 = full payload).
 const TAUS: [f64; 5] = [1e-1, 1e-2, 1e-3, 1e-5, 0.0];
@@ -43,11 +52,15 @@ fn shape_tag(shape: Shape) -> String {
 struct PhaseResult {
     wall_ms: f64,
     reqs_per_s: f64,
-    mean_ms: f64,
-    p50_ms: f64,
-    p95_ms: f64,
+    latency_us: HistView,
     hit_rate: f64,
     payload_bytes: u64,
+}
+
+impl PhaseResult {
+    fn mean_ms(&self) -> f64 {
+        self.latency_us.mean() / 1e3
+    }
 }
 
 /// One pass over the τ ladder: spins up worker threads / populates the
@@ -61,56 +74,62 @@ fn warmup(addr: SocketAddr, dataset: &str) {
     }
 }
 
-/// Fire `clients × requests` fetches at `addr` and collect latencies.
-fn run_phase(
-    addr: SocketAddr,
-    dataset: &str,
-    clients: usize,
-    requests: usize,
-) -> (PhaseResult, Vec<f64>) {
+/// Fire `clients × requests` fetches at `addr`; latencies land in one
+/// shared `mg_obs` histogram (sharded, so the client threads record
+/// concurrently without serializing on a lock).
+fn run_phase(addr: SocketAddr, dataset: &str, clients: usize, requests: usize) -> PhaseResult {
     let before = client::stats(addr).expect("stats");
+    let latency_us = Histogram::new();
     let t0 = Instant::now();
-    let mut latencies: Vec<f64> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..clients)
-            .map(|c| {
-                s.spawn(move || {
-                    let mut lats = Vec::with_capacity(requests);
-                    for i in 0..requests {
-                        let tau = TAUS[(c + i) % TAUS.len()];
-                        let t = Instant::now();
-                        let got = client::FetchRequest::new(dataset)
-                            .tau(tau)
-                            .send(addr)
-                            .expect("fetch");
-                        lats.push((t.elapsed().as_secs_f64() * 1e3, got.raw.len() as u64));
-                    }
-                    lats
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("client thread"))
-            .map(|(ms, _)| ms)
-            .collect()
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let latency_us = &latency_us;
+            s.spawn(move || {
+                for i in 0..requests {
+                    let tau = TAUS[(c + i) % TAUS.len()];
+                    let t = Instant::now();
+                    client::FetchRequest::new(dataset)
+                        .tau(tau)
+                        .send(addr)
+                        .expect("fetch");
+                    latency_us.record_duration(t.elapsed());
+                }
+            });
+        }
     });
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let n = latencies.len();
+    let n = clients * requests;
     // Counter deltas isolate this phase from the warmup pass.
     let after = client::stats(addr).expect("stats");
     let hits = after.cache_hits - before.cache_hits;
     let misses = after.cache_misses - before.cache_misses;
-    let result = PhaseResult {
+    PhaseResult {
         wall_ms,
         reqs_per_s: n as f64 / (wall_ms / 1e3),
-        mean_ms: latencies.iter().sum::<f64>() / n as f64,
-        p50_ms: latencies[n / 2],
-        p95_ms: latencies[(n * 95 / 100).min(n - 1)],
+        latency_us: latency_us.snapshot(),
         hit_rate: hits as f64 / (hits + misses).max(1) as f64,
         payload_bytes: after.payload_bytes - before.payload_bytes,
-    };
-    (result, latencies)
+    }
+}
+
+/// Cost of the per-request metrics work, measured directly: the server
+/// records a handful of counter increments and histogram samples per
+/// fetch; time `OPS_PER_REQUEST` of each and report the per-request
+/// price in nanoseconds.
+const OPS_PER_REQUEST: u32 = 8;
+
+fn obs_hot_path_cost() -> Duration {
+    let counter = Counter::new();
+    let hist = Histogram::new();
+    let reps: u32 = 200_000;
+    let t0 = Instant::now();
+    for i in 0..reps {
+        counter.inc();
+        hist.record(u64::from(i) % 50_000);
+    }
+    let per_pair = t0.elapsed() / reps;
+    // A counter bump plus a histogram record, OPS_PER_REQUEST of each.
+    per_pair * OPS_PER_REQUEST
 }
 
 fn main() {
@@ -119,6 +138,7 @@ fn main() {
     let mut out = String::from("BENCH_serve.json");
     let mut clients = 8usize;
     let mut requests = 16usize;
+    let mut obs_gate = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -136,10 +156,11 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--requests needs a count")
             }
+            "--obs-gate" => obs_gate = true,
             other => {
                 eprintln!(
                     "usage: bench_serve [--quick] [--out PATH] [--clients N] [--requests N] \
-                     (got {other:?})"
+                     [--obs-gate] (got {other:?})"
                 );
                 std::process::exit(2);
             }
@@ -157,6 +178,7 @@ fn main() {
     };
 
     let mut rows = Vec::new();
+    let mut cached_mean = f64::NAN;
     for &shape in &shapes {
         let tag = shape_tag(shape);
         let data = field(shape);
@@ -180,7 +202,7 @@ fn main() {
         )
         .expect("bind cold server");
         warmup(cold_server.local_addr(), &tag);
-        let (cold, _) = run_phase(cold_server.local_addr(), &tag, clients, requests);
+        let cold = run_phase(cold_server.local_addr(), &tag, clients, requests);
         cold_server.shutdown().expect("shutdown cold server");
 
         // Cached: default cache, pre-warmed with one pass over the τ
@@ -188,36 +210,61 @@ fn main() {
         let warm_server =
             Server::bind("127.0.0.1:0", catalog.clone(), pool).expect("bind warm server");
         warmup(warm_server.local_addr(), &tag);
-        let (cached, _) = run_phase(warm_server.local_addr(), &tag, clients, requests);
+        let cached = run_phase(warm_server.local_addr(), &tag, clients, requests);
         warm_server.shutdown().expect("shutdown warm server");
 
-        let speedup = cold.mean_ms / cached.mean_ms;
+        let speedup = cold.mean_ms() / cached.mean_ms();
         eprintln!(
             "{tag}: cold {:.3} ms/req ({:.0} req/s), cached {:.3} ms/req \
              ({:.0} req/s) -> {speedup:.2}x, hit rate {:.0}%",
-            cold.mean_ms,
+            cold.mean_ms(),
             cold.reqs_per_s,
-            cached.mean_ms,
+            cached.mean_ms(),
             cached.reqs_per_s,
             cached.hit_rate * 100.0
         );
+        cached_mean = cached.latency_us.mean() * 1e3; // ns per cached request
         for (phase, r) in [("cold", &cold), ("cached", &cached)] {
             rows.push(format!(
                 "    {{\"dataset\": \"{tag}\", \"phase\": \"{phase}\", \"clients\": {clients}, \
                  \"requests_per_client\": {requests}, \"wall_ms\": {:.3}, \
-                 \"reqs_per_s\": {:.1}, \"mean_ms\": {:.4}, \"p50_ms\": {:.4}, \
-                 \"p95_ms\": {:.4}, \"hit_rate\": {:.4}, \"payload_bytes\": {}}}",
-                r.wall_ms, r.reqs_per_s, r.mean_ms, r.p50_ms, r.p95_ms, r.hit_rate, r.payload_bytes
+                 \"reqs_per_s\": {:.1}, \"hit_rate\": {:.4}, \"payload_bytes\": {}, \
+                 \"latency_us\": {}}}",
+                r.wall_ms,
+                r.reqs_per_s,
+                r.hit_rate,
+                r.payload_bytes,
+                r.latency_us.to_json()
             ));
         }
     }
 
+    // The observability gate: the per-request metrics work, priced
+    // directly, must stay under 2% of a cached request.
+    let obs_cost = obs_hot_path_cost();
+    let obs_pct = obs_cost.as_nanos() as f64 / cached_mean * 100.0;
+    eprintln!(
+        "obs hot path: {:?} per request ({OPS_PER_REQUEST} counter+histogram pairs) \
+         = {obs_pct:.3}% of a cached request",
+        obs_cost
+    );
+
     let threads = std::thread::available_parallelism().map_or(1, usize::from);
     let json = format!(
         "{{\n  \"bench\": \"serve\",\n  \"quick\": {quick},\n  \"host_threads\": {threads},\n  \
-         \"taus\": [0.1, 0.01, 0.001, 0.00001, 0.0],\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"taus\": [0.1, 0.01, 0.001, 0.00001, 0.0],\n  \
+         \"obs_hot_path_ns\": {},\n  \"obs_hot_path_pct\": {obs_pct:.4},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        obs_cost.as_nanos(),
         rows.join(",\n")
     );
     std::fs::write(&out, &json).expect("write BENCH json");
     println!("wrote {out}");
+
+    // NaN (a degenerate cached mean) must fail the gate, not pass it.
+    let under_gate = obs_pct.partial_cmp(&2.0) == Some(std::cmp::Ordering::Less);
+    if obs_gate && !under_gate {
+        eprintln!("OBS GATE FAILED: metrics hot path {obs_pct:.3}% >= 2% of a cached request");
+        std::process::exit(1);
+    }
 }

@@ -24,6 +24,7 @@
 use mg_core::{decompose_streaming, Refactorer};
 use mg_grid::{NdArray, Shape};
 use mg_io::StreamSink;
+use mg_obs::Histogram;
 use std::io::Write;
 use std::time::{Duration, Instant};
 
@@ -43,20 +44,25 @@ struct Throttled<W: Write> {
     inner: W,
     bps: f64,
     free_at: Option<Instant>,
+    /// Wall time each `write` call held its caller, µs — the write-side
+    /// stall distribution the pipeline exists to hide.
+    write_us: Histogram,
 }
 
 impl<W: Write> Throttled<W> {
-    fn new(inner: W, bps: f64) -> Self {
+    fn new(inner: W, bps: f64, write_us: Histogram) -> Self {
         Throttled {
             inner,
             bps,
             free_at: None,
+            write_us,
         }
     }
 }
 
 impl<W: Write> Write for Throttled<W> {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let t0 = Instant::now();
         let n = self.inner.write(buf)?;
         if self.bps > 0.0 {
             let now = Instant::now();
@@ -67,6 +73,7 @@ impl<W: Write> Write for Throttled<W> {
                 std::thread::sleep(free - now);
             }
         }
+        self.write_us.record_duration(t0.elapsed());
         Ok(n)
     }
 
@@ -123,11 +130,13 @@ fn main() {
         let path_serial = dir.join(format!("{tag}-serial.mgst"));
         let mut r = Refactorer::<f64>::new(shape).unwrap();
         let mut d = data.clone();
+        let serial_write_us = Histogram::new();
         let t0 = Instant::now();
         r.decompose(&mut d);
         let file = Throttled::new(
             std::io::BufWriter::new(std::fs::File::create(&path_serial).unwrap()),
             bps,
+            serial_write_us.clone(),
         );
         let mut sink = StreamSink::new(file, r.hierarchy(), 8).unwrap();
         {
@@ -148,10 +157,12 @@ fn main() {
         let path_stream = dir.join(format!("{tag}-stream.mgst"));
         let mut r = Refactorer::<f64>::new(shape).unwrap();
         let mut d = data.clone();
+        let stream_write_us = Histogram::new();
         let t0 = Instant::now();
         let file = Throttled::new(
             std::io::BufWriter::new(std::fs::File::create(&path_stream).unwrap()),
             bps,
+            stream_write_us.clone(),
         );
         let mut sink = StreamSink::new(file, r.hierarchy(), 8).unwrap();
         let stats = decompose_streaming(&mut r, &mut d, &mut sink).unwrap();
@@ -167,12 +178,15 @@ fn main() {
         );
         rows.push(format!(
             "    {{\"shape\": \"{tag}\", \"serial_ns\": {}, \"pipelined_ns\": {}, \
-             \"compute_ns\": {}, \"io_ns\": {}, \"hidden_fraction\": {:.4}}}",
+             \"compute_ns\": {}, \"io_ns\": {}, \"hidden_fraction\": {:.4}, \
+             \"serial_write_us\": {}, \"pipelined_write_us\": {}}}",
             serial.as_nanos(),
             pipelined.as_nanos(),
             stats.compute.as_nanos(),
             stats.io.as_nanos(),
-            stats.hidden_fraction()
+            stats.hidden_fraction(),
+            serial_write_us.snapshot().to_json(),
+            stream_write_us.snapshot().to_json()
         ));
     }
     let _ = std::fs::remove_dir_all(&dir);

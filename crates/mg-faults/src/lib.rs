@@ -105,9 +105,10 @@ pub struct FaultSpec {
     pub flip_window: u64,
     /// Which direction the flip corrupts: `false` = incoming request
     /// bytes (safe everywhere: requests carry no payload), `true` =
-    /// outgoing response bytes (keep `flip_window <= 7` so corruption
-    /// hits the response envelope and is detected before any payload
-    /// byte is trusted).
+    /// outgoing response bytes. On a keyed deployment the response tag
+    /// covers the payload, so any window is detectable; on an unkeyed
+    /// one keep `flip_window <= 7` so corruption hits the response
+    /// envelope and is caught before any payload byte is trusted.
     pub flip_on_write: bool,
 }
 

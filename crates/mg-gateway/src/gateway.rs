@@ -6,13 +6,15 @@
 use crate::pool::Pool;
 use crate::ring::{Ring, DEFAULT_VNODES};
 use crate::router::{Routed, Router, RouterConfig};
+use mg_obs::{Counter, Histogram, Registry, TraceCtx, Tracer};
 use mg_serve::auth::AuthKey;
 use mg_serve::ops::{self, Dispatched, OpsHost};
 use mg_serve::protocol::{
-    self, Deadline, Envelope, FetchSpec, Response, StatsReport, TenantStatsReport, PROTOCOL_V2,
+    self, Deadline, Envelope, FetchSpec, Request, Response, StatsReport, TenantStatsReport,
+    PROTOCOL_V2,
 };
-use mg_serve::qos::{Admission, FairScheduler, QosConfig};
-use mg_serve::server::{run_connection_loop, ConnAction, ConnRegistry};
+use mg_serve::qos::{Admission, FairScheduler, QosConfig, Rejection};
+use mg_serve::server::{run_connection_loop, ConnAction, ConnRegistry, ObsConfig};
 use std::io::{self, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -66,6 +68,9 @@ pub struct GatewayConfig {
     /// `max(floor, observed backend p95)` starts a second replica walk;
     /// the first completed response wins. `None` disables hedging.
     pub hedge: Option<Duration>,
+    /// Observability knobs (trace sampling rate and ring size), shared
+    /// with the backend tier's [`ObsConfig`].
+    pub obs: ObsConfig,
 }
 
 impl Default for GatewayConfig {
@@ -87,6 +92,7 @@ impl Default for GatewayConfig {
             auth: None,
             breaker_threshold: 1,
             hedge: None,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -161,12 +167,52 @@ struct FaultsHandle {
     dial_faults: Option<mg_faults::Injector>,
 }
 
+/// Pre-resolved metric handles for the gateway hot path: looked up once
+/// at bind time so a request never takes the registry lock.
+struct GwObsHandles {
+    requests: Counter,
+    fetches: Counter,
+    not_found: Counter,
+    unavailable: Counter,
+    deadline_exceeded: Counter,
+    shed: Counter,
+    rejected_auth: Counter,
+    payload_bytes: Counter,
+    request_us: Histogram,
+    queue_wait_us: Histogram,
+    route_us: Histogram,
+    write_us: Histogram,
+}
+
+impl GwObsHandles {
+    fn new(reg: &Registry) -> GwObsHandles {
+        GwObsHandles {
+            requests: reg.counter("gateway.requests"),
+            fetches: reg.counter("gateway.fetches"),
+            not_found: reg.counter("gateway.not_found"),
+            unavailable: reg.counter("gateway.unavailable"),
+            deadline_exceeded: reg.counter("gateway.deadline_exceeded"),
+            shed: reg.counter("gateway.shed"),
+            rejected_auth: reg.counter("gateway.rejected_auth"),
+            payload_bytes: reg.counter("gateway.payload_bytes"),
+            request_us: reg.histogram("gateway.request_us"),
+            queue_wait_us: reg.histogram("gateway.queue_wait_us"),
+            route_us: reg.histogram("gateway.route_us"),
+            write_us: reg.histogram("gateway.write_us"),
+        }
+    }
+}
+
 struct Shared {
     router: Arc<Router>,
     scheduler: FairScheduler,
     counters: Counters,
     shutting_down: AtomicBool,
     connections: ConnRegistry,
+    auth: Option<AuthKey>,
+    registry: Registry,
+    tracer: Tracer,
+    obs: GwObsHandles,
 }
 
 /// A running gateway.
@@ -248,12 +294,22 @@ impl Gateway {
             breaker_threshold: config.breaker_threshold,
             hedge: config.hedge,
         };
+        let registry = Registry::new();
         let shared = Arc::new(Shared {
-            router: Arc::new(Router::new(ring, pool, router_config)),
+            router: Arc::new(Router::with_registry(
+                ring,
+                pool,
+                router_config,
+                registry.clone(),
+            )),
             scheduler: FairScheduler::new(config.qos),
             counters: Counters::default(),
             shutting_down: AtomicBool::new(false),
             connections: ConnRegistry::default(),
+            auth: config.auth,
+            tracer: Tracer::new("gateway", config.obs.trace_ring, config.obs.sample_rate),
+            obs: GwObsHandles::new(&registry),
+            registry,
         });
 
         let workers = config.workers.max(1);
@@ -352,6 +408,17 @@ impl Gateway {
         self.shared.scheduler.tenant_stats()
     }
 
+    /// The gateway's metrics registry (front-tier counters and stage
+    /// histograms plus the router's per-backend exchange histograms).
+    pub fn registry(&self) -> &Registry {
+        &self.shared.registry
+    }
+
+    /// The gateway's trace sampler/ring.
+    pub fn tracer(&self) -> &Tracer {
+        &self.shared.tracer
+    }
+
     /// Stop accepting, drain, join every thread, return final counters.
     pub fn shutdown(mut self) -> io::Result<GatewayStats> {
         trigger_shutdown(&self.shared, self.addr);
@@ -389,6 +456,7 @@ fn trigger_shutdown(shared: &Shared, addr: SocketAddr) {
 /// Answer `Overloaded` on the acceptor thread and drop the connection.
 fn shed_connection(shared: &Shared, stream: TcpStream) {
     shared.router.counters.shed.fetch_add(1, Ordering::Relaxed);
+    shared.obs.shed.inc();
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
     let mut writer = BufWriter::new(stream);
     let _ = protocol::write_response(
@@ -474,6 +542,23 @@ impl OpsHost for GatewayOps<'_> {
     fn begin_shutdown(&self) {
         trigger_shutdown(self.shared, self.local);
     }
+
+    fn metrics_render(&self, text: bool) -> String {
+        let snap = self.shared.registry.snapshot();
+        if text {
+            snap.to_text()
+        } else {
+            snap.to_json()
+        }
+    }
+
+    fn trace_dump(&self, max: u32) -> String {
+        self.shared.tracer.dump_json(max as usize)
+    }
+
+    fn auth_key(&self) -> Option<&AuthKey> {
+        self.shared.auth.as_ref()
+    }
 }
 
 fn handle_connection(
@@ -493,35 +578,67 @@ fn handle_connection(
         auth,
         &shared.shutting_down,
         &shared.connections,
-        |parsed, writer| match ops::dispatch_ops(&GatewayOps { shared, local }, parsed, writer) {
-            Dispatched::Done(action) => action,
-            Dispatched::Fetch(spec, env) => {
-                let ok = serve_fetch(writer, shared, &spec, &env).is_ok();
-                if ok && env.version >= PROTOCOL_V2 {
-                    ConnAction::KeepOpen
-                } else {
-                    ConnAction::Close
-                }
-            }
-        },
+        |parsed, writer| gateway_dispatch(shared, local, auth, parsed, writer),
         |elapsed| {
             let c = &shared.counters;
             c.requests.fetch_add(1, Ordering::Relaxed);
             let ns = elapsed.as_nanos() as u64;
             c.latency_ns_total.fetch_add(ns, Ordering::Relaxed);
             c.latency_ns_max.fetch_max(ns, Ordering::Relaxed);
+            shared.obs.requests.inc();
+            shared.obs.request_us.record_duration(elapsed);
         },
     );
 }
 
-/// Refuse a fetch whose budget ran out at the gateway: bump the counter
-/// and answer with the typed status (the connection stays usable).
-fn refuse_expired(w: &mut impl Write, shared: &Shared, version: u16, msg: &str) -> io::Result<()> {
+fn gateway_dispatch<W: Write>(
+    shared: &Shared,
+    local: SocketAddr,
+    auth: Option<AuthKey>,
+    parsed: io::Result<(Request, Envelope)>,
+    writer: &mut W,
+) -> ConnAction {
+    // Auth failures are pre-admission rejections: the frame never
+    // parsed far enough to attribute a tenant, so they land on the
+    // shared default tenant's ledger row.
+    let auth_failed = matches!(&parsed, Err(e) if e.kind() == io::ErrorKind::PermissionDenied);
+    if auth_failed {
+        shared.scheduler.record_rejected("", Rejection::Auth);
+        shared.obs.rejected_auth.inc();
+    }
+    // Adopt the client's trace field (stitching this hop into the
+    // caller's trace) or start a fresh trace for this request.
+    let ctx = shared
+        .tracer
+        .begin(parsed.as_ref().ok().and_then(|(_, env)| env.trace));
+    match ops::dispatch_ops(&GatewayOps { shared, local }, parsed, writer) {
+        Dispatched::Done(action) => {
+            if auth_failed {
+                shared.tracer.finish(&ctx, "auth_failure", true);
+            } else {
+                shared.tracer.finish(&ctx, "ok", false);
+            }
+            action
+        }
+        Dispatched::Fetch(spec, env) => {
+            let key = if env.authed { auth } else { None };
+            let ok = serve_fetch(writer, shared, &spec, &env, &ctx, key.as_ref()).is_ok();
+            if ok && env.version >= PROTOCOL_V2 {
+                ConnAction::KeepOpen
+            } else {
+                ConnAction::Close
+            }
+        }
+    }
+}
+
+/// Bump both deadline-exceeded counters (legacy snapshot + metrics).
+fn note_deadline_exceeded(shared: &Shared) {
     shared
         .counters
         .deadline_exceeded
         .fetch_add(1, Ordering::Relaxed);
-    protocol::write_response_versioned(w, &Response::DeadlineExceeded(msg.into()), version)
+    shared.obs.deadline_exceeded.inc();
 }
 
 fn serve_fetch(
@@ -529,99 +646,169 @@ fn serve_fetch(
     shared: &Shared,
     spec: &FetchSpec,
     env: &Envelope,
+    ctx: &TraceCtx,
+    key: Option<&AuthKey>,
 ) -> io::Result<()> {
     let version = env.version;
+    // A refusal finishes the trace (forced: error traces are always
+    // kept) and goes out tagged when the request was authenticated.
+    let refuse = |w: &mut _, resp: Response, outcome: &str| {
+        shared.tracer.finish(ctx, outcome, true);
+        protocol::write_response_tagged(w, &resp, version, key, &[])
+    };
     // Re-anchor the caller's remaining budget on arrival; everything the
     // gateway spends (queueing, routing, hedging) is subtracted before
     // the remainder is re-encoded on backend frames.
+    let stage = Instant::now();
     let deadline = env.deadline().map(Deadline::new);
     if deadline.is_some_and(|d| d.expired()) {
-        return refuse_expired(
+        note_deadline_exceeded(shared);
+        // Dead on arrival: a pre-admission rejection in the ledger.
+        shared
+            .scheduler
+            .record_rejected(&spec.qos.tenant, Rejection::Deadline);
+        ctx.span("deadline_check", stage);
+        return refuse(
             w,
-            shared,
-            version,
-            "deadline budget exhausted on arrival at the gateway",
+            Response::DeadlineExceeded(
+                "deadline budget exhausted on arrival at the gateway".into(),
+            ),
+            "deadline_exceeded",
         );
     }
+    ctx.span("deadline_check", stage);
     // Fidelity-aware admission: wait for a weighted-fair slot (never
     // longer than the remaining budget); under pressure the scheduler
     // answers with a degrade level that stacks on whatever the client
     // already asked to drop, and only queue overflow or a wait timeout
     // sheds outright.
+    let stage = Instant::now();
     let wait_cap = deadline.map(|d| d.remaining());
-    let (permit, sched_degrade) =
-        match shared
-            .scheduler
-            .admit_within(&spec.qos.tenant, spec.qos.priority, wait_cap)
-        {
-            Admission::Granted { permit, degrade } => (permit, degrade),
-            Admission::Shed => {
-                if deadline.is_some_and(|d| d.expired()) {
-                    return refuse_expired(
-                        w,
-                        shared,
-                        version,
-                        "deadline expired waiting for gateway admission",
-                    );
-                }
+    let admission = shared
+        .scheduler
+        .admit_within(&spec.qos.tenant, spec.qos.priority, wait_cap);
+    shared.obs.queue_wait_us.record_duration(stage.elapsed());
+    ctx.span("queue_wait", stage);
+    let (permit, sched_degrade) = match admission {
+        Admission::Granted { permit, degrade } => (permit, degrade),
+        Admission::Shed => {
+            let (resp, outcome) = if deadline.is_some_and(|d| d.expired()) {
+                note_deadline_exceeded(shared);
+                shared
+                    .scheduler
+                    .record_rejected(&spec.qos.tenant, Rejection::Deadline);
+                (
+                    Response::DeadlineExceeded(
+                        "deadline expired waiting for gateway admission".into(),
+                    ),
+                    "deadline_exceeded",
+                )
+            } else {
                 shared.router.counters.shed.fetch_add(1, Ordering::Relaxed);
-                return protocol::write_response_versioned(
-                    w,
-                    &Response::Overloaded("gateway admission queue is full, retry".into()),
-                    version,
-                );
-            }
-        };
+                shared.obs.shed.inc();
+                (
+                    Response::Overloaded("gateway admission queue is full, retry".into()),
+                    "shed",
+                )
+            };
+            return refuse(w, resp, outcome);
+        }
+    };
+    // Queue wait may have consumed the budget even when admission won.
     if deadline.is_some_and(|d| d.expired()) {
-        return refuse_expired(
+        note_deadline_exceeded(shared);
+        permit.deadline_rejected();
+        return refuse(
             w,
-            shared,
-            version,
-            "gateway queue wait consumed the deadline budget",
+            Response::DeadlineExceeded("gateway queue wait consumed the deadline budget".into()),
+            "deadline_exceeded",
         );
     }
+    // Route: the walk's backend attempts become `exchange` spans
+    // parented under this (pre-reserved) stage span, and the backend
+    // hop is stitched into the same trace via the forwarded envelope.
+    let stage = Instant::now();
+    let route_span = ctx.reserve();
+    let trace = Some((ctx, route_span));
     let routed = if sched_degrade == 0 {
-        shared.router.route_fetch_hedged(spec, deadline)
+        shared.router.route_fetch_observed(spec, deadline, trace)
     } else {
         let mut coarser = spec.clone();
         coarser.qos.degrade = coarser.qos.degrade.saturating_add(sched_degrade);
-        shared.router.route_fetch_hedged(&coarser, deadline)
+        shared
+            .router
+            .route_fetch_observed(&coarser, deadline, trace)
     };
+    shared.obs.route_us.record_duration(stage.elapsed());
+    let routed_kind = match &routed {
+        Routed::Fetch(header, _) => {
+            if header.cache_hit {
+                "cache_hit"
+            } else {
+                "fetched"
+            }
+        }
+        Routed::Other(_) => "refused",
+        Routed::Overloaded(_) => "overloaded",
+        Routed::Unavailable(_) => "unavailable",
+    };
+    ctx.span_done(
+        route_span,
+        "route",
+        ctx.root(),
+        stage,
+        Instant::now(),
+        vec![("outcome", routed_kind.to_string())],
+    );
     match routed {
         Routed::Fetch(header, payload) => {
             let degraded = header.qos.is_some_and(|q| q.degraded());
-            protocol::write_response_versioned(w, &Response::Fetch(header), version)?;
+            let stage = Instant::now();
+            // A tagged fetch response covers the payload bytes too, so
+            // a keyed client can detect any bit-flip along the way.
+            protocol::write_response_tagged(w, &Response::Fetch(header), version, key, &payload)?;
             w.write_all(&payload)?;
+            shared.obs.write_us.record_duration(stage.elapsed());
+            ctx.span("write_out", stage);
             let c = &shared.counters;
             c.fetches.fetch_add(1, Ordering::Relaxed);
             c.payload_bytes
                 .fetch_add(payload.len() as u64, Ordering::Relaxed);
+            shared.obs.fetches.inc();
+            shared.obs.payload_bytes.add(payload.len() as u64);
             permit.served(payload.len() as u64, degraded);
+            shared.tracer.finish(ctx, "ok", false);
             Ok(())
         }
         Routed::Other(resp) => {
-            if matches!(resp, Response::NotFound(_)) {
-                shared.counters.not_found.fetch_add(1, Ordering::Relaxed);
-            }
-            if matches!(resp, Response::DeadlineExceeded(_)) {
-                shared
-                    .counters
-                    .deadline_exceeded
-                    .fetch_add(1, Ordering::Relaxed);
-            }
-            protocol::write_response_versioned(w, &resp, version)
+            let outcome = match &resp {
+                Response::NotFound(_) => {
+                    shared.counters.not_found.fetch_add(1, Ordering::Relaxed);
+                    shared.obs.not_found.inc();
+                    "not_found"
+                }
+                Response::DeadlineExceeded(_) => {
+                    note_deadline_exceeded(shared);
+                    permit.deadline_rejected();
+                    "deadline_exceeded"
+                }
+                _ => "backend_refused",
+            };
+            refuse(w, resp, outcome)
         }
         Routed::Overloaded(msg) => {
             permit.shed_downstream();
-            protocol::write_response_versioned(w, &Response::Overloaded(msg), version)
+            shared.obs.shed.inc();
+            refuse(w, Response::Overloaded(msg), "shed")
         }
         Routed::Unavailable(msg) => {
             shared.counters.unavailable.fetch_add(1, Ordering::Relaxed);
+            shared.obs.unavailable.inc();
             // A transient full outage must stay distinguishable from a
             // genuinely absent dataset: Overloaded says "retry later",
             // which is the honest signal while replicas restart —
             // NotFound here would poison negative caches downstream.
-            protocol::write_response_versioned(w, &Response::Overloaded(msg), version)
+            refuse(w, Response::Overloaded(msg), "unavailable")
         }
     }
 }
@@ -721,6 +908,103 @@ mod tests {
             .tau(0.0)
             .send(addr.as_str())
             .is_ok());
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn metrics_and_trace_ops_expose_the_gateway_registry() {
+        let (server, addr) = backend(&["d"]);
+        let mut config = quick_config();
+        config.obs.sample_rate = 1; // sample every request
+        let gw = Gateway::bind("127.0.0.1:0", vec![addr.clone()], config).unwrap();
+        let gw_addr = gw.local_addr();
+        let _ = client::FetchRequest::new("d")
+            .tau(0.0)
+            .send(gw_addr)
+            .unwrap();
+
+        let json = client::metrics(gw_addr, false).unwrap();
+        for name in [
+            "gateway.requests",
+            "gateway.fetches",
+            "gateway.request_us",
+            "gateway.route_us",
+            "gateway.exchange_us",
+            &format!("gateway.backend.exchange_us.{addr}"),
+        ] {
+            assert!(
+                json.contains(name),
+                "metrics JSON must carry {name}: {json}"
+            );
+        }
+        let text = client::metrics(gw_addr, true).unwrap();
+        assert!(text.contains("gateway.fetches"), "{text}");
+
+        // The sampled trace carries the route stage with its exchange
+        // child naming the backend that served.
+        let traces = client::traces(gw_addr, 8).unwrap();
+        assert!(traces.contains("\"route\""), "{traces}");
+        assert!(traces.contains("\"exchange\""), "{traces}");
+        assert!(
+            traces.contains(&addr),
+            "exchange span must name the backend: {traces}"
+        );
+        gw.shutdown().unwrap();
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn a_traced_fetch_stitches_gateway_and_backend_into_one_trace() {
+        use mg_serve::server::ObsConfig;
+        let cat = Catalog::new();
+        cat.insert_array(
+            "d",
+            &NdArray::from_fn(Shape::d2(17, 17), |i| (i[0] + i[1]) as f64 * 0.03),
+        )
+        .unwrap();
+        let server = Server::bind(
+            "127.0.0.1:0",
+            cat,
+            ServerConfig {
+                obs: ObsConfig {
+                    sample_rate: 1,
+                    trace_ring: 16,
+                },
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let mut config = quick_config();
+        config.obs.sample_rate = 1;
+        let gw = Gateway::bind("127.0.0.1:0", vec![addr], config).unwrap();
+        let _ = client::FetchRequest::new("d")
+            .tau(0.0)
+            .send(gw.local_addr())
+            .unwrap();
+
+        let gw_traces = gw.tracer().recent();
+        let be_traces = server.tracer().recent();
+        let gw_trace = gw_traces.last().expect("gateway must sample the fetch");
+        // The backend ring also holds gateway health probes (stats ops,
+        // untraced, parent 0); the stitched fetch is the one with a
+        // remote parent.
+        let be_trace = be_traces
+            .iter()
+            .find(|t| t.parent != 0)
+            .expect("backend must sample the stitched fetch");
+        assert_eq!(
+            gw_trace.trace_id, be_trace.trace_id,
+            "one fetch, one trace id across both tiers"
+        );
+        // The backend hop parents under the gateway's exchange span.
+        let exchange = gw_trace
+            .spans
+            .iter()
+            .find(|s| s.name == "exchange")
+            .expect("gateway trace records the backend exchange");
+        assert_eq!(be_trace.parent, exchange.id);
+        gw.shutdown().unwrap();
         server.shutdown().unwrap();
     }
 

@@ -23,10 +23,17 @@
 //!    probe backoff expires (one trial request or health probe), and
 //!    closes again on the first success;
 //! 6. optionally ([`RouterConfig::hedge`]) a straggling fetch is hedged:
-//!    after a delay derived from observed backend latency (p95 of a
-//!    sliding sample window, floored by the config), a second walk
-//!    starts from the next replica and the first completed response
-//!    wins — cutting tail latency when one backend is slow but alive.
+//!    after a delay derived from observed backend latency (p95 of the
+//!    aggregate exchange histogram, floored by the config), a second
+//!    walk starts from the next replica and the first completed
+//!    response wins — cutting tail latency when one backend is slow but
+//!    alive.
+//!
+//! Every successful backend exchange is recorded into per-backend and
+//! aggregate [`mg_obs::Histogram`]s (shared with the gateway's metrics
+//! registry), and a routed fetch carrying a [`mg_obs::TraceCtx`] gets a
+//! child `exchange` span per backend attempt — including a synthetic
+//! `outcome=lost` span for the abandoned primary when a hedge wins.
 //!
 //! Deadlines propagate: a request arriving with a remaining budget has
 //! that budget re-encoded on every backend frame, caps the per-exchange
@@ -35,6 +42,7 @@
 use crate::pool::Pool;
 use crate::ring::Ring;
 use bytes::Bytes;
+use mg_obs::{Histogram, Registry, TraceCtx};
 use mg_serve::catalog::ByteLru;
 use mg_serve::client::{Connection, RawFetch};
 use mg_serve::protocol::{Deadline, FetchHeader, FetchSpec, Request, Response, Selector};
@@ -57,10 +65,13 @@ pub struct BackendState {
     /// probed again — exponential backoff, so a dead peer costs probes,
     /// not request latency.
     probe_not_before_ms: AtomicU64,
+    /// Successful exchange latencies against this backend, microseconds
+    /// (registered as `gateway.backend.exchange_us.<addr>`).
+    exchange_us: Histogram,
 }
 
 impl BackendState {
-    fn new(addr: String) -> Self {
+    fn new(addr: String, exchange_us: Histogram) -> Self {
         BackendState {
             addr,
             alive: AtomicBool::new(true),
@@ -68,6 +79,7 @@ impl BackendState {
             inflight: AtomicUsize::new(0),
             catalog_gen: AtomicU64::new(0),
             probe_not_before_ms: AtomicU64::new(0),
+            exchange_us,
         }
     }
 
@@ -85,6 +97,11 @@ impl BackendState {
     /// first successful stats probe).
     pub fn catalog_generation(&self) -> u64 {
         self.catalog_gen.load(Ordering::Relaxed)
+    }
+
+    /// This backend's successful-exchange latency histogram (µs).
+    pub fn exchange_histogram(&self) -> &Histogram {
+        &self.exchange_us
     }
 }
 
@@ -177,46 +194,9 @@ fn jittered_backoff(backoff: Duration, addr: &str, failures: u32) -> Duration {
     backoff.mul_f64(0.75 + 0.25 * frac)
 }
 
-/// Sliding window of successful backend exchange latencies, kept for
-/// the hedging delay (p95). Lock-free writes into a fixed ring; the
-/// occasional reader copies and sorts — 256 u64s, trivial next to a
-/// network exchange.
-struct LatencyRing {
-    samples: [AtomicU64; LatencyRing::CAP],
-    recorded: AtomicUsize,
-}
-
-impl LatencyRing {
-    const CAP: usize = 256;
-    /// Below this many samples p95 is noise; hedging falls back to the
-    /// configured floor alone.
-    const MIN_SAMPLES: usize = 8;
-
-    fn new() -> LatencyRing {
-        LatencyRing {
-            samples: std::array::from_fn(|_| AtomicU64::new(0)),
-            recorded: AtomicUsize::new(0),
-        }
-    }
-
-    fn record(&self, d: Duration) {
-        let i = self.recorded.fetch_add(1, Ordering::Relaxed);
-        self.samples[i % Self::CAP].store(d.as_nanos() as u64, Ordering::Relaxed);
-    }
-
-    fn p95(&self) -> Option<Duration> {
-        let n = self.recorded.load(Ordering::Relaxed).min(Self::CAP);
-        if n < Self::MIN_SAMPLES {
-            return None;
-        }
-        let mut v: Vec<u64> = self.samples[..n]
-            .iter()
-            .map(|s| s.load(Ordering::Relaxed))
-            .collect();
-        v.sort_unstable();
-        Some(Duration::from_nanos(v[(n * 95 / 100).min(n - 1)]))
-    }
-}
+/// Below this many recorded exchanges the p95 is noise; hedging falls
+/// back to the configured floor alone.
+const MIN_HEDGE_SAMPLES: u64 = 8;
 
 /// Cache key: every fidelity-relevant field of the fetch spec plus the
 /// replica set's summed catalog generation. Tenant and priority are
@@ -279,18 +259,38 @@ pub struct Router {
     pool: Pool,
     cache: ResponseCache,
     epoch: Instant,
-    latency: LatencyRing,
+    registry: Registry,
+    /// Aggregate successful-exchange latency over all backends (µs);
+    /// the hedge delay derives its p95 from here.
+    exchange_us: Histogram,
     pub(crate) counters: RouterCounters,
 }
 
 impl Router {
-    /// Build a router over `ring` using `pool` for backend connections.
+    /// Build a router over `ring` using `pool` for backend connections,
+    /// with a private metrics registry.
     pub fn new(ring: Ring, pool: Pool, config: RouterConfig) -> Router {
+        Router::with_registry(ring, pool, config, Registry::new())
+    }
+
+    /// [`Router::new`] recording exchange histograms into a shared
+    /// `registry` (the gateway passes its own, so the wire metrics op
+    /// exports router latency alongside the front-tier counters).
+    pub fn with_registry(
+        ring: Ring,
+        pool: Pool,
+        config: RouterConfig,
+        registry: Registry,
+    ) -> Router {
         let backends = ring
             .backends()
             .iter()
-            .map(|b| BackendState::new(b.clone()))
+            .map(|b| {
+                let h = registry.histogram(&format!("gateway.backend.exchange_us.{b}"));
+                BackendState::new(b.clone(), h)
+            })
             .collect();
+        let exchange_us = registry.histogram("gateway.exchange_us");
         Router {
             ring,
             config,
@@ -298,7 +298,8 @@ impl Router {
             pool,
             cache: ResponseCache::new(config.cache_bytes),
             epoch: Instant::now(),
-            latency: LatencyRing::new(),
+            registry,
+            exchange_us,
             counters: RouterCounters::default(),
         }
     }
@@ -306,6 +307,21 @@ impl Router {
     /// The placement ring.
     pub fn ring(&self) -> &Ring {
         &self.ring
+    }
+
+    /// The registry holding the per-backend and aggregate exchange
+    /// histograms.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// p95 of successful backend exchanges, once enough samples exist
+    /// to make it meaningful (the hedge-delay input).
+    pub fn exchange_p95(&self) -> Option<Duration> {
+        if self.exchange_us.count() < MIN_HEDGE_SAMPLES {
+            return None;
+        }
+        self.exchange_us.quantile(0.95).map(Duration::from_micros)
     }
 
     /// Per-backend health states.
@@ -442,14 +458,14 @@ impl Router {
 
     /// Route one fetch spec through the cache and the replica walk.
     pub fn route_fetch(&self, spec: &FetchSpec) -> Routed {
-        self.route_fetch_walk(spec, None, 0)
+        self.route_fetch_walk(spec, None, 0, None)
     }
 
     /// [`Router::route_fetch`] with a caller deadline: the remaining
     /// budget is re-encoded on every backend frame, caps per-exchange
     /// socket timeouts, and stops the walk when it expires.
     pub fn route_fetch_deadline(&self, spec: &FetchSpec, deadline: Option<&Deadline>) -> Routed {
-        self.route_fetch_walk(spec, deadline, 0)
+        self.route_fetch_walk(spec, deadline, 0, None)
     }
 
     /// Deadline-aware routing with optional hedging. With
@@ -466,8 +482,23 @@ impl Router {
         spec: &FetchSpec,
         deadline: Option<Deadline>,
     ) -> Routed {
+        self.route_fetch_observed(spec, deadline, None)
+    }
+
+    /// [`Router::route_fetch_hedged`] recording backend attempts as
+    /// `exchange` spans of `trace` (a context plus the stage span id to
+    /// parent them under). A hedge win force-samples the trace and
+    /// records a synthetic `outcome=lost` exchange span for the
+    /// abandoned primary — its real span, stuck behind a stalled
+    /// socket, would land only after the trace is finished.
+    pub fn route_fetch_observed(
+        self: &Arc<Self>,
+        spec: &FetchSpec,
+        deadline: Option<Deadline>,
+        trace: Option<(&TraceCtx, u64)>,
+    ) -> Routed {
         let Some(floor) = self.config.hedge else {
-            return self.route_fetch_walk(spec, deadline.as_ref(), 0);
+            return self.route_fetch_walk(spec, deadline.as_ref(), 0, trace);
         };
         if self
             .ring
@@ -475,9 +506,9 @@ impl Router {
             .len()
             < 2
         {
-            return self.route_fetch_walk(spec, deadline.as_ref(), 0);
+            return self.route_fetch_walk(spec, deadline.as_ref(), 0, trace);
         }
-        let mut delay = match self.latency.p95() {
+        let mut delay = match self.exchange_p95() {
             Some(p95) => p95.max(floor),
             None => floor,
         };
@@ -490,13 +521,41 @@ impl Router {
             delay = delay.min(d.remaining());
         }
         let (tx, rx) = mpsc::channel::<(usize, Routed)>();
+        let primary_started = Instant::now();
         let spawn_walk = |rotate: usize, tx: mpsc::Sender<(usize, Routed)>| {
             let me = Arc::clone(self);
             let spec = spec.clone();
+            let trace = trace.map(|(ctx, parent)| (ctx.clone(), parent));
             std::thread::spawn(move || {
-                let routed = me.route_fetch_walk(&spec, deadline.as_ref(), rotate);
+                let routed = me.route_fetch_walk(
+                    &spec,
+                    deadline.as_ref(),
+                    rotate,
+                    trace.as_ref().map(|(c, p)| (c, *p)),
+                );
                 let _ = tx.send((rotate, routed));
             });
+        };
+        // Notes a hedge win: the secondary's bytes beat a primary that
+        // is still in flight somewhere behind `primary_started`.
+        let won_hedged = |rotate: usize| {
+            if rotate != 1 {
+                return;
+            }
+            self.counters.hedge_wins.fetch_add(1, Ordering::Relaxed);
+            if let Some((ctx, parent)) = trace {
+                ctx.force_sample();
+                ctx.span_at(
+                    "exchange",
+                    parent,
+                    primary_started,
+                    Instant::now(),
+                    vec![
+                        ("outcome", "lost".to_string()),
+                        ("hedge", "primary".to_string()),
+                    ],
+                );
+            }
         };
         spawn_walk(0, tx.clone());
         match rx.recv_timeout(delay) {
@@ -511,18 +570,14 @@ impl Router {
                     return Routed::Unavailable("hedged walks vanished".into());
                 };
                 if matches!(routed, Routed::Fetch(..)) {
-                    if rotate == 1 {
-                        self.counters.hedge_wins.fetch_add(1, Ordering::Relaxed);
-                    }
+                    won_hedged(rotate);
                     return routed;
                 }
                 // First finisher failed; give the straggler its say —
                 // it may still produce the bytes.
                 match rx.recv() {
                     Ok((rotate2, routed2)) if matches!(routed2, Routed::Fetch(..)) => {
-                        if rotate2 == 1 {
-                            self.counters.hedge_wins.fetch_add(1, Ordering::Relaxed);
-                        }
+                        won_hedged(rotate2);
                         routed2
                     }
                     _ => routed,
@@ -539,6 +594,7 @@ impl Router {
         spec: &FetchSpec,
         deadline: Option<&Deadline>,
         rotate: usize,
+        trace: Option<(&TraceCtx, u64)>,
     ) -> Routed {
         let dataset = &spec.dataset;
         let mut replicas: Vec<String> = self
@@ -612,7 +668,7 @@ impl Router {
                 self.counters.failovers.fetch_add(1, Ordering::Relaxed);
             }
             attempted += 1;
-            let outcome = self.try_backend(addr, &req, deadline);
+            let outcome = self.try_backend(addr, &req, deadline, trace);
             state.inflight.fetch_sub(1, Ordering::Relaxed);
             match outcome {
                 Ok(RawFetch::Fetch(header, payload)) => {
@@ -689,10 +745,11 @@ impl Router {
         addr: &str,
         req: &Request,
         deadline: Option<&Deadline>,
+        trace: Option<(&TraceCtx, u64)>,
     ) -> io::Result<RawFetch> {
         let pooled = self.pool.checkout(addr)?;
         let reused = pooled.reused;
-        match self.exchange(pooled.conn, addr, req, deadline) {
+        match self.exchange(pooled.conn, addr, req, deadline, trace) {
             Ok(out) => Ok(out),
             Err(_) if reused => {
                 // Stale keep-alive stream (backend restarted, idle
@@ -701,7 +758,7 @@ impl Router {
                 // informative one (e.g. connection refused), not the
                 // stale stream's EOF.
                 let fresh = self.pool.dial(addr)?;
-                self.exchange(fresh, addr, req, deadline)
+                self.exchange(fresh, addr, req, deadline, trace)
             }
             Err(e) => Err(e),
         }
@@ -713,6 +770,7 @@ impl Router {
         addr: &str,
         req: &Request,
         deadline: Option<&Deadline>,
+        trace: Option<(&TraceCtx, u64)>,
     ) -> io::Result<RawFetch> {
         // Cap the socket timeouts by the remaining budget so a stalled
         // backend surfaces TimedOut within the deadline instead of the
@@ -743,7 +801,31 @@ impl Router {
         // which the connection must be dropped, never checked back in
         // mid-frame.
         let started = Instant::now();
-        match conn.fetch_raw_deadline(req, deadline) {
+        // Reserve the exchange span id up front so the backend hop can
+        // parent under it; the span itself is recorded once the
+        // exchange settles.
+        let span = trace.map(|(ctx, parent)| (ctx, parent, ctx.reserve()));
+        let wire = span.map(|(ctx, _, id)| ctx.wire(id));
+        let result = conn.fetch_raw_traced(req, deadline, wire.as_ref());
+        if let Some((ctx, parent, id)) = span {
+            let outcome = match &result {
+                Ok(RawFetch::Fetch(..)) => "ok",
+                Ok(RawFetch::Refused(_)) => "refused",
+                Err(_) => "error",
+            };
+            ctx.span_done(
+                id,
+                "exchange",
+                parent,
+                started,
+                Instant::now(),
+                vec![
+                    ("backend", addr.to_string()),
+                    ("outcome", outcome.to_string()),
+                ],
+            );
+        }
+        match result {
             Ok(out) => {
                 if !matches!(
                     out,
@@ -752,7 +834,9 @@ impl Router {
                     self.pool.checkin(addr, conn);
                 }
                 if matches!(out, RawFetch::Fetch(..)) {
-                    self.latency.record(started.elapsed());
+                    let elapsed = started.elapsed();
+                    self.exchange_us.record_duration(elapsed);
+                    self.state(addr).exchange_us.record_duration(elapsed);
                 }
                 Ok(out)
             }

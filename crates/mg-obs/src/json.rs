@@ -1,0 +1,39 @@
+//! Minimal JSON writing helpers (the workspace has no real serde; the
+//! vendored shim is derive-only, so export formats are built by hand).
+
+/// Escape `s` for use inside a JSON string literal (quotes not
+/// included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `"key":` fragment with the key escaped.
+pub fn key(out: &mut String, name: &str) {
+    out.push('"');
+    out.push_str(&escape(name));
+    out.push_str("\":");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_and_controls() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain Ω"), "plain Ω");
+    }
+}

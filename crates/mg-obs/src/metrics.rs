@@ -1,0 +1,729 @@
+//! Typed metrics: counters, gauges, and log-linear histograms behind a
+//! name-keyed [`Registry`].
+//!
+//! The histogram is the HDR idea at fixed precision: values below 16
+//! get exact unit buckets; every octave above is split into 16 linear
+//! sub-buckets, so a bucket is never wider than 1/16 (6.25%) of its
+//! value and a quantile read from bucket edges is off by at most one
+//! bucket width. Recording is a few relaxed atomic adds into one of a
+//! small set of shards (threads are striped across shards, so
+//! concurrent recorders rarely share a cache line); reads merge the
+//! shards. There is no lock anywhere on the record path.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Linear sub-buckets per octave (and the exact-bucket span at the
+/// bottom of the range).
+const SUB: usize = 16;
+/// Total bucket count: 16 exact unit buckets + 16 per octave for
+/// exponents 4..=63.
+const NBUCKETS: usize = SUB + SUB * 60;
+/// Record shards. Threads are striped round-robin; more shards buy
+/// less contention at the price of memory per histogram.
+const NSHARDS: usize = 4;
+
+/// Bucket index of a value.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros() as usize;
+    SUB * (exp - 3) + ((v >> (exp - 4)) & (SUB as u64 - 1)) as usize
+}
+
+/// Inclusive lower bound of a bucket.
+fn bucket_lo(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    let exp = idx / SUB + 3;
+    let m = (idx % SUB) as u64;
+    (SUB as u64 + m) << (exp - 4)
+}
+
+/// Inclusive upper bound of a bucket.
+fn bucket_hi(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    let exp = idx / SUB + 3;
+    // The very top bucket ends at u64::MAX; saturate instead of
+    // wrapping past it.
+    (bucket_lo(idx) - 1).saturating_add(1u64 << (exp - 4))
+}
+
+struct Shard {
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            buckets: (0..NBUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+struct HistogramInner {
+    shards: Vec<Shard>,
+    max: AtomicU64,
+    min: AtomicU64,
+}
+
+/// A log-linear latency/size histogram handle. Cloning shares the
+/// underlying buckets.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static IDX: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    }
+    IDX.with(|c| {
+        let mut v = c.get();
+        if v == usize::MAX {
+            v = NEXT.fetch_add(1, Ordering::Relaxed);
+            c.set(v);
+        }
+        v % NSHARDS
+    })
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram (standalone use; registry users call
+    /// [`Registry::histogram`]).
+    pub fn new() -> Histogram {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                shards: (0..NSHARDS).map(|_| Shard::new()).collect(),
+                max: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+            }),
+        }
+    }
+
+    /// Record one value. Lock-free: a bucket increment and a sum add on
+    /// this thread's shard, plus min/max maintenance.
+    pub fn record(&self, v: u64) {
+        let shard = &self.inner.shards[shard_index()];
+        shard.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(v, Ordering::Relaxed);
+        self.inner.max.fetch_max(v, Ordering::Relaxed);
+        self.inner.min.fetch_min(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration in microseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total recorded values (merged over shards).
+    pub fn count(&self) -> u64 {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| {
+                s.buckets
+                    .iter()
+                    .map(|b| b.load(Ordering::Relaxed))
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Quantile `q` in `[0, 1]`: the inclusive upper bound of the
+    /// bucket holding the rank-`ceil(q·count)` value, so the answer is
+    /// within one bucket width (≤ 6.25% relative) of the exact
+    /// quantile. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.snapshot().quantile(q)
+    }
+
+    /// Merged point-in-time view of the histogram.
+    pub fn snapshot(&self) -> HistView {
+        let mut counts = vec![0u64; NBUCKETS];
+        let mut sum = 0u64;
+        for shard in &self.inner.shards {
+            for (acc, b) in counts.iter_mut().zip(shard.buckets.iter()) {
+                *acc += b.load(Ordering::Relaxed);
+            }
+            sum = sum.wrapping_add(shard.sum.load(Ordering::Relaxed));
+        }
+        let count: u64 = counts.iter().sum();
+        let min = self.inner.min.load(Ordering::Relaxed);
+        HistView {
+            count,
+            sum,
+            min: if count == 0 { 0 } else { min },
+            max: self.inner.max.load(Ordering::Relaxed),
+            buckets: counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| Bucket {
+                    lo: bucket_lo(i),
+                    hi: bucket_hi(i),
+                    count: c,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One non-empty histogram bucket: inclusive `[lo, hi]` value range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Bucket {
+    pub lo: u64,
+    pub hi: u64,
+    pub count: u64,
+}
+
+/// Merged, immutable view of a histogram (only non-empty buckets).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistView {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub buckets: Vec<Bucket>,
+}
+
+impl HistView {
+    /// See [`Histogram::quantile`].
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            seen += b.count;
+            if seen >= rank {
+                return Some(b.hi.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Mean of the recorded values (exact: tracked as a running sum).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The view of the union of two recording streams.
+    pub fn merge(&self, other: &HistView) -> HistView {
+        let mut by_lo: BTreeMap<u64, Bucket> = BTreeMap::new();
+        for b in self.buckets.iter().chain(other.buckets.iter()) {
+            by_lo
+                .entry(b.lo)
+                .and_modify(|e| e.count += b.count)
+                .or_insert(*b);
+        }
+        let count = self.count + other.count;
+        HistView {
+            count,
+            sum: self.sum.wrapping_add(other.sum),
+            min: match (self.count, other.count) {
+                (0, _) => other.min,
+                (_, 0) => self.min,
+                _ => self.min.min(other.min),
+            },
+            max: self.max.max(other.max),
+            buckets: by_lo.into_values().collect(),
+        }
+    }
+
+    /// Everything recorded since `baseline` was taken (per-bucket
+    /// saturating subtraction; min/max are kept from `self` since they
+    /// cannot be un-merged).
+    pub fn delta(&self, baseline: &HistView) -> HistView {
+        let base: BTreeMap<u64, u64> = baseline.buckets.iter().map(|b| (b.lo, b.count)).collect();
+        let buckets: Vec<Bucket> = self
+            .buckets
+            .iter()
+            .filter_map(|b| {
+                let c = b
+                    .count
+                    .saturating_sub(base.get(&b.lo).copied().unwrap_or(0));
+                (c > 0).then_some(Bucket { count: c, ..*b })
+            })
+            .collect();
+        HistView {
+            count: buckets.iter().map(|b| b.count).sum(),
+            sum: self.sum.saturating_sub(baseline.sum),
+            min: self.min,
+            max: self.max,
+            buckets,
+        }
+    }
+
+    /// The JSON object rendering of this view — the same shape a
+    /// registry [`Snapshot::to_json`] uses for histogram values
+    /// (`count`/`sum`/`min`/`max`/`p50`/`p90`/`p99`/`p999` plus the
+    /// non-empty `buckets`). The benches embed these objects directly
+    /// in their `BENCH_*.json` rows.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.push_json(&mut out);
+        out
+    }
+
+    fn push_json(&self, out: &mut String) {
+        out.push('{');
+        for (k, v) in [
+            ("count", self.count),
+            ("sum", self.sum),
+            ("min", self.min),
+            ("max", self.max),
+        ] {
+            crate::json::key(out, k);
+            out.push_str(&v.to_string());
+            out.push(',');
+        }
+        for (k, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("p999", 0.999)] {
+            crate::json::key(out, k);
+            out.push_str(&self.quantile(q).unwrap_or(0).to_string());
+            out.push(',');
+        }
+        crate::json::key(out, "buckets");
+        out.push('[');
+        for (i, b) in self.buckets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{},{},{}]", b.lo, b.hi, b.count));
+        }
+        out.push_str("]}");
+    }
+
+    fn text_line(&self) -> String {
+        format!(
+            "count={} sum={} min={} max={} p50={} p90={} p99={} p999={}",
+            self.count,
+            self.sum,
+            self.min,
+            self.max,
+            self.quantile(0.50).unwrap_or(0),
+            self.quantile(0.90).unwrap_or(0),
+            self.quantile(0.99).unwrap_or(0),
+            self.quantile(0.999).unwrap_or(0),
+        )
+    }
+}
+
+/// A monotonically increasing counter handle.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed point-in-time gauge handle.
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A name-keyed registry of metrics. Handles are created on first use
+/// and shared afterwards; snapshots walk every registered metric in
+/// name order. Like the metric handles themselves, a `Registry` is an
+/// Arc-backed handle: clones share the same metric set, so one registry
+/// can back several components of a tier (e.g. a gateway and its
+/// router).
+#[derive(Default, Clone)]
+pub struct Registry {
+    metrics: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get-or-create the counter `name`. Panics if `name` is already
+    /// registered as a different metric type (a wiring bug).
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.metrics.lock().expect("registry lock");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} is not a counter"),
+        }
+    }
+
+    /// Get-or-create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.metrics.lock().expect("registry lock");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} is not a gauge"),
+        }
+    }
+
+    /// Get-or-create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut m = self.metrics.lock().expect("registry lock");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name:?} is not a histogram"),
+        }
+    }
+
+    /// Point-in-time snapshot of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let m = self.metrics.lock().expect("registry lock");
+        Snapshot {
+            entries: m
+                .iter()
+                .map(|(name, metric)| {
+                    let value = match metric {
+                        Metric::Counter(c) => MetricValue::Counter(c.get()),
+                        Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    };
+                    (name.clone(), value)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The process-global registry (benches and ad-hoc tools; the serving
+/// tiers carry their own per-instance registries).
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// One snapshotted metric value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(HistView),
+}
+
+/// A point-in-time export of a [`Registry`], name-sorted.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    /// Look up one entry by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// What changed since `baseline`: counters and histogram buckets
+    /// subtract, gauges report their current value.
+    pub fn delta(&self, baseline: &Snapshot) -> Snapshot {
+        Snapshot {
+            entries: self
+                .entries
+                .iter()
+                .map(|(name, v)| {
+                    let dv = match (v, baseline.get(name)) {
+                        (MetricValue::Counter(c), Some(MetricValue::Counter(b))) => {
+                            MetricValue::Counter(c.saturating_sub(*b))
+                        }
+                        (MetricValue::Histogram(h), Some(MetricValue::Histogram(b))) => {
+                            MetricValue::Histogram(h.delta(b))
+                        }
+                        (v, _) => v.clone(),
+                    };
+                    (name.clone(), dv)
+                })
+                .collect(),
+        }
+    }
+
+    /// JSON object keyed by metric name; histograms carry count/sum/
+    /// min/max, the standard quantiles, and their non-empty buckets as
+    /// `[lo, hi, count]` triples.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        for (i, (name, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::json::key(&mut out, name);
+            match v {
+                MetricValue::Counter(c) => out.push_str(&c.to_string()),
+                MetricValue::Gauge(g) => out.push_str(&g.to_string()),
+                MetricValue::Histogram(h) => h.push_json(&mut out),
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// The stable text format: one `kind name values` line per metric,
+    /// name-sorted. Parsers may rely on the first two whitespace-split
+    /// fields and on `key=value` pairs after them for histograms.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.entries {
+            match v {
+                MetricValue::Counter(c) => out.push_str(&format!("counter {name} {c}\n")),
+                MetricValue::Gauge(g) => out.push_str(&format!("gauge {name} {g}\n")),
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!("hist {name} {}\n", h.text_line()))
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_contiguous_and_ordered() {
+        // Every value maps into a bucket whose [lo, hi] contains it,
+        // and consecutive buckets tile the range with no gap.
+        for idx in 0..NBUCKETS - 1 {
+            assert_eq!(
+                bucket_hi(idx) + 1,
+                bucket_lo(idx + 1),
+                "gap after bucket {idx}"
+            );
+        }
+        for v in (0..2048u64).chain([
+            1 << 20,
+            (1 << 20) + 12345,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ]) {
+            let idx = bucket_index(v);
+            assert!(
+                bucket_lo(idx) <= v && v <= bucket_hi(idx),
+                "value {v} outside bucket {idx} [{}, {}]",
+                bucket_lo(idx),
+                bucket_hi(idx)
+            );
+        }
+        // Sub-16 values are exact.
+        for v in 0..16u64 {
+            assert_eq!(bucket_lo(bucket_index(v)), v);
+            assert_eq!(bucket_hi(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn bucket_width_is_at_most_one_sixteenth() {
+        for idx in SUB..NBUCKETS {
+            let (lo, hi) = (bucket_lo(idx), bucket_hi(idx));
+            let width = hi - lo + 1;
+            assert!(width * 16 <= lo, "bucket {idx} [{lo},{hi}] too wide");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_within_one_bucket_width() {
+        let h = Histogram::new();
+        let n = 10_000u64;
+        for v in 1..=n {
+            h.record(v);
+        }
+        for (q, exact) in [(0.5, n / 2), (0.9, n * 9 / 10), (0.99, n * 99 / 100)] {
+            let got = h.quantile(q).unwrap();
+            let idx = bucket_index(exact);
+            let width = bucket_hi(idx) - bucket_lo(idx) + 1;
+            assert!(
+                got.abs_diff(exact) <= width,
+                "q{q}: got {got}, exact {exact}, bucket width {width}"
+            );
+        }
+        assert_eq!(h.quantile(1.0).unwrap(), n, "max is exact");
+        let view = h.snapshot();
+        assert_eq!(view.count, n);
+        assert_eq!(view.min, 1);
+        assert_eq!(view.max, n);
+        assert_eq!(view.sum, n * (n + 1) / 2);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.count(), 0);
+        let v = h.snapshot();
+        assert_eq!((v.min, v.max, v.sum), (0, 0, 0));
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_counters_and_buckets() {
+        let reg = Registry::new();
+        let c = reg.counter("reqs");
+        let h = reg.histogram("lat_us");
+        c.add(5);
+        h.record(100);
+        let base = reg.snapshot();
+        c.add(3);
+        h.record(100);
+        h.record(900);
+        let delta = reg.snapshot().delta(&base);
+        assert_eq!(delta.get("reqs"), Some(&MetricValue::Counter(3)));
+        let Some(MetricValue::Histogram(dh)) = delta.get("lat_us") else {
+            panic!("histogram expected");
+        };
+        assert_eq!(dh.count, 2);
+    }
+
+    #[test]
+    fn registry_snapshot_exports_json_and_text() {
+        let reg = Registry::new();
+        reg.counter("a.requests").add(7);
+        reg.gauge("b.conns").set(-2);
+        let h = reg.histogram("c.lat_us");
+        h.record(50);
+        h.record(5000);
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"a.requests\":7"));
+        assert!(json.contains("\"b.conns\":-2"));
+        assert!(json.contains("\"p99\":"));
+        assert!(json.contains("\"buckets\":[["));
+        let text = snap.to_text();
+        assert!(text.contains("counter a.requests 7\n"));
+        assert!(text.contains("gauge b.conns -2\n"));
+        assert!(text.contains("hist c.lat_us count=2"));
+        // Stable: two snapshots of the same state render identically.
+        assert_eq!(text, reg.snapshot().to_text());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn type_confusion_panics() {
+        let reg = Registry::new();
+        reg.histogram("x");
+        reg.counter("x");
+    }
+
+    #[test]
+    fn concurrent_recording_loses_no_increments() {
+        // Drive records through the rayon(-shim) worker pool: every
+        // increment must land despite sharded recording.
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        let c = reg.counter("n");
+        let per_task = 10_000u64;
+        let tasks = 16u64;
+        use rayon::prelude::*;
+        (0..tasks).into_par_iter().for_each(|t| {
+            for i in 0..per_task {
+                h.record(t * per_task + i);
+                c.inc();
+            }
+        });
+        assert_eq!(c.get(), tasks * per_task);
+        let view = h.snapshot();
+        assert_eq!(view.count, tasks * per_task);
+        assert_eq!(view.min, 0);
+        assert_eq!(view.max, tasks * per_task - 1);
+    }
+
+    #[test]
+    fn merge_equals_concatenated_stream() {
+        // Property: snapshot(a).merge(snapshot(b)) == snapshot(a ++ b),
+        // exercised over seeded pseudo-random streams (the proptest
+        // shim drives the same property from tests/).
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..20 {
+            let xs: Vec<u64> = (0..round * 7).map(|_| next() >> (next() % 50)).collect();
+            let ys: Vec<u64> = (0..round * 3).map(|_| next() >> (next() % 50)).collect();
+            let (a, b, both) = (Histogram::new(), Histogram::new(), Histogram::new());
+            for &x in &xs {
+                a.record(x);
+                both.record(x);
+            }
+            for &y in &ys {
+                b.record(y);
+                both.record(y);
+            }
+            assert_eq!(
+                a.snapshot().merge(&b.snapshot()),
+                both.snapshot(),
+                "round {round}"
+            );
+        }
+    }
+}

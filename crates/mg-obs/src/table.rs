@@ -1,0 +1,112 @@
+//! Plain-text table rendering, shared by `mgard-cli stats`,
+//! `tenant-stats`, and `metrics` so every human-readable report looks
+//! the same.
+
+/// A simple aligned-column table. Numeric-looking cells are
+/// right-aligned, everything else left-aligned.
+#[derive(Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+fn is_numeric(cell: &str) -> bool {
+    !cell.is_empty()
+        && cell
+            .chars()
+            .all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | '%' | 'e'))
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Table {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (short rows are padded with empty cells).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Table {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Render with a header underline and two-space column gaps.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for row in [&self.headers].into_iter().chain(self.rows.iter()) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let push_row = |cells: &[String], out: &mut String| {
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let pad = width.saturating_sub(cell.chars().count());
+                if is_numeric(cell) {
+                    out.push_str(&" ".repeat(pad));
+                    out.push_str(cell);
+                } else if i + 1 == widths.len() {
+                    out.push_str(cell); // no trailing padding
+                } else {
+                    out.push_str(cell);
+                    out.push_str(&" ".repeat(pad));
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        push_row(&self.headers, &mut out);
+        let underline: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        push_row(&underline, &mut out);
+        for row in &self.rows {
+            push_row(row, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["tenant", "requests", "shed"]);
+        t.row(["", "120", "3"]);
+        t.row(["team-analytics", "7", "0"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("tenant"));
+        assert!(lines[1].starts_with("--------------"), "underline: {s}");
+        // Numbers right-aligned under their header.
+        let req_col = lines[0].find("requests").unwrap();
+        assert_eq!(
+            lines[2].find("120").unwrap(),
+            req_col + "requests".len() - 3
+        );
+        assert!(lines[3].contains("team-analytics"));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only"]);
+        assert!(t.render().contains("only"));
+    }
+}

@@ -1,0 +1,512 @@
+//! Per-request distributed tracing: 16-byte trace ids, span trees of
+//! stage timings, and a bounded ring of recent sampled traces.
+//!
+//! A tier (server or gateway) owns a [`Tracer`]. Every request gets a
+//! [`TraceCtx`] — either adopted from the request envelope's trace
+//! field (so one fetch stays one trace across the gateway→backend hop)
+//! or freshly generated, head-sampled at the tracer's configured
+//! 1-in-N rate. Stages push [`SpanRecord`]s as they finish; when the
+//! request completes, [`Tracer::finish`] stores the trace in the ring
+//! if it was sampled *or* the caller forces it (errors,
+//! deadline-exceeded, hedge wins are always kept). Span ids come from
+//! one process-wide counter, so parent links stay unambiguous when a
+//! gateway and its backends share a process (the integration tests).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// A 16-byte trace identifier, shared by every hop of one request.
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+pub struct TraceId(pub [u8; 16]);
+
+impl TraceId {
+    /// A fresh id: wall clock + process id + a process-wide counter,
+    /// mixed so concurrent generators never collide in practice.
+    pub fn generate() -> TraceId {
+        static CTR: AtomicU64 = AtomicU64::new(0);
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let seq = CTR.fetch_add(1, Ordering::Relaxed);
+        let hi = splitmix64(nanos ^ (std::process::id() as u64).rotate_left(32));
+        let lo = splitmix64(hi ^ seq);
+        let mut bytes = [0u8; 16];
+        bytes[..8].copy_from_slice(&hi.to_le_bytes());
+        bytes[8..].copy_from_slice(&lo.to_le_bytes());
+        TraceId(bytes)
+    }
+
+    /// Lowercase hex form (32 chars).
+    pub fn to_hex(self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Parse the hex form produced by [`TraceId::to_hex`].
+    pub fn from_hex(s: &str) -> Option<TraceId> {
+        let s = s.trim();
+        if s.len() != 32 {
+            return None;
+        }
+        let mut bytes = [0u8; 16];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok()?;
+        }
+        Some(TraceId(bytes))
+    }
+}
+
+impl std::fmt::Debug for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TraceId({})", self.to_hex())
+    }
+}
+
+/// The trace fields carried in a request envelope: which trace this
+/// request belongs to, the sender's span to parent this hop under, and
+/// whether the sender already decided to sample it.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct WireTrace {
+    pub trace_id: TraceId,
+    pub parent_span: u64,
+    pub sampled: bool,
+}
+
+/// One finished span: a named stage with its offset and duration
+/// (microseconds, relative to the trace context's start).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    pub id: u64,
+    pub parent: u64,
+    pub name: String,
+    pub start_us: u64,
+    pub dur_us: u64,
+    pub attrs: Vec<(String, String)>,
+}
+
+fn next_span_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+struct CtxInner {
+    trace_id: TraceId,
+    parent: u64,
+    root: u64,
+    start: Instant,
+    sampled: AtomicBool,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+/// A live per-request trace being recorded. Clone-able and `Send`:
+/// hedged attempts on other threads record into the same context.
+#[derive(Clone)]
+pub struct TraceCtx {
+    inner: Arc<CtxInner>,
+}
+
+impl TraceCtx {
+    fn new(trace_id: TraceId, parent: u64, sampled: bool) -> TraceCtx {
+        TraceCtx {
+            inner: Arc::new(CtxInner {
+                trace_id,
+                parent,
+                root: next_span_id(),
+                start: Instant::now(),
+                sampled: AtomicBool::new(sampled),
+                spans: Mutex::new(Vec::with_capacity(16)),
+            }),
+        }
+    }
+
+    pub fn trace_id(&self) -> TraceId {
+        self.inner.trace_id
+    }
+
+    /// This hop's root span id — the parent for its stage spans and
+    /// for the next hop downstream.
+    pub fn root(&self) -> u64 {
+        self.inner.root
+    }
+
+    /// The instant this context was created (anchor for span offsets).
+    pub fn started(&self) -> Instant {
+        self.inner.start
+    }
+
+    pub fn sampled(&self) -> bool {
+        self.inner.sampled.load(Ordering::Relaxed)
+    }
+
+    /// Force this trace to be kept regardless of the sampling draw.
+    pub fn force_sample(&self) {
+        self.inner.sampled.store(true, Ordering::Relaxed);
+    }
+
+    /// The envelope trace field to forward to the next hop, parented
+    /// under `parent_span` (usually a stage span id or [`Self::root`]).
+    pub fn wire(&self, parent_span: u64) -> WireTrace {
+        WireTrace {
+            trace_id: self.inner.trace_id,
+            parent_span,
+            sampled: self.sampled(),
+        }
+    }
+
+    /// Record a stage that ran from `start` until now, parented under
+    /// the root span. Returns the new span's id.
+    pub fn span(&self, name: &str, start: Instant) -> u64 {
+        self.span_at(name, self.inner.root, start, Instant::now(), Vec::new())
+    }
+
+    /// Record a stage with attributes, parented under the root span.
+    pub fn span_attrs(&self, name: &str, start: Instant, attrs: Vec<(&str, String)>) -> u64 {
+        self.span_at(name, self.inner.root, start, Instant::now(), attrs)
+    }
+
+    /// Fully explicit span record: name, parent, `[start, end]`, attrs.
+    pub fn span_at(
+        &self,
+        name: &str,
+        parent: u64,
+        start: Instant,
+        end: Instant,
+        attrs: Vec<(&str, String)>,
+    ) -> u64 {
+        let id = next_span_id();
+        self.span_done(id, name, parent, start, end, attrs);
+        id
+    }
+
+    /// Pre-allocate a span id, so children recorded *while the stage is
+    /// still running* can parent under it (spans are recorded at end
+    /// time, which would otherwise force children before parents).
+    /// Close the stage later with [`Self::span_done`].
+    pub fn reserve(&self) -> u64 {
+        next_span_id()
+    }
+
+    /// Record a span under an id pre-allocated with [`Self::reserve`].
+    pub fn span_done(
+        &self,
+        id: u64,
+        name: &str,
+        parent: u64,
+        start: Instant,
+        end: Instant,
+        attrs: Vec<(&str, String)>,
+    ) {
+        let base = self.inner.start;
+        let rec = SpanRecord {
+            id,
+            parent,
+            name: name.to_string(),
+            start_us: start.saturating_duration_since(base).as_micros() as u64,
+            dur_us: end.saturating_duration_since(start).as_micros() as u64,
+            attrs: attrs.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        };
+        self.inner.spans.lock().expect("span lock").push(rec);
+    }
+}
+
+/// One completed, stored trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    pub trace_id: TraceId,
+    /// Remote parent span id (0 = this hop started the trace).
+    pub parent: u64,
+    /// This hop's root span id.
+    pub root: u64,
+    /// Which tier recorded it (`"serve"` / `"gateway"`).
+    pub tier: String,
+    /// `"ok"` or the terminal condition (`"deadline_exceeded"`,
+    /// `"error: ..."`, ...).
+    pub outcome: String,
+    /// Wall time of the whole request at this hop, microseconds.
+    pub total_us: u64,
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Trace {
+    /// Sum of the durations of the root's direct child spans — the
+    /// per-stage accounting the integration tests check against wall
+    /// time.
+    pub fn stage_sum_us(&self) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.parent == self.root)
+            .map(|s| s.dur_us)
+            .sum()
+    }
+
+    /// This trace as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        crate::json::key(&mut out, "trace_id");
+        out.push_str(&format!("\"{}\",", self.trace_id.to_hex()));
+        crate::json::key(&mut out, "parent");
+        out.push_str(&format!("{},", self.parent));
+        crate::json::key(&mut out, "root");
+        out.push_str(&format!("{},", self.root));
+        crate::json::key(&mut out, "tier");
+        out.push_str(&format!("\"{}\",", crate::json::escape(&self.tier)));
+        crate::json::key(&mut out, "outcome");
+        out.push_str(&format!("\"{}\",", crate::json::escape(&self.outcome)));
+        crate::json::key(&mut out, "total_us");
+        out.push_str(&format!("{},", self.total_us));
+        crate::json::key(&mut out, "spans");
+        out.push('[');
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            crate::json::key(&mut out, "id");
+            out.push_str(&format!("{},", s.id));
+            crate::json::key(&mut out, "parent");
+            out.push_str(&format!("{},", s.parent));
+            crate::json::key(&mut out, "name");
+            out.push_str(&format!("\"{}\",", crate::json::escape(&s.name)));
+            crate::json::key(&mut out, "start_us");
+            out.push_str(&format!("{},", s.start_us));
+            crate::json::key(&mut out, "dur_us");
+            out.push_str(&s.dur_us.to_string());
+            if !s.attrs.is_empty() {
+                out.push(',');
+                crate::json::key(&mut out, "attrs");
+                out.push('{');
+                for (j, (k, v)) in s.attrs.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    crate::json::key(&mut out, k);
+                    out.push_str(&format!("\"{}\"", crate::json::escape(v)));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Render `traces` as one JSON array.
+pub fn traces_to_json(traces: &[Trace]) -> String {
+    let mut out = String::from("[");
+    for (i, t) in traces.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&t.to_json());
+    }
+    out.push(']');
+    out
+}
+
+/// Per-tier trace collector: head sampling plus a bounded ring of
+/// recent kept traces.
+pub struct Tracer {
+    tier: &'static str,
+    cap: usize,
+    /// Keep 1 in `rate` locally-originated traces (0 = only forced or
+    /// upstream-sampled ones).
+    rate: u64,
+    seq: AtomicU64,
+    ring: Mutex<VecDeque<Trace>>,
+}
+
+impl Tracer {
+    /// A tracer keeping at most `cap` traces, head-sampling 1 in
+    /// `rate` requests that arrive without an upstream decision.
+    pub fn new(tier: &'static str, cap: usize, rate: u64) -> Tracer {
+        Tracer {
+            tier,
+            cap: cap.max(1),
+            rate,
+            seq: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Begin a request trace: adopt the envelope's trace field when
+    /// present (same trace id, parented under the sender's span, its
+    /// sampling decision honoured), otherwise generate a fresh id and
+    /// head-sample it.
+    pub fn begin(&self, wire: Option<WireTrace>) -> TraceCtx {
+        match wire {
+            Some(w) => {
+                // An upstream "sampled" wins; an upstream "not sampled"
+                // can still be promoted locally by force_sample.
+                TraceCtx::new(w.trace_id, w.parent_span, w.sampled)
+            }
+            None => {
+                let n = self.seq.fetch_add(1, Ordering::Relaxed);
+                let sampled = self.rate > 0 && n.is_multiple_of(self.rate);
+                TraceCtx::new(TraceId::generate(), 0, sampled)
+            }
+        }
+    }
+
+    /// Complete a request: store the trace when it was sampled or
+    /// `force` is set (error / deadline-exceeded / hedge-win paths
+    /// force, so the interesting traces are always present).
+    pub fn finish(&self, ctx: &TraceCtx, outcome: &str, force: bool) {
+        if !(ctx.sampled() || force) {
+            return;
+        }
+        let total_us = ctx.inner.start.elapsed().as_micros() as u64;
+        let spans = ctx.inner.spans.lock().expect("span lock").clone();
+        let trace = Trace {
+            trace_id: ctx.trace_id(),
+            parent: ctx.inner.parent,
+            root: ctx.root(),
+            tier: self.tier.to_string(),
+            outcome: outcome.to_string(),
+            total_us,
+            spans,
+        };
+        let mut ring = self.ring.lock().expect("trace ring lock");
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(trace);
+    }
+
+    /// Stored traces right now.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("trace ring lock").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The slowest `n` stored traces, slowest first.
+    pub fn slowest(&self, n: usize) -> Vec<Trace> {
+        let ring = self.ring.lock().expect("trace ring lock");
+        let mut all: Vec<Trace> = ring.iter().cloned().collect();
+        all.sort_by_key(|t| std::cmp::Reverse(t.total_us));
+        all.truncate(n);
+        all
+    }
+
+    /// Every stored trace, oldest first.
+    pub fn recent(&self) -> Vec<Trace> {
+        self.ring
+            .lock()
+            .expect("trace ring lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// The slowest `n` traces as a JSON array (the trace-dump op's
+    /// payload).
+    pub fn dump_json(&self, n: usize) -> String {
+        traces_to_json(&self.slowest(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn trace_ids_are_unique_and_hex_round_trips() {
+        let a = TraceId::generate();
+        let b = TraceId::generate();
+        assert_ne!(a, b);
+        assert_eq!(TraceId::from_hex(&a.to_hex()), Some(a));
+        assert_eq!(TraceId::from_hex("zz"), None);
+        assert_eq!(TraceId::from_hex(&"0".repeat(31)), None);
+    }
+
+    #[test]
+    fn spans_record_offsets_and_stage_sum() {
+        let tracer = Tracer::new("serve", 8, 1);
+        let ctx = tracer.begin(None);
+        assert!(ctx.sampled(), "rate 1 samples everything");
+        let t0 = Instant::now();
+        std::thread::sleep(Duration::from_millis(2));
+        ctx.span("queue_wait", t0);
+        let t1 = Instant::now();
+        std::thread::sleep(Duration::from_millis(2));
+        ctx.span_attrs("encode", t1, vec![("cache", "miss".into())]);
+        tracer.finish(&ctx, "ok", false);
+        let stored = tracer.recent();
+        assert_eq!(stored.len(), 1);
+        let t = &stored[0];
+        assert_eq!(t.spans.len(), 2);
+        assert!(t.spans.iter().all(|s| s.parent == t.root));
+        assert!(t.stage_sum_us() <= t.total_us);
+        assert!(t.stage_sum_us() >= 2_000, "two ≥2ms stages recorded");
+        let json = t.to_json();
+        assert!(json.contains("\"name\":\"queue_wait\""));
+        assert!(json.contains("\"cache\":\"miss\""));
+    }
+
+    #[test]
+    fn head_sampling_honours_rate_and_force() {
+        let tracer = Tracer::new("serve", 64, 4);
+        for _ in 0..16 {
+            let ctx = tracer.begin(None);
+            tracer.finish(&ctx, "ok", false);
+        }
+        assert_eq!(tracer.len(), 4, "1-in-4 head sampling");
+        // Unsampled but forced (the error path) is still kept.
+        let tracer = Tracer::new("serve", 64, 0);
+        let ctx = tracer.begin(None);
+        assert!(!ctx.sampled());
+        tracer.finish(&ctx, "error: boom", true);
+        assert_eq!(tracer.len(), 1);
+        assert_eq!(tracer.recent()[0].outcome, "error: boom");
+    }
+
+    #[test]
+    fn adopted_wire_trace_keeps_id_and_parent() {
+        let upstream = Tracer::new("gateway", 8, 1);
+        let up = upstream.begin(None);
+        let wire = up.wire(up.root());
+        assert!(wire.sampled);
+
+        let downstream = Tracer::new("serve", 8, 0);
+        let ctx = downstream.begin(Some(wire));
+        assert_eq!(ctx.trace_id(), up.trace_id());
+        assert!(ctx.sampled(), "upstream sampling decision propagates");
+        downstream.finish(&ctx, "ok", false);
+        let t = &downstream.recent()[0];
+        assert_eq!(t.trace_id, up.trace_id());
+        assert_eq!(t.parent, up.root());
+        assert_ne!(t.root, up.root());
+    }
+
+    #[test]
+    fn ring_is_bounded_and_slowest_sorts() {
+        let tracer = Tracer::new("serve", 3, 1);
+        for ms in [5u64, 1, 9, 3] {
+            let ctx = tracer.begin(None);
+            std::thread::sleep(Duration::from_millis(ms));
+            tracer.finish(&ctx, "ok", false);
+        }
+        assert_eq!(tracer.len(), 3, "ring capped");
+        let slow = tracer.slowest(2);
+        assert_eq!(slow.len(), 2);
+        assert!(slow[0].total_us >= slow[1].total_us);
+        assert!(slow[0].total_us >= 8_000, "the 9ms trace is slowest");
+        let json = tracer.dump_json(2);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+    }
+}

@@ -1,0 +1,62 @@
+//! Property tests for the mg-obs histogram: merging two recorded
+//! streams must be indistinguishable from recording their
+//! concatenation, and quantiles must stay within one bucket width of
+//! the exact order statistic.
+
+use mg_obs::Histogram;
+use proptest::prelude::*;
+
+/// Spread raw u64s across the full dynamic range (latencies cluster in
+/// low octaves; right-shifting by a drawn amount exercises every
+/// octave including the unit buckets).
+fn spread(raw: u64, shift: u64) -> u64 {
+    raw >> (shift % 64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn merge_equals_concatenated_stream(
+        xs in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..200),
+        ys in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..200),
+    ) {
+        let (a, b, both) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for &(raw, shift) in &xs {
+            a.record(spread(raw, shift));
+            both.record(spread(raw, shift));
+        }
+        for &(raw, shift) in &ys {
+            b.record(spread(raw, shift));
+            both.record(spread(raw, shift));
+        }
+        let merged = a.snapshot().merge(&b.snapshot());
+        prop_assert_eq!(merged, both.snapshot());
+    }
+
+    #[test]
+    fn quantiles_are_within_one_bucket_of_exact(
+        vals in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        let h = Histogram::new();
+        let mut sorted: Vec<u64> = vals.iter().map(|&(r, s)| spread(r, s)).collect();
+        for &v in &sorted {
+            h.record(v);
+        }
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let got = h.quantile(q).unwrap();
+        // The reported edge is the upper bound of the exact value's
+        // bucket: never below the exact value, and within one bucket
+        // width (≤ exact/16 + 1) above it.
+        prop_assert!(got >= exact, "got {} < exact {}", got, exact);
+        let width = (exact / 16).max(1);
+        prop_assert!(
+            got - exact <= width,
+            "got {} exceeds exact {} by more than a bucket width {}",
+            got, exact, width
+        );
+    }
+}

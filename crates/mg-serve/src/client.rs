@@ -48,11 +48,12 @@
 
 use crate::auth::AuthKey;
 use crate::protocol::{
-    self, Deadline, FetchHeader, FetchQosInfo, FetchSpec, Priority, QosSpec, Request, Response,
-    Selector, StatsReport, TenantStatsReport, PROTOCOL_V1, PROTOCOL_V2,
+    self, Deadline, FetchHeader, FetchQosInfo, FetchSpec, Priority, QosSpec, Request, RespTag,
+    Response, Selector, StatsReport, TenantStatsReport, PROTOCOL_V1, PROTOCOL_V2,
 };
 use mg_grid::Real;
 use mg_io::TransferCost;
+use mg_obs::WireTrace;
 use mg_refactor::streaming::StreamingDecoder;
 use mg_refactor::Refactored;
 use std::io::{self, Read};
@@ -254,12 +255,34 @@ fn read_payload<T: Real>(
     })
 }
 
-/// Read a response expected to be a fetch header.
-fn read_fetch_header(r: &mut impl Read) -> io::Result<FetchHeader> {
-    match protocol::read_response(r)?.0 {
-        Response::Fetch(h) => Ok(h),
-        other => Err(response_error(other)),
+/// Read a response expected to be a fetch header; a tagged response
+/// hands back the pending tag for payload verification.
+fn read_fetch_header_checked(
+    r: &mut impl Read,
+    key: Option<&AuthKey>,
+) -> io::Result<(FetchHeader, Option<RespTag>)> {
+    match protocol::read_response_checked(r, key)? {
+        (Response::Fetch(h), _, pending) => Ok((h, pending)),
+        (other, _, _) => Err(response_error(other)),
     }
+}
+
+/// Verify a deferred fetch-response tag over the payload bytes the
+/// caller just read. Only enforced when the client holds the key.
+fn check_payload_tag(
+    pending: Option<&RespTag>,
+    key: Option<&AuthKey>,
+    raw: &[u8],
+) -> io::Result<()> {
+    if let (Some(tag), Some(key)) = (pending, key) {
+        if !tag.verify(key, raw) {
+            return Err(server_error(
+                io::ErrorKind::InvalidData,
+                "response tag verification failed (frame corrupted in flight)".into(),
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// One fetch, declaratively: dataset, selector (τ and/or byte budget),
@@ -283,6 +306,7 @@ pub struct FetchRequest {
     deadline: Option<Duration>,
     retries: u32,
     auth: Option<AuthKey>,
+    trace: Option<WireTrace>,
 }
 
 impl FetchRequest {
@@ -297,6 +321,7 @@ impl FetchRequest {
             deadline: None,
             retries: 0,
             auth: None,
+            trace: None,
         }
     }
 
@@ -378,6 +403,15 @@ impl FetchRequest {
         self
     }
 
+    /// Attach distributed-tracing context: the request rides the wire
+    /// under `trace`'s id, and the server's span tree parents under its
+    /// `parent_span`. Sampled traces land in the server's trace ring
+    /// (dump them with the `trace` op / `mgard-cli trace`).
+    pub fn traced(mut self, trace: WireTrace) -> FetchRequest {
+        self.trace = Some(trace);
+        self
+    }
+
     /// The wire-level spec this builder describes.
     pub fn spec(&self) -> FetchSpec {
         let selector = match (self.tau, self.budget_bytes) {
@@ -443,22 +477,22 @@ impl FetchRequest {
             stream.set_write_timeout(Some(rem))?;
             deadline_ms = Some(d.remaining_ms());
         }
-        protocol::write_request_framed(
+        protocol::write_request_ext(
             &mut stream,
             &Request::Fetch(self.spec()),
             PROTOCOL_V1,
             deadline_ms,
+            self.trace.as_ref(),
             self.auth.as_ref(),
         )?;
         // Buffer the response side: header parsing is many small field
         // reads, one syscall each against a bare socket.
         let mut reader = io::BufReader::new(stream);
-        let header = read_fetch_header(&mut reader)?;
+        let (header, pending) = read_fetch_header_checked(&mut reader, self.auth.as_ref())?;
         let qos = header.qos;
-        Ok(FetchOutcome {
-            result: read_payload(&mut reader, header)?,
-            qos,
-        })
+        let result = read_payload(&mut reader, header)?;
+        check_payload_tag(pending.as_ref(), self.auth.as_ref(), &result.raw)?;
+        Ok(FetchOutcome { result, qos })
     }
 }
 
@@ -509,8 +543,59 @@ pub fn stats(addr: impl ToSocketAddrs) -> io::Result<StatsReport> {
 pub fn stats_with(addr: impl ToSocketAddrs, auth: Option<&AuthKey>) -> io::Result<StatsReport> {
     let mut stream = connect(addr)?;
     protocol::write_request_framed(&mut stream, &Request::Stats, PROTOCOL_V1, None, auth)?;
-    match protocol::read_response(&mut stream)?.0 {
+    match protocol::read_response_checked(&mut stream, auth)?.0 {
         Response::Stats(report) => Ok(report),
+        other => Err(response_error(other)),
+    }
+}
+
+/// Fetch the server's metrics snapshot: JSON (`text == false`) or the
+/// stable one-line-per-metric text format.
+pub fn metrics(addr: impl ToSocketAddrs, text: bool) -> io::Result<String> {
+    metrics_with(addr, text, None)
+}
+
+/// [`metrics`], attaching a request tag when the server requires auth.
+pub fn metrics_with(
+    addr: impl ToSocketAddrs,
+    text: bool,
+    auth: Option<&AuthKey>,
+) -> io::Result<String> {
+    let mut stream = connect(addr)?;
+    protocol::write_request_framed(
+        &mut stream,
+        &Request::Metrics { text },
+        PROTOCOL_V1,
+        None,
+        auth,
+    )?;
+    match protocol::read_response_checked(&mut stream, auth)?.0 {
+        Response::Metrics(blob) => Ok(blob),
+        other => Err(response_error(other)),
+    }
+}
+
+/// Dump up to `max` of the server's slowest sampled traces as JSON.
+pub fn traces(addr: impl ToSocketAddrs, max: u32) -> io::Result<String> {
+    traces_with(addr, max, None)
+}
+
+/// [`traces`], attaching a request tag when the server requires auth.
+pub fn traces_with(
+    addr: impl ToSocketAddrs,
+    max: u32,
+    auth: Option<&AuthKey>,
+) -> io::Result<String> {
+    let mut stream = connect(addr)?;
+    protocol::write_request_framed(
+        &mut stream,
+        &Request::TraceDump { max },
+        PROTOCOL_V1,
+        None,
+        auth,
+    )?;
+    match protocol::read_response_checked(&mut stream, auth)?.0 {
+        Response::Traces(blob) => Ok(blob),
         other => Err(response_error(other)),
     }
 }
@@ -528,7 +613,7 @@ pub fn tenant_stats_with(
 ) -> io::Result<TenantStatsReport> {
     let mut stream = connect(addr)?;
     protocol::write_request_framed(&mut stream, &Request::TenantStats, PROTOCOL_V1, None, auth)?;
-    match protocol::read_response(&mut stream)?.0 {
+    match protocol::read_response_checked(&mut stream, auth)?.0 {
         Response::TenantStats(report) => Ok(report),
         other => Err(response_error(other)),
     }
@@ -544,7 +629,7 @@ pub fn shutdown(addr: impl ToSocketAddrs) -> io::Result<()> {
 pub fn shutdown_with(addr: impl ToSocketAddrs, auth: Option<&AuthKey>) -> io::Result<()> {
     let mut stream = connect(addr)?;
     protocol::write_request_framed(&mut stream, &Request::Shutdown, PROTOCOL_V1, None, auth)?;
-    match protocol::read_response(&mut stream)?.0 {
+    match protocol::read_response_checked(&mut stream, auth)?.0 {
         Response::ShuttingDown => Ok(()),
         other => Err(response_error(other)),
     }
@@ -640,19 +725,19 @@ impl Connection {
     pub fn fetch_as<T: Real>(&mut self, req: &FetchRequest) -> io::Result<FetchOutcome<T>> {
         self.requests_sent += 1;
         let deadline_ms = req.deadline.map(|d| Deadline::new(d).remaining_ms());
-        protocol::write_request_framed(
+        protocol::write_request_ext(
             &mut self.writer,
             &Request::Fetch(req.spec()),
             PROTOCOL_V2,
             deadline_ms,
+            req.trace.as_ref(),
             self.auth.as_ref(),
         )?;
-        let header = read_fetch_header(&mut self.reader)?;
+        let (header, pending) = read_fetch_header_checked(&mut self.reader, self.auth.as_ref())?;
         let qos = header.qos;
-        Ok(FetchOutcome {
-            result: read_payload(&mut self.reader, header)?,
-            qos,
-        })
+        let result = read_payload(&mut self.reader, header)?;
+        check_payload_tag(pending.as_ref(), self.auth.as_ref(), &result.raw)?;
+        Ok(FetchOutcome { result, qos })
     }
 
     /// Fetch without decoding: the response header plus the raw payload
@@ -679,26 +764,44 @@ impl Connection {
         req: &Request,
         deadline: Option<&Deadline>,
     ) -> io::Result<RawFetch> {
+        self.fetch_raw_traced(req, deadline, None)
+    }
+
+    /// [`Connection::fetch_raw_deadline`] additionally propagating the
+    /// caller's trace context on the envelope — the gateway→backend hop
+    /// that stitches one fetch into a single connected trace.
+    pub fn fetch_raw_traced(
+        &mut self,
+        req: &Request,
+        deadline: Option<&Deadline>,
+        trace: Option<&WireTrace>,
+    ) -> io::Result<RawFetch> {
         self.requests_sent += 1;
         let deadline_ms = deadline.map(|d| d.remaining_ms());
-        protocol::write_request_framed(
+        protocol::write_request_ext(
             &mut self.writer,
             req,
             PROTOCOL_V2,
             deadline_ms,
+            trace,
             self.auth.as_ref(),
         )?;
-        match protocol::read_response(&mut self.reader)?.0 {
-            Response::Fetch(header) => {
+        match protocol::read_response_checked(&mut self.reader, self.auth.as_ref())? {
+            (Response::Fetch(header), _, pending) => {
                 let raw = read_payload_raw(&mut self.reader, &header)?;
+                check_payload_tag(pending.as_ref(), self.auth.as_ref(), &raw)?;
                 Ok(RawFetch::Fetch(header, raw))
             }
-            resp @ (Response::NotFound(_)
-            | Response::BadRequest(_)
-            | Response::Overloaded(_)
-            | Response::DeadlineExceeded(_)
-            | Response::AuthFailure(_)) => Ok(RawFetch::Refused(resp)),
-            other => Err(server_error(
+            (
+                resp @ (Response::NotFound(_)
+                | Response::BadRequest(_)
+                | Response::Overloaded(_)
+                | Response::DeadlineExceeded(_)
+                | Response::AuthFailure(_)),
+                _,
+                _,
+            ) => Ok(RawFetch::Refused(resp)),
+            (other, _, _) => Err(server_error(
                 io::ErrorKind::InvalidData,
                 format!("unexpected response {other:?}"),
             )),
@@ -715,7 +818,7 @@ impl Connection {
             None,
             self.auth.as_ref(),
         )?;
-        match protocol::read_response(&mut self.reader)?.0 {
+        match protocol::read_response_checked(&mut self.reader, self.auth.as_ref())?.0 {
             Response::Stats(report) => Ok(report),
             other => Err(response_error(other)),
         }
@@ -731,7 +834,7 @@ impl Connection {
             None,
             self.auth.as_ref(),
         )?;
-        match protocol::read_response(&mut self.reader)?.0 {
+        match protocol::read_response_checked(&mut self.reader, self.auth.as_ref())?.0 {
             Response::TenantStats(report) => Ok(report),
             other => Err(response_error(other)),
         }

@@ -68,5 +68,5 @@ pub use auth::AuthKey;
 pub use catalog::{ByteLru, Catalog, ClassData, Dataset};
 pub use client::{Connection, FetchOutcome, FetchProgress, FetchRequest, FetchResult, RawFetch};
 pub use protocol::{Deadline, Envelope, Priority, Request, StatsReport, TenantStatsReport};
-pub use qos::{DegradePolicy, FairScheduler, QosConfig};
-pub use server::{Server, ServerConfig, ServerStats};
+pub use qos::{DegradePolicy, FairScheduler, QosConfig, Rejection};
+pub use server::{ObsConfig, Server, ServerConfig, ServerStats};

@@ -5,6 +5,7 @@
 //! so [`dispatch_ops`] hands fetches back to the caller and fully
 //! handles everything else.
 
+use crate::auth::AuthKey;
 use crate::protocol::{
     self, Envelope, FetchSpec, Request, Response, StatsReport, TenantStatsReport,
 };
@@ -21,6 +22,16 @@ pub trait OpsHost {
     fn note_bad_request(&self);
     /// A wire shutdown op arrived; begin the tier's graceful drain.
     fn begin_shutdown(&self);
+    /// The tier's metrics registry, rendered as JSON (`text == false`)
+    /// or the stable text format (`text == true`).
+    fn metrics_render(&self, text: bool) -> String;
+    /// Up to `max` sampled traces from the tier's ring, as JSON.
+    fn trace_dump(&self, max: u32) -> String;
+    /// The tier's shared-secret key, for tagging responses to
+    /// authenticated requests. `None`: responses go out untagged.
+    fn auth_key(&self) -> Option<&AuthKey> {
+        None
+    }
 }
 
 /// The outcome of [`dispatch_ops`].
@@ -48,28 +59,37 @@ pub fn dispatch_ops<W: Write>(
     parsed: io::Result<(Request, Envelope)>,
     writer: &mut W,
 ) -> Dispatched {
+    // A response to an authenticated request is tagged with the same
+    // key, so the client can verify nothing was flipped in flight.
+    let answer = |writer: &mut W, resp: &Response, env: &Envelope| {
+        let key = if env.authed { host.auth_key() } else { None };
+        let r = protocol::write_response_tagged(writer, resp, env.version, key, &[]);
+        r.is_ok() && env.version >= protocol::PROTOCOL_V2
+    };
     let keep_alive = match parsed {
         Ok((Request::Fetch(spec), env)) => return Dispatched::Fetch(spec, env),
-        Ok((Request::Stats, env)) => {
-            let r = protocol::write_response_versioned(
-                writer,
-                &Response::Stats(host.stats_report()),
-                env.version,
-            );
-            r.is_ok() && env.version >= protocol::PROTOCOL_V2
+        Ok((Request::Stats, env)) => answer(writer, &Response::Stats(host.stats_report()), &env),
+        Ok((Request::TenantStats, env)) => answer(
+            writer,
+            &Response::TenantStats(host.tenant_stats_report()),
+            &env,
+        ),
+        Ok((Request::Metrics { text }, env)) => {
+            answer(writer, &Response::Metrics(host.metrics_render(text)), &env)
         }
-        Ok((Request::TenantStats, env)) => {
-            let r = protocol::write_response_versioned(
-                writer,
-                &Response::TenantStats(host.tenant_stats_report()),
-                env.version,
-            );
-            r.is_ok() && env.version >= protocol::PROTOCOL_V2
+        Ok((Request::TraceDump { max }, env)) => {
+            answer(writer, &Response::Traces(host.trace_dump(max)), &env)
         }
         Ok((Request::Shutdown, env)) => {
-            let _ =
-                protocol::write_response_versioned(writer, &Response::ShuttingDown, env.version)
-                    .and_then(|()| writer.flush()); // ack before sockets close
+            let key = if env.authed { host.auth_key() } else { None };
+            let _ = protocol::write_response_tagged(
+                writer,
+                &Response::ShuttingDown,
+                env.version,
+                key,
+                &[],
+            )
+            .and_then(|()| writer.flush()); // ack before sockets close
             host.begin_shutdown();
             false
         }

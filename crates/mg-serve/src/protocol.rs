@@ -13,13 +13,18 @@
 //! * **v3 — keep-alive with envelope extensions**: a flags byte follows
 //!   the version, optionally carrying a **deadline** (`deadline_ms u32`,
 //!   the remaining budget the sender grants this request; servers refuse
-//!   work they cannot finish in time with `status 8 deadline_exceeded`)
-//!   and/or an **auth tag** (`body_len u32 | tag [u8;16]`, a truncated
-//!   HMAC-SHA256 over `version | flags | deadline | body` under the
-//!   shared [`crate::auth::AuthKey`]; servers configured with a key
-//!   reject untagged or mis-tagged requests with `status 9
-//!   auth_failure`). Writers emit v3 **only** when a deadline or key is
-//!   present, so default frames stay byte-identical to v1/v2.
+//!   work they cannot finish in time with `status 8 deadline_exceeded`),
+//!   a **trace field** (`trace_id [u8;16] | parent_span u64 | sampled
+//!   u8`, the [`mg_obs::WireTrace`] that stitches one fetch into one
+//!   trace across the gateway→backend hop), and/or an **auth tag**
+//!   (`body_len u32 | tag [u8;16]`, a truncated HMAC-SHA256 over
+//!   `version | flags | deadline | trace | body` under the shared
+//!   [`crate::auth::AuthKey`]; servers configured with a key reject
+//!   untagged or mis-tagged requests with `status 9 auth_failure`).
+//!   Writers emit v3 **only** when a deadline, trace, or key is
+//!   present, so default frames stay byte-identical to v1/v2 — and a
+//!   frame without the trace field is byte-identical to its pre-trace
+//!   (PR 8) form.
 //!
 //! Ops and statuses are identical in all versions. All integers are
 //! little-endian.
@@ -27,6 +32,8 @@
 //! ```text
 //! request:  magic u32 "MGRQ" | version u16 (1, 2 or 3)
 //!           v3 only: flags u8 | [deadline_ms u32 if flags&1]
+//!                    | [trace_id [u8;16] | parent_span u64
+//!                       | sampled u8 if flags&4]
 //!                    | [body_len u32 | tag [u8;16] if flags&2]
 //!           op u8
 //!           op 0 (fetch, τ):      name_len u16 | name | tau f64
@@ -40,8 +47,13 @@
 //!                                 | priority u8 (0 low / 1 normal / 2 high)
 //!                                 | floor_tau f64 | degrade u8
 //!           op 5 (tenant stats):  —
+//!           op 6 (metrics):       format u8 (0 json / 1 text)
+//!           op 7 (trace dump):    max u32 (slowest-N traces)
 //!
-//! response: magic u32 "MGRP" | version u16 (echoed) | status u8
+//! response: magic u32 "MGRP" | version u16 (echoed)
+//!           v3 only: flags u8
+//!                    | [body_len u32 | tag [u8;16] if flags&2]
+//!           status u8
 //!           status 0 (fetch ok):  classes_sent u32 | total_classes u32
 //!                                 | indicator_linf f64 | cache_hit u8
 //!                                 | payload_len u64
@@ -59,13 +71,25 @@
 //!           status 7 (tenant stats): ntenants u32 × { tenant_len u16
 //!                                 | tenant | requests u64 | fetches u64
 //!                                 | degraded u64 | shed u64
-//!                                 | payload_bytes u64 | queue_wait_us u64 }
+//!                                 | payload_bytes u64 | queue_wait_us u64
+//!                                 | rejected_auth u64
+//!                                 | rejected_deadline u64 }
 //!           status 8 (deadline exceeded) / 9 (auth failure):
 //!                                 msg_len u16 | msg
+//!           status 10 (metrics):  blob_len u32 | blob (JSON or text
+//!                                 registry snapshot)
+//!           status 11 (traces):   blob_len u32 | blob (JSON array of
+//!                                 traces, slowest first)
 //! ```
 //!
-//! Response envelopes never carry flags — deadline and tag are
-//! request-side only; the response simply echoes the request's version.
+//! A v1/v2 response envelope never carries flags; a v3 response always
+//! carries a flags byte (0 when no extension is present). The only
+//! response-side flag is `FLAG_AUTH`: a server configured with a key
+//! answers an authenticated request with a tagged response — `body_len
+//! u32 | tag [u8;16]` where the tag is a truncated HMAC-SHA256 over
+//! `version | flags | body | payload` — so a bit-flip anywhere past the
+//! response envelope (fetch payload included) is detected client-side
+//! as a typed `InvalidData` error instead of silent corruption.
 //! `status 8` keeps a v2/v3 connection open (the request was refused, not
 //! the connection); `status 9` is answered and then the server closes,
 //! since an unauthenticated peer gets no further service.
@@ -105,6 +129,7 @@
 
 use crate::auth::{AuthKey, TAG_LEN};
 use mg_io::TransferCost;
+use mg_obs::trace::{TraceId, WireTrace};
 use std::io::{self, Read, Write};
 use std::time::{Duration, Instant};
 
@@ -124,10 +149,18 @@ pub const PROTOCOL_VERSION: u16 = PROTOCOL_V3;
 /// v3 envelope flag: a `deadline_ms u32` follows the flags byte.
 pub const FLAG_DEADLINE: u8 = 1;
 /// v3 envelope flag: the op+body is length-prefixed and HMAC-tagged.
+/// On a response envelope: the status+body is length-prefixed and the
+/// tag also covers the fetch payload.
 pub const FLAG_AUTH: u8 = 2;
-const KNOWN_FLAGS: u8 = FLAG_DEADLINE | FLAG_AUTH;
+/// v3 envelope flag (requests only): a trace field follows —
+/// `trace_id [u8;16] | parent_span u64 | sampled u8`.
+pub const FLAG_TRACE: u8 = 4;
+const KNOWN_FLAGS: u8 = FLAG_DEADLINE | FLAG_AUTH | FLAG_TRACE;
+const KNOWN_RESPONSE_FLAGS: u8 = FLAG_AUTH;
 /// Cap on the length-prefixed body of an authenticated (v3) request.
 pub const MAX_V3_BODY: usize = 64 * 1024;
+/// Cap on a metrics / trace-dump blob (status 10/11).
+pub const MAX_BLOB: usize = 8 * 1024 * 1024;
 /// Upper bound on dataset-name length (also bounds error messages and
 /// tenant ids).
 pub const MAX_NAME_LEN: usize = 4096;
@@ -272,6 +305,9 @@ pub struct Envelope {
     pub version: u16,
     /// Remaining deadline budget granted by the sender, wire form.
     pub deadline_ms: Option<u32>,
+    /// Trace field, when the sender is stitching this request into a
+    /// distributed trace.
+    pub trace: Option<WireTrace>,
     /// Whether the frame carried a verified (or unverifiable-but-present,
     /// on keyless servers) auth tag.
     pub authed: bool,
@@ -283,6 +319,7 @@ impl Envelope {
         Envelope {
             version,
             deadline_ms: None,
+            trace: None,
             authed: false,
         }
     }
@@ -354,6 +391,17 @@ pub enum Request {
     Shutdown,
     /// Ask for the per-tenant QoS counters.
     TenantStats,
+    /// Ask for a live metrics-registry snapshot (op 6); `text` selects
+    /// the stable text format over JSON.
+    Metrics {
+        /// `false` = JSON object, `true` = stable text format.
+        text: bool,
+    },
+    /// Ask for the slowest `max` recent traces as JSON (op 7).
+    TraceDump {
+        /// Upper bound on traces returned.
+        max: u32,
+    },
 }
 
 /// QoS report of a fetch response (status 6): what the selector alone
@@ -440,6 +488,12 @@ pub struct TenantStats {
     pub payload_bytes: u64,
     /// Total time this tenant's requests waited in the fair queue, µs.
     pub queue_wait_us: u64,
+    /// Requests rejected pre-admission for failing authentication.
+    /// Unattributable auth failures land on the shared default tenant.
+    pub rejected_auth: u64,
+    /// Requests refused because their deadline had already expired (or
+    /// could not be met) before admission.
+    pub rejected_deadline: u64,
 }
 
 /// Per-tenant QoS counters, as reported over the wire (status 7).
@@ -473,6 +527,11 @@ pub enum Response {
     /// The request lacked a valid auth tag on a server that requires
     /// one. The server closes the connection after this response.
     AuthFailure(String),
+    /// A metrics-registry snapshot (status 10): JSON or the stable text
+    /// format, as requested.
+    Metrics(String),
+    /// A trace dump (status 11): a JSON array of traces, slowest first.
+    Traces(String),
 }
 
 // --- primitive helpers ------------------------------------------------
@@ -586,11 +645,9 @@ pub fn write_request_versioned(w: &mut impl Write, req: &Request, version: u16) 
     write_request_framed(w, req, version, None, None)
 }
 
-/// Serialize and send one request with optional envelope extensions.
-/// Without a deadline or key this is exactly
-/// [`write_request_versioned`] — byte-identical legacy v1/v2 frames;
-/// with either, the frame is a v3 envelope (keep-alive semantics) and
-/// `version` is ignored.
+/// Serialize and send one request with optional envelope extensions
+/// (deadline and/or auth key). Kept as the PR 8 entry point; trace
+/// propagation goes through [`write_request_ext`].
 pub fn write_request_framed(
     w: &mut impl Write,
     req: &Request,
@@ -598,10 +655,37 @@ pub fn write_request_framed(
     deadline_ms: Option<u32>,
     key: Option<&AuthKey>,
 ) -> io::Result<()> {
+    write_request_ext(w, req, version, deadline_ms, None, key)
+}
+
+/// Serialize the 25-byte trace field.
+fn trace_bytes(t: &WireTrace) -> [u8; 25] {
+    let mut out = [0u8; 25];
+    out[..16].copy_from_slice(&t.trace_id.0);
+    out[16..24].copy_from_slice(&t.parent_span.to_le_bytes());
+    out[24] = t.sampled as u8;
+    out
+}
+
+/// Serialize and send one request with the full set of envelope
+/// extensions. Without a deadline, trace, or key this is exactly
+/// [`write_request_versioned`] — byte-identical legacy v1/v2 frames;
+/// with any extension, the frame is a v3 envelope (keep-alive
+/// semantics) and `version` is ignored. A frame without the trace
+/// field is byte-identical to its pre-trace form, so PR 8 peers
+/// interoperate both directions.
+pub fn write_request_ext(
+    w: &mut impl Write,
+    req: &Request,
+    version: u16,
+    deadline_ms: Option<u32>,
+    trace: Option<&WireTrace>,
+    key: Option<&AuthKey>,
+) -> io::Result<()> {
     let body = encode_request_body(req)?;
-    let mut buf = Vec::with_capacity(body.len() + 32);
+    let mut buf = Vec::with_capacity(body.len() + 64);
     buf.extend_from_slice(&REQUEST_MAGIC.to_le_bytes());
-    if deadline_ms.is_none() && key.is_none() {
+    if deadline_ms.is_none() && trace.is_none() && key.is_none() {
         buf.extend_from_slice(&version.to_le_bytes());
         buf.extend_from_slice(&body);
         w.write_all(&buf)?;
@@ -620,16 +704,24 @@ pub fn write_request_framed(
     if key.is_some() {
         flags |= FLAG_AUTH;
     }
+    if trace.is_some() {
+        flags |= FLAG_TRACE;
+    }
     buf.extend_from_slice(&PROTOCOL_V3.to_le_bytes());
     buf.push(flags);
     let deadline_bytes = deadline_ms.map(|ms| ms.to_le_bytes());
     if let Some(db) = &deadline_bytes {
         buf.extend_from_slice(db);
     }
+    let trace_field = trace.map(trace_bytes);
+    if let Some(tb) = &trace_field {
+        buf.extend_from_slice(tb);
+    }
     if let Some(key) = key {
         buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
         let dl: &[u8] = deadline_bytes.as_ref().map_or(&[], |db| db);
-        let tag = key.tag(&[&PROTOCOL_V3.to_le_bytes(), &[flags], dl, &body]);
+        let tr: &[u8] = trace_field.as_ref().map_or(&[], |tb| tb);
+        let tag = key.tag(&[&PROTOCOL_V3.to_le_bytes(), &[flags], dl, tr, &body]);
         buf.extend_from_slice(&tag);
     }
     buf.extend_from_slice(&body);
@@ -684,6 +776,14 @@ fn encode_request_body(req: &Request) -> io::Result<Vec<u8>> {
         Request::Stats => buf.push(2),
         Request::Shutdown => buf.push(3),
         Request::TenantStats => buf.push(5),
+        Request::Metrics { text } => {
+            buf.push(6);
+            buf.push(*text as u8);
+        }
+        Request::TraceDump { max } => {
+            buf.push(7);
+            buf.extend_from_slice(&max.to_le_bytes());
+        }
     }
     Ok(buf)
 }
@@ -721,6 +821,16 @@ pub fn read_request_keyed(
         deadline_bytes = read_array(r)?;
         deadline_ms = Some(u32::from_le_bytes(deadline_bytes));
     }
+    let mut trace = None;
+    let mut trace_field = [0u8; 25];
+    if flags & FLAG_TRACE != 0 {
+        trace_field = read_array(r)?;
+        trace = Some(WireTrace {
+            trace_id: TraceId(trace_field[..16].try_into().unwrap()),
+            parent_span: u64::from_le_bytes(trace_field[16..24].try_into().unwrap()),
+            sampled: trace_field[24] != 0,
+        });
+    }
     if flags & FLAG_AUTH == 0 {
         if key.is_some() {
             return Err(auth_err("authentication required"));
@@ -731,6 +841,7 @@ pub fn read_request_keyed(
             Envelope {
                 version,
                 deadline_ms,
+                trace,
                 authed: false,
             },
         ));
@@ -748,7 +859,12 @@ pub fn read_request_keyed(
         } else {
             &[]
         };
-        if !key.verify(&[&PROTOCOL_V3.to_le_bytes(), &[flags], dl, &body], &tag) {
+        let tr: &[u8] = if flags & FLAG_TRACE != 0 {
+            &trace_field
+        } else {
+            &[]
+        };
+        if !key.verify(&[&PROTOCOL_V3.to_le_bytes(), &[flags], dl, tr, &body], &tag) {
             return Err(auth_err("request tag verification failed"));
         }
     }
@@ -762,6 +878,7 @@ pub fn read_request_keyed(
         Envelope {
             version,
             deadline_ms,
+            trace,
             authed: true,
         },
     ))
@@ -805,6 +922,10 @@ fn read_request_ops(r: &mut impl Read) -> io::Result<Request> {
             })
         }
         5 => Request::TenantStats,
+        6 => Request::Metrics {
+            text: read_u8(r)? != 0,
+        },
+        7 => Request::TraceDump { max: read_u32(r)? },
         op => return Err(bad_data(format!("unknown op {op}"))),
     };
     Ok(req)
@@ -820,15 +941,54 @@ pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
 /// Serialize and send one response header under an explicit protocol
 /// version — servers echo the version of the request they are answering
 /// (fetch payload bytes are written separately, straight after the
-/// header).
+/// header). A v3 envelope carries its mandatory flags byte (0: no
+/// extensions, untagged).
 pub fn write_response_versioned(
     w: &mut impl Write,
     resp: &Response,
     version: u16,
 ) -> io::Result<()> {
-    let mut buf = Vec::with_capacity(128);
+    write_response_tagged(w, resp, version, None, &[])
+}
+
+/// Serialize and send one response header, HMAC-tagging it when `key`
+/// is present and the envelope is v3: the tag covers `version | flags |
+/// body | payload`, where `payload` is the fetch payload the caller
+/// will write straight after this header (empty for non-fetch
+/// responses). Servers tag iff the request they are answering was
+/// authenticated, so a keyed client can detect any bit-flip past the
+/// response envelope — fetch payload included.
+pub fn write_response_tagged(
+    w: &mut impl Write,
+    resp: &Response,
+    version: u16,
+    key: Option<&AuthKey>,
+    payload: &[u8],
+) -> io::Result<()> {
+    let body = encode_response_body(resp)?;
+    let mut buf = Vec::with_capacity(body.len() + 32);
     buf.extend_from_slice(&RESPONSE_MAGIC.to_le_bytes());
     buf.extend_from_slice(&version.to_le_bytes());
+    if version >= PROTOCOL_V3 {
+        match key {
+            Some(key) => {
+                let flags = FLAG_AUTH;
+                buf.push(flags);
+                buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+                let tag = key.tag(&[&version.to_le_bytes(), &[flags], &body, payload]);
+                buf.extend_from_slice(&tag);
+            }
+            None => buf.push(0),
+        }
+    }
+    buf.extend_from_slice(&body);
+    w.write_all(&buf)
+}
+
+/// Serialize the status byte + body of a response (everything after
+/// the envelope, shared by every envelope version).
+fn encode_response_body(resp: &Response) -> io::Result<Vec<u8>> {
+    let mut buf = Vec::with_capacity(128);
     match resp {
         Response::Fetch(h) => {
             buf.push(if h.qos.is_some() { 6 } else { 0 });
@@ -890,6 +1050,8 @@ pub fn write_response_versioned(
                     t.shed,
                     t.payload_bytes,
                     t.queue_wait_us,
+                    t.rejected_auth,
+                    t.rejected_deadline,
                 ] {
                     buf.extend_from_slice(&v.to_le_bytes());
                 }
@@ -903,8 +1065,35 @@ pub fn write_response_versioned(
             buf.push(9);
             put_string(&mut buf, truncate_msg(msg))?;
         }
+        Response::Metrics(blob) => {
+            buf.push(10);
+            put_blob(&mut buf, blob)?;
+        }
+        Response::Traces(blob) => {
+            buf.push(11);
+            put_blob(&mut buf, blob)?;
+        }
     }
-    w.write_all(&buf)
+    Ok(buf)
+}
+
+fn put_blob(buf: &mut Vec<u8>, blob: &str) -> io::Result<()> {
+    if blob.len() > MAX_BLOB {
+        return Err(bad_data(format!("blob length {} exceeds cap", blob.len())));
+    }
+    buf.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+    buf.extend_from_slice(blob.as_bytes());
+    Ok(())
+}
+
+fn read_blob(r: &mut impl Read) -> io::Result<String> {
+    let len = read_u32(r)? as usize;
+    if len > MAX_BLOB {
+        return Err(bad_data(format!("blob length {len} exceeds cap")));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| bad_data("blob is not UTF-8"))
 }
 
 fn read_fetch_header(r: &mut impl Read, with_qos: bool) -> io::Result<FetchHeader> {
@@ -939,10 +1128,100 @@ fn read_fetch_header(r: &mut impl Read, with_qos: bool) -> io::Result<FetchHeade
     })
 }
 
+/// The deferred tag of an authenticated fetch response: the tag covers
+/// the fetch payload, which the caller has not read yet when the header
+/// parses, so verification happens via [`RespTag::verify`] once the
+/// payload bytes are in hand. Non-fetch responses are verified before
+/// [`read_response_checked`] returns.
+#[derive(Clone, Debug)]
+pub struct RespTag {
+    version: u16,
+    flags: u8,
+    tag: [u8; TAG_LEN],
+    body: Vec<u8>,
+}
+
+impl RespTag {
+    /// Constant-time verification of the response tag over
+    /// `version | flags | body | payload`.
+    pub fn verify(&self, key: &AuthKey, payload: &[u8]) -> bool {
+        key.verify(
+            &[
+                &self.version.to_le_bytes(),
+                &[self.flags],
+                &self.body,
+                payload,
+            ],
+            &self.tag,
+        )
+    }
+}
+
 /// Read one response header; returns the response and the version the
 /// server echoed (v2 means the server keeps the connection open).
+/// Tagged v3 responses are consumed but *not* verified — keyed callers
+/// use [`read_response_checked`].
 pub fn read_response(r: &mut impl Read) -> io::Result<(Response, u16)> {
+    read_response_checked(r, None).map(|(resp, version, _)| (resp, version))
+}
+
+/// Read one response header, verifying the envelope tag when `key` is
+/// present and the frame carries one: non-fetch responses are verified
+/// immediately (an `InvalidData` error on mismatch), fetch responses
+/// return a [`RespTag`] for the caller to verify once the payload has
+/// been read. An untagged response from a keyless server passes
+/// through unverified (the sender had nothing to tag with).
+pub fn read_response_checked(
+    r: &mut impl Read,
+    key: Option<&AuthKey>,
+) -> io::Result<(Response, u16, Option<RespTag>)> {
     let version = check_envelope(r, RESPONSE_MAGIC, "response")?;
+    if version < PROTOCOL_V3 {
+        return Ok((read_response_status(r)?, version, None));
+    }
+    let flags = read_u8(r)?;
+    if flags & !KNOWN_RESPONSE_FLAGS != 0 {
+        return Err(bad_data(format!(
+            "unknown v3 response envelope flags 0x{flags:02x}"
+        )));
+    }
+    if flags & FLAG_AUTH == 0 {
+        return Ok((read_response_status(r)?, version, None));
+    }
+    let body_len = read_u32(r)? as usize;
+    if body_len > MAX_BLOB + MAX_V3_BODY {
+        return Err(bad_data(format!(
+            "v3 response body length {body_len} exceeds cap"
+        )));
+    }
+    let tag: [u8; TAG_LEN] = read_array(r)?;
+    let mut body = vec![0u8; body_len];
+    r.read_exact(&mut body)?;
+    let mut s = body.as_slice();
+    let resp = read_response_status(&mut s)?;
+    if !s.is_empty() {
+        return Err(bad_data("trailing bytes after tagged response body"));
+    }
+    let pending = RespTag {
+        version,
+        flags,
+        tag,
+        body,
+    };
+    if matches!(resp, Response::Fetch(_)) {
+        // The tag covers the payload; the caller verifies after
+        // reading it.
+        return Ok((resp, version, Some(pending)));
+    }
+    if let Some(key) = key {
+        if !pending.verify(key, &[]) {
+            return Err(bad_data("response tag verification failed"));
+        }
+    }
+    Ok((resp, version, None))
+}
+
+fn read_response_status(r: &mut impl Read) -> io::Result<Response> {
     let resp = match read_u8(r)? {
         0 => Response::Fetch(read_fetch_header(r, false)?),
         1 => Response::NotFound(read_string(r)?),
@@ -977,15 +1256,19 @@ pub fn read_response(r: &mut impl Read) -> io::Result<(Response, u16)> {
                     shed: read_u64(r)?,
                     payload_bytes: read_u64(r)?,
                     queue_wait_us: read_u64(r)?,
+                    rejected_auth: read_u64(r)?,
+                    rejected_deadline: read_u64(r)?,
                 });
             }
             Response::TenantStats(TenantStatsReport { tenants })
         }
         8 => Response::DeadlineExceeded(read_string(r)?),
         9 => Response::AuthFailure(read_string(r)?),
+        10 => Response::Metrics(read_blob(r)?),
+        11 => Response::Traces(read_blob(r)?),
         status => return Err(bad_data(format!("unknown status {status}"))),
     };
-    Ok((resp, version))
+    Ok(resp)
 }
 
 #[cfg(test)]
@@ -1159,6 +1442,8 @@ mod tests {
                     shed: 1,
                     payload_bytes: 123,
                     queue_wait_us: 456,
+                    rejected_auth: 2,
+                    rejected_deadline: 3,
                 },
                 TenantStats {
                     tenant: "team-b".into(),
@@ -1431,5 +1716,207 @@ mod tests {
         for cut in 0..buf.len() {
             assert!(read_request(&mut &buf[..cut]).is_err(), "cut at {cut}");
         }
+    }
+
+    fn some_trace() -> WireTrace {
+        WireTrace {
+            trace_id: TraceId([0xAB; 16]),
+            parent_span: 0x1122334455667788,
+            sampled: true,
+        }
+    }
+
+    #[test]
+    fn v3_trace_field_round_trips() {
+        let req = Request::Fetch(FetchSpec::tau("d", 1e-2));
+        let trace = some_trace();
+        let mut buf = Vec::new();
+        write_request_ext(&mut buf, &req, PROTOCOL_V2, Some(40), Some(&trace), None).unwrap();
+        assert_eq!(buf[4..6], PROTOCOL_V3.to_le_bytes(), "trace forces v3");
+        assert_eq!(buf[6], FLAG_DEADLINE | FLAG_TRACE);
+        let (back, env) = read_request(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(env.deadline_ms, Some(40));
+        assert_eq!(env.trace, Some(trace));
+
+        // A trace alone (no deadline) also rides v3.
+        let mut buf = Vec::new();
+        write_request_ext(&mut buf, &req, PROTOCOL_V1, None, Some(&trace), None).unwrap();
+        let (_, env) = read_request(&mut buf.as_slice()).unwrap();
+        assert_eq!(env.trace, Some(trace));
+        assert_eq!(env.deadline_ms, None);
+        // An unsampled context survives too.
+        let unsampled = WireTrace {
+            sampled: false,
+            ..trace
+        };
+        let mut buf = Vec::new();
+        write_request_ext(&mut buf, &req, PROTOCOL_V1, None, Some(&unsampled), None).unwrap();
+        assert_eq!(
+            read_request(&mut buf.as_slice()).unwrap().1.trace,
+            Some(unsampled)
+        );
+    }
+
+    #[test]
+    fn auth_tag_covers_the_trace_field() {
+        let key = AuthKey::from_secret(b"cluster secret");
+        let req = Request::Stats;
+        let trace = some_trace();
+        let mut buf = Vec::new();
+        write_request_ext(&mut buf, &req, PROTOCOL_V2, None, Some(&trace), Some(&key)).unwrap();
+        let (_, env) = read_request_keyed(&mut buf.as_slice(), Some(&key)).unwrap();
+        assert!(env.authed);
+        assert_eq!(env.trace, Some(trace));
+        // Flipping any trace byte (the field starts after magic|ver|
+        // flags) must fail closed: the MAC covers it.
+        for tamper in 7..7 + 25 {
+            let mut bad = buf.clone();
+            bad[tamper] ^= 0x01;
+            let err = read_request_keyed(&mut bad.as_slice(), Some(&key)).unwrap_err();
+            assert_eq!(
+                err.kind(),
+                io::ErrorKind::PermissionDenied,
+                "trace tamper at byte {tamper}"
+            );
+        }
+    }
+
+    #[test]
+    fn traceless_frames_pin_the_pr8_wire_format() {
+        // Frames without a trace field must stay byte-identical to the
+        // previous protocol revision, pinned here against the raw
+        // layout: magic | version | flags | deadline | body.
+        let mut buf = Vec::new();
+        write_request_framed(&mut buf, &Request::Stats, PROTOCOL_V2, Some(7), None).unwrap();
+        let mut expect = Vec::new();
+        expect.extend_from_slice(&REQUEST_MAGIC.to_le_bytes());
+        expect.extend_from_slice(&PROTOCOL_V3.to_le_bytes());
+        expect.push(FLAG_DEADLINE);
+        expect.extend_from_slice(&7u32.to_le_bytes());
+        expect.push(2); // stats op
+        assert_eq!(buf, expect, "PR 8 deadline frame layout must not move");
+
+        // And the keyed MAC over a traceless frame is unchanged: the
+        // trace field contributes zero bytes to the MAC input when
+        // absent, so PR 8 clients and this revision interoperate.
+        let key = AuthKey::from_secret(b"pinned");
+        let mut framed = Vec::new();
+        write_request_framed(
+            &mut framed,
+            &Request::Stats,
+            PROTOCOL_V2,
+            Some(7),
+            Some(&key),
+        )
+        .unwrap();
+        let mut ext = Vec::new();
+        write_request_ext(
+            &mut ext,
+            &Request::Stats,
+            PROTOCOL_V2,
+            Some(7),
+            None,
+            Some(&key),
+        )
+        .unwrap();
+        assert_eq!(framed, ext);
+        assert!(read_request_keyed(&mut framed.as_slice(), Some(&key)).is_ok());
+    }
+
+    #[test]
+    fn metrics_and_trace_ops_round_trip() {
+        round_trip_request(Request::Metrics { text: false });
+        round_trip_request(Request::Metrics { text: true });
+        round_trip_request(Request::TraceDump { max: 0 });
+        round_trip_request(Request::TraceDump { max: 10_000 });
+        round_trip_response(Response::Metrics("{\"entries\":[]}".into()));
+        round_trip_response(Response::Traces("[]".into()));
+        round_trip_response(Response::Metrics(String::new()));
+    }
+
+    #[test]
+    fn oversized_blobs_rejected_both_ways() {
+        let blob = "x".repeat(MAX_BLOB + 1);
+        assert!(write_response(&mut Vec::new(), &Response::Metrics(blob)).is_err());
+        let mut buf = Vec::new();
+        write_response(&mut buf, &Response::Traces("[]".into())).unwrap();
+        // Blob length sits after magic(4)+version(2)+status(1).
+        buf[7..11].copy_from_slice(&(MAX_BLOB as u32 + 1).to_le_bytes());
+        assert!(read_response(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn tagged_responses_round_trip_and_detect_bit_flips() {
+        let key = AuthKey::from_secret(b"resp secret");
+        let resp = Response::Stats(StatsReport {
+            requests: 3,
+            fetches: 2,
+            ..StatsReport::default()
+        });
+        let mut buf = Vec::new();
+        write_response_tagged(&mut buf, &resp, PROTOCOL_V3, Some(&key), &[]).unwrap();
+        assert_eq!(buf[6], FLAG_AUTH, "v3 keyed response must set the tag flag");
+        // The right key verifies; a keyless reader passes it through.
+        let (back, ver, pending) = read_response_checked(&mut buf.as_slice(), Some(&key)).unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(ver, PROTOCOL_V3);
+        assert!(pending.is_none(), "non-fetch responses verify eagerly");
+        assert!(read_response(&mut buf.as_slice()).is_ok());
+        // Any flipped bit past the envelope magic/version fails closed.
+        for tamper in 6..buf.len() {
+            let mut bad = buf.clone();
+            bad[tamper] ^= 0x10;
+            assert!(
+                read_response_checked(&mut bad.as_slice(), Some(&key)).is_err(),
+                "response tamper at byte {tamper}"
+            );
+        }
+        // The wrong key also fails.
+        let wrong = AuthKey::from_secret(b"not it");
+        assert!(read_response_checked(&mut buf.as_slice(), Some(&wrong)).is_err());
+        // An untagged v3 response still parses under a keyed reader
+        // (the sender had no key to tag with).
+        let mut untagged = Vec::new();
+        write_response_versioned(&mut untagged, &resp, PROTOCOL_V3).unwrap();
+        assert_eq!(untagged[6], 0);
+        let (back, _, pending) =
+            read_response_checked(&mut untagged.as_slice(), Some(&key)).unwrap();
+        assert_eq!(back, resp);
+        assert!(pending.is_none());
+    }
+
+    #[test]
+    fn tagged_fetch_responses_defer_payload_verification() {
+        let key = AuthKey::from_secret(b"payload secret");
+        let payload = vec![7u8; 4096];
+        let header = FetchHeader {
+            classes_sent: 3,
+            total_classes: 7,
+            indicator_linf: 1e-3,
+            cache_hit: true,
+            payload_len: payload.len() as u64,
+            tiers: Vec::new(),
+            qos: None,
+        };
+        let mut buf = Vec::new();
+        write_response_tagged(
+            &mut buf,
+            &Response::Fetch(header),
+            PROTOCOL_V3,
+            Some(&key),
+            &payload,
+        )
+        .unwrap();
+        let (resp, _, pending) = read_response_checked(&mut buf.as_slice(), Some(&key)).unwrap();
+        assert!(matches!(resp, Response::Fetch(_)));
+        let pending = pending.expect("fetch responses verify after the payload");
+        assert!(pending.verify(&key, &payload));
+        // A single flipped payload bit (or a truncated payload) fails.
+        let mut corrupt = payload.clone();
+        corrupt[1234] ^= 0x40;
+        assert!(!pending.verify(&key, &corrupt));
+        assert!(!pending.verify(&key, &payload[..payload.len() - 1]));
+        assert!(!pending.verify(&AuthKey::from_secret(b"other"), &payload));
     }
 }

@@ -158,6 +158,18 @@ struct SchedState {
     tenants: HashMap<String, TenantEntry>,
 }
 
+/// Why a request was refused *before* admission control ran — kept in
+/// the per-tenant ledger alongside sheds so operators can tell an
+/// overloaded tenant from a misconfigured one.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Rejection {
+    /// The request failed authentication (missing or invalid tag).
+    /// Unattributable failures land on the shared default tenant `""`.
+    Auth,
+    /// The request's deadline budget was already spent on arrival.
+    Deadline,
+}
+
 /// The verdict of [`FairScheduler::admit`].
 pub enum Admission<'a> {
     /// Serve, dropping `degrade` classes below the selector's choice
@@ -190,6 +202,18 @@ impl Permit<'_> {
         if degraded {
             entry.stats.degraded += 1;
         }
+    }
+
+    /// Record that the deadline expired *after* admission (the queue
+    /// wait consumed the budget): a deadline rejection without
+    /// double-counting `requests`, which admission already bumped.
+    pub fn deadline_rejected(&self) {
+        let mut st = self.sched.state.lock().expect("qos lock");
+        st.tenants
+            .entry(self.tenant.clone())
+            .or_default()
+            .stats
+            .rejected_deadline += 1;
     }
 
     /// Record a shed that happened *after* admission (e.g. a downstream
@@ -359,6 +383,20 @@ impl FairScheduler {
         let entry = st.tenants.entry(tenant.to_string()).or_default();
         entry.stats.requests += 1;
         entry.stats.shed += 1;
+    }
+
+    /// Record a pre-admission rejection ([`Rejection::Auth`] or
+    /// [`Rejection::Deadline`]) that never reached
+    /// [`FairScheduler::admit`]; counts the request too, so the ledger's
+    /// `requests` column stays the true arrival count.
+    pub fn record_rejected(&self, tenant: &str, kind: Rejection) {
+        let mut st = self.state.lock().expect("qos lock");
+        let entry = st.tenants.entry(tenant.to_string()).or_default();
+        entry.stats.requests += 1;
+        match kind {
+            Rejection::Auth => entry.stats.rejected_auth += 1,
+            Rejection::Deadline => entry.stats.rejected_deadline += 1,
+        }
     }
 
     /// Snapshot the per-tenant ledger, rows sorted by tenant id.

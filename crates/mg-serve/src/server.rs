@@ -17,7 +17,8 @@ use crate::protocol::{
     self, Deadline, Envelope, FetchHeader, FetchQosInfo, FetchSpec, Request, Response, Selector,
     StatsReport, TenantStatsReport, PROTOCOL_V2,
 };
-use crate::qos::{Admission, FairScheduler, QosConfig};
+use crate::qos::{Admission, FairScheduler, QosConfig, Rejection};
+use mg_obs::{Counter, Histogram, Registry, TraceCtx, Tracer};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -44,8 +45,11 @@ pub struct ServerConfig {
     /// Shared-secret request authentication: when set, every request
     /// must carry a valid v3 HMAC tag or it is answered with
     /// `auth_failure` and the connection closes. `None` (the default)
-    /// accepts everything, tagged or not.
+    /// accepts everything, tagged or not. Responses to authenticated
+    /// requests are tagged with the same key, fetch payload included.
     pub auth: Option<AuthKey>,
+    /// Trace sampling and ring sizing.
+    pub obs: ObsConfig,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +60,27 @@ impl Default for ServerConfig {
             io_timeout: Some(Duration::from_secs(30)),
             qos: QosConfig::default(),
             auth: None,
+            obs: ObsConfig::default(),
+        }
+    }
+}
+
+/// Observability knobs shared by the server and the gateway.
+#[derive(Copy, Clone, Debug)]
+pub struct ObsConfig {
+    /// Head-sample 1 in `sample_rate` requests that arrive without an
+    /// upstream trace decision (0 keeps only forced traces — errors,
+    /// deadline-exceeded, hedge wins — and upstream-sampled ones).
+    pub sample_rate: u64,
+    /// Capacity of the sampled-trace ring.
+    pub trace_ring: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            sample_rate: 16,
+            trace_ring: 256,
         }
     }
 }
@@ -145,6 +170,41 @@ impl ConnRegistry {
     }
 }
 
+/// Pre-resolved metric handles for the request hot path: one registry
+/// name lookup per request would dominate the metrics overhead budget,
+/// so every hot counter/histogram is resolved once at bind.
+struct ObsHandles {
+    requests: Counter,
+    fetches: Counter,
+    not_found: Counter,
+    deadline_exceeded: Counter,
+    shed: Counter,
+    rejected_auth: Counter,
+    payload_bytes: Counter,
+    request_us: Histogram,
+    queue_wait_us: Histogram,
+    encode_us: Histogram,
+    write_us: Histogram,
+}
+
+impl ObsHandles {
+    fn new(reg: &Registry) -> ObsHandles {
+        ObsHandles {
+            requests: reg.counter("serve.requests"),
+            fetches: reg.counter("serve.fetches"),
+            not_found: reg.counter("serve.not_found"),
+            deadline_exceeded: reg.counter("serve.deadline_exceeded"),
+            shed: reg.counter("serve.shed"),
+            rejected_auth: reg.counter("serve.rejected_auth"),
+            payload_bytes: reg.counter("serve.payload_bytes"),
+            request_us: reg.histogram("serve.request_us"),
+            queue_wait_us: reg.histogram("serve.queue_wait_us"),
+            encode_us: reg.histogram("serve.encode_us"),
+            write_us: reg.histogram("serve.write_us"),
+        }
+    }
+}
+
 struct Shared {
     catalog: Catalog,
     cache: PrefixCache,
@@ -152,6 +212,9 @@ struct Shared {
     scheduler: FairScheduler,
     shutting_down: AtomicBool,
     connections: ConnRegistry,
+    registry: Registry,
+    tracer: Tracer,
+    obs: ObsHandles,
 }
 
 /// A running progressive-retrieval server.
@@ -221,6 +284,8 @@ impl Server {
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let registry = Registry::new();
+        let obs = ObsHandles::new(&registry);
         let shared = Arc::new(Shared {
             catalog,
             cache: PrefixCache::new(config.cache_bytes),
@@ -228,6 +293,9 @@ impl Server {
             scheduler: FairScheduler::new(config.qos),
             shutting_down: AtomicBool::new(false),
             connections: ConnRegistry::default(),
+            registry,
+            tracer: Tracer::new("serve", config.obs.trace_ring, config.obs.sample_rate),
+            obs,
         });
 
         let workers = config.workers.max(1);
@@ -298,6 +366,17 @@ impl Server {
     /// Snapshot the per-tenant QoS ledger.
     pub fn tenant_stats(&self) -> TenantStatsReport {
         self.shared.scheduler.tenant_stats()
+    }
+
+    /// The server's metrics registry (per-stage counters/histograms —
+    /// what the wire `metrics` op snapshots).
+    pub fn registry(&self) -> &Registry {
+        &self.shared.registry
+    }
+
+    /// The server's sampled-trace ring (what the wire `trace` op dumps).
+    pub fn tracer(&self) -> &Tracer {
+        &self.shared.tracer
     }
 
     /// Stop accepting, drain in-flight connections, join every thread,
@@ -482,6 +561,7 @@ pub fn run_connection_loop_io<R: Read, W: Write>(
 struct ServerOps<'a> {
     shared: &'a Shared,
     local: SocketAddr,
+    auth: Option<AuthKey>,
 }
 
 impl OpsHost for ServerOps<'_> {
@@ -502,6 +582,23 @@ impl OpsHost for ServerOps<'_> {
 
     fn begin_shutdown(&self) {
         trigger_shutdown(self.shared, self.local);
+    }
+
+    fn metrics_render(&self, text: bool) -> String {
+        let snap = self.shared.registry.snapshot();
+        if text {
+            snap.to_text()
+        } else {
+            snap.to_json()
+        }
+    }
+
+    fn trace_dump(&self, max: u32) -> String {
+        self.shared.tracer.dump_json(max as usize)
+    }
+
+    fn auth_key(&self) -> Option<&AuthKey> {
+        self.auth.as_ref()
     }
 }
 
@@ -548,7 +645,7 @@ fn handle_connection(
         auth,
         &shared.shutting_down,
         &shared.connections,
-        |parsed, writer| server_dispatch(shared, local, parsed, writer),
+        |parsed, writer| server_dispatch(shared, local, auth, parsed, writer),
         |elapsed| record_latency(shared, elapsed),
     );
 }
@@ -571,7 +668,7 @@ fn serve_connection_io<R: Read, W: Write>(
         auth,
         &shared.shutting_down,
         &shared.connections,
-        |parsed, writer| server_dispatch(shared, local, parsed, writer),
+        |parsed, writer| server_dispatch(shared, local, auth, parsed, writer),
         |elapsed| record_latency(shared, elapsed),
     );
 }
@@ -579,13 +676,41 @@ fn serve_connection_io<R: Read, W: Write>(
 fn server_dispatch<W: Write>(
     shared: &Shared,
     local: SocketAddr,
+    auth: Option<AuthKey>,
     parsed: io::Result<(Request, Envelope)>,
     writer: &mut W,
 ) -> ConnAction {
-    match ops::dispatch_ops(&ServerOps { shared, local }, parsed, writer) {
-        Dispatched::Done(action) => action,
+    // Auth failures are pre-admission rejections: the frame never parsed
+    // far enough to attribute a tenant, so they land on the shared
+    // default tenant's ledger row.
+    let auth_failed = matches!(&parsed, Err(e) if e.kind() == io::ErrorKind::PermissionDenied);
+    if auth_failed {
+        shared.scheduler.record_rejected("", Rejection::Auth);
+        shared.obs.rejected_auth.inc();
+    }
+    let ctx = shared
+        .tracer
+        .begin(parsed.as_ref().ok().and_then(|(_, env)| env.trace));
+    match ops::dispatch_ops(
+        &ServerOps {
+            shared,
+            local,
+            auth,
+        },
+        parsed,
+        writer,
+    ) {
+        Dispatched::Done(action) => {
+            if auth_failed {
+                shared.tracer.finish(&ctx, "auth_failure", true);
+            } else {
+                shared.tracer.finish(&ctx, "ok", false);
+            }
+            action
+        }
         Dispatched::Fetch(spec, env) => {
-            let ok = serve_fetch(writer, shared, &spec, &env).is_ok();
+            let key = if env.authed { auth } else { None };
+            let ok = serve_fetch(writer, shared, &spec, &env, &ctx, key.as_ref()).is_ok();
             if ok && env.version >= PROTOCOL_V2 {
                 ConnAction::KeepOpen
             } else {
@@ -601,6 +726,8 @@ fn record_latency(shared: &Shared, elapsed: Duration) {
     let ns = elapsed.as_nanos() as u64;
     c.latency_ns_total.fetch_add(ns, Ordering::Relaxed);
     c.latency_ns_max.fetch_max(ns, Ordering::Relaxed);
+    shared.obs.requests.inc();
+    shared.obs.request_us.record_duration(elapsed);
 }
 
 /// The class count the selector alone asks for (before degradation).
@@ -623,11 +750,20 @@ fn serve_fetch(
     shared: &Shared,
     spec: &FetchSpec,
     env: &Envelope,
+    ctx: &TraceCtx,
+    key: Option<&AuthKey>,
 ) -> io::Result<()> {
     let version = env.version;
+    // A refusal finishes the trace (forced: error traces are always
+    // kept) and goes out tagged when the request was authenticated.
+    let refuse = |w: &mut _, resp: Response, outcome: &str| {
+        shared.tracer.finish(ctx, outcome, true);
+        protocol::write_response_tagged(w, &resp, version, key, &[])
+    };
     // The deadline clock starts when service starts: the client already
     // subtracted its own queue/transit time by re-encoding the remaining
     // budget at send, so what arrives is what this hop may spend.
+    let stage = Instant::now();
     let deadline = env.deadline().map(Deadline::new);
     if let Some(d) = &deadline {
         if d.expired() {
@@ -635,34 +771,52 @@ fn serve_fetch(
                 .counters
                 .deadline_exceeded
                 .fetch_add(1, Ordering::Relaxed);
-            return protocol::write_response_versioned(
+            shared.obs.deadline_exceeded.inc();
+            // Dead on arrival: a pre-admission rejection in the ledger.
+            shared
+                .scheduler
+                .record_rejected(&spec.qos.tenant, Rejection::Deadline);
+            ctx.span("deadline_check", stage);
+            return refuse(
                 w,
-                &Response::DeadlineExceeded("deadline budget exhausted before service".into()),
-                version,
+                Response::DeadlineExceeded("deadline budget exhausted before service".into()),
+                "deadline_exceeded",
             );
         }
     }
+    ctx.span("deadline_check", stage);
     // Admission next: under the default permissive config this grants
     // immediately at full fidelity; with a bounded `max_concurrent` it
     // enforces weighted fair queueing and may degrade or shed. A
     // deadline caps the queue wait — no point waiting past the budget.
+    let stage = Instant::now();
     let wait_cap = deadline.as_ref().map(|d| d.remaining());
     let admission = shared
         .scheduler
         .admit_within(&spec.qos.tenant, spec.qos.priority, wait_cap);
+    shared.obs.queue_wait_us.record_duration(stage.elapsed());
+    ctx.span("queue_wait", stage);
     let (permit, sched_degrade) = match admission {
         Admission::Granted { permit, degrade } => (permit, degrade),
         Admission::Shed => {
-            let resp = if deadline.as_ref().is_some_and(|d| d.expired()) {
+            let (resp, outcome) = if deadline.as_ref().is_some_and(|d| d.expired()) {
                 shared
                     .counters
                     .deadline_exceeded
                     .fetch_add(1, Ordering::Relaxed);
-                Response::DeadlineExceeded("deadline expired waiting for admission".into())
+                shared.obs.deadline_exceeded.inc();
+                (
+                    Response::DeadlineExceeded("deadline expired waiting for admission".into()),
+                    "deadline_exceeded",
+                )
             } else {
-                Response::Overloaded("server admission queue is full, retry".into())
+                shared.obs.shed.inc();
+                (
+                    Response::Overloaded("server admission queue is full, retry".into()),
+                    "shed",
+                )
             };
-            return protocol::write_response_versioned(w, &resp, version);
+            return refuse(w, resp, outcome);
         }
     };
     // Queue wait may have consumed the budget even when admission won.
@@ -672,22 +826,27 @@ fn serve_fetch(
                 .counters
                 .deadline_exceeded
                 .fetch_add(1, Ordering::Relaxed);
-            return protocol::write_response_versioned(
+            shared.obs.deadline_exceeded.inc();
+            permit.deadline_rejected();
+            return refuse(
                 w,
-                &Response::DeadlineExceeded(format!(
+                Response::DeadlineExceeded(format!(
                     "queue wait consumed the {}ms budget",
                     d.budget().as_millis()
                 )),
-                version,
+                "deadline_exceeded",
             );
         }
     }
+    let stage = Instant::now();
     let Some(ds) = shared.catalog.get(&spec.dataset) else {
         shared.counters.not_found.fetch_add(1, Ordering::Relaxed);
-        return protocol::write_response_versioned(
+        shared.obs.not_found.inc();
+        ctx.span("degrade_decision", stage);
+        return refuse(
             w,
-            &Response::NotFound(format!("dataset {:?} is not in the catalog", spec.dataset)),
-            version,
+            Response::NotFound(format!("dataset {:?} is not in the catalog", spec.dataset)),
+            "not_found",
         );
     };
     let requested = selected_count(&ds, &spec.selector);
@@ -701,7 +860,15 @@ fn serve_fetch(
         .max(floor)
         .min(requested)
         .max(1);
+    ctx.span_attrs(
+        "degrade_decision",
+        stage,
+        vec![("dropped", (requested - served).to_string())],
+    );
+    let stage = Instant::now();
     let (payload, cache_hit) = shared.cache.get_or_encode(&ds, served);
+    shared.obs.encode_us.record_duration(stage.elapsed());
+    ctx.span_attrs("encode", stage, vec![("cache_hit", cache_hit.to_string())]);
     // A QoS fetch (op 4) is always answered with the requested-vs-served
     // report; a legacy fetch only when degradation actually applied (the
     // only case where the legacy status would mislead).
@@ -718,13 +885,27 @@ fn serve_fetch(
         tiers: mg_io::transfer_costs(payload.len() as u64, 1),
         qos,
     };
-    protocol::write_response_versioned(w, &Response::Fetch(header), version)?;
+    let stage = Instant::now();
+    // A tagged fetch response covers the payload bytes too, so a keyed
+    // client can detect any bit-flip along the way.
+    protocol::write_response_tagged(
+        w,
+        &Response::Fetch(header),
+        version,
+        key,
+        payload.as_slice(),
+    )?;
     w.write_all(payload.as_slice())?;
+    shared.obs.write_us.record_duration(stage.elapsed());
+    ctx.span("write_out", stage);
     permit.served(payload.len() as u64, served < requested);
     let c = &shared.counters;
     c.fetches.fetch_add(1, Ordering::Relaxed);
     c.payload_bytes
         .fetch_add(payload.len() as u64, Ordering::Relaxed);
+    shared.obs.fetches.inc();
+    shared.obs.payload_bytes.add(payload.len() as u64);
+    shared.tracer.finish(ctx, "ok", false);
     Ok(())
 }
 

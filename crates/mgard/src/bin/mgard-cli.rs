@@ -44,6 +44,7 @@
 
 use mgard::mg_compress::{Compressed, Compressor, StageTimings};
 use mgard::mg_gateway::{Gateway, GatewayConfig};
+use mgard::mg_obs::Table;
 use mgard::mg_serve::protocol::Priority;
 use mgard::mg_serve::qos::QosConfig;
 use mgard::mg_serve::{client as serve_client, AuthKey, Catalog, Server, ServerConfig};
@@ -81,7 +82,10 @@ const USAGE: &str = "usage:
                        [--tenant ID] [--priority low|normal|high]
                        [--floor-tau T] [--save-raw OUT.mgrd] [--via-gateway]
                        [--deadline-ms MS] [--retries N] [--secret S]
+  mgard-cli stats      ADDR [--secret S]
   mgard-cli tenant-stats ADDR [--secret S]
+  mgard-cli metrics    ADDR [--json] [--secret S]
+  mgard-cli trace      ADDR [--max N] [--secret S]
   mgard-cli shutdown   ADDR [--secret S]
 
 options (refactor/reconstruct/compress/decompress):
@@ -103,7 +107,13 @@ robustness options:
   --breaker-threshold N     (gateway) consecutive backend failures before
                             its circuit breaker opens (default 1)
   --secret S                shared secret: servers require a valid request
-                            tag, clients and the gateway attach one";
+                            tag, clients and the gateway attach one
+
+observability options:
+  --json                    (metrics) print the raw JSON snapshot instead of
+                            the rendered tables
+  --max N                   (trace) sampled traces to dump, newest first
+                            (default 16)";
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
@@ -138,6 +148,8 @@ struct Opts {
     hedge_ms: Option<u64>,
     breaker_threshold: Option<u32>,
     secret: Option<String>,
+    json: bool,
+    max: Option<u32>,
 }
 
 impl Opts {
@@ -189,6 +201,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, Box<dyn std::error::Error>> {
         hedge_ms: None,
         breaker_threshold: None,
         secret: None,
+        json: false,
+        max: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -309,6 +323,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, Box<dyn std::error::Error>> {
             "--secret" => {
                 o.secret = Some(it.next().ok_or("--secret needs a value")?.clone());
             }
+            "--json" => o.json = true,
+            "--max" => {
+                let v = it.next().ok_or("--max needs a count")?;
+                o.max = Some(v.parse().map_err(|_| "bad --max")?);
+            }
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a count")?;
                 let n: usize = v.parse().map_err(|_| "bad --threads")?;
@@ -343,7 +362,10 @@ fn run(args: &[String]) -> CliResult {
         "serve" => serve(&o),
         "gateway" => gateway(&o),
         "fetch" => fetch(&o),
+        "stats" => stats(&o),
         "tenant-stats" => tenant_stats(&o),
+        "metrics" => metrics(&o),
+        "trace" => trace(&o),
         "shutdown" => shutdown(&o),
         other => Err(format!("unknown command {other}").into()),
     }
@@ -873,37 +895,153 @@ fn fetch(o: &Opts) -> CliResult {
     Ok(())
 }
 
+/// Auth key selected by `--secret`, if any.
+fn auth_key(o: &Opts) -> Option<AuthKey> {
+    o.secret
+        .as_ref()
+        .map(|s| AuthKey::from_secret(s.as_bytes()))
+}
+
+fn stats(o: &Opts) -> CliResult {
+    let [addr] = o.positional.as_slice() else {
+        return Err("stats needs ADDR".into());
+    };
+    let key = auth_key(o);
+    let r = serve_client::stats_with(addr.as_str(), key.as_ref())?;
+    println!("server at {addr}:");
+    let mut t = Table::new(["counter", "value"]);
+    t.row(["requests", &r.requests.to_string()])
+        .row(["fetches", &r.fetches.to_string()])
+        .row(["not_found", &r.not_found.to_string()])
+        .row(["bad_requests", &r.bad_requests.to_string()])
+        .row(["payload_bytes", &r.payload_bytes.to_string()])
+        .row(["cache_hits", &r.cache_hits.to_string()])
+        .row(["cache_misses", &r.cache_misses.to_string()])
+        .row(["mean_latency_us", &r.mean_latency_us.to_string()])
+        .row(["catalog_generation", &r.catalog_generation.to_string()])
+        .row(["datasets", &r.datasets.to_string()]);
+    print!("{}", t.render());
+    Ok(())
+}
+
 fn tenant_stats(o: &Opts) -> CliResult {
     let [addr] = o.positional.as_slice() else {
         return Err("tenant-stats needs ADDR".into());
     };
-    let key = o
-        .secret
-        .as_ref()
-        .map(|s| AuthKey::from_secret(s.as_bytes()));
+    let key = auth_key(o);
     let report = serve_client::tenant_stats_with(addr.as_str(), key.as_ref())?;
     if report.tenants.is_empty() {
         println!("no tenants recorded at {addr}");
         return Ok(());
     }
     println!("tenants at {addr}:");
-    for t in &report.tenants {
-        println!(
-            "  {}: {} requests, {} fetches ({} degraded, {} shed), \
-             {} bytes, {} us queued",
-            if t.tenant.is_empty() {
-                "(shared)"
-            } else {
-                &t.tenant
-            },
-            t.requests,
-            t.fetches,
-            t.degraded,
-            t.shed,
-            t.payload_bytes,
-            t.queue_wait_us
-        );
+    let mut t = Table::new([
+        "tenant",
+        "requests",
+        "fetches",
+        "degraded",
+        "shed",
+        "rej_auth",
+        "rej_deadline",
+        "bytes",
+        "queue_us",
+    ]);
+    for row in &report.tenants {
+        let tenant = if row.tenant.is_empty() {
+            "(shared)"
+        } else {
+            &row.tenant
+        };
+        t.row([
+            tenant.to_string(),
+            row.requests.to_string(),
+            row.fetches.to_string(),
+            row.degraded.to_string(),
+            row.shed.to_string(),
+            row.rejected_auth.to_string(),
+            row.rejected_deadline.to_string(),
+            row.payload_bytes.to_string(),
+            row.queue_wait_us.to_string(),
+        ]);
     }
+    print!("{}", t.render());
+    Ok(())
+}
+
+fn metrics(o: &Opts) -> CliResult {
+    let [addr] = o.positional.as_slice() else {
+        return Err("metrics needs ADDR".into());
+    };
+    let key = auth_key(o);
+    if o.json {
+        let blob = serve_client::metrics_with(addr.as_str(), false, key.as_ref())?;
+        println!("{blob}");
+        return Ok(());
+    }
+    // The stable text export: one `counter NAME N` / `gauge NAME N` /
+    // `hist NAME key=value ...` line per metric, name-sorted. Fold it
+    // into two tables so scalars and distributions read separately.
+    let text = serve_client::metrics_with(addr.as_str(), true, key.as_ref())?;
+    let mut scalars = Table::new(["metric", "kind", "value"]);
+    let mut nscalars = 0usize;
+    const HIST_COLS: [&str; 8] = ["count", "sum", "min", "max", "p50", "p90", "p99", "p999"];
+    let mut hists = Table::new(
+        ["histogram"]
+            .into_iter()
+            .chain(HIST_COLS)
+            .collect::<Vec<_>>(),
+    );
+    let mut nhists = 0usize;
+    for line in text.lines() {
+        let mut fields = line.split_whitespace();
+        let (Some(kind), Some(name)) = (fields.next(), fields.next()) else {
+            continue;
+        };
+        match kind {
+            "counter" | "gauge" => {
+                let value = fields.next().unwrap_or("?");
+                scalars.row([name, kind, value]);
+                nscalars += 1;
+            }
+            "hist" => {
+                let mut row = vec![name.to_string()];
+                for want in HIST_COLS {
+                    let cell = fields
+                        .clone()
+                        .find_map(|f| f.strip_prefix(want).and_then(|r| r.strip_prefix('=')))
+                        .unwrap_or("-");
+                    row.push(cell.to_string());
+                }
+                hists.row(row);
+                nhists += 1;
+            }
+            _ => {}
+        }
+    }
+    println!("metrics at {addr}:");
+    if nscalars > 0 {
+        print!("{}", scalars.render());
+    }
+    if nhists > 0 {
+        if nscalars > 0 {
+            println!();
+        }
+        print!("{}", hists.render());
+    }
+    if nscalars == 0 && nhists == 0 {
+        println!("(no metrics recorded)");
+    }
+    Ok(())
+}
+
+fn trace(o: &Opts) -> CliResult {
+    let [addr] = o.positional.as_slice() else {
+        return Err("trace needs ADDR".into());
+    };
+    let key = auth_key(o);
+    let max = o.max.unwrap_or(16);
+    let blob = serve_client::traces_with(addr.as_str(), max, key.as_ref())?;
+    println!("{blob}");
     Ok(())
 }
 

@@ -50,6 +50,7 @@
 //! | I/O | [`mg_io`] | tiered storage + ADIOS-like selective class I/O (§V-A) |
 //! | serving | [`mg_serve`] | concurrent progressive-retrieval TCP server + client |
 //! | gateway | [`mg_gateway`] | sharded, keep-alive gateway fronting many servers |
+//! | observability | [`mg_obs`] | histogram metrics, distributed traces, table/JSON export |
 //! | scale-out | [`mg_cluster`] | weak scaling and node-level comparisons (Fig. 9, Table VI) |
 //! | data | [`mg_workloads`] | Gray–Scott, iso-surfaces, synthetic fields |
 
@@ -62,6 +63,7 @@ pub use mg_gpu;
 pub use mg_grid;
 pub use mg_io;
 pub use mg_kernels;
+pub use mg_obs;
 pub use mg_refactor;
 pub use mg_serve;
 pub use mg_workloads;

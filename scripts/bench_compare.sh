@@ -55,9 +55,41 @@ cargo run --release -p mg-bench --bin bench_refactor -- \
     --compare "$baseline" --tolerance "$tolerance"
 
 # Archive the companion benches alongside, so the per-commit artifact
-# set stays complete for the *next* comparison.
+# set stays complete for the *next* comparison. The serve bench also
+# enforces the metrics-overhead gate (<2% of a cached request).
 cargo run --release -p mg-bench --bin bench_stream -- --quick --out BENCH_stream.json
-cargo run --release -p mg-bench --bin bench_serve -- --quick --out BENCH_serve.json
+cargo run --release -p mg-bench --bin bench_serve -- --quick --obs-gate --out BENCH_serve.json
 cargo run --release -p mg-bench --bin bench_gateway -- --quick --out BENCH_gateway.json
 cargo run --release -p mg-bench --bin bench_qos -- --quick --out BENCH_qos.json
-echo "bench_compare: no regressions vs ${base_sha} (tolerance ${tolerance}%)"
+
+# Tail-latency gate from the mg-obs histogram fields: the cached-phase
+# serve p99 against the base commit's. Quantiles are far noisier than
+# best-of kernel walls, so the tolerance is separate and loose by
+# default (override with P99_TOLERANCE). Skipped when the base artifact
+# predates the histogram fields.
+p99_tolerance=${P99_TOLERANCE:-75}
+
+# First "p99":N following the last cached-phase marker — p99 lives
+# inside the row's latency_us object, before any closing brace.
+cached_p99() {
+    tr -d ' \n' <"$1" | sed -n 's/.*"phase":"cached"[^}]*"p99":\([0-9]*\).*/\1/p'
+}
+
+base_serve="$workdir/BENCH_serve.json"
+if [[ -s "$base_serve" ]]; then
+    old_p99=$(cached_p99 "$base_serve")
+    new_p99=$(cached_p99 BENCH_serve.json)
+    if [[ -n "$old_p99" && -n "$new_p99" ]]; then
+        echo "bench_compare: serve cached p99 ${old_p99}µs -> ${new_p99}µs" >&2
+        if ! awk -v o="$old_p99" -v n="$new_p99" -v t="$p99_tolerance" \
+            'BEGIN { exit !(n <= o * (1 + t / 100)) }'; then
+            echo "bench_compare: serve cached p99 regressed beyond ${p99_tolerance}%" >&2
+            exit 1
+        fi
+    else
+        echo "bench_compare: no histogram p99 in base serve JSON; skipping tail gate" >&2
+    fi
+else
+    echo "bench_compare: base artifact has no BENCH_serve.json; skipping tail gate" >&2
+fi
+echo "bench_compare: no regressions vs ${base_sha} (tolerance ${tolerance}%, p99 ${p99_tolerance}%)"

@@ -3,7 +3,7 @@
 //!
 //! Every storm backend's accept path runs through a seeded `mg_faults`
 //! injector (refused connections, accept-then-stall, latency spikes,
-//! byte-trickle, mid-frame cuts, bit-flipped response magic), and the
+//! byte-trickle, mid-frame cuts, bit-flipped response bytes), and the
 //! gateway's backend dials run through another. The fault *schedule* is
 //! a pure function of the pinned seed and a per-connection op counter —
 //! no wall clock — so a failing storm replays exactly.
@@ -74,11 +74,13 @@ fn storm_spec() -> mg_faults::FaultSpec {
         cut_per_mille: 150,
         cut_window: 4096,
         flip_per_mille: 120,
-        // Flips restricted to the response magic: corruption is always
-        // detected at the frame boundary, before any payload byte could
-        // be trusted (the protocol has no response MAC to catch deeper
-        // flips — that asymmetry is documented, not asserted away).
-        flip_window: 4,
+        // Flips may land anywhere in the first 4 KiB of a response —
+        // magic, header, tag, or payload. The cluster runs keyed, so the
+        // gateway's backend exchanges verify the response tag over the
+        // payload bytes: a deep flip surfaces as a typed exchange error
+        // (and a failover draw), never as a silently corrupt payload.
+        // The storm's bitwise-identity assertion is what proves it.
+        flip_window: 4096,
         flip_on_write: true,
     }
 }
@@ -446,6 +448,221 @@ fn run_storm(seed: u64) {
     for server in storm.servers {
         server.shutdown().unwrap();
     }
+}
+
+/// A hedge win must leave a trace that shows the time it saved. The
+/// router force-samples any trace whose hedge beat the primary and
+/// records a synthetic `outcome=lost` exchange span covering the
+/// abandoned primary from dispatch until the replica's bytes won — so
+/// the span tree holds both attempts side by side: the stalled
+/// primary's full cost and the strictly shorter winning exchange.
+#[test]
+fn a_hedge_win_is_traced_with_the_time_it_saved() {
+    // Two clean backends; the primary sits behind the flaky proxy so a
+    // blackout stalls it mid-exchange (connect succeeds, bytes never
+    // arrive) — the exact shape hedging exists to rescue.
+    let mut catalogs = Vec::new();
+    let mut servers = Vec::new();
+    for _ in 0..2 {
+        let cat = Catalog::new();
+        let server = Server::bind("127.0.0.1:0", cat.clone(), ServerConfig::default()).unwrap();
+        servers.push(server);
+        catalogs.push(cat);
+    }
+    let healthy = Arc::new(AtomicBool::new(true));
+    let proxy_addr = spawn_flaky_proxy(servers[0].local_addr().to_string(), healthy.clone());
+    let addrs = vec![proxy_addr.clone(), servers[1].local_addr().to_string()];
+
+    let config = GatewayConfig {
+        replication: 2,
+        cache_bytes: 0,
+        // Probes stay out of the way: the stalled primary must remain
+        // on the request path so the hedge (not a health mark) wins.
+        probe_interval: Duration::from_secs(30),
+        breaker_threshold: u32::MAX,
+        connect_timeout: Duration::from_millis(250),
+        backend_io_timeout: Some(Duration::from_millis(200)),
+        hedge: Some(Duration::from_millis(10)),
+        ..GatewayConfig::default()
+    };
+    let ring = Ring::new(addrs.clone(), config.vnodes);
+    let name = (0..)
+        .map(|i| format!("hw-{i}"))
+        .find(|n| ring.primary(n) == Some(proxy_addr.as_str()))
+        .unwrap();
+    let data = smooth_field(Shape::d2(17, 17), 3);
+    for cat in &catalogs {
+        cat.insert_array(&name, &data).unwrap();
+    }
+    let gateway = Gateway::bind("127.0.0.1:0", addrs, config).unwrap();
+    let gw_addr = gateway.local_addr();
+
+    // Warm fetch through the healthy proxy proves the path up.
+    client::FetchRequest::new(&name)
+        .tau(0.0)
+        .send(gw_addr)
+        .unwrap();
+
+    // Blackout: fresh dials to the primary now accept-then-stall, so
+    // each fetch rides the hedge to the replica. Keep fetching until a
+    // hedge win lands in the trace ring (the first attempt may instead
+    // fail over fast on the severed keep-alive connection).
+    healthy.store(false, Ordering::Relaxed);
+    let give_up = Instant::now() + Duration::from_secs(10);
+    let trace = loop {
+        assert!(
+            Instant::now() < give_up,
+            "no hedge win was traced: {:?}",
+            gateway.stats()
+        );
+        let _ = client::FetchRequest::new(&name)
+            .tau(0.0)
+            .deadline(Duration::from_secs(2))
+            .send(gw_addr);
+        let traced = gateway.tracer().recent().into_iter().find(|t| {
+            t.spans
+                .iter()
+                .any(|s| s.attrs.iter().any(|(k, v)| k == "outcome" && v == "lost"))
+        });
+        if let Some(t) = traced {
+            break t;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+
+    assert!(gateway.stats().hedge_wins >= 1);
+    let lost = trace
+        .spans
+        .iter()
+        .find(|s| s.attrs.iter().any(|(k, v)| k == "outcome" && v == "lost"))
+        .unwrap();
+    assert_eq!(lost.name, "exchange");
+    assert!(
+        lost.attrs
+            .contains(&("hedge".to_string(), "primary".to_string())),
+        "the lost span must name the abandoned attempt: {:?}",
+        lost.attrs
+    );
+    let winner = trace
+        .spans
+        .iter()
+        .find(|s| s.name == "exchange" && s.attrs.iter().any(|(k, v)| k == "outcome" && v == "ok"))
+        .expect("the winning exchange span must be in the same trace");
+    assert_eq!(
+        winner.parent, lost.parent,
+        "both attempts must hang off the same route span"
+    );
+    // The saving is visible in the spans themselves: the lost span runs
+    // from dispatch to the win, so it exceeds the winner by at least
+    // the hedge delay (10 ms, asserted with half as scheduling slack).
+    assert!(
+        winner.start_us > lost.start_us,
+        "the hedge launched after the primary: winner @{} vs lost @{}",
+        winner.start_us,
+        lost.start_us
+    );
+    assert!(
+        lost.dur_us > winner.dur_us + 5_000,
+        "the hedge must have saved time over the stalled primary: \
+         lost {}µs vs winner {}µs",
+        lost.dur_us,
+        winner.dur_us
+    );
+
+    healthy.store(true, Ordering::Relaxed);
+    gateway.shutdown().unwrap();
+    for server in servers {
+        server.shutdown().unwrap();
+    }
+}
+
+/// Response bit-flips beyond the frame magic are caught by the keyed
+/// response tag. A faulted backend flips one byte somewhere in the
+/// first 512 bytes of every response — magic, header, tag, or payload —
+/// and a keyed client must turn every corruption into a typed error:
+/// no fetch may ever return bytes that differ from the local encoding,
+/// and deep flips (past everything the frame parser checks) must be
+/// rejected by tag verification rather than trusted.
+#[test]
+fn response_bit_flips_beyond_the_magic_are_caught_by_the_response_tag() {
+    let key = AuthKey::from_secret(b"flip detection secret");
+    let cat = Catalog::new();
+    let data = smooth_field(Shape::d2(17, 17), 5);
+    cat.insert_array("flip", &data).unwrap();
+    let local = refactored(&data);
+    let injector = mg_faults::Injector::labeled(
+        0x00F1_1BAD,
+        "flip-backend",
+        mg_faults::FaultSpec {
+            // Every connection flips exactly one byte at a seeded
+            // offset anywhere in the first 512 response bytes; the
+            // payload alone is ~2.3 KiB, so every flip lands.
+            flip_per_mille: 1000,
+            flip_window: 512,
+            flip_on_write: true,
+            ..mg_faults::FaultSpec::default()
+        },
+    );
+    let server = Server::bind_faulted(
+        "127.0.0.1:0",
+        cat,
+        ServerConfig {
+            auth: Some(key),
+            ..ServerConfig::default()
+        },
+        injector.clone(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut detected = 0u32;
+    for round in 0..40 {
+        let outcome = client::FetchRequest::new("flip")
+            .tau(0.0)
+            .deadline(Duration::from_secs(2))
+            .auth(key)
+            .send(addr);
+        match outcome {
+            Ok(got) => {
+                // A flip that somehow escaped detection would land here
+                // as a mismatch — the one outcome that must not happen.
+                assert_eq!(
+                    got.raw.as_slice(),
+                    encode_prefix(&local, got.classes_sent).as_slice(),
+                    "round {round}: a fetch that passed tag verification \
+                     must be bitwise identical"
+                );
+            }
+            Err(e) => {
+                // A flipped length field can stall the read instead of
+                // corrupting it (TimedOut / UnexpectedEof); everything
+                // else must be the typed integrity error.
+                assert!(
+                    matches!(
+                        e.kind(),
+                        std::io::ErrorKind::InvalidData
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::UnexpectedEof
+                    ),
+                    "round {round}: flip surfaced untyped: {:?}: {e}",
+                    e.kind()
+                );
+                if e.kind() == std::io::ErrorKind::InvalidData {
+                    detected += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        injector.counts().flipped >= 40,
+        "every connection must have drawn a flip: {:?}",
+        injector.counts()
+    );
+    assert!(
+        detected >= 10,
+        "deep flips must be detected as InvalidData, not served: only {detected}/40"
+    );
+    server.shutdown().unwrap();
 }
 
 #[test]

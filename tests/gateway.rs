@@ -1,10 +1,11 @@
 //! Integration tests of the gateway tier: three sharded backends behind
 //! one gateway, concurrent clients, payload integrity against local
-//! encodings, replica failover under a mid-run backend kill, and
-//! admission-control shedding.
+//! encodings, replica failover under a mid-run backend kill,
+//! admission-control shedding, and end-to-end trace stitching across
+//! both tiers.
 
 use mgard::mg_gateway::{Gateway, GatewayConfig, Ring};
-use mgard::mg_serve::{client, Catalog, Server, ServerConfig};
+use mgard::mg_serve::{client, Catalog, ObsConfig, Server, ServerConfig};
 use mgard::prelude::*;
 use std::time::Duration;
 
@@ -50,12 +51,16 @@ struct Cluster {
 }
 
 fn start_cluster(replication: usize) -> Cluster {
+    start_cluster_with(replication, ServerConfig::default())
+}
+
+fn start_cluster_with(replication: usize, config: ServerConfig) -> Cluster {
     let mut servers = Vec::new();
     let mut catalogs = Vec::new();
     let mut addrs = Vec::new();
     for _ in 0..3 {
         let cat = Catalog::new();
-        let server = Server::bind("127.0.0.1:0", cat.clone(), ServerConfig::default()).unwrap();
+        let server = Server::bind("127.0.0.1:0", cat.clone(), config).unwrap();
         addrs.push(server.local_addr().to_string());
         servers.push(server);
         catalogs.push(cat);
@@ -307,6 +312,120 @@ fn f32_datasets_pass_through_the_gateway() {
 
     gw.shutdown().unwrap();
     for server in servers {
+        server.shutdown().unwrap();
+    }
+}
+
+/// Wait (briefly) for a condition that lands asynchronously — sampled
+/// traces are pushed to the ring as the response goes out, which can
+/// race the client's read returning.
+fn poll<T>(what: &str, mut f: impl FnMut() -> Option<T>) -> T {
+    for _ in 0..400 {
+        if let Some(v) = f() {
+            return v;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+#[test]
+fn a_fetch_through_the_cluster_yields_one_connected_trace() {
+    // Sample every request on both tiers so the single fetch is
+    // guaranteed a trace.
+    let obs = ObsConfig {
+        sample_rate: 1,
+        ..ObsConfig::default()
+    };
+    let cluster = start_cluster_with(
+        2,
+        ServerConfig {
+            obs,
+            ..ServerConfig::default()
+        },
+    );
+    let gw = Gateway::bind(
+        "127.0.0.1:0",
+        cluster.addrs.clone(),
+        GatewayConfig {
+            obs,
+            ..quick_config()
+        },
+    )
+    .unwrap();
+
+    // One full-fidelity fetch of the largest dataset: long enough that
+    // the fixed gaps between stage spans are noise.
+    let (name, _) = &cluster.datasets[4]; // ds-4: 65x65
+    client::FetchRequest::new(name.as_str())
+        .tau(0.0)
+        .send(gw.local_addr())
+        .unwrap();
+
+    let gw_trace = poll("gateway trace", || {
+        gw.tracer()
+            .recent()
+            .into_iter()
+            .rev()
+            .find(|t| t.outcome == "ok")
+    });
+    assert_eq!(gw_trace.tier, "gateway");
+    let route = gw_trace
+        .spans
+        .iter()
+        .find(|s| s.name == "route")
+        .expect("gateway route span");
+    let exchange = gw_trace
+        .spans
+        .iter()
+        .find(|s| s.name == "exchange")
+        .expect("gateway exchange span");
+    assert_eq!(
+        exchange.parent, route.id,
+        "the backend exchange nests inside the route stage"
+    );
+
+    // The serving backend rode the same trace id, parented under the
+    // gateway's exchange span. (Health probes are untraced: parent 0.)
+    let be_trace = poll("backend trace", || {
+        cluster
+            .servers
+            .iter()
+            .flat_map(|s| s.tracer().recent())
+            .find(|t| t.parent != 0)
+    });
+    assert_eq!(
+        be_trace.trace_id, gw_trace.trace_id,
+        "one trace across both tiers"
+    );
+    assert_eq!(
+        be_trace.parent, exchange.id,
+        "backend root parents under the gateway exchange span"
+    );
+    assert_eq!(be_trace.tier, "serve");
+
+    // The instrumented stages account for the request: on each tier the
+    // root's direct children sum to within 10% of the trace's own wall
+    // time, and never exceed it.
+    for t in [&gw_trace, &be_trace] {
+        let sum = t.stage_sum_us();
+        assert!(
+            sum <= t.total_us,
+            "{} stages sum to {sum}us > total {}us",
+            t.tier,
+            t.total_us
+        );
+        assert!(
+            sum * 10 >= t.total_us * 9,
+            "{} stages sum to {sum}us, less than 90% of total {}us: {:?}",
+            t.tier,
+            t.total_us,
+            t.spans
+        );
+    }
+
+    gw.shutdown().unwrap();
+    for server in cluster.servers {
         server.shutdown().unwrap();
     }
 }
