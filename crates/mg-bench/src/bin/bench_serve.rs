@@ -7,10 +7,12 @@
 //! *cached* path), then fires `--clients` threads × `--requests` fetches
 //! each, cycling through a fixed τ ladder. Emits `BENCH_serve.json` with
 //! wall time, request rate, a full `mg_obs` latency histogram
-//! (`latency_us`: count/sum/min/max/p50/p90/p99/p999 + buckets), and
-//! cache hit rate per phase; on a healthy build the cached rows beat the
-//! cold rows because repeat requests at a τ skip the prefix encoding
-//! entirely.
+//! (`latency_us`: count/sum/min/max/p50/p90/p99/p999 + buckets), cache
+//! hit rate, and error rate per phase, plus a top-level `slo` block
+//! (every objective's final status and the worst burn rate the run
+//! hit); on a healthy build the cached rows beat the cold rows because
+//! repeat requests at a τ skip the prefix encoding entirely, and every
+//! error rate stays zero.
 //!
 //! `--obs-gate` additionally measures the metrics hot path itself
 //! (counter increments + sharded histogram records, the per-request work
@@ -23,9 +25,10 @@
 //! ```
 
 use mg_grid::{NdArray, Shape};
-use mg_obs::{Counter, HistView, Histogram};
-use mg_serve::{client, Catalog, Server, ServerConfig};
+use mg_obs::{Counter, HistView, Histogram, SloReport};
+use mg_serve::{client, Catalog, ObsConfig, Server, ServerConfig};
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Mixed error bounds, cycled per request (0.0 = full payload).
@@ -55,11 +58,19 @@ struct PhaseResult {
     latency_us: HistView,
     hit_rate: f64,
     payload_bytes: u64,
+    /// Failed fetches out of `attempted` — a healthy in-process bench
+    /// run never errors, and CI gates the cached phase on exactly that.
+    errors: u64,
+    attempted: u64,
 }
 
 impl PhaseResult {
     fn mean_ms(&self) -> f64 {
         self.latency_us.mean() / 1e3
+    }
+
+    fn error_rate(&self) -> f64 {
+        self.errors as f64 / self.attempted.max(1) as f64
     }
 }
 
@@ -80,19 +91,25 @@ fn warmup(addr: SocketAddr, dataset: &str) {
 fn run_phase(addr: SocketAddr, dataset: &str, clients: usize, requests: usize) -> PhaseResult {
     let before = client::stats(addr).expect("stats");
     let latency_us = Histogram::new();
+    let errors = AtomicU64::new(0);
     let t0 = Instant::now();
     std::thread::scope(|s| {
         for c in 0..clients {
             let latency_us = &latency_us;
+            let errors = &errors;
             s.spawn(move || {
                 for i in 0..requests {
                     let tau = TAUS[(c + i) % TAUS.len()];
                     let t = Instant::now();
-                    client::FetchRequest::new(dataset)
-                        .tau(tau)
-                        .send(addr)
-                        .expect("fetch");
-                    latency_us.record_duration(t.elapsed());
+                    // Errors are counted, not fatal: the row reports an
+                    // error rate and only successes land in the
+                    // latency histogram.
+                    match client::FetchRequest::new(dataset).tau(tau).send(addr) {
+                        Ok(_) => latency_us.record_duration(t.elapsed()),
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                 }
             });
         }
@@ -109,6 +126,8 @@ fn run_phase(addr: SocketAddr, dataset: &str, clients: usize, requests: usize) -
         latency_us: latency_us.snapshot(),
         hit_rate: hits as f64 / (hits + misses).max(1) as f64,
         payload_bytes: after.payload_bytes - before.payload_bytes,
+        errors: errors.load(Ordering::Relaxed),
+        attempted: n as u64,
     }
 }
 
@@ -117,6 +136,15 @@ fn run_phase(addr: SocketAddr, dataset: &str, clients: usize, requests: usize) -
 /// fetch; time `OPS_PER_REQUEST` of each and report the per-request
 /// price in nanoseconds.
 const OPS_PER_REQUEST: u32 = 8;
+
+/// Fold one server's SLO evaluation into the run summary: track the
+/// worst burn rate any objective reached and keep the latest report.
+fn track_slo(report: SloReport, peak: &mut f64, last: &mut Option<SloReport>) {
+    for e in &report.entries {
+        *peak = peak.max(e.fast_burn).max(e.slow_burn);
+    }
+    *last = Some(report);
+}
 
 fn obs_hot_path_cost() -> Duration {
     let counter = Counter::new();
@@ -179,6 +207,10 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut cached_mean = f64::NAN;
+    // SLO summary across the run: the worst burn rate any objective hit
+    // on any phase server, plus the last server's final report.
+    let mut peak_burn = 0.0f64;
+    let mut slo_final: Option<SloReport> = None;
     for &shape in &shapes {
         let tag = shape_tag(shape);
         let data = field(shape);
@@ -187,6 +219,13 @@ fn main() {
 
         let pool = ServerConfig {
             workers: clients.min(8),
+            // A bench phase lasts well under the default 1 s cadence;
+            // tighten it so the monitor has windows to evaluate SLOs
+            // over by the time the phase ends.
+            obs: ObsConfig {
+                cadence: Duration::from_millis(50),
+                ..ObsConfig::default()
+            },
             ..ServerConfig::default()
         };
 
@@ -203,6 +242,11 @@ fn main() {
         .expect("bind cold server");
         warmup(cold_server.local_addr(), &tag);
         let cold = run_phase(cold_server.local_addr(), &tag, clients, requests);
+        track_slo(
+            cold_server.monitor().slo_report(),
+            &mut peak_burn,
+            &mut slo_final,
+        );
         cold_server.shutdown().expect("shutdown cold server");
 
         // Cached: default cache, pre-warmed with one pass over the τ
@@ -211,6 +255,11 @@ fn main() {
             Server::bind("127.0.0.1:0", catalog.clone(), pool).expect("bind warm server");
         warmup(warm_server.local_addr(), &tag);
         let cached = run_phase(warm_server.local_addr(), &tag, clients, requests);
+        track_slo(
+            warm_server.monitor().slo_report(),
+            &mut peak_burn,
+            &mut slo_final,
+        );
         warm_server.shutdown().expect("shutdown warm server");
 
         let speedup = cold.mean_ms() / cached.mean_ms();
@@ -228,11 +277,12 @@ fn main() {
             rows.push(format!(
                 "    {{\"dataset\": \"{tag}\", \"phase\": \"{phase}\", \"clients\": {clients}, \
                  \"requests_per_client\": {requests}, \"wall_ms\": {:.3}, \
-                 \"reqs_per_s\": {:.1}, \"hit_rate\": {:.4}, \"payload_bytes\": {}, \
-                 \"latency_us\": {}}}",
+                 \"reqs_per_s\": {:.1}, \"hit_rate\": {:.4}, \"error_rate\": {:.4}, \
+                 \"payload_bytes\": {}, \"latency_us\": {}}}",
                 r.wall_ms,
                 r.reqs_per_s,
                 r.hit_rate,
+                r.error_rate(),
                 r.payload_bytes,
                 r.latency_us.to_json()
             ));
@@ -249,11 +299,37 @@ fn main() {
         obs_cost
     );
 
+    // The SLO summary block: every objective's final evaluation on the
+    // last phase server, the worst status among them, and the worst
+    // burn rate any objective hit anywhere in the run.
+    let slo = slo_final.expect("at least one phase ran");
+    let objectives = slo
+        .entries
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"name\": \"{}\", \"status\": \"{}\", \"fast_burn\": {:.4}, \
+                 \"slow_burn\": {:.4}}}",
+                e.name,
+                e.status.as_str(),
+                e.fast_burn,
+                e.slow_burn
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let slo_block = format!(
+        "{{\"status\": \"{}\", \"peak_burn\": {peak_burn:.4}, \"objectives\": [{objectives}]}}",
+        slo.worst().as_str()
+    );
+    eprintln!("slo: {} (peak burn {peak_burn:.2})", slo.worst().as_str());
+
     let threads = std::thread::available_parallelism().map_or(1, usize::from);
     let json = format!(
         "{{\n  \"bench\": \"serve\",\n  \"quick\": {quick},\n  \"host_threads\": {threads},\n  \
          \"taus\": [0.1, 0.01, 0.001, 0.00001, 0.0],\n  \
          \"obs_hot_path_ns\": {},\n  \"obs_hot_path_pct\": {obs_pct:.4},\n  \
+         \"slo\": {slo_block},\n  \
          \"results\": [\n{}\n  ]\n}}\n",
         obs_cost.as_nanos(),
         rows.join(",\n")

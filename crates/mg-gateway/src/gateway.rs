@@ -6,7 +6,10 @@
 use crate::pool::Pool;
 use crate::ring::{Ring, DEFAULT_VNODES};
 use crate::router::{Routed, Router, RouterConfig};
-use mg_obs::{Counter, Histogram, Registry, TraceCtx, Tracer};
+use mg_obs::{
+    BurnConfig, Counter, EventLog, Histogram, Monitor, Objective, Registry, SloEngine, TraceCtx,
+    TraceId, Tracer,
+};
 use mg_serve::auth::AuthKey;
 use mg_serve::ops::{self, Dispatched, OpsHost};
 use mg_serve::protocol::{
@@ -14,7 +17,7 @@ use mg_serve::protocol::{
     PROTOCOL_V2,
 };
 use mg_serve::qos::{Admission, FairScheduler, QosConfig, Rejection};
-use mg_serve::server::{run_connection_loop, ConnAction, ConnRegistry, ObsConfig};
+use mg_serve::server::{run_connection_loop, run_sampler, ConnAction, ConnRegistry, ObsConfig};
 use std::io::{self, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -177,6 +180,7 @@ struct GwObsHandles {
     deadline_exceeded: Counter,
     shed: Counter,
     rejected_auth: Counter,
+    degraded: Counter,
     payload_bytes: Counter,
     request_us: Histogram,
     queue_wait_us: Histogram,
@@ -194,6 +198,7 @@ impl GwObsHandles {
             deadline_exceeded: reg.counter("gateway.deadline_exceeded"),
             shed: reg.counter("gateway.shed"),
             rejected_auth: reg.counter("gateway.rejected_auth"),
+            degraded: reg.counter("gateway.degraded"),
             payload_bytes: reg.counter("gateway.payload_bytes"),
             request_us: reg.histogram("gateway.request_us"),
             queue_wait_us: reg.histogram("gateway.queue_wait_us"),
@@ -213,6 +218,8 @@ struct Shared {
     registry: Registry,
     tracer: Tracer,
     obs: GwObsHandles,
+    events: Arc<EventLog>,
+    monitor: Monitor,
 }
 
 /// A running gateway.
@@ -226,6 +233,7 @@ pub struct Gateway {
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     health: Option<JoinHandle<()>>,
+    sampler: Option<JoinHandle<()>>,
 }
 
 impl Gateway {
@@ -295,6 +303,13 @@ impl Gateway {
             hedge: config.hedge,
         };
         let registry = Registry::new();
+        let events = Arc::new(EventLog::new(config.obs.event_log));
+        let monitor = Monitor::new(
+            registry.clone(),
+            config.obs.retention,
+            SloEngine::new(Objective::gateway_defaults(), BurnConfig::default()),
+            Arc::clone(&events),
+        );
         let shared = Arc::new(Shared {
             router: Arc::new(Router::with_registry(
                 ring,
@@ -310,7 +325,14 @@ impl Gateway {
             tracer: Tracer::new("gateway", config.obs.trace_ring, config.obs.sample_rate),
             obs: GwObsHandles::new(&registry),
             registry,
+            events,
+            monitor,
         });
+        // Breaker/catalog transitions (router) and degrade transitions
+        // (scheduler) land in the same bounded event log the wire op
+        // serves.
+        shared.router.set_events(Arc::clone(&shared.events));
+        shared.scheduler.set_events(Arc::clone(&shared.events));
 
         let workers = config.workers.max(1);
         let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(workers);
@@ -379,12 +401,27 @@ impl Gateway {
             })
         };
 
+        // Fixed-cadence sampler: each tick stores a delta window in the
+        // series ring, re-evaluates the SLOs, and logs breach/recover
+        // transitions with the most recent sampled trace as exemplar.
+        let sampler = {
+            let shared = Arc::clone(&shared);
+            let cadence = config.obs.cadence;
+            std::thread::spawn(move || {
+                run_sampler(&shared.shutting_down, cadence, |elapsed| {
+                    let exemplar = shared.tracer.last_trace_id();
+                    shared.monitor.tick(elapsed, exemplar);
+                })
+            })
+        };
+
         Ok(Gateway {
             addr: local,
             shared,
             acceptor: Some(acceptor),
             workers: worker_handles,
             health: Some(health),
+            sampler: Some(sampler),
         })
     }
 
@@ -419,6 +456,16 @@ impl Gateway {
         &self.shared.tracer
     }
 
+    /// The gateway's continuous monitor (windowed series + SLO engine).
+    pub fn monitor(&self) -> &Monitor {
+        &self.shared.monitor
+    }
+
+    /// The gateway's structured event log.
+    pub fn events(&self) -> &Arc<EventLog> {
+        &self.shared.events
+    }
+
     /// Stop accepting, drain, join every thread, return final counters.
     pub fn shutdown(mut self) -> io::Result<GatewayStats> {
         trigger_shutdown(&self.shared, self.addr);
@@ -441,6 +488,9 @@ impl Gateway {
         }
         if let Some(health) = self.health.take() {
             let _ = health.join();
+        }
+        if let Some(sampler) = self.sampler.take() {
+            let _ = sampler.join();
         }
     }
 }
@@ -556,6 +606,27 @@ impl OpsHost for GatewayOps<'_> {
         self.shared.tracer.dump_json(max as usize)
     }
 
+    fn series_render(&self) -> String {
+        self.shared.monitor.series_json()
+    }
+
+    fn slo_render(&self, text: bool) -> String {
+        let report = self.shared.monitor.slo_report();
+        if text {
+            report.to_text()
+        } else {
+            report.to_json()
+        }
+    }
+
+    fn events_render(&self, max: u32, text: bool) -> String {
+        if text {
+            self.shared.events.to_text(max as usize)
+        } else {
+            self.shared.events.to_json(max as usize)
+        }
+    }
+
     fn auth_key(&self) -> Option<&AuthKey> {
         self.shared.auth.as_ref()
     }
@@ -632,6 +703,12 @@ fn gateway_dispatch<W: Write>(
     }
 }
 
+/// The trace id to attach as a histogram exemplar: only sampled traces
+/// are dumpable via the trace op, so unsampled ones would dangle.
+fn exemplar(ctx: &TraceCtx) -> Option<TraceId> {
+    ctx.sampled().then(|| ctx.trace_id())
+}
+
 /// Bump both deadline-exceeded counters (legacy snapshot + metrics).
 fn note_deadline_exceeded(shared: &Shared) {
     shared
@@ -687,7 +764,10 @@ fn serve_fetch(
     let admission = shared
         .scheduler
         .admit_within(&spec.qos.tenant, spec.qos.priority, wait_cap);
-    shared.obs.queue_wait_us.record_duration(stage.elapsed());
+    shared
+        .obs
+        .queue_wait_us
+        .record_duration_traced(stage.elapsed(), exemplar(ctx));
     ctx.span("queue_wait", stage);
     let (permit, sched_degrade) = match admission {
         Admission::Granted { permit, degrade } => (permit, degrade),
@@ -739,7 +819,10 @@ fn serve_fetch(
             .router
             .route_fetch_observed(&coarser, deadline, trace)
     };
-    shared.obs.route_us.record_duration(stage.elapsed());
+    shared
+        .obs
+        .route_us
+        .record_duration_traced(stage.elapsed(), exemplar(ctx));
     let routed_kind = match &routed {
         Routed::Fetch(header, _) => {
             if header.cache_hit {
@@ -768,13 +851,19 @@ fn serve_fetch(
             // a keyed client can detect any bit-flip along the way.
             protocol::write_response_tagged(w, &Response::Fetch(header), version, key, &payload)?;
             w.write_all(&payload)?;
-            shared.obs.write_us.record_duration(stage.elapsed());
+            shared
+                .obs
+                .write_us
+                .record_duration_traced(stage.elapsed(), exemplar(ctx));
             ctx.span("write_out", stage);
             let c = &shared.counters;
             c.fetches.fetch_add(1, Ordering::Relaxed);
             c.payload_bytes
                 .fetch_add(payload.len() as u64, Ordering::Relaxed);
             shared.obs.fetches.inc();
+            if degraded {
+                shared.obs.degraded.inc();
+            }
             shared.obs.payload_bytes.add(payload.len() as u64);
             permit.served(payload.len() as u64, degraded);
             shared.tracer.finish(ctx, "ok", false);
@@ -969,6 +1058,7 @@ mod tests {
                 obs: ObsConfig {
                     sample_rate: 1,
                     trace_ring: 16,
+                    ..ObsConfig::default()
                 },
                 ..ServerConfig::default()
             },

@@ -42,13 +42,13 @@
 use crate::pool::Pool;
 use crate::ring::Ring;
 use bytes::Bytes;
-use mg_obs::{Histogram, Registry, TraceCtx};
+use mg_obs::{EventLog, Histogram, Registry, TraceCtx};
 use mg_serve::catalog::ByteLru;
 use mg_serve::client::{Connection, RawFetch};
 use mg_serve::protocol::{Deadline, FetchHeader, FetchSpec, Request, Response, Selector};
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Health + admission state of one backend.
@@ -263,6 +263,9 @@ pub struct Router {
     /// Aggregate successful-exchange latency over all backends (µs);
     /// the hedge delay derives its p95 from here.
     exchange_us: Histogram,
+    /// Structured event log for breaker and catalog transitions; set
+    /// once by the owning gateway (a plain `Router` runs without one).
+    events: OnceLock<Arc<EventLog>>,
     pub(crate) counters: RouterCounters,
 }
 
@@ -300,7 +303,20 @@ impl Router {
             epoch: Instant::now(),
             registry,
             exchange_us,
+            events: OnceLock::new(),
             counters: RouterCounters::default(),
+        }
+    }
+
+    /// Attach the structured event log breaker/catalog transitions are
+    /// recorded into. First caller wins; later calls are ignored.
+    pub fn set_events(&self, events: Arc<EventLog>) {
+        let _ = self.events.set(events);
+    }
+
+    fn event(&self, kind: &'static str, detail: String) {
+        if let Some(events) = self.events.get() {
+            events.record(kind, detail, None);
         }
     }
 
@@ -377,6 +393,10 @@ impl Router {
         }
         if s.alive.swap(false, Ordering::Relaxed) {
             self.counters.breaker_opened.fetch_add(1, Ordering::Relaxed);
+            self.event(
+                "breaker_open",
+                format!("{addr} after {failures} consecutive failures"),
+            );
         }
         let backoff = self
             .config
@@ -398,6 +418,7 @@ impl Router {
         s.consecutive_failures.store(0, Ordering::Relaxed);
         if was_dead {
             self.counters.breaker_closed.fetch_add(1, Ordering::Relaxed);
+            self.event("breaker_close", format!("{addr} healthy again"));
         }
     }
 
@@ -433,11 +454,29 @@ impl Router {
     /// Probe one backend with a stats exchange on a fresh connection
     /// (uncounted, so probes don't pollute the dial/reuse metric).
     pub fn probe(&self, addr: &str) -> bool {
+        // Probing a dead-marked backend is the breaker's half-open
+        // trial: the exchange below either closes it or re-opens it
+        // with a longer backoff.
+        if !self.state(addr).is_alive() {
+            self.event("breaker_half_open", format!("{addr} trial probe"));
+        }
         match self.pool.dial_uncounted(addr).and_then(|mut c| c.stats()) {
             Ok(report) => {
-                self.state(addr)
+                let prev = self
+                    .state(addr)
                     .catalog_gen
-                    .store(report.catalog_generation, Ordering::Relaxed);
+                    .swap(report.catalog_generation, Ordering::Relaxed);
+                // Generation 0 is "never probed"; only a later bump is a
+                // re-registration the cache key just invalidated on.
+                if prev != 0 && prev != report.catalog_generation {
+                    self.event(
+                        "dataset_reregistered",
+                        format!(
+                            "{addr} catalog generation {prev} -> {}",
+                            report.catalog_generation
+                        ),
+                    );
+                }
                 self.mark_success(addr);
                 true
             }
@@ -1004,8 +1043,8 @@ mod tests {
         } else {
             (a1.clone(), s1, a0.clone(), s0)
         };
-        router.mark_failure(&marked); // stale: the backend is actually up
-        down_server.shutdown().unwrap(); // stale the other way: marked alive, now down
+        down_server.shutdown().unwrap(); // stale one way: marked alive, now down
+        router.mark_failure(&marked); // stale the other: the backend is actually up
         assert_eq!(router.alive_count(), 1);
         // Inside the backoff window the dead-marked replica is off the
         // request path entirely — the walk must not dial it.

@@ -1,0 +1,198 @@
+//! Bounded structured event log: the "when did that happen" half of
+//! the observability layer.
+//!
+//! Counters say *how often* a breaker opened; the event log says
+//! *when*, to *which* backend, and — via the optional trace-id
+//! correlation — *which request* to look at. Producers record typed
+//! events at their existing transition points (breaker flips, degrade
+//! level changes, dataset re-registration, SLO breach/recover); the
+//! log keeps the most recent `cap` of them in a ring, timestamped
+//! against the log's creation instant so dumps are stable across
+//! machines with different wall clocks.
+
+use crate::trace::TraceId;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number (unique within one log, never reused
+    /// even after the ring evicts the event).
+    pub seq: u64,
+    /// Milliseconds since the log was created.
+    pub at_ms: u64,
+    /// Event kind, from the fixed taxonomy: `breaker_open`,
+    /// `breaker_half_open`, `breaker_close`, `degrade`,
+    /// `dataset_reregistered`, `slo_breach`, `slo_recover`.
+    pub kind: &'static str,
+    /// Human-readable detail (backend address, tenant, objective, ...).
+    pub detail: String,
+    /// Correlated trace exemplar, when one was available — resolvable
+    /// against the tier's trace ring.
+    pub trace: Option<TraceId>,
+}
+
+impl Event {
+    /// This event as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push('{');
+        crate::json::key(&mut out, "seq");
+        out.push_str(&format!("{},", self.seq));
+        crate::json::key(&mut out, "at_ms");
+        out.push_str(&format!("{},", self.at_ms));
+        crate::json::key(&mut out, "kind");
+        out.push_str(&format!("\"{}\",", crate::json::escape(self.kind)));
+        crate::json::key(&mut out, "detail");
+        out.push_str(&format!("\"{}\"", crate::json::escape(&self.detail)));
+        if let Some(id) = self.trace {
+            out.push(',');
+            crate::json::key(&mut out, "trace");
+            out.push_str(&format!("\"{}\"", id.to_hex()));
+        }
+        out.push('}');
+        out
+    }
+
+    /// One human-readable line (`+12.345s kind detail [trace=..]`).
+    pub fn to_line(&self) -> String {
+        let mut line = format!(
+            "+{:>9.3}s {:<20} {}",
+            self.at_ms as f64 / 1e3,
+            self.kind,
+            self.detail
+        );
+        if let Some(id) = self.trace {
+            line.push_str(&format!(" trace={}", id.to_hex()));
+        }
+        line
+    }
+}
+
+/// A bounded ring of [`Event`]s, safe to record into from any thread.
+pub struct EventLog {
+    epoch: Instant,
+    cap: usize,
+    seq: AtomicU64,
+    ring: Mutex<VecDeque<Event>>,
+}
+
+impl EventLog {
+    /// A log keeping the most recent `cap` events.
+    pub fn new(cap: usize) -> EventLog {
+        EventLog {
+            epoch: Instant::now(),
+            cap: cap.max(1),
+            seq: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Record one event; evicts the oldest when the ring is full.
+    pub fn record(&self, kind: &'static str, detail: impl Into<String>, trace: Option<TraceId>) {
+        let event = Event {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            at_ms: self.epoch.elapsed().as_millis() as u64,
+            kind,
+            detail: detail.into(),
+            trace,
+        };
+        let mut ring = self.ring.lock().expect("event log lock");
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    /// Events currently stored.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("event log lock").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The most recent `max` events, oldest first (copied out under the
+    /// lock; rendering happens lock-free).
+    pub fn recent(&self, max: usize) -> Vec<Event> {
+        let ring = self.ring.lock().expect("event log lock");
+        ring.iter().rev().take(max).rev().cloned().collect()
+    }
+
+    /// The most recent `max` events as a JSON array (the event-dump
+    /// op's payload), oldest first.
+    pub fn to_json(&self, max: usize) -> String {
+        let events = self.recent(max);
+        let mut out = String::from("[");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&e.to_json());
+        }
+        out.push(']');
+        out
+    }
+
+    /// The most recent `max` events as text lines, oldest first.
+    pub fn to_text(&self, max: usize) -> String {
+        let mut out = String::new();
+        for e in self.recent(max) {
+            out.push_str(&e.to_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_keeps_the_newest() {
+        let log = EventLog::new(3);
+        assert!(log.is_empty());
+        for i in 0..5 {
+            log.record("breaker_open", format!("backend-{i}"), None);
+        }
+        let recent = log.recent(10);
+        assert_eq!(log.len(), 3);
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].detail, "backend-2", "oldest two evicted");
+        assert_eq!(recent[2].detail, "backend-4");
+        // Sequence numbers survive eviction (never reused).
+        assert_eq!(recent[2].seq, 4);
+        // `recent(max)` returns the newest `max`, oldest first.
+        let last_two = log.recent(2);
+        assert_eq!(last_two.len(), 2);
+        assert_eq!(last_two[0].detail, "backend-3");
+    }
+
+    #[test]
+    fn json_and_text_render_kind_detail_and_trace() {
+        let log = EventLog::new(8);
+        let id = TraceId::generate();
+        log.record("slo_breach", "error_rate fast=12.0 slow=3.4", Some(id));
+        log.record("breaker_close", "127.0.0.1:9999", None);
+        let json = log.to_json(8);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"kind\":\"slo_breach\""), "{json}");
+        assert!(
+            json.contains(&format!("\"trace\":\"{}\"", id.to_hex())),
+            "{json}"
+        );
+        assert!(!json.contains("\"trace\":\"\""), "no empty trace field");
+        let text = log.to_text(8);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("slo_breach"));
+        assert!(text.contains(&format!("trace={}", id.to_hex())));
+        // A capped dump keeps the newest.
+        let one = log.to_json(1);
+        assert!(one.contains("breaker_close") && !one.contains("slo_breach"));
+    }
+}

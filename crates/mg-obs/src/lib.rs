@@ -17,7 +17,16 @@
 //!   configurable rate, always-sample on error / deadline-exceeded /
 //!   hedge-win);
 //! * [`table`] — the plain-text table formatter shared by
-//!   `mgard-cli stats`, `tenant-stats`, and `metrics`.
+//!   `mgard-cli stats`, `tenant-stats`, and `metrics`;
+//! * [`series`] — a fixed-cadence ring of per-tick [`Snapshot`] deltas
+//!   ([`Window`]s) giving windowed rates and moving quantiles, plus the
+//!   [`Monitor`] that drives each tier's sampler tick;
+//! * [`slo`] — declarative objectives evaluated with fast/slow
+//!   multi-window burn rates into a typed ok/warning/breaching
+//!   [`SloStatus`];
+//! * [`events`] — a bounded structured [`EventLog`] of operational
+//!   transitions (breaker flips, degrade changes, dataset
+//!   re-registration, SLO breach/recover) with trace-id correlation.
 //!
 //! A histogram record is a handful of relaxed atomic ops (no locks, no
 //! allocation); a span record is two `Instant` reads and a push into a
@@ -25,13 +34,19 @@
 //! `bench_serve --obs-gate` pins the metrics hot path under 2% of the
 //! cached-fetch latency.
 
+pub mod events;
 pub mod json;
 pub mod metrics;
+pub mod series;
+pub mod slo;
 pub mod table;
 pub mod trace;
 
+pub use events::{Event, EventLog};
 pub use metrics::{
     global, Bucket, Counter, Gauge, HistView, Histogram, MetricValue, Registry, Snapshot,
 };
+pub use series::{Monitor, SeriesRing, Window};
+pub use slo::{BurnConfig, Objective, SloEngine, SloEntry, SloKind, SloReport, SloStatus};
 pub use table::Table;
 pub use trace::{SpanRecord, Trace, TraceCtx, TraceId, Tracer, WireTrace};

@@ -10,6 +10,7 @@
 //! concurrent recorders rarely share a cache line); reads merge the
 //! shards. There is no lock anywhere on the record path.
 
+use crate::trace::TraceId;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -55,6 +56,26 @@ fn bucket_hi(idx: usize) -> u64 {
     (bucket_lo(idx) - 1).saturating_add(1u64 << (exp - 4))
 }
 
+/// Octave index of a value: 0 for the exact sub-16 region, then one
+/// per power of two above (1..=60). Exemplars are kept per octave, not
+/// per bucket, so the storage stays tiny.
+fn octave_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        0
+    } else {
+        (63 - v.leading_zeros() as usize) - 3
+    }
+}
+
+/// Inclusive lower bound of an octave.
+fn octave_lo(o: usize) -> u64 {
+    if o == 0 {
+        0
+    } else {
+        (SUB as u64) << (o - 1)
+    }
+}
+
 struct Shard {
     buckets: Vec<AtomicU64>,
     sum: AtomicU64,
@@ -73,6 +94,10 @@ struct HistogramInner {
     shards: Vec<Shard>,
     max: AtomicU64,
     min: AtomicU64,
+    /// Most recent sampled trace id per octave — the metric→trace link.
+    /// Only written for requests that carry a sampled trace, so the
+    /// plain record path never touches this lock.
+    exemplars: Mutex<BTreeMap<usize, TraceId>>,
 }
 
 /// A log-linear latency/size histogram handle. Cloning shares the
@@ -112,6 +137,7 @@ impl Histogram {
                 shards: (0..NSHARDS).map(|_| Shard::new()).collect(),
                 max: AtomicU64::new(0),
                 min: AtomicU64::new(u64::MAX),
+                exemplars: Mutex::new(BTreeMap::new()),
             }),
         }
     }
@@ -129,6 +155,27 @@ impl Histogram {
     /// Record a duration in microseconds.
     pub fn record_duration(&self, d: Duration) {
         self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// [`Histogram::record`] with an optional trace-id exemplar: when
+    /// the request carrying `v` has a sampled trace, its id becomes the
+    /// octave's most recent exemplar, linking a histogram tail (the
+    /// p999 bucket, say) back to a stored trace. Untraced calls take
+    /// the plain lock-free path.
+    pub fn record_traced(&self, v: u64, trace: Option<TraceId>) {
+        self.record(v);
+        if let Some(id) = trace {
+            self.inner
+                .exemplars
+                .lock()
+                .expect("exemplar lock")
+                .insert(octave_index(v), id);
+        }
+    }
+
+    /// [`Histogram::record_duration`] with an optional exemplar.
+    pub fn record_duration_traced(&self, d: Duration, trace: Option<TraceId>) {
+        self.record_traced(d.as_micros().min(u64::MAX as u128) as u64, trace);
     }
 
     /// Total recorded values (merged over shards).
@@ -165,6 +212,14 @@ impl Histogram {
         }
         let count: u64 = counts.iter().sum();
         let min = self.inner.min.load(Ordering::Relaxed);
+        let exemplars = self
+            .inner
+            .exemplars
+            .lock()
+            .expect("exemplar lock")
+            .iter()
+            .map(|(&o, &id)| (octave_lo(o), id))
+            .collect();
         HistView {
             count,
             sum,
@@ -180,6 +235,7 @@ impl Histogram {
                     count: c,
                 })
                 .collect(),
+            exemplars,
         }
     }
 }
@@ -200,6 +256,9 @@ pub struct HistView {
     pub min: u64,
     pub max: u64,
     pub buckets: Vec<Bucket>,
+    /// `(octave lower bound, trace id)` — the most recent sampled trace
+    /// recorded into each octave, sorted by octave.
+    pub exemplars: Vec<(u64, TraceId)>,
 }
 
 impl HistView {
@@ -238,6 +297,8 @@ impl HistView {
                 .or_insert(*b);
         }
         let count = self.count + other.count;
+        let mut exemplars: BTreeMap<u64, TraceId> = self.exemplars.iter().copied().collect();
+        exemplars.extend(other.exemplars.iter().copied());
         HistView {
             count,
             sum: self.sum.wrapping_add(other.sum),
@@ -248,12 +309,18 @@ impl HistView {
             },
             max: self.max.max(other.max),
             buckets: by_lo.into_values().collect(),
+            exemplars: exemplars.into_iter().collect(),
         }
     }
 
     /// Everything recorded since `baseline` was taken (per-bucket
-    /// saturating subtraction; min/max are kept from `self` since they
-    /// cannot be un-merged).
+    /// saturating subtraction; min/max and exemplars are kept from
+    /// `self` since they cannot be un-merged). A *regressed* baseline —
+    /// one with bucket counts or a sum larger than `self`, as happens
+    /// when the recording instance restarted between the two snapshots
+    /// — clamps to zero instead of underflowing, so a sampler thread
+    /// computing deltas every tick survives a restart with one empty
+    /// window rather than a garbage one.
     pub fn delta(&self, baseline: &HistView) -> HistView {
         let base: BTreeMap<u64, u64> = baseline.buckets.iter().map(|b| (b.lo, b.count)).collect();
         let buckets: Vec<Bucket> = self
@@ -272,6 +339,7 @@ impl HistView {
             min: self.min,
             max: self.max,
             buckets,
+            exemplars: self.exemplars.clone(),
         }
     }
 
@@ -311,7 +379,21 @@ impl HistView {
             }
             out.push_str(&format!("[{},{},{}]", b.lo, b.hi, b.count));
         }
-        out.push_str("]}");
+        out.push(']');
+        if !self.exemplars.is_empty() {
+            out.push(',');
+            crate::json::key(out, "exemplars");
+            out.push('{');
+            for (i, (lo, id)) in self.exemplars.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                crate::json::key(out, &lo.to_string());
+                out.push_str(&format!("\"{}\"", id.to_hex()));
+            }
+            out.push('}');
+        }
+        out.push('}');
     }
 
     fn text_line(&self) -> String {
@@ -481,6 +563,22 @@ impl Snapshot {
             .map(|i| &self.entries[i].1)
     }
 
+    /// The value of counter `name` (0 when absent or not a counter).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(MetricValue::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// The histogram view `name`, when present.
+    pub fn hist(&self, name: &str) -> Option<&HistView> {
+        match self.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
     /// What changed since `baseline`: counters and histogram buckets
     /// subtract, gauges report their current value.
     pub fn delta(&self, baseline: &Snapshot) -> Snapshot {
@@ -541,6 +639,95 @@ impl Snapshot {
         }
         out
     }
+
+    /// Rebuild a snapshot from the stable text format emitted by
+    /// [`Snapshot::to_text`] — the inverse the CLI uses to compute
+    /// deltas between polls of a remote metrics endpoint. Histogram
+    /// lines carry only the summary fields, so the rebuilt view
+    /// quantizes the printed quantile edges back onto the canonical
+    /// bucket grid: its `quantile` reads reproduce the printed values.
+    /// (Bucket-wise `delta` between two *parsed* views is approximate —
+    /// the synthetic buckets move with the quantiles — so rate displays
+    /// should subtract the `count`/`sum` fields directly.) Unparseable
+    /// lines are skipped.
+    pub fn parse_text(text: &str) -> Snapshot {
+        let mut entries: Vec<(String, MetricValue)> = Vec::new();
+        for line in text.lines() {
+            let mut it = line.split_whitespace();
+            let (Some(kind), Some(name)) = (it.next(), it.next()) else {
+                continue;
+            };
+            let value = match kind {
+                "counter" => it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .map(MetricValue::Counter),
+                "gauge" => it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .map(MetricValue::Gauge),
+                "hist" => parse_hist_line(it).map(MetricValue::Histogram),
+                _ => None,
+            };
+            if let Some(v) = value {
+                entries.push((name.to_string(), v));
+            }
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Snapshot { entries }
+    }
+}
+
+/// Rebuild an approximate [`HistView`] from a text `hist` line's
+/// `key=value` fields. The printed quantiles are genuine bucket upper
+/// bounds, so placing the implied ranks back into the canonical bucket
+/// grid recovers the buckets those quantiles came from.
+fn parse_hist_line<'a>(fields: impl Iterator<Item = &'a str>) -> Option<HistView> {
+    let mut kv: BTreeMap<&str, u64> = BTreeMap::new();
+    for f in fields {
+        if let Some((k, v)) = f.split_once('=') {
+            if let Ok(v) = v.parse() {
+                kv.insert(k, v);
+            }
+        }
+    }
+    let count = *kv.get("count")?;
+    let max = kv.get("max").copied().unwrap_or(0);
+    if count == 0 {
+        return Some(HistView::default());
+    }
+    let rank = |q: f64| (((q * count as f64).ceil() as u64).max(1)).min(count);
+    let marks = [
+        (kv.get("p50").copied().unwrap_or(max), rank(0.5)),
+        (kv.get("p90").copied().unwrap_or(max), rank(0.9)),
+        (kv.get("p99").copied().unwrap_or(max), rank(0.99)),
+        (kv.get("p999").copied().unwrap_or(max), rank(0.999)),
+        (max, count),
+    ];
+    let mut by_idx: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut cum = 0u64;
+    for (value, rank) in marks {
+        if rank <= cum {
+            continue;
+        }
+        *by_idx.entry(bucket_index(value)).or_insert(0) += rank - cum;
+        cum = rank;
+    }
+    Some(HistView {
+        count,
+        sum: kv.get("sum").copied().unwrap_or(0),
+        min: kv.get("min").copied().unwrap_or(0),
+        max,
+        buckets: by_idx
+            .into_iter()
+            .map(|(i, c)| Bucket {
+                lo: bucket_lo(i),
+                hi: bucket_hi(i),
+                count: c,
+            })
+            .collect(),
+        exemplars: Vec::new(),
+    })
 }
 
 #[cfg(test)]
@@ -639,6 +826,128 @@ mod tests {
             panic!("histogram expected");
         };
         assert_eq!(dh.count, 2);
+    }
+
+    #[test]
+    fn delta_clamps_counter_regression_to_zero() {
+        // An instance restart hands the sampler a baseline *ahead* of
+        // the fresh process's counters. Deltas must clamp to zero, not
+        // underflow to ~u64::MAX.
+        let old = Registry::new();
+        old.counter("reqs").add(1000);
+        let oh = old.histogram("lat_us");
+        for _ in 0..100 {
+            oh.record(500);
+        }
+        let baseline = old.snapshot();
+
+        let fresh = Registry::new();
+        fresh.counter("reqs").add(3);
+        let fh = fresh.histogram("lat_us");
+        fh.record(500);
+        fh.record(40);
+        let delta = fresh.snapshot().delta(&baseline);
+        assert_eq!(delta.get("reqs"), Some(&MetricValue::Counter(0)));
+        let dh = delta.hist("lat_us").unwrap();
+        // The regressed bucket (500s: 1 now vs 100 before) clamps out;
+        // the genuinely new bucket (40) survives.
+        assert_eq!(dh.count, 1);
+        assert_eq!(dh.sum, 0, "regressed sum clamps to zero");
+        assert!(dh.buckets.iter().all(|b| b.lo <= 40 && 40 <= b.hi));
+    }
+
+    #[test]
+    fn hist_delta_clamps_regressed_buckets() {
+        let base = HistView {
+            count: 10,
+            sum: 1000,
+            min: 1,
+            max: 200,
+            buckets: vec![Bucket {
+                lo: 192,
+                hi: 207,
+                count: 10,
+            }],
+            exemplars: Vec::new(),
+        };
+        let cur = HistView {
+            count: 4,
+            sum: 400,
+            min: 1,
+            max: 200,
+            buckets: vec![Bucket {
+                lo: 192,
+                hi: 207,
+                count: 4,
+            }],
+            exemplars: Vec::new(),
+        };
+        let d = cur.delta(&base);
+        assert_eq!((d.count, d.sum), (0, 0));
+        assert!(d.buckets.is_empty());
+    }
+
+    #[test]
+    fn exemplars_link_octaves_to_the_latest_trace() {
+        use crate::trace::TraceId;
+        let h = Histogram::new();
+        let t1 = TraceId::generate();
+        let t2 = TraceId::generate();
+        let t3 = TraceId::generate();
+        h.record_traced(5, Some(t1)); // octave 0
+        h.record_traced(100_000, Some(t2)); // a high octave
+        h.record_traced(100_001, Some(t3)); // same octave: replaces t2
+        h.record_traced(7, None); // untraced: no exemplar write
+        let v = h.snapshot();
+        assert_eq!(v.count, 4);
+        assert_eq!(v.exemplars.len(), 2);
+        assert_eq!(v.exemplars[0], (0, t1));
+        assert_eq!(v.exemplars[1].1, t3, "latest trace wins the octave");
+        assert!(
+            v.exemplars[1].0 <= 100_000,
+            "octave lower bound covers the value"
+        );
+        let json = v.to_json();
+        assert!(json.contains(&format!("\"{}\"", t3.to_hex())), "{json}");
+        assert!(json.contains("\"exemplars\":{"), "{json}");
+        // Delta and merge carry exemplars through.
+        assert_eq!(v.delta(&HistView::default()).exemplars, v.exemplars);
+        assert_eq!(HistView::default().merge(&v).exemplars, v.exemplars);
+    }
+
+    #[test]
+    fn text_round_trips_through_parse_text() {
+        let reg = Registry::new();
+        reg.counter("a.requests").add(7);
+        reg.gauge("b.conns").set(-2);
+        let h = reg.histogram("c.lat_us");
+        for v in [50u64, 130, 700, 5000, 90_000] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let parsed = Snapshot::parse_text(&snap.to_text());
+        assert_eq!(parsed.counter_value("a.requests"), 7);
+        assert_eq!(parsed.get("b.conns"), Some(&MetricValue::Gauge(-2)));
+        let (orig, back) = (
+            snap.hist("c.lat_us").unwrap(),
+            parsed.hist("c.lat_us").unwrap(),
+        );
+        assert_eq!(back.count, orig.count);
+        assert_eq!(back.sum, orig.sum);
+        assert_eq!((back.min, back.max), (orig.min, orig.max));
+        // The printed quantiles survive the round trip exactly.
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(back.quantile(q), orig.quantile(q), "q{q}");
+        }
+        // Two parsed polls: rate displays subtract the count fields.
+        h.record(130);
+        h.record(130);
+        let parsed2 = Snapshot::parse_text(&reg.snapshot().to_text());
+        let c2 = parsed2.hist("c.lat_us").unwrap().count;
+        assert_eq!(c2 - back.count, 2);
+        // Garbage lines are skipped, not fatal.
+        let junk = Snapshot::parse_text("counter x notanumber\nwat\nhist h count=bad\n");
+        assert!(junk.entries.is_empty());
     }
 
     #[test]

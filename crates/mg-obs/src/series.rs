@@ -1,0 +1,390 @@
+//! Fixed-cadence windowed time-series: the "what is happening *now*"
+//! layer on top of cumulative snapshots.
+//!
+//! A sampler thread calls [`SeriesRing::tick`] (via [`Monitor::tick`])
+//! once per cadence with a fresh registry [`Snapshot`]; the ring
+//! stores the [`Snapshot::delta`] against the previous tick as a
+//! [`Window`]. Because counter deltas are clamped at zero, a restarted
+//! or regressed baseline yields an empty window rather than a garbage
+//! spike. Retained windows answer the questions cumulative counters
+//! cannot: per-window rates (req/s, bytes/s), moving quantiles over
+//! the last N windows (merged `HistView`s), and "did the last minute
+//! look like the last five".
+
+use crate::events::EventLog;
+use crate::metrics::{HistView, Registry, Snapshot};
+use crate::slo::{SloEngine, SloReport, SloStatus};
+use crate::trace::TraceId;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One sampler tick: everything recorded during it, as deltas.
+#[derive(Clone, Debug)]
+pub struct Window {
+    /// Tick number since the ring was created (monotonic, survives
+    /// eviction).
+    pub seq: u64,
+    /// Measured wall time the window actually covers (close to the
+    /// configured cadence, but the sampler reports what it saw).
+    pub dur: Duration,
+    /// Registry delta over the window: counters are per-window
+    /// increments, histograms per-window `HistView`s.
+    pub delta: Snapshot,
+}
+
+impl Window {
+    /// Per-second rate of counter `name` over this window.
+    pub fn rate(&self, name: &str) -> f64 {
+        let secs = self.dur.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.delta.counter_value(name) as f64 / secs
+        }
+    }
+}
+
+struct SeriesInner {
+    last: Option<Snapshot>,
+    windows: VecDeque<Window>,
+    seq: u64,
+}
+
+/// A bounded ring of [`Window`]s at a fixed cadence.
+pub struct SeriesRing {
+    cap: usize,
+    inner: Mutex<SeriesInner>,
+}
+
+impl SeriesRing {
+    /// A ring retaining the most recent `retention` windows.
+    pub fn new(retention: usize) -> SeriesRing {
+        SeriesRing {
+            cap: retention.max(1),
+            inner: Mutex::new(SeriesInner {
+                // Baseline starts empty, so the first window covers
+                // everything recorded since the ring was created — as
+                // long as nothing has been evicted, the windows sum
+                // exactly to the cumulative counters.
+                last: Some(Snapshot {
+                    entries: Vec::new(),
+                }),
+                windows: VecDeque::new(),
+                seq: 0,
+            }),
+        }
+    }
+
+    /// Store one tick: appends `snap - previous tick` as a window.
+    pub fn tick(&self, snap: Snapshot, elapsed: Duration) {
+        let mut inner = self.inner.lock().expect("series ring lock");
+        if let Some(last) = inner.last.take() {
+            let window = Window {
+                seq: inner.seq,
+                dur: elapsed,
+                delta: snap.delta(&last),
+            };
+            inner.seq += 1;
+            if inner.windows.len() == self.cap {
+                inner.windows.pop_front();
+            }
+            inner.windows.push_back(window);
+        }
+        inner.last = Some(snap);
+    }
+
+    /// Retained windows, oldest first.
+    pub fn windows(&self) -> Vec<Window> {
+        let inner = self.inner.lock().expect("series ring lock");
+        inner.windows.iter().cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("series ring lock").windows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of counter `name`'s deltas across every retained window —
+    /// equal to the cumulative counter's growth over the retained
+    /// span.
+    pub fn sum_counter(&self, name: &str) -> u64 {
+        self.windows()
+            .iter()
+            .map(|w| w.delta.counter_value(name))
+            .sum()
+    }
+
+    /// Histogram `name` merged over the newest `n` windows (a moving
+    /// quantile source), if any window recorded it.
+    pub fn merged_hist(&self, name: &str, n: usize) -> Option<HistView> {
+        let windows = self.windows();
+        let tail = &windows[windows.len().saturating_sub(n)..];
+        let mut merged: Option<HistView> = None;
+        for w in tail {
+            if let Some(h) = w.delta.hist(name) {
+                merged = Some(match merged {
+                    Some(m) => m.merge(h),
+                    None => h.clone(),
+                });
+            }
+        }
+        merged
+    }
+
+    /// `{"windows":[{"seq":..,"dur_ms":..,"delta":{..}},..]}` — the
+    /// windowed-metrics op's payload, oldest window first.
+    pub fn to_json(&self) -> String {
+        let windows = self.windows();
+        let mut out = String::from("{");
+        crate::json::key(&mut out, "windows");
+        out.push('[');
+        for (i, w) in windows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            crate::json::key(&mut out, "seq");
+            out.push_str(&format!("{},", w.seq));
+            crate::json::key(&mut out, "dur_ms");
+            out.push_str(&format!("{:.3},", w.dur.as_secs_f64() * 1e3));
+            crate::json::key(&mut out, "delta");
+            out.push_str(&w.delta.to_json());
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// The per-tier continuous-monitoring core: one sampler tick snapshots
+/// the registry into the series ring, re-evaluates the SLO engine over
+/// the retained windows, and records breach/recover transitions into
+/// the event log (tagged with the most recent sampled trace id as an
+/// exemplar, when one exists).
+pub struct Monitor {
+    registry: Registry,
+    ring: SeriesRing,
+    engine: SloEngine,
+    events: Arc<EventLog>,
+    /// Last observed status per objective, for edge detection.
+    last: Mutex<Vec<(String, SloStatus)>>,
+}
+
+impl Monitor {
+    pub fn new(
+        registry: Registry,
+        retention: usize,
+        engine: SloEngine,
+        events: Arc<EventLog>,
+    ) -> Monitor {
+        Monitor {
+            registry,
+            ring: SeriesRing::new(retention),
+            engine,
+            events,
+            last: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn ring(&self) -> &SeriesRing {
+        &self.ring
+    }
+
+    pub fn events(&self) -> &Arc<EventLog> {
+        &self.events
+    }
+
+    /// One sampler tick: ingest a window, re-evaluate the SLOs, and
+    /// emit `slo_breach` when an objective *enters* breaching and
+    /// `slo_recover` when it *leaves* (both carrying `exemplar`).
+    pub fn tick(&self, elapsed: Duration, exemplar: Option<TraceId>) -> SloReport {
+        self.ring.tick(self.registry.snapshot(), elapsed);
+        let report = self.engine.evaluate(&self.ring.windows());
+        let mut last = self.last.lock().expect("slo status lock");
+        for entry in &report.entries {
+            let prev = last
+                .iter()
+                .find(|(name, _)| name == &entry.name)
+                .map(|(_, s)| *s)
+                .unwrap_or(SloStatus::Ok);
+            let breaching = entry.status == SloStatus::Breaching;
+            if breaching && prev != SloStatus::Breaching {
+                self.events.record(
+                    "slo_breach",
+                    format!(
+                        "{} fast={:.2} slow={:.2}",
+                        entry.name, entry.fast_burn, entry.slow_burn
+                    ),
+                    exemplar,
+                );
+            } else if !breaching && prev == SloStatus::Breaching {
+                self.events.record(
+                    "slo_recover",
+                    format!(
+                        "{} fast={:.2} slow={:.2}",
+                        entry.name, entry.fast_burn, entry.slow_burn
+                    ),
+                    exemplar,
+                );
+            }
+        }
+        *last = report
+            .entries
+            .iter()
+            .map(|e| (e.name.clone(), e.status))
+            .collect();
+        report
+    }
+
+    /// Current SLO evaluation without ingesting a window or emitting
+    /// events (the wire op's read path).
+    pub fn slo_report(&self) -> SloReport {
+        self.engine.evaluate(&self.ring.windows())
+    }
+
+    /// The windowed-metrics op's JSON payload.
+    pub fn series_json(&self) -> String {
+        self.ring.to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slo::{BurnConfig, Objective};
+
+    fn tick_secs(ring: &SeriesRing, snap: Snapshot) {
+        ring.tick(snap, Duration::from_secs(1));
+    }
+
+    #[test]
+    fn windows_hold_deltas_and_sum_to_the_cumulative_counter() {
+        let reg = Registry::new();
+        let reqs = reg.counter("reqs");
+        let ring = SeriesRing::new(4);
+
+        // The first window covers everything since the ring was made.
+        reqs.add(2);
+        tick_secs(&ring, reg.snapshot());
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.windows()[0].delta.counter_value("reqs"), 2);
+
+        for add in [3u64, 5, 7] {
+            reqs.add(add);
+            tick_secs(&ring, reg.snapshot());
+        }
+        let windows = ring.windows();
+        assert_eq!(windows.len(), 4);
+        assert_eq!(windows[1].delta.counter_value("reqs"), 3);
+        assert_eq!(windows[3].delta.counter_value("reqs"), 7);
+        assert_eq!(windows[3].seq, 3);
+        assert!((windows[1].rate("reqs") - 3.0).abs() < 1e-9);
+        // All windows retained => sum equals the cumulative counter.
+        assert_eq!(ring.sum_counter("reqs"), reqs.get());
+
+        // One more tick evicts the oldest window (the 2).
+        reqs.add(11);
+        tick_secs(&ring, reg.snapshot());
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.sum_counter("reqs"), 3 + 5 + 7 + 11);
+
+        let json = ring.to_json();
+        assert!(json.starts_with("{\"windows\":["), "{json}");
+        assert!(json.contains("\"dur_ms\":1000.000"), "{json}");
+    }
+
+    #[test]
+    fn merged_hist_gives_moving_quantiles() {
+        let reg = Registry::new();
+        let lat = reg.histogram("lat_us");
+        let ring = SeriesRing::new(8);
+        tick_secs(&ring, reg.snapshot());
+        for _ in 0..100 {
+            lat.record(100);
+        }
+        tick_secs(&ring, reg.snapshot());
+        for _ in 0..100 {
+            lat.record(9_000);
+        }
+        tick_secs(&ring, reg.snapshot());
+
+        // Newest window only: all samples are slow.
+        let newest = ring.merged_hist("lat_us", 1).unwrap();
+        assert_eq!(newest.count, 100);
+        assert!(newest.quantile(0.5).unwrap() >= 9_000);
+        // Both windows: the median sits at the fast mode's edge.
+        let both = ring.merged_hist("lat_us", 2).unwrap();
+        assert_eq!(both.count, 200);
+        assert!(both.quantile(0.5).unwrap() < 9_000);
+        assert!(ring.merged_hist("missing", 2).is_none());
+    }
+
+    #[test]
+    fn monitor_emits_breach_and_recover_events_with_exemplars() {
+        let reg = Registry::new();
+        let reqs = reg.counter("reqs");
+        let errs = reg.counter("errs");
+        let engine = SloEngine::new(
+            vec![Objective::ratio_below("error_rate", &["errs"], "reqs", 0.1)],
+            BurnConfig {
+                fast_windows: 1,
+                slow_windows: 2,
+            },
+        );
+        let events = Arc::new(EventLog::new(16));
+        let monitor = Monitor::new(reg, 8, engine, events.clone());
+        let id = TraceId::generate();
+
+        // An idle window then a healthy window: ok, no events.
+        monitor.tick(Duration::from_secs(1), None);
+        reqs.add(100);
+        let report = monitor.tick(Duration::from_secs(1), None);
+        assert_eq!(report.worst(), SloStatus::Ok);
+        assert!(events.is_empty());
+
+        // Two bad windows push both spans over: exactly one breach
+        // event, carrying the exemplar.
+        reqs.add(100);
+        errs.add(60);
+        monitor.tick(Duration::from_secs(1), Some(id));
+        reqs.add(100);
+        errs.add(60);
+        let report = monitor.tick(Duration::from_secs(1), Some(id));
+        assert_eq!(report.worst(), SloStatus::Breaching);
+        let breaches = events.recent(16);
+        assert_eq!(breaches.len(), 1, "{breaches:?}");
+        assert_eq!(breaches[0].kind, "slo_breach");
+        assert!(breaches[0].detail.starts_with("error_rate"));
+        assert_eq!(breaches[0].trace, Some(id));
+
+        // Still breaching next tick: no duplicate event.
+        reqs.add(100);
+        errs.add(60);
+        monitor.tick(Duration::from_secs(1), Some(id));
+        assert_eq!(events.len(), 1);
+
+        // A clean window empties the fast span: leaves breaching
+        // (warning), which records the recover event once.
+        reqs.add(100);
+        let report = monitor.tick(Duration::from_secs(1), Some(id));
+        assert_eq!(report.worst(), SloStatus::Warning);
+        let all = events.recent(16);
+        assert_eq!(all.len(), 2, "{all:?}");
+        assert_eq!(all[1].kind, "slo_recover");
+        assert_eq!(all[1].trace, Some(id));
+
+        // Another clean window reaches ok without a second event.
+        reqs.add(100);
+        let report = monitor.tick(Duration::from_secs(1), Some(id));
+        assert_eq!(report.worst(), SloStatus::Ok);
+        assert_eq!(events.len(), 2);
+
+        // The read-side renders stay available throughout.
+        assert!(monitor.series_json().starts_with("{\"windows\":["));
+        assert!(monitor.slo_report().to_json().contains("error_rate"));
+    }
+}

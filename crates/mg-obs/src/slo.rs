@@ -1,0 +1,487 @@
+//! Declarative service-level objectives evaluated with multi-window
+//! burn rates.
+//!
+//! An [`Objective`] states what "good" means (`cached fetch p99 <
+//! 2ms`, `error rate < 0.1%`); the [`SloEngine`] re-evaluates every
+//! objective against the sampler's windowed series each tick. Each
+//! objective is measured over two spans of recent windows — a *fast*
+//! span that reacts to spikes and a *slow* span that confirms they are
+//! sustained — and the measured value divided by the objective's
+//! ceiling is the *burn rate* (1.0 = exactly at the objective). The
+//! classic multi-window rule then gives a typed [`SloStatus`]:
+//!
+//! * **breaching** — both fast and slow burn ≥ 1: the violation is
+//!   real and still happening.
+//! * **warning** — exactly one of them ≥ 1: either a fresh spike the
+//!   slow span hasn't confirmed yet, or a past violation the fast span
+//!   shows has stopped (this is the recovery hysteresis: a breach
+//!   decays through warning before reaching ok).
+//! * **ok** — both below 1.
+//!
+//! The engine is deliberately pure — windows in, [`SloReport`] out —
+//! so burn-rate transitions are unit-testable with synthetic windows;
+//! the stateful breach/recover edge detection (and event emission)
+//! lives in [`crate::series::Monitor`].
+
+use crate::metrics::HistView;
+use crate::series::Window;
+use crate::table::Table;
+
+/// What an [`Objective`] constrains.
+#[derive(Clone, Debug)]
+pub enum SloKind {
+    /// `quantile(metric, q)` over the span's merged histogram must
+    /// stay below `max` (same unit as the histogram — µs for the
+    /// latency hists).
+    QuantileBelow { metric: String, q: f64, max: u64 },
+    /// `sum(bad counters) / total counter` over the span must stay
+    /// below `max_ratio`.
+    RatioBelow {
+        bad: Vec<String>,
+        total: String,
+        max_ratio: f64,
+    },
+}
+
+/// One named objective.
+#[derive(Clone, Debug)]
+pub struct Objective {
+    pub name: String,
+    pub kind: SloKind,
+}
+
+impl Objective {
+    pub fn quantile_below(name: &str, metric: &str, q: f64, max: u64) -> Objective {
+        Objective {
+            name: name.into(),
+            kind: SloKind::QuantileBelow {
+                metric: metric.into(),
+                q,
+                max,
+            },
+        }
+    }
+
+    pub fn ratio_below(name: &str, bad: &[&str], total: &str, max_ratio: f64) -> Objective {
+        Objective {
+            name: name.into(),
+            kind: SloKind::RatioBelow {
+                bad: bad.iter().map(|s| (*s).to_string()).collect(),
+                total: total.into(),
+                max_ratio,
+            },
+        }
+    }
+
+    /// Default objectives for the backend serving tier: request p99
+    /// under 2 ms, error (shed + deadline) rate under 0.1%, degrade
+    /// rate under 5%.
+    pub fn server_defaults() -> Vec<Objective> {
+        vec![
+            Objective::quantile_below("request_p99", "serve.request_us", 0.99, 2_000),
+            Objective::ratio_below(
+                "error_rate",
+                &["serve.shed", "serve.deadline_exceeded"],
+                "serve.requests",
+                0.001,
+            ),
+            Objective::ratio_below("degrade_rate", &["serve.degraded"], "serve.fetches", 0.05),
+        ]
+    }
+
+    /// Default objectives for the gateway tier: routed p99 under 5 ms
+    /// (a fetch crosses one extra hop), error (no live backend +
+    /// deadline) rate under 0.1%, degrade rate under 5%.
+    pub fn gateway_defaults() -> Vec<Objective> {
+        vec![
+            Objective::quantile_below("request_p99", "gateway.request_us", 0.99, 5_000),
+            Objective::ratio_below(
+                "error_rate",
+                &["gateway.unavailable", "gateway.deadline_exceeded"],
+                "gateway.requests",
+                0.001,
+            ),
+            Objective::ratio_below(
+                "degrade_rate",
+                &["gateway.degraded"],
+                "gateway.fetches",
+                0.05,
+            ),
+        ]
+    }
+}
+
+/// Typed verdict for one objective.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SloStatus {
+    Ok,
+    Warning,
+    Breaching,
+}
+
+impl SloStatus {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SloStatus::Ok => "ok",
+            SloStatus::Warning => "warning",
+            SloStatus::Breaching => "breaching",
+        }
+    }
+}
+
+/// How many recent windows each evaluation span covers.
+#[derive(Copy, Clone, Debug)]
+pub struct BurnConfig {
+    /// Spike-detecting span (reacts within a few ticks).
+    pub fast_windows: usize,
+    /// Sustain-confirming span.
+    pub slow_windows: usize,
+}
+
+impl Default for BurnConfig {
+    fn default() -> BurnConfig {
+        BurnConfig {
+            fast_windows: 3,
+            slow_windows: 12,
+        }
+    }
+}
+
+/// One objective's evaluation.
+#[derive(Clone, Debug)]
+pub struct SloEntry {
+    pub name: String,
+    pub status: SloStatus,
+    pub fast_burn: f64,
+    pub slow_burn: f64,
+}
+
+/// All objectives' evaluations for one tick.
+#[derive(Clone, Debug, Default)]
+pub struct SloReport {
+    pub entries: Vec<SloEntry>,
+}
+
+impl SloReport {
+    pub fn get(&self, name: &str) -> Option<&SloEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// The worst status across objectives (`breaching` dominates).
+    pub fn worst(&self) -> SloStatus {
+        let mut worst = SloStatus::Ok;
+        for e in &self.entries {
+            if e.status == SloStatus::Breaching {
+                return SloStatus::Breaching;
+            }
+            if e.status == SloStatus::Warning {
+                worst = SloStatus::Warning;
+            }
+        }
+        worst
+    }
+
+    /// `{"status":..,"objectives":[{..}]}` — the SLO-status op's JSON
+    /// payload.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        crate::json::key(&mut out, "status");
+        out.push_str(&format!("\"{}\",", self.worst().as_str()));
+        crate::json::key(&mut out, "objectives");
+        out.push('[');
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            crate::json::key(&mut out, "name");
+            out.push_str(&format!("\"{}\",", crate::json::escape(&e.name)));
+            crate::json::key(&mut out, "status");
+            out.push_str(&format!("\"{}\",", e.status.as_str()));
+            crate::json::key(&mut out, "fast_burn");
+            out.push_str(&format!("{:.4},", e.fast_burn));
+            crate::json::key(&mut out, "slow_burn");
+            out.push_str(&format!("{:.4}", e.slow_burn));
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Human-readable table (the SLO-status op's text payload).
+    pub fn to_text(&self) -> String {
+        let mut table = Table::new(["objective", "status", "fast_burn", "slow_burn"]);
+        for e in &self.entries {
+            table.row([
+                e.name.clone(),
+                e.status.as_str().to_string(),
+                format!("{:.2}", e.fast_burn),
+                format!("{:.2}", e.slow_burn),
+            ]);
+        }
+        format!("slo: {}\n{}", self.worst().as_str(), table.render())
+    }
+}
+
+/// Evaluates a fixed set of objectives against windowed snapshots.
+pub struct SloEngine {
+    objectives: Vec<Objective>,
+    burn: BurnConfig,
+}
+
+impl SloEngine {
+    pub fn new(objectives: Vec<Objective>, burn: BurnConfig) -> SloEngine {
+        SloEngine { objectives, burn }
+    }
+
+    pub fn objectives(&self) -> &[Objective] {
+        &self.objectives
+    }
+
+    /// Evaluate every objective over the most recent windows (oldest
+    /// first, as [`crate::series::SeriesRing::windows`] returns them).
+    /// Pure: no state is carried between calls.
+    pub fn evaluate(&self, windows: &[Window]) -> SloReport {
+        let span = |n: usize| &windows[windows.len().saturating_sub(n)..];
+        let entries = self
+            .objectives
+            .iter()
+            .map(|o| {
+                let fast_burn = burn_over(span(self.burn.fast_windows), &o.kind);
+                let slow_burn = burn_over(span(self.burn.slow_windows), &o.kind);
+                let status = match (fast_burn >= 1.0, slow_burn >= 1.0) {
+                    (true, true) => SloStatus::Breaching,
+                    (false, false) => SloStatus::Ok,
+                    _ => SloStatus::Warning,
+                };
+                SloEntry {
+                    name: o.name.clone(),
+                    status,
+                    fast_burn,
+                    slow_burn,
+                }
+            })
+            .collect();
+        SloReport { entries }
+    }
+}
+
+/// measured / objective over one span of windows. No traffic (or no
+/// samples) burns nothing.
+fn burn_over(windows: &[Window], kind: &SloKind) -> f64 {
+    match kind {
+        SloKind::RatioBelow {
+            bad,
+            total,
+            max_ratio,
+        } => {
+            let total: u64 = windows.iter().map(|w| w.delta.counter_value(total)).sum();
+            if total == 0 {
+                return 0.0;
+            }
+            let bad: u64 = windows
+                .iter()
+                .map(|w| {
+                    bad.iter()
+                        .map(|name| w.delta.counter_value(name))
+                        .sum::<u64>()
+                })
+                .sum();
+            (bad as f64 / total as f64) / max_ratio.max(f64::EPSILON)
+        }
+        SloKind::QuantileBelow { metric, q, max } => {
+            let mut merged: Option<HistView> = None;
+            for w in windows {
+                if let Some(h) = w.delta.hist(metric) {
+                    merged = Some(match merged {
+                        Some(m) => m.merge(h),
+                        None => h.clone(),
+                    });
+                }
+            }
+            match merged.and_then(|m| m.quantile(*q)) {
+                Some(v) => v as f64 / (*max).max(1) as f64,
+                None => 0.0,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{MetricValue, Registry, Snapshot};
+    use std::time::Duration;
+
+    /// A synthetic one-second window with the given counters.
+    fn window(seq: u64, counters: &[(&str, u64)]) -> Window {
+        let mut entries: Vec<(String, MetricValue)> = counters
+            .iter()
+            .map(|(name, v)| ((*name).to_string(), MetricValue::Counter(*v)))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Window {
+            seq,
+            dur: Duration::from_secs(1),
+            delta: Snapshot { entries },
+        }
+    }
+
+    fn engine() -> SloEngine {
+        SloEngine::new(
+            vec![Objective::ratio_below(
+                "error_rate",
+                &["errs"],
+                "reqs",
+                0.1, // 10% ceiling keeps the arithmetic readable
+            )],
+            BurnConfig {
+                fast_windows: 2,
+                slow_windows: 4,
+            },
+        )
+    }
+
+    #[test]
+    fn burn_rates_cross_fast_then_slow_thresholds() {
+        let e = engine();
+        // Healthy traffic: 100 reqs/window, no errors.
+        let mut windows = vec![
+            window(0, &[("reqs", 100), ("errs", 0)]),
+            window(1, &[("reqs", 100), ("errs", 0)]),
+            window(2, &[("reqs", 100), ("errs", 0)]),
+        ];
+        let report = e.evaluate(&windows);
+        let entry = report.get("error_rate").unwrap();
+        assert_eq!(entry.status, SloStatus::Ok);
+        assert_eq!(entry.fast_burn, 0.0);
+        assert_eq!(report.worst(), SloStatus::Ok);
+
+        // One bad window: 50% errors. Fast span (2 windows): 50/200 =
+        // 25% -> burn 2.5 >= 1. Slow span (4 windows): 50/400 = 12.5%
+        // -> burn 1.25 >= 1. Both trip at once because the spike is
+        // huge relative to the 10% ceiling; status jumps straight to
+        // breaching.
+        windows.push(window(3, &[("reqs", 100), ("errs", 50)]));
+        let entry = e.evaluate(&windows).get("error_rate").cloned().unwrap();
+        assert_eq!(entry.status, SloStatus::Breaching);
+        assert!((entry.fast_burn - 2.5).abs() < 1e-9, "{entry:?}");
+        assert!((entry.slow_burn - 1.25).abs() < 1e-9, "{entry:?}");
+
+        // A milder spike trips only the fast span: 30 errors in the
+        // newest window. Fast (2w): 30/200 = 15% -> burn 1.5. Slow
+        // (4w): 30/400 = 7.5% -> burn 0.75. Warning, not breaching.
+        let mild = vec![
+            window(0, &[("reqs", 100), ("errs", 0)]),
+            window(1, &[("reqs", 100), ("errs", 0)]),
+            window(2, &[("reqs", 100), ("errs", 0)]),
+            window(3, &[("reqs", 100), ("errs", 30)]),
+        ];
+        let entry = e.evaluate(&mild).get("error_rate").cloned().unwrap();
+        assert_eq!(entry.status, SloStatus::Warning, "{entry:?}");
+        assert!(entry.fast_burn >= 1.0 && entry.slow_burn < 1.0);
+    }
+
+    #[test]
+    fn recovery_decays_through_warning_before_ok() {
+        let e = engine();
+        // A sustained breach...
+        let mut windows = vec![
+            window(0, &[("reqs", 100), ("errs", 60)]),
+            window(1, &[("reqs", 100), ("errs", 60)]),
+            window(2, &[("reqs", 100), ("errs", 60)]),
+            window(3, &[("reqs", 100), ("errs", 60)]),
+        ];
+        assert_eq!(e.evaluate(&windows).worst(), SloStatus::Breaching);
+
+        // ...then the fault clears. Two clean windows empty the fast
+        // span (burn 0) while the slow span still holds two bad
+        // windows (120/400 = 30% -> burn 3): warning, the hysteresis
+        // leg.
+        windows.push(window(4, &[("reqs", 100), ("errs", 0)]));
+        windows.push(window(5, &[("reqs", 100), ("errs", 0)]));
+        let tail: Vec<Window> = windows[windows.len() - 4..].to_vec();
+        let entry = e.evaluate(&tail).get("error_rate").cloned().unwrap();
+        assert_eq!(entry.status, SloStatus::Warning, "{entry:?}");
+        assert_eq!(entry.fast_burn, 0.0);
+        assert!(entry.slow_burn >= 1.0);
+
+        // Four clean windows flush the slow span too: ok.
+        let clean = vec![
+            window(6, &[("reqs", 100), ("errs", 0)]),
+            window(7, &[("reqs", 100), ("errs", 0)]),
+            window(8, &[("reqs", 100), ("errs", 0)]),
+            window(9, &[("reqs", 100), ("errs", 0)]),
+        ];
+        assert_eq!(e.evaluate(&clean).worst(), SloStatus::Ok);
+    }
+
+    #[test]
+    fn quantile_objectives_merge_windows_and_idle_burns_nothing() {
+        let e = SloEngine::new(
+            vec![Objective::quantile_below("p99", "lat_us", 0.99, 1_000)],
+            BurnConfig {
+                fast_windows: 1,
+                slow_windows: 2,
+            },
+        );
+        // No windows / no samples: burn 0, ok.
+        assert_eq!(e.evaluate(&[]).worst(), SloStatus::Ok);
+        assert_eq!(e.evaluate(&[window(0, &[])]).worst(), SloStatus::Ok);
+
+        // Two windows whose merged p99 lands around 4000 µs: burn ~4.
+        let reg = Registry::new();
+        let h = reg.histogram("lat_us");
+        let base = reg.snapshot();
+        for _ in 0..99 {
+            h.record(100);
+        }
+        let w1 = Window {
+            seq: 0,
+            dur: Duration::from_secs(1),
+            delta: reg.snapshot().delta(&base),
+        };
+        let base = reg.snapshot();
+        for _ in 0..99 {
+            h.record(4_000);
+        }
+        let w2 = Window {
+            seq: 1,
+            dur: Duration::from_secs(1),
+            delta: reg.snapshot().delta(&base),
+        };
+        let windows = [w1, w2];
+        let entry = e.evaluate(&windows).get("p99").cloned().unwrap();
+        // Fast span = newest window only (all 4 ms): breach there; the
+        // slow span merges both windows and its p99 is still ~4 ms.
+        assert_eq!(entry.status, SloStatus::Breaching, "{entry:?}");
+        assert!(entry.fast_burn >= 3.0, "{entry:?}");
+        assert!(entry.slow_burn >= 3.0, "{entry:?}");
+        let json = e.evaluate(&windows).to_json();
+        assert!(json.contains("\"status\":\"breaching\""), "{json}");
+        assert!(json.contains("\"name\":\"p99\""), "{json}");
+        let text = e.evaluate(&windows).to_text();
+        assert!(text.contains("breaching"), "{text}");
+    }
+
+    #[test]
+    fn default_objective_sets_name_the_tier_metrics() {
+        for (defaults, prefix) in [
+            (Objective::server_defaults(), "serve."),
+            (Objective::gateway_defaults(), "gateway."),
+        ] {
+            assert_eq!(defaults.len(), 3);
+            for o in &defaults {
+                match &o.kind {
+                    SloKind::QuantileBelow { metric, .. } => {
+                        assert!(metric.starts_with(prefix), "{metric}");
+                    }
+                    SloKind::RatioBelow { bad, total, .. } => {
+                        assert!(total.starts_with(prefix), "{total}");
+                        assert!(bad.iter().all(|b| b.starts_with(prefix)));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -393,10 +393,11 @@ impl Tracer {
         self.len() == 0
     }
 
-    /// The slowest `n` stored traces, slowest first.
+    /// The slowest `n` stored traces, slowest first. The ring is copied
+    /// out under the lock; sorting and truncation run lock-free so a
+    /// dump never stalls the `finish` calls on the request path.
     pub fn slowest(&self, n: usize) -> Vec<Trace> {
-        let ring = self.ring.lock().expect("trace ring lock");
-        let mut all: Vec<Trace> = ring.iter().cloned().collect();
+        let mut all = self.recent();
         all.sort_by_key(|t| std::cmp::Reverse(t.total_us));
         all.truncate(n);
         all
@@ -404,12 +405,21 @@ impl Tracer {
 
     /// Every stored trace, oldest first.
     pub fn recent(&self) -> Vec<Trace> {
+        let all: Vec<Trace> = {
+            let ring = self.ring.lock().expect("trace ring lock");
+            ring.iter().cloned().collect()
+        };
+        all
+    }
+
+    /// The id of the most recently stored trace — a cheap peek (no
+    /// clone of the ring) used as the exemplar source for SLO events.
+    pub fn last_trace_id(&self) -> Option<TraceId> {
         self.ring
             .lock()
             .expect("trace ring lock")
-            .iter()
-            .cloned()
-            .collect()
+            .back()
+            .map(|t| t.trace_id)
     }
 
     /// The slowest `n` traces as a JSON array (the trace-dump op's
@@ -491,6 +501,41 @@ mod tests {
         assert_eq!(t.trace_id, up.trace_id());
         assert_eq!(t.parent, up.root());
         assert_ne!(t.root, up.root());
+    }
+
+    #[test]
+    fn dumping_during_a_finish_storm_stays_consistent() {
+        // Regression: `slowest`/`dump_json` used to sort and truncate
+        // while still holding the ring lock, stalling every `finish` on
+        // the request path behind a dump. The dump must stay correct
+        // (sorted, bounded, parseable) while a storm of finishes runs.
+        let tracer = Arc::new(Tracer::new("serve", 64, 1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let tracer = Arc::clone(&tracer);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let ctx = tracer.begin(None);
+                        tracer.finish(&ctx, "ok", true);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            let slow = tracer.slowest(16);
+            assert!(slow.len() <= 16);
+            assert!(slow.windows(2).all(|w| w[0].total_us >= w[1].total_us));
+            let json = tracer.dump_json(16);
+            assert!(json.starts_with('[') && json.ends_with(']'));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert!(tracer.len() <= 64, "ring stays bounded under the storm");
+        assert!(tracer.last_trace_id().is_some());
     }
 
     #[test]

@@ -600,6 +600,76 @@ pub fn traces_with(
     }
 }
 
+/// Fetch the server's windowed-metrics series ring as JSON (one
+/// delta-snapshot per retained sampler window, oldest first).
+pub fn series(addr: impl ToSocketAddrs) -> io::Result<String> {
+    series_with(addr, None)
+}
+
+/// [`series`], attaching a request tag when the server requires auth.
+pub fn series_with(addr: impl ToSocketAddrs, auth: Option<&AuthKey>) -> io::Result<String> {
+    let mut stream = connect(addr)?;
+    protocol::write_request_framed(&mut stream, &Request::Series, PROTOCOL_V1, None, auth)?;
+    match protocol::read_response_checked(&mut stream, auth)?.0 {
+        Response::Series(blob) => Ok(blob),
+        other => Err(response_error(other)),
+    }
+}
+
+/// Fetch the server's current SLO evaluation: JSON (`text == false`)
+/// or a rendered text table.
+pub fn slo_status(addr: impl ToSocketAddrs, text: bool) -> io::Result<String> {
+    slo_status_with(addr, text, None)
+}
+
+/// [`slo_status`], attaching a request tag when the server requires
+/// auth.
+pub fn slo_status_with(
+    addr: impl ToSocketAddrs,
+    text: bool,
+    auth: Option<&AuthKey>,
+) -> io::Result<String> {
+    let mut stream = connect(addr)?;
+    protocol::write_request_framed(
+        &mut stream,
+        &Request::SloStatus { text },
+        PROTOCOL_V1,
+        None,
+        auth,
+    )?;
+    match protocol::read_response_checked(&mut stream, auth)?.0 {
+        Response::Slo(blob) => Ok(blob),
+        other => Err(response_error(other)),
+    }
+}
+
+/// Fetch up to `max` of the server's most recent structured events:
+/// JSON (`text == false`) or one line per event.
+pub fn events(addr: impl ToSocketAddrs, max: u32, text: bool) -> io::Result<String> {
+    events_with(addr, max, text, None)
+}
+
+/// [`events`], attaching a request tag when the server requires auth.
+pub fn events_with(
+    addr: impl ToSocketAddrs,
+    max: u32,
+    text: bool,
+    auth: Option<&AuthKey>,
+) -> io::Result<String> {
+    let mut stream = connect(addr)?;
+    protocol::write_request_framed(
+        &mut stream,
+        &Request::EventDump { max, text },
+        PROTOCOL_V1,
+        None,
+        auth,
+    )?;
+    match protocol::read_response_checked(&mut stream, auth)?.0 {
+        Response::Events(blob) => Ok(blob),
+        other => Err(response_error(other)),
+    }
+}
+
 /// Fetch the server's per-tenant QoS counters.
 pub fn tenant_stats(addr: impl ToSocketAddrs) -> io::Result<TenantStatsReport> {
     tenant_stats_with(addr, None)

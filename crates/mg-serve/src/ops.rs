@@ -27,6 +27,12 @@ pub trait OpsHost {
     fn metrics_render(&self, text: bool) -> String;
     /// Up to `max` sampled traces from the tier's ring, as JSON.
     fn trace_dump(&self, max: u32) -> String;
+    /// The tier's windowed-metrics series ring, as JSON.
+    fn series_render(&self) -> String;
+    /// The tier's current SLO evaluation, as JSON or a text table.
+    fn slo_render(&self, text: bool) -> String;
+    /// Up to `max` recent structured events, as JSON or text lines.
+    fn events_render(&self, max: u32, text: bool) -> String;
     /// The tier's shared-secret key, for tagging responses to
     /// authenticated requests. `None`: responses go out untagged.
     fn auth_key(&self) -> Option<&AuthKey> {
@@ -80,6 +86,15 @@ pub fn dispatch_ops<W: Write>(
         Ok((Request::TraceDump { max }, env)) => {
             answer(writer, &Response::Traces(host.trace_dump(max)), &env)
         }
+        Ok((Request::Series, env)) => answer(writer, &Response::Series(host.series_render()), &env),
+        Ok((Request::SloStatus { text }, env)) => {
+            answer(writer, &Response::Slo(host.slo_render(text)), &env)
+        }
+        Ok((Request::EventDump { max, text }, env)) => answer(
+            writer,
+            &Response::Events(host.events_render(max, text)),
+            &env,
+        ),
         Ok((Request::Shutdown, env)) => {
             let key = if env.authed { host.auth_key() } else { None };
             let _ = protocol::write_response_tagged(

@@ -49,6 +49,9 @@
 //!           op 5 (tenant stats):  —
 //!           op 6 (metrics):       format u8 (0 json / 1 text)
 //!           op 7 (trace dump):    max u32 (slowest-N traces)
+//!           op 8 (series):        — (windowed-metrics ring, JSON)
+//!           op 9 (slo status):    format u8 (0 json / 1 text)
+//!           op 10 (event dump):   max u32 | format u8 (0 json / 1 text)
 //!
 //! response: magic u32 "MGRP" | version u16 (echoed)
 //!           v3 only: flags u8
@@ -80,6 +83,14 @@
 //!                                 registry snapshot)
 //!           status 11 (traces):   blob_len u32 | blob (JSON array of
 //!                                 traces, slowest first)
+//!           status 12 (series):   blob_len u32 | blob (JSON object
+//!                                 {"windows":[{seq, dur_ms, delta},..]},
+//!                                 oldest window first)
+//!           status 13 (slo):      blob_len u32 | blob (JSON object
+//!                                 {"status", "objectives":[..]} or text
+//!                                 table, as requested)
+//!           status 14 (events):   blob_len u32 | blob (JSON array of
+//!                                 events oldest first, or text lines)
 //! ```
 //!
 //! A v1/v2 response envelope never carries flags; a v3 response always
@@ -402,6 +413,22 @@ pub enum Request {
         /// Upper bound on traces returned.
         max: u32,
     },
+    /// Ask for the windowed-metrics series ring as JSON (op 8).
+    Series,
+    /// Ask for the current SLO evaluation (op 9); `text` selects the
+    /// table render over JSON.
+    SloStatus {
+        /// `false` = JSON object, `true` = text table.
+        text: bool,
+    },
+    /// Ask for the most recent `max` structured events (op 10);
+    /// `text` selects one-line renders over JSON.
+    EventDump {
+        /// Upper bound on events returned.
+        max: u32,
+        /// `false` = JSON array, `true` = text lines.
+        text: bool,
+    },
 }
 
 /// QoS report of a fetch response (status 6): what the selector alone
@@ -532,6 +559,15 @@ pub enum Response {
     Metrics(String),
     /// A trace dump (status 11): a JSON array of traces, slowest first.
     Traces(String),
+    /// The windowed-metrics series ring (status 12): a JSON object with
+    /// one delta-snapshot per retained sampler window, oldest first.
+    Series(String),
+    /// The current SLO evaluation (status 13): JSON or text table, as
+    /// requested.
+    Slo(String),
+    /// A structured-event dump (status 14): JSON array or text lines,
+    /// oldest first.
+    Events(String),
 }
 
 // --- primitive helpers ------------------------------------------------
@@ -784,6 +820,16 @@ fn encode_request_body(req: &Request) -> io::Result<Vec<u8>> {
             buf.push(7);
             buf.extend_from_slice(&max.to_le_bytes());
         }
+        Request::Series => buf.push(8),
+        Request::SloStatus { text } => {
+            buf.push(9);
+            buf.push(*text as u8);
+        }
+        Request::EventDump { max, text } => {
+            buf.push(10);
+            buf.extend_from_slice(&max.to_le_bytes());
+            buf.push(*text as u8);
+        }
     }
     Ok(buf)
 }
@@ -926,6 +972,14 @@ fn read_request_ops(r: &mut impl Read) -> io::Result<Request> {
             text: read_u8(r)? != 0,
         },
         7 => Request::TraceDump { max: read_u32(r)? },
+        8 => Request::Series,
+        9 => Request::SloStatus {
+            text: read_u8(r)? != 0,
+        },
+        10 => Request::EventDump {
+            max: read_u32(r)?,
+            text: read_u8(r)? != 0,
+        },
         op => return Err(bad_data(format!("unknown op {op}"))),
     };
     Ok(req)
@@ -1071,6 +1125,18 @@ fn encode_response_body(resp: &Response) -> io::Result<Vec<u8>> {
         }
         Response::Traces(blob) => {
             buf.push(11);
+            put_blob(&mut buf, blob)?;
+        }
+        Response::Series(blob) => {
+            buf.push(12);
+            put_blob(&mut buf, blob)?;
+        }
+        Response::Slo(blob) => {
+            buf.push(13);
+            put_blob(&mut buf, blob)?;
+        }
+        Response::Events(blob) => {
+            buf.push(14);
             put_blob(&mut buf, blob)?;
         }
     }
@@ -1266,6 +1332,9 @@ fn read_response_status(r: &mut impl Read) -> io::Result<Response> {
         9 => Response::AuthFailure(read_string(r)?),
         10 => Response::Metrics(read_blob(r)?),
         11 => Response::Traces(read_blob(r)?),
+        12 => Response::Series(read_blob(r)?),
+        13 => Response::Slo(read_blob(r)?),
+        14 => Response::Events(read_blob(r)?),
         status => return Err(bad_data(format!("unknown status {status}"))),
     };
     Ok(resp)
@@ -1833,6 +1902,27 @@ mod tests {
         round_trip_response(Response::Metrics("{\"entries\":[]}".into()));
         round_trip_response(Response::Traces("[]".into()));
         round_trip_response(Response::Metrics(String::new()));
+    }
+
+    #[test]
+    fn monitoring_ops_round_trip() {
+        round_trip_request(Request::Series);
+        round_trip_request(Request::SloStatus { text: false });
+        round_trip_request(Request::SloStatus { text: true });
+        round_trip_request(Request::EventDump {
+            max: 0,
+            text: false,
+        });
+        round_trip_request(Request::EventDump {
+            max: 10_000,
+            text: true,
+        });
+        round_trip_response(Response::Series("{\"windows\":[]}".into()));
+        round_trip_response(Response::Slo(
+            "{\"status\":\"ok\",\"objectives\":[]}".into(),
+        ));
+        round_trip_response(Response::Events("[]".into()));
+        round_trip_response(Response::Events(String::new()));
     }
 
     #[test]

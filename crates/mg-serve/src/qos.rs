@@ -26,8 +26,9 @@
 //! waiter times out ([`QosConfig::queue_timeout`]).
 
 use crate::protocol::{Priority, TenantStats, TenantStatsReport};
+use mg_obs::EventLog;
 use std::collections::{BTreeSet, HashMap};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Virtual-time cost of one request at weight 1 (the unit is arbitrary;
@@ -155,6 +156,9 @@ struct SchedState {
     queue: BTreeSet<(u64, u64)>,
     /// Smoothed queue-depth signal driving degradation.
     pressure: PressureEwma,
+    /// Degrade level of the most recent admission, for event-log edge
+    /// detection (transitions are operational events; levels are not).
+    last_degrade: u8,
     tenants: HashMap<String, TenantEntry>,
 }
 
@@ -243,6 +247,7 @@ pub struct FairScheduler {
     config: QosConfig,
     state: Mutex<SchedState>,
     cv: Condvar,
+    events: OnceLock<Arc<EventLog>>,
 }
 
 impl FairScheduler {
@@ -252,12 +257,41 @@ impl FairScheduler {
             config,
             state: Mutex::new(SchedState::default()),
             cv: Condvar::new(),
+            events: OnceLock::new(),
         }
     }
 
     /// The configuration the scheduler runs.
     pub fn config(&self) -> &QosConfig {
         &self.config
+    }
+
+    /// Wire the tier's structured event log: every degrade-level
+    /// *transition* (the smoothed pressure moving an admission to a
+    /// different level than the previous one) is recorded into it.
+    /// Later calls are ignored — the log is set once, at bind.
+    pub fn set_events(&self, events: Arc<EventLog>) {
+        let _ = self.events.set(events);
+    }
+
+    /// Edge-detect a degrade-level change under the state lock; the
+    /// caller records the returned transition *after* releasing it.
+    fn degrade_transition(st: &mut SchedState, degrade: u8) -> Option<(u8, u8)> {
+        (st.last_degrade != degrade).then(|| {
+            let prev = st.last_degrade;
+            st.last_degrade = degrade;
+            (prev, degrade)
+        })
+    }
+
+    fn record_degrade_transition(&self, transition: Option<(u8, u8)>, eff: u32) {
+        if let (Some((prev, level)), Some(events)) = (transition, self.events.get()) {
+            events.record(
+                "degrade",
+                format!("level {prev}->{level} pressure={eff}"),
+                None,
+            );
+        }
     }
 
     /// Effective concurrency limit (0 in the config means unlimited).
@@ -306,7 +340,9 @@ impl FairScheduler {
                 .virtual_finish = tag;
             let eff = st.pressure.observe(0, self.config.degrade.smoothing);
             let degrade = self.config.degrade_for(eff, priority);
+            let transition = Self::degrade_transition(&mut st, degrade);
             drop(st);
+            self.record_degrade_transition(transition, eff);
             return Admission::Granted {
                 permit: Permit {
                     sched: self,
@@ -347,7 +383,9 @@ impl FairScheduler {
                 let entry = st.tenants.entry(tenant.to_string()).or_default();
                 entry.stats.queue_wait_us += waited;
                 let degrade = self.config.degrade_for(eff, priority);
+                let transition = Self::degrade_transition(&mut st, degrade);
                 drop(st);
+                self.record_degrade_transition(transition, eff);
                 // More slots may be free (or the new head admissible).
                 self.cv.notify_all();
                 return Admission::Granted {
@@ -614,6 +652,47 @@ mod tests {
         let mut raw = PressureEwma::default();
         assert_eq!(raw.observe(7, 1), 7);
         assert_eq!(raw.observe(2, 1), 2);
+    }
+
+    #[test]
+    fn degrade_transitions_land_in_the_event_log() {
+        let sched = FairScheduler::new(QosConfig {
+            max_concurrent: 1,
+            queue_timeout: Duration::from_secs(10),
+            degrade: DegradePolicy {
+                degrade_start: [1, 1, 1],
+                depth_per_level: 1,
+                max_degrade: [4, 4, 4],
+                smoothing: 1, // instantaneous: the trace is deterministic
+            },
+            ..QosConfig::default()
+        });
+        let events = Arc::new(EventLog::new(16));
+        sched.set_events(Arc::clone(&events));
+        // Admissions run strictly one at a time (one slot): with three
+        // waiters parked behind a held permit, the queue drains through
+        // depths 2, 1, 0 — degrade levels 2, 1, 0 — so exactly the
+        // transitions 0->2, 2->1, 1->0 are recorded.
+        let (held, degrade) = granted(&sched, "a", Priority::Normal);
+        assert_eq!(degrade, 0, "empty queue admits at full fidelity");
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let sched = &sched;
+                s.spawn(move || {
+                    let (permit, _) = granted(sched, "b", Priority::Normal);
+                    drop(permit);
+                });
+            }
+            while sched.pressure().1 < 3 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            drop(held);
+        });
+        let recorded = events.recent(16);
+        assert_eq!(recorded.len(), 3, "{recorded:?}");
+        assert!(recorded.iter().all(|e| e.kind == "degrade"));
+        assert!(recorded[0].detail.starts_with("level 0->2"), "{recorded:?}");
+        assert!(recorded[2].detail.starts_with("level 1->0"), "{recorded:?}");
     }
 
     #[test]

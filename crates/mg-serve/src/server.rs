@@ -18,7 +18,10 @@ use crate::protocol::{
     StatsReport, TenantStatsReport, PROTOCOL_V2,
 };
 use crate::qos::{Admission, FairScheduler, QosConfig, Rejection};
-use mg_obs::{Counter, Histogram, Registry, TraceCtx, Tracer};
+use mg_obs::{
+    BurnConfig, Counter, EventLog, Histogram, Monitor, Objective, Registry, SloEngine, TraceCtx,
+    TraceId, Tracer,
+};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -74,6 +77,14 @@ pub struct ObsConfig {
     pub sample_rate: u64,
     /// Capacity of the sampled-trace ring.
     pub trace_ring: usize,
+    /// Sampler tick cadence: how often the monitor thread snapshots the
+    /// registry into the windowed series and re-evaluates the SLOs.
+    pub cadence: Duration,
+    /// Windows retained in the series ring (cadence × retention is the
+    /// observable history span).
+    pub retention: usize,
+    /// Capacity of the structured event log.
+    pub event_log: usize,
 }
 
 impl Default for ObsConfig {
@@ -81,6 +92,9 @@ impl Default for ObsConfig {
         ObsConfig {
             sample_rate: 16,
             trace_ring: 256,
+            cadence: Duration::from_secs(1),
+            retention: 64,
+            event_log: 256,
         }
     }
 }
@@ -179,6 +193,7 @@ struct ObsHandles {
     not_found: Counter,
     deadline_exceeded: Counter,
     shed: Counter,
+    degraded: Counter,
     rejected_auth: Counter,
     payload_bytes: Counter,
     request_us: Histogram,
@@ -195,6 +210,7 @@ impl ObsHandles {
             not_found: reg.counter("serve.not_found"),
             deadline_exceeded: reg.counter("serve.deadline_exceeded"),
             shed: reg.counter("serve.shed"),
+            degraded: reg.counter("serve.degraded"),
             rejected_auth: reg.counter("serve.rejected_auth"),
             payload_bytes: reg.counter("serve.payload_bytes"),
             request_us: reg.histogram("serve.request_us"),
@@ -215,6 +231,8 @@ struct Shared {
     registry: Registry,
     tracer: Tracer,
     obs: ObsHandles,
+    events: Arc<EventLog>,
+    monitor: Monitor,
 }
 
 /// A running progressive-retrieval server.
@@ -229,6 +247,7 @@ pub struct Server {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    sampler: Option<JoinHandle<()>>,
 }
 
 /// Per-server fault-injection handle: empty unless built with the
@@ -286,16 +305,27 @@ impl Server {
         let local = listener.local_addr()?;
         let registry = Registry::new();
         let obs = ObsHandles::new(&registry);
+        let events = Arc::new(EventLog::new(config.obs.event_log));
+        let monitor = Monitor::new(
+            registry.clone(),
+            config.obs.retention,
+            SloEngine::new(Objective::server_defaults(), BurnConfig::default()),
+            Arc::clone(&events),
+        );
+        let scheduler = FairScheduler::new(config.qos);
+        scheduler.set_events(Arc::clone(&events));
         let shared = Arc::new(Shared {
             catalog,
             cache: PrefixCache::new(config.cache_bytes),
             counters: Counters::default(),
-            scheduler: FairScheduler::new(config.qos),
+            scheduler,
             shutting_down: AtomicBool::new(false),
             connections: ConnRegistry::default(),
             registry,
             tracer: Tracer::new("serve", config.obs.trace_ring, config.obs.sample_rate),
             obs,
+            events,
+            monitor,
         });
 
         let workers = config.workers.max(1);
@@ -339,11 +369,23 @@ impl Server {
             })
             .collect();
 
+        let sampler = {
+            let shared = Arc::clone(&shared);
+            let cadence = config.obs.cadence;
+            std::thread::spawn(move || {
+                run_sampler(&shared.shutting_down, cadence, |elapsed| {
+                    let exemplar = shared.tracer.last_trace_id();
+                    shared.monitor.tick(elapsed, exemplar);
+                })
+            })
+        };
+
         Ok(Server {
             addr: local,
             shared,
             acceptor: Some(acceptor),
             workers: worker_handles,
+            sampler: Some(sampler),
         })
     }
 
@@ -379,6 +421,13 @@ impl Server {
         &self.shared.tracer
     }
 
+    /// The server's continuous monitor: windowed series ring, SLO
+    /// engine, and event log (what the wire `series` / `slo status` /
+    /// `event dump` ops read).
+    pub fn monitor(&self) -> &Monitor {
+        &self.shared.monitor
+    }
+
     /// Stop accepting, drain in-flight connections, join every thread,
     /// and return the final counters.
     pub fn shutdown(mut self) -> io::Result<ServerStats> {
@@ -401,6 +450,27 @@ impl Server {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        if let Some(sampler) = self.sampler.take() {
+            let _ = sampler.join();
+        }
+    }
+}
+
+/// Drive a monitor sampler loop at `cadence` until `shutting_down`
+/// flips, handing each tick the wall time its window actually covered.
+/// Naps in short slices (a quarter cadence, at most 20 ms) so both the
+/// tick timing and shutdown stay responsive. Shared by the server and
+/// the gateway.
+pub fn run_sampler(shutting_down: &AtomicBool, cadence: Duration, mut tick: impl FnMut(Duration)) {
+    let nap = (cadence / 4).clamp(Duration::from_millis(1), Duration::from_millis(20));
+    let mut last = Instant::now();
+    while !shutting_down.load(Ordering::SeqCst) {
+        let elapsed = last.elapsed();
+        if elapsed >= cadence {
+            last = Instant::now();
+            tick(elapsed);
+        }
+        std::thread::sleep(nap);
     }
 }
 
@@ -597,6 +667,27 @@ impl OpsHost for ServerOps<'_> {
         self.shared.tracer.dump_json(max as usize)
     }
 
+    fn series_render(&self) -> String {
+        self.shared.monitor.series_json()
+    }
+
+    fn slo_render(&self, text: bool) -> String {
+        let report = self.shared.monitor.slo_report();
+        if text {
+            report.to_text()
+        } else {
+            report.to_json()
+        }
+    }
+
+    fn events_render(&self, max: u32, text: bool) -> String {
+        if text {
+            self.shared.events.to_text(max as usize)
+        } else {
+            self.shared.events.to_json(max as usize)
+        }
+    }
+
     fn auth_key(&self) -> Option<&AuthKey> {
         self.auth.as_ref()
     }
@@ -730,6 +821,12 @@ fn record_latency(shared: &Shared, elapsed: Duration) {
     shared.obs.request_us.record_duration(elapsed);
 }
 
+/// The trace id to link as a histogram exemplar: only sampled requests
+/// leave a trace in the ring worth pointing at.
+fn exemplar(ctx: &TraceCtx) -> Option<TraceId> {
+    ctx.sampled().then(|| ctx.trace_id())
+}
+
 /// The class count the selector alone asks for (before degradation).
 fn selected_count(ds: &crate::catalog::Dataset, selector: &Selector) -> usize {
     match *selector {
@@ -794,7 +891,10 @@ fn serve_fetch(
     let admission = shared
         .scheduler
         .admit_within(&spec.qos.tenant, spec.qos.priority, wait_cap);
-    shared.obs.queue_wait_us.record_duration(stage.elapsed());
+    shared
+        .obs
+        .queue_wait_us
+        .record_duration_traced(stage.elapsed(), exemplar(ctx));
     ctx.span("queue_wait", stage);
     let (permit, sched_degrade) = match admission {
         Admission::Granted { permit, degrade } => (permit, degrade),
@@ -860,6 +960,9 @@ fn serve_fetch(
         .max(floor)
         .min(requested)
         .max(1);
+    if served < requested {
+        shared.obs.degraded.inc();
+    }
     ctx.span_attrs(
         "degrade_decision",
         stage,
@@ -867,7 +970,10 @@ fn serve_fetch(
     );
     let stage = Instant::now();
     let (payload, cache_hit) = shared.cache.get_or_encode(&ds, served);
-    shared.obs.encode_us.record_duration(stage.elapsed());
+    shared
+        .obs
+        .encode_us
+        .record_duration_traced(stage.elapsed(), exemplar(ctx));
     ctx.span_attrs("encode", stage, vec![("cache_hit", cache_hit.to_string())]);
     // A QoS fetch (op 4) is always answered with the requested-vs-served
     // report; a legacy fetch only when degradation actually applied (the
@@ -896,7 +1002,10 @@ fn serve_fetch(
         payload.as_slice(),
     )?;
     w.write_all(payload.as_slice())?;
-    shared.obs.write_us.record_duration(stage.elapsed());
+    shared
+        .obs
+        .write_us
+        .record_duration_traced(stage.elapsed(), exemplar(ctx));
     ctx.span("write_out", stage);
     permit.served(payload.len() as u64, served < requested);
     let c = &shared.counters;

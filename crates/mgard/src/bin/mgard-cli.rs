@@ -44,8 +44,8 @@
 
 use mgard::mg_compress::{Compressed, Compressor, StageTimings};
 use mgard::mg_gateway::{Gateway, GatewayConfig};
-use mgard::mg_obs::Table;
-use mgard::mg_serve::protocol::Priority;
+use mgard::mg_obs::{MetricValue, Snapshot, Table};
+use mgard::mg_serve::protocol::{Priority, TenantStatsReport};
 use mgard::mg_serve::qos::QosConfig;
 use mgard::mg_serve::{client as serve_client, AuthKey, Catalog, Server, ServerConfig};
 use mgard::prelude::*;
@@ -83,9 +83,13 @@ const USAGE: &str = "usage:
                        [--floor-tau T] [--save-raw OUT.mgrd] [--via-gateway]
                        [--deadline-ms MS] [--retries N] [--secret S]
   mgard-cli stats      ADDR [--secret S]
-  mgard-cli tenant-stats ADDR [--secret S]
-  mgard-cli metrics    ADDR [--json] [--secret S]
+  mgard-cli tenant-stats ADDR [--watch SECS] [--frames N] [--secret S]
+  mgard-cli metrics    ADDR [--json] [--watch SECS] [--frames N] [--secret S]
   mgard-cli trace      ADDR [--max N] [--secret S]
+  mgard-cli series     ADDR [--secret S]
+  mgard-cli slo        ADDR [--json] [--secret S]
+  mgard-cli events     ADDR [--max N] [--json] [--secret S]
+  mgard-cli top        ADDR [--watch SECS] [--frames N] [--max N] [--secret S]
   mgard-cli shutdown   ADDR [--secret S]
 
 options (refactor/reconstruct/compress/decompress):
@@ -110,10 +114,15 @@ robustness options:
                             tag, clients and the gateway attach one
 
 observability options:
-  --json                    (metrics) print the raw JSON snapshot instead of
-                            the rendered tables
+  --json                    (metrics/slo/events) print the raw JSON payload
+                            instead of the rendered tables
   --max N                   (trace) sampled traces to dump, newest first
-                            (default 16)";
+                            (default 16); (events/top) events to show
+  --watch SECS              (metrics/tenant-stats) poll every SECS seconds and
+                            print per-interval deltas and rates; (top) refresh
+                            interval (default 2)
+  --frames N                stop a --watch or top loop after N frames
+                            (default: run until interrupted)";
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
@@ -150,6 +159,8 @@ struct Opts {
     secret: Option<String>,
     json: bool,
     max: Option<u32>,
+    watch: Option<f64>,
+    frames: Option<u64>,
 }
 
 impl Opts {
@@ -203,6 +214,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, Box<dyn std::error::Error>> {
         secret: None,
         json: false,
         max: None,
+        watch: None,
+        frames: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -328,6 +341,22 @@ fn parse_opts(args: &[String]) -> Result<Opts, Box<dyn std::error::Error>> {
                 let v = it.next().ok_or("--max needs a count")?;
                 o.max = Some(v.parse().map_err(|_| "bad --max")?);
             }
+            "--watch" => {
+                let v = it.next().ok_or("--watch needs seconds")?;
+                let secs: f64 = v.parse().map_err(|_| "bad --watch")?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err("--watch must be a positive number of seconds".into());
+                }
+                o.watch = Some(secs);
+            }
+            "--frames" => {
+                let v = it.next().ok_or("--frames needs a count")?;
+                let n: u64 = v.parse().map_err(|_| "bad --frames")?;
+                if n == 0 {
+                    return Err("--frames must be >= 1".into());
+                }
+                o.frames = Some(n);
+            }
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a count")?;
                 let n: usize = v.parse().map_err(|_| "bad --threads")?;
@@ -366,6 +395,10 @@ fn run(args: &[String]) -> CliResult {
         "tenant-stats" => tenant_stats(&o),
         "metrics" => metrics(&o),
         "trace" => trace(&o),
+        "series" => series(&o),
+        "slo" => slo(&o),
+        "events" => events(&o),
+        "top" => top(&o),
         "shutdown" => shutdown(&o),
         other => Err(format!("unknown command {other}").into()),
     }
@@ -924,20 +957,113 @@ fn stats(o: &Opts) -> CliResult {
     Ok(())
 }
 
-fn tenant_stats(o: &Opts) -> CliResult {
-    let [addr] = o.positional.as_slice() else {
-        return Err("tenant-stats needs ADDR".into());
-    };
-    let key = auth_key(o);
-    let report = serve_client::tenant_stats_with(addr.as_str(), key.as_ref())?;
-    if report.tenants.is_empty() {
-        println!("no tenants recorded at {addr}");
-        return Ok(());
+/// Drive a `--watch` loop: render one frame, sleep, repeat — stopping
+/// after `frames` frames when set (watch runs until interrupted
+/// otherwise).
+fn watch_loop(
+    every: f64,
+    frames: Option<u64>,
+    mut frame: impl FnMut(u64) -> CliResult,
+) -> CliResult {
+    let mut i = 0u64;
+    loop {
+        frame(i)?;
+        i += 1;
+        if frames.is_some_and(|n| i >= n) {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(every));
     }
-    println!("tenants at {addr}:");
+}
+
+/// One watch/top frame body over a metrics snapshot: counters and
+/// gauges with their per-interval delta and rate, histograms with their
+/// per-interval throughput and current tail quantiles. With no baseline
+/// (the first frame) the delta columns are dashes. Counter deltas come
+/// from [`Snapshot::delta`]; histogram rates subtract the count/sum
+/// fields directly — the text export's buckets are synthetic, so only
+/// the scalar fields delta exactly between polls.
+fn render_metric_rates(cur: &Snapshot, base: Option<(&Snapshot, f64)>) -> String {
+    let delta = base.map(|(b, _)| cur.delta(b));
+    let secs = base.map_or(0.0, |(_, s)| s).max(1e-9);
+    let mut scalars = Table::new(["metric", "total", "delta", "rate/s"]);
+    let mut nscalars = 0usize;
+    let mut hists = Table::new(["histogram", "count", "ops/s", "mean_us", "p50", "p99"]);
+    let mut nhists = 0usize;
+    for (name, v) in &cur.entries {
+        match v {
+            MetricValue::Counter(total) => {
+                let (d, rate) = match &delta {
+                    Some(ds) => {
+                        let d = ds.counter_value(name);
+                        (d.to_string(), format!("{:.1}", d as f64 / secs))
+                    }
+                    None => ("-".to_string(), "-".to_string()),
+                };
+                scalars.row([name.clone(), total.to_string(), d, rate]);
+                nscalars += 1;
+            }
+            MetricValue::Gauge(g) => {
+                scalars.row([name.clone(), g.to_string(), "-".into(), "-".into()]);
+                nscalars += 1;
+            }
+            MetricValue::Histogram(h) => {
+                let (dcount, dsum, rate) = match &delta {
+                    Some(ds) => {
+                        let (c, s) = ds.hist(name).map_or((0, 0), |d| (d.count, d.sum));
+                        (c, s, format!("{:.1}", c as f64 / secs))
+                    }
+                    None => (h.count, h.sum, "-".to_string()),
+                };
+                let mean = dsum
+                    .checked_div(dcount)
+                    .map_or_else(|| "-".to_string(), |m| m.to_string());
+                let q = |p| {
+                    h.quantile(p)
+                        .map_or_else(|| "-".to_string(), |v| v.to_string())
+                };
+                hists.row([
+                    name.clone(),
+                    h.count.to_string(),
+                    rate,
+                    mean,
+                    q(0.5),
+                    q(0.99),
+                ]);
+                nhists += 1;
+            }
+        }
+    }
+    let mut out = String::new();
+    if nscalars > 0 {
+        out.push_str(&scalars.render());
+    }
+    if nhists > 0 {
+        if nscalars > 0 {
+            out.push('\n');
+        }
+        out.push_str(&hists.render());
+    }
+    if nscalars == 0 && nhists == 0 {
+        out.push_str("(no metrics recorded)\n");
+    }
+    out
+}
+
+/// The tenant-stats frame body: one row per tenant with per-interval
+/// request/fetch deltas and the request rate when a baseline exists.
+fn render_tenant_rates(cur: &TenantStatsReport, base: Option<(&TenantStatsReport, f64)>) -> String {
+    if cur.tenants.is_empty() {
+        return "(no tenants recorded)\n".to_string();
+    }
+    let prev: std::collections::BTreeMap<&str, &mgard::mg_serve::protocol::TenantStats> = base
+        .map(|(b, _)| b.tenants.iter().map(|t| (t.tenant.as_str(), t)).collect())
+        .unwrap_or_default();
+    let secs = base.map_or(0.0, |(_, s)| s).max(1e-9);
     let mut t = Table::new([
         "tenant",
         "requests",
+        "req/s",
         "fetches",
         "degraded",
         "shed",
@@ -946,25 +1072,78 @@ fn tenant_stats(o: &Opts) -> CliResult {
         "bytes",
         "queue_us",
     ]);
-    for row in &report.tenants {
+    for row in &cur.tenants {
         let tenant = if row.tenant.is_empty() {
             "(shared)"
         } else {
             &row.tenant
         };
+        // Counters are cumulative; a tenant absent from the baseline
+        // deltas from zero (it just appeared).
+        let d = |cur: u64, prev: u64| cur.saturating_sub(prev);
+        let (req_rate, dfetch, ddeg, dshed) = match (base.is_some(), prev.get(row.tenant.as_str()))
+        {
+            (true, p) => {
+                let p = p.copied();
+                let dreq = d(row.requests, p.map_or(0, |p| p.requests));
+                (
+                    format!("{:.1}", dreq as f64 / secs),
+                    format!("+{}", d(row.fetches, p.map_or(0, |p| p.fetches))),
+                    format!("+{}", d(row.degraded, p.map_or(0, |p| p.degraded))),
+                    format!("+{}", d(row.shed, p.map_or(0, |p| p.shed))),
+                )
+            }
+            (false, _) => (
+                "-".to_string(),
+                row.fetches.to_string(),
+                row.degraded.to_string(),
+                row.shed.to_string(),
+            ),
+        };
         t.row([
             tenant.to_string(),
             row.requests.to_string(),
-            row.fetches.to_string(),
-            row.degraded.to_string(),
-            row.shed.to_string(),
+            req_rate,
+            dfetch,
+            ddeg,
+            dshed,
             row.rejected_auth.to_string(),
             row.rejected_deadline.to_string(),
             row.payload_bytes.to_string(),
             row.queue_wait_us.to_string(),
         ]);
     }
-    print!("{}", t.render());
+    t.render()
+}
+
+fn tenant_stats(o: &Opts) -> CliResult {
+    let [addr] = o.positional.as_slice() else {
+        return Err("tenant-stats needs ADDR".into());
+    };
+    let key = auth_key(o);
+    if let Some(every) = o.watch {
+        let mut prev: Option<(TenantStatsReport, std::time::Instant)> = None;
+        return watch_loop(every, o.frames, move |i| {
+            let report = serve_client::tenant_stats_with(addr.as_str(), key.as_ref())?;
+            let now = std::time::Instant::now();
+            let body = match &prev {
+                Some((b, at)) => render_tenant_rates(&report, Some((b, (now - *at).as_secs_f64()))),
+                None => render_tenant_rates(&report, None),
+            };
+            println!("--- tenants at {addr}, frame {i} ---");
+            print!("{body}");
+            std::io::stdout().flush()?;
+            prev = Some((report, now));
+            Ok(())
+        });
+    }
+    let report = serve_client::tenant_stats_with(addr.as_str(), key.as_ref())?;
+    if report.tenants.is_empty() {
+        println!("no tenants recorded at {addr}");
+        return Ok(());
+    }
+    println!("tenants at {addr}:");
+    print!("{}", render_tenant_rates(&report, None));
     Ok(())
 }
 
@@ -973,6 +1152,26 @@ fn metrics(o: &Opts) -> CliResult {
         return Err("metrics needs ADDR".into());
     };
     let key = auth_key(o);
+    if let Some(every) = o.watch {
+        if o.json {
+            return Err("--watch renders tables; drop --json".into());
+        }
+        let mut prev: Option<(Snapshot, std::time::Instant)> = None;
+        return watch_loop(every, o.frames, move |i| {
+            let text = serve_client::metrics_with(addr.as_str(), true, key.as_ref())?;
+            let now = std::time::Instant::now();
+            let snap = Snapshot::parse_text(&text);
+            let body = match &prev {
+                Some((b, at)) => render_metric_rates(&snap, Some((b, (now - *at).as_secs_f64()))),
+                None => render_metric_rates(&snap, None),
+            };
+            println!("--- metrics at {addr}, frame {i} ---");
+            print!("{body}");
+            std::io::stdout().flush()?;
+            prev = Some((snap, now));
+            Ok(())
+        });
+    }
     if o.json {
         let blob = serve_client::metrics_with(addr.as_str(), false, key.as_ref())?;
         println!("{blob}");
@@ -1043,6 +1242,88 @@ fn trace(o: &Opts) -> CliResult {
     let blob = serve_client::traces_with(addr.as_str(), max, key.as_ref())?;
     println!("{blob}");
     Ok(())
+}
+
+fn series(o: &Opts) -> CliResult {
+    let [addr] = o.positional.as_slice() else {
+        return Err("series needs ADDR".into());
+    };
+    let key = auth_key(o);
+    let blob = serve_client::series_with(addr.as_str(), key.as_ref())?;
+    println!("{blob}");
+    Ok(())
+}
+
+fn slo(o: &Opts) -> CliResult {
+    let [addr] = o.positional.as_slice() else {
+        return Err("slo needs ADDR".into());
+    };
+    let key = auth_key(o);
+    let blob = serve_client::slo_status_with(addr.as_str(), !o.json, key.as_ref())?;
+    print!("{blob}");
+    if o.json {
+        println!();
+    }
+    Ok(())
+}
+
+fn events(o: &Opts) -> CliResult {
+    let [addr] = o.positional.as_slice() else {
+        return Err("events needs ADDR".into());
+    };
+    let key = auth_key(o);
+    let max = o.max.unwrap_or(32);
+    let blob = serve_client::events_with(addr.as_str(), max, !o.json, key.as_ref())?;
+    if blob.is_empty() {
+        println!("(no events recorded at {addr})");
+    } else {
+        print!("{blob}");
+        if o.json {
+            println!();
+        }
+    }
+    Ok(())
+}
+
+/// `top` — a live dashboard against a server or gateway: clears the
+/// screen each frame and shows request/stage rates (from metric deltas
+/// between polls), the SLO table, and the newest structured events.
+fn top(o: &Opts) -> CliResult {
+    let [addr] = o.positional.as_slice() else {
+        return Err("top needs ADDR".into());
+    };
+    let key = auth_key(o);
+    let every = o.watch.unwrap_or(2.0);
+    let nevents = o.max.unwrap_or(8);
+    let mut prev: Option<(Snapshot, std::time::Instant)> = None;
+    watch_loop(every, o.frames, move |i| {
+        let text = serve_client::metrics_with(addr.as_str(), true, key.as_ref())?;
+        let now = std::time::Instant::now();
+        let snap = Snapshot::parse_text(&text);
+        let slo = serve_client::slo_status_with(addr.as_str(), true, key.as_ref())?;
+        let events = serve_client::events_with(addr.as_str(), nevents, true, key.as_ref())?;
+        let body = match &prev {
+            Some((b, at)) => render_metric_rates(&snap, Some((b, (now - *at).as_secs_f64()))),
+            None => render_metric_rates(&snap, None),
+        };
+        // ANSI clear + cursor home: a fresh frame each tick, top(1)-style.
+        print!("\x1b[2J\x1b[H");
+        println!("mgard top — {addr} — every {every}s, frame {i} (ctrl-c quits)");
+        println!();
+        print!("{body}");
+        println!();
+        print!("{slo}");
+        println!();
+        if events.is_empty() {
+            println!("events: (none)");
+        } else {
+            println!("recent events:");
+            print!("{events}");
+        }
+        std::io::stdout().flush()?;
+        prev = Some((snap, now));
+        Ok(())
+    })
 }
 
 fn shutdown(o: &Opts) -> CliResult {

@@ -62,6 +62,22 @@ cargo run --release -p mg-bench --bin bench_serve -- --quick --obs-gate --out BE
 cargo run --release -p mg-bench --bin bench_gateway -- --quick --out BENCH_gateway.json
 cargo run --release -p mg-bench --bin bench_qos -- --quick --out BENCH_qos.json
 
+# Error-rate gate on the fresh run: a cached-phase fetch against an
+# in-process server has nothing to fail on, so every cached row's
+# error_rate must be exactly zero — a nonzero rate means the serving
+# path itself broke, which no latency tolerance should paper over.
+cached_rows=$(tr -d ' \n' <BENCH_serve.json \
+    | grep -oE '"phase":"cached"[^}]*"error_rate":[0-9.]+' || true)
+if [[ -z "$cached_rows" ]]; then
+    echo "bench_compare: no cached-phase error_rate in serve JSON" >&2
+    exit 1
+fi
+if grep -qv '"error_rate":0\.0000$' <<<"$cached_rows"; then
+    echo "bench_compare: cached-phase fetch errors detected:" >&2
+    echo "$cached_rows" >&2
+    exit 1
+fi
+
 # Tail-latency gate from the mg-obs histogram fields: the cached-phase
 # serve p99 against the base commit's. Quantiles are far noisier than
 # best-of kernel walls, so the tolerance is separate and loose by

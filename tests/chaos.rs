@@ -24,7 +24,8 @@
 //!   proves nothing).
 
 use mgard::mg_gateway::{Gateway, GatewayConfig, Ring};
-use mgard::mg_serve::{client, AuthKey, Catalog, Server, ServerConfig};
+use mgard::mg_obs::SloStatus;
+use mgard::mg_serve::{client, AuthKey, Catalog, ObsConfig, Server, ServerConfig};
 use mgard::prelude::*;
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -662,6 +663,174 @@ fn response_bit_flips_beyond_the_magic_are_caught_by_the_response_tag() {
         detected >= 10,
         "deep flips must be detected as InvalidData, not served: only {detected}/40"
     );
+    server.shutdown().unwrap();
+}
+
+/// The error-rate SLO rides the full breach cycle under a blackout.
+/// A healthy gateway reports `ok`; blacking out the only replica turns
+/// every fetch into a typed error until the fast and slow burn rates
+/// both blow past 1 and the sampler emits `slo_breach`; healing the
+/// path lets the error windows age out of the slow span until the
+/// objective recovers and the sampler emits `slo_recover`. Both events
+/// carry an exemplar trace id that resolves against the gateway's
+/// trace ring over the wire (op 7).
+#[test]
+fn a_blackout_drives_the_error_rate_slo_through_breach_and_recovery() {
+    let cat = Catalog::new();
+    let data = smooth_field(Shape::d2(17, 17), 9);
+    cat.insert_array("slo-ds", &data).unwrap();
+    let server = Server::bind("127.0.0.1:0", cat, ServerConfig::default()).unwrap();
+    let healthy = Arc::new(AtomicBool::new(true));
+    let proxy_addr = spawn_flaky_proxy(server.local_addr().to_string(), healthy.clone());
+
+    let config = GatewayConfig {
+        // One replica: a blackout error can never be rescued by
+        // failover, so the error-rate objective sees every failure.
+        replication: 1,
+        cache_bytes: 0,
+        probe_interval: Duration::from_millis(50),
+        probe_backoff_initial: Duration::from_millis(20),
+        probe_backoff_max: Duration::from_millis(100),
+        connect_timeout: Duration::from_millis(250),
+        backend_io_timeout: Some(Duration::from_millis(100)),
+        obs: ObsConfig {
+            // Trace every request, so the sampler always has a fresh
+            // exemplar to attach to SLO transitions.
+            sample_rate: 1,
+            // Tight cadence: the 12-window slow span covers ~300 ms,
+            // so both transitions land within test-sized time.
+            cadence: Duration::from_millis(25),
+            retention: 64,
+            ..ObsConfig::default()
+        },
+        ..GatewayConfig::default()
+    };
+    let gateway = Gateway::bind("127.0.0.1:0", vec![proxy_addr], config).unwrap();
+    let gw_addr = gateway.local_addr();
+
+    // Healthy traffic: the objective holds at ok and the trace ring
+    // fills with resolvable exemplars.
+    for _ in 0..5 {
+        client::FetchRequest::new("slo-ds")
+            .tau(1e-4)
+            .send(gw_addr)
+            .unwrap();
+    }
+    let entry = gateway.monitor().slo_report();
+    let entry = entry.get("error_rate").unwrap();
+    assert_eq!(
+        entry.status,
+        SloStatus::Ok,
+        "healthy traffic must not breach: {entry:?}"
+    );
+
+    // Newest event of `kind` for the error-rate objective. The fast
+    // span can empty out between slow erroring fetches, so breach and
+    // recover edges may flap during the blackout — callers gate on the
+    // read-path status and event ordering, not on mere existence.
+    let find_event = |kind: &str| {
+        gateway
+            .events()
+            .recent(256)
+            .into_iter()
+            .filter(|e| e.kind == kind && e.detail.starts_with("error_rate"))
+            .max_by_key(|e| e.seq)
+    };
+
+    // Blackout: typed errors (timeout while the breaker is closed,
+    // fast unavailable once it opens) flood the burn windows until the
+    // sampler sees the objective enter breaching.
+    healthy.store(false, Ordering::Relaxed);
+    let breached_by = Instant::now() + Duration::from_secs(10);
+    let breach = loop {
+        let err = client::FetchRequest::new("slo-ds")
+            .tau(1e-4)
+            .deadline(Duration::from_millis(300))
+            .send(gw_addr)
+            .expect_err("a blackout fetch with no failover replica must fail");
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+            ),
+            "blackout fetch failed untyped: {:?}: {err}",
+            err.kind()
+        );
+        if let Some(e) = find_event("slo_breach") {
+            break e;
+        }
+        assert!(
+            Instant::now() < breached_by,
+            "the blackout never breached the error-rate SLO: {:?}",
+            gateway.monitor().slo_report()
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+
+    // Heal: wait for the first clean fetch (probes must close the
+    // breaker first; until then each failure extends the breach)...
+    healthy.store(true, Ordering::Relaxed);
+    let healed_by = Instant::now() + Duration::from_secs(10);
+    loop {
+        match client::FetchRequest::new("slo-ds")
+            .tau(1e-4)
+            .deadline(Duration::from_millis(300))
+            .send(gw_addr)
+        {
+            Ok(_) => break,
+            Err(_) => {
+                assert!(
+                    Instant::now() < healed_by,
+                    "the healed path never served a fetch: {:?}",
+                    gateway.stats()
+                );
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+    // ... then let the error windows age out of the slow burn span
+    // (zero-traffic windows burn nothing) until the sampler emits the
+    // recovery edge.
+    let recovered_by = Instant::now() + Duration::from_secs(10);
+    let recover = loop {
+        let report = gateway.monitor().slo_report();
+        let ok_now = report.get("error_rate").unwrap().status == SloStatus::Ok;
+        if ok_now {
+            // The read path agrees the objective recovered; the
+            // sampler must have logged the matching edge after the
+            // breach.
+            if let Some(e) = find_event("slo_recover").filter(|e| e.seq > breach.seq) {
+                break e;
+            }
+        }
+        assert!(
+            Instant::now() < recovered_by,
+            "the error-rate SLO never recovered: {report:?}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+
+    // Both transition events carry an exemplar that resolves against
+    // the gateway's trace ring over the wire.
+    let dump = client::traces(gw_addr, 256).unwrap();
+    for (what, event) in [("breach", &breach), ("recover", &recover)] {
+        let id = event
+            .trace
+            .unwrap_or_else(|| panic!("the {what} event must carry an exemplar: {event:?}"));
+        assert!(
+            dump.contains(&id.to_hex()),
+            "the {what} exemplar {} must resolve via the trace-dump op",
+            id.to_hex()
+        );
+    }
+
+    // CI validates the event-log wire format against a real chaos run:
+    // dump the gateway's structured event log when asked.
+    if let Ok(path) = std::env::var("MGARD_CHAOS_EVENTS_OUT") {
+        std::fs::write(&path, gateway.events().to_json(256)).expect("write chaos events dump");
+    }
+
+    gateway.shutdown().unwrap();
     server.shutdown().unwrap();
 }
 

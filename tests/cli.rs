@@ -471,6 +471,36 @@ fn serve_fetch_shutdown_session() {
         .status
         .success());
 
+    // The monitoring commands render against a live server: two top
+    // frames (metrics rates + SLO table + events), the SLO table alone,
+    // and the windowed-series JSON.
+    let out = cli()
+        .args([
+            "top", &addr, "--watch", "0.05", "--frames", "2", "--max", "4",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("mgard top"), "{text}");
+    assert!(text.contains("slo: "), "{text}");
+    let out = cli().args(["slo", &addr]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("error_rate"), "{text}");
+    let out = cli().args(["series", &addr]).output().unwrap();
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8(out.stdout)
+            .unwrap()
+            .starts_with("{\"windows\":["),
+        "series must print the windowed JSON"
+    );
+
     // Graceful shutdown: the server prints its final stats and exits 0.
     assert!(cli().args(["shutdown", &addr]).status().unwrap().success());
     let status = server.wait().unwrap();
@@ -558,6 +588,21 @@ fn gateway_fronts_backends_for_fetch_sessions() {
         std::fs::read(&direct).unwrap(),
         "gateway fetch must reconstruct identically to a direct fetch"
     );
+
+    // The live dashboard renders against the gateway tier too, with the
+    // gateway's own SLO objectives in the frame.
+    let out = cli()
+        .args(["top", &gw_addr, "--watch", "0.05", "--frames", "1"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("mgard top"), "{text}");
+    assert!(text.contains("error_rate"), "{text}");
 
     // Shut the gateway down (its banner line reports routing totals),
     // then the backend.

@@ -429,3 +429,92 @@ fn a_fetch_through_the_cluster_yields_one_connected_trace() {
         server.shutdown().unwrap();
     }
 }
+
+/// A fetch storm through the sharded cluster is fully accounted for in
+/// the windowed series: once the sampler ticks past the storm, the
+/// per-window `gateway.requests` deltas sum exactly to the cumulative
+/// counter (the ring's baseline starts empty and this retention evicts
+/// nothing), and the three monitoring wire ops — series, SLO status,
+/// event dump — render live against the gateway without panicking.
+#[test]
+fn a_fetch_storm_lands_in_the_windowed_series_and_monitoring_ops() {
+    let cluster = start_cluster(2);
+    let gw = Gateway::bind(
+        "127.0.0.1:0",
+        cluster.addrs.clone(),
+        GatewayConfig {
+            obs: ObsConfig {
+                cadence: Duration::from_millis(20),
+                retention: 256,
+                ..ObsConfig::default()
+            },
+            ..quick_config()
+        },
+    )
+    .unwrap();
+    let gw_addr = gw.local_addr();
+
+    // The storm: four concurrent clients × five rounds × six datasets.
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let datasets = &cluster.datasets;
+            s.spawn(move || {
+                for _ in 0..5 {
+                    for (name, _) in datasets {
+                        client::FetchRequest::new(name.as_str())
+                            .tau(1e-3)
+                            .send(gw_addr)
+                            .unwrap();
+                    }
+                }
+            });
+        }
+    });
+
+    // The request counter increments in the per-request accounting
+    // callback after the response bytes go out, which can race the
+    // client's read returning — poll it up to the storm's exact size,
+    // after which it is quiescent and the series catches up within one
+    // tick.
+    let expected = (4 * 5 * cluster.datasets.len()) as u64;
+    let total = poll("the whole storm to be counted", || {
+        let t = gw.registry().snapshot().counter_value("gateway.requests");
+        (t >= expected).then_some(t)
+    });
+    assert_eq!(total, expected, "only the storm touched the gateway");
+    poll("windowed series to sum to the cumulative counter", || {
+        (gw.monitor().ring().sum_counter("gateway.requests") == total).then_some(())
+    });
+
+    // The windows carry live per-second rates and a gapless sequence.
+    let windows = gw.monitor().ring().windows();
+    assert!(
+        windows.iter().any(|w| w.rate("gateway.requests") > 0.0),
+        "at least one window must have seen the storm"
+    );
+    for pair in windows.windows(2) {
+        assert_eq!(pair[1].seq, pair[0].seq + 1, "window seq must be gapless");
+    }
+
+    // The monitoring ops answer over the wire.
+    let series = client::series(gw_addr).unwrap();
+    assert!(
+        series.starts_with("{\"windows\":["),
+        "series payload: {series}"
+    );
+    assert!(series.contains("\"gateway.requests\""));
+    let slo = client::slo_status(gw_addr, true).unwrap();
+    assert!(slo.starts_with("slo: "), "slo text payload: {slo}");
+    let slo_json = client::slo_status(gw_addr, false).unwrap();
+    assert!(
+        slo_json.contains("\"error_rate\""),
+        "slo json must list the gateway objectives: {slo_json}"
+    );
+    let events = client::events(gw_addr, 16, false).unwrap();
+    assert!(events.starts_with('['), "events json payload: {events}");
+
+    gw.shutdown().unwrap();
+    for server in cluster.servers {
+        server.shutdown().unwrap();
+    }
+}
